@@ -1,0 +1,632 @@
+//! AArch64 subset instruction set.
+//!
+//! The backend's target: integer/FP data processing, loads/stores,
+//! `DMB`-family barriers, and load-exclusive/store-exclusive pairs for the
+//! RMW lowering of §2.1 (`RMW ≜ ℓ: ll; cmp; bc ℓ′; sc; bc ℓ; ℓ′:`).
+//! Instructions carry enough structure for the cost-model interpreter and
+//! an assembly printer; binary encoding is not needed for the evaluation
+//! (runtimes are measured on the simulated core).
+
+use std::fmt;
+
+/// An integer register `x0`–`x30`, or `xzr` (31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct X(pub u8);
+
+impl X {
+    /// The zero register.
+    pub const ZR: X = X(31);
+}
+
+impl fmt::Display for X {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 31 {
+            write!(f, "xzr")
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+/// An FP/SIMD register `d0`–`d31` (used for 32- and 64-bit scalars and, in
+/// the `q` form, 128-bit vectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct D(pub u8);
+
+impl fmt::Display for D {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Barrier kinds: `DMB FF` (ish), `DMB LD` (ishld), `DMB ST` (ishst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dmb {
+    /// Full barrier.
+    Ff,
+    /// Load barrier (orders loads with later loads and stores).
+    Ld,
+    /// Store barrier (orders stores with later stores).
+    St,
+}
+
+impl fmt::Display for Dmb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dmb::Ff => write!(f, "ish"),
+            Dmb::Ld => write!(f, "ishld"),
+            Dmb::St => write!(f, "ishst"),
+        }
+    }
+}
+
+/// Condition codes for `b.cond`, `csel`, `cset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard AArch64 condition names
+pub enum Cc {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Lo,
+    Ls,
+    Hi,
+    Hs,
+    Mi,
+    Pl,
+    Vs,
+    Vc,
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cc::Eq => "eq",
+            Cc::Ne => "ne",
+            Cc::Lt => "lt",
+            Cc::Le => "le",
+            Cc::Gt => "gt",
+            Cc::Ge => "ge",
+            Cc::Lo => "lo",
+            Cc::Ls => "ls",
+            Cc::Hi => "hi",
+            Cc::Hs => "hs",
+            Cc::Mi => "mi",
+            Cc::Pl => "pl",
+            Cc::Vs => "vs",
+            Cc::Vc => "vc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Access width for loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sz {
+    /// Byte (`ldrb`/`strb`).
+    B,
+    /// Halfword.
+    H,
+    /// Word (32-bit).
+    W,
+    /// Doubleword (64-bit).
+    X,
+    /// Quadword (128-bit, FP register file).
+    Q,
+}
+
+impl Sz {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Sz::B => 1,
+            Sz::H => 2,
+            Sz::W => 4,
+            Sz::X => 8,
+            Sz::Q => 16,
+        }
+    }
+}
+
+/// Integer ALU operations (three-operand register form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard AArch64 mnemonics
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    UDiv,
+    And,
+    Orr,
+    Eor,
+    Lsl,
+    Lsr,
+    Asr,
+    /// `smulh`-style remainder helper: `msub` is modelled directly.
+    MSub,
+}
+
+impl AluOp {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::SDiv => "sdiv",
+            AluOp::UDiv => "udiv",
+            AluOp::And => "and",
+            AluOp::Orr => "orr",
+            AluOp::Eor => "eor",
+            AluOp::Lsl => "lsl",
+            AluOp::Lsr => "lsr",
+            AluOp::Asr => "asr",
+            AluOp::MSub => "msub",
+        }
+    }
+}
+
+/// FP operations (scalar; `Vec2` variants operate per-lane on `q` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard AArch64 mnemonics
+pub enum FpOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FMin,
+    FMax,
+    FSqrt,
+    FNeg,
+}
+
+impl FpOp {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::FAdd => "fadd",
+            FpOp::FSub => "fsub",
+            FpOp::FMul => "fmul",
+            FpOp::FDiv => "fdiv",
+            FpOp::FMin => "fmin",
+            FpOp::FMax => "fmax",
+            FpOp::FSqrt => "fsqrt",
+            FpOp::FNeg => "fneg",
+        }
+    }
+}
+
+/// Memory operand: `[base, #imm]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AMem {
+    /// Base register.
+    pub base: X,
+    /// Signed byte offset.
+    pub off: i32,
+}
+
+impl fmt::Display for AMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.off == 0 {
+            write!(f, "[{}]", self.base)
+        } else {
+            write!(f, "[{}, #{}]", self.base, self.off)
+        }
+    }
+}
+
+/// A block label within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Blk(pub u32);
+
+impl fmt::Display for Blk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".L{}", self.0)
+    }
+}
+
+/// Call target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ACallee {
+    /// A function in this module, by index.
+    Func(u32),
+    /// An extern, by index into the module's extern table.
+    Extern(u32),
+    /// Indirect through a register (`blr`).
+    Reg(X),
+}
+
+/// One AArch64 instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AInst {
+    /// `mov xD, #imm` (pseudo; covers movz/movk sequences).
+    MovImm {
+        /// Destination.
+        rd: X,
+        /// 64-bit immediate.
+        imm: u64,
+    },
+    /// `mov xD, xM`.
+    MovReg {
+        /// Destination.
+        rd: X,
+        /// Source.
+        rm: X,
+    },
+    /// Integer ALU: `op xD, xN, xM` (MSub: `msub xD, xN, xM, xA` uses `ra`).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: X,
+        /// First source.
+        rn: X,
+        /// Second source.
+        rm: X,
+        /// Accumulator for `msub` (`xD = xA - xN*xM`).
+        ra: X,
+    },
+    /// `add xD, xN, #imm` / `sub` for negative.
+    AddImm {
+        /// Destination.
+        rd: X,
+        /// Source.
+        rn: X,
+        /// Immediate (may be negative).
+        imm: i32,
+    },
+    /// `cmp xN, xM` (sets NZCV).
+    Cmp {
+        /// Left operand.
+        rn: X,
+        /// Right operand.
+        rm: X,
+    },
+    /// `cset xD, cc`.
+    CSet {
+        /// Destination.
+        rd: X,
+        /// Condition.
+        cc: Cc,
+    },
+    /// `csel xD, xN, xM, cc`.
+    CSel {
+        /// Destination.
+        rd: X,
+        /// Value if cc.
+        rn: X,
+        /// Value if !cc.
+        rm: X,
+        /// Condition.
+        cc: Cc,
+    },
+    /// Sign-extend byte/half/word: `sxtb/sxth/sxtw xD, xN`.
+    SExt {
+        /// Destination.
+        rd: X,
+        /// Source.
+        rn: X,
+        /// Source width in bits (8/16/32).
+        bits: u8,
+    },
+    /// Zero-extend (`uxtb`/`uxth`/`mov wD, wN`).
+    ZExt {
+        /// Destination.
+        rd: X,
+        /// Source.
+        rn: X,
+        /// Source width in bits (1/8/16/32).
+        bits: u8,
+    },
+    /// Integer load.
+    Ldr {
+        /// Width.
+        sz: Sz,
+        /// Destination.
+        rt: X,
+        /// Address.
+        mem: AMem,
+    },
+    /// Integer store.
+    Str {
+        /// Width.
+        sz: Sz,
+        /// Source.
+        rt: X,
+        /// Address.
+        mem: AMem,
+    },
+    /// FP/vector load (`ldr s/d/q`).
+    LdrF {
+        /// Width (W = s, X = d, Q = q).
+        sz: Sz,
+        /// Destination.
+        dt: D,
+        /// Address.
+        mem: AMem,
+    },
+    /// FP/vector store.
+    StrF {
+        /// Width.
+        sz: Sz,
+        /// Source.
+        dt: D,
+        /// Address.
+        mem: AMem,
+    },
+    /// Load-exclusive (`ldxr`).
+    Ldxr {
+        /// Width.
+        sz: Sz,
+        /// Destination.
+        rt: X,
+        /// Address register.
+        rn: X,
+    },
+    /// Store-exclusive (`stxr`): status register receives 0 on success.
+    Stxr {
+        /// Width.
+        sz: Sz,
+        /// Status destination.
+        rs: X,
+        /// Value source.
+        rt: X,
+        /// Address register.
+        rn: X,
+    },
+    /// FP data processing (scalar; `double_prec` selects d vs s form).
+    Fp {
+        /// Operation.
+        op: FpOp,
+        /// Double precision?
+        dp: bool,
+        /// Destination.
+        dd: D,
+        /// First source (also the only one for sqrt/neg).
+        dn: D,
+        /// Second source.
+        dm: D,
+    },
+    /// Per-lane vector FP op on 128-bit registers (`fadd v0.2d, …`).
+    FpVec {
+        /// Operation.
+        op: FpOp,
+        /// Double-precision lanes (2×f64) vs single (4×f32).
+        dp: bool,
+        /// Destination.
+        dd: D,
+        /// First source.
+        dn: D,
+        /// Second source.
+        dm: D,
+    },
+    /// `fcmp dN, dM` (sets NZCV from FP compare).
+    FCmp {
+        /// Double precision?
+        dp: bool,
+        /// Left.
+        dn: D,
+        /// Right.
+        dm: D,
+    },
+    /// Integer → FP (`scvtf`).
+    Scvtf {
+        /// Double-precision result?
+        dp: bool,
+        /// 64-bit source?
+        from64: bool,
+        /// Destination.
+        dd: D,
+        /// Source.
+        rn: X,
+    },
+    /// FP → integer, truncating (`fcvtzs`).
+    Fcvtzs {
+        /// Double-precision source?
+        dp: bool,
+        /// 64-bit result?
+        to64: bool,
+        /// Destination.
+        rd: X,
+        /// Source.
+        dn: D,
+    },
+    /// FP precision conversion (`fcvt`): `to_double` selects direction.
+    Fcvt {
+        /// Converting to double?
+        to_double: bool,
+        /// Destination.
+        dd: D,
+        /// Source.
+        dn: D,
+    },
+    /// Move FP bits to integer register (`fmov xD, dN`).
+    FMovToX {
+        /// Destination.
+        rd: X,
+        /// Source.
+        dn: D,
+    },
+    /// Move integer bits to FP register (`fmov dD, xN`).
+    FMovFromX {
+        /// Destination.
+        dd: D,
+        /// Source.
+        rn: X,
+    },
+    /// `dmb` barrier.
+    DmbI {
+        /// Barrier kind.
+        kind: Dmb,
+    },
+    /// Call.
+    Bl {
+        /// Target.
+        callee: ACallee,
+    },
+    /// Load the address of a function into a register (`adrp`+`add`
+    /// pseudo).
+    AdrFunc {
+        /// Destination.
+        rd: X,
+        /// Function index.
+        func: u32,
+    },
+    /// Load the address of a global (`adrp`+`add` pseudo).
+    AdrGlobal {
+        /// Destination.
+        rd: X,
+        /// Global index.
+        global: u32,
+    },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ATerm {
+    /// Unconditional branch.
+    B(Blk),
+    /// `cbnz xN, then` else fall to `els`.
+    Cbnz {
+        /// Tested register.
+        rn: X,
+        /// Target when non-zero.
+        then: Blk,
+        /// Target when zero.
+        els: Blk,
+    },
+    /// Return.
+    Ret,
+    /// `brk #0` — unreachable.
+    Brk,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Default)]
+pub struct ABlock {
+    /// Instructions.
+    pub insts: Vec<AInst>,
+    /// Terminator (defaults to `Brk`).
+    pub term: Option<ATerm>,
+}
+
+/// A lowered function.
+#[derive(Debug, Clone)]
+pub struct AFunc {
+    /// Symbol name.
+    pub name: String,
+    /// Number of integer parameters (arrive in `x0…`).
+    pub int_params: usize,
+    /// Number of FP parameters (arrive in `d0…`).
+    pub fp_params: usize,
+    /// Frame size in bytes (slots for LIR values + allocas).
+    pub frame_size: u64,
+    /// Whether the function returns a value, and whether it is FP.
+    pub ret: ARet,
+    /// Blocks; index 0 is the entry.
+    pub blocks: Vec<ABlock>,
+}
+
+/// Return-value classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ARet {
+    /// No value.
+    Void,
+    /// Integer/pointer in `x0`.
+    Int,
+    /// FP in `d0`.
+    Fp,
+}
+
+/// A lowered module.
+#[derive(Debug, Clone)]
+pub struct AModule {
+    /// Functions.
+    pub funcs: Vec<AFunc>,
+    /// Extern names (indexed by [`ACallee::Extern`]).
+    pub externs: Vec<String>,
+    /// Globals carried over from the LIR module: `(name, addr, size, init)`.
+    pub globals: Vec<(String, u64, u64, Vec<u8>)>,
+}
+
+impl AModule {
+    /// Total instruction count (terminators excluded).
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum()
+    }
+
+    /// Counts `dmb` barriers by kind: `(ld, st, ff)`.
+    pub fn count_dmbs(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.funcs {
+            for b in &f.blocks {
+                for i in &b.insts {
+                    if let AInst::DmbI { kind } = i {
+                        match kind {
+                            Dmb::Ld => c.0 += 1,
+                            Dmb::St => c.1 += 1,
+                            Dmb::Ff => c.2 += 1,
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Function lookup by name.
+    pub fn func_by_name(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(X(0).to_string(), "x0");
+        assert_eq!(X::ZR.to_string(), "xzr");
+        assert_eq!(D(3).to_string(), "d3");
+        assert_eq!(AMem { base: X(29), off: -16 }.to_string(), "[x29, #-16]");
+        assert_eq!(AMem { base: X(0), off: 0 }.to_string(), "[x0]");
+        assert_eq!(Blk(4).to_string(), ".L4");
+        assert_eq!(Dmb::Ld.to_string(), "ishld");
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Sz::B.bytes(), 1);
+        assert_eq!(Sz::Q.bytes(), 16);
+    }
+
+    #[test]
+    fn dmb_counting() {
+        let m = AModule {
+            funcs: vec![AFunc {
+                name: "f".into(),
+                int_params: 0,
+                fp_params: 0,
+                frame_size: 0,
+                ret: ARet::Void,
+                blocks: vec![ABlock {
+                    insts: vec![
+                        AInst::DmbI { kind: Dmb::Ld },
+                        AInst::DmbI { kind: Dmb::St },
+                        AInst::DmbI { kind: Dmb::Ff },
+                        AInst::DmbI { kind: Dmb::Ld },
+                    ],
+                    term: Some(ATerm::Ret),
+                }],
+            }],
+            externs: vec![],
+            globals: vec![],
+        };
+        assert_eq!(m.count_dmbs(), (2, 1, 1));
+        assert_eq!(m.inst_count(), 4);
+    }
+}

@@ -1,0 +1,700 @@
+//! AArch64 interpreter with a weak-memory-core cost model.
+//!
+//! Executes lowered [`AModule`]s to (a) validate translations end-to-end
+//! and (b) produce the simulated runtimes of Figures 12 and 15. The cost
+//! model charges heavily for barriers — `dmb ish` ≫ `dmb ishld`/`ishst` ≫
+//! plain accesses — which is the effect the paper measures on the
+//! Cortex-A72. The pthread runtime uses the same sequential fork–join
+//! semantics (with per-thread cycle buckets) as the LIR interpreter.
+
+use crate::inst::{
+    ABlock, ACallee, AInst, AModule, ARet, ATerm, AluOp, Cc, Dmb, FpOp, D, X,
+};
+use lasagne_lir::interp::{Memory, FUNC_ADDR_BASE, HEAP_BASE, STACK_SIZE, STACK_TOP};
+use std::collections::BTreeMap;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmError {
+    /// Call to an unknown extern.
+    BadCall(String),
+    /// Trap (division by zero reached `udiv` with 0 divisor is defined as 0
+    /// on Arm, so traps come from `brk` and runtime assertions).
+    Trap(String),
+    /// Step limit exceeded.
+    StepLimit,
+}
+
+impl std::fmt::Display for ArmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArmError::BadCall(s) => write!(f, "bad call: {s}"),
+            ArmError::Trap(s) => write!(f, "trap: {s}"),
+            ArmError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ArmError {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArmStats {
+    /// Instructions retired.
+    pub insts: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Barriers executed: `(dmb ishld, dmb ishst, dmb ish)`.
+    pub dmbs: (u64, u64, u64),
+    /// Exclusive pairs executed.
+    pub exclusives: u64,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmRunResult {
+    /// `x0` at return (also `d0` bits for FP-returning functions).
+    pub ret: u64,
+    /// Statistics.
+    pub stats: ArmStats,
+    /// Per-spawned-thread cycles.
+    pub thread_cycles: Vec<u64>,
+    /// Captured `printf` output.
+    pub output: String,
+}
+
+impl ArmRunResult {
+    /// Fork–join critical path (main + slowest child).
+    pub fn critical_path_cycles(&self) -> u64 {
+        let children: u64 = self.thread_cycles.iter().sum();
+        let max = self.thread_cycles.iter().copied().max().unwrap_or(0);
+        self.stats.cycles - children + max
+    }
+}
+
+/// The simulated AArch64 core.
+pub struct ArmMachine<'m> {
+    module: &'m AModule,
+    /// Simulated memory (shared layout with the LIR interpreter).
+    pub mem: Memory,
+    x: [u64; 32],
+    d: [[u8; 16]; 32],
+    // NZCV
+    n: bool,
+    z: bool,
+    c: bool,
+    v: bool,
+    sp: u64,
+    heap_next: u64,
+    stats: ArmStats,
+    thread_cycles: Vec<u64>,
+    output: String,
+    steps_left: u64,
+    exclusive: Option<u64>,
+}
+
+/// Cycle costs of the modelled core. Barrier costs dominate — the knob the
+/// whole evaluation turns on.
+pub mod cost {
+    /// `dmb ish` (full barrier). One full barrier stalls the pipeline once;
+    /// it is cheaper than the back-to-back `ishld`+`ishst` pair it can
+    /// replace (§7.2 fence merging relies on exactly this).
+    pub const DMB_FF: u64 = 18;
+    /// `dmb ishld`.
+    pub const DMB_LD: u64 = 12;
+    /// `dmb ishst`.
+    pub const DMB_ST: u64 = 10;
+    /// Plain load/store.
+    pub const MEM: u64 = 5;
+    /// `ldxr`/`stxr`.
+    pub const EXCL: u64 = 12;
+    /// Integer multiply.
+    pub const MUL: u64 = 3;
+    /// Integer divide.
+    pub const DIV: u64 = 20;
+    /// FP divide / sqrt.
+    pub const FDIV: u64 = 15;
+    /// Other FP.
+    pub const FP: u64 = 2;
+    /// Branch-and-link.
+    pub const CALL: u64 = 2;
+    /// Everything else.
+    pub const ALU: u64 = 1;
+}
+
+fn cost_of(i: &AInst) -> u64 {
+    match i {
+        AInst::DmbI { kind: Dmb::Ff } => cost::DMB_FF,
+        AInst::DmbI { kind: Dmb::Ld } => cost::DMB_LD,
+        AInst::DmbI { kind: Dmb::St } => cost::DMB_ST,
+        AInst::Ldr { .. } | AInst::Str { .. } | AInst::LdrF { .. } | AInst::StrF { .. } => cost::MEM,
+        AInst::Ldxr { .. } | AInst::Stxr { .. } => cost::EXCL,
+        AInst::Alu { op: AluOp::Mul | AluOp::MSub, .. } => cost::MUL,
+        AInst::Alu { op: AluOp::SDiv | AluOp::UDiv, .. } => cost::DIV,
+        AInst::Fp { op: FpOp::FDiv | FpOp::FSqrt, .. } => cost::FDIV,
+        AInst::Fp { .. } | AInst::FpVec { .. } | AInst::FCmp { .. } => cost::FP,
+        AInst::Scvtf { .. } | AInst::Fcvtzs { .. } | AInst::Fcvt { .. } => cost::FP,
+        AInst::Bl { .. } => cost::CALL,
+        _ => cost::ALU,
+    }
+}
+
+impl<'m> ArmMachine<'m> {
+    /// Creates a machine, mapping the module's globals.
+    pub fn new(module: &'m AModule) -> ArmMachine<'m> {
+        let mut mem = Memory::new();
+        for (_, addr, size, init) in &module.globals {
+            let mut bytes = init.clone();
+            bytes.resize(*size as usize, 0);
+            mem.write(*addr, &bytes);
+        }
+        ArmMachine {
+            module,
+            mem,
+            x: [0; 32],
+            d: [[0; 16]; 32],
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+            sp: STACK_TOP,
+            heap_next: HEAP_BASE,
+            stats: ArmStats::default(),
+            thread_cycles: Vec::new(),
+            output: String::new(),
+            steps_left: 2_000_000_000,
+            exclusive: None,
+        }
+    }
+
+    /// Sets the step limit.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.steps_left = limit;
+    }
+
+    fn xr(&self, r: X) -> u64 {
+        if r.0 == 31 {
+            0
+        } else {
+            self.x[r.0 as usize]
+        }
+    }
+
+    fn set_x(&mut self, r: X, v: u64) {
+        if r.0 != 31 {
+            self.x[r.0 as usize] = v;
+        }
+    }
+
+    fn d64(&self, r: D) -> u64 {
+        u64::from_le_bytes(self.d[r.0 as usize][..8].try_into().unwrap())
+    }
+
+    fn set_d64(&mut self, r: D, bits: u64) {
+        self.d[r.0 as usize][..8].copy_from_slice(&bits.to_le_bytes());
+        self.d[r.0 as usize][8..].fill(0);
+    }
+
+    /// Runs function `idx` with integer args in `x0…` and FP args (f64
+    /// bits) in `d0…`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArmError`] on traps, unknown externs, or step-limit
+    /// exhaustion.
+    pub fn run(
+        &mut self,
+        idx: usize,
+        int_args: &[u64],
+        fp_args: &[u64],
+    ) -> Result<ArmRunResult, ArmError> {
+        for (i, a) in int_args.iter().enumerate() {
+            self.x[i] = *a;
+        }
+        for (i, a) in fp_args.iter().enumerate() {
+            self.set_d64(D(i as u8), *a);
+        }
+        self.call(idx)?;
+        let ret = match self.module.funcs[idx].ret {
+            ARet::Fp => self.d64(D(0)),
+            _ => self.x[0],
+        };
+        Ok(ArmRunResult {
+            ret,
+            stats: self.stats,
+            thread_cycles: self.thread_cycles.clone(),
+            output: std::mem::take(&mut self.output),
+        })
+    }
+
+    /// Accumulated stats so far.
+    pub fn stats(&self) -> ArmStats {
+        self.stats
+    }
+
+    fn call(&mut self, idx: usize) -> Result<(), ArmError> {
+        let f = &self.module.funcs[idx];
+        // Prologue: allocate the frame.
+        let saved_sp = self.sp;
+        let saved_fp = self.x[29];
+        self.sp -= f.frame_size;
+        self.x[29] = self.sp;
+
+        let mut blk = 0usize;
+        'blocks: loop {
+            let block: &ABlock = &f.blocks[blk];
+            for inst in &block.insts {
+                self.step(inst)?;
+            }
+            match block.term.unwrap_or(ATerm::Brk) {
+                ATerm::B(t) => blk = t.0 as usize,
+                ATerm::Cbnz { rn, then, els } => {
+                    self.stats.insts += 1;
+                    self.stats.cycles += cost::ALU;
+                    blk = if self.xr(rn) != 0 { then.0 as usize } else { els.0 as usize };
+                }
+                ATerm::Ret => break 'blocks,
+                ATerm::Brk => return Err(ArmError::Trap(format!("brk in @{}", f.name))),
+            }
+        }
+        self.sp = saved_sp;
+        self.x[29] = saved_fp;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, inst: &AInst) -> Result<(), ArmError> {
+        if self.steps_left == 0 {
+            return Err(ArmError::StepLimit);
+        }
+        self.steps_left -= 1;
+        self.stats.insts += 1;
+        self.stats.cycles += cost_of(inst);
+        match inst {
+            AInst::MovImm { rd, imm } => self.set_x(*rd, *imm),
+            AInst::MovReg { rd, rm } => {
+                let v = self.xr(*rm);
+                self.set_x(*rd, v);
+            }
+            AInst::Alu { op, rd, rn, rm, ra } => {
+                let a = self.xr(*rn);
+                let b = self.xr(*rm);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::SDiv => {
+                        if b == 0 {
+                            0
+                        } else {
+                            (a as i64).wrapping_div(b as i64) as u64
+                        }
+                    }
+                    AluOp::UDiv => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a / b
+                        }
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Orr => a | b,
+                    AluOp::Eor => a ^ b,
+                    AluOp::Lsl => a.wrapping_shl((b & 63) as u32),
+                    AluOp::Lsr => a.wrapping_shr((b & 63) as u32),
+                    AluOp::Asr => ((a as i64) >> (b & 63)) as u64,
+                    AluOp::MSub => self.xr(*ra).wrapping_sub(a.wrapping_mul(b)),
+                };
+                self.set_x(*rd, v);
+            }
+            AInst::AddImm { rd, rn, imm } => {
+                let base = if rn.0 == 29 { self.x[29] } else { self.xr(*rn) };
+                self.set_x(*rd, base.wrapping_add(*imm as i64 as u64));
+            }
+            AInst::Cmp { rn, rm } => {
+                let a = self.xr(*rn);
+                let b = self.xr(*rm);
+                let r = a.wrapping_sub(b);
+                self.n = (r as i64) < 0;
+                self.z = r == 0;
+                self.c = a >= b;
+                self.v = ((a ^ b) & (a ^ r)) >> 63 != 0;
+            }
+            AInst::CSet { rd, cc } => {
+                let v = u64::from(self.cond(*cc));
+                self.set_x(*rd, v);
+            }
+            AInst::CSel { rd, rn, rm, cc } => {
+                let v = if self.cond(*cc) { self.xr(*rn) } else { self.xr(*rm) };
+                self.set_x(*rd, v);
+            }
+            AInst::SExt { rd, rn, bits } => {
+                let v = self.xr(*rn);
+                let shift = 64 - u32::from(*bits);
+                self.set_x(*rd, (((v << shift) as i64) >> shift) as u64);
+            }
+            AInst::ZExt { rd, rn, bits } => {
+                let v = self.xr(*rn);
+                let mask = if *bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                self.set_x(*rd, v & mask);
+            }
+            AInst::Ldr { sz, rt, mem } => {
+                let addr = self.amem(mem);
+                let raw = self.mem.read(addr, sz.bytes() as usize);
+                let mut b = [0u8; 8];
+                b[..sz.bytes().min(8) as usize].copy_from_slice(&raw[..sz.bytes().min(8) as usize]);
+                self.set_x(*rt, u64::from_le_bytes(b));
+            }
+            AInst::Str { sz, rt, mem } => {
+                let addr = self.amem(mem);
+                let v = self.xr(*rt);
+                self.mem.write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
+            }
+            AInst::LdrF { sz, dt, mem } => {
+                let addr = self.amem(mem);
+                let raw = self.mem.read(addr, sz.bytes() as usize);
+                let mut v = [0u8; 16];
+                v[..sz.bytes() as usize].copy_from_slice(&raw[..sz.bytes() as usize]);
+                self.d[dt.0 as usize] = v;
+            }
+            AInst::StrF { sz, dt, mem } => {
+                let addr = self.amem(mem);
+                let v = self.d[dt.0 as usize];
+                self.mem.write(addr, &v[..sz.bytes() as usize]);
+            }
+            AInst::Ldxr { sz, rt, rn } => {
+                let addr = self.xr(*rn);
+                self.exclusive = Some(addr);
+                self.stats.exclusives += 1;
+                let raw = self.mem.read(addr, sz.bytes() as usize);
+                let mut b = [0u8; 8];
+                b[..sz.bytes().min(8) as usize].copy_from_slice(&raw[..sz.bytes().min(8) as usize]);
+                self.set_x(*rt, u64::from_le_bytes(b));
+            }
+            AInst::Stxr { sz, rs, rt, rn } => {
+                let addr = self.xr(*rn);
+                self.stats.exclusives += 1;
+                // Sequential simulation: the reservation always holds.
+                let ok = self.exclusive == Some(addr);
+                if ok {
+                    let v = self.xr(*rt);
+                    self.mem.write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
+                    self.set_x(*rs, 0);
+                } else {
+                    self.set_x(*rs, 1);
+                }
+                self.exclusive = None;
+            }
+            AInst::Fp { op, dp, dd, dn, dm } => {
+                let (a, b) = if *dp {
+                    (f64::from_bits(self.d64(*dn)), f64::from_bits(self.d64(*dm)))
+                } else {
+                    (
+                        f64::from(f32::from_bits(self.d64(*dn) as u32)),
+                        f64::from(f32::from_bits(self.d64(*dm) as u32)),
+                    )
+                };
+                let r = match op {
+                    FpOp::FAdd => a + b,
+                    FpOp::FSub => a - b,
+                    FpOp::FMul => a * b,
+                    FpOp::FDiv => a / b,
+                    FpOp::FMin => a.min(b),
+                    FpOp::FMax => a.max(b),
+                    FpOp::FSqrt => a.sqrt(),
+                    FpOp::FNeg => -a,
+                };
+                if *dp {
+                    self.set_d64(*dd, r.to_bits());
+                } else {
+                    self.set_d64(*dd, u64::from((r as f32).to_bits()));
+                }
+            }
+            AInst::FpVec { op, dp, dd, dn, dm } => {
+                let a = self.d[dn.0 as usize];
+                let b = self.d[dm.0 as usize];
+                let mut out = [0u8; 16];
+                if *dp {
+                    for i in 0..2 {
+                        let x = f64::from_le_bytes(a[i * 8..i * 8 + 8].try_into().unwrap());
+                        let y = f64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+                        let r = apply_fp(*op, x, y);
+                        out[i * 8..i * 8 + 8].copy_from_slice(&r.to_le_bytes());
+                    }
+                } else {
+                    for i in 0..4 {
+                        let x = f32::from_le_bytes(a[i * 4..i * 4 + 4].try_into().unwrap());
+                        let y = f32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
+                        let r = apply_fp(*op, f64::from(x), f64::from(y)) as f32;
+                        out[i * 4..i * 4 + 4].copy_from_slice(&r.to_le_bytes());
+                    }
+                }
+                self.d[dd.0 as usize] = out;
+            }
+            AInst::FCmp { dp, dn, dm } => {
+                let (a, b) = if *dp {
+                    (f64::from_bits(self.d64(*dn)), f64::from_bits(self.d64(*dm)))
+                } else {
+                    (
+                        f64::from(f32::from_bits(self.d64(*dn) as u32)),
+                        f64::from(f32::from_bits(self.d64(*dm) as u32)),
+                    )
+                };
+                if a.is_nan() || b.is_nan() {
+                    // Unordered: C and V set.
+                    self.n = false;
+                    self.z = false;
+                    self.c = true;
+                    self.v = true;
+                } else {
+                    self.n = a < b;
+                    self.z = a == b;
+                    self.c = a >= b;
+                    self.v = false;
+                }
+            }
+            AInst::Scvtf { dp, from64, dd, rn } => {
+                let raw = self.xr(*rn);
+                let v = if *from64 { raw as i64 as f64 } else { raw as u32 as i32 as f64 };
+                if *dp {
+                    self.set_d64(*dd, v.to_bits());
+                } else {
+                    self.set_d64(*dd, u64::from((v as f32).to_bits()));
+                }
+            }
+            AInst::Fcvtzs { dp, to64, rd, dn } => {
+                let v = if *dp {
+                    f64::from_bits(self.d64(*dn))
+                } else {
+                    f64::from(f32::from_bits(self.d64(*dn) as u32))
+                };
+                let i = v as i64;
+                self.set_x(*rd, if *to64 { i as u64 } else { (i as i32) as u32 as u64 });
+            }
+            AInst::Fcvt { to_double, dd, dn } => {
+                if *to_double {
+                    let v = f32::from_bits(self.d64(*dn) as u32);
+                    self.set_d64(*dd, f64::from(v).to_bits());
+                } else {
+                    let v = f64::from_bits(self.d64(*dn));
+                    self.set_d64(*dd, u64::from((v as f32).to_bits()));
+                }
+            }
+            AInst::FMovToX { rd, dn } => {
+                let v = self.d64(*dn);
+                self.set_x(*rd, v);
+            }
+            AInst::FMovFromX { dd, rn } => {
+                let v = self.xr(*rn);
+                self.set_d64(*dd, v);
+            }
+            AInst::DmbI { kind } => match kind {
+                Dmb::Ld => self.stats.dmbs.0 += 1,
+                Dmb::St => self.stats.dmbs.1 += 1,
+                Dmb::Ff => self.stats.dmbs.2 += 1,
+            },
+            AInst::Bl { callee } => match callee {
+                ACallee::Func(fi) => self.call(*fi as usize)?,
+                ACallee::Extern(e) => {
+                    let name = self.module.externs[*e as usize].clone();
+                    self.call_extern(&name)?;
+                }
+                ACallee::Reg(r) => {
+                    let addr = self.xr(*r);
+                    let idx = self.resolve_func(addr)?;
+                    self.call(idx)?;
+                }
+            },
+            AInst::AdrFunc { rd, func } => {
+                self.set_x(*rd, FUNC_ADDR_BASE + 16 * u64::from(*func));
+            }
+            AInst::AdrGlobal { rd, global } => {
+                let (_, addr, _, _) = &self.module.globals[*global as usize];
+                self.set_x(*rd, *addr);
+            }
+        }
+        Ok(())
+    }
+
+    fn amem(&self, m: &crate::inst::AMem) -> u64 {
+        let base = if m.base.0 == 29 { self.x[29] } else { self.xr(m.base) };
+        base.wrapping_add(m.off as i64 as u64)
+    }
+
+    fn cond(&self, cc: Cc) -> bool {
+        match cc {
+            Cc::Eq => self.z,
+            Cc::Ne => !self.z,
+            Cc::Lt => self.n != self.v,
+            Cc::Le => self.z || self.n != self.v,
+            Cc::Gt => !self.z && self.n == self.v,
+            Cc::Ge => self.n == self.v,
+            Cc::Lo => !self.c,
+            Cc::Ls => !self.c || self.z,
+            Cc::Hi => self.c && !self.z,
+            Cc::Hs => self.c,
+            Cc::Mi => self.n,
+            Cc::Pl => !self.n,
+            Cc::Vs => self.v,
+            Cc::Vc => !self.v,
+        }
+    }
+
+    fn resolve_func(&self, addr: u64) -> Result<usize, ArmError> {
+        if addr >= FUNC_ADDR_BASE && (addr - FUNC_ADDR_BASE) % 16 == 0 {
+            let idx = ((addr - FUNC_ADDR_BASE) / 16) as usize;
+            if idx < self.module.funcs.len() {
+                return Ok(idx);
+            }
+        }
+        Err(ArmError::BadCall(format!("no function at {addr:#x}")))
+    }
+
+    fn call_extern(&mut self, name: &str) -> Result<(), ArmError> {
+        match name {
+            "malloc" | "valloc" => {
+                let size = self.x[0];
+                self.x[0] = self.heap_next;
+                self.heap_next += (size + 63) & !63;
+            }
+            "calloc" => {
+                let size = self.x[0] * self.x[1];
+                self.x[0] = self.heap_next;
+                self.heap_next += (size + 63) & !63;
+            }
+            "free" => {}
+            "memset" => {
+                let (dst, byte, n) = (self.x[0], self.x[1] as u8, self.x[2]);
+                let buf = vec![byte; n as usize];
+                self.mem.write(dst, &buf);
+                self.stats.cycles += n / 8;
+            }
+            "memcpy" => {
+                let (dst, src, n) = (self.x[0], self.x[1], self.x[2]);
+                let mut buf = vec![0u8; n as usize];
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = self.mem.read(src + i as u64, 1)[0];
+                }
+                self.mem.write(dst, &buf);
+                self.stats.cycles += n / 4;
+            }
+            "strlen" => {
+                let s = self.mem.read_cstr(self.x[0]);
+                self.x[0] = s.len() as u64;
+            }
+            "printf" => {
+                let fmt = self.mem.read_cstr(self.x[0]);
+                let out = self.format_c(&fmt);
+                self.output.push_str(&out);
+                self.x[0] = 0;
+            }
+            "puts" => {
+                let s = self.mem.read_cstr(self.x[0]);
+                self.output.push_str(&s);
+                self.output.push('\n');
+                self.x[0] = 0;
+            }
+            "sqrt" => {
+                let v = f64::from_bits(self.d64(D(0)));
+                self.set_d64(D(0), v.sqrt().to_bits());
+                self.stats.cycles += cost::FDIV;
+            }
+            "exit" | "abort" => return Err(ArmError::Trap(format!("{name}() called"))),
+            "pthread_create" => {
+                let tid_ptr = self.x[0];
+                let fn_addr = self.x[2];
+                let arg = self.x[3];
+                let idx = self.resolve_func(fn_addr)?;
+                let tid = 1 + self.thread_cycles.len() as u64;
+                self.mem.write_u64(tid_ptr, tid);
+                let before = self.stats.cycles;
+                let saved = (self.sp, self.x);
+                self.sp = STACK_TOP - tid * STACK_SIZE;
+                self.x[0] = arg;
+                self.call(idx)?;
+                self.sp = saved.0;
+                self.x = saved.1;
+                self.thread_cycles.push(self.stats.cycles - before);
+                self.x[0] = 0;
+            }
+            "pthread_join" | "pthread_mutex_init" | "pthread_mutex_destroy"
+            | "pthread_mutex_lock" | "pthread_mutex_unlock" => {
+                self.x[0] = 0;
+            }
+            "pthread_exit" => {}
+            "sysconf" => self.x[0] = 4,
+            other => return Err(ArmError::BadCall(format!("unknown extern @{other}"))),
+        }
+        Ok(())
+    }
+
+    /// Minimal printf: `%d/%u/%x` pull the next integer register (from x1),
+    /// `%f/%g` pull the next FP register (from d0).
+    fn format_c(&mut self, fmt: &str) -> String {
+        let mut out = String::new();
+        let mut xi = 1usize;
+        let mut di = 0usize;
+        let mut it = fmt.chars().peekable();
+        while let Some(ch) = it.next() {
+            if ch != '%' {
+                out.push(ch);
+                continue;
+            }
+            while let Some(&n) = it.peek() {
+                if n.is_ascii_digit() || n == '.' || n == 'l' || n == 'z' || n == '-' {
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            match it.next() {
+                Some('d') | Some('i') => {
+                    out.push_str(&format!("{}", self.x[xi] as i64));
+                    xi += 1;
+                }
+                Some('u') => {
+                    out.push_str(&format!("{}", self.x[xi]));
+                    xi += 1;
+                }
+                Some('x') => {
+                    out.push_str(&format!("{:x}", self.x[xi]));
+                    xi += 1;
+                }
+                Some('f') | Some('g') | Some('e') => {
+                    out.push_str(&format!("{:.6}", f64::from_bits(self.d64(D(di as u8)))));
+                    di += 1;
+                }
+                Some('c') => {
+                    out.push((self.x[xi] as u8) as char);
+                    xi += 1;
+                }
+                Some('s') => {
+                    out.push_str("<str>");
+                    xi += 1;
+                }
+                Some('%') => out.push('%'),
+                Some(o) => out.push(o),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+fn apply_fp(op: FpOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpOp::FAdd => a + b,
+        FpOp::FSub => a - b,
+        FpOp::FMul => a * b,
+        FpOp::FDiv => a / b,
+        FpOp::FMin => a.min(b),
+        FpOp::FMax => a.max(b),
+        FpOp::FSqrt => a.sqrt(),
+        FpOp::FNeg => -a,
+    }
+}
+
+/// Suppresses an unused-import warning path for BTreeMap (kept for future
+/// mutex state if needed).
+#[allow(dead_code)]
+type Reserved = BTreeMap<u64, bool>;

@@ -1,0 +1,228 @@
+//! Unit-level semantics tests for the AArch64 interpreter and printer:
+//! condition flags, sub-width memory, FP corner cases, and the textual
+//! output forms.
+
+use lasagne_armgen::inst::{
+    ABlock, ACallee, AFunc, AInst, AMem, AModule, ARet, ATerm, AluOp, Blk, Cc, Dmb, FpOp, Sz, D, X,
+};
+use lasagne_armgen::machine::ArmMachine;
+
+fn one_block_module(insts: Vec<AInst>, ret: ARet) -> AModule {
+    AModule {
+        funcs: vec![AFunc {
+            name: "t".into(),
+            int_params: 2,
+            fp_params: 2,
+            frame_size: 64,
+            ret,
+            blocks: vec![ABlock { insts, term: Some(ATerm::Ret) }],
+        }],
+        externs: vec![],
+        globals: vec![],
+    }
+}
+
+fn run_int(insts: Vec<AInst>, args: &[u64]) -> u64 {
+    let m = one_block_module(insts, ARet::Int);
+    let mut machine = ArmMachine::new(&m);
+    machine.run(0, args, &[]).unwrap().ret
+}
+
+#[test]
+fn alu_semantics() {
+    // x0 = (x0 << 3) - x1
+    let v = run_int(
+        vec![
+            AInst::MovImm { rd: X(9), imm: 3 },
+            AInst::Alu { op: AluOp::Lsl, rd: X(0), rn: X(0), rm: X(9), ra: X::ZR },
+            AInst::Alu { op: AluOp::Sub, rd: X(0), rn: X(0), rm: X(1), ra: X::ZR },
+        ],
+        &[5, 7],
+    );
+    assert_eq!(v, 5 * 8 - 7);
+}
+
+#[test]
+fn udiv_by_zero_is_zero_on_arm() {
+    // AArch64 defines x/0 = 0 (no trap).
+    let v = run_int(
+        vec![AInst::Alu { op: AluOp::UDiv, rd: X(0), rn: X(0), rm: X(1), ra: X::ZR }],
+        &[42, 0],
+    );
+    assert_eq!(v, 0);
+}
+
+#[test]
+fn msub_computes_remainder() {
+    // rem = x0 - (x0/x1)*x1
+    let v = run_int(
+        vec![
+            AInst::Alu { op: AluOp::UDiv, rd: X(9), rn: X(0), rm: X(1), ra: X::ZR },
+            AInst::Alu { op: AluOp::MSub, rd: X(0), rn: X(9), rm: X(1), ra: X(0) },
+        ],
+        &[17, 5],
+    );
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn conditions_after_cmp() {
+    for (a, b, cc, expect) in [
+        (1u64, 2u64, Cc::Lt, 1u64),
+        (2, 1, Cc::Lt, 0),
+        (1, 1, Cc::Eq, 1),
+        (u64::MAX, 1, Cc::Lt, 1),  // signed: -1 < 1
+        (u64::MAX, 1, Cc::Hi, 1),  // unsigned: MAX > 1
+        (3, 3, Cc::Ls, 1),
+        (4, 3, Cc::Ls, 0),
+    ] {
+        let v = run_int(
+            vec![AInst::Cmp { rn: X(0), rm: X(1) }, AInst::CSet { rd: X(0), cc }],
+            &[a, b],
+        );
+        assert_eq!(v, expect, "cmp {a},{b} cset {cc}");
+    }
+}
+
+#[test]
+fn csel_picks_by_condition() {
+    let v = run_int(
+        vec![
+            AInst::Cmp { rn: X(0), rm: X(1) },
+            AInst::CSel { rd: X(0), rn: X(0), rm: X(1), cc: Cc::Gt },
+        ],
+        &[9, 4],
+    );
+    assert_eq!(v, 9, "max(9,4)");
+    let v = run_int(
+        vec![
+            AInst::Cmp { rn: X(0), rm: X(1) },
+            AInst::CSel { rd: X(0), rn: X(0), rm: X(1), cc: Cc::Gt },
+        ],
+        &[4, 9],
+    );
+    assert_eq!(v, 9, "max(4,9)");
+}
+
+#[test]
+fn sub_width_loads_and_stores() {
+    // Store a qword in the frame, read back a byte / halfword / word.
+    let mem = AMem { base: X(29), off: 0 };
+    let v = run_int(
+        vec![
+            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
+            AInst::Str { sz: Sz::X, rt: X(9), mem },
+            AInst::Ldr { sz: Sz::B, rt: X(0), mem: AMem { base: X(29), off: 1 } },
+        ],
+        &[0, 0],
+    );
+    assert_eq!(v, 0x77);
+    let v = run_int(
+        vec![
+            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
+            AInst::Str { sz: Sz::X, rt: X(9), mem },
+            AInst::Ldr { sz: Sz::H, rt: X(0), mem: AMem { base: X(29), off: 2 } },
+        ],
+        &[0, 0],
+    );
+    assert_eq!(v, 0x5566, "little-endian halfword at byte offset 2");
+    // Sub-width store must leave neighbours intact.
+    let v = run_int(
+        vec![
+            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
+            AInst::Str { sz: Sz::X, rt: X(9), mem },
+            AInst::MovImm { rd: X(10), imm: 0xAB },
+            AInst::Str { sz: Sz::B, rt: X(10), mem: AMem { base: X(29), off: 3 } },
+            AInst::Ldr { sz: Sz::X, rt: X(0), mem },
+        ],
+        &[0, 0],
+    );
+    assert_eq!(v, 0x1122_3344_AB66_7788);
+}
+
+#[test]
+fn fcmp_with_nan_sets_cv() {
+    // fcmp NaN, 1.0 → unordered → vs true, gt false, mi false.
+    let m = one_block_module(
+        vec![
+            AInst::FCmp { dp: true, dn: D(0), dm: D(1) },
+            AInst::CSet { rd: X(0), cc: Cc::Vs },
+            AInst::CSet { rd: X(9), cc: Cc::Gt },
+            AInst::Alu { op: AluOp::Lsl, rd: X(9), rn: X(9), rm: X(9), ra: X::ZR },
+        ],
+        ARet::Int,
+    );
+    let mut machine = ArmMachine::new(&m);
+    let r = machine.run(0, &[], &[f64::NAN.to_bits(), 1.0f64.to_bits()]).unwrap();
+    assert_eq!(r.ret, 1, "vs must be set for unordered");
+}
+
+#[test]
+fn fp_roundtrip_through_registers() {
+    let m = one_block_module(
+        vec![
+            AInst::Fp { op: FpOp::FMul, dp: true, dd: D(0), dn: D(0), dm: D(1) },
+            AInst::FMovToX { rd: X(0), dn: D(0) },
+            AInst::FMovFromX { dd: D(0), rn: X(0) },
+        ],
+        ARet::Fp,
+    );
+    let mut machine = ArmMachine::new(&m);
+    let r = machine.run(0, &[], &[2.5f64.to_bits(), 4.0f64.to_bits()]).unwrap();
+    assert_eq!(f64::from_bits(r.ret), 10.0);
+}
+
+#[test]
+fn exclusive_reservation_semantics() {
+    // stxr without a matching ldxr reservation fails (status 1).
+    let m = one_block_module(
+        vec![
+            AInst::MovImm { rd: X(9), imm: 0x4000_0000 },
+            AInst::MovImm { rd: X(10), imm: 7 },
+            AInst::Stxr { sz: Sz::X, rs: X(0), rt: X(10), rn: X(9) },
+        ],
+        ARet::Int,
+    );
+    let mut machine = ArmMachine::new(&m);
+    let r = machine.run(0, &[], &[]).unwrap();
+    assert_eq!(r.ret, 1, "stxr with no reservation must fail");
+    assert_ne!(machine.mem.read_u64(0x4000_0000), 7, "failed stxr must not write");
+}
+
+#[test]
+fn printer_forms() {
+    let m = AModule {
+        funcs: vec![AFunc {
+            name: "p".into(),
+            int_params: 0,
+            fp_params: 0,
+            frame_size: 16,
+            ret: ARet::Void,
+            blocks: vec![ABlock {
+                insts: vec![
+                    AInst::MovImm { rd: X(0), imm: 42 },
+                    AInst::Ldr { sz: Sz::W, rt: X(1), mem: AMem { base: X(0), off: 4 } },
+                    AInst::Str { sz: Sz::B, rt: X(1), mem: AMem { base: X(0), off: 0 } },
+                    AInst::DmbI { kind: Dmb::Ld },
+                    AInst::DmbI { kind: Dmb::Ff },
+                    AInst::Ldxr { sz: Sz::X, rt: X(2), rn: X(0) },
+                    AInst::Stxr { sz: Sz::X, rs: X(3), rt: X(2), rn: X(0) },
+                    AInst::Bl { callee: ACallee::Extern(0) },
+                ],
+                term: Some(ATerm::Cbnz { rn: X(3), then: Blk(0), els: Blk(0) }),
+            }],
+        }],
+        externs: vec!["malloc".into()],
+        globals: vec![],
+    };
+    let text = lasagne_armgen::print::print_module(&m);
+    assert!(text.contains("mov x0, #0x2a"));
+    assert!(text.contains("ldr w1, [x0, #4]"));
+    assert!(text.contains("strb w1, [x0]"));
+    assert!(text.contains("dmb ishld"));
+    assert!(text.contains("dmb ish\n"));
+    assert!(text.contains("ldxr x2, [x0]"));
+    assert!(text.contains("stxr w3, x2, [x0]"));
+    assert!(text.contains("bl malloc"));
+    assert!(text.contains("cbnz x3, .L0"));
+}

@@ -1,0 +1,34 @@
+//! Figures 1/2/9/10 bench: litmus-test model checking throughput — the
+//! exhaustive enumeration + consistency filtering behind the mapping
+//! theorems (outcome sets are printed by `report -- litmus`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lasagne_memmodel::mapping::check_chain;
+use lasagne_memmodel::{litmus, outcomes, Model};
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("litmus_models");
+    for (name, p) in litmus::paper_suite() {
+        for model in [Model::X86, Model::Arm, Model::Limm] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{model:?}"), name),
+                &p,
+                |bch, p| bch.iter(|| outcomes(model, p)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("chain_check", name), &p, |bch, p| {
+            bch.iter(|| check_chain(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_litmus
+}
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Transformation legality under LIMM — the paper's Figure 11.
+//!
+//! [`can_reorder`] encodes Figure 11a (safe reorderings of adjacent
+//! independent events); the `elim_*` predicates encode Figure 11b (safe
+//! redundant-access eliminations, including the fenced variants). The
+//! `lasagne-opt` passes consult these tables before moving or deleting
+//! memory operations, which is what keeps them sound for concurrent code.
+
+use lasagne_lir::inst::{FenceKind, InstKind, Ordering};
+
+/// The event label of an instruction, as used in Figure 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Non-atomic read.
+    Rna,
+    /// Non-atomic write.
+    Wna,
+    /// The read of a *failed* seq_cst RMW.
+    Rsc,
+    /// A successful seq_cst RMW (`Rsc·Wsc` in the paper).
+    Rmw,
+    /// `Frm` fence.
+    Frm,
+    /// `Fww` fence.
+    Fww,
+    /// `Fsc` full fence.
+    Fsc,
+}
+
+/// Classifies an instruction into a Figure 11 label, when it is an event.
+///
+/// Calls and other non-event instructions return `None` (they are never
+/// reordered with memory operations by the optimizer).
+pub fn label_of(kind: &InstKind) -> Option<Label> {
+    match kind {
+        InstKind::Load { order: Ordering::NotAtomic, .. } => Some(Label::Rna),
+        InstKind::Store { order: Ordering::NotAtomic, .. } => Some(Label::Wna),
+        InstKind::Load { order: Ordering::SeqCst, .. } => Some(Label::Rsc),
+        InstKind::Store { order: Ordering::SeqCst, .. } => Some(Label::Rmw),
+        InstKind::AtomicRmw { .. } | InstKind::CmpXchg { .. } => Some(Label::Rmw),
+        InstKind::Fence { kind: FenceKind::Frm } => Some(Label::Frm),
+        InstKind::Fence { kind: FenceKind::Fww } => Some(Label::Fww),
+        InstKind::Fence { kind: FenceKind::Fsc } => Some(Label::Fsc),
+        _ => None,
+    }
+}
+
+/// Figure 11a: may adjacent events `a·b` be reordered to `b·a`?
+///
+/// For pairs of memory accesses the caller must additionally establish that
+/// the two accesses are to *different locations* and are *independent*
+/// (no data dependence); this function only encodes the label-level table.
+pub fn can_reorder(a: Label, b: Label) -> bool {
+    use Label::*;
+    match (a, b) {
+        // Row Rna.
+        (Rna, Rna) | (Rna, Wna) | (Rna, Rsc) => true,
+        (Rna, Rmw) => false,
+        (Rna, Frm) => false,
+        (Rna, Fww) => true,
+        (Rna, Fsc) => false,
+        // Row Wna.
+        (Wna, Rna) | (Wna, Wna) | (Wna, Rsc) => true,
+        (Wna, Rmw) => false,
+        (Wna, Frm) => true,
+        (Wna, Fww) => false,
+        (Wna, Fsc) => false,
+        // Row Rsc (failed RMW read).
+        (Rsc, Rna) | (Rsc, Wna) | (Rsc, Rsc) | (Rsc, Rmw) => false,
+        (Rsc, Frm) | (Rsc, Fww) | (Rsc, Fsc) => true,
+        // Row Rmw (successful RMW).
+        (Rmw, Rna) | (Rmw, Wna) | (Rmw, Rsc) | (Rmw, Rmw) => false,
+        (Rmw, Frm) | (Rmw, Fww) | (Rmw, Fsc) => true,
+        // Row Frm.
+        (Frm, Rna) | (Frm, Wna) | (Frm, Rsc) => false,
+        (Frm, Rmw) => true,
+        (Frm, Frm) => true, // identical fences commute trivially
+        (Frm, Fww) | (Frm, Fsc) => true,
+        // Row Fww.
+        (Fww, Rna) => true,
+        (Fww, Wna) => false,
+        (Fww, Rsc) => true,
+        (Fww, Rmw) => true,
+        (Fww, Frm) | (Fww, Fww) | (Fww, Fsc) => true,
+        // Row Fsc.
+        (Fsc, Rna) | (Fsc, Wna) | (Fsc, Rsc) => false,
+        (Fsc, Rmw) => true,
+        (Fsc, Frm) | (Fsc, Fww) | (Fsc, Fsc) => true,
+    }
+}
+
+/// Figure 11b, adjacent eliminations: is the *second* of two adjacent
+/// same-location accesses removable (RAR/RAW), or the *first* (WAW)?
+///
+/// `a` then `b` are same-location, adjacent events.
+pub fn elim_adjacent(a: Label, b: Label) -> Option<Elim> {
+    use Label::*;
+    match (a, b) {
+        // R(X,v)·R(X,v') ⇝ R(X,v): read-after-read, drop the second read.
+        (Rna, Rna) => Some(Elim::DropSecondUsingFirst),
+        // W(X,v)·R(X,v) ⇝ W(X,v): read-after-write, read sees the store.
+        (Wna, Rna) => Some(Elim::DropSecondUsingStored),
+        // W(X,v)·W(X,v') ⇝ W(X,v'): overwritten store.
+        (Wna, Wna) => Some(Elim::DropFirst),
+        _ => None,
+    }
+}
+
+/// Figure 11b, fenced eliminations: `a · F · b` with same-location `a`,`b`.
+pub fn elim_fenced(a: Label, fence: FenceKind, b: Label) -> Option<Elim> {
+    use Label::*;
+    match (a, fence, b) {
+        // R(X,v)·F_o·R(X,v') ⇝ R(X,v)·F_o  where o ∈ {rm, ww}.
+        (Rna, FenceKind::Frm | FenceKind::Fww, Rna) => Some(Elim::DropSecondUsingFirst),
+        // W(X,v)·F_τ·R(X,v) ⇝ W(X,v)·F_τ   where τ ∈ {sc, ww}.
+        (Wna, FenceKind::Fsc | FenceKind::Fww, Rna) => Some(Elim::DropSecondUsingStored),
+        // W(X,v)·F_o·W(X,v') ⇝ F_o·W(X,v') where o ∈ {rm, ww}.
+        (Wna, FenceKind::Frm | FenceKind::Fww, Wna) => Some(Elim::DropFirst),
+        _ => None,
+    }
+}
+
+/// How an elimination applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elim {
+    /// Remove the second access; its value is the first access's result.
+    DropSecondUsingFirst,
+    /// Remove the second access (a load); its value is the stored value.
+    DropSecondUsingStored,
+    /// Remove the first access (an overwritten store).
+    DropFirst,
+}
+
+/// Fence merging (§7.2): merging `a` and an *adjacent* fence `b` yields
+/// this single fence, if merging is allowed. Identical fences merge to
+/// themselves; `Fsc` absorbs anything; `Frm·Fww` strengthens to `Fsc`.
+pub fn merge_fence(a: FenceKind, b: FenceKind) -> FenceKind {
+    if a == b {
+        a
+    } else if a == FenceKind::Fsc || b == FenceKind::Fsc {
+        FenceKind::Fsc
+    } else {
+        // Frm + Fww (either order): strengthen and merge to Fsc.
+        FenceKind::Fsc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Label::*;
+
+    /// Spot-checks of the ✓/✗ entries exactly as printed in Figure 11a.
+    #[test]
+    fn figure_11a_rows() {
+        // Non-atomics reorder freely with each other.
+        assert!(can_reorder(Rna, Wna));
+        assert!(can_reorder(Wna, Rna));
+        assert!(can_reorder(Rna, Rna));
+        assert!(can_reorder(Wna, Wna));
+        // No memory access reorders with a successful RMW (full fence).
+        for l in [Rna, Wna, Rsc, Rmw] {
+            assert!(!can_reorder(l, Rmw));
+            assert!(!can_reorder(Rmw, l));
+        }
+        // A load cannot move past a following Frm (that's the fence's job)…
+        assert!(!can_reorder(Rna, Frm));
+        // …but a store can.
+        assert!(can_reorder(Wna, Frm));
+        // A store cannot move past a following Fww; a load can.
+        assert!(!can_reorder(Wna, Fww));
+        assert!(can_reorder(Rna, Fww));
+        // Nothing non-atomic crosses a full fence.
+        assert!(!can_reorder(Rna, Fsc));
+        assert!(!can_reorder(Wna, Fsc));
+        assert!(!can_reorder(Fsc, Rna));
+        assert!(!can_reorder(Fsc, Wna));
+        // Fences reorder among themselves.
+        assert!(can_reorder(Frm, Fww));
+        assert!(can_reorder(Fww, Frm));
+        assert!(can_reorder(Fsc, Fww));
+        // Fww lets a (failed) seq_cst read slide above it.
+        assert!(can_reorder(Fww, Rsc));
+        assert!(!can_reorder(Frm, Rsc));
+    }
+
+    /// The reorder table must be *asymmetric* where the paper's is — e.g.
+    /// `Rna` before `Frm` is pinned but `Frm` before `Rmw` is movable.
+    #[test]
+    fn figure_11a_asymmetry() {
+        // R·Frm is pinned (the fence orders the load with successors) but
+        // Wna·Frm is free — and the mirror-image pairs differ.
+        assert_ne!(can_reorder(Rna, Frm), can_reorder(Wna, Frm));
+        assert_ne!(can_reorder(Rna, Fww), can_reorder(Wna, Fww));
+        assert!(can_reorder(Frm, Rmw));
+        assert!(!can_reorder(Frm, Rna));
+    }
+
+    #[test]
+    fn figure_11b_adjacent() {
+        assert_eq!(elim_adjacent(Rna, Rna), Some(Elim::DropSecondUsingFirst));
+        assert_eq!(elim_adjacent(Wna, Rna), Some(Elim::DropSecondUsingStored));
+        assert_eq!(elim_adjacent(Wna, Wna), Some(Elim::DropFirst));
+        assert_eq!(elim_adjacent(Rna, Wna), None);
+        assert_eq!(elim_adjacent(Rmw, Rna), None);
+    }
+
+    #[test]
+    fn figure_11b_fenced() {
+        use FenceKind::*;
+        // F-RAR: o ∈ {rm, ww} only.
+        assert!(elim_fenced(Rna, Frm, Rna).is_some());
+        assert!(elim_fenced(Rna, Fww, Rna).is_some());
+        assert!(elim_fenced(Rna, Fsc, Rna).is_none());
+        // F-RAW: τ ∈ {sc, ww} only.
+        assert!(elim_fenced(Wna, Fsc, Rna).is_some());
+        assert!(elim_fenced(Wna, Fww, Rna).is_some());
+        assert!(elim_fenced(Wna, Frm, Rna).is_none());
+        // F-WAW: o ∈ {rm, ww} only.
+        assert!(elim_fenced(Wna, Frm, Wna).is_some());
+        assert!(elim_fenced(Wna, Fww, Wna).is_some());
+        assert!(elim_fenced(Wna, Fsc, Wna).is_none());
+    }
+
+    #[test]
+    fn fence_merging_strengthens() {
+        use FenceKind::*;
+        assert_eq!(merge_fence(Frm, Frm), Frm);
+        assert_eq!(merge_fence(Fww, Fww), Fww);
+        assert_eq!(merge_fence(Frm, Fww), Fsc);
+        assert_eq!(merge_fence(Fww, Frm), Fsc);
+        assert_eq!(merge_fence(Fsc, Frm), Fsc);
+        assert_eq!(merge_fence(Fww, Fsc), Fsc);
+    }
+
+    #[test]
+    fn labels_from_instructions() {
+        use lasagne_lir::inst::{InstKind, Operand, Ordering, RmwOp};
+        let l = InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic };
+        assert_eq!(label_of(&l), Some(Label::Rna));
+        let s = InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(0), order: Ordering::NotAtomic };
+        assert_eq!(label_of(&s), Some(Label::Wna));
+        let r = InstKind::AtomicRmw { op: RmwOp::Add, ptr: Operand::Param(0), val: Operand::i64(1) };
+        assert_eq!(label_of(&r), Some(Label::Rmw));
+        let f = InstKind::Fence { kind: FenceKind::Frm };
+        assert_eq!(label_of(&f), Some(Label::Frm));
+        let a = InstKind::Bin { op: lasagne_lir::inst::BinOp::Add, lhs: Operand::i64(0), rhs: Operand::i64(0) };
+        assert_eq!(label_of(&a), None);
+    }
+}

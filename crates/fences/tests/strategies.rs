@@ -1,0 +1,99 @@
+//! Strategy-level invariants of fence placement, checked on the real
+//! (lifted + refined) Phoenix modules rather than toy IR:
+//!
+//! * stack-aware placement never inserts more fences than naive placement;
+//! * merging strictly trades `Frm`+`Fww` pairs for `Fsc` and never grows
+//!   the fence population;
+//! * every treatment preserves the benchmark checksum.
+
+use lasagne_fences::{count_fences, merge_fences_module, place_fences_module, Strategy};
+use lasagne_lir::interp::{Machine, Val};
+use lasagne_lir::Module;
+use lasagne_phoenix::{all_benchmarks, Workload};
+
+fn prepared() -> Vec<(String, Module, Workload)> {
+    all_benchmarks(48)
+        .into_iter()
+        .map(|b| {
+            let mut m = lasagne_lifter::lift_binary(&b.binary)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            lasagne_refine::refine_module(&mut m);
+            (b.name.to_string(), m, b.workload)
+        })
+        .collect()
+}
+
+fn checksum(m: &Module, w: &Workload) -> u64 {
+    let id = m.func_by_name("main").expect("main");
+    let mut machine = Machine::new(m);
+    for (addr, bytes) in &w.mem_init {
+        machine.mem.write(*addr, bytes);
+    }
+    let args: Vec<Val> = w.args.iter().map(|a| Val::B64(*a)).collect();
+    machine.run(id, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name)).ret.unwrap().bits()
+}
+
+#[test]
+fn stack_aware_is_no_worse_than_naive() {
+    for (name, m, _) in prepared() {
+        let mut naive = m.clone();
+        let naive_stats = place_fences_module(&mut naive, Strategy::Naive);
+        let mut aware = m.clone();
+        let aware_stats = place_fences_module(&mut aware, Strategy::StackAware);
+        assert!(
+            aware_stats.total() <= naive_stats.total(),
+            "{name}: stack-aware placed {} fences, naive {}",
+            aware_stats.total(),
+            naive_stats.total()
+        );
+        // Phoenix benchmarks all touch the stack, so the inequality must be
+        // strict — the analysis has to find *something* private.
+        assert!(
+            aware_stats.total() < naive_stats.total(),
+            "{name}: stack-awareness eliminated nothing"
+        );
+    }
+}
+
+#[test]
+fn merging_trades_pairs_for_full_fences() {
+    for (name, m, _) in prepared() {
+        let mut fenced = m.clone();
+        place_fences_module(&mut fenced, Strategy::StackAware);
+        let (frm0, fww0, fsc0) = count_fences(&fenced);
+        let merges = merge_fences_module(&mut fenced);
+        let (frm1, fww1, fsc1) = count_fences(&fenced);
+        assert_eq!(frm0 - frm1, merges, "{name}: each merge consumes one Frm");
+        assert_eq!(fww0 - fww1, merges, "{name}: each merge consumes one Fww");
+        assert_eq!(fsc1 - fsc0, merges, "{name}: each merge produces one Fsc");
+        assert!(
+            frm1 + fww1 + fsc1 <= frm0 + fww0 + fsc0,
+            "{name}: merging grew the fence population"
+        );
+    }
+}
+
+#[test]
+fn all_treatments_preserve_checksums() {
+    for (name, m, w) in prepared() {
+        let reference = w.expected_ret;
+        for strategy in [Strategy::Naive, Strategy::StackAware] {
+            let mut fenced = m.clone();
+            place_fences_module(&mut fenced, strategy);
+            assert_eq!(checksum(&fenced, &w), reference, "{name} {strategy:?}");
+            merge_fences_module(&mut fenced);
+            assert_eq!(checksum(&fenced, &w), reference, "{name} {strategy:?}+merge");
+        }
+    }
+}
+
+#[test]
+fn merging_is_idempotent() {
+    for (name, m, _) in prepared() {
+        let mut fenced = m;
+        place_fences_module(&mut fenced, Strategy::StackAware);
+        merge_fences_module(&mut fenced);
+        let again = merge_fences_module(&mut fenced);
+        assert_eq!(again, 0, "{name}: second merge pass found more work");
+    }
+}

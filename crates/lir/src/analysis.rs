@@ -1,0 +1,343 @@
+//! CFG analyses: predecessors/successors, reverse post-order, dominators,
+//! dominance frontiers, and natural-loop detection.
+//!
+//! These power `mem2reg` (SSA construction), `licm`, `adce` and `gvn` in the
+//! `lasagne-opt` crate.
+
+use crate::func::Function;
+use crate::inst::BlockId;
+
+/// Control-flow graph summary of a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse post-order from the entry; unreachable blocks are
+    /// absent.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (`usize::MAX` if unreachable).
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in f.block_ids() {
+            for s in f.block(b).term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+        // Post-order DFS from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 open, 2 done
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some((b, i)) = stack.pop() {
+            let ss = &succs[b.0 as usize];
+            if i < ss.len() {
+                stack.push((b, i + 1));
+                let nxt = ss[i];
+                if state[nxt.0 as usize] == 0 {
+                    state[nxt.0 as usize] = 1;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                post.push(b);
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg { succs, preds, rpo, rpo_index }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block (`None` for the entry and unreachable
+    /// blocks).
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.succs.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if cfg.rpo.is_empty() {
+            return Dominators { idom };
+        }
+        idom[cfg.rpo[0].0 as usize] = Some(cfg.rpo[0]);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0 as usize] {
+                    if !cfg.reachable(p) || idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self_intersect(cfg, &idom, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Entry's idom is conventionally itself during computation; expose None.
+        idom[cfg.rpo[0].0 as usize] = None;
+        Dominators { idom }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, cfg: &Cfg, a: BlockId, b: BlockId) -> bool {
+        if !cfg.reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Dominance frontier per block.
+    pub fn frontiers(&self, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = cfg.succs.len();
+        let mut df = vec![Vec::new(); n];
+        for b in 0..n {
+            let b = BlockId(b as u32);
+            if !cfg.reachable(b) || cfg.preds[b.0 as usize].len() < 2 {
+                continue;
+            }
+            let idom_b = match self.idom[b.0 as usize] {
+                Some(d) => d,
+                None => continue,
+            };
+            for &p in &cfg.preds[b.0 as usize] {
+                if !cfg.reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    let dfr = &mut df[runner.0 as usize];
+                    if !dfr.contains(&b) {
+                        dfr.push(b);
+                    }
+                    match self.idom[runner.0 as usize] {
+                        Some(d) => runner = d,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+fn self_intersect(cfg: &Cfg, idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId) -> BlockId {
+    while a != b {
+        while cfg.rpo_index[a.0 as usize] > cfg.rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("intersect on unprocessed block");
+        }
+        while cfg.rpo_index[b.0 as usize] > cfg.rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("intersect on unprocessed block");
+        }
+    }
+    a
+}
+
+/// A natural loop: header plus body blocks (including the header).
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header.
+    pub header: BlockId,
+    /// All blocks in the loop, header included.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Finds natural loops via back edges (`latch → header` where the header
+/// dominates the latch).
+pub fn find_loops(cfg: &Cfg, doms: &Dominators) -> Vec<Loop> {
+    let mut loops: Vec<Loop> = Vec::new();
+    for &b in &cfg.rpo {
+        for &s in &cfg.succs[b.0 as usize] {
+            if doms.dominates(cfg, s, b) {
+                // Back edge b -> s; collect the loop body by walking preds.
+                let header = s;
+                let mut body = vec![header];
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if body.contains(&x) {
+                        continue;
+                    }
+                    body.push(x);
+                    for &p in &cfg.preds[x.0 as usize] {
+                        if cfg.reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+                    for x in body {
+                        if !existing.blocks.contains(&x) {
+                            existing.blocks.push(x);
+                        }
+                    }
+                } else {
+                    loops.push(Loop { header, blocks: body });
+                }
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Operand, Terminator};
+    use crate::types::Ty;
+
+    /// Builds a diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", vec![Ty::I1], Ty::Void);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.set_term(
+            f.entry(),
+            Terminator::CondBr { cond: Operand::Param(0), if_true: b1, if_false: b2 },
+        );
+        f.set_term(b1, Terminator::Br { dest: b3 });
+        f.set_term(b2, Terminator::Br { dest: b3 });
+        f.set_term(b3, Terminator::Ret { val: None });
+        f
+    }
+
+    /// Builds a loop: 0 -> 1; 1 -> {1, 2}.
+    fn looped() -> Function {
+        let mut f = Function::new("l", vec![Ty::I1], Ty::Void);
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.set_term(f.entry(), Terminator::Br { dest: body });
+        f.set_term(
+            body,
+            Terminator::CondBr { cond: Operand::Param(0), if_true: body, if_false: exit },
+        );
+        f.set_term(exit, Terminator::Ret { val: None });
+        f
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let doms = Dominators::compute(&cfg);
+        assert_eq!(doms.idom[1], Some(BlockId(0)));
+        assert_eq!(doms.idom[2], Some(BlockId(0)));
+        assert_eq!(doms.idom[3], Some(BlockId(0)));
+        assert!(doms.dominates(&cfg, BlockId(0), BlockId(3)));
+        assert!(!doms.dominates(&cfg, BlockId(1), BlockId(3)));
+        assert!(doms.dominates(&cfg, BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let doms = Dominators::compute(&cfg);
+        let df = doms.frontiers(&cfg);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let f = looped();
+        let cfg = Cfg::compute(&f);
+        let doms = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].blocks, vec![BlockId(1)]);
+    }
+
+    /// Nested loops: 0 → outer(1) → inner(2) → {2, 3}; 3 → {1, 4}.
+    #[test]
+    fn nested_loops_detected() {
+        let mut f = Function::new("n", vec![Ty::I1], Ty::Void);
+        let outer = f.add_block(); // 1
+        let inner = f.add_block(); // 2
+        let latch = f.add_block(); // 3
+        let exit = f.add_block(); // 4
+        f.set_term(f.entry(), Terminator::Br { dest: outer });
+        f.set_term(outer, Terminator::Br { dest: inner });
+        f.set_term(
+            inner,
+            Terminator::CondBr { cond: Operand::Param(0), if_true: inner, if_false: latch },
+        );
+        f.set_term(
+            latch,
+            Terminator::CondBr { cond: Operand::Param(0), if_true: outer, if_false: exit },
+        );
+        f.set_term(exit, Terminator::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        let doms = Dominators::compute(&cfg);
+        let loops = find_loops(&cfg, &doms);
+        assert_eq!(loops.len(), 2, "{loops:?}");
+        let inner_loop = loops.iter().find(|l| l.header == inner).expect("inner loop");
+        assert_eq!(inner_loop.blocks, vec![inner]);
+        let outer_loop = loops.iter().find(|l| l.header == outer).expect("outer loop");
+        assert!(outer_loop.blocks.contains(&inner) && outer_loop.blocks.contains(&latch));
+    }
+
+    #[test]
+    fn unreachable_block_excluded() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        f.set_term(dead, Terminator::Ret { val: None });
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.reachable(dead));
+        assert_eq!(cfg.rpo.len(), 4);
+        let doms = Dominators::compute(&cfg);
+        assert!(!doms.dominates(&cfg, BlockId(0), dead));
+    }
+}

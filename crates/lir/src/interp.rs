@@ -1,0 +1,1208 @@
+//! Reference interpreter for LIR modules.
+//!
+//! Used to validate lifted code end-to-end (run the x86-semantics IR and
+//! compare against expected outputs) and to gather dynamic statistics
+//! (instructions retired, fences executed). The runtime implements the small
+//! set of C library and pthread externs the Phoenix benchmarks need; threads
+//! follow sequential fork–join semantics with per-thread cycle accounting so
+//! a critical-path time can be reported.
+
+use crate::func::{Function, Module};
+use crate::inst::{
+    BinOp, Callee, CastOp, FPred, FenceKind, FuncId, IPred, InstId, InstKind, Operand, RmwOp,
+    Terminator,
+};
+use crate::types::Ty;
+use std::collections::BTreeMap;
+
+/// Pseudo-address base where functions are "linked" so function pointers
+/// (e.g. the `pthread_create` start routine) have addressable values.
+pub const FUNC_ADDR_BASE: u64 = 0x10_0000;
+/// Heap base for `malloc`.
+pub const HEAP_BASE: u64 = 0x7000_0000;
+/// Stack top for the main thread (stacks grow down).
+pub const STACK_TOP: u64 = 0x6000_0000;
+/// Bytes reserved per simulated thread stack.
+pub const STACK_SIZE: u64 = 1 << 20;
+
+/// Runtime errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Access to an address no segment covers.
+    UnmappedMemory {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Call to an unknown extern or bad indirect target.
+    BadCall(String),
+    /// Integer division by zero, or similar trap.
+    Trap(String),
+    /// The configured step limit was exceeded.
+    StepLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnmappedMemory { addr } => write!(f, "unmapped memory at {addr:#x}"),
+            ExecError::BadCall(s) => write!(f, "bad call: {s}"),
+            ExecError::Trap(s) => write!(f, "trap: {s}"),
+            ExecError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A runtime value: 64-bit bits, or a 128-bit vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// Scalar (integers, pointers, and floats as bit patterns).
+    B64(u64),
+    /// 128-bit vector bytes.
+    B128([u8; 16]),
+}
+
+impl Val {
+    /// Scalar bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a vector value.
+    pub fn bits(self) -> u64 {
+        match self {
+            Val::B64(b) => b,
+            Val::B128(_) => panic!("scalar use of vector value"),
+        }
+    }
+
+    /// As `f64`.
+    pub fn f64(self) -> f64 {
+        f64::from_bits(self.bits())
+    }
+
+    /// As `f32` (low 32 bits).
+    pub fn f32(self) -> f32 {
+        f32::from_bits(self.bits() as u32)
+    }
+
+    /// Vector bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a scalar value.
+    pub fn v128(self) -> [u8; 16] {
+        match self {
+            Val::B128(b) => b,
+            Val::B64(_) => panic!("vector use of scalar value"),
+        }
+    }
+}
+
+/// Sparse paged memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Box<[u8; 4096]>>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; 4096] {
+        self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0; 4096]))
+    }
+
+    /// Reads `len ≤ 16` bytes.
+    pub fn read(&mut self, addr: u64, len: usize) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, o) in out.iter_mut().enumerate().take(len) {
+            let a = addr + i as u64;
+            *o = self.page_mut(a)[(a & 0xfff) as usize];
+        }
+        out
+    }
+
+    /// Writes `len ≤ 16` bytes.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a & 0xfff) as usize] = *b;
+        }
+    }
+
+    /// Reads a `u64`.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read(addr, 8)[..8].try_into().unwrap())
+    }
+
+    /// Writes a `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a NUL-terminated C string (up to 64 KiB).
+    pub fn read_cstr(&mut self, addr: u64) -> String {
+        let mut s = Vec::new();
+        for i in 0..65536 {
+            let b = self.read(addr + i, 1)[0];
+            if b == 0 {
+                break;
+            }
+            s.push(b);
+        }
+        String::from_utf8_lossy(&s).into_owned()
+    }
+}
+
+/// Dynamic execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub insts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Fences executed, by kind: (Frm, Fww, Fsc).
+    pub fences: (u64, u64, u64),
+    /// Atomic RMWs executed.
+    pub rmws: u64,
+    /// Abstract cycle count (see [`Machine::cost_of`]).
+    pub cycles: u64,
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Value returned by the entry function (if non-void).
+    pub ret: Option<Val>,
+    /// Whole-run statistics.
+    pub stats: ExecStats,
+    /// Per-spawned-thread cycle counts, in spawn order.
+    pub thread_cycles: Vec<u64>,
+    /// Captured `printf` output.
+    pub output: String,
+}
+
+impl RunResult {
+    /// Fork–join critical path: main-thread cycles plus the slowest child
+    /// (children execute concurrently in the modelled machine).
+    pub fn critical_path_cycles(&self) -> u64 {
+        let children: u64 = self.thread_cycles.iter().sum();
+        let max = self.thread_cycles.iter().copied().max().unwrap_or(0);
+        self.stats.cycles - children + max
+    }
+}
+
+/// The interpreter.
+pub struct Machine<'m> {
+    module: &'m Module,
+    /// Simulated memory.
+    pub mem: Memory,
+    heap_next: u64,
+    stack_next: u64,
+    stats: ExecStats,
+    thread_cycles: Vec<u64>,
+    output: String,
+    steps_left: u64,
+    mutexes: BTreeMap<u64, bool>,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine for `module`, mapping its globals into memory.
+    pub fn new(module: &'m Module) -> Machine<'m> {
+        let mut mem = Memory::new();
+        for g in &module.globals {
+            let mut bytes = g.init.clone();
+            bytes.resize(g.size as usize, 0);
+            mem.write(g.addr, &bytes);
+        }
+        Machine {
+            module,
+            mem,
+            heap_next: HEAP_BASE,
+            stack_next: STACK_TOP,
+            stats: ExecStats::default(),
+            thread_cycles: Vec::new(),
+            output: String::new(),
+            steps_left: 500_000_000,
+            mutexes: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the execution step limit.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.steps_left = limit;
+    }
+
+    /// Abstract cost of one instruction, in cycles. Fences are the expensive
+    /// operations on the modelled weak-memory core.
+    fn cost_of(kind: &InstKind) -> u64 {
+        match kind {
+            InstKind::Load { .. } => 4,
+            InstKind::Store { .. } => 4,
+            InstKind::Fence { kind: FenceKind::Fsc } => 40,
+            InstKind::Fence { .. } => 16,
+            InstKind::AtomicRmw { .. } | InstKind::CmpXchg { .. } => 48,
+            InstKind::Bin { op: BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem, .. } => 20,
+            InstKind::Bin { op: BinOp::FDiv, .. } => 15,
+            InstKind::Call { .. } => 4,
+            _ => 1,
+        }
+    }
+
+    /// Runs function `id` with the given arguments to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on memory faults, traps, bad calls, or if
+    /// the step limit is exhausted.
+    pub fn run(&mut self, id: FuncId, args: &[Val]) -> Result<RunResult, ExecError> {
+        let ret = self.call(id, args.to_vec())?;
+        Ok(RunResult {
+            ret,
+            stats: self.stats,
+            thread_cycles: self.thread_cycles.clone(),
+            output: std::mem::take(&mut self.output),
+        })
+    }
+
+    /// Accumulated statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    fn call(&mut self, id: FuncId, args: Vec<Val>) -> Result<Option<Val>, ExecError> {
+        let f = self.module.func(id);
+        let mut frame = Frame {
+            vals: vec![None; f.insts.len()],
+            args,
+            alloca_base: self.stack_next,
+            alloca_next: self.stack_next,
+        };
+        // Reserve a generous frame region; restored on return.
+        let saved_stack = self.stack_next;
+        self.stack_next -= 1 << 16;
+
+        let mut block = f.entry();
+        let mut prev_block = f.entry();
+        loop {
+            // Phi reads must all happen against values from the predecessor,
+            // so evaluate them as a parallel copy.
+            let blk = f.block(block);
+            let mut phi_writes: Vec<(InstId, Val)> = Vec::new();
+            for idx in &blk.insts {
+                let inst = f.inst(*idx);
+                if let InstKind::Phi { incoming } = &inst.kind {
+                    let (_, op) = incoming
+                        .iter()
+                        .find(|(p, _)| *p == prev_block)
+                        .ok_or_else(|| ExecError::Trap(format!("phi missing incoming for {prev_block} in @{}", f.name)))?;
+                    let v = self.eval(f, &frame, op)?;
+                    phi_writes.push((*idx, v));
+                } else {
+                    break;
+                }
+            }
+            for (idx, v) in phi_writes {
+                frame.vals[idx.0 as usize] = Some(v);
+                self.tick(&InstKind::Phi { incoming: vec![] })?;
+            }
+            // Straight-line execution of the remainder.
+            let n_phis = blk
+                .insts
+                .iter()
+                .take_while(|i| matches!(f.inst(**i).kind, InstKind::Phi { .. }))
+                .count();
+            for idx in &blk.insts[n_phis..] {
+                let inst = f.inst(*idx);
+                self.tick(&inst.kind)?;
+                let v = self.exec_inst(f, &mut frame, *idx)?;
+                frame.vals[idx.0 as usize] = v;
+            }
+            match &blk.term {
+                Terminator::Br { dest } => {
+                    prev_block = block;
+                    block = *dest;
+                }
+                Terminator::CondBr { cond, if_true, if_false } => {
+                    let c = self.eval(f, &frame, cond)?.bits() & 1;
+                    prev_block = block;
+                    block = if c != 0 { *if_true } else { *if_false };
+                }
+                Terminator::Ret { val } => {
+                    let out = match val {
+                        Some(v) => Some(self.eval(f, &frame, v)?),
+                        None => None,
+                    };
+                    self.stack_next = saved_stack;
+                    return Ok(out);
+                }
+                Terminator::Unreachable => {
+                    return Err(ExecError::Trap(format!("reached unreachable in @{}", f.name)))
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, kind: &InstKind) -> Result<(), ExecError> {
+        if self.steps_left == 0 {
+            return Err(ExecError::StepLimit);
+        }
+        self.steps_left -= 1;
+        self.stats.insts += 1;
+        self.stats.cycles += Self::cost_of(kind);
+        match kind {
+            InstKind::Load { .. } => self.stats.loads += 1,
+            InstKind::Store { .. } => self.stats.stores += 1,
+            InstKind::Fence { kind } => match kind {
+                FenceKind::Frm => self.stats.fences.0 += 1,
+                FenceKind::Fww => self.stats.fences.1 += 1,
+                FenceKind::Fsc => self.stats.fences.2 += 1,
+            },
+            InstKind::AtomicRmw { .. } | InstKind::CmpXchg { .. } => self.stats.rmws += 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn eval(&mut self, f: &Function, frame: &Frame, op: &Operand) -> Result<Val, ExecError> {
+        Ok(match op {
+            Operand::Inst(id) => frame.vals[id.0 as usize]
+                .ok_or_else(|| ExecError::Trap(format!("use of unevaluated %{} in @{}", id.0, f.name)))?,
+            Operand::Param(i) => *frame.args.get(*i as usize).ok_or_else(|| {
+                ExecError::Trap(format!(
+                    "@{} called with {} args but uses parameter {}",
+                    f.name,
+                    frame.args.len(),
+                    i
+                ))
+            })?,
+            Operand::ConstInt { val, .. } => Val::B64(*val),
+            Operand::ConstF32(b) => Val::B64(u64::from(*b)),
+            Operand::ConstF64(b) => Val::B64(*b),
+            Operand::Global(g) => Val::B64(self.module.global(*g).addr),
+            Operand::Func(fi) => Val::B64(FUNC_ADDR_BASE + 16 * u64::from(fi.0)),
+            Operand::Undef(ty) => {
+                if ty.is_vector() {
+                    Val::B128([0; 16])
+                } else {
+                    Val::B64(0)
+                }
+            }
+        })
+    }
+
+    fn load_typed(&mut self, addr: u64, ty: Ty) -> Val {
+        match ty {
+            Ty::V2F64 | Ty::V4F32 | Ty::V2I64 | Ty::V4I32 => Val::B128(self.mem.read(addr, 16)),
+            t => {
+                let len = t.size() as usize;
+                let raw = self.mem.read(addr, len);
+                let mut b = [0u8; 8];
+                b[..len].copy_from_slice(&raw[..len]);
+                Val::B64(u64::from_le_bytes(b))
+            }
+        }
+    }
+
+    fn store_typed(&mut self, addr: u64, ty: Ty, v: Val) {
+        match v {
+            Val::B128(bytes) => self.mem.write(addr, &bytes),
+            Val::B64(bits) => {
+                let len = ty.size() as usize;
+                self.mem.write(addr, &bits.to_le_bytes()[..len]);
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        f: &Function,
+        frame: &mut Frame,
+        id: InstId,
+    ) -> Result<Option<Val>, ExecError> {
+        let inst = f.inst(id).clone();
+        let ty = inst.ty;
+        Ok(match &inst.kind {
+            InstKind::Bin { op, lhs, rhs } => {
+                let l = self.eval(f, frame, lhs)?;
+                let r = self.eval(f, frame, rhs)?;
+                Some(eval_bin(*op, ty, l, r)?)
+            }
+            InstKind::ICmp { pred, lhs, rhs } => {
+                let lty = self.module.operand_ty(f, lhs);
+                let l = self.eval(f, frame, lhs)?.bits();
+                let r = self.eval(f, frame, rhs)?.bits();
+                Some(Val::B64(u64::from(eval_icmp(*pred, lty, l, r))))
+            }
+            InstKind::FCmp { pred, lhs, rhs } => {
+                let lty = self.module.operand_ty(f, lhs);
+                let (a, b) = if lty == Ty::F32 {
+                    (
+                        f64::from(self.eval(f, frame, lhs)?.f32()),
+                        f64::from(self.eval(f, frame, rhs)?.f32()),
+                    )
+                } else {
+                    (self.eval(f, frame, lhs)?.f64(), self.eval(f, frame, rhs)?.f64())
+                };
+                Some(Val::B64(u64::from(eval_fcmp(*pred, a, b))))
+            }
+            InstKind::Load { ptr, .. } => {
+                let addr = self.eval(f, frame, ptr)?.bits();
+                Some(self.load_typed(addr, ty))
+            }
+            InstKind::Store { ptr, val, .. } => {
+                let addr = self.eval(f, frame, ptr)?.bits();
+                let vty = self.module.operand_ty(f, val);
+                let v = self.eval(f, frame, val)?;
+                self.store_typed(addr, vty, v);
+                None
+            }
+            InstKind::Fence { .. } => None,
+            InstKind::AtomicRmw { op, ptr, val } => {
+                let addr = self.eval(f, frame, ptr)?.bits();
+                let v = self.eval(f, frame, val)?.bits();
+                let old = self.load_typed(addr, ty).bits();
+                let new = match op {
+                    RmwOp::Xchg => v,
+                    RmwOp::Add => old.wrapping_add(v),
+                    RmwOp::Sub => old.wrapping_sub(v),
+                    RmwOp::And => old & v,
+                    RmwOp::Or => old | v,
+                    RmwOp::Xor => old ^ v,
+                };
+                self.store_typed(addr, ty, Val::B64(new));
+                Some(Val::B64(mask_ty(old, ty)))
+            }
+            InstKind::CmpXchg { ptr, expected, new } => {
+                let addr = self.eval(f, frame, ptr)?.bits();
+                let exp = mask_ty(self.eval(f, frame, expected)?.bits(), ty);
+                let newv = self.eval(f, frame, new)?.bits();
+                let old = mask_ty(self.load_typed(addr, ty).bits(), ty);
+                if old == exp {
+                    self.store_typed(addr, ty, Val::B64(newv));
+                }
+                Some(Val::B64(old))
+            }
+            InstKind::Alloca { size } => {
+                frame.alloca_next -= (*size + 15) & !15;
+                Some(Val::B64(frame.alloca_next))
+            }
+            InstKind::Gep { base, offset, elem_size } => {
+                let b = self.eval(f, frame, base)?.bits();
+                let o = self.eval(f, frame, offset)?.bits();
+                Some(Val::B64(b.wrapping_add(o.wrapping_mul(*elem_size))))
+            }
+            InstKind::Cast { op, val } => {
+                let vty = self.module.operand_ty(f, val);
+                let v = self.eval(f, frame, val)?;
+                Some(eval_cast(*op, vty, ty, v))
+            }
+            InstKind::Select { cond, if_true, if_false } => {
+                let c = self.eval(f, frame, cond)?.bits() & 1;
+                Some(if c != 0 {
+                    self.eval(f, frame, if_true)?
+                } else {
+                    self.eval(f, frame, if_false)?
+                })
+            }
+            InstKind::Call { callee, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(f, frame, a)?);
+                }
+                match callee {
+                    Callee::Func(fi) => self.call(*fi, argv)?,
+                    Callee::Extern(e) => {
+                        let name = self.module.ext(*e).name.clone();
+                        self.call_extern(&name, &argv)?
+                    }
+                    Callee::Indirect(target) => {
+                        let addr = self.eval(f, frame, target)?.bits();
+                        let fi = self.resolve_func(addr)?;
+                        self.call(fi, argv)?
+                    }
+                }
+            }
+            InstKind::Phi { .. } => {
+                return Err(ExecError::Trap("phi executed out of prefix".to_string()))
+            }
+            InstKind::ExtractElement { vec, idx } => {
+                let v = self.eval(f, frame, vec)?.v128();
+                let lane = ty.size() as usize;
+                let off = *idx as usize * lane;
+                let mut b = [0u8; 8];
+                b[..lane].copy_from_slice(&v[off..off + lane]);
+                Some(Val::B64(u64::from_le_bytes(b)))
+            }
+            InstKind::InsertElement { vec, elt, idx } => {
+                let mut v = match self.eval(f, frame, vec)? {
+                    Val::B128(b) => b,
+                    Val::B64(_) => [0u8; 16],
+                };
+                let ety = self.module.operand_ty(f, elt);
+                let lane = ety.size() as usize;
+                let e = self.eval(f, frame, elt)?.bits();
+                let off = *idx as usize * lane;
+                v[off..off + lane].copy_from_slice(&e.to_le_bytes()[..lane]);
+                Some(Val::B128(v))
+            }
+        })
+    }
+
+    fn resolve_func(&self, addr: u64) -> Result<FuncId, ExecError> {
+        if addr >= FUNC_ADDR_BASE {
+            let idx = (addr - FUNC_ADDR_BASE) / 16;
+            if (idx as usize) < self.module.funcs.len() && (addr - FUNC_ADDR_BASE) % 16 == 0 {
+                return Ok(FuncId(idx as u32));
+            }
+        }
+        Err(ExecError::BadCall(format!("no function at {addr:#x}")))
+    }
+
+    fn call_extern(&mut self, name: &str, args: &[Val]) -> Result<Option<Val>, ExecError> {
+        match name {
+            "malloc" | "valloc" => {
+                let size = args[0].bits();
+                let addr = self.heap_next;
+                self.heap_next += (size + 63) & !63;
+                Ok(Some(Val::B64(addr)))
+            }
+            "calloc" => {
+                let size = args[0].bits() * args[1].bits();
+                let addr = self.heap_next;
+                self.heap_next += (size + 63) & !63;
+                Ok(Some(Val::B64(addr)))
+            }
+            "free" => Ok(None),
+            "memset" => {
+                let (dst, byte, n) = (args[0].bits(), args[1].bits() as u8, args[2].bits());
+                let buf = vec![byte; n as usize];
+                self.mem.write(dst, &buf);
+                self.stats.cycles += n / 8;
+                Ok(Some(Val::B64(dst)))
+            }
+            "memcpy" => {
+                let (dst, src, n) = (args[0].bits(), args[1].bits(), args[2].bits());
+                let mut buf = vec![0u8; n as usize];
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = self.mem.read(src + i as u64, 1)[0];
+                }
+                self.mem.write(dst, &buf);
+                self.stats.cycles += n / 4;
+                Ok(Some(Val::B64(dst)))
+            }
+            "strlen" => {
+                let s = self.mem.read_cstr(args[0].bits());
+                Ok(Some(Val::B64(s.len() as u64)))
+            }
+            "printf" => {
+                let fmt = self.mem.read_cstr(args[0].bits());
+                self.output.push_str(&format_c(&fmt, &args[1..]));
+                Ok(Some(Val::B64(0)))
+            }
+            "puts" => {
+                let s = self.mem.read_cstr(args[0].bits());
+                self.output.push_str(&s);
+                self.output.push('\n');
+                Ok(Some(Val::B64(0)))
+            }
+            "exit" | "abort" => Err(ExecError::Trap(format!("{name}() called"))),
+            "sqrt" => Ok(Some(Val::B64(args[0].f64().sqrt().to_bits()))),
+            "pthread_create" => {
+                // int pthread_create(pthread_t *t, attr, void *(*fn)(void*), void *arg)
+                let tid_ptr = args[0].bits();
+                let fn_addr = args[2].bits();
+                let arg = args[3];
+                let fi = self.resolve_func(fn_addr)?;
+                let tid = 1 + self.thread_cycles.len() as u64;
+                self.mem.write_u64(tid_ptr, tid);
+                // Run the thread body now (sequential fork–join semantics),
+                // attributing its cycles to the child bucket.
+                let before = self.stats.cycles;
+                let child_stack = self.stack_next;
+                self.stack_next = STACK_TOP - tid * STACK_SIZE;
+                let _ret = self.call(fi, vec![arg])?;
+                self.stack_next = child_stack;
+                self.thread_cycles.push(self.stats.cycles - before);
+                Ok(Some(Val::B64(0)))
+            }
+            "pthread_join" => Ok(Some(Val::B64(0))),
+            "pthread_exit" => Ok(None),
+            "pthread_mutex_init" | "pthread_mutex_destroy" => Ok(Some(Val::B64(0))),
+            "pthread_mutex_lock" => {
+                let m = args[0].bits();
+                let locked = self.mutexes.entry(m).or_insert(false);
+                if *locked {
+                    return Err(ExecError::Trap(format!(
+                        "deadlock: mutex {m:#x} locked twice under sequential fork-join"
+                    )));
+                }
+                *locked = true;
+                Ok(Some(Val::B64(0)))
+            }
+            "pthread_mutex_unlock" => {
+                self.mutexes.insert(args[0].bits(), false);
+                Ok(Some(Val::B64(0)))
+            }
+            "sysconf" => Ok(Some(Val::B64(4))), // _SC_NPROCESSORS_ONLN → 4 cores
+            other => Err(ExecError::BadCall(format!("unknown extern @{other}"))),
+        }
+    }
+}
+
+struct Frame {
+    vals: Vec<Option<Val>>,
+    args: Vec<Val>,
+    #[allow(dead_code)]
+    alloca_base: u64,
+    alloca_next: u64,
+}
+
+fn mask_ty(v: u64, ty: Ty) -> u64 {
+    match ty.int_bits() {
+        Some(64) | None => v,
+        Some(b) => v & ((1u64 << b) - 1),
+    }
+}
+
+fn sext(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+fn eval_bin(op: BinOp, ty: Ty, l: Val, r: Val) -> Result<Val, ExecError> {
+    if ty.is_vector() {
+        return eval_bin_vector(op, ty, l, r);
+    }
+    if op.is_float() {
+        let v = if ty == Ty::F32 {
+            let (a, b) = (l.f32(), r.f32());
+            let x = match op {
+                BinOp::FAdd => a + b,
+                BinOp::FSub => a - b,
+                BinOp::FMul => a * b,
+                BinOp::FDiv => a / b,
+                BinOp::FMin => a.min(b),
+                BinOp::FMax => a.max(b),
+                _ => unreachable!(),
+            };
+            u64::from(x.to_bits())
+        } else {
+            let (a, b) = (l.f64(), r.f64());
+            let x = match op {
+                BinOp::FAdd => a + b,
+                BinOp::FSub => a - b,
+                BinOp::FMul => a * b,
+                BinOp::FDiv => a / b,
+                BinOp::FMin => a.min(b),
+                BinOp::FMax => a.max(b),
+                _ => unreachable!(),
+            };
+            x.to_bits()
+        };
+        return Ok(Val::B64(v));
+    }
+    let bits = ty.int_bits().unwrap_or(64);
+    let (a, b) = (mask_ty(l.bits(), ty), mask_ty(r.bits(), ty));
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => {
+            if b == 0 {
+                return Err(ExecError::Trap("division by zero".to_string()));
+            }
+            a / b
+        }
+        BinOp::SDiv => {
+            if b == 0 {
+                return Err(ExecError::Trap("division by zero".to_string()));
+            }
+            (sext(a, bits).wrapping_div(sext(b, bits))) as u64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return Err(ExecError::Trap("division by zero".to_string()));
+            }
+            a % b
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return Err(ExecError::Trap("division by zero".to_string()));
+            }
+            (sext(a, bits).wrapping_rem(sext(b, bits))) as u64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 % bits),
+        BinOp::LShr => a.wrapping_shr(b as u32 % bits),
+        BinOp::AShr => (sext(a, bits) >> (b as u32 % bits)) as u64,
+        _ => unreachable!(),
+    };
+    Ok(Val::B64(mask_ty(v, ty)))
+}
+
+fn eval_bin_vector(op: BinOp, ty: Ty, l: Val, r: Val) -> Result<Val, ExecError> {
+    let (a, b) = (l.v128(), r.v128());
+    let mut out = [0u8; 16];
+    match ty {
+        Ty::V2F64 => {
+            for i in 0..2 {
+                let x = f64::from_le_bytes(a[i * 8..i * 8 + 8].try_into().unwrap());
+                let y = f64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap());
+                let z = match op {
+                    BinOp::FAdd => x + y,
+                    BinOp::FSub => x - y,
+                    BinOp::FMul => x * y,
+                    BinOp::FDiv => x / y,
+                    BinOp::FMin => x.min(y),
+                    BinOp::FMax => x.max(y),
+                    BinOp::Xor => f64::from_bits(x.to_bits() ^ y.to_bits()),
+                    _ => return Err(ExecError::Trap(format!("vector op {op:?}"))),
+                };
+                out[i * 8..i * 8 + 8].copy_from_slice(&z.to_le_bytes());
+            }
+        }
+        Ty::V4F32 => {
+            for i in 0..4 {
+                let x = f32::from_le_bytes(a[i * 4..i * 4 + 4].try_into().unwrap());
+                let y = f32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
+                let z = match op {
+                    BinOp::FAdd => x + y,
+                    BinOp::FSub => x - y,
+                    BinOp::FMul => x * y,
+                    BinOp::FDiv => x / y,
+                    BinOp::FMin => x.min(y),
+                    BinOp::FMax => x.max(y),
+                    BinOp::Xor => f32::from_bits(x.to_bits() ^ y.to_bits()),
+                    _ => return Err(ExecError::Trap(format!("vector op {op:?}"))),
+                };
+                out[i * 4..i * 4 + 4].copy_from_slice(&z.to_le_bytes());
+            }
+        }
+        Ty::V2I64 | Ty::V4I32 => {
+            for i in 0..16 {
+                out[i] = match op {
+                    BinOp::And => a[i] & b[i],
+                    BinOp::Or => a[i] | b[i],
+                    BinOp::Xor => a[i] ^ b[i],
+                    _ => return Err(ExecError::Trap(format!("vector int op {op:?}"))),
+                };
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(Val::B128(out))
+}
+
+fn eval_icmp(pred: IPred, ty: Ty, l: u64, r: u64) -> bool {
+    let bits = ty.int_bits().unwrap_or(64);
+    let (a, b) = (mask_ty(l, ty), mask_ty(r, ty));
+    let (sa, sb) = (sext(a, bits), sext(b, bits));
+    match pred {
+        IPred::Eq => a == b,
+        IPred::Ne => a != b,
+        IPred::Ult => a < b,
+        IPred::Ule => a <= b,
+        IPred::Ugt => a > b,
+        IPred::Uge => a >= b,
+        IPred::Slt => sa < sb,
+        IPred::Sle => sa <= sb,
+        IPred::Sgt => sa > sb,
+        IPred::Sge => sa >= sb,
+    }
+}
+
+fn eval_fcmp(pred: FPred, a: f64, b: f64) -> bool {
+    let unordered = a.is_nan() || b.is_nan();
+    match pred {
+        FPred::Oeq => !unordered && a == b,
+        FPred::One => !unordered && a != b,
+        FPred::Olt => !unordered && a < b,
+        FPred::Ole => !unordered && a <= b,
+        FPred::Ogt => !unordered && a > b,
+        FPred::Oge => !unordered && a >= b,
+        FPred::Une => unordered || a != b,
+        FPred::Uno => unordered,
+        FPred::Ord => !unordered,
+    }
+}
+
+fn eval_cast(op: CastOp, from: Ty, to: Ty, v: Val) -> Val {
+    match op {
+        CastOp::Trunc => Val::B64(mask_ty(v.bits(), to)),
+        CastOp::ZExt => Val::B64(mask_ty(v.bits(), from)),
+        CastOp::SExt => {
+            let bits = from.int_bits().unwrap_or(64);
+            Val::B64(mask_ty(sext(mask_ty(v.bits(), from), bits) as u64, to))
+        }
+        CastOp::FpToSi => {
+            let x = if from == Ty::F32 { f64::from(v.f32()) } else { v.f64() };
+            Val::B64(mask_ty((x as i64) as u64, to))
+        }
+        CastOp::SiToFp => {
+            let bits = from.int_bits().unwrap_or(64);
+            let x = sext(mask_ty(v.bits(), from), bits) as f64;
+            if to == Ty::F32 {
+                Val::B64(u64::from((x as f32).to_bits()))
+            } else {
+                Val::B64(x.to_bits())
+            }
+        }
+        CastOp::FpExt => Val::B64(f64::from(v.f32()).to_bits()),
+        CastOp::FpTrunc => Val::B64(u64::from((v.f64() as f32).to_bits())),
+        CastOp::BitCast | CastOp::IntToPtr | CastOp::PtrToInt => {
+            // Pure reinterpretation; handle 64↔128 widening for SSE casts.
+            match (v, to.is_vector()) {
+                (Val::B64(b), true) => {
+                    let mut out = [0u8; 16];
+                    out[..8].copy_from_slice(&b.to_le_bytes());
+                    Val::B128(out)
+                }
+                (Val::B128(b), false) => {
+                    Val::B64(u64::from_le_bytes(b[..8].try_into().unwrap()))
+                }
+                (v, _) => v,
+            }
+        }
+    }
+}
+
+/// Tiny C `printf` formatter supporting `%d %ld %lu %u %f %g %s %c %x %%`.
+fn format_c(fmt: &str, args: &[Val]) -> String {
+    let mut out = String::new();
+    let mut it = fmt.chars().peekable();
+    let mut ai = 0usize;
+    let next = |ai: &mut usize| {
+        let v = args.get(*ai).copied().unwrap_or(Val::B64(0));
+        *ai += 1;
+        v
+    };
+    while let Some(c) = it.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Skip width/precision/length specifiers.
+        let mut spec = String::new();
+        while let Some(&n) = it.peek() {
+            if n.is_ascii_digit() || n == '.' || n == 'l' || n == 'z' || n == '-' {
+                spec.push(n);
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.next() {
+            Some('d') | Some('i') => out.push_str(&format!("{}", next(&mut ai).bits() as i64)),
+            Some('u') => out.push_str(&format!("{}", next(&mut ai).bits())),
+            Some('x') => out.push_str(&format!("{:x}", next(&mut ai).bits())),
+            Some('f') | Some('g') | Some('e') => {
+                out.push_str(&format!("{:.6}", next(&mut ai).f64()))
+            }
+            Some('c') => out.push((next(&mut ai).bits() as u8) as char),
+            Some('s') => out.push_str("<str>"),
+            Some('%') => out.push('%'),
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{InstKind, Operand, Ordering, Terminator};
+    use crate::types::Pointee;
+
+    fn run_func(f: Function, args: &[Val]) -> RunResult {
+        let mut m = Module::new();
+        let id = m.add_func(f);
+        let mut machine = Machine::new(&m);
+        machine.run(id, args).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let e = f.entry();
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::Param(1) },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(a), rhs: Operand::i64(5) },
+        );
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(b)) });
+        let r = run_func(f, &[Val::B64(6), Val::B64(7)]);
+        assert_eq!(r.ret, Some(Val::B64(47)));
+        assert_eq!(r.stats.insts, 2);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut f = Function::new("f", vec![], Ty::I32);
+        let e = f.entry();
+        let slot = f.push(e, Ty::Ptr(Pointee::I32), InstKind::Alloca { size: 4 });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i32(-3),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I32,
+            InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic },
+        );
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let r = run_func(f, &[]);
+        assert_eq!(r.ret, Some(Val::B64(0xFFFF_FFFD)));
+        assert_eq!(r.stats.loads, 1);
+        assert_eq!(r.stats.stores, 1);
+    }
+
+    #[test]
+    fn loop_with_phi() {
+        // sum 0..n via phi
+        let mut f = Function::new("sum", vec![Ty::I64], Ty::I64);
+        let entry = f.entry();
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.set_term(entry, Terminator::Br { dest: header });
+        let phi_i = f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
+        let phi_s = f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
+        let cond = f.push(
+            header,
+            Ty::I1,
+            InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(phi_i), rhs: Operand::Param(0) },
+        );
+        f.set_term(
+            header,
+            Terminator::CondBr { cond: Operand::Inst(cond), if_true: body, if_false: exit },
+        );
+        let s2 = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi_s), rhs: Operand::Inst(phi_i) },
+        );
+        let i2 = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi_i), rhs: Operand::i64(1) },
+        );
+        f.set_term(body, Terminator::Br { dest: header });
+        f.inst_mut(phi_i).kind = InstKind::Phi {
+            incoming: vec![(entry, Operand::i64(0)), (body, Operand::Inst(i2))],
+        };
+        f.inst_mut(phi_s).kind = InstKind::Phi {
+            incoming: vec![(entry, Operand::i64(0)), (body, Operand::Inst(s2))],
+        };
+        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(phi_s)) });
+
+        let r = run_func(f, &[Val::B64(10)]);
+        assert_eq!(r.ret, Some(Val::B64(45)));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut f = Function::new("f", vec![Ty::I64], Ty::I64);
+        let e = f.entry();
+        let d = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::SDiv, lhs: Operand::i64(1), rhs: Operand::Param(0) },
+        );
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(d)) });
+        let mut m = Module::new();
+        let id = m.add_func(f);
+        let mut machine = Machine::new(&m);
+        let err = machine.run(id, &[Val::B64(0)]).unwrap_err();
+        assert!(matches!(err, ExecError::Trap(_)));
+    }
+
+    #[test]
+    fn fences_are_counted_and_costed() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fsc });
+        f.set_term(e, Terminator::Ret { val: None });
+        let r = run_func(f, &[]);
+        assert_eq!(r.stats.fences, (1, 1, 1));
+        assert!(r.stats.cycles >= 40 + 16 + 16);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut f = Function::new("spin", vec![], Ty::Void);
+        let e = f.entry();
+        let l = f.add_block();
+        f.set_term(e, Terminator::Br { dest: l });
+        f.push(l, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::i64(0), rhs: Operand::i64(0) });
+        f.set_term(l, Terminator::Br { dest: l });
+        let mut m = Module::new();
+        let id = m.add_func(f);
+        let mut machine = Machine::new(&m);
+        machine.set_step_limit(1000);
+        assert_eq!(machine.run(id, &[]).unwrap_err(), ExecError::StepLimit);
+    }
+
+    #[test]
+    fn atomics() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry();
+        let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(10),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let old = f.push(
+            e,
+            Ty::I64,
+            InstKind::AtomicRmw { op: RmwOp::Add, ptr: Operand::Inst(slot), val: Operand::i64(5) },
+        );
+        let old2 = f.push(
+            e,
+            Ty::I64,
+            InstKind::CmpXchg {
+                ptr: Operand::Inst(slot),
+                expected: Operand::i64(15),
+                new: Operand::i64(100),
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(old), rhs: Operand::Inst(old2) },
+        );
+        let cur = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::SeqCst },
+        );
+        let t = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(s), rhs: Operand::Inst(cur) },
+        );
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(t)) });
+        let r = run_func(f, &[]);
+        // old=10, old2=15, cur=100 → 125
+        assert_eq!(r.ret, Some(Val::B64(125)));
+        assert_eq!(r.stats.rmws, 2);
+    }
+
+    #[test]
+    fn extern_malloc_and_threads() {
+        // worker(arg): *arg += 1
+        let mut m = Module::new();
+        let mut w = Function::new("worker", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+        let e = w.entry();
+        let l = w.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        let a = w.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(l), rhs: Operand::i64(1) });
+        w.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Inst(a), order: Ordering::NotAtomic });
+        w.set_term(e, Terminator::Ret { val: Some(Operand::i64(0)) });
+        let worker = m.add_func(w);
+
+        let pc = m.declare_extern(crate::func::ExternDecl {
+            name: "pthread_create".into(),
+            params: vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            ret: Ty::I32,
+            variadic: false,
+        });
+        let malloc = m.declare_extern(crate::func::ExternDecl {
+            name: "malloc".into(),
+            params: vec![Ty::I64],
+            ret: Ty::Ptr(Pointee::I8),
+            variadic: false,
+        });
+
+        let mut main = Function::new("main", vec![], Ty::I64);
+        let e = main.entry();
+        let buf = main.push(
+            e,
+            Ty::Ptr(Pointee::I8),
+            InstKind::Call { callee: Callee::Extern(malloc), args: vec![Operand::i64(16)] },
+        );
+        main.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(buf), val: Operand::i64(41), order: Ordering::NotAtomic });
+        let tslot = main.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        let tptr = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(tslot) });
+        let bufi = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(buf) });
+        let fnptr = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
+        main.push(
+            e,
+            Ty::I32,
+            InstKind::Call {
+                callee: Callee::Extern(pc),
+                args: vec![
+                    Operand::Inst(tptr),
+                    Operand::i64(0),
+                    Operand::Inst(fnptr),
+                    Operand::Inst(bufi),
+                ],
+            },
+        );
+        let out = main.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(buf), order: Ordering::NotAtomic });
+        main.set_term(e, Terminator::Ret { val: Some(Operand::Inst(out)) });
+        let main_id = m.add_func(main);
+
+        let mut machine = Machine::new(&m);
+        let r = machine.run(main_id, &[]).unwrap();
+        assert_eq!(r.ret, Some(Val::B64(42)));
+        assert_eq!(r.thread_cycles.len(), 1);
+        assert!(r.critical_path_cycles() <= r.stats.cycles);
+    }
+
+    #[test]
+    fn printf_capture() {
+        let mut m = Module::new();
+        let g = m.add_global(crate::func::GlobalVar {
+            name: "fmt".into(),
+            size: 8,
+            init: b"n=%d\n\0".to_vec(),
+            addr: 0x60_0000,
+        });
+        let pf = m.declare_extern(crate::func::ExternDecl {
+            name: "printf".into(),
+            params: vec![Ty::Ptr(Pointee::I8)],
+            ret: Ty::I32,
+            variadic: true,
+        });
+        let mut f = Function::new("main", vec![], Ty::Void);
+        let e = f.entry();
+        f.push(
+            e,
+            Ty::I32,
+            InstKind::Call {
+                callee: Callee::Extern(pf),
+                args: vec![Operand::Global(g), Operand::i64(7)],
+            },
+        );
+        f.set_term(e, Terminator::Ret { val: None });
+        let id = m.add_func(f);
+        let mut machine = Machine::new(&m);
+        let r = machine.run(id, &[]).unwrap();
+        assert_eq!(r.output, "n=7\n");
+    }
+}

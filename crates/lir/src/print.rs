@@ -1,0 +1,180 @@
+//! Textual printer for LIR modules (LLVM-flavoured syntax).
+
+use crate::func::{callee_name, Function, Module};
+use crate::inst::{InstKind, Operand, Ordering, Terminator};
+use std::fmt::Write;
+
+/// Renders one operand.
+pub fn operand_to_string(m: &Module, _f: &Function, op: &Operand) -> String {
+    match op {
+        Operand::Inst(id) => format!("%{}", id.0),
+        Operand::Param(i) => format!("%arg{i}"),
+        Operand::ConstInt { ty, val } => {
+            let bits = ty.int_bits().unwrap_or(64);
+            if bits < 64 {
+                let v = val & ((1u64 << bits) - 1);
+                format!("{v}")
+            } else {
+                format!("{}", *val as i64)
+            }
+        }
+        Operand::ConstF32(bits) => format!("{:?}", f32::from_bits(*bits)),
+        Operand::ConstF64(bits) => format!("{:?}", f64::from_bits(*bits)),
+        Operand::Global(id) => format!("@{}", m.global(*id).name),
+        Operand::Func(id) => format!("@{}", m.func(*id).name),
+        Operand::Undef(_) => "undef".to_string(),
+    }
+}
+
+/// Renders one instruction (without result binding).
+pub fn inst_to_string(m: &Module, f: &Function, kind: &InstKind) -> String {
+    let op = |o: &Operand| operand_to_string(m, f, o);
+    let oty = |o: &Operand| m.operand_ty(f, o);
+    match kind {
+        InstKind::Bin { op: b, lhs, rhs } => {
+            format!("{} {} {}, {}", b.mnemonic(), oty(lhs), op(lhs), op(rhs))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            format!("icmp {} {} {}, {}", pred.mnemonic(), oty(lhs), op(lhs), op(rhs))
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            format!("fcmp {} {} {}, {}", pred.mnemonic(), oty(lhs), op(lhs), op(rhs))
+        }
+        InstKind::Load { ptr, order } => {
+            let a = match order {
+                Ordering::NotAtomic => "",
+                Ordering::SeqCst => " atomic seq_cst",
+            };
+            format!("load{a} {} {}", oty(ptr), op(ptr))
+        }
+        InstKind::Store { ptr, val, order } => {
+            let a = match order {
+                Ordering::NotAtomic => "",
+                Ordering::SeqCst => " atomic seq_cst",
+            };
+            format!("store{a} {} {}, {} {}", oty(val), op(val), oty(ptr), op(ptr))
+        }
+        InstKind::Fence { kind } => match kind {
+            crate::inst::FenceKind::Frm => "fence.rm".to_string(),
+            crate::inst::FenceKind::Fww => "fence.ww".to_string(),
+            crate::inst::FenceKind::Fsc => "fence seq_cst".to_string(),
+        },
+        InstKind::AtomicRmw { op: r, ptr, val } => {
+            format!("atomicrmw {} {} {}, {} seq_cst", r.mnemonic(), oty(ptr), op(ptr), op(val))
+        }
+        InstKind::CmpXchg { ptr, expected, new } => {
+            format!("cmpxchg {} {}, {}, {} seq_cst", oty(ptr), op(ptr), op(expected), op(new))
+        }
+        InstKind::Alloca { size } => format!("alloca [{size} x i8]"),
+        InstKind::Gep { base, offset, elem_size } => {
+            format!("getelementptr(x{elem_size}) {} {}, i64 {}", oty(base), op(base), op(offset))
+        }
+        InstKind::Cast { op: c, val } => {
+            format!("{} {} {} to <result>", c.mnemonic(), oty(val), op(val))
+        }
+        InstKind::Select { cond, if_true, if_false } => {
+            format!("select i1 {}, {}, {}", op(cond), op(if_true), op(if_false))
+        }
+        InstKind::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| format!("{} {}", oty(a), op(a))).collect();
+            format!("call {}({})", callee_name(m, callee), args.join(", "))
+        }
+        InstKind::Phi { incoming } => {
+            let inc: Vec<String> =
+                incoming.iter().map(|(b, v)| format!("[ {}, {b} ]", op(v))).collect();
+            format!("phi {}", inc.join(", "))
+        }
+        InstKind::ExtractElement { vec, idx } => {
+            format!("extractelement {} {}, i32 {idx}", oty(vec), op(vec))
+        }
+        InstKind::InsertElement { vec, elt, idx } => {
+            format!("insertelement {} {}, {} {}, i32 {idx}", oty(vec), op(vec), oty(elt), op(elt))
+        }
+    }
+}
+
+/// Renders a function as text.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
+    let _ = writeln!(s, "define {} @{}({}) {{", f.ret, f.name, params.join(", "));
+    for b in f.block_ids() {
+        let _ = writeln!(s, "{b}:");
+        let blk = f.block(b);
+        for id in &blk.insts {
+            let inst = f.inst(*id);
+            if inst.ty == crate::types::Ty::Void {
+                let _ = writeln!(s, "  {}", inst_to_string(m, f, &inst.kind));
+            } else {
+                let _ = writeln!(
+                    s,
+                    "  %{} = {} ; {}",
+                    id.0,
+                    inst_to_string(m, f, &inst.kind),
+                    inst.ty
+                );
+            }
+        }
+        let t = match &blk.term {
+            Terminator::Br { dest } => format!("br label {dest}"),
+            Terminator::CondBr { cond, if_true, if_false } => format!(
+                "br i1 {}, label {if_true}, label {if_false}",
+                operand_to_string(m, f, cond)
+            ),
+            Terminator::Ret { val: Some(v) } => {
+                format!("ret {} {}", m.operand_ty(f, v), operand_to_string(m, f, v))
+            }
+            Terminator::Ret { val: None } => "ret void".to_string(),
+            Terminator::Unreachable => "unreachable".to_string(),
+        };
+        let _ = writeln!(s, "  {t}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    for g in &m.globals {
+        let _ = writeln!(s, "@{} = global [{} x i8] ; at {:#x}", g.name, g.size, g.addr);
+    }
+    for e in &m.externs {
+        let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
+        let var = if e.variadic { ", ..." } else { "" };
+        let _ = writeln!(s, "declare {} @{}({}{})", e.ret, e.name, params.join(", "), var);
+    }
+    for f in &m.funcs {
+        let _ = writeln!(s);
+        s.push_str(&print_function(m, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, FenceKind, InstKind, Operand, Terminator};
+    use crate::types::Ty;
+
+    #[test]
+    fn print_smoke() {
+        let mut m = Module::new();
+        let mut f = Function::new("add2", vec![Ty::I64, Ty::I64], Ty::I64);
+        let e = f.entry();
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) },
+        );
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        m.add_func(f);
+        let text = print_module(&m);
+        assert!(text.contains("define i64 @add2(i64 %arg0, i64 %arg1)"));
+        assert!(text.contains("%0 = add i64 %arg0, %arg1"));
+        assert!(text.contains("fence.ww"));
+        assert!(text.contains("ret i64 %0"));
+    }
+}

@@ -1,0 +1,414 @@
+//! SSA construction: promotion of memory slots (`alloca`s) to SSA values
+//! with φ-insertion — the classic `mem2reg` algorithm (iterated dominance
+//! frontiers + dominator-tree renaming).
+//!
+//! The lifter uses this to turn its write-through register slots into the
+//! SSA form mctoll produces; the optimizer re-exports it as the `mem2reg`
+//! pass of Figure 17.
+
+use crate::analysis::{Cfg, Dominators};
+use crate::func::Function;
+use crate::inst::{BlockId, InstId, InstKind, Operand, Ordering};
+use crate::types::Ty;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Determines whether `id` (an `alloca`) can be promoted: every use must be
+/// the direct pointer operand of a non-atomic load or store (which must not
+/// store the pointer itself as a value), and all loads must agree on one
+/// loaded type.
+fn promotable(f: &Function, id: InstId) -> Option<Ty> {
+    let mut loaded_ty: Option<Ty> = None;
+    let this = Operand::Inst(id);
+    for (_, iid) in f.iter_insts() {
+        let inst = f.inst(iid);
+        let mut uses_here = 0;
+        inst.kind.for_each_operand(|op| {
+            if *op == this {
+                uses_here += 1;
+            }
+        });
+        if uses_here == 0 {
+            continue;
+        }
+        match &inst.kind {
+            InstKind::Load { ptr, order: Ordering::NotAtomic } if *ptr == this => {
+                match loaded_ty {
+                    None => loaded_ty = Some(inst.ty),
+                    Some(t) if t == inst.ty => {}
+                    _ => return None,
+                }
+            }
+            InstKind::Store { ptr, val, order: Ordering::NotAtomic }
+                if *ptr == this && *val != this =>
+            {
+                // Stored type must agree with loads (if any seen yet this is
+                // validated in a second pass below).
+            }
+            _ => return None,
+        }
+    }
+    // Store-only slots (dead values) are promotable too: derive the type
+    // from the first stored value.
+    if loaded_ty.is_none() {
+        for (_, iid) in f.iter_insts() {
+            if let InstKind::Store { ptr, val, .. } = &f.inst(iid).kind {
+                if *ptr == this {
+                    loaded_ty = Some(local_operand_ty(f, val));
+                    break;
+                }
+            }
+        }
+    }
+    loaded_ty
+}
+
+/// Operand type resolvable without a module (globals/functions are `i8*`).
+fn local_operand_ty(f: &Function, op: &Operand) -> Ty {
+    match op {
+        Operand::Inst(id) => f.inst(*id).ty,
+        Operand::Param(i) => f.params[*i as usize],
+        Operand::ConstInt { ty, .. } => *ty,
+        Operand::ConstF32(_) => Ty::F32,
+        Operand::ConstF64(_) => Ty::F64,
+        Operand::Global(_) | Operand::Func(_) => Ty::Ptr(crate::types::Pointee::I8),
+        Operand::Undef(ty) => *ty,
+    }
+}
+
+/// Promotes eligible `alloca`s in `f` to SSA, inserting φ-nodes.
+///
+/// `eligible` filters which allocas to consider (use `|_| true` for all).
+/// Returns the number of promoted slots.
+pub fn promote_allocas(f: &mut Function, mut eligible: impl FnMut(&Function, InstId) -> bool) -> usize {
+    let cfg = Cfg::compute(f);
+    let doms = Dominators::compute(&cfg);
+    let df = doms.frontiers(&cfg);
+
+    // Collect candidates.
+    let mut slots: Vec<(InstId, Ty)> = Vec::new();
+    for (_, id) in f.iter_insts() {
+        if matches!(f.inst(id).kind, InstKind::Alloca { .. }) && eligible(f, id) {
+            if let Some(ty) = promotable(f, id) {
+                slots.push((id, ty));
+            }
+        }
+    }
+    if slots.is_empty() {
+        return 0;
+    }
+    let slot_index: BTreeMap<InstId, usize> = slots.iter().enumerate().map(|(i, (id, _))| (*id, i)).collect();
+
+    // Phase 1: place φs at iterated dominance frontiers of def (store) blocks.
+    // phi_of[(block, slot)] = phi inst id.
+    let mut phi_of: BTreeMap<(BlockId, usize), InstId> = BTreeMap::new();
+    for (si, (slot, ty)) in slots.iter().enumerate() {
+        let mut work: Vec<BlockId> = Vec::new();
+        for b in f.block_ids() {
+            let defines = f.block(b).insts.iter().any(|iid| {
+                matches!(&f.inst(*iid).kind, InstKind::Store { ptr, .. } if *ptr == Operand::Inst(*slot))
+            });
+            if defines {
+                work.push(b);
+            }
+        }
+        let mut placed: BTreeSet<BlockId> = BTreeSet::new();
+        while let Some(b) = work.pop() {
+            if !cfg.reachable(b) {
+                continue;
+            }
+            for &fb in &df[b.0 as usize] {
+                if placed.insert(fb) {
+                    let phi = f.insert(fb, 0, *ty, InstKind::Phi { incoming: vec![] });
+                    phi_of.insert((fb, si), phi);
+                    work.push(fb);
+                }
+            }
+        }
+    }
+
+    // Phase 2: rename along the dominator tree.
+    let nslots = slots.len();
+    let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for b in f.block_ids() {
+        if let Some(d) = doms.idom[b.0 as usize] {
+            dom_children[d.0 as usize].push(b);
+        }
+    }
+
+    // Each stack frame: (block, incoming values per slot).
+    let undef_vals: Vec<Operand> = slots.iter().map(|(_, ty)| Operand::Undef(*ty)).collect();
+    let mut to_delete: BTreeSet<InstId> = BTreeSet::new();
+    let mut stack: Vec<(BlockId, Vec<Operand>)> = vec![(BlockId(0), undef_vals)];
+
+    // For filling phi incoming lists we need, per edge (pred→succ), the
+    // value at pred exit. Record during the walk.
+    let mut exit_vals: BTreeMap<BlockId, Vec<Operand>> = BTreeMap::new();
+
+    while let Some((b, mut vals)) = stack.pop() {
+        // φs at block start define new values.
+        for si in 0..nslots {
+            if let Some(phi) = phi_of.get(&(b, si)) {
+                vals[si] = Operand::Inst(*phi);
+            }
+        }
+        let inst_ids: Vec<InstId> = f.block(b).insts.clone();
+        for iid in inst_ids {
+            let kind = f.inst(iid).kind.clone();
+            match kind {
+                InstKind::Load { ptr: Operand::Inst(p), .. } if slot_index.contains_key(&p) => {
+                    let si = slot_index[&p];
+                    f.replace_all_uses(iid, vals[si]);
+                    to_delete.insert(iid);
+                }
+                InstKind::Store { ptr: Operand::Inst(p), val, .. }
+                    if slot_index.contains_key(&p) =>
+                {
+                    let si = slot_index[&p];
+                    vals[si] = val;
+                    to_delete.insert(iid);
+                }
+                _ => {}
+            }
+        }
+        exit_vals.insert(b, vals.clone());
+        for &c in &dom_children[b.0 as usize] {
+            stack.push((c, vals.clone()));
+        }
+    }
+
+    // Phase 3: fill φ incoming lists from predecessor exit values.
+    for ((b, si), phi) in &phi_of {
+        let mut incoming = Vec::new();
+        for &p in &cfg.preds[b.0 as usize] {
+            if !cfg.reachable(p) {
+                continue;
+            }
+            let v = exit_vals
+                .get(&p)
+                .map_or(Operand::Undef(slots[*si].1), |vs| vs[*si]);
+            // A self-referencing phi through a loop: if the pred's exit val
+            // is this very phi that's fine and correct.
+            incoming.push((p, v));
+        }
+        if let InstKind::Phi { incoming: inc } = &mut f.inst_mut(*phi).kind {
+            *inc = incoming;
+        }
+    }
+
+    // Phase 4: delete promoted loads/stores and the allocas themselves.
+    for (slot, _) in &slots {
+        to_delete.insert(*slot);
+    }
+    for b in f.block_ids() {
+        let keep: Vec<InstId> = f
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .filter(|i| !to_delete.contains(i))
+            .collect();
+        f.block_mut(b).insts = keep;
+    }
+
+    // Prune trivial φs (single unique incoming value, or only self + one).
+    prune_trivial_phis(f);
+
+    slots.len()
+}
+
+/// Removes φs whose incoming values are all identical (ignoring
+/// self-references), replacing them with that value. Iterates to a fixpoint.
+pub fn prune_trivial_phis(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut did = false;
+        for b in f.block_ids() {
+            let ids: Vec<InstId> = f.block(b).insts.clone();
+            for id in ids {
+                let InstKind::Phi { incoming } = &f.inst(id).kind else { continue };
+                let mut unique: Option<Operand> = None;
+                let mut trivial = true;
+                for (_, v) in incoming {
+                    if *v == Operand::Inst(id) {
+                        continue; // self-reference through loop
+                    }
+                    match unique {
+                        None => unique = Some(*v),
+                        Some(u) if u == *v => {}
+                        _ => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if trivial {
+                    let rep = unique.unwrap_or(Operand::Undef(f.inst(id).ty));
+                    f.replace_all_uses(id, rep);
+                    let blk = f.block_mut(b);
+                    blk.insts.retain(|i| *i != id);
+                    removed += 1;
+                    did = true;
+                }
+            }
+        }
+        if !did {
+            break;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Module;
+    use crate::inst::{BinOp, IPred, Terminator};
+    use crate::types::Pointee;
+    use crate::verify::verify_module;
+
+    /// Builds: slot = alloca; store 0; loop { v = load; store v+1 } while
+    /// v+1 < n; return load slot.
+    fn loop_through_slot() -> Function {
+        let mut f = Function::new("f", vec![Ty::I64], Ty::I64);
+        let entry = f.entry();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let slot = f.push(entry, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        f.push(
+            entry,
+            Ty::Void,
+            InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(0), order: Ordering::NotAtomic },
+        );
+        f.set_term(entry, Terminator::Br { dest: body });
+        let v = f.push(body, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
+        let v1 = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(v), rhs: Operand::i64(1) },
+        );
+        f.push(
+            body,
+            Ty::Void,
+            InstKind::Store { ptr: Operand::Inst(slot), val: Operand::Inst(v1), order: Ordering::NotAtomic },
+        );
+        let c = f.push(
+            body,
+            Ty::I1,
+            InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(v1), rhs: Operand::Param(0) },
+        );
+        f.set_term(body, Terminator::CondBr { cond: Operand::Inst(c), if_true: body, if_false: exit });
+        let fin = f.push(exit, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
+        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(fin)) });
+        f
+    }
+
+    #[test]
+    fn promotes_loop_slot_and_preserves_semantics() {
+        let mut f = loop_through_slot();
+        let promoted = promote_allocas(&mut f, |_, _| true);
+        assert_eq!(promoted, 1);
+        // No loads/stores/allocas remain.
+        for (_, id) in f.iter_insts() {
+            assert!(
+                !matches!(
+                    f.inst(id).kind,
+                    InstKind::Alloca { .. } | InstKind::Load { .. } | InstKind::Store { .. }
+                ),
+                "leftover memory op: {:?}",
+                f.inst(id).kind
+            );
+        }
+        let mut m = Module::new();
+        let id = m.add_func(f);
+        verify_module(&m).unwrap();
+        let mut machine = crate::interp::Machine::new(&m);
+        let r = machine.run(id, &[crate::interp::Val::B64(10)]).unwrap();
+        assert_eq!(r.ret, Some(crate::interp::Val::B64(10)));
+    }
+
+    #[test]
+    fn escaping_alloca_not_promoted() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry();
+        let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        // Address escapes through ptrtoint.
+        let escaped = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast { op: crate::inst::CastOp::PtrToInt, val: Operand::Inst(slot) },
+        );
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(escaped)) });
+        let mut g = f.clone();
+        assert_eq!(promote_allocas(&mut g, |_, _| true), 0);
+        assert_eq!(g, f, "function must be unchanged");
+    }
+
+    #[test]
+    fn atomic_slot_not_promoted() {
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry();
+        let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::SeqCst });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        assert_eq!(promote_allocas(&mut f, |_, _| true), 0);
+    }
+
+    #[test]
+    fn diamond_gets_phi() {
+        // slot := alloca; if p { store 1 } else { store 2 }; ret load
+        let mut f = Function::new("f", vec![Ty::I1], Ty::I64);
+        let e = f.entry();
+        let t = f.add_block();
+        let el = f.add_block();
+        let j = f.add_block();
+        let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
+        f.push(t, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(1), order: Ordering::NotAtomic });
+        f.set_term(t, Terminator::Br { dest: j });
+        f.push(el, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.set_term(el, Terminator::Br { dest: j });
+        let l = f.push(j, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
+        f.set_term(j, Terminator::Ret { val: Some(Operand::Inst(l)) });
+
+        assert_eq!(promote_allocas(&mut f, |_, _| true), 1);
+        let has_phi = f.iter_insts().any(|(_, id)| matches!(f.inst(id).kind, InstKind::Phi { .. }));
+        assert!(has_phi, "join block needs a phi");
+
+        let mut m = Module::new();
+        let id = m.add_func(f);
+        verify_module(&m).unwrap();
+        let mut machine = crate::interp::Machine::new(&m);
+        assert_eq!(
+            machine.run(id, &[crate::interp::Val::B64(1)]).unwrap().ret,
+            Some(crate::interp::Val::B64(1))
+        );
+        let mut machine = crate::interp::Machine::new(&m);
+        assert_eq!(
+            machine.run(id, &[crate::interp::Val::B64(0)]).unwrap().ret,
+            Some(crate::interp::Val::B64(2))
+        );
+    }
+
+    #[test]
+    fn trivial_phi_pruned() {
+        let mut f = Function::new("f", vec![Ty::I1], Ty::I64);
+        let e = f.entry();
+        let t = f.add_block();
+        let el = f.add_block();
+        let j = f.add_block();
+        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
+        f.set_term(t, Terminator::Br { dest: j });
+        f.set_term(el, Terminator::Br { dest: j });
+        let p = f.push(
+            j,
+            Ty::I64,
+            InstKind::Phi { incoming: vec![(t, Operand::i64(5)), (el, Operand::i64(5))] },
+        );
+        f.set_term(j, Terminator::Ret { val: Some(Operand::Inst(p)) });
+        assert_eq!(prune_trivial_phis(&mut f), 1);
+        match &f.block(j).term {
+            Terminator::Ret { val: Some(v) } => assert_eq!(v.as_const_int(), Some(5)),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+}

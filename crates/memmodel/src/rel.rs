@@ -1,0 +1,192 @@
+//! Binary relations over event sets, as bit matrices.
+//!
+//! The axiomatic models (§6.1) are phrased as closure/irreflexivity
+//! conditions over relations between events; this module provides the
+//! relation calculus: union, intersection, composition, transitive closure,
+//! inverse, restriction, and acyclicity tests. Event counts in litmus
+//! executions are tiny (≤ 32), so a dense `u64`-row bit matrix suffices.
+
+/// A binary relation over `n ≤ 64` elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rel {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl Rel {
+    /// The empty relation over `n` elements.
+    pub fn new(n: usize) -> Rel {
+        assert!(n <= 64, "relation too large");
+        Rel { n, rows: vec![0; n] }
+    }
+
+    /// Identity relation restricted to the elements where `pred` holds.
+    pub fn identity_where(n: usize, pred: impl Fn(usize) -> bool) -> Rel {
+        let mut r = Rel::new(n);
+        for i in 0..n {
+            if pred(i) {
+                r.add(i, i);
+            }
+        }
+        r
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|r| *r == 0)
+    }
+
+    /// Adds the pair `(a, b)`.
+    pub fn add(&mut self, a: usize, b: usize) {
+        self.rows[a] |= 1u64 << b;
+    }
+
+    /// Membership test.
+    pub fn has(&self, a: usize, b: usize) -> bool {
+        self.rows[a] & (1u64 << b) != 0
+    }
+
+    /// All pairs in the relation.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.n {
+            let mut bits = self.rows[a];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push((a, b));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Union.
+    pub fn union(&self, other: &Rel) -> Rel {
+        let mut r = self.clone();
+        for (a, row) in other.rows.iter().enumerate() {
+            r.rows[a] |= row;
+        }
+        r
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &Rel) -> Rel {
+        let mut r = self.clone();
+        for (a, row) in other.rows.iter().enumerate() {
+            r.rows[a] &= row;
+        }
+        r
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn minus(&self, other: &Rel) -> Rel {
+        let mut r = self.clone();
+        for (a, row) in other.rows.iter().enumerate() {
+            r.rows[a] &= !row;
+        }
+        r
+    }
+
+    /// Relational composition `self ; other`.
+    pub fn compose(&self, other: &Rel) -> Rel {
+        let mut r = Rel::new(self.n);
+        for a in 0..self.n {
+            let mut mids = self.rows[a];
+            while mids != 0 {
+                let m = mids.trailing_zeros() as usize;
+                r.rows[a] |= other.rows[m];
+                mids &= mids - 1;
+            }
+        }
+        r
+    }
+
+    /// Inverse relation.
+    pub fn inverse(&self) -> Rel {
+        let mut r = Rel::new(self.n);
+        for (a, b) in self.pairs() {
+            r.add(b, a);
+        }
+        r
+    }
+
+    /// Transitive closure (`self⁺`).
+    pub fn closure(&self) -> Rel {
+        let mut r = self.clone();
+        // Floyd–Warshall on bits.
+        for k in 0..self.n {
+            for a in 0..self.n {
+                if r.rows[a] & (1u64 << k) != 0 {
+                    r.rows[a] |= r.rows[k];
+                }
+            }
+        }
+        r
+    }
+
+    /// Whether the relation (not its closure) relates any element to itself.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|a| !self.has(a, a))
+    }
+
+    /// Whether the relation is acyclic (its transitive closure is
+    /// irreflexive).
+    pub fn is_acyclic(&self) -> bool {
+        self.closure().is_irreflexive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_and_closure() {
+        let mut r = Rel::new(4);
+        r.add(0, 1);
+        r.add(1, 2);
+        r.add(2, 3);
+        let rr = r.compose(&r);
+        assert!(rr.has(0, 2) && rr.has(1, 3) && !rr.has(0, 1));
+        let c = r.closure();
+        assert!(c.has(0, 3));
+        assert!(c.is_irreflexive());
+        assert!(r.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut r = Rel::new(3);
+        r.add(0, 1);
+        r.add(1, 2);
+        r.add(2, 0);
+        assert!(!r.is_acyclic());
+        assert!(r.is_irreflexive(), "no self-loop even though cyclic");
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = Rel::new(3);
+        a.add(0, 1);
+        a.add(1, 2);
+        let mut b = Rel::new(3);
+        b.add(1, 2);
+        b.add(2, 0);
+        assert_eq!(a.union(&b).pairs().len(), 3);
+        assert_eq!(a.intersect(&b).pairs(), vec![(1, 2)]);
+        assert_eq!(a.minus(&b).pairs(), vec![(0, 1)]);
+        assert_eq!(a.inverse().pairs(), vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn identity_restriction() {
+        let id = Rel::identity_where(4, |i| i % 2 == 0);
+        assert!(id.has(0, 0) && id.has(2, 2));
+        assert!(!id.has(1, 1));
+    }
+}

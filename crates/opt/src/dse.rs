@@ -1,0 +1,165 @@
+//! Dead-store elimination, gated by the Figure 11b WAW rules.
+
+use lasagne_fences::legality::{elim_adjacent, elim_fenced, Elim, Label};
+use lasagne_lir::func::Function;
+use lasagne_lir::inst::{FenceKind, InstId, InstKind, Operand, Ordering};
+
+/// Eliminates overwritten non-atomic stores within basic blocks.
+///
+/// `store p, a; … ; store p, b` kills the first store when nothing between
+/// them can read `p` (no loads, calls, or RMWs at all, conservatively) and
+/// any intervening fences admit the W-after-W elimination of Figure 11b
+/// (`Frm`/`Fww` do; `Fsc` does not).
+pub fn dse(f: &mut Function) -> usize {
+    let mut removed = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // Pending store per pointer key: (inst id, strongest fence since).
+        use std::collections::HashMap;
+        let mut pending: HashMap<String, (InstId, Option<FenceKind>)> = HashMap::new();
+        let ids: Vec<InstId> = f.block(b).insts.clone();
+        let mut kill: Vec<InstId> = Vec::new();
+        for id in ids {
+            match f.inst(id).kind.clone() {
+                InstKind::Store { ptr, order: Ordering::NotAtomic, .. } => {
+                    let key = format!("{ptr:?}");
+                    if let Some((prev, fence)) = pending.get(&key) {
+                        let legal = match fence {
+                            None => elim_adjacent(Label::Wna, Label::Wna) == Some(Elim::DropFirst),
+                            Some(fk) => {
+                                elim_fenced(Label::Wna, *fk, Label::Wna) == Some(Elim::DropFirst)
+                            }
+                        };
+                        if legal {
+                            kill.push(*prev);
+                            removed += 1;
+                        }
+                    }
+                    pending.insert(key, (id, None));
+                }
+                InstKind::Fence { kind } => {
+                    for (_, fence) in pending.values_mut() {
+                        *fence = Some(match fence {
+                            None => kind,
+                            Some(prev) => lasagne_fences::legality::merge_fence(*prev, kind),
+                        });
+                    }
+                }
+                k if k.touches_memory() => pending.clear(),
+                _ => {}
+            }
+        }
+        if !kill.is_empty() {
+            f.block_mut(b).insts.retain(|i| !kill.contains(i));
+        }
+    }
+    removed
+}
+
+/// Removes stores to allocas that are never loaded anywhere in the function
+/// (and whose address never escapes) — common after register promotion.
+pub fn dse_dead_slots(f: &mut Function) -> usize {
+    let mut removed = 0;
+    let allocas: Vec<InstId> = f
+        .iter_insts()
+        .filter(|(_, id)| matches!(f.inst(*id).kind, InstKind::Alloca { .. }))
+        .map(|(_, id)| id)
+        .collect();
+    for slot in allocas {
+        let this = Operand::Inst(slot);
+        let mut only_stores = true;
+        let mut stores: Vec<InstId> = Vec::new();
+        for (_, id) in f.iter_insts() {
+            let inst = f.inst(id);
+            let mut used = false;
+            inst.kind.for_each_operand(|op| {
+                if *op == this {
+                    used = true;
+                }
+            });
+            if !used {
+                continue;
+            }
+            match &inst.kind {
+                InstKind::Store { ptr, val, order: Ordering::NotAtomic }
+                    if *ptr == this && *val != this =>
+                {
+                    stores.push(id);
+                }
+                _ => {
+                    only_stores = false;
+                    break;
+                }
+            }
+        }
+        if only_stores && !stores.is_empty() {
+            removed += stores.len();
+            for b in f.block_ids().collect::<Vec<_>>() {
+                f.block_mut(b).insts.retain(|i| !stores.contains(i));
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_lir::inst::Terminator;
+    use lasagne_lir::types::{Pointee, Ty};
+
+    #[test]
+    fn overwritten_store_removed() {
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: None });
+        assert_eq!(dse(&mut f), 1);
+        assert_eq!(f.live_inst_count(), 1);
+    }
+
+    #[test]
+    fn waw_through_fww_removed_but_not_through_fsc() {
+        for (kind, expect) in [(FenceKind::Fww, 1), (FenceKind::Frm, 1), (FenceKind::Fsc, 0)] {
+            let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
+            let e = f.entry();
+            f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
+            f.push(e, Ty::Void, InstKind::Fence { kind });
+            f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
+            f.set_term(e, Terminator::Ret { val: None });
+            assert_eq!(dse(&mut f), expect, "fence {kind:?}");
+        }
+    }
+
+    #[test]
+    fn intervening_load_blocks() {
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
+        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        assert_eq!(dse(&mut f), 0);
+    }
+
+    #[test]
+    fn dead_slot_stores_removed() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let e = f.entry();
+        let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(1), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: None });
+        assert_eq!(dse_dead_slots(&mut f), 2);
+    }
+
+    #[test]
+    fn seqcst_store_not_touched() {
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::SeqCst });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::SeqCst });
+        f.set_term(e, Terminator::Ret { val: None });
+        assert_eq!(dse(&mut f), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Constant folding helpers shared by `instcombine` and `sccp`.
+
+use lasagne_lir::inst::{BinOp, CastOp, IPred, Operand};
+use lasagne_lir::types::Ty;
+
+fn mask(v: u64, ty: Ty) -> u64 {
+    match ty.int_bits() {
+        Some(64) | None => v,
+        Some(b) => v & ((1u64 << b) - 1),
+    }
+}
+
+fn sext(v: u64, bits: u32) -> i64 {
+    let s = 64 - bits;
+    ((v << s) as i64) >> s
+}
+
+/// Folds an integer binary operation over constants. Returns `None` for
+/// division by zero (left to trap at runtime) and float ops.
+pub fn fold_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Option<u64> {
+    let bits = ty.int_bits()?;
+    let (a, b) = (mask(a, ty), mask(b, ty));
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::UDiv => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::SDiv => {
+            if b == 0 {
+                return None;
+            }
+            sext(a, bits).wrapping_div(sext(b, bits)) as u64
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return None;
+            }
+            sext(a, bits).wrapping_rem(sext(b, bits)) as u64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 % bits),
+        BinOp::LShr => a.wrapping_shr(b as u32 % bits),
+        BinOp::AShr => (sext(a, bits) >> (b as u32 % bits)) as u64,
+        _ => return None,
+    };
+    Some(mask(v, ty))
+}
+
+/// Folds an integer comparison over constants.
+pub fn fold_icmp(pred: IPred, ty: Ty, a: u64, b: u64) -> bool {
+    let bits = ty.int_bits().unwrap_or(64);
+    let (a, b) = (mask(a, ty), mask(b, ty));
+    let (sa, sb) = (sext(a, bits), sext(b, bits));
+    match pred {
+        IPred::Eq => a == b,
+        IPred::Ne => a != b,
+        IPred::Ult => a < b,
+        IPred::Ule => a <= b,
+        IPred::Ugt => a > b,
+        IPred::Uge => a >= b,
+        IPred::Slt => sa < sb,
+        IPred::Sle => sa <= sb,
+        IPred::Sgt => sa > sb,
+        IPred::Sge => sa >= sb,
+    }
+}
+
+/// Folds an integer-to-integer (or fp-involving, when computable) cast over
+/// a constant operand.
+pub fn fold_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> Option<Operand> {
+    let out = |val: u64| Some(Operand::ConstInt { ty: to, val: mask(val, to) });
+    match op {
+        CastOp::Trunc => out(v),
+        CastOp::ZExt => out(mask(v, from)),
+        CastOp::SExt => {
+            let bits = from.int_bits()?;
+            out(sext(mask(v, from), bits) as u64)
+        }
+        CastOp::FpToSi => {
+            let x = if from == Ty::F32 {
+                f64::from(f32::from_bits(v as u32))
+            } else {
+                f64::from_bits(v)
+            };
+            out((x as i64) as u64)
+        }
+        CastOp::SiToFp => {
+            let bits = from.int_bits()?;
+            let x = sext(mask(v, from), bits) as f64;
+            if to == Ty::F32 {
+                Some(Operand::ConstF32((x as f32).to_bits()))
+            } else {
+                Some(Operand::ConstF64(x.to_bits()))
+            }
+        }
+        CastOp::FpExt => Some(Operand::ConstF64(f64::from(f32::from_bits(v as u32)).to_bits())),
+        CastOp::FpTrunc => Some(Operand::ConstF32((f64::from_bits(v) as f32).to_bits())),
+        // Pointer-involving casts of constants stay as-is.
+        CastOp::BitCast | CastOp::IntToPtr | CastOp::PtrToInt => None,
+    }
+}
+
+/// The constant value of an operand, if it is an integer constant.
+pub fn const_int(op: &Operand) -> Option<(Ty, u64)> {
+    match op {
+        Operand::ConstInt { ty, val } => Some((*ty, *val)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(fold_bin(BinOp::Add, Ty::I32, 0xFFFF_FFFF, 1), Some(0));
+        assert_eq!(fold_bin(BinOp::Mul, Ty::I64, 6, 7), Some(42));
+        assert_eq!(fold_bin(BinOp::SDiv, Ty::I32, (-6i32) as u32 as u64, 2), Some((-3i32) as u32 as u64));
+        assert_eq!(fold_bin(BinOp::UDiv, Ty::I64, 1, 0), None);
+        assert_eq!(fold_bin(BinOp::AShr, Ty::I8, 0x80, 7), Some(0xFF));
+    }
+
+    #[test]
+    fn icmp_folds() {
+        assert!(fold_icmp(IPred::Slt, Ty::I8, 0x80, 0));
+        assert!(!fold_icmp(IPred::Ult, Ty::I8, 0x80, 0));
+        assert!(fold_icmp(IPred::Eq, Ty::I32, 0x1_0000_0005, 5));
+    }
+
+    #[test]
+    fn cast_folds() {
+        assert_eq!(
+            fold_cast(CastOp::SExt, Ty::I8, Ty::I64, 0xFF),
+            Some(Operand::ConstInt { ty: Ty::I64, val: u64::MAX })
+        );
+        assert_eq!(
+            fold_cast(CastOp::ZExt, Ty::I8, Ty::I64, 0xFF),
+            Some(Operand::ConstInt { ty: Ty::I64, val: 0xFF })
+        );
+        assert_eq!(
+            fold_cast(CastOp::SiToFp, Ty::I64, Ty::F64, 2),
+            Some(Operand::ConstF64(2.0f64.to_bits()))
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Global value numbering + redundant-load elimination.
+//!
+//! Pure expressions are numbered over the dominator tree; repeated
+//! computations are replaced by their dominating occurrence. Memory
+//! redundancy (read-after-read, read-after-write) is eliminated *within
+//! blocks only*, gated by the Figure 11b legality rules from
+//! `lasagne-fences` so that fences between accesses are respected.
+
+use lasagne_fences::legality::{elim_adjacent, elim_fenced, Label};
+use lasagne_lir::analysis::{Cfg, Dominators};
+use lasagne_lir::func::{Function, Module};
+use lasagne_lir::inst::{FenceKind, InstId, InstKind, Operand};
+use lasagne_lir::BlockId;
+use std::collections::HashMap;
+
+/// A hashable key for pure instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(lasagne_lir::inst::BinOp, OpKey, OpKey),
+    ICmp(lasagne_lir::inst::IPred, OpKey, OpKey),
+    FCmp(lasagne_lir::inst::FPred, OpKey, OpKey),
+    Cast(lasagne_lir::inst::CastOp, lasagne_lir::Ty, OpKey),
+    Gep(OpKey, OpKey, u64),
+    Select(OpKey, OpKey, OpKey),
+    Extract(OpKey, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    Inst(u32),
+    Param(u32),
+    CInt(u64, lasagne_lir::Ty),
+    CF32(u32),
+    CF64(u64),
+    Global(u32),
+    Func(u32),
+    Undef,
+}
+
+fn op_key(op: &Operand) -> OpKey {
+    match op {
+        Operand::Inst(i) => OpKey::Inst(i.0),
+        Operand::Param(p) => OpKey::Param(*p),
+        Operand::ConstInt { ty, val } => OpKey::CInt(*val, *ty),
+        Operand::ConstF32(b) => OpKey::CF32(*b),
+        Operand::ConstF64(b) => OpKey::CF64(*b),
+        Operand::Global(g) => OpKey::Global(g.0),
+        Operand::Func(f) => OpKey::Func(f.0),
+        Operand::Undef(_) => OpKey::Undef,
+    }
+}
+
+fn key_of(kind: &InstKind, ty: lasagne_lir::Ty) -> Option<Key> {
+    Some(match kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            // Canonicalise commutative operands.
+            let (a, b) = (op_key(lhs), op_key(rhs));
+            if op.commutative() && format!("{b:?}") < format!("{a:?}") {
+                Key::Bin(*op, b, a)
+            } else {
+                Key::Bin(*op, a, b)
+            }
+        }
+        InstKind::ICmp { pred, lhs, rhs } => Key::ICmp(*pred, op_key(lhs), op_key(rhs)),
+        InstKind::FCmp { pred, lhs, rhs } => Key::FCmp(*pred, op_key(lhs), op_key(rhs)),
+        InstKind::Cast { op, val } => Key::Cast(*op, ty, op_key(val)),
+        InstKind::Gep { base, offset, elem_size } => {
+            Key::Gep(op_key(base), op_key(offset), *elem_size)
+        }
+        InstKind::Select { cond, if_true, if_false } => {
+            Key::Select(op_key(cond), op_key(if_true), op_key(if_false))
+        }
+        InstKind::ExtractElement { vec, idx } => Key::Extract(op_key(vec), *idx),
+        _ => return None,
+    })
+}
+
+/// Runs GVN over a function. Returns the number of instructions replaced.
+pub fn gvn(m: &Module, f: &mut Function) -> usize {
+    let _ = m;
+    let cfg = Cfg::compute(f);
+    let doms = Dominators::compute(&cfg);
+
+    // Walk the dominator tree depth-first, scoping the value table.
+    let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];
+    for b in f.block_ids() {
+        if let Some(d) = doms.idom[b.0 as usize] {
+            dom_children[d.0 as usize].push(b);
+        }
+    }
+
+    let mut replaced = 0;
+    // (block, table snapshot) stack; tables are persistent maps simulated by
+    // cloning (fine at our function sizes).
+    let mut stack: Vec<(BlockId, HashMap<Key, InstId>)> = vec![(BlockId(0), HashMap::new())];
+    while let Some((b, mut table)) = stack.pop() {
+        replaced += number_block(f, b, &mut table);
+        for &c in &dom_children[b.0 as usize] {
+            stack.push((c, table.clone()));
+        }
+    }
+    replaced
+}
+
+fn number_block(f: &mut Function, b: BlockId, table: &mut HashMap<Key, InstId>) -> usize {
+    let mut replaced = 0;
+    let ids: Vec<InstId> = f.block(b).insts.clone();
+    let mut kill: Vec<InstId> = Vec::new();
+    for id in ids {
+        let inst = f.inst(id);
+        let Some(key) = key_of(&inst.kind, inst.ty) else { continue };
+        match table.get(&key) {
+            Some(prev) => {
+                let prev = *prev;
+                f.replace_all_uses(id, Operand::Inst(prev));
+                kill.push(id);
+                replaced += 1;
+            }
+            None => {
+                table.insert(key, id);
+            }
+        }
+    }
+    if !kill.is_empty() {
+        f.block_mut(b).insts.retain(|i| !kill.contains(i));
+    }
+    replaced
+}
+
+/// Redundant load elimination within blocks, honouring Figure 11b.
+///
+/// Tracks, per pointer SSA value, the most recent load result or stored
+/// value; an intervening store/RMW/call to *any* pointer invalidates the
+/// whole table (no alias analysis); fences invalidate according to the
+/// fenced-elimination rules.
+pub fn load_elim(f: &mut Function) -> usize {
+    let mut replaced = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // Available value per pointer: (value operand, producing label,
+        // fence seen since (strongest first)).
+        #[derive(Clone)]
+        struct Avail {
+            val: Operand,
+            label: Label,
+            fence: Option<FenceKind>,
+        }
+        let mut avail: HashMap<OpKey, Avail> = HashMap::new();
+        let ids: Vec<InstId> = f.block(b).insts.clone();
+        let mut kill: Vec<InstId> = Vec::new();
+        for id in ids {
+            let kind = f.inst(id).kind.clone();
+            match &kind {
+                InstKind::Load { ptr, order: lasagne_lir::inst::Ordering::NotAtomic } => {
+                    let k = op_key(ptr);
+                    if let Some(a) = avail.get(&k) {
+                        let ok = match a.fence {
+                            None => elim_adjacent(a.label, Label::Rna).is_some(),
+                            Some(fk) => elim_fenced(a.label, fk, Label::Rna).is_some(),
+                        };
+                        if ok {
+                            f.replace_all_uses(id, a.val);
+                            kill.push(id);
+                            replaced += 1;
+                            continue;
+                        }
+                    }
+                    avail.insert(k, Avail { val: Operand::Inst(id), label: Label::Rna, fence: None });
+                }
+                InstKind::Store { ptr, val, order: lasagne_lir::inst::Ordering::NotAtomic } => {
+                    // A store to one pointer may alias others: drop
+                    // everything except this pointer's entry.
+                    let k = op_key(ptr);
+                    avail.clear();
+                    avail.insert(k, Avail { val: *val, label: Label::Wna, fence: None });
+                }
+                InstKind::Fence { kind: fk } => {
+                    for a in avail.values_mut() {
+                        a.fence = Some(match a.fence {
+                            None => *fk,
+                            Some(prev) => lasagne_fences::legality::merge_fence(prev, *fk),
+                        });
+                    }
+                }
+                k if k.touches_memory() => {
+                    avail.clear();
+                }
+                _ => {}
+            }
+        }
+        if !kill.is_empty() {
+            f.block_mut(b).insts.retain(|i| !kill.contains(i));
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_lir::inst::{BinOp, Ordering, Terminator};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    #[test]
+    fn gvn_dedups_pure_expressions() {
+        let mut m = Module::new();
+        let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let e = f.entry();
+        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
+        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
+        let c = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(a), rhs: Operand::Inst(b) });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        assert_eq!(gvn(&m, &mut f), 1);
+        let _ = &mut m;
+        match &f.inst(c).kind {
+            InstKind::Bin { lhs, rhs, .. } => assert_eq!(lhs, rhs),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn gvn_commutative_canonicalisation() {
+        let m = Module::new();
+        let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let e = f.entry();
+        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
+        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::Param(0) });
+        let c = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Sub, lhs: Operand::Inst(a), rhs: Operand::Inst(b) });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        assert_eq!(gvn(&m, &mut f), 1, "a+b and b+a must value-number equal");
+    }
+
+    #[test]
+    fn gvn_respects_dominance() {
+        // Same expression in two sibling branches must NOT be deduped.
+        let m = Module::new();
+        let mut f = Function::new("f", vec![Ty::I1, Ty::I64], Ty::I64);
+        let e = f.entry();
+        let t = f.add_block();
+        let el = f.add_block();
+        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
+        let a = f.push(t, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::i64(1) });
+        f.set_term(t, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        let b = f.push(el, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::i64(1) });
+        f.set_term(el, Terminator::Ret { val: Some(Operand::Inst(b)) });
+        assert_eq!(gvn(&m, &mut f), 0);
+    }
+
+    #[test]
+    fn load_elim_raw() {
+        // store p, v; x = load p  ⇒ x = v
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
+        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        assert_eq!(load_elim(&mut f), 1);
+        match f.block(e).term {
+            Terminator::Ret { val: Some(Operand::Param(1)) } => {}
+            ref t => panic!("load not forwarded: {t:?}"),
+        }
+    }
+
+    #[test]
+    fn load_elim_rar_through_frm() {
+        // x = load p; Frm; y = load p ⇒ y = x (F-RAR with o = rm is legal).
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+        let e = f.entry();
+        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
+        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        assert_eq!(load_elim(&mut f), 1);
+    }
+
+    #[test]
+    fn load_elim_blocked_by_fsc_after_read() {
+        // x = load p; Fsc; y = load p — F-RAR with Fsc is NOT in Figure 11b.
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+        let e = f.entry();
+        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fsc });
+        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        assert_eq!(load_elim(&mut f), 0);
+    }
+
+    #[test]
+    fn load_elim_raw_through_fww() {
+        // store p, v; Fww; x = load p ⇒ x = v (F-RAW with τ = ww).
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        assert_eq!(load_elim(&mut f), 1);
+    }
+
+    #[test]
+    fn load_elim_raw_blocked_by_frm() {
+        // store p, v; Frm; x = load p — F-RAW with Frm is NOT legal.
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
+        let e = f.entry();
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
+        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        assert_eq!(load_elim(&mut f), 0);
+    }
+
+    #[test]
+    fn load_elim_invalidated_by_other_store() {
+        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)], Ty::I64);
+        let e = f.entry();
+        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(1), val: Operand::i64(0), order: Ordering::NotAtomic });
+        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
+        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
+        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        assert_eq!(load_elim(&mut f), 0, "potentially aliasing store blocks reuse");
+    }
+}

@@ -1,0 +1,274 @@
+//! Conditional constant propagation (`sccp`) and its interprocedural
+//! extension (`ipsccp`), plus unreachable-block cleanup.
+
+use crate::fold::{const_int, fold_bin, fold_cast, fold_icmp};
+use lasagne_lir::analysis::Cfg;
+use lasagne_lir::func::{Function, Module};
+use lasagne_lir::inst::{Callee, InstKind, Operand, Terminator};
+
+/// Folds constants (and constant conditions into unconditional branches)
+/// and removes unreachable blocks, fixing φ-nodes — constant propagation
+/// only, unlike `instcombine`, which also rewrites algebraic identities.
+pub fn sccp(m: &Module, f: &mut Function) -> usize {
+    let mut changed = 0;
+    loop {
+        let mut round = const_fold(m, f);
+        // Fold constant conditional branches.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if let Terminator::CondBr { cond, if_true, if_false } = f.block(b).term.clone() {
+                if let Some((_, c)) = const_int(&cond) {
+                    let dest = if c & 1 != 0 { if_true } else { if_false };
+                    f.set_term(b, Terminator::Br { dest });
+                    round += 1;
+                } else if if_true == if_false {
+                    f.set_term(b, Terminator::Br { dest: if_true });
+                    round += 1;
+                }
+            }
+        }
+        round += remove_unreachable(f);
+        changed += round;
+        if round == 0 {
+            return changed;
+        }
+    }
+}
+
+/// Constant-folds instructions whose operands are all constants, deleting
+/// the folded instruction. Returns the number of folds.
+fn const_fold(m: &Module, f: &mut Function) -> usize {
+    let mut changed = 0;
+    let mut dead: Vec<lasagne_lir::InstId> = Vec::new();
+    let ids: Vec<lasagne_lir::InstId> = f.iter_insts().map(|(_, id)| id).collect();
+    for id in ids {
+        let inst = f.inst(id);
+        let ty = inst.ty;
+        let rep = match &inst.kind {
+            InstKind::Bin { op, lhs, rhs } => match (const_int(lhs), const_int(rhs)) {
+                (Some((_, a)), Some((_, b))) => {
+                    fold_bin(*op, ty, a, b).map(|v| Operand::ConstInt { ty, val: v })
+                }
+                _ => None,
+            },
+            InstKind::ICmp { pred, lhs, rhs } => match (const_int(lhs), const_int(rhs)) {
+                (Some((t, a)), Some((_, b))) => Some(Operand::bool(fold_icmp(*pred, t, a, b))),
+                _ => None,
+            },
+            InstKind::Cast { op, val } => {
+                let from = m.operand_ty(f, val);
+                const_int(val).and_then(|(_, v)| fold_cast(*op, from, ty, v))
+            }
+            InstKind::Select { cond, if_true, if_false } => {
+                const_int(cond).map(|(_, c)| if c & 1 != 0 { *if_true } else { *if_false })
+            }
+            _ => None,
+        };
+        if let Some(rep) = rep {
+            f.replace_all_uses(id, rep);
+            dead.push(id);
+            changed += 1;
+        }
+    }
+    if !dead.is_empty() {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            f.block_mut(b).insts.retain(|i| !dead.contains(i));
+        }
+    }
+    changed
+}
+
+/// Deletes blocks unreachable from the entry, pruning φ-incomings that
+/// reference them. Returns the number of instructions dropped.
+pub fn remove_unreachable(f: &mut Function) -> usize {
+    let cfg = Cfg::compute(f);
+    let mut dropped = 0;
+    let mut any = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if !cfg.reachable(b) && !f.block(b).insts.is_empty() {
+            dropped += f.block(b).insts.len();
+            f.block_mut(b).insts.clear();
+            f.set_term(b, Terminator::Unreachable);
+            any = true;
+        } else if !cfg.reachable(b) && !matches!(f.block(b).term, Terminator::Unreachable) {
+            f.set_term(b, Terminator::Unreachable);
+            any = true;
+        }
+    }
+    if any {
+        // Prune φ inputs from now-unreachable predecessors.
+        for bid in f.block_ids().collect::<Vec<_>>() {
+            let ids = f.block(bid).insts.clone();
+            for id in ids {
+                if let InstKind::Phi { incoming } = &mut f.inst_mut(id).kind {
+                    incoming.retain(|(p, _)| cfg.reachable(*p));
+                }
+            }
+        }
+        lasagne_lir::ssa::prune_trivial_phis(f);
+    }
+    dropped
+}
+
+/// Interprocedural SCCP: when every call site of a function passes the same
+/// constant for a parameter, the parameter's uses are replaced by that
+/// constant inside the callee. (`main`-like roots — functions with no call
+/// sites — are left untouched.)
+pub fn ipsccp(m: &mut Module) -> usize {
+    let mut changed = 0;
+    let nfuncs = m.funcs.len();
+    for target in 0..nfuncs {
+        let target_id = lasagne_lir::FuncId(target as u32);
+        let nparams = m.funcs[target].params.len();
+        for pi in 0..nparams {
+            // Gather the argument at every direct call site; also require
+            // the function's address is never taken (no Operand::Func use).
+            let mut seen: Option<Operand> = None;
+            let mut consistent = true;
+            let mut any_call = false;
+            let mut address_taken = false;
+            for f in &m.funcs {
+                for (_, id) in f.iter_insts() {
+                    let inst = f.inst(id);
+                    inst.kind.for_each_operand(|op| {
+                        if *op == Operand::Func(target_id) {
+                            address_taken = true;
+                        }
+                    });
+                    if let InstKind::Call { callee: Callee::Func(c), args } = &inst.kind {
+                        if *c == target_id {
+                            any_call = true;
+                            let a = args[pi];
+                            if !matches!(a, Operand::ConstInt { .. } | Operand::ConstF32(_) | Operand::ConstF64(_)) {
+                                consistent = false;
+                            } else {
+                                match seen {
+                                    None => seen = Some(a),
+                                    Some(s) if s == a => {}
+                                    _ => consistent = false,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !any_call || !consistent || address_taken {
+                continue;
+            }
+            let Some(c) = seen else { continue };
+            // Substitute inside the callee.
+            let f = &mut m.funcs[target];
+            let mut subs = 0;
+            for inst in &mut f.insts {
+                inst.kind.for_each_operand_mut(|op| {
+                    if *op == Operand::Param(pi as u32) {
+                        *op = c;
+                        subs += 1;
+                    }
+                });
+            }
+            for b in 0..f.blocks.len() {
+                f.blocks[b].term.for_each_operand_mut(|op| {
+                    if *op == Operand::Param(pi as u32) {
+                        *op = c;
+                        subs += 1;
+                    }
+                });
+            }
+            changed += subs;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_lir::inst::{BinOp, IPred, InstKind, Operand, Terminator};
+    use lasagne_lir::types::Ty;
+
+    #[test]
+    fn folds_constant_branch_and_removes_dead_block() {
+        let mut m = Module::new();
+        let mut f = Function::new("f", vec![], Ty::I64);
+        let e = f.entry();
+        let t = f.add_block();
+        let el = f.add_block();
+        let c = f.push(e, Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: Operand::i64(1), rhs: Operand::i64(1) });
+        f.set_term(e, Terminator::CondBr { cond: Operand::Inst(c), if_true: t, if_false: el });
+        f.set_term(t, Terminator::Ret { val: Some(Operand::i64(10)) });
+        let dead = f.push(el, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::i64(1), rhs: Operand::i64(2) });
+        f.set_term(el, Terminator::Ret { val: Some(Operand::Inst(dead)) });
+        m.add_func(f);
+
+        let mut f = m.funcs.remove(0);
+        assert!(sccp(&m, &mut f) > 0);
+        assert!(matches!(f.block(e).term, Terminator::Br { .. }));
+        assert!(f.block(el).insts.is_empty(), "unreachable block emptied");
+    }
+
+    #[test]
+    fn ipsccp_propagates_unanimous_constant() {
+        let mut m = Module::new();
+        let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
+        let e = callee.entry();
+        let v = callee.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::i64(2) });
+        callee.set_term(e, Terminator::Ret { val: Some(Operand::Inst(v)) });
+        let callee_id = m.add_func(callee);
+
+        let mut caller = Function::new("caller", vec![], Ty::I64);
+        let e = caller.entry();
+        let c1 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(21)] });
+        let c2 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(21)] });
+        let s = caller.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(c1), rhs: Operand::Inst(c2) });
+        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        m.add_func(caller);
+
+        assert!(ipsccp(&mut m) > 0);
+        // The callee's multiply now has a constant operand.
+        let f = &m.funcs[0];
+        let has_const = f.iter_insts().any(|(_, id)| {
+            matches!(&f.inst(id).kind, InstKind::Bin { lhs, .. } if lhs.as_const_int() == Some(21))
+        });
+        assert!(has_const);
+    }
+
+    #[test]
+    fn ipsccp_blocked_by_differing_args() {
+        let mut m = Module::new();
+        let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
+        let e = callee.entry();
+        callee.set_term(e, Terminator::Ret { val: Some(Operand::Param(0)) });
+        let callee_id = m.add_func(callee);
+
+        let mut caller = Function::new("caller", vec![], Ty::I64);
+        let e = caller.entry();
+        caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(1)] });
+        let c2 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(2)] });
+        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c2)) });
+        m.add_func(caller);
+
+        assert_eq!(ipsccp(&mut m), 0);
+    }
+
+    #[test]
+    fn ipsccp_blocked_when_address_taken() {
+        let mut m = Module::new();
+        let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
+        let e = callee.entry();
+        callee.set_term(e, Terminator::Ret { val: Some(Operand::Param(0)) });
+        let callee_id = m.add_func(callee);
+
+        let mut caller = Function::new("caller", vec![], Ty::I64);
+        let e = caller.entry();
+        caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(1)] });
+        // Address escapes (e.g. pthread_create-style).
+        let fp = caller.push(e, Ty::I64, InstKind::Cast {
+            op: lasagne_lir::inst::CastOp::PtrToInt,
+            val: Operand::Func(callee_id),
+        });
+        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(fp)) });
+        m.add_func(caller);
+
+        assert_eq!(ipsccp(&mut m), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Phoenix `histogram` (HT): bucket-count the bytes of an image, split
+//! across four pthreads with per-thread local histograms merged by main.
+//!
+//! Functions (4, matching Table 1): `main`, `hist_worker`, plus the merge
+//! and checksum loops live in `main` as in the original; the x86 image also
+//! contains `hist_merge` and `hist_sum` helpers to mirror the original's
+//! function structure.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, Inst, Rm, ShiftOp};
+use lasagne_x86::reg::{Cond, Gpr, Width};
+
+/// Number of worker threads (as in the paper's runs).
+pub const THREADS: u64 = 4;
+/// Histogram bins.
+pub const BINS: u64 = 256;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let memset = b.declare_extern("memset");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- hist_worker(args) ----
+    // args: [0]=data [8]=start [16]=end [24]=out local bins
+    let worker_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.push(Inst::Push { src: Gpr::Rbx });
+        a.push(Inst::Push { src: Gpr::R12 });
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi));
+        // local = malloc(2048); memset(local, 0, 2048)
+        a.push(movri(Gpr::Rdi, 8 * BINS as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R12, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R12));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, 8 * BINS as i64));
+        a.push(call(memset));
+        // reload fields
+        a.push(loadq(Gpr::R8, mem_b(Gpr::Rbx)));
+        a.push(loadq(Gpr::R9, mem_bd(Gpr::Rbx, 8)));
+        a.push(loadq(Gpr::R10, mem_bd(Gpr::Rbx, 16)));
+        a.bind(top);
+        a.push(cmprr(Gpr::R9, Gpr::R10));
+        a.jcc(Cond::E, done);
+        // rax = zext data[i]
+        a.push(Inst::MovZx {
+            dw: Width::W64,
+            sw: Width::W8,
+            dst: Gpr::Rax,
+            src: Rm::Mem(mem_bi(Gpr::R8, Gpr::R9, 1, 0)),
+        });
+        // local[b] += 1
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::R12, Gpr::Rax, 8, 0)),
+            imm: 1,
+        });
+        a.push(alui(AluOp::Add, Gpr::R9, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(storeq(mem_bd(Gpr::Rbx, 24), Gpr::R12));
+        a.push(movri(Gpr::Rax, 0));
+        a.push(Inst::Pop { dst: Gpr::R12 });
+        a.push(Inst::Pop { dst: Gpr::Rbx });
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("hist_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- hist_merge(bins, args_area) : merge 4 workers' local bins ----
+    let merge_addr = {
+        let mut a = Asm::new();
+        let t_top = a.label();
+        let t_done = a.label();
+        let i_top = a.label();
+        let i_done = a.label();
+        // rdi = bins, rsi = slots (args ptrs at [rsi + t*8 + 32])
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(t_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, t_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::Rsi, Gpr::Rbx, 8, 32)));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rdx, 24)));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(i_top);
+        a.push(cmpri(Gpr::Rcx, BINS as i32));
+        a.jcc(Cond::E, i_done);
+        a.push(loadq(Gpr::Rax, mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0)));
+        a.push(Inst::AluRmR {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)),
+            src: Gpr::Rax,
+        });
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(i_top);
+        a.bind(i_done);
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(t_top);
+        a.bind(t_done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("hist_merge", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- hist_sum(bins) -> Σ i * bins[i] ----
+    let sum_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(top);
+        a.push(cmpri(Gpr::Rcx, BINS as i32));
+        a.jcc(Cond::E, done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::Rdx));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("hist_sum", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(data, n) -> checksum ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
+        // bins = calloc-ish
+        a.push(movri(Gpr::Rdi, 8 * BINS as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R14, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, 8 * BINS as i64));
+        a.push(call(memset));
+        // slots = malloc(64): [t*8] = tid, [t*8+32] = args ptr
+        a.push(movri(Gpr::Rdi, 64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax));
+        // chunk = n >> 2
+        a.push(movrr(Gpr::Rbp, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rbp, 2));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        // args = malloc(32)
+        a.push(movri(Gpr::Rdi, 32));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12)); // data
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx)); // start
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13)); // last thread takes the tail
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx)); // end
+        // slots[t+4] = args; pthread_create(&slots[t], 0, worker, args)
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, 32), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        // join all
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        // merge + checksum
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movrr(Gpr::Rsi, Gpr::R15));
+        a.push(call(merge_addr));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(call(sum_addr));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Builds the native AArch64 baseline as clean LIR (what a compiler would
+/// emit from the C source for Arm) — same fork–join structure, no fences.
+pub fn native() -> lasagne_lir::Module {
+    crate::native::build_native(crate::native::NativeSpec::Histogram)
+}
+
+/// Deterministic workload: `n` pseudo-random bytes; expected checksum
+/// computed by a Rust reference implementation.
+pub fn workload(n: usize) -> Workload {
+    let data = crate::lcg_bytes(n, 0x9E37_79B9);
+    let mut bins = [0u64; BINS as usize];
+    for &byte in &data {
+        bins[byte as usize] += 1;
+    }
+    let expected: u64 = bins.iter().enumerate().map(|(i, c)| i as u64 * c).sum();
+    Workload {
+        name: "histogram",
+        mem_init: vec![(WORKLOAD_BASE, data)],
+        args: vec![WORKLOAD_BASE, n as u64],
+        expected_ret: expected,
+    }
+}

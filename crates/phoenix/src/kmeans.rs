@@ -1,0 +1,783 @@
+//! Phoenix `kmeans` (KM): Lloyd's algorithm over 2-D double-precision
+//! points, k = 4 clusters, 3 iterations, the assignment phase partitioned
+//! across four pthreads with per-thread partial sums. Seven functions
+//! (Table 1): `main`, `km_worker`, `km_nearest`, `km_dist2`, `km_merge`,
+//! `km_update`, `km_checksum`.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, FpPrec, Inst, MemRef, Rm, ShiftOp, SseOp, XmmRm};
+use lasagne_x86::reg::{Cond, Gpr, Width, Xmm};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+/// Clusters.
+pub const K: u64 = 4;
+/// Lloyd iterations.
+pub const ITERS: u64 = 3;
+
+fn movsd_load(dst: Xmm, mem: MemRef) -> Inst {
+    Inst::MovssLoad { prec: FpPrec::Double, dst, src: XmmRm::Mem(mem) }
+}
+
+fn movsd_store(mem: MemRef, src: Xmm) -> Inst {
+    Inst::MovssStore { prec: FpPrec::Double, dst: mem, src }
+}
+
+fn sse(op: SseOp, dst: Xmm, src: Xmm) -> Inst {
+    Inst::SseScalar { op, prec: FpPrec::Double, dst, src: XmmRm::Reg(src) }
+}
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let memset = b.declare_extern("memset");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- km_dist2(p, c) -> xmm0 = (px-cx)² + (py-cy)² ----
+    let dist2_addr = {
+        let mut a = Asm::new();
+        a.push(movsd_load(Xmm(0), mem_b(Gpr::Rdi)));
+        a.push(Inst::SseScalar { op: SseOp::Sub, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rsi)) });
+        a.push(sse(SseOp::Mul, Xmm(0), Xmm(0)));
+        a.push(movsd_load(Xmm(1), mem_bd(Gpr::Rdi, 8)));
+        a.push(Inst::SseScalar { op: SseOp::Sub, prec: FpPrec::Double, dst: Xmm(1), src: XmmRm::Mem(mem_bd(Gpr::Rsi, 8)) });
+        a.push(sse(SseOp::Mul, Xmm(1), Xmm(1)));
+        a.push(sse(SseOp::Add, Xmm(0), Xmm(1)));
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_dist2", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- km_nearest(p, cents, k) -> index of nearest centroid ----
+    let nearest_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let skip = a.label();
+        let done = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(alui(AluOp::Sub, Gpr::Rsp, 16));
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // p
+        a.push(movrr(Gpr::R12, Gpr::Rsi)); // cents
+        a.push(movrr(Gpr::R13, Gpr::Rdx)); // k
+        a.push(movri(Gpr::R14, 0)); // best idx
+        // best = dist2(p, cents)
+        a.push(call(dist2_addr));
+        a.push(movsd_store(mem_b(Gpr::Rsp), Xmm(0)));
+        a.push(movri(Gpr::R15, 1)); // j
+        a.bind(top);
+        a.push(cmprr(Gpr::R15, Gpr::R13));
+        a.jcc(Cond::Ae, done);
+        a.push(movrr(Gpr::Rdi, Gpr::Rbx));
+        a.push(movrr(Gpr::Rsi, Gpr::R15));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rsi, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rsi, Gpr::R12));
+        a.push(call(dist2_addr));
+        // if best > d: best = d, idx = j
+        a.push(movsd_load(Xmm(1), mem_b(Gpr::Rsp)));
+        a.push(Inst::Ucomis { prec: FpPrec::Double, a: Xmm(1), b: XmmRm::Reg(Xmm(0)) });
+        a.jcc(Cond::Be, skip);
+        a.push(movsd_store(mem_b(Gpr::Rsp), Xmm(0)));
+        a.push(movrr(Gpr::R14, Gpr::R15));
+        a.bind(skip);
+        a.push(alui(AluOp::Add, Gpr::R15, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(movrr(Gpr::Rax, Gpr::R14));
+        a.push(alui(AluOp::Add, Gpr::Rsp, 16));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_nearest", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- km_worker(args) ----
+    // args: [0]=points [8]=start [16]=end [24]=cents [32]=assign
+    //       [40]=out sums [48]=out counts
+    let worker_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15, Gpr::Rbp] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // args
+        // sums = malloc(K*16), zeroed; counts = malloc(K*8), zeroed
+        a.push(movri(Gpr::Rdi, (K * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R14, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, (K * 16) as i64));
+        a.push(call(memset));
+        a.push(movri(Gpr::Rdi, (K * 8) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R15));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, (K * 8) as i64));
+        a.push(call(memset));
+        a.push(loadq(Gpr::Rbp, mem_b(Gpr::Rbx))); // points
+        a.push(loadq(Gpr::R12, mem_bd(Gpr::Rbx, 8))); // i = start
+        a.bind(top);
+        a.push(loadq(Gpr::Rax, mem_bd(Gpr::Rbx, 16))); // end
+        a.push(cmprr(Gpr::R12, Gpr::Rax));
+        a.jcc(Cond::E, done);
+        // idx = km_nearest(points + i*16, cents, K)
+        a.push(movrr(Gpr::Rdi, Gpr::R12));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdi, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rdi, Gpr::Rbp));
+        a.push(loadq(Gpr::Rsi, mem_bd(Gpr::Rbx, 24)));
+        a.push(movri(Gpr::Rdx, K as i64));
+        a.push(call(nearest_addr));
+        // assign[i] = idx
+        a.push(loadq(Gpr::Rcx, mem_bd(Gpr::Rbx, 32)));
+        a.push(storeq(mem_bi(Gpr::Rcx, Gpr::R12, 8, 0), Gpr::Rax));
+        // sums[idx] += point
+        a.push(movrr(Gpr::Rdx, Gpr::Rax));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdx, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::R14));
+        a.push(movrr(Gpr::Rcx, Gpr::R12));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rcx, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rcx, Gpr::Rbp));
+        a.push(movsd_load(Xmm(0), mem_b(Gpr::Rdx)));
+        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rcx)) });
+        a.push(movsd_store(mem_b(Gpr::Rdx), Xmm(0)));
+        a.push(movsd_load(Xmm(0), mem_bd(Gpr::Rdx, 8)));
+        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_bd(Gpr::Rcx, 8)) });
+        a.push(movsd_store(mem_bd(Gpr::Rdx, 8), Xmm(0)));
+        // counts[idx] += 1
+        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bi(Gpr::R15, Gpr::Rax, 8, 0)), imm: 1 });
+        a.push(alui(AluOp::Add, Gpr::R12, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(storeq(mem_bd(Gpr::Rbx, 40), Gpr::R14));
+        a.push(storeq(mem_bd(Gpr::Rbx, 48), Gpr::R15));
+        a.push(movri(Gpr::Rax, 0));
+        for r in [Gpr::Rbp, Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- km_merge(gsums, gcounts, slots) ----
+    let merge_addr = {
+        let mut a = Asm::new();
+        let t_top = a.label();
+        let t_done = a.label();
+        let j_top = a.label();
+        let j_done = a.label();
+        // rdi=gsums rsi=gcounts rdx=slots
+        a.push(movri(Gpr::R8, 0)); // t
+        a.bind(t_top);
+        a.push(cmpri(Gpr::R8, THREADS as i32));
+        a.jcc(Cond::E, t_done);
+        a.push(loadq(Gpr::R9, mem_bi(Gpr::Rdx, Gpr::R8, 8, (THREADS * 8) as i64))); // args
+        a.push(loadq(Gpr::R10, mem_bd(Gpr::R9, 40))); // sums_t
+        a.push(loadq(Gpr::R9, mem_bd(Gpr::R9, 48))); // counts_t
+        a.push(movri(Gpr::R11, 0)); // j
+        a.bind(j_top);
+        a.push(cmpri(Gpr::R11, K as i32));
+        a.jcc(Cond::E, j_done);
+        // gsums[2j] += sums_t[2j]; gsums[2j+1] += sums_t[2j+1]
+        a.push(movrr(Gpr::Rcx, Gpr::R11));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rcx, 4));
+        a.push(movrr(Gpr::Rax, Gpr::Rcx));
+        a.push(alurr(AluOp::Add, Gpr::Rcx, Gpr::Rdi)); // &gsums[2j]
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R10)); // &sums_t[2j]
+        a.push(movsd_load(Xmm(0), mem_b(Gpr::Rcx)));
+        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rax)) });
+        a.push(movsd_store(mem_b(Gpr::Rcx), Xmm(0)));
+        a.push(movsd_load(Xmm(0), mem_bd(Gpr::Rcx, 8)));
+        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_bd(Gpr::Rax, 8)) });
+        a.push(movsd_store(mem_bd(Gpr::Rcx, 8), Xmm(0)));
+        // gcounts[j] += counts_t[j]
+        a.push(loadq(Gpr::Rax, mem_bi(Gpr::R9, Gpr::R11, 8, 0)));
+        a.push(Inst::AluRmR { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bi(Gpr::Rsi, Gpr::R11, 8, 0)), src: Gpr::Rax });
+        a.push(alui(AluOp::Add, Gpr::R11, 1));
+        a.jmp(j_top);
+        a.bind(j_done);
+        a.push(alui(AluOp::Add, Gpr::R8, 1));
+        a.jmp(t_top);
+        a.bind(t_done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_merge", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- km_update(cents, gsums, gcounts) ----
+    let update_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let skip = a.label();
+        let done = a.label();
+        // rdi=cents rsi=gsums rdx=gcounts; rcx=j
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(top);
+        a.push(cmpri(Gpr::Rcx, K as i32));
+        a.jcc(Cond::E, done);
+        a.push(loadq(Gpr::Rax, mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0))); // count
+        a.push(Inst::TestI { w: Width::W64, a: Rm::Reg(Gpr::Rax), imm: -1 });
+        a.jcc(Cond::E, skip);
+        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(2), src: Rm::Reg(Gpr::Rax) });
+        a.push(movrr(Gpr::R8, Gpr::Rcx));
+        a.push(shifti(ShiftOp::Shl, Gpr::R8, 4));
+        a.push(movrr(Gpr::R9, Gpr::R8));
+        a.push(alurr(AluOp::Add, Gpr::R8, Gpr::Rsi)); // &gsums[2j]
+        a.push(alurr(AluOp::Add, Gpr::R9, Gpr::Rdi)); // &cents[2j]
+        a.push(movsd_load(Xmm(0), mem_b(Gpr::R8)));
+        a.push(sse(SseOp::Div, Xmm(0), Xmm(2)));
+        a.push(movsd_store(mem_b(Gpr::R9), Xmm(0)));
+        a.push(movsd_load(Xmm(0), mem_bd(Gpr::R8, 8)));
+        a.push(sse(SseOp::Div, Xmm(0), Xmm(2)));
+        a.push(movsd_store(mem_bd(Gpr::R9, 8), Xmm(0)));
+        a.bind(skip);
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_update", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- km_checksum(assign, n, cents) -> i64 ----
+    let checksum_addr = {
+        let mut a = Asm::new();
+        let a_top = a.label();
+        let a_done = a.label();
+        let c_top = a.label();
+        let c_done = a.label();
+        // rdi=assign rsi=n rdx=cents
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(a_top);
+        a.push(cmprr(Gpr::Rcx, Gpr::Rsi));
+        a.jcc(Cond::E, a_done);
+        // acc += assign[i] * ((i & 15) + 1)
+        a.push(loadq(Gpr::R8, mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)));
+        a.push(movrr(Gpr::R9, Gpr::Rcx));
+        a.push(alui(AluOp::And, Gpr::R9, 15));
+        a.push(alui(AluOp::Add, Gpr::R9, 1));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R8, src: Rm::Reg(Gpr::R9) });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(a_top);
+        a.bind(a_done);
+        // acc += Σ trunc(cent_coord * 100) over 2K doubles
+        a.push(movri(Gpr::Rcx, 0));
+        a.push(movri(Gpr::R9, 100.0f64.to_bits() as i64));
+        a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(1), src: Gpr::R9 });
+        a.bind(c_top);
+        a.push(cmpri(Gpr::Rcx, (2 * K) as i32));
+        a.jcc(Cond::E, c_done);
+        a.push(movsd_load(Xmm(0), mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0)));
+        a.push(sse(SseOp::Mul, Xmm(0), Xmm(1)));
+        a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::R8, src: XmmRm::Reg(Xmm(0)) });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(c_top);
+        a.bind(c_done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("km_checksum", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(points, n) ----
+    {
+        let mut a = Asm::new();
+        let init_top = a.label();
+        let init_done = a.label();
+        let iter_top = a.label();
+        let iter_done = a.label();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(alui(AluOp::Sub, Gpr::Rsp, 32));
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // points
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
+        // cents = malloc(K*16); copy first K points
+        a.push(movri(Gpr::Rdi, (K * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R14, Gpr::Rax));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(init_top);
+        a.push(cmpri(Gpr::Rcx, (2 * K) as i32));
+        a.jcc(Cond::E, init_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R12, Gpr::Rcx, 8, 0)));
+        a.push(storeq(mem_bi(Gpr::R14, Gpr::Rcx, 8, 0), Gpr::Rdx));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(init_top);
+        a.bind(init_done);
+        // assign = malloc(n*8); slots = malloc(THREADS*16);
+        // gsums = malloc(K*16) -> [rsp]; gcounts = malloc(K*8) -> [rsp+8]
+        a.push(movrr(Gpr::Rdi, Gpr::R13));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdi, 3));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::Rbp, Gpr::Rax)); // assign
+        a.push(movri(Gpr::Rdi, (THREADS * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax)); // slots
+        a.push(movri(Gpr::Rdi, (K * 16) as i64));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rsp), Gpr::Rax));
+        a.push(movri(Gpr::Rdi, (K * 8) as i64));
+        a.push(call(malloc));
+        a.push(storeq(mem_bd(Gpr::Rsp, 8), Gpr::Rax));
+        // iteration counter at [rsp+16]
+        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)), imm: 0 });
+        a.bind(iter_top);
+        a.push(loadq(Gpr::Rax, mem_bd(Gpr::Rsp, 16)));
+        a.push(cmpri(Gpr::Rax, ITERS as i32));
+        a.jcc(Cond::E, iter_done);
+        // zero gsums / gcounts
+        a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rsp)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, (K * 16) as i64));
+        a.push(call(memset));
+        a.push(loadq(Gpr::Rdi, mem_bd(Gpr::Rsp, 8)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, (K * 8) as i64));
+        a.push(call(memset));
+        // spawn
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 56));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        a.push(movrr(Gpr::Rcx, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rcx, 2)); // chunk
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rcx));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13));
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R14)); // cents
+        a.push(storeq(mem_bd(Gpr::Rax, 32), Gpr::Rbp)); // assign
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        // join
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        // merge + update
+        a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rsp)));
+        a.push(loadq(Gpr::Rsi, mem_bd(Gpr::Rsp, 8)));
+        a.push(movrr(Gpr::Rdx, Gpr::R15));
+        a.push(call(merge_addr));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(loadq(Gpr::Rsi, mem_b(Gpr::Rsp)));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rsp, 8)));
+        a.push(call(update_addr));
+        // ++iter
+        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)), imm: 1 });
+        a.jmp(iter_top);
+        a.bind(iter_done);
+        a.push(movrr(Gpr::Rdi, Gpr::Rbp));
+        a.push(movrr(Gpr::Rsi, Gpr::R13));
+        a.push(movrr(Gpr::Rdx, Gpr::R14));
+        a.push(call(checksum_addr));
+        a.push(alui(AluOp::Add, Gpr::Rsp, 32));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{runtime, Fb};
+    use lasagne_lir::inst::{BinOp, Callee, CastOp, FPred, IPred, InstKind, Operand, Terminator};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    // worker(args): same record as the x86 one; inline nearest.
+    let worker = {
+        let mut fb = Fb::new("km_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let ld = |fb: &mut Fb, args: Operand, i: i64| {
+            let p = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(i), 8);
+            fb.load(Ty::I64, p)
+        };
+        let pts_i = ld(&mut fb, args, 0);
+        let pts = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: pts_i });
+        let start = ld(&mut fb, args, 1);
+        let end = ld(&mut fb, args, 2);
+        let cents_i = ld(&mut fb, args, 3);
+        let cents = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: cents_i });
+        let assign_i = ld(&mut fb, args, 4);
+        let assign = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: assign_i });
+        // sums/counts
+        let sums = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64((K * 16) as i64)]);
+        let sums_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: sums });
+        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![sums_int, Operand::i64(0), Operand::i64((K * 16) as i64)]);
+        let sums_f = fb.cast_ptr(Pointee::F64, sums);
+        let counts = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64((K * 8) as i64)]);
+        let counts_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: counts });
+        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![counts_int, Operand::i64(0), Operand::i64((K * 8) as i64)]);
+        let counts64 = fb.cast_ptr(Pointee::I64, counts);
+        fb.counted_loop(start, end, &[], &[], |fb, i, _| {
+            let pxi = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
+            let pxp = fb.gep(Ty::Ptr(Pointee::F64), pts, pxi, 8);
+            let px = fb.load(Ty::F64, pxp);
+            let pyi = fb.add(pxi, Operand::i64(1));
+            let pyp = fb.gep(Ty::Ptr(Pointee::F64), pts, pyi, 8);
+            let py = fb.load(Ty::F64, pyp);
+            // inline nearest over K centroids
+            let init_best = Operand::f64(f64::INFINITY);
+            let res = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(K as i64),
+                &[Ty::F64, Ty::I64],
+                &[init_best, Operand::i64(0)],
+                |fb, j, accs| {
+                    let cxi = fb.bin(BinOp::Shl, Ty::I64, j, Operand::i64(1));
+                    let cxp = fb.gep(Ty::Ptr(Pointee::F64), cents, cxi, 8);
+                    let cx = fb.load(Ty::F64, cxp);
+                    let cyi = fb.add(cxi, Operand::i64(1));
+                    let cyp = fb.gep(Ty::Ptr(Pointee::F64), cents, cyi, 8);
+                    let cy = fb.load(Ty::F64, cyp);
+                    let dx = fb.bin(BinOp::FSub, Ty::F64, px, cx);
+                    let dx2 = fb.bin(BinOp::FMul, Ty::F64, dx, dx);
+                    let dy = fb.bin(BinOp::FSub, Ty::F64, py, cy);
+                    let dy2 = fb.bin(BinOp::FMul, Ty::F64, dy, dy);
+                    let d = fb.bin(BinOp::FAdd, Ty::F64, dx2, dy2);
+                    let lt = fb.op(Ty::I1, InstKind::FCmp { pred: FPred::Olt, lhs: d, rhs: accs[0] });
+                    let nbest = fb.op(Ty::F64, InstKind::Select { cond: lt, if_true: d, if_false: accs[0] });
+                    let nidx = fb.op(Ty::I64, InstKind::Select { cond: lt, if_true: j, if_false: accs[1] });
+                    vec![nbest, nidx]
+                },
+            );
+            let idx = res[1];
+            let ap = fb.gep(Ty::Ptr(Pointee::I64), assign, i, 8);
+            fb.store(ap, idx);
+            // sums[idx*2] += px; sums[idx*2+1] += py
+            let sxi = fb.bin(BinOp::Shl, Ty::I64, idx, Operand::i64(1));
+            let sxp = fb.gep(Ty::Ptr(Pointee::F64), sums_f, sxi, 8);
+            let sx = fb.load(Ty::F64, sxp);
+            let nsx = fb.bin(BinOp::FAdd, Ty::F64, sx, px);
+            fb.store(sxp, nsx);
+            let syi = fb.add(sxi, Operand::i64(1));
+            let syp = fb.gep(Ty::Ptr(Pointee::F64), sums_f, syi, 8);
+            let sy = fb.load(Ty::F64, syp);
+            let nsy = fb.bin(BinOp::FAdd, Ty::F64, sy, py);
+            fb.store(syp, nsy);
+            let cp = fb.gep(Ty::Ptr(Pointee::I64), counts64, idx, 8);
+            let c = fb.load(Ty::I64, cp);
+            let nc = fb.add(c, Operand::i64(1));
+            fb.store(cp, nc);
+            vec![]
+        });
+        let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
+        fb.store(p5, sums_int);
+        let p6 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(6), 8);
+        fb.store(p6, counts_int);
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    // main(points, n): hand-rolled (the generic skeleton doesn't fit the
+    // iterate-spawn-merge-update loop).
+    {
+        let mut fb = Fb::new("main", vec![Ty::I64, Ty::I64], Ty::I64);
+        let pts = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(0) });
+        let n = Operand::Param(1);
+        let alloc = |fb: &mut Fb, size: Operand| {
+            fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![size])
+        };
+        let cents8 = alloc(&mut fb, Operand::i64((K * 16) as i64));
+        let cents = fb.cast_ptr(Pointee::F64, cents8);
+        fb.counted_loop(Operand::i64(0), Operand::i64((2 * K) as i64), &[], &[], |fb, i, _| {
+            let sp = fb.gep(Ty::Ptr(Pointee::F64), pts, i, 8);
+            let v = fb.load(Ty::F64, sp);
+            let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, i, 8);
+            fb.store(dp, v);
+            vec![]
+        });
+        let assign_bytes = fb.bin(BinOp::Shl, Ty::I64, n, Operand::i64(3));
+        let assign8 = alloc(&mut fb, assign_bytes);
+        let assign = fb.cast_ptr(Pointee::I64, assign8);
+        let slots8 = alloc(&mut fb, Operand::i64((THREADS * 16) as i64));
+        let slots = fb.cast_ptr(Pointee::I64, slots8);
+        let gsums8 = alloc(&mut fb, Operand::i64((K * 16) as i64));
+        let gsums = fb.cast_ptr(Pointee::F64, gsums8);
+        let gsums_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: gsums8 });
+        let gcounts8 = alloc(&mut fb, Operand::i64((K * 8) as i64));
+        let gcounts = fb.cast_ptr(Pointee::I64, gcounts8);
+        let gcounts_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: gcounts8 });
+        let cents_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: cents8 });
+        let assign_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: assign8 });
+        let chunk = fb.bin(BinOp::LShr, Ty::I64, n, Operand::i64(2));
+
+        fb.counted_loop(Operand::i64(0), Operand::i64(ITERS as i64), &[], &[], |fb, _iter, _| {
+            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![gsums_i, Operand::i64(0), Operand::i64((K * 16) as i64)]);
+            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![gcounts_i, Operand::i64(0), Operand::i64((K * 8) as i64)]);
+            // spawn
+            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
+                let args8 = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(56)]);
+                let args = fb.cast_ptr(Pointee::I64, args8);
+                let st = |fb: &mut Fb, args: Operand, i: i64, v: Operand| {
+                    let p = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(i), 8);
+                    fb.store(p, v);
+                };
+                st(fb, args, 0, Operand::Param(0));
+                let start = fb.mul(t, chunk);
+                st(fb, args, 1, start);
+                let end0 = fb.add(start, chunk);
+                let is_last = fb.icmp(IPred::Eq, t, Operand::i64(THREADS as i64 - 1));
+                let end = fb.op(Ty::I64, InstKind::Select { cond: is_last, if_true: n, if_false: end0 });
+                st(fb, args, 2, end);
+                st(fb, args, 3, cents_i);
+                st(fb, args, 4, assign_i);
+                let args_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: args8 });
+                let aslot = {
+                    let x = fb.add(t, Operand::i64(THREADS as i64));
+                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                };
+                fb.store(aslot, args_i);
+                let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
+                let tid_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: tid_p });
+                let wp = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
+                fb.call(Ty::I32, Callee::Extern(rt.create), vec![tid_i, Operand::i64(0), wp, args_i]);
+                vec![]
+            });
+            // join
+            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
+                let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
+                let tid = fb.load(Ty::I64, tid_p);
+                fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
+                vec![]
+            });
+            // merge
+            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
+                let ap = {
+                    let x = fb.add(t, Operand::i64(THREADS as i64));
+                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                };
+                let a_i = fb.load(Ty::I64, ap);
+                let a = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a_i });
+                let sp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(5), 8);
+                let s_i = fb.load(Ty::I64, sp);
+                let s = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: s_i });
+                let cp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(6), 8);
+                let c_i = fb.load(Ty::I64, cp);
+                let c = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: c_i });
+                fb.counted_loop(Operand::i64(0), Operand::i64((2 * K) as i64), &[], &[], |fb, j, _| {
+                    let srcp = fb.gep(Ty::Ptr(Pointee::F64), s, j, 8);
+                    let v = fb.load(Ty::F64, srcp);
+                    let dstp = fb.gep(Ty::Ptr(Pointee::F64), gsums, j, 8);
+                    let old = fb.load(Ty::F64, dstp);
+                    let nv = fb.bin(BinOp::FAdd, Ty::F64, old, v);
+                    fb.store(dstp, nv);
+                    vec![]
+                });
+                fb.counted_loop(Operand::i64(0), Operand::i64(K as i64), &[], &[], |fb, j, _| {
+                    let srcp = fb.gep(Ty::Ptr(Pointee::I64), c, j, 8);
+                    let v = fb.load(Ty::I64, srcp);
+                    let dstp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
+                    let old = fb.load(Ty::I64, dstp);
+                    let nv = fb.add(old, v);
+                    fb.store(dstp, nv);
+                    vec![]
+                });
+                vec![]
+            });
+            // update centroids
+            fb.counted_loop(Operand::i64(0), Operand::i64(K as i64), &[], &[], |fb, j, _| {
+                let cp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
+                let cnt = fb.load(Ty::I64, cp);
+                let nz = fb.icmp(IPred::Ne, cnt, Operand::i64(0));
+                // branchless: divisor = nz ? cnt : 1; blend = nz ? mean : old
+                let safe_cnt = fb.op(Ty::I64, InstKind::Select { cond: nz, if_true: cnt, if_false: Operand::i64(1) });
+                let fcnt = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: safe_cnt });
+                let xi = fb.bin(BinOp::Shl, Ty::I64, j, Operand::i64(1));
+                for d in 0..2 {
+                    let idx = fb.add(xi, Operand::i64(d));
+                    let sp = fb.gep(Ty::Ptr(Pointee::F64), gsums, idx, 8);
+                    let sv = fb.load(Ty::F64, sp);
+                    let mean = fb.bin(BinOp::FDiv, Ty::F64, sv, fcnt);
+                    let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, idx, 8);
+                    let old = fb.load(Ty::F64, dp);
+                    let nv = fb.op(Ty::F64, InstKind::Select { cond: nz, if_true: mean, if_false: old });
+                    fb.store(dp, nv);
+                }
+                vec![]
+            });
+            vec![]
+        });
+        // checksum
+        let part1 = fb.counted_loop(
+            Operand::i64(0),
+            n,
+            &[Ty::I64],
+            &[Operand::i64(0)],
+            |fb, i, accs| {
+                let ap = fb.gep(Ty::Ptr(Pointee::I64), assign, i, 8);
+                let v = fb.load(Ty::I64, ap);
+                let w = fb.bin(BinOp::And, Ty::I64, i, Operand::i64(15));
+                let w1 = fb.add(w, Operand::i64(1));
+                let prod = fb.mul(v, w1);
+                vec![fb.add(accs[0], prod)]
+            },
+        );
+        let part2 = fb.counted_loop(
+            Operand::i64(0),
+            Operand::i64((2 * K) as i64),
+            &[Ty::I64],
+            &[part1[0]],
+            |fb, i, accs| {
+                let cp = fb.gep(Ty::Ptr(Pointee::F64), cents, i, 8);
+                let v = fb.load(Ty::F64, cp);
+                let scaled = fb.bin(BinOp::FMul, Ty::F64, v, Operand::f64(100.0));
+                let t = fb.op(Ty::I64, InstKind::Cast { op: CastOp::FpToSi, val: scaled });
+                vec![fb.add(accs[0], t)]
+            },
+        );
+        let f = {
+            let mut fb = fb;
+            let cur = fb.cur;
+            fb.f.set_term(cur, Terminator::Ret { val: Some(part2[0]) });
+            fb.f
+        };
+        m.add_func(f);
+    }
+    m
+}
+
+/// Rust reference mirroring the binary's exact FP evaluation order.
+fn reference(points: &[(f64, f64)], n: usize) -> u64 {
+    let k = K as usize;
+    let threads = THREADS as usize;
+    let mut cents: Vec<(f64, f64)> = points[..k].to_vec();
+    let mut assign = vec![0i64; n];
+    for _ in 0..ITERS {
+        let mut partial_sums = vec![[(0.0f64, 0.0f64); 4]; threads]; // [t][j]
+        let mut partial_counts = vec![[0i64; 4]; threads];
+        let chunk = n >> 2;
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = if t == threads - 1 { n } else { start + chunk };
+            for i in start..end {
+                let (px, py) = points[i];
+                let mut best = {
+                    let (cx, cy) = cents[0];
+                    (px - cx) * (px - cx) + (py - cy) * (py - cy)
+                };
+                let mut idx = 0usize;
+                for (j, &(cx, cy)) in cents.iter().enumerate().skip(1) {
+                    let d = (px - cx) * (px - cx) + (py - cy) * (py - cy);
+                    if best > d {
+                        best = d;
+                        idx = j;
+                    }
+                }
+                assign[i] = idx as i64;
+                partial_sums[t][idx].0 += px;
+                partial_sums[t][idx].1 += py;
+                partial_counts[t][idx] += 1;
+            }
+        }
+        let mut gsums = [(0.0f64, 0.0f64); 4];
+        let mut gcounts = [0i64; 4];
+        for t in 0..threads {
+            for j in 0..k {
+                gsums[j].0 += partial_sums[t][j].0;
+                gsums[j].1 += partial_sums[t][j].1;
+                gcounts[j] += partial_counts[t][j];
+            }
+        }
+        for j in 0..k {
+            if gcounts[j] != 0 {
+                let c = gcounts[j] as f64;
+                cents[j] = (gsums[j].0 / c, gsums[j].1 / c);
+            }
+        }
+    }
+    let mut acc = 0i64;
+    for (i, a) in assign.iter().enumerate() {
+        acc += a * ((i as i64 & 15) + 1);
+    }
+    for &(x, y) in &cents {
+        acc += (x * 100.0) as i64;
+        acc += (y * 100.0) as i64;
+    }
+    acc as u64
+}
+
+/// Deterministic workload: `n` clustered 2-D points.
+pub fn workload(n: usize) -> Workload {
+    let n = n.max(16);
+    let raw = crate::lcg_u64(2 * n, 0x5EED);
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        // Four loose clusters around (0,0), (50,0), (0,50), (50,50).
+        let cx = f64::from(((i % 4) % 2) as u32) * 50.0;
+        let cy = f64::from(((i % 4) / 2) as u32) * 50.0;
+        let jx = (raw[2 * i] % 2000) as f64 / 100.0 - 10.0;
+        let jy = (raw[2 * i + 1] % 2000) as f64 / 100.0 - 10.0;
+        points.push((cx + jx, cy + jy));
+    }
+    let expected = reference(&points, n);
+    let mut bytes = Vec::with_capacity(16 * n);
+    for &(x, y) in &points {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&y.to_bits().to_le_bytes());
+    }
+    Workload {
+        name: "kmeans",
+        mem_init: vec![(WORKLOAD_BASE, bytes)],
+        args: vec![WORKLOAD_BASE, n as u64],
+        expected_ret: expected,
+    }
+}

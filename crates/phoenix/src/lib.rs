@@ -1,0 +1,161 @@
+//! The Phoenix multi-threaded benchmark suite (Table 1 of the paper),
+//! synthesised as genuine x86-64 binaries for the lifter to consume, plus
+//! native-LIR Arm baselines and deterministic workload generators.
+//!
+//! The five programs — `histogram`, `kmeans`, `linear_regression`,
+//! `matrix_multiply`, `string_match` — follow the originals' structure:
+//! a `main` that splits the input across four pthreads, per-thread workers
+//! with private accumulators, and a merge phase. Each benchmark provides:
+//!
+//! * [`Benchmark::binary`] — the x86-64 machine-code image (the evaluation
+//!   input);
+//! * [`Benchmark::native`] — clean LIR as a native Arm compile would emit
+//!   (the Figure 12/16 baseline);
+//! * [`Benchmark::workload`] — a deterministic input plus the expected
+//!   checksum computed by a Rust reference implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use lasagne_phoenix::all_benchmarks;
+//!
+//! let benches = all_benchmarks(256);
+//! assert_eq!(benches.len(), 5);
+//! for b in &benches {
+//!     assert!(!b.binary.functions.is_empty());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod histogram;
+pub mod kmeans;
+pub mod linreg;
+pub mod matmul;
+pub mod native;
+pub mod strmatch;
+
+use lasagne_x86::binary::Binary;
+
+/// Base address where workload input data is pre-placed (distinct from the
+/// interpreter heap so `malloc` cannot collide with it).
+pub const WORKLOAD_BASE: u64 = 0x4000_0000;
+
+/// A deterministic benchmark input.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `(address, bytes)` pairs to write before running.
+    pub mem_init: Vec<(u64, Vec<u8>)>,
+    /// Integer arguments passed to `main`.
+    pub args: Vec<u64>,
+    /// Expected `main` return value (a checksum).
+    pub expected_ret: u64,
+}
+
+/// One benchmark: the binary, its native baseline, and a workload.
+pub struct Benchmark {
+    /// Display name.
+    pub name: &'static str,
+    /// Table 1 abbreviation.
+    pub abbrev: &'static str,
+    /// The x86-64 image.
+    pub binary: Binary,
+    /// The native-LIR baseline module.
+    pub native: lasagne_lir::Module,
+    /// Deterministic input.
+    pub workload: Workload,
+}
+
+/// Deterministic pseudo-random bytes (64-bit LCG).
+pub fn lcg_bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut s = (seed << 1) | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as u8
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random u64 stream.
+pub fn lcg_u64(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = (seed << 1) | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 16
+        })
+        .collect()
+}
+
+/// Builds all five benchmarks at the given scale (≈ input element count).
+pub fn all_benchmarks(scale: usize) -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "histogram",
+            abbrev: "HT",
+            binary: histogram::binary(),
+            native: histogram::native(),
+            workload: histogram::workload(scale * 4),
+        },
+        Benchmark {
+            name: "kmeans",
+            abbrev: "KM",
+            binary: kmeans::binary(),
+            native: kmeans::native(),
+            workload: kmeans::workload(scale.max(16)),
+        },
+        Benchmark {
+            name: "linear_regression",
+            abbrev: "LR",
+            binary: linreg::binary(),
+            native: linreg::native(),
+            workload: linreg::workload(scale),
+        },
+        Benchmark {
+            name: "matrix_multiply",
+            abbrev: "MM",
+            binary: matmul::binary(),
+            native: matmul::native(),
+            workload: matmul::workload(((scale as f64).sqrt() as usize).clamp(8, 64)),
+        },
+        Benchmark {
+            name: "string_match",
+            abbrev: "SM",
+            binary: strmatch::binary(),
+            native: strmatch::native(),
+            workload: strmatch::workload(scale),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        assert_eq!(lcg_bytes(16, 42), lcg_bytes(16, 42));
+        assert_ne!(lcg_bytes(16, 42), lcg_bytes(16, 43));
+        assert_eq!(lcg_u64(8, 1), lcg_u64(8, 1));
+    }
+
+    #[test]
+    fn table1_function_counts() {
+        // Table 1: HT 4, KM 7, LR 2, MM 3, SM 5 functions.
+        let expect = [("HT", 4), ("KM", 7), ("LR", 2), ("MM", 3), ("SM", 5)];
+        for b in all_benchmarks(64) {
+            let want = expect.iter().find(|(a, _)| *a == b.abbrev).unwrap().1;
+            assert_eq!(
+                b.binary.functions.len(),
+                want,
+                "{}: expected {want} functions, got {:?}",
+                b.name,
+                b.binary.functions.iter().map(|f| &f.name).collect::<Vec<_>>()
+            );
+        }
+    }
+}

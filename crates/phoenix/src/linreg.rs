@@ -1,0 +1,346 @@
+//! Phoenix `linear_regression` (LR): per-thread partial sums of
+//! `Σx, Σy, Σx², Σxy` over an array of `(x, y)` point pairs, combined by
+//! main into a least-squares slope (the FP tail exercises the lifter's
+//! SSE path). Two functions, matching Table 1.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, FpPrec, Inst, Rm, ShiftOp, SseOp, XmmRm};
+use lasagne_x86::reg::{Cond, Gpr, Width, Xmm};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- lr_worker(args) ----
+    // args: [0]=data [8]=start [16]=end [24]=SX [32]=SY [40]=SXX [48]=SXY
+    let worker_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(loadq(Gpr::R8, mem_b(Gpr::Rdi)));
+        a.push(loadq(Gpr::R9, mem_bd(Gpr::Rdi, 8)));
+        a.push(loadq(Gpr::R10, mem_bd(Gpr::Rdi, 16)));
+        a.push(movri(Gpr::R11, 0)); // SX
+        a.push(movri(Gpr::R12, 0)); // SY
+        a.push(movri(Gpr::R13, 0)); // SXX
+        a.push(movri(Gpr::R14, 0)); // SXY
+        a.bind(top);
+        a.push(cmprr(Gpr::R9, Gpr::R10));
+        a.jcc(Cond::E, done);
+        // rcx = x, rdx = y (16-byte pairs)
+        a.push(movrr(Gpr::Rcx, Gpr::R9));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rcx, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rcx, Gpr::R8));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rcx, 8)));
+        a.push(loadq(Gpr::Rcx, mem_b(Gpr::Rcx)));
+        a.push(alurr(AluOp::Add, Gpr::R11, Gpr::Rcx)); // SX += x
+        a.push(alurr(AluOp::Add, Gpr::R12, Gpr::Rdx)); // SY += y
+        a.push(movrr(Gpr::Rax, Gpr::Rcx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) });
+        a.push(alurr(AluOp::Add, Gpr::R13, Gpr::Rax)); // SXX += x*x
+        a.push(movrr(Gpr::Rax, Gpr::Rcx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdx) });
+        a.push(alurr(AluOp::Add, Gpr::R14, Gpr::Rax)); // SXY += x*y
+        a.push(alui(AluOp::Add, Gpr::R9, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(storeq(mem_bd(Gpr::Rdi, 24), Gpr::R11));
+        a.push(storeq(mem_bd(Gpr::Rdi, 32), Gpr::R12));
+        a.push(storeq(mem_bd(Gpr::Rdi, 40), Gpr::R13));
+        a.push(storeq(mem_bd(Gpr::Rdi, 48), Gpr::R14));
+        a.push(movri(Gpr::Rax, 0));
+        for r in [Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("lr_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(data, n) ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        let merge_top = a.label();
+        let merge_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
+        a.push(movri(Gpr::Rdi, (THREADS * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax)); // slots
+        a.push(movrr(Gpr::Rbp, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rbp, 2)); // chunk
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 56));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13));
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        // Merge: SX=r8 SY=r9 SXX=r10 SXY=r11 (no calls from here on).
+        a.push(movri(Gpr::R8, 0));
+        a.push(movri(Gpr::R9, 0));
+        a.push(movri(Gpr::R10, 0));
+        a.push(movri(Gpr::R11, 0));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(merge_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, merge_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64)));
+        a.push(alurm(AluOp::Add, Gpr::R8, mem_bd(Gpr::Rdx, 24)));
+        a.push(alurm(AluOp::Add, Gpr::R9, mem_bd(Gpr::Rdx, 32)));
+        a.push(alurm(AluOp::Add, Gpr::R10, mem_bd(Gpr::Rdx, 40)));
+        a.push(alurm(AluOp::Add, Gpr::R11, mem_bd(Gpr::Rdx, 48)));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(merge_top);
+        a.bind(merge_done);
+        // slope = (n*SXY - SX*SY) / (n*SXX - SX*SX), scaled ×1000 and
+        // truncated; checksum = trunc + SX + SY.
+        a.push(movrr(Gpr::Rax, Gpr::R11));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::R13) });
+        a.push(movrr(Gpr::Rcx, Gpr::R8));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::R9) });
+        a.push(alurr(AluOp::Sub, Gpr::Rax, Gpr::Rcx)); // numer
+        a.push(movrr(Gpr::Rdx, Gpr::R10));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::R13) });
+        a.push(movrr(Gpr::Rcx, Gpr::R8));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::R8) });
+        a.push(alurr(AluOp::Sub, Gpr::Rdx, Gpr::Rcx)); // denom
+        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rax) });
+        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(1), src: Rm::Reg(Gpr::Rdx) });
+        a.push(Inst::SseScalar { op: SseOp::Div, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+        a.push(movri(Gpr::Rcx, 1000.0f64.to_bits() as i64));
+        a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(1), src: Gpr::Rcx });
+        a.push(Inst::SseScalar { op: SseOp::Mul, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+        a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::Rax, src: XmmRm::Reg(Xmm(0)) });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R9));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{fork_join_main, runtime, Fb};
+    use lasagne_lir::inst::{BinOp, Callee, CastOp, InstKind, Operand};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    // worker(args i8*): accumulates SX/SY/SXX/SXY over its slice into the
+    // shared per-thread sums buffer (ctx1 = args[4]), at the row selected
+    // by its thread index (args[3]).
+    let worker = {
+        let mut fb = Fb::new("lr_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let data_i = fb.load(Ty::I64, args);
+        let data = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
+        let sums_i = fb.load(Ty::I64, p4);
+        let sums = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: sums_i });
+        let zero = Operand::i64(0);
+        let finals = fb.counted_loop(
+            start,
+            end,
+            &[Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            &[zero, zero, zero, zero],
+            |fb, i, accs| {
+                let xi = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
+                let xp = fb.gep(Ty::Ptr(Pointee::I64), data, xi, 8);
+                let x = fb.load(Ty::I64, xp);
+                let yi = fb.add(xi, Operand::i64(1));
+                let yp = fb.gep(Ty::Ptr(Pointee::I64), data, yi, 8);
+                let y = fb.load(Ty::I64, yp);
+                let sx = fb.add(accs[0], x);
+                let sy = fb.add(accs[1], y);
+                let xx = fb.mul(x, x);
+                let sxx = fb.add(accs[2], xx);
+                let xy = fb.mul(x, y);
+                let sxy = fb.add(accs[3], xy);
+                vec![sx, sy, sxx, sxy]
+            },
+        );
+        // Worker-private sums region: 4 threads × 4 u64, disjoint by thread
+        // index stored at args[3].
+        let p3 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(3), 8);
+        let tix = fb.load(Ty::I64, p3);
+        let base = fb.mul(tix, Operand::i64(4));
+        for (k, v) in finals.iter().enumerate() {
+            let idx = fb.add(base, Operand::i64(k as i64));
+            let p = fb.gep(Ty::Ptr(Pointee::I64), sums, idx, 8);
+            fb.store(p, *v);
+        }
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    // main(data, n): fork-join; thread index goes in args[3], the shared
+    // sums buffer in args[4] (ctx1).
+    let threads = THREADS;
+    fork_join_main(
+        &mut m,
+        &rt,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64],
+        |_| Operand::Param(1),
+        |fb| {
+            let sums = fb.call(
+                Ty::Ptr(Pointee::I8),
+                Callee::Extern(rt.malloc),
+                vec![Operand::i64((threads * 4 * 8) as i64)],
+            );
+            let sums_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: sums });
+            fb.call(
+                Ty::I64,
+                Callee::Extern(rt.memset),
+                vec![sums_i, Operand::i64(0), Operand::i64((threads * 4 * 8) as i64)],
+            );
+            (Operand::Param(0), sums_i)
+        },
+        move |fb, slots| {
+            // Thread indices were not written by the generic skeleton into
+            // args[3]; write them here is too late (workers already ran), so
+            // the skeleton's `start` at args[1] is used instead: recompute
+            // tix = start / chunk. Simpler: merge all four sums regions
+            // directly from the shared buffer.
+            let a0p = fb.gep(Ty::Ptr(Pointee::I64), slots, Operand::i64(threads as i64), 8);
+            let a0 = fb.load(Ty::I64, a0p);
+            let a064 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a0 });
+            let sums_ip = fb.gep(Ty::Ptr(Pointee::I64), a064, Operand::i64(4), 8);
+            let sums_i = fb.load(Ty::I64, sums_ip);
+            let sums = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: sums_i });
+            let z = Operand::i64(0);
+            let totals = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(threads as i64),
+                &[Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+                &[z, z, z, z],
+                |fb, t, accs| {
+                    let base = fb.mul(t, Operand::i64(4));
+                    let mut next = Vec::new();
+                    for k in 0..4 {
+                        let idx = fb.add(base, Operand::i64(k));
+                        let p = fb.gep(Ty::Ptr(Pointee::I64), sums, idx, 8);
+                        let v = fb.load(Ty::I64, p);
+                        next.push(fb.add(accs[k as usize], v));
+                    }
+                    next
+                },
+            );
+            let (sx, sy, sxx, sxy) = (totals[0], totals[1], totals[2], totals[3]);
+            let n = Operand::Param(1);
+            let nsxy = fb.mul(n, sxy);
+            let sxsy = fb.mul(sx, sy);
+            let numer = fb.bin(BinOp::Sub, Ty::I64, nsxy, sxsy);
+            let nsxx = fb.mul(n, sxx);
+            let sxsx = fb.mul(sx, sx);
+            let denom = fb.bin(BinOp::Sub, Ty::I64, nsxx, sxsx);
+            let fnum = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: numer });
+            let fden = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: denom });
+            let slope = fb.bin(BinOp::FDiv, Ty::F64, fnum, fden);
+            let scaled = fb.bin(BinOp::FMul, Ty::F64, slope, Operand::f64(1000.0));
+            let trunc = fb.op(Ty::I64, InstKind::Cast { op: CastOp::FpToSi, val: scaled });
+            let s1 = fb.add(trunc, sx);
+            fb.add(s1, sy)
+        },
+        threads,
+    );
+
+    m
+}
+
+/// Deterministic workload of `n` `(x, y)` pairs with a linear-ish relation.
+pub fn workload(n: usize) -> Workload {
+    let xs = crate::lcg_u64(n, 7);
+    let mut bytes = Vec::with_capacity(n * 16);
+    let mut sx = 0i64;
+    let mut sy = 0i64;
+    let mut sxx = 0i64;
+    let mut sxy = 0i64;
+    for (i, r) in xs.iter().enumerate() {
+        let x = (r % 1000) as i64;
+        let y = 3 * x + 17 + (i as i64 % 7);
+        bytes.extend_from_slice(&x.to_le_bytes());
+        bytes.extend_from_slice(&y.to_le_bytes());
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let n_i = n as i64;
+    let numer = (n_i * sxy - sx * sy) as f64;
+    let denom = (n_i * sxx - sx * sx) as f64;
+    let slope = numer / denom;
+    let expected = (slope * 1000.0) as i64 + sx + sy;
+    Workload {
+        name: "linear_regression",
+        mem_init: vec![(WORKLOAD_BASE, bytes)],
+        args: vec![WORKLOAD_BASE, n as u64],
+        expected_ret: expected as u64,
+    }
+}

@@ -1,0 +1,325 @@
+//! Phoenix `matrix_multiply` (MM): dense `n×n` integer multiply,
+//! row-partitioned across four pthreads. Three functions (Table 1):
+//! `main`, `mm_worker`, `mm_dot`.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, Inst, Rm, ShiftOp};
+use lasagne_x86::reg::{Cond, Gpr, Width};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- mm_dot(rowA, B, j, n) -> Σ_k rowA[k] * B[k*n + j] ----
+    let dot_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        // rdi=rowA rsi=B rdx=j rcx=n; r8=k r9=acc r10/r11 scratch
+        a.push(movri(Gpr::R8, 0));
+        a.push(movri(Gpr::R9, 0));
+        a.bind(top);
+        a.push(cmprr(Gpr::R8, Gpr::Rcx));
+        a.jcc(Cond::E, done);
+        a.push(loadq(Gpr::R10, mem_bi(Gpr::Rdi, Gpr::R8, 8, 0)));
+        a.push(movrr(Gpr::R11, Gpr::R8));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R11, src: Rm::Reg(Gpr::Rcx) });
+        a.push(alurr(AluOp::Add, Gpr::R11, Gpr::Rdx));
+        a.push(loadq(Gpr::R11, mem_bi(Gpr::Rsi, Gpr::R11, 8, 0)));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R10, src: Rm::Reg(Gpr::R11) });
+        a.push(alurr(AluOp::Add, Gpr::R9, Gpr::R10));
+        a.push(alui(AluOp::Add, Gpr::R8, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(movrr(Gpr::Rax, Gpr::R9));
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("mm_dot", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- mm_worker(args) ----
+    // args: [0]=A [8]=start [16]=end [24]=B [32]=C [40]=n
+    let worker_addr = {
+        let mut a = Asm::new();
+        let i_top = a.label();
+        let i_done = a.label();
+        let j_top = a.label();
+        let j_done = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15, Gpr::Rbp] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // args
+        a.push(loadq(Gpr::R12, mem_bd(Gpr::Rbx, 8))); // i = start
+        a.bind(i_top);
+        a.push(loadq(Gpr::Rax, mem_bd(Gpr::Rbx, 16))); // end
+        a.push(cmprr(Gpr::R12, Gpr::Rax));
+        a.jcc(Cond::E, i_done);
+        a.push(movri(Gpr::R13, 0)); // j
+        a.bind(j_top);
+        a.push(loadq(Gpr::R14, mem_bd(Gpr::Rbx, 40))); // n
+        a.push(cmprr(Gpr::R13, Gpr::R14));
+        a.jcc(Cond::E, j_done);
+        // rowA = A + i*n*8
+        a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rbx)));
+        a.push(movrr(Gpr::R15, Gpr::R12));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R15, src: Rm::Reg(Gpr::R14) });
+        a.push(movrr(Gpr::Rbp, Gpr::R15)); // save i*n for the C index
+        a.push(shifti(ShiftOp::Shl, Gpr::R15, 3));
+        a.push(alurr(AluOp::Add, Gpr::Rdi, Gpr::R15));
+        a.push(loadq(Gpr::Rsi, mem_bd(Gpr::Rbx, 24))); // B
+        a.push(movrr(Gpr::Rdx, Gpr::R13)); // j
+        a.push(movrr(Gpr::Rcx, Gpr::R14)); // n
+        a.push(call(dot_addr));
+        // C[i*n + j] = rax
+        a.push(alurr(AluOp::Add, Gpr::Rbp, Gpr::R13));
+        a.push(loadq(Gpr::Rcx, mem_bd(Gpr::Rbx, 32))); // C
+        a.push(storeq(mem_bi(Gpr::Rcx, Gpr::Rbp, 8, 0), Gpr::Rax));
+        a.push(alui(AluOp::Add, Gpr::R13, 1));
+        a.jmp(j_top);
+        a.bind(j_done);
+        a.push(alui(AluOp::Add, Gpr::R12, 1));
+        a.jmp(i_top);
+        a.bind(i_done);
+        a.push(movri(Gpr::Rax, 0));
+        for r in [Gpr::Rbp, Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("mm_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(A, B, C, n) -> Σ C ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        let sum_top = a.label();
+        let sum_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // A
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // B
+        a.push(movrr(Gpr::R14, Gpr::Rdx)); // C
+        a.push(movrr(Gpr::Rbp, Gpr::Rcx)); // n
+        a.push(movri(Gpr::Rdi, (THREADS * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax)); // slots
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 48));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        // start = t * (n >> 2); end = start + chunk or n
+        a.push(movrr(Gpr::Rcx, Gpr::Rbp));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rcx, 2));
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rcx));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::Rbp));
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R13));
+        a.push(storeq(mem_bd(Gpr::Rax, 32), Gpr::R14));
+        a.push(storeq(mem_bd(Gpr::Rax, 40), Gpr::Rbp));
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        // checksum = Σ_{i<n*n} C[i]
+        a.push(movrr(Gpr::Rcx, Gpr::Rbp));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rdx, 0));
+        a.bind(sum_top);
+        a.push(cmprr(Gpr::Rdx, Gpr::Rcx));
+        a.jcc(Cond::E, sum_done);
+        a.push(alurm(AluOp::Add, Gpr::Rax, mem_bi(Gpr::R14, Gpr::Rdx, 8, 0)));
+        a.push(alui(AluOp::Add, Gpr::Rdx, 1));
+        a.jmp(sum_top);
+        a.bind(sum_done);
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{fork_join_main, runtime, Fb};
+    use lasagne_lir::inst::{CastOp, InstKind, Operand};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    // worker(args): ctx0 = A, ctx1 = packed pointer to [B, C, n] record.
+    let worker = {
+        let mut fb = Fb::new("mm_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let a_i = fb.load(Ty::I64, args);
+        let a_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a_i });
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
+        let rec_i = fb.load(Ty::I64, p4);
+        let rec = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: rec_i });
+        let b_i = fb.load(Ty::I64, rec);
+        let b_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: b_i });
+        let rc = fb.gep(Ty::Ptr(Pointee::I64), rec, Operand::i64(1), 8);
+        let c_i = fb.load(Ty::I64, rc);
+        let c_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: c_i });
+        let rn = fb.gep(Ty::Ptr(Pointee::I64), rec, Operand::i64(2), 8);
+        let n = fb.load(Ty::I64, rn);
+        fb.counted_loop(start, end, &[], &[], |fb, i, _| {
+            let in_row = fb.mul(i, n);
+            fb.counted_loop(Operand::i64(0), n, &[], &[], |fb, j, _| {
+                let acc = fb.counted_loop(
+                    Operand::i64(0),
+                    n,
+                    &[Ty::I64],
+                    &[Operand::i64(0)],
+                    |fb, k, accs| {
+                        let ai = fb.add(in_row, k);
+                        let ap = fb.gep(Ty::Ptr(Pointee::I64), a_m, ai, 8);
+                        let av = fb.load(Ty::I64, ap);
+                        let bi0 = fb.mul(k, n);
+                        let bi = fb.add(bi0, j);
+                        let bp = fb.gep(Ty::Ptr(Pointee::I64), b_m, bi, 8);
+                        let bv = fb.load(Ty::I64, bp);
+                        let prod = fb.mul(av, bv);
+                        vec![fb.add(accs[0], prod)]
+                    },
+                );
+                let ci = fb.add(in_row, j);
+                let cp = fb.gep(Ty::Ptr(Pointee::I64), c_m, ci, 8);
+                fb.store(cp, acc[0]);
+                vec![]
+            });
+            vec![]
+        });
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    fork_join_main(
+        &mut m,
+        &rt,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+        |_| Operand::Param(3),
+        |fb| {
+            // Pack [B, C, n] into a record for ctx1.
+            let rec = fb.call(
+                Ty::Ptr(Pointee::I8),
+                lasagne_lir::inst::Callee::Extern(rt.malloc),
+                vec![Operand::i64(24)],
+            );
+            let rec64 = fb.cast_ptr(Pointee::I64, rec);
+            fb.store(rec64, Operand::Param(1));
+            let r1 = fb.gep(Ty::Ptr(Pointee::I64), rec64, Operand::i64(1), 8);
+            fb.store(r1, Operand::Param(2));
+            let r2 = fb.gep(Ty::Ptr(Pointee::I64), rec64, Operand::i64(2), 8);
+            fb.store(r2, Operand::Param(3));
+            let rec_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: rec });
+            (Operand::Param(0), rec_i)
+        },
+        |fb, _slots| {
+            // checksum = Σ C[i] for i < n*n
+            let c = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(2) });
+            let nn = fb.mul(Operand::Param(3), Operand::Param(3));
+            let total = fb.counted_loop(
+                Operand::i64(0),
+                nn,
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, i, accs| {
+                    let p = fb.gep(Ty::Ptr(Pointee::I64), c, i, 8);
+                    let v = fb.load(Ty::I64, p);
+                    vec![fb.add(accs[0], v)]
+                },
+            );
+            total[0]
+        },
+        THREADS,
+    );
+    m
+}
+
+/// Deterministic `n×n` matrices A, B (small values) and a zeroed C.
+pub fn workload(n: usize) -> Workload {
+    let raw = crate::lcg_u64(2 * n * n, 99);
+    let a_vals: Vec<i64> = raw[..n * n].iter().map(|v| (v % 10) as i64).collect();
+    let b_vals: Vec<i64> = raw[n * n..].iter().map(|v| (v % 10) as i64).collect();
+    let mut c_ref = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0i64;
+            for k in 0..n {
+                s += a_vals[i * n + k] * b_vals[k * n + j];
+            }
+            c_ref[i * n + j] = s;
+        }
+    }
+    let expected: i64 = c_ref.iter().sum();
+    let mut bytes = Vec::with_capacity(16 * n * n);
+    for v in a_vals.iter().chain(b_vals.iter()) {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let a_addr = WORKLOAD_BASE;
+    let b_addr = WORKLOAD_BASE + (8 * n * n) as u64;
+    let c_addr = WORKLOAD_BASE + (16 * n * n) as u64;
+    Workload {
+        name: "matrix_multiply",
+        mem_init: vec![(a_addr, bytes)],
+        args: vec![a_addr, b_addr, c_addr, n as u64],
+        expected_ret: expected as u64,
+    }
+}

@@ -1,0 +1,367 @@
+//! Native AArch64 baselines, written as clean LIR — the code a compiler
+//! would emit for the benchmarks' C sources when targeting Arm directly
+//! (Figure 12's "Native" and Figure 16's size baseline): typed pointers,
+//! SSA loops, no fences, same pthread fork–join structure.
+
+use lasagne_lir::func::{ExternDecl, Function, Module};
+use lasagne_lir::inst::{
+    BinOp, Callee, CastOp, ExternId, FuncId, IPred, InstKind, Operand, Ordering, Terminator,
+};
+use lasagne_lir::types::{Pointee, Ty};
+use lasagne_lir::BlockId;
+
+/// Which benchmark's native module to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeSpec {
+    /// Byte histogram.
+    Histogram,
+    /// Linear regression sums.
+    LinearRegression,
+    /// Dense integer matrix multiply.
+    MatrixMultiply,
+    /// Fixed-width string match.
+    StringMatch,
+    /// K-means clustering.
+    Kmeans,
+}
+
+/// Small function-builder DSL over LIR.
+pub struct Fb {
+    /// The function being built.
+    pub f: Function,
+    /// Current insertion block.
+    pub cur: BlockId,
+}
+
+impl Fb {
+    /// Starts a function.
+    pub fn new(name: &str, params: Vec<Ty>, ret: Ty) -> Fb {
+        let f = Function::new(name, params, ret);
+        let cur = f.entry();
+        Fb { f, cur }
+    }
+
+    /// Emits an instruction.
+    pub fn op(&mut self, ty: Ty, kind: InstKind) -> Operand {
+        Operand::Inst(self.f.push(self.cur, ty, kind))
+    }
+
+    /// Integer binary op (i64 unless stated).
+    pub fn bin(&mut self, op: BinOp, ty: Ty, lhs: Operand, rhs: Operand) -> Operand {
+        self.op(ty, InstKind::Bin { op, lhs, rhs })
+    }
+
+    /// i64 add.
+    pub fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Add, Ty::I64, a, b)
+    }
+
+    /// i64 mul.
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.bin(BinOp::Mul, Ty::I64, a, b)
+    }
+
+    /// Typed load.
+    pub fn load(&mut self, ty: Ty, ptr: Operand) -> Operand {
+        self.op(ty, InstKind::Load { ptr, order: Ordering::NotAtomic })
+    }
+
+    /// Typed store.
+    pub fn store(&mut self, ptr: Operand, val: Operand) {
+        self.op(Ty::Void, InstKind::Store { ptr, val, order: Ordering::NotAtomic });
+    }
+
+    /// `gep` with element size.
+    pub fn gep(&mut self, ty: Ty, base: Operand, idx: Operand, elem: u64) -> Operand {
+        self.op(ty, InstKind::Gep { base, offset: idx, elem_size: elem })
+    }
+
+    /// Pointer bitcast.
+    pub fn cast_ptr(&mut self, to: Pointee, p: Operand) -> Operand {
+        self.op(Ty::Ptr(to), InstKind::Cast { op: CastOp::BitCast, val: p })
+    }
+
+    /// Integer compare.
+    pub fn icmp(&mut self, pred: IPred, a: Operand, b: Operand) -> Operand {
+        self.op(Ty::I1, InstKind::ICmp { pred, lhs: a, rhs: b })
+    }
+
+    /// Call.
+    pub fn call(&mut self, ret: Ty, callee: Callee, args: Vec<Operand>) -> Operand {
+        self.op(ret, InstKind::Call { callee, args })
+    }
+
+    /// A counted loop `for i in from..to` with loop-carried accumulators.
+    /// `body` receives `(builder, i, accs)` and returns the next accs.
+    /// Returns the final accumulator values.
+    pub fn counted_loop(
+        &mut self,
+        from: Operand,
+        to: Operand,
+        acc_tys: &[Ty],
+        init: &[Operand],
+        body: impl FnOnce(&mut Fb, Operand, &[Operand]) -> Vec<Operand>,
+    ) -> Vec<Operand> {
+        let pre = self.cur;
+        let header = self.f.add_block();
+        let body_b = self.f.add_block();
+        let exit = self.f.add_block();
+        self.f.set_term(pre, Terminator::Br { dest: header });
+
+        // φs: induction variable + accumulators.
+        self.cur = header;
+        let phi_i = self.f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
+        let mut phi_accs = Vec::new();
+        for ty in acc_tys {
+            phi_accs.push(self.f.push(header, *ty, InstKind::Phi { incoming: vec![] }));
+        }
+        let cond = self.icmp(IPred::Ult, Operand::Inst(phi_i), to);
+        self.f.set_term(header, Terminator::CondBr { cond, if_true: body_b, if_false: exit });
+
+        self.cur = body_b;
+        let accs: Vec<Operand> = phi_accs.iter().map(|p| Operand::Inst(*p)).collect();
+        let next = body(self, Operand::Inst(phi_i), &accs);
+        assert_eq!(next.len(), acc_tys.len());
+        let i_next = self.add(Operand::Inst(phi_i), Operand::i64(1));
+        let body_end = self.cur; // body may have created inner blocks
+        self.f.set_term(body_end, Terminator::Br { dest: header });
+
+        self.f.inst_mut(phi_i).kind =
+            InstKind::Phi { incoming: vec![(pre, from), (body_end, i_next)] };
+        for (k, p) in phi_accs.iter().enumerate() {
+            self.f.inst_mut(*p).kind =
+                InstKind::Phi { incoming: vec![(pre, init[k]), (body_end, next[k])] };
+        }
+
+        self.cur = exit;
+        // Values of accumulators *after* the loop are the φ values (they
+        // hold the value from the last completed iteration check).
+        phi_accs.into_iter().map(Operand::Inst).collect()
+    }
+
+    /// Finishes with `ret val`.
+    pub fn ret(mut self, val: Option<Operand>) -> Function {
+        let cur = self.cur;
+        self.f.set_term(cur, Terminator::Ret { val });
+        self.f
+    }
+}
+
+/// Declares the pthread/libc externs every native module uses.
+pub struct Rt {
+    /// `malloc`.
+    pub malloc: ExternId,
+    /// `memset`.
+    pub memset: ExternId,
+    /// `pthread_create`.
+    pub create: ExternId,
+    /// `pthread_join`.
+    pub join: ExternId,
+}
+
+/// Adds the standard externs to `m`.
+pub fn runtime(m: &mut Module) -> Rt {
+    let e = |m: &mut Module, name: &str, params: Vec<Ty>, ret: Ty| {
+        m.declare_extern(ExternDecl { name: name.into(), params, ret, variadic: false })
+    };
+    Rt {
+        malloc: e(m, "malloc", vec![Ty::I64], Ty::Ptr(Pointee::I8)),
+        memset: e(m, "memset", vec![Ty::I64, Ty::I64, Ty::I64], Ty::I64),
+        create: e(m, "pthread_create", vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64], Ty::I32),
+        join: e(m, "pthread_join", vec![Ty::I64, Ty::I64], Ty::I32),
+    }
+}
+
+/// Emits the fork–join `main` skeleton shared by the native benchmarks:
+/// allocates a slot area, spawns `threads` workers over `[0, n)` chunks
+/// with an args record `[ctx0, start, end, t, ctx1, out]`, joins, then calls
+/// `finish(builder, slots_ptr)` for the merge/checksum tail.
+#[allow(clippy::too_many_arguments)]
+pub fn fork_join_main(
+    m: &mut Module,
+    rt: &Rt,
+    worker: FuncId,
+    name: &str,
+    params: Vec<Ty>,
+    n_expr: impl FnOnce(&mut Fb) -> Operand,
+    ctx: impl FnOnce(&mut Fb) -> (Operand, Operand),
+    finish: impl FnOnce(&mut Fb, Operand) -> Operand,
+    threads: u64,
+) -> FuncId {
+    let mut fb = Fb::new(name, params, Ty::I64);
+    let n = n_expr(&mut fb);
+    let (ctx0, ctx1) = ctx(&mut fb);
+    // slots = malloc(threads*16): [t*8]=tid, [t*8 + threads*8]=args
+    let slots = fb.call(
+        Ty::Ptr(Pointee::I8),
+        Callee::Extern(rt.malloc),
+        vec![Operand::i64((threads * 16) as i64)],
+    );
+    let slots_i = fb.cast_ptr(Pointee::I64, slots);
+    let chunk = fb.bin(BinOp::LShr, Ty::I64, n, Operand::i64(2));
+    // spawn loop
+    fb.counted_loop(
+        Operand::i64(0),
+        Operand::i64(threads as i64),
+        &[],
+        &[],
+        |fb, t, _| {
+            let args = fb.call(
+                Ty::Ptr(Pointee::I8),
+                Callee::Extern(rt.malloc),
+                vec![Operand::i64(48)],
+            );
+            let args64 = fb.cast_ptr(Pointee::I64, args);
+            fb.store(args64, ctx0);
+            let start = fb.mul(t, chunk);
+            let p1 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(1), 8);
+            fb.store(p1, start);
+            let end0 = fb.add(start, chunk);
+            let is_last = fb.icmp(IPred::Eq, t, Operand::i64(threads as i64 - 1));
+            let end = fb.op(Ty::I64, InstKind::Select { cond: is_last, if_true: n, if_false: end0 });
+            let p2 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(2), 8);
+            fb.store(p2, end);
+            let p3 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(3), 8);
+            fb.store(p3, t);
+            let p4 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(4), 8);
+            fb.store(p4, ctx1);
+            // record args for the merge
+            let aidx = fb.add(t, Operand::i64(threads as i64));
+            let aslot = fb.gep(Ty::Ptr(Pointee::I64), slots_i, aidx, 8);
+            let argsint = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: args });
+            fb.store(aslot, argsint);
+            // pthread_create(&slots[t], 0, worker, args)
+            let tid_ptr = fb.gep(Ty::Ptr(Pointee::I64), slots_i, t, 8);
+            let tid_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: tid_ptr });
+            let wptr = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
+            fb.call(
+                Ty::I32,
+                Callee::Extern(rt.create),
+                vec![tid_int, Operand::i64(0), wptr, argsint],
+            );
+            vec![]
+        },
+    );
+    // join loop
+    fb.counted_loop(Operand::i64(0), Operand::i64(threads as i64), &[], &[], |fb, t, _| {
+        let tid_ptr = fb.gep(Ty::Ptr(Pointee::I64), slots_i, t, 8);
+        let tid = fb.load(Ty::I64, tid_ptr);
+        fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
+        vec![]
+    });
+    let result = finish(&mut fb, slots_i);
+    let f = fb.ret(Some(result));
+    m.add_func(f)
+}
+
+/// Builds the requested native module.
+pub fn build_native(spec: NativeSpec) -> Module {
+    match spec {
+        NativeSpec::Histogram => native_histogram(),
+        NativeSpec::LinearRegression => crate::linreg::native_impl(),
+        NativeSpec::MatrixMultiply => crate::matmul::native_impl(),
+        NativeSpec::StringMatch => crate::strmatch::native_impl(),
+        NativeSpec::Kmeans => crate::kmeans::native_impl(),
+    }
+}
+
+fn native_histogram() -> Module {
+    let mut m = Module::new();
+    let rt = runtime(&mut m);
+
+    // worker(args i8*): local = malloc(2048); count; args[3] = local
+    let worker = {
+        let mut fb = Fb::new("hist_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let data_i = fb.load(Ty::I64, args);
+        let data = fb.op(Ty::Ptr(Pointee::I8), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let local = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(2048)]);
+        let local_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: local });
+        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![local_int, Operand::i64(0), Operand::i64(2048)]);
+        let local64 = fb.cast_ptr(Pointee::I64, local);
+        fb.counted_loop(start, end, &[], &[], |fb, i, _| {
+            let bp = fb.gep(Ty::Ptr(Pointee::I8), data, i, 1);
+            let byte = fb.load(Ty::I8, bp);
+            let idx = fb.op(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: byte });
+            let cell = fb.gep(Ty::Ptr(Pointee::I64), local64, idx, 8);
+            let old = fb.load(Ty::I64, cell);
+            let new = fb.add(old, Operand::i64(1));
+            fb.store(cell, new);
+            vec![]
+        });
+        let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
+        fb.store(p5, local_int);
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    // main(data i64, n i64): fork-join, then merge + checksum.
+    let threads = crate::histogram::THREADS;
+    fork_join_main(
+        &mut m,
+        &rt,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64],
+        |_| Operand::Param(1),
+        |fb| {
+            // ctx0 = data pointer; ctx1 = global bins
+            let bins = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(2048)]);
+            let bins_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: bins });
+            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![bins_int, Operand::i64(0), Operand::i64(2048)]);
+            (Operand::Param(0), bins_int)
+        },
+        move |fb, slots| {
+            // bins pointer is in the first args record's ctx1 slot.
+            let a0p = fb.gep(Ty::Ptr(Pointee::I64), slots, Operand::i64(threads as i64), 8);
+            let a0 = fb.load(Ty::I64, a0p);
+            let a0p64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a0 });
+            let bins_ip = fb.gep(Ty::Ptr(Pointee::I64), a0p64, Operand::i64(4), 8);
+            let bins_i = fb.load(Ty::I64, bins_ip);
+            let bins = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: bins_i });
+            // merge each worker's local bins
+            fb.counted_loop(Operand::i64(0), Operand::i64(threads as i64), &[], &[], |fb, t, _| {
+                let ap = {
+                    let x = fb.add(t, Operand::i64(threads as i64));
+                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                };
+                let a = fb.load(Ty::I64, ap);
+                let a64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a });
+                let lp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
+                let l = fb.load(Ty::I64, lp);
+                let local = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: l });
+                fb.counted_loop(Operand::i64(0), Operand::i64(256), &[], &[], |fb, i, _| {
+                    let src = fb.gep(Ty::Ptr(Pointee::I64), local, i, 8);
+                    let v = fb.load(Ty::I64, src);
+                    let dst = fb.gep(Ty::Ptr(Pointee::I64), bins, i, 8);
+                    let old = fb.load(Ty::I64, dst);
+                    let s = fb.add(old, v);
+                    fb.store(dst, s);
+                    vec![]
+                });
+                vec![]
+            });
+            // checksum = Σ i * bins[i]
+            let sums = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(256),
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, i, accs| {
+                    let p = fb.gep(Ty::Ptr(Pointee::I64), bins, i, 8);
+                    let v = fb.load(Ty::I64, p);
+                    let prod = fb.mul(v, i);
+                    let s = fb.add(accs[0], prod);
+                    vec![s]
+                },
+            );
+            sums[0]
+        },
+        threads,
+    );
+    m
+}

@@ -1,0 +1,359 @@
+//! Phoenix `string_match` (SM): scan a table of fixed-width (16-byte) keys
+//! for occurrences of four target keys. Five functions (Table 1): `main`,
+//! `sm_worker`, `sm_process` (slice scan), `sm_compare16`, `sm_compare8`.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, Inst, Rm, ShiftOp};
+use lasagne_x86::reg::{Cond, Gpr, Width};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+/// Bytes per key.
+pub const KEY_BYTES: u64 = 16;
+/// Number of target keys.
+pub const TARGETS: u64 = 4;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- sm_compare8(p, q) -> 1 if the 8-byte words match ----
+    let cmp8_addr = {
+        let mut a = Asm::new();
+        let ne = a.label();
+        a.push(loadq(Gpr::Rax, mem_b(Gpr::Rdi)));
+        a.push(movri(Gpr::Rcx, 0));
+        a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(mem_b(Gpr::Rsi)) });
+        a.jcc(Cond::Ne, ne);
+        a.push(movri(Gpr::Rcx, 1));
+        a.bind(ne);
+        a.push(movrr(Gpr::Rax, Gpr::Rcx));
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("sm_compare8", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- sm_compare16(p, q) -> 1 if 16 bytes match ----
+    let cmp16_addr = {
+        let mut a = Asm::new();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi));
+        a.push(movrr(Gpr::R12, Gpr::Rsi));
+        a.push(call(cmp8_addr));
+        a.push(movrr(Gpr::R13, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::Rbx));
+        a.push(alui(AluOp::Add, Gpr::Rdi, 8));
+        a.push(movrr(Gpr::Rsi, Gpr::R12));
+        a.push(alui(AluOp::Add, Gpr::Rsi, 8));
+        a.push(call(cmp8_addr));
+        a.push(alurr(AluOp::And, Gpr::Rax, Gpr::R13));
+        for r in [Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("sm_compare16", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- sm_process(data, start, end, targets) -> match count ----
+    let process_addr = {
+        let mut a = Asm::new();
+        let i_top = a.label();
+        let i_done = a.label();
+        let t_top = a.label();
+        let t_done = a.label();
+        let no_match = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15, Gpr::Rbp] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R12, Gpr::Rsi)); // i = start
+        a.push(movrr(Gpr::R13, Gpr::Rdx)); // end
+        a.push(movrr(Gpr::R14, Gpr::Rcx)); // targets
+        a.push(movri(Gpr::R15, 0)); // count
+        a.bind(i_top);
+        a.push(cmprr(Gpr::R12, Gpr::R13));
+        a.jcc(Cond::E, i_done);
+        a.push(movri(Gpr::Rbp, 0)); // t
+        a.bind(t_top);
+        a.push(cmpri(Gpr::Rbp, TARGETS as i32));
+        a.jcc(Cond::E, t_done);
+        // compare16(data + i*16, targets + t*16)
+        a.push(movrr(Gpr::Rdi, Gpr::R12));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdi, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rdi, Gpr::Rbx));
+        a.push(movrr(Gpr::Rsi, Gpr::Rbp));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rsi, 4));
+        a.push(alurr(AluOp::Add, Gpr::Rsi, Gpr::R14));
+        a.push(call(cmp16_addr));
+        a.push(Inst::TestI { w: Width::W64, a: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.jcc(Cond::E, no_match);
+        a.push(alui(AluOp::Add, Gpr::R15, 1));
+        a.bind(no_match);
+        a.push(alui(AluOp::Add, Gpr::Rbp, 1));
+        a.jmp(t_top);
+        a.bind(t_done);
+        a.push(alui(AluOp::Add, Gpr::R12, 1));
+        a.jmp(i_top);
+        a.bind(i_done);
+        a.push(movrr(Gpr::Rax, Gpr::R15));
+        for r in [Gpr::Rbp, Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("sm_process", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- sm_worker(args) ----
+    // args: [0]=data [8]=start [16]=end [24]=targets [32]=out count
+    let worker_addr = {
+        let mut a = Asm::new();
+        a.push(Inst::Push { src: Gpr::Rbx });
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi));
+        a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rbx)));
+        a.push(loadq(Gpr::Rsi, mem_bd(Gpr::Rbx, 8)));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rbx, 16)));
+        a.push(loadq(Gpr::Rcx, mem_bd(Gpr::Rbx, 24)));
+        a.push(call(process_addr));
+        a.push(storeq(mem_bd(Gpr::Rbx, 32), Gpr::Rax));
+        a.push(movri(Gpr::Rax, 0));
+        a.push(Inst::Pop { dst: Gpr::Rbx });
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("sm_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(data, n, targets) -> total matches ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        let merge_top = a.label();
+        let merge_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
+        a.push(movrr(Gpr::R14, Gpr::Rdx)); // targets
+        a.push(movri(Gpr::Rdi, (THREADS * 16) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax));
+        a.push(movrr(Gpr::Rbp, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rbp, 2));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 40));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13));
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R14));
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(merge_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, merge_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64)));
+        a.push(alurm(AluOp::Add, Gpr::Rax, mem_bd(Gpr::Rdx, 32)));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(merge_top);
+        a.bind(merge_done);
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{fork_join_main, runtime, Fb};
+    use lasagne_lir::inst::{BinOp, CastOp, IPred, InstKind, Operand};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    let worker = {
+        let mut fb = Fb::new("sm_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let data_i = fb.load(Ty::I64, args);
+        let data = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
+        let tg_i = fb.load(Ty::I64, p4);
+        let tg = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: tg_i });
+        let count = fb.counted_loop(
+            start,
+            end,
+            &[Ty::I64],
+            &[Operand::i64(0)],
+            |fb, i, accs| {
+                let base = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
+                let k0p = fb.gep(Ty::Ptr(Pointee::I64), data, base, 8);
+                let k0 = fb.load(Ty::I64, k0p);
+                let base1 = fb.add(base, Operand::i64(1));
+                let k1p = fb.gep(Ty::Ptr(Pointee::I64), data, base1, 8);
+                let k1 = fb.load(Ty::I64, k1p);
+                let inner = fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(TARGETS as i64),
+                    &[Ty::I64],
+                    &[Operand::i64(0)],
+                    |fb, t, taccs| {
+                        let tb = fb.bin(BinOp::Shl, Ty::I64, t, Operand::i64(1));
+                        let t0p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb, 8);
+                        let t0 = fb.load(Ty::I64, t0p);
+                        let tb1 = fb.add(tb, Operand::i64(1));
+                        let t1p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb1, 8);
+                        let t1 = fb.load(Ty::I64, t1p);
+                        let e0 = fb.icmp(IPred::Eq, k0, t0);
+                        let e1 = fb.icmp(IPred::Eq, k1, t1);
+                        let both = fb.bin(BinOp::And, Ty::I1, e0, e1);
+                        let inc = fb.op(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: both });
+                        vec![fb.add(taccs[0], inc)]
+                    },
+                );
+                vec![fb.add(accs[0], inner[0])]
+            },
+        );
+        // Write the count through the out slot (args[5]).
+        let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
+        fb.store(p5, count[0]);
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    let threads = THREADS;
+    fork_join_main(
+        &mut m,
+        &rt,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64, Ty::I64],
+        |_| Operand::Param(1),
+        |_fb| (Operand::Param(0), Operand::Param(2)),
+        move |fb, slots| {
+            let total = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(threads as i64),
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, t, accs| {
+                    let ap = {
+                        let x = fb.add(t, Operand::i64(threads as i64));
+                        fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                    };
+                    let a = fb.load(Ty::I64, ap);
+                    let a64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a });
+                    let cp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
+                    let c = fb.load(Ty::I64, cp);
+                    vec![fb.add(accs[0], c)]
+                },
+            );
+            total[0]
+        },
+        threads,
+    );
+    m
+}
+
+/// Deterministic workload: `n` 16-byte keys; the four targets are copies of
+/// keys that occur in the table, so matches exist.
+pub fn workload(n: usize) -> Workload {
+    let n = n.max(8);
+    let raw = crate::lcg_u64(2 * n, 0xABCD);
+    let mut keys = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        // Low-entropy keys so duplicates occur.
+        keys.push(raw[2 * i] % 32);
+        keys.push(raw[2 * i + 1] % 4);
+    }
+    // Targets: four existing keys.
+    let targets: Vec<u64> = vec![
+        keys[0], keys[1],
+        keys[2 * (n / 3)], keys[2 * (n / 3) + 1],
+        keys[2 * (n / 2)], keys[2 * (n / 2) + 1],
+        keys[2 * (2 * n / 3)], keys[2 * (2 * n / 3) + 1],
+    ];
+    // Reference count.
+    let mut expected = 0u64;
+    for i in 0..n {
+        for t in 0..TARGETS as usize {
+            if keys[2 * i] == targets[2 * t] && keys[2 * i + 1] == targets[2 * t + 1] {
+                expected += 1;
+            }
+        }
+    }
+    let mut bytes = Vec::with_capacity(16 * n + 64);
+    for k in &keys {
+        bytes.extend_from_slice(&k.to_le_bytes());
+    }
+    let t_addr = WORKLOAD_BASE + (16 * n) as u64;
+    let mut tbytes = Vec::new();
+    for t in &targets {
+        tbytes.extend_from_slice(&t.to_le_bytes());
+    }
+    Workload {
+        name: "string_match",
+        mem_init: vec![(WORKLOAD_BASE, bytes), (t_addr, tbytes)],
+        args: vec![WORKLOAD_BASE, n as u64, t_addr],
+        expected_ret: expected,
+    }
+}

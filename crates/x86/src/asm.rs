@@ -1,0 +1,178 @@
+//! Label-based x86-64 assembler.
+//!
+//! [`Asm`] is the tool used by the `lasagne-phoenix` crate to synthesise the
+//! benchmark binaries that the lifter consumes. It supports forward label
+//! references for branches and calls, resolved at [`Asm::finish`] time by a
+//! second encoding pass.
+
+use crate::encode::{encode, EncodeError};
+use crate::inst::{Inst, Target};
+
+/// A label within an [`Asm`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An instruction whose branch target may be a yet-unresolved label.
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Inst(Inst),
+    /// Jump/branch/call to a label; rebuilt once label addresses are known.
+    JmpLabel(Label),
+    JccLabel(crate::reg::Cond, Label),
+    CallLabel(Label),
+    /// Marks the position of a label.
+    Bind(Label),
+}
+
+/// An incremental assembler for one contiguous code region.
+#[derive(Debug, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    next_label: usize,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Bind(label));
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.items.push(Item::Inst(inst));
+    }
+
+    /// Appends an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.items.push(Item::JmpLabel(label));
+    }
+
+    /// Appends a conditional jump to `label`.
+    pub fn jcc(&mut self, cc: crate::reg::Cond, label: Label) {
+        self.items.push(Item::JccLabel(cc, label));
+    }
+
+    /// Appends a call to `label`.
+    pub fn call(&mut self, label: Label) {
+        self.items.push(Item::CallLabel(label));
+    }
+
+    /// Encodes everything at base address `base`, resolving labels.
+    ///
+    /// Returns the machine code bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodeError`] if any branch is out of range or a label
+    /// was never bound (reported as a panic, since that is a programming
+    /// error in the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn finish(&self, base: u64) -> Result<Vec<u8>, EncodeError> {
+        // Pass 1: compute label addresses with branches encoded at worst-case
+        // (rel32) size — our encoder always emits rel32, so sizes are stable
+        // and a single sizing pass suffices.
+        let mut label_addr = vec![None::<u64>; self.next_label];
+        let mut addr = base;
+        let mut scratch = Vec::new();
+        for item in &self.items {
+            match item {
+                Item::Bind(l) => label_addr[l.0] = Some(addr),
+                Item::Inst(i) => {
+                    scratch.clear();
+                    addr += encode(i, addr, &mut scratch)? as u64;
+                }
+                Item::JmpLabel(_) => addr += 5,
+                Item::JccLabel(..) => addr += 6,
+                Item::CallLabel(_) => addr += 5,
+            }
+        }
+        // Pass 2: encode with resolved targets.
+        let mut out = Vec::new();
+        let mut addr = base;
+        for item in &self.items {
+            let inst = match item {
+                Item::Bind(_) => continue,
+                Item::Inst(i) => *i,
+                Item::JmpLabel(l) => Inst::Jmp {
+                    target: Target::Abs(label_addr[l.0].expect("unbound label")),
+                },
+                Item::JccLabel(cc, l) => Inst::Jcc {
+                    cc: *cc,
+                    target: Target::Abs(label_addr[l.0].expect("unbound label")),
+                },
+                Item::CallLabel(l) => Inst::Call {
+                    target: Target::Abs(label_addr[l.0].expect("unbound label")),
+                },
+            };
+            addr += encode(&inst, addr, &mut out)? as u64;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_all;
+    use crate::inst::{Inst, Rm, Target};
+    use crate::reg::{Cond, Gpr, Width};
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.bind(top);
+        a.push(Inst::AluRmI { op: crate::inst::AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.jcc(Cond::E, done);
+        a.jmp(top);
+        a.bind(done);
+        a.push(Inst::Ret);
+        let bytes = a.finish(0x1000).unwrap();
+        let ds = decode_all(&bytes, 0x1000).unwrap();
+        // sub; jcc; jmp; ret
+        assert_eq!(ds.len(), 4);
+        match ds[1].inst {
+            Inst::Jcc { cc: Cond::E, target: Target::Abs(t) } => {
+                assert_eq!(t, ds[3].addr);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        match ds[2].inst {
+            Inst::Jmp { target: Target::Abs(t) } => assert_eq!(t, 0x1000),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn call_label() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call(f);
+        a.push(Inst::Ret);
+        a.bind(f);
+        a.push(Inst::Nop);
+        a.push(Inst::Ret);
+        let bytes = a.finish(0).unwrap();
+        let ds = decode_all(&bytes, 0).unwrap();
+        match ds[0].inst {
+            Inst::Call { target: Target::Abs(t) } => assert_eq!(t, ds[2].addr),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,896 @@
+//! x86-64 machine-code decoder (disassembler).
+//!
+//! The inverse of [`crate::encode`]: consumes raw bytes and produces
+//! [`Inst`] values with resolved (absolute) branch targets and RIP-relative
+//! addresses. Together with the encoder this substitutes for the LLVM MC
+//! disassembler the paper's lifter is built on.
+
+use crate::inst::{AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, SseOp, ShiftOp, Target, XmmRm};
+use crate::reg::{Cond, Gpr, Width, Xmm};
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated {
+        /// Address of the instruction being decoded.
+        at: u64,
+    },
+    /// An opcode (or opcode/prefix combination) outside the supported subset.
+    UnsupportedOpcode {
+        /// Address of the instruction.
+        at: u64,
+        /// The offending opcode byte.
+        opcode: u8,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "truncated instruction at {at:#x}"),
+            DecodeError::UnsupportedOpcode { at, opcode } => {
+                write!(f, "unsupported opcode {opcode:#04x} at {at:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded instruction together with its location and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The instruction.
+    pub inst: Inst,
+    /// Address of the first byte.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: usize,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    start_addr: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { at: self.start_addr })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()?;
+        let hi = self.u8()?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut b = [0u8; 4];
+        for v in &mut b {
+            *v = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut b = [0u8; 8];
+        for v in &mut b {
+            *v = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Prefixes {
+    lock: bool,
+    p66: bool,
+    f2: bool,
+    f3: bool,
+    rex: u8,
+}
+
+impl Prefixes {
+    fn rex_w(&self) -> bool {
+        self.rex & 0x08 != 0
+    }
+    fn rex_r(&self) -> u8 {
+        (self.rex & 0x04) << 1
+    }
+    fn rex_x(&self) -> u8 {
+        (self.rex & 0x02) << 2
+    }
+    fn rex_b(&self) -> u8 {
+        (self.rex & 0x01) << 3
+    }
+
+    fn width(&self) -> Width {
+        if self.rex_w() {
+            Width::W64
+        } else if self.p66 {
+            Width::W16
+        } else {
+            Width::W32
+        }
+    }
+}
+
+/// Result of ModRM decoding.
+struct ModRm {
+    /// `reg` field (REX.R extended).
+    reg: u8,
+    /// The r/m operand.
+    rm: Rm,
+}
+
+/// A memory operand placeholder for RIP-relative fixup: the displacement
+/// read from the stream is relative to the *end* of the instruction, so we
+/// patch it once the full length is known.
+struct PendingRip {
+    disp32: i32,
+}
+
+fn decode_modrm(
+    c: &mut Cursor<'_>,
+    p: &Prefixes,
+    rip: &mut Option<PendingRip>,
+) -> Result<ModRm, DecodeError> {
+    let modrm = c.u8()?;
+    let md = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | p.rex_r();
+    let rm_bits = modrm & 7;
+    if md == 0b11 {
+        return Ok(ModRm { reg, rm: Rm::Reg(Gpr::from_encoding(rm_bits | p.rex_b())) });
+    }
+    // Memory forms.
+    let (base, index, scale): (Option<Gpr>, Option<Gpr>, u8) = if rm_bits == 0b100 {
+        // SIB byte follows.
+        let sib = c.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx_bits = ((sib >> 3) & 7) | p.rex_x();
+        let index = if idx_bits == 0b100 { None } else { Some(Gpr::from_encoding(idx_bits)) };
+        let base_bits = (sib & 7) | p.rex_b();
+        let base = if (sib & 7) == 0b101 && md == 0b00 {
+            None // disp32 with no base
+        } else {
+            Some(Gpr::from_encoding(base_bits))
+        };
+        (base, index, scale)
+    } else if rm_bits == 0b101 && md == 0b00 {
+        // RIP-relative.
+        let disp32 = c.i32()?;
+        *rip = Some(PendingRip { disp32 });
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Mem(MemRef { base: None, index: None, scale: 1, disp: 0, rip_relative: true }),
+        });
+    } else {
+        (Some(Gpr::from_encoding(rm_bits | p.rex_b())), None, 1)
+    };
+    let disp: i64 = match md {
+        0b00 => {
+            if base.is_none() {
+                i64::from(c.i32()?)
+            } else {
+                0
+            }
+        }
+        0b01 => i64::from(c.i8()?),
+        0b10 => i64::from(c.i32()?),
+        _ => unreachable!(),
+    };
+    Ok(ModRm { reg, rm: Rm::Mem(MemRef { base, index, scale, disp, rip_relative: false }) })
+}
+
+fn to_xmmrm(rm: Rm) -> XmmRm {
+    match rm {
+        Rm::Reg(r) => XmmRm::Reg(Xmm(r.encoding())),
+        Rm::Mem(m) => XmmRm::Mem(m),
+    }
+}
+
+fn expect_mem(rm: Rm, at: u64, opcode: u8) -> Result<MemRef, DecodeError> {
+    match rm {
+        Rm::Mem(m) => Ok(m),
+        Rm::Reg(_) => Err(DecodeError::UnsupportedOpcode { at, opcode }),
+    }
+}
+
+/// Decodes a single instruction starting at `bytes[0]`, which lives at
+/// address `addr`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the byte slice ends mid-instruction
+/// and [`DecodeError::UnsupportedOpcode`] for encodings outside the
+/// supported subset.
+pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0, start_addr: addr };
+    let mut p = Prefixes::default();
+
+    // Legacy prefixes + REX (REX must be last).
+    loop {
+        match c.peek() {
+            Some(0xF0) => {
+                p.lock = true;
+                c.pos += 1;
+            }
+            Some(0x66) => {
+                p.p66 = true;
+                c.pos += 1;
+            }
+            Some(0xF2) => {
+                p.f2 = true;
+                c.pos += 1;
+            }
+            Some(0xF3) => {
+                p.f3 = true;
+                c.pos += 1;
+            }
+            Some(b) if (0x40..=0x4F).contains(&b) => {
+                p.rex = b;
+                c.pos += 1;
+                break;
+            }
+            _ => break,
+        }
+    }
+
+    let mut rip: Option<PendingRip> = None;
+    let opcode = c.u8()?;
+    let w = p.width();
+    let w8 = Width::W8;
+
+    let unsup = |opcode| Err(DecodeError::UnsupportedOpcode { at: addr, opcode });
+
+    let inst: Inst = match opcode {
+        // ALU group: 00..3D excluding 0F
+        0x00..=0x3D if opcode & 7 <= 3 && opcode != 0x0F => {
+            let op = AluOp::from_ext(opcode >> 3);
+            let form = opcode & 7;
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            match form {
+                0 => Inst::AluRmR { op, w: w8, dst: m.rm, src: Gpr::from_encoding(m.reg) },
+                1 => Inst::AluRmR { op, w, dst: m.rm, src: Gpr::from_encoding(m.reg) },
+                2 => Inst::AluRRm { op, w: w8, dst: Gpr::from_encoding(m.reg), src: m.rm },
+                3 => Inst::AluRRm { op, w, dst: Gpr::from_encoding(m.reg), src: m.rm },
+                _ => unreachable!(),
+            }
+        }
+        0x50..=0x57 => Inst::Push { src: Gpr::from_encoding((opcode - 0x50) | p.rex_b()) },
+        0x58..=0x5F => Inst::Pop { dst: Gpr::from_encoding((opcode - 0x58) | p.rex_b()) },
+        0x63 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            Inst::MovSx { dw: w, sw: Width::W32, dst: Gpr::from_encoding(m.reg), src: m.rm }
+        }
+        0x69 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = c.i32()?;
+            Inst::IMul3 { w, dst: Gpr::from_encoding(m.reg), src: m.rm, imm }
+        }
+        0x6B => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = i32::from(c.i8()?);
+            Inst::IMul3 { w, dst: Gpr::from_encoding(m.reg), src: m.rm, imm }
+        }
+        0x80 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = i32::from(c.i8()?);
+            let op = AluOp::from_ext(m.reg & 7);
+            if p.lock {
+                Inst::LockAddI { w: w8, mem: expect_mem(m.rm, addr, opcode)?, imm }
+            } else {
+                Inst::AluRmI { op, w: w8, dst: m.rm, imm }
+            }
+        }
+        0x81 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = if w == Width::W16 { i32::from(c.u16()? as i16) } else { c.i32()? };
+            let op = AluOp::from_ext(m.reg & 7);
+            if p.lock && op == AluOp::Add {
+                Inst::LockAddI { w, mem: expect_mem(m.rm, addr, opcode)?, imm }
+            } else {
+                Inst::AluRmI { op, w, dst: m.rm, imm }
+            }
+        }
+        0x83 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = i32::from(c.i8()?);
+            let op = AluOp::from_ext(m.reg & 7);
+            if p.lock && op == AluOp::Add {
+                Inst::LockAddI { w, mem: expect_mem(m.rm, addr, opcode)?, imm }
+            } else {
+                Inst::AluRmI { op, w, dst: m.rm, imm }
+            }
+        }
+        0x84 | 0x85 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let tw = if opcode == 0x84 { w8 } else { w };
+            Inst::Test { w: tw, a: m.rm, b: Gpr::from_encoding(m.reg) }
+        }
+        0x86 | 0x87 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let xw = if opcode == 0x86 { w8 } else { w };
+            Inst::Xchg {
+                w: xw,
+                mem: expect_mem(m.rm, addr, opcode)?,
+                src: Gpr::from_encoding(m.reg),
+            }
+        }
+        0x88 | 0x89 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let mw = if opcode == 0x88 { w8 } else { w };
+            Inst::MovRmR { w: mw, dst: m.rm, src: Gpr::from_encoding(m.reg) }
+        }
+        0x8A | 0x8B => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let mw = if opcode == 0x8A { w8 } else { w };
+            Inst::MovRRm { w: mw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+        }
+        0x8D => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            Inst::Lea {
+                w,
+                dst: Gpr::from_encoding(m.reg),
+                addr: expect_mem(m.rm, addr, opcode)?,
+            }
+        }
+        0x90 => Inst::Nop,
+        0x99 => Inst::Cqo { w },
+        0xB8..=0xBF if p.rex_w() => {
+            let dst = Gpr::from_encoding((opcode - 0xB8) | p.rex_b());
+            let imm = c.u64()?;
+            Inst::MovAbs { dst, imm }
+        }
+        0xC0 | 0xC1 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let sw = if opcode == 0xC0 { w8 } else { w };
+            let op = match m.reg & 7 {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                _ => return unsup(opcode),
+            };
+            let imm = c.u8()?;
+            Inst::ShiftI { op, w: sw, dst: m.rm, imm }
+        }
+        0xC3 => Inst::Ret,
+        0xC6 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = i32::from(c.i8()?);
+            Inst::MovRmI { w: w8, dst: m.rm, imm }
+        }
+        0xC7 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let imm = if w == Width::W16 { i32::from(c.u16()? as i16) } else { c.i32()? };
+            Inst::MovRmI { w, dst: m.rm, imm }
+        }
+        0xD2 | 0xD3 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let sw = if opcode == 0xD2 { w8 } else { w };
+            let op = match m.reg & 7 {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                _ => return unsup(opcode),
+            };
+            Inst::ShiftCl { op, w: sw, dst: m.rm }
+        }
+        0xE8 => {
+            let rel = c.i32()?;
+            let end = addr + c.pos as u64;
+            Inst::Call { target: Target::Abs(end.wrapping_add(rel as i64 as u64)) }
+        }
+        0xE9 => {
+            let rel = c.i32()?;
+            let end = addr + c.pos as u64;
+            Inst::Jmp { target: Target::Abs(end.wrapping_add(rel as i64 as u64)) }
+        }
+        0xF6 | 0xF7 => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            let fw = if opcode == 0xF6 { w8 } else { w };
+            match m.reg & 7 {
+                0 => {
+                    let imm = if fw == Width::W8 {
+                        i32::from(c.i8()?)
+                    } else if fw == Width::W16 {
+                        i32::from(c.u16()? as i16)
+                    } else {
+                        c.i32()?
+                    };
+                    Inst::TestI { w: fw, a: m.rm, imm }
+                }
+                2 => Inst::Not { w: fw, dst: m.rm },
+                3 => Inst::Neg { w: fw, dst: m.rm },
+                4 => Inst::MulDiv { op: MulDivOp::Mul, w: fw, src: m.rm },
+                5 => Inst::MulDiv { op: MulDivOp::IMul, w: fw, src: m.rm },
+                6 => Inst::MulDiv { op: MulDivOp::Div, w: fw, src: m.rm },
+                7 => Inst::MulDiv { op: MulDivOp::IDiv, w: fw, src: m.rm },
+                _ => return unsup(opcode),
+            }
+        }
+        0xFF => {
+            let m = decode_modrm(&mut c, &p, &mut rip)?;
+            match (m.reg & 7, m.rm) {
+                (2, Rm::Reg(r)) => Inst::Call { target: Target::Indirect(r) },
+                (4, Rm::Reg(r)) => Inst::Jmp { target: Target::Indirect(r) },
+                _ => return unsup(opcode),
+            }
+        }
+        0x0F => {
+            let op2 = c.u8()?;
+            match op2 {
+                0x0B => Inst::Ud2,
+                0x10 | 0x11 => {
+                    // movss/movsd/movups depending on prefixes.
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let load = op2 == 0x10;
+                    if p.f3 || p.f2 {
+                        let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
+                        if load {
+                            Inst::MovssLoad { prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                        } else {
+                            Inst::MovssStore {
+                                prec,
+                                dst: expect_mem(m.rm, addr, op2)?,
+                                src: Xmm(m.reg),
+                            }
+                        }
+                    } else if load {
+                        Inst::MovapsLoad { aligned: false, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    } else {
+                        Inst::MovapsStore {
+                            aligned: false,
+                            dst: expect_mem(m.rm, addr, op2)?,
+                            src: Xmm(m.reg),
+                        }
+                    }
+                }
+                0x28 | 0x29 => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    if op2 == 0x28 {
+                        Inst::MovapsLoad { aligned: true, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    } else {
+                        Inst::MovapsStore {
+                            aligned: true,
+                            dst: expect_mem(m.rm, addr, op2)?,
+                            src: Xmm(m.reg),
+                        }
+                    }
+                }
+                0x2A => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
+                    let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
+                    Inst::CvtSi2F { prec, iw, dst: Xmm(m.reg), src: m.rm }
+                }
+                0x2C => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
+                    let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
+                    Inst::CvtF2Si { prec, iw, dst: Gpr::from_encoding(m.reg), src: to_xmmrm(m.rm) }
+                }
+                0x2E => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let prec = if p.p66 { FpPrec::Double } else { FpPrec::Single };
+                    Inst::Ucomis { prec, a: Xmm(m.reg), b: to_xmmrm(m.rm) }
+                }
+                0x40..=0x4F => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    Inst::Cmovcc {
+                        cc: Cond::from_encoding(op2 - 0x40),
+                        w,
+                        dst: Gpr::from_encoding(m.reg),
+                        src: m.rm,
+                    }
+                }
+                0x51 | 0x58 | 0x59 | 0x5C | 0x5D | 0x5E | 0x5F => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let op = match op2 {
+                        0x51 => SseOp::Sqrt,
+                        0x58 => SseOp::Add,
+                        0x59 => SseOp::Mul,
+                        0x5C => SseOp::Sub,
+                        0x5D => SseOp::Min,
+                        0x5E => SseOp::Div,
+                        0x5F => SseOp::Max,
+                        _ => unreachable!(),
+                    };
+                    if p.f3 || p.f2 {
+                        let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
+                        Inst::SseScalar { op, prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    } else {
+                        let prec = if p.p66 { FpPrec::Double } else { FpPrec::Single };
+                        Inst::SsePacked { op, prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    }
+                }
+                0x5A => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let to = if p.f3 { FpPrec::Double } else { FpPrec::Single };
+                    Inst::CvtF2F { to, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                }
+                0x57 => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    Inst::Xorps { dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                }
+                0x6E => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
+                    match m.rm {
+                        Rm::Reg(r) => Inst::MovGprToXmm { w: iw, dst: Xmm(m.reg), src: r },
+                        Rm::Mem(_) => return unsup(op2),
+                    }
+                }
+                0x7E => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
+                    match m.rm {
+                        Rm::Reg(r) => Inst::MovXmmToGpr { w: iw, dst: r, src: Xmm(m.reg) },
+                        Rm::Mem(_) => return unsup(op2),
+                    }
+                }
+                0x80..=0x8F => {
+                    let rel = c.i32()?;
+                    let end = addr + c.pos as u64;
+                    Inst::Jcc {
+                        cc: Cond::from_encoding(op2 - 0x80),
+                        target: Target::Abs(end.wrapping_add(rel as i64 as u64)),
+                    }
+                }
+                0x90..=0x9F => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    Inst::Setcc { cc: Cond::from_encoding(op2 - 0x90), dst: m.rm }
+                }
+                0xAE => {
+                    let next = c.u8()?;
+                    if next == 0xF0 {
+                        Inst::Mfence
+                    } else {
+                        return unsup(next);
+                    }
+                }
+                0xAF => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    Inst::IMul2 { w, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                }
+                0xB0 | 0xB1 => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let cw = if op2 == 0xB0 { w8 } else { w };
+                    Inst::LockCmpxchg {
+                        w: cw,
+                        mem: expect_mem(m.rm, addr, op2)?,
+                        src: Gpr::from_encoding(m.reg),
+                    }
+                }
+                0xB6 | 0xB7 => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let sw = if op2 == 0xB6 { Width::W8 } else { Width::W16 };
+                    Inst::MovZx { dw: w, sw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                }
+                0xBE | 0xBF => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let sw = if op2 == 0xBE { Width::W8 } else { Width::W16 };
+                    Inst::MovSx { dw: w, sw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                }
+                0xC0 | 0xC1 => {
+                    let m = decode_modrm(&mut c, &p, &mut rip)?;
+                    let xw = if op2 == 0xC0 { w8 } else { w };
+                    Inst::LockXadd {
+                        w: xw,
+                        mem: expect_mem(m.rm, addr, op2)?,
+                        src: Gpr::from_encoding(m.reg),
+                    }
+                }
+                _ => return unsup(op2),
+            }
+        }
+        _ => return unsup(opcode),
+    };
+
+    let len = c.pos;
+
+    // Patch RIP-relative memory operands now that the length is known.
+    let inst = if let Some(PendingRip { disp32 }) = rip {
+        let end = addr + len as u64;
+        let abs = end.wrapping_add(disp32 as i64 as u64);
+        patch_rip(inst, abs)
+    } else {
+        inst
+    };
+
+    Ok(Decoded { inst, addr, len })
+}
+
+/// Replaces the (single) RIP-relative memory operand's displacement with the
+/// resolved absolute address.
+fn patch_rip(inst: Inst, abs: u64) -> Inst {
+    fn fix_mem(m: MemRef, abs: u64) -> MemRef {
+        if m.rip_relative {
+            MemRef { disp: abs as i64, ..m }
+        } else {
+            m
+        }
+    }
+    fn fix_rm(rm: Rm, abs: u64) -> Rm {
+        match rm {
+            Rm::Mem(m) => Rm::Mem(fix_mem(m, abs)),
+            r => r,
+        }
+    }
+    fn fix_xrm(rm: XmmRm, abs: u64) -> XmmRm {
+        match rm {
+            XmmRm::Mem(m) => XmmRm::Mem(fix_mem(m, abs)),
+            r => r,
+        }
+    }
+    match inst {
+        Inst::MovRRm { w, dst, src } => Inst::MovRRm { w, dst, src: fix_rm(src, abs) },
+        Inst::MovRmR { w, dst, src } => Inst::MovRmR { w, dst: fix_rm(dst, abs), src },
+        Inst::MovRmI { w, dst, imm } => Inst::MovRmI { w, dst: fix_rm(dst, abs), imm },
+        Inst::MovZx { dw, sw, dst, src } => Inst::MovZx { dw, sw, dst, src: fix_rm(src, abs) },
+        Inst::MovSx { dw, sw, dst, src } => Inst::MovSx { dw, sw, dst, src: fix_rm(src, abs) },
+        Inst::Lea { w, dst, addr: m } => Inst::Lea { w, dst, addr: fix_mem(m, abs) },
+        Inst::AluRRm { op, w, dst, src } => Inst::AluRRm { op, w, dst, src: fix_rm(src, abs) },
+        Inst::AluRmR { op, w, dst, src } => Inst::AluRmR { op, w, dst: fix_rm(dst, abs), src },
+        Inst::AluRmI { op, w, dst, imm } => Inst::AluRmI { op, w, dst: fix_rm(dst, abs), imm },
+        Inst::Test { w, a, b } => Inst::Test { w, a: fix_rm(a, abs), b },
+        Inst::TestI { w, a, imm } => Inst::TestI { w, a: fix_rm(a, abs), imm },
+        Inst::ShiftI { op, w, dst, imm } => Inst::ShiftI { op, w, dst: fix_rm(dst, abs), imm },
+        Inst::ShiftCl { op, w, dst } => Inst::ShiftCl { op, w, dst: fix_rm(dst, abs) },
+        Inst::IMul2 { w, dst, src } => Inst::IMul2 { w, dst, src: fix_rm(src, abs) },
+        Inst::IMul3 { w, dst, src, imm } => Inst::IMul3 { w, dst, src: fix_rm(src, abs), imm },
+        Inst::MulDiv { op, w, src } => Inst::MulDiv { op, w, src: fix_rm(src, abs) },
+        Inst::Neg { w, dst } => Inst::Neg { w, dst: fix_rm(dst, abs) },
+        Inst::Not { w, dst } => Inst::Not { w, dst: fix_rm(dst, abs) },
+        Inst::Setcc { cc, dst } => Inst::Setcc { cc, dst: fix_rm(dst, abs) },
+        Inst::Cmovcc { cc, w, dst, src } => Inst::Cmovcc { cc, w, dst, src: fix_rm(src, abs) },
+        Inst::MovssLoad { prec, dst, src } => {
+            Inst::MovssLoad { prec, dst, src: fix_xrm(src, abs) }
+        }
+        Inst::MovssStore { prec, dst, src } => {
+            Inst::MovssStore { prec, dst: fix_mem(dst, abs), src }
+        }
+        Inst::MovapsLoad { aligned, dst, src } => {
+            Inst::MovapsLoad { aligned, dst, src: fix_xrm(src, abs) }
+        }
+        Inst::MovapsStore { aligned, dst, src } => {
+            Inst::MovapsStore { aligned, dst: fix_mem(dst, abs), src }
+        }
+        Inst::SseScalar { op, prec, dst, src } => {
+            Inst::SseScalar { op, prec, dst, src: fix_xrm(src, abs) }
+        }
+        Inst::SsePacked { op, prec, dst, src } => {
+            Inst::SsePacked { op, prec, dst, src: fix_xrm(src, abs) }
+        }
+        Inst::Xorps { dst, src } => Inst::Xorps { dst, src: fix_xrm(src, abs) },
+        Inst::Ucomis { prec, a, b } => Inst::Ucomis { prec, a, b: fix_xrm(b, abs) },
+        Inst::CvtSi2F { prec, iw, dst, src } => {
+            Inst::CvtSi2F { prec, iw, dst, src: fix_rm(src, abs) }
+        }
+        Inst::CvtF2Si { prec, iw, dst, src } => {
+            Inst::CvtF2Si { prec, iw, dst, src: fix_xrm(src, abs) }
+        }
+        Inst::CvtF2F { to, dst, src } => Inst::CvtF2F { to, dst, src: fix_xrm(src, abs) },
+        Inst::LockCmpxchg { w, mem, src } => {
+            Inst::LockCmpxchg { w, mem: fix_mem(mem, abs), src }
+        }
+        Inst::LockXadd { w, mem, src } => Inst::LockXadd { w, mem: fix_mem(mem, abs), src },
+        Inst::LockAddI { w, mem, imm } => Inst::LockAddI { w, mem: fix_mem(mem, abs), imm },
+        Inst::Xchg { w, mem, src } => Inst::Xchg { w, mem: fix_mem(mem, abs), src },
+        other => other,
+    }
+}
+
+/// Decodes a contiguous byte range into instructions, stopping at the first
+/// error or at the end of the slice.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`] encountered.
+pub fn decode_all(bytes: &[u8], base_addr: u64) -> Result<Vec<Decoded>, DecodeError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let d = decode_one(&bytes[off..], base_addr + off as u64)?;
+        off += d.len;
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::inst::MemRef;
+
+    fn roundtrip(inst: Inst, addr: u64) {
+        let mut v = Vec::new();
+        let len = encode(&inst, addr, &mut v).unwrap();
+        let d = decode_one(&v, addr).unwrap_or_else(|e| panic!("decode {inst}: {e} ({v:02x?})"));
+        assert_eq!(d.inst, inst, "bytes {v:02x?}");
+        assert_eq!(d.len, len);
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip(Inst::Nop, 0);
+        roundtrip(Inst::Ret, 0);
+        roundtrip(Inst::Mfence, 0);
+        roundtrip(Inst::Ud2, 0);
+        roundtrip(Inst::Cqo { w: Width::W64 }, 0);
+    }
+
+    #[test]
+    fn roundtrip_mov_forms() {
+        for w in [Width::W8, Width::W16, Width::W32, Width::W64] {
+            roundtrip(Inst::MovRRm { w, dst: Gpr::Rax, src: Rm::Reg(Gpr::R9) }, 0x1000);
+            roundtrip(
+                Inst::MovRRm { w, dst: Gpr::R13, src: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -24)) },
+                0x1000,
+            );
+            roundtrip(
+                Inst::MovRmR {
+                    w,
+                    dst: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 4, 1024)),
+                    src: Gpr::Rdx,
+                },
+                0x1000,
+            );
+        }
+        roundtrip(Inst::MovAbs { dst: Gpr::R11, imm: 0xDEAD_BEEF_CAFE_0001 }, 0);
+        roundtrip(
+            Inst::MovRmI { w: Width::W32, dst: Rm::Mem(MemRef::base(Gpr::Rsp)), imm: -7 },
+            0,
+        );
+    }
+
+    #[test]
+    fn roundtrip_rip_relative() {
+        let inst = Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::rip(0x40_2000)),
+        };
+        roundtrip(inst, 0x40_1000);
+        // And with a trailing immediate, which shifts the displacement base.
+        let inst = Inst::MovRmI {
+            w: Width::W32,
+            dst: Rm::Mem(MemRef::rip(0x40_2000)),
+            imm: 42,
+        };
+        roundtrip(inst, 0x40_1000);
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Cmp] {
+            roundtrip(Inst::AluRRm { op, w: Width::W64, dst: Gpr::Rbx, src: Rm::Reg(Gpr::R8) }, 0);
+            roundtrip(
+                Inst::AluRmI { op, w: Width::W32, dst: Rm::Reg(Gpr::Rcx), imm: 1000 },
+                0,
+            );
+            roundtrip(Inst::AluRmI { op, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: -8 }, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        roundtrip(Inst::Jmp { target: Target::Abs(0x1234) }, 0x1000);
+        roundtrip(Inst::Call { target: Target::Abs(0x100) }, 0x2000);
+        roundtrip(Inst::Call { target: Target::Indirect(Gpr::Rax) }, 0);
+        roundtrip(Inst::Jmp { target: Target::Indirect(Gpr::R10) }, 0);
+        for cc in Cond::ALL {
+            roundtrip(Inst::Jcc { cc, target: Target::Abs(0x4000) }, 0x1000);
+            roundtrip(Inst::Setcc { cc, dst: Rm::Reg(Gpr::Rax) }, 0);
+            roundtrip(Inst::Cmovcc { cc, w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::R14) }, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_sse() {
+        for prec in [FpPrec::Single, FpPrec::Double] {
+            roundtrip(
+                Inst::MovssLoad { prec, dst: Xmm(3), src: XmmRm::Mem(MemRef::base(Gpr::Rsi)) },
+                0,
+            );
+            roundtrip(
+                Inst::MovssStore { prec, dst: MemRef::base_disp(Gpr::Rdi, 16), src: Xmm(1) },
+                0,
+            );
+            for op in [SseOp::Add, SseOp::Sub, SseOp::Mul, SseOp::Div, SseOp::Min, SseOp::Max] {
+                roundtrip(Inst::SseScalar { op, prec, dst: Xmm(0), src: XmmRm::Reg(Xmm(2)) }, 0);
+                roundtrip(Inst::SsePacked { op, prec, dst: Xmm(5), src: XmmRm::Reg(Xmm(7)) }, 0);
+            }
+            roundtrip(Inst::Ucomis { prec, a: Xmm(0), b: XmmRm::Reg(Xmm(1)) }, 0);
+            roundtrip(
+                Inst::CvtSi2F { prec, iw: Width::W64, dst: Xmm(2), src: Rm::Reg(Gpr::Rax) },
+                0,
+            );
+            roundtrip(
+                Inst::CvtF2Si { prec, iw: Width::W32, dst: Gpr::Rcx, src: XmmRm::Reg(Xmm(3)) },
+                0,
+            );
+        }
+        roundtrip(Inst::Xorps { dst: Xmm(0), src: XmmRm::Reg(Xmm(0)) }, 0);
+        roundtrip(Inst::CvtF2F { to: FpPrec::Double, dst: Xmm(1), src: XmmRm::Reg(Xmm(2)) }, 0);
+        roundtrip(Inst::CvtF2F { to: FpPrec::Single, dst: Xmm(1), src: XmmRm::Reg(Xmm(2)) }, 0);
+        roundtrip(Inst::MovXmmToGpr { w: Width::W64, dst: Gpr::Rax, src: Xmm(9) }, 0);
+        roundtrip(Inst::MovGprToXmm { w: Width::W32, dst: Xmm(9), src: Gpr::Rax }, 0);
+    }
+
+    #[test]
+    fn roundtrip_atomics() {
+        for w in [Width::W32, Width::W64] {
+            roundtrip(Inst::LockCmpxchg { w, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx }, 0);
+            roundtrip(Inst::LockXadd { w, mem: MemRef::base_disp(Gpr::Rsi, 4), src: Gpr::Rcx }, 0);
+            roundtrip(Inst::LockAddI { w, mem: MemRef::base(Gpr::Rdx), imm: 1 }, 0);
+            roundtrip(Inst::LockAddI { w, mem: MemRef::base(Gpr::Rdx), imm: 4096 }, 0);
+            roundtrip(Inst::Xchg { w, mem: MemRef::base(Gpr::R9), src: Gpr::Rax }, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_misc_int() {
+        roundtrip(Inst::MovZx { dw: Width::W32, sw: Width::W8, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) }, 0);
+        roundtrip(Inst::MovSx { dw: Width::W64, sw: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) }, 0);
+        roundtrip(Inst::MovSx { dw: Width::W64, sw: Width::W8, dst: Gpr::R8, src: Rm::Reg(Gpr::Rbx) }, 0);
+        roundtrip(Inst::Lea { w: Width::W64, dst: Gpr::Rax, addr: MemRef::base_index(Gpr::Rdi, Gpr::Rsi, 8, -64) }, 0);
+        roundtrip(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx) }, 0);
+        roundtrip(Inst::IMul3 { w: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx), imm: 100 }, 0);
+        roundtrip(Inst::IMul3 { w: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx), imm: 100_000 }, 0);
+        roundtrip(Inst::MulDiv { op: MulDivOp::IDiv, w: Width::W64, src: Rm::Reg(Gpr::Rcx) }, 0);
+        roundtrip(Inst::ShiftI { op: ShiftOp::Shl, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 3 }, 0);
+        roundtrip(Inst::ShiftCl { op: ShiftOp::Sar, w: Width::W32, dst: Rm::Reg(Gpr::Rdx) }, 0);
+        roundtrip(Inst::Neg { w: Width::W64, dst: Rm::Reg(Gpr::Rax) }, 0);
+        roundtrip(Inst::Not { w: Width::W32, dst: Rm::Reg(Gpr::R15) }, 0);
+        roundtrip(Inst::Test { w: Width::W64, a: Rm::Reg(Gpr::Rax), b: Gpr::Rax }, 0);
+        roundtrip(Inst::TestI { w: Width::W32, a: Rm::Reg(Gpr::Rdi), imm: 1 }, 0);
+    }
+
+    #[test]
+    fn decode_stream() {
+        // push rbp; mov rbp, rsp; pop rbp; ret
+        let prog = [
+            Inst::Push { src: Gpr::Rbp },
+            Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rbp), src: Gpr::Rsp },
+            Inst::Pop { dst: Gpr::Rbp },
+            Inst::Ret,
+        ];
+        let mut bytes = Vec::new();
+        let mut addr = 0x1000u64;
+        for i in &prog {
+            addr += encode(i, addr, &mut bytes).unwrap() as u64;
+        }
+        let decoded = decode_all(&bytes, 0x1000).unwrap();
+        let insts: Vec<Inst> = decoded.iter().map(|d| d.inst).collect();
+        assert_eq!(insts, prog);
+    }
+
+    #[test]
+    fn unsupported_opcode_reports_address() {
+        let err = decode_one(&[0xCC], 0x55).unwrap_err();
+        assert_eq!(err, DecodeError::UnsupportedOpcode { at: 0x55, opcode: 0xCC });
+    }
+
+    #[test]
+    fn truncated_reports_address() {
+        let err = decode_one(&[0x48], 0x7).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { at: 0x7 });
+    }
+}

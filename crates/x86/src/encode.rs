@@ -1,0 +1,774 @@
+//! x86-64 machine-code encoder.
+//!
+//! Produces genuine x86-64 encodings (legacy prefixes, REX, ModRM, SIB,
+//! displacements, immediates) for every [`Inst`] variant. The
+//! [`crate::decode`] module is the exact inverse; the two are
+//! property-tested to round-trip.
+
+use crate::inst::{FpPrec, Inst, MemRef, Rm, Target, XmmRm};
+use crate::reg::{Gpr, Width};
+
+/// Errors produced while encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A relative branch target is out of `rel32` range.
+    BranchOutOfRange {
+        /// Instruction address.
+        at: u64,
+        /// Branch target address.
+        target: u64,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at {at:#x} to {target:#x} exceeds rel32 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Byte buffer wrapper with little-endian emit helpers.
+struct Buf<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Buf<'_> {
+    fn u8(&mut self, b: u8) {
+        self.out.push(b);
+    }
+    fn i8(&mut self, v: i8) {
+        self.out.push(v as u8);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// How the reg field of ModRM is filled: either a register encoding or an
+/// opcode extension.
+#[derive(Clone, Copy)]
+struct RegField(u8);
+
+/// Operand-size context for prefix decisions.
+#[derive(Clone, Copy)]
+struct SizeCtx {
+    /// Emit the 0x66 operand-size prefix.
+    p66: bool,
+    /// REX.W.
+    rexw: bool,
+    /// Force a REX prefix even when all bits are zero (needed so that
+    /// `spl/bpl/sil/dil` are selected instead of `ah/ch/dh/bh`).
+    force_rex: bool,
+}
+
+impl SizeCtx {
+    fn for_width(w: Width, touches_low8: impl Fn() -> bool) -> SizeCtx {
+        match w {
+            Width::W8 => SizeCtx { p66: false, rexw: false, force_rex: touches_low8() },
+            Width::W16 => SizeCtx { p66: true, rexw: false, force_rex: false },
+            Width::W32 => SizeCtx { p66: false, rexw: false, force_rex: false },
+            Width::W64 => SizeCtx { p66: false, rexw: true, force_rex: false },
+        }
+    }
+}
+
+/// True when an 8-bit access to `r` needs a REX prefix to address the low
+/// byte (`spl`, `bpl`, `sil`, `dil`).
+fn needs_rex_low8(r: Gpr) -> bool {
+    matches!(r, Gpr::Rsp | Gpr::Rbp | Gpr::Rsi | Gpr::Rdi)
+}
+
+fn rm_needs_rex_low8(rm: &Rm) -> bool {
+    match rm {
+        Rm::Reg(r) => needs_rex_low8(*r),
+        Rm::Mem(_) => false,
+    }
+}
+
+/// Encodes one instruction at address `addr`, appending to `out`.
+///
+/// Returns the encoded length in bytes.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BranchOutOfRange`] if a branch displacement does
+/// not fit in `rel32`.
+pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, EncodeError> {
+    let start = out.len();
+    let mut b = Buf { out };
+    enc(inst, addr, &mut b)?;
+    Ok(b.out.len() - start)
+}
+
+/// Emits prefixes + opcode bytes + ModRM/SIB/disp for a reg/rm form.
+///
+/// `imm_len` is the number of immediate bytes that will follow — required to
+/// compute RIP-relative displacements, which are relative to the *end* of
+/// the instruction.
+#[allow(clippy::too_many_arguments)]
+fn modrm_inst(
+    b: &mut Buf<'_>,
+    addr: u64,
+    legacy: &[u8],
+    ctx: SizeCtx,
+    opcode: &[u8],
+    reg: RegField,
+    rm: &Rm,
+    imm_len: usize,
+) {
+    for p in legacy {
+        b.u8(*p);
+    }
+    if ctx.p66 {
+        b.u8(0x66);
+    }
+    // Compute REX bits.
+    let (modrm_rm, mem): (u8, Option<&MemRef>) = match rm {
+        Rm::Reg(r) => (r.encoding(), None),
+        Rm::Mem(m) => (m.base.map_or(5, |r| r.encoding()), Some(m)),
+    };
+    let x_bit = mem.and_then(|m| m.index).map_or(0, |i| i.encoding() >> 3);
+    let rex = 0x40
+        | u8::from(ctx.rexw) << 3
+        | ((reg.0 >> 3) & 1) << 2
+        | (x_bit & 1) << 1
+        | ((modrm_rm >> 3) & 1);
+    if rex != 0x40 || ctx.force_rex {
+        b.u8(rex);
+    }
+    for op in opcode {
+        b.u8(*op);
+    }
+    let regbits = (reg.0 & 7) << 3;
+    match rm {
+        Rm::Reg(r) => {
+            b.u8(0xC0 | regbits | (r.encoding() & 7));
+        }
+        Rm::Mem(m) => encode_mem(b, addr, regbits, m, imm_len),
+    }
+}
+
+/// Emits ModRM + SIB + displacement for memory operand `m`.
+fn encode_mem(b: &mut Buf<'_>, addr: u64, regbits: u8, m: &MemRef, imm_len: usize) {
+    if m.rip_relative {
+        // mod=00 rm=101: RIP + disp32, relative to the end of the instruction.
+        b.u8(regbits | 0x05);
+        let disp_pos = b.out.len();
+        let end = addr + (disp_pos - rel_base(b, addr)) as u64 + 4 + imm_len as u64;
+        let rel = (m.disp as u64).wrapping_sub(end) as i64;
+        b.i32(rel as i32);
+        return;
+    }
+    let scale_bits = match m.scale {
+        1 => 0u8,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        s => panic!("invalid scale {s}"),
+    };
+    match (m.base, m.index) {
+        (None, index) => {
+            // No base: mod=00, rm=100 (SIB), SIB.base=101 → disp32 absolute.
+            b.u8(regbits | 0x04);
+            let idx = index.map_or(0b100, |i| i.encoding() & 7);
+            b.u8(scale_bits << 6 | idx << 3 | 0b101);
+            b.i32(m.disp as i32);
+        }
+        (Some(base), index) => {
+            let base_enc = base.encoding() & 7;
+            let needs_sib = index.is_some() || base_enc == 0b100;
+            // mod bits chosen from displacement size; base RBP/R13 cannot use mod=00.
+            let (modbits, d8, d32) = if m.disp == 0 && base_enc != 0b101 {
+                (0b00u8, false, false)
+            } else if i8::try_from(m.disp).is_ok() {
+                (0b01, true, false)
+            } else {
+                (0b10, false, true)
+            };
+            if needs_sib {
+                b.u8(modbits << 6 | regbits | 0b100);
+                let idx = m.index.map_or(0b100, |i| i.encoding() & 7);
+                b.u8(scale_bits << 6 | idx << 3 | base_enc);
+            } else {
+                b.u8(modbits << 6 | regbits | base_enc);
+            }
+            if d8 {
+                b.i8(m.disp as i8);
+            } else if d32 {
+                b.i32(m.disp as i32);
+            }
+        }
+    }
+}
+
+/// Start of the current instruction within the buffer: used to translate
+/// buffer offsets into addresses. We track it by noting how many bytes of
+/// this instruction were already emitted.
+fn rel_base(b: &Buf<'_>, _addr: u64) -> usize {
+    // The caller begins each instruction at the current buffer length, so we
+    // reconstruct the instruction start by scanning backwards is not
+    // possible; instead the encoder records it via `INST_START`.
+    INST_START.with(|s| s.get().min(b.out.len()))
+}
+
+thread_local! {
+    static INST_START: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn imm_for_alu(imm: i32) -> (u8, bool) {
+    // Returns (opcode, is_imm8) choosing the sign-extended imm8 form when it fits.
+    if i8::try_from(imm).is_ok() {
+        (0x83, true)
+    } else {
+        (0x81, false)
+    }
+}
+
+fn rel32(b: &mut Buf<'_>, addr: u64, inst_len_so_far: usize, target: u64) -> Result<(), EncodeError> {
+    let end = addr + inst_len_so_far as u64 + 4;
+    let rel = target.wrapping_sub(end) as i64;
+    let rel = i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { at: addr, target })?;
+    b.i32(rel);
+    Ok(())
+}
+
+fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
+    let inst_start = b.out.len();
+    INST_START.with(|s| s.set(inst_start));
+    let len_so_far = |b: &Buf<'_>| b.out.len() - inst_start;
+    match inst {
+        Inst::MovRRm { w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*dst) || rm_needs_rex_low8(src));
+            let op = if *w == Width::W8 { 0x8A } else { 0x8B };
+            modrm_inst(b, addr, &[], ctx, &[op], RegField(dst.encoding()), src, 0);
+        }
+        Inst::MovRmR { w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src) || rm_needs_rex_low8(dst));
+            let op = if *w == Width::W8 { 0x88 } else { 0x89 };
+            modrm_inst(b, addr, &[], ctx, &[op], RegField(src.encoding()), dst, 0);
+        }
+        Inst::MovRmI { w, dst, imm } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            match w {
+                Width::W8 => {
+                    modrm_inst(b, addr, &[], ctx, &[0xC6], RegField(0), dst, 1);
+                    b.i8(*imm as i8);
+                }
+                Width::W16 => {
+                    modrm_inst(b, addr, &[], ctx, &[0xC7], RegField(0), dst, 2);
+                    b.u16(*imm as u16);
+                }
+                _ => {
+                    modrm_inst(b, addr, &[], ctx, &[0xC7], RegField(0), dst, 4);
+                    b.i32(*imm);
+                }
+            }
+        }
+        Inst::MovAbs { dst, imm } => {
+            let rex = 0x48 | (dst.encoding() >> 3);
+            b.u8(rex);
+            b.u8(0xB8 + (dst.encoding() & 7));
+            b.u64(*imm);
+        }
+        Inst::MovZx { dw, sw, dst, src } => {
+            let ctx = SizeCtx::for_width(*dw, || *sw == Width::W8 && rm_needs_rex_low8(src));
+            let op = if *sw == Width::W8 { 0xB6 } else { 0xB7 };
+            modrm_inst(b, addr, &[], ctx, &[0x0F, op], RegField(dst.encoding()), src, 0);
+        }
+        Inst::MovSx { dw, sw, dst, src } => {
+            let ctx = SizeCtx::for_width(*dw, || *sw == Width::W8 && rm_needs_rex_low8(src));
+            match sw {
+                Width::W8 => {
+                    modrm_inst(b, addr, &[], ctx, &[0x0F, 0xBE], RegField(dst.encoding()), src, 0)
+                }
+                Width::W16 => {
+                    modrm_inst(b, addr, &[], ctx, &[0x0F, 0xBF], RegField(dst.encoding()), src, 0)
+                }
+                Width::W32 => {
+                    // movsxd r64, r/m32
+                    modrm_inst(b, addr, &[], ctx, &[0x63], RegField(dst.encoding()), src, 0)
+                }
+                Width::W64 => panic!("movsx from 64-bit source"),
+            }
+        }
+        Inst::Lea { w, dst, addr: m } => {
+            let ctx = SizeCtx::for_width(*w, || false);
+            modrm_inst(b, addr, &[], ctx, &[0x8D], RegField(dst.encoding()), &Rm::Mem(*m), 0);
+        }
+        Inst::AluRRm { op, w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*dst) || rm_needs_rex_low8(src));
+            let base = op.ext() * 8 + if *w == Width::W8 { 2 } else { 3 };
+            modrm_inst(b, addr, &[], ctx, &[base], RegField(dst.encoding()), src, 0);
+        }
+        Inst::AluRmR { op, w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src) || rm_needs_rex_low8(dst));
+            let base = op.ext() * 8 + if *w == Width::W8 { 0 } else { 1 };
+            modrm_inst(b, addr, &[], ctx, &[base], RegField(src.encoding()), dst, 0);
+        }
+        Inst::AluRmI { op, w, dst, imm } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            if *w == Width::W8 {
+                modrm_inst(b, addr, &[], ctx, &[0x80], RegField(op.ext()), dst, 1);
+                b.i8(*imm as i8);
+            } else {
+                let (opcode, imm8) = imm_for_alu(*imm);
+                let ilen = if imm8 {
+                    1
+                } else if *w == Width::W16 {
+                    2
+                } else {
+                    4
+                };
+                modrm_inst(b, addr, &[], ctx, &[opcode], RegField(op.ext()), dst, ilen);
+                if imm8 {
+                    b.i8(*imm as i8);
+                } else if *w == Width::W16 {
+                    b.u16(*imm as u16);
+                } else {
+                    b.i32(*imm);
+                }
+            }
+        }
+        Inst::Test { w, a, b: breg } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*breg) || rm_needs_rex_low8(a));
+            let op = if *w == Width::W8 { 0x84 } else { 0x85 };
+            modrm_inst(b, addr, &[], ctx, &[op], RegField(breg.encoding()), a, 0);
+        }
+        Inst::TestI { w, a, imm } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(a));
+            if *w == Width::W8 {
+                modrm_inst(b, addr, &[], ctx, &[0xF6], RegField(0), a, 1);
+                b.i8(*imm as i8);
+            } else {
+                let ilen = if *w == Width::W16 { 2 } else { 4 };
+                modrm_inst(b, addr, &[], ctx, &[0xF7], RegField(0), a, ilen);
+                if *w == Width::W16 {
+                    b.u16(*imm as u16);
+                } else {
+                    b.i32(*imm);
+                }
+            }
+        }
+        Inst::ShiftI { op, w, dst, imm } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            let opcode = if *w == Width::W8 { 0xC0 } else { 0xC1 };
+            modrm_inst(b, addr, &[], ctx, &[opcode], RegField(op.ext()), dst, 1);
+            b.u8(*imm);
+        }
+        Inst::ShiftCl { op, w, dst } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            let opcode = if *w == Width::W8 { 0xD2 } else { 0xD3 };
+            modrm_inst(b, addr, &[], ctx, &[opcode], RegField(op.ext()), dst, 0);
+        }
+        Inst::IMul2 { w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || false);
+            modrm_inst(b, addr, &[], ctx, &[0x0F, 0xAF], RegField(dst.encoding()), src, 0);
+        }
+        Inst::IMul3 { w, dst, src, imm } => {
+            let ctx = SizeCtx::for_width(*w, || false);
+            if i8::try_from(*imm).is_ok() {
+                modrm_inst(b, addr, &[], ctx, &[0x6B], RegField(dst.encoding()), src, 1);
+                b.i8(*imm as i8);
+            } else {
+                modrm_inst(b, addr, &[], ctx, &[0x69], RegField(dst.encoding()), src, 4);
+                b.i32(*imm);
+            }
+        }
+        Inst::MulDiv { op, w, src } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(src));
+            let opcode = if *w == Width::W8 { 0xF6 } else { 0xF7 };
+            modrm_inst(b, addr, &[], ctx, &[opcode], RegField(op.ext()), src, 0);
+        }
+        Inst::Cqo { w } => {
+            if *w == Width::W64 {
+                b.u8(0x48);
+            }
+            b.u8(0x99);
+        }
+        Inst::Neg { w, dst } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            let opcode = if *w == Width::W8 { 0xF6 } else { 0xF7 };
+            modrm_inst(b, addr, &[], ctx, &[opcode], RegField(3), dst, 0);
+        }
+        Inst::Not { w, dst } => {
+            let ctx = SizeCtx::for_width(*w, || rm_needs_rex_low8(dst));
+            let opcode = if *w == Width::W8 { 0xF6 } else { 0xF7 };
+            modrm_inst(b, addr, &[], ctx, &[opcode], RegField(2), dst, 0);
+        }
+        Inst::Push { src } => {
+            if src.encoding() >= 8 {
+                b.u8(0x41);
+            }
+            b.u8(0x50 + (src.encoding() & 7));
+        }
+        Inst::Pop { dst } => {
+            if dst.encoding() >= 8 {
+                b.u8(0x41);
+            }
+            b.u8(0x58 + (dst.encoding() & 7));
+        }
+        Inst::Jmp { target } => match target {
+            Target::Abs(t) => {
+                b.u8(0xE9);
+                rel32(b, addr, len_so_far(b), *t)?;
+            }
+            Target::Indirect(r) => {
+                modrm_inst(
+                    b,
+                    addr,
+                    &[],
+                    SizeCtx { p66: false, rexw: false, force_rex: false },
+                    &[0xFF],
+                    RegField(4),
+                    &Rm::Reg(*r),
+                    0,
+                );
+            }
+        },
+        Inst::Jcc { cc, target } => match target {
+            Target::Abs(t) => {
+                b.u8(0x0F);
+                b.u8(0x80 + cc.encoding());
+                rel32(b, addr, len_so_far(b), *t)?;
+            }
+            Target::Indirect(_) => panic!("indirect jcc does not exist"),
+        },
+        Inst::Call { target } => match target {
+            Target::Abs(t) => {
+                b.u8(0xE8);
+                rel32(b, addr, len_so_far(b), *t)?;
+            }
+            Target::Indirect(r) => {
+                modrm_inst(
+                    b,
+                    addr,
+                    &[],
+                    SizeCtx { p66: false, rexw: false, force_rex: false },
+                    &[0xFF],
+                    RegField(2),
+                    &Rm::Reg(*r),
+                    0,
+                );
+            }
+        },
+        Inst::Ret => b.u8(0xC3),
+        Inst::Setcc { cc, dst } => {
+            let ctx = SizeCtx::for_width(Width::W8, || rm_needs_rex_low8(dst));
+            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x90 + cc.encoding()], RegField(0), dst, 0);
+        }
+        Inst::Cmovcc { cc, w, dst, src } => {
+            let ctx = SizeCtx::for_width(*w, || false);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, 0x40 + cc.encoding()],
+                RegField(dst.encoding()),
+                src,
+                0,
+            );
+        }
+        Inst::Nop => b.u8(0x90),
+        Inst::Ud2 => {
+            b.u8(0x0F);
+            b.u8(0x0B);
+        }
+        Inst::MovssLoad { prec, dst, src } => {
+            let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
+            sse_modrm(b, addr, &[p], &[0x0F, 0x10], dst.encoding(), src, 0);
+        }
+        Inst::MovssStore { prec, dst, src } => {
+            let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
+            sse_modrm(b, addr, &[p], &[0x0F, 0x11], src.encoding(), &XmmRm::Mem(*dst), 0);
+        }
+        Inst::MovapsLoad { aligned, dst, src } => {
+            let op = if *aligned { 0x28 } else { 0x10 };
+            sse_modrm(b, addr, &[], &[0x0F, op], dst.encoding(), src, 0);
+        }
+        Inst::MovapsStore { aligned, dst, src } => {
+            let op = if *aligned { 0x29 } else { 0x11 };
+            sse_modrm(b, addr, &[], &[0x0F, op], src.encoding(), &XmmRm::Mem(*dst), 0);
+        }
+        Inst::MovXmmToGpr { w, dst, src } => {
+            // 66 (REX.W) 0F 7E /r : movd/movq r/m, xmm
+            b.u8(0x66);
+            let rex = 0x40
+                | u8::from(*w == Width::W64) << 3
+                | ((src.encoding() >> 3) & 1) << 2
+                | ((dst.encoding() >> 3) & 1);
+            if rex != 0x40 {
+                b.u8(rex);
+            }
+            b.u8(0x0F);
+            b.u8(0x7E);
+            b.u8(0xC0 | (src.encoding() & 7) << 3 | (dst.encoding() & 7));
+        }
+        Inst::MovGprToXmm { w, dst, src } => {
+            b.u8(0x66);
+            let rex = 0x40
+                | u8::from(*w == Width::W64) << 3
+                | ((dst.encoding() >> 3) & 1) << 2
+                | ((src.encoding() >> 3) & 1);
+            if rex != 0x40 {
+                b.u8(rex);
+            }
+            b.u8(0x0F);
+            b.u8(0x6E);
+            b.u8(0xC0 | (dst.encoding() & 7) << 3 | (src.encoding() & 7));
+        }
+        Inst::SseScalar { op, prec, dst, src } => {
+            let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
+            sse_modrm(b, addr, &[p], &[0x0F, op.opcode()], dst.encoding(), src, 0);
+        }
+        Inst::SsePacked { op, prec, dst, src } => {
+            let legacy: &[u8] = if *prec == FpPrec::Single { &[] } else { &[0x66] };
+            sse_modrm(b, addr, legacy, &[0x0F, op.opcode()], dst.encoding(), src, 0);
+        }
+        Inst::Xorps { dst, src } => {
+            sse_modrm(b, addr, &[], &[0x0F, 0x57], dst.encoding(), src, 0);
+        }
+        Inst::Ucomis { prec, a, b: src } => {
+            let legacy: &[u8] = if *prec == FpPrec::Single { &[] } else { &[0x66] };
+            sse_modrm(b, addr, legacy, &[0x0F, 0x2E], a.encoding(), src, 0);
+        }
+        Inst::CvtSi2F { prec, iw, dst, src } => {
+            let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
+            let ctx = SizeCtx { p66: false, rexw: *iw == Width::W64, force_rex: false };
+            b.u8(p);
+            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x2A], RegField(dst.encoding()), src, 0);
+        }
+        Inst::CvtF2Si { prec, iw, dst, src } => {
+            let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
+            b.u8(p);
+            // Treat the XMM r/m via the integer path by converting operand kinds.
+            let rm = match src {
+                XmmRm::Reg(x) => Rm::Reg(Gpr::from_encoding(x.encoding())),
+                XmmRm::Mem(m) => Rm::Mem(*m),
+            };
+            let ctx = SizeCtx { p66: false, rexw: *iw == Width::W64, force_rex: false };
+            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x2C], RegField(dst.encoding()), &rm, 0);
+        }
+        Inst::CvtF2F { to, dst, src } => {
+            // cvtss2sd = F3 0F 5A (source is single); cvtsd2ss = F2 0F 5A.
+            let p = if *to == FpPrec::Double { 0xF3 } else { 0xF2 };
+            sse_modrm(b, addr, &[p], &[0x0F, 0x5A], dst.encoding(), src, 0);
+        }
+        Inst::Mfence => {
+            b.u8(0x0F);
+            b.u8(0xAE);
+            b.u8(0xF0);
+        }
+        Inst::LockCmpxchg { w, mem, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
+            let op = if *w == Width::W8 { 0xB0 } else { 0xB1 };
+            modrm_inst(b, addr, &[0xF0], ctx, &[0x0F, op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+        }
+        Inst::LockXadd { w, mem, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
+            let op = if *w == Width::W8 { 0xC0 } else { 0xC1 };
+            modrm_inst(b, addr, &[0xF0], ctx, &[0x0F, op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+        }
+        Inst::LockAddI { w, mem, imm } => {
+            let ctx = SizeCtx::for_width(*w, || false);
+            if *w == Width::W8 {
+                modrm_inst(b, addr, &[0xF0], ctx, &[0x80], RegField(0), &Rm::Mem(*mem), 1);
+                b.i8(*imm as i8);
+            } else {
+                let (opcode, imm8) = imm_for_alu(*imm);
+                let ilen = if imm8 { 1 } else { 4 };
+                modrm_inst(b, addr, &[0xF0], ctx, &[opcode], RegField(0), &Rm::Mem(*mem), ilen);
+                if imm8 {
+                    b.i8(*imm as i8);
+                } else {
+                    b.i32(*imm);
+                }
+            }
+        }
+        Inst::Xchg { w, mem, src } => {
+            let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
+            let op = if *w == Width::W8 { 0x86 } else { 0x87 };
+            modrm_inst(b, addr, &[], ctx, &[op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+        }
+    }
+    Ok(())
+}
+
+/// ModRM form for SSE instructions (reg field is an XMM register).
+fn sse_modrm(
+    b: &mut Buf<'_>,
+    addr: u64,
+    legacy: &[u8],
+    opcode: &[u8],
+    xmm_reg: u8,
+    rm: &XmmRm,
+    imm_len: usize,
+) {
+    let rm = match rm {
+        XmmRm::Reg(x) => Rm::Reg(Gpr::from_encoding(x.encoding())),
+        XmmRm::Mem(m) => Rm::Mem(*m),
+    };
+    let ctx = SizeCtx { p66: false, rexw: false, force_rex: false };
+    modrm_inst(b, addr, legacy, ctx, opcode, RegField(xmm_reg), &rm, imm_len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, MemRef, Rm, Target};
+    use crate::reg::{Cond, Gpr, Width, Xmm};
+
+    fn bytes(inst: Inst, addr: u64) -> Vec<u8> {
+        let mut v = Vec::new();
+        encode(&inst, addr, &mut v).unwrap();
+        v
+    }
+
+    #[test]
+    fn mov_reg_reg() {
+        // mov rax, rbx => 48 89 d8
+        let v = bytes(Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rax), src: Gpr::Rbx }, 0);
+        assert_eq!(v, [0x48, 0x89, 0xD8]);
+    }
+
+    #[test]
+    fn mov_load_disp8() {
+        // mov eax, [rdi+8] => 8b 47 08
+        let v = bytes(
+            Inst::MovRRm {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base_disp(Gpr::Rdi, 8)),
+            },
+            0,
+        );
+        assert_eq!(v, [0x8B, 0x47, 0x08]);
+    }
+
+    #[test]
+    fn mov_store_sib() {
+        // mov [rdi+rcx*8], rax => 48 89 04 cf
+        let v = bytes(
+            Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 0)),
+                src: Gpr::Rax,
+            },
+            0,
+        );
+        assert_eq!(v, [0x48, 0x89, 0x04, 0xCF]);
+    }
+
+    #[test]
+    fn add_imm8() {
+        // add rsp, 16 => 48 83 c4 10
+        let v = bytes(
+            Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: 16 },
+            0,
+        );
+        assert_eq!(v, [0x48, 0x83, 0xC4, 0x10]);
+    }
+
+    #[test]
+    fn push_pop_extended() {
+        assert_eq!(bytes(Inst::Push { src: Gpr::Rbp }, 0), [0x55]);
+        assert_eq!(bytes(Inst::Push { src: Gpr::R12 }, 0), [0x41, 0x54]);
+        assert_eq!(bytes(Inst::Pop { dst: Gpr::R15 }, 0), [0x41, 0x5F]);
+    }
+
+    #[test]
+    fn jmp_rel32_backward() {
+        // jmp to 0 from address 100: E9 rel32 where rel = 0 - 105
+        let v = bytes(Inst::Jmp { target: Target::Abs(0) }, 100);
+        assert_eq!(v[0], 0xE9);
+        assert_eq!(i32::from_le_bytes([v[1], v[2], v[3], v[4]]), -105);
+    }
+
+    #[test]
+    fn jcc_encoding() {
+        let v = bytes(Inst::Jcc { cc: Cond::Ne, target: Target::Abs(0x20) }, 0x10);
+        assert_eq!(v[0], 0x0F);
+        assert_eq!(v[1], 0x85);
+        assert_eq!(i32::from_le_bytes([v[2], v[3], v[4], v[5]]), 0x20 - 0x16);
+    }
+
+    #[test]
+    fn mfence_bytes() {
+        assert_eq!(bytes(Inst::Mfence, 0), [0x0F, 0xAE, 0xF0]);
+    }
+
+    #[test]
+    fn lock_cmpxchg_bytes() {
+        // lock cmpxchg [rdi], ebx => F0 0F B1 1F
+        let v = bytes(
+            Inst::LockCmpxchg { w: Width::W32, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx },
+            0,
+        );
+        assert_eq!(v, [0xF0, 0x0F, 0xB1, 0x1F]);
+    }
+
+    #[test]
+    fn movsd_load_bytes() {
+        // movsd xmm0, [rdi] => F2 0F 10 07
+        let v = bytes(
+            Inst::MovssLoad {
+                prec: FpPrec::Double,
+                dst: Xmm(0),
+                src: XmmRm::Mem(MemRef::base(Gpr::Rdi)),
+            },
+            0,
+        );
+        assert_eq!(v, [0xF2, 0x0F, 0x10, 0x07]);
+    }
+
+    #[test]
+    fn low8_forces_rex() {
+        // mov dil, al => 40 88 c7
+        let v = bytes(Inst::MovRmR { w: Width::W8, dst: Rm::Reg(Gpr::Rdi), src: Gpr::Rax }, 0);
+        assert_eq!(v, [0x40, 0x88, 0xC7]);
+    }
+
+    #[test]
+    fn rbp_base_needs_disp8() {
+        // mov rax, [rbp] must encode as [rbp+0] with disp8
+        let v = bytes(
+            Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rbp)) },
+            0,
+        );
+        assert_eq!(v, [0x48, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn r13_base_needs_disp8() {
+        let v = bytes(
+            Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::R13)) },
+            0,
+        );
+        assert_eq!(v, [0x49, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn rsp_base_needs_sib() {
+        // mov rax, [rsp+8] => 48 8b 44 24 08
+        let v = bytes(
+            Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, 8)),
+            },
+            0,
+        );
+        assert_eq!(v, [0x48, 0x8B, 0x44, 0x24, 0x08]);
+    }
+}

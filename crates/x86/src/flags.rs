@@ -1,0 +1,170 @@
+//! Processor status flag metadata.
+//!
+//! The lifter models the x86 flags register (§4.2 of the paper: "instructions
+//! that implicitly set processor status flags will result in more than one
+//! LLVM instruction"). This module records which flags each instruction
+//! defines and which a condition code uses, so the lifter can materialise
+//! exactly the flag computations a later `jcc`/`setcc`/`cmovcc` consumes.
+
+use crate::inst::{AluOp, Inst};
+use crate::reg::Cond;
+
+/// The subset of RFLAGS the lifter models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flag {
+    /// Carry flag.
+    Cf,
+    /// Parity flag (of the low result byte).
+    Pf,
+    /// Zero flag.
+    Zf,
+    /// Sign flag.
+    Sf,
+    /// Overflow flag.
+    Of,
+}
+
+impl Flag {
+    /// All modelled flags.
+    pub const ALL: [Flag; 5] = [Flag::Cf, Flag::Pf, Flag::Zf, Flag::Sf, Flag::Of];
+}
+
+/// A set of flags, as a small bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlagSet(u8);
+
+impl FlagSet {
+    /// The empty set.
+    pub const EMPTY: FlagSet = FlagSet(0);
+    /// All five modelled flags.
+    pub const ALL: FlagSet = FlagSet(0b11111);
+    /// The arithmetic set: CF, PF, ZF, SF, OF.
+    pub const ARITH: FlagSet = FlagSet(0b11111);
+    /// The logic set (CF and OF are cleared, still *defined*): CF, PF, ZF, SF, OF.
+    pub const LOGIC: FlagSet = FlagSet(0b11111);
+
+    fn bit(f: Flag) -> u8 {
+        match f {
+            Flag::Cf => 1,
+            Flag::Pf => 2,
+            Flag::Zf => 4,
+            Flag::Sf => 8,
+            Flag::Of => 16,
+        }
+    }
+
+    /// Set containing exactly the given flags.
+    pub fn of(flags: &[Flag]) -> FlagSet {
+        FlagSet(flags.iter().fold(0, |m, f| m | Self::bit(*f)))
+    }
+
+    /// Whether `f` is in the set.
+    pub fn contains(self, f: Flag) -> bool {
+        self.0 & Self::bit(f) != 0
+    }
+
+    /// Union.
+    pub fn union(self, other: FlagSet) -> FlagSet {
+        FlagSet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// The flags that `cc` reads.
+pub fn cond_uses(cc: Cond) -> FlagSet {
+    match cc {
+        Cond::O | Cond::No => FlagSet::of(&[Flag::Of]),
+        Cond::B | Cond::Ae => FlagSet::of(&[Flag::Cf]),
+        Cond::E | Cond::Ne => FlagSet::of(&[Flag::Zf]),
+        Cond::Be | Cond::A => FlagSet::of(&[Flag::Cf, Flag::Zf]),
+        Cond::S | Cond::Ns => FlagSet::of(&[Flag::Sf]),
+        Cond::P | Cond::Np => FlagSet::of(&[Flag::Pf]),
+        Cond::L | Cond::Ge => FlagSet::of(&[Flag::Sf, Flag::Of]),
+        Cond::Le | Cond::G => FlagSet::of(&[Flag::Zf, Flag::Sf, Flag::Of]),
+    }
+}
+
+/// The flags that `inst` defines (writes).
+pub fn inst_defines(inst: &Inst) -> FlagSet {
+    match inst {
+        Inst::AluRRm { op, .. } | Inst::AluRmR { op, .. } | Inst::AluRmI { op, .. } => match op {
+            AluOp::And | AluOp::Or | AluOp::Xor => FlagSet::LOGIC,
+            _ => FlagSet::ARITH,
+        },
+        Inst::Test { .. } | Inst::TestI { .. } => FlagSet::LOGIC,
+        Inst::ShiftI { .. } | Inst::ShiftCl { .. } => FlagSet::ARITH,
+        Inst::IMul2 { .. } | Inst::IMul3 { .. } | Inst::MulDiv { .. } => {
+            FlagSet::of(&[Flag::Cf, Flag::Of])
+        }
+        Inst::Neg { .. } => FlagSet::ARITH,
+        Inst::Ucomis { .. } => FlagSet::of(&[Flag::Zf, Flag::Pf, Flag::Cf]),
+        Inst::LockCmpxchg { .. } => FlagSet::ARITH,
+        Inst::LockXadd { .. } | Inst::LockAddI { .. } => FlagSet::ARITH,
+        _ => FlagSet::EMPTY,
+    }
+}
+
+/// The flags that `inst` uses (reads).
+pub fn inst_uses(inst: &Inst) -> FlagSet {
+    match inst {
+        Inst::Jcc { cc, .. } | Inst::Setcc { cc, .. } | Inst::Cmovcc { cc, .. } => cond_uses(*cc),
+        Inst::AluRRm { op: AluOp::Adc | AluOp::Sbb, .. }
+        | Inst::AluRmR { op: AluOp::Adc | AluOp::Sbb, .. }
+        | Inst::AluRmI { op: AluOp::Adc | AluOp::Sbb, .. } => FlagSet::of(&[Flag::Cf]),
+        _ => FlagSet::EMPTY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{MemRef, Rm};
+    use crate::reg::{Gpr, Width};
+
+    #[test]
+    fn cmp_defines_what_jl_uses() {
+        let cmp = Inst::AluRRm {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rbx),
+        };
+        let defined = inst_defines(&cmp);
+        for f in [Flag::Sf, Flag::Of, Flag::Zf] {
+            assert!(defined.contains(f));
+        }
+        let uses = cond_uses(Cond::L);
+        assert!(uses.contains(Flag::Sf) && uses.contains(Flag::Of) && !uses.contains(Flag::Zf));
+    }
+
+    #[test]
+    fn mov_defines_nothing() {
+        let mov = Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base(Gpr::Rdi)),
+        };
+        assert!(inst_defines(&mov).is_empty());
+        assert!(inst_uses(&mov).is_empty());
+    }
+
+    #[test]
+    fn parity_condition_uses_pf() {
+        assert!(cond_uses(Cond::P).contains(Flag::Pf));
+        assert!(cond_uses(Cond::Np).contains(Flag::Pf));
+    }
+
+    #[test]
+    fn flagset_ops() {
+        let a = FlagSet::of(&[Flag::Cf]);
+        let b = FlagSet::of(&[Flag::Zf]);
+        let u = a.union(b);
+        assert!(u.contains(Flag::Cf) && u.contains(Flag::Zf) && !u.contains(Flag::Of));
+        assert!(FlagSet::EMPTY.is_empty());
+        assert!(!FlagSet::ALL.is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! x86-64 instruction representation.
+//!
+//! [`Inst`] is the semantic analogue of LLVM's `MCInst`: one decoded machine
+//! instruction with resolved operands. The [`crate::encode`] module turns an
+//! `Inst` into real machine-code bytes and [`crate::decode`] turns bytes back
+//! into an `Inst`, so the pair round-trips through genuine x86-64 encodings.
+
+use crate::reg::{Cond, Gpr, Width, Xmm};
+use std::fmt;
+
+/// A memory operand: `[base + index*scale + disp]`.
+///
+/// RIP-relative addressing is modelled with `base == None` and
+/// `rip_relative == true`; the displacement then holds the *absolute* target
+/// address after decoding (the decoder resolves `RIP + disp32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register (never `RSP`), if any.
+    pub index: Option<Gpr>,
+    /// Scale applied to the index: 1, 2, 4 or 8.
+    pub scale: u8,
+    /// Displacement (absolute address when `rip_relative`).
+    pub disp: i64,
+    /// Whether this operand was RIP-relative in the machine code.
+    pub rip_relative: bool,
+}
+
+impl MemRef {
+    /// `[base]`
+    pub fn base(base: Gpr) -> MemRef {
+        MemRef { base: Some(base), index: None, scale: 1, disp: 0, rip_relative: false }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Gpr, disp: i64) -> MemRef {
+        MemRef { base: Some(base), index: None, scale: 1, disp, rip_relative: false }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub fn base_index(base: Gpr, index: Gpr, scale: u8, disp: i64) -> MemRef {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        assert!(index != Gpr::Rsp, "rsp cannot be an index register");
+        MemRef { base: Some(base), index: Some(index), scale, disp, rip_relative: false }
+    }
+
+    /// RIP-relative reference to an absolute address (e.g. a global).
+    pub fn rip(abs: u64) -> MemRef {
+        MemRef { base: None, index: None, scale: 1, disp: abs as i64, rip_relative: true }
+    }
+
+    /// Absolute address with no base (encoded via SIB with no base).
+    pub fn abs(addr: u64) -> MemRef {
+        MemRef { base: None, index: None, scale: 1, disp: addr as i64, rip_relative: false }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if self.rip_relative {
+            write!(f, "rip-abs:{:#x}", self.disp)?;
+            first = false;
+        }
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 && !self.rip_relative {
+            if first {
+                write!(f, "{:#x}", self.disp)?;
+            } else if self.disp > 0 {
+                write!(f, " + {:#x}", self.disp)?;
+            } else {
+                write!(f, " - {:#x}", -self.disp)?;
+            }
+        } else if first && !self.rip_relative {
+            write!(f, "0x0")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A register-or-memory operand (the x86 `r/m` slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rm {
+    /// A general-purpose register.
+    Reg(Gpr),
+    /// A memory reference.
+    Mem(MemRef),
+}
+
+impl fmt::Display for Rm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rm::Reg(r) => write!(f, "{r}"),
+            Rm::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// An XMM-or-memory operand for SSE instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XmmRm {
+    /// An XMM register.
+    Reg(Xmm),
+    /// A memory reference.
+    Mem(MemRef),
+}
+
+impl fmt::Display for XmmRm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmmRm::Reg(r) => write!(f, "{r}"),
+            XmmRm::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Two-operand integer ALU operations (`op dst, src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard x86 mnemonics
+pub enum AluOp {
+    Add,
+    Or,
+    Adc,
+    Sbb,
+    And,
+    Sub,
+    Xor,
+    /// `cmp` computes `dst - src` for flags only; no write-back.
+    Cmp,
+}
+
+impl AluOp {
+    /// `/r` extension used in the `80/81/83` immediate forms.
+    pub fn ext(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Or => 1,
+            AluOp::Adc => 2,
+            AluOp::Sbb => 3,
+            AluOp::And => 4,
+            AluOp::Sub => 5,
+            AluOp::Xor => 6,
+            AluOp::Cmp => 7,
+        }
+    }
+
+    /// Operation from its `/r` extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ext > 7`.
+    pub fn from_ext(ext: u8) -> AluOp {
+        [
+            AluOp::Add,
+            AluOp::Or,
+            AluOp::Adc,
+            AluOp::Sbb,
+            AluOp::And,
+            AluOp::Sub,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ][usize::from(ext)]
+    }
+
+    /// Whether the destination is written (everything except `cmp`).
+    pub fn writes_dst(self) -> bool {
+        self != AluOp::Cmp
+    }
+
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::Adc => "adc",
+            AluOp::Sbb => "sbb",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// Shift/rotate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+}
+
+impl ShiftOp {
+    /// `/r` extension in the `C1/D3` encodings.
+    pub fn ext(self) -> u8 {
+        match self {
+            ShiftOp::Shl => 4,
+            ShiftOp::Shr => 5,
+            ShiftOp::Sar => 7,
+        }
+    }
+
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// One-operand multiply/divide group (`F7 /4../7`), operating on RDX:RAX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Unsigned multiply: `RDX:RAX = RAX * src`.
+    Mul,
+    /// Signed multiply: `RDX:RAX = RAX * src`.
+    IMul,
+    /// Unsigned divide of `RDX:RAX`; quotient → RAX, remainder → RDX.
+    Div,
+    /// Signed divide of `RDX:RAX`.
+    IDiv,
+}
+
+impl MulDivOp {
+    /// `/r` extension in the `F7` encoding.
+    pub fn ext(self) -> u8 {
+        match self {
+            MulDivOp::Mul => 4,
+            MulDivOp::IMul => 5,
+            MulDivOp::Div => 6,
+            MulDivOp::IDiv => 7,
+        }
+    }
+
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulDivOp::Mul => "mul",
+            MulDivOp::IMul => "imul",
+            MulDivOp::Div => "div",
+            MulDivOp::IDiv => "idiv",
+        }
+    }
+}
+
+/// Scalar/packed SSE floating-point precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpPrec {
+    /// Single precision (`ss`/`ps`).
+    Single,
+    /// Double precision (`sd`/`pd`).
+    Double,
+}
+
+impl FpPrec {
+    /// Size of one scalar element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            FpPrec::Single => 4,
+            FpPrec::Double => 8,
+        }
+    }
+}
+
+/// SSE arithmetic operations (scalar and packed forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // standard x86 mnemonics
+pub enum SseOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Sqrt,
+}
+
+impl SseOp {
+    /// Second opcode byte after the `0F` escape.
+    pub fn opcode(self) -> u8 {
+        match self {
+            SseOp::Add => 0x58,
+            SseOp::Mul => 0x59,
+            SseOp::Sub => 0x5C,
+            SseOp::Min => 0x5D,
+            SseOp::Div => 0x5E,
+            SseOp::Max => 0x5F,
+            SseOp::Sqrt => 0x51,
+        }
+    }
+
+    /// Mnemonic stem (`add`, `mul`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SseOp::Add => "add",
+            SseOp::Sub => "sub",
+            SseOp::Mul => "mul",
+            SseOp::Div => "div",
+            SseOp::Min => "min",
+            SseOp::Max => "max",
+            SseOp::Sqrt => "sqrt",
+        }
+    }
+}
+
+/// Branch/call target. The decoder resolves relative displacements to
+/// absolute addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Absolute address of the target instruction.
+    Abs(u64),
+    /// Indirect through a register (`jmp rax`, `call rax`).
+    Indirect(Gpr),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Abs(a) => write!(f, "{a:#x}"),
+            Target::Indirect(r) => write!(f, "*{r}"),
+        }
+    }
+}
+
+/// One decoded x86-64 instruction.
+///
+/// The variants are grouped per the paper's lifter (§4): data movement, ALU,
+/// control flow, SSE scalar floating point, and concurrency primitives
+/// (`mfence`, `lock`-prefixed read-modify-writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // operand fields (dst, src, imm, w) are self-describing
+pub enum Inst {
+    /// `mov r, r/m` (load or register move).
+    MovRRm { w: Width, dst: Gpr, src: Rm },
+    /// `mov r/m, r` (store or register move).
+    MovRmR { w: Width, dst: Rm, src: Gpr },
+    /// `mov r/m, imm32` (sign-extended for W64).
+    MovRmI { w: Width, dst: Rm, imm: i32 },
+    /// `movabs r64, imm64`.
+    MovAbs { dst: Gpr, imm: u64 },
+    /// `movzx r, r/m8|16`.
+    MovZx { dw: Width, sw: Width, dst: Gpr, src: Rm },
+    /// `movsx r, r/m8|16` and `movsxd r64, r/m32`.
+    MovSx { dw: Width, sw: Width, dst: Gpr, src: Rm },
+    /// `lea r, [mem]`.
+    Lea { w: Width, dst: Gpr, addr: MemRef },
+
+    /// Two-operand ALU, register destination: `op r, r/m`.
+    AluRRm { op: AluOp, w: Width, dst: Gpr, src: Rm },
+    /// Two-operand ALU, memory/register destination: `op r/m, r`.
+    AluRmR { op: AluOp, w: Width, dst: Rm, src: Gpr },
+    /// Two-operand ALU with immediate: `op r/m, imm`.
+    AluRmI { op: AluOp, w: Width, dst: Rm, imm: i32 },
+    /// `test r/m, r`.
+    Test { w: Width, a: Rm, b: Gpr },
+    /// `test r/m, imm32`.
+    TestI { w: Width, a: Rm, imm: i32 },
+    /// Shift by immediate: `shl/shr/sar r/m, imm8`.
+    ShiftI { op: ShiftOp, w: Width, dst: Rm, imm: u8 },
+    /// Shift by CL: `shl/shr/sar r/m, cl`.
+    ShiftCl { op: ShiftOp, w: Width, dst: Rm },
+    /// Two-operand signed multiply: `imul r, r/m`.
+    IMul2 { w: Width, dst: Gpr, src: Rm },
+    /// Three-operand signed multiply: `imul r, r/m, imm32`.
+    IMul3 { w: Width, dst: Gpr, src: Rm, imm: i32 },
+    /// One-operand mul/div group on RDX:RAX.
+    MulDiv { op: MulDivOp, w: Width, src: Rm },
+    /// `cqo`/`cdq`: sign-extend RAX/EAX into RDX/EDX.
+    Cqo { w: Width },
+    /// `neg r/m`.
+    Neg { w: Width, dst: Rm },
+    /// `not r/m`.
+    Not { w: Width, dst: Rm },
+
+    /// `push r64`.
+    Push { src: Gpr },
+    /// `pop r64`.
+    Pop { dst: Gpr },
+
+    /// Unconditional jump.
+    Jmp { target: Target },
+    /// Conditional jump.
+    Jcc { cc: Cond, target: Target },
+    /// Call.
+    Call { target: Target },
+    /// Return.
+    Ret,
+    /// `setcc r/m8`.
+    Setcc { cc: Cond, dst: Rm },
+    /// `cmovcc r, r/m`.
+    Cmovcc { cc: Cond, w: Width, dst: Gpr, src: Rm },
+    /// `nop` (single byte).
+    Nop,
+    /// `ud2`.
+    Ud2,
+
+    /// Scalar SSE move, load form: `movss/movsd xmm, xmm/m`.
+    MovssLoad { prec: FpPrec, dst: Xmm, src: XmmRm },
+    /// Scalar SSE move, store form: `movss/movsd m, xmm`.
+    MovssStore { prec: FpPrec, dst: MemRef, src: Xmm },
+    /// Packed 128-bit move, load form: `movaps/movups xmm, xmm/m`.
+    MovapsLoad { aligned: bool, dst: Xmm, src: XmmRm },
+    /// Packed 128-bit move, store form: `movaps/movups m, xmm`.
+    MovapsStore { aligned: bool, dst: MemRef, src: Xmm },
+    /// `movq r64, xmm` / `movd r32, xmm`.
+    MovXmmToGpr { w: Width, dst: Gpr, src: Xmm },
+    /// `movq xmm, r64` / `movd xmm, r32`.
+    MovGprToXmm { w: Width, dst: Xmm, src: Gpr },
+    /// Scalar SSE arithmetic: `addss/subsd/... xmm, xmm/m`.
+    SseScalar { op: SseOp, prec: FpPrec, dst: Xmm, src: XmmRm },
+    /// Packed SSE arithmetic: `addps/mulpd/... xmm, xmm/m`.
+    SsePacked { op: SseOp, prec: FpPrec, dst: Xmm, src: XmmRm },
+    /// Bitwise XOR of XMM registers (`xorps`); idiomatically zeroes a register.
+    Xorps { dst: Xmm, src: XmmRm },
+    /// `ucomiss/ucomisd xmm, xmm/m`: FP compare setting ZF/PF/CF.
+    Ucomis { prec: FpPrec, a: Xmm, b: XmmRm },
+    /// `cvtsi2ss/sd xmm, r/m`: integer → float.
+    CvtSi2F { prec: FpPrec, iw: Width, dst: Xmm, src: Rm },
+    /// `cvttss/sd2si r, xmm/m`: float → integer (truncating).
+    CvtF2Si { prec: FpPrec, iw: Width, dst: Gpr, src: XmmRm },
+    /// `cvtss2sd xmm, xmm/m` (Single→Double) or `cvtsd2ss` (Double→Single).
+    /// `to` names the destination precision.
+    CvtF2F { to: FpPrec, dst: Xmm, src: XmmRm },
+
+    /// `mfence`.
+    Mfence,
+    /// `lock cmpxchg [m], r`: if RAX==[m] then [m]=r, ZF=1 else RAX=[m].
+    LockCmpxchg { w: Width, mem: MemRef, src: Gpr },
+    /// `lock xadd [m], r`: tmp=[m]; [m]+=r; r=tmp.
+    LockXadd { w: Width, mem: MemRef, src: Gpr },
+    /// `lock add [m], imm`.
+    LockAddI { w: Width, mem: MemRef, imm: i32 },
+    /// `xchg [m], r` (implicitly locked).
+    Xchg { w: Width, mem: MemRef, src: Gpr },
+}
+
+impl Inst {
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Ret | Inst::Ud2
+        )
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn reads_memory(&self) -> bool {
+        fn rm_mem(rm: &Rm) -> bool {
+            matches!(rm, Rm::Mem(_))
+        }
+        fn xrm_mem(rm: &XmmRm) -> bool {
+            matches!(rm, XmmRm::Mem(_))
+        }
+        match self {
+            Inst::MovRRm { src, .. }
+            | Inst::MovZx { src, .. }
+            | Inst::MovSx { src, .. }
+            | Inst::AluRRm { src, .. }
+            | Inst::IMul2 { src, .. }
+            | Inst::IMul3 { src, .. }
+            | Inst::MulDiv { src, .. }
+            | Inst::Cmovcc { src, .. }
+            | Inst::CvtSi2F { src, .. } => rm_mem(src),
+            Inst::AluRmR { dst, .. }
+            | Inst::AluRmI { dst, .. }
+            | Inst::Test { a: dst, .. }
+            | Inst::TestI { a: dst, .. }
+            | Inst::ShiftI { dst, .. }
+            | Inst::ShiftCl { dst, .. }
+            | Inst::Neg { dst, .. }
+            | Inst::Not { dst, .. } => rm_mem(dst),
+            Inst::MovssLoad { src, .. }
+            | Inst::MovapsLoad { src, .. }
+            | Inst::SseScalar { src, .. }
+            | Inst::SsePacked { src, .. }
+            | Inst::Xorps { src, .. }
+            | Inst::CvtF2F { src, .. }
+            | Inst::CvtF2Si { src, .. } => xrm_mem(src),
+            Inst::Ucomis { b, .. } => xrm_mem(b),
+            Inst::Pop { .. } | Inst::Ret => true,
+            Inst::LockCmpxchg { .. }
+            | Inst::LockXadd { .. }
+            | Inst::LockAddI { .. }
+            | Inst::Xchg { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn writes_memory(&self) -> bool {
+        match self {
+            Inst::MovRmR { dst, .. } | Inst::MovRmI { dst, .. } => matches!(dst, Rm::Mem(_)),
+            Inst::AluRmR { op, dst, .. } => op.writes_dst() && matches!(dst, Rm::Mem(_)),
+            Inst::AluRmI { op, dst, .. } => op.writes_dst() && matches!(dst, Rm::Mem(_)),
+            Inst::ShiftI { dst, .. }
+            | Inst::ShiftCl { dst, .. }
+            | Inst::Neg { dst, .. }
+            | Inst::Not { dst, .. }
+            | Inst::Setcc { dst, .. } => matches!(dst, Rm::Mem(_)),
+            Inst::MovssStore { .. } | Inst::MovapsStore { .. } => true,
+            Inst::Push { .. } | Inst::Call { .. } => true,
+            Inst::LockCmpxchg { .. }
+            | Inst::LockXadd { .. }
+            | Inst::LockAddI { .. }
+            | Inst::Xchg { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this is an atomic read-modify-write (a `lock`-prefixed or
+    /// implicitly locked instruction).
+    pub fn is_atomic_rmw(&self) -> bool {
+        matches!(
+            self,
+            Inst::LockCmpxchg { .. }
+                | Inst::LockXadd { .. }
+                | Inst::LockAddI { .. }
+                | Inst::Xchg { .. }
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovRRm { w, dst, src } => write!(f, "mov{w} {}, {src}", dst.name(*w)),
+            Inst::MovRmR { w, dst, src } => write!(f, "mov{w} {dst}, {}", src.name(*w)),
+            Inst::MovRmI { w, dst, imm } => write!(f, "mov{w} {dst}, {imm}"),
+            Inst::MovAbs { dst, imm } => write!(f, "movabs {dst}, {imm:#x}"),
+            Inst::MovZx { dw, sw, dst, src } => {
+                write!(f, "movzx{sw}->{dw} {}, {src}", dst.name(*dw))
+            }
+            Inst::MovSx { dw, sw, dst, src } => {
+                write!(f, "movsx{sw}->{dw} {}, {src}", dst.name(*dw))
+            }
+            Inst::Lea { w, dst, addr } => write!(f, "lea {}, {addr}", dst.name(*w)),
+            Inst::AluRRm { op, w, dst, src } => {
+                write!(f, "{}{w} {}, {src}", op.mnemonic(), dst.name(*w))
+            }
+            Inst::AluRmR { op, w, dst, src } => {
+                write!(f, "{}{w} {dst}, {}", op.mnemonic(), src.name(*w))
+            }
+            Inst::AluRmI { op, w, dst, imm } => write!(f, "{}{w} {dst}, {imm}", op.mnemonic()),
+            Inst::Test { w, a, b } => write!(f, "test{w} {a}, {}", b.name(*w)),
+            Inst::TestI { w, a, imm } => write!(f, "test{w} {a}, {imm}"),
+            Inst::ShiftI { op, w, dst, imm } => write!(f, "{}{w} {dst}, {imm}", op.mnemonic()),
+            Inst::ShiftCl { op, w, dst } => write!(f, "{}{w} {dst}, cl", op.mnemonic()),
+            Inst::IMul2 { w, dst, src } => write!(f, "imul{w} {}, {src}", dst.name(*w)),
+            Inst::IMul3 { w, dst, src, imm } => {
+                write!(f, "imul{w} {}, {src}, {imm}", dst.name(*w))
+            }
+            Inst::MulDiv { op, w, src } => write!(f, "{}{w} {src}", op.mnemonic()),
+            Inst::Cqo { w } => write!(f, "{}", if *w == Width::W64 { "cqo" } else { "cdq" }),
+            Inst::Neg { w, dst } => write!(f, "neg{w} {dst}"),
+            Inst::Not { w, dst } => write!(f, "not{w} {dst}"),
+            Inst::Push { src } => write!(f, "push {src}"),
+            Inst::Pop { dst } => write!(f, "pop {dst}"),
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Jcc { cc, target } => write!(f, "j{cc} {target}"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Setcc { cc, dst } => write!(f, "set{cc} {dst}"),
+            Inst::Cmovcc { cc, w, dst, src } => {
+                write!(f, "cmov{cc}{w} {}, {src}", dst.name(*w))
+            }
+            Inst::Nop => write!(f, "nop"),
+            Inst::Ud2 => write!(f, "ud2"),
+            Inst::MovssLoad { prec, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "mov{s} {dst}, {src}")
+            }
+            Inst::MovssStore { prec, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "mov{s} {dst}, {src}")
+            }
+            Inst::MovapsLoad { aligned, dst, src } => {
+                write!(f, "mov{}ps {dst}, {src}", if *aligned { "a" } else { "u" })
+            }
+            Inst::MovapsStore { aligned, dst, src } => {
+                write!(f, "mov{}ps {dst}, {src}", if *aligned { "a" } else { "u" })
+            }
+            Inst::MovXmmToGpr { w, dst, src } => {
+                write!(f, "mov{} {}, {src}", if *w == Width::W64 { "q" } else { "d" }, dst.name(*w))
+            }
+            Inst::MovGprToXmm { w, dst, src } => {
+                write!(f, "mov{} {dst}, {}", if *w == Width::W64 { "q" } else { "d" }, src.name(*w))
+            }
+            Inst::SseScalar { op, prec, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "{}{s} {dst}, {src}", op.mnemonic())
+            }
+            Inst::SsePacked { op, prec, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ps" } else { "pd" };
+                write!(f, "{}{s} {dst}, {src}", op.mnemonic())
+            }
+            Inst::Xorps { dst, src } => write!(f, "xorps {dst}, {src}"),
+            Inst::Ucomis { prec, a, b } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "ucomi{s} {a}, {b}")
+            }
+            Inst::CvtSi2F { prec, iw, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "cvtsi2{s}.{iw} {dst}, {src}")
+            }
+            Inst::CvtF2Si { prec, iw, dst, src } => {
+                let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
+                write!(f, "cvtt{s}2si {}, {src}", dst.name(*iw))
+            }
+            Inst::CvtF2F { to, dst, src } => match to {
+                FpPrec::Double => write!(f, "cvtss2sd {dst}, {src}"),
+                FpPrec::Single => write!(f, "cvtsd2ss {dst}, {src}"),
+            },
+            Inst::Mfence => write!(f, "mfence"),
+            Inst::LockCmpxchg { w, mem, src } => {
+                write!(f, "lock cmpxchg{w} {mem}, {}", src.name(*w))
+            }
+            Inst::LockXadd { w, mem, src } => write!(f, "lock xadd{w} {mem}, {}", src.name(*w)),
+            Inst::LockAddI { w, mem, imm } => write!(f, "lock add{w} {mem}, {imm}"),
+            Inst::Xchg { w, mem, src } => write!(f, "xchg{w} {mem}, {}", src.name(*w)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jmp { target: Target::Abs(0) }.is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+        assert!(!Inst::Call { target: Target::Abs(0) }.is_terminator());
+    }
+
+    #[test]
+    fn memory_effects() {
+        let store = Inst::MovRmR {
+            w: Width::W64,
+            dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+            src: Gpr::Rax,
+        };
+        assert!(store.writes_memory());
+        assert!(!store.reads_memory());
+
+        let load = Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base(Gpr::Rdi)),
+        };
+        assert!(load.reads_memory());
+        assert!(!load.writes_memory());
+
+        let rr = Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx) };
+        assert!(!rr.reads_memory());
+        assert!(!rr.writes_memory());
+    }
+
+    #[test]
+    fn rmw_classification() {
+        let cas = Inst::LockCmpxchg { w: Width::W32, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx };
+        assert!(cas.is_atomic_rmw());
+        assert!(cas.reads_memory() && cas.writes_memory());
+        assert!(!Inst::Mfence.is_atomic_rmw());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Inst::AluRRm {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 16)),
+        };
+        assert_eq!(format!("{i}"), "add64 rax, [rdi + rcx*8 + 0x10]");
+    }
+}

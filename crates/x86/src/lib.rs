@@ -1,0 +1,43 @@
+//! x86-64 instruction-set substrate for the Lasagne static binary
+//! translator.
+//!
+//! This crate plays the role of LLVM's MC layer in the paper
+//! ("Lasagne: A Static Binary Translator for Weak Memory Model
+//! Architectures", PLDI 2022, §4): it defines an x86-64 instruction
+//! representation ([`inst::Inst`], the analogue of `MCInst`), a real
+//! machine-code [`encode`]r and [`decode`]r covering the subset of x86-64
+//! the Phoenix benchmarks exercise (ALU, control flow, scalar SSE floating
+//! point, `lock`-prefixed read-modify-writes, and `mfence`), a label-based
+//! [`asm::Asm`] assembler, and a minimal [`binary::Binary`] image format
+//! with function/global/extern symbols.
+//!
+//! # Example
+//!
+//! ```
+//! use lasagne_x86::inst::{Inst, Rm};
+//! use lasagne_x86::reg::{Gpr, Width};
+//! use lasagne_x86::{decode, encode};
+//!
+//! let inst = Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rax), src: Gpr::Rbx };
+//! let mut bytes = Vec::new();
+//! encode::encode(&inst, 0x1000, &mut bytes)?;
+//! assert_eq!(bytes, [0x48, 0x89, 0xD8]);
+//! let d = decode::decode_one(&bytes, 0x1000)?;
+//! assert_eq!(d.inst, inst);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod binary;
+pub mod decode;
+pub mod encode;
+pub mod flags;
+pub mod inst;
+pub mod reg;
+
+pub use decode::{decode_all, decode_one, DecodeError, Decoded};
+pub use encode::{encode, EncodeError};
+pub use inst::Inst;
+pub use reg::{Cond, Gpr, Width, Xmm};

@@ -1,0 +1,332 @@
+//! x86-64 register definitions.
+//!
+//! The lifter (see the `lasagne-lifter` crate) tracks values per *full*
+//! register, so sub-registers (`EAX`, `AX`, `AL`) are represented as a
+//! ([`Gpr`], [`Width`]) pair rather than as distinct register identities.
+
+use std::fmt;
+
+/// Operand width in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8-bit operand (e.g. `AL`).
+    W8,
+    /// 16-bit operand (e.g. `AX`).
+    W16,
+    /// 32-bit operand (e.g. `EAX`).
+    W32,
+    /// 64-bit operand (e.g. `RAX`).
+    W64,
+}
+
+impl Width {
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits()) / 8
+    }
+
+    /// Bit mask selecting the low `bits()` bits of a 64-bit value.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A general-purpose 64-bit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // register names are self-describing
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen general-purpose registers, in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// System-V AMD64 integer parameter registers, in order.
+    pub const PARAMS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+    /// System-V callee-saved registers.
+    pub const CALLEE_SAVED: [Gpr; 6] = [Gpr::Rbx, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+
+    /// Hardware encoding (0–15).
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// Register from its hardware encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc > 15`.
+    pub fn from_encoding(enc: u8) -> Gpr {
+        Gpr::ALL[usize::from(enc)]
+    }
+
+    /// Canonical AT&T-free name at the given width (e.g. `eax`, `r8d`).
+    pub fn name(self, w: Width) -> String {
+        let base = ["ax", "cx", "dx", "bx", "sp", "bp", "si", "di"];
+        let n = self.encoding();
+        if n < 8 {
+            let b = base[usize::from(n)];
+            match w {
+                Width::W64 => format!("r{b}"),
+                Width::W32 => format!("e{b}"),
+                Width::W16 => b.to_string(),
+                Width::W8 => match self {
+                    Gpr::Rax => "al".into(),
+                    Gpr::Rcx => "cl".into(),
+                    Gpr::Rdx => "dl".into(),
+                    Gpr::Rbx => "bl".into(),
+                    Gpr::Rsp => "spl".into(),
+                    Gpr::Rbp => "bpl".into(),
+                    Gpr::Rsi => "sil".into(),
+                    Gpr::Rdi => "dil".into(),
+                    _ => unreachable!(),
+                },
+            }
+        } else {
+            match w {
+                Width::W64 => format!("r{n}"),
+                Width::W32 => format!("r{n}d"),
+                Width::W16 => format!("r{n}w"),
+                Width::W8 => format!("r{n}b"),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name(Width::W64))
+    }
+}
+
+/// An SSE (XMM) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// System-V AMD64 floating-point parameter registers, in order.
+    pub const PARAMS: [Xmm; 8] = [
+        Xmm(0),
+        Xmm(1),
+        Xmm(2),
+        Xmm(3),
+        Xmm(4),
+        Xmm(5),
+        Xmm(6),
+        Xmm(7),
+    ];
+
+    /// Hardware encoding (0–15).
+    pub fn encoding(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// Condition codes used by `jcc`, `setcc` and `cmovcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `o`: overflow (OF=1).
+    O,
+    /// `no`: not overflow (OF=0).
+    No,
+    /// `b`: below, unsigned `<` (CF=1).
+    B,
+    /// `ae`: above or equal, unsigned `>=` (CF=0).
+    Ae,
+    /// `e`/`z`: equal (ZF=1).
+    E,
+    /// `ne`/`nz`: not equal (ZF=0).
+    Ne,
+    /// `be`: below or equal, unsigned `<=` (CF=1 or ZF=1).
+    Be,
+    /// `a`: above, unsigned `>` (CF=0 and ZF=0).
+    A,
+    /// `s`: sign (SF=1).
+    S,
+    /// `ns`: not sign (SF=0).
+    Ns,
+    /// `p`: parity even (PF=1).
+    P,
+    /// `np`: parity odd (PF=0).
+    Np,
+    /// `l`: less, signed `<` (SF≠OF).
+    L,
+    /// `ge`: greater or equal, signed `>=` (SF=OF).
+    Ge,
+    /// `le`: less or equal, signed `<=` (ZF=1 or SF≠OF).
+    Le,
+    /// `g`: greater, signed `>` (ZF=0 and SF=OF).
+    G,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// The low nibble of the `0F 8x`/`0F 9x`/`0F 4x` opcode.
+    pub fn encoding(self) -> u8 {
+        Cond::ALL.iter().position(|c| *c == self).unwrap() as u8
+    }
+
+    /// Condition code from its opcode nibble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc > 15`.
+    pub fn from_encoding(enc: u8) -> Cond {
+        Cond::ALL[usize::from(enc)]
+    }
+
+    /// The negated condition (`e` ↔ `ne`, `l` ↔ `ge`, …).
+    pub fn negate(self) -> Cond {
+        Cond::from_encoding(self.encoding() ^ 1)
+    }
+
+    /// Mnemonic suffix (`e`, `ne`, `l`, …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn gpr_roundtrip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_encoding(r.encoding()), r);
+        }
+    }
+
+    #[test]
+    fn gpr_names() {
+        assert_eq!(Gpr::Rax.name(Width::W32), "eax");
+        assert_eq!(Gpr::Rax.name(Width::W8), "al");
+        assert_eq!(Gpr::R8.name(Width::W32), "r8d");
+        assert_eq!(Gpr::Rdi.name(Width::W8), "dil");
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+            assert_ne!(c.negate(), c);
+        }
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_encoding(c.encoding()), c);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! `lasagne` — command-line front end for the translator.
+//!
+//! ```text
+//! lasagne list                         available demo binaries
+//! lasagne translate <DEMO> [opts]      translate and print AArch64 assembly
+//! lasagne run <DEMO> [opts]            translate, simulate, report cycles
+//! lasagne ir <DEMO> [opts]             print the final LIR
+//! lasagne disasm <DEMO>                print the x86-64 disassembly
+//! lasagne litmus                       memory-model validation summary
+//!
+//! options:
+//!   --version lifted|opt|popt|ppopt    pipeline configuration (default ppopt)
+//!   --scale N                          workload scale (default 128)
+//! ```
+
+use lasagne_repro::bench::{measure_native, run_arm};
+use lasagne_repro::phoenix::{all_benchmarks, Benchmark};
+use lasagne_repro::translator::{translate, Version};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let version = flag_value(&args, "--version")
+        .map(|v| match v.to_ascii_lowercase().as_str() {
+            "lifted" => Version::Lifted,
+            "opt" => Version::Opt,
+            "popt" => Version::POpt,
+            "ppopt" => Version::PPOpt,
+            other => {
+                eprintln!("unknown version `{other}`");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(Version::PPOpt);
+    let scale: usize =
+        flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(128);
+
+    match cmd {
+        "list" => {
+            for b in all_benchmarks(scale) {
+                println!(
+                    "{:<4} {:<20} {} functions, {} bytes of x86",
+                    b.abbrev,
+                    b.name,
+                    b.binary.functions.len(),
+                    b.binary.text.len()
+                );
+            }
+        }
+        "disasm" => {
+            let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
+                eprintln!("usage: lasagne disasm <HT|KM|LR|MM|SM>");
+                std::process::exit(2);
+            };
+            for f in &b.binary.functions {
+                println!("{}:  ; {} bytes at {:#x}", f.name, f.size, f.addr);
+                let code = b.binary.code_of(f);
+                match lasagne_repro::x86::decode_all(code, f.addr) {
+                    Ok(ds) => {
+                        for d in ds {
+                            println!("  {:#08x}:  {}", d.addr, d.inst);
+                        }
+                    }
+                    Err(e) => println!("  <decode error: {e}>"),
+                }
+                println!();
+            }
+        }
+        "translate" | "run" | "ir" => {
+            let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
+                eprintln!("usage: lasagne {cmd} <HT|KM|LR|MM|SM> [--version V] [--scale N]");
+                std::process::exit(2);
+            };
+            let t = translate(&b.binary, version).unwrap_or_else(|e| {
+                eprintln!("translation failed: {e}");
+                std::process::exit(1);
+            });
+            match cmd {
+                "translate" => {
+                    print!("{}", lasagne_repro::armgen::print::print_module(&t.arm));
+                    eprintln!(
+                        "\n// {}: {} LIR insts, {} fences ({} before optimization)",
+                        version.name(),
+                        t.stats.insts_final,
+                        t.stats.fences_final,
+                        t.stats.fences_naive
+                    );
+                }
+                "ir" => print!("{}", lasagne_repro::lir::print::print_module(&t.module)),
+                "run" => {
+                    let native = measure_native(&b);
+                    let m = run_arm(&t.arm, &b.workload);
+                    assert_eq!(m.checksum, b.workload.expected_ret, "checksum mismatch!");
+                    println!("benchmark : {} ({})", b.name, b.abbrev);
+                    println!("version   : {}", version.name());
+                    println!("checksum  : {:#x} (verified)", m.checksum);
+                    println!("runtime   : {} cycles (critical path)", m.runtime_cycles);
+                    println!(
+                        "native    : {} cycles  →  normalized {:.2}",
+                        native.runtime_cycles,
+                        m.runtime_cycles as f64 / native.runtime_cycles as f64
+                    );
+                    println!(
+                        "barriers  : {} ishld, {} ishst, {} ish",
+                        m.dmbs.0, m.dmbs.1, m.dmbs.2
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+        "litmus" => {
+            use lasagne_repro::memmodel::mapping::{check_chain, check_reverse_chain};
+            use lasagne_repro::memmodel::{litmus, outcomes, Model};
+            for (name, p) in litmus::paper_suite() {
+                let fwd = check_chain(&p).is_ok();
+                let x86 = outcomes(Model::X86, &p).len();
+                let arm = outcomes(Model::Arm, &p).len();
+                println!(
+                    "{name:<16} x86 {x86:>2} outcomes | Arm {arm:>2} | x86→IR→Arm {}",
+                    if fwd { "OK" } else { "BUG" }
+                );
+                let _ = check_reverse_chain(&p);
+            }
+        }
+        _ => {
+            println!("lasagne — static binary translator (PLDI 2022 reproduction)");
+            println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO> | litmus");
+            println!("options : --version lifted|opt|popt|ppopt   --scale N");
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn find_bench(name: &str, scale: usize) -> Option<Benchmark> {
+    all_benchmarks(scale)
+        .into_iter()
+        .find(|b| b.abbrev.eq_ignore_ascii_case(name) || b.name.eq_ignore_ascii_case(name))
+}

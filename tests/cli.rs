@@ -1,0 +1,77 @@
+//! Smoke tests for the `lasagne` command-line binary: every subcommand
+//! runs, exits zero, and prints the expected shape of output.
+
+use std::process::Command;
+
+fn lasagne(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lasagne"))
+        .args(args)
+        .output()
+        .expect("spawn lasagne binary")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = lasagne(args);
+    assert!(
+        out.status.success(),
+        "lasagne {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn list_names_all_five_benchmarks() {
+    let s = stdout(&["list", "--scale", "16"]);
+    for abbrev in ["HT", "KM", "LR", "MM", "SM"] {
+        assert!(s.contains(abbrev), "missing {abbrev} in:\n{s}");
+    }
+}
+
+#[test]
+fn run_reports_verified_checksum_and_barriers() {
+    let s = stdout(&["run", "HT", "--scale", "24", "--version", "ppopt"]);
+    assert!(s.contains("(verified)"), "checksum not verified:\n{s}");
+    assert!(s.contains("barriers"), "no barrier report:\n{s}");
+    assert!(s.contains("cycles"), "no cycle count:\n{s}");
+}
+
+#[test]
+fn translate_emits_arm_assembly() {
+    let s = stdout(&["translate", "LR", "--scale", "16"]);
+    assert!(s.contains("main:"), "no main label:\n{s}");
+    assert!(s.contains("ret"), "no ret instruction:\n{s}");
+}
+
+#[test]
+fn ir_prints_lir_functions() {
+    let s = stdout(&["ir", "MM", "--scale", "16", "--version", "opt"]);
+    assert!(s.contains("define"), "no LIR function header:\n{s}");
+}
+
+#[test]
+fn disasm_prints_x86() {
+    let s = stdout(&["disasm", "SM", "--scale", "16"]);
+    assert!(s.contains("0x"), "no addresses:\n{s}");
+    assert!(s.to_lowercase().contains("mov"), "no mov instruction:\n{s}");
+}
+
+#[test]
+fn litmus_reports_every_test_ok() {
+    let s = stdout(&["litmus"]);
+    assert!(s.contains("OK"), "no OK lines:\n{s}");
+    assert!(!s.contains("BUG"), "mapping bug reported:\n{s}");
+    assert!(s.contains("SB"), "store-buffering litmus missing:\n{s}");
+}
+
+#[test]
+fn versions_are_validated() {
+    let out = lasagne(&["run", "HT", "--version", "bogus"]);
+    assert!(!out.status.success(), "bogus version should be rejected");
+}
+
+#[test]
+fn unknown_benchmark_is_an_error() {
+    let out = lasagne(&["run", "ZZ"]);
+    assert!(!out.status.success(), "unknown benchmark should be rejected");
+}
