@@ -1,0 +1,8 @@
+#!/bin/sh
+# Offline CI for the whole workspace. The zero-external-dependency policy
+# (see DESIGN.md) means every step must pass with an empty cargo registry.
+set -eux
+
+cargo fmt --all --check
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

@@ -555,7 +555,11 @@ pub struct AModule {
 impl AModule {
     /// Total instruction count (terminators excluded).
     pub fn inst_count(&self) -> usize {
-        self.funcs.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum()
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.insts.len())
+            .sum()
     }
 
     /// Counts `dmb` barriers by kind: `(ld, st, ff)`.
@@ -592,7 +596,14 @@ mod tests {
         assert_eq!(X(0).to_string(), "x0");
         assert_eq!(X::ZR.to_string(), "xzr");
         assert_eq!(D(3).to_string(), "d3");
-        assert_eq!(AMem { base: X(29), off: -16 }.to_string(), "[x29, #-16]");
+        assert_eq!(
+            AMem {
+                base: X(29),
+                off: -16
+            }
+            .to_string(),
+            "[x29, #-16]"
+        );
         assert_eq!(AMem { base: X(0), off: 0 }.to_string(), "[x0]");
         assert_eq!(Blk(4).to_string(), ".L4");
         assert_eq!(Dmb::Ld.to_string(), "ishld");

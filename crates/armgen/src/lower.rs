@@ -11,8 +11,8 @@
 //! back. φ-nodes get shadow slots written by predecessors.
 
 use crate::inst::{
-    ABlock, ACallee, AFunc, AInst, AMem, AModule, ARet, ATerm, AluOp as AAlu, Blk, Cc, D, Dmb,
-    FpOp, Sz, X,
+    ABlock, ACallee, AFunc, AInst, AMem, AModule, ARet, ATerm, AluOp as AAlu, Blk, Cc, Dmb, FpOp,
+    Sz, D, X,
 };
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{
@@ -141,13 +141,24 @@ pub fn lower_function(m: &Module, f: &Function) -> AFunc {
     let mut int_idx = 0u8;
     let mut fp_idx = 0u8;
     for (pi, pty) in f.params.iter().enumerate() {
-        let mem = AMem { base: FP, off: lw.param_slot[pi] };
+        let mem = AMem {
+            base: FP,
+            off: lw.param_slot[pi],
+        };
         if pty.is_float() || pty.is_vector() {
             let sz = if pty.is_vector() { Sz::Q } else { ty_sz(*pty) };
-            lw.emit(AInst::StrF { sz, dt: D(fp_idx), mem });
+            lw.emit(AInst::StrF {
+                sz,
+                dt: D(fp_idx),
+                mem,
+            });
             fp_idx += 1;
         } else {
-            lw.emit(AInst::Str { sz: Sz::X, rt: X(int_idx), mem });
+            lw.emit(AInst::Str {
+                sz: Sz::X,
+                rt: X(int_idx),
+                mem,
+            });
             int_idx += 1;
         }
     }
@@ -171,8 +182,16 @@ pub fn lower_function(m: &Module, f: &Function) -> AFunc {
     };
     AFunc {
         name: f.name.clone(),
-        int_params: f.params.iter().filter(|t| !t.is_float() && !t.is_vector()).count(),
-        fp_params: f.params.iter().filter(|t| t.is_float() || t.is_vector()).count(),
+        int_params: f
+            .params
+            .iter()
+            .filter(|t| !t.is_float() && !t.is_vector())
+            .count(),
+        fp_params: f
+            .params
+            .iter()
+            .filter(|t| t.is_float() || t.is_vector())
+            .count(),
         frame_size: lw.frame_size as u64,
         ret,
         blocks: lw.blocks,
@@ -190,7 +209,10 @@ impl Lower<'_> {
     }
 
     fn slot_mem(&self, id: InstId) -> AMem {
-        AMem { base: FP, off: self.slot[&id.0] }
+        AMem {
+            base: FP,
+            off: self.slot[&id.0],
+        }
     }
 
     /// Loads an integer-classed operand into `rd`.
@@ -201,18 +223,32 @@ impl Lower<'_> {
                     // Allocas evaluate to their frame address; materialise
                     // from the slot (stored at definition) for uniformity.
                     let _ = a;
-                    self.emit(AInst::Ldr { sz: Sz::X, rt: rd, mem: self.slot_mem(*id) });
+                    self.emit(AInst::Ldr {
+                        sz: Sz::X,
+                        rt: rd,
+                        mem: self.slot_mem(*id),
+                    });
                 } else {
-                    self.emit(AInst::Ldr { sz: Sz::X, rt: rd, mem: self.slot_mem(*id) });
+                    self.emit(AInst::Ldr {
+                        sz: Sz::X,
+                        rt: rd,
+                        mem: self.slot_mem(*id),
+                    });
                 }
             }
             Operand::Param(p) => self.emit(AInst::Ldr {
                 sz: Sz::X,
                 rt: rd,
-                mem: AMem { base: FP, off: self.param_slot[*p as usize] },
+                mem: AMem {
+                    base: FP,
+                    off: self.param_slot[*p as usize],
+                },
             }),
             Operand::ConstInt { val, .. } => self.emit(AInst::MovImm { rd, imm: *val }),
-            Operand::ConstF32(b) => self.emit(AInst::MovImm { rd, imm: u64::from(*b) }),
+            Operand::ConstF32(b) => self.emit(AInst::MovImm {
+                rd,
+                imm: u64::from(*b),
+            }),
             Operand::ConstF64(b) => self.emit(AInst::MovImm { rd, imm: *b }),
             Operand::Global(g) => self.emit(AInst::AdrGlobal { rd, global: g.0 }),
             Operand::Func(fi) => self.emit(AInst::AdrFunc { rd, func: fi.0 }),
@@ -224,18 +260,28 @@ impl Lower<'_> {
     fn load_fp(&mut self, op: &Operand, dd: D, vec: bool) {
         let sz = if vec { Sz::Q } else { Sz::X };
         match op {
-            Operand::Inst(id) => self.emit(AInst::LdrF { sz, dt: dd, mem: self.slot_mem(*id) }),
+            Operand::Inst(id) => self.emit(AInst::LdrF {
+                sz,
+                dt: dd,
+                mem: self.slot_mem(*id),
+            }),
             Operand::Param(p) => self.emit(AInst::LdrF {
                 sz,
                 dt: dd,
-                mem: AMem { base: FP, off: self.param_slot[*p as usize] },
+                mem: AMem {
+                    base: FP,
+                    off: self.param_slot[*p as usize],
+                },
             }),
             Operand::ConstF64(b) => {
                 self.emit(AInst::MovImm { rd: S3, imm: *b });
                 self.emit(AInst::FMovFromX { dd, rn: S3 });
             }
             Operand::ConstF32(b) => {
-                self.emit(AInst::MovImm { rd: S3, imm: u64::from(*b) });
+                self.emit(AInst::MovImm {
+                    rd: S3,
+                    imm: u64::from(*b),
+                });
                 self.emit(AInst::FMovFromX { dd, rn: S3 });
             }
             Operand::Undef(_) => {
@@ -251,24 +297,40 @@ impl Lower<'_> {
     }
 
     fn store_int(&mut self, id: InstId, rs: X) {
-        self.emit(AInst::Str { sz: Sz::X, rt: rs, mem: self.slot_mem(id) });
+        self.emit(AInst::Str {
+            sz: Sz::X,
+            rt: rs,
+            mem: self.slot_mem(id),
+        });
     }
 
     fn store_fp(&mut self, id: InstId, ds: D, vec: bool) {
         let sz = if vec { Sz::Q } else { Sz::X };
-        self.emit(AInst::StrF { sz, dt: ds, mem: self.slot_mem(id) });
+        self.emit(AInst::StrF {
+            sz,
+            dt: ds,
+            mem: self.slot_mem(id),
+        });
     }
 
     /// Masks `rd` down to `bits` (no-op for 64).
     fn mask(&mut self, rd: X, bits: u32) {
         if bits < 64 {
-            self.emit(AInst::ZExt { rd, rn: rd, bits: bits as u8 });
+            self.emit(AInst::ZExt {
+                rd,
+                rn: rd,
+                bits: bits as u8,
+            });
         }
     }
 
     fn sext(&mut self, rd: X, rn: X, bits: u32) {
         if bits < 64 {
-            self.emit(AInst::SExt { rd, rn, bits: bits as u8 });
+            self.emit(AInst::SExt {
+                rd,
+                rn,
+                bits: bits as u8,
+            });
         } else if rd != rn {
             self.emit(AInst::MovReg { rd, rm: rn });
         }
@@ -301,7 +363,13 @@ impl Lower<'_> {
                     return;
                 }
                 let dp = matches!(ty, Ty::V2F64 | Ty::V2I64);
-                self.emit(AInst::FpVec { op: fop, dp, dd: F0, dn: F0, dm: F1 });
+                self.emit(AInst::FpVec {
+                    op: fop,
+                    dp,
+                    dd: F0,
+                    dn: F0,
+                    dm: F1,
+                });
                 self.store_fp(id, F0, true);
             }
             InstKind::Bin { op, lhs, rhs } if op.is_float() => {
@@ -317,7 +385,13 @@ impl Lower<'_> {
                     BinOp::FMax => FpOp::FMax,
                     _ => unreachable!(),
                 };
-                self.emit(AInst::Fp { op: fop, dp, dd: F0, dn: F0, dm: F1 });
+                self.emit(AInst::Fp {
+                    op: fop,
+                    dp,
+                    dd: F0,
+                    dn: F0,
+                    dm: F1,
+                });
                 self.store_fp(id, F0, false);
             }
             InstKind::Bin { op, lhs, rhs } => {
@@ -325,8 +399,14 @@ impl Lower<'_> {
                 self.load_int(lhs, S0);
                 self.load_int(rhs, S1);
                 match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or
-                    | BinOp::Xor | BinOp::Shl | BinOp::LShr => {
+                    BinOp::Add
+                    | BinOp::Sub
+                    | BinOp::Mul
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Shl
+                    | BinOp::LShr => {
                         let a = match op {
                             BinOp::Add => AAlu::Add,
                             BinOp::Sub => AAlu::Sub,
@@ -338,32 +418,80 @@ impl Lower<'_> {
                             BinOp::LShr => AAlu::Lsr,
                             _ => unreachable!(),
                         };
-                        self.emit(AInst::Alu { op: a, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: a,
+                            rd: S0,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                         self.mask(S0, bits);
                     }
                     BinOp::AShr => {
                         self.sext(S0, S0, bits);
-                        self.emit(AInst::Alu { op: AAlu::Asr, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: AAlu::Asr,
+                            rd: S0,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                         self.mask(S0, bits);
                     }
                     BinOp::UDiv => {
-                        self.emit(AInst::Alu { op: AAlu::UDiv, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: AAlu::UDiv,
+                            rd: S0,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                     }
                     BinOp::SDiv => {
                         self.sext(S0, S0, bits);
                         self.sext(S1, S1, bits);
-                        self.emit(AInst::Alu { op: AAlu::SDiv, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: AAlu::SDiv,
+                            rd: S0,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                         self.mask(S0, bits);
                     }
                     BinOp::URem => {
-                        self.emit(AInst::Alu { op: AAlu::UDiv, rd: S2, rn: S0, rm: S1, ra: X::ZR });
-                        self.emit(AInst::Alu { op: AAlu::MSub, rd: S0, rn: S2, rm: S1, ra: S0 });
+                        self.emit(AInst::Alu {
+                            op: AAlu::UDiv,
+                            rd: S2,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
+                        self.emit(AInst::Alu {
+                            op: AAlu::MSub,
+                            rd: S0,
+                            rn: S2,
+                            rm: S1,
+                            ra: S0,
+                        });
                     }
                     BinOp::SRem => {
                         self.sext(S0, S0, bits);
                         self.sext(S1, S1, bits);
-                        self.emit(AInst::Alu { op: AAlu::SDiv, rd: S2, rn: S0, rm: S1, ra: X::ZR });
-                        self.emit(AInst::Alu { op: AAlu::MSub, rd: S0, rn: S2, rm: S1, ra: S0 });
+                        self.emit(AInst::Alu {
+                            op: AAlu::SDiv,
+                            rd: S2,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
+                        self.emit(AInst::Alu {
+                            op: AAlu::MSub,
+                            rd: S0,
+                            rn: S2,
+                            rm: S1,
+                            ra: S0,
+                        });
                         self.mask(S0, bits);
                     }
                     _ => unreachable!("float handled above"),
@@ -414,7 +542,13 @@ impl Lower<'_> {
                         // ordered-and-not-equal = mi ∨ gt.
                         self.emit(AInst::CSet { rd: S0, cc: Cc::Mi });
                         self.emit(AInst::CSet { rd: S1, cc: Cc::Gt });
-                        self.emit(AInst::Alu { op: AAlu::Orr, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: AAlu::Orr,
+                            rd: S0,
+                            rn: S0,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                     }
                 }
                 self.store_int(id, S0);
@@ -422,13 +556,25 @@ impl Lower<'_> {
             InstKind::Load { ptr, .. } => {
                 self.load_int(ptr, S0);
                 if ty.is_float() {
-                    self.emit(AInst::LdrF { sz: ty_sz(ty), dt: F0, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::LdrF {
+                        sz: ty_sz(ty),
+                        dt: F0,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                     self.store_fp(id, F0, false);
                 } else if ty.is_vector() {
-                    self.emit(AInst::LdrF { sz: Sz::Q, dt: F0, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::LdrF {
+                        sz: Sz::Q,
+                        dt: F0,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                     self.store_fp(id, F0, true);
                 } else {
-                    self.emit(AInst::Ldr { sz: ty_sz(ty), rt: S1, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::Ldr {
+                        sz: ty_sz(ty),
+                        rt: S1,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                     self.store_int(id, S1);
                 }
             }
@@ -437,13 +583,25 @@ impl Lower<'_> {
                 self.load_int(ptr, S0);
                 if vt.is_float() {
                     self.load_fp(val, F0, false);
-                    self.emit(AInst::StrF { sz: ty_sz(vt), dt: F0, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::StrF {
+                        sz: ty_sz(vt),
+                        dt: F0,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                 } else if vt.is_vector() {
                     self.load_fp(val, F0, true);
-                    self.emit(AInst::StrF { sz: Sz::Q, dt: F0, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::StrF {
+                        sz: Sz::Q,
+                        dt: F0,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                 } else {
                     self.load_int(val, S1);
-                    self.emit(AInst::Str { sz: ty_sz(vt), rt: S1, mem: AMem { base: S0, off: 0 } });
+                    self.emit(AInst::Str {
+                        sz: ty_sz(vt),
+                        rt: S1,
+                        mem: AMem { base: S0, off: 0 },
+                    });
                 }
             }
             InstKind::Fence { kind } => {
@@ -476,14 +634,28 @@ impl Lower<'_> {
                 };
                 match aop {
                     Some(a) => {
-                        self.emit(AInst::Alu { op: a, rd: S3, rn: S2, rm: S1, ra: X::ZR });
+                        self.emit(AInst::Alu {
+                            op: a,
+                            rd: S3,
+                            rn: S2,
+                            rm: S1,
+                            ra: X::ZR,
+                        });
                         self.mask(S3, bits);
                     }
                     None => self.emit(AInst::MovReg { rd: S3, rm: S1 }),
                 }
-                self.emit(AInst::Stxr { sz, rs: X(15), rt: S3, rn: S0 });
-                self.blocks[self.cur].term =
-                    Some(ATerm::Cbnz { rn: X(15), then: loop_blk, els: done_blk });
+                self.emit(AInst::Stxr {
+                    sz,
+                    rs: X(15),
+                    rt: S3,
+                    rn: S0,
+                });
+                self.blocks[self.cur].term = Some(ATerm::Cbnz {
+                    rn: X(15),
+                    then: loop_blk,
+                    els: done_blk,
+                });
                 self.cur = done_blk.0 as usize;
                 self.emit(AInst::DmbI { kind: Dmb::Ff });
                 self.store_int(id, S2);
@@ -502,34 +674,75 @@ impl Lower<'_> {
                 self.cur = loop_blk.0 as usize;
                 self.emit(AInst::Ldxr { sz, rt: S3, rn: S0 });
                 self.emit(AInst::Cmp { rn: S3, rm: S1 });
-                self.emit(AInst::CSet { rd: X(14), cc: Cc::Ne });
-                self.blocks[self.cur].term =
-                    Some(ATerm::Cbnz { rn: X(14), then: done_blk, els: store_blk });
+                self.emit(AInst::CSet {
+                    rd: X(14),
+                    cc: Cc::Ne,
+                });
+                self.blocks[self.cur].term = Some(ATerm::Cbnz {
+                    rn: X(14),
+                    then: done_blk,
+                    els: store_blk,
+                });
                 self.cur = store_blk.0 as usize;
-                self.emit(AInst::Stxr { sz, rs: X(15), rt: S2, rn: S0 });
-                self.blocks[self.cur].term =
-                    Some(ATerm::Cbnz { rn: X(15), then: loop_blk, els: done_blk });
+                self.emit(AInst::Stxr {
+                    sz,
+                    rs: X(15),
+                    rt: S2,
+                    rn: S0,
+                });
+                self.blocks[self.cur].term = Some(ATerm::Cbnz {
+                    rn: X(15),
+                    then: loop_blk,
+                    els: done_blk,
+                });
                 self.cur = done_blk.0 as usize;
                 self.emit(AInst::DmbI { kind: Dmb::Ff });
                 self.store_int(id, S3);
             }
             InstKind::Alloca { .. } => {
                 let off = self.alloca_off[&id.0];
-                self.emit(AInst::AddImm { rd: S0, rn: FP, imm: off });
+                self.emit(AInst::AddImm {
+                    rd: S0,
+                    rn: FP,
+                    imm: off,
+                });
                 self.store_int(id, S0);
             }
-            InstKind::Gep { base, offset, elem_size } => {
+            InstKind::Gep {
+                base,
+                offset,
+                elem_size,
+            } => {
                 self.load_int(base, S0);
                 self.load_int(offset, S1);
                 if *elem_size != 1 {
-                    self.emit(AInst::MovImm { rd: S2, imm: *elem_size });
-                    self.emit(AInst::Alu { op: AAlu::Mul, rd: S1, rn: S1, rm: S2, ra: X::ZR });
+                    self.emit(AInst::MovImm {
+                        rd: S2,
+                        imm: *elem_size,
+                    });
+                    self.emit(AInst::Alu {
+                        op: AAlu::Mul,
+                        rd: S1,
+                        rn: S1,
+                        rm: S2,
+                        ra: X::ZR,
+                    });
                 }
-                self.emit(AInst::Alu { op: AAlu::Add, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+                self.emit(AInst::Alu {
+                    op: AAlu::Add,
+                    rd: S0,
+                    rn: S0,
+                    rm: S1,
+                    ra: X::ZR,
+                });
                 self.store_int(id, S0);
             }
             InstKind::Cast { op, val } => self.lower_cast(id, *op, val, ty),
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.load_int(cond, S2);
                 if ty.is_float() || ty.is_vector() {
                     // Select through the integer file (slots hold raw bits);
@@ -538,13 +751,23 @@ impl Lower<'_> {
                     self.load_int(if_true, S0);
                     self.load_int(if_false, S1);
                     self.emit(AInst::Cmp { rn: S2, rm: X::ZR });
-                    self.emit(AInst::CSel { rd: S0, rn: S1, rm: S0, cc: Cc::Eq });
+                    self.emit(AInst::CSel {
+                        rd: S0,
+                        rn: S1,
+                        rm: S0,
+                        cc: Cc::Eq,
+                    });
                     self.store_int(id, S0);
                 } else {
                     self.load_int(if_true, S0);
                     self.load_int(if_false, S1);
                     self.emit(AInst::Cmp { rn: S2, rm: X::ZR });
-                    self.emit(AInst::CSel { rd: S0, rn: S1, rm: S0, cc: Cc::Eq });
+                    self.emit(AInst::CSel {
+                        rd: S0,
+                        rn: S1,
+                        rm: S0,
+                        cc: Cc::Eq,
+                    });
                     self.store_int(id, S0);
                 }
             }
@@ -587,14 +810,28 @@ impl Lower<'_> {
             InstKind::Phi { .. } => {
                 // Copy shadow → slot.
                 let sh = self.shadow[&id.0];
-                self.emit(AInst::Ldr { sz: Sz::X, rt: S0, mem: AMem { base: FP, off: sh } });
+                self.emit(AInst::Ldr {
+                    sz: Sz::X,
+                    rt: S0,
+                    mem: AMem { base: FP, off: sh },
+                });
                 self.store_int(id, S0);
                 if ty.is_vector() {
-                    self.emit(AInst::Ldr { sz: Sz::X, rt: S0, mem: AMem { base: FP, off: sh + 8 } });
+                    self.emit(AInst::Ldr {
+                        sz: Sz::X,
+                        rt: S0,
+                        mem: AMem {
+                            base: FP,
+                            off: sh + 8,
+                        },
+                    });
                     self.emit(AInst::Str {
                         sz: Sz::X,
                         rt: S0,
-                        mem: AMem { base: FP, off: self.slot[&id.0] + 8 },
+                        mem: AMem {
+                            base: FP,
+                            off: self.slot[&id.0] + 8,
+                        },
                     });
                 }
             }
@@ -603,8 +840,15 @@ impl Lower<'_> {
                 let lane = ty.size() as i32;
                 match vec {
                     Operand::Inst(v) => {
-                        let m = AMem { base: FP, off: self.slot[&v.0] + *idx as i32 * lane };
-                        self.emit(AInst::Ldr { sz: ty_sz(ty), rt: S0, mem: m });
+                        let m = AMem {
+                            base: FP,
+                            off: self.slot[&v.0] + *idx as i32 * lane,
+                        };
+                        self.emit(AInst::Ldr {
+                            sz: ty_sz(ty),
+                            rt: S0,
+                            mem: m,
+                        });
                     }
                     _ => self.emit(AInst::MovImm { rd: S0, imm: 0 }),
                 }
@@ -620,7 +864,10 @@ impl Lower<'_> {
                 self.emit(AInst::Str {
                     sz: ty_sz(et),
                     rt: S0,
-                    mem: AMem { base: FP, off: self.slot[&id.0] + *idx as i32 * lane },
+                    mem: AMem {
+                        base: FP,
+                        off: self.slot[&id.0] + *idx as i32 * lane,
+                    },
                 });
             }
         }
@@ -635,17 +882,29 @@ impl Lower<'_> {
                 Operand::Inst(v) => lw.emit(AInst::Ldr {
                     sz: Sz::X,
                     rt: rd,
-                    mem: AMem { base: FP, off: lw.slot[&v.0] + off },
+                    mem: AMem {
+                        base: FP,
+                        off: lw.slot[&v.0] + off,
+                    },
                 }),
                 _ => lw.emit(AInst::MovImm { rd, imm: 0 }),
             };
             get(self, lhs, S0);
             get(self, rhs, S1);
-            self.emit(AInst::Alu { op: AAlu::Eor, rd: S0, rn: S0, rm: S1, ra: X::ZR });
+            self.emit(AInst::Alu {
+                op: AAlu::Eor,
+                rd: S0,
+                rn: S0,
+                rm: S1,
+                ra: X::ZR,
+            });
             self.emit(AInst::Str {
                 sz: Sz::X,
                 rt: S0,
-                mem: AMem { base: FP, off: self.slot[&id.0] + off },
+                mem: AMem {
+                    base: FP,
+                    off: self.slot[&id.0] + off,
+                },
             });
         }
     }
@@ -680,24 +939,42 @@ impl Lower<'_> {
                 let from = self.m.operand_ty(self.f, val);
                 self.load_int(val, S0);
                 self.sext(S0, S0, int_bits(from));
-                self.emit(AInst::Scvtf { dp: ty == Ty::F64, from64: true, dd: F0, rn: S0 });
+                self.emit(AInst::Scvtf {
+                    dp: ty == Ty::F64,
+                    from64: true,
+                    dd: F0,
+                    rn: S0,
+                });
                 self.store_fp(id, F0, false);
             }
             CastOp::FpToSi => {
                 let from = self.m.operand_ty(self.f, val);
                 self.load_fp(val, F0, false);
-                self.emit(AInst::Fcvtzs { dp: from == Ty::F64, to64: true, rd: S0, dn: F0 });
+                self.emit(AInst::Fcvtzs {
+                    dp: from == Ty::F64,
+                    to64: true,
+                    rd: S0,
+                    dn: F0,
+                });
                 self.mask(S0, int_bits(ty));
                 self.store_int(id, S0);
             }
             CastOp::FpExt => {
                 self.load_fp(val, F0, false);
-                self.emit(AInst::Fcvt { to_double: true, dd: F0, dn: F0 });
+                self.emit(AInst::Fcvt {
+                    to_double: true,
+                    dd: F0,
+                    dn: F0,
+                });
                 self.store_fp(id, F0, false);
             }
             CastOp::FpTrunc => {
                 self.load_fp(val, F0, false);
-                self.emit(AInst::Fcvt { to_double: false, dd: F0, dn: F0 });
+                self.emit(AInst::Fcvt {
+                    to_double: false,
+                    dd: F0,
+                    dn: F0,
+                });
                 self.store_fp(id, F0, false);
             }
         }
@@ -716,26 +993,46 @@ impl Lower<'_> {
                 .copied()
                 .collect();
             for pid in phi_ids {
-                let InstKind::Phi { incoming } = &self.f.inst(pid).kind else { unreachable!() };
-                let Some((_, val)) = incoming.iter().find(|(p, _)| *p == b) else { continue };
+                let InstKind::Phi { incoming } = &self.f.inst(pid).kind else {
+                    unreachable!()
+                };
+                let Some((_, val)) = incoming.iter().find(|(p, _)| *p == b) else {
+                    continue;
+                };
                 let val = *val;
                 let sh = self.shadow[&pid.0];
                 let vty = self.m.operand_ty(self.f, &val);
                 if vty.is_vector() {
                     self.load_fp(&val, F0, true);
-                    self.emit(AInst::StrF { sz: Sz::Q, dt: F0, mem: AMem { base: FP, off: sh } });
+                    self.emit(AInst::StrF {
+                        sz: Sz::Q,
+                        dt: F0,
+                        mem: AMem { base: FP, off: sh },
+                    });
                 } else if vty.is_float() {
                     self.load_fp(&val, F0, false);
-                    self.emit(AInst::StrF { sz: Sz::X, dt: F0, mem: AMem { base: FP, off: sh } });
+                    self.emit(AInst::StrF {
+                        sz: Sz::X,
+                        dt: F0,
+                        mem: AMem { base: FP, off: sh },
+                    });
                 } else {
                     self.load_int(&val, S0);
-                    self.emit(AInst::Str { sz: Sz::X, rt: S0, mem: AMem { base: FP, off: sh } });
+                    self.emit(AInst::Str {
+                        sz: Sz::X,
+                        rt: S0,
+                        mem: AMem { base: FP, off: sh },
+                    });
                 }
             }
         }
         let aterm = match &term {
             Terminator::Br { dest } => ATerm::B(Blk(self.block_map[dest.0 as usize])),
-            Terminator::CondBr { cond, if_true, if_false } => {
+            Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.load_int(cond, S0);
                 ATerm::Cbnz {
                     rn: S0,

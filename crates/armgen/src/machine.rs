@@ -7,9 +7,7 @@
 //! Cortex-A72. The pthread runtime uses the same sequential fork–join
 //! semantics (with per-thread cycle buckets) as the LIR interpreter.
 
-use crate::inst::{
-    ABlock, ACallee, AInst, AModule, ARet, ATerm, AluOp, Cc, Dmb, FpOp, D, X,
-};
+use crate::inst::{ABlock, ACallee, AInst, AModule, ARet, ATerm, AluOp, Cc, Dmb, FpOp, D, X};
 use lasagne_lir::interp::{Memory, FUNC_ADDR_BASE, HEAP_BASE, STACK_SIZE, STACK_TOP};
 use std::collections::BTreeMap;
 
@@ -127,11 +125,22 @@ fn cost_of(i: &AInst) -> u64 {
         AInst::DmbI { kind: Dmb::Ff } => cost::DMB_FF,
         AInst::DmbI { kind: Dmb::Ld } => cost::DMB_LD,
         AInst::DmbI { kind: Dmb::St } => cost::DMB_ST,
-        AInst::Ldr { .. } | AInst::Str { .. } | AInst::LdrF { .. } | AInst::StrF { .. } => cost::MEM,
+        AInst::Ldr { .. } | AInst::Str { .. } | AInst::LdrF { .. } | AInst::StrF { .. } => {
+            cost::MEM
+        }
         AInst::Ldxr { .. } | AInst::Stxr { .. } => cost::EXCL,
-        AInst::Alu { op: AluOp::Mul | AluOp::MSub, .. } => cost::MUL,
-        AInst::Alu { op: AluOp::SDiv | AluOp::UDiv, .. } => cost::DIV,
-        AInst::Fp { op: FpOp::FDiv | FpOp::FSqrt, .. } => cost::FDIV,
+        AInst::Alu {
+            op: AluOp::Mul | AluOp::MSub,
+            ..
+        } => cost::MUL,
+        AInst::Alu {
+            op: AluOp::SDiv | AluOp::UDiv,
+            ..
+        } => cost::DIV,
+        AInst::Fp {
+            op: FpOp::FDiv | FpOp::FSqrt,
+            ..
+        } => cost::FDIV,
         AInst::Fp { .. } | AInst::FpVec { .. } | AInst::FCmp { .. } => cost::FP,
         AInst::Scvtf { .. } | AInst::Fcvtzs { .. } | AInst::Fcvt { .. } => cost::FP,
         AInst::Bl { .. } => cost::CALL,
@@ -251,7 +260,11 @@ impl<'m> ArmMachine<'m> {
                 ATerm::Cbnz { rn, then, els } => {
                     self.stats.insts += 1;
                     self.stats.cycles += cost::ALU;
-                    blk = if self.xr(rn) != 0 { then.0 as usize } else { els.0 as usize };
+                    blk = if self.xr(rn) != 0 {
+                        then.0 as usize
+                    } else {
+                        els.0 as usize
+                    };
                 }
                 ATerm::Ret => break 'blocks,
                 ATerm::Brk => return Err(ArmError::Trap(format!("brk in @{}", f.name))),
@@ -325,7 +338,11 @@ impl<'m> ArmMachine<'m> {
                 self.set_x(*rd, v);
             }
             AInst::CSel { rd, rn, rm, cc } => {
-                let v = if self.cond(*cc) { self.xr(*rn) } else { self.xr(*rm) };
+                let v = if self.cond(*cc) {
+                    self.xr(*rn)
+                } else {
+                    self.xr(*rm)
+                };
                 self.set_x(*rd, v);
             }
             AInst::SExt { rd, rn, bits } => {
@@ -335,7 +352,11 @@ impl<'m> ArmMachine<'m> {
             }
             AInst::ZExt { rd, rn, bits } => {
                 let v = self.xr(*rn);
-                let mask = if *bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let mask = if *bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 self.set_x(*rd, v & mask);
             }
             AInst::Ldr { sz, rt, mem } => {
@@ -348,7 +369,8 @@ impl<'m> ArmMachine<'m> {
             AInst::Str { sz, rt, mem } => {
                 let addr = self.amem(mem);
                 let v = self.xr(*rt);
-                self.mem.write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
+                self.mem
+                    .write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
             }
             AInst::LdrF { sz, dt, mem } => {
                 let addr = self.amem(mem);
@@ -378,7 +400,8 @@ impl<'m> ArmMachine<'m> {
                 let ok = self.exclusive == Some(addr);
                 if ok {
                     let v = self.xr(*rt);
-                    self.mem.write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
+                    self.mem
+                        .write(addr, &v.to_le_bytes()[..sz.bytes().min(8) as usize]);
                     self.set_x(*rs, 0);
                 } else {
                     self.set_x(*rs, 1);
@@ -455,7 +478,11 @@ impl<'m> ArmMachine<'m> {
             }
             AInst::Scvtf { dp, from64, dd, rn } => {
                 let raw = self.xr(*rn);
-                let v = if *from64 { raw as i64 as f64 } else { raw as u32 as i32 as f64 };
+                let v = if *from64 {
+                    raw as i64 as f64
+                } else {
+                    raw as u32 as i32 as f64
+                };
                 if *dp {
                     self.set_d64(*dd, v.to_bits());
                 } else {
@@ -469,7 +496,14 @@ impl<'m> ArmMachine<'m> {
                     f64::from(f32::from_bits(self.d64(*dn) as u32))
                 };
                 let i = v as i64;
-                self.set_x(*rd, if *to64 { i as u64 } else { (i as i32) as u32 as u64 });
+                self.set_x(
+                    *rd,
+                    if *to64 {
+                        i as u64
+                    } else {
+                        (i as i32) as u32 as u64
+                    },
+                );
             }
             AInst::Fcvt { to_double, dd, dn } => {
                 if *to_double {
@@ -517,7 +551,11 @@ impl<'m> ArmMachine<'m> {
     }
 
     fn amem(&self, m: &crate::inst::AMem) -> u64 {
-        let base = if m.base.0 == 29 { self.x[29] } else { self.xr(m.base) };
+        let base = if m.base.0 == 29 {
+            self.x[29]
+        } else {
+            self.xr(m.base)
+        };
         base.wrapping_add(m.off as i64 as u64)
     }
 
@@ -617,8 +655,11 @@ impl<'m> ArmMachine<'m> {
                 self.thread_cycles.push(self.stats.cycles - before);
                 self.x[0] = 0;
             }
-            "pthread_join" | "pthread_mutex_init" | "pthread_mutex_destroy"
-            | "pthread_mutex_lock" | "pthread_mutex_unlock" => {
+            "pthread_join"
+            | "pthread_mutex_init"
+            | "pthread_mutex_destroy"
+            | "pthread_mutex_lock"
+            | "pthread_mutex_unlock" => {
                 self.x[0] = 0;
             }
             "pthread_exit" => {}

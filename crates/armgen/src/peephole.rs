@@ -304,7 +304,10 @@ mod tests {
             fp_params: 0,
             frame_size: 64,
             ret: ARet::Void,
-            blocks: vec![ABlock { insts, term: Some(crate::inst::ATerm::Ret) }],
+            blocks: vec![ABlock {
+                insts,
+                term: Some(crate::inst::ATerm::Ret),
+            }],
         }
     }
 
@@ -315,9 +318,21 @@ mod tests {
     #[test]
     fn forwards_store_to_load() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
-            AInst::Ldr { sz: Sz::X, rt: X(9), mem: slot(0) },
-            AInst::Ldr { sz: Sz::X, rt: X(10), mem: slot(0) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(10),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.loads_deleted, 1);
@@ -325,8 +340,15 @@ mod tests {
         assert_eq!(
             f.blocks[0].insts,
             vec![
-                AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
-                AInst::MovReg { rd: X(10), rm: X(9) },
+                AInst::Str {
+                    sz: Sz::X,
+                    rt: X(9),
+                    mem: slot(0)
+                },
+                AInst::MovReg {
+                    rd: X(10),
+                    rm: X(9)
+                },
             ]
         );
     }
@@ -334,9 +356,17 @@ mod tests {
     #[test]
     fn register_redefinition_blocks_forwarding() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
             AInst::MovImm { rd: X(9), imm: 7 },
-            AInst::Ldr { sz: Sz::X, rt: X(10), mem: slot(0) },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(10),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.loads_forwarded + s.loads_deleted, 0, "{s:?}");
@@ -346,8 +376,16 @@ mod tests {
     #[test]
     fn narrow_accesses_do_not_forward() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::W, rt: X(9), mem: slot(0) },
-            AInst::Ldr { sz: Sz::X, rt: X(9), mem: slot(0) },
+            AInst::Str {
+                sz: Sz::W,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s, PeepholeStats::default());
@@ -356,9 +394,19 @@ mod tests {
     #[test]
     fn calls_clobber_everything() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
-            AInst::Bl { callee: ACallee::Extern(0) },
-            AInst::Ldr { sz: Sz::X, rt: X(9), mem: slot(0) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::Bl {
+                callee: ACallee::Extern(0),
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.loads_deleted + s.loads_forwarded, 0);
@@ -367,18 +415,34 @@ mod tests {
     #[test]
     fn dead_store_removed_only_when_overwritten() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(16) },
-            AInst::Str { sz: Sz::X, rt: X(10), mem: slot(16) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(16),
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(10),
+                mem: slot(16),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.dead_stores, 1);
         assert_eq!(
             f.blocks[0].insts,
-            vec![AInst::Str { sz: Sz::X, rt: X(10), mem: slot(16) }]
+            vec![AInst::Str {
+                sz: Sz::X,
+                rt: X(10),
+                mem: slot(16)
+            }]
         );
 
         // Live-out stores survive.
-        let mut f = func(vec![AInst::Str { sz: Sz::X, rt: X(9), mem: slot(16) }]);
+        let mut f = func(vec![AInst::Str {
+            sz: Sz::X,
+            rt: X(9),
+            mem: slot(16),
+        }]);
         let s = peephole_function(&mut f);
         assert_eq!(s.dead_stores, 0);
         assert_eq!(f.blocks[0].insts.len(), 1);
@@ -387,9 +451,21 @@ mod tests {
     #[test]
     fn intervening_read_keeps_the_store() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(16) },
-            AInst::Ldr { sz: Sz::X, rt: X(11), mem: slot(16) },
-            AInst::Str { sz: Sz::X, rt: X(10), mem: slot(16) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(16),
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(11),
+                mem: slot(16),
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(10),
+                mem: slot(16),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.dead_stores, 0);
@@ -399,9 +475,23 @@ mod tests {
     #[test]
     fn redundant_store_after_load_is_dropped() {
         let mut f = func(vec![
-            AInst::Ldr { sz: Sz::X, rt: X(9), mem: slot(0) },
-            AInst::Alu { op: AluOp::Add, rd: X(10), rn: X(9), rm: X(9), ra: X::ZR },
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::Alu {
+                op: AluOp::Add,
+                rd: X(10),
+                rn: X(9),
+                rm: X(9),
+                ra: X::ZR,
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.redundant_stores, 1);
@@ -411,9 +501,21 @@ mod tests {
     #[test]
     fn fp_slots_forward_at_matching_width() {
         let mut f = func(vec![
-            AInst::StrF { sz: Sz::X, dt: D(8), mem: slot(0) },
-            AInst::LdrF { sz: Sz::X, dt: D(8), mem: slot(0) },
-            AInst::LdrF { sz: Sz::W, dt: D(8), mem: slot(0) },
+            AInst::StrF {
+                sz: Sz::X,
+                dt: D(8),
+                mem: slot(0),
+            },
+            AInst::LdrF {
+                sz: Sz::X,
+                dt: D(8),
+                mem: slot(0),
+            },
+            AInst::LdrF {
+                sz: Sz::W,
+                dt: D(8),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.loads_deleted, 1, "{s:?}");
@@ -423,9 +525,19 @@ mod tests {
     #[test]
     fn dmb_does_not_block_private_slot_forwarding() {
         let mut f = func(vec![
-            AInst::Str { sz: Sz::X, rt: X(9), mem: slot(0) },
-            AInst::DmbI { kind: crate::inst::Dmb::Ff },
-            AInst::Ldr { sz: Sz::X, rt: X(9), mem: slot(0) },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
+            AInst::DmbI {
+                kind: crate::inst::Dmb::Ff,
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(9),
+                mem: slot(0),
+            },
         ]);
         let s = peephole_function(&mut f);
         assert_eq!(s.loads_deleted, 1);

@@ -37,7 +37,13 @@ pub fn inst_to_string(m: &AModule, i: &AInst) -> String {
     match i {
         AInst::MovImm { rd, imm } => format!("mov {rd}, #{imm:#x}"),
         AInst::MovReg { rd, rm } => format!("mov {rd}, {rm}"),
-        AInst::Alu { op: AluOp::MSub, rd, rn, rm, ra } => {
+        AInst::Alu {
+            op: AluOp::MSub,
+            rd,
+            rn,
+            rm,
+            ra,
+        } => {
             format!("msub {rd}, {rn}, {rm}, {ra}")
         }
         AInst::Alu { op, rd, rn, rm, .. } => format!("{} {rd}, {rn}, {rm}", op.mnemonic()),
@@ -70,14 +76,26 @@ pub fn inst_to_string(m: &AModule, i: &AInst) -> String {
         }
         AInst::LdrF { sz, dt, mem } => format!("ldr {}, {mem}", freg_name(*sz, *dt)),
         AInst::StrF { sz, dt, mem } => format!("str {}, {mem}", freg_name(*sz, *dt)),
-        AInst::Ldxr { sz, rt, rn } => format!("ldxr{} {}, [{rn}]", sz_suffix(*sz), reg_name(*sz, *rt)),
+        AInst::Ldxr { sz, rt, rn } => {
+            format!("ldxr{} {}, [{rn}]", sz_suffix(*sz), reg_name(*sz, *rt))
+        }
         AInst::Stxr { sz, rs, rt, rn } => {
-            format!("stxr{} {}, {}, [{rn}]", sz_suffix(*sz), reg_name(Sz::W, *rs), reg_name(*sz, *rt))
+            format!(
+                "stxr{} {}, {}, [{rn}]",
+                sz_suffix(*sz),
+                reg_name(Sz::W, *rs),
+                reg_name(*sz, *rt)
+            )
         }
         AInst::Fp { op, dp, dd, dn, dm } => {
             let sz = if *dp { Sz::X } else { Sz::W };
             if matches!(op, crate::inst::FpOp::FSqrt | crate::inst::FpOp::FNeg) {
-                format!("{} {}, {}", op.mnemonic(), freg_name(sz, *dd), freg_name(sz, *dn))
+                format!(
+                    "{} {}, {}",
+                    op.mnemonic(),
+                    freg_name(sz, *dd),
+                    freg_name(sz, *dn)
+                )
             } else {
                 format!(
                     "{} {}, {}, {}",
@@ -90,7 +108,13 @@ pub fn inst_to_string(m: &AModule, i: &AInst) -> String {
         }
         AInst::FpVec { op, dp, dd, dn, dm } => {
             let lanes = if *dp { "2d" } else { "4s" };
-            format!("{} v{}.{lanes}, v{}.{lanes}, v{}.{lanes}", op.mnemonic(), dd.0, dn.0, dm.0)
+            format!(
+                "{} v{}.{lanes}, v{}.{lanes}, v{}.{lanes}",
+                op.mnemonic(),
+                dd.0,
+                dn.0,
+                dm.0
+            )
         }
         AInst::FCmp { dp, dn, dm } => {
             let sz = if *dp { Sz::X } else { Sz::W };
@@ -98,12 +122,20 @@ pub fn inst_to_string(m: &AModule, i: &AInst) -> String {
         }
         AInst::Scvtf { dp, from64, dd, rn } => {
             let d = freg_name(if *dp { Sz::X } else { Sz::W }, *dd);
-            let r = if *from64 { rn.to_string() } else { reg_name(Sz::W, *rn) };
+            let r = if *from64 {
+                rn.to_string()
+            } else {
+                reg_name(Sz::W, *rn)
+            };
             format!("scvtf {d}, {r}")
         }
         AInst::Fcvtzs { dp, to64, rd, dn } => {
             let d = freg_name(if *dp { Sz::X } else { Sz::W }, *dn);
-            let r = if *to64 { rd.to_string() } else { reg_name(Sz::W, *rd) };
+            let r = if *to64 {
+                rd.to_string()
+            } else {
+                reg_name(Sz::W, *rd)
+            };
             format!("fcvtzs {r}, {d}")
         }
         AInst::Fcvt { to_double, dd, dn } => {
@@ -122,7 +154,9 @@ pub fn inst_to_string(m: &AModule, i: &AInst) -> String {
             ACallee::Reg(r) => format!("blr {r}"),
         },
         AInst::AdrFunc { rd, func } => format!("adr {rd}, {}", m.funcs[*func as usize].name),
-        AInst::AdrGlobal { rd, global } => format!("adrp+add {rd}, {}", m.globals[*global as usize].0),
+        AInst::AdrGlobal { rd, global } => {
+            format!("adrp+add {rd}, {}", m.globals[*global as usize].0)
+        }
     }
 }
 

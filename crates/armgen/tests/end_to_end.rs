@@ -16,10 +16,23 @@ fn build_sum_binary() -> lasagne_x86::binary::Binary {
     let mut a = Asm::new();
     let top = a.label();
     let done = a.label();
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 0 });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rcx),
+        imm: 0,
+    });
     a.bind(top);
-    a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rsi) });
+    a.push(Inst::AluRRm {
+        op: AluOp::Cmp,
+        w: Width::W64,
+        dst: Gpr::Rcx,
+        src: Rm::Reg(Gpr::Rsi),
+    });
     a.jcc(Cond::E, done);
     a.push(Inst::AluRRm {
         op: AluOp::Add,
@@ -27,8 +40,17 @@ fn build_sum_binary() -> lasagne_x86::binary::Binary {
         dst: Gpr::Rax,
         src: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 0)),
     });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), src: Gpr::Rax });
-    a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 1 });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+        src: Gpr::Rax,
+    });
+    a.push(Inst::AluRmI {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rcx),
+        imm: 1,
+    });
     a.jmp(top);
     a.bind(done);
     a.push(Inst::Ret);
@@ -47,7 +69,11 @@ fn arm_matches_lir_interpreter_on_sum() {
     for i in 0..16u64 {
         lirm.mem.write_u64(HEAP_BASE + 8 * i, 3 * i + 1);
     }
-    let expect = lirm.run(id, &[Val::B64(HEAP_BASE), Val::B64(16)]).unwrap().ret.unwrap();
+    let expect = lirm
+        .run(id, &[Val::B64(HEAP_BASE), Val::B64(16)])
+        .unwrap()
+        .ret
+        .unwrap();
 
     // Arm run.
     let amod = lower_module(&m);
@@ -104,8 +130,16 @@ fn arm_rmw_uses_llsc_with_full_barriers() {
     // lock xadd via lifted binary.
     let mut bin = BinaryBuilder::new();
     let mut a = Asm::new();
-    a.push(Inst::LockXadd { w: Width::W64, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rsi });
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
+    a.push(Inst::LockXadd {
+        w: Width::W64,
+        mem: MemRef::base(Gpr::Rdi),
+        src: Gpr::Rsi,
+    });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rsi),
+    });
     a.push(Inst::Ret);
     let addr = bin.next_function_addr();
     bin.add_function("fa", a.finish(addr).unwrap());
@@ -131,8 +165,18 @@ fn arm_float_pipeline() {
     // xmm0 = xmm0 * xmm1 + xmm1
     let mut bin = BinaryBuilder::new();
     let mut a = Asm::new();
-    a.push(Inst::SseScalar { op: SseOp::Mul, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
-    a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+    a.push(Inst::SseScalar {
+        op: SseOp::Mul,
+        prec: FpPrec::Double,
+        dst: Xmm(0),
+        src: XmmRm::Reg(Xmm(1)),
+    });
+    a.push(Inst::SseScalar {
+        op: SseOp::Add,
+        prec: FpPrec::Double,
+        dst: Xmm(0),
+        src: XmmRm::Reg(Xmm(1)),
+    });
     a.push(Inst::Ret);
     let addr = bin.next_function_addr();
     bin.add_function("fma", a.finish(addr).unwrap());
@@ -140,7 +184,9 @@ fn arm_float_pipeline() {
     let amod = lower_module(&m);
     let idx = amod.func_by_name("fma").unwrap();
     let mut arm = ArmMachine::new(&amod);
-    let r = arm.run(idx, &[], &[3.0f64.to_bits(), 4.0f64.to_bits()]).unwrap();
+    let r = arm
+        .run(idx, &[], &[3.0f64.to_bits(), 4.0f64.to_bits()])
+        .unwrap();
     assert_eq!(f64::from_bits(r.ret), 16.0);
 }
 

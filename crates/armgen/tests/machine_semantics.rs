@@ -15,7 +15,10 @@ fn one_block_module(insts: Vec<AInst>, ret: ARet) -> AModule {
             fp_params: 2,
             frame_size: 64,
             ret,
-            blocks: vec![ABlock { insts, term: Some(ATerm::Ret) }],
+            blocks: vec![ABlock {
+                insts,
+                term: Some(ATerm::Ret),
+            }],
         }],
         externs: vec![],
         globals: vec![],
@@ -34,8 +37,20 @@ fn alu_semantics() {
     let v = run_int(
         vec![
             AInst::MovImm { rd: X(9), imm: 3 },
-            AInst::Alu { op: AluOp::Lsl, rd: X(0), rn: X(0), rm: X(9), ra: X::ZR },
-            AInst::Alu { op: AluOp::Sub, rd: X(0), rn: X(0), rm: X(1), ra: X::ZR },
+            AInst::Alu {
+                op: AluOp::Lsl,
+                rd: X(0),
+                rn: X(0),
+                rm: X(9),
+                ra: X::ZR,
+            },
+            AInst::Alu {
+                op: AluOp::Sub,
+                rd: X(0),
+                rn: X(0),
+                rm: X(1),
+                ra: X::ZR,
+            },
         ],
         &[5, 7],
     );
@@ -46,7 +61,13 @@ fn alu_semantics() {
 fn udiv_by_zero_is_zero_on_arm() {
     // AArch64 defines x/0 = 0 (no trap).
     let v = run_int(
-        vec![AInst::Alu { op: AluOp::UDiv, rd: X(0), rn: X(0), rm: X(1), ra: X::ZR }],
+        vec![AInst::Alu {
+            op: AluOp::UDiv,
+            rd: X(0),
+            rn: X(0),
+            rm: X(1),
+            ra: X::ZR,
+        }],
         &[42, 0],
     );
     assert_eq!(v, 0);
@@ -57,8 +78,20 @@ fn msub_computes_remainder() {
     // rem = x0 - (x0/x1)*x1
     let v = run_int(
         vec![
-            AInst::Alu { op: AluOp::UDiv, rd: X(9), rn: X(0), rm: X(1), ra: X::ZR },
-            AInst::Alu { op: AluOp::MSub, rd: X(0), rn: X(9), rm: X(1), ra: X(0) },
+            AInst::Alu {
+                op: AluOp::UDiv,
+                rd: X(9),
+                rn: X(0),
+                rm: X(1),
+                ra: X::ZR,
+            },
+            AInst::Alu {
+                op: AluOp::MSub,
+                rd: X(0),
+                rn: X(9),
+                rm: X(1),
+                ra: X(0),
+            },
         ],
         &[17, 5],
     );
@@ -71,13 +104,16 @@ fn conditions_after_cmp() {
         (1u64, 2u64, Cc::Lt, 1u64),
         (2, 1, Cc::Lt, 0),
         (1, 1, Cc::Eq, 1),
-        (u64::MAX, 1, Cc::Lt, 1),  // signed: -1 < 1
-        (u64::MAX, 1, Cc::Hi, 1),  // unsigned: MAX > 1
+        (u64::MAX, 1, Cc::Lt, 1), // signed: -1 < 1
+        (u64::MAX, 1, Cc::Hi, 1), // unsigned: MAX > 1
         (3, 3, Cc::Ls, 1),
         (4, 3, Cc::Ls, 0),
     ] {
         let v = run_int(
-            vec![AInst::Cmp { rn: X(0), rm: X(1) }, AInst::CSet { rd: X(0), cc }],
+            vec![
+                AInst::Cmp { rn: X(0), rm: X(1) },
+                AInst::CSet { rd: X(0), cc },
+            ],
             &[a, b],
         );
         assert_eq!(v, expect, "cmp {a},{b} cset {cc}");
@@ -89,7 +125,12 @@ fn csel_picks_by_condition() {
     let v = run_int(
         vec![
             AInst::Cmp { rn: X(0), rm: X(1) },
-            AInst::CSel { rd: X(0), rn: X(0), rm: X(1), cc: Cc::Gt },
+            AInst::CSel {
+                rd: X(0),
+                rn: X(0),
+                rm: X(1),
+                cc: Cc::Gt,
+            },
         ],
         &[9, 4],
     );
@@ -97,7 +138,12 @@ fn csel_picks_by_condition() {
     let v = run_int(
         vec![
             AInst::Cmp { rn: X(0), rm: X(1) },
-            AInst::CSel { rd: X(0), rn: X(0), rm: X(1), cc: Cc::Gt },
+            AInst::CSel {
+                rd: X(0),
+                rn: X(0),
+                rm: X(1),
+                cc: Cc::Gt,
+            },
         ],
         &[4, 9],
     );
@@ -107,21 +153,52 @@ fn csel_picks_by_condition() {
 #[test]
 fn sub_width_loads_and_stores() {
     // Store a qword in the frame, read back a byte / halfword / word.
-    let mem = AMem { base: X(29), off: 0 };
+    let mem = AMem {
+        base: X(29),
+        off: 0,
+    };
     let v = run_int(
         vec![
-            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
-            AInst::Str { sz: Sz::X, rt: X(9), mem },
-            AInst::Ldr { sz: Sz::B, rt: X(0), mem: AMem { base: X(29), off: 1 } },
+            AInst::MovImm {
+                rd: X(9),
+                imm: 0x1122_3344_5566_7788,
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem,
+            },
+            AInst::Ldr {
+                sz: Sz::B,
+                rt: X(0),
+                mem: AMem {
+                    base: X(29),
+                    off: 1,
+                },
+            },
         ],
         &[0, 0],
     );
     assert_eq!(v, 0x77);
     let v = run_int(
         vec![
-            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
-            AInst::Str { sz: Sz::X, rt: X(9), mem },
-            AInst::Ldr { sz: Sz::H, rt: X(0), mem: AMem { base: X(29), off: 2 } },
+            AInst::MovImm {
+                rd: X(9),
+                imm: 0x1122_3344_5566_7788,
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem,
+            },
+            AInst::Ldr {
+                sz: Sz::H,
+                rt: X(0),
+                mem: AMem {
+                    base: X(29),
+                    off: 2,
+                },
+            },
         ],
         &[0, 0],
     );
@@ -129,11 +206,32 @@ fn sub_width_loads_and_stores() {
     // Sub-width store must leave neighbours intact.
     let v = run_int(
         vec![
-            AInst::MovImm { rd: X(9), imm: 0x1122_3344_5566_7788 },
-            AInst::Str { sz: Sz::X, rt: X(9), mem },
-            AInst::MovImm { rd: X(10), imm: 0xAB },
-            AInst::Str { sz: Sz::B, rt: X(10), mem: AMem { base: X(29), off: 3 } },
-            AInst::Ldr { sz: Sz::X, rt: X(0), mem },
+            AInst::MovImm {
+                rd: X(9),
+                imm: 0x1122_3344_5566_7788,
+            },
+            AInst::Str {
+                sz: Sz::X,
+                rt: X(9),
+                mem,
+            },
+            AInst::MovImm {
+                rd: X(10),
+                imm: 0xAB,
+            },
+            AInst::Str {
+                sz: Sz::B,
+                rt: X(10),
+                mem: AMem {
+                    base: X(29),
+                    off: 3,
+                },
+            },
+            AInst::Ldr {
+                sz: Sz::X,
+                rt: X(0),
+                mem,
+            },
         ],
         &[0, 0],
     );
@@ -145,15 +243,33 @@ fn fcmp_with_nan_sets_cv() {
     // fcmp NaN, 1.0 → unordered → vs true, gt false, mi false.
     let m = one_block_module(
         vec![
-            AInst::FCmp { dp: true, dn: D(0), dm: D(1) },
-            AInst::CSet { rd: X(0), cc: Cc::Vs },
-            AInst::CSet { rd: X(9), cc: Cc::Gt },
-            AInst::Alu { op: AluOp::Lsl, rd: X(9), rn: X(9), rm: X(9), ra: X::ZR },
+            AInst::FCmp {
+                dp: true,
+                dn: D(0),
+                dm: D(1),
+            },
+            AInst::CSet {
+                rd: X(0),
+                cc: Cc::Vs,
+            },
+            AInst::CSet {
+                rd: X(9),
+                cc: Cc::Gt,
+            },
+            AInst::Alu {
+                op: AluOp::Lsl,
+                rd: X(9),
+                rn: X(9),
+                rm: X(9),
+                ra: X::ZR,
+            },
         ],
         ARet::Int,
     );
     let mut machine = ArmMachine::new(&m);
-    let r = machine.run(0, &[], &[f64::NAN.to_bits(), 1.0f64.to_bits()]).unwrap();
+    let r = machine
+        .run(0, &[], &[f64::NAN.to_bits(), 1.0f64.to_bits()])
+        .unwrap();
     assert_eq!(r.ret, 1, "vs must be set for unordered");
 }
 
@@ -161,14 +277,22 @@ fn fcmp_with_nan_sets_cv() {
 fn fp_roundtrip_through_registers() {
     let m = one_block_module(
         vec![
-            AInst::Fp { op: FpOp::FMul, dp: true, dd: D(0), dn: D(0), dm: D(1) },
+            AInst::Fp {
+                op: FpOp::FMul,
+                dp: true,
+                dd: D(0),
+                dn: D(0),
+                dm: D(1),
+            },
             AInst::FMovToX { rd: X(0), dn: D(0) },
             AInst::FMovFromX { dd: D(0), rn: X(0) },
         ],
         ARet::Fp,
     );
     let mut machine = ArmMachine::new(&m);
-    let r = machine.run(0, &[], &[2.5f64.to_bits(), 4.0f64.to_bits()]).unwrap();
+    let r = machine
+        .run(0, &[], &[2.5f64.to_bits(), 4.0f64.to_bits()])
+        .unwrap();
     assert_eq!(f64::from_bits(r.ret), 10.0);
 }
 
@@ -177,16 +301,28 @@ fn exclusive_reservation_semantics() {
     // stxr without a matching ldxr reservation fails (status 1).
     let m = one_block_module(
         vec![
-            AInst::MovImm { rd: X(9), imm: 0x4000_0000 },
+            AInst::MovImm {
+                rd: X(9),
+                imm: 0x4000_0000,
+            },
             AInst::MovImm { rd: X(10), imm: 7 },
-            AInst::Stxr { sz: Sz::X, rs: X(0), rt: X(10), rn: X(9) },
+            AInst::Stxr {
+                sz: Sz::X,
+                rs: X(0),
+                rt: X(10),
+                rn: X(9),
+            },
         ],
         ARet::Int,
     );
     let mut machine = ArmMachine::new(&m);
     let r = machine.run(0, &[], &[]).unwrap();
     assert_eq!(r.ret, 1, "stxr with no reservation must fail");
-    assert_ne!(machine.mem.read_u64(0x4000_0000), 7, "failed stxr must not write");
+    assert_ne!(
+        machine.mem.read_u64(0x4000_0000),
+        7,
+        "failed stxr must not write"
+    );
 }
 
 #[test]
@@ -201,15 +337,38 @@ fn printer_forms() {
             blocks: vec![ABlock {
                 insts: vec![
                     AInst::MovImm { rd: X(0), imm: 42 },
-                    AInst::Ldr { sz: Sz::W, rt: X(1), mem: AMem { base: X(0), off: 4 } },
-                    AInst::Str { sz: Sz::B, rt: X(1), mem: AMem { base: X(0), off: 0 } },
+                    AInst::Ldr {
+                        sz: Sz::W,
+                        rt: X(1),
+                        mem: AMem { base: X(0), off: 4 },
+                    },
+                    AInst::Str {
+                        sz: Sz::B,
+                        rt: X(1),
+                        mem: AMem { base: X(0), off: 0 },
+                    },
                     AInst::DmbI { kind: Dmb::Ld },
                     AInst::DmbI { kind: Dmb::Ff },
-                    AInst::Ldxr { sz: Sz::X, rt: X(2), rn: X(0) },
-                    AInst::Stxr { sz: Sz::X, rs: X(3), rt: X(2), rn: X(0) },
-                    AInst::Bl { callee: ACallee::Extern(0) },
+                    AInst::Ldxr {
+                        sz: Sz::X,
+                        rt: X(2),
+                        rn: X(0),
+                    },
+                    AInst::Stxr {
+                        sz: Sz::X,
+                        rs: X(3),
+                        rt: X(2),
+                        rn: X(0),
+                    },
+                    AInst::Bl {
+                        callee: ACallee::Extern(0),
+                    },
                 ],
-                term: Some(ATerm::Cbnz { rn: X(3), then: Blk(0), els: Blk(0) }),
+                term: Some(ATerm::Cbnz {
+                    rn: X(3),
+                    then: Blk(0),
+                    els: Blk(0),
+                }),
             }],
         }],
         externs: vec!["malloc".into()],

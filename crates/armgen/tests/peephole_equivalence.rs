@@ -15,7 +15,9 @@ fn run(am: &AModule, w: &Workload) -> u64 {
     for (addr, bytes) in &w.mem_init {
         arm.mem.write(*addr, bytes);
     }
-    arm.run(idx, &w.args, &[]).unwrap_or_else(|e| panic!("{}: {e}", w.name)).ret
+    arm.run(idx, &w.args, &[])
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        .ret
 }
 
 fn pipelines() -> Vec<(&'static str, fn(&mut lasagne_lir::Module))> {
@@ -91,7 +93,11 @@ fn peephole_is_idempotent() {
         let once = am.inst_count();
         let again = peephole_module(&mut am);
         assert_eq!(again.removed(), 0, "{}: second pass removed more", b.name);
-        assert_eq!(again.loads_forwarded, 0, "{}: second pass rewrote more", b.name);
+        assert_eq!(
+            again.loads_forwarded, 0,
+            "{}: second pass rewrote more",
+            b.name
+        );
         assert_eq!(am.inst_count(), once);
     }
 }
@@ -111,7 +117,9 @@ fn peephole_reduces_simulated_runtime() {
             for (addr, bytes) in &b.workload.mem_init {
                 arm.mem.write(*addr, bytes);
             }
-            arm.run(idx, &b.workload.args, &[]).unwrap().critical_path_cycles()
+            arm.run(idx, &b.workload.args, &[])
+                .unwrap()
+                .critical_path_cycles()
         };
         assert!(
             cycles(&cleaned) < cycles(&raw),

@@ -8,12 +8,11 @@
 //! every slot folded into `x0` at the end — so any forwarding or
 //! dead-store mistake changes the returned value.
 
-use lasagne_armgen::inst::{
-    ABlock, AFunc, AInst, AMem, AModule, ARet, ATerm, AluOp, Dmb, Sz, X,
-};
+use lasagne_armgen::inst::{ABlock, AFunc, AInst, AMem, AModule, ARet, ATerm, AluOp, Dmb, Sz, X};
 use lasagne_armgen::machine::ArmMachine;
 use lasagne_armgen::peephole::peephole_function;
-use proptest::prelude::*;
+use lasagne_qc::collection;
+use lasagne_qc::prelude::*;
 
 const FP: X = X(29);
 const REGS: [X; 4] = [X(9), X(10), X(11), X(12)];
@@ -51,25 +50,47 @@ fn build(steps: &[Step]) -> AFunc {
     let mut insts = Vec::new();
     // Deterministic initial state: registers and slots all defined.
     for (i, r) in REGS.iter().enumerate() {
-        insts.push(AInst::MovImm { rd: *r, imm: 0x1111_2222 * (i as u64 + 1) });
+        insts.push(AInst::MovImm {
+            rd: *r,
+            imm: 0x1111_2222 * (i as u64 + 1),
+        });
     }
     for (i, off) in SLOTS.iter().enumerate() {
-        insts.push(AInst::MovImm { rd: X(13), imm: 0x9999_0000 + i as u64 });
-        insts.push(AInst::Str { sz: Sz::X, rt: X(13), mem: AMem { base: FP, off: *off } });
+        insts.push(AInst::MovImm {
+            rd: X(13),
+            imm: 0x9999_0000 + i as u64,
+        });
+        insts.push(AInst::Str {
+            sz: Sz::X,
+            rt: X(13),
+            mem: AMem {
+                base: FP,
+                off: *off,
+            },
+        });
     }
     for st in steps {
         match *st {
             Step::Store { r, s, narrow } => insts.push(AInst::Str {
                 sz: if narrow { Sz::W } else { Sz::X },
                 rt: REGS[r],
-                mem: AMem { base: FP, off: SLOTS[s] },
+                mem: AMem {
+                    base: FP,
+                    off: SLOTS[s],
+                },
             }),
             Step::Load { r, s, narrow } => insts.push(AInst::Ldr {
                 sz: if narrow { Sz::W } else { Sz::X },
                 rt: REGS[r],
-                mem: AMem { base: FP, off: SLOTS[s] },
+                mem: AMem {
+                    base: FP,
+                    off: SLOTS[s],
+                },
             }),
-            Step::Imm { r, v } => insts.push(AInst::MovImm { rd: REGS[r], imm: v }),
+            Step::Imm { r, v } => insts.push(AInst::MovImm {
+                rd: REGS[r],
+                imm: v,
+            }),
             Step::Add { d, a, b } => insts.push(AInst::Alu {
                 op: AluOp::Add,
                 rd: REGS[d],
@@ -83,14 +104,42 @@ fn build(steps: &[Step]) -> AFunc {
     // Observation: fold every register and slot into x0.
     insts.push(AInst::MovImm { rd: X(0), imm: 0 });
     for r in REGS {
-        insts.push(AInst::Alu { op: AluOp::Eor, rd: X(0), rn: X(0), rm: r, ra: X::ZR });
+        insts.push(AInst::Alu {
+            op: AluOp::Eor,
+            rd: X(0),
+            rn: X(0),
+            rm: r,
+            ra: X::ZR,
+        });
         // Rotate-ish mix so ordering matters: x0 = x0*3 (via add) xor r.
-        insts.push(AInst::Alu { op: AluOp::Add, rd: X(0), rn: X(0), rm: X(0), ra: X::ZR });
+        insts.push(AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            rm: X(0),
+            ra: X::ZR,
+        });
     }
     for off in SLOTS {
-        insts.push(AInst::Ldr { sz: Sz::X, rt: X(13), mem: AMem { base: FP, off } });
-        insts.push(AInst::Alu { op: AluOp::Eor, rd: X(0), rn: X(0), rm: X(13), ra: X::ZR });
-        insts.push(AInst::Alu { op: AluOp::Add, rd: X(0), rn: X(0), rm: X(0), ra: X::ZR });
+        insts.push(AInst::Ldr {
+            sz: Sz::X,
+            rt: X(13),
+            mem: AMem { base: FP, off },
+        });
+        insts.push(AInst::Alu {
+            op: AluOp::Eor,
+            rd: X(0),
+            rn: X(0),
+            rm: X(13),
+            ra: X::ZR,
+        });
+        insts.push(AInst::Alu {
+            op: AluOp::Add,
+            rd: X(0),
+            rn: X(0),
+            rm: X(0),
+            ra: X::ZR,
+        });
     }
     AFunc {
         name: "prog".into(),
@@ -98,29 +147,36 @@ fn build(steps: &[Step]) -> AFunc {
         fp_params: 0,
         frame_size: 64,
         ret: ARet::Int,
-        blocks: vec![ABlock { insts, term: Some(ATerm::Ret) }],
+        blocks: vec![ABlock {
+            insts,
+            term: Some(ATerm::Ret),
+        }],
     }
 }
 
 fn eval(f: AFunc) -> u64 {
-    let m = AModule { funcs: vec![f], externs: vec![], globals: vec![] };
+    let m = AModule {
+        funcs: vec![f],
+        externs: vec![],
+        globals: vec![],
+    };
     let mut arm = ArmMachine::new(&m);
-    arm.run(0, &[], &[]).expect("straight-line program runs").ret
+    arm.run(0, &[], &[])
+        .expect("straight-line program runs")
+        .ret
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+properties! {
+    config = Config::with_cases(256);
 
-    #[test]
-    fn peephole_preserves_observable_state(steps in proptest::collection::vec(step(), 0..40)) {
+    fn peephole_preserves_observable_state(steps in collection::vec(step(), 0..40)) {
         let raw = build(&steps);
         let mut cleaned = raw.clone();
         let _ = peephole_function(&mut cleaned);
         prop_assert_eq!(eval(raw), eval(cleaned));
     }
 
-    #[test]
-    fn peephole_never_grows_code(steps in proptest::collection::vec(step(), 0..40)) {
+    fn peephole_never_grows_code(steps in collection::vec(step(), 0..40)) {
         let raw = build(&steps);
         let mut cleaned = raw.clone();
         let _ = peephole_function(&mut cleaned);
@@ -135,7 +191,14 @@ fn observation_distinguishes_states() {
     let a = build(&[Step::Imm { r: 0, v: 1 }]);
     let b = build(&[Step::Imm { r: 0, v: 2 }]);
     assert_ne!(eval(a), eval(b));
-    let c = build(&[Step::Imm { r: 0, v: 1 }, Step::Store { r: 0, s: 2, narrow: false }]);
+    let c = build(&[
+        Step::Imm { r: 0, v: 1 },
+        Step::Store {
+            r: 0,
+            s: 2,
+            narrow: false,
+        },
+    ]);
     let d = build(&[Step::Imm { r: 0, v: 1 }]);
     assert_ne!(eval(c), eval(d));
 }

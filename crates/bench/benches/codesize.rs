@@ -1,31 +1,18 @@
 //! Figure 16 bench: full-pipeline translation cost per version (the code
 //! size ratios themselves are printed by `report -- fig16`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lasagne::Version;
 use lasagne_phoenix::all_benchmarks;
+use lasagne_qc::bench::Runner;
 
-fn bench_codesize(c: &mut Criterion) {
-    let benches = all_benchmarks(64);
-    let mut group = c.benchmark_group("fig16_translate");
-    for b in &benches {
+fn main() {
+    let mut group = Runner::new("fig16_translate");
+    for b in &all_benchmarks(64) {
         for v in Version::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(v.name(), b.abbrev),
-                &(b, v),
-                |bch, (b, v)| bch.iter(|| lasagne::translate(&b.binary, *v).unwrap()),
-            );
+            group.bench(&format!("{}/{}", v.name(), b.abbrev), || {
+                lasagne::translate(&b.binary, v).unwrap()
+            });
         }
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_codesize
-}
-criterion_main!(benches);

@@ -1,51 +1,30 @@
 //! Figure 14 bench: fence placement + merging throughput, and the static
 //! fence-count reductions (printed by `report -- fig14`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lasagne_fences::Strategy;
 use lasagne_phoenix::all_benchmarks;
+use lasagne_qc::bench::Runner;
 
-fn bench_fences(c: &mut Criterion) {
-    let benches = all_benchmarks(64);
-    let mut group = c.benchmark_group("fig14_fences");
-    for b in &benches {
+fn main() {
+    let mut group = Runner::new("fig14_fences");
+    for b in &all_benchmarks(64) {
         let lifted = lasagne_lifter::lift_binary(&b.binary).unwrap();
         let mut refined = lifted.clone();
         lasagne_refine::refine_module(&mut refined);
 
-        group.bench_with_input(BenchmarkId::new("place_naive", b.abbrev), &lifted, |bch, m| {
-            bch.iter(|| {
-                let mut m = m.clone();
-                lasagne_fences::place_fences_module(&mut m, Strategy::Naive)
-            })
+        group.bench(&format!("place_naive/{}", b.abbrev), || {
+            let mut m = lifted.clone();
+            lasagne_fences::place_fences_module(&mut m, Strategy::Naive)
         });
-        group.bench_with_input(
-            BenchmarkId::new("place_stack_aware", b.abbrev),
-            &refined,
-            |bch, m| {
-                bch.iter(|| {
-                    let mut m = m.clone();
-                    lasagne_fences::place_fences_module(&mut m, Strategy::StackAware)
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("merge", b.abbrev), &refined, |bch, m| {
-            bch.iter(|| {
-                let mut m = m.clone();
-                lasagne_fences::place_fences_module(&mut m, Strategy::StackAware);
-                lasagne_fences::merge_fences_module(&mut m)
-            })
+        group.bench(&format!("place_stack_aware/{}", b.abbrev), || {
+            let mut m = refined.clone();
+            lasagne_fences::place_fences_module(&mut m, Strategy::StackAware)
+        });
+        group.bench(&format!("merge/{}", b.abbrev), || {
+            let mut m = refined.clone();
+            lasagne_fences::place_fences_module(&mut m, Strategy::StackAware);
+            lasagne_fences::merge_fences_module(&mut m)
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_fences
-}
-criterion_main!(benches);

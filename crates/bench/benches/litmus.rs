@@ -2,33 +2,17 @@
 //! exhaustive enumeration + consistency filtering behind the mapping
 //! theorems (outcome sets are printed by `report -- litmus`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lasagne_memmodel::mapping::check_chain;
 use lasagne_memmodel::{litmus, outcomes, Model};
+use lasagne_qc::bench::Runner;
 
-fn bench_litmus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("litmus_models");
+fn main() {
+    let mut group = Runner::new("litmus_models");
     for (name, p) in litmus::paper_suite() {
         for model in [Model::X86, Model::Arm, Model::Limm] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{model:?}"), name),
-                &p,
-                |bch, p| bch.iter(|| outcomes(model, p)),
-            );
+            group.bench(&format!("{model:?}/{name}"), || outcomes(model, &p));
         }
-        group.bench_with_input(BenchmarkId::new("chain_check", name), &p, |bch, p| {
-            bch.iter(|| check_chain(p).unwrap())
-        });
+        group.bench(&format!("chain_check/{name}"), || check_chain(&p).unwrap());
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_litmus
-}
-criterion_main!(benches);

@@ -2,35 +2,26 @@
 //! refined, fence-placed kmeans module (reduction percentages are printed
 //! by `report -- fig17`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lasagne_opt::PassKind;
 use lasagne_phoenix::all_benchmarks;
+use lasagne_qc::bench::Runner;
 
-fn bench_passes(c: &mut Criterion) {
-    let b = all_benchmarks(64).into_iter().find(|b| b.abbrev == "KM").unwrap();
+fn main() {
+    let b = all_benchmarks(64)
+        .into_iter()
+        .find(|b| b.abbrev == "KM")
+        .unwrap();
     let mut base = lasagne_lifter::lift_binary(&b.binary).unwrap();
     lasagne_refine::refine_module(&mut base);
     lasagne_fences::place_fences_module(&mut base, lasagne_fences::Strategy::StackAware);
     lasagne_fences::merge_fences_module(&mut base);
 
-    let mut group = c.benchmark_group("fig17_passes");
+    let mut group = Runner::new("fig17_passes");
     for pass in PassKind::ALL {
-        group.bench_with_input(BenchmarkId::new("kmeans", pass.name()), &base, |bch, m| {
-            bch.iter(|| {
-                let mut m = m.clone();
-                lasagne_opt::run_pass(pass, &mut m)
-            })
+        group.bench(&format!("kmeans/{}", pass.name()), || {
+            let mut m = base.clone();
+            lasagne_opt::run_pass(pass, &mut m)
         });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_passes
-}
-criterion_main!(benches);

@@ -3,29 +3,28 @@
 //! wall time of the cost-model simulation (the simulated cycle counts are
 //! printed by `report -- fig12`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lasagne::Version;
 use lasagne_bench::{measure_native, measure_version, run_arm};
 use lasagne_phoenix::all_benchmarks;
+use lasagne_qc::bench::Runner;
 
-fn bench_runtime(c: &mut Criterion) {
+fn main() {
     let benches = all_benchmarks(64);
-    let mut group = c.benchmark_group("fig12_runtime");
+    let mut group = Runner::new("fig12_runtime");
     for b in &benches {
         // Pre-translate outside the timed region; the measured quantity is
         // the simulated execution.
         let native_arm = lasagne_armgen::lower_module(&b.native);
-        group.bench_with_input(BenchmarkId::new("native", b.abbrev), b, |bch, b| {
-            bch.iter(|| run_arm(&native_arm, &b.workload))
+        group.bench(&format!("native/{}", b.abbrev), || {
+            run_arm(&native_arm, &b.workload)
         });
         for v in Version::ALL {
             let (t, _) = measure_version(b, v);
-            group.bench_with_input(BenchmarkId::new(v.name(), b.abbrev), b, |bch, b| {
-                bch.iter(|| run_arm(&t.arm, &b.workload))
+            group.bench(&format!("{}/{}", v.name(), b.abbrev), || {
+                run_arm(&t.arm, &b.workload)
             });
         }
     }
-    group.finish();
 
     // Sanity inside the bench binary: native really is fastest in cycles.
     for b in &benches {
@@ -33,14 +32,5 @@ fn bench_runtime(c: &mut Criterion) {
         let (_, lifted) = measure_version(b, Version::Lifted);
         assert!(native.runtime_cycles < lifted.runtime_cycles);
     }
+    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_runtime
-}
-criterion_main!(benches);

@@ -5,9 +5,7 @@
 //! fig17 | litmus | all` (default `all`).
 
 use lasagne::Version;
-use lasagne_bench::{
-    gmean, measure_fence_only, measure_native, measure_version, FenceOnly,
-};
+use lasagne_bench::{gmean, measure_fence_only, measure_native, measure_version, FenceOnly};
 use lasagne_phoenix::{all_benchmarks, Benchmark};
 
 const SCALE: usize = 192;
@@ -45,15 +43,28 @@ fn main() {
 
 fn table1(benches: &[Benchmark]) {
     println!("== Table 1: Phoenix multi-threaded benchmark suite ==");
-    println!("{:<20} {:>6} {:>12} {:>14}", "Benchmark", "Abbrv", "# Functions", "x86 insts");
+    println!(
+        "{:<20} {:>6} {:>12} {:>14}",
+        "Benchmark", "Abbrv", "# Functions", "x86 insts"
+    );
     for b in benches {
         let insts: usize = b
             .binary
             .functions
             .iter()
-            .map(|f| lasagne_x86::decode_all(b.binary.code_of(f), f.addr).unwrap().len())
+            .map(|f| {
+                lasagne_x86::decode_all(b.binary.code_of(f), f.addr)
+                    .unwrap()
+                    .len()
+            })
             .sum();
-        println!("{:<20} {:>6} {:>12} {:>14}", b.name, b.abbrev, b.binary.functions.len(), insts);
+        println!(
+            "{:<20} {:>6} {:>12} {:>14}",
+            b.name,
+            b.abbrev,
+            b.binary.functions.len(),
+            insts
+        );
     }
     println!();
 }
@@ -90,7 +101,10 @@ fn fig12(benches: &[Benchmark]) {
 
 fn fig13(benches: &[Benchmark]) {
     println!("== Figure 13: % integer-pointer casts removed by IR refinement ==");
-    println!("{:<20} {:>8} {:>8} {:>12}", "Benchmark", "before", "after", "removed (%)");
+    println!(
+        "{:<20} {:>8} {:>8} {:>12}",
+        "Benchmark", "before", "after", "removed (%)"
+    );
     let mut pcts = Vec::new();
     for b in benches {
         let (t, _) = measure_version(b, Version::PPOpt);

@@ -33,7 +33,9 @@ pub fn run_arm(arm: &AModule, w: &Workload) -> RunMetrics {
     for (addr, bytes) in &w.mem_init {
         machine.mem.write(*addr, bytes);
     }
-    let r = machine.run(idx, &w.args, &[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let r = machine
+        .run(idx, &w.args, &[])
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     RunMetrics {
         checksum: r.ret,
         total_cycles: r.stats.cycles,
@@ -50,7 +52,13 @@ pub fn run_arm(arm: &AModule, w: &Workload) -> RunMetrics {
 pub fn measure_version(b: &Benchmark, v: Version) -> (Translation, RunMetrics) {
     let t = translate(&b.binary, v).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let m = run_arm(&t.arm, &b.workload);
-    assert_eq!(m.checksum, b.workload.expected_ret, "{} under {}", b.name, v.name());
+    assert_eq!(
+        m.checksum,
+        b.workload.expected_ret,
+        "{} under {}",
+        b.name,
+        v.name()
+    );
     (t, m)
 }
 

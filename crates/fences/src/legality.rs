@@ -33,14 +33,32 @@ pub enum Label {
 /// reordered with memory operations by the optimizer).
 pub fn label_of(kind: &InstKind) -> Option<Label> {
     match kind {
-        InstKind::Load { order: Ordering::NotAtomic, .. } => Some(Label::Rna),
-        InstKind::Store { order: Ordering::NotAtomic, .. } => Some(Label::Wna),
-        InstKind::Load { order: Ordering::SeqCst, .. } => Some(Label::Rsc),
-        InstKind::Store { order: Ordering::SeqCst, .. } => Some(Label::Rmw),
+        InstKind::Load {
+            order: Ordering::NotAtomic,
+            ..
+        } => Some(Label::Rna),
+        InstKind::Store {
+            order: Ordering::NotAtomic,
+            ..
+        } => Some(Label::Wna),
+        InstKind::Load {
+            order: Ordering::SeqCst,
+            ..
+        } => Some(Label::Rsc),
+        InstKind::Store {
+            order: Ordering::SeqCst,
+            ..
+        } => Some(Label::Rmw),
         InstKind::AtomicRmw { .. } | InstKind::CmpXchg { .. } => Some(Label::Rmw),
-        InstKind::Fence { kind: FenceKind::Frm } => Some(Label::Frm),
-        InstKind::Fence { kind: FenceKind::Fww } => Some(Label::Fww),
-        InstKind::Fence { kind: FenceKind::Fsc } => Some(Label::Fsc),
+        InstKind::Fence {
+            kind: FenceKind::Frm,
+        } => Some(Label::Frm),
+        InstKind::Fence {
+            kind: FenceKind::Fww,
+        } => Some(Label::Fww),
+        InstKind::Fence {
+            kind: FenceKind::Fsc,
+        } => Some(Label::Fsc),
         _ => None,
     }
 }
@@ -236,15 +254,32 @@ mod tests {
     #[test]
     fn labels_from_instructions() {
         use lasagne_lir::inst::{InstKind, Operand, Ordering, RmwOp};
-        let l = InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic };
+        let l = InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        };
         assert_eq!(label_of(&l), Some(Label::Rna));
-        let s = InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(0), order: Ordering::NotAtomic };
+        let s = InstKind::Store {
+            ptr: Operand::Param(0),
+            val: Operand::i64(0),
+            order: Ordering::NotAtomic,
+        };
         assert_eq!(label_of(&s), Some(Label::Wna));
-        let r = InstKind::AtomicRmw { op: RmwOp::Add, ptr: Operand::Param(0), val: Operand::i64(1) };
+        let r = InstKind::AtomicRmw {
+            op: RmwOp::Add,
+            ptr: Operand::Param(0),
+            val: Operand::i64(1),
+        };
         assert_eq!(label_of(&r), Some(Label::Rmw));
-        let f = InstKind::Fence { kind: FenceKind::Frm };
+        let f = InstKind::Fence {
+            kind: FenceKind::Frm,
+        };
         assert_eq!(label_of(&f), Some(Label::Frm));
-        let a = InstKind::Bin { op: lasagne_lir::inst::BinOp::Add, lhs: Operand::i64(0), rhs: Operand::i64(0) };
+        let a = InstKind::Bin {
+            op: lasagne_lir::inst::BinOp::Add,
+            lhs: Operand::i64(0),
+            rhs: Operand::i64(0),
+        };
         assert_eq!(label_of(&a), None);
     }
 }

@@ -56,7 +56,10 @@ pub fn is_stack_address(f: &Function, ptr: &Operand) -> bool {
         match cur {
             Operand::Inst(id) => match &f.inst(id).kind {
                 InstKind::Alloca { .. } => return true,
-                InstKind::Cast { op: CastOp::BitCast, val } => cur = *val,
+                InstKind::Cast {
+                    op: CastOp::BitCast,
+                    val,
+                } => cur = *val,
                 InstKind::Gep { base, .. } => cur = *base,
                 _ => return false,
             },
@@ -75,20 +78,41 @@ pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
         while i < f.block(b).insts.len() {
             let id = f.block(b).insts[i];
             match f.inst(id).kind.clone() {
-                InstKind::Load { ptr, order: Ordering::NotAtomic } => {
+                InstKind::Load {
+                    ptr,
+                    order: Ordering::NotAtomic,
+                } => {
                     if strategy == Strategy::StackAware && is_stack_address(f, &ptr) {
                         stats.skipped_stack += 1;
                     } else {
-                        f.insert(b, i + 1, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
+                        f.insert(
+                            b,
+                            i + 1,
+                            Ty::Void,
+                            InstKind::Fence {
+                                kind: FenceKind::Frm,
+                            },
+                        );
                         stats.frm += 1;
                         i += 1;
                     }
                 }
-                InstKind::Store { ptr, order: Ordering::NotAtomic, .. } => {
+                InstKind::Store {
+                    ptr,
+                    order: Ordering::NotAtomic,
+                    ..
+                } => {
                     if strategy == Strategy::StackAware && is_stack_address(f, &ptr) {
                         stats.skipped_stack += 1;
                     } else {
-                        f.insert(b, i, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+                        f.insert(
+                            b,
+                            i,
+                            Ty::Void,
+                            InstKind::Fence {
+                                kind: FenceKind::Fww,
+                            },
+                        );
                         stats.fww += 1;
                         i += 1;
                     }
@@ -163,9 +187,15 @@ pub fn count_fences(m: &Module) -> (usize, usize, usize) {
     for f in &m.funcs {
         for (_, id) in f.iter_insts() {
             match f.inst(id).kind {
-                InstKind::Fence { kind: FenceKind::Frm } => c.0 += 1,
-                InstKind::Fence { kind: FenceKind::Fww } => c.1 += 1,
-                InstKind::Fence { kind: FenceKind::Fsc } => c.2 += 1,
+                InstKind::Fence {
+                    kind: FenceKind::Frm,
+                } => c.0 += 1,
+                InstKind::Fence {
+                    kind: FenceKind::Fww,
+                } => c.1 += 1,
+                InstKind::Fence {
+                    kind: FenceKind::Fsc,
+                } => c.2 += 1,
                 _ => {}
             }
         }
@@ -184,19 +214,54 @@ mod tests {
     fn naive_placement_follows_figure_8a() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Inst(l), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Inst(l),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
 
         let stats = place_fences(&mut f, Strategy::Naive);
         assert_eq!(stats.frm, 1);
         assert_eq!(stats.fww, 1);
 
         // Layout: load, Frm, Fww, store.
-        let kinds: Vec<_> = f.block(e).insts.iter().map(|i| f.inst(*i).kind.clone()).collect();
+        let kinds: Vec<_> = f
+            .block(e)
+            .insts
+            .iter()
+            .map(|i| f.inst(*i).kind.clone())
+            .collect();
         assert!(matches!(kinds[0], InstKind::Load { .. }));
-        assert!(matches!(kinds[1], InstKind::Fence { kind: FenceKind::Frm }));
-        assert!(matches!(kinds[2], InstKind::Fence { kind: FenceKind::Fww }));
+        assert!(matches!(
+            kinds[1],
+            InstKind::Fence {
+                kind: FenceKind::Frm
+            }
+        ));
+        assert!(matches!(
+            kinds[2],
+            InstKind::Fence {
+                kind: FenceKind::Fww
+            }
+        ));
         assert!(matches!(kinds[3], InstKind::Store { .. }));
     }
 
@@ -205,11 +270,46 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::I64);
         let e = f.entry();
         let a = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 64 });
-        let g = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Gep { base: Operand::Inst(a), offset: Operand::i64(8), elem_size: 1 });
-        let p = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(g) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(p), val: Operand::i64(1), order: Ordering::NotAtomic });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let g = f.push(
+            e,
+            Ty::Ptr(Pointee::I8),
+            InstKind::Gep {
+                base: Operand::Inst(a),
+                offset: Operand::i64(8),
+                elem_size: 1,
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(g),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(p),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
 
         let stats = place_fences(&mut f, Strategy::StackAware);
         assert_eq!(stats.total(), 0);
@@ -228,40 +328,122 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry();
         let a = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 64 });
-        let i = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(a) });
-        let o = f.push(e, Ty::I64, InstKind::Bin { op: lasagne_lir::inst::BinOp::Add, lhs: Operand::Inst(i), rhs: Operand::i64(8) });
-        let p = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Inst(o) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(p), val: Operand::i64(1), order: Ordering::NotAtomic });
+        let i = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(a),
+            },
+        );
+        let o = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: lasagne_lir::inst::BinOp::Add,
+                lhs: Operand::Inst(i),
+                rhs: Operand::i64(8),
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Inst(o),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(p),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
 
         assert!(!is_stack_address(&f, &Operand::Inst(p)));
         let stats = place_fences(&mut f, Strategy::StackAware);
-        assert_eq!(stats.fww, 1, "unrefined stack access is conservatively fenced");
+        assert_eq!(
+            stats.fww, 1,
+            "unrefined stack access is conservatively fenced"
+        );
     }
 
     #[test]
     fn merging_strengthens_adjacent_pair() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Inst(l), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Inst(l),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         place_fences(&mut f, Strategy::Naive);
         // load, Frm, Fww, store → load, Fsc, store
         let removed = merge_fences(&mut f);
         assert_eq!(removed, 1);
-        let kinds: Vec<_> = f.block(e).insts.iter().map(|i| f.inst(*i).kind.clone()).collect();
+        let kinds: Vec<_> = f
+            .block(e)
+            .insts
+            .iter()
+            .map(|i| f.inst(*i).kind.clone())
+            .collect();
         assert_eq!(kinds.len(), 3);
-        assert!(matches!(kinds[1], InstKind::Fence { kind: FenceKind::Fsc }));
+        assert!(matches!(
+            kinds[1],
+            InstKind::Fence {
+                kind: FenceKind::Fsc
+            }
+        ));
     }
 
     #[test]
     fn merging_blocked_by_memory_access() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
-        f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Frm,
+            },
+        );
+        f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(merge_fences(&mut f), 0);
         assert_eq!(f.block(e).insts.len(), 3);
@@ -274,18 +456,38 @@ mod tests {
         // operations alone.
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        let old = f.push(e, Ty::I64, InstKind::AtomicRmw {
-            op: lasagne_lir::inst::RmwOp::Add,
-            ptr: Operand::Param(0),
-            val: Operand::i64(1),
-        });
-        f.push(e, Ty::I64, InstKind::CmpXchg {
-            ptr: Operand::Param(0),
-            expected: Operand::Inst(old),
-            new: Operand::i64(9),
-        });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::SeqCst });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let old = f.push(
+            e,
+            Ty::I64,
+            InstKind::AtomicRmw {
+                op: lasagne_lir::inst::RmwOp::Add,
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+            },
+        );
+        f.push(
+            e,
+            Ty::I64,
+            InstKind::CmpXchg {
+                ptr: Operand::Param(0),
+                expected: Operand::Inst(old),
+                new: Operand::i64(9),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::SeqCst,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         let stats = place_fences(&mut f, Strategy::Naive);
         assert_eq!(stats.total(), 0, "atomic accesses must not be fenced");
     }
@@ -299,14 +501,26 @@ mod tests {
         let a = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 8 });
         let mut cur = Operand::Inst(a);
         for _ in 0..200 {
-            let g = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Gep {
-                base: cur,
-                offset: Operand::i64(0),
-                elem_size: 1,
-            });
+            let g = f.push(
+                e,
+                Ty::Ptr(Pointee::I8),
+                InstKind::Gep {
+                    base: cur,
+                    offset: Operand::i64(0),
+                    elem_size: 1,
+                },
+            );
             cur = Operand::Inst(g);
         }
-        f.push(e, Ty::Void, InstKind::Store { ptr: cur, val: Operand::i64(1), order: Ordering::NotAtomic });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: cur,
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         let stats = place_fences(&mut f, Strategy::StackAware);
         // Deep chain exceeds the walk bound → conservatively fenced.
@@ -317,9 +531,27 @@ mod tests {
     fn merging_same_kind_dedups() {
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(merge_fences(&mut f), 2);
         let (_, fww, fsc) = {

@@ -1,0 +1,303 @@
+//! Exact fence-count pins for the §9.1 version matrix on small fixed
+//! functions.
+//!
+//! `lasagne::translate` gives every version the same fence treatment up to
+//! the point where `fences_final` is recorded: refine (PPOpt only), then
+//! `place_fences(StackAware)`, then `merge_fences` (POpt and PPOpt). The
+//! LLVM-style passes run *after* that count, and Lifted and Opt share the
+//! placement-only treatment — so the distinct columns are Lifted/Opt,
+//! POpt, and PPOpt. This test replays those treatments on hand-built LIR
+//! and pins the exact `(Frm, Fww, Fsc)` triples, so any change to the §8
+//! stack-access analysis or the §7.2 merge rules shows up as a diff here.
+
+use lasagne_fences::{count_fences, merge_fences_module, place_fences_module, Strategy};
+use lasagne_lir::func::{Function, Module};
+use lasagne_lir::inst::{BinOp, InstKind, Operand, Ordering, Terminator};
+use lasagne_lir::types::{Pointee, Ty};
+
+/// `fn(p: *i64) -> i64 { t = *p; *(p+8) = t; t }` — one shared load, one
+/// shared store, nothing in between.
+fn shared_load_store() -> Function {
+    let mut f = Function::new("shared_load_store", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+    let e = f.entry();
+    let t = f.push(
+        e,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let q = f.push(
+        e,
+        Ty::Ptr(Pointee::I64),
+        InstKind::Gep {
+            base: Operand::Param(0),
+            offset: Operand::i64(1),
+            elem_size: 8,
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(q),
+            val: Operand::Inst(t),
+            order: Ordering::NotAtomic,
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(t)),
+        },
+    );
+    f
+}
+
+/// `fn() -> i64 { local = alloca; *local = 7; *local }` — all traffic is
+/// provably stack-private.
+fn stack_private() -> Function {
+    let mut f = Function::new("stack_private", vec![], Ty::I64);
+    let e = f.entry();
+    let a = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(a),
+            val: Operand::i64(7),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let v = f.push(
+        e,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Inst(a),
+            order: Ordering::NotAtomic,
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(v)),
+        },
+    );
+    f
+}
+
+/// `fn(p: *i64) -> i64 { t = *p; spill = alloca; *spill = t; *(p+8) = t+1; t }`
+/// — the stack spill sits between the shared load and the shared store, so
+/// the load's `Frm` and the store's `Fww` must NOT merge (the spill is a
+/// real memory access even though it needs no fence itself).
+fn spill_between_accesses() -> Function {
+    let mut f = Function::new(
+        "spill_between_accesses",
+        vec![Ty::Ptr(Pointee::I64)],
+        Ty::I64,
+    );
+    let e = f.entry();
+    let t = f.push(
+        e,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let a = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(a),
+            val: Operand::Inst(t),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let t1 = f.push(
+        e,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Inst(t),
+            rhs: Operand::i64(1),
+        },
+    );
+    let q = f.push(
+        e,
+        Ty::Ptr(Pointee::I64),
+        InstKind::Gep {
+            base: Operand::Param(0),
+            offset: Operand::i64(1),
+            elem_size: 8,
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(q),
+            val: Operand::Inst(t1),
+            order: Ordering::NotAtomic,
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(t)),
+        },
+    );
+    f
+}
+
+/// `fn(p: *i64) -> i64 { a = *p; b = *(p+8); *(p+16) = a+b; … }` — two
+/// shared loads then a shared store: the second load's `Frm` is adjacent to
+/// the store's `Fww` and merges into one `Fsc`; the first `Frm` survives.
+fn two_loads_then_store() -> Function {
+    let mut f = Function::new("two_loads_then_store", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+    let e = f.entry();
+    let a = f.push(
+        e,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let p1 = f.push(
+        e,
+        Ty::Ptr(Pointee::I64),
+        InstKind::Gep {
+            base: Operand::Param(0),
+            offset: Operand::i64(1),
+            elem_size: 8,
+        },
+    );
+    let b = f.push(
+        e,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Inst(p1),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let s = f.push(
+        e,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Inst(a),
+            rhs: Operand::Inst(b),
+        },
+    );
+    let p2 = f.push(
+        e,
+        Ty::Ptr(Pointee::I64),
+        InstKind::Gep {
+            base: Operand::Param(0),
+            offset: Operand::i64(2),
+            elem_size: 8,
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(p2),
+            val: Operand::Inst(s),
+            order: Ordering::NotAtomic,
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(s)),
+        },
+    );
+    f
+}
+
+fn module_of(f: Function) -> Module {
+    let mut m = Module::new();
+    m.add_func(f);
+    m
+}
+
+/// The fence treatment each §9.1 version applies before `fences_final` is
+/// recorded in `lasagne::translate` (Lifted and Opt are identical there).
+#[derive(Debug, Clone, Copy)]
+enum Treatment {
+    /// Lifted and Opt: StackAware placement only.
+    LiftedOrOpt,
+    /// POpt: placement + merging.
+    POpt,
+    /// PPOpt: refinement, then placement + merging.
+    PPOpt,
+}
+
+fn apply(t: Treatment, f: Function) -> (usize, usize, usize) {
+    let mut m = module_of(f);
+    if matches!(t, Treatment::PPOpt) {
+        lasagne_refine::refine_module(&mut m);
+    }
+    place_fences_module(&mut m, Strategy::StackAware);
+    if matches!(t, Treatment::POpt | Treatment::PPOpt) {
+        merge_fences_module(&mut m);
+    }
+    count_fences(&m)
+}
+
+#[test]
+fn shared_load_store_counts() {
+    // Placement: load·Frm·Fww·store. The adjacent Frm·Fww pair merges to
+    // one Fsc under POpt/PPOpt (§7.2).
+    assert_eq!(
+        apply(Treatment::LiftedOrOpt, shared_load_store()),
+        (1, 1, 0)
+    );
+    assert_eq!(apply(Treatment::POpt, shared_load_store()), (0, 0, 1));
+    assert_eq!(apply(Treatment::PPOpt, shared_load_store()), (0, 0, 1));
+}
+
+#[test]
+fn stack_private_needs_no_fences() {
+    for t in [Treatment::LiftedOrOpt, Treatment::POpt, Treatment::PPOpt] {
+        assert_eq!(apply(t, stack_private()), (0, 0, 0), "{t:?}");
+    }
+    // The naive baseline fences both accesses — the whole point of the §8
+    // stack-access analysis is the delta against this.
+    let mut m = module_of(stack_private());
+    let stats = place_fences_module(&mut m, Strategy::Naive);
+    assert_eq!((stats.frm, stats.fww), (1, 1));
+    assert_eq!(count_fences(&m), (1, 1, 0));
+    // And StackAware reports what it skipped.
+    let mut m = module_of(stack_private());
+    let stats = place_fences_module(&mut m, Strategy::StackAware);
+    assert_eq!(stats.skipped_stack, 2);
+}
+
+#[test]
+fn spill_blocks_merging() {
+    // The private spill store between Frm and Fww is a memory access, so
+    // merging must not fire even though neither fence guards the spill.
+    assert_eq!(
+        apply(Treatment::LiftedOrOpt, spill_between_accesses()),
+        (1, 1, 0)
+    );
+    assert_eq!(apply(Treatment::POpt, spill_between_accesses()), (1, 1, 0));
+    assert_eq!(apply(Treatment::PPOpt, spill_between_accesses()), (1, 1, 0));
+}
+
+#[test]
+fn adjacent_pair_merges_once() {
+    // [ld, Frm, ld, Frm, Fww, st]: only the second Frm is adjacent to the
+    // Fww; the first is separated by a load and must survive merging.
+    assert_eq!(
+        apply(Treatment::LiftedOrOpt, two_loads_then_store()),
+        (2, 1, 0)
+    );
+    assert_eq!(apply(Treatment::POpt, two_loads_then_store()), (1, 0, 1));
+    assert_eq!(apply(Treatment::PPOpt, two_loads_then_store()), (1, 0, 1));
+}

@@ -30,7 +30,12 @@ fn checksum(m: &Module, w: &Workload) -> u64 {
         machine.mem.write(*addr, bytes);
     }
     let args: Vec<Val> = w.args.iter().map(|a| Val::B64(*a)).collect();
-    machine.run(id, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name)).ret.unwrap().bits()
+    machine
+        .run(id, &args)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        .ret
+        .unwrap()
+        .bits()
 }
 
 #[test]
@@ -82,7 +87,11 @@ fn all_treatments_preserve_checksums() {
             place_fences_module(&mut fenced, strategy);
             assert_eq!(checksum(&fenced, &w), reference, "{name} {strategy:?}");
             merge_fences_module(&mut fenced);
-            assert_eq!(checksum(&fenced, &w), reference, "{name} {strategy:?}+merge");
+            assert_eq!(
+                checksum(&fenced, &w),
+                reference,
+                "{name} {strategy:?}+merge"
+            );
         }
     }
 }

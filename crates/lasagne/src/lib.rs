@@ -183,7 +183,11 @@ pub fn translate(bin: &Binary, version: Version) -> Result<Translation, LiftErro
 
     // #6 Arm code generation.
     let arm = lasagne_armgen::lower_module(&m);
-    Ok(Translation { module: m, arm, stats })
+    Ok(Translation {
+        module: m,
+        arm,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -208,7 +212,13 @@ mod tests {
         for v in Version::ALL {
             let t = translate(&b.binary, v).unwrap();
             let (ret, _) = run_arm(&t, &b.workload);
-            assert_eq!(ret, b.workload.expected_ret, "{} under {}", b.name, v.name());
+            assert_eq!(
+                ret,
+                b.workload.expected_ret,
+                "{} under {}",
+                b.name,
+                v.name()
+            );
         }
     }
 
@@ -225,7 +235,13 @@ mod tests {
             for v in Version::ALL {
                 let t = translate(&b.binary, v).unwrap();
                 let (ret, c) = run_arm(&t, &b.workload);
-                assert_eq!(ret, b.workload.expected_ret, "{} under {}", b.name, v.name());
+                assert_eq!(
+                    ret,
+                    b.workload.expected_ret,
+                    "{} under {}",
+                    b.name,
+                    v.name()
+                );
                 cycles.push(c);
             }
             for w in cycles.windows(2) {
@@ -237,14 +253,21 @@ mod tests {
                     w[1]
                 );
             }
-            assert!(cycles[3] < cycles[0], "{}: PPOpt not faster than Lifted", b.name);
+            assert!(
+                cycles[3] < cycles[0],
+                "{}: PPOpt not faster than Lifted",
+                b.name
+            );
             for (i, c) in cycles.iter().enumerate() {
                 agg[i] *= *c as f64;
             }
             n += 1;
         }
         let gm: Vec<f64> = agg.iter().map(|p| p.powf(1.0 / n as f64)).collect();
-        assert!(gm[0] > gm[1] && gm[1] >= gm[2] && gm[2] >= gm[3], "aggregate ladder broken: {gm:?}");
+        assert!(
+            gm[0] > gm[1] && gm[1] >= gm[2] && gm[2] >= gm[3],
+            "aggregate ladder broken: {gm:?}"
+        );
     }
 
     #[test]
@@ -253,7 +276,10 @@ mod tests {
             for v in Version::ALL {
                 let t = translate(&b.binary, v).unwrap();
                 let s = t.stats;
-                assert!(s.fences_final <= s.fences_placed, "{v:?}: merging cannot add fences");
+                assert!(
+                    s.fences_final <= s.fences_placed,
+                    "{v:?}: merging cannot add fences"
+                );
                 assert!(
                     s.fences_placed <= s.fences_naive,
                     "{v:?}: the §8 placement cannot exceed the unrefined baseline"
@@ -270,7 +296,10 @@ mod tests {
                 // a DMBFF pair per atomic RMW, of which the Phoenix suite
                 // has none — hence ≥).
                 let (ld, st, ff) = t.arm.count_dmbs();
-                assert!(ld + st + ff >= s.fences_final, "{v:?}: Figure 8b lost fences");
+                assert!(
+                    ld + st + ff >= s.fences_final,
+                    "{v:?}: Figure 8b lost fences"
+                );
             }
         }
     }

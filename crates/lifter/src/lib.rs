@@ -130,8 +130,13 @@ pub fn lift_binary_with(bin: &Binary, opts: TranslateOptions) -> Result<Module, 
     let mut sigs = SigTable::new();
     let mut extern_map = BTreeMap::new();
     for e in &bin.externs {
-        let (fty, variadic) = extern_signature(&e.name)
-            .unwrap_or((FuncType { params: vec![], ret: Ty::I64 }, true));
+        let (fty, variadic) = extern_signature(&e.name).unwrap_or((
+            FuncType {
+                params: vec![],
+                ret: Ty::I64,
+            },
+            true,
+        ));
         let id = module.declare_extern(ExternDecl {
             name: e.name.clone(),
             params: fty.params.clone(),
@@ -176,18 +181,20 @@ pub fn lift_binary_with(bin: &Binary, opts: TranslateOptions) -> Result<Module, 
             if discovered.contains_key(addr) {
                 continue;
             }
-            let callees_known = cfg.blocks.iter().flat_map(|b| &b.insts).all(|d| match d.inst {
-                lasagne_x86::Inst::Call { target: lasagne_x86::inst::Target::Abs(t) } => {
-                    sigs.get(t).is_some() || t == *addr
-                }
-                // Tail calls: a jmp out of the function.
-                lasagne_x86::Inst::Jmp { target: lasagne_x86::inst::Target::Abs(t) }
-                    if cfg.block_index(t).is_none() =>
-                {
-                    sigs.get(t).is_some() || t == *addr
-                }
-                _ => true,
-            });
+            let callees_known = cfg
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .all(|d| match d.inst {
+                    lasagne_x86::Inst::Call {
+                        target: lasagne_x86::inst::Target::Abs(t),
+                    } => sigs.get(t).is_some() || t == *addr,
+                    // Tail calls: a jmp out of the function.
+                    lasagne_x86::Inst::Jmp {
+                        target: lasagne_x86::inst::Target::Abs(t),
+                    } if cfg.block_index(t).is_none() => sigs.get(t).is_some() || t == *addr,
+                    _ => true,
+                });
             if callees_known {
                 let fty = typedisc::discover(cfg, &sigs);
                 sigs.insert(*addr, fty.clone());
@@ -208,8 +215,11 @@ pub fn lift_binary_with(bin: &Binary, opts: TranslateOptions) -> Result<Module, 
     }
 
     // Create function shells so ids exist before bodies are translated.
-    let mut env =
-        SymbolEnv { funcs: BTreeMap::new(), externs: extern_map, globals: global_ranges };
+    let mut env = SymbolEnv {
+        funcs: BTreeMap::new(),
+        externs: extern_map,
+        globals: global_ranges,
+    };
     for (addr, (name, _)) in &cfgs {
         let fty = &discovered[addr];
         let id = module.add_func(Function::new(name, fty.params.clone(), fty.ret));
@@ -259,8 +269,17 @@ mod tests {
     #[test]
     fn lift_add_function() {
         let (m, id) = lift_one("add", |a| {
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-            a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rdi),
+            });
+            a.push(Inst::AluRRm {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rsi),
+            });
             a.push(Inst::Ret);
         });
         assert_eq!(m.func(id).params, vec![Ty::I64, Ty::I64]);
@@ -272,17 +291,33 @@ mod tests {
         // max(rdi, rsi)
         let (m, id) = lift_one("max", |a| {
             let ret_a = a.label();
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-            a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rdi, src: Rm::Reg(Gpr::Rsi) });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rdi),
+            });
+            a.push(Inst::AluRRm {
+                op: AluOp::Cmp,
+                w: Width::W64,
+                dst: Gpr::Rdi,
+                src: Rm::Reg(Gpr::Rsi),
+            });
             a.jcc(Cond::Ge, ret_a);
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rsi),
+            });
             a.bind(ret_a);
             a.push(Inst::Ret);
         });
         assert_eq!(run(&m, id, &[Val::B64(7), Val::B64(3)]), Val::B64(7));
         assert_eq!(run(&m, id, &[Val::B64(3), Val::B64(7)]), Val::B64(7));
         // Signed comparison: -1 < 3.
-        assert_eq!(run(&m, id, &[Val::B64(-1i64 as u64), Val::B64(3)]), Val::B64(3));
+        assert_eq!(
+            run(&m, id, &[Val::B64(-1i64 as u64), Val::B64(3)]),
+            Val::B64(3)
+        );
     }
 
     #[test]
@@ -291,13 +326,36 @@ mod tests {
         let (m, id) = lift_one("sum", |a| {
             let top = a.label();
             let done = a.label();
-            a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
-            a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 0 });
+            a.push(Inst::MovRmI {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rax),
+                imm: 0,
+            });
+            a.push(Inst::MovRmI {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rcx),
+                imm: 0,
+            });
             a.bind(top);
-            a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rdi) });
+            a.push(Inst::AluRRm {
+                op: AluOp::Cmp,
+                w: Width::W64,
+                dst: Gpr::Rcx,
+                src: Rm::Reg(Gpr::Rdi),
+            });
             a.jcc(Cond::E, done);
-            a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) });
-            a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 1 });
+            a.push(Inst::AluRRm {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rcx),
+            });
+            a.push(Inst::AluRmI {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rcx),
+                imm: 1,
+            });
             a.jmp(top);
             a.bind(done);
             a.push(Inst::Ret);
@@ -310,13 +368,40 @@ mod tests {
         // Push/pop and [rsp] traffic must hit the reconstructed stack array.
         let (m, id) = lift_one("spill", |a| {
             a.push(Inst::Push { src: Gpr::Rbp });
-            a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rbp), src: Gpr::Rsp });
-            a.push(Inst::AluRmI { op: AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: 16 });
+            a.push(Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rbp),
+                src: Gpr::Rsp,
+            });
+            a.push(Inst::AluRmI {
+                op: AluOp::Sub,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rsp),
+                imm: 16,
+            });
             // [rbp-8] = rdi; rax = [rbp-8] * 2
-            a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -8)), src: Gpr::Rdi });
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -8)) });
-            a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rax) });
-            a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: 16 });
+            a.push(Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+                src: Gpr::Rdi,
+            });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -8)),
+            });
+            a.push(Inst::AluRRm {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rax),
+            });
+            a.push(Inst::AluRmI {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rsp),
+                imm: 16,
+            });
             a.push(Inst::Pop { dst: Gpr::Rbp });
             a.push(Inst::Ret);
         });
@@ -326,12 +411,21 @@ mod tests {
     #[test]
     fn lift_float_add() {
         let (m, id) = lift_one("fadd", |a| {
-            a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+            a.push(Inst::SseScalar {
+                op: SseOp::Add,
+                prec: FpPrec::Double,
+                dst: Xmm(0),
+                src: XmmRm::Reg(Xmm(1)),
+            });
             a.push(Inst::Ret);
         });
         assert_eq!(m.func(id).params, vec![Ty::F64, Ty::F64]);
         assert_eq!(m.func(id).ret, Ty::F64);
-        let r = run(&m, id, &[Val::B64(1.5f64.to_bits()), Val::B64(2.25f64.to_bits())]);
+        let r = run(
+            &m,
+            id,
+            &[Val::B64(1.5f64.to_bits()), Val::B64(2.25f64.to_bits())],
+        );
         assert_eq!(r.f64(), 3.75);
     }
 
@@ -341,9 +435,22 @@ mod tests {
         let mut b = BinaryBuilder::new();
         let g = b.add_global("counter", 8, 7u64.to_le_bytes().to_vec());
         let mut a = Asm::new();
-        a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::rip(g)) });
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
-        a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::rip(g)), src: Gpr::Rax });
+        a.push(Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::rip(g)),
+        });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
+        a.push(Inst::MovRmR {
+            w: Width::W64,
+            dst: Rm::Mem(MemRef::rip(g)),
+            src: Gpr::Rax,
+        });
         a.push(Inst::Ret);
         let addr = b.next_function_addr();
         b.add_function("bump", a.finish(addr).unwrap());
@@ -361,15 +468,27 @@ mod tests {
         // callee(rdi) = rdi * 3; caller(rdi) = callee(rdi) + 1
         let mut b = BinaryBuilder::new();
         let mut a = Asm::new();
-        a.push(Inst::IMul3 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi), imm: 3 });
+        a.push(Inst::IMul3 {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rdi),
+            imm: 3,
+        });
         a.push(Inst::Ret);
         let callee_addr = b.next_function_addr();
         b.add_function("triple", a.finish(callee_addr).unwrap());
 
         let mut a = Asm::new();
         let caller_addr = b.next_function_addr();
-        a.push(Inst::Call { target: Target::Abs(callee_addr) });
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::Call {
+            target: Target::Abs(callee_addr),
+        });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.push(Inst::Ret);
         b.add_function("caller", a.finish(caller_addr).unwrap());
 
@@ -385,10 +504,24 @@ mod tests {
         let mut b = BinaryBuilder::new();
         let malloc = b.declare_extern("malloc");
         let mut a = Asm::new();
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rdi), imm: 8 });
-        a.push(Inst::Call { target: Target::Abs(malloc) });
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rax)), imm: 42 });
-        a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rax)) });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rdi),
+            imm: 8,
+        });
+        a.push(Inst::Call {
+            target: Target::Abs(malloc),
+        });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Mem(MemRef::base(Gpr::Rax)),
+            imm: 42,
+        });
+        a.push(Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base(Gpr::Rax)),
+        });
         a.push(Inst::Ret);
         let addr = b.next_function_addr();
         b.add_function("alloc42", a.finish(addr).unwrap());
@@ -401,8 +534,16 @@ mod tests {
     fn lift_atomic_rmw() {
         // lock xadd [rdi], rsi; return old value
         let (m, id) = lift_one("fetch_add", |a| {
-            a.push(Inst::LockXadd { w: Width::W64, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rsi });
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
+            a.push(Inst::LockXadd {
+                w: Width::W64,
+                mem: MemRef::base(Gpr::Rdi),
+                src: Gpr::Rsi,
+            });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rsi),
+            });
             a.push(Inst::Ret);
         });
         let mut machine = Machine::new(&m);
@@ -418,13 +559,26 @@ mod tests {
     #[test]
     fn lift_mfence_becomes_fsc() {
         let (m, id) = lift_one("fenced", |a| {
-            a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), imm: 1 });
+            a.push(Inst::MovRmI {
+                w: Width::W64,
+                dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+                imm: 1,
+            });
             a.push(Inst::Mfence);
-            a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rsi)) });
+            a.push(Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base(Gpr::Rsi)),
+            });
             a.push(Inst::Ret);
         });
         let fsc = m.count_insts(|i| {
-            matches!(i.kind, lasagne_lir::InstKind::Fence { kind: lasagne_lir::inst::FenceKind::Fsc })
+            matches!(
+                i.kind,
+                lasagne_lir::InstKind::Fence {
+                    kind: lasagne_lir::inst::FenceKind::Fsc
+                }
+            )
         });
         assert_eq!(fsc, 1);
         let _ = id;
@@ -434,7 +588,11 @@ mod tests {
     fn lift_32bit_zero_extension() {
         // mov eax, edi must clear the upper half.
         let (m, id) = lift_one("low32", |a| {
-            a.push(Inst::MovRRm { w: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+            a.push(Inst::MovRRm {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rdi),
+            });
             a.push(Inst::Ret);
         });
         let r = run(&m, id, &[Val::B64(0xFFFF_FFFF_0000_0001)]);
@@ -445,9 +603,24 @@ mod tests {
     fn lift_cvt_roundtrip() {
         // double(rdi) doubled, truncated back to int
         let (m, id) = lift_one("cvt", |a| {
-            a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rdi) });
-            a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(0)) });
-            a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::Rax, src: XmmRm::Reg(Xmm(0)) });
+            a.push(Inst::CvtSi2F {
+                prec: FpPrec::Double,
+                iw: Width::W64,
+                dst: Xmm(0),
+                src: Rm::Reg(Gpr::Rdi),
+            });
+            a.push(Inst::SseScalar {
+                op: SseOp::Add,
+                prec: FpPrec::Double,
+                dst: Xmm(0),
+                src: XmmRm::Reg(Xmm(0)),
+            });
+            a.push(Inst::CvtF2Si {
+                prec: FpPrec::Double,
+                iw: Width::W64,
+                dst: Gpr::Rax,
+                src: XmmRm::Reg(Xmm(0)),
+            });
             a.push(Inst::Ret);
         });
         assert_eq!(run(&m, id, &[Val::B64(21)]), Val::B64(42));
@@ -457,7 +630,9 @@ mod tests {
     fn unknown_call_target_is_error() {
         let mut b = BinaryBuilder::new();
         let mut a = Asm::new();
-        a.push(Inst::Call { target: Target::Abs(0x40_F000) });
+        a.push(Inst::Call {
+            target: Target::Abs(0x40_F000),
+        });
         a.push(Inst::Ret);
         let addr = b.next_function_addr();
         b.add_function("bad", a.finish(addr).unwrap());
@@ -473,10 +648,17 @@ mod tests {
         // The naive lifting must leave integer/pointer casts behind — the
         // raw material of §5 refinement (Figure 13).
         let (m, _) = lift_one("store_param", |a| {
-            a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), src: Gpr::Rsi });
+            a.push(Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+                src: Gpr::Rsi,
+            });
             a.push(Inst::Ret);
         });
         let casts = m.count_insts(|i| i.kind.is_int_ptr_cast());
-        assert!(casts >= 1, "expected inttoptr in lifted store, found {casts}");
+        assert!(
+            casts >= 1,
+            "expected inttoptr in lifted store, found {casts}"
+        );
     }
 }

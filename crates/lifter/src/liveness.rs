@@ -43,12 +43,18 @@ impl RegSet {
 
     /// Set union.
     pub fn union(self, o: RegSet) -> RegSet {
-        RegSet { gpr: self.gpr | o.gpr, xmm: self.xmm | o.xmm }
+        RegSet {
+            gpr: self.gpr | o.gpr,
+            xmm: self.xmm | o.xmm,
+        }
     }
 
     /// Set difference.
     pub fn minus(self, o: RegSet) -> RegSet {
-        RegSet { gpr: self.gpr & !o.gpr, xmm: self.xmm & !o.xmm }
+        RegSet {
+            gpr: self.gpr & !o.gpr,
+            xmm: self.xmm & !o.xmm,
+        }
     }
 
     /// Whether the set is empty.
@@ -325,13 +331,13 @@ pub fn analyze_with(cfg: &XCfg, call_uses: impl Fn(u64) -> RegSet) -> Liveness {
     for (i, b) in cfg.blocks.iter().enumerate() {
         for d in &b.insts {
             let u = match d.inst {
-                Inst::Call { target: Target::Abs(t) } => call_uses(t),
+                Inst::Call {
+                    target: Target::Abs(t),
+                } => call_uses(t),
                 // A tail-call jmp reads the callee's argument registers.
-                Inst::Jmp { target: Target::Abs(t) }
-                    if cfg.blocks.iter().all(|b| b.start != t) =>
-                {
-                    call_uses(t)
-                }
+                Inst::Jmp {
+                    target: Target::Abs(t),
+                } if cfg.blocks.iter().all(|b| b.start != t) => call_uses(t),
                 _ => uses(&d.inst),
             };
             gen[i] = gen[i].union(u.minus(kill[i]));
@@ -393,7 +399,10 @@ mod tests {
 
     #[test]
     fn xor_zero_idiom_has_no_use() {
-        let x = Inst::Xorps { dst: Xmm(1), src: XmmRm::Reg(Xmm(1)) };
+        let x = Inst::Xorps {
+            dst: Xmm(1),
+            src: XmmRm::Reg(Xmm(1)),
+        };
         assert!(uses(&x).is_empty());
         assert!(defs(&x).has_xmm(Xmm(1)));
     }
@@ -402,8 +411,17 @@ mod tests {
     fn param_register_live_at_entry() {
         // f(rdi): rax = rdi + 1; ret
         let mut a = Asm::new();
-        a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rdi),
+        });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.push(Inst::Ret);
         let bytes = a.finish(0).unwrap();
         let cfg = build_xcfg(&bytes, 0).unwrap();
@@ -418,8 +436,18 @@ mod tests {
         let mut a = Asm::new();
         let top = a.label();
         a.bind(top);
-        a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
-        a.push(Inst::AluRmI { op: AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::Rdi), imm: 1 });
+        a.push(Inst::AluRRm {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rsi),
+        });
+        a.push(Inst::AluRmI {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rdi),
+            imm: 1,
+        });
         a.jcc(Cond::Ne, top);
         a.push(Inst::Ret);
         let bytes = a.finish(0).unwrap();

@@ -19,9 +19,7 @@ use lasagne_lir::inst::{
 };
 use lasagne_lir::types::{Pointee, Ty};
 use lasagne_lir::BlockId;
-use lasagne_x86::inst::{
-    AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, ShiftOp, SseOp, Target, XmmRm,
-};
+use lasagne_x86::inst::{AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, ShiftOp, SseOp, Target, XmmRm};
 use lasagne_x86::reg::{Cond, Gpr, Width, Xmm};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -150,7 +148,10 @@ fn width_pointee(w: Width) -> Pointee {
 }
 
 fn cint(w: Width, v: i64) -> Operand {
-    Operand::ConstInt { ty: width_ty(w), val: (v as u64) & w.mask() }
+    Operand::ConstInt {
+        ty: width_ty(w),
+        val: (v as u64) & w.mask(),
+    }
 }
 
 impl<'a> Tr<'a> {
@@ -170,7 +171,13 @@ impl<'a> Tr<'a> {
 
     fn read_gpr64(&mut self, r: Gpr) -> Operand {
         let slot = self.gpr_slot(r);
-        self.emit(Ty::I64, InstKind::Load { ptr: slot, order: Ordering::NotAtomic })
+        self.emit(
+            Ty::I64,
+            InstKind::Load {
+                ptr: slot,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     fn read_gpr(&mut self, r: Gpr, w: Width) -> Operand {
@@ -178,7 +185,13 @@ impl<'a> Tr<'a> {
         if w == Width::W64 {
             v
         } else {
-            self.emit(width_ty(w), InstKind::Cast { op: CastOp::Trunc, val: v })
+            self.emit(
+                width_ty(w),
+                InstKind::Cast {
+                    op: CastOp::Trunc,
+                    val: v,
+                },
+            )
         }
     }
 
@@ -186,20 +199,47 @@ impl<'a> Tr<'a> {
         let v64 = match w {
             Width::W64 => v,
             // 32-bit writes zero the upper half (x86 semantics).
-            Width::W32 => self.emit(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: v }),
+            Width::W32 => self.emit(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::ZExt,
+                    val: v,
+                },
+            ),
             // 8/16-bit writes preserve the upper bits.
             Width::W8 | Width::W16 => {
                 let old = self.read_gpr64(r);
                 let keep = self.emit(
                     Ty::I64,
-                    InstKind::Bin { op: BinOp::And, lhs: old, rhs: Operand::i64(!(w.mask() as i64)) },
+                    InstKind::Bin {
+                        op: BinOp::And,
+                        lhs: old,
+                        rhs: Operand::i64(!(w.mask() as i64)),
+                    },
                 );
-                let z = self.emit(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: v });
-                self.emit(Ty::I64, InstKind::Bin { op: BinOp::Or, lhs: keep, rhs: z })
+                let z = self.emit(
+                    Ty::I64,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: v,
+                    },
+                );
+                self.emit(
+                    Ty::I64,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: keep,
+                        rhs: z,
+                    },
+                )
             }
         };
         let slot = self.gpr_slot(r);
-        self.emit_void(InstKind::Store { ptr: slot, val: v64, order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: slot,
+            val: v64,
+            order: Ordering::NotAtomic,
+        });
         if Gpr::PARAMS.contains(&r) {
             self.written_params.insert(r);
         }
@@ -213,12 +253,22 @@ impl<'a> Tr<'a> {
 
     fn read_flag(&mut self, fl: Fl) -> Operand {
         let slot = self.flag_slot(fl);
-        self.emit(Ty::I1, InstKind::Load { ptr: slot, order: Ordering::NotAtomic })
+        self.emit(
+            Ty::I1,
+            InstKind::Load {
+                ptr: slot,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     fn write_flag(&mut self, fl: Fl, v: Operand) {
         let slot = self.flag_slot(fl);
-        self.emit_void(InstKind::Store { ptr: slot, val: v, order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: slot,
+            val: v,
+            order: Ordering::NotAtomic,
+        });
     }
 
     fn write_flag_const(&mut self, fl: Fl, v: bool) {
@@ -226,19 +276,34 @@ impl<'a> Tr<'a> {
     }
 
     fn not1(&mut self, v: Operand) -> Operand {
-        self.emit(Ty::I1, InstKind::Bin { op: BinOp::Xor, lhs: v, rhs: Operand::bool(true) })
+        self.emit(
+            Ty::I1,
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: v,
+                rhs: Operand::bool(true),
+            },
+        )
     }
 
     /// ZF/SF/PF from a result (common to all flag groups).
     fn set_zsp(&mut self, res: Operand, w: Width) {
         let zf = self.emit(
             Ty::I1,
-            InstKind::ICmp { pred: IPred::Eq, lhs: res, rhs: cint(w, 0) },
+            InstKind::ICmp {
+                pred: IPred::Eq,
+                lhs: res,
+                rhs: cint(w, 0),
+            },
         );
         self.write_flag(Fl::Zf, zf);
         let sf = self.emit(
             Ty::I1,
-            InstKind::ICmp { pred: IPred::Slt, lhs: res, rhs: cint(w, 0) },
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: res,
+                rhs: cint(w, 0),
+            },
         );
         self.write_flag(Fl::Sf, sf);
         // Parity of the low byte, computed with shift/xor reduction — one of
@@ -246,18 +311,77 @@ impl<'a> Tr<'a> {
         let b = if w == Width::W8 {
             res
         } else {
-            self.emit(Ty::I8, InstKind::Cast { op: CastOp::Trunc, val: res })
+            self.emit(
+                Ty::I8,
+                InstKind::Cast {
+                    op: CastOp::Trunc,
+                    val: res,
+                },
+            )
         };
-        let s4 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::LShr, lhs: b, rhs: cint(Width::W8, 4) });
-        let x4 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::Xor, lhs: b, rhs: s4 });
-        let s2 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::LShr, lhs: x4, rhs: cint(Width::W8, 2) });
-        let x2 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::Xor, lhs: x4, rhs: s2 });
-        let s1 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::LShr, lhs: x2, rhs: cint(Width::W8, 1) });
-        let x1 = self.emit(Ty::I8, InstKind::Bin { op: BinOp::Xor, lhs: x2, rhs: s1 });
-        let low = self.emit(Ty::I8, InstKind::Bin { op: BinOp::And, lhs: x1, rhs: cint(Width::W8, 1) });
+        let s4 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::LShr,
+                lhs: b,
+                rhs: cint(Width::W8, 4),
+            },
+        );
+        let x4 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: b,
+                rhs: s4,
+            },
+        );
+        let s2 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::LShr,
+                lhs: x4,
+                rhs: cint(Width::W8, 2),
+            },
+        );
+        let x2 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: x4,
+                rhs: s2,
+            },
+        );
+        let s1 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::LShr,
+                lhs: x2,
+                rhs: cint(Width::W8, 1),
+            },
+        );
+        let x1 = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: x2,
+                rhs: s1,
+            },
+        );
+        let low = self.emit(
+            Ty::I8,
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs: x1,
+                rhs: cint(Width::W8, 1),
+            },
+        );
         let pf = self.emit(
             Ty::I1,
-            InstKind::ICmp { pred: IPred::Eq, lhs: low, rhs: cint(Width::W8, 0) },
+            InstKind::ICmp {
+                pred: IPred::Eq,
+                lhs: low,
+                rhs: cint(Width::W8, 0),
+            },
         );
         self.write_flag(Fl::Pf, pf);
     }
@@ -269,23 +393,93 @@ impl<'a> Tr<'a> {
     }
 
     fn set_flags_add(&mut self, a: Operand, b: Operand, res: Operand, w: Width) {
-        let cf = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Ult, lhs: res, rhs: a });
+        let cf = self.emit(
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: res,
+                rhs: a,
+            },
+        );
         self.write_flag(Fl::Cf, cf);
-        let t1 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: res });
-        let t2 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::Xor, lhs: b, rhs: res });
-        let t3 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::And, lhs: t1, rhs: t2 });
-        let of = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Slt, lhs: t3, rhs: cint(w, 0) });
+        let t1 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: a,
+                rhs: res,
+            },
+        );
+        let t2 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: b,
+                rhs: res,
+            },
+        );
+        let t3 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs: t1,
+                rhs: t2,
+            },
+        );
+        let of = self.emit(
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: t3,
+                rhs: cint(w, 0),
+            },
+        );
         self.write_flag(Fl::Of, of);
         self.set_zsp(res, w);
     }
 
     fn set_flags_sub(&mut self, a: Operand, b: Operand, res: Operand, w: Width) {
-        let cf = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Ult, lhs: a, rhs: b });
+        let cf = self.emit(
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: a,
+                rhs: b,
+            },
+        );
         self.write_flag(Fl::Cf, cf);
-        let t1 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: b });
-        let t2 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: res });
-        let t3 = self.emit(width_ty(w), InstKind::Bin { op: BinOp::And, lhs: t1, rhs: t2 });
-        let of = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Slt, lhs: t3, rhs: cint(w, 0) });
+        let t1 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: a,
+                rhs: b,
+            },
+        );
+        let t2 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: a,
+                rhs: res,
+            },
+        );
+        let t3 = self.emit(
+            width_ty(w),
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs: t1,
+                rhs: t2,
+            },
+        );
+        let of = self.emit(
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: t3,
+                rhs: cint(w, 0),
+            },
+        );
         self.write_flag(Fl::Of, of);
         self.set_zsp(res, w);
     }
@@ -310,12 +504,26 @@ impl<'a> Tr<'a> {
             Cond::Be => {
                 let c = self.read_flag(Fl::Cf);
                 let z = self.read_flag(Fl::Zf);
-                self.emit(Ty::I1, InstKind::Bin { op: BinOp::Or, lhs: c, rhs: z })
+                self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: c,
+                        rhs: z,
+                    },
+                )
             }
             Cond::A => {
                 let c = self.read_flag(Fl::Cf);
                 let z = self.read_flag(Fl::Zf);
-                let o = self.emit(Ty::I1, InstKind::Bin { op: BinOp::Or, lhs: c, rhs: z });
+                let o = self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: c,
+                        rhs: z,
+                    },
+                );
                 self.not1(o)
             }
             Cond::S => self.read_flag(Fl::Sf),
@@ -331,27 +539,69 @@ impl<'a> Tr<'a> {
             Cond::L => {
                 let s = self.read_flag(Fl::Sf);
                 let o = self.read_flag(Fl::Of);
-                self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Ne, lhs: s, rhs: o })
+                self.emit(
+                    Ty::I1,
+                    InstKind::ICmp {
+                        pred: IPred::Ne,
+                        lhs: s,
+                        rhs: o,
+                    },
+                )
             }
             Cond::Ge => {
                 let s = self.read_flag(Fl::Sf);
                 let o = self.read_flag(Fl::Of);
-                self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: s, rhs: o })
+                self.emit(
+                    Ty::I1,
+                    InstKind::ICmp {
+                        pred: IPred::Eq,
+                        lhs: s,
+                        rhs: o,
+                    },
+                )
             }
             Cond::Le => {
                 let s = self.read_flag(Fl::Sf);
                 let o = self.read_flag(Fl::Of);
-                let ne = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Ne, lhs: s, rhs: o });
+                let ne = self.emit(
+                    Ty::I1,
+                    InstKind::ICmp {
+                        pred: IPred::Ne,
+                        lhs: s,
+                        rhs: o,
+                    },
+                );
                 let z = self.read_flag(Fl::Zf);
-                self.emit(Ty::I1, InstKind::Bin { op: BinOp::Or, lhs: z, rhs: ne })
+                self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: z,
+                        rhs: ne,
+                    },
+                )
             }
             Cond::G => {
                 let s = self.read_flag(Fl::Sf);
                 let o = self.read_flag(Fl::Of);
-                let eq = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: s, rhs: o });
+                let eq = self.emit(
+                    Ty::I1,
+                    InstKind::ICmp {
+                        pred: IPred::Eq,
+                        lhs: s,
+                        rhs: o,
+                    },
+                );
                 let z = self.read_flag(Fl::Zf);
                 let nz = self.not1(z);
-                self.emit(Ty::I1, InstKind::Bin { op: BinOp::And, lhs: nz, rhs: eq })
+                self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::And,
+                        lhs: nz,
+                        rhs: eq,
+                    },
+                )
             }
         }
     }
@@ -363,18 +613,31 @@ impl<'a> Tr<'a> {
         if let Some((gid, off)) = self.env.global_at(addr) {
             let p = self.emit(
                 Ty::I64,
-                InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Global(gid) },
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: Operand::Global(gid),
+                },
             );
             if off == 0 {
                 p
             } else {
                 self.emit(
                     Ty::I64,
-                    InstKind::Bin { op: BinOp::Add, lhs: p, rhs: Operand::i64(off as i64) },
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: p,
+                        rhs: Operand::i64(off as i64),
+                    },
                 )
             }
         } else if let Some((fid, _)) = self.env.funcs.get(&addr) {
-            self.emit(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(*fid) })
+            self.emit(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: Operand::Func(*fid),
+                },
+            )
         } else {
             Operand::i64(addr as i64)
         }
@@ -393,36 +656,68 @@ impl<'a> Tr<'a> {
             if m.scale > 1 {
                 idx = self.emit(
                     Ty::I64,
-                    InstKind::Bin { op: BinOp::Mul, lhs: idx, rhs: Operand::i64(i64::from(m.scale)) },
+                    InstKind::Bin {
+                        op: BinOp::Mul,
+                        lhs: idx,
+                        rhs: Operand::i64(i64::from(m.scale)),
+                    },
                 );
             }
             acc = Some(match acc {
-                Some(a) => self.emit(Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: a, rhs: idx }),
+                Some(a) => self.emit(
+                    Ty::I64,
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: a,
+                        rhs: idx,
+                    },
+                ),
                 None => idx,
             });
         }
         match (acc, m.disp) {
             (None, d) => self.symbol_value(d as u64),
             (Some(a), 0) => a,
-            (Some(a), d) => {
-                self.emit(Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: a, rhs: Operand::i64(d) })
-            }
+            (Some(a), d) => self.emit(
+                Ty::I64,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: a,
+                    rhs: Operand::i64(d),
+                },
+            ),
         }
     }
 
     fn mem_ptr(&mut self, m: &MemRef, pointee: Pointee) -> Operand {
         let a = self.addr_value(m);
-        self.emit(Ty::Ptr(pointee), InstKind::Cast { op: CastOp::IntToPtr, val: a })
+        self.emit(
+            Ty::Ptr(pointee),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: a,
+            },
+        )
     }
 
     fn load_mem(&mut self, m: &MemRef, w: Width) -> Operand {
         let p = self.mem_ptr(m, width_pointee(w));
-        self.emit(width_ty(w), InstKind::Load { ptr: p, order: Ordering::NotAtomic })
+        self.emit(
+            width_ty(w),
+            InstKind::Load {
+                ptr: p,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     fn store_mem(&mut self, m: &MemRef, w: Width, v: Operand) {
         let p = self.mem_ptr(m, width_pointee(w));
-        self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: p,
+            val: v,
+            order: Ordering::NotAtomic,
+        });
     }
 
     fn read_rm(&mut self, rm: &Rm, w: Width) -> Operand {
@@ -452,42 +747,80 @@ impl<'a> Tr<'a> {
         } else {
             self.emit(
                 PTR_I8,
-                InstKind::Gep { base: slot, offset: Operand::i64(byte_off as i64), elem_size: 1 },
+                InstKind::Gep {
+                    base: slot,
+                    offset: Operand::i64(byte_off as i64),
+                    elem_size: 1,
+                },
             )
         };
-        self.emit(Ty::Ptr(pointee), InstKind::Cast { op: CastOp::BitCast, val: base })
+        self.emit(
+            Ty::Ptr(pointee),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: base,
+            },
+        )
     }
 
     fn read_xmm_scalar(&mut self, x: Xmm, prec: FpPrec) -> Operand {
         let (pe, ty) = scalar_pt(prec);
         let p = self.xmm_ptr(x, pe, 0);
-        self.emit(ty, InstKind::Load { ptr: p, order: Ordering::NotAtomic })
+        self.emit(
+            ty,
+            InstKind::Load {
+                ptr: p,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     fn write_xmm_scalar(&mut self, x: Xmm, prec: FpPrec, v: Operand) {
         let (pe, _) = scalar_pt(prec);
         let p = self.xmm_ptr(x, pe, 0);
-        self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: p,
+            val: v,
+            order: Ordering::NotAtomic,
+        });
     }
 
     /// Zeroes bytes `from..16` of an XMM slot (movss/movsd load semantics).
     fn zero_xmm_upper(&mut self, x: Xmm, from: u64) {
         if from < 8 {
             let p = self.xmm_ptr(x, Pointee::I32, from);
-            self.emit_void(InstKind::Store { ptr: p, val: Operand::i32(0), order: Ordering::NotAtomic });
+            self.emit_void(InstKind::Store {
+                ptr: p,
+                val: Operand::i32(0),
+                order: Ordering::NotAtomic,
+            });
         }
         let p = self.xmm_ptr(x, Pointee::I64, 8);
-        self.emit_void(InstKind::Store { ptr: p, val: Operand::i64(0), order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: p,
+            val: Operand::i64(0),
+            order: Ordering::NotAtomic,
+        });
     }
 
     fn read_xmm_vec(&mut self, x: Xmm) -> Operand {
         let p = self.xmm_ptr(x, Pointee::V128, 0);
-        self.emit(Ty::V2F64, InstKind::Load { ptr: p, order: Ordering::NotAtomic })
+        self.emit(
+            Ty::V2F64,
+            InstKind::Load {
+                ptr: p,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     fn write_xmm_vec(&mut self, x: Xmm, v: Operand) {
         let p = self.xmm_ptr(x, Pointee::V128, 0);
-        self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+        self.emit_void(InstKind::Store {
+            ptr: p,
+            val: v,
+            order: Ordering::NotAtomic,
+        });
     }
 
     fn read_xmmrm_scalar(&mut self, rm: &XmmRm, prec: FpPrec) -> Operand {
@@ -496,7 +829,13 @@ impl<'a> Tr<'a> {
             XmmRm::Mem(m) => {
                 let (pe, ty) = scalar_pt(prec);
                 let p = self.mem_ptr(m, pe);
-                self.emit(ty, InstKind::Load { ptr: p, order: Ordering::NotAtomic })
+                self.emit(
+                    ty,
+                    InstKind::Load {
+                        ptr: p,
+                        order: Ordering::NotAtomic,
+                    },
+                )
             }
         }
     }
@@ -506,7 +845,13 @@ impl<'a> Tr<'a> {
             XmmRm::Reg(x) => self.read_xmm_vec(*x),
             XmmRm::Mem(m) => {
                 let p = self.mem_ptr(m, Pointee::V128);
-                self.emit(Ty::V2F64, InstKind::Load { ptr: p, order: Ordering::NotAtomic })
+                self.emit(
+                    Ty::V2F64,
+                    InstKind::Load {
+                        ptr: p,
+                        order: Ordering::NotAtomic,
+                    },
+                )
             }
         }
     }
@@ -574,7 +919,11 @@ pub fn translate_function(
     // ---- preamble: allocas + parameter stores + stack setup ----
     tr.cur = BlockId(0);
     for r in Gpr::ALL {
-        let id = tr.f.push(BlockId(0), Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+        let id = tr.f.push(
+            BlockId(0),
+            Ty::Ptr(Pointee::I64),
+            InstKind::Alloca { size: 8 },
+        );
         tr.gpr_slot[r.encoding() as usize] = Some(id);
         tr.gpr_slot_ids.push(id);
     }
@@ -583,22 +932,43 @@ pub fn translate_function(
         tr.xmm_slot[x as usize] = Some(id);
     }
     for fl in 0..5usize {
-        let id = tr.f.push(BlockId(0), Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 1 });
+        let id = tr.f.push(
+            BlockId(0),
+            Ty::Ptr(Pointee::I8),
+            InstKind::Alloca { size: 1 },
+        );
         tr.flag_slot[fl] = Some(id);
         tr.gpr_slot_ids.push(id);
     }
     // Reconstructed stack (§4.2.3): an i8 array; RSP starts at its end.
-    let stack = tr.f.push(BlockId(0), PTR_I8, InstKind::Alloca { size: tr.opts.stack_size });
+    let stack = tr.f.push(
+        BlockId(0),
+        PTR_I8,
+        InstKind::Alloca {
+            size: tr.opts.stack_size,
+        },
+    );
     let sp_base = tr.emit(
         Ty::I64,
-        InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(stack) },
+        InstKind::Cast {
+            op: CastOp::PtrToInt,
+            val: Operand::Inst(stack),
+        },
     );
     let sp_top = tr.emit(
         Ty::I64,
-        InstKind::Bin { op: BinOp::Add, lhs: sp_base, rhs: Operand::i64(opts.stack_size as i64) },
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: sp_base,
+            rhs: Operand::i64(opts.stack_size as i64),
+        },
     );
     let rsp_slot = tr.gpr_slot(Gpr::Rsp);
-    tr.emit_void(InstKind::Store { ptr: rsp_slot, val: sp_top, order: Ordering::NotAtomic });
+    tr.emit_void(InstKind::Store {
+        ptr: rsp_slot,
+        val: sp_top,
+        order: Ordering::NotAtomic,
+    });
 
     // Parameters into their conventional registers.
     let mut int_idx = 0usize;
@@ -648,11 +1018,19 @@ pub fn translate_function(
                 TranslateError::Unsupported(format!("block at {:#x} has no terminator", xb.start))
             })?;
             let cur = tr.cur;
-            tr.f.set_term(cur, Terminator::Br { dest: block_map[&next] });
+            tr.f.set_term(
+                cur,
+                Terminator::Br {
+                    dest: block_map[&next],
+                },
+            );
         }
     }
 
-    Ok(Translated { func: tr.f, gpr_slots: tr.gpr_slot_ids })
+    Ok(Translated {
+        func: tr.f,
+        gpr_slots: tr.gpr_slot_ids,
+    })
 }
 
 impl Tr<'_> {
@@ -663,7 +1041,9 @@ impl Tr<'_> {
         block_map: &BTreeMap<u64, BlockId>,
     ) -> Result<Terminator, TranslateError> {
         Ok(match inst {
-            Inst::Jmp { target: Target::Abs(t) } => {
+            Inst::Jmp {
+                target: Target::Abs(t),
+            } => {
                 if let Some(dest) = block_map.get(t) {
                     Terminator::Br { dest: *dest }
                 } else {
@@ -678,7 +1058,10 @@ impl Tr<'_> {
                     Terminator::Ret { val }
                 }
             }
-            Inst::Jcc { cc, target: Target::Abs(t) } => {
+            Inst::Jcc {
+                cc,
+                target: Target::Abs(t),
+            } => {
                 let cond = self.cond_value(*cc);
                 let next = _xb.succs.get(1).copied().ok_or_else(|| {
                     TranslateError::Unsupported("jcc with no fallthrough".to_string())
@@ -699,14 +1082,14 @@ impl Tr<'_> {
                 Terminator::Ret { val }
             }
             Inst::Ud2 => Terminator::Unreachable,
-            Inst::Jmp { target: Target::Indirect(_) } => {
+            Inst::Jmp {
+                target: Target::Indirect(_),
+            } => {
                 return Err(TranslateError::Unsupported(
                     "indirect jump (jump tables not supported)".to_string(),
                 ))
             }
-            other => {
-                return Err(TranslateError::Unsupported(format!("terminator {other}")))
-            }
+            other => return Err(TranslateError::Unsupported(format!("terminator {other}"))),
         })
     }
 
@@ -740,12 +1123,24 @@ impl Tr<'_> {
             }
             Inst::MovZx { dw, sw, dst, src } => {
                 let v = self.read_rm(src, *sw);
-                let z = self.emit(width_ty(*dw), InstKind::Cast { op: CastOp::ZExt, val: v });
+                let z = self.emit(
+                    width_ty(*dw),
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: v,
+                    },
+                );
                 self.write_gpr(*dst, *dw, z);
             }
             Inst::MovSx { dw, sw, dst, src } => {
                 let v = self.read_rm(src, *sw);
-                let z = self.emit(width_ty(*dw), InstKind::Cast { op: CastOp::SExt, val: v });
+                let z = self.emit(
+                    width_ty(*dw),
+                    InstKind::Cast {
+                        op: CastOp::SExt,
+                        val: v,
+                    },
+                );
                 self.write_gpr(*dst, *dw, z);
             }
             Inst::Lea { w, dst, addr: m } => {
@@ -753,7 +1148,13 @@ impl Tr<'_> {
                 let v = if *w == Width::W64 {
                     a
                 } else {
-                    self.emit(width_ty(*w), InstKind::Cast { op: CastOp::Trunc, val: a })
+                    self.emit(
+                        width_ty(*w),
+                        InstKind::Cast {
+                            op: CastOp::Trunc,
+                            val: a,
+                        },
+                    )
                 };
                 self.write_gpr(*dst, *w, v);
             }
@@ -784,14 +1185,25 @@ impl Tr<'_> {
             Inst::Test { w, a, b } => {
                 let x = self.read_rm(a, *w);
                 let y = self.read_gpr(*b, *w);
-                let r = self.emit(width_ty(*w), InstKind::Bin { op: BinOp::And, lhs: x, rhs: y });
+                let r = self.emit(
+                    width_ty(*w),
+                    InstKind::Bin {
+                        op: BinOp::And,
+                        lhs: x,
+                        rhs: y,
+                    },
+                );
                 self.set_flags_logic(r, *w);
             }
             Inst::TestI { w, a, imm } => {
                 let x = self.read_rm(a, *w);
                 let r = self.emit(
                     width_ty(*w),
-                    InstKind::Bin { op: BinOp::And, lhs: x, rhs: cint(*w, i64::from(*imm)) },
+                    InstKind::Bin {
+                        op: BinOp::And,
+                        lhs: x,
+                        rhs: cint(*w, i64::from(*imm)),
+                    },
                 );
                 self.set_flags_logic(r, *w);
             }
@@ -806,7 +1218,13 @@ impl Tr<'_> {
                 let amt = if *w == Width::W8 {
                     cl
                 } else {
-                    self.emit(width_ty(*w), InstKind::Cast { op: CastOp::ZExt, val: cl })
+                    self.emit(
+                        width_ty(*w),
+                        InstKind::Cast {
+                            op: CastOp::ZExt,
+                            val: cl,
+                        },
+                    )
                 };
                 let res = self.shift(*op, *w, a, amt);
                 self.write_rm(dst, *w, res);
@@ -814,7 +1232,14 @@ impl Tr<'_> {
             Inst::IMul2 { w, dst, src } => {
                 let a = self.read_gpr(*dst, *w);
                 let b = self.read_rm(src, *w);
-                let res = self.emit(width_ty(*w), InstKind::Bin { op: BinOp::Mul, lhs: a, rhs: b });
+                let res = self.emit(
+                    width_ty(*w),
+                    InstKind::Bin {
+                        op: BinOp::Mul,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 // CF/OF approximated as cleared; imul sets them only on overflow.
                 self.write_flag_const(Fl::Cf, false);
                 self.write_flag_const(Fl::Of, false);
@@ -824,7 +1249,11 @@ impl Tr<'_> {
                 let b = self.read_rm(src, *w);
                 let res = self.emit(
                     width_ty(*w),
-                    InstKind::Bin { op: BinOp::Mul, lhs: b, rhs: cint(*w, i64::from(*imm)) },
+                    InstKind::Bin {
+                        op: BinOp::Mul,
+                        lhs: b,
+                        rhs: cint(*w, i64::from(*imm)),
+                    },
                 );
                 self.write_flag_const(Fl::Cf, false);
                 self.write_flag_const(Fl::Of, false);
@@ -834,14 +1263,25 @@ impl Tr<'_> {
             Inst::Cqo { w } => {
                 let a = self.read_gpr(Gpr::Rax, *w);
                 let sh = cint(*w, i64::from(w.bits()) - 1);
-                let sign = self.emit(width_ty(*w), InstKind::Bin { op: BinOp::AShr, lhs: a, rhs: sh });
+                let sign = self.emit(
+                    width_ty(*w),
+                    InstKind::Bin {
+                        op: BinOp::AShr,
+                        lhs: a,
+                        rhs: sh,
+                    },
+                );
                 self.write_gpr(Gpr::Rdx, *w, sign);
             }
             Inst::Neg { w, dst } => {
                 let a = self.read_rm(dst, *w);
                 let res = self.emit(
                     width_ty(*w),
-                    InstKind::Bin { op: BinOp::Sub, lhs: cint(*w, 0), rhs: a },
+                    InstKind::Bin {
+                        op: BinOp::Sub,
+                        lhs: cint(*w, 0),
+                        rhs: a,
+                    },
                 );
                 self.set_flags_sub(cint(*w, 0), a, res, *w);
                 self.write_rm(dst, *w, res);
@@ -850,7 +1290,11 @@ impl Tr<'_> {
                 let a = self.read_rm(dst, *w);
                 let res = self.emit(
                     width_ty(*w),
-                    InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: cint(*w, -1) },
+                    InstKind::Bin {
+                        op: BinOp::Xor,
+                        lhs: a,
+                        rhs: cint(*w, -1),
+                    },
                 );
                 self.write_rm(dst, *w, res);
             }
@@ -858,29 +1302,65 @@ impl Tr<'_> {
                 let sp = self.read_gpr64(Gpr::Rsp);
                 let nsp = self.emit(
                     Ty::I64,
-                    InstKind::Bin { op: BinOp::Add, lhs: sp, rhs: Operand::i64(-8) },
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: sp,
+                        rhs: Operand::i64(-8),
+                    },
                 );
                 self.write_gpr(Gpr::Rsp, Width::W64, nsp);
                 let v = self.read_gpr64(*src);
-                let p = self.emit(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: nsp });
-                self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+                let p = self.emit(
+                    Ty::Ptr(Pointee::I64),
+                    InstKind::Cast {
+                        op: CastOp::IntToPtr,
+                        val: nsp,
+                    },
+                );
+                self.emit_void(InstKind::Store {
+                    ptr: p,
+                    val: v,
+                    order: Ordering::NotAtomic,
+                });
             }
             Inst::Pop { dst } => {
                 let sp = self.read_gpr64(Gpr::Rsp);
-                let p = self.emit(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: sp });
-                let v = self.emit(Ty::I64, InstKind::Load { ptr: p, order: Ordering::NotAtomic });
+                let p = self.emit(
+                    Ty::Ptr(Pointee::I64),
+                    InstKind::Cast {
+                        op: CastOp::IntToPtr,
+                        val: sp,
+                    },
+                );
+                let v = self.emit(
+                    Ty::I64,
+                    InstKind::Load {
+                        ptr: p,
+                        order: Ordering::NotAtomic,
+                    },
+                );
                 self.write_gpr(*dst, Width::W64, v);
                 let sp2 = self.read_gpr64(Gpr::Rsp);
                 let nsp = self.emit(
                     Ty::I64,
-                    InstKind::Bin { op: BinOp::Add, lhs: sp2, rhs: Operand::i64(8) },
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: sp2,
+                        rhs: Operand::i64(8),
+                    },
                 );
                 self.write_gpr(Gpr::Rsp, Width::W64, nsp);
             }
             Inst::Call { target } => self.lower_call(addr, target)?,
             Inst::Setcc { cc, dst } => {
                 let c = self.cond_value(*cc);
-                let v = self.emit(Ty::I8, InstKind::Cast { op: CastOp::ZExt, val: c });
+                let v = self.emit(
+                    Ty::I8,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: c,
+                    },
+                );
                 self.write_rm(dst, Width::W8, v);
             }
             Inst::Cmovcc { cc, w, dst, src } => {
@@ -889,7 +1369,11 @@ impl Tr<'_> {
                 let b = self.read_gpr(*dst, *w);
                 let v = self.emit(
                     width_ty(*w),
-                    InstKind::Select { cond: c, if_true: a, if_false: b },
+                    InstKind::Select {
+                        cond: c,
+                        if_true: a,
+                        if_false: b,
+                    },
                 );
                 self.write_gpr(*dst, *w, v);
             }
@@ -905,7 +1389,11 @@ impl Tr<'_> {
                 let v = self.read_xmm_scalar(*src, *prec);
                 let (pe, _) = scalar_pt(*prec);
                 let p = self.mem_ptr(dst, pe);
-                self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+                self.emit_void(InstKind::Store {
+                    ptr: p,
+                    val: v,
+                    order: Ordering::NotAtomic,
+                });
             }
             Inst::MovapsLoad { dst, src, .. } => {
                 let v = self.read_xmmrm_vec(src);
@@ -914,51 +1402,95 @@ impl Tr<'_> {
             Inst::MovapsStore { dst, src, .. } => {
                 let v = self.read_xmm_vec(*src);
                 let p = self.mem_ptr(dst, Pointee::V128);
-                self.emit_void(InstKind::Store { ptr: p, val: v, order: Ordering::NotAtomic });
+                self.emit_void(InstKind::Store {
+                    ptr: p,
+                    val: v,
+                    order: Ordering::NotAtomic,
+                });
             }
-            Inst::MovXmmToGpr { w, dst, src } => {
-                match w {
-                    Width::W64 => {
-                        let v = self.read_xmm_scalar(*src, FpPrec::Double);
-                        let b = self.emit(Ty::I64, InstKind::Cast { op: CastOp::BitCast, val: v });
-                        self.write_gpr(*dst, Width::W64, b);
-                    }
-                    _ => {
-                        let v = self.read_xmm_scalar(*src, FpPrec::Single);
-                        let b = self.emit(Ty::I32, InstKind::Cast { op: CastOp::BitCast, val: v });
-                        self.write_gpr(*dst, Width::W32, b);
-                    }
+            Inst::MovXmmToGpr { w, dst, src } => match w {
+                Width::W64 => {
+                    let v = self.read_xmm_scalar(*src, FpPrec::Double);
+                    let b = self.emit(
+                        Ty::I64,
+                        InstKind::Cast {
+                            op: CastOp::BitCast,
+                            val: v,
+                        },
+                    );
+                    self.write_gpr(*dst, Width::W64, b);
                 }
-            }
-            Inst::MovGprToXmm { w, dst, src } => {
-                match w {
-                    Width::W64 => {
-                        let v = self.read_gpr64(*src);
-                        let b = self.emit(Ty::F64, InstKind::Cast { op: CastOp::BitCast, val: v });
-                        self.write_xmm_scalar(*dst, FpPrec::Double, b);
-                        self.zero_xmm_upper(*dst, 8);
-                    }
-                    _ => {
-                        let v = self.read_gpr(*src, Width::W32);
-                        let b = self.emit(Ty::F32, InstKind::Cast { op: CastOp::BitCast, val: v });
-                        self.write_xmm_scalar(*dst, FpPrec::Single, b);
-                        self.zero_xmm_upper(*dst, 4);
-                    }
+                _ => {
+                    let v = self.read_xmm_scalar(*src, FpPrec::Single);
+                    let b = self.emit(
+                        Ty::I32,
+                        InstKind::Cast {
+                            op: CastOp::BitCast,
+                            val: v,
+                        },
+                    );
+                    self.write_gpr(*dst, Width::W32, b);
                 }
-            }
-            Inst::SseScalar { op: SseOp::Sqrt, prec, dst, src } => {
+            },
+            Inst::MovGprToXmm { w, dst, src } => match w {
+                Width::W64 => {
+                    let v = self.read_gpr64(*src);
+                    let b = self.emit(
+                        Ty::F64,
+                        InstKind::Cast {
+                            op: CastOp::BitCast,
+                            val: v,
+                        },
+                    );
+                    self.write_xmm_scalar(*dst, FpPrec::Double, b);
+                    self.zero_xmm_upper(*dst, 8);
+                }
+                _ => {
+                    let v = self.read_gpr(*src, Width::W32);
+                    let b = self.emit(
+                        Ty::F32,
+                        InstKind::Cast {
+                            op: CastOp::BitCast,
+                            val: v,
+                        },
+                    );
+                    self.write_xmm_scalar(*dst, FpPrec::Single, b);
+                    self.zero_xmm_upper(*dst, 4);
+                }
+            },
+            Inst::SseScalar {
+                op: SseOp::Sqrt,
+                prec,
+                dst,
+                src,
+            } => {
                 let v = self.read_xmmrm_scalar(src, *prec);
                 let arg = if *prec == FpPrec::Single {
-                    self.emit(Ty::F64, InstKind::Cast { op: CastOp::FpExt, val: v })
+                    self.emit(
+                        Ty::F64,
+                        InstKind::Cast {
+                            op: CastOp::FpExt,
+                            val: v,
+                        },
+                    )
                 } else {
                     v
                 };
                 let r = self.emit(
                     Ty::F64,
-                    InstKind::Call { callee: Callee::Extern(self.sqrt_extern()), args: vec![arg] },
+                    InstKind::Call {
+                        callee: Callee::Extern(self.sqrt_extern()),
+                        args: vec![arg],
+                    },
                 );
                 let out = if *prec == FpPrec::Single {
-                    self.emit(Ty::F32, InstKind::Cast { op: CastOp::FpTrunc, val: r })
+                    self.emit(
+                        Ty::F32,
+                        InstKind::Cast {
+                            op: CastOp::FpTrunc,
+                            val: r,
+                        },
+                    )
                 } else {
                     r
                 };
@@ -968,7 +1500,14 @@ impl Tr<'_> {
                 let a = self.read_xmm_scalar(*dst, *prec);
                 let b = self.read_xmmrm_scalar(src, *prec);
                 let (_, ty) = scalar_pt(*prec);
-                let r = self.emit(ty, InstKind::Bin { op: sse_binop(*op), lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: sse_binop(*op),
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.write_xmm_scalar(*dst, *prec, r);
             }
             Inst::SsePacked { op, dst, src, .. } => {
@@ -977,31 +1516,88 @@ impl Tr<'_> {
                 }
                 let a = self.read_xmm_vec(*dst);
                 let b = self.read_xmmrm_vec(src);
-                let r = self.emit(Ty::V2F64, InstKind::Bin { op: sse_binop(*op), lhs: a, rhs: b });
+                let r = self.emit(
+                    Ty::V2F64,
+                    InstKind::Bin {
+                        op: sse_binop(*op),
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.write_xmm_vec(*dst, r);
             }
             Inst::Xorps { dst, src } => {
                 if *src == XmmRm::Reg(*dst) {
                     // Zeroing idiom.
                     let p0 = self.xmm_ptr(*dst, Pointee::I64, 0);
-                    self.emit_void(InstKind::Store { ptr: p0, val: Operand::i64(0), order: Ordering::NotAtomic });
+                    self.emit_void(InstKind::Store {
+                        ptr: p0,
+                        val: Operand::i64(0),
+                        order: Ordering::NotAtomic,
+                    });
                     let p1 = self.xmm_ptr(*dst, Pointee::I64, 8);
-                    self.emit_void(InstKind::Store { ptr: p1, val: Operand::i64(0), order: Ordering::NotAtomic });
+                    self.emit_void(InstKind::Store {
+                        ptr: p1,
+                        val: Operand::i64(0),
+                        order: Ordering::NotAtomic,
+                    });
                 } else {
                     let a = self.read_xmm_vec(*dst);
                     let b = self.read_xmmrm_vec(src);
-                    let r = self.emit(Ty::V2F64, InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: b });
+                    let r = self.emit(
+                        Ty::V2F64,
+                        InstKind::Bin {
+                            op: BinOp::Xor,
+                            lhs: a,
+                            rhs: b,
+                        },
+                    );
                     self.write_xmm_vec(*dst, r);
                 }
             }
             Inst::Ucomis { prec, a, b } => {
                 let x = self.read_xmm_scalar(*a, *prec);
                 let y = self.read_xmmrm_scalar(b, *prec);
-                let unord = self.emit(Ty::I1, InstKind::FCmp { pred: FPred::Uno, lhs: x, rhs: y });
-                let oeq = self.emit(Ty::I1, InstKind::FCmp { pred: FPred::Oeq, lhs: x, rhs: y });
-                let olt = self.emit(Ty::I1, InstKind::FCmp { pred: FPred::Olt, lhs: x, rhs: y });
-                let zf = self.emit(Ty::I1, InstKind::Bin { op: BinOp::Or, lhs: oeq, rhs: unord });
-                let cf = self.emit(Ty::I1, InstKind::Bin { op: BinOp::Or, lhs: olt, rhs: unord });
+                let unord = self.emit(
+                    Ty::I1,
+                    InstKind::FCmp {
+                        pred: FPred::Uno,
+                        lhs: x,
+                        rhs: y,
+                    },
+                );
+                let oeq = self.emit(
+                    Ty::I1,
+                    InstKind::FCmp {
+                        pred: FPred::Oeq,
+                        lhs: x,
+                        rhs: y,
+                    },
+                );
+                let olt = self.emit(
+                    Ty::I1,
+                    InstKind::FCmp {
+                        pred: FPred::Olt,
+                        lhs: x,
+                        rhs: y,
+                    },
+                );
+                let zf = self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: oeq,
+                        rhs: unord,
+                    },
+                );
+                let cf = self.emit(
+                    Ty::I1,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: olt,
+                        rhs: unord,
+                    },
+                );
                 self.write_flag(Fl::Zf, zf);
                 self.write_flag(Fl::Cf, cf);
                 self.write_flag(Fl::Pf, unord);
@@ -1011,12 +1607,24 @@ impl Tr<'_> {
             Inst::CvtSi2F { prec, iw, dst, src } => {
                 let v = self.read_rm(src, *iw);
                 let (_, ty) = scalar_pt(*prec);
-                let r = self.emit(ty, InstKind::Cast { op: CastOp::SiToFp, val: v });
+                let r = self.emit(
+                    ty,
+                    InstKind::Cast {
+                        op: CastOp::SiToFp,
+                        val: v,
+                    },
+                );
                 self.write_xmm_scalar(*dst, *prec, r);
             }
             Inst::CvtF2Si { prec, iw, dst, src } => {
                 let v = self.read_xmmrm_scalar(src, *prec);
-                let r = self.emit(width_ty(*iw), InstKind::Cast { op: CastOp::FpToSi, val: v });
+                let r = self.emit(
+                    width_ty(*iw),
+                    InstKind::Cast {
+                        op: CastOp::FpToSi,
+                        val: v,
+                    },
+                );
                 self.write_gpr(*dst, *iw, r);
             }
             Inst::CvtF2F { to, dst, src } => {
@@ -1030,22 +1638,52 @@ impl Tr<'_> {
                 self.write_xmm_scalar(*dst, *to, r);
             }
             Inst::Mfence => {
-                self.emit_void(InstKind::Fence { kind: FenceKind::Fsc });
+                self.emit_void(InstKind::Fence {
+                    kind: FenceKind::Fsc,
+                });
             }
             Inst::LockCmpxchg { w, mem, src } => {
                 let expected = self.read_gpr(Gpr::Rax, *w);
                 let new = self.read_gpr(*src, *w);
                 let p = self.mem_ptr(mem, width_pointee(*w));
-                let old = self.emit(width_ty(*w), InstKind::CmpXchg { ptr: p, expected, new });
-                let zf = self.emit(Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: old, rhs: expected });
+                let old = self.emit(
+                    width_ty(*w),
+                    InstKind::CmpXchg {
+                        ptr: p,
+                        expected,
+                        new,
+                    },
+                );
+                let zf = self.emit(
+                    Ty::I1,
+                    InstKind::ICmp {
+                        pred: IPred::Eq,
+                        lhs: old,
+                        rhs: expected,
+                    },
+                );
                 self.write_flag(Fl::Zf, zf);
                 self.write_gpr(Gpr::Rax, *w, old);
             }
             Inst::LockXadd { w, mem, src } => {
                 let v = self.read_gpr(*src, *w);
                 let p = self.mem_ptr(mem, width_pointee(*w));
-                let old = self.emit(width_ty(*w), InstKind::AtomicRmw { op: RmwOp::Add, ptr: p, val: v });
-                let res = self.emit(width_ty(*w), InstKind::Bin { op: BinOp::Add, lhs: old, rhs: v });
+                let old = self.emit(
+                    width_ty(*w),
+                    InstKind::AtomicRmw {
+                        op: RmwOp::Add,
+                        ptr: p,
+                        val: v,
+                    },
+                );
+                let res = self.emit(
+                    width_ty(*w),
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: old,
+                        rhs: v,
+                    },
+                );
                 self.set_flags_add(old, v, res, *w);
                 self.write_gpr(*src, *w, old);
             }
@@ -1053,13 +1691,24 @@ impl Tr<'_> {
                 let p = self.mem_ptr(mem, width_pointee(*w));
                 self.emit(
                     width_ty(*w),
-                    InstKind::AtomicRmw { op: RmwOp::Add, ptr: p, val: cint(*w, i64::from(*imm)) },
+                    InstKind::AtomicRmw {
+                        op: RmwOp::Add,
+                        ptr: p,
+                        val: cint(*w, i64::from(*imm)),
+                    },
                 );
             }
             Inst::Xchg { w, mem, src } => {
                 let v = self.read_gpr(*src, *w);
                 let p = self.mem_ptr(mem, width_pointee(*w));
-                let old = self.emit(width_ty(*w), InstKind::AtomicRmw { op: RmwOp::Xchg, ptr: p, val: v });
+                let old = self.emit(
+                    width_ty(*w),
+                    InstKind::AtomicRmw {
+                        op: RmwOp::Xchg,
+                        ptr: p,
+                        val: v,
+                    },
+                );
                 self.write_gpr(*src, *w, old);
             }
             Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Ret | Inst::Ud2 => {
@@ -1077,43 +1726,118 @@ impl Tr<'_> {
         let ty = width_ty(w);
         match op {
             AluOp::Add => {
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Add, lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.set_flags_add(a, b, r, w);
                 r
             }
             AluOp::Sub | AluOp::Cmp => {
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Sub, lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Sub,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.set_flags_sub(a, b, r, w);
                 r
             }
             AluOp::And => {
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::And, lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::And,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.set_flags_logic(r, w);
                 r
             }
             AluOp::Or => {
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Or, lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Or,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.set_flags_logic(r, w);
                 r
             }
             AluOp::Xor => {
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Xor, lhs: a, rhs: b });
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Xor,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.set_flags_logic(r, w);
                 r
             }
             AluOp::Adc => {
                 let c = self.read_flag(Fl::Cf);
-                let cw = self.emit(ty, InstKind::Cast { op: CastOp::ZExt, val: c });
-                let ab = self.emit(ty, InstKind::Bin { op: BinOp::Add, lhs: a, rhs: b });
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Add, lhs: ab, rhs: cw });
+                let cw = self.emit(
+                    ty,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: c,
+                    },
+                );
+                let ab = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Add,
+                        lhs: ab,
+                        rhs: cw,
+                    },
+                );
                 self.set_flags_add(a, b, r, w);
                 r
             }
             AluOp::Sbb => {
                 let c = self.read_flag(Fl::Cf);
-                let cw = self.emit(ty, InstKind::Cast { op: CastOp::ZExt, val: c });
-                let ab = self.emit(ty, InstKind::Bin { op: BinOp::Sub, lhs: a, rhs: b });
-                let r = self.emit(ty, InstKind::Bin { op: BinOp::Sub, lhs: ab, rhs: cw });
+                let cw = self.emit(
+                    ty,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: c,
+                    },
+                );
+                let ab = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Sub,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
+                let r = self.emit(
+                    ty,
+                    InstKind::Bin {
+                        op: BinOp::Sub,
+                        lhs: ab,
+                        rhs: cw,
+                    },
+                );
                 self.set_flags_sub(a, b, r, w);
                 r
             }
@@ -1127,7 +1851,14 @@ impl Tr<'_> {
             ShiftOp::Shr => BinOp::LShr,
             ShiftOp::Sar => BinOp::AShr,
         };
-        let r = self.emit(ty, InstKind::Bin { op: bin, lhs: a, rhs: amt });
+        let r = self.emit(
+            ty,
+            InstKind::Bin {
+                op: bin,
+                lhs: a,
+                rhs: amt,
+            },
+        );
         // CF/OF after shifts are rarely consumed; ZF/SF/PF modelled exactly.
         self.write_flag_const(Fl::Cf, false);
         self.write_flag_const(Fl::Of, false);
@@ -1140,27 +1871,75 @@ impl Tr<'_> {
         let a = self.read_gpr(Gpr::Rax, w);
         match op {
             MulDivOp::Mul | MulDivOp::IMul => {
-                let lo = self.emit(width_ty(w), InstKind::Bin { op: BinOp::Mul, lhs: a, rhs: b });
+                let lo = self.emit(
+                    width_ty(w),
+                    InstKind::Bin {
+                        op: BinOp::Mul,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.write_gpr(Gpr::Rax, w, lo);
                 if w == Width::W32 {
                     // Exact high half via 64-bit widening.
                     let (ca, cb) = if op == MulDivOp::IMul {
                         (
-                            self.emit(Ty::I64, InstKind::Cast { op: CastOp::SExt, val: a }),
-                            self.emit(Ty::I64, InstKind::Cast { op: CastOp::SExt, val: b }),
+                            self.emit(
+                                Ty::I64,
+                                InstKind::Cast {
+                                    op: CastOp::SExt,
+                                    val: a,
+                                },
+                            ),
+                            self.emit(
+                                Ty::I64,
+                                InstKind::Cast {
+                                    op: CastOp::SExt,
+                                    val: b,
+                                },
+                            ),
                         )
                     } else {
                         (
-                            self.emit(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: a }),
-                            self.emit(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: b }),
+                            self.emit(
+                                Ty::I64,
+                                InstKind::Cast {
+                                    op: CastOp::ZExt,
+                                    val: a,
+                                },
+                            ),
+                            self.emit(
+                                Ty::I64,
+                                InstKind::Cast {
+                                    op: CastOp::ZExt,
+                                    val: b,
+                                },
+                            ),
                         )
                     };
-                    let wide = self.emit(Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: ca, rhs: cb });
+                    let wide = self.emit(
+                        Ty::I64,
+                        InstKind::Bin {
+                            op: BinOp::Mul,
+                            lhs: ca,
+                            rhs: cb,
+                        },
+                    );
                     let hi64 = self.emit(
                         Ty::I64,
-                        InstKind::Bin { op: BinOp::LShr, lhs: wide, rhs: Operand::i64(32) },
+                        InstKind::Bin {
+                            op: BinOp::LShr,
+                            lhs: wide,
+                            rhs: Operand::i64(32),
+                        },
                     );
-                    let hi = self.emit(Ty::I32, InstKind::Cast { op: CastOp::Trunc, val: hi64 });
+                    let hi = self.emit(
+                        Ty::I32,
+                        InstKind::Cast {
+                            op: CastOp::Trunc,
+                            val: hi64,
+                        },
+                    );
                     self.write_gpr(Gpr::Rdx, w, hi);
                 } else {
                     // 64-bit high half unavailable without i128; the Phoenix
@@ -1169,14 +1948,42 @@ impl Tr<'_> {
                 }
             }
             MulDivOp::Div => {
-                let q = self.emit(width_ty(w), InstKind::Bin { op: BinOp::UDiv, lhs: a, rhs: b });
-                let r = self.emit(width_ty(w), InstKind::Bin { op: BinOp::URem, lhs: a, rhs: b });
+                let q = self.emit(
+                    width_ty(w),
+                    InstKind::Bin {
+                        op: BinOp::UDiv,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
+                let r = self.emit(
+                    width_ty(w),
+                    InstKind::Bin {
+                        op: BinOp::URem,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.write_gpr(Gpr::Rax, w, q);
                 self.write_gpr(Gpr::Rdx, w, r);
             }
             MulDivOp::IDiv => {
-                let q = self.emit(width_ty(w), InstKind::Bin { op: BinOp::SDiv, lhs: a, rhs: b });
-                let r = self.emit(width_ty(w), InstKind::Bin { op: BinOp::SRem, lhs: a, rhs: b });
+                let q = self.emit(
+                    width_ty(w),
+                    InstKind::Bin {
+                        op: BinOp::SDiv,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
+                let r = self.emit(
+                    width_ty(w),
+                    InstKind::Bin {
+                        op: BinOp::SRem,
+                        lhs: a,
+                        rhs: b,
+                    },
+                );
                 self.write_gpr(Gpr::Rax, w, q);
                 self.write_gpr(Gpr::Rdx, w, r);
             }
@@ -1196,7 +2003,13 @@ impl Tr<'_> {
                 // Indirect call: all argument registers written so far are
                 // passed as i64 (conservative; §4.2.1).
                 let fv = self.read_gpr64(*r);
-                let fp = self.emit(PTR_I8, InstKind::Cast { op: CastOp::IntToPtr, val: fv });
+                let fp = self.emit(
+                    PTR_I8,
+                    InstKind::Cast {
+                        op: CastOp::IntToPtr,
+                        val: fv,
+                    },
+                );
                 let mut args = Vec::new();
                 for reg in Gpr::PARAMS {
                     if self.written_params.contains(&reg) {
@@ -1205,7 +2018,13 @@ impl Tr<'_> {
                         break;
                     }
                 }
-                let r = self.emit(Ty::I64, InstKind::Call { callee: Callee::Indirect(fp), args });
+                let r = self.emit(
+                    Ty::I64,
+                    InstKind::Call {
+                        callee: Callee::Indirect(fp),
+                        args,
+                    },
+                );
                 self.write_gpr(Gpr::Rax, Width::W64, r);
                 return Ok(());
             }
@@ -1240,7 +2059,13 @@ impl Tr<'_> {
             (Ty::Ptr(_), Some(v)) => {
                 // Returned pointers (e.g. from malloc) live in RAX as raw
                 // integers at the machine level.
-                let raw = self.emit(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: v });
+                let raw = self.emit(
+                    Ty::I64,
+                    InstKind::Cast {
+                        op: CastOp::PtrToInt,
+                        val: v,
+                    },
+                );
                 self.write_gpr(Gpr::Rax, Width::W64, raw);
             }
             (Ty::F64, Some(v)) => {
@@ -1270,7 +2095,11 @@ impl Tr<'_> {
             if pty.is_float() || pty.is_vector() {
                 let x = Xmm::PARAMS[sse_idx];
                 sse_idx += 1;
-                let prec = if *pty == Ty::F32 { FpPrec::Single } else { FpPrec::Double };
+                let prec = if *pty == Ty::F32 {
+                    FpPrec::Single
+                } else {
+                    FpPrec::Double
+                };
                 args.push(self.read_xmm_scalar(x, prec));
             } else {
                 let r = Gpr::PARAMS[int_idx];

@@ -27,12 +27,18 @@ pub struct FuncType {
 impl FuncType {
     /// Signature with no parameters returning void.
     pub fn void() -> FuncType {
-        FuncType { params: vec![], ret: Ty::Void }
+        FuncType {
+            params: vec![],
+            ret: Ty::Void,
+        }
     }
 
     /// Number of integer parameters (passed in `RDI, RSI, …`).
     pub fn int_param_count(&self) -> usize {
-        self.params.iter().filter(|t| !t.is_float() && !t.is_vector()).count()
+        self.params
+            .iter()
+            .filter(|t| !t.is_float() && !t.is_vector())
+            .count()
     }
 
     /// Number of SSE parameters (passed in `XMM0, XMM1, …`).
@@ -128,7 +134,11 @@ fn xmm_type(cfg: &XCfg, x: Xmm) -> Ty {
                 }
                 Inst::SsePacked { prec, dst, src, .. } => {
                     if dst == x || src == XmmRm::Reg(x) {
-                        Some(if prec == FpPrec::Double { Ty::V2F64 } else { Ty::V4F32 })
+                        Some(if prec == FpPrec::Double {
+                            Ty::V2F64
+                        } else {
+                            Ty::V4F32
+                        })
                     } else {
                         None
                     }
@@ -188,11 +198,19 @@ fn ret_type(cfg: &XCfg, sigs: &SigTable) -> Ty {
     let n = cfg.blocks.len();
     // Per-block: does the block itself define rax/xmm0 (considering callee
     // return types for calls)?
-    let mut block_def = vec![MustDef { rax: false, xmm0: false }; n];
+    let mut block_def = vec![
+        MustDef {
+            rax: false,
+            xmm0: false
+        };
+        n
+    ];
     for (i, b) in cfg.blocks.iter().enumerate() {
         for d in &b.insts {
             match d.inst {
-                Inst::Call { target: Target::Abs(t) } => {
+                Inst::Call {
+                    target: Target::Abs(t),
+                } => {
                     if let Some(sig) = sigs.get(t) {
                         if sig.ret.is_float() || sig.ret.is_vector() {
                             block_def[i].xmm0 = true;
@@ -223,25 +241,43 @@ fn ret_type(cfg: &XCfg, sigs: &SigTable) -> Ty {
         }
     }
     let entry_idx = cfg.block_index(cfg.entry).unwrap_or(0);
-    let mut out = vec![MustDef { rax: true, xmm0: true }; n]; // ⊤ for iteration
+    let mut out = vec![
+        MustDef {
+            rax: true,
+            xmm0: true
+        };
+        n
+    ]; // ⊤ for iteration
     out[entry_idx] = block_def[entry_idx];
     let mut changed = true;
     while changed {
         changed = false;
         for i in 0..n {
             let inn = if i == entry_idx {
-                MustDef { rax: false, xmm0: false }
+                MustDef {
+                    rax: false,
+                    xmm0: false,
+                }
             } else if preds[i].is_empty() {
-                MustDef { rax: false, xmm0: false }
+                MustDef {
+                    rax: false,
+                    xmm0: false,
+                }
             } else {
-                let mut acc = MustDef { rax: true, xmm0: true };
+                let mut acc = MustDef {
+                    rax: true,
+                    xmm0: true,
+                };
                 for &p in &preds[i] {
                     acc.rax &= out[p].rax;
                     acc.xmm0 &= out[p].xmm0;
                 }
                 acc
             };
-            let new_out = MustDef { rax: inn.rax || block_def[i].rax, xmm0: inn.xmm0 || block_def[i].xmm0 };
+            let new_out = MustDef {
+                rax: inn.rax || block_def[i].rax,
+                xmm0: inn.xmm0 || block_def[i].xmm0,
+            };
             if new_out != out[i] {
                 out[i] = new_out;
                 changed = true;
@@ -260,7 +296,9 @@ fn ret_type(cfg: &XCfg, sigs: &SigTable) -> Ty {
                 all_rax &= out[i].rax;
                 all_xmm &= out[i].xmm0;
             }
-            Some(Inst::Jmp { target: Target::Abs(t) }) if cfg.block_index(t).is_none() => {
+            Some(Inst::Jmp {
+                target: Target::Abs(t),
+            }) if cfg.block_index(t).is_none() => {
                 any_exit = true;
                 let (mut rax, mut xmm) = (out[i].rax, out[i].xmm0);
                 if let Some(sig) = sigs.get(t) {
@@ -308,8 +346,17 @@ mod tests {
     fn two_int_params_int_return() {
         // f(rdi, rsi) = rdi + rsi
         let mut a = Asm::new();
-        a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-        a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rsi) });
+        a.push(Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rdi),
+        });
+        a.push(Inst::AluRRm {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rsi),
+        });
         a.push(Inst::Ret);
         let t = discover_bytes(&a.finish(0).unwrap(), 0);
         assert_eq!(t.params, vec![Ty::I64, Ty::I64]);
@@ -320,7 +367,11 @@ mod tests {
     fn void_function() {
         // f(rdi): [rdi] = 1 (no return value)
         let mut a = Asm::new();
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), imm: 1 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+            imm: 1,
+        });
         a.push(Inst::Ret);
         let t = discover_bytes(&a.finish(0).unwrap(), 0);
         assert_eq!(t.params, vec![Ty::I64]);
@@ -361,7 +412,11 @@ mod tests {
     fn mixed_params_int_first() {
         // f(rdi, xmm0): store xmm0 to [rdi]
         let mut a = Asm::new();
-        a.push(Inst::MovssStore { prec: FpPrec::Double, dst: MemRef::base(Gpr::Rdi), src: Xmm(0) });
+        a.push(Inst::MovssStore {
+            prec: FpPrec::Double,
+            dst: MemRef::base(Gpr::Rdi),
+            src: Xmm(0),
+        });
         a.push(Inst::Ret);
         let t = discover_bytes(&a.finish(0).unwrap(), 0);
         assert_eq!(t.params, vec![Ty::I64, Ty::F64]);
@@ -374,12 +429,24 @@ mod tests {
         let mut a = Asm::new();
         let els = a.label();
         let out = a.label();
-        a.push(Inst::Test { w: Width::W64, a: Rm::Reg(Gpr::Rdi), b: Gpr::Rdi });
+        a.push(Inst::Test {
+            w: Width::W64,
+            a: Rm::Reg(Gpr::Rdi),
+            b: Gpr::Rdi,
+        });
         a.jcc(lasagne_x86::reg::Cond::E, els);
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.jmp(out);
         a.bind(els);
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 2 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 2,
+        });
         a.bind(out);
         a.push(Inst::Ret);
         let t = discover_bytes(&a.finish(0).unwrap(), 0);
@@ -391,9 +458,17 @@ mod tests {
         // if (rdi) rax=1; ret — not consistently defined ⇒ void
         let mut a = Asm::new();
         let out = a.label();
-        a.push(Inst::Test { w: Width::W64, a: Rm::Reg(Gpr::Rdi), b: Gpr::Rdi });
+        a.push(Inst::Test {
+            w: Width::W64,
+            a: Rm::Reg(Gpr::Rdi),
+            b: Gpr::Rdi,
+        });
         a.jcc(lasagne_x86::reg::Cond::E, out);
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.bind(out);
         a.push(Inst::Ret);
         let t = discover_bytes(&a.finish(0).unwrap(), 0);
@@ -405,9 +480,17 @@ mod tests {
         // f(rdi): call g(rdi); ret — with g: (i64) -> i64 registered, only
         // rdi should be a parameter even though the call site exists.
         let mut sigs = SigTable::new();
-        sigs.insert(0x5000, FuncType { params: vec![Ty::I64], ret: Ty::I64 });
+        sigs.insert(
+            0x5000,
+            FuncType {
+                params: vec![Ty::I64],
+                ret: Ty::I64,
+            },
+        );
         let mut a = Asm::new();
-        a.push(Inst::Call { target: Target::Abs(0x5000) });
+        a.push(Inst::Call {
+            target: Target::Abs(0x5000),
+        });
         a.push(Inst::Ret);
         let bytes = a.finish(0).unwrap();
         let cfg = build_xcfg(&bytes, 0).unwrap();

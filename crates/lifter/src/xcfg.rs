@@ -105,12 +105,20 @@ pub fn build_xcfg_with(
     leaders.insert(base);
     for d in &decoded {
         match d.inst {
-            Inst::Jmp { target: Target::Abs(t) } | Inst::Jcc { target: Target::Abs(t), .. } => {
+            Inst::Jmp {
+                target: Target::Abs(t),
+            }
+            | Inst::Jcc {
+                target: Target::Abs(t),
+                ..
+            } => {
                 if t < base || t >= end {
-                    let tail_call =
-                        matches!(d.inst, Inst::Jmp { .. }) && is_call_target(t);
+                    let tail_call = matches!(d.inst, Inst::Jmp { .. }) && is_call_target(t);
                     if !tail_call {
-                        return Err(CfgError::BranchOutOfFunction { at: d.addr, target: t });
+                        return Err(CfgError::BranchOutOfFunction {
+                            at: d.addr,
+                            target: t,
+                        });
                     }
                     leaders.insert(d.addr + d.len as u64);
                     continue;
@@ -134,7 +142,11 @@ pub fn build_xcfg_with(
             if let Some(b) = cur.take() {
                 blocks.push(b);
             }
-            cur = Some(XBlock { start: d.addr, insts: Vec::new(), succs: Vec::new() });
+            cur = Some(XBlock {
+                start: d.addr,
+                insts: Vec::new(),
+                succs: Vec::new(),
+            });
         }
         let b = cur.as_mut().expect("instruction before entry leader");
         b.insts.push(d);
@@ -149,19 +161,28 @@ pub fn build_xcfg_with(
         let last = b.insts.last().expect("empty block");
         let next = last.addr + last.len as u64;
         match last.inst {
-            Inst::Jmp { target: Target::Abs(t) } => {
+            Inst::Jmp {
+                target: Target::Abs(t),
+            } => {
                 if t >= base && t < end {
                     b.succs.push(t);
                 }
                 // Out-of-function: a tail call, no intra-function successor.
             }
-            Inst::Jcc { cc: _, target: Target::Abs(t) } => {
+            Inst::Jcc {
+                cc: _,
+                target: Target::Abs(t),
+            } => {
                 b.succs.push(t);
                 if next < end {
                     b.succs.push(next);
                 }
             }
-            Inst::Ret | Inst::Ud2 | Inst::Jmp { target: Target::Indirect(_) } => {}
+            Inst::Ret
+            | Inst::Ud2
+            | Inst::Jmp {
+                target: Target::Indirect(_),
+            } => {}
             _ => {
                 // Fallthrough into the next leader.
                 if next < end && starts.contains(&next) {
@@ -171,7 +192,10 @@ pub fn build_xcfg_with(
         }
     }
 
-    Ok(XCfg { entry: base, blocks })
+    Ok(XCfg {
+        entry: base,
+        blocks,
+    })
 }
 
 #[cfg(test)]
@@ -186,9 +210,18 @@ mod tests {
         let mut a = Asm::new();
         let top = a.label();
         let done = a.label();
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 10 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 10,
+        });
         a.bind(top);
-        a.push(Inst::AluRmI { op: AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::AluRmI {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.jcc(Cond::Ne, top);
         a.jmp(done);
         a.bind(done);
@@ -225,7 +258,9 @@ mod tests {
     fn out_of_function_branch_rejected() {
         let mut v = Vec::new();
         lasagne_x86::encode(
-            &Inst::Jmp { target: lasagne_x86::inst::Target::Abs(0x9999) },
+            &Inst::Jmp {
+                target: lasagne_x86::inst::Target::Abs(0x9999),
+            },
             0x100,
             &mut v,
         )
@@ -239,9 +274,18 @@ mod tests {
         // cmp; jcc over one instruction; fallthrough block must link onward.
         let mut a = Asm::new();
         let skip = a.label();
-        a.push(Inst::Test { w: Width::W64, a: Rm::Reg(Gpr::Rdi), b: Gpr::Rdi });
+        a.push(Inst::Test {
+            w: Width::W64,
+            a: Rm::Reg(Gpr::Rdi),
+            b: Gpr::Rdi,
+        });
         a.jcc(Cond::E, skip);
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.bind(skip);
         a.push(Inst::Ret);
         let bytes = a.finish(0x2000).unwrap();

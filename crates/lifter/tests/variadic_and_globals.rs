@@ -17,12 +17,34 @@ fn variadic_printf_integers() {
     let printf = b.declare_extern("printf");
     let mut a = Asm::new();
     // rdi = fmt; rsi = 7; rdx = 9; al = 0 (no SSE args); call printf
-    a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: MemRef::rip(fmt) });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rsi), imm: 7 });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rdx), imm: 9 });
-    a.push(Inst::MovRmI { w: Width::W8, dst: Rm::Reg(Gpr::Rax), imm: 0 });
-    a.push(Inst::Call { target: Target::Abs(printf) });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
+    a.push(Inst::Lea {
+        w: Width::W64,
+        dst: Gpr::Rdi,
+        addr: MemRef::rip(fmt),
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rsi),
+        imm: 7,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rdx),
+        imm: 9,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W8,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
+    a.push(Inst::Call {
+        target: Target::Abs(printf),
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
     a.push(Inst::Ret);
     let addr = b.next_function_addr();
     b.add_function("main", a.finish(addr).unwrap());
@@ -42,14 +64,35 @@ fn variadic_printf_float_via_al() {
     let fmt = b.add_global("fmt", 8, b"%f\n\0".to_vec());
     let printf = b.declare_extern("printf");
     let mut a = Asm::new();
-    a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: MemRef::rip(fmt) });
+    a.push(Inst::Lea {
+        w: Width::W64,
+        dst: Gpr::Rdi,
+        addr: MemRef::rip(fmt),
+    });
     // xmm0 = 2.5 (bit pattern through rcx)
-    a.push(Inst::MovAbs { dst: Gpr::Rcx, imm: 2.5f64.to_bits() });
-    a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(0), src: Gpr::Rcx });
+    a.push(Inst::MovAbs {
+        dst: Gpr::Rcx,
+        imm: 2.5f64.to_bits(),
+    });
+    a.push(Inst::MovGprToXmm {
+        w: Width::W64,
+        dst: Xmm(0),
+        src: Gpr::Rcx,
+    });
     // al = 1 → one SSE vararg
-    a.push(Inst::MovRmI { w: Width::W8, dst: Rm::Reg(Gpr::Rax), imm: 1 });
-    a.push(Inst::Call { target: Target::Abs(printf) });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
+    a.push(Inst::MovRmI {
+        w: Width::W8,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 1,
+    });
+    a.push(Inst::Call {
+        target: Target::Abs(printf),
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
     a.push(Inst::Ret);
     let addr = b.next_function_addr();
     b.add_function("main", a.finish(addr).unwrap());
@@ -69,8 +112,16 @@ fn nested_call_chain() {
 
     // leaf(x) = x * x
     let mut a = Asm::new();
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-    a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
+    a.push(Inst::IMul2 {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
     a.push(Inst::Ret);
     let leaf = b.next_function_addr();
     b.add_function("leaf", a.finish(leaf).unwrap());
@@ -78,16 +129,30 @@ fn nested_call_chain() {
     // mid(x) = leaf(x) + 1
     let mut a = Asm::new();
     let mid = b.next_function_addr();
-    a.push(Inst::Call { target: Target::Abs(leaf) });
-    a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+    a.push(Inst::Call {
+        target: Target::Abs(leaf),
+    });
+    a.push(Inst::AluRmI {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 1,
+    });
     a.push(Inst::Ret);
     b.add_function("mid", a.finish(mid).unwrap());
 
     // top(x) = mid(x) * 2
     let mut a = Asm::new();
     let top = b.next_function_addr();
-    a.push(Inst::Call { target: Target::Abs(mid) });
-    a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rax) });
+    a.push(Inst::Call {
+        target: Target::Abs(mid),
+    });
+    a.push(Inst::AluRRm {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rax),
+    });
     a.push(Inst::Ret);
     b.add_function("top", a.finish(top).unwrap());
 
@@ -106,11 +171,30 @@ fn sub_width_memory_traffic() {
     let mut a = Asm::new();
     // [rdi] = 0x1122334455667788 (qword), then overwrite byte 2 with 0xAB
     // and word 2 (bytes 4..6) with 0xCDEF; return the resulting qword.
-    a.push(Inst::MovAbs { dst: Gpr::Rax, imm: 0x1122_3344_5566_7788 });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), src: Gpr::Rax });
-    a.push(Inst::MovRmI { w: Width::W8, dst: Rm::Mem(MemRef::base_disp(Gpr::Rdi, 2)), imm: 0xAB_u8 as i8 as i32 });
-    a.push(Inst::MovRmI { w: Width::W16, dst: Rm::Mem(MemRef::base_disp(Gpr::Rdi, 4)), imm: 0xCDEF_u16 as i16 as i32 });
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rdi)) });
+    a.push(Inst::MovAbs {
+        dst: Gpr::Rax,
+        imm: 0x1122_3344_5566_7788,
+    });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+        src: Gpr::Rax,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W8,
+        dst: Rm::Mem(MemRef::base_disp(Gpr::Rdi, 2)),
+        imm: 0xAB_u8 as i8 as i32,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W16,
+        dst: Rm::Mem(MemRef::base_disp(Gpr::Rdi, 4)),
+        imm: 0xCDEF_u16 as i16 as i32,
+    });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Mem(MemRef::base(Gpr::Rdi)),
+    });
     a.push(Inst::Ret);
     let addr = b.next_function_addr();
     b.add_function("f", a.finish(addr).unwrap());
@@ -129,10 +213,28 @@ fn single_precision_pipeline() {
     let mut b = BinaryBuilder::new();
     let mut a = Asm::new();
     // f(x: f32) = (float)((double)x * 2.0) + x
-    a.push(Inst::CvtF2F { to: FpPrec::Double, dst: Xmm(1), src: XmmRm::Reg(Xmm(0)) });
-    a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(1), src: XmmRm::Reg(Xmm(1)) });
-    a.push(Inst::CvtF2F { to: FpPrec::Single, dst: Xmm(1), src: XmmRm::Reg(Xmm(1)) });
-    a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Single, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+    a.push(Inst::CvtF2F {
+        to: FpPrec::Double,
+        dst: Xmm(1),
+        src: XmmRm::Reg(Xmm(0)),
+    });
+    a.push(Inst::SseScalar {
+        op: SseOp::Add,
+        prec: FpPrec::Double,
+        dst: Xmm(1),
+        src: XmmRm::Reg(Xmm(1)),
+    });
+    a.push(Inst::CvtF2F {
+        to: FpPrec::Single,
+        dst: Xmm(1),
+        src: XmmRm::Reg(Xmm(1)),
+    });
+    a.push(Inst::SseScalar {
+        op: SseOp::Add,
+        prec: FpPrec::Single,
+        dst: Xmm(0),
+        src: XmmRm::Reg(Xmm(1)),
+    });
     a.push(Inst::Ret);
     let addr = b.next_function_addr();
     b.add_function("f", a.finish(addr).unwrap());
@@ -142,7 +244,9 @@ fn single_precision_pipeline() {
     assert_eq!(m.func(id).params, vec![lasagne_lir::Ty::F32]);
     assert_eq!(m.func(id).ret, lasagne_lir::Ty::F32);
     let mut machine = Machine::new(&m);
-    let r = machine.run(id, &[Val::B64(u64::from(1.5f32.to_bits()))]).unwrap();
+    let r = machine
+        .run(id, &[Val::B64(u64::from(1.5f32.to_bits()))])
+        .unwrap();
     assert_eq!(f32::from_bits(r.ret.unwrap().bits() as u32), 4.5);
 }
 
@@ -154,10 +258,22 @@ fn fp_compare_branches() {
     let mut a = Asm::new();
     let ret_one = a.label();
     // f(x, y) = (x > y) ? 1 : 0  via ucomisd + ja
-    a.push(Inst::Ucomis { prec: FpPrec::Double, a: Xmm(0), b: XmmRm::Reg(Xmm(1)) });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+    a.push(Inst::Ucomis {
+        prec: FpPrec::Double,
+        a: Xmm(0),
+        b: XmmRm::Reg(Xmm(1)),
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 1,
+    });
     a.jcc(Cond::A, ret_one);
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
     a.bind(ret_one);
     a.push(Inst::Ret);
     let addr = b.next_function_addr();
@@ -189,8 +305,17 @@ fn tail_call_lifts_as_call_plus_return() {
 
     // add_self(x) = x + x
     let mut a = Asm::new();
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-    a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
+    a.push(Inst::AluRRm {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
     a.push(Inst::Ret);
     let callee = b.next_function_addr();
     b.add_function("add_self", a.finish(callee).unwrap());
@@ -198,14 +323,25 @@ fn tail_call_lifts_as_call_plus_return() {
     // bump_then_double(x): rdi += 1; jmp add_self   (tail call)
     let mut a = Asm::new();
     let caller = b.next_function_addr();
-    a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rdi), imm: 1 });
-    a.push(Inst::Jmp { target: Target::Abs(callee) });
+    a.push(Inst::AluRmI {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rdi),
+        imm: 1,
+    });
+    a.push(Inst::Jmp {
+        target: Target::Abs(callee),
+    });
     b.add_function("bump_then_double", a.finish(caller).unwrap());
 
     let m = lasagne_lifter::lift_binary(&b.finish()).unwrap();
     let id = m.func_by_name("bump_then_double").unwrap();
     assert_eq!(m.func(id).params, vec![lasagne_lir::Ty::I64]);
-    assert_eq!(m.func(id).ret, lasagne_lir::Ty::I64, "tail callee's return propagates");
+    assert_eq!(
+        m.func(id).ret,
+        lasagne_lir::Ty::I64,
+        "tail callee's return propagates"
+    );
     let mut machine = Machine::new(&m);
     let r = machine.run(id, &[Val::B64(20)]).unwrap();
     assert_eq!(r.ret, Some(Val::B64(42)));
@@ -217,8 +353,16 @@ fn conditional_tail_call() {
     let mut b = BinaryBuilder::new();
 
     let mut a = Asm::new();
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-    a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
+    a.push(Inst::IMul2 {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
     a.push(Inst::Ret);
     let square = b.next_function_addr();
     b.add_function("square", a.finish(square).unwrap());
@@ -227,11 +371,22 @@ fn conditional_tail_call() {
     let mut a = Asm::new();
     let caller = b.next_function_addr();
     let small = a.label();
-    a.push(Inst::AluRmI { op: AluOp::Cmp, w: Width::W64, dst: Rm::Reg(Gpr::Rdi), imm: 10 });
+    a.push(Inst::AluRmI {
+        op: AluOp::Cmp,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rdi),
+        imm: 10,
+    });
     a.jcc(Cond::L, small);
-    a.push(Inst::Jmp { target: Target::Abs(square) });
+    a.push(Inst::Jmp {
+        target: Target::Abs(square),
+    });
     a.bind(small);
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
     a.push(Inst::Ret);
     b.add_function("f", a.finish(caller).unwrap());
 
@@ -259,7 +414,9 @@ fn error_paths_are_typed() {
     // Indirect jump (jump table) → unsupported translate error.
     let mut b = BinaryBuilder::new();
     let mut a = Asm::new();
-    a.push(Inst::Jmp { target: Target::Indirect(Gpr::Rax) });
+    a.push(Inst::Jmp {
+        target: Target::Indirect(Gpr::Rax),
+    });
     let addr = b.next_function_addr();
     b.add_function("jt", a.finish(addr).unwrap());
     let err = lasagne_lifter::lift_binary(&b.finish()).unwrap_err();

@@ -57,7 +57,12 @@ impl Cfg {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.0 as usize] = i;
         }
-        Cfg { succs, preds, rpo, rpo_index }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Whether `b` is reachable from the entry.
@@ -211,7 +216,10 @@ pub fn find_loops(cfg: &Cfg, doms: &Dominators) -> Vec<Loop> {
                         }
                     }
                 } else {
-                    loops.push(Loop { header, blocks: body });
+                    loops.push(Loop {
+                        header,
+                        blocks: body,
+                    });
                 }
             }
         }
@@ -233,7 +241,11 @@ mod tests {
         let b3 = f.add_block();
         f.set_term(
             f.entry(),
-            Terminator::CondBr { cond: Operand::Param(0), if_true: b1, if_false: b2 },
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: b1,
+                if_false: b2,
+            },
         );
         f.set_term(b1, Terminator::Br { dest: b3 });
         f.set_term(b2, Terminator::Br { dest: b3 });
@@ -249,7 +261,11 @@ mod tests {
         f.set_term(f.entry(), Terminator::Br { dest: body });
         f.set_term(
             body,
-            Terminator::CondBr { cond: Operand::Param(0), if_true: body, if_false: exit },
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: body,
+                if_false: exit,
+            },
         );
         f.set_term(exit, Terminator::Ret { val: None });
         f
@@ -312,20 +328,34 @@ mod tests {
         f.set_term(outer, Terminator::Br { dest: inner });
         f.set_term(
             inner,
-            Terminator::CondBr { cond: Operand::Param(0), if_true: inner, if_false: latch },
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: inner,
+                if_false: latch,
+            },
         );
         f.set_term(
             latch,
-            Terminator::CondBr { cond: Operand::Param(0), if_true: outer, if_false: exit },
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: outer,
+                if_false: exit,
+            },
         );
         f.set_term(exit, Terminator::Ret { val: None });
         let cfg = Cfg::compute(&f);
         let doms = Dominators::compute(&cfg);
         let loops = find_loops(&cfg, &doms);
         assert_eq!(loops.len(), 2, "{loops:?}");
-        let inner_loop = loops.iter().find(|l| l.header == inner).expect("inner loop");
+        let inner_loop = loops
+            .iter()
+            .find(|l| l.header == inner)
+            .expect("inner loop");
         assert_eq!(inner_loop.blocks, vec![inner]);
-        let outer_loop = loops.iter().find(|l| l.header == outer).expect("outer loop");
+        let outer_loop = loops
+            .iter()
+            .find(|l| l.header == outer)
+            .expect("outer loop");
         assert!(outer_loop.blocks.contains(&inner) && outer_loop.blocks.contains(&latch));
     }
 

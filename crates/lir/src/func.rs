@@ -16,7 +16,10 @@ pub struct Block {
 
 impl Block {
     fn new() -> Block {
-        Block { insts: Vec::new(), term: Terminator::Unreachable }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
     }
 }
 
@@ -257,7 +260,10 @@ impl Module {
 
     /// Function lookup by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Immutable function access.
@@ -330,9 +336,18 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         f
     }
 
@@ -360,11 +375,20 @@ mod tests {
         let dead = f.push(
             f.entry(),
             Ty::I64,
-            InstKind::Bin { op: BinOp::Mul, lhs: Operand::i64(1), rhs: Operand::i64(2) },
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::i64(1),
+                rhs: Operand::i64(2),
+            },
         );
         let e = f.entry();
         f.block_mut(e).insts.retain(|i| *i != dead);
-        f.set_term(e, Terminator::Ret { val: Some(Operand::i64(0)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::i64(0)),
+            },
+        );
         assert_eq!(f.compact(), 1);
         assert_eq!(f.insts.len(), 1);
     }

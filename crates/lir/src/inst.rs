@@ -52,17 +52,26 @@ pub enum Operand {
 impl Operand {
     /// `i64` integer constant.
     pub fn i64(v: i64) -> Operand {
-        Operand::ConstInt { ty: Ty::I64, val: v as u64 }
+        Operand::ConstInt {
+            ty: Ty::I64,
+            val: v as u64,
+        }
     }
 
     /// `i32` integer constant.
     pub fn i32(v: i32) -> Operand {
-        Operand::ConstInt { ty: Ty::I32, val: v as u32 as u64 }
+        Operand::ConstInt {
+            ty: Ty::I32,
+            val: v as u32 as u64,
+        }
     }
 
     /// `i1` boolean constant.
     pub fn bool(v: bool) -> Operand {
-        Operand::ConstInt { ty: Ty::I1, val: u64::from(v) }
+        Operand::ConstInt {
+            ty: Ty::I1,
+            val: u64::from(v),
+        }
     }
 
     /// `double` constant.
@@ -530,7 +539,11 @@ impl InstKind {
                 f(offset);
             }
             InstKind::Cast { val, .. } => f(val),
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 f(cond);
                 f(if_true);
                 f(if_false);
@@ -585,7 +598,11 @@ impl InstKind {
                 f(offset);
             }
             InstKind::Cast { val, .. } => f(val),
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 f(cond);
                 f(if_true);
                 f(if_false);
@@ -641,7 +658,10 @@ impl InstKind {
     pub fn is_int_ptr_cast(&self) -> bool {
         matches!(
             self,
-            InstKind::Cast { op: CastOp::IntToPtr | CastOp::PtrToInt, .. }
+            InstKind::Cast {
+                op: CastOp::IntToPtr | CastOp::PtrToInt,
+                ..
+            }
         )
     }
 }
@@ -686,7 +706,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br { dest } => vec![*dest],
-            Terminator::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Terminator::Ret { .. } | Terminator::Unreachable => vec![],
         }
     }
@@ -791,9 +813,15 @@ mod tests {
 
     #[test]
     fn cast_classification() {
-        let c = InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(0) };
+        let c = InstKind::Cast {
+            op: CastOp::IntToPtr,
+            val: Operand::Param(0),
+        };
         assert!(c.is_int_ptr_cast());
-        let b = InstKind::Cast { op: CastOp::BitCast, val: Operand::Param(0) };
+        let b = InstKind::Cast {
+            op: CastOp::BitCast,
+            val: Operand::Param(0),
+        };
         assert!(!b.is_int_ptr_cast());
     }
 }

@@ -112,7 +112,9 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; 4096] {
-        self.pages.entry(addr >> 12).or_insert_with(|| Box::new([0; 4096]))
+        self.pages
+            .entry(addr >> 12)
+            .or_insert_with(|| Box::new([0; 4096]))
     }
 
     /// Reads `len ≤ 16` bytes.
@@ -244,11 +246,18 @@ impl<'m> Machine<'m> {
         match kind {
             InstKind::Load { .. } => 4,
             InstKind::Store { .. } => 4,
-            InstKind::Fence { kind: FenceKind::Fsc } => 40,
+            InstKind::Fence {
+                kind: FenceKind::Fsc,
+            } => 40,
             InstKind::Fence { .. } => 16,
             InstKind::AtomicRmw { .. } | InstKind::CmpXchg { .. } => 48,
-            InstKind::Bin { op: BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem, .. } => 20,
-            InstKind::Bin { op: BinOp::FDiv, .. } => 15,
+            InstKind::Bin {
+                op: BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem,
+                ..
+            } => 20,
+            InstKind::Bin {
+                op: BinOp::FDiv, ..
+            } => 15,
             InstKind::Call { .. } => 4,
             _ => 1,
         }
@@ -297,10 +306,16 @@ impl<'m> Machine<'m> {
             for idx in &blk.insts {
                 let inst = f.inst(*idx);
                 if let InstKind::Phi { incoming } = &inst.kind {
-                    let (_, op) = incoming
-                        .iter()
-                        .find(|(p, _)| *p == prev_block)
-                        .ok_or_else(|| ExecError::Trap(format!("phi missing incoming for {prev_block} in @{}", f.name)))?;
+                    let (_, op) =
+                        incoming
+                            .iter()
+                            .find(|(p, _)| *p == prev_block)
+                            .ok_or_else(|| {
+                                ExecError::Trap(format!(
+                                    "phi missing incoming for {prev_block} in @{}",
+                                    f.name
+                                ))
+                            })?;
                     let v = self.eval(f, &frame, op)?;
                     phi_writes.push((*idx, v));
                 } else {
@@ -328,7 +343,11 @@ impl<'m> Machine<'m> {
                     prev_block = block;
                     block = *dest;
                 }
-                Terminator::CondBr { cond, if_true, if_false } => {
+                Terminator::CondBr {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
                     let c = self.eval(f, &frame, cond)?.bits() & 1;
                     prev_block = block;
                     block = if c != 0 { *if_true } else { *if_false };
@@ -342,7 +361,10 @@ impl<'m> Machine<'m> {
                     return Ok(out);
                 }
                 Terminator::Unreachable => {
-                    return Err(ExecError::Trap(format!("reached unreachable in @{}", f.name)))
+                    return Err(ExecError::Trap(format!(
+                        "reached unreachable in @{}",
+                        f.name
+                    )))
                 }
             }
         }
@@ -371,8 +393,9 @@ impl<'m> Machine<'m> {
 
     fn eval(&mut self, f: &Function, frame: &Frame, op: &Operand) -> Result<Val, ExecError> {
         Ok(match op {
-            Operand::Inst(id) => frame.vals[id.0 as usize]
-                .ok_or_else(|| ExecError::Trap(format!("use of unevaluated %{} in @{}", id.0, f.name)))?,
+            Operand::Inst(id) => frame.vals[id.0 as usize].ok_or_else(|| {
+                ExecError::Trap(format!("use of unevaluated %{} in @{}", id.0, f.name))
+            })?,
             Operand::Param(i) => *frame.args.get(*i as usize).ok_or_else(|| {
                 ExecError::Trap(format!(
                     "@{} called with {} args but uses parameter {}",
@@ -447,7 +470,10 @@ impl<'m> Machine<'m> {
                         f64::from(self.eval(f, frame, rhs)?.f32()),
                     )
                 } else {
-                    (self.eval(f, frame, lhs)?.f64(), self.eval(f, frame, rhs)?.f64())
+                    (
+                        self.eval(f, frame, lhs)?.f64(),
+                        self.eval(f, frame, rhs)?.f64(),
+                    )
                 };
                 Some(Val::B64(u64::from(eval_fcmp(*pred, a, b))))
             }
@@ -492,7 +518,11 @@ impl<'m> Machine<'m> {
                 frame.alloca_next -= (*size + 15) & !15;
                 Some(Val::B64(frame.alloca_next))
             }
-            InstKind::Gep { base, offset, elem_size } => {
+            InstKind::Gep {
+                base,
+                offset,
+                elem_size,
+            } => {
                 let b = self.eval(f, frame, base)?.bits();
                 let o = self.eval(f, frame, offset)?.bits();
                 Some(Val::B64(b.wrapping_add(o.wrapping_mul(*elem_size))))
@@ -502,7 +532,11 @@ impl<'m> Machine<'m> {
                 let v = self.eval(f, frame, val)?;
                 Some(eval_cast(*op, vty, ty, v))
             }
-            InstKind::Select { cond, if_true, if_false } => {
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let c = self.eval(f, frame, cond)?.bits() & 1;
                 Some(if c != 0 {
                     self.eval(f, frame, if_true)?
@@ -843,7 +877,11 @@ fn eval_cast(op: CastOp, from: Ty, to: Ty, v: Val) -> Val {
             Val::B64(mask_ty(sext(mask_ty(v.bits(), from), bits) as u64, to))
         }
         CastOp::FpToSi => {
-            let x = if from == Ty::F32 { f64::from(v.f32()) } else { v.f64() };
+            let x = if from == Ty::F32 {
+                f64::from(v.f32())
+            } else {
+                v.f64()
+            };
             Val::B64(mask_ty((x as i64) as u64, to))
         }
         CastOp::SiToFp => {
@@ -865,9 +903,7 @@ fn eval_cast(op: CastOp, from: Ty, to: Ty, v: Val) -> Val {
                     out[..8].copy_from_slice(&b.to_le_bytes());
                     Val::B128(out)
                 }
-                (Val::B128(b), false) => {
-                    Val::B64(u64::from_le_bytes(b[..8].try_into().unwrap()))
-                }
+                (Val::B128(b), false) => Val::B64(u64::from_le_bytes(b[..8].try_into().unwrap())),
                 (v, _) => v,
             }
         }
@@ -936,14 +972,27 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::Param(1) },
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
         );
         let b = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(a), rhs: Operand::i64(5) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(a),
+                rhs: Operand::i64(5),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(b)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(b)),
+            },
+        );
         let r = run_func(f, &[Val::B64(6), Val::B64(7)]);
         assert_eq!(r.ret, Some(Val::B64(47)));
         assert_eq!(r.stats.insts, 2);
@@ -966,9 +1015,17 @@ mod tests {
         let l = f.push(
             e,
             Ty::I32,
-            InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic },
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::NotAtomic,
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         let r = run_func(f, &[]);
         assert_eq!(r.ret, Some(Val::B64(0xFFFF_FFFD)));
         assert_eq!(r.stats.loads, 1);
@@ -989,21 +1046,37 @@ mod tests {
         let cond = f.push(
             header,
             Ty::I1,
-            InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(phi_i), rhs: Operand::Param(0) },
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: Operand::Inst(phi_i),
+                rhs: Operand::Param(0),
+            },
         );
         f.set_term(
             header,
-            Terminator::CondBr { cond: Operand::Inst(cond), if_true: body, if_false: exit },
+            Terminator::CondBr {
+                cond: Operand::Inst(cond),
+                if_true: body,
+                if_false: exit,
+            },
         );
         let s2 = f.push(
             body,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi_s), rhs: Operand::Inst(phi_i) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(phi_s),
+                rhs: Operand::Inst(phi_i),
+            },
         );
         let i2 = f.push(
             body,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi_i), rhs: Operand::i64(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(phi_i),
+                rhs: Operand::i64(1),
+            },
         );
         f.set_term(body, Terminator::Br { dest: header });
         f.inst_mut(phi_i).kind = InstKind::Phi {
@@ -1012,7 +1085,12 @@ mod tests {
         f.inst_mut(phi_s).kind = InstKind::Phi {
             incoming: vec![(entry, Operand::i64(0)), (body, Operand::Inst(s2))],
         };
-        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(phi_s)) });
+        f.set_term(
+            exit,
+            Terminator::Ret {
+                val: Some(Operand::Inst(phi_s)),
+            },
+        );
 
         let r = run_func(f, &[Val::B64(10)]);
         assert_eq!(r.ret, Some(Val::B64(45)));
@@ -1025,9 +1103,18 @@ mod tests {
         let d = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::SDiv, lhs: Operand::i64(1), rhs: Operand::Param(0) },
+            InstKind::Bin {
+                op: BinOp::SDiv,
+                lhs: Operand::i64(1),
+                rhs: Operand::Param(0),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(d)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(d)),
+            },
+        );
         let mut m = Module::new();
         let id = m.add_func(f);
         let mut machine = Machine::new(&m);
@@ -1039,9 +1126,27 @@ mod tests {
     fn fences_are_counted_and_costed() {
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fsc });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Frm,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fsc,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         let r = run_func(f, &[]);
         assert_eq!(r.stats.fences, (1, 1, 1));
@@ -1054,7 +1159,15 @@ mod tests {
         let e = f.entry();
         let l = f.add_block();
         f.set_term(e, Terminator::Br { dest: l });
-        f.push(l, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::i64(0), rhs: Operand::i64(0) });
+        f.push(
+            l,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::i64(0),
+                rhs: Operand::i64(0),
+            },
+        );
         f.set_term(l, Terminator::Br { dest: l });
         let mut m = Module::new();
         let id = m.add_func(f);
@@ -1080,7 +1193,11 @@ mod tests {
         let old = f.push(
             e,
             Ty::I64,
-            InstKind::AtomicRmw { op: RmwOp::Add, ptr: Operand::Inst(slot), val: Operand::i64(5) },
+            InstKind::AtomicRmw {
+                op: RmwOp::Add,
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(5),
+            },
         );
         let old2 = f.push(
             e,
@@ -1094,19 +1211,35 @@ mod tests {
         let s = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(old), rhs: Operand::Inst(old2) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(old),
+                rhs: Operand::Inst(old2),
+            },
         );
         let cur = f.push(
             e,
             Ty::I64,
-            InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::SeqCst },
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::SeqCst,
+            },
         );
         let t = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(s), rhs: Operand::Inst(cur) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(s),
+                rhs: Operand::Inst(cur),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(t)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(t)),
+            },
+        );
         let r = run_func(f, &[]);
         // old=10, old2=15, cur=100 → 125
         assert_eq!(r.ret, Some(Val::B64(125)));
@@ -1119,10 +1252,38 @@ mod tests {
         let mut m = Module::new();
         let mut w = Function::new("worker", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = w.entry();
-        let l = w.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        let a = w.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(l), rhs: Operand::i64(1) });
-        w.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Inst(a), order: Ordering::NotAtomic });
-        w.set_term(e, Terminator::Ret { val: Some(Operand::i64(0)) });
+        let l = w.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let a = w.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(l),
+                rhs: Operand::i64(1),
+            },
+        );
+        w.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Inst(a),
+                order: Ordering::NotAtomic,
+            },
+        );
+        w.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::i64(0)),
+            },
+        );
         let worker = m.add_func(w);
 
         let pc = m.declare_extern(crate::func::ExternDecl {
@@ -1143,13 +1304,45 @@ mod tests {
         let buf = main.push(
             e,
             Ty::Ptr(Pointee::I8),
-            InstKind::Call { callee: Callee::Extern(malloc), args: vec![Operand::i64(16)] },
+            InstKind::Call {
+                callee: Callee::Extern(malloc),
+                args: vec![Operand::i64(16)],
+            },
         );
-        main.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(buf), val: Operand::i64(41), order: Ordering::NotAtomic });
+        main.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(buf),
+                val: Operand::i64(41),
+                order: Ordering::NotAtomic,
+            },
+        );
         let tslot = main.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        let tptr = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(tslot) });
-        let bufi = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(buf) });
-        let fnptr = main.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
+        let tptr = main.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(tslot),
+            },
+        );
+        let bufi = main.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(buf),
+            },
+        );
+        let fnptr = main.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Func(worker),
+            },
+        );
         main.push(
             e,
             Ty::I32,
@@ -1163,8 +1356,20 @@ mod tests {
                 ],
             },
         );
-        let out = main.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(buf), order: Ordering::NotAtomic });
-        main.set_term(e, Terminator::Ret { val: Some(Operand::Inst(out)) });
+        let out = main.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(buf),
+                order: Ordering::NotAtomic,
+            },
+        );
+        main.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(out)),
+            },
+        );
         let main_id = m.add_func(main);
 
         let mut machine = Machine::new(&m);

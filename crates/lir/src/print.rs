@@ -35,10 +35,22 @@ pub fn inst_to_string(m: &Module, f: &Function, kind: &InstKind) -> String {
             format!("{} {} {}, {}", b.mnemonic(), oty(lhs), op(lhs), op(rhs))
         }
         InstKind::ICmp { pred, lhs, rhs } => {
-            format!("icmp {} {} {}, {}", pred.mnemonic(), oty(lhs), op(lhs), op(rhs))
+            format!(
+                "icmp {} {} {}, {}",
+                pred.mnemonic(),
+                oty(lhs),
+                op(lhs),
+                op(rhs)
+            )
         }
         InstKind::FCmp { pred, lhs, rhs } => {
-            format!("fcmp {} {} {}, {}", pred.mnemonic(), oty(lhs), op(lhs), op(rhs))
+            format!(
+                "fcmp {} {} {}, {}",
+                pred.mnemonic(),
+                oty(lhs),
+                op(lhs),
+                op(rhs)
+            )
         }
         InstKind::Load { ptr, order } => {
             let a = match order {
@@ -52,7 +64,13 @@ pub fn inst_to_string(m: &Module, f: &Function, kind: &InstKind) -> String {
                 Ordering::NotAtomic => "",
                 Ordering::SeqCst => " atomic seq_cst",
             };
-            format!("store{a} {} {}, {} {}", oty(val), op(val), oty(ptr), op(ptr))
+            format!(
+                "store{a} {} {}, {} {}",
+                oty(val),
+                op(val),
+                oty(ptr),
+                op(ptr)
+            )
         }
         InstKind::Fence { kind } => match kind {
             crate::inst::FenceKind::Frm => "fence.rm".to_string(),
@@ -60,35 +78,71 @@ pub fn inst_to_string(m: &Module, f: &Function, kind: &InstKind) -> String {
             crate::inst::FenceKind::Fsc => "fence seq_cst".to_string(),
         },
         InstKind::AtomicRmw { op: r, ptr, val } => {
-            format!("atomicrmw {} {} {}, {} seq_cst", r.mnemonic(), oty(ptr), op(ptr), op(val))
+            format!(
+                "atomicrmw {} {} {}, {} seq_cst",
+                r.mnemonic(),
+                oty(ptr),
+                op(ptr),
+                op(val)
+            )
         }
         InstKind::CmpXchg { ptr, expected, new } => {
-            format!("cmpxchg {} {}, {}, {} seq_cst", oty(ptr), op(ptr), op(expected), op(new))
+            format!(
+                "cmpxchg {} {}, {}, {} seq_cst",
+                oty(ptr),
+                op(ptr),
+                op(expected),
+                op(new)
+            )
         }
         InstKind::Alloca { size } => format!("alloca [{size} x i8]"),
-        InstKind::Gep { base, offset, elem_size } => {
-            format!("getelementptr(x{elem_size}) {} {}, i64 {}", oty(base), op(base), op(offset))
+        InstKind::Gep {
+            base,
+            offset,
+            elem_size,
+        } => {
+            format!(
+                "getelementptr(x{elem_size}) {} {}, i64 {}",
+                oty(base),
+                op(base),
+                op(offset)
+            )
         }
         InstKind::Cast { op: c, val } => {
             format!("{} {} {} to <result>", c.mnemonic(), oty(val), op(val))
         }
-        InstKind::Select { cond, if_true, if_false } => {
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             format!("select i1 {}, {}, {}", op(cond), op(if_true), op(if_false))
         }
         InstKind::Call { callee, args } => {
-            let args: Vec<String> = args.iter().map(|a| format!("{} {}", oty(a), op(a))).collect();
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| format!("{} {}", oty(a), op(a)))
+                .collect();
             format!("call {}({})", callee_name(m, callee), args.join(", "))
         }
         InstKind::Phi { incoming } => {
-            let inc: Vec<String> =
-                incoming.iter().map(|(b, v)| format!("[ {}, {b} ]", op(v))).collect();
+            let inc: Vec<String> = incoming
+                .iter()
+                .map(|(b, v)| format!("[ {}, {b} ]", op(v)))
+                .collect();
             format!("phi {}", inc.join(", "))
         }
         InstKind::ExtractElement { vec, idx } => {
             format!("extractelement {} {}, i32 {idx}", oty(vec), op(vec))
         }
         InstKind::InsertElement { vec, elt, idx } => {
-            format!("insertelement {} {}, {} {}, i32 {idx}", oty(vec), op(vec), oty(elt), op(elt))
+            format!(
+                "insertelement {} {}, {} {}, i32 {idx}",
+                oty(vec),
+                op(vec),
+                oty(elt),
+                op(elt)
+            )
         }
     }
 }
@@ -96,8 +150,12 @@ pub fn inst_to_string(m: &Module, f: &Function, kind: &InstKind) -> String {
 /// Renders a function as text.
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut s = String::new();
-    let params: Vec<String> =
-        f.params.iter().enumerate().map(|(i, t)| format!("{t} %arg{i}")).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %arg{i}"))
+        .collect();
     let _ = writeln!(s, "define {} @{}({}) {{", f.ret, f.name, params.join(", "));
     for b in f.block_ids() {
         let _ = writeln!(s, "{b}:");
@@ -118,7 +176,11 @@ pub fn print_function(m: &Module, f: &Function) -> String {
         }
         let t = match &blk.term {
             Terminator::Br { dest } => format!("br label {dest}"),
-            Terminator::CondBr { cond, if_true, if_false } => format!(
+            Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => format!(
                 "br i1 {}, label {if_true}, label {if_false}",
                 operand_to_string(m, f, cond)
             ),
@@ -138,12 +200,23 @@ pub fn print_function(m: &Module, f: &Function) -> String {
 pub fn print_module(m: &Module) -> String {
     let mut s = String::new();
     for g in &m.globals {
-        let _ = writeln!(s, "@{} = global [{} x i8] ; at {:#x}", g.name, g.size, g.addr);
+        let _ = writeln!(
+            s,
+            "@{} = global [{} x i8] ; at {:#x}",
+            g.name, g.size, g.addr
+        );
     }
     for e in &m.externs {
         let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
         let var = if e.variadic { ", ..." } else { "" };
-        let _ = writeln!(s, "declare {} @{}({}{})", e.ret, e.name, params.join(", "), var);
+        let _ = writeln!(
+            s,
+            "declare {} @{}({}{})",
+            e.ret,
+            e.name,
+            params.join(", "),
+            var
+        );
     }
     for f in &m.funcs {
         let _ = writeln!(s);
@@ -166,10 +239,25 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
         );
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         m.add_func(f);
         let text = print_module(&m);
         assert!(text.contains("define i64 @add2(i64 %arg0, i64 %arg1)"));

@@ -31,16 +31,19 @@ fn promotable(f: &Function, id: InstId) -> Option<Ty> {
             continue;
         }
         match &inst.kind {
-            InstKind::Load { ptr, order: Ordering::NotAtomic } if *ptr == this => {
-                match loaded_ty {
-                    None => loaded_ty = Some(inst.ty),
-                    Some(t) if t == inst.ty => {}
-                    _ => return None,
-                }
-            }
-            InstKind::Store { ptr, val, order: Ordering::NotAtomic }
-                if *ptr == this && *val != this =>
-            {
+            InstKind::Load {
+                ptr,
+                order: Ordering::NotAtomic,
+            } if *ptr == this => match loaded_ty {
+                None => loaded_ty = Some(inst.ty),
+                Some(t) if t == inst.ty => {}
+                _ => return None,
+            },
+            InstKind::Store {
+                ptr,
+                val,
+                order: Ordering::NotAtomic,
+            } if *ptr == this && *val != this => {
                 // Stored type must agree with loads (if any seen yet this is
                 // validated in a second pass below).
             }
@@ -79,7 +82,10 @@ fn local_operand_ty(f: &Function, op: &Operand) -> Ty {
 ///
 /// `eligible` filters which allocas to consider (use `|_| true` for all).
 /// Returns the number of promoted slots.
-pub fn promote_allocas(f: &mut Function, mut eligible: impl FnMut(&Function, InstId) -> bool) -> usize {
+pub fn promote_allocas(
+    f: &mut Function,
+    mut eligible: impl FnMut(&Function, InstId) -> bool,
+) -> usize {
     let cfg = Cfg::compute(f);
     let doms = Dominators::compute(&cfg);
     let df = doms.frontiers(&cfg);
@@ -96,7 +102,11 @@ pub fn promote_allocas(f: &mut Function, mut eligible: impl FnMut(&Function, Ins
     if slots.is_empty() {
         return 0;
     }
-    let slot_index: BTreeMap<InstId, usize> = slots.iter().enumerate().map(|(i, (id, _))| (*id, i)).collect();
+    let slot_index: BTreeMap<InstId, usize> = slots
+        .iter()
+        .enumerate()
+        .map(|(i, (id, _))| (*id, i))
+        .collect();
 
     // Phase 1: place φs at iterated dominance frontiers of def (store) blocks.
     // phi_of[(block, slot)] = phi inst id.
@@ -155,14 +165,19 @@ pub fn promote_allocas(f: &mut Function, mut eligible: impl FnMut(&Function, Ins
         for iid in inst_ids {
             let kind = f.inst(iid).kind.clone();
             match kind {
-                InstKind::Load { ptr: Operand::Inst(p), .. } if slot_index.contains_key(&p) => {
+                InstKind::Load {
+                    ptr: Operand::Inst(p),
+                    ..
+                } if slot_index.contains_key(&p) => {
                     let si = slot_index[&p];
                     f.replace_all_uses(iid, vals[si]);
                     to_delete.insert(iid);
                 }
-                InstKind::Store { ptr: Operand::Inst(p), val, .. }
-                    if slot_index.contains_key(&p) =>
-                {
+                InstKind::Store {
+                    ptr: Operand::Inst(p),
+                    val,
+                    ..
+                } if slot_index.contains_key(&p) => {
                     let si = slot_index[&p];
                     vals[si] = val;
                     to_delete.insert(iid);
@@ -225,7 +240,9 @@ pub fn prune_trivial_phis(f: &mut Function) -> usize {
         for b in f.block_ids() {
             let ids: Vec<InstId> = f.block(b).insts.clone();
             for id in ids {
-                let InstKind::Phi { incoming } = &f.inst(id).kind else { continue };
+                let InstKind::Phi { incoming } = &f.inst(id).kind else {
+                    continue;
+                };
                 let mut unique: Option<Operand> = None;
                 let mut trivial = true;
                 for (_, v) in incoming {
@@ -277,28 +294,70 @@ mod tests {
         f.push(
             entry,
             Ty::Void,
-            InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(0), order: Ordering::NotAtomic },
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(0),
+                order: Ordering::NotAtomic,
+            },
         );
         f.set_term(entry, Terminator::Br { dest: body });
-        let v = f.push(body, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
+        let v = f.push(
+            body,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::NotAtomic,
+            },
+        );
         let v1 = f.push(
             body,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(v), rhs: Operand::i64(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(v),
+                rhs: Operand::i64(1),
+            },
         );
         f.push(
             body,
             Ty::Void,
-            InstKind::Store { ptr: Operand::Inst(slot), val: Operand::Inst(v1), order: Ordering::NotAtomic },
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::Inst(v1),
+                order: Ordering::NotAtomic,
+            },
         );
         let c = f.push(
             body,
             Ty::I1,
-            InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(v1), rhs: Operand::Param(0) },
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: Operand::Inst(v1),
+                rhs: Operand::Param(0),
+            },
         );
-        f.set_term(body, Terminator::CondBr { cond: Operand::Inst(c), if_true: body, if_false: exit });
-        let fin = f.push(exit, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
-        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(fin)) });
+        f.set_term(
+            body,
+            Terminator::CondBr {
+                cond: Operand::Inst(c),
+                if_true: body,
+                if_false: exit,
+            },
+        );
+        let fin = f.push(
+            exit,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            exit,
+            Terminator::Ret {
+                val: Some(Operand::Inst(fin)),
+            },
+        );
         f
     }
 
@@ -335,9 +394,17 @@ mod tests {
         let escaped = f.push(
             e,
             Ty::I64,
-            InstKind::Cast { op: crate::inst::CastOp::PtrToInt, val: Operand::Inst(slot) },
+            InstKind::Cast {
+                op: crate::inst::CastOp::PtrToInt,
+                val: Operand::Inst(slot),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(escaped)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(escaped)),
+            },
+        );
         let mut g = f.clone();
         assert_eq!(promote_allocas(&mut g, |_, _| true), 0);
         assert_eq!(g, f, "function must be unchanged");
@@ -348,8 +415,20 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::I64);
         let e = f.entry();
         let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::SeqCst });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::SeqCst,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(promote_allocas(&mut f, |_, _| true), 0);
     }
 
@@ -362,16 +441,53 @@ mod tests {
         let el = f.add_block();
         let j = f.add_block();
         let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
-        f.push(t, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(1), order: Ordering::NotAtomic });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: t,
+                if_false: el,
+            },
+        );
+        f.push(
+            t,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(t, Terminator::Br { dest: j });
-        f.push(el, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.push(
+            el,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(2),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(el, Terminator::Br { dest: j });
-        let l = f.push(j, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
-        f.set_term(j, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let l = f.push(
+            j,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            j,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
 
         assert_eq!(promote_allocas(&mut f, |_, _| true), 1);
-        let has_phi = f.iter_insts().any(|(_, id)| matches!(f.inst(id).kind, InstKind::Phi { .. }));
+        let has_phi = f
+            .iter_insts()
+            .any(|(_, id)| matches!(f.inst(id).kind, InstKind::Phi { .. }));
         assert!(has_phi, "join block needs a phi");
 
         let mut m = Module::new();
@@ -396,15 +512,29 @@ mod tests {
         let t = f.add_block();
         let el = f.add_block();
         let j = f.add_block();
-        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: t,
+                if_false: el,
+            },
+        );
         f.set_term(t, Terminator::Br { dest: j });
         f.set_term(el, Terminator::Br { dest: j });
         let p = f.push(
             j,
             Ty::I64,
-            InstKind::Phi { incoming: vec![(t, Operand::i64(5)), (el, Operand::i64(5))] },
+            InstKind::Phi {
+                incoming: vec![(t, Operand::i64(5)), (el, Operand::i64(5))],
+            },
         );
-        f.set_term(j, Terminator::Ret { val: Some(Operand::Inst(p)) });
+        f.set_term(
+            j,
+            Terminator::Ret {
+                val: Some(Operand::Inst(p)),
+            },
+        );
         assert_eq!(prune_trivial_phis(&mut f), 1);
         match &f.block(j).term {
             Terminator::Ret { val: Some(v) } => assert_eq!(v.as_const_int(), Some(5)),

@@ -44,7 +44,10 @@ pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
 
 fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
     fn err_in(errs: &mut Vec<VerifyError>, f: &Function, msg: String) {
-        errs.push(VerifyError { func: f.name.clone(), message: msg });
+        errs.push(VerifyError {
+            func: f.name.clone(),
+            message: msg,
+        });
     }
     macro_rules! err {
         ($($arg:tt)*) => { err_in(errs, f, format!($($arg)*)) };
@@ -116,7 +119,10 @@ fn check_inst(
 ) {
     let inst = f.inst(id);
     let mut err = |msg: String| {
-        errs.push(VerifyError { func: f.name.clone(), message: format!("%{} in {b}: {msg}", id.0) })
+        errs.push(VerifyError {
+            func: f.name.clone(),
+            message: format!("%{} in {b}: {msg}", id.0),
+        })
     };
     let ty = |op: &Operand| m.operand_ty(f, op);
 
@@ -158,7 +164,10 @@ fn check_inst(
                 err(format!("int op {} on {lt}", op.mnemonic()));
             }
             if inst.ty != lt {
-                err(format!("binop result {} differs from operand {lt}", inst.ty));
+                err(format!(
+                    "binop result {} differs from operand {lt}",
+                    inst.ty
+                ));
             }
         }
         InstKind::ICmp { lhs, rhs, .. } => {
@@ -248,16 +257,25 @@ fn check_inst(
                 CastOp::FpExt => vt == Ty::F32 && inst.ty == Ty::F64,
                 CastOp::FpTrunc => vt == Ty::F64 && inst.ty == Ty::F32,
                 CastOp::BitCast => {
-                    (vt.is_ptr() && inst.ty.is_ptr()) || (vt != Ty::Void && vt.size() == inst.ty.size())
+                    (vt.is_ptr() && inst.ty.is_ptr())
+                        || (vt != Ty::Void && vt.size() == inst.ty.size())
                 }
                 CastOp::IntToPtr => vt == Ty::I64 && inst.ty.is_ptr(),
                 CastOp::PtrToInt => vt.is_ptr() && inst.ty == Ty::I64,
             };
             if !ok {
-                err(format!("invalid {} from {vt} to {}", op.mnemonic(), inst.ty));
+                err(format!(
+                    "invalid {} from {vt} to {}",
+                    op.mnemonic(),
+                    inst.ty
+                ));
             }
         }
-        InstKind::Select { cond, if_true, if_false } => {
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             if ty(cond) != Ty::I1 {
                 err("select condition must be i1".to_string());
             }
@@ -326,9 +344,18 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(1),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         m.add_func(f);
         assert!(verify_module(&m).is_ok());
     }
@@ -341,12 +368,23 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i32(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i32(1),
+            },
         );
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         m.add_func(f);
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("operand types differ")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("operand types differ")));
     }
 
     #[test]
@@ -367,11 +405,26 @@ mod tests {
         let a = f.push(
             e,
             Ty::I64,
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(1) },
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(1),
+            },
         );
-        let p = f.push(e, Ty::I64, InstKind::Phi { incoming: vec![(e, Operand::Param(0))] });
+        let p = f.push(
+            e,
+            Ty::I64,
+            InstKind::Phi {
+                incoming: vec![(e, Operand::Param(0))],
+            },
+        );
         let _ = a;
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(p)) });
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(p)),
+            },
+        );
         m.add_func(f);
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("not at start")));
@@ -385,7 +438,10 @@ mod tests {
         f.push(
             e,
             Ty::Ptr(Pointee::I8),
-            InstKind::Cast { op: crate::inst::CastOp::IntToPtr, val: Operand::Param(0) },
+            InstKind::Cast {
+                op: crate::inst::CastOp::IntToPtr,
+                val: Operand::Param(0),
+            },
         );
         f.set_term(e, Terminator::Ret { val: None });
         m.add_func(f);

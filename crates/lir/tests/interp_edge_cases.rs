@@ -25,20 +25,55 @@ fn vector_insert_extract_roundtrip() {
     let mut m = Module::new();
     let mut f = Function::new("v", vec![Ty::I64, Ty::I64], Ty::I64);
     let e = f.entry();
-    let v0 = f.push(e, Ty::V2I64, InstKind::InsertElement {
-        vec: Operand::Undef(Ty::V2I64),
-        elt: Operand::Param(0),
-        idx: 0,
-    });
-    let v1 = f.push(e, Ty::V2I64, InstKind::InsertElement {
-        vec: Operand::Inst(v0),
-        elt: Operand::Param(1),
-        idx: 1,
-    });
-    let a = f.push(e, Ty::I64, InstKind::ExtractElement { vec: Operand::Inst(v1), idx: 0 });
-    let b = f.push(e, Ty::I64, InstKind::ExtractElement { vec: Operand::Inst(v1), idx: 1 });
-    let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(a), rhs: Operand::Inst(b) });
-    f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+    let v0 = f.push(
+        e,
+        Ty::V2I64,
+        InstKind::InsertElement {
+            vec: Operand::Undef(Ty::V2I64),
+            elt: Operand::Param(0),
+            idx: 0,
+        },
+    );
+    let v1 = f.push(
+        e,
+        Ty::V2I64,
+        InstKind::InsertElement {
+            vec: Operand::Inst(v0),
+            elt: Operand::Param(1),
+            idx: 1,
+        },
+    );
+    let a = f.push(
+        e,
+        Ty::I64,
+        InstKind::ExtractElement {
+            vec: Operand::Inst(v1),
+            idx: 0,
+        },
+    );
+    let b = f.push(
+        e,
+        Ty::I64,
+        InstKind::ExtractElement {
+            vec: Operand::Inst(v1),
+            idx: 1,
+        },
+    );
+    let s = f.push(
+        e,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Inst(a),
+            rhs: Operand::Inst(b),
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(s)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
     let r = machine.run(id, &[Val::B64(30), Val::B64(12)]).unwrap();
@@ -50,17 +85,63 @@ fn vector_fadd_lanes() {
     let mut m = Module::new();
     let mut f = Function::new("v", vec![Ty::Ptr(Pointee::V128)], Ty::F64);
     let e = f.entry();
-    let v = f.push(e, Ty::V2F64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-    let s = f.push(e, Ty::V2F64, InstKind::Bin { op: BinOp::FAdd, lhs: Operand::Inst(v), rhs: Operand::Inst(v) });
-    let lo = f.push(e, Ty::F64, InstKind::ExtractElement { vec: Operand::Inst(s), idx: 0 });
-    let hi = f.push(e, Ty::F64, InstKind::ExtractElement { vec: Operand::Inst(s), idx: 1 });
+    let v = f.push(
+        e,
+        Ty::V2F64,
+        InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let s = f.push(
+        e,
+        Ty::V2F64,
+        InstKind::Bin {
+            op: BinOp::FAdd,
+            lhs: Operand::Inst(v),
+            rhs: Operand::Inst(v),
+        },
+    );
+    let lo = f.push(
+        e,
+        Ty::F64,
+        InstKind::ExtractElement {
+            vec: Operand::Inst(s),
+            idx: 0,
+        },
+    );
+    let hi = f.push(
+        e,
+        Ty::F64,
+        InstKind::ExtractElement {
+            vec: Operand::Inst(s),
+            idx: 1,
+        },
+    );
     // Reinterpret lanes as doubles and add.
-    let total = f.push(e, Ty::F64, InstKind::Bin { op: BinOp::FAdd, lhs: Operand::Inst(lo), rhs: Operand::Inst(hi) });
-    f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(total)) });
+    let total = f.push(
+        e,
+        Ty::F64,
+        InstKind::Bin {
+            op: BinOp::FAdd,
+            lhs: Operand::Inst(lo),
+            rhs: Operand::Inst(hi),
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(total)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
-    machine.mem.write(0x4000_0000, &1.5f64.to_bits().to_le_bytes());
-    machine.mem.write(0x4000_0008, &2.25f64.to_bits().to_le_bytes());
+    machine
+        .mem
+        .write(0x4000_0000, &1.5f64.to_bits().to_le_bytes());
+    machine
+        .mem
+        .write(0x4000_0008, &2.25f64.to_bits().to_le_bytes());
     let r = machine.run(id, &[Val::B64(0x4000_0000)]).unwrap();
     // (1.5+1.5) + (2.25+2.25) = 7.5  — wait: lanes doubled then summed.
     assert_eq!(r.ret.unwrap().f64(), 7.5);
@@ -72,14 +153,40 @@ fn sub_width_arithmetic_masks() {
     let mut m = Module::new();
     let mut f = Function::new("w", vec![Ty::I64], Ty::I64);
     let e = f.entry();
-    let t = f.push(e, Ty::I8, InstKind::Cast { op: CastOp::Trunc, val: Operand::Param(0) });
-    let a = f.push(e, Ty::I8, InstKind::Bin {
-        op: BinOp::Add,
-        lhs: Operand::Inst(t),
-        rhs: Operand::ConstInt { ty: Ty::I8, val: 200 },
-    });
-    let z = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: Operand::Inst(a) });
-    f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(z)) });
+    let t = f.push(
+        e,
+        Ty::I8,
+        InstKind::Cast {
+            op: CastOp::Trunc,
+            val: Operand::Param(0),
+        },
+    );
+    let a = f.push(
+        e,
+        Ty::I8,
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Inst(t),
+            rhs: Operand::ConstInt {
+                ty: Ty::I8,
+                val: 200,
+            },
+        },
+    );
+    let z = f.push(
+        e,
+        Ty::I64,
+        InstKind::Cast {
+            op: CastOp::ZExt,
+            val: Operand::Inst(a),
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(z)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
     let r = machine.run(id, &[Val::B64(100)]).unwrap();
@@ -93,12 +200,24 @@ fn signed_comparisons_at_narrow_width() {
     for (pred, expect) in [(IPred::Slt, 1u64), (IPred::Ult, 0u64)] {
         let mut f = Function::new("c", vec![], Ty::I1);
         let e = f.entry();
-        let c = f.push(e, Ty::I1, InstKind::ICmp {
-            pred,
-            lhs: Operand::ConstInt { ty: Ty::I8, val: 0x80 },
-            rhs: Operand::ConstInt { ty: Ty::I8, val: 1 },
-        });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        let c = f.push(
+            e,
+            Ty::I1,
+            InstKind::ICmp {
+                pred,
+                lhs: Operand::ConstInt {
+                    ty: Ty::I8,
+                    val: 0x80,
+                },
+                rhs: Operand::ConstInt { ty: Ty::I8, val: 1 },
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(c)),
+            },
+        );
         let id = m.add_func(f);
         let mut machine = Machine::new(&m);
         let r = machine.run(id, &[]).unwrap();
@@ -116,15 +235,78 @@ fn recursion_with_own_frames() {
     let rec = f.add_block();
     let base = f.add_block();
     let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-    f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::Param(0), order: Ordering::NotAtomic });
-    let z = f.push(e, Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: Operand::Param(0), rhs: Operand::i64(0) });
-    f.set_term(e, Terminator::CondBr { cond: Operand::Inst(z), if_true: base, if_false: rec });
-    let nm1 = f.push(rec, Ty::I64, InstKind::Bin { op: BinOp::Sub, lhs: Operand::Param(0), rhs: Operand::i64(1) });
-    let sub = f.push(rec, Ty::I64, InstKind::Call { callee: Callee::Func(lasagne_lir::FuncId(0)), args: vec![Operand::Inst(nm1)] });
-    let saved = f.push(rec, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
-    let prod = f.push(rec, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(sub), rhs: Operand::Inst(saved) });
-    f.set_term(rec, Terminator::Ret { val: Some(Operand::Inst(prod)) });
-    f.set_term(base, Terminator::Ret { val: Some(Operand::i64(1)) });
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(slot),
+            val: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let z = f.push(
+        e,
+        Ty::I1,
+        InstKind::ICmp {
+            pred: IPred::Eq,
+            lhs: Operand::Param(0),
+            rhs: Operand::i64(0),
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::CondBr {
+            cond: Operand::Inst(z),
+            if_true: base,
+            if_false: rec,
+        },
+    );
+    let nm1 = f.push(
+        rec,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Sub,
+            lhs: Operand::Param(0),
+            rhs: Operand::i64(1),
+        },
+    );
+    let sub = f.push(
+        rec,
+        Ty::I64,
+        InstKind::Call {
+            callee: Callee::Func(lasagne_lir::FuncId(0)),
+            args: vec![Operand::Inst(nm1)],
+        },
+    );
+    let saved = f.push(
+        rec,
+        Ty::I64,
+        InstKind::Load {
+            ptr: Operand::Inst(slot),
+            order: Ordering::NotAtomic,
+        },
+    );
+    let prod = f.push(
+        rec,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Mul,
+            lhs: Operand::Inst(sub),
+            rhs: Operand::Inst(saved),
+        },
+    );
+    f.set_term(
+        rec,
+        Terminator::Ret {
+            val: Some(Operand::Inst(prod)),
+        },
+    );
+    f.set_term(
+        base,
+        Terminator::Ret {
+            val: Some(Operand::i64(1)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
     let r = machine.run(id, &[Val::B64(10)]).unwrap();
@@ -137,8 +319,21 @@ fn extern_arity_trap_is_graceful() {
     let mut m = Module::new();
     let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
     let e = f.entry();
-    let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
-    f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+    let s = f.push(
+        e,
+        Ty::I64,
+        InstKind::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Param(0),
+            rhs: Operand::Param(1),
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(s)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
     let err = machine.run(id, &[Val::B64(1)]).unwrap_err();
@@ -156,15 +351,54 @@ fn fences_do_not_change_results() {
     });
     let mut f = Function::new("f", vec![Ty::Ptr(Pointee::F64)], Ty::F64);
     let e = f.entry();
-    f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
-    let v = f.push(e, Ty::F64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-    f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fsc });
-    let r = f.push(e, Ty::F64, InstKind::Call { callee: Callee::Extern(pf), args: vec![Operand::Inst(v)] });
-    f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-    f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(r)) });
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Fence {
+            kind: FenceKind::Frm,
+        },
+    );
+    let v = f.push(
+        e,
+        Ty::F64,
+        InstKind::Load {
+            ptr: Operand::Param(0),
+            order: Ordering::NotAtomic,
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Fence {
+            kind: FenceKind::Fsc,
+        },
+    );
+    let r = f.push(
+        e,
+        Ty::F64,
+        InstKind::Call {
+            callee: Callee::Extern(pf),
+            args: vec![Operand::Inst(v)],
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Fence {
+            kind: FenceKind::Fww,
+        },
+    );
+    f.set_term(
+        e,
+        Terminator::Ret {
+            val: Some(Operand::Inst(r)),
+        },
+    );
     let id = m.add_func(f);
     let mut machine = Machine::new(&m);
-    machine.mem.write(0x4000_0000, &16.0f64.to_bits().to_le_bytes());
+    machine
+        .mem
+        .write(0x4000_0000, &16.0f64.to_bits().to_le_bytes());
     let res = machine.run(id, &[Val::B64(0x4000_0000)]).unwrap();
     assert_eq!(res.ret.unwrap().f64(), 4.0);
     assert_eq!(res.stats.fences, (1, 1, 1));
@@ -188,21 +422,67 @@ fn printer_covers_all_kinds() {
     let mut f = Function::new("all", vec![Ty::I64, Ty::I1], Ty::Void);
     let e = f.entry();
     let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-    let p = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(slot) });
-    let gp = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Gep { base: Operand::Inst(p), offset: Operand::i64(4), elem_size: 1 });
-    let sel = f.push(e, Ty::I64, InstKind::Select { cond: Operand::Param(1), if_true: Operand::Param(0), if_false: Operand::i64(0) });
-    f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::Inst(sel), order: Ordering::SeqCst });
-    let old = f.push(e, Ty::I64, InstKind::AtomicRmw {
-        op: lasagne_lir::inst::RmwOp::Add,
-        ptr: Operand::Inst(slot),
-        val: Operand::i64(1),
-    });
-    let _cx = f.push(e, Ty::I64, InstKind::CmpXchg {
-        ptr: Operand::Inst(slot),
-        expected: Operand::Inst(old),
-        new: Operand::i64(5),
-    });
-    f.push(e, Ty::I32, InstKind::Call { callee: Callee::Extern(ext), args: vec![Operand::Global(g)] });
+    let p = f.push(
+        e,
+        Ty::Ptr(Pointee::I8),
+        InstKind::Cast {
+            op: CastOp::BitCast,
+            val: Operand::Inst(slot),
+        },
+    );
+    let gp = f.push(
+        e,
+        Ty::Ptr(Pointee::I8),
+        InstKind::Gep {
+            base: Operand::Inst(p),
+            offset: Operand::i64(4),
+            elem_size: 1,
+        },
+    );
+    let sel = f.push(
+        e,
+        Ty::I64,
+        InstKind::Select {
+            cond: Operand::Param(1),
+            if_true: Operand::Param(0),
+            if_false: Operand::i64(0),
+        },
+    );
+    f.push(
+        e,
+        Ty::Void,
+        InstKind::Store {
+            ptr: Operand::Inst(slot),
+            val: Operand::Inst(sel),
+            order: Ordering::SeqCst,
+        },
+    );
+    let old = f.push(
+        e,
+        Ty::I64,
+        InstKind::AtomicRmw {
+            op: lasagne_lir::inst::RmwOp::Add,
+            ptr: Operand::Inst(slot),
+            val: Operand::i64(1),
+        },
+    );
+    let _cx = f.push(
+        e,
+        Ty::I64,
+        InstKind::CmpXchg {
+            ptr: Operand::Inst(slot),
+            expected: Operand::Inst(old),
+            new: Operand::i64(5),
+        },
+    );
+    f.push(
+        e,
+        Ty::I32,
+        InstKind::Call {
+            callee: Callee::Extern(ext),
+            args: vec![Operand::Global(g)],
+        },
+    );
     let _ = gp;
     f.set_term(e, Terminator::Ret { val: None });
     m.add_func(f);
@@ -220,6 +500,9 @@ fn printer_covers_all_kinds() {
         "call @printf",
         "ret void",
     ] {
-        assert!(text.contains(needle), "printer output missing `{needle}`:\n{text}");
+        assert!(
+            text.contains(needle),
+            "printer output missing `{needle}`:\n{text}"
+        );
     }
 }

@@ -220,11 +220,7 @@ impl Execution {
         let mut out = BTreeMap::new();
         for e in &self.events {
             if let Lab::W { x, v, .. } = e.lab {
-                let is_max = !self
-                    .co
-                    .pairs()
-                    .iter()
-                    .any(|(a, _)| *a == e.id);
+                let is_max = !self.co.pairs().iter().any(|(a, _)| *a == e.id);
                 if is_max {
                     out.insert(x, v);
                 }
@@ -285,7 +281,16 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
     // Init writes.
     for x in 0..prog.locs {
         let id = events.len();
-        events.push(Event { id, tid: 0, lab: Lab::W { x, v: 0, sc: false, rel: false } });
+        events.push(Event {
+            id,
+            tid: 0,
+            lab: Lab::W {
+                x,
+                v: 0,
+                sc: false,
+                rel: false,
+            },
+        });
     }
     let mut rmw_idx = 0usize;
     for (t, ops) in prog.threads.iter().enumerate() {
@@ -299,32 +304,80 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             };
             match op {
                 Op::Ld { r, x } => {
-                    let id = push(&mut events, Lab::R { x: *x, v: 0, sc: false, acq: false });
+                    let id = push(
+                        &mut events,
+                        Lab::R {
+                            x: *x,
+                            v: 0,
+                            sc: false,
+                            acq: false,
+                        },
+                    );
                     read_regs.push((id, tid, *r));
                     prev.push(id);
                 }
                 Op::LdA { r, x } => {
-                    let id = push(&mut events, Lab::R { x: *x, v: 0, sc: false, acq: true });
+                    let id = push(
+                        &mut events,
+                        Lab::R {
+                            x: *x,
+                            v: 0,
+                            sc: false,
+                            acq: true,
+                        },
+                    );
                     read_regs.push((id, tid, *r));
                     prev.push(id);
                 }
                 Op::St { x, v } => {
-                    let id = push(&mut events, Lab::W { x: *x, v: *v, sc: false, rel: false });
+                    let id = push(
+                        &mut events,
+                        Lab::W {
+                            x: *x,
+                            v: *v,
+                            sc: false,
+                            rel: false,
+                        },
+                    );
                     prev.push(id);
                 }
                 Op::StR { x, v } => {
-                    let id = push(&mut events, Lab::W { x: *x, v: *v, sc: false, rel: true });
+                    let id = push(
+                        &mut events,
+                        Lab::W {
+                            x: *x,
+                            v: *v,
+                            sc: false,
+                            rel: true,
+                        },
+                    );
                     prev.push(id);
                 }
                 Op::Rmw { r, x, expect, new } => {
                     let succeed = success_bits & (1 << rmw_idx) != 0;
                     rmw_idx += 1;
-                    let rid = push(&mut events, Lab::R { x: *x, v: 0, sc: true, acq: false });
+                    let rid = push(
+                        &mut events,
+                        Lab::R {
+                            x: *x,
+                            v: 0,
+                            sc: true,
+                            acq: false,
+                        },
+                    );
                     read_regs.push((rid, tid, *r));
                     rmw_constraints.push((rid, *expect, succeed));
                     prev.push(rid);
                     if succeed {
-                        let wid = push(&mut events, Lab::W { x: *x, v: *new, sc: true, rel: false });
+                        let wid = push(
+                            &mut events,
+                            Lab::W {
+                                x: *x,
+                                v: *new,
+                                sc: true,
+                                rel: false,
+                            },
+                        );
                         rmw_pairs.push((rid, wid));
                         prev.push(wid);
                     }
@@ -332,13 +385,28 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
                 Op::RmwAr { r, x, expect, new } => {
                     let succeed = success_bits & (1 << rmw_idx) != 0;
                     rmw_idx += 1;
-                    let rid = push(&mut events, Lab::R { x: *x, v: 0, sc: false, acq: true });
+                    let rid = push(
+                        &mut events,
+                        Lab::R {
+                            x: *x,
+                            v: 0,
+                            sc: false,
+                            acq: true,
+                        },
+                    );
                     read_regs.push((rid, tid, *r));
                     rmw_constraints.push((rid, *expect, succeed));
                     prev.push(rid);
                     if succeed {
-                        let wid =
-                            push(&mut events, Lab::W { x: *x, v: *new, sc: false, rel: true });
+                        let wid = push(
+                            &mut events,
+                            Lab::W {
+                                x: *x,
+                                v: *new,
+                                sc: false,
+                                rel: true,
+                            },
+                        );
                         rmw_pairs.push((rid, wid));
                         prev.push(wid);
                     }
@@ -372,8 +440,7 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
     }
 
     // Enumerate rf: every read picks a same-location write.
-    let reads: Vec<usize> =
-        (0..n).filter(|i| events[*i].lab.is_read()).collect();
+    let reads: Vec<usize> = (0..n).filter(|i| events[*i].lab.is_read()).collect();
     let writes_of = |x: Loc| -> Vec<usize> {
         (0..n)
             .filter(|i| matches!(events[*i].lab, Lab::W { x: wx, .. } if wx == x))
@@ -393,7 +460,9 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             return;
         }
         let r = reads[choice.len()];
-        let Lab::R { x, .. } = events[r].lab else { unreachable!() };
+        let Lab::R { x, .. } = events[r].lab else {
+            unreachable!()
+        };
         for w in writes_of(x) {
             choice.push(w);
             rec(events, reads, choice, writes_of, emit);
@@ -407,13 +476,17 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
         let mut events = evs.clone();
         for (ri, &w) in choice.iter().enumerate() {
             let r = reads[ri];
-            let Lab::W { v, .. } = events[w].lab else { unreachable!() };
+            let Lab::W { v, .. } = events[w].lab else {
+                unreachable!()
+            };
             if let Lab::R { v: ref mut rv, .. } = events[r].lab {
                 *rv = v;
             }
         }
         for (rid, expect, succeed) in &rmw_constraints {
-            let Lab::R { v, .. } = events[*rid].lab else { unreachable!() };
+            let Lab::R { v, .. } = events[*rid].lab else {
+                unreachable!()
+            };
             if (v == *expect) != *succeed {
                 return; // inconsistent success choice
             }
@@ -455,7 +528,9 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             // Registers: final value = last po read into that register.
             let mut regs: BTreeMap<(usize, Reg), u64> = BTreeMap::new();
             for (rid, tid, reg) in &read_regs {
-                let Lab::R { v, .. } = events[*rid].lab else { unreachable!() };
+                let Lab::R { v, .. } = events[*rid].lab else {
+                    unreachable!()
+                };
                 regs.insert((*tid, *reg), v);
             }
             // (read_regs is in po order per thread, so later reads overwrite.)
@@ -548,7 +623,12 @@ mod tests {
     fn rmw_success_and_failure() {
         let prog = Program {
             locs: 1,
-            threads: vec![vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 5 }]],
+            threads: vec![vec![Op::Rmw {
+                r: 0,
+                x: 0,
+                expect: 0,
+                new: 5,
+            }]],
         };
         let execs = enumerate_executions(&prog);
         // Success: reads init 0, writes 5. The failed variant would need to
@@ -565,13 +645,17 @@ mod tests {
             locs: 1,
             threads: vec![
                 vec![Op::St { x: 0, v: 9 }],
-                vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 5 }],
+                vec![Op::Rmw {
+                    r: 0,
+                    x: 0,
+                    expect: 0,
+                    new: 5,
+                }],
             ],
         };
         let execs = enumerate_executions(&prog);
         // Either the RMW reads 0 (succeeds) or reads 9 (fails).
-        let outcomes: std::collections::BTreeSet<Outcome> =
-            execs.iter().map(Outcome::of).collect();
+        let outcomes: std::collections::BTreeSet<Outcome> = execs.iter().map(Outcome::of).collect();
         assert!(outcomes.iter().any(|o| o.regs == vec![((2, 0), 9)]));
         assert!(outcomes.iter().any(|o| o.regs == vec![((2, 0), 0)]));
     }
@@ -581,14 +665,14 @@ mod tests {
         // Candidate executions of SB: both reads from init or the other
         // thread's store → 4 outcomes before model filtering.
         let execs = enumerate_executions(&sb());
-        let outs: std::collections::BTreeSet<Outcome> =
-            execs.iter().map(Outcome::of).collect();
+        let outs: std::collections::BTreeSet<Outcome> = execs.iter().map(Outcome::of).collect();
         assert_eq!(outs.len(), 4);
         // Every combination of (0|1, 0|1) for the two registers appears.
         for a in [0u64, 1] {
             for b in [0u64, 1] {
                 assert!(
-                    outs.iter().any(|o| o.regs == vec![((1, 0), a), ((2, 0), b)]),
+                    outs.iter()
+                        .any(|o| o.regs == vec![((1, 0), a), ((2, 0), b)]),
                     "missing outcome a={a}, b={b}"
                 );
             }

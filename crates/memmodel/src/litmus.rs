@@ -30,8 +30,16 @@ pub fn sb_fenced() -> Program {
     Program {
         locs: 2,
         threads: vec![
-            vec![Op::St { x: 0, v: 1 }, Op::Fence(FenceTy::Mfence), Op::Ld { r: 0, x: 1 }],
-            vec![Op::St { x: 1, v: 1 }, Op::Fence(FenceTy::Mfence), Op::Ld { r: 0, x: 0 }],
+            vec![
+                Op::St { x: 0, v: 1 },
+                Op::Fence(FenceTy::Mfence),
+                Op::Ld { r: 0, x: 1 },
+            ],
+            vec![
+                Op::St { x: 1, v: 1 },
+                Op::Fence(FenceTy::Mfence),
+                Op::Ld { r: 0, x: 0 },
+            ],
         ],
     }
 }
@@ -52,8 +60,24 @@ pub fn fig10_store_rmw() -> Program {
     Program {
         locs: 2,
         threads: vec![
-            vec![Op::St { x: 0, v: 1 }, Op::Rmw { r: 0, x: 1, expect: 0, new: 2 }],
-            vec![Op::St { x: 1, v: 1 }, Op::Rmw { r: 0, x: 0, expect: 0, new: 2 }],
+            vec![
+                Op::St { x: 0, v: 1 },
+                Op::Rmw {
+                    r: 0,
+                    x: 1,
+                    expect: 0,
+                    new: 2,
+                },
+            ],
+            vec![
+                Op::St { x: 1, v: 1 },
+                Op::Rmw {
+                    r: 0,
+                    x: 0,
+                    expect: 0,
+                    new: 2,
+                },
+            ],
         ],
     }
 }
@@ -63,8 +87,24 @@ pub fn fig10_rmw_load() -> Program {
     Program {
         locs: 2,
         threads: vec![
-            vec![Op::Rmw { r: 1, x: 0, expect: 0, new: 2 }, Op::Ld { r: 0, x: 1 }],
-            vec![Op::Rmw { r: 1, x: 1, expect: 0, new: 2 }, Op::Ld { r: 0, x: 0 }],
+            vec![
+                Op::Rmw {
+                    r: 1,
+                    x: 0,
+                    expect: 0,
+                    new: 2,
+                },
+                Op::Ld { r: 0, x: 1 },
+            ],
+            vec![
+                Op::Rmw {
+                    r: 1,
+                    x: 1,
+                    expect: 0,
+                    new: 2,
+                },
+                Op::Ld { r: 0, x: 0 },
+            ],
         ],
     }
 }
@@ -96,8 +136,18 @@ pub fn rmw_race() -> Program {
     Program {
         locs: 1,
         threads: vec![
-            vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 1 }],
-            vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 2 }],
+            vec![Op::Rmw {
+                r: 0,
+                x: 0,
+                expect: 0,
+                new: 1,
+            }],
+            vec![Op::Rmw {
+                r: 0,
+                x: 0,
+                expect: 0,
+                new: 2,
+            }],
         ],
     }
 }
@@ -178,7 +228,10 @@ mod tests {
         for (name, p) in paper_suite() {
             for model in [Model::X86, Model::Arm, Model::Limm] {
                 let os = outcomes(model, &p);
-                assert!(!os.is_empty(), "{name} has no consistent executions under {model:?}");
+                assert!(
+                    !os.is_empty(),
+                    "{name} has no consistent executions under {model:?}"
+                );
             }
         }
     }
@@ -201,23 +254,53 @@ mod tests {
         let weak = |o: &crate::exec::Outcome| {
             // Outcome threads are 1-based (0 is the init pseudo-thread):
             // 2 = the middle forwarder, 3 = the final reader.
-            let t2r0 = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
-            let t3r0 = o.regs.iter().find(|((t, r), _)| *t == 3 && *r == 0).unwrap().1;
-            let t3r1 = o.regs.iter().find(|((t, r), _)| *t == 3 && *r == 1).unwrap().1;
+            let t2r0 = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 0)
+                .unwrap()
+                .1;
+            let t3r0 = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 3 && *r == 0)
+                .unwrap()
+                .1;
+            let t3r1 = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 3 && *r == 1)
+                .unwrap()
+                .1;
             t2r0 == 1 && t3r0 == 1 && t3r1 == 0
         };
-        assert!(!outcomes(Model::X86, &wrc()).iter().any(weak), "x86 forbids WRC");
-        assert!(outcomes(Model::Arm, &wrc()).iter().any(weak), "unordered Arm allows WRC");
+        assert!(
+            !outcomes(Model::X86, &wrc()).iter().any(weak),
+            "x86 forbids WRC"
+        );
+        assert!(
+            outcomes(Model::Arm, &wrc()).iter().any(weak),
+            "unordered Arm allows WRC"
+        );
         // The mapped program restores the guarantee.
         let mapped = crate::mapping::x86_to_arm(&wrc());
-        assert!(!outcomes(Model::Arm, &mapped).iter().any(weak), "translated WRC is tight");
+        assert!(
+            !outcomes(Model::Arm, &mapped).iter().any(weak),
+            "translated WRC is tight"
+        );
     }
 
     #[test]
     fn iriw_forbidden_on_x86() {
         // Readers disagreeing on the write order is forbidden under TSO.
         let weak = |o: &crate::exec::Outcome| {
-            let g = |t: usize, r: u8| o.regs.iter().find(|((tt, rr), _)| *tt == t && *rr == r).unwrap().1;
+            let g = |t: usize, r: u8| {
+                o.regs
+                    .iter()
+                    .find(|((tt, rr), _)| *tt == t && *rr == r)
+                    .unwrap()
+                    .1
+            };
             // Outcome threads are 1-based: readers are threads 3 and 4.
             g(3, 0) == 1 && g(3, 1) == 0 && g(4, 0) == 1 && g(4, 1) == 0
         };
@@ -233,8 +316,18 @@ mod tests {
             let os = outcomes(model, &corr());
             // Second read cannot see an older value than the first.
             let backwards = os.iter().any(|o| {
-                let a = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
-                let b = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 1).unwrap().1;
+                let a = o
+                    .regs
+                    .iter()
+                    .find(|((t, r), _)| *t == 2 && *r == 0)
+                    .unwrap()
+                    .1;
+                let b = o
+                    .regs
+                    .iter()
+                    .find(|((t, r), _)| *t == 2 && *r == 1)
+                    .unwrap()
+                    .1;
                 a == 1 && b == 0
             });
             assert!(!backwards, "{model:?} allows CoRR violation");

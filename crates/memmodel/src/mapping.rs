@@ -39,7 +39,10 @@ pub fn x86_to_limm(p: &Program) -> Program {
             out
         })
         .collect();
-    Program { locs: p.locs, threads }
+    Program {
+        locs: p.locs,
+        threads,
+    }
 }
 
 /// Figure 8b: IR → Arm.
@@ -71,7 +74,10 @@ pub fn limm_to_arm(p: &Program) -> Program {
             out
         })
         .collect();
-    Program { locs: p.locs, threads }
+    Program {
+        locs: p.locs,
+        threads,
+    }
 }
 
 /// Figure 8c: the composed x86 → Arm mapping.
@@ -93,7 +99,12 @@ pub fn limm_to_arm_acqrel(p: &Program) -> Program {
             for op in ops {
                 match op {
                     Op::Rmw { r, x, expect, new } => {
-                        out.push(Op::RmwAr { r: *r, x: *x, expect: *expect, new: *new });
+                        out.push(Op::RmwAr {
+                            r: *r,
+                            x: *x,
+                            expect: *expect,
+                            new: *new,
+                        });
                     }
                     Op::Fence(FenceTy::Frm) => out.push(Op::Fence(FenceTy::DmbLd)),
                     Op::Fence(FenceTy::Fww) => out.push(Op::Fence(FenceTy::DmbSt)),
@@ -104,7 +115,10 @@ pub fn limm_to_arm_acqrel(p: &Program) -> Program {
             out
         })
         .collect();
-    Program { locs: p.locs, threads }
+    Program {
+        locs: p.locs,
+        threads,
+    }
 }
 
 /// Appendix B, step 1: Arm → IR.
@@ -137,7 +151,12 @@ pub fn arm_to_limm(p: &Program) -> Program {
                         out.push(Op::St { x: *x, v: *v });
                     }
                     Op::RmwAr { r, x, expect, new } => {
-                        out.push(Op::Rmw { r: *r, x: *x, expect: *expect, new: *new });
+                        out.push(Op::Rmw {
+                            r: *r,
+                            x: *x,
+                            expect: *expect,
+                            new: *new,
+                        });
                     }
                     Op::Fence(FenceTy::DmbFf) => out.push(Op::Fence(FenceTy::Fsc)),
                     Op::Fence(FenceTy::DmbLd) => out.push(Op::Fence(FenceTy::Frm)),
@@ -148,7 +167,10 @@ pub fn arm_to_limm(p: &Program) -> Program {
             out
         })
         .collect();
-    Program { locs: p.locs, threads }
+    Program {
+        locs: p.locs,
+        threads,
+    }
 }
 
 /// Appendix B, step 2: IR → x86.
@@ -175,7 +197,10 @@ pub fn limm_to_x86(p: &Program) -> Program {
             out
         })
         .collect();
-    Program { locs: p.locs, threads }
+    Program {
+        locs: p.locs,
+        threads,
+    }
 }
 
 /// Checks the Appendix B chain Arm → IR → x86 on one program.
@@ -239,7 +264,12 @@ mod tests {
                 Op::Ld { r: 0, x: 0 },
                 Op::St { x: 0, v: 1 },
                 Op::Fence(FenceTy::Mfence),
-                Op::Rmw { r: 1, x: 0, expect: 1, new: 2 },
+                Op::Rmw {
+                    r: 1,
+                    x: 0,
+                    expect: 1,
+                    new: 2,
+                },
             ]],
         };
         let ir = x86_to_limm(&p);
@@ -251,7 +281,12 @@ mod tests {
                 Op::Fence(FenceTy::Fww),
                 Op::St { x: 0, v: 1 },
                 Op::Fence(FenceTy::Fsc),
-                Op::Rmw { r: 1, x: 0, expect: 1, new: 2 },
+                Op::Rmw {
+                    r: 1,
+                    x: 0,
+                    expect: 1,
+                    new: 2
+                },
             ]
         );
         let arm = limm_to_arm(&ir);
@@ -264,7 +299,12 @@ mod tests {
                 Op::St { x: 0, v: 1 },
                 Op::Fence(FenceTy::DmbFf),
                 Op::Fence(FenceTy::DmbFf),
-                Op::Rmw { r: 1, x: 0, expect: 1, new: 2 },
+                Op::Rmw {
+                    r: 1,
+                    x: 0,
+                    expect: 1,
+                    new: 2
+                },
                 Op::Fence(FenceTy::DmbFf),
             ]
         );
@@ -322,8 +362,16 @@ mod tests {
         let arm = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 0, v: 1 }, Op::Fence(FenceTy::DmbSt), Op::St { x: 1, v: 1 }],
-                vec![Op::Ld { r: 0, x: 1 }, Op::Fence(FenceTy::DmbLd), Op::Ld { r: 1, x: 0 }],
+                vec![
+                    Op::St { x: 0, v: 1 },
+                    Op::Fence(FenceTy::DmbSt),
+                    Op::St { x: 1, v: 1 },
+                ],
+                vec![
+                    Op::Ld { r: 0, x: 1 },
+                    Op::Fence(FenceTy::DmbLd),
+                    Op::Ld { r: 1, x: 0 },
+                ],
             ],
         };
         let x86 = limm_to_x86(&arm_to_limm(&arm));
@@ -337,8 +385,18 @@ mod tests {
         assert_eq!(fence_count, 0);
         // …and the weak outcome stays forbidden on x86.
         let weak = |o: &Outcome| {
-            let a = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
-            let b = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 1).unwrap().1;
+            let a = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 0)
+                .unwrap()
+                .1;
+            let b = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 1)
+                .unwrap()
+                .1;
             a == 1 && b == 0
         };
         assert!(!outcomes(Model::X86, &x86).iter().any(weak));
@@ -356,11 +414,24 @@ mod tests {
             ],
         };
         let weak = |o: &Outcome| {
-            let a = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
-            let b = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 1).unwrap().1;
+            let a = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 0)
+                .unwrap()
+                .1;
+            let b = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 1)
+                .unwrap()
+                .1;
             a == 1 && b == 0
         };
-        assert!(!outcomes(Model::Arm, &arm).iter().any(weak), "release/acquire MP must be tight");
+        assert!(
+            !outcomes(Model::Arm, &arm).iter().any(weak),
+            "release/acquire MP must be tight"
+        );
         // And the reverse chain carries the guarantee to x86.
         check_reverse_chain(&arm).unwrap();
     }
@@ -389,8 +460,24 @@ mod tests {
         let p = Program {
             locs: 2,
             threads: vec![
-                vec![Op::Rmw { r: 1, x: 0, expect: 0, new: 2 }, Op::Ld { r: 0, x: 1 }],
-                vec![Op::Rmw { r: 1, x: 1, expect: 0, new: 2 }, Op::Ld { r: 0, x: 0 }],
+                vec![
+                    Op::Rmw {
+                        r: 1,
+                        x: 0,
+                        expect: 0,
+                        new: 2,
+                    },
+                    Op::Ld { r: 0, x: 1 },
+                ],
+                vec![
+                    Op::Rmw {
+                        r: 1,
+                        x: 1,
+                        expect: 0,
+                        new: 2,
+                    },
+                    Op::Ld { r: 0, x: 0 },
+                ],
             ],
         };
         // Weak mapping: RMW without surrounding DMBFF.

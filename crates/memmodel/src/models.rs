@@ -24,7 +24,10 @@ fn writes(x: &Execution) -> Rel {
 }
 
 fn fences_matching(x: &Execution, pred: impl Fn(FenceTy) -> bool) -> Rel {
-    Rel::identity_where(x.events.len(), |i| matches!(x.events[i].lab, Lab::F(ft) if pred(ft)))
+    Rel::identity_where(
+        x.events.len(),
+        |i| matches!(x.events[i].lab, Lab::F(ft) if pred(ft)),
+    )
 }
 
 /// `sc-per-loc`: `(po|loc ∪ rf ∪ co ∪ fr)` acyclic (§6.2).
@@ -64,7 +67,9 @@ pub fn x86_consistent(x: &Execution) -> bool {
         matches!(x.events[i].lab, Lab::F(_))
             || x.rmw.pairs().iter().any(|(a, b)| *a == i || *b == i)
     });
-    let implied = x.po.compose(&at_or_fence).union(&at_or_fence.compose(&x.po));
+    let implied =
+        x.po.compose(&at_or_fence)
+            .union(&at_or_fence.compose(&x.po));
     let rfe = x.external(&x.rf);
     let hb = ppo.union(&implied).union(&rfe).union(&x.fr()).union(&x.co);
     hb.is_acyclic()
@@ -154,7 +159,10 @@ pub fn consistent(model: Model, x: &Execution) -> bool {
 }
 
 /// All observable outcomes of `prog` under `model`.
-pub fn outcomes(model: Model, prog: &crate::exec::Program) -> std::collections::BTreeSet<crate::exec::Outcome> {
+pub fn outcomes(
+    model: Model,
+    prog: &crate::exec::Program,
+) -> std::collections::BTreeSet<crate::exec::Outcome> {
     crate::exec::enumerate_executions(prog)
         .iter()
         .filter(|x| consistent(model, x))
@@ -168,7 +176,11 @@ mod tests {
     use crate::exec::{Op, Outcome, Program};
 
     fn reg_outcome(o: &Outcome, tid: usize, r: u8) -> u64 {
-        o.regs.iter().find(|((t, rr), _)| *t == tid && *rr == r).map(|(_, v)| *v).unwrap()
+        o.regs
+            .iter()
+            .find(|((t, rr), _)| *t == tid && *rr == r)
+            .map(|(_, v)| *v)
+            .unwrap()
     }
 
     /// SB (Figure 1): a=b=0 allowed on x86, Arm, and LIMM.
@@ -183,11 +195,16 @@ mod tests {
             }
             t0.push(Op::Ld { r: 0, x: 1 });
             t1.push(Op::Ld { r: 0, x: 0 });
-            Program { locs: 2, threads: vec![t0, t1] }
+            Program {
+                locs: 2,
+                threads: vec![t0, t1],
+            }
         };
         for model in [Model::X86, Model::Arm, Model::Limm] {
             let os = outcomes(model, &sb(None));
-            let weak = os.iter().any(|o| reg_outcome(o, 1, 0) == 0 && reg_outcome(o, 2, 0) == 0);
+            let weak = os
+                .iter()
+                .any(|o| reg_outcome(o, 1, 0) == 0 && reg_outcome(o, 2, 0) == 0);
             assert!(weak, "{model:?} must allow SB a=b=0");
         }
         // With full fences, the weak outcome disappears in every model.
@@ -197,7 +214,9 @@ mod tests {
             (Model::Limm, FenceTy::Fsc),
         ] {
             let os = outcomes(model, &sb(Some(fence)));
-            let weak = os.iter().any(|o| reg_outcome(o, 1, 0) == 0 && reg_outcome(o, 2, 0) == 0);
+            let weak = os
+                .iter()
+                .any(|o| reg_outcome(o, 1, 0) == 0 && reg_outcome(o, 2, 0) == 0);
             assert!(!weak, "{model:?} fenced SB must forbid a=b=0");
         }
     }
@@ -213,10 +232,19 @@ mod tests {
             ],
         };
         let weak = |o: &Outcome| reg_outcome(o, 2, 0) == 1 && reg_outcome(o, 2, 1) == 0;
-        assert!(!outcomes(Model::X86, &mp).iter().any(weak), "x86 forbids MP a=1,b=0");
-        assert!(outcomes(Model::Arm, &mp).iter().any(weak), "Arm allows MP a=1,b=0");
+        assert!(
+            !outcomes(Model::X86, &mp).iter().any(weak),
+            "x86 forbids MP a=1,b=0"
+        );
+        assert!(
+            outcomes(Model::Arm, &mp).iter().any(weak),
+            "Arm allows MP a=1,b=0"
+        );
         // Plain LIMM non-atomics are weaker than x86: allowed.
-        assert!(outcomes(Model::Limm, &mp).iter().any(weak), "LIMM allows unfenced MP");
+        assert!(
+            outcomes(Model::Limm, &mp).iter().any(weak),
+            "LIMM allows unfenced MP"
+        );
     }
 
     /// MP with the paper's Figure 9 fence placement is forbidden in LIMM
@@ -226,18 +254,37 @@ mod tests {
         let limm = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 0, v: 1 }, Op::Fence(FenceTy::Fww), Op::St { x: 1, v: 1 }],
-                vec![Op::Ld { r: 0, x: 1 }, Op::Fence(FenceTy::Frm), Op::Ld { r: 1, x: 0 }],
+                vec![
+                    Op::St { x: 0, v: 1 },
+                    Op::Fence(FenceTy::Fww),
+                    Op::St { x: 1, v: 1 },
+                ],
+                vec![
+                    Op::Ld { r: 0, x: 1 },
+                    Op::Fence(FenceTy::Frm),
+                    Op::Ld { r: 1, x: 0 },
+                ],
             ],
         };
         let weak = |o: &Outcome| reg_outcome(o, 2, 0) == 1 && reg_outcome(o, 2, 1) == 0;
-        assert!(!outcomes(Model::Limm, &limm).iter().any(weak), "Figure 9b forbids a=1,b=0");
+        assert!(
+            !outcomes(Model::Limm, &limm).iter().any(weak),
+            "Figure 9b forbids a=1,b=0"
+        );
 
         let arm = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 1, v: 1 }, Op::Fence(FenceTy::DmbSt), Op::St { x: 0, v: 1 }],
-                vec![Op::Ld { r: 0, x: 1 }, Op::Fence(FenceTy::DmbLd), Op::Ld { r: 1, x: 0 }],
+                vec![
+                    Op::St { x: 1, v: 1 },
+                    Op::Fence(FenceTy::DmbSt),
+                    Op::St { x: 0, v: 1 },
+                ],
+                vec![
+                    Op::Ld { r: 0, x: 1 },
+                    Op::Fence(FenceTy::DmbLd),
+                    Op::Ld { r: 1, x: 0 },
+                ],
             ],
         };
         // NB: Figure 9c stores Y first then X under DMBST ordering; the weak
@@ -245,11 +292,22 @@ mod tests {
         let arm2 = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 0, v: 1 }, Op::Fence(FenceTy::DmbSt), Op::St { x: 1, v: 1 }],
-                vec![Op::Ld { r: 0, x: 1 }, Op::Fence(FenceTy::DmbLd), Op::Ld { r: 1, x: 0 }],
+                vec![
+                    Op::St { x: 0, v: 1 },
+                    Op::Fence(FenceTy::DmbSt),
+                    Op::St { x: 1, v: 1 },
+                ],
+                vec![
+                    Op::Ld { r: 0, x: 1 },
+                    Op::Fence(FenceTy::DmbLd),
+                    Op::Ld { r: 1, x: 0 },
+                ],
             ],
         };
-        assert!(!outcomes(Model::Arm, &arm2).iter().any(weak), "Figure 9c forbids a=1,b=0");
+        assert!(
+            !outcomes(Model::Arm, &arm2).iter().any(weak),
+            "Figure 9c forbids a=1,b=0"
+        );
         let _ = arm;
     }
 
@@ -263,19 +321,33 @@ mod tests {
             locs: 2,
             threads: vec![
                 vec![Op::St { x: 0, v: 1 }, Op::St { x: 1, v: 1 }],
-                vec![Op::Ld { r: 0, x: 1 }, Op::Fence(FenceTy::Frm), Op::Ld { r: 1, x: 0 }],
+                vec![
+                    Op::Ld { r: 0, x: 1 },
+                    Op::Fence(FenceTy::Frm),
+                    Op::Ld { r: 1, x: 0 },
+                ],
             ],
         };
-        assert!(outcomes(Model::Limm, &no_fww).iter().any(weak), "without Fww the outcome returns");
+        assert!(
+            outcomes(Model::Limm, &no_fww).iter().any(weak),
+            "without Fww the outcome returns"
+        );
         // No Frm on the reader.
         let no_frm = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 0, v: 1 }, Op::Fence(FenceTy::Fww), Op::St { x: 1, v: 1 }],
+                vec![
+                    Op::St { x: 0, v: 1 },
+                    Op::Fence(FenceTy::Fww),
+                    Op::St { x: 1, v: 1 },
+                ],
                 vec![Op::Ld { r: 0, x: 1 }, Op::Ld { r: 1, x: 0 }],
             ],
         };
-        assert!(outcomes(Model::Limm, &no_frm).iter().any(weak), "without Frm the outcome returns");
+        assert!(
+            outcomes(Model::Limm, &no_frm).iter().any(weak),
+            "without Frm the outcome returns"
+        );
     }
 
     /// Coherence: same-location writes + reads are SC-per-loc in all models.
@@ -288,7 +360,10 @@ mod tests {
         };
         for model in [Model::X86, Model::Arm, Model::Limm] {
             let os = outcomes(model, &prog);
-            assert!(os.iter().all(|o| reg_outcome(o, 1, 0) == 1), "{model:?} violates coherence");
+            assert!(
+                os.iter().all(|o| reg_outcome(o, 1, 0) == 1),
+                "{model:?} violates coherence"
+            );
         }
     }
 
@@ -298,8 +373,18 @@ mod tests {
         let prog = Program {
             locs: 1,
             threads: vec![
-                vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 1 }],
-                vec![Op::Rmw { r: 0, x: 0, expect: 0, new: 2 }],
+                vec![Op::Rmw {
+                    r: 0,
+                    x: 0,
+                    expect: 0,
+                    new: 1,
+                }],
+                vec![Op::Rmw {
+                    r: 0,
+                    x: 0,
+                    expect: 0,
+                    new: 2,
+                }],
             ],
         };
         for model in [Model::X86, Model::Arm, Model::Limm] {
@@ -322,8 +407,24 @@ mod tests {
         let prog = Program {
             locs: 2,
             threads: vec![
-                vec![Op::St { x: 0, v: 1 }, Op::Rmw { r: 0, x: 1, expect: 0, new: 2 }],
-                vec![Op::St { x: 1, v: 1 }, Op::Rmw { r: 0, x: 0, expect: 0, new: 2 }],
+                vec![
+                    Op::St { x: 0, v: 1 },
+                    Op::Rmw {
+                        r: 0,
+                        x: 1,
+                        expect: 0,
+                        new: 2,
+                    },
+                ],
+                vec![
+                    Op::St { x: 1, v: 1 },
+                    Op::Rmw {
+                        r: 0,
+                        x: 0,
+                        expect: 0,
+                        new: 2,
+                    },
+                ],
             ],
         };
         for model in [Model::Limm, Model::X86] {
@@ -342,15 +443,41 @@ mod tests {
         let prog = Program {
             locs: 2,
             threads: vec![
-                vec![Op::Rmw { r: 1, x: 0, expect: 0, new: 2 }, Op::Ld { r: 0, x: 1 }],
-                vec![Op::Rmw { r: 1, x: 1, expect: 0, new: 2 }, Op::Ld { r: 0, x: 0 }],
+                vec![
+                    Op::Rmw {
+                        r: 1,
+                        x: 0,
+                        expect: 0,
+                        new: 2,
+                    },
+                    Op::Ld { r: 0, x: 1 },
+                ],
+                vec![
+                    Op::Rmw {
+                        r: 1,
+                        x: 1,
+                        expect: 0,
+                        new: 2,
+                    },
+                    Op::Ld { r: 0, x: 0 },
+                ],
             ],
         };
         for model in [Model::Limm, Model::X86] {
             let os = outcomes(model, &prog);
             let bad = os.iter().any(|o| {
-                let a = o.regs.iter().find(|((t, r), _)| *t == 1 && *r == 0).unwrap().1;
-                let b = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
+                let a = o
+                    .regs
+                    .iter()
+                    .find(|((t, r), _)| *t == 1 && *r == 0)
+                    .unwrap()
+                    .1;
+                let b = o
+                    .regs
+                    .iter()
+                    .find(|((t, r), _)| *t == 2 && *r == 0)
+                    .unwrap()
+                    .1;
                 a == 0 && b == 0
             });
             assert!(!bad, "{model:?} must disallow a=b=0 in Figure 10");

@@ -17,7 +17,10 @@ impl Rel {
     /// The empty relation over `n` elements.
     pub fn new(n: usize) -> Rel {
         assert!(n <= 64, "relation too large");
-        Rel { n, rows: vec![0; n] }
+        Rel {
+            n,
+            rows: vec![0; n],
+        }
     }
 
     /// Identity relation restricted to the elements where `pred` holds.

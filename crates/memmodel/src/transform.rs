@@ -44,9 +44,7 @@ pub fn ops_reorderable(a: &Op, b: &Op) -> bool {
     }
     // Loads targeting the same register are order-sensitive.
     let reg = |op: &Op| match op {
-        Op::Ld { r, .. } | Op::LdA { r, .. } | Op::Rmw { r, .. } | Op::RmwAr { r, .. } => {
-            Some(*r)
-        }
+        Op::Ld { r, .. } | Op::LdA { r, .. } | Op::Rmw { r, .. } | Op::RmwAr { r, .. } => Some(*r),
         _ => None,
     };
     if let (Some(r1), Some(r2)) = (reg(a), reg(b)) {
@@ -95,7 +93,12 @@ pub fn check_safe_swaps(p: &Program) -> Result<(), String> {
 /// never used must not change observable behaviour. At the model level the
 /// introduced read defines a register absent from the source program, so
 /// the check projects target outcomes onto the source's registers.
-pub fn check_speculative_load_intro(p: &Program, tid: usize, at: usize, x: u8) -> Result<(), String> {
+pub fn check_speculative_load_intro(
+    p: &Program,
+    tid: usize,
+    at: usize,
+    x: u8,
+) -> Result<(), String> {
     // Fresh register number: one past the maximum used.
     let fresh = p
         .threads
@@ -178,7 +181,10 @@ mod tests {
         bad.threads[0].swap(2, 3);
         let base = outcomes(Model::Limm, &ir);
         let after = outcomes(Model::Limm, &bad);
-        assert!(!after.is_subset(&base), "the forbidden Fww·Wna swap must be observable");
+        assert!(
+            !after.is_subset(&base),
+            "the forbidden Fww·Wna swap must be observable"
+        );
     }
 
     /// §7.2: speculative load introduction is sound on LIMM — at every
@@ -219,7 +225,12 @@ mod tests {
         };
         let base = outcomes(Model::Limm, &orig);
         for o in outcomes(Model::Limm, &reduced) {
-            let r0 = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
+            let r0 = o
+                .regs
+                .iter()
+                .find(|((t, r), _)| *t == 2 && *r == 0)
+                .unwrap()
+                .1;
             let mut extended = o.clone();
             extended.regs.push(((2, 1), r0));
             extended.regs.sort();

@@ -17,17 +17,34 @@ fn op_for(label: Label, first: bool) -> Op {
         Label::Rna => Op::Ld { r, x },
         Label::Wna => Op::St { x, v: 7 },
         // A failed RMW: expects a value never written anywhere.
-        Label::Rsc => Op::Rmw { r, x, expect: 99, new: 50 },
+        Label::Rsc => Op::Rmw {
+            r,
+            x,
+            expect: 99,
+            new: 50,
+        },
         // A successful RMW (reads the init 0).
-        Label::Rmw => Op::Rmw { r, x, expect: 0, new: 5 },
+        Label::Rmw => Op::Rmw {
+            r,
+            x,
+            expect: 0,
+            new: 5,
+        },
         Label::Frm => Op::Fence(FenceTy::Frm),
         Label::Fww => Op::Fence(FenceTy::Fww),
         Label::Fsc => Op::Fence(FenceTy::Fsc),
     }
 }
 
-const ALL: [Label; 7] =
-    [Label::Rna, Label::Wna, Label::Rsc, Label::Rmw, Label::Frm, Label::Fww, Label::Fsc];
+const ALL: [Label; 7] = [
+    Label::Rna,
+    Label::Wna,
+    Label::Rsc,
+    Label::Rmw,
+    Label::Frm,
+    Label::Fww,
+    Label::Fsc,
+];
 
 /// Context partner threads that can observe reordering.
 fn partner_threads() -> Vec<Vec<Op>> {
@@ -36,8 +53,35 @@ fn partner_threads() -> Vec<Vec<Op>> {
         vec![Op::Ld { r: 2, x: 1 }, Op::Ld { r: 3, x: 0 }],
         vec![Op::St { x: 0, v: 3 }, Op::Ld { r: 2, x: 1 }],
         vec![Op::St { x: 1, v: 3 }, Op::Ld { r: 2, x: 0 }],
-        vec![Op::Ld { r: 2, x: 1 }, Op::Fence(FenceTy::Frm), Op::Ld { r: 3, x: 0 }],
-        vec![Op::St { x: 0, v: 3 }, Op::Fence(FenceTy::Fww), Op::St { x: 1, v: 3 }],
+        vec![
+            Op::Ld { r: 2, x: 1 },
+            Op::Fence(FenceTy::Frm),
+            Op::Ld { r: 3, x: 0 },
+        ],
+        vec![
+            Op::St { x: 0, v: 3 },
+            Op::Fence(FenceTy::Fww),
+            Op::St { x: 1, v: 3 },
+        ],
+        // LB observer: reads x1, then (fenced) writes x0. Witnesses a load
+        // sinking below its trailing fence — only a load-buffering shape
+        // can see the loss of the [R];po;[Frm];po;[W] edge.
+        vec![
+            Op::Ld { r: 2, x: 1 },
+            Op::Fence(FenceTy::Frm),
+            Op::St { x: 0, v: 6 },
+        ],
+        // SB observer: an RMW (full fence in LIMM) to x1 then a load of x0.
+        // Witnesses write→read orderings such as Rmw·Rna (Figure 10 right).
+        vec![
+            Op::Rmw {
+                r: 2,
+                x: 1,
+                expect: 0,
+                new: 6,
+            },
+            Op::Ld { r: 3, x: 0 },
+        ],
     ]
 }
 
@@ -48,6 +92,9 @@ fn shells(a: Op, b: Op) -> Vec<Vec<Op>> {
         vec![Op::St { x: 0, v: 1 }, a, b],
         vec![a, b, Op::Ld { r: 4, x: 1 }],
         vec![Op::St { x: 1, v: 2 }, a, b, Op::Ld { r: 4, x: 0 }],
+        // Trailing store: completes the thread-0 half of LB/SB shapes so
+        // pair-vs-later-write orderings become observable.
+        vec![a, b, Op::St { x: 1, v: 4 }],
     ]
 }
 
@@ -66,9 +113,14 @@ fn contexts_with_new_outcomes(la: Label, lb: Label) -> usize {
     for shell in shells(a, b) {
         let at = shell.iter().position(|o| *o == a).expect("pair present");
         for partner in partner_threads() {
-            let orig = Program { locs: 2, threads: vec![shell.clone(), partner.clone()] };
-            let swapped =
-                Program { locs: 2, threads: vec![swap_pair(&shell, at), partner.clone()] };
+            let orig = Program {
+                locs: 2,
+                threads: vec![shell.clone(), partner.clone()],
+            };
+            let swapped = Program {
+                locs: 2,
+                threads: vec![swap_pair(&shell, at), partner.clone()],
+            };
             let base: BTreeSet<_> = outcomes(Model::Limm, &orig);
             let after: BTreeSet<_> = outcomes(Model::Limm, &swapped);
             if !after.is_subset(&base) {

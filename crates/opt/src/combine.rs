@@ -75,10 +75,20 @@ fn simplify(m: &Module, f: &Function, id: InstId) -> Option<Operand> {
             // Canonical algebraic identities.
             let czero = |o: &Operand| const_int(o).is_some_and(|(_, v)| v == 0);
             let cone = |o: &Operand| const_int(o).is_some_and(|(t, v)| v == 1 && t == ty);
-            let call_ones =
-                |o: &Operand| const_int(o).is_some_and(|(t, v)| v == t.int_bits().map_or(0, |b| if b == 64 { u64::MAX } else { (1 << b) - 1 }));
+            let call_ones = |o: &Operand| {
+                const_int(o).is_some_and(|(t, v)| {
+                    v == t
+                        .int_bits()
+                        .map_or(0, |b| if b == 64 { u64::MAX } else { (1 << b) - 1 })
+                })
+            };
             match op {
-                BinOp::Add | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::LShr | BinOp::AShr
+                BinOp::Add
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::Shl
+                | BinOp::LShr
+                | BinOp::AShr
                 | BinOp::Sub => {
                     if czero(rhs) {
                         return Some(*lhs);
@@ -148,7 +158,11 @@ fn simplify(m: &Module, f: &Function, id: InstId) -> Option<Operand> {
             // Cast-of-cast chains.
             if let Operand::Inst(src) = val {
                 let src_inst = f.inst(*src);
-                if let InstKind::Cast { op: src_op, val: orig } = &src_inst.kind {
+                if let InstKind::Cast {
+                    op: src_op,
+                    val: orig,
+                } = &src_inst.kind
+                {
                     let orig_ty = m.operand_ty(f, orig);
                     match (src_op, op) {
                         // trunc(zext x) or trunc(sext x) back to the original type.
@@ -176,7 +190,11 @@ fn simplify(m: &Module, f: &Function, id: InstId) -> Option<Operand> {
             }
             None
         }
-        InstKind::Select { cond, if_true, if_false } => {
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
             if let Some((_, c)) = const_int(cond) {
                 return Some(if c & 1 != 0 { *if_true } else { *if_false });
             }
@@ -204,8 +222,13 @@ pub fn reassociate(m: &Module, f: &mut Function) -> usize {
     let mut changed = 0;
     let ids: Vec<InstId> = f.iter_insts().map(|(_, id)| id).collect();
     for id in ids {
-        let InstKind::Bin { op, lhs, rhs } = f.inst(id).kind.clone() else { continue };
-        if !matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor) {
+        let InstKind::Bin { op, lhs, rhs } = f.inst(id).kind.clone() else {
+            continue;
+        };
+        if !matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        ) {
             continue;
         }
         // Normalise: constant on the right.
@@ -215,7 +238,11 @@ pub fn reassociate(m: &Module, f: &mut Function) -> usize {
             _ => continue,
         };
         let Operand::Inst(inner_id) = x else { continue };
-        let InstKind::Bin { op: inner_op, lhs: il, rhs: ir } = f.inst(inner_id).kind.clone()
+        let InstKind::Bin {
+            op: inner_op,
+            lhs: il,
+            rhs: ir,
+        } = f.inst(inner_id).kind.clone()
         else {
             continue;
         };
@@ -230,7 +257,9 @@ pub fn reassociate(m: &Module, f: &mut Function) -> usize {
         let ty = f.inst(id).ty;
         let (_, c1v) = const_int(&c1).unwrap();
         let (_, c2v) = const_int(&c2).unwrap();
-        let Some(folded) = fold_bin(op, ty, c1v, c2v) else { continue };
+        let Some(folded) = fold_bin(op, ty, c1v, c2v) else {
+            continue;
+        };
         f.inst_mut(id).kind = InstKind::Bin {
             op,
             lhs: y,
@@ -248,15 +277,31 @@ mod tests {
     use lasagne_lir::types::Ty;
 
     fn with_entry(ret: Ty) -> (Module, Function) {
-        (Module::new(), Function::new("t", vec![Ty::I64, Ty::I64], ret))
+        (
+            Module::new(),
+            Function::new("t", vec![Ty::I64, Ty::I64], ret),
+        )
     }
 
     #[test]
     fn folds_constants() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::i64(40), rhs: Operand::i64(2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::i64(40),
+                rhs: Operand::i64(2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         assert_eq!(instcombine(&m, &mut f), 1);
         match f.block(e).term {
             Terminator::Ret { val: Some(v) } => assert_eq!(v.as_const_int(), Some(42)),
@@ -268,13 +313,44 @@ mod tests {
     fn removes_identities() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(0) });
-        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(a), rhs: Operand::i64(1) });
-        let c = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::And, lhs: Operand::Inst(b), rhs: Operand::i64(-1) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(0),
+            },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Inst(a),
+                rhs: Operand::i64(1),
+            },
+        );
+        let c = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::And,
+                lhs: Operand::Inst(b),
+                rhs: Operand::i64(-1),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(c)),
+            },
+        );
         while instcombine(&m, &mut f) > 0 {}
         match f.block(e).term {
-            Terminator::Ret { val: Some(Operand::Param(0)) } => {}
+            Terminator::Ret {
+                val: Some(Operand::Param(0)),
+            } => {}
             ref t => panic!("expected direct param return, got {t:?}"),
         }
     }
@@ -283,8 +359,21 @@ mod tests {
     fn xor_self_is_zero() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Xor, lhs: Operand::Param(0), rhs: Operand::Param(0) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(a)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Xor,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(0),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
         assert_eq!(instcombine(&m, &mut f), 1);
     }
 
@@ -292,11 +381,44 @@ mod tests {
     fn collapses_cast_pairs() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let t = f.push(e, Ty::I32, InstKind::Cast { op: CastOp::Trunc, val: Operand::Param(0) });
-        let z = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: Operand::Inst(t) });
-        let t2 = f.push(e, Ty::I32, InstKind::Cast { op: CastOp::Trunc, val: Operand::Inst(z) });
-        let z2 = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: Operand::Inst(t2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(z2)) });
+        let t = f.push(
+            e,
+            Ty::I32,
+            InstKind::Cast {
+                op: CastOp::Trunc,
+                val: Operand::Param(0),
+            },
+        );
+        let z = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::ZExt,
+                val: Operand::Inst(t),
+            },
+        );
+        let t2 = f.push(
+            e,
+            Ty::I32,
+            InstKind::Cast {
+                op: CastOp::Trunc,
+                val: Operand::Inst(z),
+            },
+        );
+        let z2 = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::ZExt,
+                val: Operand::Inst(t2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(z2)),
+            },
+        );
         // trunc(zext t) → t, then the outer zext(t) duplicates z (left for GVN).
         assert!(instcombine(&m, &mut f) >= 1);
         assert!(matches!(f.inst(t2).kind, InstKind::Cast { .. }));
@@ -306,9 +428,30 @@ mod tests {
     fn folds_icmp_and_select() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let c = f.push(e, Ty::I1, InstKind::ICmp { pred: IPred::Slt, lhs: Operand::i64(-5), rhs: Operand::i64(3) });
-        let s = f.push(e, Ty::I64, InstKind::Select { cond: Operand::Inst(c), if_true: Operand::i64(1), if_false: Operand::i64(2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        let c = f.push(
+            e,
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: Operand::i64(-5),
+                rhs: Operand::i64(3),
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Select {
+                cond: Operand::Inst(c),
+                if_true: Operand::i64(1),
+                if_false: Operand::i64(2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
         while instcombine(&m, &mut f) > 0 {}
         match f.block(e).term {
             Terminator::Ret { val: Some(v) } => assert_eq!(v.as_const_int(), Some(1)),
@@ -320,12 +463,37 @@ mod tests {
     fn reassociates_constant_chains() {
         let (m, mut f) = with_entry(Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(16) });
-        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(a), rhs: Operand::i64(-8) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(b)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(16),
+            },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(a),
+                rhs: Operand::i64(-8),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(b)),
+            },
+        );
         assert_eq!(reassociate(&m, &mut f), 1);
         match &f.inst(b).kind {
-            InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs } => {
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs,
+            } => {
                 assert_eq!(rhs.as_const_int(), Some(8));
             }
             k => panic!("unexpected {k:?}"),

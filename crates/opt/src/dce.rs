@@ -49,17 +49,26 @@ pub fn adce(f: &mut Function) -> usize {
                 }
             }
         }
-        f.block(b).term.for_each_operand(|op| mark(op, &mut live, &mut work));
+        f.block(b)
+            .term
+            .for_each_operand(|op| mark(op, &mut live, &mut work));
     }
     while let Some(id) = work.pop() {
-        f.inst(id).kind.for_each_operand(|op| mark(op, &mut live, &mut work));
+        f.inst(id)
+            .kind
+            .for_each_operand(|op| mark(op, &mut live, &mut work));
     }
 
     let mut removed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {
         let before = f.block(b).insts.len();
-        let keep: Vec<InstId> =
-            f.block(b).insts.iter().copied().filter(|i| live[i.0 as usize]).collect();
+        let keep: Vec<InstId> = f
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .filter(|i| live[i.0 as usize])
+            .collect();
         removed += before - keep.len();
         f.block_mut(b).insts = keep;
     }
@@ -76,9 +85,30 @@ mod tests {
     fn dce_removes_unused_chain() {
         let mut f = Function::new("f", vec![Ty::I64], Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(1) });
-        let _b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(a), rhs: Operand::i64(2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Param(0)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(1),
+            },
+        );
+        let _b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Inst(a),
+                rhs: Operand::i64(2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Param(0)),
+            },
+        );
         assert_eq!(dce(&mut f), 2);
         assert_eq!(f.live_inst_count(), 0);
     }
@@ -87,12 +117,22 @@ mod tests {
     fn dce_keeps_side_effects() {
         let mut f = Function::new("f", vec![Ty::Ptr(lasagne_lir::Pointee::I64)], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store {
-            ptr: Operand::Param(0),
-            val: Operand::i64(1),
-            order: lasagne_lir::inst::Ordering::NotAtomic,
-        });
-        f.push(e, Ty::Void, InstKind::Fence { kind: lasagne_lir::inst::FenceKind::Fww });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+                order: lasagne_lir::inst::Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: lasagne_lir::inst::FenceKind::Fww,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(dce(&mut f), 0);
         assert_eq!(f.live_inst_count(), 2);
@@ -107,10 +147,32 @@ mod tests {
         let exit = f.add_block();
         f.set_term(e, Terminator::Br { dest: body });
         let p = f.push(body, Ty::I64, InstKind::Phi { incoming: vec![] });
-        let q = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(p), rhs: Operand::i64(1) });
-        f.inst_mut(p).kind = InstKind::Phi { incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(q))] };
-        f.set_term(body, Terminator::CondBr { cond: Operand::Param(0), if_true: body, if_false: exit });
-        f.set_term(exit, Terminator::Ret { val: Some(Operand::i64(7)) });
+        let q = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(p),
+                rhs: Operand::i64(1),
+            },
+        );
+        f.inst_mut(p).kind = InstKind::Phi {
+            incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(q))],
+        };
+        f.set_term(
+            body,
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: body,
+                if_false: exit,
+            },
+        );
+        f.set_term(
+            exit,
+            Terminator::Ret {
+                val: Some(Operand::i64(7)),
+            },
+        );
 
         // Plain DCE can't remove the mutually-referencing pair…
         let mut g = f.clone();

@@ -20,7 +20,11 @@ pub fn dse(f: &mut Function) -> usize {
         let mut kill: Vec<InstId> = Vec::new();
         for id in ids {
             match f.inst(id).kind.clone() {
-                InstKind::Store { ptr, order: Ordering::NotAtomic, .. } => {
+                InstKind::Store {
+                    ptr,
+                    order: Ordering::NotAtomic,
+                    ..
+                } => {
                     let key = format!("{ptr:?}");
                     if let Some((prev, fence)) = pending.get(&key) {
                         let legal = match fence {
@@ -80,9 +84,11 @@ pub fn dse_dead_slots(f: &mut Function) -> usize {
                 continue;
             }
             match &inst.kind {
-                InstKind::Store { ptr, val, order: Ordering::NotAtomic }
-                    if *ptr == this && *val != this =>
-                {
+                InstKind::Store {
+                    ptr,
+                    val,
+                    order: Ordering::NotAtomic,
+                } if *ptr == this && *val != this => {
                     stores.push(id);
                 }
                 _ => {
@@ -111,8 +117,24 @@ mod tests {
     fn overwritten_store_removed() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(2),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(dse(&mut f), 1);
         assert_eq!(f.live_inst_count(), 1);
@@ -120,12 +142,32 @@ mod tests {
 
     #[test]
     fn waw_through_fww_removed_but_not_through_fsc() {
-        for (kind, expect) in [(FenceKind::Fww, 1), (FenceKind::Frm, 1), (FenceKind::Fsc, 0)] {
+        for (kind, expect) in [
+            (FenceKind::Fww, 1),
+            (FenceKind::Frm, 1),
+            (FenceKind::Fsc, 0),
+        ] {
             let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
             let e = f.entry();
-            f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
+            f.push(
+                e,
+                Ty::Void,
+                InstKind::Store {
+                    ptr: Operand::Param(0),
+                    val: Operand::i64(1),
+                    order: Ordering::NotAtomic,
+                },
+            );
             f.push(e, Ty::Void, InstKind::Fence { kind });
-            f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
+            f.push(
+                e,
+                Ty::Void,
+                InstKind::Store {
+                    ptr: Operand::Param(0),
+                    val: Operand::i64(2),
+                    order: Ordering::NotAtomic,
+                },
+            );
             f.set_term(e, Terminator::Ret { val: None });
             assert_eq!(dse(&mut f), expect, "fence {kind:?}");
         }
@@ -135,10 +177,38 @@ mod tests {
     fn intervening_load_blocks() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(2),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(dse(&mut f), 0);
     }
 
@@ -147,8 +217,24 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::Void);
         let e = f.entry();
         let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(1), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(2), order: Ordering::NotAtomic });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(2),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(dse_dead_slots(&mut f), 2);
     }
@@ -157,8 +243,24 @@ mod tests {
     fn seqcst_store_not_touched() {
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::Void);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::SeqCst });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(2), order: Ordering::SeqCst });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+                order: Ordering::SeqCst,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(2),
+                order: Ordering::SeqCst,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(dse(&mut f), 0);
     }

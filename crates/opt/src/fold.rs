@@ -81,7 +81,12 @@ pub fn fold_icmp(pred: IPred, ty: Ty, a: u64, b: u64) -> bool {
 /// Folds an integer-to-integer (or fp-involving, when computable) cast over
 /// a constant operand.
 pub fn fold_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> Option<Operand> {
-    let out = |val: u64| Some(Operand::ConstInt { ty: to, val: mask(val, to) });
+    let out = |val: u64| {
+        Some(Operand::ConstInt {
+            ty: to,
+            val: mask(val, to),
+        })
+    };
     match op {
         CastOp::Trunc => out(v),
         CastOp::ZExt => out(mask(v, from)),
@@ -106,7 +111,9 @@ pub fn fold_cast(op: CastOp, from: Ty, to: Ty, v: u64) -> Option<Operand> {
                 Some(Operand::ConstF64(x.to_bits()))
             }
         }
-        CastOp::FpExt => Some(Operand::ConstF64(f64::from(f32::from_bits(v as u32)).to_bits())),
+        CastOp::FpExt => Some(Operand::ConstF64(
+            f64::from(f32::from_bits(v as u32)).to_bits(),
+        )),
         CastOp::FpTrunc => Some(Operand::ConstF32((f64::from_bits(v) as f32).to_bits())),
         // Pointer-involving casts of constants stay as-is.
         CastOp::BitCast | CastOp::IntToPtr | CastOp::PtrToInt => None,
@@ -129,7 +136,10 @@ mod tests {
     fn arithmetic_folds() {
         assert_eq!(fold_bin(BinOp::Add, Ty::I32, 0xFFFF_FFFF, 1), Some(0));
         assert_eq!(fold_bin(BinOp::Mul, Ty::I64, 6, 7), Some(42));
-        assert_eq!(fold_bin(BinOp::SDiv, Ty::I32, (-6i32) as u32 as u64, 2), Some((-3i32) as u32 as u64));
+        assert_eq!(
+            fold_bin(BinOp::SDiv, Ty::I32, (-6i32) as u32 as u64, 2),
+            Some((-3i32) as u32 as u64)
+        );
         assert_eq!(fold_bin(BinOp::UDiv, Ty::I64, 1, 0), None);
         assert_eq!(fold_bin(BinOp::AShr, Ty::I8, 0x80, 7), Some(0xFF));
     }
@@ -145,11 +155,17 @@ mod tests {
     fn cast_folds() {
         assert_eq!(
             fold_cast(CastOp::SExt, Ty::I8, Ty::I64, 0xFF),
-            Some(Operand::ConstInt { ty: Ty::I64, val: u64::MAX })
+            Some(Operand::ConstInt {
+                ty: Ty::I64,
+                val: u64::MAX
+            })
         );
         assert_eq!(
             fold_cast(CastOp::ZExt, Ty::I8, Ty::I64, 0xFF),
-            Some(Operand::ConstInt { ty: Ty::I64, val: 0xFF })
+            Some(Operand::ConstInt {
+                ty: Ty::I64,
+                val: 0xFF
+            })
         );
         assert_eq!(
             fold_cast(CastOp::SiToFp, Ty::I64, Ty::F64, 2),

@@ -64,12 +64,16 @@ fn key_of(kind: &InstKind, ty: lasagne_lir::Ty) -> Option<Key> {
         InstKind::ICmp { pred, lhs, rhs } => Key::ICmp(*pred, op_key(lhs), op_key(rhs)),
         InstKind::FCmp { pred, lhs, rhs } => Key::FCmp(*pred, op_key(lhs), op_key(rhs)),
         InstKind::Cast { op, val } => Key::Cast(*op, ty, op_key(val)),
-        InstKind::Gep { base, offset, elem_size } => {
-            Key::Gep(op_key(base), op_key(offset), *elem_size)
-        }
-        InstKind::Select { cond, if_true, if_false } => {
-            Key::Select(op_key(cond), op_key(if_true), op_key(if_false))
-        }
+        InstKind::Gep {
+            base,
+            offset,
+            elem_size,
+        } => Key::Gep(op_key(base), op_key(offset), *elem_size),
+        InstKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => Key::Select(op_key(cond), op_key(if_true), op_key(if_false)),
         InstKind::ExtractElement { vec, idx } => Key::Extract(op_key(vec), *idx),
         _ => return None,
     })
@@ -108,7 +112,9 @@ fn number_block(f: &mut Function, b: BlockId, table: &mut HashMap<Key, InstId>) 
     let mut kill: Vec<InstId> = Vec::new();
     for id in ids {
         let inst = f.inst(id);
-        let Some(key) = key_of(&inst.kind, inst.ty) else { continue };
+        let Some(key) = key_of(&inst.kind, inst.ty) else {
+            continue;
+        };
         match table.get(&key) {
             Some(prev) => {
                 let prev = *prev;
@@ -150,7 +156,10 @@ pub fn load_elim(f: &mut Function) -> usize {
         for id in ids {
             let kind = f.inst(id).kind.clone();
             match &kind {
-                InstKind::Load { ptr, order: lasagne_lir::inst::Ordering::NotAtomic } => {
+                InstKind::Load {
+                    ptr,
+                    order: lasagne_lir::inst::Ordering::NotAtomic,
+                } => {
                     let k = op_key(ptr);
                     if let Some(a) = avail.get(&k) {
                         let ok = match a.fence {
@@ -164,14 +173,32 @@ pub fn load_elim(f: &mut Function) -> usize {
                             continue;
                         }
                     }
-                    avail.insert(k, Avail { val: Operand::Inst(id), label: Label::Rna, fence: None });
+                    avail.insert(
+                        k,
+                        Avail {
+                            val: Operand::Inst(id),
+                            label: Label::Rna,
+                            fence: None,
+                        },
+                    );
                 }
-                InstKind::Store { ptr, val, order: lasagne_lir::inst::Ordering::NotAtomic } => {
+                InstKind::Store {
+                    ptr,
+                    val,
+                    order: lasagne_lir::inst::Ordering::NotAtomic,
+                } => {
                     // A store to one pointer may alias others: drop
                     // everything except this pointer's entry.
                     let k = op_key(ptr);
                     avail.clear();
-                    avail.insert(k, Avail { val: *val, label: Label::Wna, fence: None });
+                    avail.insert(
+                        k,
+                        Avail {
+                            val: *val,
+                            label: Label::Wna,
+                            fence: None,
+                        },
+                    );
                 }
                 InstKind::Fence { kind: fk } => {
                     for a in avail.values_mut() {
@@ -205,10 +232,39 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
-        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
-        let c = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(a), rhs: Operand::Inst(b) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
+        );
+        let c = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Inst(a),
+                rhs: Operand::Inst(b),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(c)),
+            },
+        );
         assert_eq!(gvn(&m, &mut f), 1);
         let _ = &mut m;
         match &f.inst(c).kind {
@@ -222,10 +278,39 @@ mod tests {
         let m = Module::new();
         let mut f = Function::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
         let e = f.entry();
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::Param(1) });
-        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::Param(0) });
-        let c = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Sub, lhs: Operand::Inst(a), rhs: Operand::Inst(b) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c)) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::Param(1),
+            },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(1),
+                rhs: Operand::Param(0),
+            },
+        );
+        let c = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Sub,
+                lhs: Operand::Inst(a),
+                rhs: Operand::Inst(b),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(c)),
+            },
+        );
         assert_eq!(gvn(&m, &mut f), 1, "a+b and b+a must value-number equal");
     }
 
@@ -237,11 +322,44 @@ mod tests {
         let e = f.entry();
         let t = f.add_block();
         let el = f.add_block();
-        f.set_term(e, Terminator::CondBr { cond: Operand::Param(0), if_true: t, if_false: el });
-        let a = f.push(t, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::i64(1) });
-        f.set_term(t, Terminator::Ret { val: Some(Operand::Inst(a)) });
-        let b = f.push(el, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(1), rhs: Operand::i64(1) });
-        f.set_term(el, Terminator::Ret { val: Some(Operand::Inst(b)) });
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Param(0),
+                if_true: t,
+                if_false: el,
+            },
+        );
+        let a = f.push(
+            t,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(1),
+                rhs: Operand::i64(1),
+            },
+        );
+        f.set_term(
+            t,
+            Terminator::Ret {
+                val: Some(Operand::Inst(a)),
+            },
+        );
+        let b = f.push(
+            el,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(1),
+                rhs: Operand::i64(1),
+            },
+        );
+        f.set_term(
+            el,
+            Terminator::Ret {
+                val: Some(Operand::Inst(b)),
+            },
+        );
         assert_eq!(gvn(&m, &mut f), 0);
     }
 
@@ -250,12 +368,34 @@ mod tests {
         // store p, v; x = load p  ⇒ x = v
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Param(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(load_elim(&mut f), 1);
         match f.block(e).term {
-            Terminator::Ret { val: Some(Operand::Param(1)) } => {}
+            Terminator::Ret {
+                val: Some(Operand::Param(1)),
+            } => {}
             ref t => panic!("load not forwarded: {t:?}"),
         }
     }
@@ -265,11 +405,44 @@ mod tests {
         // x = load p; Frm; y = load p ⇒ y = x (F-RAR with o = rm is legal).
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
-        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        let x = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Frm,
+            },
+        );
+        let y = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(x),
+                rhs: Operand::Inst(y),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
         assert_eq!(load_elim(&mut f), 1);
     }
 
@@ -278,11 +451,44 @@ mod tests {
         // x = load p; Fsc; y = load p — F-RAR with Fsc is NOT in Figure 11b.
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
         let e = f.entry();
-        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fsc });
-        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        let x = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fsc,
+            },
+        );
+        let y = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(x),
+                rhs: Operand::Inst(y),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
         assert_eq!(load_elim(&mut f), 0);
     }
 
@@ -291,10 +497,36 @@ mod tests {
         // store p, v; Fww; x = load p ⇒ x = v (F-RAW with τ = ww).
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Fww });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Param(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(load_elim(&mut f), 1);
     }
 
@@ -303,22 +535,91 @@ mod tests {
         // store p, v; Frm; x = load p — F-RAW with Frm is NOT legal.
         let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::I64], Ty::I64);
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::Param(1), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Fence { kind: FenceKind::Frm });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::Param(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Frm,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(load_elim(&mut f), 0);
     }
 
     #[test]
     fn load_elim_invalidated_by_other_store() {
-        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)], Ty::I64);
+        let mut f = Function::new(
+            "f",
+            vec![Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)],
+            Ty::I64,
+        );
         let e = f.entry();
-        let x = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(1), val: Operand::i64(0), order: Ordering::NotAtomic });
-        let y = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(0), order: Ordering::NotAtomic });
-        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(x), rhs: Operand::Inst(y) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
-        assert_eq!(load_elim(&mut f), 0, "potentially aliasing store blocks reuse");
+        let x = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(1),
+                val: Operand::i64(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let y = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(x),
+                rhs: Operand::Inst(y),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
+        assert_eq!(
+            load_elim(&mut f),
+            0,
+            "potentially aliasing store blocks reuse"
+        );
     }
 }

@@ -198,16 +198,76 @@ mod tests {
         let e = f.entry();
         // Slot traffic that mem2reg should kill.
         let slot = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::Param(0), order: Ordering::NotAtomic });
-        let v = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(slot), order: Ordering::NotAtomic });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let v = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(slot),
+                order: Ordering::NotAtomic,
+            },
+        );
         // Identity chains instcombine should kill.
-        let a = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(v), rhs: Operand::i64(0) });
-        let b = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Inst(a), rhs: Operand::i64(1) });
+        let a = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(v),
+                rhs: Operand::i64(0),
+            },
+        );
+        let b = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Inst(a),
+                rhs: Operand::i64(1),
+            },
+        );
         // Redundant pair gvn should kill.
-        let c1 = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(b), rhs: Operand::i64(5) });
-        let c2 = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(b), rhs: Operand::i64(5) });
-        let s = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(c1), rhs: Operand::Inst(c2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        let c1 = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(b),
+                rhs: Operand::i64(5),
+            },
+        );
+        let c2 = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(b),
+                rhs: Operand::i64(5),
+            },
+        );
+        let s = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(c1),
+                rhs: Operand::Inst(c2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
         let id = m.add_func(f);
         (m, id)
     }
@@ -242,13 +302,36 @@ mod tests {
         let mut a = Asm::new();
         let top = a.label();
         let done = a.label();
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 0 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 0,
+        });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rcx),
+            imm: 0,
+        });
         a.bind(top);
-        a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rsi) });
+        a.push(Inst::AluRRm {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Gpr::Rcx,
+            src: Rm::Reg(Gpr::Rsi),
+        });
         a.jcc(Cond::E, done);
-        a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 0)) });
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rcx), imm: 1 });
+        a.push(Inst::AluRRm {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 0)),
+        });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rcx),
+            imm: 1,
+        });
         a.jmp(top);
         a.bind(done);
         a.push(Inst::Ret);
@@ -261,10 +344,15 @@ mod tests {
         let run = |m: &Module| {
             let mut machine = Machine::new(m);
             for i in 0..10u64 {
-                machine.mem.write_u64(lasagne_lir::interp::HEAP_BASE + 8 * i, i * i);
+                machine
+                    .mem
+                    .write_u64(lasagne_lir::interp::HEAP_BASE + 8 * i, i * i);
             }
             machine
-                .run(id, &[Val::B64(lasagne_lir::interp::HEAP_BASE), Val::B64(10)])
+                .run(
+                    id,
+                    &[Val::B64(lasagne_lir::interp::HEAP_BASE), Val::B64(10)],
+                )
                 .unwrap()
         };
         let before_result = run(&m);
@@ -275,7 +363,10 @@ mod tests {
 
         let after_result = run(&m);
         assert_eq!(after_result.ret, before_result.ret);
-        assert_eq!(after_result.ret, Some(Val::B64((0..10).map(|i| i * i).sum())));
+        assert_eq!(
+            after_result.ret,
+            Some(Val::B64((0..10).map(|i| i * i).sum()))
+        );
         assert!(
             m.inst_count() * 2 < before_count,
             "optimizer should halve lifted code: {} -> {}",
@@ -290,11 +381,35 @@ mod tests {
     fn fences_survive_optimization() {
         // Place fences, optimize hard, and check the fences are still there.
         let mut m = Module::new();
-        let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)], Ty::I64);
+        let mut f = Function::new(
+            "f",
+            vec![Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)],
+            Ty::I64,
+        );
         let e = f.entry();
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Param(0), val: Operand::i64(1), order: Ordering::NotAtomic });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Param(1), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(0),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         m.add_func(f);
         lasagne_fences::place_fences_module(&mut m, lasagne_fences::Strategy::Naive);
         let before = lasagne_fences::count_fences(&m);

@@ -23,7 +23,9 @@ pub fn licm(f: &mut Function) -> usize {
     let mut hoisted = 0;
 
     for lp in loops {
-        let Some(preheader) = doms.idom[lp.header.0 as usize] else { continue };
+        let Some(preheader) = doms.idom[lp.header.0 as usize] else {
+            continue;
+        };
         if lp.blocks.contains(&preheader) {
             continue;
         }
@@ -72,7 +74,10 @@ pub fn licm(f: &mut Function) -> usize {
                         | InstKind::Select { .. }
                         | InstKind::ExtractElement { .. }
                         | InstKind::InsertElement { .. } => true,
-                        InstKind::Load { order: Ordering::NotAtomic, .. } => !loop_writes,
+                        InstKind::Load {
+                            order: Ordering::NotAtomic,
+                            ..
+                        } => !loop_writes,
                         _ => false,
                     };
                     if !hoistable {
@@ -179,17 +184,58 @@ mod tests {
         let exit = f.add_block();
         f.set_term(e, Terminator::Br { dest: header });
         let phi = f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
-        let c = f.push(header, Ty::I1, InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(phi), rhs: Operand::Param(0) });
-        f.set_term(header, Terminator::CondBr { cond: Operand::Inst(c), if_true: body, if_false: exit });
-        let t = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(1), rhs: Operand::Param(2) });
-        let i2 = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi), rhs: Operand::Inst(t) });
+        let c = f.push(
+            header,
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: Operand::Inst(phi),
+                rhs: Operand::Param(0),
+            },
+        );
+        f.set_term(
+            header,
+            Terminator::CondBr {
+                cond: Operand::Inst(c),
+                if_true: body,
+                if_false: exit,
+            },
+        );
+        let t = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Param(1),
+                rhs: Operand::Param(2),
+            },
+        );
+        let i2 = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(phi),
+                rhs: Operand::Inst(t),
+            },
+        );
         f.set_term(body, Terminator::Br { dest: header });
-        f.inst_mut(phi).kind = InstKind::Phi { incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))] };
-        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(phi)) });
+        f.inst_mut(phi).kind = InstKind::Phi {
+            incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))],
+        };
+        f.set_term(
+            exit,
+            Terminator::Ret {
+                val: Some(Operand::Inst(phi)),
+            },
+        );
 
         let n = licm(&mut f);
         assert_eq!(n, 1);
-        assert!(f.block(e).insts.contains(&t), "mul should now be in the preheader");
+        assert!(
+            f.block(e).insts.contains(&t),
+            "mul should now be in the preheader"
+        );
         assert!(!f.block(body).insts.contains(&t));
     }
 
@@ -197,22 +243,66 @@ mod tests {
     #[test]
     fn load_hoisting_depends_on_loop_writes() {
         let build = |with_store: bool| {
-            let mut f = Function::new("f", vec![Ty::I64, Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)], Ty::Void);
+            let mut f = Function::new(
+                "f",
+                vec![Ty::I64, Ty::Ptr(Pointee::I64), Ty::Ptr(Pointee::I64)],
+                Ty::Void,
+            );
             let e = f.entry();
             let header = f.add_block();
             let body = f.add_block();
             let exit = f.add_block();
             f.set_term(e, Terminator::Br { dest: header });
             let phi = f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
-            let c = f.push(header, Ty::I1, InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(phi), rhs: Operand::Param(0) });
-            f.set_term(header, Terminator::CondBr { cond: Operand::Inst(c), if_true: body, if_false: exit });
-            let ld = f.push(body, Ty::I64, InstKind::Load { ptr: Operand::Param(1), order: Ordering::NotAtomic });
+            let c = f.push(
+                header,
+                Ty::I1,
+                InstKind::ICmp {
+                    pred: IPred::Ult,
+                    lhs: Operand::Inst(phi),
+                    rhs: Operand::Param(0),
+                },
+            );
+            f.set_term(
+                header,
+                Terminator::CondBr {
+                    cond: Operand::Inst(c),
+                    if_true: body,
+                    if_false: exit,
+                },
+            );
+            let ld = f.push(
+                body,
+                Ty::I64,
+                InstKind::Load {
+                    ptr: Operand::Param(1),
+                    order: Ordering::NotAtomic,
+                },
+            );
             if with_store {
-                f.push(body, Ty::Void, InstKind::Store { ptr: Operand::Param(2), val: Operand::Inst(ld), order: Ordering::NotAtomic });
+                f.push(
+                    body,
+                    Ty::Void,
+                    InstKind::Store {
+                        ptr: Operand::Param(2),
+                        val: Operand::Inst(ld),
+                        order: Ordering::NotAtomic,
+                    },
+                );
             }
-            let i2 = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi), rhs: Operand::Inst(ld) });
+            let i2 = f.push(
+                body,
+                Ty::I64,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Operand::Inst(phi),
+                    rhs: Operand::Inst(ld),
+                },
+            );
             f.set_term(body, Terminator::Br { dest: header });
-            f.inst_mut(phi).kind = InstKind::Phi { incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))] };
+            f.inst_mut(phi).kind = InstKind::Phi {
+                incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))],
+            };
             f.set_term(exit, Terminator::Ret { val: None });
             (f, ld)
         };
@@ -222,7 +312,10 @@ mod tests {
 
         let (mut rw, ld2) = build(true);
         licm(&mut rw);
-        assert!(!rw.block(rw.entry()).insts.contains(&ld2), "load must stay in writing loop");
+        assert!(
+            !rw.block(rw.entry()).insts.contains(&ld2),
+            "load must stay in writing loop"
+        );
     }
 
     /// Division never hoists (may trap when the loop would not execute).
@@ -235,13 +328,51 @@ mod tests {
         let exit = f.add_block();
         f.set_term(e, Terminator::Br { dest: header });
         let phi = f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
-        let c = f.push(header, Ty::I1, InstKind::ICmp { pred: IPred::Ult, lhs: Operand::Inst(phi), rhs: Operand::Param(0) });
-        f.set_term(header, Terminator::CondBr { cond: Operand::Inst(c), if_true: body, if_false: exit });
-        let d = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::SDiv, lhs: Operand::Param(1), rhs: Operand::Param(2) });
-        let i2 = f.push(body, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(phi), rhs: Operand::Inst(d) });
+        let c = f.push(
+            header,
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Ult,
+                lhs: Operand::Inst(phi),
+                rhs: Operand::Param(0),
+            },
+        );
+        f.set_term(
+            header,
+            Terminator::CondBr {
+                cond: Operand::Inst(c),
+                if_true: body,
+                if_false: exit,
+            },
+        );
+        let d = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::SDiv,
+                lhs: Operand::Param(1),
+                rhs: Operand::Param(2),
+            },
+        );
+        let i2 = f.push(
+            body,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(phi),
+                rhs: Operand::Inst(d),
+            },
+        );
         f.set_term(body, Terminator::Br { dest: header });
-        f.inst_mut(phi).kind = InstKind::Phi { incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))] };
-        f.set_term(exit, Terminator::Ret { val: Some(Operand::Inst(phi)) });
+        f.inst_mut(phi).kind = InstKind::Phi {
+            incoming: vec![(e, Operand::i64(0)), (body, Operand::Inst(i2))],
+        };
+        f.set_term(
+            exit,
+            Terminator::Ret {
+                val: Some(Operand::Inst(phi)),
+            },
+        );
         licm(&mut f);
         assert!(f.block(body).insts.contains(&d));
     }

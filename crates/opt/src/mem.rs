@@ -31,7 +31,10 @@ fn classify_access(f: &Function, slot: InstId, mem_inst: InstId, ptr: &Operand) 
     let Operand::Inst(p0) = ptr else { return None };
     // Unwrap one bitcast.
     let (pointee, after_cast) = match &f.inst(*p0).kind {
-        InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(v) } => {
+        InstKind::Cast {
+            op: CastOp::BitCast,
+            val: Operand::Inst(v),
+        } => {
             let pe = f.inst(*p0).ty.pointee()?;
             (pe, *v)
         }
@@ -46,13 +49,21 @@ fn classify_access(f: &Function, slot: InstId, mem_inst: InstId, ptr: &Operand) 
         0
     } else {
         match &f.inst(after_cast).kind {
-            InstKind::Gep { base: Operand::Inst(b), offset, elem_size } if *b == slot => {
-                offset.as_const_int()? * *elem_size
-            }
+            InstKind::Gep {
+                base: Operand::Inst(b),
+                offset,
+                elem_size,
+            } if *b == slot => offset.as_const_int()? * *elem_size,
             _ => return None,
         }
     };
-    Some(Access { inst: mem_inst, ptr_inst: *p0, offset, size: pointee.size(), pointee })
+    Some(Access {
+        inst: mem_inst,
+        ptr_inst: *p0,
+        offset,
+        size: pointee.size(),
+        pointee,
+    })
 }
 
 /// Splits allocas whose every use is a fixed-offset scalar access into one
@@ -77,14 +88,17 @@ pub fn sroa(f: &mut Function) -> usize {
         // First collect derived pointers.
         for (_, id) in f.iter_insts() {
             match &f.inst(id).kind {
-                InstKind::Gep { base: Operand::Inst(b), offset, .. }
-                    if *b == slot && offset.as_const_int().is_some() =>
-                {
+                InstKind::Gep {
+                    base: Operand::Inst(b),
+                    offset,
+                    ..
+                } if *b == slot && offset.as_const_int().is_some() => {
                     derived.push(id);
                 }
-                InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(v) }
-                    if derived.contains(v) =>
-                {
+                InstKind::Cast {
+                    op: CastOp::BitCast,
+                    val: Operand::Inst(v),
+                } if derived.contains(v) => {
                     derived.push(id);
                 }
                 _ => {}
@@ -105,16 +119,21 @@ pub fn sroa(f: &mut Function) -> usize {
                 continue;
             }
             match &inst.kind {
-                InstKind::Load { ptr, order: Ordering::NotAtomic } => {
-                    match classify_access(f, slot, id, ptr) {
-                        Some(a) => accesses.push(a),
-                        None => {
-                            ok = false;
-                            break;
-                        }
+                InstKind::Load {
+                    ptr,
+                    order: Ordering::NotAtomic,
+                } => match classify_access(f, slot, id, ptr) {
+                    Some(a) => accesses.push(a),
+                    None => {
+                        ok = false;
+                        break;
                     }
-                }
-                InstKind::Store { ptr, val, order: Ordering::NotAtomic } => {
+                },
+                InstKind::Store {
+                    ptr,
+                    val,
+                    order: Ordering::NotAtomic,
+                } => {
                     // The value stored must not be the pointer itself.
                     let mut escapes = false;
                     if let Operand::Inst(v) = val {
@@ -135,7 +154,11 @@ pub fn sroa(f: &mut Function) -> usize {
                     }
                 }
                 // Derived pointer computations are fine.
-                InstKind::Gep { .. } | InstKind::Cast { op: CastOp::BitCast, .. } => {}
+                InstKind::Gep { .. }
+                | InstKind::Cast {
+                    op: CastOp::BitCast,
+                    ..
+                } => {}
                 _ => {
                     ok = false;
                     break;
@@ -192,7 +215,12 @@ pub fn sroa(f: &mut Function) -> usize {
             }
         };
         for (off, (sz, pe)) in &ranges {
-            let id = f.insert(slot_block, slot_pos, Ty::Ptr(*pe), InstKind::Alloca { size: *sz });
+            let id = f.insert(
+                slot_block,
+                slot_pos,
+                Ty::Ptr(*pe),
+                InstKind::Alloca { size: *sz },
+            );
             new_slots.insert(*off, id);
         }
         // Rewrite each access: point the memory op directly at the new slot
@@ -205,8 +233,10 @@ pub fn sroa(f: &mut Function) -> usize {
                 Operand::Inst(ns)
             } else {
                 // Reuse the old pointer instruction as the bitcast.
-                f.inst_mut(a.ptr_inst).kind =
-                    InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(ns) };
+                f.inst_mut(a.ptr_inst).kind = InstKind::Cast {
+                    op: CastOp::BitCast,
+                    val: Operand::Inst(ns),
+                };
                 f.inst_mut(a.ptr_inst).ty = want_ty;
                 Operand::Inst(a.ptr_inst)
             };
@@ -235,16 +265,73 @@ mod tests {
         let e = f.entry();
         let slot = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 16 });
         // low half
-        let lo_ptr = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(slot) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(lo_ptr), val: Operand::Param(0), order: Ordering::NotAtomic });
+        let lo_ptr = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(slot),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(lo_ptr),
+                val: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
         // high half
-        let hi = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Gep { base: Operand::Inst(slot), offset: Operand::i64(8), elem_size: 1 });
-        let hi_ptr = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(hi) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(hi_ptr), val: Operand::Param(1), order: Ordering::NotAtomic });
+        let hi = f.push(
+            e,
+            Ty::Ptr(Pointee::I8),
+            InstKind::Gep {
+                base: Operand::Inst(slot),
+                offset: Operand::i64(8),
+                elem_size: 1,
+            },
+        );
+        let hi_ptr = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(hi),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(hi_ptr),
+                val: Operand::Param(1),
+                order: Ordering::NotAtomic,
+            },
+        );
         // read back the low half
-        let lo_ptr2 = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(slot) });
-        let l = f.push(e, Ty::F64, InstKind::Load { ptr: Operand::Inst(lo_ptr2), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let lo_ptr2 = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(slot),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::F64,
+            InstKind::Load {
+                ptr: Operand::Inst(lo_ptr2),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
 
         assert_eq!(sroa(&mut f), 1);
         crate::dce::dce(&mut f);
@@ -256,10 +343,13 @@ mod tests {
         verify_module(&m).unwrap();
         let mut machine = lasagne_lir::interp::Machine::new(&m);
         let r = machine
-            .run(id, &[
-                lasagne_lir::interp::Val::B64(1.5f64.to_bits()),
-                lasagne_lir::interp::Val::B64(9.0f64.to_bits()),
-            ])
+            .run(
+                id,
+                &[
+                    lasagne_lir::interp::Val::B64(1.5f64.to_bits()),
+                    lasagne_lir::interp::Val::B64(9.0f64.to_bits()),
+                ],
+            )
             .unwrap();
         assert_eq!(r.ret.unwrap().f64(), 1.5);
     }
@@ -270,11 +360,49 @@ mod tests {
         let mut f = Function::new("f", vec![Ty::F64], Ty::Void);
         let e = f.entry();
         let slot = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 16 });
-        let p0 = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(slot) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(p0), val: Operand::Param(0), order: Ordering::NotAtomic });
-        let g = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Gep { base: Operand::Inst(slot), offset: Operand::i64(4), elem_size: 1 });
-        let p1 = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::BitCast, val: Operand::Inst(g) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(p1), val: Operand::Param(0), order: Ordering::NotAtomic });
+        let p0 = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(slot),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(p0),
+                val: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let g = f.push(
+            e,
+            Ty::Ptr(Pointee::I8),
+            InstKind::Gep {
+                base: Operand::Inst(slot),
+                offset: Operand::i64(4),
+                elem_size: 1,
+            },
+        );
+        let p1 = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: Operand::Inst(g),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(p1),
+                val: Operand::Param(0),
+                order: Ordering::NotAtomic,
+            },
+        );
         f.set_term(e, Terminator::Ret { val: None });
         assert_eq!(sroa(&mut f), 0);
     }
@@ -285,9 +413,20 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::I64);
         let e = f.entry();
         let slot = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 16 });
-        let p = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(slot) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(p)) });
+        let p = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(slot),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(p)),
+            },
+        );
         assert_eq!(sroa(&mut f), 0);
     }
 }
-

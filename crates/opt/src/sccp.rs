@@ -15,7 +15,12 @@ pub fn sccp(m: &Module, f: &mut Function) -> usize {
         let mut round = const_fold(m, f);
         // Fold constant conditional branches.
         for b in f.block_ids().collect::<Vec<_>>() {
-            if let Terminator::CondBr { cond, if_true, if_false } = f.block(b).term.clone() {
+            if let Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } = f.block(b).term.clone()
+            {
                 if let Some((_, c)) = const_int(&cond) {
                     let dest = if c & 1 != 0 { if_true } else { if_false };
                     f.set_term(b, Terminator::Br { dest });
@@ -58,9 +63,11 @@ fn const_fold(m: &Module, f: &mut Function) -> usize {
                 let from = m.operand_ty(f, val);
                 const_int(val).and_then(|(_, v)| fold_cast(*op, from, ty, v))
             }
-            InstKind::Select { cond, if_true, if_false } => {
-                const_int(cond).map(|(_, c)| if c & 1 != 0 { *if_true } else { *if_false })
-            }
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => const_int(cond).map(|(_, c)| if c & 1 != 0 { *if_true } else { *if_false }),
             _ => None,
         };
         if let Some(rep) = rep {
@@ -134,11 +141,20 @@ pub fn ipsccp(m: &mut Module) -> usize {
                             address_taken = true;
                         }
                     });
-                    if let InstKind::Call { callee: Callee::Func(c), args } = &inst.kind {
+                    if let InstKind::Call {
+                        callee: Callee::Func(c),
+                        args,
+                    } = &inst.kind
+                    {
                         if *c == target_id {
                             any_call = true;
                             let a = args[pi];
-                            if !matches!(a, Operand::ConstInt { .. } | Operand::ConstF32(_) | Operand::ConstF64(_)) {
+                            if !matches!(
+                                a,
+                                Operand::ConstInt { .. }
+                                    | Operand::ConstF32(_)
+                                    | Operand::ConstF64(_)
+                            ) {
                                 consistent = false;
                             } else {
                                 match seen {
@@ -193,11 +209,44 @@ mod tests {
         let e = f.entry();
         let t = f.add_block();
         let el = f.add_block();
-        let c = f.push(e, Ty::I1, InstKind::ICmp { pred: IPred::Eq, lhs: Operand::i64(1), rhs: Operand::i64(1) });
-        f.set_term(e, Terminator::CondBr { cond: Operand::Inst(c), if_true: t, if_false: el });
-        f.set_term(t, Terminator::Ret { val: Some(Operand::i64(10)) });
-        let dead = f.push(el, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::i64(1), rhs: Operand::i64(2) });
-        f.set_term(el, Terminator::Ret { val: Some(Operand::Inst(dead)) });
+        let c = f.push(
+            e,
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Eq,
+                lhs: Operand::i64(1),
+                rhs: Operand::i64(1),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Inst(c),
+                if_true: t,
+                if_false: el,
+            },
+        );
+        f.set_term(
+            t,
+            Terminator::Ret {
+                val: Some(Operand::i64(10)),
+            },
+        );
+        let dead = f.push(
+            el,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::i64(1),
+                rhs: Operand::i64(2),
+            },
+        );
+        f.set_term(
+            el,
+            Terminator::Ret {
+                val: Some(Operand::Inst(dead)),
+            },
+        );
         m.add_func(f);
 
         let mut f = m.funcs.remove(0);
@@ -211,16 +260,56 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
         let e = callee.entry();
-        let v = callee.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::i64(2) });
-        callee.set_term(e, Terminator::Ret { val: Some(Operand::Inst(v)) });
+        let v = callee.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(2),
+            },
+        );
+        callee.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(v)),
+            },
+        );
         let callee_id = m.add_func(callee);
 
         let mut caller = Function::new("caller", vec![], Ty::I64);
         let e = caller.entry();
-        let c1 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(21)] });
-        let c2 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(21)] });
-        let s = caller.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(c1), rhs: Operand::Inst(c2) });
-        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(s)) });
+        let c1 = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::i64(21)],
+            },
+        );
+        let c2 = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::i64(21)],
+            },
+        );
+        let s = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(c1),
+                rhs: Operand::Inst(c2),
+            },
+        );
+        caller.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(s)),
+            },
+        );
         m.add_func(caller);
 
         assert!(ipsccp(&mut m) > 0);
@@ -237,14 +326,38 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
         let e = callee.entry();
-        callee.set_term(e, Terminator::Ret { val: Some(Operand::Param(0)) });
+        callee.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Param(0)),
+            },
+        );
         let callee_id = m.add_func(callee);
 
         let mut caller = Function::new("caller", vec![], Ty::I64);
         let e = caller.entry();
-        caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(1)] });
-        let c2 = caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(2)] });
-        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(c2)) });
+        caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::i64(1)],
+            },
+        );
+        let c2 = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::i64(2)],
+            },
+        );
+        caller.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(c2)),
+            },
+        );
         m.add_func(caller);
 
         assert_eq!(ipsccp(&mut m), 0);
@@ -255,18 +368,39 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
         let e = callee.entry();
-        callee.set_term(e, Terminator::Ret { val: Some(Operand::Param(0)) });
+        callee.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Param(0)),
+            },
+        );
         let callee_id = m.add_func(callee);
 
         let mut caller = Function::new("caller", vec![], Ty::I64);
         let e = caller.entry();
-        caller.push(e, Ty::I64, InstKind::Call { callee: Callee::Func(callee_id), args: vec![Operand::i64(1)] });
+        caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::i64(1)],
+            },
+        );
         // Address escapes (e.g. pthread_create-style).
-        let fp = caller.push(e, Ty::I64, InstKind::Cast {
-            op: lasagne_lir::inst::CastOp::PtrToInt,
-            val: Operand::Func(callee_id),
-        });
-        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(fp)) });
+        let fp = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: lasagne_lir::inst::CastOp::PtrToInt,
+                val: Operand::Func(callee_id),
+            },
+        );
+        caller.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(fp)),
+            },
+        );
         m.add_func(caller);
 
         assert_eq!(ipsccp(&mut m), 0);

@@ -17,9 +17,22 @@ fn workout_module() -> lasagne_lir::Module {
 
     // helper(x) = x*x + 1
     let mut a = Asm::new();
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-    a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
-    a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
+    a.push(Inst::IMul2 {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rdi),
+    });
+    a.push(Inst::AluRmI {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 1,
+    });
     a.push(Inst::Ret);
     let helper = bin.next_function_addr();
     bin.add_function("helper", a.finish(helper).unwrap());
@@ -32,32 +45,114 @@ fn workout_module() -> lasagne_lir::Module {
     a.push(Inst::Push { src: Gpr::Rbx });
     a.push(Inst::Push { src: Gpr::R12 });
     a.push(Inst::Push { src: Gpr::R13 });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::R12), src: Gpr::Rdi });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::R13), src: Gpr::Rsi });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rbx), imm: 0 });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 0 });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::R12),
+        src: Gpr::Rdi,
+    });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::R13),
+        src: Gpr::Rsi,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rbx),
+        imm: 0,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rax),
+        imm: 0,
+    });
     // spill slot for acc
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)), src: Gpr::Rax });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+        src: Gpr::Rax,
+    });
     a.bind(top);
-    a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rbx, src: Rm::Reg(Gpr::R13) });
+    a.push(Inst::AluRRm {
+        op: AluOp::Cmp,
+        w: Width::W64,
+        dst: Gpr::Rbx,
+        src: Rm::Reg(Gpr::R13),
+    });
     a.jcc(Cond::E, done);
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rdi, src: Rm::Mem(MemRef::base_index(Gpr::R12, Gpr::Rbx, 8, 0)) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rdi,
+        src: Rm::Mem(MemRef::base_index(Gpr::R12, Gpr::Rbx, 8, 0)),
+    });
     a.call_abs(helper);
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rcx, src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)) });
-    a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rax) });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)), src: Gpr::Rcx });
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_index(Gpr::R12, Gpr::Rbx, 8, 0)), src: Gpr::Rcx });
-    a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rbx), imm: 1 });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rcx,
+        src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+    });
+    a.push(Inst::AluRRm {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Gpr::Rcx,
+        src: Rm::Reg(Gpr::Rax),
+    });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+        src: Gpr::Rcx,
+    });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base_index(Gpr::R12, Gpr::Rbx, 8, 0)),
+        src: Gpr::Rcx,
+    });
+    a.push(Inst::AluRmI {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Rm::Reg(Gpr::Rbx),
+        imm: 1,
+    });
     a.jmp(top);
     a.bind(done);
     // FP tail: rax = acc + (i64)((double)acc * 0.5)
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)) });
-    a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rax) });
-    a.push(Inst::MovAbs { dst: Gpr::Rcx, imm: 0.5f64.to_bits() });
-    a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(1), src: Gpr::Rcx });
-    a.push(Inst::SseScalar { op: SseOp::Mul, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
-    a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::Rcx, src: XmmRm::Reg(Xmm(0)) });
-    a.push(Inst::AluRRm { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+    });
+    a.push(Inst::CvtSi2F {
+        prec: FpPrec::Double,
+        iw: Width::W64,
+        dst: Xmm(0),
+        src: Rm::Reg(Gpr::Rax),
+    });
+    a.push(Inst::MovAbs {
+        dst: Gpr::Rcx,
+        imm: 0.5f64.to_bits(),
+    });
+    a.push(Inst::MovGprToXmm {
+        w: Width::W64,
+        dst: Xmm(1),
+        src: Gpr::Rcx,
+    });
+    a.push(Inst::SseScalar {
+        op: SseOp::Mul,
+        prec: FpPrec::Double,
+        dst: Xmm(0),
+        src: XmmRm::Reg(Xmm(1)),
+    });
+    a.push(Inst::CvtF2Si {
+        prec: FpPrec::Double,
+        iw: Width::W64,
+        dst: Gpr::Rcx,
+        src: XmmRm::Reg(Xmm(0)),
+    });
+    a.push(Inst::AluRRm {
+        op: AluOp::Add,
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Reg(Gpr::Rcx),
+    });
     a.push(Inst::Pop { dst: Gpr::R13 });
     a.push(Inst::Pop { dst: Gpr::R12 });
     a.push(Inst::Pop { dst: Gpr::Rbx });
@@ -77,7 +172,9 @@ trait AsmExt {
 }
 impl AsmExt for Asm {
     fn call_abs(&mut self, addr: u64) {
-        self.push(Inst::Call { target: lasagne_x86::inst::Target::Abs(addr) });
+        self.push(Inst::Call {
+            target: lasagne_x86::inst::Target::Abs(addr),
+        });
     }
 }
 
@@ -87,8 +184,12 @@ fn run(m: &lasagne_lir::Module) -> (u64, Vec<u64>) {
     for i in 0..12u64 {
         machine.mem.write_u64(0x4000_0000 + 8 * i, i + 1);
     }
-    let r = machine.run(id, &[Val::B64(0x4000_0000), Val::B64(12)]).unwrap();
-    let finals = (0..12u64).map(|i| machine.mem.read_u64(0x4000_0000 + 8 * i)).collect();
+    let r = machine
+        .run(id, &[Val::B64(0x4000_0000), Val::B64(12)])
+        .unwrap();
+    let finals = (0..12u64)
+        .map(|i| machine.mem.read_u64(0x4000_0000 + 8 * i))
+        .collect();
     (r.ret.unwrap().bits(), finals)
 }
 
@@ -113,8 +214,7 @@ fn pass_pairs_preserve_semantics() {
             let mut m = base.clone();
             run_pass(p1, &mut m);
             run_pass(p2, &mut m);
-            verify_module(&m)
-                .unwrap_or_else(|e| panic!("{}+{}: {e:?}", p1.name(), p2.name()));
+            verify_module(&m).unwrap_or_else(|e| panic!("{}+{}: {e:?}", p1.name(), p2.name()));
             assert_eq!(
                 run(&m),
                 reference,

@@ -7,60 +7,111 @@ use lasagne_x86::reg::{Gpr, Width};
 /// `mov r64, imm` (chooses `mov r/m, imm32` or `movabs`).
 pub fn movri(r: Gpr, v: i64) -> Inst {
     if i32::try_from(v).is_ok() {
-        Inst::MovRmI { w: Width::W64, dst: Rm::Reg(r), imm: v as i32 }
+        Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(r),
+            imm: v as i32,
+        }
     } else {
-        Inst::MovAbs { dst: r, imm: v as u64 }
+        Inst::MovAbs {
+            dst: r,
+            imm: v as u64,
+        }
     }
 }
 
 /// `mov dst, src` (64-bit reg-reg).
 pub fn movrr(dst: Gpr, src: Gpr) -> Inst {
-    Inst::MovRmR { w: Width::W64, dst: Rm::Reg(dst), src }
+    Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Reg(dst),
+        src,
+    }
 }
 
 /// `mov dst, [mem]` (64-bit load).
 pub fn loadq(dst: Gpr, mem: MemRef) -> Inst {
-    Inst::MovRRm { w: Width::W64, dst, src: Rm::Mem(mem) }
+    Inst::MovRRm {
+        w: Width::W64,
+        dst,
+        src: Rm::Mem(mem),
+    }
 }
 
 /// `mov [mem], src` (64-bit store).
 pub fn storeq(mem: MemRef, src: Gpr) -> Inst {
-    Inst::MovRmR { w: Width::W64, dst: Rm::Mem(mem), src }
+    Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(mem),
+        src,
+    }
 }
 
 /// `op r64, imm`.
 pub fn alui(op: AluOp, r: Gpr, imm: i32) -> Inst {
-    Inst::AluRmI { op, w: Width::W64, dst: Rm::Reg(r), imm }
+    Inst::AluRmI {
+        op,
+        w: Width::W64,
+        dst: Rm::Reg(r),
+        imm,
+    }
 }
 
 /// `op dst, src` (64-bit reg-reg ALU).
 pub fn alurr(op: AluOp, dst: Gpr, src: Gpr) -> Inst {
-    Inst::AluRRm { op, w: Width::W64, dst, src: Rm::Reg(src) }
+    Inst::AluRRm {
+        op,
+        w: Width::W64,
+        dst,
+        src: Rm::Reg(src),
+    }
 }
 
 /// `op dst, [mem]`.
 pub fn alurm(op: AluOp, dst: Gpr, mem: MemRef) -> Inst {
-    Inst::AluRRm { op, w: Width::W64, dst, src: Rm::Mem(mem) }
+    Inst::AluRRm {
+        op,
+        w: Width::W64,
+        dst,
+        src: Rm::Mem(mem),
+    }
 }
 
 /// `shl/shr/sar r, imm`.
 pub fn shifti(op: ShiftOp, r: Gpr, imm: u8) -> Inst {
-    Inst::ShiftI { op, w: Width::W64, dst: Rm::Reg(r), imm }
+    Inst::ShiftI {
+        op,
+        w: Width::W64,
+        dst: Rm::Reg(r),
+        imm,
+    }
 }
 
 /// `cmp a, b` (64-bit).
 pub fn cmprr(a: Gpr, b: Gpr) -> Inst {
-    Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: a, src: Rm::Reg(b) }
+    Inst::AluRRm {
+        op: AluOp::Cmp,
+        w: Width::W64,
+        dst: a,
+        src: Rm::Reg(b),
+    }
 }
 
 /// `cmp r, imm`.
 pub fn cmpri(r: Gpr, imm: i32) -> Inst {
-    Inst::AluRmI { op: AluOp::Cmp, w: Width::W64, dst: Rm::Reg(r), imm }
+    Inst::AluRmI {
+        op: AluOp::Cmp,
+        w: Width::W64,
+        dst: Rm::Reg(r),
+        imm,
+    }
 }
 
 /// `call abs`.
 pub fn call(addr: u64) -> Inst {
-    Inst::Call { target: Target::Abs(addr) }
+    Inst::Call {
+        target: Target::Abs(addr),
+    }
 }
 
 /// `[base + idx*scale + disp]`.
@@ -81,5 +132,9 @@ pub fn mem_b(base: Gpr) -> MemRef {
 /// `lea r, [rip + func]` — materialise a function address the way
 /// compilers do (RIP-relative), so the lifter resolves the symbol.
 pub fn lea_func(r: Gpr, func_addr: u64) -> Inst {
-    Inst::Lea { w: Width::W64, dst: r, addr: MemRef::rip(func_addr) }
+    Inst::Lea {
+        w: Width::W64,
+        dst: r,
+        addr: MemRef::rip(func_addr),
+    }
 }

@@ -125,7 +125,11 @@ pub fn binary() -> Binary {
         a.push(cmpri(Gpr::Rcx, BINS as i32));
         a.jcc(Cond::E, done);
         a.push(loadq(Gpr::Rdx, mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rcx),
+        });
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::Rdx));
         a.push(alui(AluOp::Add, Gpr::Rcx, 1));
         a.jmp(top);
@@ -149,7 +153,7 @@ pub fn binary() -> Binary {
         }
         a.push(movrr(Gpr::R12, Gpr::Rdi)); // data
         a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
-        // bins = calloc-ish
+                                           // bins = calloc-ish
         a.push(movri(Gpr::Rdi, 8 * BINS as i64));
         a.push(call(malloc));
         a.push(movrr(Gpr::R14, Gpr::Rax));
@@ -173,7 +177,11 @@ pub fn binary() -> Binary {
         a.push(call(malloc));
         a.push(storeq(mem_b(Gpr::Rax), Gpr::R12)); // data
         a.push(movrr(Gpr::Rdx, Gpr::Rbx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
         a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx)); // start
         a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
         a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
@@ -181,10 +189,14 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::Rdx, Gpr::R13)); // last thread takes the tail
         a.bind(last);
         a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx)); // end
-        // slots[t+4] = args; pthread_create(&slots[t], 0, worker, args)
+                                                        // slots[t+4] = args; pthread_create(&slots[t], 0, worker, args)
         a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, 32), Gpr::Rax));
         a.push(movrr(Gpr::Rcx, Gpr::Rax));
-        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
         a.push(movri(Gpr::Rsi, 0));
         a.push(lea_func(Gpr::Rdx, worker_addr));
         a.push(call(pthread_create));

@@ -19,15 +19,28 @@ pub const K: u64 = 4;
 pub const ITERS: u64 = 3;
 
 fn movsd_load(dst: Xmm, mem: MemRef) -> Inst {
-    Inst::MovssLoad { prec: FpPrec::Double, dst, src: XmmRm::Mem(mem) }
+    Inst::MovssLoad {
+        prec: FpPrec::Double,
+        dst,
+        src: XmmRm::Mem(mem),
+    }
 }
 
 fn movsd_store(mem: MemRef, src: Xmm) -> Inst {
-    Inst::MovssStore { prec: FpPrec::Double, dst: mem, src }
+    Inst::MovssStore {
+        prec: FpPrec::Double,
+        dst: mem,
+        src,
+    }
 }
 
 fn sse(op: SseOp, dst: Xmm, src: Xmm) -> Inst {
-    Inst::SseScalar { op, prec: FpPrec::Double, dst, src: XmmRm::Reg(src) }
+    Inst::SseScalar {
+        op,
+        prec: FpPrec::Double,
+        dst,
+        src: XmmRm::Reg(src),
+    }
 }
 
 /// Builds the x86-64 binary.
@@ -42,10 +55,20 @@ pub fn binary() -> Binary {
     let dist2_addr = {
         let mut a = Asm::new();
         a.push(movsd_load(Xmm(0), mem_b(Gpr::Rdi)));
-        a.push(Inst::SseScalar { op: SseOp::Sub, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rsi)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Sub,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Mem(mem_b(Gpr::Rsi)),
+        });
         a.push(sse(SseOp::Mul, Xmm(0), Xmm(0)));
         a.push(movsd_load(Xmm(1), mem_bd(Gpr::Rdi, 8)));
-        a.push(Inst::SseScalar { op: SseOp::Sub, prec: FpPrec::Double, dst: Xmm(1), src: XmmRm::Mem(mem_bd(Gpr::Rsi, 8)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Sub,
+            prec: FpPrec::Double,
+            dst: Xmm(1),
+            src: XmmRm::Mem(mem_bd(Gpr::Rsi, 8)),
+        });
         a.push(sse(SseOp::Mul, Xmm(1), Xmm(1)));
         a.push(sse(SseOp::Add, Xmm(0), Xmm(1)));
         a.push(Inst::Ret);
@@ -68,7 +91,7 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::R12, Gpr::Rsi)); // cents
         a.push(movrr(Gpr::R13, Gpr::Rdx)); // k
         a.push(movri(Gpr::R14, 0)); // best idx
-        // best = dist2(p, cents)
+                                    // best = dist2(p, cents)
         a.push(call(dist2_addr));
         a.push(movsd_store(mem_b(Gpr::Rsp), Xmm(0)));
         a.push(movri(Gpr::R15, 1)); // j
@@ -82,7 +105,11 @@ pub fn binary() -> Binary {
         a.push(call(dist2_addr));
         // if best > d: best = d, idx = j
         a.push(movsd_load(Xmm(1), mem_b(Gpr::Rsp)));
-        a.push(Inst::Ucomis { prec: FpPrec::Double, a: Xmm(1), b: XmmRm::Reg(Xmm(0)) });
+        a.push(Inst::Ucomis {
+            prec: FpPrec::Double,
+            a: Xmm(1),
+            b: XmmRm::Reg(Xmm(0)),
+        });
         a.jcc(Cond::Be, skip);
         a.push(movsd_store(mem_b(Gpr::Rsp), Xmm(0)));
         a.push(movrr(Gpr::R14, Gpr::R15));
@@ -112,7 +139,7 @@ pub fn binary() -> Binary {
             a.push(Inst::Push { src: r });
         }
         a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // args
-        // sums = malloc(K*16), zeroed; counts = malloc(K*8), zeroed
+                                           // sums = malloc(K*16), zeroed; counts = malloc(K*8), zeroed
         a.push(movri(Gpr::Rdi, (K * 16) as i64));
         a.push(call(malloc));
         a.push(movrr(Gpr::R14, Gpr::Rax));
@@ -151,13 +178,28 @@ pub fn binary() -> Binary {
         a.push(shifti(ShiftOp::Shl, Gpr::Rcx, 4));
         a.push(alurr(AluOp::Add, Gpr::Rcx, Gpr::Rbp));
         a.push(movsd_load(Xmm(0), mem_b(Gpr::Rdx)));
-        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rcx)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Add,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Mem(mem_b(Gpr::Rcx)),
+        });
         a.push(movsd_store(mem_b(Gpr::Rdx), Xmm(0)));
         a.push(movsd_load(Xmm(0), mem_bd(Gpr::Rdx, 8)));
-        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_bd(Gpr::Rcx, 8)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Add,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Mem(mem_bd(Gpr::Rcx, 8)),
+        });
         a.push(movsd_store(mem_bd(Gpr::Rdx, 8), Xmm(0)));
         // counts[idx] += 1
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bi(Gpr::R15, Gpr::Rax, 8, 0)), imm: 1 });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::R15, Gpr::Rax, 8, 0)),
+            imm: 1,
+        });
         a.push(alui(AluOp::Add, Gpr::R12, 1));
         a.jmp(top);
         a.bind(done);
@@ -185,7 +227,10 @@ pub fn binary() -> Binary {
         a.bind(t_top);
         a.push(cmpri(Gpr::R8, THREADS as i32));
         a.jcc(Cond::E, t_done);
-        a.push(loadq(Gpr::R9, mem_bi(Gpr::Rdx, Gpr::R8, 8, (THREADS * 8) as i64))); // args
+        a.push(loadq(
+            Gpr::R9,
+            mem_bi(Gpr::Rdx, Gpr::R8, 8, (THREADS * 8) as i64),
+        )); // args
         a.push(loadq(Gpr::R10, mem_bd(Gpr::R9, 40))); // sums_t
         a.push(loadq(Gpr::R9, mem_bd(Gpr::R9, 48))); // counts_t
         a.push(movri(Gpr::R11, 0)); // j
@@ -199,14 +244,29 @@ pub fn binary() -> Binary {
         a.push(alurr(AluOp::Add, Gpr::Rcx, Gpr::Rdi)); // &gsums[2j]
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R10)); // &sums_t[2j]
         a.push(movsd_load(Xmm(0), mem_b(Gpr::Rcx)));
-        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_b(Gpr::Rax)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Add,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Mem(mem_b(Gpr::Rax)),
+        });
         a.push(movsd_store(mem_b(Gpr::Rcx), Xmm(0)));
         a.push(movsd_load(Xmm(0), mem_bd(Gpr::Rcx, 8)));
-        a.push(Inst::SseScalar { op: SseOp::Add, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Mem(mem_bd(Gpr::Rax, 8)) });
+        a.push(Inst::SseScalar {
+            op: SseOp::Add,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Mem(mem_bd(Gpr::Rax, 8)),
+        });
         a.push(movsd_store(mem_bd(Gpr::Rcx, 8), Xmm(0)));
         // gcounts[j] += counts_t[j]
         a.push(loadq(Gpr::Rax, mem_bi(Gpr::R9, Gpr::R11, 8, 0)));
-        a.push(Inst::AluRmR { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bi(Gpr::Rsi, Gpr::R11, 8, 0)), src: Gpr::Rax });
+        a.push(Inst::AluRmR {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::Rsi, Gpr::R11, 8, 0)),
+            src: Gpr::Rax,
+        });
         a.push(alui(AluOp::Add, Gpr::R11, 1));
         a.jmp(j_top);
         a.bind(j_done);
@@ -231,9 +291,18 @@ pub fn binary() -> Binary {
         a.push(cmpri(Gpr::Rcx, K as i32));
         a.jcc(Cond::E, done);
         a.push(loadq(Gpr::Rax, mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0))); // count
-        a.push(Inst::TestI { w: Width::W64, a: Rm::Reg(Gpr::Rax), imm: -1 });
+        a.push(Inst::TestI {
+            w: Width::W64,
+            a: Rm::Reg(Gpr::Rax),
+            imm: -1,
+        });
         a.jcc(Cond::E, skip);
-        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(2), src: Rm::Reg(Gpr::Rax) });
+        a.push(Inst::CvtSi2F {
+            prec: FpPrec::Double,
+            iw: Width::W64,
+            dst: Xmm(2),
+            src: Rm::Reg(Gpr::Rax),
+        });
         a.push(movrr(Gpr::R8, Gpr::Rcx));
         a.push(shifti(ShiftOp::Shl, Gpr::R8, 4));
         a.push(movrr(Gpr::R9, Gpr::R8));
@@ -273,7 +342,11 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::R9, Gpr::Rcx));
         a.push(alui(AluOp::And, Gpr::R9, 15));
         a.push(alui(AluOp::Add, Gpr::R9, 1));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R8, src: Rm::Reg(Gpr::R9) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R8,
+            src: Rm::Reg(Gpr::R9),
+        });
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
         a.push(alui(AluOp::Add, Gpr::Rcx, 1));
         a.jmp(a_top);
@@ -281,13 +354,22 @@ pub fn binary() -> Binary {
         // acc += Σ trunc(cent_coord * 100) over 2K doubles
         a.push(movri(Gpr::Rcx, 0));
         a.push(movri(Gpr::R9, 100.0f64.to_bits() as i64));
-        a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(1), src: Gpr::R9 });
+        a.push(Inst::MovGprToXmm {
+            w: Width::W64,
+            dst: Xmm(1),
+            src: Gpr::R9,
+        });
         a.bind(c_top);
         a.push(cmpri(Gpr::Rcx, (2 * K) as i32));
         a.jcc(Cond::E, c_done);
         a.push(movsd_load(Xmm(0), mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0)));
         a.push(sse(SseOp::Mul, Xmm(0), Xmm(1)));
-        a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::R8, src: XmmRm::Reg(Xmm(0)) });
+        a.push(Inst::CvtF2Si {
+            prec: FpPrec::Double,
+            iw: Width::W64,
+            dst: Gpr::R8,
+            src: XmmRm::Reg(Xmm(0)),
+        });
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
         a.push(alui(AluOp::Add, Gpr::Rcx, 1));
         a.jmp(c_top);
@@ -316,7 +398,7 @@ pub fn binary() -> Binary {
         a.push(alui(AluOp::Sub, Gpr::Rsp, 32));
         a.push(movrr(Gpr::R12, Gpr::Rdi)); // points
         a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
-        // cents = malloc(K*16); copy first K points
+                                           // cents = malloc(K*16); copy first K points
         a.push(movri(Gpr::Rdi, (K * 16) as i64));
         a.push(call(malloc));
         a.push(movrr(Gpr::R14, Gpr::Rax));
@@ -345,7 +427,11 @@ pub fn binary() -> Binary {
         a.push(call(malloc));
         a.push(storeq(mem_bd(Gpr::Rsp, 8), Gpr::Rax));
         // iteration counter at [rsp+16]
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)), imm: 0 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)),
+            imm: 0,
+        });
         a.bind(iter_top);
         a.push(loadq(Gpr::Rax, mem_bd(Gpr::Rsp, 16)));
         a.push(cmpri(Gpr::Rax, ITERS as i32));
@@ -370,7 +456,11 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::Rcx, Gpr::R13));
         a.push(shifti(ShiftOp::Shr, Gpr::Rcx, 2)); // chunk
         a.push(movrr(Gpr::Rdx, Gpr::Rbx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rcx),
+        });
         a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
         a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rcx));
         a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
@@ -380,9 +470,16 @@ pub fn binary() -> Binary {
         a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
         a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R14)); // cents
         a.push(storeq(mem_bd(Gpr::Rax, 32), Gpr::Rbp)); // assign
-        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(storeq(
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+            Gpr::Rax,
+        ));
         a.push(movrr(Gpr::Rcx, Gpr::Rax));
-        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
         a.push(movri(Gpr::Rsi, 0));
         a.push(lea_func(Gpr::Rdx, worker_addr));
         a.push(call(pthread_create));
@@ -410,7 +507,12 @@ pub fn binary() -> Binary {
         a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rsp, 8)));
         a.push(call(update_addr));
         // ++iter
-        a.push(Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)), imm: 1 });
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bd(Gpr::Rsp, 16)),
+            imm: 1,
+        });
         a.jmp(iter_top);
         a.bind(iter_done);
         a.push(movrr(Gpr::Rdi, Gpr::Rbp));
@@ -451,21 +553,67 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
             fb.load(Ty::I64, p)
         };
         let pts_i = ld(&mut fb, args, 0);
-        let pts = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: pts_i });
+        let pts = fb.op(
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: pts_i,
+            },
+        );
         let start = ld(&mut fb, args, 1);
         let end = ld(&mut fb, args, 2);
         let cents_i = ld(&mut fb, args, 3);
-        let cents = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: cents_i });
+        let cents = fb.op(
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: cents_i,
+            },
+        );
         let assign_i = ld(&mut fb, args, 4);
-        let assign = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: assign_i });
+        let assign = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: assign_i,
+            },
+        );
         // sums/counts
-        let sums = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64((K * 16) as i64)]);
-        let sums_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: sums });
-        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![sums_int, Operand::i64(0), Operand::i64((K * 16) as i64)]);
+        let sums = fb.call(
+            Ty::Ptr(Pointee::I8),
+            Callee::Extern(rt.malloc),
+            vec![Operand::i64((K * 16) as i64)],
+        );
+        let sums_int = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: sums,
+            },
+        );
+        fb.call(
+            Ty::I64,
+            Callee::Extern(rt.memset),
+            vec![sums_int, Operand::i64(0), Operand::i64((K * 16) as i64)],
+        );
         let sums_f = fb.cast_ptr(Pointee::F64, sums);
-        let counts = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64((K * 8) as i64)]);
-        let counts_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: counts });
-        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![counts_int, Operand::i64(0), Operand::i64((K * 8) as i64)]);
+        let counts = fb.call(
+            Ty::Ptr(Pointee::I8),
+            Callee::Extern(rt.malloc),
+            vec![Operand::i64((K * 8) as i64)],
+        );
+        let counts_int = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: counts,
+            },
+        );
+        fb.call(
+            Ty::I64,
+            Callee::Extern(rt.memset),
+            vec![counts_int, Operand::i64(0), Operand::i64((K * 8) as i64)],
+        );
         let counts64 = fb.cast_ptr(Pointee::I64, counts);
         fb.counted_loop(start, end, &[], &[], |fb, i, _| {
             let pxi = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
@@ -493,9 +641,30 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
                     let dy = fb.bin(BinOp::FSub, Ty::F64, py, cy);
                     let dy2 = fb.bin(BinOp::FMul, Ty::F64, dy, dy);
                     let d = fb.bin(BinOp::FAdd, Ty::F64, dx2, dy2);
-                    let lt = fb.op(Ty::I1, InstKind::FCmp { pred: FPred::Olt, lhs: d, rhs: accs[0] });
-                    let nbest = fb.op(Ty::F64, InstKind::Select { cond: lt, if_true: d, if_false: accs[0] });
-                    let nidx = fb.op(Ty::I64, InstKind::Select { cond: lt, if_true: j, if_false: accs[1] });
+                    let lt = fb.op(
+                        Ty::I1,
+                        InstKind::FCmp {
+                            pred: FPred::Olt,
+                            lhs: d,
+                            rhs: accs[0],
+                        },
+                    );
+                    let nbest = fb.op(
+                        Ty::F64,
+                        InstKind::Select {
+                            cond: lt,
+                            if_true: d,
+                            if_false: accs[0],
+                        },
+                    );
+                    let nidx = fb.op(
+                        Ty::I64,
+                        InstKind::Select {
+                            cond: lt,
+                            if_true: j,
+                            if_false: accs[1],
+                        },
+                    );
                     vec![nbest, nidx]
                 },
             );
@@ -531,20 +700,32 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
     // iterate-spawn-merge-update loop).
     {
         let mut fb = Fb::new("main", vec![Ty::I64, Ty::I64], Ty::I64);
-        let pts = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(0) });
+        let pts = fb.op(
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Param(0),
+            },
+        );
         let n = Operand::Param(1);
         let alloc = |fb: &mut Fb, size: Operand| {
             fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![size])
         };
         let cents8 = alloc(&mut fb, Operand::i64((K * 16) as i64));
         let cents = fb.cast_ptr(Pointee::F64, cents8);
-        fb.counted_loop(Operand::i64(0), Operand::i64((2 * K) as i64), &[], &[], |fb, i, _| {
-            let sp = fb.gep(Ty::Ptr(Pointee::F64), pts, i, 8);
-            let v = fb.load(Ty::F64, sp);
-            let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, i, 8);
-            fb.store(dp, v);
-            vec![]
-        });
+        fb.counted_loop(
+            Operand::i64(0),
+            Operand::i64((2 * K) as i64),
+            &[],
+            &[],
+            |fb, i, _| {
+                let sp = fb.gep(Ty::Ptr(Pointee::F64), pts, i, 8);
+                let v = fb.load(Ty::F64, sp);
+                let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, i, 8);
+                fb.store(dp, v);
+                vec![]
+            },
+        );
         let assign_bytes = fb.bin(BinOp::Shl, Ty::I64, n, Operand::i64(3));
         let assign8 = alloc(&mut fb, assign_bytes);
         let assign = fb.cast_ptr(Pointee::I64, assign8);
@@ -552,110 +733,255 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
         let slots = fb.cast_ptr(Pointee::I64, slots8);
         let gsums8 = alloc(&mut fb, Operand::i64((K * 16) as i64));
         let gsums = fb.cast_ptr(Pointee::F64, gsums8);
-        let gsums_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: gsums8 });
+        let gsums_i = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: gsums8,
+            },
+        );
         let gcounts8 = alloc(&mut fb, Operand::i64((K * 8) as i64));
         let gcounts = fb.cast_ptr(Pointee::I64, gcounts8);
-        let gcounts_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: gcounts8 });
-        let cents_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: cents8 });
-        let assign_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: assign8 });
+        let gcounts_i = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: gcounts8,
+            },
+        );
+        let cents_i = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: cents8,
+            },
+        );
+        let assign_i = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: assign8,
+            },
+        );
         let chunk = fb.bin(BinOp::LShr, Ty::I64, n, Operand::i64(2));
 
-        fb.counted_loop(Operand::i64(0), Operand::i64(ITERS as i64), &[], &[], |fb, _iter, _| {
-            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![gsums_i, Operand::i64(0), Operand::i64((K * 16) as i64)]);
-            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![gcounts_i, Operand::i64(0), Operand::i64((K * 8) as i64)]);
-            // spawn
-            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
-                let args8 = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(56)]);
-                let args = fb.cast_ptr(Pointee::I64, args8);
-                let st = |fb: &mut Fb, args: Operand, i: i64, v: Operand| {
-                    let p = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(i), 8);
-                    fb.store(p, v);
-                };
-                st(fb, args, 0, Operand::Param(0));
-                let start = fb.mul(t, chunk);
-                st(fb, args, 1, start);
-                let end0 = fb.add(start, chunk);
-                let is_last = fb.icmp(IPred::Eq, t, Operand::i64(THREADS as i64 - 1));
-                let end = fb.op(Ty::I64, InstKind::Select { cond: is_last, if_true: n, if_false: end0 });
-                st(fb, args, 2, end);
-                st(fb, args, 3, cents_i);
-                st(fb, args, 4, assign_i);
-                let args_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: args8 });
-                let aslot = {
-                    let x = fb.add(t, Operand::i64(THREADS as i64));
-                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
-                };
-                fb.store(aslot, args_i);
-                let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
-                let tid_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: tid_p });
-                let wp = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
-                fb.call(Ty::I32, Callee::Extern(rt.create), vec![tid_i, Operand::i64(0), wp, args_i]);
+        fb.counted_loop(
+            Operand::i64(0),
+            Operand::i64(ITERS as i64),
+            &[],
+            &[],
+            |fb, _iter, _| {
+                fb.call(
+                    Ty::I64,
+                    Callee::Extern(rt.memset),
+                    vec![gsums_i, Operand::i64(0), Operand::i64((K * 16) as i64)],
+                );
+                fb.call(
+                    Ty::I64,
+                    Callee::Extern(rt.memset),
+                    vec![gcounts_i, Operand::i64(0), Operand::i64((K * 8) as i64)],
+                );
+                // spawn
+                fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(THREADS as i64),
+                    &[],
+                    &[],
+                    |fb, t, _| {
+                        let args8 = fb.call(
+                            Ty::Ptr(Pointee::I8),
+                            Callee::Extern(rt.malloc),
+                            vec![Operand::i64(56)],
+                        );
+                        let args = fb.cast_ptr(Pointee::I64, args8);
+                        let st = |fb: &mut Fb, args: Operand, i: i64, v: Operand| {
+                            let p = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(i), 8);
+                            fb.store(p, v);
+                        };
+                        st(fb, args, 0, Operand::Param(0));
+                        let start = fb.mul(t, chunk);
+                        st(fb, args, 1, start);
+                        let end0 = fb.add(start, chunk);
+                        let is_last = fb.icmp(IPred::Eq, t, Operand::i64(THREADS as i64 - 1));
+                        let end = fb.op(
+                            Ty::I64,
+                            InstKind::Select {
+                                cond: is_last,
+                                if_true: n,
+                                if_false: end0,
+                            },
+                        );
+                        st(fb, args, 2, end);
+                        st(fb, args, 3, cents_i);
+                        st(fb, args, 4, assign_i);
+                        let args_i = fb.op(
+                            Ty::I64,
+                            InstKind::Cast {
+                                op: CastOp::PtrToInt,
+                                val: args8,
+                            },
+                        );
+                        let aslot = {
+                            let x = fb.add(t, Operand::i64(THREADS as i64));
+                            fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                        };
+                        fb.store(aslot, args_i);
+                        let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
+                        let tid_i = fb.op(
+                            Ty::I64,
+                            InstKind::Cast {
+                                op: CastOp::PtrToInt,
+                                val: tid_p,
+                            },
+                        );
+                        let wp = fb.op(
+                            Ty::I64,
+                            InstKind::Cast {
+                                op: CastOp::PtrToInt,
+                                val: Operand::Func(worker),
+                            },
+                        );
+                        fb.call(
+                            Ty::I32,
+                            Callee::Extern(rt.create),
+                            vec![tid_i, Operand::i64(0), wp, args_i],
+                        );
+                        vec![]
+                    },
+                );
+                // join
+                fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(THREADS as i64),
+                    &[],
+                    &[],
+                    |fb, t, _| {
+                        let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
+                        let tid = fb.load(Ty::I64, tid_p);
+                        fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
+                        vec![]
+                    },
+                );
+                // merge
+                fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(THREADS as i64),
+                    &[],
+                    &[],
+                    |fb, t, _| {
+                        let ap = {
+                            let x = fb.add(t, Operand::i64(THREADS as i64));
+                            fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                        };
+                        let a_i = fb.load(Ty::I64, ap);
+                        let a = fb.op(
+                            Ty::Ptr(Pointee::I64),
+                            InstKind::Cast {
+                                op: CastOp::IntToPtr,
+                                val: a_i,
+                            },
+                        );
+                        let sp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(5), 8);
+                        let s_i = fb.load(Ty::I64, sp);
+                        let s = fb.op(
+                            Ty::Ptr(Pointee::F64),
+                            InstKind::Cast {
+                                op: CastOp::IntToPtr,
+                                val: s_i,
+                            },
+                        );
+                        let cp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(6), 8);
+                        let c_i = fb.load(Ty::I64, cp);
+                        let c = fb.op(
+                            Ty::Ptr(Pointee::I64),
+                            InstKind::Cast {
+                                op: CastOp::IntToPtr,
+                                val: c_i,
+                            },
+                        );
+                        fb.counted_loop(
+                            Operand::i64(0),
+                            Operand::i64((2 * K) as i64),
+                            &[],
+                            &[],
+                            |fb, j, _| {
+                                let srcp = fb.gep(Ty::Ptr(Pointee::F64), s, j, 8);
+                                let v = fb.load(Ty::F64, srcp);
+                                let dstp = fb.gep(Ty::Ptr(Pointee::F64), gsums, j, 8);
+                                let old = fb.load(Ty::F64, dstp);
+                                let nv = fb.bin(BinOp::FAdd, Ty::F64, old, v);
+                                fb.store(dstp, nv);
+                                vec![]
+                            },
+                        );
+                        fb.counted_loop(
+                            Operand::i64(0),
+                            Operand::i64(K as i64),
+                            &[],
+                            &[],
+                            |fb, j, _| {
+                                let srcp = fb.gep(Ty::Ptr(Pointee::I64), c, j, 8);
+                                let v = fb.load(Ty::I64, srcp);
+                                let dstp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
+                                let old = fb.load(Ty::I64, dstp);
+                                let nv = fb.add(old, v);
+                                fb.store(dstp, nv);
+                                vec![]
+                            },
+                        );
+                        vec![]
+                    },
+                );
+                // update centroids
+                fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(K as i64),
+                    &[],
+                    &[],
+                    |fb, j, _| {
+                        let cp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
+                        let cnt = fb.load(Ty::I64, cp);
+                        let nz = fb.icmp(IPred::Ne, cnt, Operand::i64(0));
+                        // branchless: divisor = nz ? cnt : 1; blend = nz ? mean : old
+                        let safe_cnt = fb.op(
+                            Ty::I64,
+                            InstKind::Select {
+                                cond: nz,
+                                if_true: cnt,
+                                if_false: Operand::i64(1),
+                            },
+                        );
+                        let fcnt = fb.op(
+                            Ty::F64,
+                            InstKind::Cast {
+                                op: CastOp::SiToFp,
+                                val: safe_cnt,
+                            },
+                        );
+                        let xi = fb.bin(BinOp::Shl, Ty::I64, j, Operand::i64(1));
+                        for d in 0..2 {
+                            let idx = fb.add(xi, Operand::i64(d));
+                            let sp = fb.gep(Ty::Ptr(Pointee::F64), gsums, idx, 8);
+                            let sv = fb.load(Ty::F64, sp);
+                            let mean = fb.bin(BinOp::FDiv, Ty::F64, sv, fcnt);
+                            let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, idx, 8);
+                            let old = fb.load(Ty::F64, dp);
+                            let nv = fb.op(
+                                Ty::F64,
+                                InstKind::Select {
+                                    cond: nz,
+                                    if_true: mean,
+                                    if_false: old,
+                                },
+                            );
+                            fb.store(dp, nv);
+                        }
+                        vec![]
+                    },
+                );
                 vec![]
-            });
-            // join
-            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
-                let tid_p = fb.gep(Ty::Ptr(Pointee::I64), slots, t, 8);
-                let tid = fb.load(Ty::I64, tid_p);
-                fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
-                vec![]
-            });
-            // merge
-            fb.counted_loop(Operand::i64(0), Operand::i64(THREADS as i64), &[], &[], |fb, t, _| {
-                let ap = {
-                    let x = fb.add(t, Operand::i64(THREADS as i64));
-                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
-                };
-                let a_i = fb.load(Ty::I64, ap);
-                let a = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a_i });
-                let sp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(5), 8);
-                let s_i = fb.load(Ty::I64, sp);
-                let s = fb.op(Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: s_i });
-                let cp = fb.gep(Ty::Ptr(Pointee::I64), a, Operand::i64(6), 8);
-                let c_i = fb.load(Ty::I64, cp);
-                let c = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: c_i });
-                fb.counted_loop(Operand::i64(0), Operand::i64((2 * K) as i64), &[], &[], |fb, j, _| {
-                    let srcp = fb.gep(Ty::Ptr(Pointee::F64), s, j, 8);
-                    let v = fb.load(Ty::F64, srcp);
-                    let dstp = fb.gep(Ty::Ptr(Pointee::F64), gsums, j, 8);
-                    let old = fb.load(Ty::F64, dstp);
-                    let nv = fb.bin(BinOp::FAdd, Ty::F64, old, v);
-                    fb.store(dstp, nv);
-                    vec![]
-                });
-                fb.counted_loop(Operand::i64(0), Operand::i64(K as i64), &[], &[], |fb, j, _| {
-                    let srcp = fb.gep(Ty::Ptr(Pointee::I64), c, j, 8);
-                    let v = fb.load(Ty::I64, srcp);
-                    let dstp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
-                    let old = fb.load(Ty::I64, dstp);
-                    let nv = fb.add(old, v);
-                    fb.store(dstp, nv);
-                    vec![]
-                });
-                vec![]
-            });
-            // update centroids
-            fb.counted_loop(Operand::i64(0), Operand::i64(K as i64), &[], &[], |fb, j, _| {
-                let cp = fb.gep(Ty::Ptr(Pointee::I64), gcounts, j, 8);
-                let cnt = fb.load(Ty::I64, cp);
-                let nz = fb.icmp(IPred::Ne, cnt, Operand::i64(0));
-                // branchless: divisor = nz ? cnt : 1; blend = nz ? mean : old
-                let safe_cnt = fb.op(Ty::I64, InstKind::Select { cond: nz, if_true: cnt, if_false: Operand::i64(1) });
-                let fcnt = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: safe_cnt });
-                let xi = fb.bin(BinOp::Shl, Ty::I64, j, Operand::i64(1));
-                for d in 0..2 {
-                    let idx = fb.add(xi, Operand::i64(d));
-                    let sp = fb.gep(Ty::Ptr(Pointee::F64), gsums, idx, 8);
-                    let sv = fb.load(Ty::F64, sp);
-                    let mean = fb.bin(BinOp::FDiv, Ty::F64, sv, fcnt);
-                    let dp = fb.gep(Ty::Ptr(Pointee::F64), cents, idx, 8);
-                    let old = fb.load(Ty::F64, dp);
-                    let nv = fb.op(Ty::F64, InstKind::Select { cond: nz, if_true: mean, if_false: old });
-                    fb.store(dp, nv);
-                }
-                vec![]
-            });
-            vec![]
-        });
+            },
+        );
         // checksum
         let part1 = fb.counted_loop(
             Operand::i64(0),
@@ -680,14 +1006,25 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
                 let cp = fb.gep(Ty::Ptr(Pointee::F64), cents, i, 8);
                 let v = fb.load(Ty::F64, cp);
                 let scaled = fb.bin(BinOp::FMul, Ty::F64, v, Operand::f64(100.0));
-                let t = fb.op(Ty::I64, InstKind::Cast { op: CastOp::FpToSi, val: scaled });
+                let t = fb.op(
+                    Ty::I64,
+                    InstKind::Cast {
+                        op: CastOp::FpToSi,
+                        val: scaled,
+                    },
+                );
                 vec![fb.add(accs[0], t)]
             },
         );
         let f = {
             let mut fb = fb;
             let cur = fb.cur;
-            fb.f.set_term(cur, Terminator::Ret { val: Some(part2[0]) });
+            fb.f.set_term(
+                cur,
+                Terminator::Ret {
+                    val: Some(part2[0]),
+                },
+            );
             fb.f
         };
         m.add_func(f);

@@ -74,7 +74,9 @@ pub fn lcg_bytes(n: usize, seed: u64) -> Vec<u8> {
     let mut s = (seed << 1) | 1;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as u8
         })
         .collect()
@@ -85,7 +87,9 @@ pub fn lcg_u64(n: usize, seed: u64) -> Vec<u64> {
     let mut s = (seed << 1) | 1;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s >> 16
         })
         .collect()
@@ -154,7 +158,11 @@ mod tests {
                 want,
                 "{}: expected {want} functions, got {:?}",
                 b.name,
-                b.binary.functions.iter().map(|f| &f.name).collect::<Vec<_>>()
+                b.binary
+                    .functions
+                    .iter()
+                    .map(|f| &f.name)
+                    .collect::<Vec<_>>()
             );
         }
     }

@@ -48,10 +48,18 @@ pub fn binary() -> Binary {
         a.push(alurr(AluOp::Add, Gpr::R11, Gpr::Rcx)); // SX += x
         a.push(alurr(AluOp::Add, Gpr::R12, Gpr::Rdx)); // SY += y
         a.push(movrr(Gpr::Rax, Gpr::Rcx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rcx),
+        });
         a.push(alurr(AluOp::Add, Gpr::R13, Gpr::Rax)); // SXX += x*x
         a.push(movrr(Gpr::Rax, Gpr::Rcx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rdx),
+        });
         a.push(alurr(AluOp::Add, Gpr::R14, Gpr::Rax)); // SXY += x*y
         a.push(alui(AluOp::Add, Gpr::R9, 1));
         a.jmp(top);
@@ -98,7 +106,11 @@ pub fn binary() -> Binary {
         a.push(call(malloc));
         a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
         a.push(movrr(Gpr::Rdx, Gpr::Rbx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
         a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
         a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
         a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
@@ -106,9 +118,16 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::Rdx, Gpr::R13));
         a.bind(last);
         a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
-        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(storeq(
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+            Gpr::Rax,
+        ));
         a.push(movrr(Gpr::Rcx, Gpr::Rax));
-        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
         a.push(movri(Gpr::Rsi, 0));
         a.push(lea_func(Gpr::Rdx, worker_addr));
         a.push(call(pthread_create));
@@ -134,7 +153,10 @@ pub fn binary() -> Binary {
         a.bind(merge_top);
         a.push(cmpri(Gpr::Rbx, THREADS as i32));
         a.jcc(Cond::E, merge_done);
-        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64)));
+        a.push(loadq(
+            Gpr::Rdx,
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+        ));
         a.push(alurm(AluOp::Add, Gpr::R8, mem_bd(Gpr::Rdx, 24)));
         a.push(alurm(AluOp::Add, Gpr::R9, mem_bd(Gpr::Rdx, 32)));
         a.push(alurm(AluOp::Add, Gpr::R10, mem_bd(Gpr::Rdx, 40)));
@@ -145,22 +167,67 @@ pub fn binary() -> Binary {
         // slope = (n*SXY - SX*SY) / (n*SXX - SX*SX), scaled ×1000 and
         // truncated; checksum = trunc + SX + SY.
         a.push(movrr(Gpr::Rax, Gpr::R11));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::R13) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::R13),
+        });
         a.push(movrr(Gpr::Rcx, Gpr::R8));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::R9) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rcx,
+            src: Rm::Reg(Gpr::R9),
+        });
         a.push(alurr(AluOp::Sub, Gpr::Rax, Gpr::Rcx)); // numer
         a.push(movrr(Gpr::Rdx, Gpr::R10));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::R13) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::R13),
+        });
         a.push(movrr(Gpr::Rcx, Gpr::R8));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::R8) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rcx,
+            src: Rm::Reg(Gpr::R8),
+        });
         a.push(alurr(AluOp::Sub, Gpr::Rdx, Gpr::Rcx)); // denom
-        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rax) });
-        a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(1), src: Rm::Reg(Gpr::Rdx) });
-        a.push(Inst::SseScalar { op: SseOp::Div, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
+        a.push(Inst::CvtSi2F {
+            prec: FpPrec::Double,
+            iw: Width::W64,
+            dst: Xmm(0),
+            src: Rm::Reg(Gpr::Rax),
+        });
+        a.push(Inst::CvtSi2F {
+            prec: FpPrec::Double,
+            iw: Width::W64,
+            dst: Xmm(1),
+            src: Rm::Reg(Gpr::Rdx),
+        });
+        a.push(Inst::SseScalar {
+            op: SseOp::Div,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Reg(Xmm(1)),
+        });
         a.push(movri(Gpr::Rcx, 1000.0f64.to_bits() as i64));
-        a.push(Inst::MovGprToXmm { w: Width::W64, dst: Xmm(1), src: Gpr::Rcx });
-        a.push(Inst::SseScalar { op: SseOp::Mul, prec: FpPrec::Double, dst: Xmm(0), src: XmmRm::Reg(Xmm(1)) });
-        a.push(Inst::CvtF2Si { prec: FpPrec::Double, iw: Width::W64, dst: Gpr::Rax, src: XmmRm::Reg(Xmm(0)) });
+        a.push(Inst::MovGprToXmm {
+            w: Width::W64,
+            dst: Xmm(1),
+            src: Gpr::Rcx,
+        });
+        a.push(Inst::SseScalar {
+            op: SseOp::Mul,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Reg(Xmm(1)),
+        });
+        a.push(Inst::CvtF2Si {
+            prec: FpPrec::Double,
+            iw: Width::W64,
+            dst: Gpr::Rax,
+            src: XmmRm::Reg(Xmm(0)),
+        });
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
         a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R9));
         for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
@@ -194,14 +261,26 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
         let mut fb = Fb::new("lr_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
         let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
         let data_i = fb.load(Ty::I64, args);
-        let data = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let data = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: data_i,
+            },
+        );
         let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
         let start = fb.load(Ty::I64, p1);
         let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
         let end = fb.load(Ty::I64, p2);
         let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
         let sums_i = fb.load(Ty::I64, p4);
-        let sums = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: sums_i });
+        let sums = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: sums_i,
+            },
+        );
         let zero = Operand::i64(0);
         let finals = fb.counted_loop(
             start,
@@ -254,11 +333,21 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
                 Callee::Extern(rt.malloc),
                 vec![Operand::i64((threads * 4 * 8) as i64)],
             );
-            let sums_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: sums });
+            let sums_i = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: sums,
+                },
+            );
             fb.call(
                 Ty::I64,
                 Callee::Extern(rt.memset),
-                vec![sums_i, Operand::i64(0), Operand::i64((threads * 4 * 8) as i64)],
+                vec![
+                    sums_i,
+                    Operand::i64(0),
+                    Operand::i64((threads * 4 * 8) as i64),
+                ],
             );
             (Operand::Param(0), sums_i)
         },
@@ -268,12 +357,29 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
             // the skeleton's `start` at args[1] is used instead: recompute
             // tix = start / chunk. Simpler: merge all four sums regions
             // directly from the shared buffer.
-            let a0p = fb.gep(Ty::Ptr(Pointee::I64), slots, Operand::i64(threads as i64), 8);
+            let a0p = fb.gep(
+                Ty::Ptr(Pointee::I64),
+                slots,
+                Operand::i64(threads as i64),
+                8,
+            );
             let a0 = fb.load(Ty::I64, a0p);
-            let a064 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a0 });
+            let a064 = fb.op(
+                Ty::Ptr(Pointee::I64),
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: a0,
+                },
+            );
             let sums_ip = fb.gep(Ty::Ptr(Pointee::I64), a064, Operand::i64(4), 8);
             let sums_i = fb.load(Ty::I64, sums_ip);
-            let sums = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: sums_i });
+            let sums = fb.op(
+                Ty::Ptr(Pointee::I64),
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: sums_i,
+                },
+            );
             let z = Operand::i64(0);
             let totals = fb.counted_loop(
                 Operand::i64(0),
@@ -300,11 +406,29 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
             let nsxx = fb.mul(n, sxx);
             let sxsx = fb.mul(sx, sx);
             let denom = fb.bin(BinOp::Sub, Ty::I64, nsxx, sxsx);
-            let fnum = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: numer });
-            let fden = fb.op(Ty::F64, InstKind::Cast { op: CastOp::SiToFp, val: denom });
+            let fnum = fb.op(
+                Ty::F64,
+                InstKind::Cast {
+                    op: CastOp::SiToFp,
+                    val: numer,
+                },
+            );
+            let fden = fb.op(
+                Ty::F64,
+                InstKind::Cast {
+                    op: CastOp::SiToFp,
+                    val: denom,
+                },
+            );
             let slope = fb.bin(BinOp::FDiv, Ty::F64, fnum, fden);
             let scaled = fb.bin(BinOp::FMul, Ty::F64, slope, Operand::f64(1000.0));
-            let trunc = fb.op(Ty::I64, InstKind::Cast { op: CastOp::FpToSi, val: scaled });
+            let trunc = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::FpToSi,
+                    val: scaled,
+                },
+            );
             let s1 = fb.add(trunc, sx);
             fb.add(s1, sy)
         },

@@ -32,10 +32,18 @@ pub fn binary() -> Binary {
         a.jcc(Cond::E, done);
         a.push(loadq(Gpr::R10, mem_bi(Gpr::Rdi, Gpr::R8, 8, 0)));
         a.push(movrr(Gpr::R11, Gpr::R8));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R11, src: Rm::Reg(Gpr::Rcx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R11,
+            src: Rm::Reg(Gpr::Rcx),
+        });
         a.push(alurr(AluOp::Add, Gpr::R11, Gpr::Rdx));
         a.push(loadq(Gpr::R11, mem_bi(Gpr::Rsi, Gpr::R11, 8, 0)));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R10, src: Rm::Reg(Gpr::R11) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R10,
+            src: Rm::Reg(Gpr::R11),
+        });
         a.push(alurr(AluOp::Add, Gpr::R9, Gpr::R10));
         a.push(alui(AluOp::Add, Gpr::R8, 1));
         a.jmp(top);
@@ -72,7 +80,11 @@ pub fn binary() -> Binary {
         // rowA = A + i*n*8
         a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rbx)));
         a.push(movrr(Gpr::R15, Gpr::R12));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::R15, src: Rm::Reg(Gpr::R14) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R15,
+            src: Rm::Reg(Gpr::R14),
+        });
         a.push(movrr(Gpr::Rbp, Gpr::R15)); // save i*n for the C index
         a.push(shifti(ShiftOp::Shl, Gpr::R15, 3));
         a.push(alurr(AluOp::Add, Gpr::Rdi, Gpr::R15));
@@ -131,7 +143,11 @@ pub fn binary() -> Binary {
         a.push(movrr(Gpr::Rcx, Gpr::Rbp));
         a.push(shifti(ShiftOp::Shr, Gpr::Rcx, 2));
         a.push(movrr(Gpr::Rdx, Gpr::Rbx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rcx) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rcx),
+        });
         a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
         a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rcx));
         a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
@@ -142,9 +158,16 @@ pub fn binary() -> Binary {
         a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R13));
         a.push(storeq(mem_bd(Gpr::Rax, 32), Gpr::R14));
         a.push(storeq(mem_bd(Gpr::Rax, 40), Gpr::Rbp));
-        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(storeq(
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+            Gpr::Rax,
+        ));
         a.push(movrr(Gpr::Rcx, Gpr::Rax));
-        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
         a.push(movri(Gpr::Rsi, 0));
         a.push(lea_func(Gpr::Rdx, worker_addr));
         a.push(call(pthread_create));
@@ -163,13 +186,21 @@ pub fn binary() -> Binary {
         a.bind(join_done);
         // checksum = Σ_{i<n*n} C[i]
         a.push(movrr(Gpr::Rcx, Gpr::Rbp));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rcx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rcx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
         a.push(movri(Gpr::Rax, 0));
         a.push(movri(Gpr::Rdx, 0));
         a.bind(sum_top);
         a.push(cmprr(Gpr::Rdx, Gpr::Rcx));
         a.jcc(Cond::E, sum_done);
-        a.push(alurm(AluOp::Add, Gpr::Rax, mem_bi(Gpr::R14, Gpr::Rdx, 8, 0)));
+        a.push(alurm(
+            AluOp::Add,
+            Gpr::Rax,
+            mem_bi(Gpr::R14, Gpr::Rdx, 8, 0),
+        ));
         a.push(alui(AluOp::Add, Gpr::Rdx, 1));
         a.jmp(sum_top);
         a.bind(sum_done);
@@ -202,19 +233,43 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
         let mut fb = Fb::new("mm_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
         let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
         let a_i = fb.load(Ty::I64, args);
-        let a_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a_i });
+        let a_m = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: a_i,
+            },
+        );
         let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
         let start = fb.load(Ty::I64, p1);
         let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
         let end = fb.load(Ty::I64, p2);
         let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
         let rec_i = fb.load(Ty::I64, p4);
-        let rec = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: rec_i });
+        let rec = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: rec_i,
+            },
+        );
         let b_i = fb.load(Ty::I64, rec);
-        let b_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: b_i });
+        let b_m = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: b_i,
+            },
+        );
         let rc = fb.gep(Ty::Ptr(Pointee::I64), rec, Operand::i64(1), 8);
         let c_i = fb.load(Ty::I64, rc);
-        let c_m = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: c_i });
+        let c_m = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: c_i,
+            },
+        );
         let rn = fb.gep(Ty::Ptr(Pointee::I64), rec, Operand::i64(2), 8);
         let n = fb.load(Ty::I64, rn);
         fb.counted_loop(start, end, &[], &[], |fb, i, _| {
@@ -268,12 +323,24 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
             fb.store(r1, Operand::Param(2));
             let r2 = fb.gep(Ty::Ptr(Pointee::I64), rec64, Operand::i64(2), 8);
             fb.store(r2, Operand::Param(3));
-            let rec_i = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: rec });
+            let rec_i = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: rec,
+                },
+            );
             (Operand::Param(0), rec_i)
         },
         |fb, _slots| {
             // checksum = Σ C[i] for i < n*n
-            let c = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(2) });
+            let c = fb.op(
+                Ty::Ptr(Pointee::I64),
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: Operand::Param(2),
+                },
+            );
             let nn = fb.mul(Operand::Param(3), Operand::Param(3));
             let total = fb.counted_loop(
                 Operand::i64(0),

@@ -63,27 +63,60 @@ impl Fb {
 
     /// Typed load.
     pub fn load(&mut self, ty: Ty, ptr: Operand) -> Operand {
-        self.op(ty, InstKind::Load { ptr, order: Ordering::NotAtomic })
+        self.op(
+            ty,
+            InstKind::Load {
+                ptr,
+                order: Ordering::NotAtomic,
+            },
+        )
     }
 
     /// Typed store.
     pub fn store(&mut self, ptr: Operand, val: Operand) {
-        self.op(Ty::Void, InstKind::Store { ptr, val, order: Ordering::NotAtomic });
+        self.op(
+            Ty::Void,
+            InstKind::Store {
+                ptr,
+                val,
+                order: Ordering::NotAtomic,
+            },
+        );
     }
 
     /// `gep` with element size.
     pub fn gep(&mut self, ty: Ty, base: Operand, idx: Operand, elem: u64) -> Operand {
-        self.op(ty, InstKind::Gep { base, offset: idx, elem_size: elem })
+        self.op(
+            ty,
+            InstKind::Gep {
+                base,
+                offset: idx,
+                elem_size: elem,
+            },
+        )
     }
 
     /// Pointer bitcast.
     pub fn cast_ptr(&mut self, to: Pointee, p: Operand) -> Operand {
-        self.op(Ty::Ptr(to), InstKind::Cast { op: CastOp::BitCast, val: p })
+        self.op(
+            Ty::Ptr(to),
+            InstKind::Cast {
+                op: CastOp::BitCast,
+                val: p,
+            },
+        )
     }
 
     /// Integer compare.
     pub fn icmp(&mut self, pred: IPred, a: Operand, b: Operand) -> Operand {
-        self.op(Ty::I1, InstKind::ICmp { pred, lhs: a, rhs: b })
+        self.op(
+            Ty::I1,
+            InstKind::ICmp {
+                pred,
+                lhs: a,
+                rhs: b,
+            },
+        )
     }
 
     /// Call.
@@ -110,13 +143,22 @@ impl Fb {
 
         // φs: induction variable + accumulators.
         self.cur = header;
-        let phi_i = self.f.push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
+        let phi_i = self
+            .f
+            .push(header, Ty::I64, InstKind::Phi { incoming: vec![] });
         let mut phi_accs = Vec::new();
         for ty in acc_tys {
             phi_accs.push(self.f.push(header, *ty, InstKind::Phi { incoming: vec![] }));
         }
         let cond = self.icmp(IPred::Ult, Operand::Inst(phi_i), to);
-        self.f.set_term(header, Terminator::CondBr { cond, if_true: body_b, if_false: exit });
+        self.f.set_term(
+            header,
+            Terminator::CondBr {
+                cond,
+                if_true: body_b,
+                if_false: exit,
+            },
+        );
 
         self.cur = body_b;
         let accs: Vec<Operand> = phi_accs.iter().map(|p| Operand::Inst(*p)).collect();
@@ -126,11 +168,13 @@ impl Fb {
         let body_end = self.cur; // body may have created inner blocks
         self.f.set_term(body_end, Terminator::Br { dest: header });
 
-        self.f.inst_mut(phi_i).kind =
-            InstKind::Phi { incoming: vec![(pre, from), (body_end, i_next)] };
+        self.f.inst_mut(phi_i).kind = InstKind::Phi {
+            incoming: vec![(pre, from), (body_end, i_next)],
+        };
         for (k, p) in phi_accs.iter().enumerate() {
-            self.f.inst_mut(*p).kind =
-                InstKind::Phi { incoming: vec![(pre, init[k]), (body_end, next[k])] };
+            self.f.inst_mut(*p).kind = InstKind::Phi {
+                incoming: vec![(pre, init[k]), (body_end, next[k])],
+            };
         }
 
         self.cur = exit;
@@ -162,12 +206,22 @@ pub struct Rt {
 /// Adds the standard externs to `m`.
 pub fn runtime(m: &mut Module) -> Rt {
     let e = |m: &mut Module, name: &str, params: Vec<Ty>, ret: Ty| {
-        m.declare_extern(ExternDecl { name: name.into(), params, ret, variadic: false })
+        m.declare_extern(ExternDecl {
+            name: name.into(),
+            params,
+            ret,
+            variadic: false,
+        })
     };
     Rt {
         malloc: e(m, "malloc", vec![Ty::I64], Ty::Ptr(Pointee::I8)),
         memset: e(m, "memset", vec![Ty::I64, Ty::I64, Ty::I64], Ty::I64),
-        create: e(m, "pthread_create", vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64], Ty::I32),
+        create: e(
+            m,
+            "pthread_create",
+            vec![Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            Ty::I32,
+        ),
         join: e(m, "pthread_join", vec![Ty::I64, Ty::I64], Ty::I32),
     }
 }
@@ -218,7 +272,14 @@ pub fn fork_join_main(
             fb.store(p1, start);
             let end0 = fb.add(start, chunk);
             let is_last = fb.icmp(IPred::Eq, t, Operand::i64(threads as i64 - 1));
-            let end = fb.op(Ty::I64, InstKind::Select { cond: is_last, if_true: n, if_false: end0 });
+            let end = fb.op(
+                Ty::I64,
+                InstKind::Select {
+                    cond: is_last,
+                    if_true: n,
+                    if_false: end0,
+                },
+            );
             let p2 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(2), 8);
             fb.store(p2, end);
             let p3 = fb.gep(Ty::Ptr(Pointee::I64), args64, Operand::i64(3), 8);
@@ -228,12 +289,30 @@ pub fn fork_join_main(
             // record args for the merge
             let aidx = fb.add(t, Operand::i64(threads as i64));
             let aslot = fb.gep(Ty::Ptr(Pointee::I64), slots_i, aidx, 8);
-            let argsint = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: args });
+            let argsint = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: args,
+                },
+            );
             fb.store(aslot, argsint);
             // pthread_create(&slots[t], 0, worker, args)
             let tid_ptr = fb.gep(Ty::Ptr(Pointee::I64), slots_i, t, 8);
-            let tid_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: tid_ptr });
-            let wptr = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Func(worker) });
+            let tid_int = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: tid_ptr,
+                },
+            );
+            let wptr = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: Operand::Func(worker),
+                },
+            );
             fb.call(
                 Ty::I32,
                 Callee::Extern(rt.create),
@@ -243,12 +322,18 @@ pub fn fork_join_main(
         },
     );
     // join loop
-    fb.counted_loop(Operand::i64(0), Operand::i64(threads as i64), &[], &[], |fb, t, _| {
-        let tid_ptr = fb.gep(Ty::Ptr(Pointee::I64), slots_i, t, 8);
-        let tid = fb.load(Ty::I64, tid_ptr);
-        fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
-        vec![]
-    });
+    fb.counted_loop(
+        Operand::i64(0),
+        Operand::i64(threads as i64),
+        &[],
+        &[],
+        |fb, t, _| {
+            let tid_ptr = fb.gep(Ty::Ptr(Pointee::I64), slots_i, t, 8);
+            let tid = fb.load(Ty::I64, tid_ptr);
+            fb.call(Ty::I32, Callee::Extern(rt.join), vec![tid, Operand::i64(0)]);
+            vec![]
+        },
+    );
     let result = finish(&mut fb, slots_i);
     let f = fb.ret(Some(result));
     m.add_func(f)
@@ -274,19 +359,45 @@ fn native_histogram() -> Module {
         let mut fb = Fb::new("hist_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
         let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
         let data_i = fb.load(Ty::I64, args);
-        let data = fb.op(Ty::Ptr(Pointee::I8), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let data = fb.op(
+            Ty::Ptr(Pointee::I8),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: data_i,
+            },
+        );
         let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
         let start = fb.load(Ty::I64, p1);
         let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
         let end = fb.load(Ty::I64, p2);
-        let local = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(2048)]);
-        let local_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: local });
-        fb.call(Ty::I64, Callee::Extern(rt.memset), vec![local_int, Operand::i64(0), Operand::i64(2048)]);
+        let local = fb.call(
+            Ty::Ptr(Pointee::I8),
+            Callee::Extern(rt.malloc),
+            vec![Operand::i64(2048)],
+        );
+        let local_int = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: local,
+            },
+        );
+        fb.call(
+            Ty::I64,
+            Callee::Extern(rt.memset),
+            vec![local_int, Operand::i64(0), Operand::i64(2048)],
+        );
         let local64 = fb.cast_ptr(Pointee::I64, local);
         fb.counted_loop(start, end, &[], &[], |fb, i, _| {
             let bp = fb.gep(Ty::Ptr(Pointee::I8), data, i, 1);
             let byte = fb.load(Ty::I8, bp);
-            let idx = fb.op(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: byte });
+            let idx = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::ZExt,
+                    val: byte,
+                },
+            );
             let cell = fb.gep(Ty::Ptr(Pointee::I64), local64, idx, 8);
             let old = fb.load(Ty::I64, cell);
             let new = fb.add(old, Operand::i64(1));
@@ -310,41 +421,90 @@ fn native_histogram() -> Module {
         |_| Operand::Param(1),
         |fb| {
             // ctx0 = data pointer; ctx1 = global bins
-            let bins = fb.call(Ty::Ptr(Pointee::I8), Callee::Extern(rt.malloc), vec![Operand::i64(2048)]);
-            let bins_int = fb.op(Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: bins });
-            fb.call(Ty::I64, Callee::Extern(rt.memset), vec![bins_int, Operand::i64(0), Operand::i64(2048)]);
+            let bins = fb.call(
+                Ty::Ptr(Pointee::I8),
+                Callee::Extern(rt.malloc),
+                vec![Operand::i64(2048)],
+            );
+            let bins_int = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: bins,
+                },
+            );
+            fb.call(
+                Ty::I64,
+                Callee::Extern(rt.memset),
+                vec![bins_int, Operand::i64(0), Operand::i64(2048)],
+            );
             (Operand::Param(0), bins_int)
         },
         move |fb, slots| {
             // bins pointer is in the first args record's ctx1 slot.
-            let a0p = fb.gep(Ty::Ptr(Pointee::I64), slots, Operand::i64(threads as i64), 8);
+            let a0p = fb.gep(
+                Ty::Ptr(Pointee::I64),
+                slots,
+                Operand::i64(threads as i64),
+                8,
+            );
             let a0 = fb.load(Ty::I64, a0p);
-            let a0p64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a0 });
+            let a0p64 = fb.op(
+                Ty::Ptr(Pointee::I64),
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: a0,
+                },
+            );
             let bins_ip = fb.gep(Ty::Ptr(Pointee::I64), a0p64, Operand::i64(4), 8);
             let bins_i = fb.load(Ty::I64, bins_ip);
-            let bins = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: bins_i });
+            let bins = fb.op(
+                Ty::Ptr(Pointee::I64),
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: bins_i,
+                },
+            );
             // merge each worker's local bins
-            fb.counted_loop(Operand::i64(0), Operand::i64(threads as i64), &[], &[], |fb, t, _| {
-                let ap = {
-                    let x = fb.add(t, Operand::i64(threads as i64));
-                    fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
-                };
-                let a = fb.load(Ty::I64, ap);
-                let a64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a });
-                let lp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
-                let l = fb.load(Ty::I64, lp);
-                let local = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: l });
-                fb.counted_loop(Operand::i64(0), Operand::i64(256), &[], &[], |fb, i, _| {
-                    let src = fb.gep(Ty::Ptr(Pointee::I64), local, i, 8);
-                    let v = fb.load(Ty::I64, src);
-                    let dst = fb.gep(Ty::Ptr(Pointee::I64), bins, i, 8);
-                    let old = fb.load(Ty::I64, dst);
-                    let s = fb.add(old, v);
-                    fb.store(dst, s);
+            fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(threads as i64),
+                &[],
+                &[],
+                |fb, t, _| {
+                    let ap = {
+                        let x = fb.add(t, Operand::i64(threads as i64));
+                        fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                    };
+                    let a = fb.load(Ty::I64, ap);
+                    let a64 = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: a,
+                        },
+                    );
+                    let lp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
+                    let l = fb.load(Ty::I64, lp);
+                    let local = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: l,
+                        },
+                    );
+                    fb.counted_loop(Operand::i64(0), Operand::i64(256), &[], &[], |fb, i, _| {
+                        let src = fb.gep(Ty::Ptr(Pointee::I64), local, i, 8);
+                        let v = fb.load(Ty::I64, src);
+                        let dst = fb.gep(Ty::Ptr(Pointee::I64), bins, i, 8);
+                        let old = fb.load(Ty::I64, dst);
+                        let s = fb.add(old, v);
+                        fb.store(dst, s);
+                        vec![]
+                    });
                     vec![]
-                });
-                vec![]
-            });
+                },
+            );
             // checksum = Σ i * bins[i]
             let sums = fb.counted_loop(
                 Operand::i64(0),

@@ -29,7 +29,12 @@ pub fn binary() -> Binary {
         let ne = a.label();
         a.push(loadq(Gpr::Rax, mem_b(Gpr::Rdi)));
         a.push(movri(Gpr::Rcx, 0));
-        a.push(Inst::AluRRm { op: AluOp::Cmp, w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(mem_b(Gpr::Rsi)) });
+        a.push(Inst::AluRRm {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(mem_b(Gpr::Rsi)),
+        });
         a.jcc(Cond::Ne, ne);
         a.push(movri(Gpr::Rcx, 1));
         a.bind(ne);
@@ -96,7 +101,11 @@ pub fn binary() -> Binary {
         a.push(shifti(ShiftOp::Shl, Gpr::Rsi, 4));
         a.push(alurr(AluOp::Add, Gpr::Rsi, Gpr::R14));
         a.push(call(cmp16_addr));
-        a.push(Inst::TestI { w: Width::W64, a: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::TestI {
+            w: Width::W64,
+            a: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.jcc(Cond::E, no_match);
         a.push(alui(AluOp::Add, Gpr::R15, 1));
         a.bind(no_match);
@@ -165,7 +174,11 @@ pub fn binary() -> Binary {
         a.push(call(malloc));
         a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
         a.push(movrr(Gpr::Rdx, Gpr::Rbx));
-        a.push(Inst::IMul2 { w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::Rbp) });
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
         a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
         a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
         a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
@@ -174,9 +187,16 @@ pub fn binary() -> Binary {
         a.bind(last);
         a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
         a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R14));
-        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64), Gpr::Rax));
+        a.push(storeq(
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+            Gpr::Rax,
+        ));
         a.push(movrr(Gpr::Rcx, Gpr::Rax));
-        a.push(Inst::Lea { w: Width::W64, dst: Gpr::Rdi, addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0) });
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
         a.push(movri(Gpr::Rsi, 0));
         a.push(lea_func(Gpr::Rdx, worker_addr));
         a.push(call(pthread_create));
@@ -198,7 +218,10 @@ pub fn binary() -> Binary {
         a.bind(merge_top);
         a.push(cmpri(Gpr::Rbx, THREADS as i32));
         a.jcc(Cond::E, merge_done);
-        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64)));
+        a.push(loadq(
+            Gpr::Rdx,
+            mem_bi(Gpr::R15, Gpr::Rbx, 8, (THREADS * 8) as i64),
+        ));
         a.push(alurm(AluOp::Add, Gpr::Rax, mem_bd(Gpr::Rdx, 32)));
         a.push(alui(AluOp::Add, Gpr::Rbx, 1));
         a.jmp(merge_top);
@@ -231,48 +254,60 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
         let mut fb = Fb::new("sm_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
         let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
         let data_i = fb.load(Ty::I64, args);
-        let data = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: data_i });
+        let data = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: data_i,
+            },
+        );
         let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
         let start = fb.load(Ty::I64, p1);
         let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
         let end = fb.load(Ty::I64, p2);
         let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
         let tg_i = fb.load(Ty::I64, p4);
-        let tg = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: tg_i });
-        let count = fb.counted_loop(
-            start,
-            end,
-            &[Ty::I64],
-            &[Operand::i64(0)],
-            |fb, i, accs| {
-                let base = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
-                let k0p = fb.gep(Ty::Ptr(Pointee::I64), data, base, 8);
-                let k0 = fb.load(Ty::I64, k0p);
-                let base1 = fb.add(base, Operand::i64(1));
-                let k1p = fb.gep(Ty::Ptr(Pointee::I64), data, base1, 8);
-                let k1 = fb.load(Ty::I64, k1p);
-                let inner = fb.counted_loop(
-                    Operand::i64(0),
-                    Operand::i64(TARGETS as i64),
-                    &[Ty::I64],
-                    &[Operand::i64(0)],
-                    |fb, t, taccs| {
-                        let tb = fb.bin(BinOp::Shl, Ty::I64, t, Operand::i64(1));
-                        let t0p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb, 8);
-                        let t0 = fb.load(Ty::I64, t0p);
-                        let tb1 = fb.add(tb, Operand::i64(1));
-                        let t1p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb1, 8);
-                        let t1 = fb.load(Ty::I64, t1p);
-                        let e0 = fb.icmp(IPred::Eq, k0, t0);
-                        let e1 = fb.icmp(IPred::Eq, k1, t1);
-                        let both = fb.bin(BinOp::And, Ty::I1, e0, e1);
-                        let inc = fb.op(Ty::I64, InstKind::Cast { op: CastOp::ZExt, val: both });
-                        vec![fb.add(taccs[0], inc)]
-                    },
-                );
-                vec![fb.add(accs[0], inner[0])]
+        let tg = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: tg_i,
             },
         );
+        let count = fb.counted_loop(start, end, &[Ty::I64], &[Operand::i64(0)], |fb, i, accs| {
+            let base = fb.bin(BinOp::Shl, Ty::I64, i, Operand::i64(1));
+            let k0p = fb.gep(Ty::Ptr(Pointee::I64), data, base, 8);
+            let k0 = fb.load(Ty::I64, k0p);
+            let base1 = fb.add(base, Operand::i64(1));
+            let k1p = fb.gep(Ty::Ptr(Pointee::I64), data, base1, 8);
+            let k1 = fb.load(Ty::I64, k1p);
+            let inner = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(TARGETS as i64),
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, t, taccs| {
+                    let tb = fb.bin(BinOp::Shl, Ty::I64, t, Operand::i64(1));
+                    let t0p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb, 8);
+                    let t0 = fb.load(Ty::I64, t0p);
+                    let tb1 = fb.add(tb, Operand::i64(1));
+                    let t1p = fb.gep(Ty::Ptr(Pointee::I64), tg, tb1, 8);
+                    let t1 = fb.load(Ty::I64, t1p);
+                    let e0 = fb.icmp(IPred::Eq, k0, t0);
+                    let e1 = fb.icmp(IPred::Eq, k1, t1);
+                    let both = fb.bin(BinOp::And, Ty::I1, e0, e1);
+                    let inc = fb.op(
+                        Ty::I64,
+                        InstKind::Cast {
+                            op: CastOp::ZExt,
+                            val: both,
+                        },
+                    );
+                    vec![fb.add(taccs[0], inc)]
+                },
+            );
+            vec![fb.add(accs[0], inner[0])]
+        });
         // Write the count through the out slot (args[5]).
         let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
         fb.store(p5, count[0]);
@@ -301,7 +336,13 @@ pub(crate) fn native_impl() -> lasagne_lir::Module {
                         fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
                     };
                     let a = fb.load(Ty::I64, ap);
-                    let a64 = fb.op(Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: a });
+                    let a64 = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: a,
+                        },
+                    );
                     let cp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
                     let c = fb.load(Ty::I64, cp);
                     vec![fb.add(accs[0], c)]
@@ -327,10 +368,14 @@ pub fn workload(n: usize) -> Workload {
     }
     // Targets: four existing keys.
     let targets: Vec<u64> = vec![
-        keys[0], keys[1],
-        keys[2 * (n / 3)], keys[2 * (n / 3) + 1],
-        keys[2 * (n / 2)], keys[2 * (n / 2) + 1],
-        keys[2 * (2 * n / 3)], keys[2 * (2 * n / 3) + 1],
+        keys[0],
+        keys[1],
+        keys[2 * (n / 3)],
+        keys[2 * (n / 3) + 1],
+        keys[2 * (n / 2)],
+        keys[2 * (n / 2) + 1],
+        keys[2 * (2 * n / 3)],
+        keys[2 * (2 * n / 3) + 1],
     ];
     // Reference count.
     let mut expected = 0u64;

@@ -16,7 +16,9 @@ fn run_lir(m: &Module, w: &Workload) -> u64 {
         machine.mem.write(*addr, bytes);
     }
     let args: Vec<Val> = w.args.iter().map(|a| Val::B64(*a)).collect();
-    let r = machine.run(id, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let r = machine
+        .run(id, &args)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     r.ret.expect("return value").bits()
 }
 
@@ -27,7 +29,9 @@ fn run_arm(m: &Module, w: &Workload) -> u64 {
     for (addr, bytes) in &w.mem_init {
         arm.mem.write(*addr, bytes);
     }
-    let r = arm.run(idx, &w.args, &[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let r = arm
+        .run(idx, &w.args, &[])
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     r.ret
 }
 
@@ -64,7 +68,11 @@ fn full_pipeline_preserves_checksums() {
         lasagne_opt::standard_pipeline(&mut m, 3);
         lasagne_lir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e:?}", b.name));
         let got = run_lir(&m, &b.workload);
-        assert_eq!(got, b.workload.expected_ret, "{} optimized checksum", b.name);
+        assert_eq!(
+            got, b.workload.expected_ret,
+            "{} optimized checksum",
+            b.name
+        );
     }
 }
 
@@ -80,7 +88,11 @@ fn arm_translations_compute_reference_checksums() {
         assert_eq!(got, b.workload.expected_ret, "{} Arm checksum", b.name);
         // Native baseline on Arm too.
         let native_got = run_arm(&b.native, &b.workload);
-        assert_eq!(native_got, b.workload.expected_ret, "{} native Arm checksum", b.name);
+        assert_eq!(
+            native_got, b.workload.expected_ret,
+            "{} native Arm checksum",
+            b.name
+        );
     }
 }
 

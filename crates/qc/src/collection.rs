@@ -1,0 +1,118 @@
+//! Collection strategies (`vec`), mirroring `proptest::collection`.
+
+use crate::source::{Source, VecSpan};
+use crate::strategy::{Rejected, Strategy};
+
+/// An inclusive size range for generated collections. Converts from
+/// `usize` (exact), `Range<usize>` (half-open), and `RangeInclusive`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest permitted length.
+    pub min: usize,
+    /// Largest permitted length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(
+            r.start < r.end,
+            "empty vec size range {}..{}",
+            r.start,
+            r.end
+        );
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` of values from `elem`, with a length drawn from
+/// `size`. Shrinking removes elements (down to `size.min`) and then
+/// minimizes the survivors.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecOf<S> {
+    VecOf {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecOf<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, src: &mut Source) -> Result<Vec<S::Value>, Rejected> {
+        let len_idx = src.pos();
+        let width = (self.size.max - self.size.min) as u64 + 1;
+        let len = self.size.min + (src.next() % width) as usize;
+        let mut out = Vec::with_capacity(len);
+        let mut elems = Vec::with_capacity(len);
+        for _ in 0..len {
+            let start = src.pos();
+            out.push(self.elem.generate(src)?);
+            elems.push((start, src.pos()));
+        }
+        src.record_vec(VecSpan {
+            len_idx,
+            width,
+            elems,
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let s = vec(0u64..10, 2..5);
+        let mut src = Source::random(11);
+        for _ in 0..300 {
+            let v = s.generate(&mut src).unwrap();
+            assert!((2..=4).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn exact_size_and_inclusive_ranges() {
+        let mut src = Source::random(1);
+        assert_eq!(vec(0u8..5, 3usize).generate(&mut src).unwrap().len(), 3);
+        let v = vec(0u8..5, 1..=2).generate(&mut src).unwrap();
+        assert!((1..=2).contains(&v.len()));
+    }
+
+    #[test]
+    fn records_vec_structure() {
+        let s = vec(0u64..10, 2..5);
+        let mut src = Source::random(11);
+        let v = s.generate(&mut src).unwrap();
+        let st = src.into_structure();
+        assert_eq!(st.vecs.len(), 1);
+        assert_eq!(st.vecs[0].elems.len(), v.len());
+        assert_eq!(st.vecs[0].len_idx, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two tiny, well-known generators, both implemented from their public
+//! reference descriptions:
+//!
+//! * [`SplitMix64`] — a one-word-state mixer, used to expand a `u64` seed
+//!   into the larger [`Xoshiro256`] state and to derive independent
+//!   per-case seeds from a base seed;
+//! * [`Xoshiro256`] (xoshiro256**) — the main generator behind random test
+//!   case generation.
+//!
+//! Everything here is pure and `Copy`-cheap: the same seed always yields
+//! the same stream, on every platform, which is the foundation of the
+//! persisted-seed regression format in [`crate::regress`].
+
+/// SplitMix64: a 64-bit mixing generator with a single word of state.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed. Any value, including 0, is a
+    /// valid seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator for case generation.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the 256-bit state by running [`SplitMix64`] on `seed`, as the
+    /// xoshiro authors recommend.
+    pub fn from_seed(seed: u64) -> Xoshiro256 {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256::from_seed(42);
+        let mut b = Xoshiro256::from_seed(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::from_seed(1);
+        let mut b = Xoshiro256::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "adjacent seeds must not produce colliding streams");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut g = Xoshiro256::from_seed(0);
+        // The state expansion must keep the generator out of the all-zero
+        // fixed point.
+        let sum: u64 = (0..16).fold(0u64, |acc, _| acc | g.next_u64());
+        assert_ne!(sum, 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The property runner: regression replay, case generation, shrinking,
+//! and reporting.
+//!
+//! [`check`] is the pure entry point (returns the failure, if any);
+//! [`run`] is what the [`crate::properties!`] macro expands to — it
+//! persists the failing seed and panics with a report, which is how a
+//! failing property surfaces through `cargo test`.
+
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::OnceLock;
+
+use crate::rng::SplitMix64;
+use crate::shrink;
+use crate::source::Source;
+use crate::strategy::Strategy;
+use crate::{regress, Config};
+
+/// How a test case ends: `Ok(())`, a rejection (the case does not apply,
+/// cf. `prop_assume!`), or a failure.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input does not satisfy the property's preconditions; the case
+    /// is skipped without counting toward the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// What a property body returns.
+pub type CaseResult = Result<(), TestCaseError>;
+
+/// Identity of a property, captured by the [`crate::properties!`] macro.
+#[derive(Debug, Clone, Copy)]
+pub struct TestInfo {
+    /// Fully qualified property name (for reports).
+    pub name: &'static str,
+    /// `CARGO_MANIFEST_DIR` of the crate defining the property — anchors
+    /// the regression file independent of the test-time working directory.
+    pub manifest_dir: &'static str,
+    /// `file!()` of the property definition.
+    pub source_file: &'static str,
+}
+
+/// A minimized property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// The case seed that (re)produces the failure.
+    pub seed: u64,
+    /// The shrunk counterexample.
+    pub minimal: T,
+    /// The failure message of the minimal case.
+    pub message: String,
+    /// Property evaluations the shrinker spent.
+    pub shrink_evals: usize,
+    /// Whether the seed came from a persisted regression file.
+    pub from_regression: bool,
+}
+
+thread_local! {
+    static IN_CASE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays quiet while a
+/// property case is executing — shrinking re-runs failing, possibly
+/// panicking, bodies hundreds of times and must not spew backtraces.
+fn install_quiet_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_CASE.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+/// Runs the property body on one value, converting panics to failures.
+fn call<T, F>(f: &F, value: T) -> Outcome
+where
+    F: Fn(T) -> CaseResult,
+{
+    IN_CASE.with(|c| c.set(true));
+    let r = panic::catch_unwind(AssertUnwindSafe(|| f(value)));
+    IN_CASE.with(|c| c.set(false));
+    match r {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => Outcome::Reject,
+        Ok(Err(TestCaseError::Fail(m))) => Outcome::Fail(m),
+        Err(payload) => Outcome::Fail(panic_message(payload)),
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    let parsed = v
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|| v.parse::<u64>());
+    match parsed {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("[lasagne-qc] ignoring unparseable {name}={v}");
+            None
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Checks the property and returns the minimized failure, if any.
+///
+/// Replays persisted regression seeds first, then generates fresh cases
+/// until `cfg.cases` have been accepted (rejections don't count, but an
+/// excessive rejection rate is itself an error). This function never
+/// writes regression files — that is [`run`]'s job.
+///
+/// # Panics
+///
+/// Panics if the rejection rate makes the configured case count
+/// unreachable.
+pub fn check<S, F>(info: TestInfo, cfg: &Config, strat: &S, f: F) -> Result<(), Failure<S::Value>>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    install_quiet_hook();
+    let seed = env_u64("LASAGNE_QC_SEED").unwrap_or(cfg.seed);
+    let cases = env_u64("LASAGNE_QC_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(cfg.cases);
+
+    let one = |case_seed: u64, from_regression: bool| -> Result<bool, Failure<S::Value>> {
+        let mut src = Source::random(case_seed);
+        let value = match strat.generate(&mut src) {
+            Ok(v) => v,
+            Err(_) => return Ok(false),
+        };
+        match call(&f, value) {
+            Outcome::Pass => Ok(true),
+            Outcome::Reject => Ok(false),
+            Outcome::Fail(first_message) => {
+                let fails = |v: S::Value| matches!(call(&f, v), Outcome::Fail(_));
+                let mut budget = cfg.max_shrink_evals;
+                let total = budget;
+                let min = shrink::minimize(strat, &fails, src.into_structure(), &mut budget);
+                let minimal = shrink::value_of(strat, &min);
+                let message = match call(&f, shrink::value_of(strat, &min)) {
+                    Outcome::Fail(m) => m,
+                    _ => first_message,
+                };
+                Err(Failure {
+                    seed: case_seed,
+                    minimal,
+                    message,
+                    shrink_evals: total - budget,
+                    from_regression,
+                })
+            }
+        }
+    };
+
+    // 1. Persisted regressions, replayed deterministically.
+    let reg = regress::load(info.manifest_dir, info.source_file);
+    for s in &reg.seeds {
+        one(*s, true)?;
+    }
+
+    // 2. Fresh cases from the per-property seed stream.
+    let mut stream = SplitMix64::new(seed ^ fnv1a(info.name));
+    let mut accepted = 0u32;
+    let max_attempts = u64::from(cases) * 16 + 64;
+    let mut attempts = 0u64;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "{}: too many rejected cases ({accepted}/{cases} accepted in {max_attempts} attempts)",
+            info.name
+        );
+        if one(stream.next_u64(), false)? {
+            accepted += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Entry point used by the [`crate::properties!`] macro: [`check`], plus
+/// seed persistence and a panic report on failure.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) when the property fails.
+pub fn run<S, F>(info: TestInfo, cfg: Config, strat: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let Err(failure) = check(info, &cfg, &strat, f) else {
+        return;
+    };
+    let minimal_line = format!("{:?}", failure.minimal);
+    let mut persisted = String::new();
+    if cfg.persist
+        && !failure.from_regression
+        && std::env::var_os("LASAGNE_QC_NO_PERSIST").is_none()
+    {
+        let path = regress::load(info.manifest_dir, info.source_file).persist_path;
+        match regress::append(&path, failure.seed, &minimal_line) {
+            Ok(()) => persisted = format!("\n  persisted to: {}", path.display()),
+            Err(e) => persisted = format!("\n  (could not persist seed: {e})"),
+        }
+    }
+    panic!(
+        "[lasagne-qc] property {} failed.\n  seed: 0x{:016x}{}{}\n  minimal input \
+         ({} shrink evals): {:#?}\n  error: {}",
+        info.name,
+        failure.seed,
+        if failure.from_regression {
+            " (persisted regression)"
+        } else {
+            ""
+        },
+        persisted,
+        failure.shrink_evals,
+        failure.minimal,
+        failure.message,
+    );
+}

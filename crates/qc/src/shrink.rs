@@ -1,0 +1,148 @@
+//! Greedy integrated shrinking over the recorded choice tape.
+//!
+//! A failing case is a tape of `u64` choices (plus the vector structure
+//! recorded while generating it). Shrinking proposes edited tapes, re-runs
+//! the strategy on each in replay mode, and keeps any edit that still
+//! fails the property — greedily, restarting the pass list after every
+//! accepted edit, until a fixpoint or the evaluation budget is exhausted.
+//!
+//! Two passes, ordered so the big structural wins come first:
+//!
+//! 1. **Element removal** — for every recorded vector, try deleting each
+//!    element's choice range (decrementing the recorded length draw);
+//! 2. **Choice minimization** — per choice: try 0 outright, then binary
+//!    search the smallest still-failing value.
+//!
+//! Because edits are re-executed through the strategy, invariants are
+//! preserved by construction (a tape that generates at all generates a
+//! valid value), and `prop_map`/`prop_oneof`/`prop_filter` compositions
+//! shrink without any per-strategy shrink code.
+
+use crate::source::{Source, Structure};
+use crate::strategy::Strategy;
+
+/// Re-runs `strat` on a tape; `None` if the strategy rejects it.
+fn regen<S: Strategy>(strat: &S, tape: &[u64]) -> Option<(S::Value, Structure)> {
+    let mut src = Source::replay(tape.to_vec());
+    match strat.generate(&mut src) {
+        Ok(v) => Some((v, src.into_structure())),
+        Err(_) => None,
+    }
+}
+
+/// Tries one candidate tape: returns the new structure if it still fails.
+fn attempt<S, F>(strat: &S, fails: &F, tape: Vec<u64>, budget: &mut usize) -> Option<Structure>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> bool,
+{
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    let (value, st) = regen(strat, &tape)?;
+    if fails(value) {
+        Some(st)
+    } else {
+        None
+    }
+}
+
+/// Removing element `ei` of vector `vi`: splices out its choice range and
+/// rewrites the length draw. `None` when the vector is already minimal.
+fn remove_elem(cur: &Structure, vi: usize, ei: usize) -> Option<Vec<u64>> {
+    let vs = &cur.vecs[vi];
+    let offset = cur.choices[vs.len_idx] % vs.width;
+    if offset == 0 {
+        return None; // Already at the minimum length.
+    }
+    let (start, end) = vs.elems[ei];
+    let mut tape = cur.choices.clone();
+    tape[vs.len_idx] = offset - 1;
+    tape.drain(start..end);
+    Some(tape)
+}
+
+/// Minimizes a single choice: 0 first, then binary search in `(0, c]`.
+fn minimize_choice<S, F>(
+    strat: &S,
+    fails: &F,
+    cur: &Structure,
+    idx: usize,
+    budget: &mut usize,
+) -> Option<Structure>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> bool,
+{
+    let c = cur.choices[idx];
+    if c == 0 {
+        return None;
+    }
+    let with = |v: u64| {
+        let mut tape = cur.choices.clone();
+        tape[idx] = v;
+        tape
+    };
+    if let Some(st) = attempt(strat, fails, with(0), budget) {
+        return Some(st);
+    }
+    // 0 passes, c fails: find the smallest failing value in between.
+    let (mut lo, mut hi) = (0u64, c);
+    let mut best = None;
+    while hi - lo > 1 && *budget > 0 {
+        let mid = lo + (hi - lo) / 2;
+        match attempt(strat, fails, with(mid), budget) {
+            Some(st) => {
+                hi = mid;
+                best = Some(st);
+            }
+            None => lo = mid,
+        }
+    }
+    best
+}
+
+/// Greedily minimizes a failing tape. `fails` must run the property and
+/// report whether it still fails; `budget` bounds the total number of
+/// property evaluations. Returns the minimal structure found.
+pub fn minimize<S, F>(strat: &S, fails: &F, start: Structure, budget: &mut usize) -> Structure
+where
+    S: Strategy,
+    F: Fn(S::Value) -> bool,
+{
+    let mut cur = start;
+    'restart: loop {
+        if *budget == 0 {
+            return cur;
+        }
+        // Pass 1: vector element removal, innermost vectors last so outer
+        // removals (which delete whole nested runs) are tried first.
+        for vi in (0..cur.vecs.len()).rev() {
+            for ei in (0..cur.vecs[vi].elems.len()).rev() {
+                if let Some(tape) = remove_elem(&cur, vi, ei) {
+                    if let Some(st) = attempt(strat, fails, tape, budget) {
+                        cur = st;
+                        continue 'restart;
+                    }
+                }
+            }
+        }
+        // Pass 2: per-choice minimization.
+        for idx in 0..cur.choices.len() {
+            if let Some(st) = minimize_choice(strat, fails, &cur, idx, budget) {
+                cur = st;
+                continue 'restart;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Regenerates the value for a (minimal) structure. Panics if the tape no
+/// longer generates — it was accepted by [`minimize`], so it must.
+pub fn value_of<S: Strategy>(strat: &S, st: &Structure) -> S::Value {
+    regen(strat, &st.choices)
+        .expect("accepted tape regenerates")
+        .0
+}

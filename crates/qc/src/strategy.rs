@@ -1,0 +1,342 @@
+//! Value-generation strategies and their combinators.
+//!
+//! A [`Strategy`] turns draws from a [`Source`] into values of its
+//! `Value` type. The combinator surface intentionally mirrors the subset
+//! of `proptest` this workspace used before going offline — integer
+//! ranges, [`Just`], [`any`], tuples, weighted [`OneOf`] (via
+//! [`crate::prop_oneof!`]), `prop_map`, and `prop_filter` — so property
+//! suites port with only an import change.
+//!
+//! Shrinking is *integrated*: strategies never implement a shrink method.
+//! Because every strategy is a deterministic function of the choice tape,
+//! the shrinker in [`crate::shrink`] minimizes the tape and simply re-runs
+//! the strategy.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::source::Source;
+
+/// Marker returned when a strategy cannot produce a value from the current
+/// stream (e.g. a `prop_filter` predicate kept failing). The runner skips
+/// the case; the shrinker discards the candidate tape.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// A recipe for generating values of type `Value` from a choice stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generates one value, drawing as many choices as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] if no acceptable value could be produced.
+    fn generate(&self, src: &mut Source) -> Result<Self::Value, Rejected>;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, src: &mut Source) -> Result<Self::Value, Rejected> {
+        (**self).generate(src)
+    }
+}
+
+/// A heap-allocated, type-erased strategy, as produced by
+/// [`StrategyExt::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, src: &mut Source) -> Result<T, Rejected> {
+        (**self).generate(src)
+    }
+}
+
+/// Combinator methods available on every sized strategy.
+pub trait StrategyExt: Strategy + Sized {
+    /// Applies `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying a bounded number
+    /// of times before rejecting the whole case. `why` names the filter in
+    /// nothing but the reader's mind — it documents intent at the call
+    /// site, matching the `proptest` signature.
+    fn prop_filter<F>(self, why: &'static str, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            why,
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type behind a `Box`, so strategies of
+    /// different shapes can live in one [`OneOf`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy> StrategyExt for S {}
+
+/// Always produces a clone of the given value; draws no choices.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _src: &mut Source) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, src: &mut Source) -> Result<U, Rejected> {
+        Ok((self.f)(self.inner.generate(src)?))
+    }
+}
+
+/// See [`StrategyExt::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    why: &'static str,
+    pred: F,
+}
+
+/// How many fresh draws a [`Filter`] attempts before rejecting the case.
+const FILTER_RETRIES: usize = 8;
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, src: &mut Source) -> Result<S::Value, Rejected> {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(src)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejected)
+    }
+}
+
+/// Chooses between boxed alternative strategies with integer weights.
+/// Construct via [`crate::prop_oneof!`]. The *first* alternative is the
+/// "simplest": shrinking drives the selector choice toward 0, so order
+/// alternatives from simple to complex.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: fmt::Debug> OneOf<T> {
+    /// Builds a weighted choice from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total > 0,
+            "OneOf requires at least one arm with nonzero weight"
+        );
+        OneOf { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, src: &mut Source) -> Result<T, Rejected> {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut roll = src.next() % total;
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return strat.generate(src);
+            }
+            roll -= w;
+        }
+        unreachable!("roll is bounded by the total weight")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, src: &mut Source) -> Result<$t, Rejected> {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {}..{}", self.start, self.end
+                );
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = u128::from(src.next()) % width;
+                Ok((self.start as i128 + off as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, src: &mut Source) -> Result<$t, Rejected> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {start}..={end}");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let off = u128::from(src.next()) % width;
+                Ok((start as i128 + off as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy behind [`any`] for primitive types: the full domain, uniform.
+pub struct AnyPrim<T>(PhantomData<T>);
+
+/// Types with a canonical full-domain strategy, usable via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical full-domain strategy for `T`, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+
+            fn generate(&self, src: &mut Source) -> Result<$t, Rejected> {
+                Ok(src.next() as $t)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+
+    fn generate(&self, src: &mut Source) -> Result<bool, Rejected> {
+        Ok(src.next() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(PhantomData)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, src: &mut Source) -> Result<Self::Value, Rejected> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.generate(src)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategies!(A);
+tuple_strategies!(A, B);
+tuple_strategies!(A, B, C);
+tuple_strategies!(A, B, C, D);
+tuple_strategies!(A, B, C, D, E);
+tuple_strategies!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut src = Source::random(3);
+        for _ in 0..500 {
+            let v = (-5i64..7).generate(&mut src).unwrap();
+            assert!((-5..7).contains(&v));
+            let u = (1u8..=3).generate(&mut src).unwrap();
+            assert!((1..=3).contains(&u));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let s = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("nonzero", |v| *v != 0);
+        let mut src = Source::random(9);
+        for _ in 0..200 {
+            let v = s.generate(&mut src).unwrap();
+            assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    #[test]
+    fn oneof_honors_zero_choice() {
+        // A replayed 0 choice must select the first (simplest) arm.
+        let s: OneOf<u32> = OneOf::new(vec![(1, Just(7u32).boxed()), (3, (10u32..20).boxed())]);
+        let mut src = Source::replay(vec![0]);
+        assert_eq!(s.generate(&mut src).unwrap(), 7);
+    }
+}

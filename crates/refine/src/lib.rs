@@ -50,10 +50,19 @@ fn resolve(f: &Function, x: &Operand, depth: u32) -> Option<Plan> {
     }
     match x {
         Operand::Inst(id) => match &f.inst(*id).kind {
-            InstKind::Cast { op: CastOp::PtrToInt, val } => {
-                Some(Plan { root: *val, root_is_int: false, terms: vec![] })
-            }
-            InstKind::Bin { op: lasagne_lir::inst::BinOp::Add, lhs, rhs } => {
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val,
+            } => Some(Plan {
+                root: *val,
+                root_is_int: false,
+                terms: vec![],
+            }),
+            InstKind::Bin {
+                op: lasagne_lir::inst::BinOp::Add,
+                lhs,
+                rhs,
+            } => {
                 // Prefer a genuine pointer root over a parameter root.
                 if let Some(mut p) = resolve(f, lhs, depth + 1) {
                     if !p.root_is_int {
@@ -82,9 +91,17 @@ fn resolve(f: &Function, x: &Operand, depth: u32) -> Option<Plan> {
         },
         Operand::Param(i) => {
             if f.params[*i as usize] == Ty::I64 {
-                Some(Plan { root: Operand::Param(*i), root_is_int: true, terms: vec![] })
+                Some(Plan {
+                    root: Operand::Param(*i),
+                    root_is_int: true,
+                    terms: vec![],
+                })
             } else if f.params[*i as usize].is_ptr() {
-                Some(Plan { root: Operand::Param(*i), root_is_int: false, terms: vec![] })
+                Some(Plan {
+                    root: Operand::Param(*i),
+                    root_is_int: false,
+                    terms: vec![],
+                })
             } else {
                 None
             }
@@ -112,25 +129,34 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
     let targets: Vec<InstId> = f
         .iter_insts()
         .filter_map(|(_, id)| match &f.inst(id).kind {
-            InstKind::Cast { op: CastOp::IntToPtr, val } => {
-                resolve(f, val, 0).is_some().then_some(id)
-            }
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val,
+            } => resolve(f, val, 0).is_some().then_some(id),
             _ => None,
         })
         .collect();
 
     for id in targets {
-        let InstKind::Cast { op: CastOp::IntToPtr, val } = f.inst(id).kind.clone() else {
+        let InstKind::Cast {
+            op: CastOp::IntToPtr,
+            val,
+        } = f.inst(id).kind.clone()
+        else {
             continue;
         };
-        let Some(plan) = resolve(f, &val, 0) else { continue };
+        let Some(plan) = resolve(f, &val, 0) else {
+            continue;
+        };
         // Rule 3 only fires when there is something to rewrite; a parameter
         // with a direct inttoptr and no added terms is already in promotable
         // shape — leave it for parameter promotion.
         if plan.root_is_int && plan.terms.is_empty() {
             continue;
         }
-        let Some((block, pos)) = position_of(f, id) else { continue };
+        let Some((block, pos)) = position_of(f, id) else {
+            continue;
+        };
         let mut at = pos;
         // Root as an i8* value.
         let root_ty = m.operand_ty(f, &plan.root);
@@ -139,7 +165,10 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
                 block,
                 at,
                 Ty::Ptr(Pointee::I8),
-                InstKind::Cast { op: CastOp::IntToPtr, val: plan.root },
+                InstKind::Cast {
+                    op: CastOp::IntToPtr,
+                    val: plan.root,
+                },
             );
             at += 1;
             Operand::Inst(p)
@@ -150,7 +179,10 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
                 block,
                 at,
                 Ty::Ptr(Pointee::I8),
-                InstKind::Cast { op: CastOp::BitCast, val: plan.root },
+                InstKind::Cast {
+                    op: CastOp::BitCast,
+                    val: plan.root,
+                },
             );
             at += 1;
             Operand::Inst(p)
@@ -160,13 +192,20 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
                 block,
                 at,
                 Ty::Ptr(Pointee::I8),
-                InstKind::Gep { base: cur, offset: term, elem_size: 1 },
+                InstKind::Gep {
+                    base: cur,
+                    offset: term,
+                    elem_size: 1,
+                },
             );
             at += 1;
             cur = Operand::Inst(g);
         }
         // The original inttoptr becomes a bitcast from the rebuilt chain.
-        f.inst_mut(id).kind = InstKind::Cast { op: CastOp::BitCast, val: cur };
+        f.inst_mut(id).kind = InstKind::Cast {
+            op: CastOp::BitCast,
+            val: cur,
+        };
         rewritten += 1;
     }
     rewritten
@@ -204,7 +243,10 @@ pub fn promote_pointer_params(m: &mut Module) -> usize {
                 }
                 any_use = true;
                 match &inst.kind {
-                    InstKind::Cast { op: CastOp::IntToPtr, .. } => {
+                    InstKind::Cast {
+                        op: CastOp::IntToPtr,
+                        ..
+                    } => {
                         dst_tys.push(inst.ty);
                         user_ids.push(id);
                     }
@@ -227,7 +269,11 @@ pub fn promote_pointer_params(m: &mut Module) -> usize {
             }
             // Choose the promoted type: unanimous destination type, else i8*.
             let unanimous = dst_tys.windows(2).all(|w| w[0] == w[1]);
-            let new_ty = if unanimous { dst_tys[0] } else { Ty::Ptr(Pointee::I8) };
+            let new_ty = if unanimous {
+                dst_tys[0]
+            } else {
+                Ty::Ptr(Pointee::I8)
+            };
             m.funcs[fi].params[pi] = new_ty;
             // Rewrite the inttoptr users: same type ⇒ replace uses directly;
             // otherwise turn the cast into a bitcast from the parameter.
@@ -239,8 +285,10 @@ pub fn promote_pointer_params(m: &mut Module) -> usize {
                         f.block_mut(b).insts.remove(pos);
                     }
                 } else {
-                    f.inst_mut(id).kind =
-                        InstKind::Cast { op: CastOp::BitCast, val: Operand::Param(pi as u32) };
+                    f.inst_mut(id).kind = InstKind::Cast {
+                        op: CastOp::BitCast,
+                        val: Operand::Param(pi as u32),
+                    };
                 }
             }
             // Fix every call site in the module.
@@ -265,18 +313,25 @@ fn fix_call_sites(m: &mut Module, callee: lasagne_lir::FuncId, pi: usize, new_ty
             .map(|(_, id)| id)
             .collect();
         for cs in call_sites {
-            let InstKind::Call { args, .. } = &m.funcs[fi].inst(cs).kind else { continue };
+            let InstKind::Call { args, .. } = &m.funcs[fi].inst(cs).kind else {
+                continue;
+            };
             let arg = args[pi];
             // If the argument is ptrtoint(P), pass P through (bitcast when
             // the pointee differs).
             let direct: Option<Operand> = match arg {
                 Operand::Inst(aid) => match &m.funcs[fi].inst(aid).kind {
-                    InstKind::Cast { op: CastOp::PtrToInt, val } => Some(*val),
+                    InstKind::Cast {
+                        op: CastOp::PtrToInt,
+                        val,
+                    } => Some(*val),
                     _ => None,
                 },
                 _ => None,
             };
-            let Some((b, pos)) = position_of(&m.funcs[fi], cs) else { continue };
+            let Some((b, pos)) = position_of(&m.funcs[fi], cs) else {
+                continue;
+            };
             let new_arg = match direct {
                 Some(p) => {
                     let pty = m.operand_ty(&m.funcs[fi], &p);
@@ -288,7 +343,10 @@ fn fix_call_sites(m: &mut Module, callee: lasagne_lir::FuncId, pi: usize, new_ty
                             b,
                             pos,
                             new_ty,
-                            InstKind::Cast { op: CastOp::BitCast, val: p },
+                            InstKind::Cast {
+                                op: CastOp::BitCast,
+                                val: p,
+                            },
                         ))
                     }
                 }
@@ -298,7 +356,10 @@ fn fix_call_sites(m: &mut Module, callee: lasagne_lir::FuncId, pi: usize, new_ty
                         b,
                         pos,
                         new_ty,
-                        InstKind::Cast { op: CastOp::IntToPtr, val: arg },
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: arg,
+                        },
                     ))
                 }
             };
@@ -325,8 +386,14 @@ pub fn sweep_dead(f: &mut Function) -> usize {
             k,
             InstKind::Cast { .. }
                 | InstKind::Gep { .. }
-                | InstKind::Bin { op: lasagne_lir::inst::BinOp::Add, .. }
-                | InstKind::Bin { op: lasagne_lir::inst::BinOp::Mul, .. }
+                | InstKind::Bin {
+                    op: lasagne_lir::inst::BinOp::Add,
+                    ..
+                }
+                | InstKind::Bin {
+                    op: lasagne_lir::inst::BinOp::Mul,
+                    ..
+                }
         )
     };
     let mut removed = 0;
@@ -335,8 +402,7 @@ pub fn sweep_dead(f: &mut Function) -> usize {
         let mut dead: Vec<InstId> = Vec::new();
         for (_, id) in f.iter_insts() {
             let inst = f.inst(id);
-            if uses[id.0 as usize] == 0 && !inst.kind.has_side_effects() && addr_arith(&inst.kind)
-            {
+            if uses[id.0 as usize] == 0 && !inst.kind.has_side_effects() && addr_arith(&inst.kind) {
                 dead.push(id);
             }
         }
@@ -394,14 +460,46 @@ mod tests {
         let mut f = Function::new("r1", vec![], Ty::I32);
         let e = f.entry();
         let stack = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 64 });
-        let i = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(stack) });
-        let p = f.push(e, Ty::Ptr(Pointee::I32), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Inst(i) });
-        let l = f.push(e, Ty::I32, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let i = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(stack),
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I32),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Inst(i),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I32,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         let n = expose_pointers(&m, &mut f);
         assert_eq!(n, 1);
         assert!(
-            matches!(f.inst(p).kind, InstKind::Cast { op: CastOp::BitCast, .. }),
+            matches!(
+                f.inst(p).kind,
+                InstKind::Cast {
+                    op: CastOp::BitCast,
+                    ..
+                }
+            ),
             "inttoptr should have become a bitcast: {:?}",
             f.inst(p).kind
         );
@@ -416,11 +514,45 @@ mod tests {
         let mut f = Function::new("r2", vec![], Ty::I32);
         let e = f.entry();
         let stack = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 64 });
-        let tos = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(stack) });
-        let off = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(tos), rhs: Operand::i64(16) });
-        let p = f.push(e, Ty::Ptr(Pointee::I32), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Inst(off) });
-        let l = f.push(e, Ty::I32, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let tos = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(stack),
+            },
+        );
+        let off = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(tos),
+                rhs: Operand::i64(16),
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I32),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Inst(off),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I32,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         assert_eq!(expose_pointers(&m, &mut f), 1);
         // A GEP from the alloca must now exist and feed the bitcast.
         let has_gep = f.iter_insts().any(|(_, id)| {
@@ -437,10 +569,37 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("r3", vec![Ty::I64], Ty::I32);
         let e = f.entry();
-        let off = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Param(0), rhs: Operand::i64(8) });
-        let p = f.push(e, Ty::Ptr(Pointee::I32), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Inst(off) });
-        let l = f.push(e, Ty::I32, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let off = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(8),
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I32),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Inst(off),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I32,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         m.add_func(f);
 
         let stats = refine_module(&mut m);
@@ -448,7 +607,11 @@ mod tests {
         // After rule 3, the parameter's only use is a single inttoptr, so
         // promotion fires and the parameter becomes a pointer.
         assert_eq!(stats.params_promoted, 1);
-        assert!(m.funcs[0].params[0].is_ptr(), "param should be promoted: {:?}", m.funcs[0].params);
+        assert!(
+            m.funcs[0].params[0].is_ptr(),
+            "param should be promoted: {:?}",
+            m.funcs[0].params
+        );
         verify_module(&m).unwrap();
     }
 
@@ -458,9 +621,28 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("u", vec![Ty::I64], Ty::F64);
         let e = f.entry();
-        let p = f.push(e, Ty::Ptr(Pointee::F64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(0) });
-        let l = f.push(e, Ty::F64, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::F64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Param(0),
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::F64,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         m.add_func(f);
         assert_eq!(promote_pointer_params(&mut m), 1);
         assert_eq!(m.funcs[0].params[0], Ty::Ptr(Pointee::F64));
@@ -473,8 +655,21 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("n", vec![Ty::I64], Ty::I64);
         let e = f.entry();
-        let v = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::i64(2) });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(v)) });
+        let v = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(2),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(v)),
+            },
+        );
         m.add_func(f);
         assert_eq!(promote_pointer_params(&mut m), 0);
         assert_eq!(m.funcs[0].params[0], Ty::I64);
@@ -487,22 +682,65 @@ mod tests {
         // callee(p): load i64 through p
         let mut callee = Function::new("callee", vec![Ty::I64], Ty::I64);
         let e = callee.entry();
-        let p = callee.push(e, Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Param(0) });
-        let l = callee.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        callee.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let p = callee.push(
+            e,
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Param(0),
+            },
+        );
+        let l = callee.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        callee.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         let callee_id = m.add_func(callee);
 
         // caller: x = alloca; store 9; callee(ptrtoint x)
         let mut caller = Function::new("caller", vec![], Ty::I64);
         let e = caller.entry();
         let slot = caller.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
-        caller.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(slot), val: Operand::i64(9), order: Ordering::NotAtomic });
-        let raw = caller.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(slot) });
-        let call = caller.push(e, Ty::I64, InstKind::Call {
-            callee: Callee::Func(callee_id),
-            args: vec![Operand::Inst(raw)],
-        });
-        caller.set_term(e, Terminator::Ret { val: Some(Operand::Inst(call)) });
+        caller.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(slot),
+                val: Operand::i64(9),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let raw = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(slot),
+            },
+        );
+        let call = caller.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::Inst(raw)],
+            },
+        );
+        caller.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(call)),
+            },
+        );
         let caller_id = m.add_func(caller);
 
         refine_module(&mut m);
@@ -524,15 +762,81 @@ mod tests {
         let mut f = Function::new("ix", vec![Ty::I64], Ty::I64);
         let e = f.entry();
         let stack = f.push(e, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 4096 });
-        let tos = f.push(e, Ty::I64, InstKind::Cast { op: CastOp::PtrToInt, val: Operand::Inst(stack) });
-        let top = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(tos), rhs: Operand::i64(4096) });
-        let idx = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Mul, lhs: Operand::Param(0), rhs: Operand::i64(8) });
-        let down = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(top), rhs: Operand::i64(-64) });
-        let addr = f.push(e, Ty::I64, InstKind::Bin { op: BinOp::Add, lhs: Operand::Inst(down), rhs: Operand::Inst(idx) });
-        let p = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Cast { op: CastOp::IntToPtr, val: Operand::Inst(addr) });
-        f.push(e, Ty::Void, InstKind::Store { ptr: Operand::Inst(p), val: Operand::i64(1), order: Ordering::NotAtomic });
-        let l = f.push(e, Ty::I64, InstKind::Load { ptr: Operand::Inst(p), order: Ordering::NotAtomic });
-        f.set_term(e, Terminator::Ret { val: Some(Operand::Inst(l)) });
+        let tos = f.push(
+            e,
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: Operand::Inst(stack),
+            },
+        );
+        let top = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(tos),
+                rhs: Operand::i64(4096),
+            },
+        );
+        let idx = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(8),
+            },
+        );
+        let down = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(top),
+                rhs: Operand::i64(-64),
+            },
+        );
+        let addr = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Inst(down),
+                rhs: Operand::Inst(idx),
+            },
+        );
+        let p = f.push(
+            e,
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Inst(addr),
+            },
+        );
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Inst(p),
+                val: Operand::i64(1),
+                order: Ordering::NotAtomic,
+            },
+        );
+        let l = f.push(
+            e,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Inst(p),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(l)),
+            },
+        );
         m.add_func(f);
 
         refine_module(&mut m);
@@ -543,13 +847,20 @@ mod tests {
             matches!(&f.inst(id).kind, InstKind::Store { ptr, .. }
                 if lasagne_fences_is_stack_like(f, ptr))
         });
-        assert!(rooted, "indexed stack address not refined:\n{}", lasagne_lir::print::print_module(&m));
+        assert!(
+            rooted,
+            "indexed stack address not refined:\n{}",
+            lasagne_lir::print::print_module(&m)
+        );
 
         // Behaviour preserved.
         let id = m.func_by_name("ix").unwrap();
         let mut machine = lasagne_lir::interp::Machine::new(&m);
         assert_eq!(
-            machine.run(id, &[lasagne_lir::interp::Val::B64(3)]).unwrap().ret,
+            machine
+                .run(id, &[lasagne_lir::interp::Val::B64(3)])
+                .unwrap()
+                .ret,
             Some(lasagne_lir::interp::Val::B64(1))
         );
     }
@@ -562,7 +873,10 @@ mod tests {
             match cur {
                 Operand::Inst(i) => match &f.inst(i).kind {
                     InstKind::Alloca { .. } => return true,
-                    InstKind::Cast { op: CastOp::BitCast, val } => cur = *val,
+                    InstKind::Cast {
+                        op: CastOp::BitCast,
+                        val,
+                    } => cur = *val,
                     InstKind::Gep { base, .. } => cur = *base,
                     _ => return false,
                 },
@@ -584,15 +898,26 @@ mod tests {
         let mut b = BinaryBuilder::new();
         let mut a = Asm::new();
         // [rsp-8] = rdi; rax = [rsp-8]
-        a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)), src: Gpr::Rdi });
-        a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)) });
+        a.push(Inst::MovRmR {
+            w: Width::W64,
+            dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+            src: Gpr::Rdi,
+        });
+        a.push(Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+        });
         a.push(Inst::Ret);
         let addr = b.next_function_addr();
         b.add_function("f", a.finish(addr).unwrap());
         let mut m = lasagne_lifter::lift_binary(&b.finish()).unwrap();
 
         let stats = refine_module(&mut m);
-        assert!(stats.inttoptr_rewritten >= 2, "both accesses refined: {stats:?}");
+        assert!(
+            stats.inttoptr_rewritten >= 2,
+            "both accesses refined: {stats:?}"
+        );
         verify_module(&m).unwrap();
 
         // Trace the store's pointer: must reach an alloca through only
@@ -609,7 +934,10 @@ mod tests {
                                 found_rooted_store = true;
                                 break;
                             }
-                            InstKind::Cast { op: CastOp::BitCast, val } => cur = *val,
+                            InstKind::Cast {
+                                op: CastOp::BitCast,
+                                val,
+                            } => cur = *val,
                             InstKind::Gep { base, .. } => cur = *base,
                             _ => break,
                         },
@@ -618,13 +946,19 @@ mod tests {
                 }
             }
         }
-        assert!(found_rooted_store, "store pointer should be rooted at the stack alloca");
+        assert!(
+            found_rooted_store,
+            "store pointer should be rooted at the stack alloca"
+        );
 
         // Still computes the right value.
         let id = m.func_by_name("f").unwrap();
         let mut machine = lasagne_lir::interp::Machine::new(&m);
         assert_eq!(
-            machine.run(id, &[lasagne_lir::interp::Val::B64(77)]).unwrap().ret,
+            machine
+                .run(id, &[lasagne_lir::interp::Val::B64(77)])
+                .unwrap()
+                .ret,
             Some(lasagne_lir::interp::Val::B64(77))
         );
     }

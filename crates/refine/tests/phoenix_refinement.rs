@@ -24,7 +24,12 @@ fn checksum(m: &Module, w: &Workload) -> u64 {
         machine.mem.write(*addr, bytes);
     }
     let args: Vec<Val> = w.args.iter().map(|a| Val::B64(*a)).collect();
-    machine.run(id, &args).unwrap_or_else(|e| panic!("{}: {e}", w.name)).ret.unwrap().bits()
+    machine
+        .run(id, &args)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        .ret
+        .unwrap()
+        .bits()
 }
 
 #[test]
@@ -46,7 +51,12 @@ fn refinement_removes_casts_and_preserves_checksums() {
             "{}: no inttoptr rewritten despite cast reduction",
             b.name
         );
-        assert_eq!(checksum(&m, &b.workload), b.workload.expected_ret, "{}", b.name);
+        assert_eq!(
+            checksum(&m, &b.workload),
+            b.workload.expected_ret,
+            "{}",
+            b.name
+        );
     }
 }
 
@@ -82,8 +92,16 @@ fn refinement_is_a_fixpoint() {
         let casts_once = casts(&m);
         let insts_once = m.inst_count();
         let again = refine_module(&mut m);
-        assert_eq!(again.inttoptr_rewritten, 0, "{}: second run rewrote more", b.name);
-        assert_eq!(again.params_promoted, 0, "{}: second run promoted more", b.name);
+        assert_eq!(
+            again.inttoptr_rewritten, 0,
+            "{}: second run rewrote more",
+            b.name
+        );
+        assert_eq!(
+            again.params_promoted, 0,
+            "{}: second run promoted more",
+            b.name
+        );
         assert_eq!(casts(&m), casts_once, "{}: cast count drifted", b.name);
         assert_eq!(m.inst_count(), insts_once, "{}: inst count drifted", b.name);
     }

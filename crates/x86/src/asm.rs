@@ -138,7 +138,12 @@ mod tests {
         let top = a.label();
         let done = a.label();
         a.bind(top);
-        a.push(Inst::AluRmI { op: crate::inst::AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 1 });
+        a.push(Inst::AluRmI {
+            op: crate::inst::AluOp::Sub,
+            w: Width::W64,
+            dst: Rm::Reg(Gpr::Rax),
+            imm: 1,
+        });
         a.jcc(Cond::E, done);
         a.jmp(top);
         a.bind(done);
@@ -148,13 +153,18 @@ mod tests {
         // sub; jcc; jmp; ret
         assert_eq!(ds.len(), 4);
         match ds[1].inst {
-            Inst::Jcc { cc: Cond::E, target: Target::Abs(t) } => {
+            Inst::Jcc {
+                cc: Cond::E,
+                target: Target::Abs(t),
+            } => {
                 assert_eq!(t, ds[3].addr);
             }
             other => panic!("unexpected {other}"),
         }
         match ds[2].inst {
-            Inst::Jmp { target: Target::Abs(t) } => assert_eq!(t, 0x1000),
+            Inst::Jmp {
+                target: Target::Abs(t),
+            } => assert_eq!(t, 0x1000),
             other => panic!("unexpected {other}"),
         }
     }
@@ -171,7 +181,9 @@ mod tests {
         let bytes = a.finish(0).unwrap();
         let ds = decode_all(&bytes, 0).unwrap();
         match ds[0].inst {
-            Inst::Call { target: Target::Abs(t) } => assert_eq!(t, ds[2].addr),
+            Inst::Call {
+                target: Target::Abs(t),
+            } => assert_eq!(t, ds[2].addr),
             other => panic!("unexpected {other}"),
         }
     }

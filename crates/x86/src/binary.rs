@@ -71,7 +71,9 @@ impl Binary {
 
     /// Looks up the global containing `addr`, if any.
     pub fn global_at(&self, addr: u64) -> Option<&Global> {
-        self.globals.iter().find(|g| addr >= g.addr && addr < g.addr + g.size)
+        self.globals
+            .iter()
+            .find(|g| addr >= g.addr && addr < g.addr + g.size)
     }
 
     /// Looks up an extern by the address of its stub.
@@ -144,7 +146,11 @@ impl BinaryBuilder {
         }
         let size = bytes.len() as u64;
         self.text.extend_from_slice(&bytes);
-        self.functions.push(FuncSym { name: name.to_string(), addr, size });
+        self.functions.push(FuncSym {
+            name: name.to_string(),
+            addr,
+            size,
+        });
         addr
     }
 
@@ -155,7 +161,10 @@ impl BinaryBuilder {
             return *a;
         }
         let addr = self.plt_base + 16 * self.externs.len() as u64;
-        self.externs.push(ExternSym { name: name.to_string(), addr });
+        self.externs.push(ExternSym {
+            name: name.to_string(),
+            addr,
+        });
         self.extern_by_name.insert(name.to_string(), addr);
         addr
     }
@@ -166,7 +175,12 @@ impl BinaryBuilder {
             .globals
             .last()
             .map_or(self.data_base, |g| (g.addr + g.size + 15) & !15);
-        self.globals.push(Global { name: name.to_string(), addr, size, init });
+        self.globals.push(Global {
+            name: name.to_string(),
+            addr,
+            size,
+            init,
+        });
         addr
     }
 

@@ -5,7 +5,7 @@
 //! addresses. Together with the encoder this substitutes for the LLVM MC
 //! disassembler the paper's lifter is built on.
 
-use crate::inst::{AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, SseOp, ShiftOp, Target, XmmRm};
+use crate::inst::{AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, ShiftOp, SseOp, Target, XmmRm};
 use crate::reg::{Cond, Gpr, Width, Xmm};
 
 /// Errors produced while decoding.
@@ -57,10 +57,9 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or(DecodeError::Truncated { at: self.start_addr })?;
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated {
+            at: self.start_addr,
+        })?;
         self.pos += 1;
         Ok(b)
     }
@@ -155,7 +154,10 @@ fn decode_modrm(
     let reg = ((modrm >> 3) & 7) | p.rex_r();
     let rm_bits = modrm & 7;
     if md == 0b11 {
-        return Ok(ModRm { reg, rm: Rm::Reg(Gpr::from_encoding(rm_bits | p.rex_b())) });
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Reg(Gpr::from_encoding(rm_bits | p.rex_b())),
+        });
     }
     // Memory forms.
     let (base, index, scale): (Option<Gpr>, Option<Gpr>, u8) = if rm_bits == 0b100 {
@@ -163,7 +165,11 @@ fn decode_modrm(
         let sib = c.u8()?;
         let scale = 1u8 << (sib >> 6);
         let idx_bits = ((sib >> 3) & 7) | p.rex_x();
-        let index = if idx_bits == 0b100 { None } else { Some(Gpr::from_encoding(idx_bits)) };
+        let index = if idx_bits == 0b100 {
+            None
+        } else {
+            Some(Gpr::from_encoding(idx_bits))
+        };
         let base_bits = (sib & 7) | p.rex_b();
         let base = if (sib & 7) == 0b101 && md == 0b00 {
             None // disp32 with no base
@@ -177,7 +183,13 @@ fn decode_modrm(
         *rip = Some(PendingRip { disp32 });
         return Ok(ModRm {
             reg,
-            rm: Rm::Mem(MemRef { base: None, index: None, scale: 1, disp: 0, rip_relative: true }),
+            rm: Rm::Mem(MemRef {
+                base: None,
+                index: None,
+                scale: 1,
+                disp: 0,
+                rip_relative: true,
+            }),
         });
     } else {
         (Some(Gpr::from_encoding(rm_bits | p.rex_b())), None, 1)
@@ -194,7 +206,16 @@ fn decode_modrm(
         0b10 => i64::from(c.i32()?),
         _ => unreachable!(),
     };
-    Ok(ModRm { reg, rm: Rm::Mem(MemRef { base, index, scale, disp, rip_relative: false }) })
+    Ok(ModRm {
+        reg,
+        rm: Rm::Mem(MemRef {
+            base,
+            index,
+            scale,
+            disp,
+            rip_relative: false,
+        }),
+    })
 }
 
 fn to_xmmrm(rm: Rm) -> XmmRm {
@@ -220,7 +241,11 @@ fn expect_mem(rm: Rm, at: u64, opcode: u8) -> Result<MemRef, DecodeError> {
 /// and [`DecodeError::UnsupportedOpcode`] for encodings outside the
 /// supported subset.
 pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
-    let mut c = Cursor { bytes, pos: 0, start_addr: addr };
+    let mut c = Cursor {
+        bytes,
+        pos: 0,
+        start_addr: addr,
+    };
     let mut p = Prefixes::default();
 
     // Legacy prefixes + REX (REX must be last).
@@ -265,47 +290,108 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
             let form = opcode & 7;
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             match form {
-                0 => Inst::AluRmR { op, w: w8, dst: m.rm, src: Gpr::from_encoding(m.reg) },
-                1 => Inst::AluRmR { op, w, dst: m.rm, src: Gpr::from_encoding(m.reg) },
-                2 => Inst::AluRRm { op, w: w8, dst: Gpr::from_encoding(m.reg), src: m.rm },
-                3 => Inst::AluRRm { op, w, dst: Gpr::from_encoding(m.reg), src: m.rm },
+                0 => Inst::AluRmR {
+                    op,
+                    w: w8,
+                    dst: m.rm,
+                    src: Gpr::from_encoding(m.reg),
+                },
+                1 => Inst::AluRmR {
+                    op,
+                    w,
+                    dst: m.rm,
+                    src: Gpr::from_encoding(m.reg),
+                },
+                2 => Inst::AluRRm {
+                    op,
+                    w: w8,
+                    dst: Gpr::from_encoding(m.reg),
+                    src: m.rm,
+                },
+                3 => Inst::AluRRm {
+                    op,
+                    w,
+                    dst: Gpr::from_encoding(m.reg),
+                    src: m.rm,
+                },
                 _ => unreachable!(),
             }
         }
-        0x50..=0x57 => Inst::Push { src: Gpr::from_encoding((opcode - 0x50) | p.rex_b()) },
-        0x58..=0x5F => Inst::Pop { dst: Gpr::from_encoding((opcode - 0x58) | p.rex_b()) },
+        0x50..=0x57 => Inst::Push {
+            src: Gpr::from_encoding((opcode - 0x50) | p.rex_b()),
+        },
+        0x58..=0x5F => Inst::Pop {
+            dst: Gpr::from_encoding((opcode - 0x58) | p.rex_b()),
+        },
         0x63 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
-            Inst::MovSx { dw: w, sw: Width::W32, dst: Gpr::from_encoding(m.reg), src: m.rm }
+            Inst::MovSx {
+                dw: w,
+                sw: Width::W32,
+                dst: Gpr::from_encoding(m.reg),
+                src: m.rm,
+            }
         }
         0x69 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let imm = c.i32()?;
-            Inst::IMul3 { w, dst: Gpr::from_encoding(m.reg), src: m.rm, imm }
+            Inst::IMul3 {
+                w,
+                dst: Gpr::from_encoding(m.reg),
+                src: m.rm,
+                imm,
+            }
         }
         0x6B => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let imm = i32::from(c.i8()?);
-            Inst::IMul3 { w, dst: Gpr::from_encoding(m.reg), src: m.rm, imm }
+            Inst::IMul3 {
+                w,
+                dst: Gpr::from_encoding(m.reg),
+                src: m.rm,
+                imm,
+            }
         }
         0x80 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let imm = i32::from(c.i8()?);
             let op = AluOp::from_ext(m.reg & 7);
             if p.lock {
-                Inst::LockAddI { w: w8, mem: expect_mem(m.rm, addr, opcode)?, imm }
+                Inst::LockAddI {
+                    w: w8,
+                    mem: expect_mem(m.rm, addr, opcode)?,
+                    imm,
+                }
             } else {
-                Inst::AluRmI { op, w: w8, dst: m.rm, imm }
+                Inst::AluRmI {
+                    op,
+                    w: w8,
+                    dst: m.rm,
+                    imm,
+                }
             }
         }
         0x81 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
-            let imm = if w == Width::W16 { i32::from(c.u16()? as i16) } else { c.i32()? };
+            let imm = if w == Width::W16 {
+                i32::from(c.u16()? as i16)
+            } else {
+                c.i32()?
+            };
             let op = AluOp::from_ext(m.reg & 7);
             if p.lock && op == AluOp::Add {
-                Inst::LockAddI { w, mem: expect_mem(m.rm, addr, opcode)?, imm }
+                Inst::LockAddI {
+                    w,
+                    mem: expect_mem(m.rm, addr, opcode)?,
+                    imm,
+                }
             } else {
-                Inst::AluRmI { op, w, dst: m.rm, imm }
+                Inst::AluRmI {
+                    op,
+                    w,
+                    dst: m.rm,
+                    imm,
+                }
             }
         }
         0x83 => {
@@ -313,15 +399,28 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
             let imm = i32::from(c.i8()?);
             let op = AluOp::from_ext(m.reg & 7);
             if p.lock && op == AluOp::Add {
-                Inst::LockAddI { w, mem: expect_mem(m.rm, addr, opcode)?, imm }
+                Inst::LockAddI {
+                    w,
+                    mem: expect_mem(m.rm, addr, opcode)?,
+                    imm,
+                }
             } else {
-                Inst::AluRmI { op, w, dst: m.rm, imm }
+                Inst::AluRmI {
+                    op,
+                    w,
+                    dst: m.rm,
+                    imm,
+                }
             }
         }
         0x84 | 0x85 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let tw = if opcode == 0x84 { w8 } else { w };
-            Inst::Test { w: tw, a: m.rm, b: Gpr::from_encoding(m.reg) }
+            Inst::Test {
+                w: tw,
+                a: m.rm,
+                b: Gpr::from_encoding(m.reg),
+            }
         }
         0x86 | 0x87 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -335,12 +434,20 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
         0x88 | 0x89 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let mw = if opcode == 0x88 { w8 } else { w };
-            Inst::MovRmR { w: mw, dst: m.rm, src: Gpr::from_encoding(m.reg) }
+            Inst::MovRmR {
+                w: mw,
+                dst: m.rm,
+                src: Gpr::from_encoding(m.reg),
+            }
         }
         0x8A | 0x8B => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let mw = if opcode == 0x8A { w8 } else { w };
-            Inst::MovRRm { w: mw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+            Inst::MovRRm {
+                w: mw,
+                dst: Gpr::from_encoding(m.reg),
+                src: m.rm,
+            }
         }
         0x8D => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -367,17 +474,30 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 _ => return unsup(opcode),
             };
             let imm = c.u8()?;
-            Inst::ShiftI { op, w: sw, dst: m.rm, imm }
+            Inst::ShiftI {
+                op,
+                w: sw,
+                dst: m.rm,
+                imm,
+            }
         }
         0xC3 => Inst::Ret,
         0xC6 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             let imm = i32::from(c.i8()?);
-            Inst::MovRmI { w: w8, dst: m.rm, imm }
+            Inst::MovRmI {
+                w: w8,
+                dst: m.rm,
+                imm,
+            }
         }
         0xC7 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
-            let imm = if w == Width::W16 { i32::from(c.u16()? as i16) } else { c.i32()? };
+            let imm = if w == Width::W16 {
+                i32::from(c.u16()? as i16)
+            } else {
+                c.i32()?
+            };
             Inst::MovRmI { w, dst: m.rm, imm }
         }
         0xD2 | 0xD3 => {
@@ -389,17 +509,25 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 7 => ShiftOp::Sar,
                 _ => return unsup(opcode),
             };
-            Inst::ShiftCl { op, w: sw, dst: m.rm }
+            Inst::ShiftCl {
+                op,
+                w: sw,
+                dst: m.rm,
+            }
         }
         0xE8 => {
             let rel = c.i32()?;
             let end = addr + c.pos as u64;
-            Inst::Call { target: Target::Abs(end.wrapping_add(rel as i64 as u64)) }
+            Inst::Call {
+                target: Target::Abs(end.wrapping_add(rel as i64 as u64)),
+            }
         }
         0xE9 => {
             let rel = c.i32()?;
             let end = addr + c.pos as u64;
-            Inst::Jmp { target: Target::Abs(end.wrapping_add(rel as i64 as u64)) }
+            Inst::Jmp {
+                target: Target::Abs(end.wrapping_add(rel as i64 as u64)),
+            }
         }
         0xF6 | 0xF7 => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -413,22 +541,46 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                     } else {
                         c.i32()?
                     };
-                    Inst::TestI { w: fw, a: m.rm, imm }
+                    Inst::TestI {
+                        w: fw,
+                        a: m.rm,
+                        imm,
+                    }
                 }
                 2 => Inst::Not { w: fw, dst: m.rm },
                 3 => Inst::Neg { w: fw, dst: m.rm },
-                4 => Inst::MulDiv { op: MulDivOp::Mul, w: fw, src: m.rm },
-                5 => Inst::MulDiv { op: MulDivOp::IMul, w: fw, src: m.rm },
-                6 => Inst::MulDiv { op: MulDivOp::Div, w: fw, src: m.rm },
-                7 => Inst::MulDiv { op: MulDivOp::IDiv, w: fw, src: m.rm },
+                4 => Inst::MulDiv {
+                    op: MulDivOp::Mul,
+                    w: fw,
+                    src: m.rm,
+                },
+                5 => Inst::MulDiv {
+                    op: MulDivOp::IMul,
+                    w: fw,
+                    src: m.rm,
+                },
+                6 => Inst::MulDiv {
+                    op: MulDivOp::Div,
+                    w: fw,
+                    src: m.rm,
+                },
+                7 => Inst::MulDiv {
+                    op: MulDivOp::IDiv,
+                    w: fw,
+                    src: m.rm,
+                },
                 _ => return unsup(opcode),
             }
         }
         0xFF => {
             let m = decode_modrm(&mut c, &p, &mut rip)?;
             match (m.reg & 7, m.rm) {
-                (2, Rm::Reg(r)) => Inst::Call { target: Target::Indirect(r) },
-                (4, Rm::Reg(r)) => Inst::Jmp { target: Target::Indirect(r) },
+                (2, Rm::Reg(r)) => Inst::Call {
+                    target: Target::Indirect(r),
+                },
+                (4, Rm::Reg(r)) => Inst::Jmp {
+                    target: Target::Indirect(r),
+                },
                 _ => return unsup(opcode),
             }
         }
@@ -443,7 +595,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                     if p.f3 || p.f2 {
                         let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
                         if load {
-                            Inst::MovssLoad { prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                            Inst::MovssLoad {
+                                prec,
+                                dst: Xmm(m.reg),
+                                src: to_xmmrm(m.rm),
+                            }
                         } else {
                             Inst::MovssStore {
                                 prec,
@@ -452,7 +608,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                             }
                         }
                     } else if load {
-                        Inst::MovapsLoad { aligned: false, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                        Inst::MovapsLoad {
+                            aligned: false,
+                            dst: Xmm(m.reg),
+                            src: to_xmmrm(m.rm),
+                        }
                     } else {
                         Inst::MovapsStore {
                             aligned: false,
@@ -464,7 +624,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 0x28 | 0x29 => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     if op2 == 0x28 {
-                        Inst::MovapsLoad { aligned: true, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                        Inst::MovapsLoad {
+                            aligned: true,
+                            dst: Xmm(m.reg),
+                            src: to_xmmrm(m.rm),
+                        }
                     } else {
                         Inst::MovapsStore {
                             aligned: true,
@@ -477,18 +641,36 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
                     let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
-                    Inst::CvtSi2F { prec, iw, dst: Xmm(m.reg), src: m.rm }
+                    Inst::CvtSi2F {
+                        prec,
+                        iw,
+                        dst: Xmm(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0x2C => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
                     let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
-                    Inst::CvtF2Si { prec, iw, dst: Gpr::from_encoding(m.reg), src: to_xmmrm(m.rm) }
+                    Inst::CvtF2Si {
+                        prec,
+                        iw,
+                        dst: Gpr::from_encoding(m.reg),
+                        src: to_xmmrm(m.rm),
+                    }
                 }
                 0x2E => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
-                    let prec = if p.p66 { FpPrec::Double } else { FpPrec::Single };
-                    Inst::Ucomis { prec, a: Xmm(m.reg), b: to_xmmrm(m.rm) }
+                    let prec = if p.p66 {
+                        FpPrec::Double
+                    } else {
+                        FpPrec::Single
+                    };
+                    Inst::Ucomis {
+                        prec,
+                        a: Xmm(m.reg),
+                        b: to_xmmrm(m.rm),
+                    }
                 }
                 0x40..=0x4F => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -513,26 +695,51 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                     };
                     if p.f3 || p.f2 {
                         let prec = if p.f3 { FpPrec::Single } else { FpPrec::Double };
-                        Inst::SseScalar { op, prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                        Inst::SseScalar {
+                            op,
+                            prec,
+                            dst: Xmm(m.reg),
+                            src: to_xmmrm(m.rm),
+                        }
                     } else {
-                        let prec = if p.p66 { FpPrec::Double } else { FpPrec::Single };
-                        Inst::SsePacked { op, prec, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                        let prec = if p.p66 {
+                            FpPrec::Double
+                        } else {
+                            FpPrec::Single
+                        };
+                        Inst::SsePacked {
+                            op,
+                            prec,
+                            dst: Xmm(m.reg),
+                            src: to_xmmrm(m.rm),
+                        }
                     }
                 }
                 0x5A => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let to = if p.f3 { FpPrec::Double } else { FpPrec::Single };
-                    Inst::CvtF2F { to, dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    Inst::CvtF2F {
+                        to,
+                        dst: Xmm(m.reg),
+                        src: to_xmmrm(m.rm),
+                    }
                 }
                 0x57 => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
-                    Inst::Xorps { dst: Xmm(m.reg), src: to_xmmrm(m.rm) }
+                    Inst::Xorps {
+                        dst: Xmm(m.reg),
+                        src: to_xmmrm(m.rm),
+                    }
                 }
                 0x6E => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
                     match m.rm {
-                        Rm::Reg(r) => Inst::MovGprToXmm { w: iw, dst: Xmm(m.reg), src: r },
+                        Rm::Reg(r) => Inst::MovGprToXmm {
+                            w: iw,
+                            dst: Xmm(m.reg),
+                            src: r,
+                        },
                         Rm::Mem(_) => return unsup(op2),
                     }
                 }
@@ -540,7 +747,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let iw = if p.rex_w() { Width::W64 } else { Width::W32 };
                     match m.rm {
-                        Rm::Reg(r) => Inst::MovXmmToGpr { w: iw, dst: r, src: Xmm(m.reg) },
+                        Rm::Reg(r) => Inst::MovXmmToGpr {
+                            w: iw,
+                            dst: r,
+                            src: Xmm(m.reg),
+                        },
                         Rm::Mem(_) => return unsup(op2),
                     }
                 }
@@ -554,7 +765,10 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 }
                 0x90..=0x9F => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
-                    Inst::Setcc { cc: Cond::from_encoding(op2 - 0x90), dst: m.rm }
+                    Inst::Setcc {
+                        cc: Cond::from_encoding(op2 - 0x90),
+                        dst: m.rm,
+                    }
                 }
                 0xAE => {
                     let next = c.u8()?;
@@ -566,7 +780,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 }
                 0xAF => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
-                    Inst::IMul2 { w, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                    Inst::IMul2 {
+                        w,
+                        dst: Gpr::from_encoding(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0xB0 | 0xB1 => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -580,12 +798,22 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 0xB6 | 0xB7 => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let sw = if op2 == 0xB6 { Width::W8 } else { Width::W16 };
-                    Inst::MovZx { dw: w, sw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                    Inst::MovZx {
+                        dw: w,
+                        sw,
+                        dst: Gpr::from_encoding(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0xBE | 0xBF => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
                     let sw = if op2 == 0xBE { Width::W8 } else { Width::W16 };
-                    Inst::MovSx { dw: w, sw, dst: Gpr::from_encoding(m.reg), src: m.rm }
+                    Inst::MovSx {
+                        dw: w,
+                        sw,
+                        dst: Gpr::from_encoding(m.reg),
+                        src: m.rm,
+                    }
                 }
                 0xC0 | 0xC1 => {
                     let m = decode_modrm(&mut c, &p, &mut rip)?;
@@ -621,7 +849,10 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
 fn patch_rip(inst: Inst, abs: u64) -> Inst {
     fn fix_mem(m: MemRef, abs: u64) -> MemRef {
         if m.rip_relative {
-            MemRef { disp: abs as i64, ..m }
+            MemRef {
+                disp: abs as i64,
+                ..m
+            }
         } else {
             m
         }
@@ -639,59 +870,189 @@ fn patch_rip(inst: Inst, abs: u64) -> Inst {
         }
     }
     match inst {
-        Inst::MovRRm { w, dst, src } => Inst::MovRRm { w, dst, src: fix_rm(src, abs) },
-        Inst::MovRmR { w, dst, src } => Inst::MovRmR { w, dst: fix_rm(dst, abs), src },
-        Inst::MovRmI { w, dst, imm } => Inst::MovRmI { w, dst: fix_rm(dst, abs), imm },
-        Inst::MovZx { dw, sw, dst, src } => Inst::MovZx { dw, sw, dst, src: fix_rm(src, abs) },
-        Inst::MovSx { dw, sw, dst, src } => Inst::MovSx { dw, sw, dst, src: fix_rm(src, abs) },
-        Inst::Lea { w, dst, addr: m } => Inst::Lea { w, dst, addr: fix_mem(m, abs) },
-        Inst::AluRRm { op, w, dst, src } => Inst::AluRRm { op, w, dst, src: fix_rm(src, abs) },
-        Inst::AluRmR { op, w, dst, src } => Inst::AluRmR { op, w, dst: fix_rm(dst, abs), src },
-        Inst::AluRmI { op, w, dst, imm } => Inst::AluRmI { op, w, dst: fix_rm(dst, abs), imm },
-        Inst::Test { w, a, b } => Inst::Test { w, a: fix_rm(a, abs), b },
-        Inst::TestI { w, a, imm } => Inst::TestI { w, a: fix_rm(a, abs), imm },
-        Inst::ShiftI { op, w, dst, imm } => Inst::ShiftI { op, w, dst: fix_rm(dst, abs), imm },
-        Inst::ShiftCl { op, w, dst } => Inst::ShiftCl { op, w, dst: fix_rm(dst, abs) },
-        Inst::IMul2 { w, dst, src } => Inst::IMul2 { w, dst, src: fix_rm(src, abs) },
-        Inst::IMul3 { w, dst, src, imm } => Inst::IMul3 { w, dst, src: fix_rm(src, abs), imm },
-        Inst::MulDiv { op, w, src } => Inst::MulDiv { op, w, src: fix_rm(src, abs) },
-        Inst::Neg { w, dst } => Inst::Neg { w, dst: fix_rm(dst, abs) },
-        Inst::Not { w, dst } => Inst::Not { w, dst: fix_rm(dst, abs) },
-        Inst::Setcc { cc, dst } => Inst::Setcc { cc, dst: fix_rm(dst, abs) },
-        Inst::Cmovcc { cc, w, dst, src } => Inst::Cmovcc { cc, w, dst, src: fix_rm(src, abs) },
-        Inst::MovssLoad { prec, dst, src } => {
-            Inst::MovssLoad { prec, dst, src: fix_xrm(src, abs) }
-        }
-        Inst::MovssStore { prec, dst, src } => {
-            Inst::MovssStore { prec, dst: fix_mem(dst, abs), src }
-        }
-        Inst::MovapsLoad { aligned, dst, src } => {
-            Inst::MovapsLoad { aligned, dst, src: fix_xrm(src, abs) }
-        }
-        Inst::MovapsStore { aligned, dst, src } => {
-            Inst::MovapsStore { aligned, dst: fix_mem(dst, abs), src }
-        }
-        Inst::SseScalar { op, prec, dst, src } => {
-            Inst::SseScalar { op, prec, dst, src: fix_xrm(src, abs) }
-        }
-        Inst::SsePacked { op, prec, dst, src } => {
-            Inst::SsePacked { op, prec, dst, src: fix_xrm(src, abs) }
-        }
-        Inst::Xorps { dst, src } => Inst::Xorps { dst, src: fix_xrm(src, abs) },
-        Inst::Ucomis { prec, a, b } => Inst::Ucomis { prec, a, b: fix_xrm(b, abs) },
-        Inst::CvtSi2F { prec, iw, dst, src } => {
-            Inst::CvtSi2F { prec, iw, dst, src: fix_rm(src, abs) }
-        }
-        Inst::CvtF2Si { prec, iw, dst, src } => {
-            Inst::CvtF2Si { prec, iw, dst, src: fix_xrm(src, abs) }
-        }
-        Inst::CvtF2F { to, dst, src } => Inst::CvtF2F { to, dst, src: fix_xrm(src, abs) },
-        Inst::LockCmpxchg { w, mem, src } => {
-            Inst::LockCmpxchg { w, mem: fix_mem(mem, abs), src }
-        }
-        Inst::LockXadd { w, mem, src } => Inst::LockXadd { w, mem: fix_mem(mem, abs), src },
-        Inst::LockAddI { w, mem, imm } => Inst::LockAddI { w, mem: fix_mem(mem, abs), imm },
-        Inst::Xchg { w, mem, src } => Inst::Xchg { w, mem: fix_mem(mem, abs), src },
+        Inst::MovRRm { w, dst, src } => Inst::MovRRm {
+            w,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::MovRmR { w, dst, src } => Inst::MovRmR {
+            w,
+            dst: fix_rm(dst, abs),
+            src,
+        },
+        Inst::MovRmI { w, dst, imm } => Inst::MovRmI {
+            w,
+            dst: fix_rm(dst, abs),
+            imm,
+        },
+        Inst::MovZx { dw, sw, dst, src } => Inst::MovZx {
+            dw,
+            sw,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::MovSx { dw, sw, dst, src } => Inst::MovSx {
+            dw,
+            sw,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::Lea { w, dst, addr: m } => Inst::Lea {
+            w,
+            dst,
+            addr: fix_mem(m, abs),
+        },
+        Inst::AluRRm { op, w, dst, src } => Inst::AluRRm {
+            op,
+            w,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::AluRmR { op, w, dst, src } => Inst::AluRmR {
+            op,
+            w,
+            dst: fix_rm(dst, abs),
+            src,
+        },
+        Inst::AluRmI { op, w, dst, imm } => Inst::AluRmI {
+            op,
+            w,
+            dst: fix_rm(dst, abs),
+            imm,
+        },
+        Inst::Test { w, a, b } => Inst::Test {
+            w,
+            a: fix_rm(a, abs),
+            b,
+        },
+        Inst::TestI { w, a, imm } => Inst::TestI {
+            w,
+            a: fix_rm(a, abs),
+            imm,
+        },
+        Inst::ShiftI { op, w, dst, imm } => Inst::ShiftI {
+            op,
+            w,
+            dst: fix_rm(dst, abs),
+            imm,
+        },
+        Inst::ShiftCl { op, w, dst } => Inst::ShiftCl {
+            op,
+            w,
+            dst: fix_rm(dst, abs),
+        },
+        Inst::IMul2 { w, dst, src } => Inst::IMul2 {
+            w,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::IMul3 { w, dst, src, imm } => Inst::IMul3 {
+            w,
+            dst,
+            src: fix_rm(src, abs),
+            imm,
+        },
+        Inst::MulDiv { op, w, src } => Inst::MulDiv {
+            op,
+            w,
+            src: fix_rm(src, abs),
+        },
+        Inst::Neg { w, dst } => Inst::Neg {
+            w,
+            dst: fix_rm(dst, abs),
+        },
+        Inst::Not { w, dst } => Inst::Not {
+            w,
+            dst: fix_rm(dst, abs),
+        },
+        Inst::Setcc { cc, dst } => Inst::Setcc {
+            cc,
+            dst: fix_rm(dst, abs),
+        },
+        Inst::Cmovcc { cc, w, dst, src } => Inst::Cmovcc {
+            cc,
+            w,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::MovssLoad { prec, dst, src } => Inst::MovssLoad {
+            prec,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::MovssStore { prec, dst, src } => Inst::MovssStore {
+            prec,
+            dst: fix_mem(dst, abs),
+            src,
+        },
+        Inst::MovapsLoad { aligned, dst, src } => Inst::MovapsLoad {
+            aligned,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::MovapsStore { aligned, dst, src } => Inst::MovapsStore {
+            aligned,
+            dst: fix_mem(dst, abs),
+            src,
+        },
+        Inst::SseScalar { op, prec, dst, src } => Inst::SseScalar {
+            op,
+            prec,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::SsePacked { op, prec, dst, src } => Inst::SsePacked {
+            op,
+            prec,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::Xorps { dst, src } => Inst::Xorps {
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::Ucomis { prec, a, b } => Inst::Ucomis {
+            prec,
+            a,
+            b: fix_xrm(b, abs),
+        },
+        Inst::CvtSi2F { prec, iw, dst, src } => Inst::CvtSi2F {
+            prec,
+            iw,
+            dst,
+            src: fix_rm(src, abs),
+        },
+        Inst::CvtF2Si { prec, iw, dst, src } => Inst::CvtF2Si {
+            prec,
+            iw,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::CvtF2F { to, dst, src } => Inst::CvtF2F {
+            to,
+            dst,
+            src: fix_xrm(src, abs),
+        },
+        Inst::LockCmpxchg { w, mem, src } => Inst::LockCmpxchg {
+            w,
+            mem: fix_mem(mem, abs),
+            src,
+        },
+        Inst::LockXadd { w, mem, src } => Inst::LockXadd {
+            w,
+            mem: fix_mem(mem, abs),
+            src,
+        },
+        Inst::LockAddI { w, mem, imm } => Inst::LockAddI {
+            w,
+            mem: fix_mem(mem, abs),
+            imm,
+        },
+        Inst::Xchg { w, mem, src } => Inst::Xchg {
+            w,
+            mem: fix_mem(mem, abs),
+            src,
+        },
         other => other,
     }
 }
@@ -739,9 +1100,20 @@ mod tests {
     #[test]
     fn roundtrip_mov_forms() {
         for w in [Width::W8, Width::W16, Width::W32, Width::W64] {
-            roundtrip(Inst::MovRRm { w, dst: Gpr::Rax, src: Rm::Reg(Gpr::R9) }, 0x1000);
             roundtrip(
-                Inst::MovRRm { w, dst: Gpr::R13, src: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -24)) },
+                Inst::MovRRm {
+                    w,
+                    dst: Gpr::Rax,
+                    src: Rm::Reg(Gpr::R9),
+                },
+                0x1000,
+            );
+            roundtrip(
+                Inst::MovRRm {
+                    w,
+                    dst: Gpr::R13,
+                    src: Rm::Mem(MemRef::base_disp(Gpr::Rbp, -24)),
+                },
                 0x1000,
             );
             roundtrip(
@@ -753,9 +1125,19 @@ mod tests {
                 0x1000,
             );
         }
-        roundtrip(Inst::MovAbs { dst: Gpr::R11, imm: 0xDEAD_BEEF_CAFE_0001 }, 0);
         roundtrip(
-            Inst::MovRmI { w: Width::W32, dst: Rm::Mem(MemRef::base(Gpr::Rsp)), imm: -7 },
+            Inst::MovAbs {
+                dst: Gpr::R11,
+                imm: 0xDEAD_BEEF_CAFE_0001,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovRmI {
+                w: Width::W32,
+                dst: Rm::Mem(MemRef::base(Gpr::Rsp)),
+                imm: -7,
+            },
             0,
         );
     }
@@ -779,26 +1161,94 @@ mod tests {
 
     #[test]
     fn roundtrip_alu() {
-        for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Cmp] {
-            roundtrip(Inst::AluRRm { op, w: Width::W64, dst: Gpr::Rbx, src: Rm::Reg(Gpr::R8) }, 0);
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ] {
             roundtrip(
-                Inst::AluRmI { op, w: Width::W32, dst: Rm::Reg(Gpr::Rcx), imm: 1000 },
+                Inst::AluRRm {
+                    op,
+                    w: Width::W64,
+                    dst: Gpr::Rbx,
+                    src: Rm::Reg(Gpr::R8),
+                },
                 0,
             );
-            roundtrip(Inst::AluRmI { op, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: -8 }, 0);
+            roundtrip(
+                Inst::AluRmI {
+                    op,
+                    w: Width::W32,
+                    dst: Rm::Reg(Gpr::Rcx),
+                    imm: 1000,
+                },
+                0,
+            );
+            roundtrip(
+                Inst::AluRmI {
+                    op,
+                    w: Width::W64,
+                    dst: Rm::Reg(Gpr::Rsp),
+                    imm: -8,
+                },
+                0,
+            );
         }
     }
 
     #[test]
     fn roundtrip_branches() {
-        roundtrip(Inst::Jmp { target: Target::Abs(0x1234) }, 0x1000);
-        roundtrip(Inst::Call { target: Target::Abs(0x100) }, 0x2000);
-        roundtrip(Inst::Call { target: Target::Indirect(Gpr::Rax) }, 0);
-        roundtrip(Inst::Jmp { target: Target::Indirect(Gpr::R10) }, 0);
+        roundtrip(
+            Inst::Jmp {
+                target: Target::Abs(0x1234),
+            },
+            0x1000,
+        );
+        roundtrip(
+            Inst::Call {
+                target: Target::Abs(0x100),
+            },
+            0x2000,
+        );
+        roundtrip(
+            Inst::Call {
+                target: Target::Indirect(Gpr::Rax),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Jmp {
+                target: Target::Indirect(Gpr::R10),
+            },
+            0,
+        );
         for cc in Cond::ALL {
-            roundtrip(Inst::Jcc { cc, target: Target::Abs(0x4000) }, 0x1000);
-            roundtrip(Inst::Setcc { cc, dst: Rm::Reg(Gpr::Rax) }, 0);
-            roundtrip(Inst::Cmovcc { cc, w: Width::W64, dst: Gpr::Rdx, src: Rm::Reg(Gpr::R14) }, 0);
+            roundtrip(
+                Inst::Jcc {
+                    cc,
+                    target: Target::Abs(0x4000),
+                },
+                0x1000,
+            );
+            roundtrip(
+                Inst::Setcc {
+                    cc,
+                    dst: Rm::Reg(Gpr::Rax),
+                },
+                0,
+            );
+            roundtrip(
+                Inst::Cmovcc {
+                    cc,
+                    w: Width::W64,
+                    dst: Gpr::Rdx,
+                    src: Rm::Reg(Gpr::R14),
+                },
+                0,
+            );
         }
     }
 
@@ -806,61 +1256,280 @@ mod tests {
     fn roundtrip_sse() {
         for prec in [FpPrec::Single, FpPrec::Double] {
             roundtrip(
-                Inst::MovssLoad { prec, dst: Xmm(3), src: XmmRm::Mem(MemRef::base(Gpr::Rsi)) },
+                Inst::MovssLoad {
+                    prec,
+                    dst: Xmm(3),
+                    src: XmmRm::Mem(MemRef::base(Gpr::Rsi)),
+                },
                 0,
             );
             roundtrip(
-                Inst::MovssStore { prec, dst: MemRef::base_disp(Gpr::Rdi, 16), src: Xmm(1) },
+                Inst::MovssStore {
+                    prec,
+                    dst: MemRef::base_disp(Gpr::Rdi, 16),
+                    src: Xmm(1),
+                },
                 0,
             );
-            for op in [SseOp::Add, SseOp::Sub, SseOp::Mul, SseOp::Div, SseOp::Min, SseOp::Max] {
-                roundtrip(Inst::SseScalar { op, prec, dst: Xmm(0), src: XmmRm::Reg(Xmm(2)) }, 0);
-                roundtrip(Inst::SsePacked { op, prec, dst: Xmm(5), src: XmmRm::Reg(Xmm(7)) }, 0);
+            for op in [
+                SseOp::Add,
+                SseOp::Sub,
+                SseOp::Mul,
+                SseOp::Div,
+                SseOp::Min,
+                SseOp::Max,
+            ] {
+                roundtrip(
+                    Inst::SseScalar {
+                        op,
+                        prec,
+                        dst: Xmm(0),
+                        src: XmmRm::Reg(Xmm(2)),
+                    },
+                    0,
+                );
+                roundtrip(
+                    Inst::SsePacked {
+                        op,
+                        prec,
+                        dst: Xmm(5),
+                        src: XmmRm::Reg(Xmm(7)),
+                    },
+                    0,
+                );
             }
-            roundtrip(Inst::Ucomis { prec, a: Xmm(0), b: XmmRm::Reg(Xmm(1)) }, 0);
             roundtrip(
-                Inst::CvtSi2F { prec, iw: Width::W64, dst: Xmm(2), src: Rm::Reg(Gpr::Rax) },
+                Inst::Ucomis {
+                    prec,
+                    a: Xmm(0),
+                    b: XmmRm::Reg(Xmm(1)),
+                },
                 0,
             );
             roundtrip(
-                Inst::CvtF2Si { prec, iw: Width::W32, dst: Gpr::Rcx, src: XmmRm::Reg(Xmm(3)) },
+                Inst::CvtSi2F {
+                    prec,
+                    iw: Width::W64,
+                    dst: Xmm(2),
+                    src: Rm::Reg(Gpr::Rax),
+                },
+                0,
+            );
+            roundtrip(
+                Inst::CvtF2Si {
+                    prec,
+                    iw: Width::W32,
+                    dst: Gpr::Rcx,
+                    src: XmmRm::Reg(Xmm(3)),
+                },
                 0,
             );
         }
-        roundtrip(Inst::Xorps { dst: Xmm(0), src: XmmRm::Reg(Xmm(0)) }, 0);
-        roundtrip(Inst::CvtF2F { to: FpPrec::Double, dst: Xmm(1), src: XmmRm::Reg(Xmm(2)) }, 0);
-        roundtrip(Inst::CvtF2F { to: FpPrec::Single, dst: Xmm(1), src: XmmRm::Reg(Xmm(2)) }, 0);
-        roundtrip(Inst::MovXmmToGpr { w: Width::W64, dst: Gpr::Rax, src: Xmm(9) }, 0);
-        roundtrip(Inst::MovGprToXmm { w: Width::W32, dst: Xmm(9), src: Gpr::Rax }, 0);
+        roundtrip(
+            Inst::Xorps {
+                dst: Xmm(0),
+                src: XmmRm::Reg(Xmm(0)),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::CvtF2F {
+                to: FpPrec::Double,
+                dst: Xmm(1),
+                src: XmmRm::Reg(Xmm(2)),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::CvtF2F {
+                to: FpPrec::Single,
+                dst: Xmm(1),
+                src: XmmRm::Reg(Xmm(2)),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovXmmToGpr {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Xmm(9),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovGprToXmm {
+                w: Width::W32,
+                dst: Xmm(9),
+                src: Gpr::Rax,
+            },
+            0,
+        );
     }
 
     #[test]
     fn roundtrip_atomics() {
         for w in [Width::W32, Width::W64] {
-            roundtrip(Inst::LockCmpxchg { w, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx }, 0);
-            roundtrip(Inst::LockXadd { w, mem: MemRef::base_disp(Gpr::Rsi, 4), src: Gpr::Rcx }, 0);
-            roundtrip(Inst::LockAddI { w, mem: MemRef::base(Gpr::Rdx), imm: 1 }, 0);
-            roundtrip(Inst::LockAddI { w, mem: MemRef::base(Gpr::Rdx), imm: 4096 }, 0);
-            roundtrip(Inst::Xchg { w, mem: MemRef::base(Gpr::R9), src: Gpr::Rax }, 0);
+            roundtrip(
+                Inst::LockCmpxchg {
+                    w,
+                    mem: MemRef::base(Gpr::Rdi),
+                    src: Gpr::Rbx,
+                },
+                0,
+            );
+            roundtrip(
+                Inst::LockXadd {
+                    w,
+                    mem: MemRef::base_disp(Gpr::Rsi, 4),
+                    src: Gpr::Rcx,
+                },
+                0,
+            );
+            roundtrip(
+                Inst::LockAddI {
+                    w,
+                    mem: MemRef::base(Gpr::Rdx),
+                    imm: 1,
+                },
+                0,
+            );
+            roundtrip(
+                Inst::LockAddI {
+                    w,
+                    mem: MemRef::base(Gpr::Rdx),
+                    imm: 4096,
+                },
+                0,
+            );
+            roundtrip(
+                Inst::Xchg {
+                    w,
+                    mem: MemRef::base(Gpr::R9),
+                    src: Gpr::Rax,
+                },
+                0,
+            );
         }
     }
 
     #[test]
     fn roundtrip_misc_int() {
-        roundtrip(Inst::MovZx { dw: Width::W32, sw: Width::W8, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rcx) }, 0);
-        roundtrip(Inst::MovSx { dw: Width::W64, sw: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) }, 0);
-        roundtrip(Inst::MovSx { dw: Width::W64, sw: Width::W8, dst: Gpr::R8, src: Rm::Reg(Gpr::Rbx) }, 0);
-        roundtrip(Inst::Lea { w: Width::W64, dst: Gpr::Rax, addr: MemRef::base_index(Gpr::Rdi, Gpr::Rsi, 8, -64) }, 0);
-        roundtrip(Inst::IMul2 { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx) }, 0);
-        roundtrip(Inst::IMul3 { w: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx), imm: 100 }, 0);
-        roundtrip(Inst::IMul3 { w: Width::W32, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx), imm: 100_000 }, 0);
-        roundtrip(Inst::MulDiv { op: MulDivOp::IDiv, w: Width::W64, src: Rm::Reg(Gpr::Rcx) }, 0);
-        roundtrip(Inst::ShiftI { op: ShiftOp::Shl, w: Width::W64, dst: Rm::Reg(Gpr::Rax), imm: 3 }, 0);
-        roundtrip(Inst::ShiftCl { op: ShiftOp::Sar, w: Width::W32, dst: Rm::Reg(Gpr::Rdx) }, 0);
-        roundtrip(Inst::Neg { w: Width::W64, dst: Rm::Reg(Gpr::Rax) }, 0);
-        roundtrip(Inst::Not { w: Width::W32, dst: Rm::Reg(Gpr::R15) }, 0);
-        roundtrip(Inst::Test { w: Width::W64, a: Rm::Reg(Gpr::Rax), b: Gpr::Rax }, 0);
-        roundtrip(Inst::TestI { w: Width::W32, a: Rm::Reg(Gpr::Rdi), imm: 1 }, 0);
+        roundtrip(
+            Inst::MovZx {
+                dw: Width::W32,
+                sw: Width::W8,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rcx),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovSx {
+                dw: Width::W64,
+                sw: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rdi),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MovSx {
+                dw: Width::W64,
+                sw: Width::W8,
+                dst: Gpr::R8,
+                src: Rm::Reg(Gpr::Rbx),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Lea {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                addr: MemRef::base_index(Gpr::Rdi, Gpr::Rsi, 8, -64),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::IMul2 {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rbx),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::IMul3 {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rbx),
+                imm: 100,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::IMul3 {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rbx),
+                imm: 100_000,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::MulDiv {
+                op: MulDivOp::IDiv,
+                w: Width::W64,
+                src: Rm::Reg(Gpr::Rcx),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::ShiftI {
+                op: ShiftOp::Shl,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rax),
+                imm: 3,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::ShiftCl {
+                op: ShiftOp::Sar,
+                w: Width::W32,
+                dst: Rm::Reg(Gpr::Rdx),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Neg {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rax),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Not {
+                w: Width::W32,
+                dst: Rm::Reg(Gpr::R15),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Test {
+                w: Width::W64,
+                a: Rm::Reg(Gpr::Rax),
+                b: Gpr::Rax,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::TestI {
+                w: Width::W32,
+                a: Rm::Reg(Gpr::Rdi),
+                imm: 1,
+            },
+            0,
+        );
     }
 
     #[test]
@@ -868,7 +1537,11 @@ mod tests {
         // push rbp; mov rbp, rsp; pop rbp; ret
         let prog = [
             Inst::Push { src: Gpr::Rbp },
-            Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rbp), src: Gpr::Rsp },
+            Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rbp),
+                src: Gpr::Rsp,
+            },
             Inst::Pop { dst: Gpr::Rbp },
             Inst::Ret,
         ];
@@ -885,7 +1558,13 @@ mod tests {
     #[test]
     fn unsupported_opcode_reports_address() {
         let err = decode_one(&[0xCC], 0x55).unwrap_err();
-        assert_eq!(err, DecodeError::UnsupportedOpcode { at: 0x55, opcode: 0xCC });
+        assert_eq!(
+            err,
+            DecodeError::UnsupportedOpcode {
+                at: 0x55,
+                opcode: 0xCC
+            }
+        );
     }
 
     #[test]

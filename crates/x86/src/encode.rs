@@ -75,10 +75,26 @@ struct SizeCtx {
 impl SizeCtx {
     fn for_width(w: Width, touches_low8: impl Fn() -> bool) -> SizeCtx {
         match w {
-            Width::W8 => SizeCtx { p66: false, rexw: false, force_rex: touches_low8() },
-            Width::W16 => SizeCtx { p66: true, rexw: false, force_rex: false },
-            Width::W32 => SizeCtx { p66: false, rexw: false, force_rex: false },
-            Width::W64 => SizeCtx { p66: false, rexw: true, force_rex: false },
+            Width::W8 => SizeCtx {
+                p66: false,
+                rexw: false,
+                force_rex: touches_low8(),
+            },
+            Width::W16 => SizeCtx {
+                p66: true,
+                rexw: false,
+                force_rex: false,
+            },
+            Width::W32 => SizeCtx {
+                p66: false,
+                rexw: false,
+                force_rex: false,
+            },
+            Width::W64 => SizeCtx {
+                p66: false,
+                rexw: true,
+                force_rex: false,
+            },
         }
     }
 }
@@ -235,7 +251,12 @@ fn imm_for_alu(imm: i32) -> (u8, bool) {
     }
 }
 
-fn rel32(b: &mut Buf<'_>, addr: u64, inst_len_so_far: usize, target: u64) -> Result<(), EncodeError> {
+fn rel32(
+    b: &mut Buf<'_>,
+    addr: u64,
+    inst_len_so_far: usize,
+    target: u64,
+) -> Result<(), EncodeError> {
     let end = addr + inst_len_so_far as u64 + 4;
     let rel = target.wrapping_sub(end) as i64;
     let rel = i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { at: addr, target })?;
@@ -284,17 +305,40 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         Inst::MovZx { dw, sw, dst, src } => {
             let ctx = SizeCtx::for_width(*dw, || *sw == Width::W8 && rm_needs_rex_low8(src));
             let op = if *sw == Width::W8 { 0xB6 } else { 0xB7 };
-            modrm_inst(b, addr, &[], ctx, &[0x0F, op], RegField(dst.encoding()), src, 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, op],
+                RegField(dst.encoding()),
+                src,
+                0,
+            );
         }
         Inst::MovSx { dw, sw, dst, src } => {
             let ctx = SizeCtx::for_width(*dw, || *sw == Width::W8 && rm_needs_rex_low8(src));
             match sw {
-                Width::W8 => {
-                    modrm_inst(b, addr, &[], ctx, &[0x0F, 0xBE], RegField(dst.encoding()), src, 0)
-                }
-                Width::W16 => {
-                    modrm_inst(b, addr, &[], ctx, &[0x0F, 0xBF], RegField(dst.encoding()), src, 0)
-                }
+                Width::W8 => modrm_inst(
+                    b,
+                    addr,
+                    &[],
+                    ctx,
+                    &[0x0F, 0xBE],
+                    RegField(dst.encoding()),
+                    src,
+                    0,
+                ),
+                Width::W16 => modrm_inst(
+                    b,
+                    addr,
+                    &[],
+                    ctx,
+                    &[0x0F, 0xBF],
+                    RegField(dst.encoding()),
+                    src,
+                    0,
+                ),
                 Width::W32 => {
                     // movsxd r64, r/m32
                     modrm_inst(b, addr, &[], ctx, &[0x63], RegField(dst.encoding()), src, 0)
@@ -304,7 +348,16 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         }
         Inst::Lea { w, dst, addr: m } => {
             let ctx = SizeCtx::for_width(*w, || false);
-            modrm_inst(b, addr, &[], ctx, &[0x8D], RegField(dst.encoding()), &Rm::Mem(*m), 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x8D],
+                RegField(dst.encoding()),
+                &Rm::Mem(*m),
+                0,
+            );
         }
         Inst::AluRRm { op, w, dst, src } => {
             let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*dst) || rm_needs_rex_low8(src));
@@ -373,7 +426,16 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         }
         Inst::IMul2 { w, dst, src } => {
             let ctx = SizeCtx::for_width(*w, || false);
-            modrm_inst(b, addr, &[], ctx, &[0x0F, 0xAF], RegField(dst.encoding()), src, 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, 0xAF],
+                RegField(dst.encoding()),
+                src,
+                0,
+            );
         }
         Inst::IMul3 { w, dst, src, imm } => {
             let ctx = SizeCtx::for_width(*w, || false);
@@ -428,7 +490,11 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
                     b,
                     addr,
                     &[],
-                    SizeCtx { p66: false, rexw: false, force_rex: false },
+                    SizeCtx {
+                        p66: false,
+                        rexw: false,
+                        force_rex: false,
+                    },
                     &[0xFF],
                     RegField(4),
                     &Rm::Reg(*r),
@@ -454,7 +520,11 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
                     b,
                     addr,
                     &[],
-                    SizeCtx { p66: false, rexw: false, force_rex: false },
+                    SizeCtx {
+                        p66: false,
+                        rexw: false,
+                        force_rex: false,
+                    },
                     &[0xFF],
                     RegField(2),
                     &Rm::Reg(*r),
@@ -465,7 +535,16 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         Inst::Ret => b.u8(0xC3),
         Inst::Setcc { cc, dst } => {
             let ctx = SizeCtx::for_width(Width::W8, || rm_needs_rex_low8(dst));
-            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x90 + cc.encoding()], RegField(0), dst, 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, 0x90 + cc.encoding()],
+                RegField(0),
+                dst,
+                0,
+            );
         }
         Inst::Cmovcc { cc, w, dst, src } => {
             let ctx = SizeCtx::for_width(*w, || false);
@@ -491,7 +570,15 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         }
         Inst::MovssStore { prec, dst, src } => {
             let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
-            sse_modrm(b, addr, &[p], &[0x0F, 0x11], src.encoding(), &XmmRm::Mem(*dst), 0);
+            sse_modrm(
+                b,
+                addr,
+                &[p],
+                &[0x0F, 0x11],
+                src.encoding(),
+                &XmmRm::Mem(*dst),
+                0,
+            );
         }
         Inst::MovapsLoad { aligned, dst, src } => {
             let op = if *aligned { 0x28 } else { 0x10 };
@@ -499,7 +586,15 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         }
         Inst::MovapsStore { aligned, dst, src } => {
             let op = if *aligned { 0x29 } else { 0x11 };
-            sse_modrm(b, addr, &[], &[0x0F, op], src.encoding(), &XmmRm::Mem(*dst), 0);
+            sse_modrm(
+                b,
+                addr,
+                &[],
+                &[0x0F, op],
+                src.encoding(),
+                &XmmRm::Mem(*dst),
+                0,
+            );
         }
         Inst::MovXmmToGpr { w, dst, src } => {
             // 66 (REX.W) 0F 7E /r : movd/movq r/m, xmm
@@ -533,21 +628,50 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
             sse_modrm(b, addr, &[p], &[0x0F, op.opcode()], dst.encoding(), src, 0);
         }
         Inst::SsePacked { op, prec, dst, src } => {
-            let legacy: &[u8] = if *prec == FpPrec::Single { &[] } else { &[0x66] };
-            sse_modrm(b, addr, legacy, &[0x0F, op.opcode()], dst.encoding(), src, 0);
+            let legacy: &[u8] = if *prec == FpPrec::Single {
+                &[]
+            } else {
+                &[0x66]
+            };
+            sse_modrm(
+                b,
+                addr,
+                legacy,
+                &[0x0F, op.opcode()],
+                dst.encoding(),
+                src,
+                0,
+            );
         }
         Inst::Xorps { dst, src } => {
             sse_modrm(b, addr, &[], &[0x0F, 0x57], dst.encoding(), src, 0);
         }
         Inst::Ucomis { prec, a, b: src } => {
-            let legacy: &[u8] = if *prec == FpPrec::Single { &[] } else { &[0x66] };
+            let legacy: &[u8] = if *prec == FpPrec::Single {
+                &[]
+            } else {
+                &[0x66]
+            };
             sse_modrm(b, addr, legacy, &[0x0F, 0x2E], a.encoding(), src, 0);
         }
         Inst::CvtSi2F { prec, iw, dst, src } => {
             let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
-            let ctx = SizeCtx { p66: false, rexw: *iw == Width::W64, force_rex: false };
+            let ctx = SizeCtx {
+                p66: false,
+                rexw: *iw == Width::W64,
+                force_rex: false,
+            };
             b.u8(p);
-            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x2A], RegField(dst.encoding()), src, 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, 0x2A],
+                RegField(dst.encoding()),
+                src,
+                0,
+            );
         }
         Inst::CvtF2Si { prec, iw, dst, src } => {
             let p = if *prec == FpPrec::Single { 0xF3 } else { 0xF2 };
@@ -557,8 +681,21 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
                 XmmRm::Reg(x) => Rm::Reg(Gpr::from_encoding(x.encoding())),
                 XmmRm::Mem(m) => Rm::Mem(*m),
             };
-            let ctx = SizeCtx { p66: false, rexw: *iw == Width::W64, force_rex: false };
-            modrm_inst(b, addr, &[], ctx, &[0x0F, 0x2C], RegField(dst.encoding()), &rm, 0);
+            let ctx = SizeCtx {
+                p66: false,
+                rexw: *iw == Width::W64,
+                force_rex: false,
+            };
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[0x0F, 0x2C],
+                RegField(dst.encoding()),
+                &rm,
+                0,
+            );
         }
         Inst::CvtF2F { to, dst, src } => {
             // cvtss2sd = F3 0F 5A (source is single); cvtsd2ss = F2 0F 5A.
@@ -573,22 +710,58 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         Inst::LockCmpxchg { w, mem, src } => {
             let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
             let op = if *w == Width::W8 { 0xB0 } else { 0xB1 };
-            modrm_inst(b, addr, &[0xF0], ctx, &[0x0F, op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+            modrm_inst(
+                b,
+                addr,
+                &[0xF0],
+                ctx,
+                &[0x0F, op],
+                RegField(src.encoding()),
+                &Rm::Mem(*mem),
+                0,
+            );
         }
         Inst::LockXadd { w, mem, src } => {
             let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
             let op = if *w == Width::W8 { 0xC0 } else { 0xC1 };
-            modrm_inst(b, addr, &[0xF0], ctx, &[0x0F, op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+            modrm_inst(
+                b,
+                addr,
+                &[0xF0],
+                ctx,
+                &[0x0F, op],
+                RegField(src.encoding()),
+                &Rm::Mem(*mem),
+                0,
+            );
         }
         Inst::LockAddI { w, mem, imm } => {
             let ctx = SizeCtx::for_width(*w, || false);
             if *w == Width::W8 {
-                modrm_inst(b, addr, &[0xF0], ctx, &[0x80], RegField(0), &Rm::Mem(*mem), 1);
+                modrm_inst(
+                    b,
+                    addr,
+                    &[0xF0],
+                    ctx,
+                    &[0x80],
+                    RegField(0),
+                    &Rm::Mem(*mem),
+                    1,
+                );
                 b.i8(*imm as i8);
             } else {
                 let (opcode, imm8) = imm_for_alu(*imm);
                 let ilen = if imm8 { 1 } else { 4 };
-                modrm_inst(b, addr, &[0xF0], ctx, &[opcode], RegField(0), &Rm::Mem(*mem), ilen);
+                modrm_inst(
+                    b,
+                    addr,
+                    &[0xF0],
+                    ctx,
+                    &[opcode],
+                    RegField(0),
+                    &Rm::Mem(*mem),
+                    ilen,
+                );
                 if imm8 {
                     b.i8(*imm as i8);
                 } else {
@@ -599,7 +772,16 @@ fn enc(inst: &Inst, addr: u64, b: &mut Buf<'_>) -> Result<(), EncodeError> {
         Inst::Xchg { w, mem, src } => {
             let ctx = SizeCtx::for_width(*w, || needs_rex_low8(*src));
             let op = if *w == Width::W8 { 0x86 } else { 0x87 };
-            modrm_inst(b, addr, &[], ctx, &[op], RegField(src.encoding()), &Rm::Mem(*mem), 0);
+            modrm_inst(
+                b,
+                addr,
+                &[],
+                ctx,
+                &[op],
+                RegField(src.encoding()),
+                &Rm::Mem(*mem),
+                0,
+            );
         }
     }
     Ok(())
@@ -619,8 +801,21 @@ fn sse_modrm(
         XmmRm::Reg(x) => Rm::Reg(Gpr::from_encoding(x.encoding())),
         XmmRm::Mem(m) => Rm::Mem(*m),
     };
-    let ctx = SizeCtx { p66: false, rexw: false, force_rex: false };
-    modrm_inst(b, addr, legacy, ctx, opcode, RegField(xmm_reg), &rm, imm_len);
+    let ctx = SizeCtx {
+        p66: false,
+        rexw: false,
+        force_rex: false,
+    };
+    modrm_inst(
+        b,
+        addr,
+        legacy,
+        ctx,
+        opcode,
+        RegField(xmm_reg),
+        &rm,
+        imm_len,
+    );
 }
 
 #[cfg(test)]
@@ -638,7 +833,14 @@ mod tests {
     #[test]
     fn mov_reg_reg() {
         // mov rax, rbx => 48 89 d8
-        let v = bytes(Inst::MovRmR { w: Width::W64, dst: Rm::Reg(Gpr::Rax), src: Gpr::Rbx }, 0);
+        let v = bytes(
+            Inst::MovRmR {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rax),
+                src: Gpr::Rbx,
+            },
+            0,
+        );
         assert_eq!(v, [0x48, 0x89, 0xD8]);
     }
 
@@ -674,7 +876,12 @@ mod tests {
     fn add_imm8() {
         // add rsp, 16 => 48 83 c4 10
         let v = bytes(
-            Inst::AluRmI { op: AluOp::Add, w: Width::W64, dst: Rm::Reg(Gpr::Rsp), imm: 16 },
+            Inst::AluRmI {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::Rsp),
+                imm: 16,
+            },
             0,
         );
         assert_eq!(v, [0x48, 0x83, 0xC4, 0x10]);
@@ -690,14 +897,25 @@ mod tests {
     #[test]
     fn jmp_rel32_backward() {
         // jmp to 0 from address 100: E9 rel32 where rel = 0 - 105
-        let v = bytes(Inst::Jmp { target: Target::Abs(0) }, 100);
+        let v = bytes(
+            Inst::Jmp {
+                target: Target::Abs(0),
+            },
+            100,
+        );
         assert_eq!(v[0], 0xE9);
         assert_eq!(i32::from_le_bytes([v[1], v[2], v[3], v[4]]), -105);
     }
 
     #[test]
     fn jcc_encoding() {
-        let v = bytes(Inst::Jcc { cc: Cond::Ne, target: Target::Abs(0x20) }, 0x10);
+        let v = bytes(
+            Inst::Jcc {
+                cc: Cond::Ne,
+                target: Target::Abs(0x20),
+            },
+            0x10,
+        );
         assert_eq!(v[0], 0x0F);
         assert_eq!(v[1], 0x85);
         assert_eq!(i32::from_le_bytes([v[2], v[3], v[4], v[5]]), 0x20 - 0x16);
@@ -712,7 +930,11 @@ mod tests {
     fn lock_cmpxchg_bytes() {
         // lock cmpxchg [rdi], ebx => F0 0F B1 1F
         let v = bytes(
-            Inst::LockCmpxchg { w: Width::W32, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx },
+            Inst::LockCmpxchg {
+                w: Width::W32,
+                mem: MemRef::base(Gpr::Rdi),
+                src: Gpr::Rbx,
+            },
             0,
         );
         assert_eq!(v, [0xF0, 0x0F, 0xB1, 0x1F]);
@@ -735,7 +957,14 @@ mod tests {
     #[test]
     fn low8_forces_rex() {
         // mov dil, al => 40 88 c7
-        let v = bytes(Inst::MovRmR { w: Width::W8, dst: Rm::Reg(Gpr::Rdi), src: Gpr::Rax }, 0);
+        let v = bytes(
+            Inst::MovRmR {
+                w: Width::W8,
+                dst: Rm::Reg(Gpr::Rdi),
+                src: Gpr::Rax,
+            },
+            0,
+        );
         assert_eq!(v, [0x40, 0x88, 0xC7]);
     }
 
@@ -743,7 +972,11 @@ mod tests {
     fn rbp_base_needs_disp8() {
         // mov rax, [rbp] must encode as [rbp+0] with disp8
         let v = bytes(
-            Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rbp)) },
+            Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base(Gpr::Rbp)),
+            },
             0,
         );
         assert_eq!(v, [0x48, 0x8B, 0x45, 0x00]);
@@ -752,7 +985,11 @@ mod tests {
     #[test]
     fn r13_base_needs_disp8() {
         let v = bytes(
-            Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::R13)) },
+            Inst::MovRRm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Rm::Mem(MemRef::base(Gpr::R13)),
+            },
             0,
         );
         assert_eq!(v, [0x49, 0x8B, 0x45, 0x00]);

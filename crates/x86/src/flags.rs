@@ -112,9 +112,18 @@ pub fn inst_defines(inst: &Inst) -> FlagSet {
 pub fn inst_uses(inst: &Inst) -> FlagSet {
     match inst {
         Inst::Jcc { cc, .. } | Inst::Setcc { cc, .. } | Inst::Cmovcc { cc, .. } => cond_uses(*cc),
-        Inst::AluRRm { op: AluOp::Adc | AluOp::Sbb, .. }
-        | Inst::AluRmR { op: AluOp::Adc | AluOp::Sbb, .. }
-        | Inst::AluRmI { op: AluOp::Adc | AluOp::Sbb, .. } => FlagSet::of(&[Flag::Cf]),
+        Inst::AluRRm {
+            op: AluOp::Adc | AluOp::Sbb,
+            ..
+        }
+        | Inst::AluRmR {
+            op: AluOp::Adc | AluOp::Sbb,
+            ..
+        }
+        | Inst::AluRmI {
+            op: AluOp::Adc | AluOp::Sbb,
+            ..
+        } => FlagSet::of(&[Flag::Cf]),
         _ => FlagSet::EMPTY,
     }
 }

@@ -30,29 +30,59 @@ pub struct MemRef {
 impl MemRef {
     /// `[base]`
     pub fn base(base: Gpr) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp: 0, rip_relative: false }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+            rip_relative: false,
+        }
     }
 
     /// `[base + disp]`
     pub fn base_disp(base: Gpr, disp: i64) -> MemRef {
-        MemRef { base: Some(base), index: None, scale: 1, disp, rip_relative: false }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// `[base + index*scale + disp]`
     pub fn base_index(base: Gpr, index: Gpr, scale: u8, disp: i64) -> MemRef {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
         assert!(index != Gpr::Rsp, "rsp cannot be an index register");
-        MemRef { base: Some(base), index: Some(index), scale, disp, rip_relative: false }
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            rip_relative: false,
+        }
     }
 
     /// RIP-relative reference to an absolute address (e.g. a global).
     pub fn rip(abs: u64) -> MemRef {
-        MemRef { base: None, index: None, scale: 1, disp: abs as i64, rip_relative: true }
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: abs as i64,
+            rip_relative: true,
+        }
     }
 
     /// Absolute address with no base (encoded via SIB with no base).
     pub fn abs(addr: u64) -> MemRef {
-        MemRef { base: None, index: None, scale: 1, disp: addr as i64, rip_relative: false }
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i64,
+            rip_relative: false,
+        }
     }
 }
 
@@ -356,30 +386,65 @@ pub enum Inst {
     /// `movabs r64, imm64`.
     MovAbs { dst: Gpr, imm: u64 },
     /// `movzx r, r/m8|16`.
-    MovZx { dw: Width, sw: Width, dst: Gpr, src: Rm },
+    MovZx {
+        dw: Width,
+        sw: Width,
+        dst: Gpr,
+        src: Rm,
+    },
     /// `movsx r, r/m8|16` and `movsxd r64, r/m32`.
-    MovSx { dw: Width, sw: Width, dst: Gpr, src: Rm },
+    MovSx {
+        dw: Width,
+        sw: Width,
+        dst: Gpr,
+        src: Rm,
+    },
     /// `lea r, [mem]`.
     Lea { w: Width, dst: Gpr, addr: MemRef },
 
     /// Two-operand ALU, register destination: `op r, r/m`.
-    AluRRm { op: AluOp, w: Width, dst: Gpr, src: Rm },
+    AluRRm {
+        op: AluOp,
+        w: Width,
+        dst: Gpr,
+        src: Rm,
+    },
     /// Two-operand ALU, memory/register destination: `op r/m, r`.
-    AluRmR { op: AluOp, w: Width, dst: Rm, src: Gpr },
+    AluRmR {
+        op: AluOp,
+        w: Width,
+        dst: Rm,
+        src: Gpr,
+    },
     /// Two-operand ALU with immediate: `op r/m, imm`.
-    AluRmI { op: AluOp, w: Width, dst: Rm, imm: i32 },
+    AluRmI {
+        op: AluOp,
+        w: Width,
+        dst: Rm,
+        imm: i32,
+    },
     /// `test r/m, r`.
     Test { w: Width, a: Rm, b: Gpr },
     /// `test r/m, imm32`.
     TestI { w: Width, a: Rm, imm: i32 },
     /// Shift by immediate: `shl/shr/sar r/m, imm8`.
-    ShiftI { op: ShiftOp, w: Width, dst: Rm, imm: u8 },
+    ShiftI {
+        op: ShiftOp,
+        w: Width,
+        dst: Rm,
+        imm: u8,
+    },
     /// Shift by CL: `shl/shr/sar r/m, cl`.
     ShiftCl { op: ShiftOp, w: Width, dst: Rm },
     /// Two-operand signed multiply: `imul r, r/m`.
     IMul2 { w: Width, dst: Gpr, src: Rm },
     /// Three-operand signed multiply: `imul r, r/m, imm32`.
-    IMul3 { w: Width, dst: Gpr, src: Rm, imm: i32 },
+    IMul3 {
+        w: Width,
+        dst: Gpr,
+        src: Rm,
+        imm: i32,
+    },
     /// One-operand mul/div group on RDX:RAX.
     MulDiv { op: MulDivOp, w: Width, src: Rm },
     /// `cqo`/`cdq`: sign-extend RAX/EAX into RDX/EDX.
@@ -405,7 +470,12 @@ pub enum Inst {
     /// `setcc r/m8`.
     Setcc { cc: Cond, dst: Rm },
     /// `cmovcc r, r/m`.
-    Cmovcc { cc: Cond, w: Width, dst: Gpr, src: Rm },
+    Cmovcc {
+        cc: Cond,
+        w: Width,
+        dst: Gpr,
+        src: Rm,
+    },
     /// `nop` (single byte).
     Nop,
     /// `ud2`.
@@ -418,23 +488,47 @@ pub enum Inst {
     /// Packed 128-bit move, load form: `movaps/movups xmm, xmm/m`.
     MovapsLoad { aligned: bool, dst: Xmm, src: XmmRm },
     /// Packed 128-bit move, store form: `movaps/movups m, xmm`.
-    MovapsStore { aligned: bool, dst: MemRef, src: Xmm },
+    MovapsStore {
+        aligned: bool,
+        dst: MemRef,
+        src: Xmm,
+    },
     /// `movq r64, xmm` / `movd r32, xmm`.
     MovXmmToGpr { w: Width, dst: Gpr, src: Xmm },
     /// `movq xmm, r64` / `movd xmm, r32`.
     MovGprToXmm { w: Width, dst: Xmm, src: Gpr },
     /// Scalar SSE arithmetic: `addss/subsd/... xmm, xmm/m`.
-    SseScalar { op: SseOp, prec: FpPrec, dst: Xmm, src: XmmRm },
+    SseScalar {
+        op: SseOp,
+        prec: FpPrec,
+        dst: Xmm,
+        src: XmmRm,
+    },
     /// Packed SSE arithmetic: `addps/mulpd/... xmm, xmm/m`.
-    SsePacked { op: SseOp, prec: FpPrec, dst: Xmm, src: XmmRm },
+    SsePacked {
+        op: SseOp,
+        prec: FpPrec,
+        dst: Xmm,
+        src: XmmRm,
+    },
     /// Bitwise XOR of XMM registers (`xorps`); idiomatically zeroes a register.
     Xorps { dst: Xmm, src: XmmRm },
     /// `ucomiss/ucomisd xmm, xmm/m`: FP compare setting ZF/PF/CF.
     Ucomis { prec: FpPrec, a: Xmm, b: XmmRm },
     /// `cvtsi2ss/sd xmm, r/m`: integer → float.
-    CvtSi2F { prec: FpPrec, iw: Width, dst: Xmm, src: Rm },
+    CvtSi2F {
+        prec: FpPrec,
+        iw: Width,
+        dst: Xmm,
+        src: Rm,
+    },
     /// `cvttss/sd2si r, xmm/m`: float → integer (truncating).
-    CvtF2Si { prec: FpPrec, iw: Width, dst: Gpr, src: XmmRm },
+    CvtF2Si {
+        prec: FpPrec,
+        iw: Width,
+        dst: Gpr,
+        src: XmmRm,
+    },
     /// `cvtss2sd xmm, xmm/m` (Single→Double) or `cvtsd2ss` (Double→Single).
     /// `to` names the destination precision.
     CvtF2F { to: FpPrec, dst: Xmm, src: XmmRm },
@@ -597,10 +691,20 @@ impl fmt::Display for Inst {
                 write!(f, "mov{}ps {dst}, {src}", if *aligned { "a" } else { "u" })
             }
             Inst::MovXmmToGpr { w, dst, src } => {
-                write!(f, "mov{} {}, {src}", if *w == Width::W64 { "q" } else { "d" }, dst.name(*w))
+                write!(
+                    f,
+                    "mov{} {}, {src}",
+                    if *w == Width::W64 { "q" } else { "d" },
+                    dst.name(*w)
+                )
             }
             Inst::MovGprToXmm { w, dst, src } => {
-                write!(f, "mov{} {dst}, {}", if *w == Width::W64 { "q" } else { "d" }, src.name(*w))
+                write!(
+                    f,
+                    "mov{} {dst}, {}",
+                    if *w == Width::W64 { "q" } else { "d" },
+                    src.name(*w)
+                )
             }
             Inst::SseScalar { op, prec, dst, src } => {
                 let s = if *prec == FpPrec::Single { "ss" } else { "sd" };
@@ -645,9 +749,15 @@ mod tests {
     #[test]
     fn terminators() {
         assert!(Inst::Ret.is_terminator());
-        assert!(Inst::Jmp { target: Target::Abs(0) }.is_terminator());
+        assert!(Inst::Jmp {
+            target: Target::Abs(0)
+        }
+        .is_terminator());
         assert!(!Inst::Nop.is_terminator());
-        assert!(!Inst::Call { target: Target::Abs(0) }.is_terminator());
+        assert!(!Inst::Call {
+            target: Target::Abs(0)
+        }
+        .is_terminator());
     }
 
     #[test]
@@ -668,14 +778,22 @@ mod tests {
         assert!(load.reads_memory());
         assert!(!load.writes_memory());
 
-        let rr = Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rbx) };
+        let rr = Inst::MovRRm {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rbx),
+        };
         assert!(!rr.reads_memory());
         assert!(!rr.writes_memory());
     }
 
     #[test]
     fn rmw_classification() {
-        let cas = Inst::LockCmpxchg { w: Width::W32, mem: MemRef::base(Gpr::Rdi), src: Gpr::Rbx };
+        let cas = Inst::LockCmpxchg {
+            w: Width::W32,
+            mem: MemRef::base(Gpr::Rdi),
+            src: Gpr::Rbx,
+        };
         assert!(cas.is_atomic_rmw());
         assert!(cas.reads_memory() && cas.writes_memory());
         assert!(!Inst::Mfence.is_atomic_rmw());

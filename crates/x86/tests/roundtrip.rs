@@ -1,9 +1,10 @@
 //! Property test: every encodable instruction decodes back to itself.
 
+use lasagne_qc::collection;
+use lasagne_qc::prelude::*;
 use lasagne_x86::inst::{AluOp, FpPrec, Inst, MemRef, MulDivOp, Rm, ShiftOp, SseOp, Target, XmmRm};
 use lasagne_x86::reg::{Cond, Gpr, Width, Xmm};
 use lasagne_x86::{decode_one, encode};
-use proptest::prelude::*;
 
 fn any_gpr() -> impl Strategy<Value = Gpr> {
     (0u8..16).prop_map(Gpr::from_encoding)
@@ -14,7 +15,12 @@ fn any_xmm() -> impl Strategy<Value = Xmm> {
 }
 
 fn any_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::W8), Just(Width::W16), Just(Width::W32), Just(Width::W64)]
+    prop_oneof![
+        Just(Width::W8),
+        Just(Width::W16),
+        Just(Width::W32),
+        Just(Width::W64)
+    ]
 }
 
 fn any_cond() -> impl Strategy<Value = Cond> {
@@ -24,7 +30,12 @@ fn any_cond() -> impl Strategy<Value = Cond> {
 fn any_mem() -> impl Strategy<Value = MemRef> {
     prop_oneof![
         (any_gpr(), -512i64..512).prop_map(|(b, d)| MemRef::base_disp(b, d)),
-        (any_gpr(), any_gpr().prop_filter("index != rsp", |r| *r != Gpr::Rsp), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)], -100_000i64..100_000)
+        (
+            any_gpr(),
+            any_gpr().prop_filter("index != rsp", |r| *r != Gpr::Rsp),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            -100_000i64..100_000
+        )
             .prop_map(|(b, i, s, d)| MemRef::base_index(b, i, s, d)),
         (0x40_0000u64..0x80_0000).prop_map(MemRef::rip),
         (0x1000u64..0x7fff_0000).prop_map(MemRef::abs),
@@ -36,7 +47,10 @@ fn any_rm() -> impl Strategy<Value = Rm> {
 }
 
 fn any_xmmrm() -> impl Strategy<Value = XmmRm> {
-    prop_oneof![any_xmm().prop_map(XmmRm::Reg), any_mem().prop_map(XmmRm::Mem)]
+    prop_oneof![
+        any_xmm().prop_map(XmmRm::Reg),
+        any_mem().prop_map(XmmRm::Mem)
+    ]
 }
 
 fn any_alu_op() -> impl Strategy<Value = AluOp> {
@@ -85,24 +99,54 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_alu_op(), any_iw(), any_rm(), any::<i32>())
             .prop_map(|(op, w, dst, imm)| Inst::AluRmI { op, w, dst, imm }),
         (any_width(), any_rm(), any_gpr()).prop_map(|(w, a, b)| Inst::Test { w, a, b }),
-        (prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)], any_iw(), any_rm(), 0u8..64)
+        (
+            prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
+            any_iw(),
+            any_rm(),
+            0u8..64
+        )
             .prop_map(|(op, w, dst, imm)| Inst::ShiftI { op, w, dst, imm }),
         (any_iw(), any_gpr(), any_rm()).prop_map(|(w, dst, src)| Inst::IMul2 { w, dst, src }),
-        (prop_oneof![Just(MulDivOp::Mul), Just(MulDivOp::IMul), Just(MulDivOp::Div), Just(MulDivOp::IDiv)], any_iw(), any_rm())
+        (
+            prop_oneof![
+                Just(MulDivOp::Mul),
+                Just(MulDivOp::IMul),
+                Just(MulDivOp::Div),
+                Just(MulDivOp::IDiv)
+            ],
+            any_iw(),
+            any_rm()
+        )
             .prop_map(|(op, w, src)| Inst::MulDiv { op, w, src }),
         (any_gpr()).prop_map(|src| Inst::Push { src }),
         (any_gpr()).prop_map(|dst| Inst::Pop { dst }),
-        (0x40_0000u64..0x50_0000).prop_map(|t| Inst::Jmp { target: Target::Abs(t) }),
-        (any_cond(), 0x40_0000u64..0x50_0000)
-            .prop_map(|(cc, t)| Inst::Jcc { cc, target: Target::Abs(t) }),
-        (0x40_0000u64..0x50_0000).prop_map(|t| Inst::Call { target: Target::Abs(t) }),
+        (0x40_0000u64..0x50_0000).prop_map(|t| Inst::Jmp {
+            target: Target::Abs(t)
+        }),
+        (any_cond(), 0x40_0000u64..0x50_0000).prop_map(|(cc, t)| Inst::Jcc {
+            cc,
+            target: Target::Abs(t)
+        }),
+        (0x40_0000u64..0x50_0000).prop_map(|t| Inst::Call {
+            target: Target::Abs(t)
+        }),
         (any_cond(), any_rm()).prop_map(|(cc, dst)| Inst::Setcc { cc, dst }),
-        (any_cond(), any_iw(), any_gpr(), any_rm())
-            .prop_map(|(cc, w, dst, src)| Inst::Cmovcc { cc, w, dst, src }),
-        (any_prec(), any_xmm(), any_xmmrm())
-            .prop_map(|(prec, dst, src)| Inst::MovssLoad { prec, dst, src }),
-        (any_prec(), any_mem(), any_xmm())
-            .prop_map(|(prec, dst, src)| Inst::MovssStore { prec, dst, src }),
+        (any_cond(), any_iw(), any_gpr(), any_rm()).prop_map(|(cc, w, dst, src)| Inst::Cmovcc {
+            cc,
+            w,
+            dst,
+            src
+        }),
+        (any_prec(), any_xmm(), any_xmmrm()).prop_map(|(prec, dst, src)| Inst::MovssLoad {
+            prec,
+            dst,
+            src
+        }),
+        (any_prec(), any_mem(), any_xmm()).prop_map(|(prec, dst, src)| Inst::MovssStore {
+            prec,
+            dst,
+            src
+        }),
         (any_sse_op(), any_prec(), any_xmm(), any_xmmrm())
             .prop_map(|(op, prec, dst, src)| Inst::SseScalar { op, prec, dst, src }),
         (any_sse_op(), any_prec(), any_xmm(), any_xmmrm())
@@ -113,18 +157,24 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_prec(), any_iw(), any_gpr(), any_xmmrm())
             .prop_map(|(prec, iw, dst, src)| Inst::CvtF2Si { prec, iw, dst, src }),
         Just(Inst::Mfence),
-        (any_iw(), any_mem(), any_gpr())
-            .prop_map(|(w, mem, src)| Inst::LockCmpxchg { w, mem, src }),
+        (any_iw(), any_mem(), any_gpr()).prop_map(|(w, mem, src)| Inst::LockCmpxchg {
+            w,
+            mem,
+            src
+        }),
         (any_iw(), any_mem(), any_gpr()).prop_map(|(w, mem, src)| Inst::LockXadd { w, mem, src }),
-        (any_iw(), any_mem(), any::<i32>()).prop_map(|(w, mem, imm)| Inst::LockAddI { w, mem, imm }),
+        (any_iw(), any_mem(), any::<i32>()).prop_map(|(w, mem, imm)| Inst::LockAddI {
+            w,
+            mem,
+            imm
+        }),
         (any_iw(), any_mem(), any_gpr()).prop_map(|(w, mem, src)| Inst::Xchg { w, mem, src }),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
+properties! {
+    config = Config::with_cases(2048);
 
-    #[test]
     fn encode_decode_roundtrip(inst in any_inst(), addr in 0x40_0000u64..0x4f_0000) {
         let mut bytes = Vec::new();
         let len = encode(&inst, addr, &mut bytes).unwrap();
@@ -137,13 +187,12 @@ proptest! {
     }
 }
 
-/// Decoding random byte soup must never panic — it either produces
-/// instructions or a typed error.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+properties! {
+    config = Config::with_cases(512);
 
-    #[test]
-    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+    /// Decoding random byte soup must never panic — it either produces
+    /// instructions or a typed error.
+    fn decoder_total_on_garbage(bytes in collection::vec(any::<u8>(), 1..16)) {
         let _ = decode_one(&bytes, 0x1000); // must not panic
     }
 }

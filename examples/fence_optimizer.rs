@@ -10,7 +10,7 @@ use lasagne_repro::fences::{count_fences, Strategy};
 use lasagne_repro::lir::print::print_module;
 use lasagne_repro::x86::asm::Asm;
 use lasagne_repro::x86::binary::BinaryBuilder;
-use lasagne_repro::x86::inst::{AluOp, Inst, MemRef, Rm};
+use lasagne_repro::x86::inst::{Inst, MemRef, Rm};
 use lasagne_repro::x86::reg::{Gpr, Width};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,10 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //          return [t+8]      (shared load)
     let mut bin = BinaryBuilder::new();
     let mut a = Asm::new();
-    a.push(Inst::MovRmR { w: Width::W64, dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)), src: Gpr::Rdi });
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)) });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rax)), imm: 1 });
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base_disp(Gpr::Rax, 8)) });
+    a.push(Inst::MovRmR {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+        src: Gpr::Rdi,
+    });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base(Gpr::Rax)),
+        imm: 1,
+    });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Mem(MemRef::base_disp(Gpr::Rax, 8)),
+    });
     a.push(Inst::Ret);
     let addr = bin.next_function_addr();
     bin.add_function("f", a.finish(addr)?);

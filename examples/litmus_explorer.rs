@@ -16,8 +16,11 @@ fn show(name: &str, p: &lasagne_repro::memmodel::Program) {
         let regs: Vec<String> = os
             .iter()
             .map(|o: &Outcome| {
-                let rs: Vec<String> =
-                    o.regs.iter().map(|((t, r), v)| format!("t{t}.r{r}={v}")).collect();
+                let rs: Vec<String> = o
+                    .regs
+                    .iter()
+                    .map(|((t, r), v)| format!("t{t}.r{r}={v}"))
+                    .collect();
                 format!("{{{}}}", rs.join(","))
             })
             .collect();
@@ -61,5 +64,8 @@ fn main() {
     }
 
     println!();
-    show("Figure 10 (RMW acts as a full fence)", &litmus::fig10_rmw_load());
+    show(
+        "Figure 10 (RMW acts as a full fence)",
+        &litmus::fig10_rmw_load(),
+    );
 }

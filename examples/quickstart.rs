@@ -20,15 +20,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bin = BinaryBuilder::new();
 
     let mut a = Asm::new();
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rdi)), imm: 1 });
-    a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Mem(MemRef::base(Gpr::Rsi)), imm: 1 });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base(Gpr::Rdi)),
+        imm: 1,
+    });
+    a.push(Inst::MovRmI {
+        w: Width::W64,
+        dst: Rm::Mem(MemRef::base(Gpr::Rsi)),
+        imm: 1,
+    });
     a.push(Inst::Ret);
     let addr = bin.next_function_addr();
     bin.add_function("send", a.finish(addr)?);
 
     let mut a = Asm::new();
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Mem(MemRef::base(Gpr::Rsi)) });
-    a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rcx, src: Rm::Mem(MemRef::base(Gpr::Rdi)) });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rax,
+        src: Rm::Mem(MemRef::base(Gpr::Rsi)),
+    });
+    a.push(Inst::MovRRm {
+        w: Width::W64,
+        dst: Gpr::Rcx,
+        src: Rm::Mem(MemRef::base(Gpr::Rdi)),
+    });
     a.push(Inst::ShiftI {
         op: lasagne_repro::x86::inst::ShiftOp::Shl,
         w: Width::W64,
@@ -67,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.run(send, &[x_addr, y_addr], &[])?;
     let recv = t.arm.func_by_name("recv").expect("recv");
     let r = machine.run(recv, &[x_addr, y_addr], &[])?;
-    println!("\nrecv() returned {:#b} (flag and data both observed)", r.ret);
+    println!(
+        "\nrecv() returned {:#b} (flag and data both observed)",
+        r.ret
+    );
     assert_eq!(r.ret, 0b11);
     Ok(())
 }

@@ -29,7 +29,10 @@ fn main() {
     );
 
     let native = measure_native(b);
-    println!("\n{:<8} {:>10} {:>10} {:>8} {:>8} {:>8}", "version", "LIR insts", "fences", "cycles", "norm", "casts");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "version", "LIR insts", "fences", "cycles", "norm", "casts"
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>8} {:>8.2} {:>8}",
         "native",

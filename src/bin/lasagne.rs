@@ -32,8 +32,9 @@ fn main() {
             }
         })
         .unwrap_or(Version::PPOpt);
-    let scale: usize =
-        flag_value(&args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(128);
+    let scale: usize = flag_value(&args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
 
     match cmd {
         "list" => {
@@ -131,7 +132,10 @@ fn main() {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn find_bench(name: &str, scale: usize) -> Option<Benchmark> {

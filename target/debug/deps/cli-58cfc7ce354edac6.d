@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-58cfc7ce354edac6.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-58cfc7ce354edac6: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_lasagne=/root/repo/target/debug/lasagne

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-37ac6b31c6cbfa8e.d: crates/phoenix/tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-37ac6b31c6cbfa8e: crates/phoenix/tests/correctness.rs
+
+crates/phoenix/tests/correctness.rs:

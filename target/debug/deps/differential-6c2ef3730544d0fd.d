@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/differential-6c2ef3730544d0fd.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-6c2ef3730544d0fd: tests/differential.rs
+
+tests/differential.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-337e962627885122.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-337e962627885122: tests/end_to_end.rs
+
+tests/end_to_end.rs:

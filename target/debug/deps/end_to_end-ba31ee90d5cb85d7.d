@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ba31ee90d5cb85d7.d: crates/armgen/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ba31ee90d5cb85d7: crates/armgen/tests/end_to_end.rs
+
+crates/armgen/tests/end_to_end.rs:

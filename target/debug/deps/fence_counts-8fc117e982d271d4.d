@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fence_counts-8fc117e982d271d4.d: crates/fences/tests/fence_counts.rs
+
+/root/repo/target/debug/deps/fence_counts-8fc117e982d271d4: crates/fences/tests/fence_counts.rs
+
+crates/fences/tests/fence_counts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_exhaustive-2a816e0fad877941.d: crates/memmodel/tests/fig11_exhaustive.rs
+
+/root/repo/target/debug/deps/fig11_exhaustive-2a816e0fad877941: crates/memmodel/tests/fig11_exhaustive.rs
+
+crates/memmodel/tests/fig11_exhaustive.rs:

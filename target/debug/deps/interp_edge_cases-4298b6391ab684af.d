@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_edge_cases-4298b6391ab684af.d: crates/lir/tests/interp_edge_cases.rs
+
+/root/repo/target/debug/deps/interp_edge_cases-4298b6391ab684af: crates/lir/tests/interp_edge_cases.rs
+
+crates/lir/tests/interp_edge_cases.rs:

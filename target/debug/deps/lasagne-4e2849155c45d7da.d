@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne-4e2849155c45d7da.d: crates/lasagne/src/lib.rs
+
+/root/repo/target/debug/deps/lasagne-4e2849155c45d7da: crates/lasagne/src/lib.rs
+
+crates/lasagne/src/lib.rs:

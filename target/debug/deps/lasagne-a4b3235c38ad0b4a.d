@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne-a4b3235c38ad0b4a.d: src/bin/lasagne.rs
+
+/root/repo/target/debug/deps/lasagne-a4b3235c38ad0b4a: src/bin/lasagne.rs
+
+src/bin/lasagne.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne-f894e70f0cdb1554.d: src/bin/lasagne.rs
+
+/root/repo/target/debug/deps/lasagne-f894e70f0cdb1554: src/bin/lasagne.rs
+
+src/bin/lasagne.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_bench-75a708285199d884.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lasagne_bench-75a708285199d884: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

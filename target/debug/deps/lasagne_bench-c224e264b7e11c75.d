@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lasagne_bench-c224e264b7e11c75.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_bench-c224e264b7e11c75.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_bench-c224e264b7e11c75.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

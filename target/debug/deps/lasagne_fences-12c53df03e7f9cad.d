@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lasagne_fences-12c53df03e7f9cad.d: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/debug/deps/liblasagne_fences-12c53df03e7f9cad.rlib: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/debug/deps/liblasagne_fences-12c53df03e7f9cad.rmeta: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+crates/fences/src/lib.rs:
+crates/fences/src/legality.rs:
+crates/fences/src/placement.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lasagne_fences-5b7e53c89e4b2748.d: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/debug/deps/lasagne_fences-5b7e53c89e4b2748: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+crates/fences/src/lib.rs:
+crates/fences/src/legality.rs:
+crates/fences/src/placement.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lasagne_lifter-3d3a985527c848f5.d: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/debug/deps/liblasagne_lifter-3d3a985527c848f5.rlib: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/debug/deps/liblasagne_lifter-3d3a985527c848f5.rmeta: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+crates/lifter/src/lib.rs:
+crates/lifter/src/liveness.rs:
+crates/lifter/src/translate.rs:
+crates/lifter/src/typedisc.rs:
+crates/lifter/src/xcfg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lasagne_lifter-ac600c947b65598f.d: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/debug/deps/lasagne_lifter-ac600c947b65598f: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+crates/lifter/src/lib.rs:
+crates/lifter/src/liveness.rs:
+crates/lifter/src/translate.rs:
+crates/lifter/src/typedisc.rs:
+crates/lifter/src/xcfg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lasagne_memmodel-030f35f5a59c8f68.d: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+/root/repo/target/debug/deps/liblasagne_memmodel-030f35f5a59c8f68.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+/root/repo/target/debug/deps/liblasagne_memmodel-030f35f5a59c8f68.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/exec.rs:
+crates/memmodel/src/litmus.rs:
+crates/memmodel/src/mapping.rs:
+crates/memmodel/src/models.rs:
+crates/memmodel/src/rel.rs:
+crates/memmodel/src/transform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lasagne_phoenix-eea20a79fd080215.d: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+/root/repo/target/debug/deps/lasagne_phoenix-eea20a79fd080215: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/builders.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/native.rs:
+crates/phoenix/src/strmatch.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lasagne_qc-05f5a65f94770cdd.d: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+/root/repo/target/debug/deps/lasagne_qc-05f5a65f94770cdd: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+crates/qc/src/lib.rs:
+crates/qc/src/bench.rs:
+crates/qc/src/collection.rs:
+crates/qc/src/regress.rs:
+crates/qc/src/rng.rs:
+crates/qc/src/runner.rs:
+crates/qc/src/shrink.rs:
+crates/qc/src/source.rs:
+crates/qc/src/strategy.rs:

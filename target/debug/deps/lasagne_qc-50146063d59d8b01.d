@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lasagne_qc-50146063d59d8b01.d: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+/root/repo/target/debug/deps/liblasagne_qc-50146063d59d8b01.rlib: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+/root/repo/target/debug/deps/liblasagne_qc-50146063d59d8b01.rmeta: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+crates/qc/src/lib.rs:
+crates/qc/src/bench.rs:
+crates/qc/src/collection.rs:
+crates/qc/src/regress.rs:
+crates/qc/src/rng.rs:
+crates/qc/src/runner.rs:
+crates/qc/src/shrink.rs:
+crates/qc/src/source.rs:
+crates/qc/src/strategy.rs:

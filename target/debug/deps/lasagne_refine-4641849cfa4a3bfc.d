@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_refine-4641849cfa4a3bfc.d: crates/refine/src/lib.rs
+
+/root/repo/target/debug/deps/lasagne_refine-4641849cfa4a3bfc: crates/refine/src/lib.rs
+
+crates/refine/src/lib.rs:

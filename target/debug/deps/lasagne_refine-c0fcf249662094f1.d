@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lasagne_refine-c0fcf249662094f1.d: crates/refine/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_refine-c0fcf249662094f1.rlib: crates/refine/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_refine-c0fcf249662094f1.rmeta: crates/refine/src/lib.rs
+
+crates/refine/src/lib.rs:

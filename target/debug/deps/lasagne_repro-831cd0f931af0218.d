@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_repro-831cd0f931af0218.d: src/lib.rs
+
+/root/repo/target/debug/deps/lasagne_repro-831cd0f931af0218: src/lib.rs
+
+src/lib.rs:

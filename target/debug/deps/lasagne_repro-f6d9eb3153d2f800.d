@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lasagne_repro-f6d9eb3153d2f800.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_repro-f6d9eb3153d2f800.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_repro-f6d9eb3153d2f800.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lasagne_x86-25c30b5821d8132d.d: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+/root/repo/target/debug/deps/lasagne_x86-25c30b5821d8132d: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+crates/x86/src/lib.rs:
+crates/x86/src/asm.rs:
+crates/x86/src/binary.rs:
+crates/x86/src/decode.rs:
+crates/x86/src/encode.rs:
+crates/x86/src/flags.rs:
+crates/x86/src/inst.rs:
+crates/x86/src/reg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_semantics-05e72285cfd5f03b.d: crates/armgen/tests/machine_semantics.rs
+
+/root/repo/target/debug/deps/machine_semantics-05e72285cfd5f03b: crates/armgen/tests/machine_semantics.rs
+
+crates/armgen/tests/machine_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pass_robustness-7b2b1274dd1126f8.d: crates/opt/tests/pass_robustness.rs
+
+/root/repo/target/debug/deps/pass_robustness-7b2b1274dd1126f8: crates/opt/tests/pass_robustness.rs
+
+crates/opt/tests/pass_robustness.rs:

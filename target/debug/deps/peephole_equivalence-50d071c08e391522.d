@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peephole_equivalence-50d071c08e391522.d: crates/armgen/tests/peephole_equivalence.rs
+
+/root/repo/target/debug/deps/peephole_equivalence-50d071c08e391522: crates/armgen/tests/peephole_equivalence.rs
+
+crates/armgen/tests/peephole_equivalence.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peephole_property-9be2815d89b52138.d: crates/armgen/tests/peephole_property.rs
+
+/root/repo/target/debug/deps/peephole_property-9be2815d89b52138: crates/armgen/tests/peephole_property.rs
+
+crates/armgen/tests/peephole_property.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/armgen

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phoenix_refinement-c5f23fe0286458e8.d: crates/refine/tests/phoenix_refinement.rs
+
+/root/repo/target/debug/deps/phoenix_refinement-c5f23fe0286458e8: crates/refine/tests/phoenix_refinement.rs
+
+crates/refine/tests/phoenix_refinement.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/random_mappings-271b81de21a6d9a7.d: crates/memmodel/tests/random_mappings.rs
+
+/root/repo/target/debug/deps/random_mappings-271b81de21a6d9a7: crates/memmodel/tests/random_mappings.rs
+
+crates/memmodel/tests/random_mappings.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/memmodel

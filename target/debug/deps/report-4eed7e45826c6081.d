@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-4eed7e45826c6081.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-4eed7e45826c6081: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

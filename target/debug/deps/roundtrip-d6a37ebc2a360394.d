@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/roundtrip-d6a37ebc2a360394.d: crates/x86/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-d6a37ebc2a360394: crates/x86/tests/roundtrip.rs
+
+crates/x86/tests/roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/x86

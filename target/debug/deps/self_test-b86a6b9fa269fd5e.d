@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/self_test-b86a6b9fa269fd5e.d: crates/qc/tests/self_test.rs
+
+/root/repo/target/debug/deps/self_test-b86a6b9fa269fd5e: crates/qc/tests/self_test.rs
+
+crates/qc/tests/self_test.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/qc

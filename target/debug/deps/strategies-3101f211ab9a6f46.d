@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies-3101f211ab9a6f46.d: crates/fences/tests/strategies.rs
+
+/root/repo/target/debug/deps/strategies-3101f211ab9a6f46: crates/fences/tests/strategies.rs
+
+crates/fences/tests/strategies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variadic_and_globals-17e49fcce79de2f3.d: crates/lifter/tests/variadic_and_globals.rs
+
+/root/repo/target/debug/deps/variadic_and_globals-17e49fcce79de2f3: crates/lifter/tests/variadic_and_globals.rs
+
+crates/lifter/tests/variadic_and_globals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fence_optimizer-04cb1e4e3f34ce98.d: examples/fence_optimizer.rs
+
+/root/repo/target/debug/examples/fence_optimizer-04cb1e4e3f34ce98: examples/fence_optimizer.rs
+
+examples/fence_optimizer.rs:

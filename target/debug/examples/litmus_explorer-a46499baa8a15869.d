@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_explorer-a46499baa8a15869.d: examples/litmus_explorer.rs
+
+/root/repo/target/debug/examples/litmus_explorer-a46499baa8a15869: examples/litmus_explorer.rs
+
+examples/litmus_explorer.rs:

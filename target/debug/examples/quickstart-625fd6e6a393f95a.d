@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-625fd6e6a393f95a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-625fd6e6a393f95a: examples/quickstart.rs
+
+examples/quickstart.rs:

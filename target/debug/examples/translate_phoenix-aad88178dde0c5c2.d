@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/translate_phoenix-aad88178dde0c5c2.d: examples/translate_phoenix.rs
+
+/root/repo/target/debug/examples/translate_phoenix-aad88178dde0c5c2: examples/translate_phoenix.rs
+
+examples/translate_phoenix.rs:

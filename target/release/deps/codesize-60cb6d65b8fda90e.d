@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codesize-60cb6d65b8fda90e.d: crates/bench/benches/codesize.rs
+
+/root/repo/target/release/deps/codesize-60cb6d65b8fda90e: crates/bench/benches/codesize.rs
+
+crates/bench/benches/codesize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fences-3e2dd2e0091d2d12.d: crates/bench/benches/fences.rs
+
+/root/repo/target/release/deps/fences-3e2dd2e0091d2d12: crates/bench/benches/fences.rs
+
+crates/bench/benches/fences.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lasagne-cba8562d2dbb8b2e.d: src/bin/lasagne.rs
+
+/root/repo/target/release/deps/lasagne-cba8562d2dbb8b2e: src/bin/lasagne.rs
+
+src/bin/lasagne.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lasagne_armgen-953763222790f7f8.d: crates/armgen/src/lib.rs crates/armgen/src/inst.rs crates/armgen/src/lower.rs crates/armgen/src/machine.rs crates/armgen/src/peephole.rs crates/armgen/src/print.rs
+
+/root/repo/target/release/deps/liblasagne_armgen-953763222790f7f8.rlib: crates/armgen/src/lib.rs crates/armgen/src/inst.rs crates/armgen/src/lower.rs crates/armgen/src/machine.rs crates/armgen/src/peephole.rs crates/armgen/src/print.rs
+
+/root/repo/target/release/deps/liblasagne_armgen-953763222790f7f8.rmeta: crates/armgen/src/lib.rs crates/armgen/src/inst.rs crates/armgen/src/lower.rs crates/armgen/src/machine.rs crates/armgen/src/peephole.rs crates/armgen/src/print.rs
+
+crates/armgen/src/lib.rs:
+crates/armgen/src/inst.rs:
+crates/armgen/src/lower.rs:
+crates/armgen/src/machine.rs:
+crates/armgen/src/peephole.rs:
+crates/armgen/src/print.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lasagne_bench-6ec435530ba0c042.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/lasagne_bench-6ec435530ba0c042: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lasagne_bench-b0a2dfc322d2049e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_bench-b0a2dfc322d2049e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_bench-b0a2dfc322d2049e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lasagne_fences-8cb8c760635fc729.d: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/release/deps/liblasagne_fences-8cb8c760635fc729.rlib: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/release/deps/liblasagne_fences-8cb8c760635fc729.rmeta: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+crates/fences/src/lib.rs:
+crates/fences/src/legality.rs:
+crates/fences/src/placement.rs:

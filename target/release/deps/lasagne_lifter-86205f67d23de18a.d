@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lasagne_lifter-86205f67d23de18a.d: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/release/deps/liblasagne_lifter-86205f67d23de18a.rlib: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/release/deps/liblasagne_lifter-86205f67d23de18a.rmeta: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+crates/lifter/src/lib.rs:
+crates/lifter/src/liveness.rs:
+crates/lifter/src/translate.rs:
+crates/lifter/src/typedisc.rs:
+crates/lifter/src/xcfg.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lasagne_lir-ed7ab2d11348016a.d: crates/lir/src/lib.rs crates/lir/src/analysis.rs crates/lir/src/func.rs crates/lir/src/inst.rs crates/lir/src/interp.rs crates/lir/src/print.rs crates/lir/src/ssa.rs crates/lir/src/types.rs crates/lir/src/verify.rs
+
+/root/repo/target/release/deps/liblasagne_lir-ed7ab2d11348016a.rlib: crates/lir/src/lib.rs crates/lir/src/analysis.rs crates/lir/src/func.rs crates/lir/src/inst.rs crates/lir/src/interp.rs crates/lir/src/print.rs crates/lir/src/ssa.rs crates/lir/src/types.rs crates/lir/src/verify.rs
+
+/root/repo/target/release/deps/liblasagne_lir-ed7ab2d11348016a.rmeta: crates/lir/src/lib.rs crates/lir/src/analysis.rs crates/lir/src/func.rs crates/lir/src/inst.rs crates/lir/src/interp.rs crates/lir/src/print.rs crates/lir/src/ssa.rs crates/lir/src/types.rs crates/lir/src/verify.rs
+
+crates/lir/src/lib.rs:
+crates/lir/src/analysis.rs:
+crates/lir/src/func.rs:
+crates/lir/src/inst.rs:
+crates/lir/src/interp.rs:
+crates/lir/src/print.rs:
+crates/lir/src/ssa.rs:
+crates/lir/src/types.rs:
+crates/lir/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lasagne_memmodel-f577b69f76ac1c96.d: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+/root/repo/target/release/deps/liblasagne_memmodel-f577b69f76ac1c96.rlib: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+/root/repo/target/release/deps/liblasagne_memmodel-f577b69f76ac1c96.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/exec.rs:
+crates/memmodel/src/litmus.rs:
+crates/memmodel/src/mapping.rs:
+crates/memmodel/src/models.rs:
+crates/memmodel/src/rel.rs:
+crates/memmodel/src/transform.rs:

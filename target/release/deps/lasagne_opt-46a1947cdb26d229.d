@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lasagne_opt-46a1947cdb26d229.d: crates/opt/src/lib.rs crates/opt/src/combine.rs crates/opt/src/dce.rs crates/opt/src/dse.rs crates/opt/src/fold.rs crates/opt/src/gvn.rs crates/opt/src/licm.rs crates/opt/src/mem.rs crates/opt/src/sccp.rs
+
+/root/repo/target/release/deps/liblasagne_opt-46a1947cdb26d229.rlib: crates/opt/src/lib.rs crates/opt/src/combine.rs crates/opt/src/dce.rs crates/opt/src/dse.rs crates/opt/src/fold.rs crates/opt/src/gvn.rs crates/opt/src/licm.rs crates/opt/src/mem.rs crates/opt/src/sccp.rs
+
+/root/repo/target/release/deps/liblasagne_opt-46a1947cdb26d229.rmeta: crates/opt/src/lib.rs crates/opt/src/combine.rs crates/opt/src/dce.rs crates/opt/src/dse.rs crates/opt/src/fold.rs crates/opt/src/gvn.rs crates/opt/src/licm.rs crates/opt/src/mem.rs crates/opt/src/sccp.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/combine.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/dse.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/licm.rs:
+crates/opt/src/mem.rs:
+crates/opt/src/sccp.rs:

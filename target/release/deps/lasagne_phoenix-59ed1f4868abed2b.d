@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lasagne_phoenix-59ed1f4868abed2b.d: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+/root/repo/target/release/deps/liblasagne_phoenix-59ed1f4868abed2b.rlib: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+/root/repo/target/release/deps/liblasagne_phoenix-59ed1f4868abed2b.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/builders.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/native.rs:
+crates/phoenix/src/strmatch.rs:

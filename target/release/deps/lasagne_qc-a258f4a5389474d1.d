@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lasagne_qc-a258f4a5389474d1.d: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+/root/repo/target/release/deps/liblasagne_qc-a258f4a5389474d1.rlib: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+/root/repo/target/release/deps/liblasagne_qc-a258f4a5389474d1.rmeta: crates/qc/src/lib.rs crates/qc/src/bench.rs crates/qc/src/collection.rs crates/qc/src/regress.rs crates/qc/src/rng.rs crates/qc/src/runner.rs crates/qc/src/shrink.rs crates/qc/src/source.rs crates/qc/src/strategy.rs
+
+crates/qc/src/lib.rs:
+crates/qc/src/bench.rs:
+crates/qc/src/collection.rs:
+crates/qc/src/regress.rs:
+crates/qc/src/rng.rs:
+crates/qc/src/runner.rs:
+crates/qc/src/shrink.rs:
+crates/qc/src/source.rs:
+crates/qc/src/strategy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lasagne_refine-b556a26ed085dd2f.d: crates/refine/src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_refine-b556a26ed085dd2f.rlib: crates/refine/src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_refine-b556a26ed085dd2f.rmeta: crates/refine/src/lib.rs
+
+crates/refine/src/lib.rs:

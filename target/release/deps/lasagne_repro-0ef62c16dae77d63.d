@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lasagne_repro-0ef62c16dae77d63.d: src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_repro-0ef62c16dae77d63.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblasagne_repro-0ef62c16dae77d63.rmeta: src/lib.rs
+
+src/lib.rs:

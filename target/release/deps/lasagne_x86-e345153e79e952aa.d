@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lasagne_x86-e345153e79e952aa.d: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+/root/repo/target/release/deps/liblasagne_x86-e345153e79e952aa.rlib: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+/root/repo/target/release/deps/liblasagne_x86-e345153e79e952aa.rmeta: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+crates/x86/src/lib.rs:
+crates/x86/src/asm.rs:
+crates/x86/src/binary.rs:
+crates/x86/src/decode.rs:
+crates/x86/src/encode.rs:
+crates/x86/src/flags.rs:
+crates/x86/src/inst.rs:
+crates/x86/src/reg.rs:

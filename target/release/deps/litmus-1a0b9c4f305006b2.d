@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/litmus-1a0b9c4f305006b2.d: crates/bench/benches/litmus.rs
+
+/root/repo/target/release/deps/litmus-1a0b9c4f305006b2: crates/bench/benches/litmus.rs
+
+crates/bench/benches/litmus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/passes-830a1a427e7929a6.d: crates/bench/benches/passes.rs
+
+/root/repo/target/release/deps/passes-830a1a427e7929a6: crates/bench/benches/passes.rs
+
+crates/bench/benches/passes.rs:

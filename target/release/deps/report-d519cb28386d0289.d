@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-d519cb28386d0289.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-d519cb28386d0289: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-d553db8b19d62225.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-d553db8b19d62225: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-b3a7e21714cc6426.d: crates/bench/benches/runtime.rs
+
+/root/repo/target/release/deps/runtime-b3a7e21714cc6426: crates/bench/benches/runtime.rs
+
+crates/bench/benches/runtime.rs:

@@ -73,5 +73,8 @@ fn versions_are_validated() {
 #[test]
 fn unknown_benchmark_is_an_error() {
     let out = lasagne(&["run", "ZZ"]);
-    assert!(!out.status.success(), "unknown benchmark should be rejected");
+    assert!(
+        !out.status.success(),
+        "unknown benchmark should be rejected"
+    );
 }

@@ -5,6 +5,8 @@
 //! of the shared memory region — any divergence is a bug in the lifter,
 //! an optimization pass, fence placement, or the Arm backend.
 
+use lasagne_qc::collection;
+use lasagne_qc::prelude::*;
 use lasagne_repro::armgen::machine::ArmMachine;
 use lasagne_repro::lir::interp::{Machine, Val};
 use lasagne_repro::translator::{translate, Version};
@@ -12,7 +14,6 @@ use lasagne_repro::x86::asm::Asm;
 use lasagne_repro::x86::binary::BinaryBuilder;
 use lasagne_repro::x86::inst::{AluOp, FpPrec, Inst, MemRef, Rm, ShiftOp, SseOp, XmmRm};
 use lasagne_repro::x86::reg::{Cond, Gpr, Width, Xmm};
-use proptest::prelude::*;
 
 /// Shared memory region base passed in RDI.
 const REGION: u64 = 0x4000_0000;
@@ -35,7 +36,13 @@ fn any_reg() -> impl Strategy<Value = Gpr> {
 
 fn any_dst() -> impl Strategy<Value = Gpr> {
     // Never clobber RDI (the region pointer).
-    prop_oneof![Just(REGS[0]), Just(REGS[1]), Just(REGS[2]), Just(REGS[3]), Just(REGS[4])]
+    prop_oneof![
+        Just(REGS[0]),
+        Just(REGS[1]),
+        Just(REGS[2]),
+        Just(REGS[3]),
+        Just(REGS[4])
+    ]
 }
 
 fn any_width() -> impl Strategy<Value = Width> {
@@ -66,8 +73,11 @@ fn any_op() -> impl Strategy<Value = Inst> {
             dst: Rm::Reg(r),
             imm: v as i32
         }),
-        (any_dst(), any_reg(), any_width())
-            .prop_map(|(d, s, w)| Inst::MovRRm { w, dst: d, src: Rm::Reg(s) }),
+        (any_dst(), any_reg(), any_width()).prop_map(|(d, s, w)| Inst::MovRRm {
+            w,
+            dst: d,
+            src: Rm::Reg(s)
+        }),
         // ALU.
         (
             prop_oneof![
@@ -82,7 +92,12 @@ fn any_op() -> impl Strategy<Value = Inst> {
             any_reg(),
             any_width()
         )
-            .prop_map(|(op, d, s, w)| Inst::AluRRm { op, w, dst: d, src: Rm::Reg(s) }),
+            .prop_map(|(op, d, s, w)| Inst::AluRRm {
+                op,
+                w,
+                dst: d,
+                src: Rm::Reg(s)
+            }),
         (any_dst(), any_reg()).prop_map(|(d, s)| Inst::IMul2 {
             w: Width::W64,
             dst: d,
@@ -93,7 +108,12 @@ fn any_op() -> impl Strategy<Value = Inst> {
             any_dst(),
             0u8..32
         )
-            .prop_map(|(op, d, k)| Inst::ShiftI { op, w: Width::W64, dst: Rm::Reg(d), imm: k }),
+            .prop_map(|(op, d, k)| Inst::ShiftI {
+                op,
+                w: Width::W64,
+                dst: Rm::Reg(d),
+                imm: k
+            }),
         // Width conversions.
         (any_dst(), any_reg()).prop_map(|(d, s)| Inst::MovZx {
             dw: Width::W64,
@@ -125,7 +145,10 @@ fn any_op() -> impl Strategy<Value = Inst> {
             src: s
         }),
         // Flag consumers.
-        (any_cond(), any_dst()).prop_map(|(cc, d)| Inst::Setcc { cc, dst: Rm::Reg(d) }),
+        (any_cond(), any_dst()).prop_map(|(cc, d)| Inst::Setcc {
+            cc,
+            dst: Rm::Reg(d)
+        }),
         (any_cond(), any_dst(), any_reg()).prop_map(|(cc, d, s)| Inst::Cmovcc {
             cc,
             w: Width::W64,
@@ -189,7 +212,12 @@ fn emit_segment(a: &mut Asm, ops: &[Inst], shape: &Shape) {
         }
         Shape::Guarded(cc, k) => {
             let skip = a.label();
-            a.push(Inst::AluRmI { op: AluOp::Cmp, w: Width::W64, dst: Rm::Reg(Gpr::R9), imm: *k });
+            a.push(Inst::AluRmI {
+                op: AluOp::Cmp,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::R9),
+                imm: *k,
+            });
             a.jcc(*cc, skip);
             for i in ops {
                 a.push(*i);
@@ -198,12 +226,21 @@ fn emit_segment(a: &mut Asm, ops: &[Inst], shape: &Shape) {
         }
         Shape::Loop(n) => {
             let top = a.label();
-            a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(Gpr::R10), imm: i32::from(*n) });
+            a.push(Inst::MovRmI {
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::R10),
+                imm: i32::from(*n),
+            });
             a.bind(top);
             for i in ops {
                 a.push(*i);
             }
-            a.push(Inst::AluRmI { op: AluOp::Sub, w: Width::W64, dst: Rm::Reg(Gpr::R10), imm: 1 });
+            a.push(Inst::AluRmI {
+                op: AluOp::Sub,
+                w: Width::W64,
+                dst: Rm::Reg(Gpr::R10),
+                imm: 1,
+            });
             a.jcc(Cond::Ne, top);
         }
     }
@@ -214,11 +251,20 @@ fn build_binary(body: &[Inst]) -> lasagne_repro::x86::binary::Binary {
     let mut a = Asm::new();
     // Deterministic register init (every generated op may read any reg).
     for (i, r) in REGS.iter().enumerate() {
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(*r), imm: (i as i32 + 1) * 17 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(*r),
+            imm: (i as i32 + 1) * 17,
+        });
     }
     // Initialise XMM0 too, so FP ops never read a parameter register the
     // harness does not pass.
-    a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rsi) });
+    a.push(Inst::CvtSi2F {
+        prec: FpPrec::Double,
+        iw: Width::W64,
+        dst: Xmm(0),
+        src: Rm::Reg(Gpr::Rsi),
+    });
     for i in body {
         a.push(*i);
     }
@@ -240,8 +286,9 @@ fn run_lir(m: &lasagne_repro::lir::Module) -> (u64, Vec<u64>) {
     let mut machine = Machine::new(m);
     init_region(|a, v| machine.mem.write_u64(a, v));
     let r = machine.run(id, &[Val::B64(REGION), Val::B64(5)]).unwrap();
-    let finals =
-        (0..REGION_SLOTS as u64).map(|i| machine.mem.read_u64(REGION + 8 * i)).collect();
+    let finals = (0..REGION_SLOTS as u64)
+        .map(|i| machine.mem.read_u64(REGION + 8 * i))
+        .collect();
     (r.ret.map(Val::bits).unwrap_or(0), finals)
 }
 
@@ -250,8 +297,9 @@ fn run_arm(arm: &lasagne_repro::armgen::AModule) -> (u64, Vec<u64>) {
     let mut machine = ArmMachine::new(arm);
     init_region(|a, v| machine.mem.write_u64(a, v));
     let r = machine.run(idx, &[REGION, 5], &[]).unwrap();
-    let finals =
-        (0..REGION_SLOTS as u64).map(|i| machine.mem.read_u64(REGION + 8 * i)).collect();
+    let finals = (0..REGION_SLOTS as u64)
+        .map(|i| machine.mem.read_u64(REGION + 8 * i))
+        .collect();
     (r.ret, finals)
 }
 
@@ -259,9 +307,18 @@ fn build_cfg_binary(segments: &[(Vec<Inst>, Shape)]) -> lasagne_repro::x86::bina
     let mut bin = BinaryBuilder::new();
     let mut a = Asm::new();
     for (i, r) in REGS.iter().enumerate() {
-        a.push(Inst::MovRmI { w: Width::W64, dst: Rm::Reg(*r), imm: (i as i32 + 1) * 17 });
+        a.push(Inst::MovRmI {
+            w: Width::W64,
+            dst: Rm::Reg(*r),
+            imm: (i as i32 + 1) * 17,
+        });
     }
-    a.push(Inst::CvtSi2F { prec: FpPrec::Double, iw: Width::W64, dst: Xmm(0), src: Rm::Reg(Gpr::Rsi) });
+    a.push(Inst::CvtSi2F {
+        prec: FpPrec::Double,
+        iw: Width::W64,
+        dst: Xmm(0),
+        src: Rm::Reg(Gpr::Rsi),
+    });
     for (ops, shape) in segments {
         emit_segment(&mut a, ops, shape);
     }
@@ -279,21 +336,31 @@ fn check_all_versions(
         .map_err(|e| TestCaseError::fail(format!("lift: {e}")))?;
     let reference = run_lir(&lifted);
     for v in Version::ALL {
-        let t = translate(bin, v)
-            .map_err(|e| TestCaseError::fail(format!("{}: {e}", v.name())))?;
+        let t = translate(bin, v).map_err(|e| TestCaseError::fail(format!("{}: {e}", v.name())))?;
         let lir_result = run_lir(&t.module);
-        prop_assert_eq!(&lir_result, &reference, "LIR divergence under {} ({})", v.name(), label);
+        prop_assert_eq!(
+            &lir_result,
+            &reference,
+            "LIR divergence under {} ({})",
+            v.name(),
+            label
+        );
         let arm_result = run_arm(&t.arm);
-        prop_assert_eq!(&arm_result, &reference, "Arm divergence under {} ({})", v.name(), label);
+        prop_assert_eq!(
+            &arm_result,
+            &reference,
+            "Arm divergence under {} ({})",
+            v.name(),
+            label
+        );
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+properties! {
+    config = Config::with_cases(256);
 
-    #[test]
-    fn all_configurations_agree(body in proptest::collection::vec(any_op(), 1..24)) {
+    fn all_configurations_agree(body in collection::vec(any_op(), 1..24)) {
         let bin = build_binary(&body);
         let lifted = lasagne_repro::lifter::lift_binary(&bin)
             .map_err(|e| TestCaseError::fail(format!("lift: {e}")))?;
@@ -320,14 +387,43 @@ proptest! {
     /// Same property over programs with branches and loops — exercises the
     /// lifter's CFG reconstruction, φ insertion, and the optimizer's
     /// cross-block passes.
-    #[test]
     fn all_configurations_agree_with_control_flow(
-        segments in proptest::collection::vec(
-            (proptest::collection::vec(any_op(), 1..8), any_shape()),
+        segments in collection::vec(
+            (collection::vec(any_op(), 1..8), any_shape()),
             1..5,
         )
     ) {
         let bin = build_cfg_binary(&segments);
         check_all_versions(&bin, "cfg-fuzz")?;
     }
+}
+
+/// The minimal counterexample persisted in `differential.proptest-regressions`
+/// (seed `cc 54f1dac6…`): a 32-bit mov truncating RDI into RAX, an SSE
+/// scalar add on XMM0, then a second 32-bit mov of RSI into RAX. The FP op
+/// between the two integer moves historically diverged between the LIR
+/// interpreter and the Arm lowering. Pinned here as a deterministic unit
+/// test so the case survives any change to the generator or seed format.
+#[test]
+fn regression_w32_mov_around_sse_scalar_add() {
+    let body = [
+        Inst::MovRRm {
+            w: Width::W32,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rdi),
+        },
+        Inst::SseScalar {
+            op: SseOp::Add,
+            prec: FpPrec::Double,
+            dst: Xmm(0),
+            src: XmmRm::Reg(Xmm(0)),
+        },
+        Inst::MovRRm {
+            w: Width::W32,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rsi),
+        },
+    ];
+    let bin = build_binary(&body);
+    check_all_versions(&bin, "persisted regression").unwrap_or_else(|e| panic!("{e}"));
 }

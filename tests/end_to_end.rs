@@ -40,9 +40,21 @@ fn runtime_shape() {
         let (_, ppopt) = measure_version(&b, Version::PPOpt);
         let lifted_norm = lifted.runtime_cycles as f64 / native;
         let ppopt_norm = ppopt.runtime_cycles as f64 / native;
-        assert!(lifted_norm > 1.5, "{}: Lifted should be well above native", b.name);
-        assert!(ppopt_norm < lifted_norm / 2.0, "{}: PPOpt should recover most of the gap", b.name);
-        assert!(ppopt_norm >= 1.0, "{}: translated code cannot beat native", b.name);
+        assert!(
+            lifted_norm > 1.5,
+            "{}: Lifted should be well above native",
+            b.name
+        );
+        assert!(
+            ppopt_norm < lifted_norm / 2.0,
+            "{}: PPOpt should recover most of the gap",
+            b.name
+        );
+        assert!(
+            ppopt_norm >= 1.0,
+            "{}: translated code cannot beat native",
+            b.name
+        );
     }
 }
 
@@ -61,8 +73,18 @@ fn concurrency_contract_on_litmus_suite() {
 fn figure2_motivating_example() {
     let mp = litmus::mp();
     let weak = |o: &lasagne_repro::memmodel::Outcome| {
-        let a = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 0).unwrap().1;
-        let b = o.regs.iter().find(|((t, r), _)| *t == 2 && *r == 1).unwrap().1;
+        let a = o
+            .regs
+            .iter()
+            .find(|((t, r), _)| *t == 2 && *r == 0)
+            .unwrap()
+            .1;
+        let b = o
+            .regs
+            .iter()
+            .find(|((t, r), _)| *t == 2 && *r == 1)
+            .unwrap()
+            .1;
         a == 1 && b == 0
     };
     // The naive translation (reuse the same program on Arm) is buggy…
