@@ -6,3 +6,4 @@ set -eux
 cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace

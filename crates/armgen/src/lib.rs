@@ -42,6 +42,6 @@ pub mod peephole;
 pub mod print;
 
 pub use inst::{AFunc, AInst, AModule};
-pub use lower::{lower_function, lower_module, lower_module_raw};
+pub use lower::{assemble_module, lower_function, lower_module, lower_module_raw};
 pub use machine::{ArmMachine, ArmRunResult, ArmStats};
-pub use peephole::{peephole_module, PeepholeStats};
+pub use peephole::{peephole_function, peephole_module, PeepholeStats};

@@ -46,6 +46,18 @@ pub fn lower_module(m: &Module) -> AModule {
 /// quantify what the peephole buys.
 pub fn lower_module_raw(m: &Module) -> AModule {
     let funcs = m.funcs.iter().map(|f| lower_function(m, f)).collect();
+    assemble_module(m, funcs)
+}
+
+/// Assembles an [`AModule`] from per-function lowering results, carrying
+/// the extern and global tables over from the LIR module. `funcs` must be
+/// in `m.funcs` order.
+///
+/// This is the deterministic merge step of the parallel pipeline driver:
+/// [`lower_function`] takes the module immutably and writes nothing shared,
+/// so distinct functions may be lowered on worker threads and the results
+/// stitched together here, byte-identical to [`lower_module_raw`].
+pub fn assemble_module(m: &Module, funcs: Vec<AFunc>) -> AModule {
     AModule {
         funcs,
         externs: m.externs.iter().map(|e| e.name.clone()).collect(),

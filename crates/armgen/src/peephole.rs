@@ -70,6 +70,10 @@ pub fn peephole_module(m: &mut AModule) -> PeepholeStats {
 }
 
 /// Runs the peephole over one function.
+///
+/// Frame slots are private to the function, so the peephole never looks
+/// outside `f` — distinct functions may be cleaned concurrently, and
+/// [`peephole_module`] equals running this on every function in any order.
 pub fn peephole_function(f: &mut AFunc) -> PeepholeStats {
     let mut stats = PeepholeStats::default();
     for b in &mut f.blocks {

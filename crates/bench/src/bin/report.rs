@@ -2,10 +2,13 @@
 //!
 //! Usage: `cargo run -p lasagne-bench --bin report [--release] -- [section]`
 //! where `section` ∈ `table1 | fig12 | fig13 | fig14 | fig15 | fig16 |
-//! fig17 | litmus | all` (default `all`).
+//! fig17 | litmus | ablations | timings | all` (default `all`).
 
 use lasagne::Version;
-use lasagne_bench::{gmean, measure_fence_only, measure_native, measure_version, FenceOnly};
+use lasagne_bench::{
+    gmean, measure_fence_only, measure_native, measure_version, measure_version_instrumented,
+    FenceOnly,
+};
 use lasagne_phoenix::{all_benchmarks, Benchmark};
 
 const SCALE: usize = 192;
@@ -23,6 +26,7 @@ fn main() {
         "fig17" => fig17(),
         "litmus" => litmus(),
         "ablations" => ablations(&benches),
+        "timings" => timings(&benches),
         "all" => {
             table1(&benches);
             fig12(&benches);
@@ -33,9 +37,12 @@ fn main() {
             fig17();
             litmus();
             ablations(&benches);
+            timings(&benches);
         }
         other => {
-            eprintln!("unknown section `{other}`; use table1|fig12..fig17|litmus|all");
+            eprintln!(
+                "unknown section `{other}`; use table1|fig12..fig17|litmus|ablations|timings|all"
+            );
             std::process::exit(2);
         }
     }
@@ -283,6 +290,26 @@ fn ablations(benches: &[Benchmark]) {
         );
     }
     println!();
+}
+
+/// Translation-time breakdown from the instrumented pipeline: per-stage
+/// share of PPOpt translation wall time, with 4 worker threads.
+fn timings(benches: &[Benchmark]) {
+    println!("== Translation timings: per-stage share of PPOpt pipeline (jobs=4) ==");
+    println!(
+        "{:<20} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Benchmark", "total ms", "lift", "refine", "fences", "merge", "opt", "armgen"
+    );
+    for b in benches {
+        let (_, _, report) = measure_version_instrumented(b, Version::PPOpt, 4);
+        let total = report.total_nanos.max(1) as f64;
+        let mut row = format!("{:<20} {:>9.2}", b.name, report.total_nanos as f64 / 1e6);
+        for st in &report.stages {
+            row.push_str(&format!(" {:>7.1}%", 100.0 * st.nanos as f64 / total));
+        }
+        println!("{row}");
+    }
+    println!("(percentages need not sum to 100: stages overlap across worker threads)\n");
 }
 
 fn litmus() {

@@ -1,10 +1,10 @@
 //! Measurement harness shared by the `report` binary (which regenerates
-//! every table and figure of the paper's evaluation) and the Criterion
-//! benches.
+//! every table and figure of the paper's evaluation) and the in-tree
+//! bench harness.
 
 #![warn(missing_docs)]
 
-use lasagne::{translate, Translation, Version};
+use lasagne::{translate, Pipeline, PipelineReport, Translation, Version};
 use lasagne_armgen::machine::ArmMachine;
 use lasagne_armgen::AModule;
 use lasagne_phoenix::{Benchmark, Workload};
@@ -60,6 +60,35 @@ pub fn measure_version(b: &Benchmark, v: Version) -> (Translation, RunMetrics) {
         v.name()
     );
     (t, m)
+}
+
+/// Like [`measure_version`], but translates through the instrumented
+/// [`Pipeline`] with `jobs` worker threads and also returns the per-pass
+/// timing report. The translation (and therefore the metrics) is
+/// byte-identical to [`measure_version`] for every `jobs` value; only the
+/// wall-clock numbers in the report differ.
+///
+/// # Panics
+///
+/// Panics on translation failure or checksum mismatch.
+pub fn measure_version_instrumented(
+    b: &Benchmark,
+    v: Version,
+    jobs: usize,
+) -> (Translation, RunMetrics, PipelineReport) {
+    let (t, report) = Pipeline::new(v)
+        .with_jobs(jobs)
+        .run(&b.binary)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let m = run_arm(&t.arm, &b.workload);
+    assert_eq!(
+        m.checksum,
+        b.workload.expected_ret,
+        "{} under {}",
+        b.name,
+        v.name()
+    );
+    (t, m, report)
 }
 
 /// Lowers and runs the native baseline.

@@ -48,6 +48,14 @@ impl PlacementStats {
     }
 }
 
+impl std::ops::AddAssign for PlacementStats {
+    fn add_assign(&mut self, other: PlacementStats) {
+        self.frm += other.frm;
+        self.fww += other.fww;
+        self.skipped_stack += other.skipped_stack;
+    }
+}
+
 /// Explores the use–def chain of a pointer operand, ignoring `bitcast` and
 /// `getelementptr` (§8), looking for a stack allocation.
 pub fn is_stack_address(f: &Function, ptr: &Operand) -> bool {
@@ -126,13 +134,15 @@ pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
 }
 
 /// Places fences across a whole module.
+///
+/// [`place_fences`] is strictly function-local (the §8 stack analysis
+/// walks use–def chains within one function only), so the pipeline driver
+/// may fence distinct functions concurrently; this serial form and any
+/// parallel schedule produce identical modules.
 pub fn place_fences_module(m: &mut Module, strategy: Strategy) -> PlacementStats {
     let mut total = PlacementStats::default();
     for f in &mut m.funcs {
-        let s = place_fences(f, strategy);
-        total.frm += s.frm;
-        total.fww += s.fww;
-        total.skipped_stack += s.skipped_stack;
+        total += place_fences(f, strategy);
     }
     total
 }

@@ -41,12 +41,14 @@
 
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
 use lasagne_armgen::AModule;
-use lasagne_fences::Strategy;
 use lasagne_lir::Module;
 use lasagne_x86::binary::Binary;
 
 pub use lasagne_lifter::LiftError;
+pub use pipeline::{PassManager, Pipeline, PipelineReport, Stage, TimingSink};
 
 /// The translation configurations of §9.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,63 +133,24 @@ pub struct Translation {
     pub stats: TranslationStats,
 }
 
-fn count_casts(m: &Module) -> usize {
+pub(crate) fn count_casts(m: &Module) -> usize {
     m.count_insts(|i| i.kind.is_int_ptr_cast())
 }
 
 /// Runs the full pipeline on `bin` under the chosen configuration.
 ///
+/// This is the serial form of [`pipeline::Pipeline`]: the same
+/// [`pipeline::PassManager`] stages run on one thread and the timing
+/// report is discarded. Use `Pipeline::new(version).with_jobs(n).run(bin)`
+/// for parallel, instrumented translation — the output is byte-identical
+/// for every job count.
+///
 /// # Errors
 ///
 /// Returns a [`LiftError`] if the binary cannot be lifted.
 pub fn translate(bin: &Binary, version: Version) -> Result<Translation, LiftError> {
-    let mut m = lasagne_lifter::lift_binary(bin)?;
-    let mut stats = TranslationStats {
-        casts_lifted: count_casts(&m),
-        insts_lifted: m.inst_count(),
-        ..TranslationStats::default()
-    };
-
-    // Figure 14 baseline: the fences the unrefined, unmerged lifted code
-    // receives (on a scratch copy).
-    {
-        let mut naive = m.clone();
-        let s = lasagne_fences::place_fences_module(&mut naive, Strategy::StackAware);
-        stats.fences_naive = s.total();
-    }
-
-    // #2 IR refinement (PPOpt only).
-    if version == Version::PPOpt {
-        lasagne_refine::refine_module(&mut m);
-    }
-    stats.casts_final = count_casts(&m);
-
-    // #3/#4 precise fence placement (§8; all versions).
-    let placed = lasagne_fences::place_fences_module(&mut m, Strategy::StackAware);
-    stats.fences_placed = placed.total();
-
-    // Fence merging (POpt, PPOpt).
-    if matches!(version, Version::POpt | Version::PPOpt) {
-        lasagne_fences::merge_fences_module(&mut m);
-    }
-    let (frm, fww, fsc) = lasagne_fences::count_fences(&m);
-    stats.fences_final = frm + fww + fsc;
-
-    // #5 LLVM-style optimizations (everything but Lifted).
-    if version != Version::Lifted {
-        lasagne_opt::standard_pipeline(&mut m, 3);
-    }
-    stats.insts_final = m.inst_count();
-
-    debug_assert!(lasagne_lir::verify::verify_module(&m).is_ok());
-
-    // #6 Arm code generation.
-    let arm = lasagne_armgen::lower_module(&m);
-    Ok(Translation {
-        module: m,
-        arm,
-        stats,
-    })
+    let sink = TimingSink::new();
+    PassManager::new(version, 1, &sink).translate(bin)
 }
 
 #[cfg(test)]

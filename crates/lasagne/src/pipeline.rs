@@ -1,0 +1,732 @@
+//! Pipeline orchestration: named passes, a parallel per-function driver,
+//! and per-pass/per-function instrumentation.
+//!
+//! The Figure 3 pipeline decomposes into six [`Stage`]s — `lift`,
+//! `refine`, `fences`, `merge`, `opt`, `armgen` — each of which (apart
+//! from a handful of interprocedural barrier steps) is a map over
+//! independent per-function work items. The [`PassManager`] exploits that:
+//! it fans each stage out over `jobs` worker threads with
+//! [`std::thread::scope`] (no external dependencies), records a
+//! [`PassEvent`] per (stage, function) into a [`TimingSink`], and merges
+//! results *by function index*, which makes the output bit-for-bit
+//! independent of thread scheduling.
+//!
+//! # Determinism
+//!
+//! Every parallel region in this module has the shape
+//!
+//! ```text
+//! results[i] = pure_fn(shared_read_only_state, item[i])
+//! ```
+//!
+//! where `pure_fn` never reads another work item's output. Workers pull
+//! indices from an atomic counter, but each result lands in slot `i` and
+//! the slots are stitched back together in index order; the schedule can
+//! change *when* a function is processed, never *what* is computed for it.
+//! Interprocedural steps (type discovery, parameter promotion, `ipsccp`,
+//! module verification) run serially between the parallel regions. Hence
+//! `--jobs N` is byte-identical to `--jobs 1` for every `N` — asserted by
+//! `tests/parallel.rs` over the whole Phoenix suite.
+//!
+//! # Example
+//!
+//! ```
+//! use lasagne::pipeline::Pipeline;
+//! use lasagne::Version;
+//! use lasagne_x86::asm::Asm;
+//! use lasagne_x86::binary::BinaryBuilder;
+//! use lasagne_x86::inst::{Inst, Rm};
+//! use lasagne_x86::reg::{Gpr, Width};
+//!
+//! let mut b = BinaryBuilder::new();
+//! let mut a = Asm::new();
+//! a.push(Inst::MovRRm { w: Width::W64, dst: Gpr::Rax, src: Rm::Reg(Gpr::Rdi) });
+//! a.push(Inst::Ret);
+//! let addr = b.next_function_addr();
+//! b.add_function("id", a.finish(addr)?);
+//! let bin = b.finish();
+//!
+//! let (serial, _) = Pipeline::new(Version::PPOpt).run(&bin)?;
+//! let (parallel, report) = Pipeline::new(Version::PPOpt).with_jobs(4).run(&bin)?;
+//! assert_eq!(
+//!     lasagne_armgen::print::print_module(&serial.arm),
+//!     lasagne_armgen::print::print_module(&parallel.arm),
+//! );
+//! assert_eq!(report.stages.len(), 6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lasagne_fences::Strategy;
+use lasagne_lifter::{LiftPlan, TranslateOptions};
+use lasagne_lir::func::{Function, Module};
+use lasagne_opt::PassKind;
+use lasagne_x86::binary::Binary;
+
+use crate::{LiftError, Translation, TranslationStats, Version};
+
+/// The six named passes of the Figure 3 pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Binary lifting (§4): x86-64 → LIR, one work item per function.
+    Lift,
+    /// IR refinement (§5): pointer exposure + parameter promotion (PPOpt).
+    Refine,
+    /// Fence placement (§8): the Figure 8a mapping with stack analysis.
+    Fences,
+    /// Fence merging (§7.2/§8): adjacent-fence elimination (POpt, PPOpt).
+    Merge,
+    /// LLVM-style optimization (Figure 17 pass set; all but Lifted).
+    Opt,
+    /// AArch64 code generation (Figure 8b) + frame-slot peephole.
+    ArmGen,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Lift,
+        Stage::Refine,
+        Stage::Fences,
+        Stage::Merge,
+        Stage::Opt,
+        Stage::ArmGen,
+    ];
+
+    /// Stable lowercase name used in reports and the `--timings` JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Lift => "lift",
+            Stage::Refine => "refine",
+            Stage::Fences => "fences",
+            Stage::Merge => "merge",
+            Stage::Opt => "opt",
+            Stage::ArmGen => "armgen",
+        }
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).unwrap()
+    }
+}
+
+/// One instrumentation record: a unit of pass work on one function (or a
+/// module-wide barrier step when `func` is `None`).
+#[derive(Debug, Clone)]
+pub struct PassEvent {
+    /// The pipeline stage this work belongs to.
+    pub stage: Stage,
+    /// `(function index, function name)`, or `None` for module-level work
+    /// (type discovery, parameter promotion, `ipsccp`, verification).
+    pub func: Option<(usize, String)>,
+    /// Wall time spent on this unit of work.
+    pub nanos: u128,
+    /// Stage-specific change count: instructions lifted, casts rewritten,
+    /// fences placed, fences merged away, rewrites applied, or peephole
+    /// instructions removed.
+    pub changes: u64,
+    /// Live instruction count of the function after this unit of work.
+    pub insts: u64,
+}
+
+/// Collects [`PassEvent`]s from (possibly concurrent) pass executions and
+/// folds them into a [`PipelineReport`].
+///
+/// The sink is `Sync`; events may arrive in any order. Reports are built
+/// by grouping on `(stage, function index)` and sorting, so the report
+/// *structure* is deterministic even though the recorded durations vary
+/// run to run.
+#[derive(Debug, Default)]
+pub struct TimingSink {
+    events: Mutex<Vec<PassEvent>>,
+}
+
+impl TimingSink {
+    /// Creates an empty sink.
+    pub fn new() -> TimingSink {
+        TimingSink::default()
+    }
+
+    /// Records one event.
+    pub fn record(&self, ev: PassEvent) {
+        self.events.lock().unwrap().push(ev);
+    }
+
+    /// Builds the aggregated report. Events for the same (stage, function)
+    /// have their times and change counts summed; the instruction count
+    /// keeps the last recorded value.
+    pub fn report(&self, version: Version, jobs: usize, total_nanos: u128) -> PipelineReport {
+        let events = self.events.lock().unwrap();
+        let mut stages: Vec<StageTiming> = Stage::ALL
+            .iter()
+            .map(|s| StageTiming {
+                stage: *s,
+                nanos: 0,
+                module_nanos: 0,
+                funcs: Vec::new(),
+            })
+            .collect();
+        for ev in events.iter() {
+            let st = &mut stages[ev.stage.index()];
+            st.nanos += ev.nanos;
+            match &ev.func {
+                None => st.module_nanos += ev.nanos,
+                Some((index, name)) => match st.funcs.binary_search_by_key(index, |ft| ft.index) {
+                    Ok(pos) => {
+                        let ft = &mut st.funcs[pos];
+                        ft.nanos += ev.nanos;
+                        ft.changes += ev.changes;
+                        ft.insts = ev.insts;
+                    }
+                    Err(pos) => st.funcs.insert(
+                        pos,
+                        FuncTiming {
+                            func: name.clone(),
+                            index: *index,
+                            nanos: ev.nanos,
+                            changes: ev.changes,
+                            insts: ev.insts,
+                        },
+                    ),
+                },
+            }
+        }
+        PipelineReport {
+            version,
+            jobs,
+            total_nanos,
+            stages,
+        }
+    }
+}
+
+/// Aggregated timing for one function within one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncTiming {
+    /// Function name.
+    pub func: String,
+    /// Function index in the module.
+    pub index: usize,
+    /// Total wall time spent on this function in this stage (summed over
+    /// rounds and sub-passes).
+    pub nanos: u128,
+    /// Total stage-specific changes (see [`PassEvent::changes`]).
+    pub changes: u64,
+    /// Live instruction count after the stage last touched the function.
+    pub insts: u64,
+}
+
+/// Aggregated timing for one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: Stage,
+    /// Sum of all work attributed to the stage (per-function + module).
+    pub nanos: u128,
+    /// Serial module-level barrier work within the stage (type discovery,
+    /// parameter promotion, `ipsccp`, verification, the naive-placement
+    /// baseline).
+    pub module_nanos: u128,
+    /// Per-function entries, sorted by function index. Empty when the
+    /// stage did not run under the chosen [`Version`].
+    pub funcs: Vec<FuncTiming>,
+}
+
+/// The full instrumentation report for one translation.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Pipeline configuration translated under.
+    pub version: Version,
+    /// Worker threads requested.
+    pub jobs: usize,
+    /// End-to-end wall time of the whole translation.
+    pub total_nanos: u128,
+    /// Per-stage breakdown, in pipeline order; always all six stages.
+    pub stages: Vec<StageTiming>,
+}
+
+impl PipelineReport {
+    /// Serializes the report as a single JSON object:
+    ///
+    /// ```json
+    /// {"version":"PPOpt","jobs":4,"total_nanos":123,
+    ///  "stages":[{"stage":"lift","nanos":88,"module_nanos":5,
+    ///             "funcs":[{"func":"main","index":0,"nanos":83,
+    ///                       "changes":120,"insts":120}]}, …]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str(&format!(
+            "{{\"version\":\"{}\",\"jobs\":{},\"total_nanos\":{},\"stages\":[",
+            self.version.name(),
+            self.jobs,
+            self.total_nanos
+        ));
+        for (si, st) in self.stages.iter().enumerate() {
+            if si > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"stage\":\"{}\",\"nanos\":{},\"module_nanos\":{},\"funcs\":[",
+                st.stage.name(),
+                st.nanos,
+                st.module_nanos
+            ));
+            for (fi, ft) in st.funcs.iter().enumerate() {
+                if fi > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"func\":\"{}\",\"index\":{},\"nanos\":{},\"changes\":{},\"insts\":{}}}",
+                    json_escape(&ft.func),
+                    ft.index,
+                    ft.nanos,
+                    ft.changes,
+                    ft.insts
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders a human-readable per-stage summary table.
+    pub fn summary_table(&self) -> String {
+        let mut s = format!(
+            "{:<8} {:>12} {:>12} {:>8} {:>10}\n",
+            "stage", "total (µs)", "serial (µs)", "funcs", "changes"
+        );
+        for st in &self.stages {
+            s.push_str(&format!(
+                "{:<8} {:>12.1} {:>12.1} {:>8} {:>10}\n",
+                st.stage.name(),
+                st.nanos as f64 / 1e3,
+                st.module_nanos as f64 / 1e3,
+                st.funcs.len(),
+                st.funcs.iter().map(|f| f.changes).sum::<u64>(),
+            ));
+        }
+        s.push_str(&format!(
+            "{:<8} {:>12.1}   (wall, jobs={})\n",
+            "end2end",
+            self.total_nanos as f64 / 1e3,
+            self.jobs
+        ));
+        s
+    }
+
+    /// The stage entry for `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Never — reports always carry all six stages.
+    pub fn stage(&self, stage: Stage) -> &StageTiming {
+        &self.stages[stage.index()]
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in input order.
+///
+/// Workers claim indices from an atomic counter; result `i` is written to
+/// slot `i`, so the output vector is independent of scheduling. With
+/// `jobs <= 1` (or one item) this degenerates to a plain serial map —
+/// the serial and parallel paths run the *same* closure on the *same*
+/// items, which is what makes `--jobs N` byte-identical to `--jobs 1`.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().unwrap();
+                let r = f(i, item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().unwrap())
+        .collect()
+}
+
+/// Pipeline configuration: a [`Version`] plus a worker-thread count.
+///
+/// `Pipeline::new(v).run(bin)` is the instrumented, parallelizable form of
+/// [`crate::translate`]; `translate` itself is `Pipeline::new(v)` with one
+/// job and the report discarded.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    version: Version,
+    jobs: usize,
+}
+
+impl Pipeline {
+    /// A serial pipeline for `version` (`jobs = 1`).
+    pub fn new(version: Version) -> Pipeline {
+        Pipeline { version, jobs: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). Output is
+    /// byte-identical for every value.
+    pub fn with_jobs(mut self, jobs: usize) -> Pipeline {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Runs the full pipeline on `bin`, returning the translation and the
+    /// per-pass/per-function timing report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LiftError`] if the binary cannot be lifted.
+    pub fn run(&self, bin: &Binary) -> Result<(Translation, PipelineReport), LiftError> {
+        let sink = TimingSink::new();
+        let t0 = Instant::now();
+        let translation = PassManager::new(self.version, self.jobs, &sink).translate(bin)?;
+        let report = sink.report(self.version, self.jobs, t0.elapsed().as_nanos());
+        Ok((translation, report))
+    }
+}
+
+/// Executes the six stages over per-function work items, recording a
+/// [`PassEvent`] for every unit of work into the [`TimingSink`].
+pub struct PassManager<'s> {
+    version: Version,
+    jobs: usize,
+    sink: &'s TimingSink,
+}
+
+impl<'s> PassManager<'s> {
+    /// Creates a manager writing instrumentation into `sink`.
+    pub fn new(version: Version, jobs: usize, sink: &'s TimingSink) -> PassManager<'s> {
+        PassManager {
+            version,
+            jobs: jobs.max(1),
+            sink,
+        }
+    }
+
+    /// Times a serial module-level barrier step and records it.
+    fn module_step<R>(&self, stage: Stage, work: impl FnOnce() -> (R, u64)) -> R {
+        let t0 = Instant::now();
+        let (r, changes) = work();
+        self.sink.record(PassEvent {
+            stage,
+            func: None,
+            nanos: t0.elapsed().as_nanos(),
+            changes,
+            insts: 0,
+        });
+        r
+    }
+
+    /// Runs one per-function pass over every function of `m`, in parallel,
+    /// and records one event per function. `pass` receives the module
+    /// *without its function table* (taken out for ownership) — every
+    /// current pass only consults the module for operand typing, which
+    /// never reads other function bodies. Returns the summed change count.
+    fn func_pass(
+        &self,
+        stage: Stage,
+        m: &mut Module,
+        pass: impl Fn(&Module, usize, &mut Function) -> u64 + Sync,
+    ) -> u64 {
+        let funcs = std::mem::take(&mut m.funcs);
+        let shell: &Module = m;
+        let results = par_map(self.jobs, funcs, |i, mut f| {
+            let t0 = Instant::now();
+            let changes = pass(shell, i, &mut f);
+            (f, changes, t0.elapsed().as_nanos())
+        });
+        let mut total = 0;
+        m.funcs = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, (f, changes, nanos))| {
+                self.sink.record(PassEvent {
+                    stage,
+                    func: Some((i, f.name.clone())),
+                    nanos,
+                    changes,
+                    insts: f.live_inst_count() as u64,
+                });
+                total += changes;
+                f
+            })
+            .collect();
+        total
+    }
+
+    /// Runs the Figure 3 pipeline on `bin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LiftError`] if the binary cannot be lifted.
+    pub fn translate(&self, bin: &Binary) -> Result<Translation, LiftError> {
+        let version = self.version;
+
+        // #1 Binary lifting (§4). The whole-binary analysis (CFGs, type
+        // discovery, shells) is the serial prologue; body translation fans
+        // out per function.
+        let plan = self.module_step(Stage::Lift, || {
+            (LiftPlan::prepare(bin, TranslateOptions::default()), 0)
+        })?;
+        let lifted = par_map(self.jobs, (0..plan.num_functions()).collect(), |i, _| {
+            let t0 = Instant::now();
+            (plan.lift_function(i), t0.elapsed().as_nanos())
+        });
+        let mut bodies = Vec::with_capacity(plan.num_functions());
+        for (i, (body, nanos)) in lifted.into_iter().enumerate() {
+            let body = body?;
+            self.sink.record(PassEvent {
+                stage: Stage::Lift,
+                func: Some((i, plan.function_name(i).to_string())),
+                nanos,
+                changes: body.live_inst_count() as u64,
+                insts: body.live_inst_count() as u64,
+            });
+            bodies.push(body);
+        }
+        let mut m = self.module_step(Stage::Lift, || (plan.finish(bodies), 0))?;
+
+        let mut stats = TranslationStats {
+            casts_lifted: crate::count_casts(&m),
+            insts_lifted: m.inst_count(),
+            ..TranslationStats::default()
+        };
+
+        // Figure 14 baseline: fences the unrefined, unmerged lifted code
+        // would receive, measured on scratch per-function clones.
+        stats.fences_naive = self.module_step(Stage::Fences, || {
+            let naive: u64 = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
+                let mut scratch = m.funcs[i].clone();
+                lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64
+            })
+            .into_iter()
+            .sum();
+            (naive as usize, naive)
+        });
+
+        // #2 IR refinement (§5, PPOpt only): per-function exposure rounds
+        // with a serial parameter-promotion barrier between them, matching
+        // `lasagne_refine::refine_module` exactly.
+        if version == Version::PPOpt {
+            for _ in 0..3 {
+                let changed = self.func_pass(Stage::Refine, &mut m, |shell, _, f| {
+                    lasagne_refine::refine_function(shell, f) as u64
+                });
+                let promoted = self.module_step(Stage::Refine, || {
+                    let p = lasagne_refine::promote_pointer_params(&mut m) as u64;
+                    (p, p)
+                });
+                self.func_pass(Stage::Refine, &mut m, |_, _, f| {
+                    lasagne_refine::sweep_dead(f) as u64
+                });
+                if changed == 0 && promoted == 0 {
+                    break;
+                }
+            }
+        }
+        stats.casts_final = crate::count_casts(&m);
+
+        // #3 Precise fence placement (§8; all versions).
+        stats.fences_placed = self.func_pass(Stage::Fences, &mut m, |_, _, f| {
+            lasagne_fences::place_fences(f, Strategy::StackAware).total() as u64
+        }) as usize;
+
+        // #4 Fence merging (POpt, PPOpt).
+        if matches!(version, Version::POpt | Version::PPOpt) {
+            self.func_pass(Stage::Merge, &mut m, |_, _, f| {
+                lasagne_fences::merge_fences(f) as u64
+            });
+        }
+        let (frm, fww, fsc) = lasagne_fences::count_fences(&m);
+        stats.fences_final = frm + fww + fsc;
+
+        // #5 LLVM-style optimizations (everything but Lifted): the
+        // `standard_pipeline` order, with local passes fanned out per
+        // function and `ipsccp` as a serial interprocedural barrier.
+        if version != Version::Lifted {
+            const ORDER: [PassKind; 13] = [
+                PassKind::Mem2Reg,
+                PassKind::Sroa,
+                PassKind::Mem2Reg,
+                PassKind::InstCombine,
+                PassKind::Reassociate,
+                PassKind::InstCombine,
+                PassKind::Sccp,
+                PassKind::IpSccp,
+                PassKind::Gvn,
+                PassKind::Licm,
+                PassKind::Dse,
+                PassKind::Adce,
+                PassKind::Dce,
+            ];
+            for _ in 0..3 {
+                let mut round = 0;
+                for pass in ORDER {
+                    if pass.is_interprocedural() {
+                        round += self.module_step(Stage::Opt, || {
+                            let n = lasagne_opt::sccp::ipsccp(&mut m) as u64;
+                            (n, n)
+                        });
+                    }
+                    round += self.func_pass(Stage::Opt, &mut m, |shell, _, f| {
+                        lasagne_opt::run_pass_on_function(pass, shell, f) as u64
+                    });
+                }
+                if round == 0 {
+                    break;
+                }
+            }
+            self.func_pass(Stage::Opt, &mut m, |_, _, f| {
+                f.compact();
+                0
+            });
+        }
+        stats.insts_final = m.inst_count();
+
+        debug_assert!(lasagne_lir::verify::verify_module(&m).is_ok());
+
+        // #6 Arm code generation (Figure 8b) + frame-slot peephole, per
+        // function, merged in index order.
+        let lowered = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
+            let t0 = Instant::now();
+            let mut af = lasagne_armgen::lower_function(&m, &m.funcs[i]);
+            let ph = lasagne_armgen::peephole::peephole_function(&mut af);
+            (af, ph, t0.elapsed().as_nanos())
+        });
+        let mut afuncs = Vec::with_capacity(lowered.len());
+        for (i, (af, ph, nanos)) in lowered.into_iter().enumerate() {
+            self.sink.record(PassEvent {
+                stage: Stage::ArmGen,
+                func: Some((i, af.name.clone())),
+                nanos,
+                changes: ph.removed() as u64,
+                insts: af.blocks.iter().map(|b| b.insts.len() as u64).sum(),
+            });
+            afuncs.push(af);
+        }
+        let arm = lasagne_armgen::assemble_module(&m, afuncs);
+
+        Ok(Translation {
+            module: m,
+            arm,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_phoenix::all_benchmarks;
+
+    #[test]
+    fn par_map_preserves_order_and_values() {
+        for jobs in [1, 2, 7, 64] {
+            let out = par_map(jobs, (0..100u64).collect(), |i, v| {
+                assert_eq!(i as u64, v);
+                v * v
+            });
+            assert_eq!(out, (0..100u64).map(|v| v * v).collect::<Vec<_>>());
+        }
+        let empty: Vec<u64> = par_map(4, Vec::<u64>::new(), |_, v| v);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_histogram() {
+        let b = &all_benchmarks(48)[0];
+        for v in Version::ALL {
+            let (serial, _) = Pipeline::new(v).run(&b.binary).unwrap();
+            let (parallel, _) = Pipeline::new(v).with_jobs(4).run(&b.binary).unwrap();
+            assert_eq!(
+                lasagne_armgen::print::print_module(&serial.arm),
+                lasagne_armgen::print::print_module(&parallel.arm),
+                "{}: jobs=4 diverged from serial",
+                v.name()
+            );
+            assert_eq!(serial.stats, parallel.stats);
+        }
+    }
+
+    #[test]
+    fn report_names_all_six_stages_with_per_function_entries() {
+        let b = &all_benchmarks(48)[0];
+        let (_, report) = Pipeline::new(Version::PPOpt)
+            .with_jobs(2)
+            .run(&b.binary)
+            .unwrap();
+        assert_eq!(report.stages.len(), 6);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.name()).collect();
+        assert_eq!(
+            names,
+            ["lift", "refine", "fences", "merge", "opt", "armgen"]
+        );
+        for st in &report.stages {
+            assert!(
+                !st.funcs.is_empty(),
+                "stage {} has no per-function entries",
+                st.stage.name()
+            );
+            assert!(st.nanos > 0, "stage {} reports zero time", st.stage.name());
+            assert!(
+                st.funcs.iter().any(|f| f.nanos > 0),
+                "stage {} has no nonzero per-function timing",
+                st.stage.name()
+            );
+        }
+        let json = report.to_json();
+        for key in [
+            "\"stage\":\"lift\"",
+            "\"stage\":\"armgen\"",
+            "\"func\":",
+            "\"total_nanos\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -41,8 +41,10 @@ use lasagne_lir::func::{ExternDecl, Function, GlobalVar, Module};
 use lasagne_lir::types::{Pointee, Ty};
 use lasagne_x86::binary::Binary;
 use std::collections::BTreeMap;
-use translate::{SymbolEnv, TranslateOptions};
+use translate::SymbolEnv;
 use typedisc::{FuncType, SigTable};
+
+pub use translate::TranslateOptions;
 
 /// Errors produced by [`lift_binary`].
 #[derive(Debug)]
@@ -107,138 +109,256 @@ pub fn lift_binary(bin: &Binary) -> Result<Module, LiftError> {
 
 /// [`lift_binary`] with explicit options.
 ///
+/// Equivalent to [`LiftPlan::prepare`] followed by lifting every function
+/// in address order and [`LiftPlan::finish`] — the one-shot serial form of
+/// the two-phase API.
+///
 /// # Errors
 ///
 /// See [`lift_binary`].
 pub fn lift_binary_with(bin: &Binary, opts: TranslateOptions) -> Result<Module, LiftError> {
-    let mut module = Module::new();
+    let plan = LiftPlan::prepare(bin, opts)?;
+    let bodies = (0..plan.num_functions())
+        .map(|i| plan.lift_function(i))
+        .collect::<Result<Vec<_>, _>>()?;
+    plan.finish(bodies)
+}
 
-    // Globals.
-    let mut global_ranges = Vec::new();
-    for g in &bin.globals {
-        let id = module.add_global(GlobalVar {
-            name: g.name.clone(),
-            size: g.size,
-            init: g.init.clone(),
-            addr: g.addr,
+/// The serial front half of lifting, split off so the per-function body
+/// translations can run on worker threads.
+///
+/// [`LiftPlan::prepare`] performs every whole-binary step — global and
+/// extern registration, CFG reconstruction, bottom-up function-type
+/// discovery, and function-shell creation (so [`lasagne_lir::FuncId`]s
+/// exist before any body is translated). After that,
+/// [`LiftPlan::lift_function`] is a *pure* function of the plan: it reads
+/// only immutable shared state, so any subset of functions may be lifted
+/// concurrently, in any order, with byte-identical results.
+/// [`LiftPlan::finish`] installs the bodies and verifies the module.
+pub struct LiftPlan {
+    /// Module with globals, externs, and empty function shells installed.
+    module: Module,
+    /// Symbol environment shared (read-only) by every body translation.
+    env: SymbolEnv,
+    /// Per-function work items in address order: `(addr, name, cfg)`.
+    /// Index `i` corresponds to `module.funcs[i]`.
+    work: Vec<(u64, String, xcfg::XCfg)>,
+    /// Discovered signature per work item.
+    tys: Vec<FuncType>,
+    /// Extern id of `sqrt` (needed by `sqrtsd` translation).
+    sqrt_id: lasagne_lir::inst::ExternId,
+    opts: TranslateOptions,
+}
+
+impl LiftPlan {
+    /// Runs the whole-binary analysis phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftError::Cfg`] if any function's control flow cannot be
+    /// reconstructed.
+    pub fn prepare(bin: &Binary, opts: TranslateOptions) -> Result<LiftPlan, LiftError> {
+        let mut module = Module::new();
+
+        // Globals.
+        let mut global_ranges = Vec::new();
+        for g in &bin.globals {
+            let id = module.add_global(GlobalVar {
+                name: g.name.clone(),
+                size: g.size,
+                init: g.init.clone(),
+                addr: g.addr,
+            });
+            global_ranges.push((g.addr, g.size, id));
+        }
+
+        // Externs: declared stubs plus `sqrt`, which the translator needs
+        // for `sqrtsd` even when the binary does not import it.
+        let mut sigs = SigTable::new();
+        let mut extern_map = BTreeMap::new();
+        for e in &bin.externs {
+            let (fty, variadic) = extern_signature(&e.name).unwrap_or((
+                FuncType {
+                    params: vec![],
+                    ret: Ty::I64,
+                },
+                true,
+            ));
+            let id = module.declare_extern(ExternDecl {
+                name: e.name.clone(),
+                params: fty.params.clone(),
+                ret: fty.ret,
+                variadic,
+            });
+            sigs.insert(e.addr, fty.clone());
+            extern_map.insert(e.addr, (id, fty, variadic));
+        }
+        let (sqrt_ty, _) = extern_signature("sqrt").unwrap();
+        let sqrt_id = module.declare_extern(ExternDecl {
+            name: "sqrt".into(),
+            params: sqrt_ty.params.clone(),
+            ret: sqrt_ty.ret,
+            variadic: false,
         });
-        global_ranges.push((g.addr, g.size, id));
-    }
 
-    // Externs: declared stubs plus `sqrt`, which the translator needs for
-    // `sqrtsd` even when the binary does not import it.
-    let mut sigs = SigTable::new();
-    let mut extern_map = BTreeMap::new();
-    for e in &bin.externs {
-        let (fty, variadic) = extern_signature(&e.name).unwrap_or((
-            FuncType {
-                params: vec![],
-                ret: Ty::I64,
-            },
-            true,
-        ));
-        let id = module.declare_extern(ExternDecl {
-            name: e.name.clone(),
-            params: fty.params.clone(),
-            ret: fty.ret,
-            variadic,
-        });
-        sigs.insert(e.addr, fty.clone());
-        extern_map.insert(e.addr, (id, fty, variadic));
-    }
-    let (sqrt_ty, _) = extern_signature("sqrt").unwrap();
-    let sqrt_id = module.declare_extern(ExternDecl {
-        name: "sqrt".into(),
-        params: sqrt_ty.params.clone(),
-        ret: sqrt_ty.ret,
-        variadic: false,
-    });
+        // Build machine CFGs for every function; `jmp` to another function
+        // or extern stub is a tail call.
+        let call_targets: std::collections::BTreeSet<u64> = bin
+            .functions
+            .iter()
+            .map(|f| f.addr)
+            .chain(bin.externs.iter().map(|e| e.addr))
+            .collect();
+        let mut cfgs: BTreeMap<u64, (String, xcfg::XCfg)> = BTreeMap::new();
+        for f in &bin.functions {
+            let cfg = xcfg::build_xcfg_with(bin.code_of(f), f.addr, |t| {
+                t != f.addr && call_targets.contains(&t)
+            })
+            .map_err(LiftError::Cfg)?;
+            cfgs.insert(f.addr, (f.name.clone(), cfg));
+        }
 
-    // Build machine CFGs for every function; `jmp` to another function or
-    // extern stub is a tail call.
-    let call_targets: std::collections::BTreeSet<u64> = bin
-        .functions
-        .iter()
-        .map(|f| f.addr)
-        .chain(bin.externs.iter().map(|e| e.addr))
-        .collect();
-    let mut cfgs: BTreeMap<u64, (String, xcfg::XCfg)> = BTreeMap::new();
-    for f in &bin.functions {
-        let cfg = xcfg::build_xcfg_with(bin.code_of(f), f.addr, |t| {
-            t != f.addr && call_targets.contains(&t)
-        })
-        .map_err(LiftError::Cfg)?;
-        cfgs.insert(f.addr, (f.name.clone(), cfg));
-    }
-
-    // Function type discovery, bottom-up over the call graph: iterate until
-    // every function whose callees are all known has been discovered, then
-    // force the rest (recursion / cycles) with what is known.
-    let mut discovered: BTreeMap<u64, FuncType> = BTreeMap::new();
-    loop {
-        let mut progressed = false;
-        for (addr, (_, cfg)) in &cfgs {
-            if discovered.contains_key(addr) {
-                continue;
+        // Function type discovery, bottom-up over the call graph: iterate
+        // until every function whose callees are all known has been
+        // discovered, then force the rest (recursion / cycles) with what is
+        // known.
+        let mut discovered: BTreeMap<u64, FuncType> = BTreeMap::new();
+        loop {
+            let mut progressed = false;
+            for (addr, (_, cfg)) in &cfgs {
+                if discovered.contains_key(addr) {
+                    continue;
+                }
+                let callees_known =
+                    cfg.blocks
+                        .iter()
+                        .flat_map(|b| &b.insts)
+                        .all(|d| match d.inst {
+                            lasagne_x86::Inst::Call {
+                                target: lasagne_x86::inst::Target::Abs(t),
+                            } => sigs.get(t).is_some() || t == *addr,
+                            // Tail calls: a jmp out of the function.
+                            lasagne_x86::Inst::Jmp {
+                                target: lasagne_x86::inst::Target::Abs(t),
+                            } if cfg.block_index(t).is_none() => {
+                                sigs.get(t).is_some() || t == *addr
+                            }
+                            _ => true,
+                        });
+                if callees_known {
+                    let fty = typedisc::discover(cfg, &sigs);
+                    sigs.insert(*addr, fty.clone());
+                    discovered.insert(*addr, fty);
+                    progressed = true;
+                }
             }
-            let callees_known = cfg
-                .blocks
-                .iter()
-                .flat_map(|b| &b.insts)
-                .all(|d| match d.inst {
-                    lasagne_x86::Inst::Call {
-                        target: lasagne_x86::inst::Target::Abs(t),
-                    } => sigs.get(t).is_some() || t == *addr,
-                    // Tail calls: a jmp out of the function.
-                    lasagne_x86::Inst::Jmp {
-                        target: lasagne_x86::inst::Target::Abs(t),
-                    } if cfg.block_index(t).is_none() => sigs.get(t).is_some() || t == *addr,
-                    _ => true,
-                });
-            if callees_known {
+            if !progressed {
+                break;
+            }
+        }
+        for (addr, (_, cfg)) in &cfgs {
+            discovered.entry(*addr).or_insert_with(|| {
                 let fty = typedisc::discover(cfg, &sigs);
                 sigs.insert(*addr, fty.clone());
-                discovered.insert(*addr, fty);
-                progressed = true;
-            }
+                fty
+            });
         }
-        if !progressed {
-            break;
+
+        // Create function shells so ids exist before bodies are translated.
+        let mut env = SymbolEnv {
+            funcs: BTreeMap::new(),
+            externs: extern_map,
+            globals: global_ranges,
+        };
+        for (addr, (name, _)) in &cfgs {
+            let fty = &discovered[addr];
+            let id = module.add_func(Function::new(name, fty.params.clone(), fty.ret));
+            env.funcs.insert(*addr, (id, fty.clone()));
         }
-    }
-    for (addr, (_, cfg)) in &cfgs {
-        discovered.entry(*addr).or_insert_with(|| {
-            let fty = typedisc::discover(cfg, &sigs);
-            sigs.insert(*addr, fty.clone());
-            fty
-        });
+
+        // Freeze the per-function work list in address order (the same
+        // order the shells were added, so work index `i` == `FuncId(i)`).
+        let mut work = Vec::with_capacity(cfgs.len());
+        let mut tys = Vec::with_capacity(cfgs.len());
+        for (addr, (name, cfg)) in cfgs {
+            tys.push(discovered[&addr].clone());
+            work.push((addr, name, cfg));
+        }
+
+        Ok(LiftPlan {
+            module,
+            env,
+            work,
+            tys,
+            sqrt_id,
+            opts,
+        })
     }
 
-    // Create function shells so ids exist before bodies are translated.
-    let mut env = SymbolEnv {
-        funcs: BTreeMap::new(),
-        externs: extern_map,
-        globals: global_ranges,
-    };
-    for (addr, (name, _)) in &cfgs {
-        let fty = &discovered[addr];
-        let id = module.add_func(Function::new(name, fty.params.clone(), fty.ret));
-        env.funcs.insert(*addr, (id, fty.clone()));
+    /// Number of functions awaiting body translation.
+    pub fn num_functions(&self) -> usize {
+        self.work.len()
     }
 
-    // Translate bodies.
-    for (addr, (name, cfg)) in &cfgs {
-        let fty = &discovered[addr];
-        let mut tr = translate::translate_function(name, cfg, fty, &env, sqrt_id, opts)
-            .map_err(LiftError::Translate)?;
+    /// Name of work item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn function_name(&self, i: usize) -> &str {
+        &self.work[i].1
+    }
+
+    /// Translates the body of work item `i`.
+    ///
+    /// This reads only immutable plan state, so distinct work items may be
+    /// lifted concurrently and the result for a given item is independent
+    /// of the order (or thread) in which the others run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftError::Translate`] for unsupported instruction shapes
+    /// or calls to unknown targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lift_function(&self, i: usize) -> Result<Function, LiftError> {
+        let (_, name, cfg) = &self.work[i];
+        let mut tr = translate::translate_function(
+            name,
+            cfg,
+            &self.tys[i],
+            &self.env,
+            self.sqrt_id,
+            self.opts,
+        )
+        .map_err(LiftError::Translate)?;
         translate::promote_registers(&mut tr);
         tr.func.compact();
-        let (fid, _) = env.funcs[addr];
-        *module.func_mut(fid) = tr.func;
+        Ok(tr.func)
     }
 
-    lasagne_lir::verify::verify_module(&module).map_err(LiftError::Verify)?;
-    Ok(module)
+    /// Installs the translated bodies (one per work item, in work-item
+    /// order) and verifies the completed module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LiftError::Verify`] if the assembled module fails
+    /// verification (a lifter bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies.len() != self.num_functions()`.
+    pub fn finish(mut self, bodies: Vec<Function>) -> Result<Module, LiftError> {
+        assert_eq!(bodies.len(), self.work.len(), "one body per work item");
+        for (i, body) in bodies.into_iter().enumerate() {
+            let (fid, _) = self.env.funcs[&self.work[i].0];
+            *self.module.func_mut(fid) = body;
+        }
+        lasagne_lir::verify::verify_module(&self.module).map_err(LiftError::Verify)?;
+        Ok(self.module)
+    }
 }
 
 #[cfg(test)]

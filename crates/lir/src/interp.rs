@@ -172,7 +172,7 @@ pub struct ExecStats {
     pub fences: (u64, u64, u64),
     /// Atomic RMWs executed.
     pub rmws: u64,
-    /// Abstract cycle count (see [`Machine::cost_of`]).
+    /// Abstract cycle count (see `Machine::cost_of`).
     pub cycles: u64,
 }
 

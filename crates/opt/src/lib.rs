@@ -87,6 +87,15 @@ impl PassKind {
         PassKind::Dse,
     ];
 
+    /// Whether the pass has an interprocedural component that must run
+    /// with exclusive access to the whole module (a serial barrier in the
+    /// parallel pipeline driver). Only `ipsccp` qualifies; every other
+    /// pass mutates one function at a time and reads the module solely for
+    /// operand typing, so it may run on distinct functions concurrently.
+    pub fn is_interprocedural(self) -> bool {
+        matches!(self, PassKind::IpSccp)
+    }
+
     /// The LLVM pass name used in the paper's Figure 17.
     pub fn name(self) -> &'static str {
         match self {
@@ -107,29 +116,44 @@ impl PassKind {
 
 /// Runs one pass over a whole module. Returns the number of changes made.
 pub fn run_pass(kind: PassKind, m: &mut Module) -> usize {
+    // Interprocedural component first (ipsccp), then the per-function
+    // half over every function. For ipsccp that propagates the discovered
+    // constants locally afterwards, as LLVM does.
+    let mut total = 0;
+    if kind.is_interprocedural() {
+        total += sccp::ipsccp(m);
+    }
+    total + for_each_function(m, |mm, f| run_pass_on_function(kind, mm, f))
+}
+
+/// Runs the per-function half of one pass on a single function. Returns
+/// the number of changes made.
+///
+/// For local passes this *is* the whole pass; for [`PassKind::IpSccp`] it
+/// is the local constant-propagation cleanup that follows the
+/// interprocedural analysis (which only [`run_pass`] performs). The
+/// function reads `m` solely for operand typing — never for other function
+/// bodies — so the pipeline driver may invoke it on distinct functions
+/// concurrently with results identical to any serial order.
+pub fn run_pass_on_function(kind: PassKind, m: &Module, f: &mut Function) -> usize {
     match kind {
-        PassKind::IpSccp => {
-            let n = sccp::ipsccp(m);
-            // Propagate the constants locally afterwards, as LLVM does.
-            n + for_each_function(m, |mm, f| sccp::sccp(mm, f))
-        }
-        PassKind::InstCombine => for_each_function(m, |mm, f| combine::instcombine(mm, f)),
-        PassKind::Dce => for_each_function(m, |_, f| dce::dce(f)),
-        PassKind::Adce => for_each_function(m, |_, f| dce::adce(f)),
-        PassKind::Licm => for_each_function(m, |_, f| licm::licm(f)),
-        PassKind::Reassociate => for_each_function(m, |mm, f| combine::reassociate(mm, f)),
-        PassKind::Gvn => for_each_function(m, |mm, f| gvn::gvn(mm, f) + gvn::load_elim(f)),
-        PassKind::Mem2Reg => for_each_function(m, |_, f| mem::mem2reg(f)),
+        PassKind::IpSccp | PassKind::Sccp => sccp::sccp(m, f),
+        PassKind::InstCombine => combine::instcombine(m, f),
+        PassKind::Dce => dce::dce(f),
+        PassKind::Adce => dce::adce(f),
+        PassKind::Licm => licm::licm(f),
+        PassKind::Reassociate => combine::reassociate(m, f),
+        PassKind::Gvn => gvn::gvn(m, f) + gvn::load_elim(f),
+        PassKind::Mem2Reg => mem::mem2reg(f),
         // LLVM's SROA both splits and promotes; mirror that.
-        PassKind::Sroa => for_each_function(m, |_, f| {
+        PassKind::Sroa => {
             let n = mem::sroa(f);
             if n > 0 {
                 mem::mem2reg(f);
             }
             n
-        }),
-        PassKind::Sccp => for_each_function(m, |mm, f| sccp::sccp(mm, f)),
-        PassKind::Dse => for_each_function(m, |_, f| dse::dse(f) + dse::dse_dead_slots(f)),
+        }
+        PassKind::Dse => dse::dse(f) + dse::dse_dead_slots(f),
     }
 }
 

@@ -54,7 +54,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecOf<S> {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecOf<S> {
     elem: S,
     size: SizeRange,

@@ -16,7 +16,7 @@
 //! * [`regress`] — persisted-seed regression files (and ingestion of the
 //!   legacy `*.proptest-regressions` files);
 //! * [`runner`] — the case loop behind the [`properties!`] macro;
-//! * [`bench`] — a minimal wall-clock benchmark runner with JSON output.
+//! * [`mod@bench`] — a minimal wall-clock benchmark runner with JSON output.
 //!
 //! # Writing a property
 //!

@@ -417,6 +417,20 @@ pub fn sweep_dead(f: &mut Function) -> usize {
     removed
 }
 
+/// One per-function refinement step: pointer exposure ([`expose_pointers`])
+/// followed by a dead-arithmetic sweep ([`sweep_dead`]). Returns the number
+/// of `inttoptr` instructions rewritten.
+///
+/// This is the intraprocedural half of [`refine_module`], split out for the
+/// pipeline driver: it mutates only `f` and reads `m` solely for operand
+/// typing (never other function bodies), so distinct functions may be
+/// refined concurrently with results identical to any serial order.
+pub fn refine_function(m: &Module, f: &mut Function) -> usize {
+    let n = expose_pointers(m, f);
+    sweep_dead(f);
+    n
+}
+
 /// Runs the full refinement pipeline over a module: alternating pointer
 /// exposure, dead-arithmetic sweeping, and parameter promotion until a
 /// fixpoint (promotion exposes new `ptrtoint` roots in callers, so up to
@@ -427,8 +441,7 @@ pub fn refine_module(m: &mut Module) -> RefineStats {
         let mut changed = 0;
         for fi in 0..m.funcs.len() {
             let mut f = std::mem::replace(&mut m.funcs[fi], Function::new("", vec![], Ty::Void));
-            let n = expose_pointers(m, &mut f);
-            sweep_dead(&mut f);
+            let n = refine_function(m, &mut f);
             m.funcs[fi] = f;
             changed += n;
             stats.inttoptr_rewritten += n;

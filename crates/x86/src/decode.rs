@@ -1,6 +1,6 @@
 //! x86-64 machine-code decoder (disassembler).
 //!
-//! The inverse of [`crate::encode`]: consumes raw bytes and produces
+//! The inverse of [`crate::encode`](mod@crate::encode): consumes raw bytes and produces
 //! [`Inst`] values with resolved (absolute) branch targets and RIP-relative
 //! addresses. Together with the encoder this substitutes for the LLVM MC
 //! disassembler the paper's lifter is built on.

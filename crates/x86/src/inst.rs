@@ -1,7 +1,7 @@
 //! x86-64 instruction representation.
 //!
 //! [`Inst`] is the semantic analogue of LLVM's `MCInst`: one decoded machine
-//! instruction with resolved operands. The [`crate::encode`] module turns an
+//! instruction with resolved operands. The [`crate::encode`](mod@crate::encode) module turns an
 //! `Inst` into real machine-code bytes and [`crate::decode`] turns bytes back
 //! into an `Inst`, so the pair round-trips through genuine x86-64 encodings.
 
@@ -535,9 +535,9 @@ pub enum Inst {
 
     /// `mfence`.
     Mfence,
-    /// `lock cmpxchg [m], r`: if RAX==[m] then [m]=r, ZF=1 else RAX=[m].
+    /// `lock cmpxchg [m], r`: if `RAX==[m]` then `[m]=r, ZF=1` else `RAX=[m]`.
     LockCmpxchg { w: Width, mem: MemRef, src: Gpr },
-    /// `lock xadd [m], r`: tmp=[m]; [m]+=r; r=tmp.
+    /// `lock xadd [m], r`: `tmp=[m]; [m]+=r; r=tmp`.
     LockXadd { w: Width, mem: MemRef, src: Gpr },
     /// `lock add [m], imm`.
     LockAddI { w: Width, mem: MemRef, imm: i32 },

@@ -5,7 +5,7 @@
 //! ("Lasagne: A Static Binary Translator for Weak Memory Model
 //! Architectures", PLDI 2022, §4): it defines an x86-64 instruction
 //! representation ([`inst::Inst`], the analogue of `MCInst`), a real
-//! machine-code [`encode`]r and [`decode`]r covering the subset of x86-64
+//! machine-code [`encode`](mod@encode)r and [`decode`](mod@decode)r covering the subset of x86-64
 //! the Phoenix benchmarks exercise (ALU, control flow, scalar SSE floating
 //! point, `lock`-prefixed read-modify-writes, and `mfence`), a label-based
 //! [`asm::Asm`] assembler, and a minimal [`binary::Binary`] image format

@@ -7,15 +7,24 @@
 //! lasagne ir <DEMO> [opts]             print the final LIR
 //! lasagne disasm <DEMO>                print the x86-64 disassembly
 //! lasagne litmus                       memory-model validation summary
+//! lasagne help                         this message
 //!
 //! options:
 //!   --version lifted|opt|popt|ppopt    pipeline configuration (default ppopt)
 //!   --scale N                          workload scale (default 128)
+//!   --jobs N                           translation worker threads (default 1);
+//!                                      output is byte-identical for every N
+//!   --timings FILE                     write the per-pass/per-function timing
+//!                                      report as JSON to FILE ("-" = stderr)
 //! ```
+//!
+//! `<DEMO>` is a Phoenix benchmark, by abbreviation or name: `HT`
+//! (histogram), `KM` (kmeans), `LR` (linear_regression), `MM`
+//! (matrix_multiply), `SM` (string_match).
 
 use lasagne_repro::bench::{measure_native, run_arm};
 use lasagne_repro::phoenix::{all_benchmarks, Benchmark};
-use lasagne_repro::translator::{translate, Version};
+use lasagne_repro::translator::{Pipeline, PipelineReport, Version};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +36,7 @@ fn main() {
             "popt" => Version::POpt,
             "ppopt" => Version::PPOpt,
             other => {
-                eprintln!("unknown version `{other}`");
+                eprintln!("unknown version `{other}` (expected lifted|opt|popt|ppopt)");
                 std::process::exit(2);
             }
         })
@@ -35,6 +44,17 @@ fn main() {
     let scale: usize = flag_value(&args, "--scale")
         .and_then(|s| s.parse().ok())
         .unwrap_or(128);
+    let jobs: usize = match flag_value(&args, "--jobs") {
+        None => 1,
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer, got `{s}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let timings = flag_value(&args, "--timings");
 
     match cmd {
         "list" => {
@@ -69,13 +89,22 @@ fn main() {
         }
         "translate" | "run" | "ir" => {
             let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
-                eprintln!("usage: lasagne {cmd} <HT|KM|LR|MM|SM> [--version V] [--scale N]");
+                eprintln!(
+                    "usage: lasagne {cmd} <HT|KM|LR|MM|SM> [--version V] [--scale N] \
+                     [--jobs N] [--timings FILE]"
+                );
                 std::process::exit(2);
             };
-            let t = translate(&b.binary, version).unwrap_or_else(|e| {
-                eprintln!("translation failed: {e}");
-                std::process::exit(1);
-            });
+            let (t, report) = Pipeline::new(version)
+                .with_jobs(jobs)
+                .run(&b.binary)
+                .unwrap_or_else(|e| {
+                    eprintln!("translation failed: {e}");
+                    std::process::exit(1);
+                });
+            if let Some(path) = timings {
+                write_timings(path, &report);
+            }
             match cmd {
                 "translate" => {
                     print!("{}", lasagne_repro::armgen::print::print_module(&t.arm));
@@ -94,6 +123,7 @@ fn main() {
                     assert_eq!(m.checksum, b.workload.expected_ret, "checksum mismatch!");
                     println!("benchmark : {} ({})", b.name, b.abbrev);
                     println!("version   : {}", version.name());
+                    println!("jobs      : {jobs}");
                     println!("checksum  : {:#x} (verified)", m.checksum);
                     println!("runtime   : {} cycles (critical path)", m.runtime_cycles);
                     println!(
@@ -105,6 +135,7 @@ fn main() {
                         "barriers  : {} ishld, {} ishst, {} ish",
                         m.dmbs.0, m.dmbs.1, m.dmbs.2
                     );
+                    println!("translate : {:.1} ms wall", report.total_nanos as f64 / 1e6);
                 }
                 _ => unreachable!(),
             }
@@ -127,7 +158,25 @@ fn main() {
             println!("lasagne — static binary translator (PLDI 2022 reproduction)");
             println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO> | litmus");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
+            println!("          --jobs N (worker threads; byte-identical output for any N)");
+            println!("          --timings FILE (per-pass JSON timing report; \"-\" = stderr)");
+            println!("demos   : HT histogram | KM kmeans | LR linear_regression");
+            println!("          MM matrix_multiply | SM string_match");
         }
+    }
+}
+
+/// Writes the timing report as JSON to `path`, or to stderr (with a
+/// human-readable summary) when `path` is `-`.
+fn write_timings(path: &str, report: &PipelineReport) {
+    if path == "-" {
+        eprintln!("{}", report.summary_table());
+        eprintln!("{}", report.to_json());
+        return;
+    }
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("cannot write timings to `{path}`: {e}");
+        std::process::exit(1);
     }
 }
 

@@ -16,7 +16,7 @@
 //! | [`armgen`] | §8 | AArch64 backend + cost-model interpreter |
 //! | [`phoenix`] | §9.1 | the Phoenix benchmarks as x86 binaries |
 //! | [`translator`] | §3 | the end-to-end pipeline and §9.1 versions |
-//! | [`bench`] | §9 | measurement harness behind `report` and the benches |
+//! | [`mod@bench`] | §9 | measurement harness behind `report` and the benches |
 
 pub use lasagne as translator;
 pub use lasagne_armgen as armgen;

@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/lasagne-4e2849155c45d7da.d: crates/lasagne/src/lib.rs
+/root/repo/target/debug/deps/lasagne-4e2849155c45d7da.d: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
-/root/repo/target/debug/deps/lasagne-4e2849155c45d7da: crates/lasagne/src/lib.rs
+/root/repo/target/debug/deps/lasagne-4e2849155c45d7da: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
 crates/lasagne/src/lib.rs:
+crates/lasagne/src/pipeline.rs:

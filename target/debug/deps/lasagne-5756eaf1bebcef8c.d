@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/lasagne-5756eaf1bebcef8c.d: crates/lasagne/src/lib.rs
+/root/repo/target/debug/deps/lasagne-5756eaf1bebcef8c.d: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
-/root/repo/target/debug/deps/liblasagne-5756eaf1bebcef8c.rlib: crates/lasagne/src/lib.rs
+/root/repo/target/debug/deps/liblasagne-5756eaf1bebcef8c.rlib: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
-/root/repo/target/debug/deps/liblasagne-5756eaf1bebcef8c.rmeta: crates/lasagne/src/lib.rs
+/root/repo/target/debug/deps/liblasagne-5756eaf1bebcef8c.rmeta: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
 crates/lasagne/src/lib.rs:
+crates/lasagne/src/pipeline.rs:

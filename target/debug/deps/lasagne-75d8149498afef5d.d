@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lasagne-75d8149498afef5d.d: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
+
+/root/repo/target/debug/deps/liblasagne-75d8149498afef5d.rmeta: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
+
+crates/lasagne/src/lib.rs:
+crates/lasagne/src/pipeline.rs:

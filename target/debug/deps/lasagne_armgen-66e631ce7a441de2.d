@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lasagne_armgen-66e631ce7a441de2.d: crates/armgen/src/lib.rs crates/armgen/src/inst.rs crates/armgen/src/lower.rs crates/armgen/src/machine.rs crates/armgen/src/peephole.rs crates/armgen/src/print.rs
+
+/root/repo/target/debug/deps/liblasagne_armgen-66e631ce7a441de2.rmeta: crates/armgen/src/lib.rs crates/armgen/src/inst.rs crates/armgen/src/lower.rs crates/armgen/src/machine.rs crates/armgen/src/peephole.rs crates/armgen/src/print.rs
+
+crates/armgen/src/lib.rs:
+crates/armgen/src/inst.rs:
+crates/armgen/src/lower.rs:
+crates/armgen/src/machine.rs:
+crates/armgen/src/peephole.rs:
+crates/armgen/src/print.rs:

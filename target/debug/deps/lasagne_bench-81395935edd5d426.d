@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_bench-81395935edd5d426.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_bench-81395935edd5d426.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lasagne_fences-594d202656f8eea9.d: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+/root/repo/target/debug/deps/liblasagne_fences-594d202656f8eea9.rmeta: crates/fences/src/lib.rs crates/fences/src/legality.rs crates/fences/src/placement.rs
+
+crates/fences/src/lib.rs:
+crates/fences/src/legality.rs:
+crates/fences/src/placement.rs:

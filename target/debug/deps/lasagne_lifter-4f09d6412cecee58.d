@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lasagne_lifter-4f09d6412cecee58.d: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+/root/repo/target/debug/deps/liblasagne_lifter-4f09d6412cecee58.rmeta: crates/lifter/src/lib.rs crates/lifter/src/liveness.rs crates/lifter/src/translate.rs crates/lifter/src/typedisc.rs crates/lifter/src/xcfg.rs
+
+crates/lifter/src/lib.rs:
+crates/lifter/src/liveness.rs:
+crates/lifter/src/translate.rs:
+crates/lifter/src/typedisc.rs:
+crates/lifter/src/xcfg.rs:

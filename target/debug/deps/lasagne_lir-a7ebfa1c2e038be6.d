@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lasagne_lir-a7ebfa1c2e038be6.d: crates/lir/src/lib.rs crates/lir/src/analysis.rs crates/lir/src/func.rs crates/lir/src/inst.rs crates/lir/src/interp.rs crates/lir/src/print.rs crates/lir/src/ssa.rs crates/lir/src/types.rs crates/lir/src/verify.rs
+
+/root/repo/target/debug/deps/liblasagne_lir-a7ebfa1c2e038be6.rmeta: crates/lir/src/lib.rs crates/lir/src/analysis.rs crates/lir/src/func.rs crates/lir/src/inst.rs crates/lir/src/interp.rs crates/lir/src/print.rs crates/lir/src/ssa.rs crates/lir/src/types.rs crates/lir/src/verify.rs
+
+crates/lir/src/lib.rs:
+crates/lir/src/analysis.rs:
+crates/lir/src/func.rs:
+crates/lir/src/inst.rs:
+crates/lir/src/interp.rs:
+crates/lir/src/print.rs:
+crates/lir/src/ssa.rs:
+crates/lir/src/types.rs:
+crates/lir/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lasagne_memmodel-546c38fb402684d4.d: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+/root/repo/target/debug/deps/liblasagne_memmodel-546c38fb402684d4.rmeta: crates/memmodel/src/lib.rs crates/memmodel/src/exec.rs crates/memmodel/src/litmus.rs crates/memmodel/src/mapping.rs crates/memmodel/src/models.rs crates/memmodel/src/rel.rs crates/memmodel/src/transform.rs
+
+crates/memmodel/src/lib.rs:
+crates/memmodel/src/exec.rs:
+crates/memmodel/src/litmus.rs:
+crates/memmodel/src/mapping.rs:
+crates/memmodel/src/models.rs:
+crates/memmodel/src/rel.rs:
+crates/memmodel/src/transform.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lasagne_opt-4701254fdbff0099.d: crates/opt/src/lib.rs crates/opt/src/combine.rs crates/opt/src/dce.rs crates/opt/src/dse.rs crates/opt/src/fold.rs crates/opt/src/gvn.rs crates/opt/src/licm.rs crates/opt/src/mem.rs crates/opt/src/sccp.rs
+
+/root/repo/target/debug/deps/liblasagne_opt-4701254fdbff0099.rmeta: crates/opt/src/lib.rs crates/opt/src/combine.rs crates/opt/src/dce.rs crates/opt/src/dse.rs crates/opt/src/fold.rs crates/opt/src/gvn.rs crates/opt/src/licm.rs crates/opt/src/mem.rs crates/opt/src/sccp.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/combine.rs:
+crates/opt/src/dce.rs:
+crates/opt/src/dse.rs:
+crates/opt/src/fold.rs:
+crates/opt/src/gvn.rs:
+crates/opt/src/licm.rs:
+crates/opt/src/mem.rs:
+crates/opt/src/sccp.rs:

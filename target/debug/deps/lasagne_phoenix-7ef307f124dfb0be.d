@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lasagne_phoenix-7ef307f124dfb0be.d: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+/root/repo/target/debug/deps/liblasagne_phoenix-7ef307f124dfb0be.rmeta: crates/phoenix/src/lib.rs crates/phoenix/src/builders.rs crates/phoenix/src/histogram.rs crates/phoenix/src/kmeans.rs crates/phoenix/src/linreg.rs crates/phoenix/src/matmul.rs crates/phoenix/src/native.rs crates/phoenix/src/strmatch.rs
+
+crates/phoenix/src/lib.rs:
+crates/phoenix/src/builders.rs:
+crates/phoenix/src/histogram.rs:
+crates/phoenix/src/kmeans.rs:
+crates/phoenix/src/linreg.rs:
+crates/phoenix/src/matmul.rs:
+crates/phoenix/src/native.rs:
+crates/phoenix/src/strmatch.rs:

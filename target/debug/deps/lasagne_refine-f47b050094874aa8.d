@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_refine-f47b050094874aa8.d: crates/refine/src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_refine-f47b050094874aa8.rmeta: crates/refine/src/lib.rs
+
+crates/refine/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lasagne_repro-86c5d0ee1fe11952.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblasagne_repro-86c5d0ee1fe11952.rmeta: src/lib.rs
+
+src/lib.rs:

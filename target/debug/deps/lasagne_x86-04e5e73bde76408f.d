@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lasagne_x86-04e5e73bde76408f.d: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+/root/repo/target/debug/deps/liblasagne_x86-04e5e73bde76408f.rmeta: crates/x86/src/lib.rs crates/x86/src/asm.rs crates/x86/src/binary.rs crates/x86/src/decode.rs crates/x86/src/encode.rs crates/x86/src/flags.rs crates/x86/src/inst.rs crates/x86/src/reg.rs
+
+crates/x86/src/lib.rs:
+crates/x86/src/asm.rs:
+crates/x86/src/binary.rs:
+crates/x86/src/decode.rs:
+crates/x86/src/encode.rs:
+crates/x86/src/flags.rs:
+crates/x86/src/inst.rs:
+crates/x86/src/reg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-e8bd17df0f77a006.d: tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-e8bd17df0f77a006: tests/parallel.rs
+
+tests/parallel.rs:

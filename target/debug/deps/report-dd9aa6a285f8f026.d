@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-dd9aa6a285f8f026.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-dd9aa6a285f8f026: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

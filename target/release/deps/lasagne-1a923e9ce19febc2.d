@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/lasagne-1a923e9ce19febc2.d: crates/lasagne/src/lib.rs
+/root/repo/target/release/deps/lasagne-1a923e9ce19febc2.d: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
-/root/repo/target/release/deps/liblasagne-1a923e9ce19febc2.rlib: crates/lasagne/src/lib.rs
+/root/repo/target/release/deps/liblasagne-1a923e9ce19febc2.rlib: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
-/root/repo/target/release/deps/liblasagne-1a923e9ce19febc2.rmeta: crates/lasagne/src/lib.rs
+/root/repo/target/release/deps/liblasagne-1a923e9ce19febc2.rmeta: crates/lasagne/src/lib.rs crates/lasagne/src/pipeline.rs
 
 crates/lasagne/src/lib.rs:
+crates/lasagne/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fence_optimizer-382bda38b504be05.d: examples/fence_optimizer.rs
+
+/root/repo/target/release/examples/fence_optimizer-382bda38b504be05: examples/fence_optimizer.rs
+
+examples/fence_optimizer.rs:

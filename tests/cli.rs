@@ -65,6 +65,46 @@ fn litmus_reports_every_test_ok() {
 }
 
 #[test]
+fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
+    let serial = stdout(&["translate", "KM", "--scale", "16"]);
+    let path = std::env::temp_dir().join(format!("lasagne-timings-{}.json", std::process::id()));
+    let path_s = path.to_str().unwrap();
+    let parallel = stdout(&[
+        "translate",
+        "KM",
+        "--scale",
+        "16",
+        "--jobs",
+        "4",
+        "--timings",
+        path_s,
+    ]);
+    assert_eq!(serial, parallel, "--jobs 4 changed the emitted assembly");
+
+    let json = std::fs::read_to_string(&path).expect("timings file written");
+    std::fs::remove_file(&path).ok();
+    for key in ["\"version\"", "\"jobs\":4", "\"total_nanos\"", "\"stages\""] {
+        assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
+    }
+    for stage in ["lift", "refine", "fences", "merge", "opt", "armgen"] {
+        assert!(
+            json.contains(&format!("{{\"stage\":\"{stage}\"")),
+            "missing stage {stage} in timings JSON:\n{json}"
+        );
+    }
+    assert!(
+        json.contains("\"func\":"),
+        "no per-function entries:\n{json}"
+    );
+}
+
+#[test]
+fn bad_jobs_value_is_rejected() {
+    let out = lasagne(&["translate", "HT", "--scale", "16", "--jobs", "0"]);
+    assert!(!out.status.success(), "--jobs 0 should be rejected");
+}
+
+#[test]
 fn versions_are_validated() {
     let out = lasagne(&["run", "HT", "--version", "bogus"]);
     assert!(!out.status.success(), "bogus version should be rejected");
