@@ -7,3 +7,18 @@ cargo fmt --all --check
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# Warm-cache equivalence, end to end through the CLI: translating the
+# whole demo suite twice against one cache directory must hit 100% the
+# second time and produce byte-identical assembly.
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+for demo in HT KM LR MM SM; do
+    ./target/release/lasagne translate "$demo" --cache-dir "$CACHE_DIR" \
+        --timings "$CACHE_DIR/$demo.cold.json" >"$CACHE_DIR/$demo.cold.s"
+    ./target/release/lasagne translate "$demo" --cache-dir "$CACHE_DIR" \
+        --timings "$CACHE_DIR/$demo.warm.json" >"$CACHE_DIR/$demo.warm.s"
+    cmp "$CACHE_DIR/$demo.cold.s" "$CACHE_DIR/$demo.warm.s"
+    grep -q '"warm":true' "$CACHE_DIR/$demo.warm.json"
+    grep -q '"misses":0' "$CACHE_DIR/$demo.warm.json"
+done

@@ -2,15 +2,23 @@
 //! version (and the native baseline) on the Phoenix suite, measured as the
 //! wall time of the cost-model simulation (the simulated cycle counts are
 //! printed by `report -- fig12`).
+//!
+//! Set `LASAGNE_CACHE_DIR` to back the (untimed) translations with the
+//! on-disk cache; the aggregate hit/miss counters are emitted under
+//! `"meta"` in the JSON summary either way.
 
 use lasagne::Version;
-use lasagne_bench::{measure_native, measure_version, run_arm};
+use lasagne_bench::{measure_native, measure_version_cached, run_arm};
 use lasagne_phoenix::all_benchmarks;
 use lasagne_qc::bench::Runner;
 
 fn main() {
+    let cache_dir = std::env::var_os("LASAGNE_CACHE_DIR")
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from);
     let benches = all_benchmarks(64);
     let mut group = Runner::new("fig12_runtime");
+    let (mut hits, mut misses) = (0u64, 0u64);
     for b in &benches {
         // Pre-translate outside the timed region; the measured quantity is
         // the simulated execution.
@@ -19,17 +27,23 @@ fn main() {
             run_arm(&native_arm, &b.workload)
         });
         for v in Version::ALL {
-            let (t, _) = measure_version(b, v);
+            let (t, _, report) = measure_version_cached(b, v, 1, cache_dir.as_deref());
+            if let Some(c) = &report.cache {
+                hits += c.hits;
+                misses += c.misses;
+            }
             group.bench(&format!("{}/{}", v.name(), b.abbrev), || {
                 run_arm(&t.arm, &b.workload)
             });
         }
     }
+    group.note("cache_hits", hits);
+    group.note("cache_misses", misses);
 
     // Sanity inside the bench binary: native really is fastest in cycles.
     for b in &benches {
         let native = measure_native(b);
-        let (_, lifted) = measure_version(b, Version::Lifted);
+        let (_, lifted, _) = measure_version_cached(b, Version::Lifted, 1, cache_dir.as_deref());
         assert!(native.runtime_cycles < lifted.runtime_cycles);
     }
     group.finish();

@@ -3,41 +3,96 @@
 //! Usage: `cargo run -p lasagne-bench --bin report [--release] -- [section]`
 //! where `section` ∈ `table1 | fig12 | fig13 | fig14 | fig15 | fig16 |
 //! fig17 | litmus | ablations | timings | all` (default `all`).
+//!
+//! Figures 12/13/14/16 and the timings section all consume the same four
+//! translations per benchmark (one per [`Version`]); a memoizing [`Sweep`]
+//! guarantees each benchmark is translated exactly once per version no
+//! matter which sections run. Set `LASAGNE_CACHE_DIR` to additionally back
+//! those translations with the on-disk content-addressed cache, making
+//! repeat report runs warm (the cache counters appear in the timings
+//! section).
 
-use lasagne::Version;
+use std::rc::Rc;
+
+use lasagne::{PipelineReport, Translation, Version};
 use lasagne_bench::{
-    gmean, measure_fence_only, measure_native, measure_version, measure_version_instrumented,
-    FenceOnly,
+    gmean, measure_fence_only, measure_native, measure_version_cached, FenceOnly, RunMetrics,
 };
 use lasagne_phoenix::{all_benchmarks, Benchmark};
 
 const SCALE: usize = 192;
 
+/// Worker threads for the instrumented translations (the output is
+/// byte-identical for any value; only the timings section's wall-clock
+/// shares depend on it).
+const JOBS: usize = 4;
+
+/// One benchmark translated and run under one [`Version`].
+struct Measured {
+    t: Translation,
+    m: RunMetrics,
+    report: PipelineReport,
+}
+
+/// Lazily translates each benchmark at most once per [`Version`] and
+/// shares the result across every section that asks for it.
+struct Sweep {
+    benches: Vec<Benchmark>,
+    cache_dir: Option<std::path::PathBuf>,
+    memo: Vec<[Option<Rc<Measured>>; 4]>,
+}
+
+impl Sweep {
+    fn new(benches: Vec<Benchmark>) -> Sweep {
+        let cache_dir = std::env::var_os("LASAGNE_CACHE_DIR")
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from);
+        let memo = benches.iter().map(|_| [None, None, None, None]).collect();
+        Sweep {
+            benches,
+            cache_dir,
+            memo,
+        }
+    }
+
+    fn measured(&mut self, bi: usize, v: Version) -> Rc<Measured> {
+        let vi = Version::ALL.iter().position(|x| *x == v).unwrap();
+        if let Some(m) = &self.memo[bi][vi] {
+            return Rc::clone(m);
+        }
+        let (t, m, report) =
+            measure_version_cached(&self.benches[bi], v, JOBS, self.cache_dir.as_deref());
+        let rc = Rc::new(Measured { t, m, report });
+        self.memo[bi][vi] = Some(Rc::clone(&rc));
+        rc
+    }
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let benches = all_benchmarks(SCALE);
+    let mut sweep = Sweep::new(all_benchmarks(SCALE));
     match section.as_str() {
-        "table1" => table1(&benches),
-        "fig12" => fig12(&benches),
-        "fig13" => fig13(&benches),
-        "fig14" => fig14(&benches),
-        "fig15" => fig15(&benches),
-        "fig16" => fig16(&benches),
+        "table1" => table1(&sweep.benches),
+        "fig12" => fig12(&mut sweep),
+        "fig13" => fig13(&mut sweep),
+        "fig14" => fig14(&mut sweep),
+        "fig15" => fig15(&sweep.benches),
+        "fig16" => fig16(&mut sweep),
         "fig17" => fig17(),
         "litmus" => litmus(),
-        "ablations" => ablations(&benches),
-        "timings" => timings(&benches),
+        "ablations" => ablations(&sweep.benches),
+        "timings" => timings(&mut sweep),
         "all" => {
-            table1(&benches);
-            fig12(&benches);
-            fig13(&benches);
-            fig14(&benches);
-            fig15(&benches);
-            fig16(&benches);
+            table1(&sweep.benches);
+            fig12(&mut sweep);
+            fig13(&mut sweep);
+            fig14(&mut sweep);
+            fig15(&sweep.benches);
+            fig16(&mut sweep);
             fig17();
             litmus();
-            ablations(&benches);
-            timings(&benches);
+            ablations(&sweep.benches);
+            timings(&mut sweep);
         }
         other => {
             eprintln!(
@@ -76,19 +131,19 @@ fn table1(benches: &[Benchmark]) {
     println!();
 }
 
-fn fig12(benches: &[Benchmark]) {
+fn fig12(sweep: &mut Sweep) {
     println!("== Figure 12: normalized runtime w.r.t. Native (lower is better) ==");
     println!(
         "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "Benchmark", "Native", "Lifted", "Opt", "POpt", "PPOpt"
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for b in benches {
-        let native = measure_native(b).runtime_cycles as f64;
-        let mut row = format!("{:<20} {:>9.2}", b.name, 1.0);
+    for bi in 0..sweep.benches.len() {
+        let native = measure_native(&sweep.benches[bi]).runtime_cycles as f64;
+        let mut row = format!("{:<20} {:>9.2}", sweep.benches[bi].name, 1.0);
         for (vi, v) in Version::ALL.iter().enumerate() {
-            let (_, m) = measure_version(b, *v);
-            let norm = m.runtime_cycles as f64 / native;
+            let m = sweep.measured(bi, *v);
+            let norm = m.m.runtime_cycles as f64 / native;
             cols[vi].push(norm);
             row.push_str(&format!(" {norm:>9.2}"));
         }
@@ -106,27 +161,27 @@ fn fig12(benches: &[Benchmark]) {
     println!("(paper: GMean 1.0 / 2.89 / 1.67 / 1.62 / 1.51)\n");
 }
 
-fn fig13(benches: &[Benchmark]) {
+fn fig13(sweep: &mut Sweep) {
     println!("== Figure 13: % integer-pointer casts removed by IR refinement ==");
     println!(
         "{:<20} {:>8} {:>8} {:>12}",
         "Benchmark", "before", "after", "removed (%)"
     );
     let mut pcts = Vec::new();
-    for b in benches {
-        let (t, _) = measure_version(b, Version::PPOpt);
-        let pct = t.stats.cast_reduction_pct();
+    for bi in 0..sweep.benches.len() {
+        let me = sweep.measured(bi, Version::PPOpt);
+        let pct = me.t.stats.cast_reduction_pct();
         pcts.push(pct);
         println!(
             "{:<20} {:>8} {:>8} {:>11.1}%",
-            b.name, t.stats.casts_lifted, t.stats.casts_final, pct
+            sweep.benches[bi].name, me.t.stats.casts_lifted, me.t.stats.casts_final, pct
         );
     }
     println!("{:<20} {:>30.1}%", "GMean", gmean(&pcts));
     println!("(paper: 51.1% average)\n");
 }
 
-fn fig14(benches: &[Benchmark]) {
+fn fig14(sweep: &mut Sweep) {
     println!("== Figure 14: % fence reduction vs naive placement ==");
     println!(
         "{:<20} {:>8} {:>10} {:>10}",
@@ -134,17 +189,17 @@ fn fig14(benches: &[Benchmark]) {
     );
     let mut popt_pcts = Vec::new();
     let mut ppopt_pcts = Vec::new();
-    for b in benches {
-        let (tp, _) = measure_version(b, Version::POpt);
-        let (tpp, _) = measure_version(b, Version::PPOpt);
-        popt_pcts.push(tp.stats.fence_reduction_pct().max(0.1));
-        ppopt_pcts.push(tpp.stats.fence_reduction_pct().max(0.1));
+    for bi in 0..sweep.benches.len() {
+        let tp = sweep.measured(bi, Version::POpt);
+        let tpp = sweep.measured(bi, Version::PPOpt);
+        popt_pcts.push(tp.t.stats.fence_reduction_pct().max(0.1));
+        ppopt_pcts.push(tpp.t.stats.fence_reduction_pct().max(0.1));
         println!(
             "{:<20} {:>8} {:>9.1}% {:>9.1}%",
-            b.name,
-            tp.stats.fences_naive,
-            tp.stats.fence_reduction_pct(),
-            tpp.stats.fence_reduction_pct()
+            sweep.benches[bi].name,
+            tp.t.stats.fences_naive,
+            tp.t.stats.fence_reduction_pct(),
+            tpp.t.stats.fence_reduction_pct()
         );
     }
     println!(
@@ -177,19 +232,19 @@ fn fig15(benches: &[Benchmark]) {
     println!("(paper: POpt 2.65%, PPOpt 5.63% average)\n");
 }
 
-fn fig16(benches: &[Benchmark]) {
+fn fig16(sweep: &mut Sweep) {
     println!("== Figure 16: code size increase vs native (LIR instructions) ==");
     println!(
         "{:<20} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "Benchmark", "native", "Lifted", "Opt", "POpt", "PPOpt"
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for b in benches {
-        let native = b.native.inst_count() as f64;
-        let mut row = format!("{:<20} {:>8}", b.name, native);
+    for bi in 0..sweep.benches.len() {
+        let native = sweep.benches[bi].native.inst_count() as f64;
+        let mut row = format!("{:<20} {:>8}", sweep.benches[bi].name, native);
         for (vi, v) in Version::ALL.iter().enumerate() {
-            let (t, _) = measure_version(b, *v);
-            let pct = 100.0 * (t.stats.insts_final as f64 / native - 1.0);
+            let me = sweep.measured(bi, *v);
+            let pct = 100.0 * (me.t.stats.insts_final as f64 / native - 1.0);
             cols[vi].push((pct / 100.0 + 1.0).max(0.01));
             row.push_str(&format!(" {pct:>8.1}%"));
         }
@@ -293,19 +348,35 @@ fn ablations(benches: &[Benchmark]) {
 }
 
 /// Translation-time breakdown from the instrumented pipeline: per-stage
-/// share of PPOpt translation wall time, with 4 worker threads.
-fn timings(benches: &[Benchmark]) {
+/// share of PPOpt translation wall time, with 4 worker threads, plus the
+/// translation-cache counters when `LASAGNE_CACHE_DIR` is set.
+fn timings(sweep: &mut Sweep) {
     println!("== Translation timings: per-stage share of PPOpt pipeline (jobs=4) ==");
     println!(
-        "{:<20} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Benchmark", "total ms", "lift", "refine", "fences", "merge", "opt", "armgen"
+        "{:<20} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+        "Benchmark", "total ms", "lift", "refine", "fences", "merge", "opt", "armgen", "cache"
     );
-    for b in benches {
-        let (_, _, report) = measure_version_instrumented(b, Version::PPOpt, 4);
+    for bi in 0..sweep.benches.len() {
+        let me = sweep.measured(bi, Version::PPOpt);
+        let report = &me.report;
         let total = report.total_nanos.max(1) as f64;
-        let mut row = format!("{:<20} {:>9.2}", b.name, report.total_nanos as f64 / 1e6);
+        let mut row = format!(
+            "{:<20} {:>9.2}",
+            sweep.benches[bi].name,
+            report.total_nanos as f64 / 1e6
+        );
         for st in &report.stages {
             row.push_str(&format!(" {:>7.1}%", 100.0 * st.nanos as f64 / total));
+        }
+        match &report.cache {
+            None => row.push_str("  off"),
+            Some(c) => row.push_str(&format!(
+                "  {} ({} hit, {} miss, {} written)",
+                if c.warm { "warm" } else { "cold" },
+                c.hits,
+                c.misses,
+                c.writes
+            )),
         }
         println!("{row}");
     }
@@ -314,18 +385,14 @@ fn timings(benches: &[Benchmark]) {
 
 fn litmus() {
     println!("== Litmus validation (Figures 1, 2, 9, 10; Theorems 7.3/7.4) ==");
-    use lasagne_memmodel::mapping::check_chain;
-    use lasagne_memmodel::{litmus, outcomes, Model};
-    for (name, p) in litmus::paper_suite() {
-        let x86 = outcomes(Model::X86, &p).len();
-        let arm = outcomes(Model::Arm, &p).len();
-        let limm = outcomes(Model::Limm, &p).len();
-        let chain = match check_chain(&p) {
+    for row in lasagne_memmodel::sweep_suite(JOBS) {
+        let chain = match &row.chain {
             Ok(()) => "mapping OK",
             Err(_) => "MAPPING BUG",
         };
         println!(
-            "{name:<16} outcomes: x86 {x86:>2} | LIMM {limm:>2} | Arm {arm:>2}   x86→IR→Arm: {chain}"
+            "{:<16} outcomes: x86 {:>2} | LIMM {:>2} | Arm {:>2}   x86→IR→Arm: {chain}",
+            row.name, row.x86_outcomes, row.limm_outcomes, row.arm_outcomes
         );
     }
     println!();

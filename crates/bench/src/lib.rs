@@ -76,8 +76,29 @@ pub fn measure_version_instrumented(
     v: Version,
     jobs: usize,
 ) -> (Translation, RunMetrics, PipelineReport) {
-    let (t, report) = Pipeline::new(v)
-        .with_jobs(jobs)
+    measure_version_cached(b, v, jobs, None)
+}
+
+/// Like [`measure_version_instrumented`], but optionally backed by an
+/// on-disk content-addressed translation cache rooted at `cache_dir`.
+/// A warm run skips every lift/refine/fence/opt pass and replays the
+/// cached LIR straight into code generation; the output is byte-identical
+/// either way (see `PipelineReport::cache` for the hit/miss counters).
+///
+/// # Panics
+///
+/// Panics on translation failure or checksum mismatch.
+pub fn measure_version_cached(
+    b: &Benchmark,
+    v: Version,
+    jobs: usize,
+    cache_dir: Option<&std::path::Path>,
+) -> (Translation, RunMetrics, PipelineReport) {
+    let mut pipeline = Pipeline::new(v).with_jobs(jobs);
+    if let Some(dir) = cache_dir {
+        pipeline = pipeline.with_cache(dir);
+    }
+    let (t, report) = pipeline
         .run(&b.binary)
         .unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let m = run_arm(&t.arm, &b.workload);

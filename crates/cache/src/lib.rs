@@ -1,0 +1,632 @@
+//! `lasagne-cache` — content-addressed on-disk translation cache.
+//!
+//! The Figure 3 pipeline is deterministic per function given (a) the
+//! function's machine-code bytes, (b) the pipeline `Version` and its pass
+//! list, and (c) the interprocedural facts the function consumed (callee
+//! signatures after parameter promotion, `ipsccp` constant substitutions).
+//! That makes the fully-refined-and-optimized LIR of each function a pure
+//! value keyed by a content hash — this crate stores those values on disk
+//! so retranslating an unchanged binary skips `lift`/`refine`/`opt`
+//! entirely and goes straight to Arm code generation.
+//!
+//! The pipeline computes the keys (it owns the pass schedule and the fact
+//! digests); this crate owns the disk format:
+//!
+//! ```text
+//! <cache-dir>/
+//!   man-<modulekey>.bin     manifest: per-function artifact keys + stats
+//!   obj/<funckey>.bin       one framed, serialized LIR function each
+//!   tmp/                    staging for atomic renames
+//! ```
+//!
+//! Every file is written to `tmp/` first and atomically renamed into
+//! place, and every file carries a checksum [`frame`](ser::frame). A torn,
+//! truncated, or bit-flipped entry therefore *reads as a miss* — the bad
+//! file is deleted so the next store heals it — and is never an error.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod ser;
+
+pub use hash::{fnv64, Fnv64};
+pub use ser::Corrupt;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+use lasagne_lir::func::{ExternDecl, Function, GlobalVar, Module};
+
+/// Hit/miss/write counters for one cache handle.
+///
+/// `hits` and `misses` count *function artifacts* on the load path (a
+/// failed module load is a single miss, since nothing per-function was
+/// usable); `writes`/`unchanged` count artifacts on the store path;
+/// `evicted` counts files removed by pruning; `saved_nanos` sums the
+/// recorded cold-translation time of every artifact served from cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Function artifacts served from cache.
+    pub hits: u64,
+    /// Module loads that found no usable entry.
+    pub misses: u64,
+    /// New function artifacts written.
+    pub writes: u64,
+    /// Artifacts already present at store time (shared with a prior entry).
+    pub unchanged: u64,
+    /// Files removed by pruning.
+    pub evicted: u64,
+    /// Cold-path nanoseconds avoided by the hits.
+    pub saved_nanos: u64,
+}
+
+/// Per-function metadata cached alongside the LIR artifact: the fence
+/// placement statistics and the cold-path translation time the cached
+/// entry stands in for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncMeta {
+    /// Read-to-memory fences placed (`PlacementStats::frm`).
+    pub frm: u64,
+    /// Write-write fences placed (`PlacementStats::fww`).
+    pub fww: u64,
+    /// Placements skipped by the stack-locality analysis.
+    pub skipped_stack: u64,
+    /// Wall nanoseconds the cold lift/refine/fences/merge/opt path spent
+    /// on this function.
+    pub cold_nanos: u64,
+}
+
+/// One function's row in a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Function name (must match the decoded artifact).
+    pub name: String,
+    /// Content key of the function artifact under `obj/`.
+    pub key: u64,
+    /// Cached per-function metadata.
+    pub meta: FuncMeta,
+}
+
+/// The module-level cache entry: which artifacts make up the module, in
+/// which order, plus everything needed to rebuild the `Translation`
+/// without rerunning the pipeline.
+///
+/// Module-level stats are stored rather than recomputed because some of
+/// them (`casts_final`) are sampled mid-pipeline — after refinement but
+/// before optimization — and cannot be recovered from the final module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// `Version::name()` the entry was translated under (informational;
+    /// the version is already folded into the module key).
+    pub version: String,
+    /// The pipeline pass list (informational, as above).
+    pub passes: String,
+    /// `TranslationStats` as a fixed-order array: `[casts_lifted,
+    /// casts_final, fences_naive, fences_placed, fences_final,
+    /// insts_lifted, insts_final]`.
+    pub module_stats: [u64; 7],
+    /// Module globals, verbatim.
+    pub globals: Vec<GlobalVar>,
+    /// Module extern declarations, verbatim.
+    pub externs: Vec<ExternDecl>,
+    /// Per-function rows, in module function order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// A fully reassembled module loaded from cache.
+#[derive(Debug, Clone)]
+pub struct CachedModule {
+    /// The post-`opt` LIR module, ready for Arm code generation.
+    pub module: Module,
+    /// Per-function metadata, parallel to `module.funcs`.
+    pub metas: Vec<FuncMeta>,
+    /// Module-level stats in [`Manifest::module_stats`] order.
+    pub module_stats: [u64; 7],
+}
+
+/// Default number of module manifests retained by pruning.
+pub const DEFAULT_KEEP: usize = 64;
+
+/// A handle on one on-disk cache directory.
+///
+/// The handle is `Sync`; counters are internally locked. All I/O errors on
+/// the load path degrade to misses and all I/O errors on the store path
+/// are silently dropped (the cache is an accelerator, never a correctness
+/// dependency) — only [`TranslationCache::open`] reports failure, since a
+/// directory that cannot be created would make every operation a no-op.
+#[derive(Debug)]
+pub struct TranslationCache {
+    root: PathBuf,
+    keep: usize,
+    stats: Mutex<CacheStats>,
+    tmp_seq: AtomicU64,
+}
+
+impl TranslationCache {
+    /// Opens (creating if needed) the cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory layout cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<TranslationCache> {
+        let root = root.into();
+        fs::create_dir_all(root.join("obj"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        Ok(TranslationCache {
+            root,
+            keep: DEFAULT_KEEP,
+            stats: Mutex::new(CacheStats::default()),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Sets the number of module manifests pruning retains.
+    pub fn with_keep(mut self, keep: usize) -> TranslationCache {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of this handle's counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().unwrap()
+    }
+
+    fn manifest_path(&self, module_key: u64) -> PathBuf {
+        self.root.join(format!("man-{module_key:016x}.bin"))
+    }
+
+    fn artifact_path(&self, func_key: u64) -> PathBuf {
+        self.root.join("obj").join(format!("{func_key:016x}.bin"))
+    }
+
+    /// Attempts to serve the whole module for `module_key` from cache.
+    ///
+    /// Returns `None` — counting one miss — if the manifest is absent, any
+    /// file fails its checksum or decode, any artifact's name disagrees
+    /// with its manifest row, or the reassembled module fails the LIR
+    /// verifier. Corrupt files encountered on the way are deleted so the
+    /// next cold run rewrites them.
+    pub fn load(&self, module_key: u64) -> Option<CachedModule> {
+        match self.try_load(module_key) {
+            Some(cached) => {
+                let mut s = self.stats.lock().unwrap();
+                s.hits += cached.module.funcs.len() as u64;
+                s.saved_nanos += cached.metas.iter().map(|m| m.cold_nanos).sum::<u64>();
+                Some(cached)
+            }
+            None => {
+                self.stats.lock().unwrap().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Reads and decodes the manifest for `module_key` without touching
+    /// the artifacts or the counters. Intended for inspection (tests,
+    /// tooling); returns `None` on absence or corruption.
+    pub fn load_manifest(&self, module_key: u64) -> Option<Manifest> {
+        decode_manifest(&fs::read(self.manifest_path(module_key)).ok()?).ok()
+    }
+
+    fn try_load(&self, module_key: u64) -> Option<CachedModule> {
+        let man_path = self.manifest_path(module_key);
+        let bytes = match fs::read(&man_path) {
+            Ok(b) => b,
+            Err(e) => {
+                // Unreadable-but-present manifests (not plain absence) are
+                // corrupt debris; remove them so the next store heals.
+                if e.kind() != io::ErrorKind::NotFound {
+                    let _ = fs::remove_file(&man_path);
+                }
+                return None;
+            }
+        };
+        let manifest = match decode_manifest(&bytes) {
+            Ok(m) => m,
+            Err(Corrupt) => {
+                let _ = fs::remove_file(&man_path);
+                return None;
+            }
+        };
+        let mut module = Module {
+            funcs: Vec::with_capacity(manifest.entries.len()),
+            globals: manifest.globals.clone(),
+            externs: manifest.externs.clone(),
+        };
+        let mut metas = Vec::with_capacity(manifest.entries.len());
+        for entry in &manifest.entries {
+            let path = self.artifact_path(entry.key);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        let _ = fs::remove_file(&path);
+                    }
+                    return None;
+                }
+            };
+            let func = match decode_function(&bytes) {
+                Ok(f) => f,
+                Err(Corrupt) => {
+                    let _ = fs::remove_file(&path);
+                    return None;
+                }
+            };
+            if func.name != entry.name {
+                let _ = fs::remove_file(&path);
+                return None;
+            }
+            module.funcs.push(func);
+            metas.push(entry.meta);
+        }
+        if lasagne_lir::verify::verify_module(&module).is_err() {
+            // Individually well-formed functions that do not verify as a
+            // module (dangling callee ids, say) mean the manifest groups
+            // stale artifacts; drop the manifest, keep the artifacts.
+            let _ = fs::remove_file(&man_path);
+            return None;
+        }
+        Some(CachedModule {
+            module,
+            metas,
+            module_stats: manifest.module_stats,
+        })
+    }
+
+    /// Writes the module entry for `module_key`: every function artifact
+    /// not already present, then the manifest, then a prune. All writes
+    /// are tempfile-plus-rename; failures are ignored (the entry will
+    /// simply miss next time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `manifest.entries` and `funcs` disagree in length — that
+    /// is a caller bug, not a cache condition.
+    pub fn store(&self, module_key: u64, manifest: &Manifest, funcs: &[Function]) {
+        assert_eq!(manifest.entries.len(), funcs.len());
+        for (entry, func) in manifest.entries.iter().zip(funcs) {
+            let path = self.artifact_path(entry.key);
+            if path.exists() {
+                self.stats.lock().unwrap().unchanged += 1;
+                continue;
+            }
+            let mut w = ser::Writer::new();
+            w.put_function(func);
+            if self.write_atomic(&path, &ser::frame(&w.finish())).is_ok() {
+                self.stats.lock().unwrap().writes += 1;
+            }
+        }
+        let bytes = ser::frame(&encode_manifest(manifest));
+        let _ = self.write_atomic(&self.manifest_path(module_key), &bytes);
+        self.prune();
+    }
+
+    fn write_atomic(&self, dst: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, AtomicOrdering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, dst).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+
+    /// Retains the `keep` most-recently-modified manifests, deleting older
+    /// ones and any `obj/` artifact no surviving manifest references.
+    /// Called from [`TranslationCache::store`]; harmless to call directly.
+    pub fn prune(&self) {
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut manifests: Vec<(std::time::SystemTime, PathBuf)> = dir
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("man-") && name.ends_with(".bin")
+            })
+            .filter_map(|e| {
+                let mtime = e.metadata().ok()?.modified().ok()?;
+                Some((mtime, e.path()))
+            })
+            .collect();
+        if manifests.len() <= self.keep {
+            return;
+        }
+        manifests.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let (kept, evict) = manifests.split_at(self.keep);
+        let mut evicted = 0u64;
+        for (_, path) in evict {
+            if fs::remove_file(path).is_ok() {
+                evicted += 1;
+            }
+        }
+        // GC artifacts unreferenced by any surviving manifest.
+        let mut live: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for (_, path) in kept {
+            let Ok(bytes) = fs::read(path) else { continue };
+            let Ok(man) = decode_manifest(&bytes) else {
+                continue;
+            };
+            live.extend(man.entries.iter().map(|e| e.key));
+        }
+        if let Ok(objs) = fs::read_dir(self.root.join("obj")) {
+            for e in objs.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                let key = name
+                    .strip_suffix(".bin")
+                    .and_then(|s| u64::from_str_radix(s, 16).ok());
+                let dead = match key {
+                    Some(k) => !live.contains(&k),
+                    None => true,
+                };
+                if dead && fs::remove_file(e.path()).is_ok() {
+                    evicted += 1;
+                }
+            }
+        }
+        self.stats.lock().unwrap().evicted += evicted;
+    }
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = ser::Writer::new();
+    w.put_str(&m.version);
+    w.put_str(&m.passes);
+    for v in m.module_stats {
+        w.put_u64(v);
+    }
+    w.put_u64(m.globals.len() as u64);
+    for g in &m.globals {
+        w.put_global(g);
+    }
+    w.put_u64(m.externs.len() as u64);
+    for e in &m.externs {
+        w.put_extern(e);
+    }
+    w.put_u64(m.entries.len() as u64);
+    for e in &m.entries {
+        w.put_str(&e.name);
+        w.put_u64(e.key);
+        w.put_u64(e.meta.frm);
+        w.put_u64(e.meta.fww);
+        w.put_u64(e.meta.skipped_stack);
+        w.put_u64(e.meta.cold_nanos);
+    }
+    w.finish()
+}
+
+fn decode_manifest(file_bytes: &[u8]) -> Result<Manifest, Corrupt> {
+    let payload = ser::unframe(file_bytes)?;
+    let mut r = ser::Reader::new(payload);
+    let version = r.get_str()?;
+    let passes = r.get_str()?;
+    let mut module_stats = [0u64; 7];
+    for v in &mut module_stats {
+        *v = r.get_u64()?;
+    }
+    let nglobals = r.get_len()?;
+    let mut globals = Vec::with_capacity(nglobals);
+    for _ in 0..nglobals {
+        globals.push(r.get_global()?);
+    }
+    let nexterns = r.get_len()?;
+    let mut externs = Vec::with_capacity(nexterns);
+    for _ in 0..nexterns {
+        externs.push(r.get_extern()?);
+    }
+    let nentries = r.get_len()?;
+    let mut entries = Vec::with_capacity(nentries);
+    for _ in 0..nentries {
+        entries.push(ManifestEntry {
+            name: r.get_str()?,
+            key: r.get_u64()?,
+            meta: FuncMeta {
+                frm: r.get_u64()?,
+                fww: r.get_u64()?,
+                skipped_stack: r.get_u64()?,
+                cold_nanos: r.get_u64()?,
+            },
+        });
+    }
+    r.expect_eof()?;
+    Ok(Manifest {
+        version,
+        passes,
+        module_stats,
+        globals,
+        externs,
+        entries,
+    })
+}
+
+fn decode_function(file_bytes: &[u8]) -> Result<Function, Corrupt> {
+    let payload = ser::unframe(file_bytes)?;
+    let mut r = ser::Reader::new(payload);
+    let f = r.get_function()?;
+    r.expect_eof()?;
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_lir::inst::{InstKind, Operand, Terminator};
+    use lasagne_lir::types::Ty;
+    use std::sync::atomic::AtomicU32;
+
+    static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "lasagne-cache-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            TEST_DIR_SEQ.fetch_add(1, AtomicOrdering::Relaxed)
+        ))
+    }
+
+    fn leaf(name: &str, k: i64) -> Function {
+        let mut f = Function::new(name, vec![Ty::I64], Ty::I64);
+        let e = f.entry();
+        let add = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: lasagne_lir::inst::BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(k),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(add)),
+            },
+        );
+        f
+    }
+
+    fn sample_manifest(funcs: &[Function]) -> Manifest {
+        Manifest {
+            version: "PPOpt".into(),
+            passes: "lift,opt,armgen".into(),
+            module_stats: [1, 2, 3, 4, 5, 6, 7],
+            globals: vec![GlobalVar {
+                name: "g".into(),
+                size: 8,
+                init: vec![0xff],
+                addr: 0x60_0000,
+            }],
+            externs: vec![ExternDecl {
+                name: "puts".into(),
+                params: vec![Ty::Ptr(lasagne_lir::types::Pointee::I8)],
+                ret: Ty::I32,
+                variadic: false,
+            }],
+            entries: funcs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let mut w = ser::Writer::new();
+                    w.put_function(f);
+                    ManifestEntry {
+                        name: f.name.clone(),
+                        key: fnv64(w.bytes()),
+                        meta: FuncMeta {
+                            frm: i as u64,
+                            fww: 1,
+                            skipped_stack: 2,
+                            cold_nanos: 1000 + i as u64,
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_cache_dir("roundtrip");
+        let cache = TranslationCache::open(&dir).unwrap();
+        let funcs = vec![leaf("a", 3), leaf("b", 5)];
+        let man = sample_manifest(&funcs);
+
+        assert!(cache.load(0xdead).is_none());
+        cache.store(0xdead, &man, &funcs);
+        let got = cache.load(0xdead).expect("stored entry should load");
+        assert_eq!(got.module.funcs, funcs);
+        assert_eq!(got.module.globals, man.globals);
+        assert_eq!(got.module.externs, man.externs);
+        assert_eq!(got.module_stats, man.module_stats);
+        assert_eq!(got.metas.len(), 2);
+        assert_eq!(got.metas[1].cold_nanos, 1001);
+
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.saved_nanos, 2001);
+
+        // A second store of the same content writes nothing new.
+        cache.store(0xdead, &man, &funcs);
+        assert_eq!(cache.stats().writes, 2);
+        assert_eq!(cache.stats().unchanged, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_self_healing_miss() {
+        let dir = temp_cache_dir("heal");
+        let cache = TranslationCache::open(&dir).unwrap();
+        let funcs = vec![leaf("a", 3)];
+        let man = sample_manifest(&funcs);
+        cache.store(1, &man, &funcs);
+
+        let obj = cache.artifact_path(man.entries[0].key);
+        let mut bytes = fs::read(&obj).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&obj, &bytes).unwrap();
+
+        assert!(cache.load(1).is_none(), "torn artifact must miss");
+        assert!(!obj.exists(), "torn artifact must be deleted");
+        cache.store(1, &man, &funcs);
+        assert!(cache.load(1).is_some(), "store after heal must hit");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_self_healing_miss() {
+        let dir = temp_cache_dir("healman");
+        let cache = TranslationCache::open(&dir).unwrap();
+        let funcs = vec![leaf("a", 3)];
+        let man = sample_manifest(&funcs);
+        cache.store(2, &man, &funcs);
+
+        let man_path = cache.manifest_path(2);
+        let mut bytes = fs::read(&man_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&man_path, &bytes).unwrap();
+
+        assert!(cache.load(2).is_none());
+        assert!(!man_path.exists());
+        cache.store(2, &man, &funcs);
+        // Artifacts survived; only the manifest needed rewriting.
+        assert_eq!(cache.stats().unchanged, 1);
+        assert!(cache.load(2).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_recent_manifests_and_gcs_orphans() {
+        let dir = temp_cache_dir("prune");
+        let cache = TranslationCache::open(&dir).unwrap().with_keep(2);
+        for i in 0..5u64 {
+            let funcs = vec![leaf(&format!("f{i}"), i as i64)];
+            let man = sample_manifest(&funcs);
+            cache.store(i, &man, &funcs);
+        }
+        let manifests = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("man-"))
+            .count();
+        assert_eq!(manifests, 2);
+        let objs = fs::read_dir(dir.join("obj")).unwrap().flatten().count();
+        assert!(objs <= 2, "orphan artifacts survived GC: {objs}");
+        assert!(cache.stats().evicted >= 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

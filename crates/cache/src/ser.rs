@@ -1,0 +1,1192 @@
+//! Hand-rolled binary (de)serialization for LIR functions and module
+//! shells.
+//!
+//! Like the repo's JSON writers, this is deliberately dependency-free: a
+//! tag byte per enum variant, little-endian fixed-width integers, and
+//! length-prefixed strings/vectors. The format is *not* a public interface
+//! — any layout change must bump [`SCHEMA`], which flows into every cache
+//! key, so stale entries simply miss instead of misparsing.
+//!
+//! Entries on disk are wrapped in a [`frame`]: magic, schema, payload
+//! length, and an FNV-1a checksum. [`unframe`] rejects torn or bit-flipped
+//! files with [`Corrupt`]; the cache treats that as a miss, never an error.
+
+use std::fmt;
+
+use lasagne_lir::func::{Block, ExternDecl, Function, GlobalVar};
+use lasagne_lir::inst::{
+    BinOp, BlockId, Callee, CastOp, ExternId, FPred, FenceKind, FuncId, GlobalId, IPred, Inst,
+    InstId, InstKind, Operand, Ordering, RmwOp, Terminator,
+};
+use lasagne_lir::types::{Pointee, Ty};
+
+use crate::hash::fnv64;
+
+/// Serialization format version. Part of every cache key: bumping it
+/// invalidates all previously written entries.
+pub const SCHEMA: u32 = 1;
+
+/// File magic for framed cache entries.
+pub const MAGIC: [u8; 4] = *b"LSGC";
+
+/// Decode failure: the bytes do not form a well-framed, well-typed entry.
+///
+/// Carries no detail on purpose — every corruption, truncation, or schema
+/// mismatch is handled identically (the cache deletes the file and reports
+/// a miss), so there is nothing to branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corrupt;
+
+impl fmt::Display for Corrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt cache entry")
+    }
+}
+
+impl std::error::Error for Corrupt {}
+
+/// Wraps `payload` in the on-disk frame:
+/// `MAGIC ‖ schema:u32 ‖ len:u64 ‖ fnv64(payload):u64 ‖ payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the frame and returns the payload slice.
+///
+/// # Errors
+///
+/// [`Corrupt`] on bad magic, schema mismatch, truncation, trailing bytes,
+/// or checksum failure.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], Corrupt> {
+    if bytes.len() < 24 || bytes[0..4] != MAGIC {
+        return Err(Corrupt);
+    }
+    let schema = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if schema != SCHEMA {
+        return Err(Corrupt);
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let sum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[24..];
+    if payload.len() as u64 != len || fnv64(payload) != sum {
+        return Err(Corrupt);
+    }
+    Ok(payload)
+}
+
+/// An append-only byte buffer with typed put methods.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, yielding the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a [`Pointee`] tag.
+    pub fn put_pointee(&mut self, p: Pointee) {
+        self.put_u8(match p {
+            Pointee::I8 => 0,
+            Pointee::I16 => 1,
+            Pointee::I32 => 2,
+            Pointee::I64 => 3,
+            Pointee::F32 => 4,
+            Pointee::F64 => 5,
+            Pointee::V128 => 6,
+            Pointee::Ptr => 7,
+        });
+    }
+
+    /// Appends a [`Ty`].
+    pub fn put_ty(&mut self, t: Ty) {
+        match t {
+            Ty::Void => self.put_u8(0),
+            Ty::I1 => self.put_u8(1),
+            Ty::I8 => self.put_u8(2),
+            Ty::I16 => self.put_u8(3),
+            Ty::I32 => self.put_u8(4),
+            Ty::I64 => self.put_u8(5),
+            Ty::F32 => self.put_u8(6),
+            Ty::F64 => self.put_u8(7),
+            Ty::V2F64 => self.put_u8(8),
+            Ty::V4F32 => self.put_u8(9),
+            Ty::V2I64 => self.put_u8(10),
+            Ty::V4I32 => self.put_u8(11),
+            Ty::Ptr(p) => {
+                self.put_u8(12);
+                self.put_pointee(p);
+            }
+        }
+    }
+
+    /// Appends an [`Operand`].
+    pub fn put_operand(&mut self, op: &Operand) {
+        match op {
+            Operand::Inst(id) => {
+                self.put_u8(0);
+                self.put_u32(id.0);
+            }
+            Operand::Param(i) => {
+                self.put_u8(1);
+                self.put_u32(*i);
+            }
+            Operand::ConstInt { ty, val } => {
+                self.put_u8(2);
+                self.put_ty(*ty);
+                self.put_u64(*val);
+            }
+            Operand::ConstF32(bits) => {
+                self.put_u8(3);
+                self.put_u32(*bits);
+            }
+            Operand::ConstF64(bits) => {
+                self.put_u8(4);
+                self.put_u64(*bits);
+            }
+            Operand::Global(id) => {
+                self.put_u8(5);
+                self.put_u32(id.0);
+            }
+            Operand::Func(id) => {
+                self.put_u8(6);
+                self.put_u32(id.0);
+            }
+            Operand::Undef(ty) => {
+                self.put_u8(7);
+                self.put_ty(*ty);
+            }
+        }
+    }
+
+    /// Appends a [`Callee`].
+    pub fn put_callee(&mut self, c: &Callee) {
+        match c {
+            Callee::Func(id) => {
+                self.put_u8(0);
+                self.put_u32(id.0);
+            }
+            Callee::Extern(id) => {
+                self.put_u8(1);
+                self.put_u32(id.0);
+            }
+            Callee::Indirect(op) => {
+                self.put_u8(2);
+                self.put_operand(op);
+            }
+        }
+    }
+
+    /// Appends an [`InstKind`].
+    pub fn put_inst_kind(&mut self, k: &InstKind) {
+        match k {
+            InstKind::Bin { op, lhs, rhs } => {
+                self.put_u8(0);
+                self.put_u8(bin_op_tag(*op));
+                self.put_operand(lhs);
+                self.put_operand(rhs);
+            }
+            InstKind::ICmp { pred, lhs, rhs } => {
+                self.put_u8(1);
+                self.put_u8(ipred_tag(*pred));
+                self.put_operand(lhs);
+                self.put_operand(rhs);
+            }
+            InstKind::FCmp { pred, lhs, rhs } => {
+                self.put_u8(2);
+                self.put_u8(fpred_tag(*pred));
+                self.put_operand(lhs);
+                self.put_operand(rhs);
+            }
+            InstKind::Load { ptr, order } => {
+                self.put_u8(3);
+                self.put_operand(ptr);
+                self.put_u8(order_tag(*order));
+            }
+            InstKind::Store { ptr, val, order } => {
+                self.put_u8(4);
+                self.put_operand(ptr);
+                self.put_operand(val);
+                self.put_u8(order_tag(*order));
+            }
+            InstKind::Fence { kind } => {
+                self.put_u8(5);
+                self.put_u8(fence_tag(*kind));
+            }
+            InstKind::AtomicRmw { op, ptr, val } => {
+                self.put_u8(6);
+                self.put_u8(rmw_tag(*op));
+                self.put_operand(ptr);
+                self.put_operand(val);
+            }
+            InstKind::CmpXchg { ptr, expected, new } => {
+                self.put_u8(7);
+                self.put_operand(ptr);
+                self.put_operand(expected);
+                self.put_operand(new);
+            }
+            InstKind::Alloca { size } => {
+                self.put_u8(8);
+                self.put_u64(*size);
+            }
+            InstKind::Gep {
+                base,
+                offset,
+                elem_size,
+            } => {
+                self.put_u8(9);
+                self.put_operand(base);
+                self.put_operand(offset);
+                self.put_u64(*elem_size);
+            }
+            InstKind::Cast { op, val } => {
+                self.put_u8(10);
+                self.put_u8(cast_tag(*op));
+                self.put_operand(val);
+            }
+            InstKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.put_u8(11);
+                self.put_operand(cond);
+                self.put_operand(if_true);
+                self.put_operand(if_false);
+            }
+            InstKind::Call { callee, args } => {
+                self.put_u8(12);
+                self.put_callee(callee);
+                self.put_u64(args.len() as u64);
+                for a in args {
+                    self.put_operand(a);
+                }
+            }
+            InstKind::Phi { incoming } => {
+                self.put_u8(13);
+                self.put_u64(incoming.len() as u64);
+                for (b, v) in incoming {
+                    self.put_u32(b.0);
+                    self.put_operand(v);
+                }
+            }
+            InstKind::ExtractElement { vec, idx } => {
+                self.put_u8(14);
+                self.put_operand(vec);
+                self.put_u32(*idx);
+            }
+            InstKind::InsertElement { vec, elt, idx } => {
+                self.put_u8(15);
+                self.put_operand(vec);
+                self.put_operand(elt);
+                self.put_u32(*idx);
+            }
+        }
+    }
+
+    /// Appends a [`Terminator`].
+    pub fn put_term(&mut self, t: &Terminator) {
+        match t {
+            Terminator::Br { dest } => {
+                self.put_u8(0);
+                self.put_u32(dest.0);
+            }
+            Terminator::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.put_u8(1);
+                self.put_operand(cond);
+                self.put_u32(if_true.0);
+                self.put_u32(if_false.0);
+            }
+            Terminator::Ret { val } => {
+                self.put_u8(2);
+                match val {
+                    None => self.put_u8(0),
+                    Some(v) => {
+                        self.put_u8(1);
+                        self.put_operand(v);
+                    }
+                }
+            }
+            Terminator::Unreachable => self.put_u8(3),
+        }
+    }
+
+    /// Appends a whole [`Function`].
+    pub fn put_function(&mut self, f: &Function) {
+        self.put_str(&f.name);
+        self.put_u64(f.params.len() as u64);
+        for p in &f.params {
+            self.put_ty(*p);
+        }
+        self.put_ty(f.ret);
+        self.put_u64(f.insts.len() as u64);
+        for inst in &f.insts {
+            self.put_ty(inst.ty);
+            self.put_inst_kind(&inst.kind);
+        }
+        self.put_u64(f.blocks.len() as u64);
+        for b in &f.blocks {
+            self.put_u64(b.insts.len() as u64);
+            for id in &b.insts {
+                self.put_u32(id.0);
+            }
+            self.put_term(&b.term);
+        }
+    }
+
+    /// Appends a [`GlobalVar`].
+    pub fn put_global(&mut self, g: &GlobalVar) {
+        self.put_str(&g.name);
+        self.put_u64(g.size);
+        self.put_bytes(&g.init);
+        self.put_u64(g.addr);
+    }
+
+    /// Appends an [`ExternDecl`].
+    pub fn put_extern(&mut self, e: &ExternDecl) {
+        self.put_str(&e.name);
+        self.put_u64(e.params.len() as u64);
+        for p in &e.params {
+            self.put_ty(*p);
+        }
+        self.put_ty(e.ret);
+        self.put_u8(u8::from(e.variadic));
+    }
+}
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::UDiv => 3,
+        BinOp::SDiv => 4,
+        BinOp::URem => 5,
+        BinOp::SRem => 6,
+        BinOp::And => 7,
+        BinOp::Or => 8,
+        BinOp::Xor => 9,
+        BinOp::Shl => 10,
+        BinOp::LShr => 11,
+        BinOp::AShr => 12,
+        BinOp::FAdd => 13,
+        BinOp::FSub => 14,
+        BinOp::FMul => 15,
+        BinOp::FDiv => 16,
+        BinOp::FMin => 17,
+        BinOp::FMax => 18,
+    }
+}
+
+fn ipred_tag(p: IPred) -> u8 {
+    match p {
+        IPred::Eq => 0,
+        IPred::Ne => 1,
+        IPred::Ult => 2,
+        IPred::Ule => 3,
+        IPred::Ugt => 4,
+        IPred::Uge => 5,
+        IPred::Slt => 6,
+        IPred::Sle => 7,
+        IPred::Sgt => 8,
+        IPred::Sge => 9,
+    }
+}
+
+fn fpred_tag(p: FPred) -> u8 {
+    match p {
+        FPred::Oeq => 0,
+        FPred::One => 1,
+        FPred::Olt => 2,
+        FPred::Ole => 3,
+        FPred::Ogt => 4,
+        FPred::Oge => 5,
+        FPred::Une => 6,
+        FPred::Uno => 7,
+        FPred::Ord => 8,
+    }
+}
+
+fn order_tag(o: Ordering) -> u8 {
+    match o {
+        Ordering::NotAtomic => 0,
+        Ordering::SeqCst => 1,
+    }
+}
+
+fn fence_tag(k: FenceKind) -> u8 {
+    match k {
+        FenceKind::Frm => 0,
+        FenceKind::Fww => 1,
+        FenceKind::Fsc => 2,
+    }
+}
+
+fn rmw_tag(op: RmwOp) -> u8 {
+    match op {
+        RmwOp::Xchg => 0,
+        RmwOp::Add => 1,
+        RmwOp::Sub => 2,
+        RmwOp::And => 3,
+        RmwOp::Or => 4,
+        RmwOp::Xor => 5,
+    }
+}
+
+fn cast_tag(op: CastOp) -> u8 {
+    match op {
+        CastOp::Trunc => 0,
+        CastOp::ZExt => 1,
+        CastOp::SExt => 2,
+        CastOp::FpToSi => 3,
+        CastOp::SiToFp => 4,
+        CastOp::FpExt => 5,
+        CastOp::FpTrunc => 6,
+        CastOp::BitCast => 7,
+        CastOp::IntToPtr => 8,
+        CastOp::PtrToInt => 9,
+    }
+}
+
+/// A cursor over serialized bytes with typed get methods.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn expect_eof(&self) -> Result<(), Corrupt> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Corrupt)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Corrupt> {
+        let end = self.pos.checked_add(n).ok_or(Corrupt)?;
+        if end > self.buf.len() {
+            return Err(Corrupt);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, Corrupt> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, Corrupt> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, Corrupt> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length as `usize`, rejecting lengths beyond the remaining
+    /// buffer (so corrupt lengths fail fast instead of allocating).
+    pub fn get_len(&mut self) -> Result<usize, Corrupt> {
+        let n = self.get_u64()?;
+        let n = usize::try_from(n).map_err(|_| Corrupt)?;
+        // Any legitimate n-element sequence needs at least n bytes.
+        if n > self.buf.len() - self.pos {
+            return Err(Corrupt);
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], Corrupt> {
+        let n = self.get_len()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, Corrupt> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| Corrupt)
+    }
+
+    /// Reads a [`Pointee`].
+    pub fn get_pointee(&mut self) -> Result<Pointee, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Pointee::I8,
+            1 => Pointee::I16,
+            2 => Pointee::I32,
+            3 => Pointee::I64,
+            4 => Pointee::F32,
+            5 => Pointee::F64,
+            6 => Pointee::V128,
+            7 => Pointee::Ptr,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads a [`Ty`].
+    pub fn get_ty(&mut self) -> Result<Ty, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Ty::Void,
+            1 => Ty::I1,
+            2 => Ty::I8,
+            3 => Ty::I16,
+            4 => Ty::I32,
+            5 => Ty::I64,
+            6 => Ty::F32,
+            7 => Ty::F64,
+            8 => Ty::V2F64,
+            9 => Ty::V4F32,
+            10 => Ty::V2I64,
+            11 => Ty::V4I32,
+            12 => Ty::Ptr(self.get_pointee()?),
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads an [`Operand`].
+    pub fn get_operand(&mut self) -> Result<Operand, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Operand::Inst(InstId(self.get_u32()?)),
+            1 => Operand::Param(self.get_u32()?),
+            2 => Operand::ConstInt {
+                ty: self.get_ty()?,
+                val: self.get_u64()?,
+            },
+            3 => Operand::ConstF32(self.get_u32()?),
+            4 => Operand::ConstF64(self.get_u64()?),
+            5 => Operand::Global(GlobalId(self.get_u32()?)),
+            6 => Operand::Func(FuncId(self.get_u32()?)),
+            7 => Operand::Undef(self.get_ty()?),
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads a [`Callee`].
+    pub fn get_callee(&mut self) -> Result<Callee, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Callee::Func(FuncId(self.get_u32()?)),
+            1 => Callee::Extern(ExternId(self.get_u32()?)),
+            2 => Callee::Indirect(self.get_operand()?),
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads an [`InstKind`].
+    pub fn get_inst_kind(&mut self) -> Result<InstKind, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => InstKind::Bin {
+                op: self.get_bin_op()?,
+                lhs: self.get_operand()?,
+                rhs: self.get_operand()?,
+            },
+            1 => InstKind::ICmp {
+                pred: self.get_ipred()?,
+                lhs: self.get_operand()?,
+                rhs: self.get_operand()?,
+            },
+            2 => InstKind::FCmp {
+                pred: self.get_fpred()?,
+                lhs: self.get_operand()?,
+                rhs: self.get_operand()?,
+            },
+            3 => InstKind::Load {
+                ptr: self.get_operand()?,
+                order: self.get_order()?,
+            },
+            4 => InstKind::Store {
+                ptr: self.get_operand()?,
+                val: self.get_operand()?,
+                order: self.get_order()?,
+            },
+            5 => InstKind::Fence {
+                kind: self.get_fence()?,
+            },
+            6 => InstKind::AtomicRmw {
+                op: self.get_rmw()?,
+                ptr: self.get_operand()?,
+                val: self.get_operand()?,
+            },
+            7 => InstKind::CmpXchg {
+                ptr: self.get_operand()?,
+                expected: self.get_operand()?,
+                new: self.get_operand()?,
+            },
+            8 => InstKind::Alloca {
+                size: self.get_u64()?,
+            },
+            9 => InstKind::Gep {
+                base: self.get_operand()?,
+                offset: self.get_operand()?,
+                elem_size: self.get_u64()?,
+            },
+            10 => InstKind::Cast {
+                op: self.get_cast()?,
+                val: self.get_operand()?,
+            },
+            11 => InstKind::Select {
+                cond: self.get_operand()?,
+                if_true: self.get_operand()?,
+                if_false: self.get_operand()?,
+            },
+            12 => {
+                let callee = self.get_callee()?;
+                let n = self.get_len()?;
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.get_operand()?);
+                }
+                InstKind::Call { callee, args }
+            }
+            13 => {
+                let n = self.get_len()?;
+                let mut incoming = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let b = BlockId(self.get_u32()?);
+                    incoming.push((b, self.get_operand()?));
+                }
+                InstKind::Phi { incoming }
+            }
+            14 => InstKind::ExtractElement {
+                vec: self.get_operand()?,
+                idx: self.get_u32()?,
+            },
+            15 => InstKind::InsertElement {
+                vec: self.get_operand()?,
+                elt: self.get_operand()?,
+                idx: self.get_u32()?,
+            },
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads a [`Terminator`].
+    pub fn get_term(&mut self) -> Result<Terminator, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Terminator::Br {
+                dest: BlockId(self.get_u32()?),
+            },
+            1 => Terminator::CondBr {
+                cond: self.get_operand()?,
+                if_true: BlockId(self.get_u32()?),
+                if_false: BlockId(self.get_u32()?),
+            },
+            2 => Terminator::Ret {
+                val: match self.get_u8()? {
+                    0 => None,
+                    1 => Some(self.get_operand()?),
+                    _ => return Err(Corrupt),
+                },
+            },
+            3 => Terminator::Unreachable,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    /// Reads a whole [`Function`].
+    pub fn get_function(&mut self) -> Result<Function, Corrupt> {
+        let name = self.get_str()?;
+        let nparams = self.get_len()?;
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(self.get_ty()?);
+        }
+        let ret = self.get_ty()?;
+        let ninsts = self.get_len()?;
+        let mut insts = Vec::with_capacity(ninsts);
+        for _ in 0..ninsts {
+            let ty = self.get_ty()?;
+            let kind = self.get_inst_kind()?;
+            insts.push(Inst { ty, kind });
+        }
+        let nblocks = self.get_len()?;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let nids = self.get_len()?;
+            let mut ids = Vec::with_capacity(nids);
+            for _ in 0..nids {
+                let id = self.get_u32()?;
+                if id as usize >= insts.len() {
+                    return Err(Corrupt);
+                }
+                ids.push(InstId(id));
+            }
+            let term = self.get_term()?;
+            blocks.push(Block { insts: ids, term });
+        }
+        if blocks.is_empty() {
+            return Err(Corrupt);
+        }
+        let mut f = Function::new(&name, params, ret);
+        f.insts = insts;
+        f.blocks = blocks;
+        Ok(f)
+    }
+
+    /// Reads a [`GlobalVar`].
+    pub fn get_global(&mut self) -> Result<GlobalVar, Corrupt> {
+        Ok(GlobalVar {
+            name: self.get_str()?,
+            size: self.get_u64()?,
+            init: self.get_bytes()?.to_vec(),
+            addr: self.get_u64()?,
+        })
+    }
+
+    /// Reads an [`ExternDecl`].
+    pub fn get_extern(&mut self) -> Result<ExternDecl, Corrupt> {
+        let name = self.get_str()?;
+        let nparams = self.get_len()?;
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            params.push(self.get_ty()?);
+        }
+        let ret = self.get_ty()?;
+        let variadic = match self.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(Corrupt),
+        };
+        Ok(ExternDecl {
+            name,
+            params,
+            ret,
+            variadic,
+        })
+    }
+
+    fn get_bin_op(&mut self) -> Result<BinOp, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::UDiv,
+            4 => BinOp::SDiv,
+            5 => BinOp::URem,
+            6 => BinOp::SRem,
+            7 => BinOp::And,
+            8 => BinOp::Or,
+            9 => BinOp::Xor,
+            10 => BinOp::Shl,
+            11 => BinOp::LShr,
+            12 => BinOp::AShr,
+            13 => BinOp::FAdd,
+            14 => BinOp::FSub,
+            15 => BinOp::FMul,
+            16 => BinOp::FDiv,
+            17 => BinOp::FMin,
+            18 => BinOp::FMax,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_ipred(&mut self) -> Result<IPred, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => IPred::Eq,
+            1 => IPred::Ne,
+            2 => IPred::Ult,
+            3 => IPred::Ule,
+            4 => IPred::Ugt,
+            5 => IPred::Uge,
+            6 => IPred::Slt,
+            7 => IPred::Sle,
+            8 => IPred::Sgt,
+            9 => IPred::Sge,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_fpred(&mut self) -> Result<FPred, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => FPred::Oeq,
+            1 => FPred::One,
+            2 => FPred::Olt,
+            3 => FPred::Ole,
+            4 => FPred::Ogt,
+            5 => FPred::Oge,
+            6 => FPred::Une,
+            7 => FPred::Uno,
+            8 => FPred::Ord,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_order(&mut self) -> Result<Ordering, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => Ordering::NotAtomic,
+            1 => Ordering::SeqCst,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_fence(&mut self) -> Result<FenceKind, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => FenceKind::Frm,
+            1 => FenceKind::Fww,
+            2 => FenceKind::Fsc,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_rmw(&mut self) -> Result<RmwOp, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => RmwOp::Xchg,
+            1 => RmwOp::Add,
+            2 => RmwOp::Sub,
+            3 => RmwOp::And,
+            4 => RmwOp::Or,
+            5 => RmwOp::Xor,
+            _ => return Err(Corrupt),
+        })
+    }
+
+    fn get_cast(&mut self) -> Result<CastOp, Corrupt> {
+        Ok(match self.get_u8()? {
+            0 => CastOp::Trunc,
+            1 => CastOp::ZExt,
+            2 => CastOp::SExt,
+            3 => CastOp::FpToSi,
+            4 => CastOp::SiToFp,
+            5 => CastOp::FpExt,
+            6 => CastOp::FpTrunc,
+            7 => CastOp::BitCast,
+            8 => CastOp::IntToPtr,
+            9 => CastOp::PtrToInt,
+            _ => return Err(Corrupt),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_lir::types::Pointee;
+
+    /// A function exercising every instruction kind, terminator, operand
+    /// shape, and type variant.
+    fn kitchen_sink() -> Function {
+        let mut f = Function::new(
+            "sink",
+            vec![Ty::I64, Ty::Ptr(Pointee::I64), Ty::F64, Ty::V4F32],
+            Ty::I64,
+        );
+        let e = f.entry();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let add = f.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(-7),
+            },
+        );
+        let cmp = f.push(
+            e,
+            Ty::I1,
+            InstKind::ICmp {
+                pred: IPred::Slt,
+                lhs: Operand::Inst(add),
+                rhs: Operand::i64(100),
+            },
+        );
+        f.push(
+            e,
+            Ty::I1,
+            InstKind::FCmp {
+                pred: FPred::Une,
+                lhs: Operand::Param(2),
+                rhs: Operand::f64(2.5),
+            },
+        );
+        f.set_term(
+            e,
+            Terminator::CondBr {
+                cond: Operand::Inst(cmp),
+                if_true: b1,
+                if_false: b2,
+            },
+        );
+        let ld = f.push(
+            b1,
+            Ty::I64,
+            InstKind::Load {
+                ptr: Operand::Param(1),
+                order: Ordering::SeqCst,
+            },
+        );
+        f.push(
+            b1,
+            Ty::Void,
+            InstKind::Store {
+                ptr: Operand::Param(1),
+                val: Operand::Inst(ld),
+                order: Ordering::NotAtomic,
+            },
+        );
+        f.push(
+            b1,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            },
+        );
+        f.push(
+            b1,
+            Ty::I64,
+            InstKind::AtomicRmw {
+                op: RmwOp::Xchg,
+                ptr: Operand::Param(1),
+                val: Operand::i64(1),
+            },
+        );
+        f.push(
+            b1,
+            Ty::I64,
+            InstKind::CmpXchg {
+                ptr: Operand::Param(1),
+                expected: Operand::i64(0),
+                new: Operand::i64(1),
+            },
+        );
+        let al = f.push(b1, Ty::Ptr(Pointee::I8), InstKind::Alloca { size: 16 });
+        f.push(
+            b1,
+            Ty::Ptr(Pointee::I8),
+            InstKind::Gep {
+                base: Operand::Inst(al),
+                offset: Operand::i64(2),
+                elem_size: 8,
+            },
+        );
+        f.push(
+            b1,
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: Operand::Param(0),
+            },
+        );
+        f.push(
+            b1,
+            Ty::I64,
+            InstKind::Select {
+                cond: Operand::bool(true),
+                if_true: Operand::Inst(ld),
+                if_false: Operand::Undef(Ty::I64),
+            },
+        );
+        f.push(
+            b1,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(FuncId(0)),
+                args: vec![Operand::Global(GlobalId(1)), Operand::Func(FuncId(0))],
+            },
+        );
+        f.push(
+            b1,
+            Ty::Void,
+            InstKind::Call {
+                callee: Callee::Indirect(Operand::Param(0)),
+                args: vec![],
+            },
+        );
+        f.push(
+            b1,
+            Ty::F32,
+            InstKind::ExtractElement {
+                vec: Operand::Param(3),
+                idx: 2,
+            },
+        );
+        f.push(
+            b1,
+            Ty::V4F32,
+            InstKind::InsertElement {
+                vec: Operand::Param(3),
+                elt: Operand::f32(1.5),
+                idx: 1,
+            },
+        );
+        f.set_term(b1, Terminator::Br { dest: b2 });
+        let phi = f.push(
+            b2,
+            Ty::I64,
+            InstKind::Phi {
+                incoming: vec![(e, Operand::Inst(add)), (b1, Operand::Inst(ld))],
+            },
+        );
+        f.set_term(
+            b2,
+            Terminator::Ret {
+                val: Some(Operand::Inst(phi)),
+            },
+        );
+        f
+    }
+
+    #[test]
+    fn function_roundtrip_is_identity() {
+        let f = kitchen_sink();
+        let mut w = Writer::new();
+        w.put_function(&f);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let g = r.get_function().unwrap();
+        r.expect_eof().unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn global_and_extern_roundtrip() {
+        let g = GlobalVar {
+            name: "counter".into(),
+            size: 8,
+            init: vec![1, 2, 3],
+            addr: 0x60_0000,
+        };
+        let e = ExternDecl {
+            name: "printf".into(),
+            params: vec![Ty::Ptr(Pointee::I8)],
+            ret: Ty::I32,
+            variadic: true,
+        };
+        let mut w = Writer::new();
+        w.put_global(&g);
+        w.put_extern(&e);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_global().unwrap(), g);
+        assert_eq!(r.get_extern().unwrap(), e);
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption() {
+        let payload = b"hello cache".to_vec();
+        let framed = frame(&payload);
+        assert_eq!(unframe(&framed).unwrap(), &payload[..]);
+
+        // Truncation at every length is a clean Corrupt, never a panic.
+        for cut in 0..framed.len() {
+            assert_eq!(unframe(&framed[..cut]), Err(Corrupt));
+        }
+        // A single flipped bit anywhere breaks magic, header, or checksum.
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(unframe(&bad), Err(Corrupt), "flip at byte {i} accepted");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = framed.clone();
+        long.push(0);
+        assert_eq!(unframe(&long), Err(Corrupt));
+    }
+
+    #[test]
+    fn truncated_function_bytes_are_corrupt_not_panic() {
+        let f = kitchen_sink();
+        let mut w = Writer::new();
+        w.put_function(&f);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let res = r.get_function().and_then(|g| {
+                r.expect_eof()?;
+                Ok(g)
+            });
+            assert!(res.is_err(), "truncation at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn out_of_range_block_inst_id_is_corrupt() {
+        let mut f = Function::new("t", vec![], Ty::Void);
+        let e = f.entry();
+        f.push(
+            e,
+            Ty::Void,
+            InstKind::Fence {
+                kind: FenceKind::Fsc,
+            },
+        );
+        f.set_term(e, Terminator::Ret { val: None });
+        let mut w = Writer::new();
+        w.put_function(&f);
+        let mut bytes = w.finish();
+        // The single block references InstId(0); find its u32 slot by
+        // re-encoding with a poisoned id and diffing.
+        let mut w2 = Writer::new();
+        f.blocks[0].insts[0] = InstId(7);
+        w2.put_function(&f);
+        let poisoned = w2.finish();
+        let diff = bytes
+            .iter()
+            .zip(poisoned.iter())
+            .position(|(a, b)| a != b)
+            .unwrap();
+        bytes[diff] = 7;
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_function().err(), Some(Corrupt));
+    }
+}

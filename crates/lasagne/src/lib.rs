@@ -48,7 +48,7 @@ use lasagne_lir::Module;
 use lasagne_x86::binary::Binary;
 
 pub use lasagne_lifter::LiftError;
-pub use pipeline::{PassManager, Pipeline, PipelineReport, Stage, TimingSink};
+pub use pipeline::{CacheReport, PassManager, Pipeline, PipelineReport, Stage, TimingSink};
 
 /// The translation configurations of §9.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -218,10 +218,70 @@ pub fn paper_suite() -> Vec<(&'static str, Program)> {
     ]
 }
 
+/// One row of [`sweep_suite`]: a named litmus program with its per-model
+/// outcome counts and the forward/reverse mapping-chain verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRow {
+    /// Litmus test name (as in [`paper_suite`]).
+    pub name: &'static str,
+    /// The x86-level program.
+    pub program: Program,
+    /// Number of consistent outcomes under the x86 model.
+    pub x86_outcomes: usize,
+    /// Number of consistent outcomes under the Arm model.
+    pub arm_outcomes: usize,
+    /// Number of consistent outcomes under the LIMM model.
+    pub limm_outcomes: usize,
+    /// Verdict of the forward x86 → IR → Arm chain ([`check_chain`]).
+    ///
+    /// [`check_chain`]: crate::mapping::check_chain
+    pub chain: Result<(), String>,
+    /// Verdict of the reverse Arm → IR → x86 chain
+    /// ([`check_reverse_chain`]).
+    ///
+    /// [`check_reverse_chain`]: crate::mapping::check_reverse_chain
+    pub reverse: Result<(), String>,
+}
+
+/// Runs the exhaustive mapping sweep over the whole [`paper_suite`] on up
+/// to `jobs` worker threads (via [`lasagne::pipeline::par_map`]). Each
+/// program's outcome enumeration is independent of every other's, so the
+/// result is order-identical to the serial sweep for any `jobs`.
+pub fn sweep_suite(jobs: usize) -> Vec<SuiteRow> {
+    lasagne::pipeline::par_map(jobs, paper_suite(), |_, (name, program)| {
+        let x86_outcomes = crate::models::outcomes(crate::models::Model::X86, &program).len();
+        let arm_outcomes = crate::models::outcomes(crate::models::Model::Arm, &program).len();
+        let limm_outcomes = crate::models::outcomes(crate::models::Model::Limm, &program).len();
+        let chain = crate::mapping::check_chain(&program);
+        let reverse = crate::mapping::check_reverse_chain(&program);
+        SuiteRow {
+            name,
+            program,
+            x86_outcomes,
+            arm_outcomes,
+            limm_outcomes,
+            chain,
+            reverse,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::models::{outcomes, Model};
+
+    #[test]
+    fn parallel_sweep_is_order_identical_to_serial() {
+        let serial = sweep_suite(1);
+        assert_eq!(serial.len(), paper_suite().len());
+        for jobs in [2, 4, 8] {
+            assert_eq!(serial, sweep_suite(jobs), "sweep diverged at jobs={jobs}");
+        }
+        for row in &serial {
+            assert!(row.chain.is_ok(), "{}: {:?}", row.name, row.chain);
+        }
+    }
 
     #[test]
     fn suite_programs_have_executions_under_every_model() {

@@ -251,6 +251,14 @@ pub fn check_chain(p: &Program) -> Result<(), String> {
     Ok(())
 }
 
+/// [`check_chain`] over many programs on up to `jobs` worker threads (via
+/// [`lasagne::pipeline::par_map`]). Verdicts come back in input order —
+/// the parallel sweep is indistinguishable from mapping `check_chain`
+/// serially.
+pub fn check_chain_all(jobs: usize, programs: Vec<Program>) -> Vec<Result<(), String>> {
+    lasagne::pipeline::par_map(jobs, programs, |_, p| check_chain(&p))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,11 +116,38 @@ pub fn remove_unreachable(f: &mut Function) -> usize {
     dropped
 }
 
+/// One interprocedural constant-propagation decision: parameter `param` of
+/// function `func` was unanimously passed `value` at every call site, so its
+/// uses were replaced by `value` inside the callee.
+///
+/// These are the `ipsccp` lattice facts the translation cache folds into a
+/// function's key — a cached entry must be invalidated when a fact it
+/// consumed changes, and the facts derive from *other* functions' call
+/// sites, not from the callee's own bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpsccpFact {
+    /// Index of the function whose parameter was substituted.
+    pub func: u32,
+    /// Parameter index.
+    pub param: u32,
+    /// The unanimous constant.
+    pub value: Operand,
+}
+
 /// Interprocedural SCCP: when every call site of a function passes the same
 /// constant for a parameter, the parameter's uses are replaced by that
 /// constant inside the callee. (`main`-like roots — functions with no call
 /// sites — are left untouched.)
 pub fn ipsccp(m: &mut Module) -> usize {
+    ipsccp_logged(m, &mut Vec::new())
+}
+
+/// [`ipsccp`], additionally appending every substitution decision to
+/// `facts`. A decision is logged even when the callee no longer uses the
+/// parameter (zero textual substitutions): the decision itself depends on
+/// the other functions' call sites, which is what cache invalidation needs
+/// to observe.
+pub fn ipsccp_logged(m: &mut Module, facts: &mut Vec<IpsccpFact>) -> usize {
     let mut changed = 0;
     let nfuncs = m.funcs.len();
     for target in 0..nfuncs {
@@ -171,6 +198,11 @@ pub fn ipsccp(m: &mut Module) -> usize {
                 continue;
             }
             let Some(c) = seen else { continue };
+            facts.push(IpsccpFact {
+                func: target as u32,
+                param: pi as u32,
+                value: c,
+            });
             // Substitute inside the callee.
             let f = &mut m.funcs[target];
             let mut subs = 0;

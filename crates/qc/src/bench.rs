@@ -89,6 +89,7 @@ pub struct Runner {
     group: String,
     cfg: BenchConfig,
     results: Vec<Summary>,
+    meta: Vec<(String, u64)>,
 }
 
 impl Runner {
@@ -98,6 +99,7 @@ impl Runner {
             group: group.to_string(),
             cfg: BenchConfig::from_env(),
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -107,6 +109,18 @@ impl Runner {
             group: group.to_string(),
             cfg,
             results: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Records a group-level counter (e.g. cache hits) emitted under
+    /// `"meta"` in the JSON summary. Later notes with the same key
+    /// overwrite earlier ones.
+    pub fn note(&mut self, key: &str, value: u64) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
         }
     }
 
@@ -188,7 +202,18 @@ impl Runner {
                 r.max_ns
             ));
         }
-        s.push_str("]}");
+        s.push(']');
+        if !self.meta.is_empty() {
+            s.push_str(",\"meta\":{");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{}:{v}", json_str(k)));
+            }
+            s.push('}');
+        }
+        s.push('}');
         s
     }
 
@@ -247,6 +272,15 @@ mod tests {
         assert!(json.contains("\"group\":\"unit\""), "{json}");
         assert!(json.contains("\"name\":\"wrapping_sum\""), "{json}");
         assert!(json.contains("median_ns"), "{json}");
+        assert!(!json.contains("\"meta\""), "{json}");
+        r.note("cache_hits", 7);
+        r.note("cache_hits", 9);
+        r.note("cache_misses", 1);
+        let json = r.to_json();
+        assert!(
+            json.ends_with(",\"meta\":{\"cache_hits\":9,\"cache_misses\":1}}"),
+            "{json}"
+        );
     }
 
     #[test]

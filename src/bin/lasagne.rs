@@ -16,6 +16,11 @@
 //!                                      output is byte-identical for every N
 //!   --timings FILE                     write the per-pass/per-function timing
 //!                                      report as JSON to FILE ("-" = stderr)
+//!   --cache-dir DIR                    content-addressed translation cache
+//!                                      (default: $LASAGNE_CACHE_DIR if set);
+//!                                      warm runs skip lift/refine/opt
+//!   --no-cache                         disable the cache even if
+//!                                      $LASAGNE_CACHE_DIR is set
 //! ```
 //!
 //! `<DEMO>` is a Phoenix benchmark, by abbreviation or name: `HT`
@@ -55,6 +60,18 @@ fn main() {
         },
     };
     let timings = flag_value(&args, "--timings");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let cache_dir: Option<String> = if no_cache {
+        None
+    } else {
+        flag_value(&args, "--cache-dir")
+            .map(str::to_owned)
+            .or_else(|| {
+                std::env::var("LASAGNE_CACHE_DIR")
+                    .ok()
+                    .filter(|s| !s.is_empty())
+            })
+    };
 
     match cmd {
         "list" => {
@@ -91,17 +108,18 @@ fn main() {
             let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
                 eprintln!(
                     "usage: lasagne {cmd} <HT|KM|LR|MM|SM> [--version V] [--scale N] \
-                     [--jobs N] [--timings FILE]"
+                     [--jobs N] [--timings FILE] [--cache-dir DIR] [--no-cache]"
                 );
                 std::process::exit(2);
             };
-            let (t, report) = Pipeline::new(version)
-                .with_jobs(jobs)
-                .run(&b.binary)
-                .unwrap_or_else(|e| {
-                    eprintln!("translation failed: {e}");
-                    std::process::exit(1);
-                });
+            let mut pipeline = Pipeline::new(version).with_jobs(jobs);
+            if let Some(dir) = &cache_dir {
+                pipeline = pipeline.with_cache(dir);
+            }
+            let (t, report) = pipeline.run(&b.binary).unwrap_or_else(|e| {
+                eprintln!("translation failed: {e}");
+                std::process::exit(1);
+            });
             if let Some(path) = timings {
                 write_timings(path, &report);
             }
@@ -136,22 +154,28 @@ fn main() {
                         m.dmbs.0, m.dmbs.1, m.dmbs.2
                     );
                     println!("translate : {:.1} ms wall", report.total_nanos as f64 / 1e6);
+                    if let Some(c) = &report.cache {
+                        println!(
+                            "cache     : {} ({} hits, {} misses, {} written)",
+                            if c.warm { "warm" } else { "cold" },
+                            c.hits,
+                            c.misses,
+                            c.writes
+                        );
+                    }
                 }
                 _ => unreachable!(),
             }
         }
         "litmus" => {
-            use lasagne_repro::memmodel::mapping::{check_chain, check_reverse_chain};
-            use lasagne_repro::memmodel::{litmus, outcomes, Model};
-            for (name, p) in litmus::paper_suite() {
-                let fwd = check_chain(&p).is_ok();
-                let x86 = outcomes(Model::X86, &p).len();
-                let arm = outcomes(Model::Arm, &p).len();
+            for row in lasagne_repro::memmodel::sweep_suite(jobs) {
                 println!(
-                    "{name:<16} x86 {x86:>2} outcomes | Arm {arm:>2} | x86→IR→Arm {}",
-                    if fwd { "OK" } else { "BUG" }
+                    "{:<16} x86 {:>2} outcomes | Arm {:>2} | x86→IR→Arm {}",
+                    row.name,
+                    row.x86_outcomes,
+                    row.arm_outcomes,
+                    if row.chain.is_ok() { "OK" } else { "BUG" }
                 );
-                let _ = check_reverse_chain(&p);
             }
         }
         _ => {
@@ -160,6 +184,8 @@ fn main() {
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
             println!("          --jobs N (worker threads; byte-identical output for any N)");
             println!("          --timings FILE (per-pass JSON timing report; \"-\" = stderr)");
+            println!("          --cache-dir DIR (translation cache; default $LASAGNE_CACHE_DIR)");
+            println!("          --no-cache (ignore $LASAGNE_CACHE_DIR)");
             println!("demos   : HT histogram | KM kmeans | LR linear_regression");
             println!("          MM matrix_multiply | SM string_match");
         }

@@ -17,10 +17,12 @@
 //! | [`phoenix`] | §9.1 | the Phoenix benchmarks as x86 binaries |
 //! | [`translator`] | §3 | the end-to-end pipeline and §9.1 versions |
 //! | [`mod@bench`] | §9 | measurement harness behind `report` and the benches |
+//! | [`cache`] | — | content-addressed on-disk translation cache |
 
 pub use lasagne as translator;
 pub use lasagne_armgen as armgen;
 pub use lasagne_bench as bench;
+pub use lasagne_cache as cache;
 pub use lasagne_fences as fences;
 pub use lasagne_lifter as lifter;
 pub use lasagne_lir as lir;
