@@ -22,3 +22,19 @@ for demo in HT KM LR MM SM; do
     grep -q '"warm":true' "$CACHE_DIR/$demo.warm.json"
     grep -q '"misses":0' "$CACHE_DIR/$demo.warm.json"
 done
+
+# Tracing: a traced translation must emit a valid Chrome trace file with
+# one named track per worker thread, and it must not change the output.
+./target/release/lasagne translate HT --jobs 4 --no-cache \
+    --trace-out "$CACHE_DIR/HT.trace.json" >"$CACHE_DIR/HT.traced.s"
+cmp "$CACHE_DIR/HT.cold.s" "$CACHE_DIR/HT.traced.s"
+test -s "$CACHE_DIR/HT.trace.json"
+./target/release/lasagne trace-check "$CACHE_DIR/HT.trace.json" --jobs 4
+
+# The trace collector must never unwrap a possibly-poisoned lock (a
+# panicking worker would then take the whole trace down with it); all
+# acquisitions go through the crate's poison-recovering helper.
+if grep -rn 'lock()\.unwrap()' crates/trace/src/ | grep -v '//'; then
+    echo 'crates/trace must use lock_clean(), not lock().unwrap()' >&2
+    exit 1
+fi

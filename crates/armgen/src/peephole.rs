@@ -82,6 +82,39 @@ pub fn peephole_function(f: &mut AFunc) -> PeepholeStats {
     stats
 }
 
+/// [`peephole_function`] recording its hits into `ctx`: one
+/// `armgen.peephole.*` counter per rewrite category and (when tracing is
+/// enabled) a `peephole-hits` instant event when anything fired. Produces
+/// the exact same function and stats as [`peephole_function`].
+pub fn peephole_function_traced(f: &mut AFunc, ctx: &lasagne_trace::TraceCtx) -> PeepholeStats {
+    let stats = peephole_function(f);
+    ctx.add(
+        "armgen.peephole.loads_forwarded",
+        stats.loads_forwarded as u64,
+    );
+    ctx.add("armgen.peephole.loads_deleted", stats.loads_deleted as u64);
+    ctx.add(
+        "armgen.peephole.redundant_stores",
+        stats.redundant_stores as u64,
+    );
+    ctx.add("armgen.peephole.dead_stores", stats.dead_stores as u64);
+    if ctx.is_enabled() && (stats.removed() > 0 || stats.loads_forwarded > 0) {
+        ctx.instant(
+            "armgen",
+            "peephole-hits",
+            vec![
+                ("func", lasagne_trace::ArgVal::from(f.name.as_str())),
+                (
+                    "forwarded",
+                    lasagne_trace::ArgVal::from(stats.loads_forwarded),
+                ),
+                ("removed", lasagne_trace::ArgVal::from(stats.removed())),
+            ],
+        );
+    }
+    stats
+}
+
 /// Per-block forward dataflow state.
 #[derive(Default)]
 struct SlotState {

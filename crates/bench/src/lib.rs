@@ -112,6 +112,37 @@ pub fn measure_version_cached(
     (t, m, report)
 }
 
+/// Like [`measure_version_instrumented`], but records spans, events, and
+/// counters into `trace` (see `lasagne_trace`). Uncached by design: the
+/// fence-provenance counters describe placement decisions, which only the
+/// cold path makes from scratch (a warm cache run replays them from
+/// manifest metadata instead). The translation is still byte-identical.
+///
+/// # Panics
+///
+/// Panics on translation failure or checksum mismatch.
+pub fn measure_version_traced(
+    b: &Benchmark,
+    v: Version,
+    jobs: usize,
+    trace: lasagne_trace::TraceCtx,
+) -> (Translation, RunMetrics, PipelineReport) {
+    let (t, report) = Pipeline::new(v)
+        .with_jobs(jobs)
+        .with_trace(trace)
+        .run(&b.binary)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let m = run_arm(&t.arm, &b.workload);
+    assert_eq!(
+        m.checksum,
+        b.workload.expected_ret,
+        "{} under {}",
+        b.name,
+        v.name()
+    );
+    (t, m, report)
+}
+
 /// Lowers and runs the native baseline.
 ///
 /// # Panics

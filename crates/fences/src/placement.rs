@@ -20,6 +20,7 @@ use crate::legality::merge_fence;
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{CastOp, FenceKind, InstId, InstKind, Operand, Ordering};
 use lasagne_lir::types::Ty;
+use lasagne_trace::{ArgVal, TraceCtx};
 
 /// Which accesses get fences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,91 @@ impl std::ops::AddAssign for PlacementStats {
     }
 }
 
+/// The Figure 8a mapping rule that motivated a fence decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceRule {
+    /// A shared non-atomic load gets a trailing `Frm`.
+    SharedLoad,
+    /// A shared non-atomic store gets a leading `Fww`.
+    SharedStore,
+}
+
+impl FenceRule {
+    /// Stable name used in traces and the `explain-fences` table.
+    pub fn name(self) -> &'static str {
+        match self {
+            FenceRule::SharedLoad => "shared-load",
+            FenceRule::SharedStore => "shared-store",
+        }
+    }
+
+    /// The fence kind the rule inserts.
+    pub fn kind(self) -> FenceKind {
+        match self {
+            FenceRule::SharedLoad => FenceKind::Frm,
+            FenceRule::SharedStore => FenceKind::Fww,
+        }
+    }
+}
+
+/// What ultimately happened to one fence decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FenceFate {
+    /// The fence was inserted and survives placement.
+    Placed,
+    /// The §8 stack-access analysis proved the access private; no fence.
+    ElidedStack,
+    /// The fence was inserted, then folded into a neighbour by merging
+    /// (assigned by the pipeline after [`merge_fences_explain`]).
+    Merged,
+}
+
+impl FenceFate {
+    /// Stable name used in traces and the `explain-fences` table.
+    pub fn name(self) -> &'static str {
+        match self {
+            FenceFate::Placed => "placed",
+            FenceFate::ElidedStack => "elided-stack",
+            FenceFate::Merged => "merged",
+        }
+    }
+}
+
+/// Provenance of one fence decision: which access motivated it, under
+/// which mapping rule, and what became of it.
+///
+/// Sites are function-relative LIR coordinates (`block`/`pos` of the
+/// motivating access at decision time); exact x86 addresses are not
+/// preserved through lifting, so consumers pair these with the function's
+/// x86 entry address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceDecision {
+    /// The motivating load/store instruction.
+    pub access: InstId,
+    /// The inserted fence instruction (`None` when the fence was elided).
+    pub fence: Option<InstId>,
+    /// The mapping rule that fired (or would have fired).
+    pub rule: FenceRule,
+    /// Outcome.
+    pub fate: FenceFate,
+    /// Block of the motivating access.
+    pub block: u32,
+    /// Position of the motivating access within its block at decision time.
+    pub pos: u32,
+}
+
+/// One merge step performed by [`merge_fences_explain`]: `removed` was
+/// folded into `kept`, whose kind became `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceMerge {
+    /// The fence instruction removed.
+    pub removed: InstId,
+    /// The surviving fence instruction.
+    pub kept: InstId,
+    /// The merged (possibly strengthened) kind of the survivor.
+    pub kind: FenceKind,
+}
+
 /// Explores the use–def chain of a pointer operand, ignoring `bitcast` and
 /// `getelementptr` (§8), looking for a stack allocation.
 pub fn is_stack_address(f: &Function, ptr: &Operand) -> bool {
@@ -79,21 +165,81 @@ pub fn is_stack_address(f: &Function, ptr: &Operand) -> bool {
 
 /// Inserts fences into one function per the Figure 8a mapping.
 pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
+    place_fences_explain(f, strategy, &TraceCtx::disabled(), None)
+}
+
+/// [`place_fences`] with provenance: each fence decision (placed or
+/// elided) is appended to `out` and mirrored into `ctx` as a counter plus,
+/// when tracing is enabled, a `fence-decision` instant event. Produces the
+/// exact same module and stats as [`place_fences`].
+pub fn place_fences_explain(
+    f: &mut Function,
+    strategy: Strategy,
+    ctx: &TraceCtx,
+    mut out: Option<&mut Vec<FenceDecision>>,
+) -> PlacementStats {
     let mut stats = PlacementStats::default();
+    let mut decide = |f: &mut Function, stats: &mut PlacementStats, decision: FenceDecision| {
+        match decision.fate {
+            FenceFate::Placed => match decision.rule.kind() {
+                FenceKind::Frm => {
+                    stats.frm += 1;
+                    ctx.add("fences.placed.frm", 1);
+                }
+                _ => {
+                    stats.fww += 1;
+                    ctx.add("fences.placed.fww", 1);
+                }
+            },
+            FenceFate::ElidedStack => {
+                stats.skipped_stack += 1;
+                ctx.add("fences.elided.stack", 1);
+            }
+            FenceFate::Merged => unreachable!("merging is a later phase"),
+        }
+        if ctx.is_enabled() {
+            ctx.instant(
+                "fences",
+                "fence-decision",
+                vec![
+                    ("func", ArgVal::from(f.name.as_str())),
+                    ("rule", ArgVal::from(decision.rule.name())),
+                    ("fate", ArgVal::from(decision.fate.name())),
+                    ("block", ArgVal::from(decision.block as u64)),
+                    ("pos", ArgVal::from(decision.pos as u64)),
+                ],
+            );
+        }
+        if let Some(out) = out.as_deref_mut() {
+            out.push(decision);
+        }
+    };
     for b in f.block_ids().collect::<Vec<_>>() {
         // Walk by index since we insert as we go.
         let mut i = 0usize;
         while i < f.block(b).insts.len() {
             let id = f.block(b).insts[i];
+            let site = (b.0, i as u32);
             match f.inst(id).kind.clone() {
                 InstKind::Load {
                     ptr,
                     order: Ordering::NotAtomic,
                 } => {
                     if strategy == Strategy::StackAware && is_stack_address(f, &ptr) {
-                        stats.skipped_stack += 1;
+                        decide(
+                            f,
+                            &mut stats,
+                            FenceDecision {
+                                access: id,
+                                fence: None,
+                                rule: FenceRule::SharedLoad,
+                                fate: FenceFate::ElidedStack,
+                                block: site.0,
+                                pos: site.1,
+                            },
+                        );
                     } else {
-                        f.insert(
+                        let fence = f.insert(
                             b,
                             i + 1,
                             Ty::Void,
@@ -101,7 +247,18 @@ pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
                                 kind: FenceKind::Frm,
                             },
                         );
-                        stats.frm += 1;
+                        decide(
+                            f,
+                            &mut stats,
+                            FenceDecision {
+                                access: id,
+                                fence: Some(fence),
+                                rule: FenceRule::SharedLoad,
+                                fate: FenceFate::Placed,
+                                block: site.0,
+                                pos: site.1,
+                            },
+                        );
                         i += 1;
                     }
                 }
@@ -111,9 +268,20 @@ pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
                     ..
                 } => {
                     if strategy == Strategy::StackAware && is_stack_address(f, &ptr) {
-                        stats.skipped_stack += 1;
+                        decide(
+                            f,
+                            &mut stats,
+                            FenceDecision {
+                                access: id,
+                                fence: None,
+                                rule: FenceRule::SharedStore,
+                                fate: FenceFate::ElidedStack,
+                                block: site.0,
+                                pos: site.1,
+                            },
+                        );
                     } else {
-                        f.insert(
+                        let fence = f.insert(
                             b,
                             i,
                             Ty::Void,
@@ -121,7 +289,18 @@ pub fn place_fences(f: &mut Function, strategy: Strategy) -> PlacementStats {
                                 kind: FenceKind::Fww,
                             },
                         );
-                        stats.fww += 1;
+                        decide(
+                            f,
+                            &mut stats,
+                            FenceDecision {
+                                access: id,
+                                fence: Some(fence),
+                                rule: FenceRule::SharedStore,
+                                fate: FenceFate::Placed,
+                                block: site.0,
+                                pos: site.1,
+                            },
+                        );
                         i += 1;
                     }
                 }
@@ -151,6 +330,18 @@ pub fn place_fences_module(m: &mut Module, strategy: Strategy) -> PlacementStats
 /// intervening instruction that may access memory merge into one, possibly
 /// strengthened (`Frm·Fww → Fsc`, §7.2). Returns fences removed.
 pub fn merge_fences(f: &mut Function) -> usize {
+    merge_fences_explain(f, &TraceCtx::disabled(), None)
+}
+
+/// [`merge_fences`] with provenance: each merge step is appended to `out`
+/// and mirrored into `ctx` as the `fences.merged` counter plus, when
+/// tracing is enabled, a `fence-merge` instant event. Produces the exact
+/// same module and count as [`merge_fences`].
+pub fn merge_fences_explain(
+    f: &mut Function,
+    ctx: &TraceCtx,
+    mut out: Option<&mut Vec<FenceMerge>>,
+) -> usize {
     let mut removed = 0;
     for b in f.block_ids().collect::<Vec<_>>() {
         loop {
@@ -175,9 +366,30 @@ pub fn merge_fences(f: &mut Function) -> usize {
                     // Keep the later fence position (covers both originals),
                     // with the merged strength; drop the earlier one.
                     let keep = f.block(b).insts[second];
+                    let dropped = f.block(b).insts[first];
                     f.inst_mut(keep).kind = InstKind::Fence { kind };
                     f.block_mut(b).insts.remove(first);
                     removed += 1;
+                    ctx.add("fences.merged", 1);
+                    if ctx.is_enabled() {
+                        ctx.instant(
+                            "fences",
+                            "fence-merge",
+                            vec![
+                                ("func", ArgVal::from(f.name.as_str())),
+                                ("block", ArgVal::from(b.0 as u64)),
+                                ("removed", ArgVal::from(dropped.0 as u64)),
+                                ("kept", ArgVal::from(keep.0 as u64)),
+                            ],
+                        );
+                    }
+                    if let Some(out) = out.as_deref_mut() {
+                        out.push(FenceMerge {
+                            removed: dropped,
+                            kept: keep,
+                            kind,
+                        });
+                    }
                 }
                 None => break,
             }
@@ -535,6 +747,103 @@ mod tests {
         let stats = place_fences(&mut f, Strategy::StackAware);
         // Deep chain exceeds the walk bound → conservatively fenced.
         assert_eq!(stats.fww, 1);
+    }
+
+    /// The explain variants must be behaviorally identical to the plain
+    /// ones, with a decision per access and counters mirroring the stats.
+    #[test]
+    fn explain_variants_match_plain_and_record_provenance() {
+        let build = || {
+            let mut f = Function::new("f", vec![Ty::Ptr(Pointee::I64)], Ty::I64);
+            let e = f.entry();
+            let a = f.push(e, Ty::Ptr(Pointee::I64), InstKind::Alloca { size: 8 });
+            f.push(
+                e,
+                Ty::Void,
+                InstKind::Store {
+                    ptr: Operand::Inst(a),
+                    val: Operand::i64(0),
+                    order: Ordering::NotAtomic,
+                },
+            );
+            let l = f.push(
+                e,
+                Ty::I64,
+                InstKind::Load {
+                    ptr: Operand::Param(0),
+                    order: Ordering::NotAtomic,
+                },
+            );
+            f.push(
+                e,
+                Ty::Void,
+                InstKind::Store {
+                    ptr: Operand::Param(0),
+                    val: Operand::Inst(l),
+                    order: Ordering::NotAtomic,
+                },
+            );
+            f.set_term(
+                e,
+                Terminator::Ret {
+                    val: Some(Operand::Inst(l)),
+                },
+            );
+            f
+        };
+
+        let mut plain = build();
+        let plain_stats = place_fences(&mut plain, Strategy::StackAware);
+        let plain_removed = merge_fences(&mut plain);
+
+        let mut traced = build();
+        let ctx = lasagne_trace::TraceCtx::collecting();
+        let mut decisions = Vec::new();
+        let mut merges = Vec::new();
+        let stats = place_fences_explain(
+            &mut traced,
+            Strategy::StackAware,
+            &ctx,
+            Some(&mut decisions),
+        );
+        let removed = merge_fences_explain(&mut traced, &ctx, Some(&mut merges));
+
+        assert_eq!(traced, plain, "explain variant must not change the module");
+        assert_eq!(stats, plain_stats);
+        assert_eq!(removed, plain_removed);
+
+        // One decision per non-atomic access: elided alloca store, placed
+        // load Frm, placed store Fww.
+        assert_eq!(decisions.len(), 3);
+        let placed = decisions
+            .iter()
+            .filter(|d| d.fate == FenceFate::Placed)
+            .count();
+        let elided = decisions
+            .iter()
+            .filter(|d| d.fate == FenceFate::ElidedStack)
+            .count();
+        assert_eq!((placed, elided), (stats.total(), stats.skipped_stack));
+        assert!(decisions
+            .iter()
+            .all(|d| (d.fence.is_some()) == (d.fate == FenceFate::Placed)));
+
+        // Frm·Fww between load and store merged into Fsc; the removed
+        // fence id is one of the placed ids.
+        assert_eq!(merges.len(), removed);
+        assert_eq!(merges[0].kind, FenceKind::Fsc);
+        let placed_ids: Vec<_> = decisions.iter().filter_map(|d| d.fence).collect();
+        assert!(placed_ids.contains(&merges[0].removed));
+        assert!(placed_ids.contains(&merges[0].kept));
+
+        let snap = ctx.metrics_snapshot().unwrap();
+        assert_eq!(snap.counter("fences.placed.frm"), stats.frm as u64);
+        assert_eq!(snap.counter("fences.placed.fww"), stats.fww as u64);
+        assert_eq!(
+            snap.counter("fences.elided.stack"),
+            stats.skipped_stack as u64
+        );
+        assert_eq!(snap.counter("fences.merged"), removed as u64);
     }
 
     #[test]

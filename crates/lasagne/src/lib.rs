@@ -48,7 +48,10 @@ use lasagne_lir::Module;
 use lasagne_x86::binary::Binary;
 
 pub use lasagne_lifter::LiftError;
-pub use pipeline::{CacheReport, PassManager, Pipeline, PipelineReport, Stage, TimingSink};
+pub use pipeline::{
+    CacheReport, FuncFenceRecord, PassManager, Pipeline, PipelineReport, Stage, TimingSink,
+    REPORT_SCHEMA,
+};
 
 /// The translation configurations of §9.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

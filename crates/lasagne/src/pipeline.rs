@@ -64,15 +64,77 @@ use std::time::Instant;
 
 use lasagne_cache::ser as cache_ser;
 use lasagne_cache::{CacheStats, Fnv64, FuncMeta, Manifest, ManifestEntry, TranslationCache};
-use lasagne_fences::{PlacementStats, Strategy};
+use lasagne_fences::{FenceDecision, FenceFate, FenceMerge, PlacementStats, Strategy};
 use lasagne_lifter::{LiftPlan, TranslateOptions};
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{Callee, InstKind, Operand};
 use lasagne_opt::sccp::IpsccpFact;
 use lasagne_opt::PassKind;
+use lasagne_trace::TraceCtx;
 use lasagne_x86::binary::Binary;
 
 use crate::{LiftError, Translation, TranslationStats, Version};
+
+/// Version of the JSON emitted by [`PipelineReport::to_json`] (the
+/// `--timings` report). Bumped whenever a field is added, removed, or
+/// changes meaning; consumers should check it before parsing.
+///
+/// * **1** — implicit (no `"schema"` field): version/jobs/total_nanos/
+///   stages/cache.
+/// * **2** — adds the `"schema"` field itself and the optional
+///   `"metrics"` object (flat counters + histograms from tracing).
+pub const REPORT_SCHEMA: u32 = 2;
+
+/// Fence provenance for one function, collected by an explain-enabled
+/// pipeline run ([`Pipeline::explain_fences`]): every Figure 8a mapping
+/// decision made during placement, with fates updated to
+/// [`FenceFate::Merged`] for fences the merge stage later folded, plus the
+/// merge steps themselves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncFenceRecord {
+    /// Function index in the module.
+    pub index: usize,
+    /// Function name.
+    pub name: String,
+    /// x86 entry address of the function in the source binary.
+    pub addr: u64,
+    /// Placement decisions in block/position order.
+    pub decisions: Vec<FenceDecision>,
+    /// Merge steps applied to this function.
+    pub merges: Vec<FenceMerge>,
+}
+
+impl FuncFenceRecord {
+    /// Decisions whose fence survived placement and merging.
+    pub fn placed(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| d.fate == FenceFate::Placed)
+            .count()
+    }
+
+    /// Decisions elided by the stack-access analysis (no fence inserted).
+    pub fn elided(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| d.fate == FenceFate::ElidedStack)
+            .count()
+    }
+
+    /// Decisions whose fence was inserted and later merged away.
+    pub fn merged(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| d.fate == FenceFate::Merged)
+            .count()
+    }
+
+    /// Fences the placement stage inserted (placed + later merged) —
+    /// equal to `PlacementStats::total()` for the same function.
+    pub fn inserted(&self) -> usize {
+        self.decisions.iter().filter(|d| d.fence.is_some()).count()
+    }
+}
 
 /// The Figure 17 optimization schedule: the `standard_pipeline` order, run
 /// for up to three rounds with `ipsccp` as a serial interprocedural
@@ -418,6 +480,7 @@ impl TimingSink {
             total_nanos,
             stages,
             cache: None,
+            metrics: None,
         }
     }
 
@@ -519,21 +582,29 @@ pub struct PipelineReport {
     pub stages: Vec<StageTiming>,
     /// Cache counters; `None` when the run had no cache configured.
     pub cache: Option<CacheReport>,
+    /// Merged counters and histograms from the run's [`TraceCtx`];
+    /// `None` when the run was not traced.
+    pub metrics: Option<lasagne_trace::MetricsSnapshot>,
 }
 
 impl PipelineReport {
-    /// Serializes the report as a single JSON object:
+    /// Serializes the report as a single JSON object (schema
+    /// [`REPORT_SCHEMA`]; see ARCHITECTURE.md § Observability):
     ///
     /// ```json
-    /// {"version":"PPOpt","jobs":4,"total_nanos":123,
+    /// {"schema":2,"version":"PPOpt","jobs":4,"total_nanos":123,
     ///  "stages":[{"stage":"lift","nanos":88,"module_nanos":5,
     ///             "funcs":[{"func":"main","index":0,"nanos":83,
     ///                       "changes":120,"insts":120}]}, …]}
     /// ```
+    ///
+    /// A traced run additionally carries `"metrics":{"counters":{…},
+    /// "histograms":{…}}`; a cached run carries `"cache":{…}`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str(&format!(
-            "{{\"version\":\"{}\",\"jobs\":{},\"total_nanos\":{},\"stages\":[",
+            "{{\"schema\":{},\"version\":\"{}\",\"jobs\":{},\"total_nanos\":{},\"stages\":[",
+            REPORT_SCHEMA,
             self.version.name(),
             self.jobs,
             self.total_nanos
@@ -570,6 +641,10 @@ impl PipelineReport {
                  \"unchanged\":{},\"evicted\":{},\"saved_nanos\":{}}}",
                 c.warm, c.hits, c.misses, c.writes, c.unchanged, c.evicted, c.saved_nanos
             ));
+        }
+        if let Some(m) = &self.metrics {
+            s.push_str(",\"metrics\":");
+            s.push_str(&m.to_json());
         }
         s.push('}');
         s
@@ -667,15 +742,23 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers {
+            let (slots, results, next, f) = (&slots, &results, &next, &f);
+            scope.spawn(move || {
+                // Worker slot w records trace events on track w+1 (track 0
+                // is the main thread), so a traced run shows one stable
+                // track per worker even though the OS threads themselves
+                // are scoped to a single stage.
+                lasagne_trace::set_current_track(w as u32 + 1);
+                loop {
+                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().unwrap().take().unwrap();
+                    let r = f(i, item);
+                    *results[i].lock().unwrap() = Some(r);
                 }
-                let item = slots[i].lock().unwrap().take().unwrap();
-                let r = f(i, item);
-                *results[i].lock().unwrap() = Some(r);
             });
         }
     });
@@ -698,15 +781,17 @@ pub struct Pipeline {
     version: Version,
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    trace: TraceCtx,
 }
 
 impl Pipeline {
-    /// A serial pipeline for `version` (`jobs = 1`), uncached.
+    /// A serial pipeline for `version` (`jobs = 1`), uncached, untraced.
     pub fn new(version: Version) -> Pipeline {
         Pipeline {
             version,
             jobs: 1,
             cache_dir: None,
+            trace: TraceCtx::disabled(),
         }
     }
 
@@ -726,9 +811,18 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a tracing context: the run records spans, structured
+    /// events, counters, and histograms into it, and the returned report
+    /// carries the merged metrics snapshot. Output is byte-identical with
+    /// tracing enabled or disabled.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Pipeline {
+        self.trace = trace;
+        self
+    }
+
     /// Runs the full pipeline on `bin`, returning the translation and the
     /// per-pass/per-function timing report (with cache counters when a
-    /// cache is configured).
+    /// cache is configured, and a metrics snapshot when traced).
     ///
     /// # Errors
     ///
@@ -740,7 +834,8 @@ impl Pipeline {
             .cache_dir
             .as_ref()
             .and_then(|dir| TranslationCache::open(dir).ok());
-        let mut pm = PassManager::new(self.version, self.jobs, &sink);
+        let mut pm =
+            PassManager::new(self.version, self.jobs, &sink).with_trace(self.trace.clone());
         if let Some(c) = &cache {
             pm = pm.with_cache(c);
         }
@@ -749,7 +844,30 @@ impl Pipeline {
         if let Some(c) = &cache {
             report.cache = Some(CacheReport::from(c.stats()));
         }
+        report.metrics = self.trace.metrics_snapshot();
         Ok((translation, report))
+    }
+
+    /// Runs the pipeline with fence-provenance collection and returns the
+    /// per-function records alongside the translation. The cache is
+    /// deliberately bypassed: provenance is a property of the placement
+    /// and merge decisions themselves, which only the cold path makes.
+    /// The translation is still byte-identical to [`Pipeline::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LiftError`] if the binary cannot be lifted.
+    pub fn explain_fences(
+        &self,
+        bin: &Binary,
+    ) -> Result<(Translation, Vec<FuncFenceRecord>), LiftError> {
+        let sink = TimingSink::new();
+        let pm = PassManager::new(self.version, self.jobs, &sink)
+            .with_trace(self.trace.clone())
+            .with_explain();
+        let translation = pm.translate(bin)?;
+        let provenance = pm.take_provenance();
+        Ok((translation, provenance))
     }
 }
 
@@ -760,16 +878,23 @@ pub struct PassManager<'s> {
     jobs: usize,
     sink: &'s TimingSink,
     cache: Option<&'s TranslationCache>,
+    trace: TraceCtx,
+    explain: bool,
+    provenance: Mutex<Vec<FuncFenceRecord>>,
 }
 
 impl<'s> PassManager<'s> {
-    /// Creates a manager writing instrumentation into `sink`, uncached.
+    /// Creates a manager writing instrumentation into `sink`, uncached,
+    /// untraced.
     pub fn new(version: Version, jobs: usize, sink: &'s TimingSink) -> PassManager<'s> {
         PassManager {
             version,
             jobs: jobs.max(1),
             sink,
             cache: None,
+            trace: TraceCtx::disabled(),
+            explain: false,
+            provenance: Mutex::new(Vec::new()),
         }
     }
 
@@ -781,10 +906,38 @@ impl<'s> PassManager<'s> {
         self
     }
 
-    /// Times a serial module-level barrier step and records it.
-    fn module_step<R>(&self, stage: Stage, work: impl FnOnce() -> (R, u64)) -> R {
+    /// Attaches a tracing context shared with the caller.
+    pub fn with_trace(mut self, trace: TraceCtx) -> PassManager<'s> {
+        self.trace = trace;
+        self
+    }
+
+    /// Turns on fence-provenance collection: the placement and merge
+    /// stages run their `_explain` variants and the per-function records
+    /// become available through [`PassManager::take_provenance`].
+    pub fn with_explain(mut self) -> PassManager<'s> {
+        self.explain = true;
+        self
+    }
+
+    /// The fence-provenance records collected during [`translate`]
+    /// (empty unless [`PassManager::with_explain`] was set), sorted by
+    /// function index.
+    ///
+    /// [`translate`]: PassManager::translate
+    pub fn take_provenance(&self) -> Vec<FuncFenceRecord> {
+        let mut records = std::mem::take(&mut *self.provenance.lock().unwrap());
+        records.sort_by_key(|r| r.index);
+        records
+    }
+
+    /// Times a serial module-level barrier step and records it. `label`
+    /// names the step's trace span (e.g. `"prepare"`, `"ipsccp"`).
+    fn module_step<R>(&self, stage: Stage, label: &str, work: impl FnOnce() -> (R, u64)) -> R {
+        let mut sp = self.trace.span(stage.name(), label);
         let t0 = Instant::now();
         let (r, changes) = work();
+        sp.arg("changes", changes);
         self.sink.record(PassEvent {
             stage,
             func: None,
@@ -809,8 +962,10 @@ impl<'s> PassManager<'s> {
         let funcs = std::mem::take(&mut m.funcs);
         let shell: &Module = m;
         let results = par_map(self.jobs, funcs, |i, mut f| {
+            let mut sp = self.trace.span(stage.name(), &f.name);
             let t0 = Instant::now();
             let changes = pass(shell, i, &mut f);
+            sp.arg("changes", changes);
             (f, changes, t0.elapsed().as_nanos())
         });
         let mut total = 0;
@@ -839,13 +994,37 @@ impl<'s> PassManager<'s> {
     /// Returns a [`LiftError`] if the binary cannot be lifted.
     pub fn translate(&self, bin: &Binary) -> Result<Translation, LiftError> {
         let version = self.version;
+        if self.jobs > 1 {
+            self.trace.declare_tracks(self.jobs as u32);
+        }
 
         // #0 Warm path: serve the whole post-opt module from the cache and
         // go straight to Arm code generation. No lift/refine/fences/merge/
-        // opt events reach the sink because none of that work runs.
+        // opt events reach the sink because none of that work runs; a
+        // traced run records a single `cache-hit` span instead, and the
+        // fence-provenance counters are replayed from the cached metadata
+        // so warm metrics match a cold run's.
         if let Some(cache) = self.cache {
             if let Some(cached) = cache.load(module_key(bin, version)) {
                 let stats = stats_from_array(cached.module_stats);
+                if self.trace.is_enabled() {
+                    let (mut frm, mut fww, mut skipped) = (0u64, 0u64, 0u64);
+                    for meta in &cached.metas {
+                        frm += meta.frm;
+                        fww += meta.fww;
+                        skipped += meta.skipped_stack;
+                    }
+                    self.trace.add("fences.placed.frm", frm);
+                    self.trace.add("fences.placed.fww", fww);
+                    self.trace.add("fences.elided.stack", skipped);
+                    self.trace.add("fences.naive", stats.fences_naive as u64);
+                    self.trace.add(
+                        "fences.merged",
+                        stats.fences_placed.saturating_sub(stats.fences_final) as u64,
+                    );
+                }
+                let mut sp = self.trace.span("cache", "cache-hit");
+                sp.arg("funcs", cached.module.funcs.len());
                 return Ok(self.armgen(cached.module, stats));
             }
         }
@@ -853,12 +1032,22 @@ impl<'s> PassManager<'s> {
         // #1 Binary lifting (§4). The whole-binary analysis (CFGs, type
         // discovery, shells) is the serial prologue; body translation fans
         // out per function.
-        let plan = self.module_step(Stage::Lift, || {
+        let plan = self.module_step(Stage::Lift, "prepare", || {
             (LiftPlan::prepare(bin, TranslateOptions::default()), 0)
         })?;
+        // x86 entry addresses, captured while the plan still exists: work
+        // index i is FuncId(i), so this is parallel to `m.funcs` below.
+        let addrs: Vec<u64> = (0..plan.num_functions())
+            .map(|i| plan.function_addr(i))
+            .collect();
         let lifted = par_map(self.jobs, (0..plan.num_functions()).collect(), |i, _| {
+            let mut sp = self.trace.span("lift", plan.function_name(i));
             let t0 = Instant::now();
-            (plan.lift_function(i), t0.elapsed().as_nanos())
+            let body = plan.lift_function_traced(i, &self.trace);
+            if let Ok(b) = &body {
+                sp.arg("insts", b.live_inst_count());
+            }
+            (body, t0.elapsed().as_nanos())
         });
         let mut bodies = Vec::with_capacity(plan.num_functions());
         for (i, (body, nanos)) in lifted.into_iter().enumerate() {
@@ -872,7 +1061,7 @@ impl<'s> PassManager<'s> {
             });
             bodies.push(body);
         }
-        let mut m = self.module_step(Stage::Lift, || (plan.finish(bodies), 0))?;
+        let mut m = self.module_step(Stage::Lift, "finish", || (plan.finish(bodies), 0))?;
 
         let mut stats = TranslationStats {
             casts_lifted: crate::count_casts(&m),
@@ -881,8 +1070,10 @@ impl<'s> PassManager<'s> {
         };
 
         // Figure 14 baseline: fences the unrefined, unmerged lifted code
-        // would receive, measured on scratch per-function clones.
-        stats.fences_naive = self.module_step(Stage::Fences, || {
+        // would receive, measured on scratch per-function clones. The
+        // plain (untraced) `place_fences` keeps the baseline out of the
+        // provenance counters — those describe the real placement only.
+        stats.fences_naive = self.module_step(Stage::Fences, "naive-baseline", || {
             let naive: u64 = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
                 let mut scratch = m.funcs[i].clone();
                 lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64
@@ -891,6 +1082,7 @@ impl<'s> PassManager<'s> {
             .sum();
             (naive as usize, naive)
         });
+        self.trace.add("fences.naive", stats.fences_naive as u64);
 
         // #2 IR refinement (§5, PPOpt only): per-function exposure rounds
         // with a serial parameter-promotion barrier between them, matching
@@ -898,10 +1090,11 @@ impl<'s> PassManager<'s> {
         if version == Version::PPOpt {
             for _ in 0..3 {
                 let changed = self.func_pass(Stage::Refine, &mut m, |shell, _, f| {
-                    lasagne_refine::refine_function(shell, f) as u64
+                    lasagne_refine::refine_function_traced(shell, f, &self.trace) as u64
                 });
-                let promoted = self.module_step(Stage::Refine, || {
-                    let p = lasagne_refine::promote_pointer_params(&mut m) as u64;
+                let promoted = self.module_step(Stage::Refine, "promote-params", || {
+                    let p =
+                        lasagne_refine::promote_pointer_params_traced(&mut m, &self.trace) as u64;
                     (p, p)
                 });
                 self.func_pass(Stage::Refine, &mut m, |_, _, f| {
@@ -916,9 +1109,22 @@ impl<'s> PassManager<'s> {
 
         // #3 Precise fence placement (§8; all versions). Per-function
         // statistics are kept aside — they ride along in cache manifests.
+        // Under `with_explain`, per-fence decision records are collected
+        // alongside the stats.
+        let explain = self.explain;
         let placement_slots: Mutex<Vec<(usize, PlacementStats)>> = Mutex::new(Vec::new());
+        let decision_slots: Mutex<Vec<(usize, Vec<FenceDecision>)>> = Mutex::new(Vec::new());
         stats.fences_placed = self.func_pass(Stage::Fences, &mut m, |_, i, f| {
-            let ps = lasagne_fences::place_fences(f, Strategy::StackAware);
+            let mut out: Option<Vec<FenceDecision>> = explain.then(Vec::new);
+            let ps = lasagne_fences::place_fences_explain(
+                f,
+                Strategy::StackAware,
+                &self.trace,
+                out.as_mut(),
+            );
+            if let Some(d) = out {
+                decision_slots.lock().unwrap().push((i, d));
+            }
             placement_slots.lock().unwrap().push((i, ps));
             ps.total() as u64
         }) as usize;
@@ -928,13 +1134,52 @@ impl<'s> PassManager<'s> {
         }
 
         // #4 Fence merging (POpt, PPOpt).
+        let merge_slots: Mutex<Vec<(usize, Vec<FenceMerge>)>> = Mutex::new(Vec::new());
         if matches!(version, Version::POpt | Version::PPOpt) {
-            self.func_pass(Stage::Merge, &mut m, |_, _, f| {
-                lasagne_fences::merge_fences(f) as u64
+            self.func_pass(Stage::Merge, &mut m, |_, i, f| {
+                let mut out: Option<Vec<FenceMerge>> = explain.then(Vec::new);
+                let n = lasagne_fences::merge_fences_explain(f, &self.trace, out.as_mut()) as u64;
+                if let Some(mg) = out {
+                    merge_slots.lock().unwrap().push((i, mg));
+                }
+                n
             });
         }
         let (frm, fww, fsc) = lasagne_fences::count_fences(&m);
         stats.fences_final = frm + fww + fsc;
+
+        // Assemble per-function provenance: a merge that removed a fence
+        // re-attributes the matching placement decision from Placed to
+        // Merged. `InstId`s are arena-stable, so matching the inserted
+        // fence id is exact.
+        if explain {
+            let mut decision_by_func = vec![Vec::new(); m.funcs.len()];
+            for (i, d) in decision_slots.into_inner().unwrap() {
+                decision_by_func[i] = d;
+            }
+            let mut merge_by_func = vec![Vec::new(); m.funcs.len()];
+            for (i, mg) in merge_slots.into_inner().unwrap() {
+                merge_by_func[i] = mg;
+            }
+            let mut records = Vec::with_capacity(m.funcs.len());
+            for (i, f) in m.funcs.iter().enumerate() {
+                let mut decisions = std::mem::take(&mut decision_by_func[i]);
+                let merges = std::mem::take(&mut merge_by_func[i]);
+                for mg in &merges {
+                    if let Some(d) = decisions.iter_mut().find(|d| d.fence == Some(mg.removed)) {
+                        d.fate = FenceFate::Merged;
+                    }
+                }
+                records.push(FuncFenceRecord {
+                    index: i,
+                    name: f.name.clone(),
+                    addr: addrs.get(i).copied().unwrap_or(0),
+                    decisions,
+                    merges,
+                });
+            }
+            *self.provenance.lock().unwrap() = records;
+        }
 
         // #5 LLVM-style optimizations (everything but Lifted): the
         // `standard_pipeline` order, with local passes fanned out per
@@ -943,12 +1188,18 @@ impl<'s> PassManager<'s> {
         // interprocedural fact the target function's cache key digests.
         let mut ip_facts: Vec<IpsccpFact> = Vec::new();
         if version != Version::Lifted {
-            for _ in 0..3 {
+            for round_idx in 0..3 {
+                let mut sp = self.trace.span("opt", "round");
+                sp.arg("round", round_idx as u64);
                 let mut round = 0;
                 for pass in OPT_ORDER {
                     if pass.is_interprocedural() {
-                        round += self.module_step(Stage::Opt, || {
-                            let n = lasagne_opt::sccp::ipsccp_logged(&mut m, &mut ip_facts) as u64;
+                        round += self.module_step(Stage::Opt, "ipsccp", || {
+                            let n = lasagne_opt::sccp::ipsccp_traced(
+                                &mut m,
+                                &mut ip_facts,
+                                &self.trace,
+                            ) as u64;
                             (n, n)
                         });
                     }
@@ -956,6 +1207,7 @@ impl<'s> PassManager<'s> {
                         lasagne_opt::run_pass_on_function(pass, shell, f) as u64
                     });
                 }
+                sp.arg("changes", round);
                 if round == 0 {
                     break;
                 }
@@ -1038,9 +1290,11 @@ impl<'s> PassManager<'s> {
         debug_assert!(lasagne_lir::verify::verify_module(&m).is_ok());
 
         let lowered = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
+            let mut sp = self.trace.span("armgen", &m.funcs[i].name);
             let t0 = Instant::now();
             let mut af = lasagne_armgen::lower_function(&m, &m.funcs[i]);
-            let ph = lasagne_armgen::peephole::peephole_function(&mut af);
+            let ph = lasagne_armgen::peephole_function_traced(&mut af, &self.trace);
+            sp.arg("removed", ph.removed() as u64);
             (af, ph, t0.elapsed().as_nanos())
         });
         let mut afuncs = Vec::with_capacity(lowered.len());
@@ -1144,6 +1398,136 @@ mod tests {
         }
         let json = warm_rep.to_json();
         assert!(json.contains("\"cache\":{\"warm\":true"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_and_merges_metrics_into_report() {
+        let b = &all_benchmarks(48)[0];
+        let (plain, _) = Pipeline::new(Version::PPOpt).run(&b.binary).unwrap();
+        let trace = TraceCtx::collecting();
+        let (traced, rep) = Pipeline::new(Version::PPOpt)
+            .with_jobs(4)
+            .with_trace(trace.clone())
+            .run(&b.binary)
+            .unwrap();
+        assert_eq!(
+            lasagne_armgen::print::print_module(&plain.arm),
+            lasagne_armgen::print::print_module(&traced.arm),
+            "tracing changed the translation output"
+        );
+        assert_eq!(plain.stats, traced.stats);
+
+        let metrics = rep.metrics.as_ref().expect("metrics on traced run");
+        let placed = metrics.counter("fences.placed.frm") + metrics.counter("fences.placed.fww");
+        assert_eq!(placed as usize, traced.stats.fences_placed);
+        assert_eq!(
+            metrics.counter("fences.naive") as usize,
+            traced.stats.fences_naive
+        );
+        assert_eq!(
+            metrics.counter("fences.merged") as usize,
+            traced.stats.fences_placed - traced.stats.fences_final
+        );
+        assert!(metrics.counter("lift.funcs") > 0);
+        let json = rep.to_json();
+        assert!(json.starts_with("{\"schema\":2,"), "{json}");
+        assert!(json.contains("\"metrics\":{\"counters\":"), "{json}");
+
+        // Every cold stage shows up as a span category in the event log.
+        let events = trace.collector().unwrap().all_events();
+        for cat in ["lift", "refine", "fences", "merge", "opt", "armgen"] {
+            assert!(
+                events.iter().any(|e| e.cat == cat && e.dur_nanos.is_some()),
+                "no span recorded for stage {cat}"
+            );
+        }
+        assert!(!events.iter().any(|e| e.cat == "cache"));
+    }
+
+    #[test]
+    fn explain_fences_matches_placement_stats_and_parallelism() {
+        let b = &all_benchmarks(48)[0];
+        let (t, records) = Pipeline::new(Version::PPOpt)
+            .explain_fences(&b.binary)
+            .unwrap();
+        assert_eq!(records.len(), t.module.funcs.len());
+        let inserted: usize = records.iter().map(FuncFenceRecord::inserted).sum();
+        assert_eq!(inserted, t.stats.fences_placed);
+        let merged: usize = records.iter().map(FuncFenceRecord::merged).sum();
+        assert_eq!(merged, t.stats.fences_placed - t.stats.fences_final);
+        // Every decision names its site; merged decisions are a subset of
+        // the inserted ones.
+        for r in &records {
+            assert_eq!(r.placed() + r.merged(), r.inserted());
+            for d in &r.decisions {
+                assert_eq!(
+                    d.fence.is_some(),
+                    !matches!(d.fate, lasagne_fences::FenceFate::ElidedStack)
+                );
+            }
+        }
+        // Byte-identical translation and identical provenance at jobs=4.
+        let (t4, records4) = Pipeline::new(Version::PPOpt)
+            .with_jobs(4)
+            .explain_fences(&b.binary)
+            .unwrap();
+        assert_eq!(
+            lasagne_armgen::print::print_module(&t.arm),
+            lasagne_armgen::print::print_module(&t4.arm)
+        );
+        assert_eq!(records, records4);
+    }
+
+    #[test]
+    fn warm_traced_run_emits_cache_hit_span_and_replayed_counters() {
+        let b = &all_benchmarks(48)[0];
+        let dir = std::env::temp_dir().join(format!(
+            "lasagne-pipeline-warm-trace-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold_trace = TraceCtx::collecting();
+        let (cold, _) = Pipeline::new(Version::PPOpt)
+            .with_cache(&dir)
+            .with_trace(cold_trace.clone())
+            .run(&b.binary)
+            .unwrap();
+        let warm_trace = TraceCtx::collecting();
+        let (warm, warm_rep) = Pipeline::new(Version::PPOpt)
+            .with_cache(&dir)
+            .with_trace(warm_trace.clone())
+            .run(&b.binary)
+            .unwrap();
+        assert_eq!(
+            lasagne_armgen::print::print_module(&cold.arm),
+            lasagne_armgen::print::print_module(&warm.arm)
+        );
+        let events = warm_trace.collector().unwrap().all_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.cat == "cache" && e.name == "cache-hit" && e.dur_nanos.is_some()),
+            "warm run did not record a cache-hit span"
+        );
+        for cat in ["lift", "refine", "fences", "merge", "opt"] {
+            assert!(
+                !events.iter().any(|e| e.cat == cat),
+                "warm run fabricated a {cat} event"
+            );
+        }
+        // Fence counters replayed from cache metadata match the cold run's.
+        let cold_m = cold_trace.metrics_snapshot().unwrap();
+        let warm_m = warm_rep.metrics.expect("metrics on warm run");
+        for c in [
+            "fences.placed.frm",
+            "fences.placed.fww",
+            "fences.elided.stack",
+            "fences.merged",
+            "fences.naive",
+        ] {
+            assert_eq!(cold_m.counter(c), warm_m.counter(c), "counter {c} diverged");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -46,6 +46,22 @@ use typedisc::{FuncType, SigTable};
 
 pub use translate::TranslateOptions;
 
+/// Machine-code and type-discovery profile of one function, reported by
+/// [`LiftPlan::function_profile`] for the observability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// x86 entry address.
+    pub addr: u64,
+    /// Reconstructed machine basic blocks.
+    pub x86_blocks: usize,
+    /// x86 instructions across all blocks.
+    pub x86_insts: usize,
+    /// Parameters discovered by the §4 live-register analysis.
+    pub params: usize,
+    /// Whether the discovered return type is `void`.
+    pub ret_void: bool,
+}
+
 /// Errors produced by [`lift_binary`].
 #[derive(Debug)]
 pub enum LiftError {
@@ -307,6 +323,78 @@ impl LiftPlan {
     /// Panics if `i` is out of range.
     pub fn function_name(&self, i: usize) -> &str {
         &self.work[i].1
+    }
+
+    /// x86 entry address of work item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn function_addr(&self, i: usize) -> u64 {
+        self.work[i].0
+    }
+
+    /// Pre-lift profile of work item `i`: machine-code shape plus the
+    /// discovered signature, for observability (the lifter's per-function
+    /// instruction/type-discovery counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn function_profile(&self, i: usize) -> FuncProfile {
+        let (addr, _, cfg) = &self.work[i];
+        FuncProfile {
+            addr: *addr,
+            x86_blocks: cfg.blocks.len(),
+            x86_insts: cfg.blocks.iter().map(|b| b.insts.len()).sum(),
+            params: self.tys[i].params.len(),
+            ret_void: self.tys[i].ret == Ty::Void,
+        }
+    }
+
+    /// [`LiftPlan::lift_function`] recording the function's profile into
+    /// `ctx`: `lift.*` counters, a size histogram, and (when tracing is
+    /// enabled) a `lift-function` instant event. Produces the exact same
+    /// body as [`lift_function`](LiftPlan::lift_function).
+    ///
+    /// # Errors
+    ///
+    /// See [`lift_function`](LiftPlan::lift_function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lift_function_traced(
+        &self,
+        i: usize,
+        ctx: &lasagne_trace::TraceCtx,
+    ) -> Result<Function, LiftError> {
+        let body = self.lift_function(i)?;
+        let p = self.function_profile(i);
+        let lir_insts = body.iter_insts().count();
+        ctx.add("lift.funcs", 1);
+        ctx.add("lift.x86_insts", p.x86_insts as u64);
+        ctx.add("lift.lir_insts", lir_insts as u64);
+        ctx.add("lift.params_discovered", p.params as u64);
+        ctx.observe(
+            "lift.func_x86_insts",
+            &[8, 32, 128, 512],
+            p.x86_insts as u64,
+        );
+        if ctx.is_enabled() {
+            ctx.instant(
+                "lift",
+                "lift-function",
+                vec![
+                    ("func", lasagne_trace::ArgVal::from(self.function_name(i))),
+                    ("addr", lasagne_trace::ArgVal::from(p.addr)),
+                    ("x86_insts", lasagne_trace::ArgVal::from(p.x86_insts)),
+                    ("lir_insts", lasagne_trace::ArgVal::from(lir_insts)),
+                    ("params", lasagne_trace::ArgVal::from(p.params)),
+                ],
+            );
+        }
+        Ok(body)
     }
 
     /// Translates the body of work item `i`.

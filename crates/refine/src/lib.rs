@@ -24,6 +24,38 @@ use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{Callee, CastOp, InstId, InstKind, Operand};
 use lasagne_lir::types::{Pointee, Ty};
 use lasagne_lir::BlockId;
+use lasagne_trace::{ArgVal, TraceCtx};
+
+/// Which generalised Figure 5 peephole rule rewrote an `inttoptr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineRule {
+    /// Rule 1 — `inttoptr(ptrtoint p)` with no added terms: pure cast.
+    PointerCast,
+    /// Rule 2 — add-tree rooted at a `ptrtoint` (stack/heap offset).
+    PointerOffset,
+    /// Rule 3 — add-tree rooted at an `i64` parameter.
+    ParamOffset,
+}
+
+impl RefineRule {
+    /// Stable name used in traces (`refine.rule.*` counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefineRule::PointerCast => "pointer-cast",
+            RefineRule::PointerOffset => "pointer-offset",
+            RefineRule::ParamOffset => "param-offset",
+        }
+    }
+
+    /// The `refine.rule.*` counter incremented when this rule fires.
+    pub fn counter(self) -> &'static str {
+        match self {
+            RefineRule::PointerCast => "refine.rule.pointer-cast",
+            RefineRule::PointerOffset => "refine.rule.pointer-offset",
+            RefineRule::ParamOffset => "refine.rule.param-offset",
+        }
+    }
+}
 
 /// Statistics from a refinement run (drives Figure 13).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,6 +156,14 @@ fn position_of(f: &Function, id: InstId) -> Option<(BlockId, usize)> {
 ///
 /// Returns the number of `inttoptr` instructions rewritten.
 pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
+    expose_pointers_traced(m, f, &TraceCtx::disabled())
+}
+
+/// [`expose_pointers`] recording each rule firing into `ctx`: one
+/// `refine.rule.*` counter increment and (when tracing is enabled) a
+/// `peephole` instant event per rewritten `inttoptr`. Produces the exact
+/// same function as [`expose_pointers`].
+pub fn expose_pointers_traced(m: &Module, f: &mut Function, ctx: &TraceCtx) -> usize {
     let mut rewritten = 0;
     // Snapshot the inttoptr instructions first; rewriting adds instructions.
     let targets: Vec<InstId> = f
@@ -157,6 +197,7 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
         let Some((block, pos)) = position_of(f, id) else {
             continue;
         };
+        let terms_count = plan.terms.len();
         let mut at = pos;
         // Root as an i8* value.
         let root_ty = m.operand_ty(f, &plan.root);
@@ -207,6 +248,25 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
             val: cur,
         };
         rewritten += 1;
+        let rule = if plan.root_is_int {
+            RefineRule::ParamOffset
+        } else if terms_count == 0 {
+            RefineRule::PointerCast
+        } else {
+            RefineRule::PointerOffset
+        };
+        ctx.add(rule.counter(), 1);
+        if ctx.is_enabled() {
+            ctx.instant(
+                "refine",
+                "peephole",
+                vec![
+                    ("func", ArgVal::from(f.name.as_str())),
+                    ("rule", ArgVal::from(rule.name())),
+                    ("terms", ArgVal::from(terms_count)),
+                ],
+            );
+        }
     }
     rewritten
 }
@@ -216,6 +276,14 @@ pub fn expose_pointers(m: &Module, f: &mut Function) -> usize {
 ///
 /// Returns the number of parameters promoted.
 pub fn promote_pointer_params(m: &mut Module) -> usize {
+    promote_pointer_params_traced(m, &TraceCtx::disabled())
+}
+
+/// [`promote_pointer_params`] recording each promotion into `ctx`: one
+/// `refine.params.promoted` counter increment and (when tracing is enabled)
+/// a `promote-param` instant event naming the function and parameter.
+/// Produces the exact same module as [`promote_pointer_params`].
+pub fn promote_pointer_params_traced(m: &mut Module, ctx: &TraceCtx) -> usize {
     let mut promoted = 0;
     for fi in 0..m.funcs.len() {
         let fid = lasagne_lir::FuncId(fi as u32);
@@ -294,6 +362,18 @@ pub fn promote_pointer_params(m: &mut Module) -> usize {
             // Fix every call site in the module.
             fix_call_sites(m, fid, pi, new_ty);
             promoted += 1;
+            ctx.add("refine.params.promoted", 1);
+            if ctx.is_enabled() {
+                ctx.instant(
+                    "refine",
+                    "promote-param",
+                    vec![
+                        ("func", ArgVal::from(m.funcs[fi].name.as_str())),
+                        ("param", ArgVal::from(pi)),
+                        ("ty", ArgVal::from(format!("{new_ty:?}"))),
+                    ],
+                );
+            }
         }
     }
     promoted
@@ -426,8 +506,16 @@ pub fn sweep_dead(f: &mut Function) -> usize {
 /// typing (never other function bodies), so distinct functions may be
 /// refined concurrently with results identical to any serial order.
 pub fn refine_function(m: &Module, f: &mut Function) -> usize {
-    let n = expose_pointers(m, f);
-    sweep_dead(f);
+    refine_function_traced(m, f, &TraceCtx::disabled())
+}
+
+/// [`refine_function`] with rule-firing tracing (see
+/// [`expose_pointers_traced`]); also counts swept dead address arithmetic
+/// into `refine.swept`.
+pub fn refine_function_traced(m: &Module, f: &mut Function, ctx: &TraceCtx) -> usize {
+    let n = expose_pointers_traced(m, f, ctx);
+    let swept = sweep_dead(f);
+    ctx.add("refine.swept", swept as u64);
     n
 }
 

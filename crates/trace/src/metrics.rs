@@ -1,0 +1,228 @@
+//! Monotonic counters and fixed-bucket histograms.
+//!
+//! Counters are **lock-striped**: each worker track hashes to one of
+//! [`COUNTER_STRIPES`] independent maps, so concurrent `par_map` workers
+//! increment without contending; [`MetricsRegistry::snapshot`] merges the
+//! stripes. Totals are therefore exact and independent of scheduling —
+//! a parallel run and a serial run of the same work produce identical
+//! snapshots.
+//!
+//! Histograms use fixed, caller-supplied bucket bounds. Value `v` lands in
+//! the first bucket whose upper bound satisfies `v <= bounds[i]`, with one
+//! implicit overflow bucket at the end, so bucket assignment is a pure
+//! function of `(bounds, v)`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json;
+
+/// Number of counter stripes.
+pub const COUNTER_STRIPES: usize = 8;
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (the last
+    /// entry is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            total: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into: the first `i` with
+    /// `value <= bounds[i]`, or the overflow bucket.
+    pub fn bucket_index(bounds: &[u64], value: u64) -> usize {
+        bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(bounds.len())
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let i = Histogram::bucket_index(&self.bounds, value);
+        self.counts[i] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+
+    /// Renders the histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(u64::to_string).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"total\":{}}}",
+            bounds.join(","),
+            counts.join(","),
+            self.sum,
+            self.total
+        )
+    }
+}
+
+/// The counter/histogram store shared by all clones of an enabled
+/// `TraceCtx`.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Vec<Mutex<BTreeMap<String, u64>>>,
+    histos: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: (0..COUNTER_STRIPES)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+            histos: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `delta` to counter `name`, striping by `track`.
+    pub fn add(&self, track: u32, name: &str, delta: u64) {
+        let mut stripe = lock_clean(&self.counters[track as usize % COUNTER_STRIPES]);
+        match stripe.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                stripe.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Records `value` into histogram `name`, creating it with `bounds` on
+    /// first use.
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        let mut histos = lock_clean(&self.histos);
+        histos
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Merges every stripe into one deterministic snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for stripe in &self.counters {
+            for (k, v) in lock_clean(stripe).iter() {
+                *counters.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            histos: lock_clean(&self.histos).clone(),
+        }
+    }
+}
+
+/// A merged, immutable view of all counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, sorted by name.
+    pub histos: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"histograms":{...}}` with keys sorted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json::escape(k)));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histos.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{}", json::escape(k), h.to_json()));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let bounds = [10, 100, 1000];
+        assert_eq!(Histogram::bucket_index(&bounds, 0), 0);
+        assert_eq!(Histogram::bucket_index(&bounds, 10), 0);
+        assert_eq!(Histogram::bucket_index(&bounds, 11), 1);
+        assert_eq!(Histogram::bucket_index(&bounds, 100), 1);
+        assert_eq!(Histogram::bucket_index(&bounds, 101), 2);
+        assert_eq!(Histogram::bucket_index(&bounds, 1000), 2);
+        assert_eq!(Histogram::bucket_index(&bounds, 1001), 3);
+        assert_eq!(Histogram::bucket_index(&bounds, u64::MAX), 3);
+    }
+
+    #[test]
+    fn histogram_records_sum_and_total() {
+        let mut h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.total, 8);
+        assert_eq!(h.sum, 1045);
+    }
+
+    #[test]
+    fn striped_counters_merge_exactly() {
+        let r = MetricsRegistry::new();
+        for track in 0..32u32 {
+            r.add(track, "x", 1);
+        }
+        r.add(0, "y", 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x"), 32);
+        assert_eq!(snap.counter("y"), 7);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+}

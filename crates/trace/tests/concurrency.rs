@@ -1,0 +1,177 @@
+//! Concurrency tests for `lasagne-trace`: the collector must produce
+//! identical counter totals under the pipeline's `par_map` fan-out shape
+//! regardless of the worker count, and the Chrome export must stay
+//! well-formed under concurrent recording.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lasagne_trace::{json, ArgVal, Histogram, MetricsSnapshot, TraceCtx};
+
+/// The pipeline's `par_map` worker shape: `jobs` scoped threads claim item
+/// indices from an atomic counter; worker slot `w` runs on track `w + 1`.
+/// (Replicated here because `lasagne` depends on this crate, not the other
+/// way around.)
+fn par_map_shape(jobs: usize, items: usize, f: impl Fn(usize) + Sync) {
+    if jobs <= 1 {
+        for i in 0..items {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let f = &f;
+            let next = &next;
+            scope.spawn(move || {
+                lasagne_trace::set_current_track(w as u32 + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items {
+                        break;
+                    }
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Runs one synthetic "stage" over 64 items: a span per item with nested
+/// inner spans, counters, histogram observations, and an instant event.
+fn run_stage(ctx: &TraceCtx, jobs: usize) {
+    ctx.declare_tracks(jobs as u32);
+    par_map_shape(jobs, 64, |i| {
+        let mut span = ctx.span("stage", "item");
+        span.arg("index", i);
+        {
+            let _inner = ctx.span("stage", "inner");
+            ctx.add("work.items", 1);
+            ctx.add("work.weight", i as u64);
+            ctx.observe("work.size", &[8, 16, 32, 64], i as u64);
+        }
+        if i % 7 == 0 {
+            ctx.instant("stage", "milestone", vec![("i", ArgVal::from(i))]);
+        }
+    });
+}
+
+fn totals(snap: &MetricsSnapshot) -> (u64, u64, Vec<u64>) {
+    (
+        snap.counter("work.items"),
+        snap.counter("work.weight"),
+        snap.histos["work.size"].counts.clone(),
+    )
+}
+
+#[test]
+fn jobs_1_and_4_produce_identical_counter_totals() {
+    let serial = TraceCtx::collecting();
+    run_stage(&serial, 1);
+    let parallel = TraceCtx::collecting();
+    run_stage(&parallel, 4);
+
+    let s = serial.metrics_snapshot().unwrap();
+    let p = parallel.metrics_snapshot().unwrap();
+    assert_eq!(totals(&s), totals(&p));
+    assert_eq!(s.counter("work.items"), 64);
+    assert_eq!(s.counter("work.weight"), (0..64u64).sum::<u64>());
+    // Bucket boundaries are inclusive upper bounds: 0..=8, 9..=16, 17..=32,
+    // 33..=64, overflow.
+    assert_eq!(s.histos["work.size"].counts, vec![9, 8, 16, 31, 0]);
+    assert_eq!(s.histos["work.size"].bounds, vec![8, 16, 32, 64]);
+
+    // Event *counts* also agree (timestamps and tracks of course differ).
+    let se = serial.collector().unwrap().all_events();
+    let pe = parallel.collector().unwrap().all_events();
+    assert_eq!(se.len(), pe.len());
+    for name in ["item", "inner", "milestone"] {
+        assert_eq!(
+            se.iter().filter(|e| e.name == name).count(),
+            pe.iter().filter(|e| e.name == name).count(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn parallel_chrome_export_is_well_formed_with_one_track_per_worker() {
+    let ctx = TraceCtx::collecting();
+    run_stage(&ctx, 4);
+    let out = ctx.chrome_json().unwrap();
+    let doc = json::parse(&out).expect("well-formed Chrome JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+
+    // Exactly one named track per worker plus main.
+    let mut names: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        ["main", "worker-1", "worker-2", "worker-3", "worker-4"]
+    );
+
+    // Every non-metadata event has the required fields and a known tid.
+    for e in events {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        if ph == "M" {
+            continue;
+        }
+        assert!(matches!(ph, "X" | "i"), "unexpected phase {ph}");
+        assert!(e.get("ts").unwrap().as_f64().is_some());
+        let tid = e.get("tid").unwrap().as_u64().unwrap();
+        assert!(tid <= 4, "event on undeclared track {tid}");
+        assert!(e
+            .get("args")
+            .unwrap()
+            .get("depth")
+            .unwrap()
+            .as_u64()
+            .is_some());
+    }
+
+    // Nested spans recorded depth 0 (item) and 1 (inner).
+    let depth_of = |n: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some(n))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("depth")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert!(depth_of("item").iter().all(|d| *d == 0));
+    assert!(depth_of("inner").iter().all(|d| *d == 1));
+}
+
+#[test]
+fn histogram_bucket_index_matches_recorded_buckets() {
+    let bounds = [2, 4, 8];
+    let mut h = Histogram::new(&bounds);
+    for v in 0..=10u64 {
+        h.record(v);
+    }
+    let mut expect = vec![0u64; bounds.len() + 1];
+    for v in 0..=10u64 {
+        expect[Histogram::bucket_index(&bounds, v)] += 1;
+    }
+    assert_eq!(h.counts, expect);
+    assert_eq!(h.counts, vec![3, 2, 4, 2]);
+}

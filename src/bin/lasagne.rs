@@ -6,6 +6,8 @@
 //! lasagne run <DEMO> [opts]            translate, simulate, report cycles
 //! lasagne ir <DEMO> [opts]             print the final LIR
 //! lasagne disasm <DEMO>                print the x86-64 disassembly
+//! lasagne explain-fences <DEMO> [opts] per-fence provenance table
+//! lasagne trace-check FILE [--jobs N]  validate a --trace-out file
 //! lasagne litmus                       memory-model validation summary
 //! lasagne help                         this message
 //!
@@ -16,6 +18,8 @@
 //!                                      output is byte-identical for every N
 //!   --timings FILE                     write the per-pass/per-function timing
 //!                                      report as JSON to FILE ("-" = stderr)
+//!   --trace-out FILE                   write a Chrome trace-event JSON file
+//!                                      (one track per worker thread)
 //!   --cache-dir DIR                    content-addressed translation cache
 //!                                      (default: $LASAGNE_CACHE_DIR if set);
 //!                                      warm runs skip lift/refine/opt
@@ -29,6 +33,7 @@
 
 use lasagne_repro::bench::{measure_native, run_arm};
 use lasagne_repro::phoenix::{all_benchmarks, Benchmark};
+use lasagne_repro::trace::TraceCtx;
 use lasagne_repro::translator::{Pipeline, PipelineReport, Version};
 
 fn main() {
@@ -60,6 +65,7 @@ fn main() {
         },
     };
     let timings = flag_value(&args, "--timings");
+    let trace_out = flag_value(&args, "--trace-out");
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let cache_dir: Option<String> = if no_cache {
         None
@@ -112,7 +118,14 @@ fn main() {
                 );
                 std::process::exit(2);
             };
-            let mut pipeline = Pipeline::new(version).with_jobs(jobs);
+            let trace = if trace_out.is_some() {
+                TraceCtx::collecting()
+            } else {
+                TraceCtx::disabled()
+            };
+            let mut pipeline = Pipeline::new(version)
+                .with_jobs(jobs)
+                .with_trace(trace.clone());
             if let Some(dir) = &cache_dir {
                 pipeline = pipeline.with_cache(dir);
             }
@@ -122,6 +135,9 @@ fn main() {
             });
             if let Some(path) = timings {
                 write_timings(path, &report);
+            }
+            if let Some(path) = trace_out {
+                write_trace(path, &trace);
             }
             match cmd {
                 "translate" => {
@@ -154,17 +170,93 @@ fn main() {
                         m.dmbs.0, m.dmbs.1, m.dmbs.2
                     );
                     println!("translate : {:.1} ms wall", report.total_nanos as f64 / 1e6);
-                    if let Some(c) = &report.cache {
-                        println!(
+                    match &report.cache {
+                        Some(c) => println!(
                             "cache     : {} ({} hits, {} misses, {} written)",
                             if c.warm { "warm" } else { "cold" },
                             c.hits,
                             c.misses,
                             c.writes
-                        );
+                        ),
+                        None => println!("cache     : disabled"),
                     }
                 }
                 _ => unreachable!(),
+            }
+        }
+        "explain-fences" => {
+            let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
+                eprintln!(
+                    "usage: lasagne explain-fences <HT|KM|LR|MM|SM> [--version V] \
+                     [--scale N] [--jobs N] [--trace-out FILE]"
+                );
+                std::process::exit(2);
+            };
+            let trace = if trace_out.is_some() {
+                TraceCtx::collecting()
+            } else {
+                TraceCtx::disabled()
+            };
+            // Provenance only exists on the cold path, so the cache is
+            // deliberately not attached here.
+            let (t, records) = Pipeline::new(version)
+                .with_jobs(jobs)
+                .with_trace(trace.clone())
+                .explain_fences(&b.binary)
+                .unwrap_or_else(|e| {
+                    eprintln!("translation failed: {e}");
+                    std::process::exit(1);
+                });
+            if let Some(path) = trace_out {
+                write_trace(path, &trace);
+            }
+            println!(
+                "{:<24} {:>10} {:>10} {:<5} {:<13} {}",
+                "function", "address", "site", "kind", "rule", "fate"
+            );
+            let (mut placed, mut elided, mut merged) = (0usize, 0usize, 0usize);
+            for r in &records {
+                for d in &r.decisions {
+                    println!(
+                        "{:<24} {:>#10x} {:>10} {:<5} {:<13} {}",
+                        r.name,
+                        r.addr,
+                        format!("b{}/i{}", d.block, d.pos),
+                        format!("{:?}", d.rule.kind()),
+                        d.rule.name(),
+                        d.fate.name()
+                    );
+                }
+                placed += r.placed();
+                elided += r.elided();
+                merged += r.merged();
+            }
+            let naive = t.stats.fences_naive;
+            let fin = t.stats.fences_final;
+            println!();
+            println!(
+                "fences    : {placed} placed, {elided} elided (stack), {merged} merged \
+                 -> {fin} final"
+            );
+            if naive > 0 {
+                println!(
+                    "naive     : {naive} -> reduction {:.1}%",
+                    100.0 * (naive - fin) as f64 / naive as f64
+                );
+            }
+        }
+        "trace-check" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: lasagne trace-check FILE [--jobs N]");
+                std::process::exit(2);
+            };
+            let expect_jobs = flag_value(&args, "--jobs").and_then(|s| s.parse::<usize>().ok());
+            match check_trace_file(path, expect_jobs) {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => {
+                    eprintln!("trace-check {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
         "litmus" => {
@@ -180,16 +272,107 @@ fn main() {
         }
         _ => {
             println!("lasagne — static binary translator (PLDI 2022 reproduction)");
-            println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO> | litmus");
+            println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO>");
+            println!("          explain-fences <DEMO> | trace-check FILE | litmus");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
             println!("          --jobs N (worker threads; byte-identical output for any N)");
             println!("          --timings FILE (per-pass JSON timing report; \"-\" = stderr)");
+            println!("          --trace-out FILE (Chrome trace-event JSON; one track per worker)");
             println!("          --cache-dir DIR (translation cache; default $LASAGNE_CACHE_DIR)");
             println!("          --no-cache (ignore $LASAGNE_CACHE_DIR)");
             println!("demos   : HT histogram | KM kmeans | LR linear_regression");
             println!("          MM matrix_multiply | SM string_match");
         }
     }
+}
+
+/// Writes the Chrome trace-event export of `trace` to `path`.
+fn write_trace(path: &str, trace: &TraceCtx) {
+    let Some(json) = trace.chrome_json() else {
+        return;
+    };
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write trace to `{path}`: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Validates a `--trace-out` file: well-formed JSON, a non-empty
+/// `traceEvents` array with at least one real (non-metadata) event, and
+/// exactly one `thread_name` metadata record per track that appears in the
+/// log. With `expect_jobs = Some(n)`, additionally requires the named
+/// tracks to be exactly `main` plus workers `1..=n`.
+fn check_trace_file(path: &str, expect_jobs: Option<usize>) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = lasagne_repro::trace::json::parse(&text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut named_tracks: Vec<u64> = Vec::new();
+    let mut used_tracks: Vec<u64> = Vec::new();
+    let (mut spans, mut instants) = (0usize, 0usize);
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or("event without ph")?;
+        let tid = ev
+            .get("tid")
+            .and_then(|v| v.as_u64())
+            .ok_or("event without tid")?;
+        match ph {
+            "M" => {
+                let name = ev
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("metadata without name")?;
+                if name == "thread_name" {
+                    if named_tracks.contains(&tid) {
+                        return Err(format!("track {tid} named twice"));
+                    }
+                    named_tracks.push(tid);
+                }
+            }
+            "X" => {
+                spans += 1;
+                used_tracks.push(tid);
+            }
+            _ => {
+                instants += 1;
+                used_tracks.push(tid);
+            }
+        }
+    }
+    if spans + instants == 0 {
+        return Err("no events besides metadata".into());
+    }
+    for t in &used_tracks {
+        if !named_tracks.contains(t) {
+            return Err(format!("track {t} has events but no thread_name"));
+        }
+    }
+    if let Some(jobs) = expect_jobs {
+        let mut expected: Vec<u64> = (0..=jobs.max(1) as u64).collect();
+        if jobs <= 1 {
+            expected = vec![0];
+        }
+        let mut named = named_tracks.clone();
+        named.sort_unstable();
+        if named != expected {
+            return Err(format!(
+                "named tracks {named:?} do not match --jobs {jobs} (expected {expected:?})"
+            ));
+        }
+    }
+    Ok(format!(
+        "trace OK: {} events ({spans} spans, {instants} instants), {} named tracks",
+        events.len(),
+        named_tracks.len()
+    ))
 }
 
 /// Writes the timing report as JSON to `path`, or to stderr (with a

@@ -18,6 +18,7 @@
 //! | [`translator`] | §3 | the end-to-end pipeline and §9.1 versions |
 //! | [`mod@bench`] | §9 | measurement harness behind `report` and the benches |
 //! | [`cache`] | — | content-addressed on-disk translation cache |
+//! | [`trace`] | — | structured tracing, metrics, Chrome trace export |
 
 pub use lasagne as translator;
 pub use lasagne_armgen as armgen;
@@ -30,4 +31,5 @@ pub use lasagne_memmodel as memmodel;
 pub use lasagne_opt as opt;
 pub use lasagne_phoenix as phoenix;
 pub use lasagne_refine as refine;
+pub use lasagne_trace as trace;
 pub use lasagne_x86 as x86;

@@ -30,10 +30,22 @@ fn list_names_all_five_benchmarks() {
 
 #[test]
 fn run_reports_verified_checksum_and_barriers() {
-    let s = stdout(&["run", "HT", "--scale", "24", "--version", "ppopt"]);
+    let s = stdout(&[
+        "run",
+        "HT",
+        "--scale",
+        "24",
+        "--version",
+        "ppopt",
+        "--no-cache",
+    ]);
     assert!(s.contains("(verified)"), "checksum not verified:\n{s}");
     assert!(s.contains("barriers"), "no barrier report:\n{s}");
     assert!(s.contains("cycles"), "no cycle count:\n{s}");
+    assert!(
+        s.contains("cache     : disabled"),
+        "no explicit cache-disabled line:\n{s}"
+    );
 }
 
 #[test]
@@ -83,6 +95,10 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
 
     let json = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
+    assert!(
+        json.starts_with("{\"schema\":2,"),
+        "timings JSON lacks the schema version field:\n{json}"
+    );
     for key in ["\"version\"", "\"jobs\":4", "\"total_nanos\"", "\"stages\""] {
         assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
     }
