@@ -23,13 +23,38 @@ for demo in HT KM LR MM SM; do
     grep -q '"misses":0' "$CACHE_DIR/$demo.warm.json"
 done
 
+# Parallel-schedule equivalence, end to end through the CLI: the fused
+# per-function opt schedule at --jobs 4 must emit assembly byte-identical
+# to --jobs 1, and its --timings must show the opt stage actually fanning
+# out (zero opt parallel sections at jobs=4 means the fusion regressed to
+# a serial schedule).
+for demo in HT KM LR MM SM; do
+    ./target/release/lasagne translate "$demo" --jobs 1 --no-cache \
+        >"$CACHE_DIR/$demo.j1.s"
+    ./target/release/lasagne translate "$demo" --jobs 4 --no-cache \
+        --timings "$CACHE_DIR/$demo.j4.json" >"$CACHE_DIR/$demo.j4.s"
+    cmp "$CACHE_DIR/$demo.j1.s" "$CACHE_DIR/$demo.j4.s"
+    if grep -q '{"stage":"opt","parallel_sections":0' "$CACHE_DIR/$demo.j4.json"; then
+        echo "$demo: opt stage ran zero parallel sections at --jobs 4" >&2
+        exit 1
+    fi
+done
+
 # Tracing: a traced translation must emit a valid Chrome trace file with
 # one named track per worker thread, and it must not change the output.
+# Pinned at jobs=4 so the trace tracks cover the fused opt schedule's
+# per-function spans and the ipsccp superstep spans.
 ./target/release/lasagne translate HT --jobs 4 --no-cache \
     --trace-out "$CACHE_DIR/HT.trace.json" >"$CACHE_DIR/HT.traced.s"
 cmp "$CACHE_DIR/HT.cold.s" "$CACHE_DIR/HT.traced.s"
 test -s "$CACHE_DIR/HT.trace.json"
 ./target/release/lasagne trace-check "$CACHE_DIR/HT.trace.json" --jobs 4
+
+# Fence-provenance explain output must be schedule-invariant: the same
+# decisions whether the opt stage runs serially or fused at jobs=4.
+./target/release/lasagne explain-fences HT --jobs 1 >"$CACHE_DIR/HT.exp1.txt"
+./target/release/lasagne explain-fences HT --jobs 4 >"$CACHE_DIR/HT.exp4.txt"
+cmp "$CACHE_DIR/HT.exp1.txt" "$CACHE_DIR/HT.exp4.txt"
 
 # The trace collector must never unwrap a possibly-poisoned lock (a
 # panicking worker would then take the whole trace down with it); all

@@ -23,10 +23,20 @@
 //! indices from an atomic counter, but each result lands in slot `i` and
 //! the slots are stitched back together in index order; the schedule can
 //! change *when* a function is processed, never *what* is computed for it.
-//! Interprocedural steps (type discovery, parameter promotion, `ipsccp`,
-//! module verification) run serially between the parallel regions. Hence
-//! `--jobs N` is byte-identical to `--jobs 1` for every `N` — asserted by
-//! `tests/parallel.rs` over the whole Phoenix suite.
+//! Interprocedural steps (type discovery, parameter promotion, the
+//! `ipsccp` lattice join, module verification) run serially between the
+//! parallel regions. Hence `--jobs N` is byte-identical to `--jobs 1` for
+//! every `N` — asserted by `tests/parallel.rs` over the whole Phoenix
+//! suite.
+//!
+//! The opt stage schedules per *function*, not per pass: the
+//! intraprocedural portions of the Figure 17 schedule run as fused
+//! per-function work items (one barrier per block instead of one per
+//! pass), and `ipsccp` runs as a bulk-synchronous superstep — parallel
+//! call-summary gather, serial lattice join, parallel substitution apply
+//! (see `opt::sccp`). Both restructurings are output-equivalent to the
+//! old per-pass module sweeps and are asserted so by
+//! `tests/opt_parallel.rs`.
 //!
 //! # Example
 //!
@@ -83,7 +93,12 @@ use crate::{LiftError, Translation, TranslationStats, Version};
 ///   stages/cache.
 /// * **2** — adds the `"schema"` field itself and the optional
 ///   `"metrics"` object (flat counters + histograms from tracing).
-pub const REPORT_SCHEMA: u32 = 2;
+/// * **3** — adds `"parallel_sections"` per stage, the aggregated
+///   `"opt_passes"` table, the per-round `"ipsccp_rounds"` breakdown
+///   (gather/join/apply superstep phases), and `"barrier_wait_nanos"`,
+///   one summed counter per worker slot. Schema-2 consumers that ignore
+///   unknown fields still parse every field they knew about.
+pub const REPORT_SCHEMA: u32 = 3;
 
 /// Fence provenance for one function, collected by an explain-enabled
 /// pipeline run ([`Pipeline::explain_fences`]): every Figure 8a mapping
@@ -137,9 +152,11 @@ impl FuncFenceRecord {
 }
 
 /// The Figure 17 optimization schedule: the `standard_pipeline` order, run
-/// for up to three rounds with `ipsccp` as a serial interprocedural
-/// barrier. Hoisted to a module constant so the cache's pass-list key and
-/// the executed schedule can never drift apart.
+/// for up to three rounds with `ipsccp` as the interprocedural barrier
+/// (executed as a gather/join/apply superstep; the computation is the
+/// serial algorithm's). Hoisted to a module constant so the cache's
+/// pass-list key and the executed schedule can never drift apart — the
+/// fused blocks are carved out of this same constant at its barrier.
 const OPT_ORDER: [PassKind; 13] = [
     PassKind::Mem2Reg,
     PassKind::Sroa,
@@ -412,6 +429,41 @@ pub struct PassEvent {
     pub insts: u64,
 }
 
+/// Aggregated wall time for one optimization pass across every function
+/// and round it ran on (schema 3's `"opt_passes"` table). The fused
+/// per-function schedule times each pass inside the fused work item, so
+/// the per-pass attribution survives the fusion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptPassTiming {
+    /// Stable pass name (see `PassKind::name`).
+    pub pass: &'static str,
+    /// Total wall time across all functions and rounds.
+    pub nanos: u128,
+    /// Total rewrites applied.
+    pub changes: u64,
+    /// Number of (function, round, schedule-slot) executions.
+    pub invocations: u64,
+}
+
+/// Timing of one `ipsccp` superstep (schema 3's `"ipsccp_rounds"`): the
+/// parallel gather of per-function call summaries, the serial join that
+/// decides lattice facts, and the parallel apply of the substitutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpsccpRoundTiming {
+    /// Optimization round index (0-based).
+    pub round: u32,
+    /// Wall time of the parallel summary-gather phase.
+    pub gather_nanos: u128,
+    /// Wall time of the serial lattice join (the only serial remnant).
+    pub join_nanos: u128,
+    /// Wall time of the parallel substitution phase.
+    pub apply_nanos: u128,
+    /// Lattice facts newly decided this round.
+    pub facts: u64,
+    /// Textual substitutions applied this round.
+    pub substitutions: u64,
+}
+
 /// Collects [`PassEvent`]s from (possibly concurrent) pass executions and
 /// folds them into a [`PipelineReport`].
 ///
@@ -422,6 +474,11 @@ pub struct PassEvent {
 #[derive(Debug, Default)]
 pub struct TimingSink {
     events: Mutex<Vec<PassEvent>>,
+    opt_passes: Mutex<Vec<(&'static str, u128, u64)>>,
+    ipsccp_rounds: Mutex<Vec<IpsccpRoundTiming>>,
+    barrier_waits: Mutex<Vec<u128>>,
+    parallel_sections: Mutex<[u64; 6]>,
+    stage_walls: Mutex<[u128; 6]>,
 }
 
 impl TimingSink {
@@ -435,17 +492,54 @@ impl TimingSink {
         self.events.lock().unwrap().push(ev);
     }
 
+    /// Records one pass execution inside a fused opt work item.
+    pub fn record_opt_pass(&self, pass: &'static str, nanos: u128, changes: u64) {
+        self.opt_passes.lock().unwrap().push((pass, nanos, changes));
+    }
+
+    /// Records the phase breakdown of one `ipsccp` superstep.
+    pub fn record_ipsccp_round(&self, round: IpsccpRoundTiming) {
+        self.ipsccp_rounds.lock().unwrap().push(round);
+    }
+
+    /// Accounts wall-clock time the orchestrating thread spent inside one
+    /// of `stage`'s regions. Stages execute strictly in sequence, so the
+    /// per-stage wall times partition the translation's `total_nanos`
+    /// (minus inter-stage glue) — unlike `StageTiming::nanos`, which sums
+    /// per-function work *across* overlapping worker threads.
+    pub fn record_stage_wall(&self, stage: Stage, nanos: u128) {
+        self.stage_walls.lock().unwrap()[stage.index()] += nanos;
+    }
+
+    /// Accounts one completed parallel section in `stage`: per worker
+    /// slot, the time it idled between finishing its last work item and
+    /// the slowest worker reaching the section's join point.
+    pub fn record_parallel_section(&self, stage: Stage, waits: &[u128]) {
+        self.parallel_sections.lock().unwrap()[stage.index()] += 1;
+        let mut acc = self.barrier_waits.lock().unwrap();
+        if acc.len() < waits.len() {
+            acc.resize(waits.len(), 0);
+        }
+        for (slot, w) in waits.iter().enumerate() {
+            acc[slot] += w;
+        }
+    }
+
     /// Builds the aggregated report. Events for the same (stage, function)
     /// have their times and change counts summed; the instruction count
     /// keeps the last recorded value.
     pub fn report(&self, version: Version, jobs: usize, total_nanos: u128) -> PipelineReport {
         let events = self.events.lock().unwrap();
+        let sections = *self.parallel_sections.lock().unwrap();
+        let walls = *self.stage_walls.lock().unwrap();
         let mut stages: Vec<StageTiming> = Stage::ALL
             .iter()
             .map(|s| StageTiming {
                 stage: *s,
                 nanos: 0,
                 module_nanos: 0,
+                wall_nanos: walls[s.index()],
+                parallel_sections: sections[s.index()],
                 funcs: Vec::new(),
             })
             .collect();
@@ -474,11 +568,34 @@ impl TimingSink {
                 },
             }
         }
+        // Aggregate per-pass executions by pass name, in first-seen order
+        // (which is schedule order: the fused blocks walk `OPT_ORDER`).
+        let mut opt_passes: Vec<OptPassTiming> = Vec::new();
+        for (pass, nanos, changes) in self.opt_passes.lock().unwrap().iter() {
+            match opt_passes.iter_mut().find(|p| p.pass == *pass) {
+                Some(p) => {
+                    p.nanos += nanos;
+                    p.changes += changes;
+                    p.invocations += 1;
+                }
+                None => opt_passes.push(OptPassTiming {
+                    pass,
+                    nanos: *nanos,
+                    changes: *changes,
+                    invocations: 1,
+                }),
+            }
+        }
+        let mut ipsccp_rounds = self.ipsccp_rounds.lock().unwrap().clone();
+        ipsccp_rounds.sort_by_key(|r| r.round);
         PipelineReport {
             version,
             jobs,
             total_nanos,
             stages,
+            opt_passes,
+            ipsccp_rounds,
+            barrier_wait_nanos: self.barrier_waits.lock().unwrap().clone(),
             cache: None,
             metrics: None,
         }
@@ -561,9 +678,18 @@ pub struct StageTiming {
     /// Sum of all work attributed to the stage (per-function + module).
     pub nanos: u128,
     /// Serial module-level barrier work within the stage (type discovery,
-    /// parameter promotion, `ipsccp`, verification, the naive-placement
-    /// baseline).
+    /// parameter promotion, the `ipsccp` join, verification, the
+    /// naive-placement baseline).
     pub module_nanos: u128,
+    /// Wall-clock time of the stage as seen by the orchestrating thread.
+    /// Stages run strictly in sequence, so these partition the run's
+    /// `total_nanos`; `nanos` instead sums per-function work across
+    /// overlapping workers and can exceed the wall at `jobs > 1`.
+    pub wall_nanos: u128,
+    /// Parallel fan-outs the stage executed with two or more workers.
+    /// Zero when the stage ran serially (`--jobs 1`, one function, or a
+    /// warm cache hit that skipped the stage).
+    pub parallel_sections: u64,
     /// Per-function entries, sorted by function index. Empty when the
     /// stage did not run under the chosen [`Version`].
     pub funcs: Vec<FuncTiming>,
@@ -580,6 +706,14 @@ pub struct PipelineReport {
     pub total_nanos: u128,
     /// Per-stage breakdown, in pipeline order; always all six stages.
     pub stages: Vec<StageTiming>,
+    /// Per-pass aggregation over the fused opt schedule, in schedule
+    /// order. Empty when the opt stage did not run (Lifted, warm cache).
+    pub opt_passes: Vec<OptPassTiming>,
+    /// Per-round `ipsccp` superstep phase timings, in round order.
+    pub ipsccp_rounds: Vec<IpsccpRoundTiming>,
+    /// Summed barrier idle time per worker slot, across every parallel
+    /// section of the run. Empty for a fully serial run.
+    pub barrier_wait_nanos: Vec<u128>,
     /// Cache counters; `None` when the run had no cache configured.
     pub cache: Option<CacheReport>,
     /// Merged counters and histograms from the run's [`TraceCtx`];
@@ -592,10 +726,16 @@ impl PipelineReport {
     /// [`REPORT_SCHEMA`]; see ARCHITECTURE.md § Observability):
     ///
     /// ```json
-    /// {"schema":2,"version":"PPOpt","jobs":4,"total_nanos":123,
-    ///  "stages":[{"stage":"lift","nanos":88,"module_nanos":5,
+    /// {"schema":3,"version":"PPOpt","jobs":4,"total_nanos":123,
+    ///  "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,
+    ///             "module_nanos":5,"wall_nanos":60,
     ///             "funcs":[{"func":"main","index":0,"nanos":83,
-    ///                       "changes":120,"insts":120}]}, …]}
+    ///                       "changes":120,"insts":120}]}, …],
+    ///  "opt_passes":[{"pass":"mem2reg","nanos":9,"changes":3,
+    ///                 "invocations":8}, …],
+    ///  "ipsccp_rounds":[{"round":0,"gather_nanos":2,"join_nanos":1,
+    ///                    "apply_nanos":2,"facts":1,"substitutions":2}, …],
+    ///  "barrier_wait_nanos":[120,340,80,410]}
     /// ```
     ///
     /// A traced run additionally carries `"metrics":{"counters":{…},
@@ -614,10 +754,12 @@ impl PipelineReport {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"stage\":\"{}\",\"nanos\":{},\"module_nanos\":{},\"funcs\":[",
+                "{{\"stage\":\"{}\",\"parallel_sections\":{},\"nanos\":{},\"module_nanos\":{},\"wall_nanos\":{},\"funcs\":[",
                 st.stage.name(),
+                st.parallel_sections,
                 st.nanos,
-                st.module_nanos
+                st.module_nanos,
+                st.wall_nanos
             ));
             for (fi, ft) in st.funcs.iter().enumerate() {
                 if fi > 0 {
@@ -633,6 +775,35 @@ impl PipelineReport {
                 ));
             }
             s.push_str("]}");
+        }
+        s.push(']');
+        s.push_str(",\"opt_passes\":[");
+        for (i, p) in self.opt_passes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"pass\":\"{}\",\"nanos\":{},\"changes\":{},\"invocations\":{}}}",
+                p.pass, p.nanos, p.changes, p.invocations
+            ));
+        }
+        s.push_str("],\"ipsccp_rounds\":[");
+        for (i, r) in self.ipsccp_rounds.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"round\":{},\"gather_nanos\":{},\"join_nanos\":{},\"apply_nanos\":{},\
+                 \"facts\":{},\"substitutions\":{}}}",
+                r.round, r.gather_nanos, r.join_nanos, r.apply_nanos, r.facts, r.substitutions
+            ));
+        }
+        s.push_str("],\"barrier_wait_nanos\":[");
+        for (i, w) in self.barrier_wait_nanos.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&w.to_string());
         }
         s.push(']');
         if let Some(c) = &self.cache {
@@ -672,6 +843,17 @@ impl PipelineReport {
             self.total_nanos as f64 / 1e3,
             self.jobs
         ));
+        if !self.barrier_wait_nanos.is_empty() {
+            let sections: u64 = self.stages.iter().map(|st| st.parallel_sections).sum();
+            let waits: Vec<f64> = self
+                .barrier_wait_nanos
+                .iter()
+                .map(|w| *w as f64 / 1e3)
+                .collect();
+            s.push_str(&format!(
+                "barriers : {sections} parallel sections; per-slot wait (µs): {waits:.1?}\n"
+            ));
+        }
         if let Some(c) = &self.cache {
             s.push_str(&format!(
                 "cache    {} — {} hits, {} misses, {} written, {} unchanged, \
@@ -729,21 +911,42 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    par_map_waits(jobs, items, f).0
+}
+
+/// [`par_map`] that also measures each worker slot's barrier wait: the
+/// time between a worker finishing its last claimed item and the slowest
+/// worker reaching the scope join. The second vector has one entry per
+/// worker slot and is empty when the map ran serially (`jobs <= 1` or at
+/// most one item) — no barrier, no wait.
+///
+/// This is where `--timings`' `barrier_wait_nanos` counters come from: a
+/// schedule whose work items are badly balanced shows up as a few slots
+/// with large waits, without changing any output byte.
+pub fn par_map_waits<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> (Vec<R>, Vec<u128>)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let workers = jobs.max(1).min(n);
     if workers <= 1 {
-        return items
+        let out = items
             .into_iter()
             .enumerate()
             .map(|(i, t)| f(i, t))
             .collect();
+        return (out, Vec::new());
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let finished: Vec<Mutex<Option<Instant>>> = (0..workers).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let (slots, results, next, f) = (&slots, &results, &next, &f);
+            let finished = &finished;
             scope.spawn(move || {
                 // Worker slot w records trace events on track w+1 (track 0
                 // is the main thread), so a traced run shows one stable
@@ -759,13 +962,26 @@ where
                     let r = f(i, item);
                     *results[i].lock().unwrap() = Some(r);
                 }
+                *finished[w].lock().unwrap() = Some(Instant::now());
             });
         }
     });
-    results
+    let join = Instant::now();
+    let waits = finished
+        .into_iter()
+        .map(|m| {
+            let t = m
+                .into_inner()
+                .unwrap()
+                .expect("worker recorded finish time");
+            join.duration_since(t).as_nanos()
+        })
+        .collect();
+    let out = results
         .into_iter()
         .map(|m| m.into_inner().unwrap().unwrap())
-        .collect()
+        .collect();
+    (out, waits)
 }
 
 /// Pipeline configuration: a [`Version`], a worker-thread count, and an
@@ -948,6 +1164,24 @@ impl<'s> PassManager<'s> {
         r
     }
 
+    /// [`par_map`] with section accounting: each parallel fan-out bumps
+    /// the stage's `parallel_sections` counter and folds its per-slot
+    /// barrier waits into the sink. Serial executions (one job or one
+    /// item) record nothing — a section only counts when a barrier
+    /// actually formed.
+    fn par_section<T, R, F>(&self, stage: Stage, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let (out, waits) = par_map_waits(self.jobs, items, f);
+        if !waits.is_empty() {
+            self.sink.record_parallel_section(stage, &waits);
+        }
+        out
+    }
+
     /// Runs one per-function pass over every function of `m`, in parallel,
     /// and records one event per function. `pass` receives the module
     /// *without its function table* (taken out for ownership) — every
@@ -961,7 +1195,7 @@ impl<'s> PassManager<'s> {
     ) -> u64 {
         let funcs = std::mem::take(&mut m.funcs);
         let shell: &Module = m;
-        let results = par_map(self.jobs, funcs, |i, mut f| {
+        let results = self.par_section(stage, funcs, |i, mut f| {
             let mut sp = self.trace.span(stage.name(), &f.name);
             let t0 = Instant::now();
             let changes = pass(shell, i, &mut f);
@@ -985,6 +1219,156 @@ impl<'s> PassManager<'s> {
             })
             .collect();
         total
+    }
+
+    /// Runs a block of intraprocedural passes back to back on every
+    /// function as *one* fused parallel work item — one fan-out and one
+    /// barrier for the whole block, instead of one per pass.
+    ///
+    /// Fusion is output-equivalent to the old per-pass module sweeps
+    /// because every intraprocedural pass reads the module only through
+    /// its shell (signatures, globals, externs — constant during the opt
+    /// stage), never through another function's body; the per-function
+    /// pass sequence is therefore the same computation in both schedules,
+    /// and the round's change count is a sum, which reordering cannot
+    /// change. Per-pass wall time is still attributed: each pass is timed
+    /// inside the fused item and recorded via
+    /// [`TimingSink::record_opt_pass`].
+    fn fused_opt_block(&self, m: &mut Module, passes: &[PassKind]) -> u64 {
+        let funcs = std::mem::take(&mut m.funcs);
+        let shell: &Module = m;
+        let results = self.par_section(Stage::Opt, funcs, |_, mut f| {
+            let mut sp = self.trace.span("opt", &f.name);
+            let t0 = Instant::now();
+            let mut per_pass: Vec<(PassKind, u128, u64)> = Vec::with_capacity(passes.len());
+            let mut changes = 0;
+            for &pass in passes {
+                let tp = Instant::now();
+                let n = lasagne_opt::run_pass_on_function(pass, shell, &mut f) as u64;
+                per_pass.push((pass, tp.elapsed().as_nanos(), n));
+                changes += n;
+            }
+            sp.arg("changes", changes);
+            (f, per_pass, changes, t0.elapsed().as_nanos())
+        });
+        let mut total = 0;
+        m.funcs = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, (f, per_pass, changes, nanos))| {
+                for (pass, pn, pc) in per_pass {
+                    self.sink.record_opt_pass(pass.name(), pn, pc);
+                }
+                self.sink.record(PassEvent {
+                    stage: Stage::Opt,
+                    func: Some((i, f.name.clone())),
+                    nanos,
+                    changes,
+                    insts: f.live_inst_count() as u64,
+                });
+                total += changes;
+                f
+            })
+            .collect();
+        total
+    }
+
+    /// One `ipsccp` superstep: a parallel gather of per-function
+    /// [`CallSummary`](lasagne_opt::sccp::CallSummary) snapshots, the
+    /// short serial join that decides interprocedural lattice facts from
+    /// the summaries (the only remaining serial work in the opt stage),
+    /// and a parallel apply of the decided substitutions. Produces the
+    /// exact same module, fact stream, and substitution count as the old
+    /// whole-module serial barrier — the join replays the serial
+    /// algorithm's `(target, param)` decision order over frozen summaries,
+    /// including its intra-invocation cascade (see `opt::sccp`).
+    ///
+    /// Emits the same `opt.ipsccp.*` counters and `lattice-fact` instants
+    /// as `ipsccp_traced`, so traced-run metrics are unchanged, and
+    /// records an [`IpsccpRoundTiming`] with the phase breakdown.
+    fn ipsccp_superstep(&self, m: &mut Module, ip_facts: &mut Vec<IpsccpFact>, round: u32) -> u64 {
+        let mut sp = self.trace.span("opt", "ipsccp");
+
+        // Phase A (parallel): snapshot every function's call sites and
+        // address-taken references against the frozen module.
+        let tg = Instant::now();
+        let mut summaries = {
+            let funcs = &m.funcs;
+            self.par_section(Stage::Opt, (0..funcs.len()).collect(), |_, i| {
+                lasagne_opt::sccp::summarize_calls(&funcs[i])
+            })
+        };
+        let gather_nanos = tg.elapsed().as_nanos();
+
+        // Phase B (serial): replay the lattice decisions over summaries.
+        let tj = Instant::now();
+        let param_counts: Vec<usize> = m.funcs.iter().map(|f| f.params.len()).collect();
+        let new_facts = lasagne_opt::sccp::ipsccp_join(&param_counts, &mut summaries, ip_facts);
+        let join_nanos = tj.elapsed().as_nanos();
+        self.sink.record(PassEvent {
+            stage: Stage::Opt,
+            func: None,
+            nanos: join_nanos,
+            changes: new_facts.len() as u64,
+            insts: 0,
+        });
+
+        // Phase C (parallel): substitute the decided constants into each
+        // target function. Skipped entirely when the round converged with
+        // no new facts — the common case from round 1 on.
+        let ta = Instant::now();
+        let subs: u64 = if new_facts.is_empty() {
+            0
+        } else {
+            let funcs = std::mem::take(&mut m.funcs);
+            let facts: &[IpsccpFact] = &new_facts;
+            let results = self.par_section(Stage::Opt, funcs, |i, mut f| {
+                let n = lasagne_opt::sccp::apply_ipsccp_facts(&mut f, i as u32, facts) as u64;
+                (f, n)
+            });
+            let mut total = 0;
+            m.funcs = results
+                .into_iter()
+                .map(|(f, n)| {
+                    total += n;
+                    f
+                })
+                .collect();
+            total
+        };
+        let apply_nanos = ta.elapsed().as_nanos();
+
+        self.trace.add("opt.ipsccp.facts", new_facts.len() as u64);
+        self.trace.add("opt.ipsccp.substitutions", subs);
+        if self.trace.is_enabled() {
+            for fact in &new_facts {
+                self.trace.instant(
+                    "opt",
+                    "lattice-fact",
+                    vec![
+                        (
+                            "func",
+                            lasagne_trace::ArgVal::from(m.funcs[fact.func as usize].name.as_str()),
+                        ),
+                        ("param", lasagne_trace::ArgVal::from(fact.param as u64)),
+                        (
+                            "value",
+                            lasagne_trace::ArgVal::from(format!("{:?}", fact.value)),
+                        ),
+                    ],
+                );
+            }
+        }
+        self.sink.record_ipsccp_round(IpsccpRoundTiming {
+            round,
+            gather_nanos,
+            join_nanos,
+            apply_nanos,
+            facts: new_facts.len() as u64,
+            substitutions: subs,
+        });
+        sp.arg("changes", subs);
+        subs
     }
 
     /// Runs the Figure 3 pipeline on `bin`.
@@ -1032,6 +1416,7 @@ impl<'s> PassManager<'s> {
         // #1 Binary lifting (§4). The whole-binary analysis (CFGs, type
         // discovery, shells) is the serial prologue; body translation fans
         // out per function.
+        let wall = Instant::now();
         let plan = self.module_step(Stage::Lift, "prepare", || {
             (LiftPlan::prepare(bin, TranslateOptions::default()), 0)
         })?;
@@ -1040,7 +1425,7 @@ impl<'s> PassManager<'s> {
         let addrs: Vec<u64> = (0..plan.num_functions())
             .map(|i| plan.function_addr(i))
             .collect();
-        let lifted = par_map(self.jobs, (0..plan.num_functions()).collect(), |i, _| {
+        let lifted = self.par_section(Stage::Lift, (0..plan.num_functions()).collect(), |i, _| {
             let mut sp = self.trace.span("lift", plan.function_name(i));
             let t0 = Instant::now();
             let body = plan.lift_function_traced(i, &self.trace);
@@ -1062,6 +1447,8 @@ impl<'s> PassManager<'s> {
             bodies.push(body);
         }
         let mut m = self.module_step(Stage::Lift, "finish", || (plan.finish(bodies), 0))?;
+        self.sink
+            .record_stage_wall(Stage::Lift, wall.elapsed().as_nanos());
 
         let mut stats = TranslationStats {
             casts_lifted: crate::count_casts(&m),
@@ -1073,20 +1460,25 @@ impl<'s> PassManager<'s> {
         // would receive, measured on scratch per-function clones. The
         // plain (untraced) `place_fences` keeps the baseline out of the
         // provenance counters — those describe the real placement only.
+        let wall = Instant::now();
         stats.fences_naive = self.module_step(Stage::Fences, "naive-baseline", || {
-            let naive: u64 = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
-                let mut scratch = m.funcs[i].clone();
-                lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64
-            })
-            .into_iter()
-            .sum();
+            let naive: u64 = self
+                .par_section(Stage::Fences, (0..m.funcs.len()).collect(), |_, i| {
+                    let mut scratch = m.funcs[i].clone();
+                    lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64
+                })
+                .into_iter()
+                .sum();
             (naive as usize, naive)
         });
         self.trace.add("fences.naive", stats.fences_naive as u64);
+        self.sink
+            .record_stage_wall(Stage::Fences, wall.elapsed().as_nanos());
 
         // #2 IR refinement (§5, PPOpt only): per-function exposure rounds
         // with a serial parameter-promotion barrier between them, matching
         // `lasagne_refine::refine_module` exactly.
+        let wall = Instant::now();
         if version == Version::PPOpt {
             for _ in 0..3 {
                 let changed = self.func_pass(Stage::Refine, &mut m, |shell, _, f| {
@@ -1106,11 +1498,14 @@ impl<'s> PassManager<'s> {
             }
         }
         stats.casts_final = crate::count_casts(&m);
+        self.sink
+            .record_stage_wall(Stage::Refine, wall.elapsed().as_nanos());
 
         // #3 Precise fence placement (§8; all versions). Per-function
         // statistics are kept aside — they ride along in cache manifests.
         // Under `with_explain`, per-fence decision records are collected
         // alongside the stats.
+        let wall = Instant::now();
         let explain = self.explain;
         let placement_slots: Mutex<Vec<(usize, PlacementStats)>> = Mutex::new(Vec::new());
         let decision_slots: Mutex<Vec<(usize, Vec<FenceDecision>)>> = Mutex::new(Vec::new());
@@ -1132,8 +1527,11 @@ impl<'s> PassManager<'s> {
         for (i, ps) in placement_slots.into_inner().unwrap() {
             placement[i] = ps;
         }
+        self.sink
+            .record_stage_wall(Stage::Fences, wall.elapsed().as_nanos());
 
         // #4 Fence merging (POpt, PPOpt).
+        let wall = Instant::now();
         let merge_slots: Mutex<Vec<(usize, Vec<FenceMerge>)>> = Mutex::new(Vec::new());
         if matches!(version, Version::POpt | Version::PPOpt) {
             self.func_pass(Stage::Merge, &mut m, |_, i, f| {
@@ -1147,6 +1545,8 @@ impl<'s> PassManager<'s> {
         }
         let (frm, fww, fsc) = lasagne_fences::count_fences(&m);
         stats.fences_final = frm + fww + fsc;
+        self.sink
+            .record_stage_wall(Stage::Merge, wall.elapsed().as_nanos());
 
         // Assemble per-function provenance: a merge that removed a fence
         // re-attributes the matching placement decision from Placed to
@@ -1182,31 +1582,37 @@ impl<'s> PassManager<'s> {
         }
 
         // #5 LLVM-style optimizations (everything but Lifted): the
-        // `standard_pipeline` order, with local passes fanned out per
-        // function and `ipsccp` as a serial interprocedural barrier. The
-        // ipsccp substitution decisions are logged: each one is an
-        // interprocedural fact the target function's cache key digests.
+        // `standard_pipeline` order, scheduled per *function* rather than
+        // per pass. Each round is three work phases — the intraprocedural
+        // prefix of `OPT_ORDER` fused into one parallel work item per
+        // function, the `ipsccp` superstep (parallel gather, serial join,
+        // parallel apply), and the fused intraprocedural suffix — so a
+        // round crosses three barriers instead of thirteen. The ipsccp
+        // substitution decisions are logged: each one is an interprocedural
+        // fact the target function's cache key digests.
         let mut ip_facts: Vec<IpsccpFact> = Vec::new();
+        let wall = Instant::now();
         if version != Version::Lifted {
+            let order: &'static [PassKind] = &OPT_ORDER;
+            let barrier = order
+                .iter()
+                .position(|p| p.is_interprocedural())
+                .expect("OPT_ORDER has an interprocedural barrier");
+            debug_assert!(
+                order[barrier + 1..].iter().all(|p| !p.is_interprocedural()),
+                "fused suffix must be intraprocedural"
+            );
+            // The suffix starts *at* the barrier pass: `run_pass_on_function`
+            // for IpSccp is its local sccp cleanup, which the old schedule
+            // ran right after the module-wide barrier.
+            let (prefix, suffix) = order.split_at(barrier);
             for round_idx in 0..3 {
                 let mut sp = self.trace.span("opt", "round");
                 sp.arg("round", round_idx as u64);
                 let mut round = 0;
-                for pass in OPT_ORDER {
-                    if pass.is_interprocedural() {
-                        round += self.module_step(Stage::Opt, "ipsccp", || {
-                            let n = lasagne_opt::sccp::ipsccp_traced(
-                                &mut m,
-                                &mut ip_facts,
-                                &self.trace,
-                            ) as u64;
-                            (n, n)
-                        });
-                    }
-                    round += self.func_pass(Stage::Opt, &mut m, |shell, _, f| {
-                        lasagne_opt::run_pass_on_function(pass, shell, f) as u64
-                    });
-                }
+                round += self.fused_opt_block(&mut m, prefix);
+                round += self.ipsccp_superstep(&mut m, &mut ip_facts, round_idx as u32);
+                round += self.fused_opt_block(&mut m, suffix);
                 sp.arg("changes", round);
                 if round == 0 {
                     break;
@@ -1217,6 +1623,8 @@ impl<'s> PassManager<'s> {
                 0
             });
         }
+        self.sink
+            .record_stage_wall(Stage::Opt, wall.elapsed().as_nanos());
         stats.insts_final = m.inst_count();
 
         // Persist the cold result before code generation: everything the
@@ -1289,7 +1697,8 @@ impl<'s> PassManager<'s> {
     fn armgen(&self, m: Module, stats: TranslationStats) -> Translation {
         debug_assert!(lasagne_lir::verify::verify_module(&m).is_ok());
 
-        let lowered = par_map(self.jobs, (0..m.funcs.len()).collect(), |_, i| {
+        let wall = Instant::now();
+        let lowered = self.par_section(Stage::ArmGen, (0..m.funcs.len()).collect(), |_, i| {
             let mut sp = self.trace.span("armgen", &m.funcs[i].name);
             let t0 = Instant::now();
             let mut af = lasagne_armgen::lower_function(&m, &m.funcs[i]);
@@ -1309,6 +1718,8 @@ impl<'s> PassManager<'s> {
             afuncs.push(af);
         }
         let arm = lasagne_armgen::assemble_module(&m, afuncs);
+        self.sink
+            .record_stage_wall(Stage::ArmGen, wall.elapsed().as_nanos());
 
         Translation {
             module: m,
@@ -1431,7 +1842,7 @@ mod tests {
         );
         assert!(metrics.counter("lift.funcs") > 0);
         let json = rep.to_json();
-        assert!(json.starts_with("{\"schema\":2,"), "{json}");
+        assert!(json.starts_with("{\"schema\":3,"), "{json}");
         assert!(json.contains("\"metrics\":{\"counters\":"), "{json}");
 
         // Every cold stage shows up as a span category in the event log.

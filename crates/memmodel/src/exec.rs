@@ -168,7 +168,7 @@ pub struct Event {
 }
 
 /// A candidate execution: events plus the `po`, `rf`, `co`, `rmw` relations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Execution {
     /// Events (initialisation writes first).
     pub events: Vec<Event>,
@@ -253,6 +253,90 @@ impl Outcome {
 /// success/failure, reads-from choices, and per-location coherence orders.
 /// Apply a model's consistency check to filter.
 pub fn enumerate_executions(prog: &Program) -> Vec<Execution> {
+    let mut out = Vec::new();
+    for success_bits in 0..(1u32 << count_rmws(prog)) {
+        let skel = build_skeleton(prog, success_bits);
+        enumerate_skeleton(&skel, &[], &mut out);
+    }
+    out
+}
+
+/// One independent slice of a program's candidate-execution space: an RMW
+/// success/failure assignment plus (when the program has reads) a pinned
+/// reads-from choice for the *first* read. Every candidate execution
+/// belongs to exactly one partition, and enumerating the partitions in
+/// [`execution_partitions`] order concatenates to exactly the
+/// [`enumerate_executions`] sequence — which is what lets a worker pool
+/// split one program's enumeration without changing a single byte of
+/// downstream output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPartition {
+    /// RMW success/failure assignment (bit per RMW, in program order).
+    success_bits: u32,
+    /// Pinned rf choice (event id of the write) for the first read;
+    /// `None` when the program has no reads under this RMW assignment.
+    first_rf: Option<usize>,
+}
+
+/// Splits `prog`'s candidate-execution space into independently
+/// enumerable partitions, in serial enumeration order: RMW assignments
+/// ascending, then the first read's candidate writes in `writes_of`
+/// (event id) order.
+///
+/// # Panics
+///
+/// Panics if the program has more than 8 RMWs (the enumeration bound).
+pub fn execution_partitions(prog: &Program) -> Vec<ExecPartition> {
+    let mut parts = Vec::new();
+    for success_bits in 0..(1u32 << count_rmws(prog)) {
+        let skel = build_skeleton(prog, success_bits);
+        match skel.reads.first() {
+            None => parts.push(ExecPartition {
+                success_bits,
+                first_rf: None,
+            }),
+            Some(&r) => {
+                let Lab::R { x, .. } = skel.events[r].lab else {
+                    unreachable!()
+                };
+                for w in writes_of(&skel.events, x) {
+                    parts.push(ExecPartition {
+                        success_bits,
+                        first_rf: Some(w),
+                    });
+                }
+            }
+        }
+    }
+    parts
+}
+
+/// Enumerates the candidate executions of one partition, in the same
+/// relative order [`enumerate_executions`] emits them. A partition can be
+/// empty — its pinned rf choice may violate every RMW constraint.
+pub fn enumerate_partition(prog: &Program, part: ExecPartition) -> Vec<Execution> {
+    let skel = build_skeleton(prog, part.success_bits);
+    let mut out = Vec::new();
+    match part.first_rf {
+        None => enumerate_skeleton(&skel, &[], &mut out),
+        Some(w) => enumerate_skeleton(&skel, &[w], &mut out),
+    }
+    out
+}
+
+/// [`enumerate_executions`] with the partitions fanned out over
+/// `lasagne::pipeline::par_map` — same executions, same order, for every
+/// `jobs` value: the partition list follows serial enumeration order and
+/// the per-partition results are concatenated by partition index.
+pub fn enumerate_executions_par(prog: &Program, jobs: usize) -> Vec<Execution> {
+    let parts = execution_partitions(prog);
+    lasagne::pipeline::par_map(jobs, parts, |_, p| enumerate_partition(prog, p))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+fn count_rmws(prog: &Program) -> usize {
     let n_rmws: usize = prog
         .threads
         .iter()
@@ -260,15 +344,30 @@ pub fn enumerate_executions(prog: &Program) -> Vec<Execution> {
         .filter(|op| matches!(op, Op::Rmw { .. } | Op::RmwAr { .. }))
         .count();
     assert!(n_rmws <= 8, "too many RMWs to enumerate");
-
-    let mut out = Vec::new();
-    for success_bits in 0..(1u32 << n_rmws) {
-        build_with_rmw_choice(prog, success_bits, &mut out);
-    }
-    out
+    n_rmws
 }
 
-fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execution>) {
+/// Same-location writes a read of `x` may take its value from, in event
+/// id order — the enumeration order of rf choices.
+fn writes_of(events: &[Event], x: Loc) -> Vec<usize> {
+    (0..events.len())
+        .filter(|i| matches!(events[*i].lab, Lab::W { x: wx, .. } if wx == x))
+        .collect()
+}
+
+/// The per-RMW-assignment enumeration scaffold: events and the fixed
+/// relations (`po`, `rmw`), plus the read list and RMW constraints the
+/// rf/coherence product is built over.
+struct Skeleton {
+    events: Vec<Event>,
+    po: Rel,
+    rmw: Rel,
+    read_regs: Vec<(usize, usize, Reg)>,
+    rmw_constraints: Vec<(usize, u64, bool)>,
+    reads: Vec<usize>,
+}
+
+fn build_skeleton(prog: &Program, success_bits: u32) -> Skeleton {
     // Generate events.
     let mut events: Vec<Event> = Vec::new();
     let mut po_pairs: Vec<(usize, usize)> = Vec::new();
@@ -439,21 +538,38 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
         rmw.add(*a, *b);
     }
 
-    // Enumerate rf: every read picks a same-location write.
     let reads: Vec<usize> = (0..n).filter(|i| events[*i].lab.is_read()).collect();
-    let writes_of = |x: Loc| -> Vec<usize> {
-        (0..n)
-            .filter(|i| matches!(events[*i].lab, Lab::W { x: wx, .. } if wx == x))
-            .collect()
-    };
+    Skeleton {
+        events,
+        po,
+        rmw,
+        read_regs,
+        rmw_constraints,
+        reads,
+    }
+}
+
+/// Enumerates the rf × coherence product over `skel`, appending every
+/// candidate execution to `out`. `rf_prefix` pins the rf choices of the
+/// first `rf_prefix.len()` reads — the partitioning hook: an empty prefix
+/// enumerates the whole space, a one-element prefix enumerates the slice
+/// belonging to that first-read choice.
+fn enumerate_skeleton(skel: &Skeleton, rf_prefix: &[usize], out: &mut Vec<Execution>) {
+    let Skeleton {
+        events,
+        po,
+        rmw,
+        read_regs,
+        rmw_constraints,
+        reads,
+    } = skel;
 
     // Recursive product over read choices.
     fn rec(
-        events: &Vec<Event>,
+        events: &[Event],
         reads: &[usize],
         choice: &mut Vec<usize>,
-        writes_of: &dyn Fn(Loc) -> Vec<usize>,
-        emit: &mut dyn FnMut(&Vec<Event>, &Vec<usize>),
+        emit: &mut dyn FnMut(&[Event], &Vec<usize>),
     ) {
         if choice.len() == reads.len() {
             emit(events, choice);
@@ -463,17 +579,17 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
         let Lab::R { x, .. } = events[r].lab else {
             unreachable!()
         };
-        for w in writes_of(x) {
+        for w in writes_of(events, x) {
             choice.push(w);
-            rec(events, reads, choice, writes_of, emit);
+            rec(events, reads, choice, emit);
             choice.pop();
         }
     }
 
-    let mut choice = Vec::new();
-    let mut emit = |evs: &Vec<Event>, choice: &Vec<usize>| {
+    let mut choice = rf_prefix.to_vec();
+    let mut emit = |evs: &[Event], choice: &Vec<usize>| {
         // Assign read values from rf sources; check RMW constraints.
-        let mut events = evs.clone();
+        let mut events = evs.to_vec();
         for (ri, &w) in choice.iter().enumerate() {
             let r = reads[ri];
             let Lab::W { v, .. } = events[w].lab else {
@@ -483,7 +599,7 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
                 *rv = v;
             }
         }
-        for (rid, expect, succeed) in &rmw_constraints {
+        for (rid, expect, succeed) in rmw_constraints {
             let Lab::R { v, .. } = events[*rid].lab else {
                 unreachable!()
             };
@@ -527,7 +643,7 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             }
             // Registers: final value = last po read into that register.
             let mut regs: BTreeMap<(usize, Reg), u64> = BTreeMap::new();
-            for (rid, tid, reg) in &read_regs {
+            for (rid, tid, reg) in read_regs {
                 let Lab::R { v, .. } = events[*rid].lab else {
                     unreachable!()
                 };
@@ -536,10 +652,10 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             // (read_regs is in po order per thread, so later reads overwrite.)
             let exec = Execution {
                 events: events.clone(),
-                po: po_clone(&po),
+                po: po.clone(),
                 rf: rf.clone(),
                 co,
-                rmw: rmw_clone(&rmw),
+                rmw: rmw.clone(),
                 regs,
             };
             out.push(exec);
@@ -559,14 +675,7 @@ fn build_with_rmw_choice(prog: &Program, success_bits: u32, out: &mut Vec<Execut
             }
         }
     };
-    rec(&events, &reads, &mut choice, &writes_of, &mut emit);
-
-    fn po_clone(r: &Rel) -> Rel {
-        r.clone()
-    }
-    fn rmw_clone(r: &Rel) -> Rel {
-        r.clone()
-    }
+    rec(events, reads, &mut choice, &mut emit);
 }
 
 fn permutations(xs: &[usize]) -> Vec<Vec<usize>> {
@@ -674,6 +783,51 @@ mod tests {
                     outs.iter()
                         .any(|o| o.regs == vec![((1, 0), a), ((2, 0), b)]),
                     "missing outcome a={a}, b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_enumeration_is_order_identical_to_serial() {
+        let progs = [
+            sb(),
+            // RMW + plain writes: exercises success-bit partitions,
+            // including partitions emptied by the RMW constraints.
+            Program {
+                locs: 2,
+                threads: vec![
+                    vec![
+                        Op::Rmw {
+                            r: 0,
+                            x: 0,
+                            expect: 0,
+                            new: 5,
+                        },
+                        Op::Ld { r: 1, x: 1 },
+                    ],
+                    vec![Op::St { x: 1, v: 3 }, Op::St { x: 0, v: 9 }],
+                ],
+            },
+            // No reads at all: one partition per RMW assignment.
+            Program {
+                locs: 1,
+                threads: vec![vec![Op::St { x: 0, v: 1 }], vec![Op::St { x: 0, v: 2 }]],
+            },
+        ];
+        for prog in &progs {
+            let serial = enumerate_executions(prog);
+            let parts = execution_partitions(prog);
+            let concat: Vec<Execution> = parts
+                .iter()
+                .flat_map(|p| enumerate_partition(prog, *p))
+                .collect();
+            assert_eq!(serial, concat, "partition order diverged from serial");
+            for jobs in [1, 2, 8] {
+                assert_eq!(
+                    serial,
+                    enumerate_executions_par(prog, jobs),
+                    "jobs={jobs} diverged from serial"
                 );
             }
         }

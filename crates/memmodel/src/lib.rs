@@ -41,6 +41,6 @@ pub mod rel;
 pub mod transform;
 
 pub use exec::{Event, Execution, FenceTy, Lab, Op, Outcome, Program};
-pub use litmus::{sweep_suite, SuiteRow};
+pub use litmus::{sweep_row, sweep_suite, sweep_suite_within, SuiteRow};
 pub use mapping::check_chain_all;
-pub use models::{consistent, outcomes, Model};
+pub use models::{consistent, outcomes, outcomes_par, Model};

@@ -249,21 +249,47 @@ pub struct SuiteRow {
 /// result is order-identical to the serial sweep for any `jobs`.
 pub fn sweep_suite(jobs: usize) -> Vec<SuiteRow> {
     lasagne::pipeline::par_map(jobs, paper_suite(), |_, (name, program)| {
-        let x86_outcomes = crate::models::outcomes(crate::models::Model::X86, &program).len();
-        let arm_outcomes = crate::models::outcomes(crate::models::Model::Arm, &program).len();
-        let limm_outcomes = crate::models::outcomes(crate::models::Model::Limm, &program).len();
-        let chain = crate::mapping::check_chain(&program);
-        let reverse = crate::mapping::check_reverse_chain(&program);
-        SuiteRow {
-            name,
-            program,
-            x86_outcomes,
-            arm_outcomes,
-            limm_outcomes,
-            chain,
-            reverse,
-        }
+        sweep_row(name, program, 1)
     })
+}
+
+/// Builds one [`SuiteRow`], spending up to `jobs` worker threads *inside*
+/// the program: outcome enumeration is partitioned by candidate-execution
+/// prefix ([`crate::exec::execution_partitions`]) and the mapping chains
+/// run through [`crate::mapping::check_chain_within`]. Outcome sets are
+/// canonical, so the row is identical to the serial one for any `jobs`.
+pub fn sweep_row(name: &'static str, program: Program, jobs: usize) -> SuiteRow {
+    let x86_outcomes = crate::models::outcomes_par(crate::models::Model::X86, &program, jobs).len();
+    let arm_outcomes = crate::models::outcomes_par(crate::models::Model::Arm, &program, jobs).len();
+    let limm_outcomes =
+        crate::models::outcomes_par(crate::models::Model::Limm, &program, jobs).len();
+    let chain = crate::mapping::check_chain_within(&program, jobs);
+    let reverse = crate::mapping::check_reverse_chain_within(&program, jobs);
+    SuiteRow {
+        name,
+        program,
+        x86_outcomes,
+        arm_outcomes,
+        limm_outcomes,
+        chain,
+        reverse,
+    }
+}
+
+/// Runs the mapping sweep with the parallelism turned *inward*: programs
+/// are visited serially, in suite order, and each program's own
+/// candidate-execution space fans out across up to `jobs` workers
+/// ([`sweep_row`]). This is the schedule the `litmus` CLI uses at
+/// `--jobs > 1` — it keeps the worker pool busy even on a suite whose
+/// wall time is dominated by one large program (e.g. IRIW), where
+/// per-program parallelism ([`sweep_suite`]) would leave all but one
+/// worker idle on the tail. Row-identical to `sweep_suite` for any
+/// `jobs`.
+pub fn sweep_suite_within(jobs: usize) -> Vec<SuiteRow> {
+    paper_suite()
+        .into_iter()
+        .map(|(name, program)| sweep_row(name, program, jobs))
+        .collect()
 }
 
 #[cfg(test)]
@@ -280,6 +306,18 @@ mod tests {
         }
         for row in &serial {
             assert!(row.chain.is_ok(), "{}: {:?}", row.name, row.chain);
+        }
+    }
+
+    #[test]
+    fn within_program_sweep_is_row_identical_to_serial() {
+        let serial = sweep_suite(1);
+        for jobs in [1, 2, 4, 8] {
+            assert_eq!(
+                serial,
+                sweep_suite_within(jobs),
+                "within-program sweep diverged at jobs={jobs}"
+            );
         }
     }
 

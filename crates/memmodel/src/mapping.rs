@@ -4,7 +4,7 @@
 //! source outcome.
 
 use crate::exec::{FenceTy, Op, Outcome, Program};
-use crate::models::{outcomes, Model};
+use crate::models::Model;
 use std::collections::BTreeSet;
 
 /// Figure 8a: x86 → IR.
@@ -205,13 +205,20 @@ pub fn limm_to_x86(p: &Program) -> Program {
 
 /// Checks the Appendix B chain Arm → IR → x86 on one program.
 pub fn check_reverse_chain(p: &Program) -> Result<(), String> {
+    check_reverse_chain_within(p, 1)
+}
+
+/// [`check_reverse_chain`] with each enumeration partitioned across up to
+/// `jobs` worker threads ([`check_mapping_within`]). Same verdict for any
+/// `jobs`.
+pub fn check_reverse_chain_within(p: &Program, jobs: usize) -> Result<(), String> {
     let ir = arm_to_limm(p);
     let x86 = limm_to_x86(&ir);
-    check_mapping(Model::Arm, p, Model::Limm, &ir)
+    check_mapping_within(jobs, Model::Arm, p, Model::Limm, &ir)
         .map_err(|e| format!("Arm→IR introduces {} outcome(s): {e:?}", e.len()))?;
-    check_mapping(Model::Limm, &ir, Model::X86, &x86)
+    check_mapping_within(jobs, Model::Limm, &ir, Model::X86, &x86)
         .map_err(|e| format!("IR→x86 introduces {} outcome(s): {e:?}", e.len()))?;
-    check_mapping(Model::Arm, p, Model::X86, &x86)
+    check_mapping_within(jobs, Model::Arm, p, Model::X86, &x86)
         .map_err(|e| format!("Arm→x86 introduces {} outcome(s): {e:?}", e.len()))?;
     Ok(())
 }
@@ -227,8 +234,21 @@ pub fn check_mapping(
     tgt_model: Model,
     tgt: &Program,
 ) -> Result<(), BTreeSet<Outcome>> {
-    let src_out = outcomes(src_model, src);
-    let tgt_out = outcomes(tgt_model, tgt);
+    check_mapping_within(1, src_model, src, tgt_model, tgt)
+}
+
+/// [`check_mapping`] with both outcome enumerations partitioned across up
+/// to `jobs` worker threads ([`crate::models::outcomes_par`]). Outcomes
+/// are canonical `BTreeSet`s, so the verdict is identical for any `jobs`.
+pub fn check_mapping_within(
+    jobs: usize,
+    src_model: Model,
+    src: &Program,
+    tgt_model: Model,
+    tgt: &Program,
+) -> Result<(), BTreeSet<Outcome>> {
+    let src_out = crate::models::outcomes_par(src_model, src, jobs);
+    let tgt_out = crate::models::outcomes_par(tgt_model, tgt, jobs);
     let extra: BTreeSet<Outcome> = tgt_out.difference(&src_out).cloned().collect();
     if extra.is_empty() {
         Ok(())
@@ -240,13 +260,19 @@ pub fn check_mapping(
 /// Checks the full x86 → IR → Arm chain on one program: each stage must not
 /// introduce new behaviors (Theorems 7.3, 7.4 and their composition).
 pub fn check_chain(p: &Program) -> Result<(), String> {
+    check_chain_within(p, 1)
+}
+
+/// [`check_chain`] with each enumeration partitioned across up to `jobs`
+/// worker threads ([`check_mapping_within`]). Same verdict for any `jobs`.
+pub fn check_chain_within(p: &Program, jobs: usize) -> Result<(), String> {
     let ir = x86_to_limm(p);
     let arm = limm_to_arm(&ir);
-    check_mapping(Model::X86, p, Model::Limm, &ir)
+    check_mapping_within(jobs, Model::X86, p, Model::Limm, &ir)
         .map_err(|extra| format!("x86→IR introduces {} outcome(s): {extra:?}", extra.len()))?;
-    check_mapping(Model::Limm, &ir, Model::Arm, &arm)
+    check_mapping_within(jobs, Model::Limm, &ir, Model::Arm, &arm)
         .map_err(|extra| format!("IR→Arm introduces {} outcome(s): {extra:?}", extra.len()))?;
-    check_mapping(Model::X86, p, Model::Arm, &arm)
+    check_mapping_within(jobs, Model::X86, p, Model::Arm, &arm)
         .map_err(|extra| format!("x86→Arm introduces {} outcome(s): {extra:?}", extra.len()))?;
     Ok(())
 }
@@ -263,6 +289,7 @@ pub fn check_chain_all(jobs: usize, programs: Vec<Program>) -> Vec<Result<(), St
 mod tests {
     use super::*;
     use crate::litmus;
+    use crate::models::outcomes;
 
     #[test]
     fn mapping_shapes_match_figure8() {

@@ -170,6 +170,32 @@ pub fn outcomes(
         .collect()
 }
 
+/// [`outcomes`] with the candidate-execution space of *one* program
+/// partitioned across up to `jobs` worker threads (see
+/// [`crate::exec::execution_partitions`]). Consistency filtering and
+/// outcome projection happen inside each worker; the per-partition sets
+/// are unioned at the end. `BTreeSet` union is commutative, so the result
+/// equals the serial [`outcomes`] for any `jobs`.
+pub fn outcomes_par(
+    model: Model,
+    prog: &crate::exec::Program,
+    jobs: usize,
+) -> std::collections::BTreeSet<crate::exec::Outcome> {
+    let parts = crate::exec::execution_partitions(prog);
+    let per_part = lasagne::pipeline::par_map(jobs, parts, |_, part| {
+        crate::exec::enumerate_partition(prog, part)
+            .iter()
+            .filter(|x| consistent(model, x))
+            .map(crate::exec::Outcome::of)
+            .collect::<std::collections::BTreeSet<_>>()
+    });
+    let mut all = std::collections::BTreeSet::new();
+    for s in per_part {
+        all.extend(s);
+    }
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -183,48 +183,109 @@ pub fn ipsccp_traced(
 /// parameter (zero textual substitutions): the decision itself depends on
 /// the other functions' call sites, which is what cache invalidation needs
 /// to observe.
+///
+/// Structured as a superstep — parallel-friendly gather of per-function
+/// [`CallSummary`] snapshots, a serial [`ipsccp_join`] that replays the
+/// lattice decisions (including the intra-invocation cascade) over those
+/// frozen summaries, and an [`apply_ipsccp_facts`] substitution phase that
+/// is independent per function. The driver in `lasagne::pipeline` runs the
+/// gather and apply phases on its worker pool; this serial entry point runs
+/// the identical phases inline and produces the identical module, facts,
+/// and substitution count.
 pub fn ipsccp_logged(m: &mut Module, facts: &mut Vec<IpsccpFact>) -> usize {
+    let mut summaries: Vec<CallSummary> = m.funcs.iter().map(summarize_calls).collect();
+    let param_counts: Vec<usize> = m.funcs.iter().map(|f| f.params.len()).collect();
+    let new = ipsccp_join(&param_counts, &mut summaries, facts);
     let mut changed = 0;
-    let nfuncs = m.funcs.len();
-    for target in 0..nfuncs {
+    for (target, f) in m.funcs.iter_mut().enumerate() {
+        changed += apply_ipsccp_facts(f, target as u32, &new);
+    }
+    changed
+}
+
+/// Frozen snapshot of everything `ipsccp` reads from one function's body:
+/// its direct call sites (callee plus the full argument vector, in
+/// instruction order) and every [`Operand::Func`] reference it holds
+/// (address-taken uses, including function-valued call arguments).
+///
+/// Summaries are the superstep's communication medium — the parallel gather
+/// phase produces one per function against the frozen module, and the
+/// serial join phase decides lattice facts from summaries alone, never
+/// touching function bodies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CallSummary {
+    /// `(callee, args)` for every direct call, in instruction order.
+    pub calls: Vec<(lasagne_lir::FuncId, Vec<Operand>)>,
+    /// Functions whose address this function takes (one entry per use).
+    pub func_refs: Vec<lasagne_lir::FuncId>,
+}
+
+/// Superstep gather phase: summarise one function's call sites and
+/// address-taken function references. Reads only `f`; safe to run for all
+/// functions concurrently.
+pub fn summarize_calls(f: &Function) -> CallSummary {
+    let mut s = CallSummary::default();
+    for (_, id) in f.iter_insts() {
+        let inst = f.inst(id);
+        inst.kind.for_each_operand(|op| {
+            if let Operand::Func(id) = op {
+                s.func_refs.push(*id);
+            }
+        });
+        if let InstKind::Call {
+            callee: Callee::Func(c),
+            args,
+        } = &inst.kind
+        {
+            s.calls.push((*c, args.clone()));
+        }
+    }
+    s
+}
+
+/// Superstep join phase (serial): replay the interprocedural lattice
+/// decisions over the frozen summaries, in the same `(target, param)`
+/// order the original single-threaded loop used. When a parameter is
+/// decided, the target's *own* summary is rewritten in place
+/// (`Param(pi)` → constant in its outgoing call arguments) so the
+/// intra-invocation cascade — a substitution inside function *t* turning a
+/// call argument of a later target constant — is reproduced exactly.
+///
+/// Newly decided facts are appended to `facts` and also returned, in
+/// decision order, for the apply phase.
+pub fn ipsccp_join(
+    param_counts: &[usize],
+    summaries: &mut [CallSummary],
+    facts: &mut Vec<IpsccpFact>,
+) -> Vec<IpsccpFact> {
+    let mut new_facts = Vec::new();
+    for (target, &nparams) in param_counts.iter().enumerate() {
         let target_id = lasagne_lir::FuncId(target as u32);
-        let nparams = m.funcs[target].params.len();
         for pi in 0..nparams {
-            // Gather the argument at every direct call site; also require
+            // Merge the argument at every direct call site; also require
             // the function's address is never taken (no Operand::Func use).
             let mut seen: Option<Operand> = None;
             let mut consistent = true;
             let mut any_call = false;
             let mut address_taken = false;
-            for f in &m.funcs {
-                for (_, id) in f.iter_insts() {
-                    let inst = f.inst(id);
-                    inst.kind.for_each_operand(|op| {
-                        if *op == Operand::Func(target_id) {
-                            address_taken = true;
-                        }
-                    });
-                    if let InstKind::Call {
-                        callee: Callee::Func(c),
-                        args,
-                    } = &inst.kind
-                    {
-                        if *c == target_id {
-                            any_call = true;
-                            let a = args[pi];
-                            if !matches!(
-                                a,
-                                Operand::ConstInt { .. }
-                                    | Operand::ConstF32(_)
-                                    | Operand::ConstF64(_)
-                            ) {
-                                consistent = false;
-                            } else {
-                                match seen {
-                                    None => seen = Some(a),
-                                    Some(s) if s == a => {}
-                                    _ => consistent = false,
-                                }
+            for s in summaries.iter() {
+                if s.func_refs.contains(&target_id) {
+                    address_taken = true;
+                }
+                for (callee, args) in &s.calls {
+                    if *callee == target_id {
+                        any_call = true;
+                        let a = args[pi];
+                        if !matches!(
+                            a,
+                            Operand::ConstInt { .. } | Operand::ConstF32(_) | Operand::ConstF64(_)
+                        ) {
+                            consistent = false;
+                        } else {
+                            match seen {
+                                None => seen = Some(a),
+                                Some(s) if s == a => {}
+                                _ => consistent = false,
                             }
                         }
                     }
@@ -234,34 +295,59 @@ pub fn ipsccp_logged(m: &mut Module, facts: &mut Vec<IpsccpFact>) -> usize {
                 continue;
             }
             let Some(c) = seen else { continue };
-            facts.push(IpsccpFact {
+            let fact = IpsccpFact {
                 func: target as u32,
                 param: pi as u32,
                 value: c,
-            });
-            // Substitute inside the callee.
-            let f = &mut m.funcs[target];
-            let mut subs = 0;
-            for inst in &mut f.insts {
-                inst.kind.for_each_operand_mut(|op| {
-                    if *op == Operand::Param(pi as u32) {
-                        *op = c;
-                        subs += 1;
+            };
+            facts.push(fact);
+            new_facts.push(fact);
+            // Cascade: the body substitution (deferred to the apply phase)
+            // would turn `Param(pi)` constant inside the target's own call
+            // arguments, which can unblock decisions for later targets.
+            // Reflect it in the summary now, where later iterations read.
+            for (_, args) in &mut summaries[target].calls {
+                for a in args.iter_mut() {
+                    if *a == Operand::Param(pi as u32) {
+                        *a = c;
                     }
-                });
+                }
             }
-            for b in 0..f.blocks.len() {
-                f.blocks[b].term.for_each_operand_mut(|op| {
-                    if *op == Operand::Param(pi as u32) {
-                        *op = c;
-                        subs += 1;
-                    }
-                });
-            }
-            changed += subs;
         }
     }
-    changed
+    new_facts
+}
+
+/// Superstep apply phase: substitute the decided constants into one
+/// function's body, counting textual replacements. `facts` is the full
+/// decision list from [`ipsccp_join`]; only entries for `target` apply.
+/// Touches only `f`, and substitutions for different functions never
+/// interact (the substituted values are constants, never parameters), so
+/// the apply phase is safe to run for all functions concurrently and
+/// produces the same bodies and counts as interleaved serial substitution.
+pub fn apply_ipsccp_facts(f: &mut Function, target: u32, facts: &[IpsccpFact]) -> usize {
+    let mut subs = 0;
+    for fact in facts.iter().filter(|fact| fact.func == target) {
+        let c = fact.value;
+        let pi = fact.param;
+        for inst in &mut f.insts {
+            inst.kind.for_each_operand_mut(|op| {
+                if *op == Operand::Param(pi) {
+                    *op = c;
+                    subs += 1;
+                }
+            });
+        }
+        for b in 0..f.blocks.len() {
+            f.blocks[b].term.for_each_operand_mut(|op| {
+                if *op == Operand::Param(pi) {
+                    *op = c;
+                    subs += 1;
+                }
+            });
+        }
+    }
+    subs
 }
 
 #[cfg(test)]
@@ -429,6 +515,249 @@ mod tests {
         m.add_func(caller);
 
         assert_eq!(ipsccp(&mut m), 0);
+    }
+
+    /// The original single-threaded `ipsccp_logged` loop, kept verbatim as
+    /// the oracle the superstep decomposition must match bit for bit.
+    fn ipsccp_serial_reference(m: &mut Module, facts: &mut Vec<IpsccpFact>) -> usize {
+        let mut changed = 0;
+        let nfuncs = m.funcs.len();
+        for target in 0..nfuncs {
+            let target_id = lasagne_lir::FuncId(target as u32);
+            let nparams = m.funcs[target].params.len();
+            for pi in 0..nparams {
+                let mut seen: Option<Operand> = None;
+                let mut consistent = true;
+                let mut any_call = false;
+                let mut address_taken = false;
+                for f in &m.funcs {
+                    for (_, id) in f.iter_insts() {
+                        let inst = f.inst(id);
+                        inst.kind.for_each_operand(|op| {
+                            if *op == Operand::Func(target_id) {
+                                address_taken = true;
+                            }
+                        });
+                        if let InstKind::Call {
+                            callee: Callee::Func(c),
+                            args,
+                        } = &inst.kind
+                        {
+                            if *c == target_id {
+                                any_call = true;
+                                let a = args[pi];
+                                if !matches!(
+                                    a,
+                                    Operand::ConstInt { .. }
+                                        | Operand::ConstF32(_)
+                                        | Operand::ConstF64(_)
+                                ) {
+                                    consistent = false;
+                                } else {
+                                    match seen {
+                                        None => seen = Some(a),
+                                        Some(s) if s == a => {}
+                                        _ => consistent = false,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if !any_call || !consistent || address_taken {
+                    continue;
+                }
+                let Some(c) = seen else { continue };
+                facts.push(IpsccpFact {
+                    func: target as u32,
+                    param: pi as u32,
+                    value: c,
+                });
+                let f = &mut m.funcs[target];
+                let mut subs = 0;
+                for inst in &mut f.insts {
+                    inst.kind.for_each_operand_mut(|op| {
+                        if *op == Operand::Param(pi as u32) {
+                            *op = c;
+                            subs += 1;
+                        }
+                    });
+                }
+                for b in 0..f.blocks.len() {
+                    f.blocks[b].term.for_each_operand_mut(|op| {
+                        if *op == Operand::Param(pi as u32) {
+                            *op = c;
+                            subs += 1;
+                        }
+                    });
+                }
+                changed += subs;
+            }
+        }
+        changed
+    }
+
+    /// A module with an intra-invocation cascade: `top` calls `mid(7)`,
+    /// and `mid` forwards its own parameter as the argument to `leaf` —
+    /// so the decision for `leaf` only becomes possible after the
+    /// substitution into `mid` turns that forwarded argument constant.
+    /// (`mid` and `leaf` are added before `top` so the cascade flows
+    /// toward a *higher* function index, as the serial loop requires.)
+    fn cascade_module() -> Module {
+        let mut m = Module::new();
+        let mut mid = Function::new("mid", vec![Ty::I64], Ty::I64);
+        let e = mid.entry();
+        // Placeholder callee id: leaf is added right after mid (index 1).
+        let leaf_id = lasagne_lir::FuncId(1);
+        let call = mid.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(leaf_id),
+                args: vec![Operand::Param(0)],
+            },
+        );
+        mid.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(call)),
+            },
+        );
+        let mid_id = m.add_func(mid);
+
+        let mut leaf = Function::new("leaf", vec![Ty::I64], Ty::I64);
+        let e = leaf.entry();
+        let v = leaf.push(
+            e,
+            Ty::I64,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Param(0),
+                rhs: Operand::i64(1),
+            },
+        );
+        leaf.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(v)),
+            },
+        );
+        assert_eq!(m.add_func(leaf), leaf_id);
+
+        let mut top = Function::new("top", vec![], Ty::I64);
+        let e = top.entry();
+        let call = top.push(
+            e,
+            Ty::I64,
+            InstKind::Call {
+                callee: Callee::Func(mid_id),
+                args: vec![Operand::i64(7)],
+            },
+        );
+        top.set_term(
+            e,
+            Terminator::Ret {
+                val: Some(Operand::Inst(call)),
+            },
+        );
+        m.add_func(top);
+        m
+    }
+
+    #[test]
+    fn superstep_cascades_through_forwarded_params() {
+        let mut m = cascade_module();
+        let mut facts = Vec::new();
+        let subs = ipsccp_logged(&mut m, &mut facts);
+        // mid.param0 = 7 (decided first), then leaf.param0 = 7 via the
+        // now-constant forwarded argument inside mid.
+        assert_eq!(
+            facts,
+            vec![
+                IpsccpFact {
+                    func: 0,
+                    param: 0,
+                    value: Operand::i64(7)
+                },
+                IpsccpFact {
+                    func: 1,
+                    param: 0,
+                    value: Operand::i64(7)
+                },
+            ]
+        );
+        assert_eq!(subs, 2, "one textual substitution in each callee");
+    }
+
+    #[test]
+    fn superstep_matches_serial_reference_exactly() {
+        for build in [cascade_module as fn() -> Module, || {
+            // The unanimous-constant module from the test above.
+            let mut m = Module::new();
+            let mut callee = Function::new("callee", vec![Ty::I64, Ty::I64], Ty::I64);
+            let e = callee.entry();
+            let v = callee.push(
+                e,
+                Ty::I64,
+                InstKind::Bin {
+                    op: BinOp::Mul,
+                    lhs: Operand::Param(0),
+                    rhs: Operand::Param(1),
+                },
+            );
+            callee.set_term(
+                e,
+                Terminator::Ret {
+                    val: Some(Operand::Inst(v)),
+                },
+            );
+            let callee_id = m.add_func(callee);
+            let mut caller = Function::new("caller", vec![], Ty::I64);
+            let e = caller.entry();
+            let c1 = caller.push(
+                e,
+                Ty::I64,
+                InstKind::Call {
+                    callee: Callee::Func(callee_id),
+                    args: vec![Operand::i64(21), Operand::i64(3)],
+                },
+            );
+            let c2 = caller.push(
+                e,
+                Ty::I64,
+                InstKind::Call {
+                    callee: Callee::Func(callee_id),
+                    args: vec![Operand::i64(21), Operand::i64(4)],
+                },
+            );
+            let s = caller.push(
+                e,
+                Ty::I64,
+                InstKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Operand::Inst(c1),
+                    rhs: Operand::Inst(c2),
+                },
+            );
+            caller.set_term(
+                e,
+                Terminator::Ret {
+                    val: Some(Operand::Inst(s)),
+                },
+            );
+            m.add_func(caller);
+            m
+        }] {
+            let mut serial = build();
+            let mut phased = serial.clone();
+            let mut serial_facts = Vec::new();
+            let mut phased_facts = Vec::new();
+            let serial_subs = ipsccp_serial_reference(&mut serial, &mut serial_facts);
+            let phased_subs = ipsccp_logged(&mut phased, &mut phased_facts);
+            assert_eq!(serial_facts, phased_facts, "fact streams diverged");
+            assert_eq!(serial_subs, phased_subs, "substitution counts diverged");
+            assert_eq!(serial, phased, "modules diverged");
+        }
     }
 
     #[test]

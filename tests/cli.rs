@@ -96,10 +96,19 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     let json = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
     assert!(
-        json.starts_with("{\"schema\":2,"),
+        json.starts_with("{\"schema\":3,"),
         "timings JSON lacks the schema version field:\n{json}"
     );
-    for key in ["\"version\"", "\"jobs\":4", "\"total_nanos\"", "\"stages\""] {
+    for key in [
+        "\"version\"",
+        "\"jobs\":4",
+        "\"total_nanos\"",
+        "\"stages\"",
+        "\"opt_passes\"",
+        "\"ipsccp_rounds\"",
+        "\"barrier_wait_nanos\"",
+        "\"wall_nanos\"",
+    ] {
         assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
     }
     for stage in ["lift", "refine", "fences", "merge", "opt", "armgen"] {
@@ -112,6 +121,89 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
         json.contains("\"func\":"),
         "no per-function entries:\n{json}"
     );
+    // The fused opt stage must actually have fanned out at jobs=4.
+    assert!(
+        !json.contains("{\"stage\":\"opt\",\"parallel_sections\":0"),
+        "opt stage ran zero parallel sections at --jobs 4:\n{json}"
+    );
+    // Per-pass attribution survives the fusion: every schedule pass with a
+    // distinct name shows up in the aggregated table.
+    for pass in [
+        "mem2reg",
+        "sroa",
+        "instcombine",
+        "reassociate",
+        "sccp",
+        "ipsccp",
+        "gvn",
+        "licm",
+        "dse",
+        "adce",
+        "dce",
+    ] {
+        assert!(
+            json.contains(&format!("{{\"pass\":\"{pass}\"")),
+            "missing pass {pass} in opt_passes:\n{json}"
+        );
+    }
+}
+
+/// A schema-2 document (as written by earlier builds) must stay readable
+/// by the in-tree JSON reader alongside schema 3: same access paths for
+/// every field that existed then, with the schema field telling consumers
+/// which extensions to expect.
+#[test]
+fn schema_2_timings_documents_remain_readable() {
+    let schema2 = r#"{"schema":2,"version":"PPOpt","jobs":4,"total_nanos":123456,
+        "stages":[{"stage":"lift","nanos":88,"module_nanos":5,
+                   "funcs":[{"func":"main","index":0,"nanos":83,"changes":120,"insts":120}]},
+                  {"stage":"opt","nanos":40,"module_nanos":9,"funcs":[]}],
+        "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
+    // Current documents carry the same core fields plus the schema-3
+    // extensions; both must parse through the same reader code.
+    let path = std::env::temp_dir().join(format!("lasagne-schema3-{}.json", std::process::id()));
+    stdout(&[
+        "translate",
+        "HT",
+        "--scale",
+        "16",
+        "--jobs",
+        "2",
+        "--timings",
+        path.to_str().unwrap(),
+    ]);
+    let schema3 = std::fs::read_to_string(&path).expect("timings file written");
+    std::fs::remove_file(&path).ok();
+
+    for (doc, expected_schema) in [(schema2, 2), (schema3.as_str(), 3)] {
+        let v = lasagne_repro::trace::json::parse(doc).expect("timings JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_u64()),
+            Some(expected_schema),
+            "wrong schema tag"
+        );
+        assert!(v.get("version").and_then(|s| s.as_str()).is_some());
+        assert!(v.get("total_nanos").and_then(|s| s.as_u64()).is_some());
+        let stages = v.get("stages").and_then(|s| s.as_arr()).expect("stages");
+        assert!(!stages.is_empty());
+        for st in stages {
+            assert!(st.get("stage").and_then(|s| s.as_str()).is_some());
+            assert!(st.get("nanos").and_then(|s| s.as_u64()).is_some());
+            assert!(st.get("module_nanos").and_then(|s| s.as_u64()).is_some());
+            assert!(st.get("funcs").and_then(|s| s.as_arr()).is_some());
+        }
+        // Schema-3 extensions are present exactly when the tag says so.
+        assert_eq!(
+            v.get("ipsccp_rounds").is_some(),
+            expected_schema >= 3,
+            "ipsccp_rounds presence disagrees with schema tag"
+        );
+        assert_eq!(
+            v.get("barrier_wait_nanos").is_some(),
+            expected_schema >= 3,
+            "barrier_wait_nanos presence disagrees with schema tag"
+        );
+    }
 }
 
 #[test]
