@@ -13,7 +13,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 # second time and produce byte-identical assembly.
 CACHE_DIR=$(mktemp -d)
 trap 'rm -rf "$CACHE_DIR"' EXIT
-for demo in HT KM LR MM SM; do
+for demo in HT KM LR MM PCA SM WC; do
     ./target/release/lasagne translate "$demo" --cache-dir "$CACHE_DIR" \
         --timings "$CACHE_DIR/$demo.cold.json" >"$CACHE_DIR/$demo.cold.s"
     ./target/release/lasagne translate "$demo" --cache-dir "$CACHE_DIR" \
@@ -28,7 +28,7 @@ done
 # to --jobs 1, and its --timings must show the opt stage actually fanning
 # out (zero opt parallel sections at jobs=4 means the fusion regressed to
 # a serial schedule).
-for demo in HT KM LR MM SM; do
+for demo in HT KM LR MM PCA SM WC; do
     ./target/release/lasagne translate "$demo" --jobs 1 --no-cache \
         >"$CACHE_DIR/$demo.j1.s"
     ./target/release/lasagne translate "$demo" --jobs 4 --no-cache \
@@ -55,6 +55,16 @@ test -s "$CACHE_DIR/HT.trace.json"
 ./target/release/lasagne explain-fences HT --jobs 1 >"$CACHE_DIR/HT.exp1.txt"
 ./target/release/lasagne explain-fences HT --jobs 4 >"$CACHE_DIR/HT.exp4.txt"
 cmp "$CACHE_DIR/HT.exp1.txt" "$CACHE_DIR/HT.exp4.txt"
+
+# Capped three-way differential sweep (see ARCHITECTURE.md "Differential
+# testing"): qc-generated functions + every Phoenix function on the
+# byte-level x86 interpreter vs the lifted LIR vs the simulated Arm core.
+# Fixed seed and bounded cases keep it deterministic and fast; the
+# persisted seeds in crates/lasagne/tests/difftest.qc-regressions replay
+# before any novel generation, so known-fixed lifter bugs stay pinned. A
+# nonzero exit means a divergence (the shrunk counterexample is printed).
+./target/release/lasagne difftest --cases 8 --scale 48 \
+    --cache-dir "$CACHE_DIR/difftest-cache"
 
 # The trace collector must never unwrap a possibly-poisoned lock (a
 # panicking worker would then take the whole trace down with it); all

@@ -410,6 +410,25 @@ impl Lower<'_> {
                 let bits = int_bits(ty);
                 self.load_int(lhs, S0);
                 self.load_int(rhs, S1);
+                // LIR register shifts take the count modulo the operand
+                // width (`lslv w` semantics). The scratch ALU is 64-bit, so
+                // narrow shifts must reduce the count explicitly or an i32
+                // shift by 34 would shift by 34 instead of 2.
+                let mask_shift_count = |this: &mut Self| {
+                    if bits < 64 {
+                        this.emit(AInst::MovImm {
+                            rd: S2,
+                            imm: u64::from(bits - 1),
+                        });
+                        this.emit(AInst::Alu {
+                            op: AAlu::And,
+                            rd: S1,
+                            rn: S1,
+                            rm: S2,
+                            ra: X::ZR,
+                        });
+                    }
+                };
                 match op {
                     BinOp::Add
                     | BinOp::Sub
@@ -430,6 +449,9 @@ impl Lower<'_> {
                             BinOp::LShr => AAlu::Lsr,
                             _ => unreachable!(),
                         };
+                        if matches!(op, BinOp::Shl | BinOp::LShr) {
+                            mask_shift_count(self);
+                        }
                         self.emit(AInst::Alu {
                             op: a,
                             rd: S0,
@@ -440,6 +462,7 @@ impl Lower<'_> {
                         self.mask(S0, bits);
                     }
                     BinOp::AShr => {
+                        mask_shift_count(self);
                         self.sext(S0, S0, bits);
                         self.emit(AInst::Alu {
                             op: AAlu::Asr,

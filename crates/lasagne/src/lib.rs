@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod difftest;
 pub mod pipeline;
 
 use lasagne_armgen::AModule;

@@ -172,10 +172,19 @@ pub fn discover(cfg: &XCfg, sigs: &SigTable) -> FuncType {
     let entry_idx = cfg.block_index(cfg.entry).unwrap_or(0);
     let live = lv.live_in[entry_idx];
 
-    // The ABI assigns registers contiguously, so take the longest live
-    // prefix of each parameter-register sequence.
-    let n_int = Gpr::PARAMS.iter().take_while(|r| live.has_gpr(**r)).count();
-    let n_sse = Xmm::PARAMS.iter().take_while(|x| live.has_xmm(**x)).count();
+    // The ABI assigns registers contiguously, so the parameter count is
+    // the highest-indexed live parameter register plus one. (A longest
+    // live *prefix* would be wrong: a function that ignores its first
+    // parameter — live-in {RSI} but not {RDI} — still has two parameters,
+    // and truncating the list would make RSI read undef after lifting.)
+    let n_int = Gpr::PARAMS
+        .iter()
+        .rposition(|r| live.has_gpr(*r))
+        .map_or(0, |i| i + 1);
+    let n_sse = Xmm::PARAMS
+        .iter()
+        .rposition(|x| live.has_xmm(*x))
+        .map_or(0, |i| i + 1);
 
     let mut params: Vec<Ty> = vec![Ty::I64; n_int];
     for x in Xmm::PARAMS.iter().take(n_sse) {
@@ -353,6 +362,24 @@ mod tests {
         });
         a.push(Inst::AluRRm {
             op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rsi),
+        });
+        a.push(Inst::Ret);
+        let t = discover_bytes(&a.finish(0).unwrap(), 0);
+        assert_eq!(t.params, vec![Ty::I64, Ty::I64]);
+        assert_eq!(t.ret, Ty::I64);
+    }
+
+    #[test]
+    fn unused_leading_param_still_counted() {
+        // f(rdi, rsi) = rsi — RDI is dead but RSI live, so the ABI still
+        // assigned two integer parameter slots. Found by the three-way
+        // differential oracle: the old longest-live-prefix rule discovered
+        // zero parameters here and the lifted function read undef for RSI.
+        let mut a = Asm::new();
+        a.push(Inst::MovRRm {
             w: Width::W64,
             dst: Gpr::Rax,
             src: Rm::Reg(Gpr::Rsi),

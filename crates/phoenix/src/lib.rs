@@ -2,8 +2,9 @@
 //! synthesised as genuine x86-64 binaries for the lifter to consume, plus
 //! native-LIR Arm baselines and deterministic workload generators.
 //!
-//! The five programs — `histogram`, `kmeans`, `linear_regression`,
-//! `matrix_multiply`, `string_match` — follow the originals' structure:
+//! The seven programs — `histogram`, `kmeans`, `linear_regression`,
+//! `matrix_multiply`, `pca`, `string_match`, `word_count` — follow the
+//! originals' structure:
 //! a `main` that splits the input across four pthreads, per-thread workers
 //! with private accumulators, and a merge phase. Each benchmark provides:
 //!
@@ -20,7 +21,7 @@
 //! use lasagne_phoenix::all_benchmarks;
 //!
 //! let benches = all_benchmarks(256);
-//! assert_eq!(benches.len(), 5);
+//! assert_eq!(benches.len(), 7);
 //! for b in &benches {
 //!     assert!(!b.binary.functions.is_empty());
 //! }
@@ -34,7 +35,9 @@ pub mod kmeans;
 pub mod linreg;
 pub mod matmul;
 pub mod native;
+pub mod pca;
 pub mod strmatch;
+pub mod word_count;
 
 use lasagne_x86::binary::Binary;
 
@@ -95,7 +98,7 @@ pub fn lcg_u64(n: usize, seed: u64) -> Vec<u64> {
         .collect()
 }
 
-/// Builds all five benchmarks at the given scale (≈ input element count).
+/// Builds all seven benchmarks at the given scale (≈ input element count).
 pub fn all_benchmarks(scale: usize) -> Vec<Benchmark> {
     vec![
         Benchmark {
@@ -127,11 +130,25 @@ pub fn all_benchmarks(scale: usize) -> Vec<Benchmark> {
             workload: matmul::workload(((scale as f64).sqrt() as usize).clamp(8, 64)),
         },
         Benchmark {
+            name: "pca",
+            abbrev: "PCA",
+            binary: pca::binary(),
+            native: pca::native(),
+            workload: pca::workload(scale),
+        },
+        Benchmark {
             name: "string_match",
             abbrev: "SM",
             binary: strmatch::binary(),
             native: strmatch::native(),
             workload: strmatch::workload(scale),
+        },
+        Benchmark {
+            name: "word_count",
+            abbrev: "WC",
+            binary: word_count::binary(),
+            native: word_count::native(),
+            workload: word_count::workload(scale * 2),
         },
     ]
 }
@@ -149,8 +166,16 @@ mod tests {
 
     #[test]
     fn table1_function_counts() {
-        // Table 1: HT 4, KM 7, LR 2, MM 3, SM 5 functions.
-        let expect = [("HT", 4), ("KM", 7), ("LR", 2), ("MM", 3), ("SM", 5)];
+        // Table 1: HT 4, KM 7, LR 2, MM 3, PCA 4, SM 5, WC 5 functions.
+        let expect = [
+            ("HT", 4),
+            ("KM", 7),
+            ("LR", 2),
+            ("MM", 3),
+            ("PCA", 4),
+            ("SM", 5),
+            ("WC", 5),
+        ];
         for b in all_benchmarks(64) {
             let want = expect.iter().find(|(a, _)| *a == b.abbrev).unwrap().1;
             assert_eq!(

@@ -1,0 +1,586 @@
+//! Phoenix `pca` (PCA): mean and covariance of a `DIM × n` matrix, the
+//! columns split across four pthreads. To stay exact in integer
+//! arithmetic the covariance is accumulated in the scale-free form
+//! `cov(i,j) = n·Σ aᵢaⱼ − (Σ aᵢ)(Σ aⱼ)` (no division by `n`), with
+//! wrapping u64 semantics shared by the Rust reference.
+//!
+//! Functions (4, matching Table 1): `main`, `pca_worker`, `pca_sum`
+//! (row-slice sum — the mean phase), `pca_dot` (row-pair dot product —
+//! the covariance phase).
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, Inst, Rm, ShiftOp};
+use lasagne_x86::reg::{Cond, Gpr, Width};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+/// Matrix rows (observed variables).
+pub const DIM: u64 = 4;
+/// Per-worker output: `DIM` row sums then `DIM×DIM` dot products.
+pub const OUT_WORDS: u64 = DIM + DIM * DIM;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let memset = b.declare_extern("memset");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- pca_sum(p, len) -> Σ p[k] ----
+    let sum_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(top);
+        a.push(cmprr(Gpr::Rcx, Gpr::Rsi));
+        a.jcc(Cond::E, done);
+        a.push(alurm(
+            AluOp::Add,
+            Gpr::Rax,
+            mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0),
+        ));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("pca_sum", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- pca_dot(p, q, len) -> Σ p[k]*q[k] ----
+    let dot_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(top);
+        a.push(cmprr(Gpr::Rcx, Gpr::Rdx));
+        a.jcc(Cond::E, done);
+        a.push(loadq(Gpr::R8, mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R8,
+            src: Rm::Mem(mem_bi(Gpr::Rsi, Gpr::Rcx, 8, 0)),
+        });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R8));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("pca_dot", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- pca_worker(args) ----
+    // args: [0]=mat [8]=start col [16]=end col [24]=n cols [32]=out
+    // out[i]            = Σ_k row_i[k]           (k over the chunk)
+    // out[DIM + i*DIM+j] = Σ_k row_i[k]*row_j[k]
+    let worker_addr = {
+        let mut a = Asm::new();
+        let s_top = a.label();
+        let s_done = a.label();
+        let i_top = a.label();
+        let i_done = a.label();
+        let j_top = a.label();
+        let j_done = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // args
+        a.push(movri(Gpr::Rdi, (8 * OUT_WORDS) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R12, Gpr::Rax)); // out
+
+        // Row-slice pointer for row r13/r14: mat + (row*n + start)*8.
+        // (The sequence is re-emitted per use because each call clobbers
+        // the caller-saved registers it lives in.)
+        let row_ptr = |a: &mut Asm, row: Gpr, dst: Gpr| {
+            a.push(movrr(dst, row));
+            a.push(Inst::IMul2 {
+                w: Width::W64,
+                dst,
+                src: Rm::Mem(mem_bd(Gpr::Rbx, 24)),
+            });
+            a.push(alurm(AluOp::Add, dst, mem_bd(Gpr::Rbx, 8)));
+            a.push(shifti(ShiftOp::Shl, dst, 3));
+            a.push(alurm(AluOp::Add, dst, mem_b(Gpr::Rbx)));
+        };
+        let chunk_len = |a: &mut Asm, dst: Gpr| {
+            a.push(loadq(dst, mem_bd(Gpr::Rbx, 16)));
+            a.push(alurm(AluOp::Sub, dst, mem_bd(Gpr::Rbx, 8)));
+        };
+
+        // Mean phase: out[i] = pca_sum(row_i + start, len)
+        a.push(movri(Gpr::R13, 0));
+        a.bind(s_top);
+        a.push(cmpri(Gpr::R13, DIM as i32));
+        a.jcc(Cond::E, s_done);
+        row_ptr(&mut a, Gpr::R13, Gpr::Rdi);
+        chunk_len(&mut a, Gpr::Rsi);
+        a.push(call(sum_addr));
+        a.push(storeq(mem_bi(Gpr::R12, Gpr::R13, 8, 0), Gpr::Rax));
+        a.push(alui(AluOp::Add, Gpr::R13, 1));
+        a.jmp(s_top);
+        a.bind(s_done);
+
+        // Covariance phase: out[DIM + i*DIM + j] = pca_dot(row_i, row_j, len)
+        a.push(movri(Gpr::R13, 0));
+        a.bind(i_top);
+        a.push(cmpri(Gpr::R13, DIM as i32));
+        a.jcc(Cond::E, i_done);
+        a.push(movri(Gpr::R14, 0));
+        a.bind(j_top);
+        a.push(cmpri(Gpr::R14, DIM as i32));
+        a.jcc(Cond::E, j_done);
+        row_ptr(&mut a, Gpr::R13, Gpr::Rdi);
+        row_ptr(&mut a, Gpr::R14, Gpr::Rsi);
+        chunk_len(&mut a, Gpr::Rdx);
+        a.push(call(dot_addr));
+        a.push(movrr(Gpr::R15, Gpr::R13));
+        a.push(shifti(ShiftOp::Shl, Gpr::R15, 2));
+        a.push(alurr(AluOp::Add, Gpr::R15, Gpr::R14));
+        a.push(storeq(
+            mem_bi(Gpr::R12, Gpr::R15, 8, (8 * DIM) as i64),
+            Gpr::Rax,
+        ));
+        a.push(alui(AluOp::Add, Gpr::R14, 1));
+        a.jmp(j_top);
+        a.bind(j_done);
+        a.push(alui(AluOp::Add, Gpr::R13, 1));
+        a.jmp(i_top);
+        a.bind(i_done);
+
+        a.push(storeq(mem_bd(Gpr::Rbx, 32), Gpr::R12));
+        a.push(movri(Gpr::Rax, 0));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("pca_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(mat, n) -> checksum ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        let m_t_top = a.label();
+        let m_t_done = a.label();
+        let m_k_top = a.label();
+        let m_k_done = a.label();
+        let c_i_top = a.label();
+        let c_i_done = a.label();
+        let c_j_top = a.label();
+        let c_j_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // mat
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n
+                                           // global partial area (DIM sums + DIM² products), zeroed
+        a.push(movri(Gpr::Rdi, (8 * OUT_WORDS) as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R14, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, (8 * OUT_WORDS) as i64));
+        a.push(call(memset));
+        // slots = malloc(64)
+        a.push(movri(Gpr::Rdi, 64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax));
+        // chunk = n >> 2 (in columns)
+        a.push(movrr(Gpr::Rbp, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rbp, 2));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 48));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13));
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bd(Gpr::Rax, 24), Gpr::R13)); // n
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, 32), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        // merge the per-thread partials
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(m_t_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, m_t_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R15, Gpr::Rbx, 8, 32)));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rdx, 32)));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(m_k_top);
+        a.push(cmpri(Gpr::Rcx, OUT_WORDS as i32));
+        a.jcc(Cond::E, m_k_done);
+        a.push(loadq(Gpr::Rax, mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0)));
+        a.push(Inst::AluRmR {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::R14, Gpr::Rcx, 8, 0)),
+            src: Gpr::Rax,
+        });
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(m_k_top);
+        a.bind(m_k_done);
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(m_t_top);
+        a.bind(m_t_done);
+        // checksum = Σ_{i,j} (i*DIM+j+1) * (n*P_ij − S_i*S_j)
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0)); // i
+        a.bind(c_i_top);
+        a.push(cmpri(Gpr::Rcx, DIM as i32));
+        a.jcc(Cond::E, c_i_done);
+        a.push(movri(Gpr::Rdx, 0)); // j
+        a.bind(c_j_top);
+        a.push(cmpri(Gpr::Rdx, DIM as i32));
+        a.jcc(Cond::E, c_j_done);
+        a.push(movrr(Gpr::R8, Gpr::Rcx));
+        a.push(shifti(ShiftOp::Shl, Gpr::R8, 2));
+        a.push(alurr(AluOp::Add, Gpr::R8, Gpr::Rdx)); // i*DIM+j
+        a.push(loadq(
+            Gpr::R9,
+            mem_bi(Gpr::R14, Gpr::R8, 8, (8 * DIM) as i64),
+        ));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R9,
+            src: Rm::Reg(Gpr::R13),
+        }); // n*P_ij
+        a.push(loadq(Gpr::R10, mem_bi(Gpr::R14, Gpr::Rcx, 8, 0)));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R10,
+            src: Rm::Mem(mem_bi(Gpr::R14, Gpr::Rdx, 8, 0)),
+        }); // S_i*S_j
+        a.push(alurr(AluOp::Sub, Gpr::R9, Gpr::R10));
+        a.push(movrr(Gpr::R11, Gpr::R8));
+        a.push(alui(AluOp::Add, Gpr::R11, 1));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::R9,
+            src: Rm::Reg(Gpr::R11),
+        });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::R9));
+        a.push(alui(AluOp::Add, Gpr::Rdx, 1));
+        a.jmp(c_j_top);
+        a.bind(c_j_done);
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(c_i_top);
+        a.bind(c_i_done);
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{fork_join_main, runtime, Fb};
+    use lasagne_lir::inst::{BinOp, Callee, CastOp, InstKind, Operand};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    let worker = {
+        let mut fb = Fb::new("pca_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let mat_i = fb.load(Ty::I64, args);
+        let mat = fb.op(
+            Ty::Ptr(Pointee::I64),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: mat_i,
+            },
+        );
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let p4 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(4), 8);
+        let n = fb.load(Ty::I64, p4);
+        let out = fb.call(
+            Ty::Ptr(Pointee::I8),
+            Callee::Extern(rt.malloc),
+            vec![Operand::i64((8 * OUT_WORDS) as i64)],
+        );
+        let out64 = fb.cast_ptr(Pointee::I64, out);
+        // Mean phase.
+        fb.counted_loop(
+            Operand::i64(0),
+            Operand::i64(DIM as i64),
+            &[],
+            &[],
+            |fb, i, _| {
+                let base = fb.mul(i, n);
+                let sums =
+                    fb.counted_loop(start, end, &[Ty::I64], &[Operand::i64(0)], |fb, k, accs| {
+                        let idx = fb.add(base, k);
+                        let p = fb.gep(Ty::Ptr(Pointee::I64), mat, idx, 8);
+                        let v = fb.load(Ty::I64, p);
+                        vec![fb.add(accs[0], v)]
+                    });
+                let slot = fb.gep(Ty::Ptr(Pointee::I64), out64, i, 8);
+                fb.store(slot, sums[0]);
+                vec![]
+            },
+        );
+        // Covariance phase.
+        fb.counted_loop(
+            Operand::i64(0),
+            Operand::i64(DIM as i64),
+            &[],
+            &[],
+            |fb, i, _| {
+                let base_i = fb.mul(i, n);
+                fb.counted_loop(
+                    Operand::i64(0),
+                    Operand::i64(DIM as i64),
+                    &[],
+                    &[],
+                    |fb, j, _| {
+                        let base_j = fb.mul(j, n);
+                        let dots = fb.counted_loop(
+                            start,
+                            end,
+                            &[Ty::I64],
+                            &[Operand::i64(0)],
+                            |fb, k, accs| {
+                                let ii = fb.add(base_i, k);
+                                let pi = fb.gep(Ty::Ptr(Pointee::I64), mat, ii, 8);
+                                let vi = fb.load(Ty::I64, pi);
+                                let jj = fb.add(base_j, k);
+                                let pj = fb.gep(Ty::Ptr(Pointee::I64), mat, jj, 8);
+                                let vj = fb.load(Ty::I64, pj);
+                                let prod = fb.mul(vi, vj);
+                                vec![fb.add(accs[0], prod)]
+                            },
+                        );
+                        let lin = fb.mul(i, Operand::i64(DIM as i64));
+                        let lin2 = fb.add(lin, j);
+                        let sidx = fb.add(lin2, Operand::i64(DIM as i64));
+                        let slot = fb.gep(Ty::Ptr(Pointee::I64), out64, sidx, 8);
+                        fb.store(slot, dots[0]);
+                        vec![]
+                    },
+                );
+                vec![]
+            },
+        );
+        let out_int = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: out,
+            },
+        );
+        let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
+        fb.store(p5, out_int);
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    let threads = THREADS;
+    let rt_ref = &rt;
+    fork_join_main(
+        &mut m,
+        rt_ref,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64],
+        |_| Operand::Param(1),
+        |_fb| (Operand::Param(0), Operand::Param(1)),
+        move |fb, slots| {
+            // global partials, zeroed
+            let g = fb.call(
+                Ty::Ptr(Pointee::I8),
+                Callee::Extern(rt_ref.malloc),
+                vec![Operand::i64((8 * OUT_WORDS) as i64)],
+            );
+            let g_int = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: g,
+                },
+            );
+            fb.call(
+                Ty::I64,
+                Callee::Extern(rt_ref.memset),
+                vec![g_int, Operand::i64(0), Operand::i64((8 * OUT_WORDS) as i64)],
+            );
+            let g64 = fb.cast_ptr(Pointee::I64, g);
+            fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(threads as i64),
+                &[],
+                &[],
+                |fb, t, _| {
+                    let ap = {
+                        let x = fb.add(t, Operand::i64(threads as i64));
+                        fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                    };
+                    let a = fb.load(Ty::I64, ap);
+                    let a64 = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: a,
+                        },
+                    );
+                    let op = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
+                    let o = fb.load(Ty::I64, op);
+                    let out = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: o,
+                        },
+                    );
+                    fb.counted_loop(
+                        Operand::i64(0),
+                        Operand::i64(OUT_WORDS as i64),
+                        &[],
+                        &[],
+                        |fb, k, _| {
+                            let src = fb.gep(Ty::Ptr(Pointee::I64), out, k, 8);
+                            let v = fb.load(Ty::I64, src);
+                            let dst = fb.gep(Ty::Ptr(Pointee::I64), g64, k, 8);
+                            let old = fb.load(Ty::I64, dst);
+                            let s = fb.add(old, v);
+                            fb.store(dst, s);
+                            vec![]
+                        },
+                    );
+                    vec![]
+                },
+            );
+            // checksum over the covariance entries
+            let n = Operand::Param(1);
+            let sums = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64((DIM * DIM) as i64),
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, lin, accs| {
+                    let i = fb.bin(BinOp::LShr, Ty::I64, lin, Operand::i64(2));
+                    let j = fb.bin(BinOp::And, Ty::I64, lin, Operand::i64(DIM as i64 - 1));
+                    let pidx = fb.add(lin, Operand::i64(DIM as i64));
+                    let pp = fb.gep(Ty::Ptr(Pointee::I64), g64, pidx, 8);
+                    let p = fb.load(Ty::I64, pp);
+                    let np = fb.mul(n, p);
+                    let sip = fb.gep(Ty::Ptr(Pointee::I64), g64, i, 8);
+                    let si = fb.load(Ty::I64, sip);
+                    let sjp = fb.gep(Ty::Ptr(Pointee::I64), g64, j, 8);
+                    let sj = fb.load(Ty::I64, sjp);
+                    let ss = fb.mul(si, sj);
+                    let cov = fb.bin(BinOp::Sub, Ty::I64, np, ss);
+                    let k = fb.add(lin, Operand::i64(1));
+                    let term = fb.mul(cov, k);
+                    vec![fb.add(accs[0], term)]
+                },
+            );
+            sums[0]
+        },
+        threads,
+    );
+    m
+}
+
+/// Deterministic workload: a `DIM × n` row-major matrix of small values.
+pub fn workload(n: usize) -> Workload {
+    let n = n.max(8);
+    let raw = crate::lcg_u64(DIM as usize * n, 0x9CA1_u64);
+    let vals: Vec<u64> = raw.into_iter().map(|v| v % 1000).collect();
+    let mut sums = [0u64; DIM as usize];
+    let mut dots = [[0u64; DIM as usize]; DIM as usize];
+    for i in 0..DIM as usize {
+        for k in 0..n {
+            sums[i] = sums[i].wrapping_add(vals[i * n + k]);
+        }
+        for j in 0..DIM as usize {
+            for k in 0..n {
+                dots[i][j] = dots[i][j].wrapping_add(vals[i * n + k].wrapping_mul(vals[j * n + k]));
+            }
+        }
+    }
+    let mut expected = 0u64;
+    for i in 0..DIM as usize {
+        for j in 0..DIM as usize {
+            let cov = (n as u64)
+                .wrapping_mul(dots[i][j])
+                .wrapping_sub(sums[i].wrapping_mul(sums[j]));
+            let k = (i as u64 * DIM + j as u64) + 1;
+            expected = expected.wrapping_add(cov.wrapping_mul(k));
+        }
+    }
+    let mut bytes = Vec::with_capacity(8 * vals.len());
+    for v in &vals {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    Workload {
+        name: "pca",
+        mem_init: vec![(WORKLOAD_BASE, bytes)],
+        args: vec![WORKLOAD_BASE, n as u64],
+        expected_ret: expected,
+    }
+}

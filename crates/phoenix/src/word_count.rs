@@ -1,0 +1,540 @@
+//! Phoenix `word_count` (WC): count word occurrences in a text, split
+//! across four pthreads with per-thread local hash tables merged by main.
+//!
+//! Functions (5, matching Table 1): `main`, `wc_worker`, `wc_scan`
+//! (byte-wise rolling-hash tokeniser), `wc_insert` (hash-table bump),
+//! `wc_merge`.
+//!
+//! The input text is `n` words of exactly 7 lowercase letters followed by
+//! one space, so every word is space-terminated and thread chunks (in
+//! units of words) never split a token. The scanner still discovers the
+//! boundaries byte by byte, as the original does: it folds `h = h*31 + c`
+//! over letters and flushes `h` into the table on each `' '`.
+
+use crate::builders::*;
+use crate::{Workload, WORKLOAD_BASE};
+use lasagne_x86::asm::Asm;
+use lasagne_x86::binary::{Binary, BinaryBuilder};
+use lasagne_x86::inst::{AluOp, Inst, Rm, ShiftOp};
+use lasagne_x86::reg::{Cond, Gpr, Width};
+
+/// Worker threads.
+pub const THREADS: u64 = 4;
+/// Hash-table buckets (power of two; the hash is reduced with `& 511`).
+pub const BUCKETS: u64 = 512;
+/// Bytes per word in the input encoding (7 letters + 1 space).
+pub const WORD_BYTES: u64 = 8;
+/// Table bytes: `BUCKETS` counts then `BUCKETS` hash-sums, u64 each.
+pub const TABLE_BYTES: u64 = 2 * 8 * BUCKETS;
+
+/// Builds the x86-64 binary.
+pub fn binary() -> Binary {
+    let mut b = BinaryBuilder::new();
+    let malloc = b.declare_extern("malloc");
+    let memset = b.declare_extern("memset");
+    let pthread_create = b.declare_extern("pthread_create");
+    let pthread_join = b.declare_extern("pthread_join");
+
+    // ---- wc_insert(table, hash) ----
+    // bucket = hash & 511; table[bucket] += 1; table[512 + bucket] += hash.
+    let insert_addr = {
+        let mut a = Asm::new();
+        a.push(movrr(Gpr::Rax, Gpr::Rsi));
+        a.push(alui(AluOp::And, Gpr::Rax, (BUCKETS - 1) as i32));
+        a.push(Inst::AluRmI {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::Rdi, Gpr::Rax, 8, 0)),
+            imm: 1,
+        });
+        a.push(Inst::AluRmR {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::Rdi, Gpr::Rax, 8, (8 * BUCKETS) as i64)),
+            src: Gpr::Rsi,
+        });
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("wc_insert", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- wc_scan(data, byte_start, byte_end, table) ----
+    // Rolling hash over bytes; flush into the table on ' ' (0x20).
+    let scan_addr = {
+        let mut a = Asm::new();
+        let top = a.label();
+        let done = a.label();
+        let letter = a.label();
+        let next = a.label();
+        for r in [Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R12, Gpr::Rsi)); // p
+        a.push(movrr(Gpr::R13, Gpr::Rdx)); // end
+        a.push(movrr(Gpr::R14, Gpr::Rcx)); // table
+        a.push(movri(Gpr::R15, 0)); // h
+        a.bind(top);
+        a.push(cmprr(Gpr::R12, Gpr::R13));
+        a.jcc(Cond::E, done);
+        a.push(Inst::MovZx {
+            dw: Width::W64,
+            sw: Width::W8,
+            dst: Gpr::Rax,
+            src: Rm::Mem(mem_bi(Gpr::Rbx, Gpr::R12, 1, 0)),
+        });
+        a.push(cmpri(Gpr::Rax, b' ' as i32));
+        a.jcc(Cond::Ne, letter);
+        // flush: wc_insert(table, h); h = 0
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movrr(Gpr::Rsi, Gpr::R15));
+        a.push(call(insert_addr));
+        a.push(movri(Gpr::R15, 0));
+        a.jmp(next);
+        a.bind(letter);
+        // h = h*31 + c  (as (h<<5) - h + c)
+        a.push(movrr(Gpr::Rdx, Gpr::R15));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdx, 5));
+        a.push(alurr(AluOp::Sub, Gpr::Rdx, Gpr::R15));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rax));
+        a.push(movrr(Gpr::R15, Gpr::Rdx));
+        a.bind(next);
+        a.push(alui(AluOp::Add, Gpr::R12, 1));
+        a.jmp(top);
+        a.bind(done);
+        a.push(movri(Gpr::Rax, 0));
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("wc_scan", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- wc_worker(args) ----
+    // args: [0]=data [8]=start word [16]=end word [24]=out table
+    let worker_addr = {
+        let mut a = Asm::new();
+        a.push(Inst::Push { src: Gpr::Rbx });
+        a.push(Inst::Push { src: Gpr::R12 });
+        a.push(movrr(Gpr::Rbx, Gpr::Rdi));
+        a.push(movri(Gpr::Rdi, TABLE_BYTES as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R12, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R12));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, TABLE_BYTES as i64));
+        a.push(call(memset));
+        a.push(loadq(Gpr::Rdi, mem_b(Gpr::Rbx)));
+        a.push(loadq(Gpr::Rsi, mem_bd(Gpr::Rbx, 8)));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rsi, 3));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rbx, 16)));
+        a.push(shifti(ShiftOp::Shl, Gpr::Rdx, 3));
+        a.push(movrr(Gpr::Rcx, Gpr::R12));
+        a.push(call(scan_addr));
+        a.push(storeq(mem_bd(Gpr::Rbx, 24), Gpr::R12));
+        a.push(movri(Gpr::Rax, 0));
+        a.push(Inst::Pop { dst: Gpr::R12 });
+        a.push(Inst::Pop { dst: Gpr::Rbx });
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("wc_worker", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- wc_merge(table, slots) : sum the 4 workers' local tables ----
+    let merge_addr = {
+        let mut a = Asm::new();
+        let t_top = a.label();
+        let t_done = a.label();
+        let i_top = a.label();
+        let i_done = a.label();
+        // rdi = global table, rsi = slots (args ptrs at [rsi + t*8 + 32])
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(t_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, t_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::Rsi, Gpr::Rbx, 8, 32)));
+        a.push(loadq(Gpr::Rdx, mem_bd(Gpr::Rdx, 24)));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(i_top);
+        a.push(cmpri(Gpr::Rcx, (2 * BUCKETS) as i32));
+        a.jcc(Cond::E, i_done);
+        a.push(loadq(Gpr::Rax, mem_bi(Gpr::Rdx, Gpr::Rcx, 8, 0)));
+        a.push(Inst::AluRmR {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Rm::Mem(mem_bi(Gpr::Rdi, Gpr::Rcx, 8, 0)),
+            src: Gpr::Rax,
+        });
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(i_top);
+        a.bind(i_done);
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(t_top);
+        a.bind(t_done);
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("wc_merge", a.finish(addr).unwrap());
+        addr
+    };
+
+    // ---- main(data, n_words) -> checksum ----
+    {
+        let mut a = Asm::new();
+        let spawn_top = a.label();
+        let spawn_done = a.label();
+        let last = a.label();
+        let join_top = a.label();
+        let join_done = a.label();
+        let sum_top = a.label();
+        let sum_done = a.label();
+        for r in [Gpr::Rbp, Gpr::Rbx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15] {
+            a.push(Inst::Push { src: r });
+        }
+        a.push(movrr(Gpr::R12, Gpr::Rdi)); // data
+        a.push(movrr(Gpr::R13, Gpr::Rsi)); // n words
+                                           // global table
+        a.push(movri(Gpr::Rdi, TABLE_BYTES as i64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R14, Gpr::Rax));
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(movri(Gpr::Rdx, TABLE_BYTES as i64));
+        a.push(call(memset));
+        // slots = malloc(64): [t*8] = tid, [t*8+32] = args ptr
+        a.push(movri(Gpr::Rdi, 64));
+        a.push(call(malloc));
+        a.push(movrr(Gpr::R15, Gpr::Rax));
+        // chunk = n >> 2 (in words)
+        a.push(movrr(Gpr::Rbp, Gpr::R13));
+        a.push(shifti(ShiftOp::Shr, Gpr::Rbp, 2));
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(spawn_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, spawn_done);
+        a.push(movri(Gpr::Rdi, 32));
+        a.push(call(malloc));
+        a.push(storeq(mem_b(Gpr::Rax), Gpr::R12));
+        a.push(movrr(Gpr::Rdx, Gpr::Rbx));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::Rbp),
+        });
+        a.push(storeq(mem_bd(Gpr::Rax, 8), Gpr::Rdx));
+        a.push(alurr(AluOp::Add, Gpr::Rdx, Gpr::Rbp));
+        a.push(cmpri(Gpr::Rbx, THREADS as i32 - 1));
+        a.jcc(Cond::Ne, last);
+        a.push(movrr(Gpr::Rdx, Gpr::R13)); // last thread takes the tail
+        a.bind(last);
+        a.push(storeq(mem_bd(Gpr::Rax, 16), Gpr::Rdx));
+        a.push(storeq(mem_bi(Gpr::R15, Gpr::Rbx, 8, 32), Gpr::Rax));
+        a.push(movrr(Gpr::Rcx, Gpr::Rax));
+        a.push(Inst::Lea {
+            w: Width::W64,
+            dst: Gpr::Rdi,
+            addr: mem_bi(Gpr::R15, Gpr::Rbx, 8, 0),
+        });
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(lea_func(Gpr::Rdx, worker_addr));
+        a.push(call(pthread_create));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(spawn_top);
+        a.bind(spawn_done);
+        a.push(movri(Gpr::Rbx, 0));
+        a.bind(join_top);
+        a.push(cmpri(Gpr::Rbx, THREADS as i32));
+        a.jcc(Cond::E, join_done);
+        a.push(loadq(Gpr::Rdi, mem_bi(Gpr::R15, Gpr::Rbx, 8, 0)));
+        a.push(movri(Gpr::Rsi, 0));
+        a.push(call(pthread_join));
+        a.push(alui(AluOp::Add, Gpr::Rbx, 1));
+        a.jmp(join_top);
+        a.bind(join_done);
+        a.push(movrr(Gpr::Rdi, Gpr::R14));
+        a.push(movrr(Gpr::Rsi, Gpr::R15));
+        a.push(call(merge_addr));
+        // checksum = Σ_b (b+1)*counts[b] + hashsum[b]
+        a.push(movri(Gpr::Rax, 0));
+        a.push(movri(Gpr::Rcx, 0));
+        a.bind(sum_top);
+        a.push(cmpri(Gpr::Rcx, BUCKETS as i32));
+        a.jcc(Cond::E, sum_done);
+        a.push(loadq(Gpr::Rdx, mem_bi(Gpr::R14, Gpr::Rcx, 8, 0)));
+        a.push(movrr(Gpr::R8, Gpr::Rcx));
+        a.push(alui(AluOp::Add, Gpr::R8, 1));
+        a.push(Inst::IMul2 {
+            w: Width::W64,
+            dst: Gpr::Rdx,
+            src: Rm::Reg(Gpr::R8),
+        });
+        a.push(alurr(AluOp::Add, Gpr::Rax, Gpr::Rdx));
+        a.push(alurm(
+            AluOp::Add,
+            Gpr::Rax,
+            mem_bi(Gpr::R14, Gpr::Rcx, 8, (8 * BUCKETS) as i64),
+        ));
+        a.push(alui(AluOp::Add, Gpr::Rcx, 1));
+        a.jmp(sum_top);
+        a.bind(sum_done);
+        for r in [Gpr::R15, Gpr::R14, Gpr::R13, Gpr::R12, Gpr::Rbx, Gpr::Rbp] {
+            a.push(Inst::Pop { dst: r });
+        }
+        a.push(Inst::Ret);
+        let addr = b.next_function_addr();
+        b.add_function("main", a.finish(addr).unwrap());
+    }
+
+    b.finish()
+}
+
+/// Native LIR baseline.
+pub fn native() -> lasagne_lir::Module {
+    native_impl()
+}
+
+pub(crate) fn native_impl() -> lasagne_lir::Module {
+    use crate::native::{fork_join_main, runtime, Fb};
+    use lasagne_lir::inst::{BinOp, Callee, CastOp, IPred, InstKind, Operand};
+    use lasagne_lir::types::{Pointee, Ty};
+
+    let mut m = lasagne_lir::Module::new();
+    let rt = runtime(&mut m);
+
+    // Branchless tokeniser, as if-converted native code would look: every
+    // byte updates a bucket (with a +0 when mid-word) and the rolling hash
+    // is reset through a select.
+    let worker = {
+        let mut fb = Fb::new("wc_worker", vec![Ty::Ptr(Pointee::I8)], Ty::I64);
+        let args = fb.cast_ptr(Pointee::I64, Operand::Param(0));
+        let data_i = fb.load(Ty::I64, args);
+        let data = fb.op(
+            Ty::Ptr(Pointee::I8),
+            InstKind::Cast {
+                op: CastOp::IntToPtr,
+                val: data_i,
+            },
+        );
+        let p1 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(1), 8);
+        let start = fb.load(Ty::I64, p1);
+        let p2 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(2), 8);
+        let end = fb.load(Ty::I64, p2);
+        let start8 = fb.bin(BinOp::Shl, Ty::I64, start, Operand::i64(3));
+        let end8 = fb.bin(BinOp::Shl, Ty::I64, end, Operand::i64(3));
+        let local = fb.call(
+            Ty::Ptr(Pointee::I8),
+            Callee::Extern(rt.malloc),
+            vec![Operand::i64(TABLE_BYTES as i64)],
+        );
+        let local_int = fb.op(
+            Ty::I64,
+            InstKind::Cast {
+                op: CastOp::PtrToInt,
+                val: local,
+            },
+        );
+        fb.call(
+            Ty::I64,
+            Callee::Extern(rt.memset),
+            vec![local_int, Operand::i64(0), Operand::i64(TABLE_BYTES as i64)],
+        );
+        let local64 = fb.cast_ptr(Pointee::I64, local);
+        fb.counted_loop(
+            start8,
+            end8,
+            &[Ty::I64],
+            &[Operand::i64(0)],
+            |fb, p, accs| {
+                let h = accs[0];
+                let bp = fb.gep(Ty::Ptr(Pointee::I8), data, p, 1);
+                let byte = fb.load(Ty::I8, bp);
+                let c = fb.op(
+                    Ty::I64,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: byte,
+                    },
+                );
+                let is_space = fb.icmp(IPred::Eq, c, Operand::i64(b' ' as i64));
+                let bucket = fb.bin(BinOp::And, Ty::I64, h, Operand::i64((BUCKETS - 1) as i64));
+                let delta = fb.op(
+                    Ty::I64,
+                    InstKind::Cast {
+                        op: CastOp::ZExt,
+                        val: is_space,
+                    },
+                );
+                let cnt_p = fb.gep(Ty::Ptr(Pointee::I64), local64, bucket, 8);
+                let cnt = fb.load(Ty::I64, cnt_p);
+                let cnt2 = fb.add(cnt, delta);
+                fb.store(cnt_p, cnt2);
+                let hadd = fb.op(
+                    Ty::I64,
+                    InstKind::Select {
+                        cond: is_space,
+                        if_true: h,
+                        if_false: Operand::i64(0),
+                    },
+                );
+                let sidx = fb.add(bucket, Operand::i64(BUCKETS as i64));
+                let sum_p = fb.gep(Ty::Ptr(Pointee::I64), local64, sidx, 8);
+                let sum = fb.load(Ty::I64, sum_p);
+                let sum2 = fb.add(sum, hadd);
+                fb.store(sum_p, sum2);
+                let h31 = fb.mul(h, Operand::i64(31));
+                let hc = fb.add(h31, c);
+                let h_next = fb.op(
+                    Ty::I64,
+                    InstKind::Select {
+                        cond: is_space,
+                        if_true: Operand::i64(0),
+                        if_false: hc,
+                    },
+                );
+                vec![h_next]
+            },
+        );
+        let p5 = fb.gep(Ty::Ptr(Pointee::I64), args, Operand::i64(5), 8);
+        fb.store(p5, local_int);
+        let f = fb.ret(Some(Operand::i64(0)));
+        m.add_func(f)
+    };
+
+    let threads = THREADS;
+    let rt_ref = &rt;
+    fork_join_main(
+        &mut m,
+        rt_ref,
+        worker,
+        "main",
+        vec![Ty::I64, Ty::I64],
+        |_| Operand::Param(1),
+        |_fb| (Operand::Param(0), Operand::i64(0)),
+        move |fb, slots| {
+            // global table
+            let table = fb.call(
+                Ty::Ptr(Pointee::I8),
+                Callee::Extern(rt_ref.malloc),
+                vec![Operand::i64(TABLE_BYTES as i64)],
+            );
+            let table_int = fb.op(
+                Ty::I64,
+                InstKind::Cast {
+                    op: CastOp::PtrToInt,
+                    val: table,
+                },
+            );
+            fb.call(
+                Ty::I64,
+                Callee::Extern(rt_ref.memset),
+                vec![table_int, Operand::i64(0), Operand::i64(TABLE_BYTES as i64)],
+            );
+            let table64 = fb.cast_ptr(Pointee::I64, table);
+            // merge
+            fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(threads as i64),
+                &[],
+                &[],
+                |fb, t, _| {
+                    let ap = {
+                        let x = fb.add(t, Operand::i64(threads as i64));
+                        fb.gep(Ty::Ptr(Pointee::I64), slots, x, 8)
+                    };
+                    let a = fb.load(Ty::I64, ap);
+                    let a64 = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: a,
+                        },
+                    );
+                    let lp = fb.gep(Ty::Ptr(Pointee::I64), a64, Operand::i64(5), 8);
+                    let l = fb.load(Ty::I64, lp);
+                    let local = fb.op(
+                        Ty::Ptr(Pointee::I64),
+                        InstKind::Cast {
+                            op: CastOp::IntToPtr,
+                            val: l,
+                        },
+                    );
+                    fb.counted_loop(
+                        Operand::i64(0),
+                        Operand::i64(2 * BUCKETS as i64),
+                        &[],
+                        &[],
+                        |fb, i, _| {
+                            let src = fb.gep(Ty::Ptr(Pointee::I64), local, i, 8);
+                            let v = fb.load(Ty::I64, src);
+                            let dst = fb.gep(Ty::Ptr(Pointee::I64), table64, i, 8);
+                            let old = fb.load(Ty::I64, dst);
+                            let s = fb.add(old, v);
+                            fb.store(dst, s);
+                            vec![]
+                        },
+                    );
+                    vec![]
+                },
+            );
+            // checksum = Σ_b (b+1)*counts[b] + hashsum[b]
+            let sums = fb.counted_loop(
+                Operand::i64(0),
+                Operand::i64(BUCKETS as i64),
+                &[Ty::I64],
+                &[Operand::i64(0)],
+                |fb, bkt, accs| {
+                    let cp = fb.gep(Ty::Ptr(Pointee::I64), table64, bkt, 8);
+                    let c = fb.load(Ty::I64, cp);
+                    let k = fb.add(bkt, Operand::i64(1));
+                    let prod = fb.mul(c, k);
+                    let hidx = fb.add(bkt, Operand::i64(BUCKETS as i64));
+                    let hp = fb.gep(Ty::Ptr(Pointee::I64), table64, hidx, 8);
+                    let hs = fb.load(Ty::I64, hp);
+                    let s1 = fb.add(accs[0], prod);
+                    vec![fb.add(s1, hs)]
+                },
+            );
+            sums[0]
+        },
+        threads,
+    );
+    m
+}
+
+/// Deterministic workload: `n` words of 7 low-entropy lowercase letters
+/// plus a trailing space, so duplicates occur and every token terminates.
+pub fn workload(n: usize) -> Workload {
+    let n = n.max(8);
+    let raw = crate::lcg_bytes(7 * n, 0x57C0_u64);
+    let mut text = Vec::with_capacity(8 * n);
+    let mut counts = vec![0u64; BUCKETS as usize];
+    let mut sums = vec![0u64; BUCKETS as usize];
+    for w in 0..n {
+        let mut h = 0u64;
+        for k in 0..7 {
+            // 16 distinct letters keeps the vocabulary small.
+            let c = b'a' + raw[7 * w + k] % 16;
+            text.push(c);
+            h = h.wrapping_mul(31).wrapping_add(u64::from(c));
+        }
+        text.push(b' ');
+        let bucket = (h & (BUCKETS - 1)) as usize;
+        counts[bucket] += 1;
+        sums[bucket] = sums[bucket].wrapping_add(h);
+    }
+    let mut expected = 0u64;
+    for b in 0..BUCKETS as usize {
+        expected = expected
+            .wrapping_add((b as u64 + 1).wrapping_mul(counts[b]))
+            .wrapping_add(sums[b]);
+    }
+    Workload {
+        name: "word_count",
+        mem_init: vec![(WORKLOAD_BASE, text)],
+        args: vec![WORKLOAD_BASE, n as u64],
+        expected_ret: expected,
+    }
+}

@@ -35,9 +35,11 @@ pub mod decode;
 pub mod encode;
 pub mod flags;
 pub mod inst;
+pub mod interp;
 pub mod reg;
 
 pub use decode::{decode_all, decode_one, DecodeError, Decoded};
 pub use encode::{encode, EncodeError};
 pub use inst::Inst;
+pub use interp::{X86Error, X86Machine, X86RunResult, X86Stats};
 pub use reg::{Cond, Gpr, Width, Xmm};

@@ -1,4 +1,6 @@
-//! Property test: every encodable instruction decodes back to itself.
+//! Property test: every encodable instruction decodes back to itself and
+//! prints identically before and after the round trip. Cases derive from
+//! the qc runner's fixed workspace seed, so the sweep is reproducible.
 
 use lasagne_qc::collection;
 use lasagne_qc::prelude::*;
@@ -182,8 +184,106 @@ properties! {
         let d = decode_one(&bytes, addr).map_err(|e| {
             TestCaseError::fail(format!("decode failed for {inst}: {e} bytes={bytes:02x?}"))
         })?;
-        prop_assert_eq!(d.inst, inst, "bytes: {:02x?}", bytes);
+        prop_assert_eq!(&d.inst, &inst, "bytes: {:02x?}", bytes);
         prop_assert_eq!(d.len, len);
+        // The printed form must survive the round trip too: `Display` may
+        // only depend on the instruction value, never on how it was built
+        // or which encoding produced it.
+        prop_assert_eq!(d.inst.to_string(), inst.to_string());
+        prop_assert!(!inst.to_string().is_empty());
+    }
+}
+
+/// Pins the exact `Display` output for a representative instruction from
+/// each group, so any drift in the printed syntax (which regression-seed
+/// comments, `explain` traces, and counterexample reports all quote) fails
+/// loudly instead of silently rewriting every persisted artifact.
+#[test]
+fn printed_forms_are_stable() {
+    let cases: &[(Inst, &str)] = &[
+        (
+            Inst::MovRRm {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rdi),
+            },
+            "mov32 eax, rdi",
+        ),
+        (
+            Inst::MovAbs {
+                dst: Gpr::Rdi,
+                imm: 0xdead_beef,
+            },
+            "movabs rdi, 0xdeadbeef",
+        ),
+        (
+            Inst::AluRmI {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Rm::Mem(MemRef::base_disp(Gpr::Rbx, 8)),
+                imm: 5,
+            },
+            "add64 [rbx + 0x8], 5",
+        ),
+        (
+            Inst::ShiftCl {
+                op: ShiftOp::Shl,
+                w: Width::W32,
+                dst: Rm::Reg(Gpr::Rcx),
+            },
+            "shl32 rcx, cl",
+        ),
+        (
+            Inst::MulDiv {
+                op: MulDivOp::IDiv,
+                w: Width::W64,
+                src: Rm::Reg(Gpr::Rsi),
+            },
+            "idiv64 rsi",
+        ),
+        (
+            Inst::Jcc {
+                cc: Cond::Ne,
+                target: Target::Abs(0x40_1000),
+            },
+            "jne 0x401000",
+        ),
+        (
+            Inst::SseScalar {
+                op: SseOp::Add,
+                prec: FpPrec::Double,
+                dst: Xmm(0),
+                src: XmmRm::Reg(Xmm(1)),
+            },
+            "addsd xmm0, xmm1",
+        ),
+        (
+            Inst::CvtF2Si {
+                prec: FpPrec::Double,
+                iw: Width::W64,
+                dst: Gpr::Rax,
+                src: XmmRm::Reg(Xmm(0)),
+            },
+            "cvttsd2si rax, xmm0",
+        ),
+        (
+            Inst::LockXadd {
+                w: Width::W64,
+                mem: MemRef::base(Gpr::Rdi),
+                src: Gpr::Rax,
+            },
+            "lock xadd64 [rdi], rax",
+        ),
+        (Inst::Mfence, "mfence"),
+    ];
+    for (inst, want) in cases {
+        assert_eq!(&inst.to_string(), want, "printed form drifted: {inst:?}");
+        let mut bytes = Vec::new();
+        let len = lasagne_x86::encode(inst, 0x40_0000, &mut bytes).unwrap();
+        let d = decode_one(&bytes, 0x40_0000).unwrap();
+        assert_eq!(&d.inst, inst);
+        assert_eq!(d.len, len);
+        assert_eq!(&d.inst.to_string(), want, "round trip changed printing");
     }
 }
 

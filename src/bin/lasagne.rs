@@ -9,6 +9,7 @@
 //! lasagne explain-fences <DEMO> [opts] per-fence provenance table
 //! lasagne trace-check FILE [--jobs N]  validate a --trace-out file
 //! lasagne litmus                       memory-model validation summary
+//! lasagne difftest [opts]              three-way differential sweep
 //! lasagne help                         this message
 //!
 //! options:
@@ -25,11 +26,22 @@
 //!                                      warm runs skip lift/refine/opt
 //!   --no-cache                         disable the cache even if
 //!                                      $LASAGNE_CACHE_DIR is set
+//!   --cases N                          qc cases per family for difftest
+//!                                      (default 32)
+//!   --seed HEX                         base seed for difftest generation
+//!   --skip-phoenix                     difftest: generator families only
 //! ```
 //!
 //! `<DEMO>` is a Phoenix benchmark, by abbreviation or name: `HT`
 //! (histogram), `KM` (kmeans), `LR` (linear_regression), `MM`
-//! (matrix_multiply), `SM` (string_match).
+//! (matrix_multiply), `SM` (string_match), `WC` (word_count), `PCA`
+//! (pca).
+//!
+//! `difftest` executes qc-generated functions and the whole Phoenix suite
+//! on three independent oracles — the byte-level x86 interpreter, the
+//! lifted LIR on the LIR interpreter, and the translated code on the
+//! simulated Arm core across all four versions × cold/warm cache ×
+//! jobs 1/4 — and requires bit-identical return values and final memory.
 
 use lasagne_repro::bench::{measure_native, run_arm};
 use lasagne_repro::phoenix::{all_benchmarks, Benchmark};
@@ -93,7 +105,7 @@ fn main() {
         }
         "disasm" => {
             let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
-                eprintln!("usage: lasagne disasm <HT|KM|LR|MM|SM>");
+                eprintln!("usage: lasagne disasm <HT|KM|LR|MM|SM|WC|PCA>");
                 std::process::exit(2);
             };
             for f in &b.binary.functions {
@@ -113,7 +125,7 @@ fn main() {
         "translate" | "run" | "ir" => {
             let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
                 eprintln!(
-                    "usage: lasagne {cmd} <HT|KM|LR|MM|SM> [--version V] [--scale N] \
+                    "usage: lasagne {cmd} <HT|KM|LR|MM|SM|WC|PCA> [--version V] [--scale N] \
                      [--jobs N] [--timings FILE] [--cache-dir DIR] [--no-cache]"
                 );
                 std::process::exit(2);
@@ -187,7 +199,7 @@ fn main() {
         "explain-fences" => {
             let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
                 eprintln!(
-                    "usage: lasagne explain-fences <HT|KM|LR|MM|SM> [--version V] \
+                    "usage: lasagne explain-fences <HT|KM|LR|MM|SM|WC|PCA> [--version V] \
                      [--scale N] [--jobs N] [--trace-out FILE]"
                 );
                 std::process::exit(2);
@@ -279,18 +291,57 @@ fn main() {
                 );
             }
         }
+        "difftest" => {
+            let cases: u32 = flag_value(&args, "--cases")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(32);
+            let seed = flag_value(&args, "--seed")
+                .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+                .unwrap_or(lasagne_repro::translator::difftest::default_seed());
+            let cache_root = cache_dir
+                .clone()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("lasagne-difftest-{}", std::process::id()))
+                });
+            // The cold legs of the matrix need the content hashes absent.
+            let _ = std::fs::remove_dir_all(&cache_root);
+            let opts = lasagne_repro::translator::difftest::DiffOptions {
+                cases,
+                seed,
+                scale,
+                cache_dir: cache_root.clone(),
+                skip_phoenix: args.iter().any(|a| a == "--skip-phoenix"),
+            };
+            let s = lasagne_repro::translator::difftest::run_difftest(&opts);
+            let _ = std::fs::remove_dir_all(&cache_root);
+            println!("difftest  : x86-interp ≡ LIR-interp ≡ ArmMachine");
+            println!("matrix    : 4 versions × cold/warm cache × jobs 1/4");
+            println!(
+                "functions : {} qc-generated + {} phoenix ({} benchmarks)",
+                s.qc_functions, s.phoenix_functions, s.phoenix_benchmarks
+            );
+            println!("executions: {}", s.executions);
+            println!("divergence: {}", s.divergences);
+            println!("wall time : {:.1} s", s.wall_ms as f64 / 1e3);
+            if let Some(cex) = &s.counterexample {
+                eprintln!("counterexample: {cex}");
+                std::process::exit(1);
+            }
+        }
         _ => {
             println!("lasagne — static binary translator (PLDI 2022 reproduction)");
             println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO>");
-            println!("          explain-fences <DEMO> | trace-check FILE | litmus");
+            println!("          explain-fences <DEMO> | trace-check FILE | litmus | difftest");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
             println!("          --jobs N (worker threads; byte-identical output for any N)");
             println!("          --timings FILE (per-pass JSON timing report; \"-\" = stderr)");
             println!("          --trace-out FILE (Chrome trace-event JSON; one track per worker)");
             println!("          --cache-dir DIR (translation cache; default $LASAGNE_CACHE_DIR)");
             println!("          --no-cache (ignore $LASAGNE_CACHE_DIR)");
+            println!("          --cases N --seed HEX --skip-phoenix (difftest)");
             println!("demos   : HT histogram | KM kmeans | LR linear_regression");
-            println!("          MM matrix_multiply | SM string_match");
+            println!("          MM matrix_multiply | SM string_match | WC word_count | PCA pca");
         }
     }
 }

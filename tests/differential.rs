@@ -1,387 +1,36 @@
-//! Differential fuzzing of the whole translator: random x86-64 functions
-//! are lifted and executed on the LIR interpreter, then translated under
-//! every §9.1 configuration and executed on the simulated Arm core. All
-//! six executions must agree on the return value and on the final contents
-//! of the shared memory region — any divergence is a bug in the lifter,
-//! an optimization pass, fence placement, or the Arm backend.
+//! Differential fuzzing of the whole translator — the integration-test
+//! face of the three-way oracle in [`lasagne::difftest`]. Random x86-64
+//! functions are executed on the byte-level x86 interpreter (the
+//! independent reference), then lifted and executed on the LIR
+//! interpreter, then translated under every §9.1 configuration and
+//! executed on the simulated Arm core. All executions must agree on the
+//! return value and on the final contents of the shared memory region —
+//! any divergence is a bug in the lifter, an optimization pass, fence
+//! placement, the Arm backend, or the x86 interpreter itself.
+//!
+//! The generator (all 16 condition codes, shift-by-CL, 8/16-bit widths)
+//! and the executors are shared with the `lasagne difftest` CLI sweep
+//! and the capped ci.sh run; this file only binds them to the qc
+//! harness. Failure seeds persist to `differential.qc-regressions`
+//! (seeds in the legacy `differential.proptest-regressions` file are
+//! replayed too).
 
 use lasagne_qc::collection;
 use lasagne_qc::prelude::*;
-use lasagne_repro::armgen::machine::ArmMachine;
-use lasagne_repro::lir::interp::{Machine, Val};
-use lasagne_repro::translator::{translate, Version};
-use lasagne_repro::x86::asm::Asm;
-use lasagne_repro::x86::binary::BinaryBuilder;
-use lasagne_repro::x86::inst::{AluOp, FpPrec, Inst, MemRef, Rm, ShiftOp, SseOp, XmmRm};
-use lasagne_repro::x86::reg::{Cond, Gpr, Width, Xmm};
-
-/// Shared memory region base passed in RDI.
-const REGION: u64 = 0x4000_0000;
-const REGION_SLOTS: i64 = 8;
-
-/// Scratch registers the generator plays with.
-const REGS: [Gpr; 5] = [Gpr::Rax, Gpr::Rcx, Gpr::Rdx, Gpr::R8, Gpr::R9];
-
-fn any_reg() -> impl Strategy<Value = Gpr> {
-    prop_oneof![
-        Just(REGS[0]),
-        Just(REGS[1]),
-        Just(REGS[2]),
-        Just(REGS[3]),
-        Just(REGS[4]),
-        Just(Gpr::Rdi),
-        Just(Gpr::Rsi),
-    ]
-}
-
-fn any_dst() -> impl Strategy<Value = Gpr> {
-    // Never clobber RDI (the region pointer).
-    prop_oneof![
-        Just(REGS[0]),
-        Just(REGS[1]),
-        Just(REGS[2]),
-        Just(REGS[3]),
-        Just(REGS[4])
-    ]
-}
-
-fn any_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::W32), Just(Width::W64)]
-}
-
-fn any_slot() -> impl Strategy<Value = i64> {
-    (0..REGION_SLOTS).prop_map(|s| s * 8)
-}
-
-fn any_cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::E),
-        Just(Cond::Ne),
-        Just(Cond::L),
-        Just(Cond::Ge),
-        Just(Cond::B),
-        Just(Cond::A),
-        Just(Cond::S),
-    ]
-}
-
-fn any_op() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        // Constants and moves.
-        (any_dst(), -1000i64..1000).prop_map(|(r, v)| Inst::MovRmI {
-            w: Width::W64,
-            dst: Rm::Reg(r),
-            imm: v as i32
-        }),
-        (any_dst(), any_reg(), any_width()).prop_map(|(d, s, w)| Inst::MovRRm {
-            w,
-            dst: d,
-            src: Rm::Reg(s)
-        }),
-        // ALU.
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::And),
-                Just(AluOp::Or),
-                Just(AluOp::Xor),
-                Just(AluOp::Cmp)
-            ],
-            any_dst(),
-            any_reg(),
-            any_width()
-        )
-            .prop_map(|(op, d, s, w)| Inst::AluRRm {
-                op,
-                w,
-                dst: d,
-                src: Rm::Reg(s)
-            }),
-        (any_dst(), any_reg()).prop_map(|(d, s)| Inst::IMul2 {
-            w: Width::W64,
-            dst: d,
-            src: Rm::Reg(s)
-        }),
-        (
-            prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
-            any_dst(),
-            0u8..32
-        )
-            .prop_map(|(op, d, k)| Inst::ShiftI {
-                op,
-                w: Width::W64,
-                dst: Rm::Reg(d),
-                imm: k
-            }),
-        // Width conversions.
-        (any_dst(), any_reg()).prop_map(|(d, s)| Inst::MovZx {
-            dw: Width::W64,
-            sw: Width::W8,
-            dst: d,
-            src: Rm::Reg(s)
-        }),
-        (any_dst(), any_reg()).prop_map(|(d, s)| Inst::MovSx {
-            dw: Width::W64,
-            sw: Width::W32,
-            dst: d,
-            src: Rm::Reg(s)
-        }),
-        // Address computation.
-        (any_dst(), any_slot()).prop_map(|(d, off)| Inst::Lea {
-            w: Width::W64,
-            dst: d,
-            addr: MemRef::base_disp(Gpr::Rdi, off)
-        }),
-        // Shared memory traffic through the region.
-        (any_dst(), any_slot()).prop_map(|(d, off)| Inst::MovRRm {
-            w: Width::W64,
-            dst: d,
-            src: Rm::Mem(MemRef::base_disp(Gpr::Rdi, off))
-        }),
-        (any_reg(), any_slot()).prop_map(|(s, off)| Inst::MovRmR {
-            w: Width::W64,
-            dst: Rm::Mem(MemRef::base_disp(Gpr::Rdi, off)),
-            src: s
-        }),
-        // Flag consumers.
-        (any_cond(), any_dst()).prop_map(|(cc, d)| Inst::Setcc {
-            cc,
-            dst: Rm::Reg(d)
-        }),
-        (any_cond(), any_dst(), any_reg()).prop_map(|(cc, d, s)| Inst::Cmovcc {
-            cc,
-            w: Width::W64,
-            dst: d,
-            src: Rm::Reg(s)
-        }),
-        // Atomics.
-        (any_reg(), any_slot()).prop_map(|(s, off)| Inst::LockXadd {
-            w: Width::W64,
-            mem: MemRef::base_disp(Gpr::Rdi, off),
-            src: s
-        }),
-        Just(Inst::Mfence),
-        // Scalar FP round-trip (kept deterministic with small ints).
-        (any_dst(), any_reg()).prop_map(|(_d, s)| Inst::CvtSi2F {
-            prec: FpPrec::Double,
-            iw: Width::W64,
-            dst: Xmm(0),
-            src: Rm::Reg(s)
-        }),
-        Just(Inst::SseScalar {
-            op: SseOp::Add,
-            prec: FpPrec::Double,
-            dst: Xmm(0),
-            src: XmmRm::Reg(Xmm(0))
-        }),
-        (any_dst(),).prop_map(|(d,)| Inst::CvtF2Si {
-            prec: FpPrec::Double,
-            iw: Width::W64,
-            dst: d,
-            src: XmmRm::Reg(Xmm(0))
-        }),
-    ]
-}
-
-/// How a segment of generated instructions is wrapped in control flow.
-#[derive(Debug, Clone)]
-enum Shape {
-    /// Straight-line.
-    Straight,
-    /// `cmp r9, imm; jcc over` — the segment runs conditionally.
-    Guarded(Cond, i32),
-    /// A counted loop over the segment (r10 is the dedicated counter).
-    Loop(u8),
-}
-
-fn any_shape() -> impl Strategy<Value = Shape> {
-    prop_oneof![
-        3 => Just(Shape::Straight),
-        1 => (any_cond(), -2i32..3).prop_map(|(cc, k)| Shape::Guarded(cc, k)),
-        1 => (1u8..4).prop_map(Shape::Loop),
-    ]
-}
-
-fn emit_segment(a: &mut Asm, ops: &[Inst], shape: &Shape) {
-    match shape {
-        Shape::Straight => {
-            for i in ops {
-                a.push(*i);
-            }
-        }
-        Shape::Guarded(cc, k) => {
-            let skip = a.label();
-            a.push(Inst::AluRmI {
-                op: AluOp::Cmp,
-                w: Width::W64,
-                dst: Rm::Reg(Gpr::R9),
-                imm: *k,
-            });
-            a.jcc(*cc, skip);
-            for i in ops {
-                a.push(*i);
-            }
-            a.bind(skip);
-        }
-        Shape::Loop(n) => {
-            let top = a.label();
-            a.push(Inst::MovRmI {
-                w: Width::W64,
-                dst: Rm::Reg(Gpr::R10),
-                imm: i32::from(*n),
-            });
-            a.bind(top);
-            for i in ops {
-                a.push(*i);
-            }
-            a.push(Inst::AluRmI {
-                op: AluOp::Sub,
-                w: Width::W64,
-                dst: Rm::Reg(Gpr::R10),
-                imm: 1,
-            });
-            a.jcc(Cond::Ne, top);
-        }
-    }
-}
-
-fn build_binary(body: &[Inst]) -> lasagne_repro::x86::binary::Binary {
-    let mut bin = BinaryBuilder::new();
-    let mut a = Asm::new();
-    // Deterministic register init (every generated op may read any reg).
-    for (i, r) in REGS.iter().enumerate() {
-        a.push(Inst::MovRmI {
-            w: Width::W64,
-            dst: Rm::Reg(*r),
-            imm: (i as i32 + 1) * 17,
-        });
-    }
-    // Initialise XMM0 too, so FP ops never read a parameter register the
-    // harness does not pass.
-    a.push(Inst::CvtSi2F {
-        prec: FpPrec::Double,
-        iw: Width::W64,
-        dst: Xmm(0),
-        src: Rm::Reg(Gpr::Rsi),
-    });
-    for i in body {
-        a.push(*i);
-    }
-    // Return rax.
-    a.push(Inst::Ret);
-    let addr = bin.next_function_addr();
-    bin.add_function("fuzz", a.finish(addr).unwrap());
-    bin.finish()
-}
-
-fn init_region<M: FnMut(u64, u64)>(mut write: M) {
-    for i in 0..REGION_SLOTS as u64 {
-        write(REGION + 8 * i, i.wrapping_mul(0x0101_0101) + 3);
-    }
-}
-
-fn run_lir(m: &lasagne_repro::lir::Module) -> (u64, Vec<u64>) {
-    let id = m.func_by_name("fuzz").unwrap();
-    let mut machine = Machine::new(m);
-    init_region(|a, v| machine.mem.write_u64(a, v));
-    let r = machine.run(id, &[Val::B64(REGION), Val::B64(5)]).unwrap();
-    let finals = (0..REGION_SLOTS as u64)
-        .map(|i| machine.mem.read_u64(REGION + 8 * i))
-        .collect();
-    (r.ret.map(Val::bits).unwrap_or(0), finals)
-}
-
-fn run_arm(arm: &lasagne_repro::armgen::AModule) -> (u64, Vec<u64>) {
-    let idx = arm.func_by_name("fuzz").unwrap();
-    let mut machine = ArmMachine::new(arm);
-    init_region(|a, v| machine.mem.write_u64(a, v));
-    let r = machine.run(idx, &[REGION, 5], &[]).unwrap();
-    let finals = (0..REGION_SLOTS as u64)
-        .map(|i| machine.mem.read_u64(REGION + 8 * i))
-        .collect();
-    (r.ret, finals)
-}
-
-fn build_cfg_binary(segments: &[(Vec<Inst>, Shape)]) -> lasagne_repro::x86::binary::Binary {
-    let mut bin = BinaryBuilder::new();
-    let mut a = Asm::new();
-    for (i, r) in REGS.iter().enumerate() {
-        a.push(Inst::MovRmI {
-            w: Width::W64,
-            dst: Rm::Reg(*r),
-            imm: (i as i32 + 1) * 17,
-        });
-    }
-    a.push(Inst::CvtSi2F {
-        prec: FpPrec::Double,
-        iw: Width::W64,
-        dst: Xmm(0),
-        src: Rm::Reg(Gpr::Rsi),
-    });
-    for (ops, shape) in segments {
-        emit_segment(&mut a, ops, shape);
-    }
-    a.push(Inst::Ret);
-    let addr = bin.next_function_addr();
-    bin.add_function("fuzz", a.finish(addr).unwrap());
-    bin.finish()
-}
-
-fn check_all_versions(
-    bin: &lasagne_repro::x86::binary::Binary,
-    label: &str,
-) -> Result<(), TestCaseError> {
-    let lifted = lasagne_repro::lifter::lift_binary(bin)
-        .map_err(|e| TestCaseError::fail(format!("lift: {e}")))?;
-    let reference = run_lir(&lifted);
-    for v in Version::ALL {
-        let t = translate(bin, v).map_err(|e| TestCaseError::fail(format!("{}: {e}", v.name())))?;
-        let lir_result = run_lir(&t.module);
-        prop_assert_eq!(
-            &lir_result,
-            &reference,
-            "LIR divergence under {} ({})",
-            v.name(),
-            label
-        );
-        let arm_result = run_arm(&t.arm);
-        prop_assert_eq!(
-            &arm_result,
-            &reference,
-            "Arm divergence under {} ({})",
-            v.name(),
-            label
-        );
-    }
-    Ok(())
-}
+use lasagne_repro::translator::difftest::{
+    any_op, any_shape, build_binary, build_cfg_binary, check_threeway, Shape,
+};
+use lasagne_repro::x86::inst::{FpPrec, Inst, Rm, ShiftOp, SseOp, XmmRm};
+use lasagne_repro::x86::reg::{Gpr, Width, Xmm};
 
 properties! {
     config = Config::with_cases(256);
 
     fn all_configurations_agree(body in collection::vec(any_op(), 1..24)) {
         let bin = build_binary(&body);
-        let lifted = lasagne_repro::lifter::lift_binary(&bin)
-            .map_err(|e| TestCaseError::fail(format!("lift: {e}")))?;
-        let reference = run_lir(&lifted);
-
-        for v in Version::ALL {
-            let t = translate(&bin, v)
-                .map_err(|e| TestCaseError::fail(format!("{}: {e}", v.name())))?;
-            // The optimized LIR must agree with the lifted LIR…
-            let lir_result = run_lir(&t.module);
-            prop_assert_eq!(
-                &lir_result, &reference,
-                "LIR divergence under {} for {:?}", v.name(), body
-            );
-            // …and the Arm lowering must agree with both.
-            let arm_result = run_arm(&t.arm);
-            prop_assert_eq!(
-                &arm_result, &reference,
-                "Arm divergence under {} for {:?}", v.name(), body
-            );
-        }
+        check_threeway(&bin, "fuzz")
+            .map(drop)
+            .map_err(TestCaseError::fail)?;
     }
 
     /// Same property over programs with branches and loops — exercises the
@@ -394,14 +43,17 @@ properties! {
         )
     ) {
         let bin = build_cfg_binary(&segments);
-        check_all_versions(&bin, "cfg-fuzz")?;
+        check_threeway(&bin, "cfg-fuzz")
+            .map(drop)
+            .map_err(TestCaseError::fail)?;
     }
 }
 
 /// The minimal counterexample persisted in `differential.proptest-regressions`
-/// (seed `cc 54f1dac6…`): a 32-bit mov truncating RDI into RAX, an SSE
-/// scalar add on XMM0, then a second 32-bit mov of RSI into RAX. The FP op
-/// between the two integer moves historically diverged between the LIR
+/// (seed `cc 54f1dac6…`, migrated to `qc 54f1dac6f8875464` in
+/// `differential.qc-regressions`): a 32-bit mov truncating RDI into RAX, an
+/// SSE scalar add on XMM0, then a second 32-bit mov of RSI into RAX. The FP
+/// op between the two integer moves historically diverged between the LIR
 /// interpreter and the Arm lowering. Pinned here as a deterministic unit
 /// test so the case survives any change to the generator or seed format.
 #[test]
@@ -425,5 +77,60 @@ fn regression_w32_mov_around_sse_scalar_add() {
         },
     ];
     let bin = build_binary(&body);
-    check_all_versions(&bin, "persisted regression").unwrap_or_else(|e| panic!("{e}"));
+    check_threeway(&bin, "persisted regression").unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The minimal counterexamples behind seeds `qc a22d3d68…` and
+/// `qc 31d195ca…` in `differential.qc-regressions`: a function whose only
+/// use of a parameter register is RSI (here a byte-wide read into AL; the
+/// other seed reaches RSI through the prologue's `cvtsi2sd xmm0, rsi`).
+/// Type discovery took the longest *live prefix* of the parameter
+/// registers, so with RDI dead it found zero parameters and the lifted
+/// function read undef where x86 read 5. The two-way harness bug-shared
+/// this with its reference; only the byte-level x86 interpreter saw it.
+#[test]
+fn regression_unused_leading_param() {
+    let segments = [(
+        vec![Inst::MovRRm {
+            w: Width::W8,
+            dst: Gpr::Rax,
+            src: Rm::Reg(Gpr::Rsi),
+        }],
+        Shape::Straight,
+    )];
+    let bin = build_cfg_binary(&segments);
+    check_threeway(&bin, "persisted regression").unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// The minimal counterexample behind seed `qc e70950b8…` in
+/// `crates/lasagne/tests/difftest.qc-regressions`: `shl cl` on a 32-bit
+/// operand whose count (CL = 34) exceeds the operand width. x86 and LIR
+/// reduce register shift counts modulo the operand width (34 % 32 = 2),
+/// but armgen lowered narrow shifts on the 64-bit scratch ALU without
+/// masking the count, shifting by 34 and producing 0 after the 32-bit
+/// result mask. Found by the three-way sweep the first time shift-by-CL
+/// entered the generator; the old two-way harness could never see it
+/// because the lifter bug-shared the masked semantics with the reference.
+#[test]
+fn regression_narrow_shiftcl_count_masking() {
+    let segments = [
+        (
+            vec![Inst::ShiftCl {
+                op: ShiftOp::Shl,
+                w: Width::W32,
+                dst: Rm::Reg(Gpr::Rcx),
+            }],
+            Shape::Straight,
+        ),
+        (
+            vec![Inst::MovRRm {
+                w: Width::W16,
+                dst: Gpr::Rax,
+                src: Rm::Reg(Gpr::Rcx),
+            }],
+            Shape::Straight,
+        ),
+    ];
+    let bin = build_cfg_binary(&segments);
+    check_threeway(&bin, "persisted regression").unwrap_or_else(|e| panic!("{e}"));
 }
