@@ -29,7 +29,17 @@ use lasagne_trace::TraceCtx;
 
 // Raised from 192 once the content-addressed cache and the fused opt
 // schedule absorbed the extra translations of the 7-benchmark suite.
-const SCALE: usize = 256;
+const DEFAULT_SCALE: usize = 256;
+
+/// Workload scale for every section: `LASAGNE_BENCH_SCALE` when set (the
+/// CI bench gate pins 192 so its numbers are comparable with the
+/// committed `BENCH_pipeline.json` trajectory), else [`DEFAULT_SCALE`].
+fn scale() -> usize {
+    std::env::var("LASAGNE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
 
 /// Worker threads for the instrumented translations (the output is
 /// byte-identical for any value; only the timings section's wall-clock
@@ -79,7 +89,7 @@ impl Sweep {
 
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let mut sweep = Sweep::new(all_benchmarks(SCALE));
+    let mut sweep = Sweep::new(all_benchmarks(scale()));
     match section.as_str() {
         "table1" => table1(&sweep.benches),
         "fig12" => fig12(&mut sweep),
@@ -278,7 +288,7 @@ fn fig16(sweep: &mut Sweep) {
 
 fn fig17() {
     println!("== Figure 17: per-pass code reduction on kmeans (each in isolation) ==");
-    let b = all_benchmarks(SCALE)
+    let b = all_benchmarks(scale())
         .into_iter()
         .find(|b| b.abbrev == "KM")
         .unwrap();
@@ -398,7 +408,7 @@ fn timings(sweep: &mut Sweep) {
 }
 
 /// Acceptance band for the suite-wide mean PPOpt fence reduction, pinned
-/// to what this reproduction currently measures at `SCALE` over the full
+/// to what this reproduction currently measures at default scale over the full
 /// seven-benchmark suite (50.3% gmean with word_count and pca included,
 /// vs 50.2% over the original five; the paper's Figure 14 reports a
 /// 45.5% average, inside the band). A placement, merging, or refinement
@@ -486,16 +496,45 @@ const BASELINE_JSON: &str = concat!(
     "\"armgen\":497889},\"opt_wall_share_pct\":54.3}}"
 );
 
+/// Suite aggregates of the pre-pool build (commit `e979fce`: fused opt
+/// rounds and the ipSCCP superstep, but every parallel section still
+/// spawned scoped threads and every stage crossed a module-wide
+/// barrier), rebuilt and remeasured on the same single-core container as
+/// the current numbers — seven benchmarks, scale 192, best of 5. This is
+/// the 0.71× jobs=4 pathology (19.2 ms of barrier wait) the persistent
+/// pool + per-function fusion was built to fix, kept in-source so
+/// regenerated artifacts always carry the comparison.
+const PREPOOL_JSON: &str = concat!(
+    "{\"commit\":\"e979fce\",\"schedule\":\"fused opt, scoped threads per section\",",
+    "\"method\":\"rebuilt on the same container, scale 192, best of 5\",",
+    "\"jobs1\":{\"total_nanos\":34673043,\"stage_walls\":{\"lift\":11117241,",
+    "\"refine\":2671311,\"fences\":547690,\"merge\":105852,\"opt\":19008384,",
+    "\"armgen\":1173011}},",
+    "\"jobs4\":{\"total_nanos\":48666386,\"stage_walls\":{\"lift\":12207311,",
+    "\"refine\":6315653,\"fences\":2096228,\"merge\":734846,\"opt\":24850210,",
+    "\"armgen\":2415067},\"barrier_wait_nanos\":19230473},",
+    "\"speedup_jobs4_vs_jobs1\":0.712}"
+);
+
 /// Per-stage suite aggregates for one PPOpt sweep at a fixed jobs value:
-/// wall time per stage (the orchestrator's `wall_nanos` — stages are
-/// strictly sequential, so these partition the total) and CPU time per
-/// stage (`nanos + module_nanos`, summed across overlapping workers).
+/// wall time per stage (the orchestrator's `wall_nanos` — **overlapped**
+/// under timing schema 4: a stage fused into a multi-stage region is
+/// charged the region's whole wall, so these no longer partition the
+/// total), CPU time per stage (`nanos + module_nanos`, summed across
+/// overlapping workers), and the shared pool's activity attributed to
+/// the sweep's runs.
 struct SuiteSample {
     total_nanos: u128,
     stage_walls: [u128; 6],
     stage_cpu: [u128; 6],
     barrier_wait_nanos: u128,
     opt_parallel_sections: u64,
+    fused_sections: u64,
+    fused_wall_nanos: u128,
+    pool_submitted: u64,
+    pool_executed: u64,
+    pool_steals: u64,
+    pool_parks: u64,
 }
 
 impl SuiteSample {
@@ -517,13 +556,22 @@ impl SuiteSample {
         format!(
             "{{\"total_nanos\":{},\"stage_walls\":{{{}}},\"stage_cpu\":{{{}}},\
              \"opt_wall_share_pct\":{:.1},\"barrier_wait_nanos\":{},\
-             \"opt_parallel_sections\":{}}}",
+             \"opt_parallel_sections\":{},\
+             \"fused\":{{\"sections\":{},\"wall_nanos\":{}}},\
+             \"pool\":{{\"submitted\":{},\"executed\":{},\"steals\":{},\
+             \"parks\":{}}}}}",
             self.total_nanos,
             obj(&self.stage_walls),
             obj(&self.stage_cpu),
             self.opt_wall_share_pct(),
             self.barrier_wait_nanos,
-            self.opt_parallel_sections
+            self.opt_parallel_sections,
+            self.fused_sections,
+            self.fused_wall_nanos,
+            self.pool_submitted,
+            self.pool_executed,
+            self.pool_steals,
+            self.pool_parks,
         )
     }
 }
@@ -537,6 +585,12 @@ fn bench_sweep(benches: &[Benchmark], jobs: usize) -> SuiteSample {
         stage_cpu: [0; 6],
         barrier_wait_nanos: 0,
         opt_parallel_sections: 0,
+        fused_sections: 0,
+        fused_wall_nanos: 0,
+        pool_submitted: 0,
+        pool_executed: 0,
+        pool_steals: 0,
+        pool_parks: 0,
     };
     for b in benches {
         let (_t, report) = Pipeline::new(Version::PPOpt)
@@ -550,6 +604,14 @@ fn bench_sweep(benches: &[Benchmark], jobs: usize) -> SuiteSample {
         }
         s.barrier_wait_nanos += report.barrier_wait_nanos.iter().sum::<u128>();
         s.opt_parallel_sections += report.stages[OPT].parallel_sections;
+        s.fused_sections += report.fused_sections;
+        s.fused_wall_nanos += report.fused_wall_nanos;
+        if let Some(p) = &report.pool {
+            s.pool_submitted += p.submitted;
+            s.pool_executed += p.executed;
+            s.pool_steals += p.steals;
+            s.pool_parks += p.parks;
+        }
     }
     s
 }
@@ -566,22 +628,35 @@ fn bench_best(benches: &[Benchmark], jobs: usize) -> SuiteSample {
     best.expect("BENCH_REPS > 0")
 }
 
-/// Writes `BENCH_pipeline.json`: per-stage suite wall times and opt-stage
-/// share at `jobs=1` and `jobs=N` for the current build, next to the
-/// recorded pre-fusion [`BASELINE_JSON`], so the pipeline's perf
-/// trajectory is tracked across PRs by diffing the committed artifact.
+/// Writes `BENCH_pipeline.json` (schema 2): per-stage suite wall times,
+/// opt-stage share, fused-section and pool counters at `jobs = 1, 2, 4`
+/// for the current build, next to the recorded pre-fusion
+/// [`BASELINE_JSON`] and pre-pool [`PREPOOL_JSON`], so the pipeline's
+/// perf trajectory is tracked across PRs by diffing the committed
+/// artifact.
+///
+/// The artifact also records `host_cpus`
+/// ([`std::thread::available_parallelism`]): the ≥ 2× jobs=4 speedup
+/// target is only physically reachable when the host grants the process
+/// that many cores — on a single-core container the meaningful number is
+/// jobs=4 *parity* with jobs=1 (the pre-pool build was 0.68×), and the
+/// CI gate keys off `host_cpus` accordingly.
 fn bench(benches: &[Benchmark]) {
+    let scale = scale();
     println!(
-        "== Bench: suite translation wall, jobs=1 vs jobs={JOBS} \
-         (PPOpt, scale {SCALE}, best of {BENCH_REPS}) =="
+        "== Bench: suite translation wall, jobs=1/2/{JOBS} \
+         (PPOpt, scale {scale}, best of {BENCH_REPS}) =="
     );
-    let s1 = bench_best(benches, 1);
-    let sn = bench_best(benches, JOBS);
+    let jobs_list = [1usize, 2, JOBS];
+    let samples: Vec<(usize, SuiteSample)> = jobs_list
+        .iter()
+        .map(|&j| (j, bench_best(benches, j)))
+        .collect();
     println!(
         "{:<8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "jobs", "total ms", "lift", "refine", "fences", "merge", "opt", "armgen", "opt share"
     );
-    for (jobs, s) in [(1, &s1), (JOBS, &sn)] {
+    for (jobs, s) in &samples {
         let mut row = format!("{:<8} {:>10.2}", jobs, s.total_nanos as f64 / 1e6);
         for v in s.stage_walls {
             row.push_str(&format!(" {:>8.2}", v as f64 / 1e6));
@@ -589,20 +664,33 @@ fn bench(benches: &[Benchmark]) {
         row.push_str(&format!(" {:>9.1}%", s.opt_wall_share_pct()));
         println!("{row}");
     }
+    let s1 = &samples[0].1;
+    let sn = &samples[samples.len() - 1].1;
     let speedup = s1.total_nanos as f64 / sn.total_nanos.max(1) as f64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
-        "speedup jobs={JOBS} vs jobs=1: {speedup:.2}x; opt parallel sections at \
-         jobs={JOBS}: {}; barrier wait {:.2} ms",
-        sn.opt_parallel_sections,
+        "speedup jobs={JOBS} vs jobs=1: {speedup:.2}x (host cpus: {host_cpus}); \
+         pool at jobs={JOBS}: {} executed, {} stolen, {} parks; \
+         barrier wait {:.2} ms",
+        sn.pool_executed,
+        sn.pool_steals,
+        sn.pool_parks,
         sn.barrier_wait_nanos as f64 / 1e6
     );
+    let current = samples
+        .iter()
+        .map(|(j, s)| format!("\"jobs{j}\":{}", s.json()))
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
-        "{{\"schema\":1,\"scale\":{SCALE},\"jobs\":{JOBS},\"reps\":{BENCH_REPS},\n \
+        "{{\"schema\":2,\"scale\":{scale},\"jobs\":[1,2,{JOBS}],\"reps\":{BENCH_REPS},\
+         \"host_cpus\":{host_cpus},\n \
          \"baseline\":{BASELINE_JSON},\n \
-         \"current\":{{\"jobs1\":{},\"jobsN\":{}}},\n \
-         \"speedup_jobsN_vs_jobs1\":{speedup:.3}}}\n",
-        s1.json(),
-        sn.json(),
+         \"prepool\":{PREPOOL_JSON},\n \
+         \"current\":{{{current}}},\n \
+         \"speedup_jobs{JOBS}_vs_jobs1\":{speedup:.3},\"speedup_target\":2.0}}\n",
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json\n");
@@ -620,7 +708,7 @@ fn diff() {
     let cache = std::env::temp_dir().join("lasagne-report-diff-cache");
     let _ = std::fs::remove_dir_all(&cache);
     let opts = DiffOptions {
-        scale: SCALE / 2,
+        scale: scale() / 2,
         cache_dir: cache.clone(),
         ..DiffOptions::default()
     };

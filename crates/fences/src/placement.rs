@@ -403,24 +403,38 @@ pub fn merge_fences_module(m: &mut Module) -> usize {
     m.funcs.iter_mut().map(merge_fences).sum()
 }
 
+/// Counts fences per kind in one function: `(Frm, Fww, Fsc)`.
+///
+/// The module census [`count_fences`] is the per-function sum, so a
+/// fused per-function schedule can take this count inside each work item
+/// and fold the totals at its join.
+pub fn count_fences_fn(f: &Function) -> (usize, usize, usize) {
+    let mut c = (0, 0, 0);
+    for (_, id) in f.iter_insts() {
+        match f.inst(id).kind {
+            InstKind::Fence {
+                kind: FenceKind::Frm,
+            } => c.0 += 1,
+            InstKind::Fence {
+                kind: FenceKind::Fww,
+            } => c.1 += 1,
+            InstKind::Fence {
+                kind: FenceKind::Fsc,
+            } => c.2 += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
 /// Counts fences per kind in a module: `(Frm, Fww, Fsc)`.
 pub fn count_fences(m: &Module) -> (usize, usize, usize) {
     let mut c = (0, 0, 0);
     for f in &m.funcs {
-        for (_, id) in f.iter_insts() {
-            match f.inst(id).kind {
-                InstKind::Fence {
-                    kind: FenceKind::Frm,
-                } => c.0 += 1,
-                InstKind::Fence {
-                    kind: FenceKind::Fww,
-                } => c.1 += 1,
-                InstKind::Fence {
-                    kind: FenceKind::Fsc,
-                } => c.2 += 1,
-                _ => {}
-            }
-        }
+        let (frm, fww, fsc) = count_fences_fn(f);
+        c.0 += frm;
+        c.1 += fww;
+        c.2 += fsc;
     }
     c
 }

@@ -137,10 +137,6 @@ pub struct Translation {
     pub stats: TranslationStats,
 }
 
-pub(crate) fn count_casts(m: &Module) -> usize {
-    m.count_insts(|i| i.kind.is_int_ptr_cast())
-}
-
 /// Runs the full pipeline on `bin` under the chosen configuration.
 ///
 /// This is the serial form of [`pipeline::Pipeline`]: the same

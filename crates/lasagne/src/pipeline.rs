@@ -1,13 +1,21 @@
-//! Pipeline orchestration: named passes, a parallel per-function driver,
-//! and per-pass/per-function instrumentation.
+//! Pipeline orchestration: named passes, a pool-backed parallel
+//! per-function driver, and per-pass/per-function instrumentation.
 //!
 //! The Figure 3 pipeline decomposes into six [`Stage`]s — `lift`,
 //! `refine`, `fences`, `merge`, `opt`, `armgen` — each of which (apart
 //! from a handful of interprocedural barrier steps) is a map over
-//! independent per-function work items. The [`PassManager`] exploits that:
-//! it fans each stage out over `jobs` worker threads with
-//! [`std::thread::scope`] (no external dependencies), records a
-//! [`PassEvent`] per (stage, function) into a [`TimingSink`], and merges
+//! independent per-function work items. The [`PassManager`] exploits that
+//! twice over. First, all fan-outs run on one long-lived work-stealing
+//! [`pool::Pool`] (std-only; shared process-wide by default), so worker
+//! threads are spawned once and then park between sections instead of
+//! being re-created per stage. Second, the *schedule* is fused: a
+//! function flows lift → refine → fence placement → merge → opt-prefix
+//! as one continuation-style work item, and only the true
+//! interprocedural joins remain barriers — signature discovery /
+//! module assembly (`LiftPlan::finish` + parameter promotion), the fence
+//! merge join (module-wide fence totals + provenance assembly), and the
+//! `ipsccp` gather/join/apply superstep. The manager records a
+//! [`PassEvent`] per (stage, function) into a [`TimingSink`] and merges
 //! results *by function index*, which makes the output bit-for-bit
 //! independent of thread scheduling.
 //!
@@ -21,18 +29,22 @@
 //!
 //! where `pure_fn` never reads another work item's output. Workers pull
 //! indices from an atomic counter, but each result lands in slot `i` and
-//! the slots are stitched back together in index order; the schedule can
-//! change *when* a function is processed, never *what* is computed for it.
+//! the slots are stitched back together in index order; the pool can
+//! change *when and where* a function is processed, never *what* is
+//! computed for it. Fusing consecutive per-function passes into one work
+//! item does not change this: the fused item runs the same pass sequence
+//! on the same function against the same read-only module shell, so it
+//! is the old schedule's computation minus the intermediate barriers.
 //! Interprocedural steps (type discovery, parameter promotion, the
 //! `ipsccp` lattice join, module verification) run serially between the
-//! parallel regions. Hence `--jobs N` is byte-identical to `--jobs 1` for
-//! every `N` — asserted by `tests/parallel.rs` over the whole Phoenix
-//! suite.
+//! parallel regions and replay the serial algorithm's decision order.
+//! Hence `--jobs N` is byte-identical to `--jobs 1` for every `N` —
+//! asserted by `tests/parallel.rs` over the whole Phoenix suite.
 //!
 //! The opt stage schedules per *function*, not per pass: the
 //! intraprocedural portions of the Figure 17 schedule run as fused
-//! per-function work items (one barrier per block instead of one per
-//! pass), and `ipsccp` runs as a bulk-synchronous superstep — parallel
+//! per-function work items (round 0's prefix rides the fused tail item
+//! above), and `ipsccp` runs as a bulk-synchronous superstep — parallel
 //! call-summary gather, serial lattice join, parallel substitution apply
 //! (see `opt::sccp`). Both restructurings are output-equivalent to the
 //! old per-pass module sweeps and are asserted so by
@@ -66,9 +78,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod pool;
+
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -80,10 +93,11 @@ use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{Callee, InstKind, Operand};
 use lasagne_opt::sccp::IpsccpFact;
 use lasagne_opt::PassKind;
-use lasagne_trace::TraceCtx;
+use lasagne_trace::{lock_clean, TraceCtx};
 use lasagne_x86::binary::Binary;
 
 use crate::{LiftError, Translation, TranslationStats, Version};
+use pool::Pool;
 
 /// Version of the JSON emitted by [`PipelineReport::to_json`] (the
 /// `--timings` report). Bumped whenever a field is added, removed, or
@@ -98,7 +112,18 @@ use crate::{LiftError, Translation, TranslationStats, Version};
 ///   (gather/join/apply superstep phases), and `"barrier_wait_nanos"`,
 ///   one summed counter per worker slot. Schema-2 consumers that ignore
 ///   unknown fields still parse every field they knew about.
-pub const REPORT_SCHEMA: u32 = 3;
+/// * **4** — the fused schedule overlaps stages inside one region, so
+///   per-stage `"wall_nanos"` becomes *overlapped*: every stage that
+///   participated in a region is charged the region's full wall, and the
+///   stage walls no longer partition `total_nanos`. Adds the `"fused"`
+///   object (`sections` = fused multi-stage fan-outs, `wall_nanos` =
+///   wall time inside them) and, for `jobs > 1` runs, the `"pool"`
+///   object — the shared work-stealing pool's activity attributed to
+///   this run (workers, submitted/executed tasks, steals, parks, and a
+///   queue-depth histogram). Schema-3 consumers that ignore unknown
+///   fields still parse every field they knew about, but should not
+///   assume stage walls sum to the total.
+pub const REPORT_SCHEMA: u32 = 4;
 
 /// Fence provenance for one function, collected by an explain-enabled
 /// pipeline run ([`Pipeline::explain_fences`]): every Figure 8a mapping
@@ -479,6 +504,8 @@ pub struct TimingSink {
     barrier_waits: Mutex<Vec<u128>>,
     parallel_sections: Mutex<[u64; 6]>,
     stage_walls: Mutex<[u128; 6]>,
+    fused_sections: Mutex<u64>,
+    fused_wall: Mutex<u128>,
 }
 
 impl TimingSink {
@@ -489,34 +516,64 @@ impl TimingSink {
 
     /// Records one event.
     pub fn record(&self, ev: PassEvent) {
-        self.events.lock().unwrap().push(ev);
+        lock_clean(&self.events).push(ev);
     }
 
     /// Records one pass execution inside a fused opt work item.
     pub fn record_opt_pass(&self, pass: &'static str, nanos: u128, changes: u64) {
-        self.opt_passes.lock().unwrap().push((pass, nanos, changes));
+        lock_clean(&self.opt_passes).push((pass, nanos, changes));
     }
 
     /// Records the phase breakdown of one `ipsccp` superstep.
     pub fn record_ipsccp_round(&self, round: IpsccpRoundTiming) {
-        self.ipsccp_rounds.lock().unwrap().push(round);
+        lock_clean(&self.ipsccp_rounds).push(round);
     }
 
-    /// Accounts wall-clock time the orchestrating thread spent inside one
-    /// of `stage`'s regions. Stages execute strictly in sequence, so the
-    /// per-stage wall times partition the translation's `total_nanos`
-    /// (minus inter-stage glue) — unlike `StageTiming::nanos`, which sums
-    /// per-function work *across* overlapping worker threads.
+    /// Accounts wall-clock time the orchestrating thread spent inside a
+    /// region that `stage` participated in. Since schema 4 the fused
+    /// schedule runs several stages inside one region, and every
+    /// participating stage is charged the region's full wall — stage
+    /// walls *overlap* and no longer partition the translation's
+    /// `total_nanos`. (`StageTiming::nanos` is different again: it sums
+    /// per-function work across concurrent worker threads.)
     pub fn record_stage_wall(&self, stage: Stage, nanos: u128) {
-        self.stage_walls.lock().unwrap()[stage.index()] += nanos;
+        lock_clean(&self.stage_walls)[stage.index()] += nanos;
     }
 
     /// Accounts one completed parallel section in `stage`: per worker
     /// slot, the time it idled between finishing its last work item and
     /// the slowest worker reaching the section's join point.
     pub fn record_parallel_section(&self, stage: Stage, waits: &[u128]) {
-        self.parallel_sections.lock().unwrap()[stage.index()] += 1;
-        let mut acc = self.barrier_waits.lock().unwrap();
+        lock_clean(&self.parallel_sections)[stage.index()] += 1;
+        self.fold_waits(waits);
+    }
+
+    /// Accounts one completed *fused* parallel section — a single
+    /// fan-out whose work items each flow through several `stages` back
+    /// to back. Every participating stage's `parallel_sections` counter
+    /// is bumped, the per-slot barrier waits are folded in **once** (one
+    /// barrier formed, not one per stage), and the section counts toward
+    /// the report's `"fused"` block.
+    pub fn record_fused_section(&self, stages: &[Stage], waits: &[u128]) {
+        {
+            let mut sections = lock_clean(&self.parallel_sections);
+            for s in stages {
+                sections[s.index()] += 1;
+            }
+        }
+        *lock_clean(&self.fused_sections) += 1;
+        self.fold_waits(waits);
+    }
+
+    /// Accounts wall-clock time spent inside fused regions (summed over
+    /// the run's fused sections and their adjacent serial joins, as seen
+    /// by the orchestrating thread).
+    pub fn record_fused_wall(&self, nanos: u128) {
+        *lock_clean(&self.fused_wall) += nanos;
+    }
+
+    fn fold_waits(&self, waits: &[u128]) {
+        let mut acc = lock_clean(&self.barrier_waits);
         if acc.len() < waits.len() {
             acc.resize(waits.len(), 0);
         }
@@ -529,9 +586,9 @@ impl TimingSink {
     /// have their times and change counts summed; the instruction count
     /// keeps the last recorded value.
     pub fn report(&self, version: Version, jobs: usize, total_nanos: u128) -> PipelineReport {
-        let events = self.events.lock().unwrap();
-        let sections = *self.parallel_sections.lock().unwrap();
-        let walls = *self.stage_walls.lock().unwrap();
+        let events = lock_clean(&self.events);
+        let sections = *lock_clean(&self.parallel_sections);
+        let walls = *lock_clean(&self.stage_walls);
         let mut stages: Vec<StageTiming> = Stage::ALL
             .iter()
             .map(|s| StageTiming {
@@ -571,7 +628,7 @@ impl TimingSink {
         // Aggregate per-pass executions by pass name, in first-seen order
         // (which is schedule order: the fused blocks walk `OPT_ORDER`).
         let mut opt_passes: Vec<OptPassTiming> = Vec::new();
-        for (pass, nanos, changes) in self.opt_passes.lock().unwrap().iter() {
+        for (pass, nanos, changes) in lock_clean(&self.opt_passes).iter() {
             match opt_passes.iter_mut().find(|p| p.pass == *pass) {
                 Some(p) => {
                     p.nanos += nanos;
@@ -586,7 +643,7 @@ impl TimingSink {
                 }),
             }
         }
-        let mut ipsccp_rounds = self.ipsccp_rounds.lock().unwrap().clone();
+        let mut ipsccp_rounds = lock_clean(&self.ipsccp_rounds).clone();
         ipsccp_rounds.sort_by_key(|r| r.round);
         PipelineReport {
             version,
@@ -595,7 +652,10 @@ impl TimingSink {
             stages,
             opt_passes,
             ipsccp_rounds,
-            barrier_wait_nanos: self.barrier_waits.lock().unwrap().clone(),
+            barrier_wait_nanos: lock_clean(&self.barrier_waits).clone(),
+            fused_sections: *lock_clean(&self.fused_sections),
+            fused_wall_nanos: *lock_clean(&self.fused_wall),
+            pool: None,
             cache: None,
             metrics: None,
         }
@@ -607,7 +667,7 @@ impl TimingSink {
     /// hit skips — it becomes each cached entry's `cold_nanos`.
     pub fn per_func_nanos(&self, nfuncs: usize) -> Vec<u128> {
         let mut out = vec![0u128; nfuncs];
-        for ev in self.events.lock().unwrap().iter() {
+        for ev in lock_clean(&self.events).iter() {
             if let Some((i, _)) = &ev.func {
                 if *i < nfuncs {
                     out[*i] += ev.nanos;
@@ -714,6 +774,18 @@ pub struct PipelineReport {
     /// Summed barrier idle time per worker slot, across every parallel
     /// section of the run. Empty for a fully serial run.
     pub barrier_wait_nanos: Vec<u128>,
+    /// Fused multi-stage parallel sections the run executed (schema 4's
+    /// `"fused"` block): fan-outs whose work items flow through several
+    /// stages back to back. Zero for serial and warm runs — a section
+    /// only counts when a barrier actually formed.
+    pub fused_sections: u64,
+    /// Wall time spent inside fused regions (their fan-outs plus the
+    /// adjacent serial joins).
+    pub fused_wall_nanos: u128,
+    /// Work-stealing pool activity attributed to this run — counter
+    /// deltas snapshotted around the translation (schema 4's `"pool"`
+    /// block). `None` for `jobs = 1` runs, which never touch the pool.
+    pub pool: Option<pool::PoolStats>,
     /// Cache counters; `None` when the run had no cache configured.
     pub cache: Option<CacheReport>,
     /// Merged counters and histograms from the run's [`TraceCtx`];
@@ -726,7 +798,7 @@ impl PipelineReport {
     /// [`REPORT_SCHEMA`]; see ARCHITECTURE.md § Observability):
     ///
     /// ```json
-    /// {"schema":3,"version":"PPOpt","jobs":4,"total_nanos":123,
+    /// {"schema":4,"version":"PPOpt","jobs":4,"total_nanos":123,
     ///  "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,
     ///             "module_nanos":5,"wall_nanos":60,
     ///             "funcs":[{"func":"main","index":0,"nanos":83,
@@ -735,11 +807,18 @@ impl PipelineReport {
     ///                 "invocations":8}, …],
     ///  "ipsccp_rounds":[{"round":0,"gather_nanos":2,"join_nanos":1,
     ///                    "apply_nanos":2,"facts":1,"substitutions":2}, …],
-    ///  "barrier_wait_nanos":[120,340,80,410]}
+    ///  "barrier_wait_nanos":[120,340,80,410],
+    ///  "fused":{"sections":2,"wall_nanos":95},
+    ///  "pool":{"workers":4,"submitted":12,"executed":12,"steals":3,
+    ///          "parks":5,"queue_depth":{"bounds":[0,1,2,4,8,16,32],
+    ///          "counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}}}
     /// ```
     ///
-    /// A traced run additionally carries `"metrics":{"counters":{…},
-    /// "histograms":{…}}`; a cached run carries `"cache":{…}`.
+    /// Since schema 4 the per-stage `"wall_nanos"` are *overlapped*
+    /// (fused regions charge every participating stage) and do not sum
+    /// to `"total_nanos"`. A traced run additionally carries
+    /// `"metrics":{"counters":{…},"histograms":{…}}`; a cached run
+    /// carries `"cache":{…}`; `"pool"` appears only when `jobs > 1`.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str(&format!(
@@ -806,6 +885,22 @@ impl PipelineReport {
             s.push_str(&w.to_string());
         }
         s.push(']');
+        s.push_str(&format!(
+            ",\"fused\":{{\"sections\":{},\"wall_nanos\":{}}}",
+            self.fused_sections, self.fused_wall_nanos
+        ));
+        if let Some(p) = &self.pool {
+            s.push_str(&format!(
+                ",\"pool\":{{\"workers\":{},\"submitted\":{},\"executed\":{},\
+                 \"steals\":{},\"parks\":{},\"queue_depth\":{}}}",
+                p.workers,
+                p.submitted,
+                p.executed,
+                p.steals,
+                p.parks,
+                p.queue_depth.to_json()
+            ));
+        }
         if let Some(c) = &self.cache {
             s.push_str(&format!(
                 ",\"cache\":{{\"warm\":{},\"hits\":{},\"misses\":{},\"writes\":{},\
@@ -854,6 +949,19 @@ impl PipelineReport {
                 "barriers : {sections} parallel sections; per-slot wait (µs): {waits:.1?}\n"
             ));
         }
+        if self.fused_sections > 0 {
+            s.push_str(&format!(
+                "fused    : {} multi-stage sections ({:.1} µs wall)\n",
+                self.fused_sections,
+                self.fused_wall_nanos as f64 / 1e3
+            ));
+        }
+        if let Some(p) = &self.pool {
+            s.push_str(&format!(
+                "pool     : {} workers; {} tasks executed ({} stolen), {} parks\n",
+                p.workers, p.executed, p.steals, p.parks
+            ));
+        }
         if let Some(c) = &self.cache {
             s.push_str(&format!(
                 "cache    {} — {} hits, {} misses, {} written, {} unchanged, \
@@ -880,6 +988,15 @@ impl PipelineReport {
     }
 }
 
+/// Counts `IntToPtr`/`PtrToInt` instructions in one function. Module
+/// totals are per-function sums, so the fused schedule can census casts
+/// inside each work item and fold at the join without a module-wide pass.
+fn count_casts_fn(f: &Function) -> u64 {
+    f.iter_insts()
+        .filter(|&(_, id)| f.inst(id).kind.is_int_ptr_cast())
+        .count() as u64
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -893,14 +1010,18 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Maps `f` over `items` on up to `jobs` worker threads, returning results
-/// in input order.
+/// Maps `f` over `items` on up to `jobs` workers of the process-wide
+/// shared work-stealing pool ([`Pool::shared`]), returning results in
+/// input order.
 ///
 /// Workers claim indices from an atomic counter; result `i` is written to
 /// slot `i`, so the output vector is independent of scheduling. With
 /// `jobs <= 1` (or one item) this degenerates to a plain serial map —
 /// the serial and parallel paths run the *same* closure on the *same*
 /// items, which is what makes `--jobs N` byte-identical to `--jobs 1`.
+/// Nested calls are fine: a work item that itself calls `par_map` (e.g. a
+/// litmus sweep inside a pipeline stage) submits to the same pool, and
+/// blocked callers execute queued tasks while they wait.
 ///
 /// # Panics
 ///
@@ -911,14 +1032,14 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    par_map_waits(jobs, items, f).0
+    Pool::shared().par_map(jobs, items, f)
 }
 
-/// [`par_map`] that also measures each worker slot's barrier wait: the
-/// time between a worker finishing its last claimed item and the slowest
-/// worker reaching the scope join. The second vector has one entry per
-/// worker slot and is empty when the map ran serially (`jobs <= 1` or at
-/// most one item) — no barrier, no wait.
+/// [`par_map`] that also measures each runner slot's barrier wait: the
+/// time between a runner finishing its last claimed item and the slowest
+/// runner reaching the section's completion latch. The second vector has
+/// one entry per runner slot and is empty when the map ran serially
+/// (`jobs <= 1` or at most one item) — no barrier, no wait.
 ///
 /// This is where `--timings`' `barrier_wait_nanos` counters come from: a
 /// schedule whose work items are badly balanced shows up as a few slots
@@ -929,59 +1050,7 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let n = items.len();
-    let workers = jobs.max(1).min(n);
-    if workers <= 1 {
-        let out = items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect();
-        return (out, Vec::new());
-    }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let finished: Vec<Mutex<Option<Instant>>> = (0..workers).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let (slots, results, next, f) = (&slots, &results, &next, &f);
-            let finished = &finished;
-            scope.spawn(move || {
-                // Worker slot w records trace events on track w+1 (track 0
-                // is the main thread), so a traced run shows one stable
-                // track per worker even though the OS threads themselves
-                // are scoped to a single stage.
-                lasagne_trace::set_current_track(w as u32 + 1);
-                loop {
-                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i].lock().unwrap().take().unwrap();
-                    let r = f(i, item);
-                    *results[i].lock().unwrap() = Some(r);
-                }
-                *finished[w].lock().unwrap() = Some(Instant::now());
-            });
-        }
-    });
-    let join = Instant::now();
-    let waits = finished
-        .into_iter()
-        .map(|m| {
-            let t = m
-                .into_inner()
-                .unwrap()
-                .expect("worker recorded finish time");
-            join.duration_since(t).as_nanos()
-        })
-        .collect();
-    let out = results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().unwrap())
-        .collect();
-    (out, waits)
+    Pool::shared().par_map_waits(jobs, items, f)
 }
 
 /// Pipeline configuration: a [`Version`], a worker-thread count, and an
@@ -998,23 +1067,38 @@ pub struct Pipeline {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     trace: TraceCtx,
+    pool: Pool,
 }
 
 impl Pipeline {
-    /// A serial pipeline for `version` (`jobs = 1`), uncached, untraced.
+    /// A serial pipeline for `version` (`jobs = 1`), uncached, untraced,
+    /// riding the process-wide shared worker pool ([`Pool::shared`]).
     pub fn new(version: Version) -> Pipeline {
         Pipeline {
             version,
             jobs: 1,
             cache_dir: None,
             trace: TraceCtx::disabled(),
+            pool: Pool::shared().clone(),
         }
     }
 
     /// Sets the worker-thread count (clamped to at least 1). Output is
-    /// byte-identical for every value.
+    /// byte-identical for every value. The workers come from the
+    /// pipeline's [`Pool`] — long-lived threads that park between
+    /// sections — so repeated runs (a `report` sweep, a `difftest`
+    /// session) pay the spawn cost once, not per stage.
     pub fn with_jobs(mut self, jobs: usize) -> Pipeline {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Replaces the worker pool (default: the process-wide
+    /// [`Pool::shared`]). Useful for tests that want an isolated pool
+    /// whose counters and shutdown they control; sharing one pool across
+    /// pipelines is otherwise always preferable.
+    pub fn with_pool(mut self, pool: Pool) -> Pipeline {
+        self.pool = pool;
         self
     }
 
@@ -1046,12 +1130,14 @@ impl Pipeline {
     pub fn run(&self, bin: &Binary) -> Result<(Translation, PipelineReport), LiftError> {
         let sink = TimingSink::new();
         let t0 = Instant::now();
+        let pool_before = (self.jobs > 1).then(|| self.pool.stats());
         let cache = self
             .cache_dir
             .as_ref()
             .and_then(|dir| TranslationCache::open(dir).ok());
-        let mut pm =
-            PassManager::new(self.version, self.jobs, &sink).with_trace(self.trace.clone());
+        let mut pm = PassManager::new(self.version, self.jobs, &sink)
+            .with_trace(self.trace.clone())
+            .with_pool(self.pool.clone());
         if let Some(c) = &cache {
             pm = pm.with_cache(c);
         }
@@ -1059,6 +1145,21 @@ impl Pipeline {
         let mut report = sink.report(self.version, self.jobs, t0.elapsed().as_nanos());
         if let Some(c) = &cache {
             report.cache = Some(CacheReport::from(c.stats()));
+        }
+        // Attribute the pool's activity to this run (delta of its
+        // monotonic counters). On a pool shared with concurrent runs the
+        // delta can include their tasks — attribution, not accounting.
+        if let Some(before) = pool_before {
+            let delta = self.pool.stats().since(&before);
+            if self.trace.is_enabled() {
+                self.trace.add("pool.submitted", delta.submitted);
+                self.trace.add("pool.executed", delta.executed);
+                self.trace.add("pool.steals", delta.steals);
+                self.trace.add("pool.parks", delta.parks);
+                self.trace
+                    .merge_histogram("pool.queue_depth", &delta.queue_depth);
+            }
+            report.pool = Some(delta);
         }
         report.metrics = self.trace.metrics_snapshot();
         Ok((translation, report))
@@ -1080,6 +1181,7 @@ impl Pipeline {
         let sink = TimingSink::new();
         let pm = PassManager::new(self.version, self.jobs, &sink)
             .with_trace(self.trace.clone())
+            .with_pool(self.pool.clone())
             .with_explain();
         let translation = pm.translate(bin)?;
         let provenance = pm.take_provenance();
@@ -1097,11 +1199,12 @@ pub struct PassManager<'s> {
     trace: TraceCtx,
     explain: bool,
     provenance: Mutex<Vec<FuncFenceRecord>>,
+    pool: Pool,
 }
 
 impl<'s> PassManager<'s> {
     /// Creates a manager writing instrumentation into `sink`, uncached,
-    /// untraced.
+    /// untraced, on the process-wide shared pool.
     pub fn new(version: Version, jobs: usize, sink: &'s TimingSink) -> PassManager<'s> {
         PassManager {
             version,
@@ -1111,7 +1214,15 @@ impl<'s> PassManager<'s> {
             trace: TraceCtx::disabled(),
             explain: false,
             provenance: Mutex::new(Vec::new()),
+            pool: Pool::shared().clone(),
         }
+    }
+
+    /// Replaces the worker pool every parallel section runs on (default:
+    /// [`Pool::shared`]).
+    pub fn with_pool(mut self, pool: Pool) -> PassManager<'s> {
+        self.pool = pool;
+        self
     }
 
     /// Attaches an open translation cache: [`PassManager::translate`] will
@@ -1142,7 +1253,7 @@ impl<'s> PassManager<'s> {
     ///
     /// [`translate`]: PassManager::translate
     pub fn take_provenance(&self) -> Vec<FuncFenceRecord> {
-        let mut records = std::mem::take(&mut *self.provenance.lock().unwrap());
+        let mut records = std::mem::take(&mut *lock_clean(&self.provenance));
         records.sort_by_key(|r| r.index);
         records
     }
@@ -1175,9 +1286,28 @@ impl<'s> PassManager<'s> {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
-        let (out, waits) = par_map_waits(self.jobs, items, f);
+        let (out, waits) = self.pool.par_map_waits(self.jobs, items, f);
         if !waits.is_empty() {
             self.sink.record_parallel_section(stage, &waits);
+        }
+        out
+    }
+
+    /// [`PassManager::par_section`] for a *fused* section: one fan-out
+    /// whose work items flow through several `stages` back to back (the
+    /// lift→refine head and the sweep→fences→merge→opt-prefix tail of
+    /// the schedule). Accounting goes through
+    /// [`TimingSink::record_fused_section`] so the barrier is counted
+    /// once while every participating stage's section counter moves.
+    fn fused_section<T, R, F>(&self, stages: &[Stage], items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let (out, waits) = self.pool.par_map_waits(self.jobs, items, f);
+        if !waits.is_empty() {
+            self.sink.record_fused_section(stages, &waits);
         }
         out
     }
@@ -1413,10 +1543,28 @@ impl<'s> PassManager<'s> {
             }
         }
 
-        // #1 Binary lifting (§4). The whole-binary analysis (CFGs, type
-        // discovery, shells) is the serial prologue; body translation fans
-        // out per function.
-        let wall = Instant::now();
+        // The cold path runs as two fused regions plus the opt-stage
+        // continuation, with only the true interprocedural joins as
+        // barriers:
+        //
+        //   region A : per function, lift (+ post-lift counts + the
+        //              Figure 14 naive-fence baseline) → refine round 0
+        //   join 1   : error propagation, `LiftPlan::finish` (module
+        //              assembly + verification), parameter promotion
+        //   (PPOpt)  : fused [sweep → refine] sections between promotion
+        //              joins until the refinement loop converges
+        //   tail     : per function, final sweep → fence placement →
+        //              fence merge → opt-prefix round 0
+        //   join 2   : fence totals + provenance assembly
+        //   opt      : ipsccp superstep (gather/join/apply — join 3) +
+        //              fused suffix, remaining rounds, compaction
+        //
+        // Six stage-wide barriers under the old schedule; three joins now.
+
+        // ---- Region A: the whole-binary analysis (CFGs, type discovery,
+        // shells) is the serial prologue; everything per-function flows as
+        // one fused work item.
+        let wall_a = Instant::now();
         let plan = self.module_step(Stage::Lift, "prepare", || {
             (LiftPlan::prepare(bin, TranslateOptions::default()), 0)
         })?;
@@ -1425,142 +1573,432 @@ impl<'s> PassManager<'s> {
         let addrs: Vec<u64> = (0..plan.num_functions())
             .map(|i| plan.function_addr(i))
             .collect();
-        let lifted = self.par_section(Stage::Lift, (0..plan.num_functions()).collect(), |i, _| {
+        // The module shell refine round 0 runs against *before* finish:
+        // globals + externs with an empty function table — exactly the
+        // view `func_pass` gives passes after finish (the function table
+        // is taken out for ownership), so fusing changes nothing.
+        let shell_a = plan.shell_module();
+        let a_stages: &[Stage] = if version == Version::PPOpt {
+            &[Stage::Lift, Stage::Fences, Stage::Refine]
+        } else {
+            &[Stage::Lift, Stage::Fences]
+        };
+        struct LiftOut {
+            body: Result<Function, LiftError>,
+            lift_nanos: u128,
+            /// Live instruction count straight out of the lifter.
+            lifted_insts: u64,
+            casts: u64,
+            naive: u64,
+            naive_nanos: u128,
+            /// `(nanos, changes, insts_after)` of refine round 0 (PPOpt).
+            refine: Option<(u128, u64, u64)>,
+        }
+        let lifted = self.fused_section(a_stages, (0..plan.num_functions()).collect(), |i, _| {
             let mut sp = self.trace.span("lift", plan.function_name(i));
             let t0 = Instant::now();
             let body = plan.lift_function_traced(i, &self.trace);
             if let Ok(b) = &body {
                 sp.arg("insts", b.live_inst_count());
             }
-            (body, t0.elapsed().as_nanos())
+            let lift_nanos = t0.elapsed().as_nanos();
+            drop(sp);
+            let mut f = match body {
+                Ok(f) => f,
+                Err(e) => {
+                    return LiftOut {
+                        body: Err(e),
+                        lift_nanos,
+                        lifted_insts: 0,
+                        casts: 0,
+                        naive: 0,
+                        naive_nanos: 0,
+                        refine: None,
+                    }
+                }
+            };
+            let lifted_insts = f.live_inst_count() as u64;
+            let casts = count_casts_fn(&f);
+            // Figure 14 baseline: fences the unrefined, unmerged lifted
+            // code would receive, measured on a scratch clone. The plain
+            // (untraced) `place_fences` keeps the baseline out of the
+            // provenance counters — those describe the real placement.
+            let tn = Instant::now();
+            let mut scratch = f.clone();
+            let naive =
+                lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64;
+            let naive_nanos = tn.elapsed().as_nanos();
+            let refine = (version == Version::PPOpt).then(|| {
+                let mut sp = self.trace.span("refine", &f.name);
+                let t0 = Instant::now();
+                let c =
+                    lasagne_refine::refine_function_traced(&shell_a, &mut f, &self.trace) as u64;
+                sp.arg("changes", c);
+                (t0.elapsed().as_nanos(), c, f.live_inst_count() as u64)
+            });
+            LiftOut {
+                body: Ok(f),
+                lift_nanos,
+                lifted_insts,
+                casts,
+                naive,
+                naive_nanos,
+                refine,
+            }
         });
+
+        // Join 1: propagate lift errors in index order, install the bodies
+        // (`finish` verifies the module), fold the per-function counts.
         let mut bodies = Vec::with_capacity(plan.num_functions());
-        for (i, (body, nanos)) in lifted.into_iter().enumerate() {
-            let body = body?;
+        let mut refine_changed = 0u64;
+        let (mut casts_lifted, mut insts_lifted) = (0u64, 0u64);
+        let (mut naive_total, mut naive_nanos_total) = (0u64, 0u128);
+        let mut refine_events: Vec<PassEvent> = Vec::new();
+        for (i, out) in lifted.into_iter().enumerate() {
+            let f = out.body?;
             self.sink.record(PassEvent {
                 stage: Stage::Lift,
                 func: Some((i, plan.function_name(i).to_string())),
-                nanos,
-                changes: body.live_inst_count() as u64,
-                insts: body.live_inst_count() as u64,
+                nanos: out.lift_nanos,
+                changes: out.lifted_insts,
+                insts: out.lifted_insts,
             });
-            bodies.push(body);
+            casts_lifted += out.casts;
+            insts_lifted += out.lifted_insts;
+            naive_total += out.naive;
+            naive_nanos_total += out.naive_nanos;
+            if let Some((nanos, changes, insts)) = out.refine {
+                refine_changed += changes;
+                refine_events.push(PassEvent {
+                    stage: Stage::Refine,
+                    func: Some((i, f.name.clone())),
+                    nanos,
+                    changes,
+                    insts,
+                });
+            }
+            bodies.push(f);
         }
         let mut m = self.module_step(Stage::Lift, "finish", || (plan.finish(bodies), 0))?;
-        self.sink
-            .record_stage_wall(Stage::Lift, wall.elapsed().as_nanos());
+        for ev in refine_events {
+            self.sink.record(ev);
+        }
 
         let mut stats = TranslationStats {
-            casts_lifted: crate::count_casts(&m),
-            insts_lifted: m.inst_count(),
+            casts_lifted: casts_lifted as usize,
+            insts_lifted: insts_lifted as usize,
+            fences_naive: naive_total as usize,
             ..TranslationStats::default()
         };
-
-        // Figure 14 baseline: fences the unrefined, unmerged lifted code
-        // would receive, measured on scratch per-function clones. The
-        // plain (untraced) `place_fences` keeps the baseline out of the
-        // provenance counters — those describe the real placement only.
-        let wall = Instant::now();
-        stats.fences_naive = self.module_step(Stage::Fences, "naive-baseline", || {
-            let naive: u64 = self
-                .par_section(Stage::Fences, (0..m.funcs.len()).collect(), |_, i| {
-                    let mut scratch = m.funcs[i].clone();
-                    lasagne_fences::place_fences(&mut scratch, Strategy::StackAware).total() as u64
-                })
-                .into_iter()
-                .sum();
-            (naive as usize, naive)
+        // The baseline was module-level serial work under the old
+        // schedule; keep it a module-level event (its nanos are the sum
+        // of the per-function measurements inside the fused items).
+        self.sink.record(PassEvent {
+            stage: Stage::Fences,
+            func: None,
+            nanos: naive_nanos_total,
+            changes: naive_total,
+            insts: 0,
         });
-        self.trace.add("fences.naive", stats.fences_naive as u64);
-        self.sink
-            .record_stage_wall(Stage::Fences, wall.elapsed().as_nanos());
+        self.trace.add("fences.naive", naive_total);
 
-        // #2 IR refinement (§5, PPOpt only): per-function exposure rounds
-        // with a serial parameter-promotion barrier between them, matching
-        // `lasagne_refine::refine_module` exactly.
-        let wall = Instant::now();
+        // #2 IR refinement (§5, PPOpt only): round 0 already ran inside
+        // region A; each further round is a serial parameter-promotion
+        // join followed by a fused [sweep → refine] section, matching
+        // `lasagne_refine::refine_module`'s R→P→S iteration exactly —
+        // the loop's final sweep is fused into the tail section below.
+        let mut promoted = 0u64;
         if version == Version::PPOpt {
-            for _ in 0..3 {
-                let changed = self.func_pass(Stage::Refine, &mut m, |shell, _, f| {
-                    lasagne_refine::refine_function_traced(shell, f, &self.trace) as u64
+            promoted = self.module_step(Stage::Refine, "promote-params", || {
+                let p = lasagne_refine::promote_pointer_params_traced(&mut m, &self.trace) as u64;
+                (p, p)
+            });
+        }
+        let a_nanos = wall_a.elapsed().as_nanos();
+        for s in a_stages {
+            self.sink.record_stage_wall(*s, a_nanos);
+        }
+        self.sink.record_fused_wall(a_nanos);
+
+        if version == Version::PPOpt {
+            // `r` counts completed refine→promote pairs; the pending
+            // sweep for round r runs in the next section (or the tail).
+            let mut r = 0u32;
+            loop {
+                if (refine_changed == 0 && promoted == 0) || r == 2 {
+                    break;
+                }
+                let wall = Instant::now();
+                let funcs = std::mem::take(&mut m.funcs);
+                let shell: &Module = &m;
+                let results = self.fused_section(&[Stage::Refine], funcs, |_, mut f| {
+                    let mut sp = self.trace.span("refine", &f.name);
+                    let ts = Instant::now();
+                    let swept = lasagne_refine::sweep_dead(&mut f) as u64;
+                    let sweep_nanos = ts.elapsed().as_nanos();
+                    sp.arg("changes", swept);
+                    drop(sp);
+                    let mut sp = self.trace.span("refine", &f.name);
+                    let tr = Instant::now();
+                    let c =
+                        lasagne_refine::refine_function_traced(shell, &mut f, &self.trace) as u64;
+                    sp.arg("changes", c);
+                    let refine_nanos = tr.elapsed().as_nanos();
+                    (f, swept, sweep_nanos, c, refine_nanos)
                 });
-                let promoted = self.module_step(Stage::Refine, "promote-params", || {
+                refine_changed = 0;
+                m.funcs = results
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (f, swept, sweep_nanos, changes, refine_nanos))| {
+                        let insts = f.live_inst_count() as u64;
+                        self.sink.record(PassEvent {
+                            stage: Stage::Refine,
+                            func: Some((i, f.name.clone())),
+                            nanos: sweep_nanos,
+                            changes: swept,
+                            insts,
+                        });
+                        self.sink.record(PassEvent {
+                            stage: Stage::Refine,
+                            func: Some((i, f.name.clone())),
+                            nanos: refine_nanos,
+                            changes,
+                            insts,
+                        });
+                        refine_changed += changes;
+                        f
+                    })
+                    .collect();
+                r += 1;
+                promoted = self.module_step(Stage::Refine, "promote-params", || {
                     let p =
                         lasagne_refine::promote_pointer_params_traced(&mut m, &self.trace) as u64;
                     (p, p)
                 });
-                self.func_pass(Stage::Refine, &mut m, |_, _, f| {
-                    lasagne_refine::sweep_dead(f) as u64
-                });
-                if changed == 0 && promoted == 0 {
-                    break;
-                }
+                let nanos = wall.elapsed().as_nanos();
+                self.sink.record_stage_wall(Stage::Refine, nanos);
+                self.sink.record_fused_wall(nanos);
             }
         }
-        stats.casts_final = crate::count_casts(&m);
-        self.sink
-            .record_stage_wall(Stage::Refine, wall.elapsed().as_nanos());
 
-        // #3 Precise fence placement (§8; all versions). Per-function
-        // statistics are kept aside — they ride along in cache manifests.
-        // Under `with_explain`, per-fence decision records are collected
-        // alongside the stats.
-        let wall = Instant::now();
+        // ---- Fused tail: per function, the refinement loop's final
+        // sweep (#2), precise fence placement (#3, §8), fence merging
+        // (#4, POpt/PPOpt), the post-merge fence census, and round 0 of
+        // the intraprocedural opt prefix (#5) — one fan-out, one barrier.
+        let wall_tail = Instant::now();
         let explain = self.explain;
-        let placement_slots: Mutex<Vec<(usize, PlacementStats)>> = Mutex::new(Vec::new());
-        let decision_slots: Mutex<Vec<(usize, Vec<FenceDecision>)>> = Mutex::new(Vec::new());
-        stats.fences_placed = self.func_pass(Stage::Fences, &mut m, |_, i, f| {
-            let mut out: Option<Vec<FenceDecision>> = explain.then(Vec::new);
+        let opt_split: Option<(&[PassKind], &[PassKind])> = if version != Version::Lifted {
+            let order: &'static [PassKind] = &OPT_ORDER;
+            let barrier = order
+                .iter()
+                .position(|p| p.is_interprocedural())
+                .expect("OPT_ORDER has an interprocedural barrier");
+            debug_assert!(
+                order[barrier + 1..].iter().all(|p| !p.is_interprocedural()),
+                "fused suffix must be intraprocedural"
+            );
+            // The suffix starts *at* the barrier pass: `run_pass_on_function`
+            // for IpSccp is its local sccp cleanup, which the old schedule
+            // ran right after the module-wide barrier.
+            Some(order.split_at(barrier))
+        } else {
+            None
+        };
+        let mut tail_stages: Vec<Stage> = Vec::new();
+        if version == Version::PPOpt {
+            tail_stages.push(Stage::Refine);
+        }
+        tail_stages.push(Stage::Fences);
+        if matches!(version, Version::POpt | Version::PPOpt) {
+            tail_stages.push(Stage::Merge);
+        }
+        if version != Version::Lifted {
+            tail_stages.push(Stage::Opt);
+        }
+        struct TailOut {
+            f: Function,
+            /// `(nanos, changes, insts_after)` of the final sweep (PPOpt).
+            sweep: Option<(u128, u64, u64)>,
+            casts: u64,
+            place_nanos: u128,
+            place_insts: u64,
+            ps: PlacementStats,
+            decisions: Option<Vec<FenceDecision>>,
+            /// `(nanos, removed, insts_after)` of the merge (POpt/PPOpt).
+            merge: Option<(u128, u64, u64)>,
+            merges: Option<Vec<FenceMerge>>,
+            /// Post-merge `(Frm, Fww, Fsc)` counts.
+            fences: (usize, usize, usize),
+            /// Opt-prefix round 0: total nanos, per-pass `(pass, nanos,
+            /// changes)`, summed changes, insts after (non-Lifted).
+            prefix: Option<(u128, Vec<(PassKind, u128, u64)>, u64, u64)>,
+        }
+        let funcs = std::mem::take(&mut m.funcs);
+        let shell: &Module = &m;
+        let results = self.fused_section(&tail_stages, funcs, |_, mut f| {
+            let sweep = (version == Version::PPOpt).then(|| {
+                let mut sp = self.trace.span("refine", &f.name);
+                let t0 = Instant::now();
+                let c = lasagne_refine::sweep_dead(&mut f) as u64;
+                sp.arg("changes", c);
+                (t0.elapsed().as_nanos(), c, f.live_inst_count() as u64)
+            });
+            let casts = count_casts_fn(&f);
+            let mut sp = self.trace.span("fences", &f.name);
+            let t0 = Instant::now();
+            let mut dec: Option<Vec<FenceDecision>> = explain.then(Vec::new);
             let ps = lasagne_fences::place_fences_explain(
-                f,
+                &mut f,
                 Strategy::StackAware,
                 &self.trace,
-                out.as_mut(),
+                dec.as_mut(),
             );
-            if let Some(d) = out {
-                decision_slots.lock().unwrap().push((i, d));
-            }
-            placement_slots.lock().unwrap().push((i, ps));
-            ps.total() as u64
-        }) as usize;
-        let mut placement = vec![PlacementStats::default(); m.funcs.len()];
-        for (i, ps) in placement_slots.into_inner().unwrap() {
-            placement[i] = ps;
-        }
-        self.sink
-            .record_stage_wall(Stage::Fences, wall.elapsed().as_nanos());
-
-        // #4 Fence merging (POpt, PPOpt).
-        let wall = Instant::now();
-        let merge_slots: Mutex<Vec<(usize, Vec<FenceMerge>)>> = Mutex::new(Vec::new());
-        if matches!(version, Version::POpt | Version::PPOpt) {
-            self.func_pass(Stage::Merge, &mut m, |_, i, f| {
-                let mut out: Option<Vec<FenceMerge>> = explain.then(Vec::new);
-                let n = lasagne_fences::merge_fences_explain(f, &self.trace, out.as_mut()) as u64;
-                if let Some(mg) = out {
-                    merge_slots.lock().unwrap().push((i, mg));
+            sp.arg("changes", ps.total() as u64);
+            let place_nanos = t0.elapsed().as_nanos();
+            drop(sp);
+            let place_insts = f.live_inst_count() as u64;
+            let (merge, merges) = if matches!(version, Version::POpt | Version::PPOpt) {
+                let mut sp = self.trace.span("merge", &f.name);
+                let t0 = Instant::now();
+                let mut mg: Option<Vec<FenceMerge>> = explain.then(Vec::new);
+                let n = lasagne_fences::merge_fences_explain(&mut f, &self.trace, mg.as_mut());
+                sp.arg("changes", n as u64);
+                (
+                    Some((
+                        t0.elapsed().as_nanos(),
+                        n as u64,
+                        f.live_inst_count() as u64,
+                    )),
+                    mg,
+                )
+            } else {
+                (None, None)
+            };
+            let fences = lasagne_fences::count_fences_fn(&f);
+            let prefix = opt_split.map(|(prefix, _)| {
+                let mut sp = self.trace.span("opt", &f.name);
+                let t0 = Instant::now();
+                let mut per_pass: Vec<(PassKind, u128, u64)> = Vec::with_capacity(prefix.len());
+                let mut changes = 0u64;
+                for &pass in prefix {
+                    let tp = Instant::now();
+                    let n = lasagne_opt::run_pass_on_function(pass, shell, &mut f) as u64;
+                    per_pass.push((pass, tp.elapsed().as_nanos(), n));
+                    changes += n;
                 }
-                n
+                sp.arg("changes", changes);
+                (
+                    t0.elapsed().as_nanos(),
+                    per_pass,
+                    changes,
+                    f.live_inst_count() as u64,
+                )
             });
-        }
-        let (frm, fww, fsc) = lasagne_fences::count_fences(&m);
-        stats.fences_final = frm + fww + fsc;
-        self.sink
-            .record_stage_wall(Stage::Merge, wall.elapsed().as_nanos());
+            TailOut {
+                f,
+                sweep,
+                casts,
+                place_nanos,
+                place_insts,
+                ps,
+                decisions: dec,
+                merge,
+                merges,
+                fences,
+                prefix,
+            }
+        });
 
-        // Assemble per-function provenance: a merge that removed a fence
+        // Join 2: reassemble the module, fold fence totals, record the
+        // per-segment events, and assemble provenance.
+        let nfuncs = results.len();
+        let mut casts_final = 0u64;
+        let mut fences_placed = 0u64;
+        let (mut frm, mut fww, mut fsc) = (0usize, 0usize, 0usize);
+        let mut prefix_changes = 0u64;
+        let mut placement = vec![PlacementStats::default(); nfuncs];
+        let mut decision_by_func = vec![Vec::new(); nfuncs];
+        let mut merge_by_func = vec![Vec::new(); nfuncs];
+        m.funcs = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, out)| {
+                let TailOut {
+                    f,
+                    sweep,
+                    casts,
+                    place_nanos,
+                    place_insts,
+                    ps,
+                    decisions,
+                    merge,
+                    merges,
+                    fences,
+                    prefix,
+                } = out;
+                if let Some((nanos, changes, insts)) = sweep {
+                    self.sink.record(PassEvent {
+                        stage: Stage::Refine,
+                        func: Some((i, f.name.clone())),
+                        nanos,
+                        changes,
+                        insts,
+                    });
+                }
+                casts_final += casts;
+                self.sink.record(PassEvent {
+                    stage: Stage::Fences,
+                    func: Some((i, f.name.clone())),
+                    nanos: place_nanos,
+                    changes: ps.total() as u64,
+                    insts: place_insts,
+                });
+                fences_placed += ps.total() as u64;
+                placement[i] = ps;
+                if let Some(d) = decisions {
+                    decision_by_func[i] = d;
+                }
+                if let Some((nanos, changes, insts)) = merge {
+                    self.sink.record(PassEvent {
+                        stage: Stage::Merge,
+                        func: Some((i, f.name.clone())),
+                        nanos,
+                        changes,
+                        insts,
+                    });
+                }
+                if let Some(mg) = merges {
+                    merge_by_func[i] = mg;
+                }
+                frm += fences.0;
+                fww += fences.1;
+                fsc += fences.2;
+                if let Some((nanos, per_pass, changes, insts)) = prefix {
+                    for (pass, pn, pc) in per_pass {
+                        self.sink.record_opt_pass(pass.name(), pn, pc);
+                    }
+                    self.sink.record(PassEvent {
+                        stage: Stage::Opt,
+                        func: Some((i, f.name.clone())),
+                        nanos,
+                        changes,
+                        insts,
+                    });
+                    prefix_changes += changes;
+                }
+                f
+            })
+            .collect();
+        stats.casts_final = casts_final as usize;
+        stats.fences_placed = fences_placed as usize;
+        stats.fences_final = frm + fww + fsc;
+
+        // Per-function provenance: a merge that removed a fence
         // re-attributes the matching placement decision from Placed to
         // Merged. `InstId`s are arena-stable, so matching the inserted
         // fence id is exact.
         if explain {
-            let mut decision_by_func = vec![Vec::new(); m.funcs.len()];
-            for (i, d) in decision_slots.into_inner().unwrap() {
-                decision_by_func[i] = d;
-            }
-            let mut merge_by_func = vec![Vec::new(); m.funcs.len()];
-            for (i, mg) in merge_slots.into_inner().unwrap() {
-                merge_by_func[i] = mg;
-            }
             let mut records = Vec::with_capacity(m.funcs.len());
             for (i, f) in m.funcs.iter().enumerate() {
                 let mut decisions = std::mem::take(&mut decision_by_func[i]);
@@ -1578,44 +2016,44 @@ impl<'s> PassManager<'s> {
                     merges,
                 });
             }
-            *self.provenance.lock().unwrap() = records;
+            *lock_clean(&self.provenance) = records;
         }
+        let tail_nanos = wall_tail.elapsed().as_nanos();
+        for s in &tail_stages {
+            self.sink.record_stage_wall(*s, tail_nanos);
+        }
+        self.sink.record_fused_wall(tail_nanos);
 
-        // #5 LLVM-style optimizations (everything but Lifted): the
-        // `standard_pipeline` order, scheduled per *function* rather than
-        // per pass. Each round is three work phases — the intraprocedural
-        // prefix of `OPT_ORDER` fused into one parallel work item per
-        // function, the `ipsccp` superstep (parallel gather, serial join,
-        // parallel apply), and the fused intraprocedural suffix — so a
-        // round crosses three barriers instead of thirteen. The ipsccp
-        // substitution decisions are logged: each one is an interprocedural
-        // fact the target function's cache key digests.
+        // #5 continued (everything but Lifted): round 0's intraprocedural
+        // prefix already ran inside the tail items, so finish the round
+        // with the `ipsccp` superstep (parallel gather, serial join,
+        // parallel apply — join 3) and the fused suffix, then run the
+        // remaining rounds on the 3-barrier schedule from PR 5. The
+        // ipsccp substitution decisions are logged: each one is an
+        // interprocedural fact the target function's cache key digests.
         let mut ip_facts: Vec<IpsccpFact> = Vec::new();
         let wall = Instant::now();
-        if version != Version::Lifted {
-            let order: &'static [PassKind] = &OPT_ORDER;
-            let barrier = order
-                .iter()
-                .position(|p| p.is_interprocedural())
-                .expect("OPT_ORDER has an interprocedural barrier");
-            debug_assert!(
-                order[barrier + 1..].iter().all(|p| !p.is_interprocedural()),
-                "fused suffix must be intraprocedural"
-            );
-            // The suffix starts *at* the barrier pass: `run_pass_on_function`
-            // for IpSccp is its local sccp cleanup, which the old schedule
-            // ran right after the module-wide barrier.
-            let (prefix, suffix) = order.split_at(barrier);
-            for round_idx in 0..3 {
+        if let Some((prefix, suffix)) = opt_split {
+            let mut round0 = prefix_changes;
+            {
                 let mut sp = self.trace.span("opt", "round");
-                sp.arg("round", round_idx as u64);
-                let mut round = 0;
-                round += self.fused_opt_block(&mut m, prefix);
-                round += self.ipsccp_superstep(&mut m, &mut ip_facts, round_idx as u32);
-                round += self.fused_opt_block(&mut m, suffix);
-                sp.arg("changes", round);
-                if round == 0 {
-                    break;
+                sp.arg("round", 0u64);
+                round0 += self.ipsccp_superstep(&mut m, &mut ip_facts, 0);
+                round0 += self.fused_opt_block(&mut m, suffix);
+                sp.arg("changes", round0);
+            }
+            if round0 != 0 {
+                for round_idx in 1..3u32 {
+                    let mut sp = self.trace.span("opt", "round");
+                    sp.arg("round", round_idx as u64);
+                    let mut round = 0;
+                    round += self.fused_opt_block(&mut m, prefix);
+                    round += self.ipsccp_superstep(&mut m, &mut ip_facts, round_idx);
+                    round += self.fused_opt_block(&mut m, suffix);
+                    sp.arg("changes", round);
+                    if round == 0 {
+                        break;
+                    }
                 }
             }
             self.func_pass(Stage::Opt, &mut m, |_, _, f| {
@@ -1842,7 +2280,7 @@ mod tests {
         );
         assert!(metrics.counter("lift.funcs") > 0);
         let json = rep.to_json();
-        assert!(json.starts_with("{\"schema\":3,"), "{json}");
+        assert!(json.starts_with("{\"schema\":4,"), "{json}");
         assert!(json.contains("\"metrics\":{\"counters\":"), "{json}");
 
         // Every cold stage shows up as a span category in the event log.

@@ -334,6 +334,21 @@ impl LiftPlan {
         self.work[i].0
     }
 
+    /// The module as every per-function pass will see it: globals and
+    /// externs with an **empty** function table.
+    ///
+    /// [`LiftPlan::finish`] only installs function bodies, so this is
+    /// byte-identical to the post-`finish` module with `funcs` taken out
+    /// — the exact read-only shell the pipeline's per-function driver
+    /// hands to passes. A fused schedule can therefore run shell-only
+    /// passes (e.g. refinement round 0) *before* the finish join without
+    /// changing what any pass observes.
+    pub fn shell_module(&self) -> Module {
+        let mut shell = self.module.clone();
+        shell.funcs = Vec::new();
+        shell
+    }
+
     /// Pre-lift profile of work item `i`: machine-code shape plus the
     /// discovered signature, for observability (the lifter's per-function
     /// instruction/type-discovery counts).

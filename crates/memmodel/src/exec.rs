@@ -324,13 +324,30 @@ pub fn enumerate_partition(prog: &Program, part: ExecPartition) -> Vec<Execution
     out
 }
 
-/// [`enumerate_executions`] with the partitions fanned out over
-/// `lasagne::pipeline::par_map` — same executions, same order, for every
-/// `jobs` value: the partition list follows serial enumeration order and
-/// the per-partition results are concatenated by partition index.
+/// [`enumerate_executions`] with the partitions fanned out over the
+/// process-wide work-stealing pool ([`enumerate_executions_on`] with
+/// [`Pool::shared`]) — same executions, same order, for every `jobs`
+/// value: the partition list follows serial enumeration order and the
+/// per-partition results are concatenated by partition index.
+///
+/// [`Pool::shared`]: lasagne::pipeline::pool::Pool::shared
 pub fn enumerate_executions_par(prog: &Program, jobs: usize) -> Vec<Execution> {
+    enumerate_executions_on(lasagne::pipeline::pool::Pool::shared(), prog, jobs)
+}
+
+/// [`enumerate_executions_par`] on an explicit work-stealing pool. The
+/// litmus sweeps call this from inside pipeline work items; submitting to
+/// the same pool (rather than spawning scoped threads) keeps one set of
+/// worker threads busy across the nesting — a worker that hits this fan
+/// out pushes the partitions onto its own deque and idle siblings steal
+/// them.
+pub fn enumerate_executions_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    prog: &Program,
+    jobs: usize,
+) -> Vec<Execution> {
     let parts = execution_partitions(prog);
-    lasagne::pipeline::par_map(jobs, parts, |_, p| enumerate_partition(prog, p))
+    pool.par_map(jobs, parts, |_, p| enumerate_partition(prog, p))
         .into_iter()
         .flatten()
         .collect()

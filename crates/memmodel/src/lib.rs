@@ -41,6 +41,9 @@ pub mod rel;
 pub mod transform;
 
 pub use exec::{Event, Execution, FenceTy, Lab, Op, Outcome, Program};
-pub use litmus::{sweep_row, sweep_suite, sweep_suite_within, SuiteRow};
+pub use litmus::{
+    sweep_row, sweep_row_on, sweep_suite, sweep_suite_on, sweep_suite_within,
+    sweep_suite_within_on, SuiteRow,
+};
 pub use mapping::check_chain_all;
-pub use models::{consistent, outcomes, outcomes_par, Model};
+pub use models::{consistent, outcomes, outcomes_on, outcomes_par, Model};

@@ -248,8 +248,16 @@ pub struct SuiteRow {
 /// program's outcome enumeration is independent of every other's, so the
 /// result is order-identical to the serial sweep for any `jobs`.
 pub fn sweep_suite(jobs: usize) -> Vec<SuiteRow> {
-    lasagne::pipeline::par_map(jobs, paper_suite(), |_, (name, program)| {
-        sweep_row(name, program, 1)
+    sweep_suite_on(lasagne::pipeline::pool::Pool::shared(), jobs)
+}
+
+/// [`sweep_suite`] on an explicit work-stealing pool: the per-program
+/// fan-out submits to `pool` instead of the process-wide shared one, so a
+/// caller that already owns worker threads (the pipeline, `report`'s
+/// whole sweep) reuses them.
+pub fn sweep_suite_on(pool: &lasagne::pipeline::pool::Pool, jobs: usize) -> Vec<SuiteRow> {
+    pool.par_map(jobs, paper_suite(), |_, (name, program)| {
+        sweep_row_on(pool, name, program, 1)
     })
 }
 
@@ -259,12 +267,24 @@ pub fn sweep_suite(jobs: usize) -> Vec<SuiteRow> {
 /// run through [`crate::mapping::check_chain_within`]. Outcome sets are
 /// canonical, so the row is identical to the serial one for any `jobs`.
 pub fn sweep_row(name: &'static str, program: Program, jobs: usize) -> SuiteRow {
-    let x86_outcomes = crate::models::outcomes_par(crate::models::Model::X86, &program, jobs).len();
-    let arm_outcomes = crate::models::outcomes_par(crate::models::Model::Arm, &program, jobs).len();
+    sweep_row_on(lasagne::pipeline::pool::Pool::shared(), name, program, jobs)
+}
+
+/// [`sweep_row`] on an explicit work-stealing pool.
+pub fn sweep_row_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    name: &'static str,
+    program: Program,
+    jobs: usize,
+) -> SuiteRow {
+    let x86_outcomes =
+        crate::models::outcomes_on(pool, crate::models::Model::X86, &program, jobs).len();
+    let arm_outcomes =
+        crate::models::outcomes_on(pool, crate::models::Model::Arm, &program, jobs).len();
     let limm_outcomes =
-        crate::models::outcomes_par(crate::models::Model::Limm, &program, jobs).len();
-    let chain = crate::mapping::check_chain_within(&program, jobs);
-    let reverse = crate::mapping::check_reverse_chain_within(&program, jobs);
+        crate::models::outcomes_on(pool, crate::models::Model::Limm, &program, jobs).len();
+    let chain = crate::mapping::check_chain_on(pool, &program, jobs);
+    let reverse = crate::mapping::check_reverse_chain_on(pool, &program, jobs);
     SuiteRow {
         name,
         program,
@@ -286,9 +306,14 @@ pub fn sweep_row(name: &'static str, program: Program, jobs: usize) -> SuiteRow 
 /// worker idle on the tail. Row-identical to `sweep_suite` for any
 /// `jobs`.
 pub fn sweep_suite_within(jobs: usize) -> Vec<SuiteRow> {
+    sweep_suite_within_on(lasagne::pipeline::pool::Pool::shared(), jobs)
+}
+
+/// [`sweep_suite_within`] on an explicit work-stealing pool.
+pub fn sweep_suite_within_on(pool: &lasagne::pipeline::pool::Pool, jobs: usize) -> Vec<SuiteRow> {
     paper_suite()
         .into_iter()
-        .map(|(name, program)| sweep_row(name, program, jobs))
+        .map(|(name, program)| sweep_row_on(pool, name, program, jobs))
         .collect()
 }
 

@@ -212,13 +212,22 @@ pub fn check_reverse_chain(p: &Program) -> Result<(), String> {
 /// `jobs` worker threads ([`check_mapping_within`]). Same verdict for any
 /// `jobs`.
 pub fn check_reverse_chain_within(p: &Program, jobs: usize) -> Result<(), String> {
+    check_reverse_chain_on(lasagne::pipeline::pool::Pool::shared(), p, jobs)
+}
+
+/// [`check_reverse_chain_within`] on an explicit work-stealing pool.
+pub fn check_reverse_chain_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    p: &Program,
+    jobs: usize,
+) -> Result<(), String> {
     let ir = arm_to_limm(p);
     let x86 = limm_to_x86(&ir);
-    check_mapping_within(jobs, Model::Arm, p, Model::Limm, &ir)
+    check_mapping_on(pool, jobs, Model::Arm, p, Model::Limm, &ir)
         .map_err(|e| format!("Arm→IR introduces {} outcome(s): {e:?}", e.len()))?;
-    check_mapping_within(jobs, Model::Limm, &ir, Model::X86, &x86)
+    check_mapping_on(pool, jobs, Model::Limm, &ir, Model::X86, &x86)
         .map_err(|e| format!("IR→x86 introduces {} outcome(s): {e:?}", e.len()))?;
-    check_mapping_within(jobs, Model::Arm, p, Model::X86, &x86)
+    check_mapping_on(pool, jobs, Model::Arm, p, Model::X86, &x86)
         .map_err(|e| format!("Arm→x86 introduces {} outcome(s): {e:?}", e.len()))?;
     Ok(())
 }
@@ -247,8 +256,27 @@ pub fn check_mapping_within(
     tgt_model: Model,
     tgt: &Program,
 ) -> Result<(), BTreeSet<Outcome>> {
-    let src_out = crate::models::outcomes_par(src_model, src, jobs);
-    let tgt_out = crate::models::outcomes_par(tgt_model, tgt, jobs);
+    check_mapping_on(
+        lasagne::pipeline::pool::Pool::shared(),
+        jobs,
+        src_model,
+        src,
+        tgt_model,
+        tgt,
+    )
+}
+
+/// [`check_mapping_within`] on an explicit work-stealing pool.
+pub fn check_mapping_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    jobs: usize,
+    src_model: Model,
+    src: &Program,
+    tgt_model: Model,
+    tgt: &Program,
+) -> Result<(), BTreeSet<Outcome>> {
+    let src_out = crate::models::outcomes_on(pool, src_model, src, jobs);
+    let tgt_out = crate::models::outcomes_on(pool, tgt_model, tgt, jobs);
     let extra: BTreeSet<Outcome> = tgt_out.difference(&src_out).cloned().collect();
     if extra.is_empty() {
         Ok(())
@@ -266,13 +294,22 @@ pub fn check_chain(p: &Program) -> Result<(), String> {
 /// [`check_chain`] with each enumeration partitioned across up to `jobs`
 /// worker threads ([`check_mapping_within`]). Same verdict for any `jobs`.
 pub fn check_chain_within(p: &Program, jobs: usize) -> Result<(), String> {
+    check_chain_on(lasagne::pipeline::pool::Pool::shared(), p, jobs)
+}
+
+/// [`check_chain_within`] on an explicit work-stealing pool.
+pub fn check_chain_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    p: &Program,
+    jobs: usize,
+) -> Result<(), String> {
     let ir = x86_to_limm(p);
     let arm = limm_to_arm(&ir);
-    check_mapping_within(jobs, Model::X86, p, Model::Limm, &ir)
+    check_mapping_on(pool, jobs, Model::X86, p, Model::Limm, &ir)
         .map_err(|extra| format!("x86→IR introduces {} outcome(s): {extra:?}", extra.len()))?;
-    check_mapping_within(jobs, Model::Limm, &ir, Model::Arm, &arm)
+    check_mapping_on(pool, jobs, Model::Limm, &ir, Model::Arm, &arm)
         .map_err(|extra| format!("IR→Arm introduces {} outcome(s): {extra:?}", extra.len()))?;
-    check_mapping_within(jobs, Model::X86, p, Model::Arm, &arm)
+    check_mapping_on(pool, jobs, Model::X86, p, Model::Arm, &arm)
         .map_err(|extra| format!("x86→Arm introduces {} outcome(s): {extra:?}", extra.len()))?;
     Ok(())
 }

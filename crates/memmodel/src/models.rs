@@ -181,8 +181,20 @@ pub fn outcomes_par(
     prog: &crate::exec::Program,
     jobs: usize,
 ) -> std::collections::BTreeSet<crate::exec::Outcome> {
+    outcomes_on(lasagne::pipeline::pool::Pool::shared(), model, prog, jobs)
+}
+
+/// [`outcomes_par`] on an explicit work-stealing pool (see
+/// [`crate::exec::enumerate_executions_on`] for why nested enumerations
+/// share the pipeline's pool instead of spawning their own threads).
+pub fn outcomes_on(
+    pool: &lasagne::pipeline::pool::Pool,
+    model: Model,
+    prog: &crate::exec::Program,
+    jobs: usize,
+) -> std::collections::BTreeSet<crate::exec::Outcome> {
     let parts = crate::exec::execution_partitions(prog);
-    let per_part = lasagne::pipeline::par_map(jobs, parts, |_, part| {
+    let per_part = pool.par_map(jobs, parts, |_, part| {
         crate::exec::enumerate_partition(prog, part)
             .iter()
             .filter(|x| consistent(model, x))

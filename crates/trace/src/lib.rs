@@ -76,8 +76,23 @@ pub fn current_track() -> u32 {
 }
 
 /// Locks `m`, recovering the guard if a panicking thread poisoned it.
-/// Collector state is append-only, so recovery is always safe.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+///
+/// Poisoning exists to flag state a panicking thread may have left
+/// half-updated; every structure this crate (and the pipeline's
+/// instrumentation) guards is either append-only or written in a single
+/// statement, so recovery is always safe — and an `unwrap()` here would
+/// let one panicking worker take the whole trace (or the work-stealing
+/// pool) down with it. Public so the pipeline's `TimingSink` and
+/// `pipeline::pool` share the one poison policy; `ci.sh` greps both
+/// crates for raw `lock().unwrap()` calls.
+///
+/// ```
+/// use std::sync::Mutex;
+/// let m = Mutex::new(1u32);
+/// *lasagne_trace::lock_clean(&m) += 1;
+/// assert_eq!(*lasagne_trace::lock_clean(&m), 2);
+/// ```
+pub fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -314,6 +329,16 @@ impl TraceCtx {
     pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
         if let Some(col) = &self.inner {
             col.metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// Folds an externally maintained [`metrics::Histogram`]
+    /// into histogram `name` — the bulk counterpart of [`TraceCtx::observe`]
+    /// for producers (like the pipeline's work-stealing pool) that keep
+    /// their own buckets and publish a per-run delta.
+    pub fn merge_histogram(&self, name: &str, src: &metrics::Histogram) {
+        if let Some(col) = &self.inner {
+            col.metrics.merge_histogram(name, src);
         }
     }
 

@@ -66,6 +66,37 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// Folds every observation of `other` into `self` (bucket-wise; both
+    /// histograms must share bounds). Used to replay an externally
+    /// maintained histogram — e.g. the work-stealing pool's queue-depth
+    /// buckets — into a run's registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
+    /// The observations recorded in `self` but not in `earlier`: the
+    /// bucket-wise difference of two snapshots of one monotonically
+    /// growing histogram. Saturating, so a mismatched pair degrades to
+    /// zeros instead of wrapping.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new(&self.bounds);
+        for (i, c) in self.counts.iter().enumerate() {
+            d.counts[i] = c.saturating_sub(earlier.counts.get(i).copied().unwrap_or(0));
+        }
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        d.total = self.total.saturating_sub(earlier.total);
+        d
+    }
+
     /// Renders the histogram as a JSON object.
     pub fn to_json(&self) -> String {
         let bounds: Vec<String> = self.bounds.iter().map(u64::to_string).collect();
@@ -131,6 +162,18 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .record(value);
+    }
+
+    /// Folds an externally maintained histogram into histogram `name`
+    /// (creating it with `src`'s bounds on first use). The pipeline uses
+    /// this to publish the shared pool's per-run queue-depth delta into a
+    /// traced run's metrics.
+    pub fn merge_histogram(&self, name: &str, src: &Histogram) {
+        let mut histos = lock_clean(&self.histos);
+        histos
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&src.bounds))
+            .merge(src);
     }
 
     /// Merges every stripe into one deterministic snapshot.

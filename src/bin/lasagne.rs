@@ -15,8 +15,15 @@
 //! options:
 //!   --version lifted|opt|popt|ppopt    pipeline configuration (default ppopt)
 //!   --scale N                          workload scale (default 128)
-//!   --jobs N                           translation worker threads (default 1);
-//!                                      output is byte-identical for every N
+//!   --jobs N                           translation worker threads (default 1;
+//!                                      N > 1 recommended on multi-core hosts
+//!                                      — since the persistent work-stealing
+//!                                      pool the parallel schedule is never
+//!                                      slower than serial); output is
+//!                                      byte-identical for every N. Workers
+//!                                      are spawned once per process and
+//!                                      reused across every translation of a
+//!                                      `difftest` or `report` run
 //!   --timings FILE                     write the per-pass/per-function timing
 //!                                      report as JSON to FILE ("-" = stderr)
 //!   --trace-out FILE                   write a Chrome trace-event JSON file
@@ -334,7 +341,10 @@ fn main() {
             println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO>");
             println!("          explain-fences <DEMO> | trace-check FILE | litmus | difftest");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
-            println!("          --jobs N (worker threads; byte-identical output for any N)");
+            println!(
+                "          --jobs N (worker threads, spawned once and pooled; \
+                 byte-identical output for any N; N > 1 recommended on multi-core hosts)"
+            );
             println!("          --timings FILE (per-pass JSON timing report; \"-\" = stderr)");
             println!("          --trace-out FILE (Chrome trace-event JSON; one track per worker)");
             println!("          --cache-dir DIR (translation cache; default $LASAGNE_CACHE_DIR)");

@@ -96,7 +96,7 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     let json = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
     assert!(
-        json.starts_with("{\"schema\":3,"),
+        json.starts_with("{\"schema\":4,"),
         "timings JSON lacks the schema version field:\n{json}"
     );
     for key in [
@@ -110,6 +110,26 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
         "\"wall_nanos\"",
     ] {
         assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
+    }
+    // Schema-4 shape: the fused-section summary is always present, and a
+    // jobs>1 run reports the shared pool's activity, including the
+    // queue-depth histogram routed through the metrics registry.
+    assert!(
+        json.contains("\"fused\":{\"sections\":"),
+        "missing fused block in schema-4 timings:\n{json}"
+    );
+    for key in [
+        "\"pool\":{\"workers\":",
+        "\"submitted\":",
+        "\"executed\":",
+        "\"steals\":",
+        "\"parks\":",
+        "\"queue_depth\":{\"bounds\":",
+    ] {
+        assert!(
+            json.contains(key),
+            "missing pool field {key} in schema-4 timings:\n{json}"
+        );
     }
     for stage in ["lift", "refine", "fences", "merge", "opt", "armgen"] {
         assert!(
@@ -148,10 +168,10 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     }
 }
 
-/// A schema-2 document (as written by earlier builds) must stay readable
-/// by the in-tree JSON reader alongside schema 3: same access paths for
-/// every field that existed then, with the schema field telling consumers
-/// which extensions to expect.
+/// Schema-2 and schema-3 documents (as written by earlier builds) must
+/// stay readable by the in-tree JSON reader alongside schema 4: same
+/// access paths for every field that existed then, with the schema field
+/// telling consumers which extensions to expect.
 #[test]
 fn schema_2_timings_documents_remain_readable() {
     let schema2 = r#"{"schema":2,"version":"PPOpt","jobs":4,"total_nanos":123456,
@@ -159,9 +179,19 @@ fn schema_2_timings_documents_remain_readable() {
                    "funcs":[{"func":"main","index":0,"nanos":83,"changes":120,"insts":120}]},
                   {"stage":"opt","nanos":40,"module_nanos":9,"funcs":[]}],
         "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
-    // Current documents carry the same core fields plus the schema-3
-    // extensions; both must parse through the same reader code.
-    let path = std::env::temp_dir().join(format!("lasagne-schema3-{}.json", std::process::id()));
+    // A schema-3 document as written by the pre-pool builds: per-stage
+    // walls partition total_nanos, and there is no fused/pool block.
+    let schema3 = r#"{"schema":3,"version":"PPOpt","jobs":4,"total_nanos":123456,
+        "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,"module_nanos":5,"wall_nanos":60,
+                   "funcs":[{"func":"main","index":0,"nanos":83,"changes":120,"insts":120}]},
+                  {"stage":"opt","parallel_sections":9,"nanos":40,"module_nanos":9,"wall_nanos":30,"funcs":[]}],
+        "opt_passes":[{"pass":"mem2reg","nanos":10,"changes":0,"invocations":2}],
+        "ipsccp_rounds":[{"round":0,"gather_nanos":1,"join_nanos":1,"apply_nanos":1,"facts":0,"substitutions":0}],
+        "barrier_wait_nanos":[1,2,3,4],
+        "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
+    // Current documents carry the same core fields plus the schema-4
+    // extensions; all three must parse through the same reader code.
+    let path = std::env::temp_dir().join(format!("lasagne-schema4-{}.json", std::process::id()));
     stdout(&[
         "translate",
         "HT",
@@ -172,10 +202,10 @@ fn schema_2_timings_documents_remain_readable() {
         "--timings",
         path.to_str().unwrap(),
     ]);
-    let schema3 = std::fs::read_to_string(&path).expect("timings file written");
+    let schema4 = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
 
-    for (doc, expected_schema) in [(schema2, 2), (schema3.as_str(), 3)] {
+    for (doc, expected_schema) in [(schema2, 2), (schema3, 3), (schema4.as_str(), 4)] {
         let v = lasagne_repro::trace::json::parse(doc).expect("timings JSON parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_u64()),
@@ -192,7 +222,7 @@ fn schema_2_timings_documents_remain_readable() {
             assert!(st.get("module_nanos").and_then(|s| s.as_u64()).is_some());
             assert!(st.get("funcs").and_then(|s| s.as_arr()).is_some());
         }
-        // Schema-3 extensions are present exactly when the tag says so.
+        // Extensions are present exactly when the tag says so.
         assert_eq!(
             v.get("ipsccp_rounds").is_some(),
             expected_schema >= 3,
@@ -202,6 +232,18 @@ fn schema_2_timings_documents_remain_readable() {
             v.get("barrier_wait_nanos").is_some(),
             expected_schema >= 3,
             "barrier_wait_nanos presence disagrees with schema tag"
+        );
+        assert_eq!(
+            v.get("fused").is_some(),
+            expected_schema >= 4,
+            "fused presence disagrees with schema tag"
+        );
+        // The pool block additionally requires jobs > 1, which holds for
+        // the live document above.
+        assert_eq!(
+            v.get("pool").is_some(),
+            expected_schema >= 4,
+            "pool presence disagrees with schema tag"
         );
     }
 }
