@@ -90,11 +90,55 @@ if ! awk -v s="$SPEEDUP" -v f="$FLOOR" 'BEGIN { exit !(s >= f) }'; then
     exit 1
 fi
 
-# Neither the trace collector nor the pipeline may unwrap a
-# possibly-poisoned lock (a panicking worker would then take the whole
-# trace — or the shared work-stealing pool — down with it); all
-# acquisitions go through the trace crate's poison-recovering helper.
-if grep -rn 'lock()\.unwrap()' crates/trace/src/ crates/lasagne/src/ | grep -v '//'; then
-    echo 'crates/trace and crates/lasagne must use lock_clean(), not lock().unwrap()' >&2
+# Translation-as-a-service smoke: a daemon on a Unix socket must serve
+# assembly byte-identical to the CLI's translate output, answer a repeat
+# replay of the suite entirely from the hot tier with identical response
+# bytes, drain cleanly on serve-stop (no stray process, socket removed),
+# and shed nothing when unloaded.
+SOCK="$CACHE_DIR/serve.sock"
+./target/release/lasagne serve --socket "$SOCK" --jobs 2 \
+    --cache-dir "$CACHE_DIR/serve-cache" &
+SERVE_PID=$!
+./target/release/lasagne serve-client HT --socket "$SOCK" \
+    >"$CACHE_DIR/HT.serve.s"
+cmp "$CACHE_DIR/HT.cold.s" "$CACHE_DIR/HT.serve.s"
+R1=$(./target/release/lasagne serve-bench --socket "$SOCK" --concurrency 4)
+R2=$(./target/release/lasagne serve-bench --socket "$SOCK" --concurrency 4)
+echo "$R1" | grep -q '"shed":0'
+echo "$R2" | grep -q '"hot":7'
+echo "$R2" | grep -q '"shed":0'
+C1=$(echo "$R1" | sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p')
+C2=$(echo "$R2" | sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p')
+test -n "$C1" && test "$C1" = "$C2"
+./target/release/lasagne serve-stop --socket "$SOCK"
+wait "$SERVE_PID"
+test ! -e "$SOCK"
+
+# Forced overload: a queue of one with both cache tiers disabled under an
+# over-wide client must degrade into explicit Shed responses — nonzero
+# sheds, zero hard errors. This is the only serve configuration allowed
+# to shed at all.
+./target/release/lasagne serve --socket "$SOCK" --jobs 2 \
+    --queue 1 --hot-bytes 0 &
+SERVE_PID=$!
+OVERLOAD=$(./target/release/lasagne serve-bench --socket "$SOCK" \
+    --concurrency 8 --reps 3)
+echo "$OVERLOAD" | grep -q '"errors":0'
+if echo "$OVERLOAD" | grep -q '"shed":0,'; then
+    echo "serve overload gate: queue=1 at concurrency 8 never shed" >&2
+    exit 1
+fi
+./target/release/lasagne serve-stop --socket "$SOCK"
+wait "$SERVE_PID"
+test ! -e "$SOCK"
+
+# Neither the trace collector, the pipeline, the serve daemon, nor the
+# bench harness may unwrap a possibly-poisoned lock (a panicking worker
+# would then take the whole trace — or the shared work-stealing pool, or
+# the hot tier — down with it); all acquisitions go through the trace
+# crate's poison-recovering helper.
+if grep -rn 'lock()\.unwrap()' crates/trace/src/ crates/lasagne/src/ \
+    crates/bench/src/ src/ | grep -v '//'; then
+    echo 'trace, lasagne, bench, and the CLI must use lock_clean(), not lock().unwrap()' >&2
     exit 1
 fi

@@ -2,12 +2,15 @@
 //!
 //! Usage: `cargo run -p lasagne-bench --bin report [--release] -- [section]`
 //! where `section` ∈ `table1 | fig12 | fig13 | fig14 | fig15 | fig16 |
-//! fig17 | litmus | ablations | timings | fences | bench | diff | all`
-//! (default `all`). The `bench` and `diff` sections are not part of
-//! `all`: `bench` re-translates the suite several times at `--jobs 1`
-//! and `--jobs N` and writes the `BENCH_pipeline.json` perf-trajectory
-//! artifact (see [`bench()`]); `diff` runs the three-way differential
-//! sweep and writes `BENCH_diff.json` (see [`diff()`]).
+//! fig17 | litmus | ablations | timings | fences | bench | diff | serve |
+//! all` (default `all`). The `bench`, `diff`, and `serve` sections are
+//! not part of `all`: `bench` re-translates the suite several times at
+//! `--jobs 1` and `--jobs N` and writes the `BENCH_pipeline.json`
+//! perf-trajectory artifact (see [`bench()`]); `diff` runs the three-way
+//! differential sweep and writes `BENCH_diff.json` (see [`diff()`]);
+//! `serve` hosts in-process `lasagne serve` daemons, replays the suite
+//! through the load generator across cold / warm-disk / warm-hot
+//! phases, and writes `BENCH_serve.json` (see [`serve()`]).
 //!
 //! Figures 12/13/14/16 and the timings section all consume the same four
 //! translations per benchmark (one per [`Version`]); a memoizing [`Sweep`]
@@ -104,6 +107,7 @@ fn main() {
         "fences" => fences(&sweep.benches),
         "bench" => bench(&sweep.benches),
         "diff" => diff(),
+        "serve" => serve(),
         "all" => {
             table1(&sweep.benches);
             fig12(&mut sweep);
@@ -120,7 +124,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown section `{other}`; use \
-                 table1|fig12..fig17|litmus|ablations|timings|fences|bench|diff|all"
+                 table1|fig12..fig17|litmus|ablations|timings|fences|bench|diff|serve|all"
             );
             std::process::exit(2);
         }
@@ -517,10 +521,11 @@ const PREPOOL_JSON: &str = concat!(
 );
 
 /// Per-stage suite aggregates for one PPOpt sweep at a fixed jobs value:
-/// wall time per stage (the orchestrator's `wall_nanos` — **overlapped**
-/// under timing schema 4: a stage fused into a multi-stage region is
-/// charged the region's whole wall, so these no longer partition the
-/// total), CPU time per stage (`nanos + module_nanos`, summed across
+/// wall time per stage (the orchestrator's `wall_nanos` — disjoint under
+/// timing schema 5: a fused region's wall is apportioned across its
+/// member stages by in-region CPU, so stage walls partition the total
+/// again; schema-4 builds charged the whole region to every member),
+/// CPU time per stage (`nanos + module_nanos`, summed across
 /// overlapping workers), and the shared pool's activity attributed to
 /// the sweep's runs.
 struct SuiteSample {
@@ -746,6 +751,243 @@ fn diff() {
     if !s.clean() {
         std::process::exit(1);
     }
+}
+
+/// One serve phase measured by the load generator, plus the shared
+/// pool's activity delta attributed to it.
+struct ServePhase {
+    name: &'static str,
+    summary: lasagne_bench::serve_load::ReplaySummary,
+    pool: lasagne::pipeline::pool::PoolStats,
+}
+
+impl ServePhase {
+    fn p(&self, pct: f64) -> u128 {
+        lasagne_bench::serve_load::percentile(&self.summary.ok_latencies(), pct)
+    }
+
+    fn json(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{{\"requests\":{},\"hits\":{{\"hot\":{},\"coalesced\":{},\
+             \"disk\":{},\"cold\":{}}},\"shed\":{},\"timeouts\":{},\
+             \"errors\":{},\"p50_nanos\":{},\"p99_nanos\":{},\
+             \"p999_nanos\":{},\"throughput_rps\":{:.1},\"wall_nanos\":{},\
+             \"pool\":{{\"submitted\":{},\"executed\":{},\"steals\":{},\
+             \"parks\":{}}},\"checksum\":\"{:016x}\"}}",
+            s.samples.len(),
+            s.hits[0],
+            s.hits[1],
+            s.hits[2],
+            s.hits[3],
+            s.shed,
+            s.timeouts,
+            s.errors,
+            self.p(50.0),
+            self.p(99.0),
+            self.p(99.9),
+            s.throughput_rps(),
+            s.wall_nanos,
+            self.pool.submitted,
+            self.pool.executed,
+            self.pool.steals,
+            self.pool.parks,
+            s.checksum,
+        )
+    }
+}
+
+/// Replays `opts` against a running daemon, attributing the shared
+/// pool's activity over the replay to the phase.
+fn serve_phase(name: &'static str, opts: &lasagne_bench::serve_load::LoadOpts) -> ServePhase {
+    use lasagne::pipeline::pool::Pool;
+    let before = Pool::shared().stats();
+    let summary = lasagne_bench::serve_load::replay(opts);
+    let pool = Pool::shared().stats().since(&before);
+    ServePhase {
+        name,
+        summary,
+        pool,
+    }
+}
+
+/// Measures the `lasagne serve` daemon's three-rung lookup ladder and
+/// writes `BENCH_serve.json`.
+///
+/// For each client concurrency level, three phases replay the same
+/// deterministic request list (the suite under all four [`Version`]s —
+/// 28 distinct content keys, since the key hashes the version alongside
+/// the binary bytes) through the load generator:
+///
+/// * **cold** — fresh daemon, fresh cache directory: every request is a
+///   full pipeline run;
+/// * **warm_disk** — the daemon restarted on the same cache directory
+///   (hot tier empty): every request replays the on-disk manifest;
+/// * **warm_hot** — the same daemon again (the warm-disk replay
+///   populated the hot tier): every request is answered from memory.
+///
+/// All three phases must produce the same response-byte checksum — the
+/// daemon's determinism claim — and the artifact records per-phase
+/// p50/p99/p999 latency, throughput, the hot/coalesced/disk/cold split,
+/// shed/timeout/error counts, and the shared pool's activity delta. A
+/// final shed probe (queue depth 1, no caches, over-wide client) records
+/// that overload degrades into explicit `Shed` responses, not queueing.
+fn serve() {
+    use lasagne::serve::{Config, Server};
+    use lasagne_bench::serve_load::LoadOpts;
+
+    let scale = scale();
+    let versions = Version::ALL.to_vec();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let root = std::env::temp_dir().join("lasagne-report-serve");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("serve scratch dir");
+
+    println!(
+        "== Serve: daemon latency ladder (all versions, scale {scale}, \
+         jobs {JOBS}, host cpus {host_cpus}) =="
+    );
+    let concurrency = [1usize, 4];
+    let mut levels = Vec::new();
+    for &width in &concurrency {
+        let cache = root.join(format!("cache-c{width}"));
+        let sock = |tag: &str| {
+            root.join(format!("c{width}-{tag}.sock"))
+                .to_string_lossy()
+                .into_owned()
+        };
+        let cfg = |addr: String| Config {
+            addr,
+            jobs: JOBS,
+            cache_dir: Some(cache.clone()),
+            ..Config::default()
+        };
+        let opts = LoadOpts {
+            addr: String::new(),
+            versions: versions.clone(),
+            concurrency: width,
+            scale,
+            reps: 1,
+            jobs: 0,
+        };
+
+        // Cold: fresh daemon, fresh cache.
+        let daemon = Server::spawn(cfg(sock("cold"))).expect("spawn cold daemon");
+        let cold = serve_phase(
+            "cold",
+            &LoadOpts {
+                addr: daemon.addr().to_string(),
+                ..opts.clone()
+            },
+        );
+        daemon.stop();
+
+        // Warm disk: restarted daemon (hot tier empty), same cache dir.
+        let daemon = Server::spawn(cfg(sock("warm"))).expect("spawn warm daemon");
+        let warm_opts = LoadOpts {
+            addr: daemon.addr().to_string(),
+            ..opts
+        };
+        let warm_disk = serve_phase("warm_disk", &warm_opts);
+        // Warm hot: same daemon — the previous replay filled the tier.
+        let warm_hot = serve_phase("warm_hot", &warm_opts);
+        daemon.stop();
+
+        for ph in [&cold, &warm_disk, &warm_hot] {
+            let s = &ph.summary;
+            assert_eq!(
+                s.shed + s.timeouts + s.errors,
+                0,
+                "serve c{width} {}: degraded responses in an unloaded run",
+                ph.name
+            );
+            assert_eq!(
+                s.checksum, cold.summary.checksum,
+                "serve c{width} {}: response bytes diverged from the cold run",
+                ph.name
+            );
+            println!(
+                "c{width} {:<10} p50 {:>8.3} ms  p99 {:>8.3} ms  {:>7.1} req/s  \
+                 hot/coal/disk/cold {}/{}/{}/{}",
+                ph.name,
+                ph.p(50.0) as f64 / 1e6,
+                ph.p(99.0) as f64 / 1e6,
+                s.throughput_rps(),
+                s.hits[0],
+                s.hits[1],
+                s.hits[2],
+                s.hits[3],
+            );
+        }
+        let speedup = cold.p(50.0) as f64 / warm_hot.p(50.0).max(1) as f64;
+        println!("c{width} hot-tier p50 speedup vs cold: {speedup:.1}x");
+        levels.push(format!(
+            "\"c{width}\":{{\"cold\":{},\n   \"warm_disk\":{},\n   \
+             \"warm_hot\":{},\n   \"hot_speedup_p50\":{speedup:.1}}}",
+            cold.json(),
+            warm_disk.json(),
+            warm_hot.json(),
+        ));
+    }
+
+    // Shed probe: a queue of one and no caches under an over-wide client
+    // must shed explicitly rather than queue or fail.
+    let daemon = Server::spawn(Config {
+        addr: root.join("shed.sock").to_string_lossy().into_owned(),
+        jobs: JOBS,
+        hot_bytes: 0,
+        queue: 1,
+        cache_dir: None,
+        ..Config::default()
+    })
+    .expect("spawn shed daemon");
+    let shed = serve_phase(
+        "shed_probe",
+        &LoadOpts {
+            addr: daemon.addr().to_string(),
+            versions: vec![Version::PPOpt],
+            concurrency: 8,
+            scale,
+            reps: 2,
+            jobs: 0,
+        },
+    );
+    daemon.stop();
+    let s = &shed.summary;
+    assert!(
+        s.shed > 0,
+        "shed probe: queue=1 at concurrency 8 never shed a request"
+    );
+    assert_eq!(s.errors, 0, "shed probe: hard failures instead of sheds");
+    println!(
+        "shed probe (queue 1, concurrency 8): {} requests, {} served cold, {} shed",
+        s.samples.len(),
+        s.hits[3],
+        s.shed
+    );
+
+    let version_names = versions
+        .iter()
+        .map(|v| format!("\"{}\"", v.name()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let json = format!(
+        "{{\"schema\":1,\"scale\":{scale},\"versions\":[{version_names}],\"reps\":1,\
+         \"jobs\":{JOBS},\"host_cpus\":{host_cpus},\
+         \"concurrency\":[1,4],\n \"levels\":{{{}}},\n \
+         \"shed_probe\":{{\"queue\":1,\"concurrency\":8,\"version\":\"PPOpt\",\"reps\":2,\
+         \"requests\":{},\"cold\":{},\"shed\":{},\"errors\":{}}}}}\n",
+        levels.join(",\n  "),
+        s.samples.len(),
+        s.hits[3],
+        s.shed,
+        s.errors,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&root);
+    println!("wrote BENCH_serve.json\n");
 }
 
 fn litmus() {

@@ -4,6 +4,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve_load;
+
 use lasagne::{translate, Pipeline, PipelineReport, Translation, Version};
 use lasagne_armgen::machine::ArmMachine;
 use lasagne_armgen::AModule;

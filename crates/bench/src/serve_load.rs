@@ -1,0 +1,202 @@
+//! Load generator for the `lasagne serve` daemon.
+//!
+//! Replays the Phoenix suite against a running daemon at a configurable
+//! concurrency and reports per-request latencies, the hot/disk/cold hit
+//! split, shed/timeout/error counts, and an order-independent checksum
+//! of every assembly response — so two replays (or a replay vs local
+//! `lasagne translate` output) can be compared byte-for-byte. Shared by
+//! `lasagne serve-bench` and `report -- serve` (BENCH_serve.json).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lasagne::serve::client::Client;
+use lasagne::serve::wire::{Response, Source};
+use lasagne::Version;
+use lasagne_cache::fnv64;
+use lasagne_phoenix::all_benchmarks;
+use lasagne_trace::lock_clean;
+
+/// One replay's shape: where, what, how wide.
+#[derive(Debug, Clone)]
+pub struct LoadOpts {
+    /// Daemon address (Unix socket path or TCP `host:port`).
+    pub addr: String,
+    /// Pipeline configurations requested, one full suite pass per
+    /// entry. A benchmark's machine code is the same at every scale, so
+    /// the suite has exactly seven distinct binaries — but the content
+    /// key hashes the [`Version`] alongside the bytes, so each version
+    /// widens the key space: `versions.len() × 7` unique requests per
+    /// rep.
+    pub versions: Vec<Version>,
+    /// Client threads, each with its own connection.
+    pub concurrency: usize,
+    /// Workload scale the suite is synthesized at. Scale parameterizes
+    /// the *workload* (which the daemon never runs), not the binary, so
+    /// it does not affect content keys; it is plumbed through so the
+    /// summary can record the effective `LASAGNE_BENCH_SCALE`.
+    pub scale: usize,
+    /// How many times to replay the whole request list.
+    pub reps: usize,
+    /// `--jobs` forwarded to the server (0 = server default).
+    pub jobs: u32,
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Client-observed round-trip latency.
+    pub nanos: u128,
+    /// `Some(source)` for an accepted translation, `None` otherwise.
+    pub source: Option<Source>,
+    /// Outcome bucket: `ok`, `shed`, `timeout`, or `error`.
+    pub status: &'static str,
+}
+
+/// Aggregated outcome of one replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySummary {
+    /// Per-request outcomes in request order (stable across runs).
+    pub samples: Vec<Sample>,
+    /// Wall time of the whole replay.
+    pub wall_nanos: u128,
+    /// Accepted-response hit split `[hot, coalesced, disk, cold]`.
+    pub hits: [u64; 4],
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that hit the server-side deadline.
+    pub timeouts: u64,
+    /// Failed requests (translation or transport).
+    pub errors: u64,
+    /// Order-independent FNV-1a fold over `(request index, assembly)`
+    /// of every accepted response; two replays of the same list match
+    /// iff every response's bytes match.
+    pub checksum: u64,
+}
+
+impl ReplaySummary {
+    /// Sorted latencies of accepted (Ok) responses, in nanoseconds.
+    pub fn ok_latencies(&self) -> Vec<u128> {
+        let mut v: Vec<u128> = self
+            .samples
+            .iter()
+            .filter(|s| s.status == "ok")
+            .map(|s| s.nanos)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Requests per second over the replay wall time (accepted only).
+    pub fn throughput_rps(&self) -> f64 {
+        let ok = self.samples.iter().filter(|s| s.status == "ok").count();
+        ok as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+}
+
+/// The `p`-th percentile (0–100) of an ascending latency slice, by the
+/// nearest-rank method. Zero for an empty slice.
+pub fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Replays the suite per `opts`. Requests are assigned to client
+/// threads round-robin by index, so the assignment (and the summary's
+/// request order) is deterministic at any concurrency.
+///
+/// # Panics
+///
+/// Panics if a client cannot connect to `opts.addr`.
+pub fn replay(opts: &LoadOpts) -> ReplaySummary {
+    // Build the deterministic request list once; binaries are reused
+    // across reps (same content keys — that is the point).
+    let mut images = Vec::new();
+    for &version in &opts.versions {
+        for b in all_benchmarks(opts.scale) {
+            images.push((b.abbrev, version, b.binary));
+        }
+    }
+    let total = images.len() * opts.reps;
+    let width = opts.concurrency.max(1);
+    let results: Mutex<Vec<Option<Sample>>> = Mutex::new(vec![None; total]);
+    let checksum = Mutex::new(0u64);
+
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        for worker in 0..width {
+            let images = &images;
+            let results = &results;
+            let checksum = &checksum;
+            s.spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(&opts.addr, std::time::Duration::from_secs(5))
+                        .unwrap_or_else(|e| panic!("connect {}: {e}", opts.addr));
+                for idx in (worker..total).step_by(width) {
+                    let (_, version, bin) = &images[idx % images.len()];
+                    let t0 = Instant::now();
+                    let resp = client.translate(bin, *version, opts.jobs);
+                    let nanos = t0.elapsed().as_nanos();
+                    let sample = match resp {
+                        Ok(Response::Ok { source, asm, .. }) => {
+                            // Fold (index, bytes) commutatively so the
+                            // checksum is independent of completion
+                            // order but pinned to request identity.
+                            let h =
+                                fnv64(&[&(idx as u64).to_le_bytes()[..], asm.as_bytes()].concat());
+                            *lock_clean(checksum) ^= h;
+                            Sample {
+                                nanos,
+                                source: Some(source),
+                                status: "ok",
+                            }
+                        }
+                        Ok(Response::Shed) => Sample {
+                            nanos,
+                            source: None,
+                            status: "shed",
+                        },
+                        Ok(Response::Timeout) => Sample {
+                            nanos,
+                            source: None,
+                            status: "timeout",
+                        },
+                        Ok(_) | Err(_) => Sample {
+                            nanos,
+                            source: None,
+                            status: "error",
+                        },
+                    };
+                    lock_clean(results)[idx] = Some(sample);
+                }
+            });
+        }
+    });
+    let wall_nanos = wall.elapsed().as_nanos();
+
+    let samples: Vec<Sample> = lock_clean(&results)
+        .iter()
+        .map(|s| s.clone().expect("request left unserved"))
+        .collect();
+    let mut summary = ReplaySummary {
+        wall_nanos,
+        checksum: *lock_clean(&checksum),
+        ..Default::default()
+    };
+    for s in &samples {
+        match (s.status, s.source) {
+            (_, Some(Source::Hot)) => summary.hits[0] += 1,
+            (_, Some(Source::Coalesced)) => summary.hits[1] += 1,
+            (_, Some(Source::Disk)) => summary.hits[2] += 1,
+            (_, Some(Source::Cold)) => summary.hits[3] += 1,
+            ("shed", None) => summary.shed += 1,
+            ("timeout", None) => summary.timeouts += 1,
+            (_, None) => summary.errors += 1,
+        }
+    }
+    summary.samples = samples;
+    summary
+}

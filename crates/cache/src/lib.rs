@@ -86,6 +86,14 @@ pub struct ManifestEntry {
     pub name: String,
     /// Content key of the function artifact under `obj/`.
     pub key: u64,
+    /// FNV-1a digest of the artifact *file bytes* under `obj/`, verified
+    /// on load. The key names the artifact by its pipeline inputs; the
+    /// digest pins its contents, so a file that is individually
+    /// well-formed but belongs to a different translation (a botched
+    /// rename, a foreign writer) is rejected instead of reassembled into
+    /// the wrong module. Callers may leave it 0 —
+    /// [`TranslationCache::store`] computes it from the bytes it frames.
+    pub digest: u64,
     /// Cached per-function metadata.
     pub meta: FuncMeta,
 }
@@ -142,8 +150,22 @@ pub struct TranslationCache {
     root: PathBuf,
     keep: usize,
     stats: Mutex<CacheStats>,
-    tmp_seq: AtomicU64,
 }
+
+/// Serializes store/prune critical sections across every cache handle in
+/// this process. Concurrent cold translations sharing one cache
+/// directory (the serve daemon opens a handle per request) would
+/// otherwise race the prune: one handle's GC sweep can delete artifacts
+/// another handle has written but not yet published a manifest for.
+/// Cross-process stores remain safe without it — every write is
+/// tempfile-plus-rename and a lost artifact is only ever a future miss.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Process-wide tempfile sequence. Must not be per-handle: two handles
+/// on the same directory would both start at zero and collide on
+/// `tmp/{pid}-0.tmp`, renaming one store's bytes into the other's
+/// content-addressed artifact path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl TranslationCache {
     /// Opens (creating if needed) the cache rooted at `root`.
@@ -159,7 +181,6 @@ impl TranslationCache {
             root,
             keep: DEFAULT_KEEP,
             stats: Mutex::new(CacheStats::default()),
-            tmp_seq: AtomicU64::new(0),
         })
     }
 
@@ -190,10 +211,11 @@ impl TranslationCache {
     /// Attempts to serve the whole module for `module_key` from cache.
     ///
     /// Returns `None` — counting one miss — if the manifest is absent, any
-    /// file fails its checksum or decode, any artifact's name disagrees
-    /// with its manifest row, or the reassembled module fails the LIR
-    /// verifier. Corrupt files encountered on the way are deleted so the
-    /// next cold run rewrites them.
+    /// file fails its checksum or decode, any artifact's bytes or name
+    /// disagree with its manifest row (the row's digest pins the exact
+    /// file contents the manifest was stored with), or the reassembled
+    /// module fails the LIR verifier. Corrupt files encountered on the
+    /// way are deleted so the next cold run rewrites them.
     pub fn load(&self, module_key: u64) -> Option<CachedModule> {
         match self.try_load(module_key) {
             Some(cached) => {
@@ -253,6 +275,12 @@ impl TranslationCache {
                     return None;
                 }
             };
+            if fnv64(&bytes) != entry.digest {
+                // Well-formed bytes that are not the bytes this manifest
+                // stored — a foreign or stale artifact at our path.
+                let _ = fs::remove_file(&path);
+                return None;
+            }
             let func = match decode_function(&bytes) {
                 Ok(f) => f,
                 Err(Corrupt) => {
@@ -292,28 +320,35 @@ impl TranslationCache {
     /// is a caller bug, not a cache condition.
     pub fn store(&self, module_key: u64, manifest: &Manifest, funcs: &[Function]) {
         assert_eq!(manifest.entries.len(), funcs.len());
-        for (entry, func) in manifest.entries.iter().zip(funcs) {
+        let _guard = STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut man = manifest.clone();
+        for (entry, func) in man.entries.iter_mut().zip(funcs) {
+            // The digest is always recomputed from the bytes this store
+            // frames: translation is deterministic per key, so an
+            // artifact that is already present has these exact bytes.
+            let mut w = ser::Writer::new();
+            w.put_function(func);
+            let framed = ser::frame(&w.finish());
+            entry.digest = fnv64(&framed);
             let path = self.artifact_path(entry.key);
             if path.exists() {
                 self.stats.lock().unwrap().unchanged += 1;
                 continue;
             }
-            let mut w = ser::Writer::new();
-            w.put_function(func);
-            if self.write_atomic(&path, &ser::frame(&w.finish())).is_ok() {
+            if self.write_atomic(&path, &framed).is_ok() {
                 self.stats.lock().unwrap().writes += 1;
             }
         }
-        let bytes = ser::frame(&encode_manifest(manifest));
+        let bytes = ser::frame(&encode_manifest(&man));
         let _ = self.write_atomic(&self.manifest_path(module_key), &bytes);
-        self.prune();
+        self.prune_locked();
     }
 
     fn write_atomic(&self, dst: &Path, bytes: &[u8]) -> io::Result<()> {
         let tmp = self.root.join("tmp").join(format!(
             "{}-{}.tmp",
             std::process::id(),
-            self.tmp_seq.fetch_add(1, AtomicOrdering::Relaxed)
+            TMP_SEQ.fetch_add(1, AtomicOrdering::Relaxed)
         ));
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, dst).inspect_err(|_| {
@@ -325,6 +360,13 @@ impl TranslationCache {
     /// ones and any `obj/` artifact no surviving manifest references.
     /// Called from [`TranslationCache::store`]; harmless to call directly.
     pub fn prune(&self) {
+        let _guard = STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        self.prune_locked();
+    }
+
+    /// [`prune`](TranslationCache::prune) body; caller holds
+    /// [`STORE_LOCK`].
+    fn prune_locked(&self) {
         let Ok(dir) = fs::read_dir(&self.root) else {
             return;
         };
@@ -399,6 +441,7 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
     for e in &m.entries {
         w.put_str(&e.name);
         w.put_u64(e.key);
+        w.put_u64(e.digest);
         w.put_u64(e.meta.frm);
         w.put_u64(e.meta.fww);
         w.put_u64(e.meta.skipped_stack);
@@ -432,6 +475,7 @@ fn decode_manifest(file_bytes: &[u8]) -> Result<Manifest, Corrupt> {
         entries.push(ManifestEntry {
             name: r.get_str()?,
             key: r.get_u64()?,
+            digest: r.get_u64()?,
             meta: FuncMeta {
                 frm: r.get_u64()?,
                 fww: r.get_u64()?,
@@ -524,6 +568,7 @@ mod tests {
                     ManifestEntry {
                         name: f.name.clone(),
                         key: fnv64(w.bytes()),
+                        digest: 0,
                         meta: FuncMeta {
                             frm: i as u64,
                             fww: 1,
@@ -606,6 +651,56 @@ mod tests {
         // Artifacts survived; only the manifest needed rewriting.
         assert_eq!(cache.stats().unchanged, 1);
         assert!(cache.load(2).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_handles_on_one_directory_do_not_cross_contaminate() {
+        // The serve daemon opens a fresh handle per request; concurrent
+        // cold stores into one directory must not mix artifacts (the
+        // per-handle tempfile sequence once collided on `{pid}-0.tmp`).
+        let dir = temp_cache_dir("concurrent");
+        fs::create_dir_all(&dir).unwrap();
+        let mods: Vec<(u64, Vec<Function>)> = (0..8u64)
+            .map(|i| (i, vec![leaf("main", i as i64), leaf("helper", -(i as i64))]))
+            .collect();
+        std::thread::scope(|s| {
+            for (key, funcs) in &mods {
+                s.spawn(|| {
+                    let cache = TranslationCache::open(&dir).unwrap();
+                    cache.store(*key, &sample_manifest(funcs), funcs);
+                });
+            }
+        });
+        let cache = TranslationCache::open(&dir).unwrap();
+        for (key, funcs) in &mods {
+            let got = cache.load(*key).expect("stored module should load");
+            assert_eq!(&got.module.funcs, funcs, "module {key} was contaminated");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_bytes_at_an_artifact_path_are_rejected_by_digest() {
+        let dir = temp_cache_dir("digest");
+        let cache = TranslationCache::open(&dir).unwrap();
+        let funcs = vec![leaf("a", 3)];
+        let man = sample_manifest(&funcs);
+        cache.store(7, &man, &funcs);
+
+        // Overwrite the artifact with a *well-formed* frame of a
+        // different function that has the same name: only the digest
+        // check can tell it apart.
+        let imposter = leaf("a", 99);
+        let mut w = ser::Writer::new();
+        w.put_function(&imposter);
+        let obj = cache.artifact_path(man.entries[0].key);
+        fs::write(&obj, ser::frame(&w.finish())).unwrap();
+
+        assert!(cache.load(7).is_none(), "foreign artifact must miss");
+        assert!(!obj.exists(), "foreign artifact must be deleted");
+        cache.store(7, &man, &funcs);
+        assert!(cache.load(7).is_some(), "store after heal must hit");
         let _ = fs::remove_dir_all(&dir);
     }
 

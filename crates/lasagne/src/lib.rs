@@ -43,6 +43,7 @@
 
 pub mod difftest;
 pub mod pipeline;
+pub mod serve;
 
 use lasagne_armgen::AModule;
 use lasagne_lir::Module;

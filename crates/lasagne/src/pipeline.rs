@@ -123,7 +123,16 @@ use pool::Pool;
 ///   queue-depth histogram). Schema-3 consumers that ignore unknown
 ///   fields still parse every field they knew about, but should not
 ///   assume stage walls sum to the total.
-pub const REPORT_SCHEMA: u32 = 4;
+/// * **5** — per-stage `"wall_nanos"` is a disjoint extent again: each
+///   fused region's wall is split across its member stages in
+///   proportion to the CPU time that stage's work items consumed inside
+///   the region ([`TimingSink::record_region_wall`]), so summing stage
+///   walls once more recovers the translation's wall (up to scheduling
+///   noise around the serial joins). No fields are added or removed
+///   relative to schema 4 — only the overlap caveat is retired — which
+///   restores apples-to-apples stage-wall comparison against the
+///   schema-3 era numbers in `BENCH_pipeline.json`.
+pub const REPORT_SCHEMA: u32 = 5;
 
 /// Fence provenance for one function, collected by an explain-enabled
 /// pipeline run ([`Pipeline::explain_fences`]): every Figure 8a mapping
@@ -530,14 +539,44 @@ impl TimingSink {
     }
 
     /// Accounts wall-clock time the orchestrating thread spent inside a
-    /// region that `stage` participated in. Since schema 4 the fused
-    /// schedule runs several stages inside one region, and every
-    /// participating stage is charged the region's full wall — stage
-    /// walls *overlap* and no longer partition the translation's
-    /// `total_nanos`. (`StageTiming::nanos` is different again: it sums
-    /// per-function work across concurrent worker threads.)
+    /// region owned by a single `stage` (the refine fixpoint sections,
+    /// the opt continuation, Arm code generation). Multi-stage fused
+    /// regions go through [`TimingSink::record_region_wall`] instead, so
+    /// that stage walls stay disjoint. (`StageTiming::nanos` is a
+    /// different axis: it sums per-function work across concurrent
+    /// worker threads and can exceed the wall.)
     pub fn record_stage_wall(&self, stage: Stage, nanos: u128) {
         lock_clean(&self.stage_walls)[stage.index()] += nanos;
+    }
+
+    /// Accounts the wall clock of one *fused* region by splitting it
+    /// across the region's member stages in proportion to the CPU time
+    /// each stage's work items consumed inside that region (`parts`
+    /// pairs every member with its in-region CPU nanos; a zero-CPU
+    /// region falls back to an equal split). The shares partition the
+    /// region's wall exactly — the schema-5 guarantee that per-stage
+    /// `wall_nanos` are disjoint extents summing to the fused wall,
+    /// instead of schema 4's every-member-charged-in-full overlap.
+    pub fn record_region_wall(&self, parts: &[(Stage, u128)], wall: u128) {
+        if parts.is_empty() {
+            return;
+        }
+        let total: u128 = parts.iter().map(|(_, cpu)| *cpu).sum();
+        let mut walls = lock_clean(&self.stage_walls);
+        let mut assigned = 0u128;
+        for (i, (stage, cpu)) in parts.iter().enumerate() {
+            let share = if i + 1 == parts.len() {
+                // The last member absorbs the integer-division remainder
+                // so the shares always sum to `wall` exactly.
+                wall - assigned
+            } else if total == 0 {
+                wall / parts.len() as u128
+            } else {
+                wall * cpu / total
+            };
+            assigned += share;
+            walls[stage.index()] += share;
+        }
     }
 
     /// Accounts one completed parallel section in `stage`: per worker
@@ -741,10 +780,13 @@ pub struct StageTiming {
     /// parameter promotion, the `ipsccp` join, verification, the
     /// naive-placement baseline).
     pub module_nanos: u128,
-    /// Wall-clock time of the stage as seen by the orchestrating thread.
-    /// Stages run strictly in sequence, so these partition the run's
-    /// `total_nanos`; `nanos` instead sums per-function work across
-    /// overlapping workers and can exceed the wall at `jobs > 1`.
+    /// Wall-clock time attributed to the stage by the orchestrating
+    /// thread. Single-stage regions record their extent directly; a
+    /// fused region's wall is apportioned across its member stages
+    /// proportional to in-region CPU (schema 5), so stage walls are
+    /// disjoint and sum to (approximately) the run's `total_nanos`.
+    /// `nanos` instead sums per-function work across overlapping
+    /// workers and can exceed the wall at `jobs > 1`.
     pub wall_nanos: u128,
     /// Parallel fan-outs the stage executed with two or more workers.
     /// Zero when the stage ran serially (`--jobs 1`, one function, or a
@@ -798,7 +840,7 @@ impl PipelineReport {
     /// [`REPORT_SCHEMA`]; see ARCHITECTURE.md § Observability):
     ///
     /// ```json
-    /// {"schema":4,"version":"PPOpt","jobs":4,"total_nanos":123,
+    /// {"schema":5,"version":"PPOpt","jobs":4,"total_nanos":123,
     ///  "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,
     ///             "module_nanos":5,"wall_nanos":60,
     ///             "funcs":[{"func":"main","index":0,"nanos":83,
@@ -814,9 +856,12 @@ impl PipelineReport {
     ///          "counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}}}
     /// ```
     ///
-    /// Since schema 4 the per-stage `"wall_nanos"` are *overlapped*
-    /// (fused regions charge every participating stage) and do not sum
-    /// to `"total_nanos"`. A traced run additionally carries
+    /// Since schema 5 the per-stage `"wall_nanos"` are *disjoint*
+    /// again: a fused region's wall is apportioned across its member
+    /// stages proportional to their in-region CPU, so stage walls sum
+    /// to (approximately) `"total_nanos"`. Schema 4 charged fused
+    /// extents to every member, making walls overlap — compare
+    /// schema-4 documents with that in mind. A traced run additionally carries
     /// `"metrics":{"counters":{…},"histograms":{…}}`; a cached run
     /// carries `"cache":{…}`; `"pool"` appears only when `jobs > 1`.
     pub fn to_json(&self) -> String {
@@ -1653,6 +1698,8 @@ impl<'s> PassManager<'s> {
         let mut refine_changed = 0u64;
         let (mut casts_lifted, mut insts_lifted) = (0u64, 0u64);
         let (mut naive_total, mut naive_nanos_total) = (0u64, 0u128);
+        let mut lift_nanos_total = 0u128;
+        let mut refine0_nanos_total = 0u128;
         let mut refine_events: Vec<PassEvent> = Vec::new();
         for (i, out) in lifted.into_iter().enumerate() {
             let f = out.body?;
@@ -1663,12 +1710,14 @@ impl<'s> PassManager<'s> {
                 changes: out.lifted_insts,
                 insts: out.lifted_insts,
             });
+            lift_nanos_total += out.lift_nanos;
             casts_lifted += out.casts;
             insts_lifted += out.lifted_insts;
             naive_total += out.naive;
             naive_nanos_total += out.naive_nanos;
             if let Some((nanos, changes, insts)) = out.refine {
                 refine_changed += changes;
+                refine0_nanos_total += nanos;
                 refine_events.push(PassEvent {
                     stage: Stage::Refine,
                     func: Some((i, f.name.clone())),
@@ -1715,9 +1764,14 @@ impl<'s> PassManager<'s> {
             });
         }
         let a_nanos = wall_a.elapsed().as_nanos();
-        for s in a_stages {
-            self.sink.record_stage_wall(*s, a_nanos);
+        let mut a_parts: Vec<(Stage, u128)> = vec![
+            (Stage::Lift, lift_nanos_total),
+            (Stage::Fences, naive_nanos_total),
+        ];
+        if version == Version::PPOpt {
+            a_parts.push((Stage::Refine, refine0_nanos_total));
         }
+        self.sink.record_region_wall(&a_parts, a_nanos);
         self.sink.record_fused_wall(a_nanos);
 
         if version == Version::PPOpt {
@@ -1917,6 +1971,10 @@ impl<'s> PassManager<'s> {
         let mut fences_placed = 0u64;
         let (mut frm, mut fww, mut fsc) = (0usize, 0usize, 0usize);
         let mut prefix_changes = 0u64;
+        let mut sweep_nanos_total = 0u128;
+        let mut place_nanos_total = 0u128;
+        let mut merge_nanos_total = 0u128;
+        let mut prefix_nanos_total = 0u128;
         let mut placement = vec![PlacementStats::default(); nfuncs];
         let mut decision_by_func = vec![Vec::new(); nfuncs];
         let mut merge_by_func = vec![Vec::new(); nfuncs];
@@ -1938,6 +1996,7 @@ impl<'s> PassManager<'s> {
                     prefix,
                 } = out;
                 if let Some((nanos, changes, insts)) = sweep {
+                    sweep_nanos_total += nanos;
                     self.sink.record(PassEvent {
                         stage: Stage::Refine,
                         func: Some((i, f.name.clone())),
@@ -1947,6 +2006,7 @@ impl<'s> PassManager<'s> {
                     });
                 }
                 casts_final += casts;
+                place_nanos_total += place_nanos;
                 self.sink.record(PassEvent {
                     stage: Stage::Fences,
                     func: Some((i, f.name.clone())),
@@ -1960,6 +2020,7 @@ impl<'s> PassManager<'s> {
                     decision_by_func[i] = d;
                 }
                 if let Some((nanos, changes, insts)) = merge {
+                    merge_nanos_total += nanos;
                     self.sink.record(PassEvent {
                         stage: Stage::Merge,
                         func: Some((i, f.name.clone())),
@@ -1975,6 +2036,7 @@ impl<'s> PassManager<'s> {
                 fww += fences.1;
                 fsc += fences.2;
                 if let Some((nanos, per_pass, changes, insts)) = prefix {
+                    prefix_nanos_total += nanos;
                     for (pass, pn, pc) in per_pass {
                         self.sink.record_opt_pass(pass.name(), pn, pc);
                     }
@@ -2019,9 +2081,20 @@ impl<'s> PassManager<'s> {
             *lock_clean(&self.provenance) = records;
         }
         let tail_nanos = wall_tail.elapsed().as_nanos();
-        for s in &tail_stages {
-            self.sink.record_stage_wall(*s, tail_nanos);
-        }
+        let tail_parts: Vec<(Stage, u128)> = tail_stages
+            .iter()
+            .map(|s| {
+                let cpu = match s {
+                    Stage::Refine => sweep_nanos_total,
+                    Stage::Fences => place_nanos_total,
+                    Stage::Merge => merge_nanos_total,
+                    Stage::Opt => prefix_nanos_total,
+                    _ => 0,
+                };
+                (*s, cpu)
+            })
+            .collect();
+        self.sink.record_region_wall(&tail_parts, tail_nanos);
         self.sink.record_fused_wall(tail_nanos);
 
         // #5 continued (everything but Lifted): round 0's intraprocedural
@@ -2109,6 +2182,8 @@ impl<'s> PassManager<'s> {
             entries.push(ManifestEntry {
                 name: f.name.clone(),
                 key,
+                // Pinned to the artifact file bytes by `store`.
+                digest: 0,
                 meta: FuncMeta {
                     frm: ps.frm as u64,
                     fww: ps.fww as u64,
@@ -2280,7 +2355,7 @@ mod tests {
         );
         assert!(metrics.counter("lift.funcs") > 0);
         let json = rep.to_json();
-        assert!(json.starts_with("{\"schema\":4,"), "{json}");
+        assert!(json.starts_with("{\"schema\":5,"), "{json}");
         assert!(json.contains("\"metrics\":{\"counters\":"), "{json}");
 
         // Every cold stage shows up as a span category in the event log.

@@ -106,8 +106,15 @@ pub struct PoolStats {
     pub submitted: u64,
     /// Tasks ever executed (by a worker or by a helping caller).
     pub executed: u64,
-    /// Tasks taken from another worker's deque or from a worker's deque
-    /// by a helping caller.
+    /// Tasks taken from **another** thread's deque: a sibling worker (or
+    /// an external helping caller) draining a worker's deque because its
+    /// own queues were empty. Injector pickups are not steals, and a
+    /// worker popping its *own* deque — directly or while helping a
+    /// nested join — is not a steal either. A schedule whose fan-outs are
+    /// all submitted by the orchestrator therefore legitimately records
+    /// zero steals: every task lands in the injector and is claimed
+    /// injector-first. Steals only appear when nested sections load a
+    /// worker's deque faster than its owner can drain it.
     pub steals: u64,
     /// Times a worker went to sleep with every queue empty.
     pub parks: u64,
@@ -180,6 +187,23 @@ impl Inner {
         Arc::as_ptr(self) as usize
     }
 
+    /// The worker slot of the current thread, if it is one of *this*
+    /// pool's workers. Used both to route nested submissions to the
+    /// submitting worker's own deque and to let a worker that blocks on a
+    /// nested join keep draining its own deque LIFO — without counting
+    /// those pops as steals.
+    fn current_slot(self: &Arc<Inner>) -> Option<usize> {
+        let me = self.identity();
+        WORKER.with(|w| {
+            let (pool, slot) = w.get();
+            if pool == me && slot > 0 {
+                Some(slot - 1)
+            } else {
+                None
+            }
+        })
+    }
+
     /// Queues `task` and wakes the workers. A submission from a pool
     /// worker goes to that worker's own deque (popped LIFO for locality,
     /// stolen FIFO by siblings); everything else goes to the injector.
@@ -188,15 +212,7 @@ impl Inner {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         lock_clean(&self.depth).record(depth as u64);
         let mut task = Some(task);
-        let me = self.identity();
-        let own = WORKER.with(|w| {
-            let (pool, slot) = w.get();
-            if pool == me && slot > 0 {
-                Some(slot - 1)
-            } else {
-                None
-            }
-        });
+        let own = self.current_slot();
         if let Some(w) = own {
             let deque = lock_clean(&self.deques).get(w).cloned();
             if let Some(d) = deque {
@@ -211,7 +227,9 @@ impl Inner {
     }
 
     /// Pops a task: own deque (LIFO) → injector (FIFO) → steal from a
-    /// sibling deque (FIFO). `slot` is `None` for helping callers.
+    /// sibling deque (FIFO). `slot` is `None` for helping callers that
+    /// are not pool workers; only the sibling-deque pickup counts as a
+    /// steal.
     fn find_task(&self, slot: Option<usize>) -> Option<Task> {
         if let Some(w) = slot {
             let own = lock_clean(&self.deques).get(w).cloned();
@@ -497,11 +515,16 @@ impl Pool {
                 runner(slot);
             }));
         }
+        // A worker blocked on its own nested join helps as *itself*: it
+        // drains its own deque LIFO first (where its nested runner tasks
+        // just landed) instead of stealing them FIFO — which used to be
+        // both a locality loss and a steals-counter lie.
+        let own_slot = self.inner.current_slot();
         loop {
             if *lock_clean(&latch.left) == 0 {
                 break;
             }
-            if let Some(t) = self.inner.find_task(None) {
+            if let Some(t) = self.inner.find_task(own_slot) {
                 self.inner.execute(t);
                 continue;
             }

@@ -1,0 +1,510 @@
+//! Translation-as-a-service: the `lasagne serve` daemon.
+//!
+//! A [`Server`] listens on a Unix or TCP socket for framed translation
+//! requests ([`wire`]): a binary image plus a [`Version`] in, AArch64
+//! assembly plus timings out, byte-identical to what `lasagne
+//! translate` prints for the same image. Repeat requests are answered
+//! through a three-rung lookup ladder:
+//!
+//! 1. **hot** — the sharded in-memory tier ([`hot::HotTier`]), a
+//!    content-keyed map of finished assembly, LRU-bounded by bytes,
+//!    with single-flight dedup (N concurrent requests for one key run
+//!    one translation; the rest coalesce onto it);
+//! 2. **disk** — the content-addressed on-disk cache (PR 3), reached
+//!    through the ordinary [`Pipeline`] warm path;
+//! 3. **cold** — a full pipeline run on the shared work-stealing pool.
+//!
+//! Degradation is explicit, never silent: a bounded admission count
+//! sheds excess requests with a [`wire::Response::Shed`] instead of
+//! queueing unboundedly, per-request deadlines turn into
+//! [`wire::Response::Timeout`], a failed or panicked translation turns
+//! into [`wire::Response::Error`] with all shared state intact
+//! (`lock_clean` discipline — no lock is ever poisoned for the next
+//! request), and shutdown drains in-flight work before the listener
+//! thread exits.
+
+pub mod client;
+pub mod hot;
+pub mod wire;
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lasagne_trace::lock_clean;
+use lasagne_x86::binary::Binary;
+
+use crate::pipeline::module_key;
+use crate::{Pipeline, Version};
+use hot::{HotTier, TierError};
+use wire::{Request, Response, Source, WireError};
+
+/// How long an idle connection read sleeps before re-checking the stop
+/// flag; bounds shutdown latency for quiet connections.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration. The defaults suit an interactive daemon; the
+/// bench and CI harnesses tighten `queue`/`hot_bytes` to force the
+/// degraded paths.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Listen address: a filesystem path (Unix socket) or a
+    /// `host:port` TCP address.
+    pub addr: String,
+    /// Worker threads per translation (the shared pool is sized to the
+    /// max seen).
+    pub jobs: usize,
+    /// Hot-tier byte budget; 0 disables the tier entirely.
+    pub hot_bytes: u64,
+    /// Max requests in service at once; excess requests are shed.
+    pub queue: usize,
+    /// Per-request service deadline.
+    pub timeout: Duration,
+    /// On-disk cache directory; `None` = no disk tier.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: String::new(),
+            jobs: 1,
+            hot_bytes: 64 << 20,
+            queue: 64,
+            timeout: Duration::from_secs(60),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Lifetime counters, readable while the server runs and snapshotted
+/// into the [`Request::Stats`] response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Translation requests received (including shed/timed-out ones).
+    pub requests: u64,
+    /// Served from the resident hot tier.
+    pub hot: u64,
+    /// Coalesced onto another request's in-flight translation.
+    pub coalesced: u64,
+    /// Served through the on-disk cache's warm path.
+    pub disk: u64,
+    /// Full cold translations.
+    pub cold: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests that exceeded the service deadline.
+    pub timeouts: u64,
+    /// Requests that failed (translation error or panic).
+    pub errors: u64,
+    /// Hot-tier residency at snapshot time.
+    pub hot_entries: u64,
+    /// Hot-tier resident bytes at snapshot time.
+    pub hot_bytes: u64,
+    /// Hot-tier evictions, ever.
+    pub hot_evictions: u64,
+}
+
+impl ServeStats {
+    /// The stats as a single JSON object (the `Stats` response body).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"hot\":{},\"coalesced\":{},\"disk\":{},\"cold\":{},\
+             \"shed\":{},\"timeouts\":{},\"errors\":{},\
+             \"hot_tier\":{{\"entries\":{},\"bytes\":{},\"evictions\":{}}}}}",
+            self.requests,
+            self.hot,
+            self.coalesced,
+            self.disk,
+            self.cold,
+            self.shed,
+            self.timeouts,
+            self.errors,
+            self.hot_entries,
+            self.hot_bytes,
+            self.hot_evictions,
+        )
+    }
+}
+
+/// Shared server state: configuration, the hot tier, admission and
+/// lifecycle flags, and the counters. Connection threads hold an `Arc`.
+struct Inner {
+    cfg: Config,
+    hot: HotTier,
+    stop: AtomicBool,
+    in_service: AtomicUsize,
+    requests: AtomicU64,
+    hits: [AtomicU64; 4], // indexed by Source discriminant order
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServeStats {
+        let tier = self.hot.stats();
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hot: self.hits[0].load(Ordering::Relaxed),
+            coalesced: self.hits[1].load(Ordering::Relaxed),
+            disk: self.hits[2].load(Ordering::Relaxed),
+            cold: self.hits[3].load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            hot_entries: tier.entries,
+            hot_bytes: tier.bytes,
+            hot_evictions: tier.evictions,
+        }
+    }
+
+    fn count_hit(&self, source: Source) {
+        let idx = match source {
+            Source::Hot => 0,
+            Source::Coalesced => 1,
+            Source::Disk => 2,
+            Source::Cold => 3,
+        };
+        self.hits[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs one translation request through the lookup ladder and
+    /// builds the response. Panics inside the pipeline are contained
+    /// here; they count as errors and leave the tier clean.
+    fn translate(&self, version: Version, jobs: u32, bin: &Binary) -> Response {
+        let jobs = if jobs == 0 {
+            self.cfg.jobs
+        } else {
+            (jobs as usize).min(self.cfg.jobs.max(1) * 4)
+        };
+        let key = module_key(bin, version);
+        let t0 = Instant::now();
+        let cfg = &self.cfg;
+        let run = || -> Result<(Arc<String>, Source), String> {
+            let mut p = Pipeline::new(version).with_jobs(jobs);
+            if let Some(dir) = &cfg.cache_dir {
+                p = p.with_cache(dir);
+            }
+            let (t, report) = p.run(bin).map_err(|e| e.to_string())?;
+            let source = if report.cache.as_ref().is_some_and(|c| c.warm) {
+                Source::Disk
+            } else {
+                Source::Cold
+            };
+            Ok((
+                Arc::new(lasagne_armgen::print::print_module(&t.arm)),
+                source,
+            ))
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.hot.get_or_translate(key, cfg.timeout, run)
+        }));
+        let nanos = t0.elapsed().as_nanos() as u64;
+        match outcome {
+            Ok(Ok((asm, source))) => {
+                if t0.elapsed() > cfg.timeout {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Response::Timeout;
+                }
+                self.count_hit(source);
+                Response::Ok {
+                    source,
+                    nanos,
+                    asm: (*asm).clone(),
+                }
+            }
+            Ok(Err(TierError::Timeout)) => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::Timeout
+            }
+            Ok(Err(TierError::Failed(msg))) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { msg }
+            }
+            Err(panic) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "translation panicked".to_string());
+                Response::Error {
+                    msg: format!("translation panicked: {msg}"),
+                }
+            }
+        }
+    }
+
+    /// Handles one request, admission included.
+    fn serve_request(&self, req: Request) -> Response {
+        match req {
+            Request::Stats => Response::Stats {
+                json: self.stats().to_json(),
+            },
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::Release);
+                Response::ShuttingDown
+            }
+            Request::Translate { version, jobs, bin } => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                if self.stop.load(Ordering::Acquire) {
+                    return Response::ShuttingDown;
+                }
+                // Admission: take a service permit or shed. The counter
+                // bounds *work in service*, hot hits included — the
+                // response to overload is an explicit Shed the client
+                // can react to, never an unbounded queue.
+                let admitted = self
+                    .in_service
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < self.cfg.queue).then_some(n + 1)
+                    })
+                    .is_ok();
+                if !admitted {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Response::Shed;
+                }
+                let resp = self.translate(version, jobs, &bin);
+                self.in_service.fetch_sub(1, Ordering::AcqRel);
+                resp
+            }
+        }
+    }
+}
+
+/// One end of the listening socket.
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+/// One accepted connection.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, d: Duration) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(Some(d)),
+            Stream::Tcp(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The daemon: a bound listener plus the shared state. [`Server::run`]
+/// blocks until a shutdown request arrives (or [`ServerHandle::stop`]
+/// fires), drains, and returns the final counters.
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: Listener,
+    /// The resolved listen address (`path` or `host:port` — useful when
+    /// binding TCP port 0).
+    addr: String,
+}
+
+impl Server {
+    /// Binds `cfg.addr`. An address containing a `:` that parses as a
+    /// socket address binds TCP; anything else is a Unix socket path
+    /// (a stale socket file from a dead daemon is replaced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: Config) -> io::Result<Server> {
+        let (listener, addr) = if cfg.addr.parse::<std::net::SocketAddr>().is_ok() {
+            let l = TcpListener::bind(&cfg.addr)?;
+            l.set_nonblocking(true)?;
+            let addr = l.local_addr()?.to_string();
+            (Listener::Tcp(l), addr)
+        } else {
+            let path = PathBuf::from(&cfg.addr);
+            if path.exists() {
+                // A live daemon would hold the bind; a leftover file
+                // from a killed one must not block restart.
+                std::fs::remove_file(&path)?;
+            }
+            let l = UnixListener::bind(&path)?;
+            l.set_nonblocking(true)?;
+            let addr = cfg.addr.clone();
+            (Listener::Unix(l, path), addr)
+        };
+        let inner = Arc::new(Inner {
+            hot: HotTier::new(cfg.hot_bytes),
+            cfg,
+            stop: AtomicBool::new(false),
+            in_service: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            hits: Default::default(),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        Ok(Server {
+            inner,
+            listener,
+            addr,
+        })
+    }
+
+    /// The resolved listen address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Accepts and serves connections until shutdown, then drains every
+    /// connection thread and removes the Unix socket file. Returns the
+    /// final counters.
+    pub fn run(self) -> ServeStats {
+        let conns: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+        while !self.inner.stop.load(Ordering::Acquire) {
+            let accepted = match &self.listener {
+                Listener::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            };
+            match accepted {
+                Ok(stream) => {
+                    let inner = Arc::clone(&self.inner);
+                    let mut g = lock_clean(&conns);
+                    // Reap finished threads so a long-lived daemon does
+                    // not accumulate handles.
+                    g.retain(|h| !h.is_finished());
+                    g.push(std::thread::spawn(move || handle_conn(inner, stream)));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        // Drain: connection threads notice the stop flag at their next
+        // idle poll (or finish their in-flight request first).
+        for h in lock_clean(&conns).drain(..) {
+            let _ = h.join();
+        }
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        self.inner.stats()
+    }
+
+    /// Binds and runs the server on a background thread; the returned
+    /// handle can stop it and collect the final stats. This is how the
+    /// bench harness and tests host an in-process daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(cfg: Config) -> io::Result<ServerHandle> {
+        let server = Server::bind(cfg)?;
+        let addr = server.addr.clone();
+        let inner = Arc::clone(&server.inner);
+        let thread = std::thread::spawn(move || server.run());
+        Ok(ServerHandle {
+            inner,
+            thread,
+            addr,
+        })
+    }
+}
+
+/// Handle to a daemon spawned with [`Server::spawn`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    thread: JoinHandle<ServeStats>,
+    addr: String,
+}
+
+impl ServerHandle {
+    /// The resolved listen address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Counters so far (the daemon keeps running).
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Requests shutdown, waits for the drain, and returns the final
+    /// counters.
+    pub fn stop(self) -> ServeStats {
+        self.inner.stop.store(true, Ordering::Release);
+        self.thread.join().unwrap_or_default()
+    }
+}
+
+/// Serves one connection: a sequence of frames, each answered in order.
+/// Every exit path leaves shared state clean — a torn frame or dead
+/// peer just ends this connection.
+fn handle_conn(inner: Arc<Inner>, mut stream: Stream) {
+    let _ = stream.set_read_timeout(POLL);
+    let stop = {
+        let inner = Arc::clone(&inner);
+        move || inner.stop.load(Ordering::Acquire)
+    };
+    loop {
+        let payload = match wire::read_frame_poll(&mut stream, &stop) {
+            Ok(p) => p,
+            Err(WireError::Closed) | Err(WireError::Stopped) => return,
+            Err(WireError::Corrupt) => {
+                let resp = Response::Error {
+                    msg: "corrupt frame".into(),
+                };
+                let _ = wire::write_frame(&mut stream, &wire::encode_response(&resp));
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        let resp = match wire::decode_request(&payload) {
+            Ok(req) => inner.serve_request(req),
+            Err(_) => Response::Error {
+                msg: "malformed request".into(),
+            },
+        };
+        let shutting_down = matches!(resp, Response::ShuttingDown);
+        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+            return;
+        }
+        if shutting_down {
+            return;
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Blocking client for the `lasagne serve` daemon.
+//!
+//! One [`Client`] owns one connection and issues framed requests in
+//! sequence; the load generator opens one client per worker thread.
+//! Address syntax matches the server: a parseable `host:port` connects
+//! over TCP, anything else is a Unix socket path.
+
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use lasagne_x86::binary::Binary;
+
+use super::wire::{self, Request, Response, WireError};
+use crate::Version;
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or speaking to the server failed.
+    Io(io::Error),
+    /// The server sent a frame this client cannot parse.
+    Protocol,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve connection error: {e}"),
+            ClientError::Protocol => write!(f, "serve protocol error"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<lasagne_cache::Corrupt> for ClientError {
+    fn from(_: lasagne_cache::Corrupt) -> ClientError {
+        ClientError::Protocol
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            WireError::Closed => ClientError::Io(io::ErrorKind::UnexpectedEof.into()),
+            _ => ClientError::Protocol,
+        }
+    }
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to `addr` (TCP `host:port` or a Unix socket path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = if addr.parse::<std::net::SocketAddr>().is_ok() {
+            Stream::Tcp(TcpStream::connect(addr)?)
+        } else {
+            Stream::Unix(UnixStream::connect(addr)?)
+        };
+        Ok(Client { stream })
+    }
+
+    /// As [`Client::connect`], retrying for up to `patience` while the
+    /// server is still binding (connection refused / socket missing).
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once patience runs out.
+    pub fn connect_with_retry(addr: &str, patience: Duration) -> Result<Client, ClientError> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = wire::encode_request(req);
+        let resp = match &mut self.stream {
+            Stream::Unix(s) => {
+                wire::write_frame(s, &payload)?;
+                wire::read_frame(s)?
+            }
+            Stream::Tcp(s) => {
+                wire::write_frame(s, &payload)?;
+                wire::read_frame(s)?
+            }
+        };
+        Ok(wire::decode_response(&resp)?)
+    }
+
+    /// Translates `bin` under `version`. `jobs = 0` uses the server's
+    /// configured parallelism. Returns the full server response —
+    /// including `Shed`/`Timeout`/`Error`, which are protocol-level
+    /// *answers*, not client errors.
+    ///
+    /// # Errors
+    ///
+    /// Transport or framing failures only.
+    pub fn translate(
+        &mut self,
+        bin: &Binary,
+        version: Version,
+        jobs: u32,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::Translate {
+            version,
+            jobs,
+            bin: bin.clone(),
+        })
+    }
+
+    /// Fetches the server's counters as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or a non-stats reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
+    /// Asks the server to shut down and drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or a non-ack reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+}

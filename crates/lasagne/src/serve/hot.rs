@@ -1,0 +1,437 @@
+//! The sharded in-memory hot tier above the on-disk translation cache.
+//!
+//! Keys are the pipeline's content keys ([`crate::pipeline::module_key`]):
+//! identical images under the same version hash to the same key, so a
+//! hit can be served without touching the pipeline at all. The design
+//! follows `trace::Collector`'s lock striping — 16 shards, key-hashed —
+//! so concurrent requests for *different* keys never contend on one
+//! lock, while requests for the *same* key are coalesced single-flight:
+//! the first becomes the leader and translates, every other waits on
+//! the shard condvar and gets the leader's bytes. A leader that fails
+//! or panics removes its in-flight marker on the way out (drop guard),
+//! so waiters wake, observe the vacancy, and retry as leaders — a
+//! poisoned translation can never wedge a key.
+//!
+//! The tier is bounded by bytes: inserting past the budget evicts the
+//! globally least-recently-used entries (a monotone tick per access)
+//! until the tier fits again. A budget of zero disables the tier —
+//! every request translates, nothing is retained or coalesced.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lasagne_trace::lock_clean;
+
+use super::wire::Source;
+
+/// Shard count; matches `trace::Collector`'s `EVENT_STRIPES`.
+const SHARDS: usize = 16;
+
+/// One cached or in-flight translation.
+enum Slot {
+    /// A leader is translating this key right now.
+    InFlight,
+    /// The finished assembly, with the last-access tick for LRU.
+    Ready { asm: Arc<String>, tick: u64 },
+}
+
+#[derive(Default)]
+struct Shard {
+    slots: HashMap<u64, Slot>,
+}
+
+/// Why [`HotTier::get_or_translate`] did not produce assembly.
+#[derive(Debug)]
+pub enum TierError {
+    /// Waited on another request's translation past the deadline.
+    Timeout,
+    /// The underlying translation reported an error.
+    Failed(String),
+}
+
+/// Counters describing the tier's current shape and lifetime activity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierStats {
+    /// Ready entries currently resident.
+    pub entries: u64,
+    /// Bytes of assembly currently resident.
+    pub bytes: u64,
+    /// Entries evicted to stay under the byte budget, ever.
+    pub evictions: u64,
+}
+
+/// The sharded, byte-bounded, single-flight hot tier.
+pub struct HotTier {
+    shards: Vec<(Mutex<Shard>, Condvar)>,
+    budget: u64,
+    used: AtomicU64,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Condvar wait that shrugs off poisoning the same way [`lock_clean`]
+/// does: a panicking peer already propagated its panic, and shard data
+/// (a plain map) is valid at every instruction boundary.
+fn wait_clean<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(p) => {
+            let (g, t) = p.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+impl HotTier {
+    /// A tier bounded at `budget` bytes of assembly (0 = disabled).
+    pub fn new(budget: u64) -> HotTier {
+        HotTier {
+            shards: (0..SHARDS).map(|_| Default::default()).collect(),
+            budget,
+            used: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &(Mutex<Shard>, Condvar) {
+        // Low bits feed the HashMap; take high bits for the stripe so
+        // the two partitions stay independent.
+        &self.shards[(key >> 48) as usize % SHARDS]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Serves `key` from the tier, or runs `translate` exactly once per
+    /// key across all concurrent callers. `translate` returns the
+    /// assembly plus where it actually came from (disk cache or cold
+    /// run); callers that coalesce onto another request's flight get
+    /// [`Source::Coalesced`], and tier residents [`Source::Hot`].
+    ///
+    /// # Errors
+    ///
+    /// [`TierError::Timeout`] if waiting on a flight exceeds `timeout`;
+    /// [`TierError::Failed`] if `translate` errors. A panicking
+    /// `translate` propagates to this caller after the in-flight marker
+    /// is cleaned up — waiters retry as leaders.
+    pub fn get_or_translate(
+        &self,
+        key: u64,
+        timeout: Duration,
+        translate: impl FnOnce() -> Result<(Arc<String>, Source), String>,
+    ) -> Result<(Arc<String>, Source), TierError> {
+        if self.budget == 0 {
+            return translate().map_err(TierError::Failed);
+        }
+        let deadline = Instant::now() + timeout;
+        let (lock, cv) = self.shard(key);
+        let mut g = lock_clean(lock);
+        loop {
+            match g.slots.get_mut(&key) {
+                Some(Slot::Ready { asm, tick }) => {
+                    *tick = self.next_tick();
+                    return Ok((asm.clone(), Source::Hot));
+                }
+                Some(Slot::InFlight) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(TierError::Timeout);
+                    }
+                    let (g2, _) = wait_clean(cv, g, remaining);
+                    g = g2;
+                    // Re-inspect: Ready → coalesced hit; vacant → the
+                    // leader failed, loop around and claim leadership;
+                    // still InFlight → keep waiting until the deadline.
+                    if let Some(Slot::Ready { asm, tick }) = g.slots.get_mut(&key) {
+                        *tick = self.next_tick();
+                        return Ok((asm.clone(), Source::Coalesced));
+                    }
+                }
+                None => {
+                    g.slots.insert(key, Slot::InFlight);
+                    drop(g);
+                    return self.lead(key, translate);
+                }
+            }
+        }
+    }
+
+    /// Runs the translation as the key's flight leader. The guard
+    /// removes the in-flight marker and wakes waiters on *every* exit —
+    /// success, error, or unwind.
+    fn lead(
+        &self,
+        key: u64,
+        translate: impl FnOnce() -> Result<(Arc<String>, Source), String>,
+    ) -> Result<(Arc<String>, Source), TierError> {
+        struct Flight<'a> {
+            tier: &'a HotTier,
+            key: u64,
+            done: bool,
+        }
+        impl Drop for Flight<'_> {
+            fn drop(&mut self) {
+                if self.done {
+                    return;
+                }
+                let (lock, cv) = self.tier.shard(self.key);
+                let mut g = lock_clean(lock);
+                if matches!(g.slots.get(&self.key), Some(Slot::InFlight)) {
+                    g.slots.remove(&self.key);
+                }
+                cv.notify_all();
+            }
+        }
+        let mut flight = Flight {
+            tier: self,
+            key,
+            done: false,
+        };
+        let (asm, source) = translate().map_err(TierError::Failed)?;
+        let (lock, cv) = self.shard(key);
+        {
+            let mut g = lock_clean(lock);
+            g.slots.insert(
+                key,
+                Slot::Ready {
+                    asm: asm.clone(),
+                    tick: self.next_tick(),
+                },
+            );
+            self.used.fetch_add(asm.len() as u64, Ordering::Relaxed);
+            cv.notify_all();
+        }
+        flight.done = true;
+        self.evict_to_budget();
+        Ok((asm, source))
+    }
+
+    /// Evicts least-recently-used entries until the tier fits its byte
+    /// budget. Locks one shard at a time: scan all shards for the
+    /// minimum tick, then re-lock that shard and remove the entry if it
+    /// has not been touched since — a raced bump simply retries.
+    fn evict_to_budget(&self) {
+        while self.used.load(Ordering::Relaxed) > self.budget {
+            let mut min: Option<(usize, u64, u64)> = None;
+            for (si, (lock, _)) in self.shards.iter().enumerate() {
+                let g = lock_clean(lock);
+                for (k, slot) in &g.slots {
+                    if let Slot::Ready { tick, .. } = slot {
+                        if min.map_or(true, |(_, _, t)| *tick < t) {
+                            min = Some((si, *k, *tick));
+                        }
+                    }
+                }
+            }
+            let Some((si, k, t)) = min else {
+                // Nothing evictable (all remaining slots are in flight).
+                return;
+            };
+            let (lock, _) = &self.shards[si];
+            let mut g = lock_clean(lock);
+            let evict = matches!(g.slots.get(&k), Some(Slot::Ready { tick, .. }) if *tick == t);
+            if evict {
+                if let Some(Slot::Ready { asm, .. }) = g.slots.remove(&k) {
+                    self.used.fetch_sub(asm.len() as u64, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Current shape and lifetime counters.
+    pub fn stats(&self) -> TierStats {
+        let mut entries = 0u64;
+        for (lock, _) in &self.shards {
+            let g = lock_clean(lock);
+            entries += g
+                .slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count() as u64;
+        }
+        TierStats {
+            entries,
+            bytes: self.used.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `key` is resident (Ready) right now. Test hook.
+    pub fn contains(&self, key: u64) -> bool {
+        let (lock, _) = self.shard(key);
+        matches!(lock_clean(lock).slots.get(&key), Some(Slot::Ready { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    const LONG: Duration = Duration::from_secs(30);
+
+    fn tier(budget: u64) -> HotTier {
+        HotTier::new(budget)
+    }
+
+    /// N concurrent callers for one key: exactly one translation runs,
+    /// every caller gets the same bytes, and the source split is one
+    /// cold + (N-1) hot/coalesced.
+    #[test]
+    fn single_flight_coalesces_concurrent_callers() {
+        let t = tier(1 << 20);
+        let runs = AtomicUsize::new(0);
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        t.get_or_translate(42, LONG, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Give siblings time to pile onto the flight.
+                            std::thread::sleep(Duration::from_millis(20));
+                            Ok((Arc::new("asm-bytes".to_string()), Source::Cold))
+                        })
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "translation ran more than once"
+        );
+        let colds = results.iter().filter(|(_, s)| *s == Source::Cold).count();
+        assert_eq!(colds, 1, "exactly one caller should lead");
+        for (asm, _) in &results {
+            assert_eq!(asm.as_str(), "asm-bytes");
+        }
+        assert_eq!(t.stats().entries, 1);
+    }
+
+    /// A tiny byte budget keeps the tier bounded: inserting N entries
+    /// of `len` bytes with budget for two retains at most two, evicts
+    /// the least recently used first, and the accounting stays exact.
+    #[test]
+    fn eviction_under_tiny_budget_is_lru_and_exact() {
+        let t = tier(20); // two 10-byte entries
+        for key in 0..5u64 {
+            let (asm, src) = t
+                .get_or_translate(key << 48 | key, LONG, || {
+                    Ok((Arc::new(format!("{key:010}")), Source::Cold))
+                })
+                .unwrap();
+            assert_eq!(src, Source::Cold);
+            assert_eq!(asm.len(), 10);
+        }
+        let st = t.stats();
+        assert!(
+            st.bytes <= 20,
+            "budget exceeded: {} bytes resident",
+            st.bytes
+        );
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.evictions, 3);
+        // The most recent keys survive; key 0 was evicted first.
+        assert!(t.contains(4 << 48 | 4));
+        assert!(!t.contains(0));
+
+        // A hit refreshes recency: touch key 3, insert key 5 → key 4
+        // (now the oldest) goes, key 3 stays.
+        t.get_or_translate(3 << 48 | 3, LONG, || {
+            unreachable!("resident key re-translated")
+        })
+        .unwrap();
+        t.get_or_translate(5 << 48 | 5, LONG, || {
+            Ok((Arc::new("5555555555".to_string()), Source::Cold))
+        })
+        .unwrap();
+        assert!(t.contains(3 << 48 | 3));
+        assert!(!t.contains(4 << 48 | 4));
+    }
+
+    /// A leader that panics must not wedge waiters: the drop guard
+    /// clears the in-flight marker, waiters wake and retry as leaders,
+    /// and the key still ends up served.
+    #[test]
+    fn panicked_translation_does_not_wedge_waiters() {
+        let t = tier(1 << 20);
+        let attempts = AtomicUsize::new(0);
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            t.get_or_translate(7, LONG, || {
+                                let n = attempts.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(10));
+                                if n == 0 {
+                                    panic!("injected translation panic");
+                                }
+                                Ok((Arc::new("recovered".to_string()), Source::Cold))
+                            })
+                        }));
+                        r.map(|inner| inner.unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one caller saw the panic; everyone else got bytes.
+        let panicked = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(panicked, 1, "exactly the first leader should panic");
+        for r in results.iter().filter(|r| r.is_ok()) {
+            let (asm, _) = r.as_ref().unwrap();
+            assert_eq!(asm.as_str(), "recovered");
+        }
+        // And the tier still serves the key as a plain hit afterwards.
+        let (asm, src) = t
+            .get_or_translate(7, LONG, || unreachable!("should be resident"))
+            .unwrap();
+        assert_eq!(asm.as_str(), "recovered");
+        assert_eq!(src, Source::Hot);
+    }
+
+    /// A failing (non-panicking) leader reports the error to itself
+    /// only; a retry translates again and succeeds.
+    #[test]
+    fn failed_translation_clears_the_flight() {
+        let t = tier(1 << 20);
+        let err = t.get_or_translate(9, LONG, || Err("lift error".to_string()));
+        assert!(matches!(err, Err(TierError::Failed(m)) if m == "lift error"));
+        let (asm, src) = t
+            .get_or_translate(9, LONG, || Ok((Arc::new("ok".to_string()), Source::Disk)))
+            .unwrap();
+        assert_eq!(asm.as_str(), "ok");
+        assert_eq!(src, Source::Disk);
+    }
+
+    /// Budget 0 disables the tier: every call translates, nothing is
+    /// retained.
+    #[test]
+    fn zero_budget_bypasses_the_tier() {
+        let t = tier(0);
+        let runs = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (_, src) = t
+                .get_or_translate(1, LONG, || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    Ok((Arc::new("x".to_string()), Source::Cold))
+                })
+                .unwrap();
+            assert_eq!(src, Source::Cold);
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
+        assert_eq!(t.stats().entries, 0);
+    }
+}

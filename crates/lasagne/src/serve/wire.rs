@@ -1,0 +1,538 @@
+//! The `lasagne serve` wire protocol: length-prefixed, checksummed
+//! frames in the spirit of the cache's on-disk format
+//! (`crates/cache/src/ser.rs`), carrying translation requests and
+//! responses over a byte stream.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! MAGIC "LSRV" ‖ schema:u32 ‖ len:u64 ‖ fnv64(payload):u64 ‖ payload
+//! ```
+//!
+//! and the payload is a tag-byte dispatch encoded with the cache's
+//! [`Writer`]/[`Reader`] primitives (little-endian fixed-width ints,
+//! length-prefixed strings). Like the cache format this is *not* a
+//! public interface: any layout change bumps [`SCHEMA`], and a peer
+//! with a different schema is rejected at the frame boundary — never
+//! misparsed. A torn, truncated, or bit-flipped frame decodes to
+//! [`Corrupt`]; the server answers with an error response and drops
+//! the connection rather than guessing.
+
+use std::io::{self, Read, Write};
+
+use lasagne_cache::fnv64;
+use lasagne_cache::ser::{Reader, Writer};
+use lasagne_cache::Corrupt;
+use lasagne_x86::binary::{Binary, ExternSym, FuncSym, Global};
+
+use crate::Version;
+
+/// Wire format version. Bumping it makes old peers fail cleanly at the
+/// frame boundary.
+pub const SCHEMA: u32 = 1;
+
+/// Frame magic for serve messages (the cache uses `LSGC`).
+pub const MAGIC: [u8; 4] = *b"LSRV";
+
+/// Frame header size: magic + schema + len + checksum.
+pub const HEADER: usize = 4 + 4 + 8 + 8;
+
+/// Upper bound on a frame payload. Requests carry whole binary images
+/// and responses whole assembly listings, but anything beyond this is a
+/// protocol error, not a workload.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Translate a binary image under `version`; `jobs = 0` asks for
+    /// the server's configured default.
+    Translate {
+        /// Pipeline configuration to translate under.
+        version: Version,
+        /// Requested worker threads; 0 = server default.
+        jobs: u32,
+        /// The binary image to translate.
+        bin: Binary,
+    },
+    /// Ask for the server's counters as a JSON document.
+    Stats,
+    /// Ask the server to stop accepting work, drain, and exit.
+    Shutdown,
+}
+
+/// Where an accepted translation's bytes came from, in lookup-ladder
+/// order: sharded in-memory hot tier, a single-flight wait on another
+/// request's in-flight translation, the on-disk cache, or a cold run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Resident in the in-memory hot tier.
+    Hot,
+    /// Coalesced onto another request's in-flight translation.
+    Coalesced,
+    /// Replayed through the on-disk cache's warm path.
+    Disk,
+    /// A full cold pipeline run.
+    Cold,
+}
+
+impl Source {
+    /// Stable lowercase name (used in stats JSON and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Hot => "hot",
+            Source::Coalesced => "coalesced",
+            Source::Disk => "disk",
+            Source::Cold => "cold",
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The translation succeeded. `nanos` is the server-side service
+    /// time (lookup ladder included); `asm` is byte-identical to
+    /// `lasagne translate` output for the same image and version.
+    Ok {
+        /// Which rung of the lookup ladder served the bytes.
+        source: Source,
+        /// Server-side service time in nanoseconds.
+        nanos: u64,
+        /// The AArch64 assembly listing.
+        asm: String,
+    },
+    /// The admission queue is full: explicit backpressure, try later.
+    Shed,
+    /// The request exceeded the server's per-request time budget.
+    Timeout,
+    /// The translation failed (or panicked); shared state is intact.
+    Error {
+        /// Human-readable failure description.
+        msg: String,
+    },
+    /// Counters snapshot for a [`Request::Stats`].
+    Stats {
+        /// The counters as one JSON object.
+        json: String,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; no further requests will
+    /// be accepted on any connection.
+    ShuttingDown,
+}
+
+fn put_version(w: &mut Writer, v: Version) {
+    w.put_u8(match v {
+        Version::Lifted => 0,
+        Version::Opt => 1,
+        Version::POpt => 2,
+        Version::PPOpt => 3,
+    });
+}
+
+fn get_version(r: &mut Reader) -> Result<Version, Corrupt> {
+    Ok(match r.get_u8()? {
+        0 => Version::Lifted,
+        1 => Version::Opt,
+        2 => Version::POpt,
+        3 => Version::PPOpt,
+        _ => return Err(Corrupt),
+    })
+}
+
+fn put_binary(w: &mut Writer, b: &Binary) {
+    w.put_u64(b.text_base);
+    w.put_bytes(&b.text);
+    w.put_u64(b.functions.len() as u64);
+    for f in &b.functions {
+        w.put_str(&f.name);
+        w.put_u64(f.addr);
+        w.put_u64(f.size);
+    }
+    w.put_u64(b.globals.len() as u64);
+    for g in &b.globals {
+        w.put_str(&g.name);
+        w.put_u64(g.addr);
+        w.put_u64(g.size);
+        w.put_bytes(&g.init);
+    }
+    w.put_u64(b.externs.len() as u64);
+    for e in &b.externs {
+        w.put_str(&e.name);
+        w.put_u64(e.addr);
+    }
+}
+
+fn get_binary(r: &mut Reader) -> Result<Binary, Corrupt> {
+    let text_base = r.get_u64()?;
+    let text = r.get_bytes()?.to_vec();
+    let nfuncs = r.get_len()?;
+    let mut functions = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        functions.push(FuncSym {
+            name: r.get_str()?,
+            addr: r.get_u64()?,
+            size: r.get_u64()?,
+        });
+    }
+    let nglobals = r.get_len()?;
+    let mut globals = Vec::with_capacity(nglobals);
+    for _ in 0..nglobals {
+        globals.push(Global {
+            name: r.get_str()?,
+            addr: r.get_u64()?,
+            size: r.get_u64()?,
+            init: r.get_bytes()?.to_vec(),
+        });
+    }
+    let nexterns = r.get_len()?;
+    let mut externs = Vec::with_capacity(nexterns);
+    for _ in 0..nexterns {
+        externs.push(ExternSym {
+            name: r.get_str()?,
+            addr: r.get_u64()?,
+        });
+    }
+    Ok(Binary {
+        text_base,
+        text,
+        functions,
+        globals,
+        externs,
+    })
+}
+
+/// Encodes a request payload (unframed).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = Writer::new();
+    match req {
+        Request::Translate { version, jobs, bin } => {
+            w.put_u8(0);
+            put_version(&mut w, *version);
+            w.put_u32(*jobs);
+            put_binary(&mut w, bin);
+        }
+        Request::Stats => w.put_u8(1),
+        Request::Shutdown => w.put_u8(2),
+    }
+    w.finish()
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`Corrupt`] on an unknown tag or malformed body.
+pub fn decode_request(payload: &[u8]) -> Result<Request, Corrupt> {
+    let mut r = Reader::new(payload);
+    let req = match r.get_u8()? {
+        0 => Request::Translate {
+            version: get_version(&mut r)?,
+            jobs: r.get_u32()?,
+            bin: get_binary(&mut r)?,
+        },
+        1 => Request::Stats,
+        2 => Request::Shutdown,
+        _ => return Err(Corrupt),
+    };
+    r.expect_eof()?;
+    Ok(req)
+}
+
+/// Encodes a response payload (unframed).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = Writer::new();
+    match resp {
+        Response::Ok { source, nanos, asm } => {
+            w.put_u8(0);
+            w.put_u8(match source {
+                Source::Hot => 0,
+                Source::Coalesced => 1,
+                Source::Disk => 2,
+                Source::Cold => 3,
+            });
+            w.put_u64(*nanos);
+            w.put_str(asm);
+        }
+        Response::Shed => w.put_u8(1),
+        Response::Timeout => w.put_u8(2),
+        Response::Error { msg } => {
+            w.put_u8(3);
+            w.put_str(msg);
+        }
+        Response::Stats { json } => {
+            w.put_u8(4);
+            w.put_str(json);
+        }
+        Response::ShuttingDown => w.put_u8(5),
+    }
+    w.finish()
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// [`Corrupt`] on an unknown tag or malformed body.
+pub fn decode_response(payload: &[u8]) -> Result<Response, Corrupt> {
+    let mut r = Reader::new(payload);
+    let resp = match r.get_u8()? {
+        0 => Response::Ok {
+            source: match r.get_u8()? {
+                0 => Source::Hot,
+                1 => Source::Coalesced,
+                2 => Source::Disk,
+                3 => Source::Cold,
+                _ => return Err(Corrupt),
+            },
+            nanos: r.get_u64()?,
+            asm: r.get_str()?,
+        },
+        1 => Response::Shed,
+        2 => Response::Timeout,
+        3 => Response::Error { msg: r.get_str()? },
+        4 => Response::Stats { json: r.get_str()? },
+        5 => Response::ShuttingDown,
+        _ => return Err(Corrupt),
+    };
+    r.expect_eof()?;
+    Ok(resp)
+}
+
+/// Why reading a frame from a stream failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the stream at a frame boundary (normal EOF).
+    Closed,
+    /// The stream died mid-frame or another I/O error occurred.
+    Io(io::Error),
+    /// Bad magic, schema mismatch, oversized frame, or checksum failure.
+    Corrupt,
+    /// The caller's stop predicate fired while waiting for bytes.
+    Stopped,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Corrupt => write!(f, "corrupt frame"),
+            WireError::Stopped => write!(f, "server stopping"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<Corrupt> for WireError {
+    fn from(_: Corrupt) -> WireError {
+        WireError::Corrupt
+    }
+}
+
+/// Writes `payload` to `w` as one frame.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut head = [0u8; HEADER];
+    head[0..4].copy_from_slice(&MAGIC);
+    head[4..8].copy_from_slice(&SCHEMA.to_le_bytes());
+    head[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    head[16..24].copy_from_slice(&fnv64(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Fills `buf` from `r`, surviving read timeouts: a `WouldBlock` or
+/// `TimedOut` between bytes re-checks `stop` and keeps the partial
+/// prefix, so a frame split across timeout windows is never torn.
+/// `at_boundary` marks whether the very first byte is still pending —
+/// EOF there is a clean close, EOF mid-buffer is an error.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &dyn Fn() -> bool,
+    at_boundary: bool,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Io(io::ErrorKind::UnexpectedEof.into())
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Only bail between frames: once a header byte has
+                // arrived the peer is mid-message and deserves the
+                // frame to complete even while the server drains.
+                if stop() && at_boundary && filled == 0 {
+                    return Err(WireError::Stopped);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame's payload from `r`, polling `stop` while the stream
+/// is idle (requires a read timeout on the underlying socket for the
+/// polling to be live).
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on EOF at a frame boundary, [`WireError::Stopped`]
+/// when `stop` fires while idle, [`WireError::Corrupt`] on a malformed
+/// frame, [`WireError::Io`] otherwise.
+pub fn read_frame_poll(r: &mut impl Read, stop: &dyn Fn() -> bool) -> Result<Vec<u8>, WireError> {
+    let mut head = [0u8; HEADER];
+    read_full(r, &mut head, stop, true)?;
+    if head[0..4] != MAGIC {
+        return Err(WireError::Corrupt);
+    }
+    let schema = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if schema != SCHEMA {
+        return Err(WireError::Corrupt);
+    }
+    let len = u64::from_le_bytes(head[8..16].try_into().unwrap());
+    let sum = u64::from_le_bytes(head[16..24].try_into().unwrap());
+    let len = usize::try_from(len).map_err(|_| WireError::Corrupt)?;
+    if len > MAX_FRAME {
+        return Err(WireError::Corrupt);
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, stop, false)?;
+    if fnv64(&payload) != sum {
+        return Err(WireError::Corrupt);
+    }
+    Ok(payload)
+}
+
+/// Reads one frame with no stop predicate (client side, blocking).
+///
+/// # Errors
+///
+/// As [`read_frame_poll`].
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    read_frame_poll(r, &|| false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_x86::binary::BinaryBuilder;
+
+    fn demo_binary() -> Binary {
+        let b = BinaryBuilder::new();
+        b.finish()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Translate {
+                version: Version::PPOpt,
+                jobs: 4,
+                bin: demo_binary(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let payload = encode_request(req);
+            assert_eq!(&decode_request(&payload).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Ok {
+                source: Source::Coalesced,
+                nanos: 12345,
+                asm: "mov x0, #1\n".into(),
+            },
+            Response::Shed,
+            Response::Timeout,
+            Response::Error { msg: "boom".into() },
+            Response::Stats { json: "{}".into() },
+            Response::ShuttingDown,
+        ];
+        for resp in &resps {
+            let payload = encode_response(resp);
+            assert_eq!(&decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn frames_survive_the_stream_and_reject_corruption() {
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), payload);
+
+        // Bit flip anywhere → Corrupt, never a misparse.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let mut r = &bad[..];
+            assert!(
+                matches!(
+                    read_frame(&mut r),
+                    Err(WireError::Corrupt) | Err(WireError::Io(_))
+                ),
+                "flipped byte {i} was accepted"
+            );
+        }
+
+        // Truncation mid-frame → Io(UnexpectedEof); empty stream → Closed.
+        let mut r = &buf[..buf.len() - 1];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Io(_))));
+        let mut r = &buf[..0];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn binary_payload_round_trips_bytes_exactly() {
+        let mut bin = demo_binary();
+        bin.text_base = 0x40_1000;
+        bin.text = (0..255u8).collect();
+        bin.functions.push(FuncSym {
+            name: "main".into(),
+            addr: 0x40_1000,
+            size: 255,
+        });
+        bin.globals.push(Global {
+            name: "g".into(),
+            addr: 0x60_0000,
+            size: 16,
+            init: vec![1, 2, 3],
+        });
+        bin.externs.push(ExternSym {
+            name: "printf".into(),
+            addr: 0x50_0000,
+        });
+        let req = Request::Translate {
+            version: Version::Opt,
+            jobs: 0,
+            bin,
+        };
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+}

@@ -42,7 +42,7 @@ pub struct ExternSym {
 }
 
 /// A loaded binary image.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Binary {
     /// Base address of the text section.
     pub text_base: u64,

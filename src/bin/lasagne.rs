@@ -10,6 +10,12 @@
 //! lasagne trace-check FILE [--jobs N]  validate a --trace-out file
 //! lasagne litmus                       memory-model validation summary
 //! lasagne difftest [opts]              three-way differential sweep
+//! lasagne serve --socket ADDR [opts]   translation daemon (Unix/TCP socket)
+//! lasagne serve-client <DEMO> --socket ADDR
+//!                                      one request; assembly to stdout
+//! lasagne serve-bench --socket ADDR [opts]
+//!                                      replay the suite, print a JSON summary
+//! lasagne serve-stop --socket ADDR     ask a daemon to drain and exit
 //! lasagne help                         this message
 //!
 //! options:
@@ -37,6 +43,17 @@
 //!                                      (default 32)
 //!   --seed HEX                         base seed for difftest generation
 //!   --skip-phoenix                     difftest: generator families only
+//!
+//! serve options:
+//!   --socket ADDR                      Unix socket path, or host:port for TCP
+//!   --hot-bytes N                      hot-tier byte budget (default 64 MiB;
+//!                                      0 disables the in-memory tier)
+//!   --queue N                          max requests in service; excess is
+//!                                      shed with an explicit backpressure
+//!                                      response (default 64)
+//!   --timeout-ms N                     per-request deadline (default 60000)
+//!   --concurrency N                    serve-bench client threads (default 4)
+//!   --reps N                           serve-bench suite replays (default 1)
 //! ```
 //!
 //! `<DEMO>` is a Phoenix benchmark, by abbreviation or name: `HT`
@@ -336,10 +353,135 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "serve" => {
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!(
+                    "usage: lasagne serve --socket ADDR [--jobs N] [--hot-bytes N] [--queue N] \
+                     [--timeout-ms N] [--cache-dir DIR] [--no-cache]"
+                );
+                std::process::exit(2);
+            };
+            let cfg = lasagne_repro::translator::serve::Config {
+                addr: addr.to_string(),
+                jobs,
+                hot_bytes: flag_value(&args, "--hot-bytes")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64 << 20),
+                queue: flag_value(&args, "--queue")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64),
+                timeout: std::time::Duration::from_millis(
+                    flag_value(&args, "--timeout-ms")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(60_000),
+                ),
+                cache_dir: cache_dir.map(std::path::PathBuf::from),
+            };
+            let server = match lasagne_repro::translator::serve::Server::bind(cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: cannot bind `{addr}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "serving on {} (jobs {jobs}); stop with: lasagne serve-stop --socket {addr}",
+                server.addr()
+            );
+            let stats = server.run();
+            eprintln!("serve: drained; final stats {}", stats.to_json());
+        }
+        "serve-client" => {
+            let Some(b) = args.get(1).and_then(|n| find_bench(n, scale)) else {
+                eprintln!("usage: lasagne serve-client <HT|KM|LR|MM|SM|WC|PCA> --socket ADDR");
+                std::process::exit(2);
+            };
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!("usage: lasagne serve-client <DEMO> --socket ADDR");
+                std::process::exit(2);
+            };
+            let mut client = connect_or_die(addr);
+            match client.translate(&b.binary, version, jobs as u32) {
+                Ok(lasagne_repro::translator::serve::wire::Response::Ok { source, nanos, asm }) => {
+                    print!("{asm}");
+                    eprintln!(
+                        "// serve: {} {} via {} in {:.2} ms",
+                        b.abbrev,
+                        version.name(),
+                        source.name(),
+                        nanos as f64 / 1e6
+                    );
+                }
+                Ok(other) => {
+                    eprintln!("serve-client: request not served: {other:?}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("serve-client: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "serve-bench" => {
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!(
+                    "usage: lasagne serve-bench --socket ADDR [--concurrency N] [--reps N] \
+                     [--scale N] [--version V] [--jobs N]"
+                );
+                std::process::exit(2);
+            };
+            let opts = lasagne_repro::bench::serve_load::LoadOpts {
+                addr: addr.to_string(),
+                versions: vec![version],
+                concurrency: flag_value(&args, "--concurrency")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(4),
+                scale,
+                reps: flag_value(&args, "--reps")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1),
+                jobs: jobs as u32,
+            };
+            let summary = lasagne_repro::bench::serve_load::replay(&opts);
+            let lat = summary.ok_latencies();
+            use lasagne_repro::bench::serve_load::percentile;
+            println!(
+                "{{\"requests\":{},\"hot\":{},\"coalesced\":{},\"disk\":{},\"cold\":{},\
+                 \"shed\":{},\"timeouts\":{},\"errors\":{},\
+                 \"p50_nanos\":{},\"p99_nanos\":{},\"p999_nanos\":{},\
+                 \"throughput_rps\":{:.2},\"checksum\":\"{:016x}\"}}",
+                summary.samples.len(),
+                summary.hits[0],
+                summary.hits[1],
+                summary.hits[2],
+                summary.hits[3],
+                summary.shed,
+                summary.timeouts,
+                summary.errors,
+                percentile(&lat, 50.0),
+                percentile(&lat, 99.0),
+                percentile(&lat, 99.9),
+                summary.throughput_rps(),
+                summary.checksum,
+            );
+        }
+        "serve-stop" => {
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!("usage: lasagne serve-stop --socket ADDR");
+                std::process::exit(2);
+            };
+            let mut client = connect_or_die(addr);
+            if let Err(e) = client.shutdown() {
+                eprintln!("serve-stop: {e}");
+                std::process::exit(1);
+            }
+            println!("serve-stop: daemon draining");
+        }
         _ => {
             println!("lasagne — static binary translator (PLDI 2022 reproduction)");
             println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO>");
             println!("          explain-fences <DEMO> | trace-check FILE | litmus | difftest");
+            println!("          serve | serve-client <DEMO> | serve-bench | serve-stop");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
             println!(
                 "          --jobs N (worker threads, spawned once and pooled; \
@@ -457,6 +599,19 @@ fn write_timings(path: &str, report: &PipelineReport) {
         eprintln!("cannot write timings to `{path}`: {e}");
         std::process::exit(1);
     }
+}
+
+/// Connects a serve client to `addr`, retrying briefly so a daemon
+/// still binding its socket is not a race; exits on failure.
+fn connect_or_die(addr: &str) -> lasagne_repro::translator::serve::client::Client {
+    lasagne_repro::translator::serve::client::Client::connect_with_retry(
+        addr,
+        std::time::Duration::from_secs(5),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot connect to serve daemon at `{addr}`: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {

@@ -96,7 +96,7 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     let json = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
     assert!(
-        json.starts_with("{\"schema\":4,"),
+        json.starts_with("{\"schema\":5,"),
         "timings JSON lacks the schema version field:\n{json}"
     );
     for key in [
@@ -111,12 +111,12 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     ] {
         assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
     }
-    // Schema-4 shape: the fused-section summary is always present, and a
+    // Schema-4+ shape: the fused-section summary is always present, and a
     // jobs>1 run reports the shared pool's activity, including the
     // queue-depth histogram routed through the metrics registry.
     assert!(
         json.contains("\"fused\":{\"sections\":"),
-        "missing fused block in schema-4 timings:\n{json}"
+        "missing fused block in timings:\n{json}"
     );
     for key in [
         "\"pool\":{\"workers\":",
@@ -128,7 +128,7 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     ] {
         assert!(
             json.contains(key),
-            "missing pool field {key} in schema-4 timings:\n{json}"
+            "missing pool field {key} in timings:\n{json}"
         );
     }
     for stage in ["lift", "refine", "fences", "merge", "opt", "armgen"] {
@@ -168,10 +168,10 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     }
 }
 
-/// Schema-2 and schema-3 documents (as written by earlier builds) must
-/// stay readable by the in-tree JSON reader alongside schema 4: same
-/// access paths for every field that existed then, with the schema field
-/// telling consumers which extensions to expect.
+/// Schema-2 through schema-4 documents (as written by earlier builds)
+/// must stay readable by the in-tree JSON reader alongside schema 5:
+/// same access paths for every field that existed then, with the schema
+/// field telling consumers which extensions to expect.
 #[test]
 fn schema_2_timings_documents_remain_readable() {
     let schema2 = r#"{"schema":2,"version":"PPOpt","jobs":4,"total_nanos":123456,
@@ -189,9 +189,23 @@ fn schema_2_timings_documents_remain_readable() {
         "ipsccp_rounds":[{"round":0,"gather_nanos":1,"join_nanos":1,"apply_nanos":1,"facts":0,"substitutions":0}],
         "barrier_wait_nanos":[1,2,3,4],
         "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
-    // Current documents carry the same core fields plus the schema-4
-    // extensions; all three must parse through the same reader code.
-    let path = std::env::temp_dir().join(format!("lasagne-schema4-{}.json", std::process::id()));
+    // A schema-4 document from the fused-schedule builds: stage walls
+    // *overlap* (a fused region's extent is charged to every member
+    // stage) and the fused/pool extension blocks appear.
+    let schema4 = r#"{"schema":4,"version":"PPOpt","jobs":4,"total_nanos":123456,
+        "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,"module_nanos":5,"wall_nanos":100000,
+                   "funcs":[{"func":"main","index":0,"nanos":83,"changes":120,"insts":120}]},
+                  {"stage":"opt","parallel_sections":9,"nanos":40,"module_nanos":9,"wall_nanos":100000,"funcs":[]}],
+        "opt_passes":[{"pass":"mem2reg","nanos":10,"changes":0,"invocations":2}],
+        "ipsccp_rounds":[{"round":0,"gather_nanos":1,"join_nanos":1,"apply_nanos":1,"facts":0,"substitutions":0}],
+        "barrier_wait_nanos":[1,2,3,4],
+        "fused":{"sections":2,"wall_nanos":95},
+        "pool":{"workers":4,"submitted":12,"executed":12,"steals":0,"parks":5,
+                "queue_depth":{"bounds":[0,1,2,4,8,16,32],"counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}},
+        "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
+    // Current documents carry the same core fields with schema-5
+    // disjoint walls; all four must parse through the same reader code.
+    let path = std::env::temp_dir().join(format!("lasagne-schema5-{}.json", std::process::id()));
     stdout(&[
         "translate",
         "HT",
@@ -202,10 +216,15 @@ fn schema_2_timings_documents_remain_readable() {
         "--timings",
         path.to_str().unwrap(),
     ]);
-    let schema4 = std::fs::read_to_string(&path).expect("timings file written");
+    let schema5 = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
 
-    for (doc, expected_schema) in [(schema2, 2), (schema3, 3), (schema4.as_str(), 4)] {
+    for (doc, expected_schema) in [
+        (schema2, 2),
+        (schema3, 3),
+        (schema4, 4),
+        (schema5.as_str(), 5),
+    ] {
         let v = lasagne_repro::trace::json::parse(doc).expect("timings JSON parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_u64()),

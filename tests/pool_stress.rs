@@ -98,6 +98,60 @@ fn work_item_panic_surfaces_and_pool_survives() {
     );
 }
 
+/// The `steals` counter must mean what it says: cross-thread deque
+/// raids, and nothing else. A flat schedule — every fan-out submitted by
+/// the external caller — routes all tasks through the injector, so no
+/// worker deque is ever loaded and zero steals is the honest reading
+/// (this is why BENCH_pipeline.json rows legitimately show `steals: 0`).
+/// A *nested* fan-out, by contrast, pushes its tasks onto the submitting
+/// worker's own deque; a sibling that goes dry must raid it, and that
+/// raid has to show up in the counter. A private pool keeps the deltas
+/// isolated from concurrently running tests on the shared pool.
+#[test]
+fn nested_fan_out_provokes_a_cross_thread_steal() {
+    let pool = Pool::new(2);
+
+    let before = pool.stats();
+    let flat = pool.par_map(2, (0..8).collect::<Vec<u32>>(), |_, i| i * 2);
+    assert_eq!(flat, (0..8).map(|i| i * 2).collect::<Vec<u32>>());
+    assert_eq!(
+        pool.stats().since(&before).steals,
+        0,
+        "flat external fan-out routed through the injector must not steal"
+    );
+
+    // Item 0 lands on a worker and its nested fan-out loads that worker's
+    // own deque with slow tasks; item 1 is free, so its worker goes dry
+    // while the deque is still full and must steal. Scheduling can
+    // occasionally let the owner drain everything first, so retry.
+    let mut stole = false;
+    for _ in 0..32 {
+        let before = pool.stats();
+        let out = pool.par_map(2, vec![0u32, 1], |_, outer| {
+            if outer == 0 {
+                pool.par_map(2, (0..8).collect::<Vec<u32>>(), |_, i| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i + 1
+                })
+                .into_iter()
+                .sum()
+            } else {
+                outer
+            }
+        });
+        assert_eq!(out, vec![36, 1]);
+        if pool.stats().since(&before).steals > 0 {
+            stole = true;
+            break;
+        }
+    }
+    assert!(
+        stole,
+        "nested fan-out never produced a cross-thread steal in 32 attempts"
+    );
+    pool.shutdown();
+}
+
 /// A panic inside a *pipeline* work item must come out of `Pipeline::run`
 /// as a panic (the driver re-raises the first worker panic at the join),
 /// not a deadlock. Uses a binary whose lift succeeds but injects the

@@ -1,0 +1,202 @@
+//! Integration tests for the `lasagne serve` daemon: an in-process
+//! [`Server`] driven through the real wire protocol by [`Client`]
+//! connections. Covers the determinism claim (responses byte-identical
+//! to a local [`Pipeline`] run at any concurrency), the three-rung
+//! lookup ladder (cold → disk → hot), explicit backpressure under a
+//! tiny admission queue, and clean drain on shutdown.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lasagne::serve::client::Client;
+use lasagne::serve::wire::{Response, Source};
+use lasagne::serve::{Config, Server};
+use lasagne::{Pipeline, Version};
+use lasagne_armgen::print::print_module;
+use lasagne_phoenix::all_benchmarks;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "lasagne-serve-it-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn unix_cfg(tag: &str) -> Config {
+    Config {
+        addr: temp_path(tag).to_string_lossy().into_owned(),
+        jobs: 2,
+        ..Config::default()
+    }
+}
+
+/// Round-trips one translation and returns `(source, asm)`.
+fn ask(client: &mut Client, bin: &lasagne_x86::binary::Binary, v: Version) -> (Source, String) {
+    match client.translate(bin, v, 0).expect("translate call") {
+        Response::Ok { source, asm, .. } => (source, asm),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn responses_are_byte_identical_to_the_pipeline_at_any_concurrency() {
+    let benches = all_benchmarks(24);
+    let server = Server::spawn(unix_cfg("ident")).expect("spawn");
+    let addr = server.addr().to_string();
+    // Four client threads hammer overlapping subsets of the suite; every
+    // response must match the local pipeline byte for byte, whether it
+    // was translated cold, coalesced, or served hot.
+    std::thread::scope(|s| {
+        for w in 0..4usize {
+            let benches = &benches;
+            let addr = &addr;
+            s.spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(addr, std::time::Duration::from_secs(5))
+                        .expect("connect");
+                for i in 0..6 {
+                    let b = &benches[(w + i) % benches.len()];
+                    let (_, asm) = ask(&mut client, &b.binary, Version::PPOpt);
+                    let (t, _) = Pipeline::new(Version::PPOpt)
+                        .run(&b.binary)
+                        .expect("local pipeline");
+                    assert_eq!(
+                        asm,
+                        print_module(&t.arm),
+                        "{} diverged from the local pipeline",
+                        b.name
+                    );
+                }
+            });
+        }
+    });
+    let stats = server.stop();
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.errors + stats.shed + stats.timeouts, 0);
+    // 7 unique keys: exactly 7 requests did pipeline work (cold or the
+    // single-flight leader); the rest were answered from memory.
+    assert_eq!(stats.cold + stats.coalesced + stats.hot, 24);
+    assert_eq!(stats.cold, 7);
+}
+
+#[test]
+fn lookup_ladder_serves_hot_then_disk_across_a_restart() {
+    let cache_dir = temp_path("ladder-cache");
+    let cfg = |tag: &str| Config {
+        cache_dir: Some(cache_dir.clone()),
+        ..unix_cfg(tag)
+    };
+    let b = &all_benchmarks(24)[0];
+
+    let server = Server::spawn(cfg("ladder-a")).expect("spawn");
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    let (s1, asm1) = ask(&mut client, &b.binary, Version::PPOpt);
+    let (s2, asm2) = ask(&mut client, &b.binary, Version::PPOpt);
+    assert_eq!(s1, Source::Cold);
+    assert_eq!(s2, Source::Hot, "repeat request must hit the hot tier");
+    assert_eq!(asm1, asm2);
+    server.stop();
+
+    // A fresh daemon has an empty hot tier but the same disk cache: the
+    // first request lands on the disk rung, and only then goes hot.
+    let server = Server::spawn(cfg("ladder-b")).expect("spawn");
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    let (s3, asm3) = ask(&mut client, &b.binary, Version::PPOpt);
+    let (s4, _) = ask(&mut client, &b.binary, Version::PPOpt);
+    assert_eq!(s3, Source::Disk, "restart must fall back to the disk tier");
+    assert_eq!(s4, Source::Hot);
+    assert_eq!(asm1, asm3, "disk replay diverged from the cold run");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn tiny_queue_sheds_explicitly_and_recovers() {
+    let server = Server::spawn(Config {
+        queue: 1,
+        hot_bytes: 0,
+        ..unix_cfg("shed")
+    })
+    .expect("spawn");
+    let addr = server.addr().to_string();
+    let benches = all_benchmarks(24);
+    let shed = std::sync::atomic::AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for w in 0..8usize {
+            let benches = &benches;
+            let addr = &addr;
+            let shed = &shed;
+            s.spawn(move || {
+                let mut client =
+                    Client::connect_with_retry(addr, std::time::Duration::from_secs(5))
+                        .expect("connect");
+                for i in 0..3 {
+                    let b = &benches[(w + i) % benches.len()];
+                    match client.translate(&b.binary, Version::PPOpt, 0).unwrap() {
+                        Response::Ok { .. } => {}
+                        Response::Shed => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("expected Ok or Shed, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        shed.load(Ordering::Relaxed) > 0,
+        "8 clients against a queue of 1 never shed"
+    );
+    // Shedding is backpressure, not damage: an unloaded request after
+    // the storm is served normally.
+    let mut client = Client::connect_with_retry(&addr, std::time::Duration::from_secs(5)).unwrap();
+    let (source, _) = ask(&mut client, &benches[0].binary, Version::PPOpt);
+    assert_eq!(source, Source::Cold);
+    let stats = server.stop();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.shed, u64::from(shed.load(Ordering::Relaxed)));
+}
+
+#[test]
+fn shutdown_drains_and_removes_the_socket() {
+    let path = temp_path("drain");
+    let server = Server::spawn(Config {
+        addr: path.to_string_lossy().into_owned(),
+        jobs: 2,
+        ..Config::default()
+    })
+    .expect("spawn");
+    let b = &all_benchmarks(24)[0];
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    ask(&mut client, &b.binary, Version::PPOpt);
+    let stats = server.stop();
+    assert_eq!(stats.requests, 1);
+    assert!(
+        !path.exists(),
+        "socket file must be removed on clean shutdown"
+    );
+}
+
+#[test]
+fn stats_and_shutdown_requests_round_trip() {
+    let server = Server::spawn(unix_cfg("stats")).expect("spawn");
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    let b = &all_benchmarks(24)[0];
+    ask(&mut client, &b.binary, Version::PPOpt);
+    let json = client.stats().expect("stats");
+    assert!(
+        json.starts_with("{\"requests\":1,"),
+        "unexpected stats shape: {json}"
+    );
+    client.shutdown().expect("shutdown handshake");
+    // The daemon thread exits on its own after the shutdown request; the
+    // handle join must complete rather than hang.
+    let stats = server.stop();
+    assert_eq!(stats.requests, 1);
+}
