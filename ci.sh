@@ -94,10 +94,15 @@ fi
 # assembly byte-identical to the CLI's translate output, answer a repeat
 # replay of the suite entirely from the hot tier with identical response
 # bytes, drain cleanly on serve-stop (no stray process, socket removed),
-# and shed nothing when unloaded.
+# and shed nothing when unloaded. The daemon runs fully observed
+# (--trace-out + a sample-everything request log) to pin that the
+# observability layer is output-neutral: the byte-identity and checksum
+# gates below run against a traced daemon.
 SOCK="$CACHE_DIR/serve.sock"
 ./target/release/lasagne serve --socket "$SOCK" --jobs 2 \
-    --cache-dir "$CACHE_DIR/serve-cache" &
+    --cache-dir "$CACHE_DIR/serve-cache" \
+    --trace-out "$CACHE_DIR/serve.trace.json" \
+    --log "$CACHE_DIR/serve.log" --log-sample 1 &
 SERVE_PID=$!
 ./target/release/lasagne serve-client HT --socket "$SOCK" \
     >"$CACHE_DIR/HT.serve.s"
@@ -110,9 +115,32 @@ echo "$R2" | grep -q '"shed":0'
 C1=$(echo "$R1" | sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p')
 C2=$(echo "$R2" | sed -n 's/.*"checksum":"\([0-9a-f]*\)".*/\1/p')
 test -n "$C1" && test "$C1" = "$C2"
+# The Metrics frame must parse, reconcile exactly against the Stats frame
+# (per-rung histogram totals vs counters, payload histograms vs requests,
+# evictions), and expose a scrapeable Prometheus body whose request total
+# matches the stats counter.
+./target/release/lasagne serve-metrics --socket "$SOCK" --check
+METRICS=$(./target/release/lasagne serve-metrics --socket "$SOCK")
+echo "$METRICS" | grep -q '^{"schema":2,'
+REQS=$(echo "$METRICS" | sed -n 's/.*"stats":{"schema":2,"requests":\([0-9]*\).*/\1/p')
+test -n "$REQS"
+./target/release/lasagne serve-metrics --socket "$SOCK" --prom \
+    >"$CACHE_DIR/serve.prom"
+grep -q '^# TYPE lasagne_serve_requests counter$' "$CACHE_DIR/serve.prom"
+grep -q "^lasagne_serve_requests $REQS\$" "$CACHE_DIR/serve.prom"
+grep -q '^lasagne_serve_latency_hot_bucket{le="+Inf"}' "$CACHE_DIR/serve.prom"
 ./target/release/lasagne serve-stop --socket "$SOCK"
 wait "$SERVE_PID"
 test ! -e "$SOCK"
+# The drained daemon flushed a valid per-request trace (named conn tracks
+# pass the same validator as pipeline traces) and a request log whose
+# every line is schema-1 JSON covering exactly the requests served.
+./target/release/lasagne trace-check "$CACHE_DIR/serve.trace.json"
+test -s "$CACHE_DIR/serve.log"
+if grep -v '^{"schema":1,"id":' "$CACHE_DIR/serve.log"; then
+    echo "serve request log contains a malformed line" >&2
+    exit 1
+fi
 
 # Forced overload: a queue of one with both cache tiers disabled under an
 # over-wide client must degrade into explicit Shed responses — nonzero

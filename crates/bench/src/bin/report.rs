@@ -759,6 +759,10 @@ struct ServePhase {
     name: &'static str,
     summary: lasagne_bench::serve_load::ReplaySummary,
     pool: lasagne::pipeline::pool::PoolStats,
+    /// In-daemon `serve.latency.*` histogram deltas over the phase
+    /// (rung name → interval histogram), read straight off the server's
+    /// metrics registry — the other side of the socket from `summary`.
+    server: std::collections::BTreeMap<String, lasagne_trace::Histogram>,
 }
 
 impl ServePhase {
@@ -768,13 +772,29 @@ impl ServePhase {
 
     fn json(&self) -> String {
         let s = &self.summary;
+        let server = self
+            .server
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"p50_nanos\":{},\"p99_nanos\":{},\
+                     \"p999_nanos\":{}}}",
+                    name.trim_start_matches("serve.latency."),
+                    h.total(),
+                    h.percentile(50.0),
+                    h.percentile(99.0),
+                    h.percentile(99.9),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"requests\":{},\"hits\":{{\"hot\":{},\"coalesced\":{},\
              \"disk\":{},\"cold\":{}}},\"shed\":{},\"timeouts\":{},\
              \"errors\":{},\"p50_nanos\":{},\"p99_nanos\":{},\
              \"p999_nanos\":{},\"throughput_rps\":{:.1},\"wall_nanos\":{},\
              \"pool\":{{\"submitted\":{},\"executed\":{},\"steals\":{},\
-             \"parks\":{}}},\"checksum\":\"{:016x}\"}}",
+             \"parks\":{}}},\"server\":{{{server}}},\"checksum\":\"{:016x}\"}}",
             s.samples.len(),
             s.hits[0],
             s.hits[1],
@@ -797,17 +817,38 @@ impl ServePhase {
     }
 }
 
-/// Replays `opts` against a running daemon, attributing the shared
-/// pool's activity over the replay to the phase.
-fn serve_phase(name: &'static str, opts: &lasagne_bench::serve_load::LoadOpts) -> ServePhase {
+/// Replays `opts` against the daemon behind `handle`, attributing the
+/// shared pool's activity and the daemon's per-rung latency histogram
+/// growth over the replay to the phase.
+fn serve_phase(
+    name: &'static str,
+    handle: &lasagne::serve::ServerHandle,
+    opts: &lasagne_bench::serve_load::LoadOpts,
+) -> ServePhase {
     use lasagne::pipeline::pool::Pool;
     let before = Pool::shared().stats();
+    let server_before = handle.metrics();
     let summary = lasagne_bench::serve_load::replay(opts);
+    let server_after = handle.metrics();
     let pool = Pool::shared().stats().since(&before);
+    let server = server_after
+        .histos
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve.latency."))
+        .map(|(k, h)| {
+            let d = match server_before.histos.get(k) {
+                Some(b) => h.diff(b),
+                None => h.clone(),
+            };
+            (k.clone(), d)
+        })
+        .filter(|(_, d)| d.total() > 0)
+        .collect();
     ServePhase {
         name,
         summary,
         pool,
+        server,
     }
 }
 
@@ -827,9 +868,13 @@ fn serve_phase(name: &'static str, opts: &lasagne_bench::serve_load::LoadOpts) -
 ///   populated the hot tier): every request is answered from memory.
 ///
 /// All three phases must produce the same response-byte checksum — the
-/// daemon's determinism claim — and the artifact records per-phase
-/// p50/p99/p999 latency, throughput, the hot/coalesced/disk/cold split,
-/// shed/timeout/error counts, and the shared pool's activity delta. A
+/// daemon's determinism claim — and the artifact (schema 2) records
+/// per-phase p50/p99/p999 latency, throughput, the
+/// hot/coalesced/disk/cold split, shed/timeout/error counts, the shared
+/// pool's activity delta, and the daemon's own per-rung latency
+/// histogram deltas (`server`), cross-checked against the client view:
+/// per-rung counts must reconcile exactly, and the dominant rung's
+/// server-side p50 must sit within tolerance of the client-side p50. A
 /// final shed probe (queue depth 1, no caches, over-wide client) records
 /// that overload degrades into explicit `Shed` responses, not queueing.
 fn serve() {
@@ -877,6 +922,7 @@ fn serve() {
         let daemon = Server::spawn(cfg(sock("cold"))).expect("spawn cold daemon");
         let cold = serve_phase(
             "cold",
+            &daemon,
             &LoadOpts {
                 addr: daemon.addr().to_string(),
                 ..opts.clone()
@@ -890,9 +936,9 @@ fn serve() {
             addr: daemon.addr().to_string(),
             ..opts
         };
-        let warm_disk = serve_phase("warm_disk", &warm_opts);
+        let warm_disk = serve_phase("warm_disk", &daemon, &warm_opts);
         // Warm hot: same daemon — the previous replay filled the tier.
-        let warm_hot = serve_phase("warm_hot", &warm_opts);
+        let warm_hot = serve_phase("warm_hot", &daemon, &warm_opts);
         daemon.stop();
 
         for ph in [&cold, &warm_disk, &warm_hot] {
@@ -908,6 +954,40 @@ fn serve() {
                 "serve c{width} {}: response bytes diverged from the cold run",
                 ph.name
             );
+            // Both sides of the socket must agree. Counts reconcile
+            // exactly: the daemon's per-rung latency histogram growth
+            // over the phase equals the client-observed hit split.
+            for (i, rung) in ["hot", "coalesced", "disk", "cold"].iter().enumerate() {
+                let server_count = ph
+                    .server
+                    .get(&format!("serve.latency.{rung}"))
+                    .map_or(0, lasagne_trace::Histogram::total);
+                assert_eq!(
+                    server_count, s.hits[i],
+                    "serve c{width} {}: daemon counted {server_count} {rung} \
+                     responses, client saw {}",
+                    ph.name, s.hits[i]
+                );
+            }
+            // Latency cross-check: per request, server-side service time
+            // is a subset of the client RTT, so the server's p50 is
+            // stochastically dominated by the client's. Compare through
+            // the shared bucket-estimating percentile (same bounds, same
+            // estimator on both ends) with a 2x + 1 ms band for bucket
+            // granularity on near-instant hot hits.
+            let client_p50 = ph.summary.ok_histogram().percentile(50.0);
+            for (rung, h) in &ph.server {
+                if h.total() * 2 < s.samples.len() as u64 {
+                    continue; // only the dominant rung pins the p50
+                }
+                let server_p50 = h.percentile(50.0);
+                assert!(
+                    server_p50 <= client_p50 * 2 + 1_000_000,
+                    "serve c{width} {}: daemon {rung} p50 {server_p50}ns \
+                     exceeds client p50 {client_p50}ns beyond tolerance",
+                    ph.name
+                );
+            }
             println!(
                 "c{width} {:<10} p50 {:>8.3} ms  p99 {:>8.3} ms  {:>7.1} req/s  \
                  hot/coal/disk/cold {}/{}/{}/{}",
@@ -945,6 +1025,7 @@ fn serve() {
     .expect("spawn shed daemon");
     let shed = serve_phase(
         "shed_probe",
+        &daemon,
         &LoadOpts {
             addr: daemon.addr().to_string(),
             versions: vec![Version::PPOpt],
@@ -974,7 +1055,7 @@ fn serve() {
         .collect::<Vec<_>>()
         .join(",");
     let json = format!(
-        "{{\"schema\":1,\"scale\":{scale},\"versions\":[{version_names}],\"reps\":1,\
+        "{{\"schema\":2,\"scale\":{scale},\"versions\":[{version_names}],\"reps\":1,\
          \"jobs\":{JOBS},\"host_cpus\":{host_cpus},\
          \"concurrency\":[1,4],\n \"levels\":{{{}}},\n \
          \"shed_probe\":{{\"queue\":1,\"concurrency\":8,\"version\":\"PPOpt\",\"reps\":2,\

@@ -15,7 +15,7 @@ use lasagne::serve::wire::{Response, Source};
 use lasagne::Version;
 use lasagne_cache::fnv64;
 use lasagne_phoenix::all_benchmarks;
-use lasagne_trace::lock_clean;
+use lasagne_trace::{lock_clean, Histogram};
 
 /// One replay's shape: where, what, how wide.
 #[derive(Debug, Clone)]
@@ -85,6 +85,20 @@ impl ReplaySummary {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Client-observed Ok latencies folded into a histogram with the
+    /// server's own bucket bounds ([`lasagne::serve::LATENCY_BOUNDS`]),
+    /// so client-side percentiles can be derived by the same
+    /// [`Histogram::percentile`] estimator the daemon applies
+    /// server-side — one implementation on both ends of the socket,
+    /// comparable bucket-for-bucket.
+    pub fn ok_histogram(&self) -> Histogram {
+        let mut h = Histogram::new(&lasagne::serve::LATENCY_BOUNDS);
+        for s in self.samples.iter().filter(|s| s.status == "ok") {
+            h.record(u64::try_from(s.nanos).unwrap_or(u64::MAX));
+        }
+        h
     }
 
     /// Requests per second over the replay wall time (accepted only).

@@ -22,9 +22,40 @@
 //! (`lock_clean` discipline — no lock is ever poisoned for the next
 //! request), and shutdown drains in-flight work before the listener
 //! thread exits.
+//!
+//! # Observability
+//!
+//! The daemon is instrumented with the same `crates/trace` layer the
+//! batch pipeline uses, in four independent (and independently
+//! switchable) forms — none of which changes a single response byte:
+//!
+//! * **Metrics (always on).** Every server owns a [`MetricsRegistry`]
+//!   recording per-rung service-latency histograms
+//!   (`serve.latency.{hot,coalesced,disk,cold}` — one observation per
+//!   counted rung hit, so histogram totals reconcile *exactly* with
+//!   [`ServeStats`]), admission queue wait, deadline remaining at
+//!   dispatch, payload sizes, and hot-tier eviction churn. A
+//!   [`wire::Request::Metrics`] frame returns the registry as JSON
+//!   (with server-side p50/p99/p999 derived by
+//!   [`lasagne_trace::Histogram::percentile`]) and as a Prometheus-style
+//!   text exposition.
+//! * **Per-request tracing (`Config::trace_out`).** Each connection is
+//!   pinned to a stable trace track above the pipeline's worker tracks;
+//!   each request opens a `serve`-category span carrying the request
+//!   id, rung, and outcome, and a cold run threads the same [`TraceCtx`]
+//!   into the pipeline so the six Figure 3 stage spans nest under the
+//!   request that paid for them. The Chrome export is written on
+//!   shutdown.
+//! * **Sampled request log (`Config::log`).** Every Nth request appends
+//!   one structured JSON line (id, outcome, rung, bytes, wait/service
+//!   nanos) to a size-capped, rotating file — see [`log`].
+//! * **Live watch.** `lasagne serve-watch` polls Stats + Metrics and
+//!   renders interval deltas; the delta math lives in [`watch`].
 
 pub mod client;
 pub mod hot;
+pub mod log;
+pub mod watch;
 pub mod wire;
 
 use std::io::{self, Write};
@@ -37,7 +68,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lasagne_trace::lock_clean;
+use lasagne_trace::{lock_clean, set_current_track, MetricsRegistry, MetricsSnapshot, TraceCtx};
 use lasagne_x86::binary::Binary;
 
 use crate::pipeline::module_key;
@@ -48,6 +79,39 @@ use wire::{Request, Response, Source, WireError};
 /// How long an idle connection read sleeps before re-checking the stop
 /// flag; bounds shutdown latency for quiet connections.
 const POLL: Duration = Duration::from_millis(25);
+
+/// Histogram bounds for time observations (nanoseconds): doubling from
+/// 1µs to ~8.4s, so any per-request duration the deadline allows lands
+/// in a finite bucket and `Histogram::percentile` interpolates within
+/// a factor-of-two band.
+pub const LATENCY_BOUNDS: [u64; 24] = {
+    let mut b = [0u64; 24];
+    let mut i = 0;
+    while i < 24 {
+        b[i] = 1000u64 << i;
+        i += 1;
+    }
+    b
+};
+
+/// Histogram bounds for payload sizes (bytes): doubling from 64 B to
+/// 16 MiB (requests larger than [`wire::MAX_FRAME`] are refused, so the
+/// overflow bucket stays empty in practice).
+pub const SIZE_BOUNDS: [u64; 19] = {
+    let mut b = [0u64; 19];
+    let mut i = 0;
+    while i < 19 {
+        b[i] = 64u64 << i;
+        i += 1;
+    }
+    b
+};
+
+/// How many distinct trace tracks connections rotate over. Connection
+/// threads are short-lived and unbounded in number, so they share a
+/// small ring of stable tracks above the pipeline's worker tracks
+/// instead of minting one track per connection.
+const CONN_TRACKS: u64 = 8;
 
 /// Server configuration. The defaults suit an interactive daemon; the
 /// bench and CI harnesses tighten `queue`/`hot_bytes` to force the
@@ -68,6 +132,11 @@ pub struct Config {
     pub timeout: Duration,
     /// On-disk cache directory; `None` = no disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Chrome trace output path; `Some` enables per-request tracing and
+    /// writes the export here when the daemon shuts down.
+    pub trace_out: Option<PathBuf>,
+    /// Sampled structured request log; `None` = no log.
+    pub log: Option<log::LogConfig>,
 }
 
 impl Default for Config {
@@ -79,6 +148,8 @@ impl Default for Config {
             queue: 64,
             timeout: Duration::from_secs(60),
             cache_dir: None,
+            trace_out: None,
+            log: None,
         }
     }
 }
@@ -109,15 +180,26 @@ pub struct ServeStats {
     pub hot_bytes: u64,
     /// Hot-tier evictions, ever.
     pub hot_evictions: u64,
+    /// Nanoseconds the server has been up at snapshot time.
+    pub uptime_nanos: u64,
 }
 
 impl ServeStats {
+    /// The Stats JSON body's schema revision. Tracks [`wire::SCHEMA`]:
+    /// the body is versioned alongside the frames that carry it, so a
+    /// consumer checks one number. Schema 2 added this field and
+    /// `uptime_nanos`; every schema-1 field is unchanged in name and
+    /// meaning.
+    pub const JSON_SCHEMA: u32 = wire::SCHEMA;
+
     /// The stats as a single JSON object (the `Stats` response body).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"requests\":{},\"hot\":{},\"coalesced\":{},\"disk\":{},\"cold\":{},\
+            "{{\"schema\":{},\"requests\":{},\"hot\":{},\"coalesced\":{},\"disk\":{},\"cold\":{},\
              \"shed\":{},\"timeouts\":{},\"errors\":{},\
-             \"hot_tier\":{{\"entries\":{},\"bytes\":{},\"evictions\":{}}}}}",
+             \"hot_tier\":{{\"entries\":{},\"bytes\":{},\"evictions\":{}}},\
+             \"uptime_nanos\":{}}}",
+            ServeStats::JSON_SCHEMA,
             self.requests,
             self.hot,
             self.coalesced,
@@ -129,6 +211,7 @@ impl ServeStats {
             self.hot_entries,
             self.hot_bytes,
             self.hot_evictions,
+            self.uptime_nanos,
         )
     }
 }
@@ -145,6 +228,17 @@ struct Inner {
     shed: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
+    /// Always-on metrics registry (shared with the hot tier).
+    metrics: Arc<MetricsRegistry>,
+    /// Per-request span collector; disabled unless `cfg.trace_out`.
+    trace: TraceCtx,
+    /// Sampled request log, when configured.
+    log: Option<log::RequestLog>,
+    /// Monotone request-id source (first request is id 1).
+    ids: AtomicU64,
+    /// Monotone connection counter feeding the trace-track ring.
+    conns: AtomicU64,
+    started: Instant,
 }
 
 impl Inner {
@@ -162,7 +256,15 @@ impl Inner {
             hot_entries: tier.entries,
             hot_bytes: tier.bytes,
             hot_evictions: tier.evictions,
+            uptime_nanos: self.started.elapsed().as_nanos() as u64,
         }
+    }
+
+    /// First trace track of the connection ring: one past the largest
+    /// track a pipeline worker can claim (slot `w` → track `w + 1`,
+    /// and requested jobs are clamped to `cfg.jobs.max(1) * 4`).
+    fn conn_track_base(&self) -> u64 {
+        self.cfg.jobs.max(1) as u64 * 4 + 1
     }
 
     fn count_hit(&self, source: Source) {
@@ -173,6 +275,9 @@ impl Inner {
             Source::Cold => 3,
         };
         self.hits[idx].fetch_add(1, Ordering::Relaxed);
+        // The rung's latency observation happens at the same decision
+        // point (see `translate`), so histogram totals and these
+        // counters reconcile exactly.
     }
 
     /// Runs one translation request through the lookup ladder and
@@ -187,10 +292,16 @@ impl Inner {
         let key = module_key(bin, version);
         let t0 = Instant::now();
         let cfg = &self.cfg;
+        let trace = &self.trace;
         let run = || -> Result<(Arc<String>, Source), String> {
             let mut p = Pipeline::new(version).with_jobs(jobs);
             if let Some(dir) = &cfg.cache_dir {
                 p = p.with_cache(dir);
+            }
+            if trace.is_enabled() {
+                // Cold-path stage spans nest under this request's span
+                // tree in the shared collector.
+                p = p.with_trace(trace.clone());
             }
             let (t, report) = p.run(bin).map_err(|e| e.to_string())?;
             let source = if report.cache.as_ref().is_some_and(|c| c.warm) {
@@ -210,10 +321,17 @@ impl Inner {
         match outcome {
             Ok(Ok((asm, source))) => {
                 if t0.elapsed() > cfg.timeout {
+                    // Success past the deadline is a timeout, not a hit:
+                    // neither the rung counter nor its histogram records.
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
                     return Response::Timeout;
                 }
                 self.count_hit(source);
+                self.metrics.observe(
+                    &format!("serve.latency.{}", source.name()),
+                    &LATENCY_BOUNDS,
+                    nanos,
+                );
                 Response::Ok {
                     source,
                     nanos,
@@ -242,40 +360,208 @@ impl Inner {
         }
     }
 
-    /// Handles one request, admission included.
-    fn serve_request(&self, req: Request) -> Response {
+    /// Handles one decoded request, admission included. `t_recv` is
+    /// when the request's frame finished arriving; the returned nanos
+    /// are the admission wait (frame-complete → service permit), zero
+    /// for non-translation requests.
+    fn serve_request(&self, req: Request, t_recv: Instant) -> (Response, u64) {
         match req {
-            Request::Stats => Response::Stats {
-                json: self.stats().to_json(),
-            },
+            Request::Stats => (
+                Response::Stats {
+                    json: self.stats().to_json(),
+                },
+                0,
+            ),
+            Request::Metrics => (
+                Response::Metrics {
+                    json: self.metrics_json(),
+                    prom: self.metrics_prom(),
+                },
+                0,
+            ),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::Release);
-                Response::ShuttingDown
+                (Response::ShuttingDown, 0)
             }
             Request::Translate { version, jobs, bin } => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 if self.stop.load(Ordering::Acquire) {
-                    return Response::ShuttingDown;
+                    return (Response::ShuttingDown, 0);
                 }
                 // Admission: take a service permit or shed. The counter
                 // bounds *work in service*, hot hits included — the
                 // response to overload is an explicit Shed the client
                 // can react to, never an unbounded queue.
+                let wait_span = self.trace.span("serve", "admission");
                 let admitted = self
                     .in_service
                     .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                         (n < self.cfg.queue).then_some(n + 1)
                     })
                     .is_ok();
+                drop(wait_span);
+                let wait = t_recv.elapsed().as_nanos() as u64;
                 if !admitted {
                     self.shed.fetch_add(1, Ordering::Relaxed);
-                    return Response::Shed;
+                    return (Response::Shed, wait);
                 }
+                // One queue-wait and one deadline-remaining observation
+                // per *admitted* request: their totals reconcile with
+                // `requests - shed` (modulo shutdown races).
+                self.metrics
+                    .observe("serve.queue_wait", &LATENCY_BOUNDS, wait);
+                let deadline = self.cfg.timeout.as_nanos() as u64;
+                self.metrics.observe(
+                    "serve.deadline_remaining",
+                    &LATENCY_BOUNDS,
+                    deadline.saturating_sub(wait),
+                );
                 let resp = self.translate(version, jobs, &bin);
                 self.in_service.fetch_sub(1, Ordering::AcqRel);
-                resp
+                (resp, wait)
             }
         }
+    }
+
+    /// Serves one framed request end-to-end: decode, dispatch, encode —
+    /// the single place where both payload sizes are known, so every
+    /// per-request metric, span argument, and log line is emitted here.
+    /// Returns the encoded response and whether it announced shutdown.
+    fn handle_request(&self, payload: &[u8]) -> (Vec<u8>, bool) {
+        let t_recv = Instant::now();
+        let id = self.ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut span = self.trace.span("serve", "request");
+        span.arg("id", id);
+        let decoded = wire::decode_request(payload);
+        let is_translate = matches!(decoded, Ok(Request::Translate { .. }));
+        let (resp, wait_nanos) = match decoded {
+            Ok(req) => self.serve_request(req, t_recv),
+            Err(_) => (
+                Response::Error {
+                    msg: "malformed request".into(),
+                },
+                0,
+            ),
+        };
+        let (outcome, source) = match &resp {
+            Response::Ok { source, .. } => ("ok", Some(*source)),
+            Response::Shed => ("shed", None),
+            Response::Timeout => ("timeout", None),
+            Response::Error { .. } => ("error", None),
+            Response::Stats { .. } => ("stats", None),
+            Response::Metrics { .. } => ("metrics", None),
+            Response::ShuttingDown => ("shutdown", None),
+        };
+        let out = wire::encode_response(&resp);
+        let total_nanos = t_recv.elapsed().as_nanos() as u64;
+        if is_translate {
+            self.metrics
+                .observe("serve.bytes_in", &SIZE_BOUNDS, payload.len() as u64);
+            self.metrics
+                .observe("serve.bytes_out", &SIZE_BOUNDS, out.len() as u64);
+        }
+        if self.trace.is_enabled() {
+            span.arg("outcome", outcome);
+            if let Some(s) = source {
+                span.arg("rung", s.name());
+            }
+            span.arg("bytes_in", payload.len());
+            span.arg("bytes_out", out.len());
+        }
+        drop(span);
+        if let Some(log) = &self.log {
+            log.record_sampled(&log::RequestLine {
+                id,
+                outcome,
+                source: source.map(Source::name),
+                bytes_in: payload.len() as u64,
+                bytes_out: out.len() as u64,
+                wait_nanos,
+                service_nanos: total_nanos.saturating_sub(wait_nanos),
+            });
+        }
+        (out, matches!(resp, Response::ShuttingDown))
+    }
+
+    /// The Metrics response's JSON body: versioned, with the stats
+    /// snapshot, the raw registry, and derived percentiles per
+    /// histogram.
+    fn metrics_json(&self) -> String {
+        let snap = self.metrics.snapshot();
+        let mut s = format!(
+            "{{\"schema\":{},\"stats\":{},\"metrics\":{}",
+            ServeStats::JSON_SCHEMA,
+            self.stats().to_json(),
+            snap.to_json()
+        );
+        s.push_str(",\"percentiles\":{");
+        for (i, (name, h)) in snap.histos.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{}:{{\"p50\":{},\"p99\":{},\"p999\":{},\"mean\":{:.1}}}",
+                lasagne_trace::json::escape(name),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.percentile(99.9),
+                h.mean(),
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// The Metrics response's Prometheus-style text exposition:
+    /// `lasagne_serve_*` counters from [`ServeStats`], every registry
+    /// counter, and every histogram in cumulative-bucket form
+    /// (`_bucket{le=...}` / `_sum` / `_count`).
+    fn metrics_prom(&self) -> String {
+        fn metric_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 8);
+            out.push_str("lasagne_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let st = self.stats();
+        let mut s = String::new();
+        for (name, v) in [
+            ("serve.requests", st.requests),
+            ("serve.hits.hot", st.hot),
+            ("serve.hits.coalesced", st.coalesced),
+            ("serve.hits.disk", st.disk),
+            ("serve.hits.cold", st.cold),
+            ("serve.shed", st.shed),
+            ("serve.timeouts", st.timeouts),
+            ("serve.errors", st.errors),
+            ("serve.hot.entries", st.hot_entries),
+            ("serve.hot.bytes", st.hot_bytes),
+            ("serve.uptime_nanos", st.uptime_nanos),
+        ] {
+            let n = metric_name(name);
+            s.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        let snap = self.metrics.snapshot();
+        for (name, v) in &snap.counters {
+            let n = metric_name(name);
+            s.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, h) in &snap.histos {
+            let n = metric_name(name);
+            s.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cum += c;
+                match h.bounds.get(i) {
+                    Some(b) => s.push_str(&format!("{n}_bucket{{le=\"{b}\"}} {cum}\n")),
+                    None => s.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cum}\n")),
+                }
+            }
+            s.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.total()));
+        }
+        s
     }
 }
 
@@ -361,8 +647,18 @@ impl Server {
             let addr = cfg.addr.clone();
             (Listener::Unix(l, path), addr)
         };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let trace = if cfg.trace_out.is_some() {
+            TraceCtx::collecting()
+        } else {
+            TraceCtx::disabled()
+        };
+        let log = match &cfg.log {
+            Some(lc) => Some(log::RequestLog::open(lc.clone())?),
+            None => None,
+        };
         let inner = Arc::new(Inner {
-            hot: HotTier::new(cfg.hot_bytes),
+            hot: HotTier::new(cfg.hot_bytes).with_metrics(Arc::clone(&metrics)),
             cfg,
             stop: AtomicBool::new(false),
             in_service: AtomicUsize::new(0),
@@ -371,7 +667,19 @@ impl Server {
             shed: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            metrics,
+            trace,
+            log,
+            ids: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            started: Instant::now(),
         });
+        // Name every track the export can use up front: pipeline worker
+        // slots plus the connection ring, so `trace-check` sees a name
+        // for each track even if a slot never records.
+        inner
+            .trace
+            .declare_tracks((inner.conn_track_base() + CONN_TRACKS - 1) as u32);
         Ok(Server {
             inner,
             listener,
@@ -422,6 +730,13 @@ impl Server {
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
         }
+        // Flush the per-request span tree on the way out; the daemon is
+        // drained, so the export is complete and stable.
+        if let (Some(path), Some(json)) =
+            (&self.inner.cfg.trace_out, self.inner.trace.chrome_json())
+        {
+            let _ = std::fs::write(path, json);
+        }
         self.inner.stats()
     }
 
@@ -463,6 +778,14 @@ impl ServerHandle {
         self.inner.stats()
     }
 
+    /// A merged snapshot of the daemon's metrics registry (the same
+    /// data a [`wire::Request::Metrics`] frame returns, pre-parse).
+    /// This is how the bench harness reads server-side histograms
+    /// without going through the socket.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
     /// Requests shutdown, waits for the drain, and returns the final
     /// counters.
     pub fn stop(self) -> ServeStats {
@@ -476,6 +799,15 @@ impl ServerHandle {
 /// peer just ends this connection.
 fn handle_conn(inner: Arc<Inner>, mut stream: Stream) {
     let _ = stream.set_read_timeout(POLL);
+    // Pin this connection to a stable track from the ring above the
+    // pipeline's worker tracks, so its request spans land on one named
+    // row in the Chrome export instead of scattering per OS thread.
+    let conn = inner.conns.fetch_add(1, Ordering::Relaxed);
+    let track = inner.conn_track_base() + conn % CONN_TRACKS;
+    set_current_track(track as u32);
+    inner
+        .trace
+        .instant("serve", "conn-accept", vec![("conn", conn.into())]);
     let stop = {
         let inner = Arc::clone(&inner);
         move || inner.stop.load(Ordering::Acquire)
@@ -493,14 +825,8 @@ fn handle_conn(inner: Arc<Inner>, mut stream: Stream) {
             }
             Err(WireError::Io(_)) => return,
         };
-        let resp = match wire::decode_request(&payload) {
-            Ok(req) => inner.serve_request(req),
-            Err(_) => Response::Error {
-                msg: "malformed request".into(),
-            },
-        };
-        let shutting_down = matches!(resp, Response::ShuttingDown);
-        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+        let (out, shutting_down) = inner.handle_request(&payload);
+        if wire::write_frame(&mut stream, &out).is_err() {
             return;
         }
         if shutting_down {

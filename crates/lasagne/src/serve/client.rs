@@ -147,6 +147,21 @@ impl Client {
         }
     }
 
+    /// Fetches the server's metrics registry as `(json, prometheus)`
+    /// bodies — the JSON snapshot with derived percentiles, and the
+    /// Prometheus-style text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or a non-metrics reply (e.g. a
+    /// schema-1 daemon that predates the Metrics frame).
+    pub fn metrics(&mut self) -> Result<(String, String), ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { json, prom } => Ok((json, prom)),
+            _ => Err(ClientError::Protocol),
+        }
+    }
+
     /// Asks the server to shut down and drain.
     ///
     /// # Errors

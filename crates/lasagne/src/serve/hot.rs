@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use lasagne_trace::lock_clean;
+use lasagne_trace::metrics::MetricsRegistry;
 
 use super::wire::Source;
 
@@ -69,6 +70,7 @@ pub struct HotTier {
     used: AtomicU64,
     tick: AtomicU64,
     evictions: AtomicU64,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Condvar wait that shrugs off poisoning the same way [`lock_clean`]
@@ -97,7 +99,16 @@ impl HotTier {
             used: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Publishes eviction churn into `registry`: each eviction bumps the
+    /// `serve.hot.evictions` counter and records the evicted entry's
+    /// size into the `serve.hot.evicted_bytes` histogram.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> HotTier {
+        self.metrics = Some(registry);
+        self
     }
 
     fn shard(&self, key: u64) -> &(Mutex<Shard>, Condvar) {
@@ -242,6 +253,15 @@ impl HotTier {
                 if let Some(Slot::Ready { asm, .. }) = g.slots.remove(&k) {
                     self.used.fetch_sub(asm.len() as u64, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                    if let Some(m) = &self.metrics {
+                        m.add(0, "serve.hot.evictions", 1);
+                        m.observe(
+                            "serve.hot.evicted_bytes",
+                            &super::SIZE_BOUNDS,
+                            asm.len() as u64,
+                        );
+                    }
                 }
             }
         }
@@ -358,6 +378,25 @@ mod tests {
         .unwrap();
         assert!(t.contains(3 << 48 | 3));
         assert!(!t.contains(4 << 48 | 4));
+    }
+
+    /// With a metrics registry attached, eviction churn shows up as a
+    /// counter + size histogram that reconcile exactly with `stats()`.
+    #[test]
+    fn eviction_churn_is_published_to_metrics() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let t = tier(20).with_metrics(registry.clone());
+        for key in 0..5u64 {
+            t.get_or_translate(key << 48 | key, LONG, || {
+                Ok((Arc::new(format!("{key:010}")), Source::Cold))
+            })
+            .unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.hot.evictions"), t.stats().evictions);
+        let h = &snap.histos["serve.hot.evicted_bytes"];
+        assert_eq!(h.total(), t.stats().evictions);
+        assert_eq!(h.sum(), 10 * t.stats().evictions);
     }
 
     /// A leader that panics must not wedge waiters: the drop guard

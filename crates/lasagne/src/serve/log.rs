@@ -1,0 +1,249 @@
+//! The daemon's sampled structured request log.
+//!
+//! One JSON line per sampled request — enough to reconstruct what the
+//! server did for a request without replaying a trace: the request id,
+//! outcome, rung, payload sizes, and the admission-wait/service split.
+//! The format is line-delimited JSON so standard tooling (`grep`,
+//! `jq`-alikes, the in-tree [`lasagne_trace::json`] parser) consumes it
+//! directly.
+//!
+//! Sampling is deterministic: with `sample = N`, exactly the requests
+//! whose monotone id is a multiple of N are written (N ≤ 1 logs every
+//! request). The file is size-capped: when appending a line would pass
+//! `max_bytes`, the current file is renamed to `<path>.1` (replacing
+//! any previous rotation) and a fresh file is started — the log's disk
+//! footprint is bounded by roughly `2 × max_bytes`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use lasagne_trace::lock_clean;
+
+/// Request-log configuration, carried in [`super::Config`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Log file path; rotation renames it to `<path>.1`.
+    pub path: PathBuf,
+    /// Write every Nth request (ids are 1-based; 0 and 1 both mean
+    /// every request).
+    pub sample: u64,
+    /// Rotate when the current file would exceed this many bytes;
+    /// 0 = never rotate.
+    pub max_bytes: u64,
+}
+
+/// One sampled request, pre-serialization. `schema` is implicit: the
+/// line format is [`RequestLine::SCHEMA`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestLine {
+    /// Monotone request id (1-based, all request kinds included).
+    pub id: u64,
+    /// `"ok"`, `"shed"`, `"timeout"`, `"error"`, `"stats"`,
+    /// `"metrics"`, or `"shutdown"`.
+    pub outcome: &'static str,
+    /// The ladder rung for an `"ok"` outcome, else `None` (`null`).
+    pub source: Option<&'static str>,
+    /// Request frame payload bytes.
+    pub bytes_in: u64,
+    /// Response frame payload bytes.
+    pub bytes_out: u64,
+    /// Frame-complete → admission decision, in nanoseconds.
+    pub wait_nanos: u64,
+    /// Admission → response encoded, in nanoseconds.
+    pub service_nanos: u64,
+}
+
+impl RequestLine {
+    /// Line-format schema revision, written on every line.
+    pub const SCHEMA: u32 = 1;
+
+    /// The line as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":{},\"id\":{},\"outcome\":\"{}\",\"source\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"wait_nanos\":{},\"service_nanos\":{}}}",
+            RequestLine::SCHEMA,
+            self.id,
+            self.outcome,
+            match self.source {
+                Some(s) => format!("\"{s}\""),
+                None => "null".to_string(),
+            },
+            self.bytes_in,
+            self.bytes_out,
+            self.wait_nanos,
+            self.service_nanos,
+        )
+    }
+}
+
+struct LogFile {
+    file: File,
+    written: u64,
+}
+
+/// An open, rotating request log. Writes are serialized behind one
+/// mutex — the log is off the latency path for unsampled requests, and
+/// a sampled write is one formatted line.
+pub struct RequestLog {
+    cfg: LogConfig,
+    state: Mutex<LogFile>,
+}
+
+impl RequestLog {
+    /// Opens (appending) or creates the log file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open failure.
+    pub fn open(cfg: LogConfig) -> io::Result<RequestLog> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&cfg.path)?;
+        let written = file.metadata()?.len();
+        Ok(RequestLog {
+            cfg,
+            state: Mutex::new(LogFile { file, written }),
+        })
+    }
+
+    /// Whether request `id` is in the sample.
+    pub fn sampled(&self, id: u64) -> bool {
+        self.cfg.sample <= 1 || id % self.cfg.sample == 0
+    }
+
+    /// Writes `line` if its id is sampled, rotating first when the
+    /// append would pass the size cap. Errors are swallowed: the log is
+    /// advisory and must never fail a request.
+    pub fn record_sampled(&self, line: &RequestLine) {
+        if !self.sampled(line.id) {
+            return;
+        }
+        let mut text = line.to_json();
+        text.push('\n');
+        let mut g = lock_clean(&self.state);
+        if self.cfg.max_bytes > 0
+            && g.written > 0
+            && g.written + text.len() as u64 > self.cfg.max_bytes
+        {
+            let rotated = {
+                let mut p = self.cfg.path.clone().into_os_string();
+                p.push(".1");
+                PathBuf::from(p)
+            };
+            // Replace any previous rotation, then start fresh; if the
+            // rename fails we keep appending to the oversized file
+            // rather than losing lines.
+            if std::fs::rename(&self.cfg.path, &rotated).is_ok() {
+                if let Ok(f) = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.cfg.path)
+                {
+                    g.file = f;
+                    g.written = 0;
+                }
+            }
+        }
+        if g.file.write_all(text.as_bytes()).is_ok() {
+            g.written += text.len() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasagne_trace::json;
+
+    fn line(id: u64) -> RequestLine {
+        RequestLine {
+            id,
+            outcome: "ok",
+            source: Some("hot"),
+            bytes_in: 100,
+            bytes_out: 2000,
+            wait_nanos: 50,
+            service_nanos: 12345,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lasagne-log-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("requests.log")
+    }
+
+    #[test]
+    fn line_schema_parses_with_all_fields() {
+        let v = json::parse(&line(7).to_json()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("source").unwrap().as_str(), Some("hot"));
+        assert_eq!(v.get("bytes_in").unwrap().as_u64(), Some(100));
+        assert_eq!(v.get("bytes_out").unwrap().as_u64(), Some(2000));
+        assert_eq!(v.get("wait_nanos").unwrap().as_u64(), Some(50));
+        assert_eq!(v.get("service_nanos").unwrap().as_u64(), Some(12345));
+
+        // A rung-less outcome serializes source as JSON null.
+        let shed = RequestLine {
+            outcome: "shed",
+            source: None,
+            ..line(8)
+        };
+        let v = json::parse(&shed.to_json()).unwrap();
+        assert_eq!(v.get("source"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn sampling_writes_exactly_every_nth_request() {
+        let path = tmp("sample");
+        let log = RequestLog::open(LogConfig {
+            path: path.clone(),
+            sample: 3,
+            max_bytes: 0,
+        })
+        .unwrap();
+        for id in 1..=10 {
+            log.record_sampled(&line(id));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let ids: Vec<u64> = text
+            .lines()
+            .map(|l| json::parse(l).unwrap().get("id").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn rotation_caps_the_file_and_keeps_one_generation() {
+        let path = tmp("rotate");
+        let one_line = line(1).to_json().len() as u64 + 1;
+        let log = RequestLog::open(LogConfig {
+            path: path.clone(),
+            sample: 1,
+            max_bytes: 3 * one_line, // room for three lines per generation
+        })
+        .unwrap();
+        for id in 1..=8 {
+            log.record_sampled(&line(id));
+        }
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(path.with_extension("log.1")).unwrap();
+        // 8 lines in generations of 3: rotations after 3 and 6, so the
+        // rotated file holds ids 4..=6 and the live file 7..=8.
+        let ids = |t: &str| -> Vec<u64> {
+            t.lines()
+                .map(|l| json::parse(l).unwrap().get("id").unwrap().as_u64().unwrap())
+                .collect()
+        };
+        assert_eq!(ids(&old), vec![4, 5, 6]);
+        assert_eq!(ids(&live), vec![7, 8]);
+        assert!(live.len() as u64 <= 3 * one_line);
+    }
+}

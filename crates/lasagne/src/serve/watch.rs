@@ -1,0 +1,350 @@
+//! Delta math and rendering for `lasagne serve-watch`.
+//!
+//! The watch view polls the daemon's Stats and Metrics bodies, parses
+//! them with the in-tree JSON reader, and reports what happened in the
+//! *interval* — requests per second, rung hit ratios, shed/timeout
+//! rates, and interval latency percentiles — rather than lifetime
+//! totals. Both counters and histograms are monotone, so an interval is
+//! the pointwise difference of two snapshots ([`Histogram::diff`] for
+//! the buckets), and interval percentiles come from the same
+//! [`Histogram::percentile`] estimator the server uses for lifetime
+//! ones. Elapsed time is the difference of the *server's*
+//! `uptime_nanos`, so the math never mixes the client's clock into a
+//! server-side rate.
+
+use std::collections::BTreeMap;
+
+use lasagne_trace::json::{self, Json};
+use lasagne_trace::Histogram;
+
+/// One parsed poll of the daemon: the flattened Stats counters plus
+/// every metrics histogram.
+#[derive(Debug, Clone, Default)]
+pub struct WatchSnapshot {
+    /// Stats counters by field name; the nested `hot_tier` object is
+    /// flattened to `hot_tier.entries` / `.bytes` / `.evictions`.
+    pub stats: BTreeMap<String, u64>,
+    /// Metrics histograms by registry name.
+    pub histos: BTreeMap<String, Histogram>,
+}
+
+fn histogram_from_json(v: &Json) -> Option<Histogram> {
+    let bounds: Vec<u64> = v
+        .get("bounds")?
+        .as_arr()?
+        .iter()
+        .map(|b| b.as_u64())
+        .collect::<Option<_>>()?;
+    let counts: Vec<u64> = v
+        .get("counts")?
+        .as_arr()?
+        .iter()
+        .map(|c| c.as_u64())
+        .collect::<Option<_>>()?;
+    if counts.len() != bounds.len() + 1 {
+        return None;
+    }
+    let mut h = Histogram::new(&bounds);
+    h.counts = counts;
+    h.sum = v.get("sum")?.as_u64()?;
+    h.total = v.get("total")?.as_u64()?;
+    Some(h)
+}
+
+impl WatchSnapshot {
+    /// Parses one poll from the Stats response body and the Metrics
+    /// response's JSON body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed or schema-incompatible
+    /// input.
+    pub fn parse(stats_json: &str, metrics_json: &str) -> Result<WatchSnapshot, String> {
+        let sv = json::parse(stats_json).map_err(|e| format!("stats body: {e}"))?;
+        let mut stats = BTreeMap::new();
+        let Json::Obj(fields) = &sv else {
+            return Err("stats body is not an object".into());
+        };
+        for (k, v) in fields {
+            match v {
+                Json::Num(_) => {
+                    stats.insert(k.clone(), v.as_u64().unwrap_or(0));
+                }
+                Json::Obj(nested) => {
+                    for (nk, nv) in nested {
+                        stats.insert(format!("{k}.{nk}"), nv.as_u64().unwrap_or(0));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !stats.contains_key("uptime_nanos") {
+            return Err("stats body lacks uptime_nanos (daemon too old?)".into());
+        }
+        let mv = json::parse(metrics_json).map_err(|e| format!("metrics body: {e}"))?;
+        let mut histos = BTreeMap::new();
+        if let Some(Json::Obj(hs)) = mv.get("metrics").and_then(|m| m.get("histograms")) {
+            for (name, hv) in hs {
+                let h = histogram_from_json(hv)
+                    .ok_or_else(|| format!("malformed histogram {name:?}"))?;
+                histos.insert(name.clone(), h);
+            }
+        }
+        Ok(WatchSnapshot { stats, histos })
+    }
+
+    /// A Stats counter (0 when absent).
+    pub fn stat(&self, name: &str) -> u64 {
+        self.stats.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// One rung's interval figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungDelta {
+    /// Rung name (`hot` / `coalesced` / `disk` / `cold`).
+    pub name: &'static str,
+    /// Hits in the interval.
+    pub hits: u64,
+    /// Interval p50 service latency in nanos (0 when no hits).
+    pub p50: u64,
+    /// Interval p99 service latency in nanos (0 when no hits).
+    pub p99: u64,
+}
+
+/// What happened between two polls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchDelta {
+    /// Server-side elapsed time (difference of `uptime_nanos`).
+    pub elapsed_nanos: u64,
+    /// Translation requests received in the interval.
+    pub requests: u64,
+    /// Requests shed in the interval.
+    pub shed: u64,
+    /// Requests timed out in the interval.
+    pub timeouts: u64,
+    /// Requests errored in the interval.
+    pub errors: u64,
+    /// Per-rung hits and interval percentiles, ladder order.
+    pub rungs: Vec<RungDelta>,
+}
+
+/// The four ladder rungs in lookup order.
+pub const RUNGS: [&str; 4] = ["hot", "coalesced", "disk", "cold"];
+
+impl WatchDelta {
+    /// The interval between `earlier` and `later`. Counters are
+    /// saturating differences, so a daemon restart between polls
+    /// degrades to zeros instead of wrapping.
+    pub fn between(earlier: &WatchSnapshot, later: &WatchSnapshot) -> WatchDelta {
+        let d = |name: &str| later.stat(name).saturating_sub(earlier.stat(name));
+        let empty_like = |h: &Histogram| Histogram::new(&h.bounds);
+        let rungs = RUNGS
+            .iter()
+            .map(|&name| {
+                let hname = format!("serve.latency.{name}");
+                let (p50, p99) = match later.histos.get(&hname) {
+                    Some(l) => {
+                        let base = earlier.histos.get(&hname).cloned();
+                        let diff = l.diff(&base.unwrap_or_else(|| empty_like(l)));
+                        (diff.percentile(50.0), diff.percentile(99.0))
+                    }
+                    None => (0, 0),
+                };
+                RungDelta {
+                    name,
+                    hits: d(name),
+                    p50,
+                    p99,
+                }
+            })
+            .collect();
+        WatchDelta {
+            elapsed_nanos: d("uptime_nanos"),
+            requests: d("requests"),
+            shed: d("shed"),
+            timeouts: d("timeouts"),
+            errors: d("errors"),
+            rungs,
+        }
+    }
+
+    /// Interval requests per second (0 when the interval is empty).
+    pub fn rps(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e9 / self.elapsed_nanos as f64
+        }
+    }
+
+    /// A rung's share of the interval's requests, in [0, 1].
+    pub fn hit_ratio(&self, rung: &RungDelta) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            rung.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Renders the interval as a fixed-width terminal table; `totals`
+    /// is the later snapshot, used for the lifetime/hot-tier footer.
+    pub fn render(&self, totals: &WatchSnapshot) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "interval {:>8}   uptime {:>8}   lifetime requests {}\n",
+            fmt_nanos(self.elapsed_nanos),
+            fmt_nanos(totals.stat("uptime_nanos")),
+            totals.stat("requests"),
+        ));
+        s.push_str(&format!(
+            "requests {:>6}   {:>8.1} rps   shed {}   timeouts {}   errors {}\n",
+            self.requests,
+            self.rps(),
+            self.shed,
+            self.timeouts,
+            self.errors,
+        ));
+        s.push_str(&format!(
+            "{:<10} {:>6} {:>7} {:>10} {:>10}\n",
+            "rung", "hits", "ratio", "p50", "p99"
+        ));
+        for rung in &self.rungs {
+            let (p50, p99) = if rung.hits == 0 {
+                ("-".to_string(), "-".to_string())
+            } else {
+                (fmt_nanos(rung.p50), fmt_nanos(rung.p99))
+            };
+            s.push_str(&format!(
+                "{:<10} {:>6} {:>6.1}% {:>10} {:>10}\n",
+                rung.name,
+                rung.hits,
+                self.hit_ratio(rung) * 100.0,
+                p50,
+                p99,
+            ));
+        }
+        s.push_str(&format!(
+            "hot tier: {} entries, {} bytes, {} evictions\n",
+            totals.stat("hot_tier.entries"),
+            totals.stat("hot_tier.bytes"),
+            totals.stat("hot_tier.evictions"),
+        ));
+        s
+    }
+}
+
+/// `1234` → `"1.23µs"`-style human nanoseconds.
+pub fn fmt_nanos(n: u64) -> String {
+    let n = n as f64;
+    if n >= 1e9 {
+        format!("{:.2}s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2}ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2}µs", n / 1e3)
+    } else {
+        format!("{n:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the two JSON bodies the daemon would return for a known
+    /// counter state, with one latency histogram.
+    fn bodies(
+        requests: u64,
+        hot: u64,
+        cold: u64,
+        shed: u64,
+        uptime: u64,
+        cold_counts: &[u64; 4],
+    ) -> (String, String) {
+        let stats = format!(
+            "{{\"schema\":2,\"requests\":{requests},\"hot\":{hot},\"coalesced\":0,\
+             \"disk\":0,\"cold\":{cold},\"shed\":{shed},\"timeouts\":0,\"errors\":0,\
+             \"hot_tier\":{{\"entries\":2,\"bytes\":100,\"evictions\":1}},\
+             \"uptime_nanos\":{uptime}}}"
+        );
+        let total: u64 = cold_counts.iter().sum();
+        let sum: u64 = cold_counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c * [500u64, 1500, 2500, 4000][i])
+            .sum();
+        let metrics = format!(
+            "{{\"schema\":2,\"stats\":{stats},\"metrics\":{{\"counters\":{{}},\
+             \"histograms\":{{\"serve.latency.cold\":{{\"bounds\":[1000,2000,3000],\
+             \"counts\":[{},{},{},{}],\"sum\":{sum},\"total\":{total}}}}}}},\
+             \"percentiles\":{{}}}}",
+            cold_counts[0], cold_counts[1], cold_counts[2], cold_counts[3],
+        );
+        (stats, metrics)
+    }
+
+    #[test]
+    fn parse_flattens_stats_and_reads_histograms() {
+        let (s, m) = bodies(10, 6, 4, 1, 5_000_000_000, &[2, 1, 1, 0]);
+        let snap = WatchSnapshot::parse(&s, &m).unwrap();
+        assert_eq!(snap.stat("requests"), 10);
+        assert_eq!(snap.stat("hot_tier.entries"), 2);
+        assert_eq!(snap.stat("uptime_nanos"), 5_000_000_000);
+        let h = &snap.histos["serve.latency.cold"];
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_old_bodies() {
+        assert!(WatchSnapshot::parse("not json", "{}").is_err());
+        // A pre-schema-2 stats body has no uptime_nanos → explicit error.
+        assert!(WatchSnapshot::parse("{\"requests\":1}", "{}").is_err());
+    }
+
+    #[test]
+    fn delta_math_on_synthetic_snapshots() {
+        let (s1, m1) = bodies(10, 6, 4, 1, 5_000_000_000, &[4, 0, 0, 0]);
+        let (s2, m2) = bodies(30, 18, 12, 3, 7_000_000_000, &[4, 8, 0, 0]);
+        let a = WatchSnapshot::parse(&s1, &m1).unwrap();
+        let b = WatchSnapshot::parse(&s2, &m2).unwrap();
+        let d = WatchDelta::between(&a, &b);
+        assert_eq!(d.elapsed_nanos, 2_000_000_000);
+        assert_eq!(d.requests, 20);
+        assert_eq!(d.shed, 2);
+        assert!((d.rps() - 10.0).abs() < 1e-9, "rps {}", d.rps());
+
+        let hot = &d.rungs[0];
+        assert_eq!((hot.name, hot.hits), ("hot", 12));
+        assert!((d.hit_ratio(hot) - 0.6).abs() < 1e-9);
+        // No interval histogram for hot → percentiles degrade to 0.
+        assert_eq!((hot.p50, hot.p99), (0, 0));
+
+        let cold = &d.rungs[3];
+        assert_eq!((cold.name, cold.hits), ("cold", 8));
+        // Interval cold histogram: 8 observations, all in (1000, 2000].
+        // p50 interpolates inside that bucket; exact: rank 4 of 8 → halfway.
+        assert_eq!(cold.p50, 1500);
+        assert_eq!(cold.p99, 2000);
+
+        // The render mentions every rung and the interval rps.
+        let table = d.render(&b);
+        for rung in RUNGS {
+            assert!(table.contains(rung), "missing {rung} in:\n{table}");
+        }
+        assert!(table.contains("10.0 rps"), "table:\n{table}");
+    }
+
+    #[test]
+    fn restart_between_polls_degrades_to_zeros() {
+        let (s1, m1) = bodies(30, 18, 12, 3, 7_000_000_000, &[4, 8, 0, 0]);
+        let (s2, m2) = bodies(2, 1, 1, 0, 100, &[1, 0, 0, 0]);
+        let a = WatchSnapshot::parse(&s1, &m1).unwrap();
+        let b = WatchSnapshot::parse(&s2, &m2).unwrap();
+        let d = WatchDelta::between(&a, &b);
+        assert_eq!(d.requests, 0);
+        assert_eq!(d.elapsed_nanos, 0);
+        assert_eq!(d.rps(), 0.0);
+    }
+}

@@ -27,9 +27,17 @@ use lasagne_x86::binary::{Binary, ExternSym, FuncSym, Global};
 
 use crate::Version;
 
-/// Wire format version. Bumping it makes old peers fail cleanly at the
-/// frame boundary.
-pub const SCHEMA: u32 = 1;
+/// Wire format version written on every outgoing frame. Schema 2 added
+/// the [`Request::Metrics`]/[`Response::Metrics`] pair; schema 1 frames
+/// (whose payload tags are a strict subset) are still accepted on read —
+/// see [`MIN_SCHEMA`].
+pub const SCHEMA: u32 = 2;
+
+/// Oldest schema accepted on read. Schema 2 only *adds* payload tags, so
+/// a schema-1 peer's frames decode unchanged; anything outside
+/// `MIN_SCHEMA..=SCHEMA` is rejected at the frame boundary, never
+/// misparsed.
+pub const MIN_SCHEMA: u32 = 1;
 
 /// Frame magic for serve messages (the cache uses `LSGC`).
 pub const MAGIC: [u8; 4] = *b"LSRV";
@@ -59,6 +67,11 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting work, drain, and exit.
     Shutdown,
+    /// Ask for the server's metrics registry — latency histograms,
+    /// derived percentiles, payload-size and queue-wait distributions —
+    /// as both a JSON snapshot and a Prometheus-style text exposition.
+    /// New in schema 2.
+    Metrics,
 }
 
 /// Where an accepted translation's bytes came from, in lookup-ladder
@@ -119,6 +132,14 @@ pub enum Response {
     /// Acknowledges a [`Request::Shutdown`]; no further requests will
     /// be accepted on any connection.
     ShuttingDown,
+    /// Metrics snapshot for a [`Request::Metrics`]. New in schema 2.
+    Metrics {
+        /// The registry as one JSON object (schema-tagged; includes
+        /// derived p50/p99/p999 per histogram).
+        json: String,
+        /// The same registry as Prometheus text exposition lines.
+        prom: String,
+    },
 }
 
 fn put_version(w: &mut Writer, v: Version) {
@@ -214,6 +235,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => w.put_u8(1),
         Request::Shutdown => w.put_u8(2),
+        Request::Metrics => w.put_u8(3),
     }
     w.finish()
 }
@@ -233,6 +255,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, Corrupt> {
         },
         1 => Request::Stats,
         2 => Request::Shutdown,
+        3 => Request::Metrics,
         _ => return Err(Corrupt),
     };
     r.expect_eof()?;
@@ -265,6 +288,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_str(json);
         }
         Response::ShuttingDown => w.put_u8(5),
+        Response::Metrics { json, prom } => {
+            w.put_u8(6);
+            w.put_str(json);
+            w.put_str(prom);
+        }
     }
     w.finish()
 }
@@ -293,6 +321,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, Corrupt> {
         3 => Response::Error { msg: r.get_str()? },
         4 => Response::Stats { json: r.get_str()? },
         5 => Response::ShuttingDown,
+        6 => Response::Metrics {
+            json: r.get_str()?,
+            prom: r.get_str()?,
+        },
         _ => return Err(Corrupt),
     };
     r.expect_eof()?;
@@ -405,7 +437,7 @@ pub fn read_frame_poll(r: &mut impl Read, stop: &dyn Fn() -> bool) -> Result<Vec
         return Err(WireError::Corrupt);
     }
     let schema = u32::from_le_bytes(head[4..8].try_into().unwrap());
-    if schema != SCHEMA {
+    if !(MIN_SCHEMA..=SCHEMA).contains(&schema) {
         return Err(WireError::Corrupt);
     }
     let len = u64::from_le_bytes(head[8..16].try_into().unwrap());
@@ -451,6 +483,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for req in &reqs {
             let payload = encode_request(req);
@@ -471,6 +504,10 @@ mod tests {
             Response::Error { msg: "boom".into() },
             Response::Stats { json: "{}".into() },
             Response::ShuttingDown,
+            Response::Metrics {
+                json: "{\"schema\":1}".into(),
+                prom: "lasagne_serve_requests_total 1\n".into(),
+            },
         ];
         for resp in &resps {
             let payload = encode_response(resp);
@@ -505,6 +542,29 @@ mod tests {
         assert!(matches!(read_frame(&mut r), Err(WireError::Io(_))));
         let mut r = &buf[..0];
         assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn old_schema_frames_still_decode_and_future_ones_are_rejected() {
+        // A schema-1 peer only ever sends schema-1 payload tags; its
+        // frames must decode unchanged under the schema-2 reader.
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        for (schema, ok) in [(0u32, false), (1, true), (2, true), (3, false)] {
+            let mut frame = buf.clone();
+            frame[4..8].copy_from_slice(&schema.to_le_bytes());
+            let mut r = &frame[..];
+            let got = read_frame(&mut r);
+            if ok {
+                assert_eq!(got.unwrap(), payload, "schema {schema} rejected");
+            } else {
+                assert!(
+                    matches!(got, Err(WireError::Corrupt)),
+                    "schema {schema} accepted"
+                );
+            }
+        }
     }
 
     #[test]

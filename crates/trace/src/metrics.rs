@@ -83,6 +83,65 @@ impl Histogram {
         self.total += other.total;
     }
 
+    /// Number of recorded values (accessor form of the public field, for
+    /// call sites holding the histogram behind an interface).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of all recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `p`-th percentile (0–100) estimated from the bucket counts by
+    /// linear interpolation inside the target bucket.
+    ///
+    /// The target rank is the nearest-rank `ceil(p/100 · total)` (the
+    /// same convention as the serve load generator's exact-sample
+    /// percentile, so client-side and server-side figures are
+    /// comparable). Within the bucket holding that rank the estimate
+    /// interpolates between the bucket's bounds — bucket `i` covers
+    /// `(bounds[i-1], bounds[i]]`, with an implicit lower edge of 0 —
+    /// so the error is bounded by one bucket width. Ranks landing in
+    /// the overflow bucket return the last finite bound (a floor: the
+    /// true value is at least that), and an empty histogram returns 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 || self.bounds.is_empty() {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let target = target.clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no upper bound to interpolate
+                    // toward; report the largest finite bound.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let into = (target - seen) as f64 / c as f64;
+                return lower + ((upper - lower) as f64 * into).round() as u64;
+            }
+            seen += c;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
     /// The observations recorded in `self` but not in `earlier`: the
     /// bucket-wise difference of two snapshots of one monotonically
     /// growing histogram. Saturating, so a mismatched pair degrades to
@@ -254,6 +313,99 @@ mod tests {
         assert_eq!(h.counts, vec![2, 2, 2, 2]);
         assert_eq!(h.total, 8);
         assert_eq!(h.sum, 1045);
+    }
+
+    /// Exact nearest-rank percentile of a value list, the reference the
+    /// bucket estimator is pinned against.
+    fn exact_percentile(values: &mut Vec<u64>, p: f64) -> u64 {
+        values.sort_unstable();
+        let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+        values[rank.clamp(1, values.len()) - 1]
+    }
+
+    #[test]
+    fn percentile_interpolates_within_one_bucket_width() {
+        // Uniform 1..=1000 over ten equal buckets: the estimator must land
+        // within one bucket width (100) of the exact percentile, and is
+        // expected to be much closer under a uniform distribution.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 100).collect();
+        let mut h = Histogram::new(&bounds);
+        let mut values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&mut values, p);
+            let est = h.percentile(p);
+            let err = est.abs_diff(exact);
+            assert!(
+                err <= 100,
+                "p{p}: estimate {est} vs exact {exact} (err {err} > bucket width)"
+            );
+            assert!(
+                err <= 2,
+                "uniform data should interpolate tightly: p{p} err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_on_skewed_data_stays_within_its_bucket() {
+        // Exponentially spread values against doubling bounds: every
+        // estimate must stay inside the bucket holding the exact value.
+        let bounds: Vec<u64> = (0..16).map(|i| 1u64 << i).collect();
+        let mut h = Histogram::new(&bounds);
+        let mut values = Vec::new();
+        for i in 0..14u64 {
+            // 2^i observations of value 2^i: heavy head, long tail.
+            for _ in 0..(1 << i) {
+                values.push(1 << i);
+                h.record(1 << i);
+            }
+        }
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let exact = exact_percentile(&mut values, p);
+            let est = h.percentile(p);
+            let bi = Histogram::bucket_index(&bounds, exact);
+            let lower = if bi == 0 { 0 } else { bounds[bi - 1] };
+            let upper = bounds[bi.min(bounds.len() - 1)];
+            assert!(
+                (lower..=upper).contains(&est),
+                "p{p}: estimate {est} left exact value {exact}'s bucket [{lower},{upper}]"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let bounds = [10, 100, 1000];
+        let empty = Histogram::new(&bounds);
+        assert_eq!(empty.percentile(50.0), 0, "empty histogram yields 0");
+
+        let mut single = Histogram::new(&bounds);
+        single.record(42);
+        // One value in (10, 100]: every percentile interpolates inside
+        // that bucket.
+        for p in [0.0, 50.0, 100.0] {
+            let est = single.percentile(p);
+            assert!((11..=100).contains(&est), "p{p} = {est} outside bucket");
+        }
+
+        // Overflow-bucket ranks floor to the last finite bound.
+        let mut over = Histogram::new(&bounds);
+        over.record(5000);
+        assert_eq!(over.percentile(99.0), 1000);
+    }
+
+    #[test]
+    fn accessors_track_sum_and_total() {
+        let mut h = Histogram::new(&[10, 100]);
+        assert_eq!((h.total(), h.sum()), (0, 0));
+        assert_eq!(h.mean(), 0.0);
+        h.record(5);
+        h.record(45);
+        assert_eq!((h.total(), h.sum()), (2, 50));
+        assert_eq!(h.mean(), 25.0);
     }
 
     #[test]

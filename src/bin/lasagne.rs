@@ -15,6 +15,13 @@
 //!                                      one request; assembly to stdout
 //! lasagne serve-bench --socket ADDR [opts]
 //!                                      replay the suite, print a JSON summary
+//! lasagne serve-metrics --socket ADDR [--prom] [--check]
+//!                                      daemon metrics snapshot (JSON, or
+//!                                      Prometheus text with --prom; --check
+//!                                      verifies histogram/stats reconciliation)
+//! lasagne serve-watch --socket ADDR [--interval-ms N] [--iters N]
+//!                                      live interval view: rps, rung hit
+//!                                      ratios, shed/timeout rates, p50/p99
 //! lasagne serve-stop --socket ADDR     ask a daemon to drain and exit
 //! lasagne help                         this message
 //!
@@ -54,6 +61,15 @@
 //!   --timeout-ms N                     per-request deadline (default 60000)
 //!   --concurrency N                    serve-bench client threads (default 4)
 //!   --reps N                           serve-bench suite replays (default 1)
+//!   --trace-out FILE                   serve: per-request Chrome trace,
+//!                                      written when the daemon drains
+//!   --log FILE                         serve: sampled JSON request log
+//!   --log-sample N                     serve: log every Nth request (default 1)
+//!   --log-max-bytes N                  serve: rotate the log past N bytes
+//!                                      (default 16 MiB; 0 = never)
+//!   --interval-ms N                    serve-watch poll interval (default 1000)
+//!   --iters N                          serve-watch iterations (default 0 =
+//!                                      until interrupted)
 //! ```
 //!
 //! `<DEMO>` is a Phoenix benchmark, by abbreviation or name: `HT`
@@ -357,10 +373,22 @@ fn main() {
             let Some(addr) = flag_value(&args, "--socket") else {
                 eprintln!(
                     "usage: lasagne serve --socket ADDR [--jobs N] [--hot-bytes N] [--queue N] \
-                     [--timeout-ms N] [--cache-dir DIR] [--no-cache]"
+                     [--timeout-ms N] [--cache-dir DIR] [--no-cache] [--trace-out FILE] \
+                     [--log FILE [--log-sample N] [--log-max-bytes N]]"
                 );
                 std::process::exit(2);
             };
+            let log = flag_value(&args, "--log").map(|path| {
+                lasagne_repro::translator::serve::log::LogConfig {
+                    path: std::path::PathBuf::from(path),
+                    sample: flag_value(&args, "--log-sample")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(1),
+                    max_bytes: flag_value(&args, "--log-max-bytes")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(16 << 20),
+                }
+            });
             let cfg = lasagne_repro::translator::serve::Config {
                 addr: addr.to_string(),
                 jobs,
@@ -376,6 +404,8 @@ fn main() {
                         .unwrap_or(60_000),
                 ),
                 cache_dir: cache_dir.map(std::path::PathBuf::from),
+                trace_out: trace_out.map(std::path::PathBuf::from),
+                log,
             };
             let server = match lasagne_repro::translator::serve::Server::bind(cfg) {
                 Ok(s) => s,
@@ -465,6 +495,88 @@ fn main() {
                 summary.checksum,
             );
         }
+        "serve-metrics" => {
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!("usage: lasagne serve-metrics --socket ADDR [--prom] [--check]");
+                std::process::exit(2);
+            };
+            let mut client = connect_or_die(addr);
+            let (json, prom) = match client.metrics() {
+                Ok(bodies) => bodies,
+                Err(e) => {
+                    eprintln!("serve-metrics: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if args.iter().any(|a| a == "--check") {
+                match check_serve_metrics(&json) {
+                    Ok(msg) => println!("{msg}"),
+                    Err(e) => {
+                        eprintln!("serve-metrics --check: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else if args.iter().any(|a| a == "--prom") {
+                print!("{prom}");
+            } else {
+                println!("{json}");
+            }
+        }
+        "serve-watch" => {
+            let Some(addr) = flag_value(&args, "--socket") else {
+                eprintln!("usage: lasagne serve-watch --socket ADDR [--interval-ms N] [--iters N]");
+                std::process::exit(2);
+            };
+            let interval = std::time::Duration::from_millis(
+                flag_value(&args, "--interval-ms")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1000),
+            );
+            let iters: u64 = flag_value(&args, "--iters")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            use lasagne_repro::translator::serve::watch::{WatchDelta, WatchSnapshot};
+            let mut client = connect_or_die(addr);
+            let poll = |client: &mut lasagne_repro::translator::serve::client::Client| {
+                let stats = client.stats()?;
+                let (json, _) = client.metrics()?;
+                Ok::<_, lasagne_repro::translator::serve::client::ClientError>((stats, json))
+            };
+            let snapshot = |client: &mut lasagne_repro::translator::serve::client::Client| {
+                match poll(client) {
+                    Ok((s, m)) => match WatchSnapshot::parse(&s, &m) {
+                        Ok(snap) => snap,
+                        Err(e) => {
+                            eprintln!("serve-watch: {e}");
+                            std::process::exit(1);
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("serve-watch: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            };
+            let clear = {
+                use std::io::IsTerminal;
+                std::io::stdout().is_terminal()
+            };
+            let mut prev = snapshot(&mut client);
+            let mut done = 0u64;
+            while iters == 0 || done < iters {
+                std::thread::sleep(interval);
+                let next = snapshot(&mut client);
+                let delta = WatchDelta::between(&prev, &next);
+                if clear {
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", delta.render(&next));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                prev = next;
+                done += 1;
+            }
+        }
         "serve-stop" => {
             let Some(addr) = flag_value(&args, "--socket") else {
                 eprintln!("usage: lasagne serve-stop --socket ADDR");
@@ -481,7 +593,8 @@ fn main() {
             println!("lasagne — static binary translator (PLDI 2022 reproduction)");
             println!("commands: list | translate <DEMO> | run <DEMO> | ir <DEMO> | disasm <DEMO>");
             println!("          explain-fences <DEMO> | trace-check FILE | litmus | difftest");
-            println!("          serve | serve-client <DEMO> | serve-bench | serve-stop");
+            println!("          serve | serve-client <DEMO> | serve-bench | serve-metrics");
+            println!("          serve-watch | serve-stop");
             println!("options : --version lifted|opt|popt|ppopt   --scale N");
             println!(
                 "          --jobs N (worker threads, spawned once and pooled; \
@@ -584,6 +697,97 @@ fn check_trace_file(path: &str, expect_jobs: Option<usize>) -> Result<String, St
         "trace OK: {} events ({spans} spans, {instants} instants), {} named tracks",
         events.len(),
         named_tracks.len()
+    ))
+}
+
+/// Validates a Metrics response body: versioned schema, every rung
+/// latency histogram's total equal to that rung's Stats counter, payload
+/// histograms covering every translation request, eviction churn equal
+/// between counter and tier stats, and derived percentiles present for
+/// every histogram. This is the reconciliation CI relies on: the
+/// histograms and the counters are recorded at the same decision points,
+/// so on a quiescent daemon they must agree exactly.
+fn check_serve_metrics(body: &str) -> Result<String, String> {
+    use lasagne_repro::trace::json;
+    let doc = json::parse(body).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_u64())
+        .ok_or("no schema field")?;
+    if schema != 2 {
+        return Err(format!("unexpected metrics schema {schema}"));
+    }
+    let stats = doc.get("stats").ok_or("no stats object")?;
+    let stat = |name: &str| -> Result<u64, String> {
+        stats
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("stats lacks {name}"))
+    };
+    let histo_total = |name: &str| -> u64 {
+        doc.get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("total"))
+            .and_then(|t| t.as_u64())
+            .unwrap_or(0)
+    };
+    let mut checked = 0usize;
+    for rung in ["hot", "coalesced", "disk", "cold"] {
+        let counted = stat(rung)?;
+        let observed = histo_total(&format!("serve.latency.{rung}"));
+        if counted != observed {
+            return Err(format!(
+                "rung {rung}: stats count {counted} != histogram total {observed}"
+            ));
+        }
+        checked += 1;
+    }
+    let requests = stat("requests")?;
+    for h in ["serve.bytes_in", "serve.bytes_out"] {
+        if histo_total(h) != requests {
+            return Err(format!(
+                "{h} total {} != requests {requests}",
+                histo_total(h)
+            ));
+        }
+        checked += 1;
+    }
+    let evictions = stats
+        .get("hot_tier")
+        .and_then(|t| t.get("evictions"))
+        .and_then(|v| v.as_u64())
+        .ok_or("stats lacks hot_tier.evictions")?;
+    let churn = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.hot.evictions"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if evictions != churn {
+        return Err(format!(
+            "hot_tier.evictions {evictions} != serve.hot.evictions counter {churn}"
+        ));
+    }
+    checked += 1;
+    let (Some(lasagne_repro::trace::json::Json::Obj(histos)), Some(pcts)) = (
+        doc.get("metrics").and_then(|m| m.get("histograms")),
+        doc.get("percentiles"),
+    ) else {
+        return Err("no histograms/percentiles objects".into());
+    };
+    for name in histos.keys() {
+        let p = pcts.get(name).ok_or(format!("no percentiles for {name}"))?;
+        for field in ["p50", "p99", "p999"] {
+            p.get(field)
+                .and_then(|v| v.as_u64())
+                .ok_or(format!("{name} lacks {field}"))?;
+        }
+        checked += 1;
+    }
+    Ok(format!(
+        "serve-metrics OK: {checked} reconciliations, {} histograms, {requests} requests",
+        histos.len()
     ))
 }
 

@@ -3,7 +3,10 @@
 //! connections. Covers the determinism claim (responses byte-identical
 //! to a local [`Pipeline`] run at any concurrency), the three-rung
 //! lookup ladder (cold → disk → hot), explicit backpressure under a
-//! tiny admission queue, and clean drain on shutdown.
+//! tiny admission queue, clean drain on shutdown, and the observability
+//! surface: the Metrics wire frame (counters reconciling exactly with
+//! [`ServeStats`] over both Unix and TCP transports), request tracing
+//! that leaves response bytes untouched, and the sampled request log.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -14,6 +17,7 @@ use lasagne::serve::{Config, Server};
 use lasagne::{Pipeline, Version};
 use lasagne_armgen::print::print_module;
 use lasagne_phoenix::all_benchmarks;
+use lasagne_trace::json;
 
 fn temp_path(tag: &str) -> PathBuf {
     static SEQ: AtomicU32 = AtomicU32::new(0);
@@ -189,14 +193,226 @@ fn stats_and_shutdown_requests_round_trip() {
         Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
     let b = &all_benchmarks(24)[0];
     ask(&mut client, &b.binary, Version::PPOpt);
-    let json = client.stats().expect("stats");
+    let body = client.stats().expect("stats");
+    // Schema 2 leads with its version tag and closes with uptime, but
+    // every schema-1 field must still be present with its old meaning —
+    // existing scrapers keep working.
     assert!(
-        json.starts_with("{\"requests\":1,"),
-        "unexpected stats shape: {json}"
+        body.starts_with("{\"schema\":2,\"requests\":1,"),
+        "unexpected stats shape: {body}"
+    );
+    let doc = json::parse(&body).expect("stats body parses");
+    for field in [
+        "requests",
+        "hot",
+        "coalesced",
+        "disk",
+        "cold",
+        "shed",
+        "timeouts",
+        "errors",
+    ] {
+        assert!(doc.get(field).is_some(), "stats lost old field {field}");
+    }
+    assert_eq!(doc.get("requests").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("cold").unwrap().as_u64(), Some(1));
+    assert!(
+        doc.get("hot_tier").and_then(|t| t.get("entries")).is_some(),
+        "stats lost the hot_tier object"
+    );
+    assert!(
+        doc.get("uptime_nanos").unwrap().as_u64().unwrap() > 0,
+        "uptime_nanos must be positive on a live daemon"
     );
     client.shutdown().expect("shutdown handshake");
     // The daemon thread exits on its own after the shutdown request; the
     // handle join must complete rather than hang.
     let stats = server.stop();
     assert_eq!(stats.requests, 1);
+}
+
+/// Drives a daemon at `cfg` through a small mixed workload, then fetches
+/// both metrics bodies and reconciles the JSON body against the stats
+/// frame the same way `serve-metrics --check` does.
+fn metrics_reconcile_roundtrip(cfg: Config) {
+    let benches = all_benchmarks(24);
+    let server = Server::spawn(cfg).expect("spawn");
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    for b in benches.iter().take(3) {
+        ask(&mut client, &b.binary, Version::PPOpt);
+        ask(&mut client, &b.binary, Version::PPOpt); // hot repeat
+    }
+    let stats_body = client.stats().expect("stats");
+    let (metrics_body, prom) = client.metrics().expect("metrics");
+    server.stop();
+
+    let stats = json::parse(&stats_body).unwrap();
+    let doc = json::parse(&metrics_body).unwrap();
+    assert_eq!(doc.get("schema").unwrap().as_u64(), Some(2));
+    // The metrics frame embeds the same stats snapshot it was taken
+    // with, so rung counters reconcile against histogram totals exactly.
+    let histos = doc.get("metrics").unwrap().get("histograms").unwrap();
+    for rung in ["hot", "coalesced", "disk", "cold"] {
+        let total = histos
+            .get(&format!("serve.latency.{rung}"))
+            .map_or(0, |h| h.get("total").unwrap().as_u64().unwrap());
+        assert_eq!(
+            Some(total),
+            stats.get(rung).unwrap().as_u64(),
+            "rung {rung}: histogram total diverged from the stats counter"
+        );
+    }
+    // Payload-size histograms count once per Translate request.
+    for name in ["serve.bytes_in", "serve.bytes_out"] {
+        assert_eq!(
+            histos.get(name).unwrap().get("total").unwrap().as_u64(),
+            Some(6),
+            "{name} must count each of the 6 Translate requests once"
+        );
+    }
+    // Derived percentiles are published for every histogram.
+    let pcts = doc.get("percentiles").unwrap();
+    for name in ["serve.latency.hot", "serve.queue_wait"] {
+        let p = pcts.get(name).unwrap_or_else(|| panic!("no {name} pcts"));
+        assert!(p.get("p50").unwrap().as_u64().unwrap() > 0);
+        assert!(p.get("p99").unwrap().as_u64() >= p.get("p50").unwrap().as_u64());
+    }
+    // The Prometheus body exposes the same counters under stable names.
+    assert!(
+        prom.contains("# TYPE lasagne_serve_requests counter"),
+        "prom body lost its TYPE line:\n{prom}"
+    );
+    assert!(prom.contains("lasagne_serve_latency_hot_bucket"));
+    assert!(prom.contains("lasagne_serve_latency_hot_count 3"));
+}
+
+#[test]
+fn metrics_round_trip_reconciles_over_unix() {
+    metrics_reconcile_roundtrip(unix_cfg("metrics-unix"));
+}
+
+#[test]
+fn metrics_round_trip_reconciles_over_tcp() {
+    metrics_reconcile_roundtrip(Config {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        ..Config::default()
+    });
+}
+
+#[test]
+fn tracing_and_logging_leave_response_bytes_identical() {
+    let trace_path = temp_path("traced.trace.json");
+    let log_path = temp_path("traced.log");
+    let traced = Server::spawn(Config {
+        trace_out: Some(trace_path.clone()),
+        log: Some(lasagne::serve::log::LogConfig {
+            path: log_path.clone(),
+            sample: 1,
+            max_bytes: 0,
+        }),
+        ..unix_cfg("traced")
+    })
+    .expect("spawn traced");
+    let plain = Server::spawn(unix_cfg("plain")).expect("spawn plain");
+
+    // The same 4-way concurrent workload against both daemons; every
+    // response must be byte-identical whether or not the server is
+    // tracing and logging — observability must not perturb output.
+    let benches = all_benchmarks(24);
+    let run = |addr: &str| -> Vec<(usize, String)> {
+        let results = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let benches = &benches;
+                let results = &results;
+                s.spawn(move || {
+                    let mut client =
+                        Client::connect_with_retry(addr, std::time::Duration::from_secs(5))
+                            .expect("connect");
+                    for i in 0..6 {
+                        let idx = (w + i) % benches.len();
+                        let (_, asm) = ask(&mut client, &benches[idx].binary, Version::PPOpt);
+                        results.lock().unwrap().push((w * 6 + i, asm));
+                    }
+                });
+            }
+        });
+        let mut v = results.into_inner().unwrap();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    };
+    let traced_out = run(&traced.addr().to_string());
+    let plain_out = run(&plain.addr().to_string());
+    assert_eq!(
+        traced_out, plain_out,
+        "tracing/logging changed response bytes"
+    );
+    let stats = traced.stop();
+    plain.stop();
+    assert_eq!(stats.requests, 24);
+
+    // The trace file landed on shutdown, is valid Chrome JSON, and
+    // carries the serve-side span names.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written on shutdown");
+    let doc = json::parse(&trace).expect("trace parses");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    for name in ["conn-accept", "request", "admission"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name)),
+            "daemon trace has no {name:?} event"
+        );
+    }
+
+    // The sample-every-request log covers all 24 requests with dense
+    // 1-based ids and parseable schema-1 lines.
+    let log_text = std::fs::read_to_string(&log_path).expect("request log written");
+    let mut ids = Vec::new();
+    for line in log_text.lines() {
+        let v = json::parse(line).expect("log line parses");
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("ok"));
+        assert!(v.get("bytes_out").unwrap().as_u64().unwrap() > 0);
+        ids.push(v.get("id").unwrap().as_u64().unwrap());
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=24).collect::<Vec<u64>>());
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&log_path).ok();
+}
+
+#[test]
+fn request_log_sampling_is_deterministic_through_the_daemon() {
+    let log_path = temp_path("sampled.log");
+    let server = Server::spawn(Config {
+        log: Some(lasagne::serve::log::LogConfig {
+            path: log_path.clone(),
+            sample: 3,
+            max_bytes: 0,
+        }),
+        ..unix_cfg("sampled")
+    })
+    .expect("spawn");
+    let b = &all_benchmarks(24)[0];
+    let mut client =
+        Client::connect_with_retry(server.addr(), std::time::Duration::from_secs(5)).unwrap();
+    for _ in 0..7 {
+        ask(&mut client, &b.binary, Version::PPOpt);
+    }
+    server.stop();
+    let ids: Vec<u64> = std::fs::read_to_string(&log_path)
+        .expect("request log written")
+        .lines()
+        .map(|l| json::parse(l).unwrap().get("id").unwrap().as_u64().unwrap())
+        .collect();
+    assert_eq!(
+        ids,
+        vec![3, 6],
+        "sample=3 over 7 requests must log ids 3, 6"
+    );
+    std::fs::remove_file(&log_path).ok();
 }
