@@ -90,6 +90,43 @@ if ! awk -v s="$SPEEDUP" -v f="$FLOOR" 'BEGIN { exit !(s >= f) }'; then
     exit 1
 fi
 
+# Change-driven opt-scheduling gate: the jobs=1 opt stage wall must beat
+# the recorded pre-scheduler baseline (15.58 ms blind fixpoint, measured
+# on this container class — see "presched" in BENCH_pipeline.json; the
+# current measurement is ~1.9x). On the single-core container class the
+# baseline was recorded on, the floor is 1.4x (the 1.5x target minus
+# run-to-run scheduling noise); on other hardware the baseline's absolute
+# nanoseconds are not comparable, so the gate only requires parity with
+# the blind driver (ratio >= 1.0) there, mirroring the bench gate's
+# hardware-aware pattern above. The scheduler must also have skipped a
+# nonzero number of provably-clean pass slots across the suite — a
+# zero-skip run means change tracking regressed to the blind schedule.
+OPT_SPEEDUP=$(sed -n 's/.*"opt_speedup_jobs1_vs_presched":\([0-9.]*\).*/\1/p' \
+    "$CACHE_DIR/BENCH_pipeline.json")
+if [ "$HOST_CPUS" -gt 1 ]; then OPT_FLOOR=1.0; else OPT_FLOOR=1.4; fi
+if ! awk -v s="$OPT_SPEEDUP" -v f="$OPT_FLOOR" 'BEGIN { exit !(s >= f) }'; then
+    echo "opt sched gate: jobs=1 opt wall speedup $OPT_SPEEDUP vs the" \
+        "pre-scheduler baseline is below $OPT_FLOOR" >&2
+    exit 1
+fi
+if grep -q '"opt_sched":{"ran":[0-9]*,"skipped":0,' \
+    "$CACHE_DIR/BENCH_pipeline.json"; then
+    echo "opt sched gate: scheduler skipped zero pass slots at scale 192" >&2
+    exit 1
+fi
+# Skip-ratio sanity on the demo suite, end to end through the CLI: every
+# cold --timings document from the warm-cache loop above is schema 6 and
+# shows the scheduler skipping work on that binary too.
+for demo in HT KM LR MM PCA SM WC; do
+    grep -q '^{"schema":6,' "$CACHE_DIR/$demo.cold.json"
+    grep -q '"opt_sched":{"ran":[1-9]' "$CACHE_DIR/$demo.cold.json"
+    if grep -q '"opt_sched":{"ran":[0-9]*,"skipped":0,' \
+        "$CACHE_DIR/$demo.cold.json"; then
+        echo "$demo: change-driven scheduler skipped nothing" >&2
+        exit 1
+    fi
+done
+
 # Translation-as-a-service smoke: a daemon on a Unix socket must serve
 # assembly byte-identical to the CLI's translate output, answer a repeat
 # replay of the suite entirely from the hot tier with identical response

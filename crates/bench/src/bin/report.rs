@@ -520,6 +520,23 @@ const PREPOOL_JSON: &str = concat!(
     "\"speedup_jobs4_vs_jobs1\":0.712}"
 );
 
+/// Suite aggregates of the pre-scheduler build (commit `8b9709c`: the
+/// persistent pool and fused per-function schedule, but a *blind* opt
+/// fixpoint — all 13 slots over every function every round, per-pass
+/// analyses rebuilt from scratch), measured on the same container: seven
+/// benchmarks, scale 192, best of 5 (the artifact's previous `"current"`
+/// block). The headline number is the jobs=1 opt stage wall
+/// (15.58 ms); the change-driven scheduler's CI gate is a floor on
+/// `opt_speedup_jobs1_vs_presched` against exactly this figure.
+const PRESCHED_JSON: &str = concat!(
+    "{\"commit\":\"8b9709c\",\"schedule\":\"blind fixpoint, 13 slots x all funcs x 3 rounds\",",
+    "\"method\":\"same container, scale 192, best of 5\",",
+    "\"jobs1\":{\"total_nanos\":28326535,\"opt_wall_nanos\":15576449,",
+    "\"opt_wall_share_pct\":55.0},",
+    "\"jobs4\":{\"total_nanos\":28616859,\"opt_wall_nanos\":15094999,",
+    "\"opt_wall_share_pct\":52.8}}"
+);
+
 /// Per-stage suite aggregates for one PPOpt sweep at a fixed jobs value:
 /// wall time per stage (the orchestrator's `wall_nanos` — disjoint under
 /// timing schema 5: a fused region's wall is apportioned across its
@@ -540,6 +557,14 @@ struct SuiteSample {
     pool_executed: u64,
     pool_steals: u64,
     pool_parks: u64,
+    /// Change-driven opt scheduler counters summed over the suite
+    /// (schema-6 timing reports); jobs-invariant by construction, which
+    /// [`bench()`] asserts across its jobs levels.
+    sched_ran: u64,
+    sched_skipped: u64,
+    sched_retired: u64,
+    sched_rounds: u64,
+    sched_compact_skipped: u64,
 }
 
 impl SuiteSample {
@@ -547,6 +572,22 @@ impl SuiteSample {
     fn opt_wall_share_pct(&self) -> f64 {
         let wall: u128 = self.stage_walls.iter().sum();
         100.0 * self.stage_walls[OPT] as f64 / wall.max(1) as f64
+    }
+
+    /// Fraction of blind-driver pass slots the scheduler skipped.
+    fn sched_skip_ratio(&self) -> f64 {
+        self.sched_skipped as f64 / (self.sched_ran + self.sched_skipped).max(1) as f64
+    }
+
+    /// The scheduler counters, as compared for jobs-invariance.
+    fn sched_key(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.sched_ran,
+            self.sched_skipped,
+            self.sched_retired,
+            self.sched_rounds,
+            self.sched_compact_skipped,
+        )
     }
 
     fn json(&self) -> String {
@@ -563,6 +604,8 @@ impl SuiteSample {
              \"opt_wall_share_pct\":{:.1},\"barrier_wait_nanos\":{},\
              \"opt_parallel_sections\":{},\
              \"fused\":{{\"sections\":{},\"wall_nanos\":{}}},\
+             \"opt_sched\":{{\"ran\":{},\"skipped\":{},\"retired\":{},\
+             \"rounds\":{},\"compact_skipped\":{},\"skip_ratio\":{:.3}}},\
              \"pool\":{{\"submitted\":{},\"executed\":{},\"steals\":{},\
              \"parks\":{}}}}}",
             self.total_nanos,
@@ -573,6 +616,12 @@ impl SuiteSample {
             self.opt_parallel_sections,
             self.fused_sections,
             self.fused_wall_nanos,
+            self.sched_ran,
+            self.sched_skipped,
+            self.sched_retired,
+            self.sched_rounds,
+            self.sched_compact_skipped,
+            self.sched_skip_ratio(),
             self.pool_submitted,
             self.pool_executed,
             self.pool_steals,
@@ -596,6 +645,11 @@ fn bench_sweep(benches: &[Benchmark], jobs: usize) -> SuiteSample {
         pool_executed: 0,
         pool_steals: 0,
         pool_parks: 0,
+        sched_ran: 0,
+        sched_skipped: 0,
+        sched_retired: 0,
+        sched_rounds: 0,
+        sched_compact_skipped: 0,
     };
     for b in benches {
         let (_t, report) = Pipeline::new(Version::PPOpt)
@@ -617,6 +671,14 @@ fn bench_sweep(benches: &[Benchmark], jobs: usize) -> SuiteSample {
             s.pool_steals += p.steals;
             s.pool_parks += p.parks;
         }
+        let sc = report
+            .opt_sched
+            .unwrap_or_else(|| panic!("{}: cold PPOpt run without opt_sched", b.name));
+        s.sched_ran += sc.ran;
+        s.sched_skipped += sc.skipped;
+        s.sched_retired += sc.retired;
+        s.sched_rounds += sc.rounds;
+        s.sched_compact_skipped += sc.compact_skipped;
     }
     s
 }
@@ -633,12 +695,20 @@ fn bench_best(benches: &[Benchmark], jobs: usize) -> SuiteSample {
     best.expect("BENCH_REPS > 0")
 }
 
-/// Writes `BENCH_pipeline.json` (schema 2): per-stage suite wall times,
-/// opt-stage share, fused-section and pool counters at `jobs = 1, 2, 4`
-/// for the current build, next to the recorded pre-fusion
-/// [`BASELINE_JSON`] and pre-pool [`PREPOOL_JSON`], so the pipeline's
-/// perf trajectory is tracked across PRs by diffing the committed
-/// artifact.
+/// Writes `BENCH_pipeline.json` (schema 3): per-stage suite wall times,
+/// opt-stage share, fused-section, pool, and change-driven opt-scheduler
+/// counters at `jobs = 1, 2, 4` for the current build, next to the
+/// recorded pre-fusion [`BASELINE_JSON`], pre-pool [`PREPOOL_JSON`], and
+/// pre-scheduler [`PRESCHED_JSON`] snapshots, so the pipeline's perf
+/// trajectory is tracked across PRs by diffing the committed artifact.
+///
+/// Schema 3 adds the `"presched"` snapshot, an `"opt_sched"` object per
+/// jobs level (`ran`/`skipped`/`retired`/`rounds`/`compact_skipped`/
+/// `skip_ratio`, summed over the suite), and
+/// `"opt_speedup_jobs1_vs_presched"` — the pre-scheduler build's jobs=1
+/// opt wall divided by the current one. The scheduler counters are
+/// asserted jobs-invariant across the three levels before the artifact
+/// is written.
 ///
 /// The artifact also records `host_cpus`
 /// ([`std::thread::available_parallelism`]): the ≥ 2× jobs=4 speedup
@@ -684,18 +754,55 @@ fn bench(benches: &[Benchmark]) {
         sn.pool_parks,
         sn.barrier_wait_nanos as f64 / 1e6
     );
+    // Opt-scheduling breakdown. The counters must not depend on the
+    // worker count — scheduling decisions are per-function and
+    // deterministic — so any divergence across levels is a bug, not
+    // noise, and fails the section.
+    for (jobs, s) in &samples {
+        assert_eq!(
+            s.sched_key(),
+            s1.sched_key(),
+            "opt scheduler counters diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+    assert!(
+        s1.sched_skipped > 0,
+        "change-driven scheduler skipped nothing across the whole suite"
+    );
+    let presched_opt_jobs1 = 15_576_449u128; // PRESCHED_JSON jobs1 opt_wall_nanos
+    let opt_speedup = presched_opt_jobs1 as f64 / s1.stage_walls[OPT].max(1) as f64;
+    println!(
+        "opt scheduling: {} slots ran, {} skipped ({:.1}% of the blind driver's \
+         {}), {} func-rounds retired, {} rounds, {} compactions skipped \
+         [jobs-invariant]",
+        s1.sched_ran,
+        s1.sched_skipped,
+        100.0 * s1.sched_skip_ratio(),
+        s1.sched_ran + s1.sched_skipped,
+        s1.sched_retired,
+        s1.sched_rounds,
+        s1.sched_compact_skipped,
+    );
+    println!(
+        "opt wall jobs=1: {:.2} ms vs pre-scheduler {:.2} ms — {opt_speedup:.2}x",
+        s1.stage_walls[OPT] as f64 / 1e6,
+        presched_opt_jobs1 as f64 / 1e6
+    );
     let current = samples
         .iter()
         .map(|(j, s)| format!("\"jobs{j}\":{}", s.json()))
         .collect::<Vec<_>>()
         .join(",");
     let json = format!(
-        "{{\"schema\":2,\"scale\":{scale},\"jobs\":[1,2,{JOBS}],\"reps\":{BENCH_REPS},\
+        "{{\"schema\":3,\"scale\":{scale},\"jobs\":[1,2,{JOBS}],\"reps\":{BENCH_REPS},\
          \"host_cpus\":{host_cpus},\n \
          \"baseline\":{BASELINE_JSON},\n \
          \"prepool\":{PREPOOL_JSON},\n \
+         \"presched\":{PRESCHED_JSON},\n \
          \"current\":{{{current}}},\n \
-         \"speedup_jobs{JOBS}_vs_jobs1\":{speedup:.3},\"speedup_target\":2.0}}\n",
+         \"speedup_jobs{JOBS}_vs_jobs1\":{speedup:.3},\"speedup_target\":2.0,\
+         \"opt_speedup_jobs1_vs_presched\":{opt_speedup:.3},\
+         \"opt_speedup_target\":1.5}}\n",
     );
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json\n");

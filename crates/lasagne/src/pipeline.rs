@@ -92,7 +92,8 @@ use lasagne_lifter::{LiftPlan, TranslateOptions};
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{Callee, InstKind, Operand};
 use lasagne_opt::sccp::IpsccpFact;
-use lasagne_opt::PassKind;
+use lasagne_opt::sched::{hist_bucket, HIST_BUCKETS};
+use lasagne_opt::{FuncState, PassKind, SchedStats};
 use lasagne_trace::{lock_clean, TraceCtx};
 use lasagne_x86::binary::Binary;
 
@@ -132,7 +133,19 @@ use pool::Pool;
 ///   relative to schema 4 — only the overlap caveat is retired — which
 ///   restores apples-to-apples stage-wall comparison against the
 ///   schema-3 era numbers in `BENCH_pipeline.json`.
-pub const REPORT_SCHEMA: u32 = 5;
+/// * **6** — the opt stage is change-driven (see `opt::sched`): adds the
+///   `"opt_sched"` object (`ran`/`skipped`/`retired`/`rounds`/
+///   `"compacted"`/`"compact_skipped"` scheduler counters, present when
+///   the opt stage executed) and a `"hist"` array per `"opt_passes"`
+///   entry — a changes-per-invocation histogram over the buckets
+///   0 / 1 / 2–3 / 4–7 / ≥8. `"invocations"` now counts *executed*
+///   invocations only; the pairs the scheduler proved clean appear in
+///   `"opt_sched"."skipped"` instead (`ran + skipped` equals the old
+///   blind invocation count). Counters are identical at every `--jobs`
+///   value. Schema-5 consumers that ignore unknown fields still parse
+///   every field they knew about, but should not compare `"invocations"`
+///   against schema-5 era documents without adding back `"skipped"`.
+pub const REPORT_SCHEMA: u32 = 6;
 
 /// Fence provenance for one function, collected by an explain-enabled
 /// pipeline run ([`Pipeline::explain_fences`]): every Figure 8a mapping
@@ -475,8 +488,14 @@ pub struct OptPassTiming {
     pub nanos: u128,
     /// Total rewrites applied.
     pub changes: u64,
-    /// Number of (function, round, schedule-slot) executions.
+    /// Number of (function, round, schedule-slot) executions. Since
+    /// schema 6 this counts *executed* invocations only; slots the
+    /// change-driven scheduler skipped are in `PipelineReport::opt_sched`.
     pub invocations: u64,
+    /// Changes-per-invocation histogram over the buckets
+    /// 0 / 1 / 2–3 / 4–7 / ≥8 (see `opt::sched::hist_bucket`). Sums to
+    /// `invocations`.
+    pub hist: [u64; HIST_BUCKETS],
 }
 
 /// Timing of one `ipsccp` superstep (schema 3's `"ipsccp_rounds"`): the
@@ -510,6 +529,7 @@ pub struct TimingSink {
     events: Mutex<Vec<PassEvent>>,
     opt_passes: Mutex<Vec<(&'static str, u128, u64)>>,
     ipsccp_rounds: Mutex<Vec<IpsccpRoundTiming>>,
+    opt_sched: Mutex<Option<SchedStats>>,
     barrier_waits: Mutex<Vec<u128>>,
     parallel_sections: Mutex<[u64; 6]>,
     stage_walls: Mutex<[u128; 6]>,
@@ -536,6 +556,17 @@ impl TimingSink {
     /// Records the phase breakdown of one `ipsccp` superstep.
     pub fn record_ipsccp_round(&self, round: IpsccpRoundTiming) {
         lock_clean(&self.ipsccp_rounds).push(round);
+    }
+
+    /// Records the opt stage's change-driven scheduler counters. Merged
+    /// if recorded more than once (counts sum, rounds take the max), so
+    /// the counters stay meaningful for sinks shared across runs.
+    pub fn record_opt_sched(&self, stats: &SchedStats) {
+        let mut slot = lock_clean(&self.opt_sched);
+        match slot.as_mut() {
+            Some(acc) => acc.merge(stats),
+            None => *slot = Some(*stats),
+        }
     }
 
     /// Accounts wall-clock time the orchestrating thread spent inside a
@@ -668,18 +699,25 @@ impl TimingSink {
         // (which is schedule order: the fused blocks walk `OPT_ORDER`).
         let mut opt_passes: Vec<OptPassTiming> = Vec::new();
         for (pass, nanos, changes) in lock_clean(&self.opt_passes).iter() {
+            let bucket = hist_bucket(*changes as usize);
             match opt_passes.iter_mut().find(|p| p.pass == *pass) {
                 Some(p) => {
                     p.nanos += nanos;
                     p.changes += changes;
                     p.invocations += 1;
+                    p.hist[bucket] += 1;
                 }
-                None => opt_passes.push(OptPassTiming {
-                    pass,
-                    nanos: *nanos,
-                    changes: *changes,
-                    invocations: 1,
-                }),
+                None => {
+                    let mut hist = [0u64; HIST_BUCKETS];
+                    hist[bucket] = 1;
+                    opt_passes.push(OptPassTiming {
+                        pass,
+                        nanos: *nanos,
+                        changes: *changes,
+                        invocations: 1,
+                        hist,
+                    })
+                }
             }
         }
         let mut ipsccp_rounds = lock_clean(&self.ipsccp_rounds).clone();
@@ -691,6 +729,7 @@ impl TimingSink {
             stages,
             opt_passes,
             ipsccp_rounds,
+            opt_sched: *lock_clean(&self.opt_sched),
             barrier_wait_nanos: lock_clean(&self.barrier_waits).clone(),
             fused_sections: *lock_clean(&self.fused_sections),
             fused_wall_nanos: *lock_clean(&self.fused_wall),
@@ -813,6 +852,13 @@ pub struct PipelineReport {
     pub opt_passes: Vec<OptPassTiming>,
     /// Per-round `ipsccp` superstep phase timings, in round order.
     pub ipsccp_rounds: Vec<IpsccpRoundTiming>,
+    /// Change-driven scheduler counters for the opt stage (schema 6's
+    /// `"opt_sched"` object): executed vs provably-clean-skipped pass
+    /// slots, retired function-rounds, round count, and compaction
+    /// skips. `None` when the opt stage did not run (Lifted, warm
+    /// cache). Jobs-invariant: the same module yields the same counters
+    /// at every `--jobs` value.
+    pub opt_sched: Option<SchedStats>,
     /// Summed barrier idle time per worker slot, across every parallel
     /// section of the run. Empty for a fully serial run.
     pub barrier_wait_nanos: Vec<u128>,
@@ -840,17 +886,19 @@ impl PipelineReport {
     /// [`REPORT_SCHEMA`]; see ARCHITECTURE.md § Observability):
     ///
     /// ```json
-    /// {"schema":5,"version":"PPOpt","jobs":4,"total_nanos":123,
+    /// {"schema":6,"version":"PPOpt","jobs":4,"total_nanos":123,
     ///  "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,
     ///             "module_nanos":5,"wall_nanos":60,
     ///             "funcs":[{"func":"main","index":0,"nanos":83,
     ///                       "changes":120,"insts":120}]}, …],
     ///  "opt_passes":[{"pass":"mem2reg","nanos":9,"changes":3,
-    ///                 "invocations":8}, …],
+    ///                 "invocations":8,"hist":[5,2,1,0,0]}, …],
     ///  "ipsccp_rounds":[{"round":0,"gather_nanos":2,"join_nanos":1,
     ///                    "apply_nanos":2,"facts":1,"substitutions":2}, …],
     ///  "barrier_wait_nanos":[120,340,80,410],
     ///  "fused":{"sections":2,"wall_nanos":95},
+    ///  "opt_sched":{"ran":40,"skipped":38,"retired":2,"rounds":2,
+    ///               "compacted":1,"compact_skipped":1},
     ///  "pool":{"workers":4,"submitted":12,"executed":12,"steals":3,
     ///          "parks":5,"queue_depth":{"bounds":[0,1,2,4,8,16,32],
     ///          "counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}}}
@@ -861,7 +909,12 @@ impl PipelineReport {
     /// stages proportional to their in-region CPU, so stage walls sum
     /// to (approximately) `"total_nanos"`. Schema 4 charged fused
     /// extents to every member, making walls overlap — compare
-    /// schema-4 documents with that in mind. A traced run additionally carries
+    /// schema-4 documents with that in mind. Since schema 6 the opt
+    /// stage is change-driven: each `"opt_passes"` entry carries a
+    /// changes-per-invocation histogram (buckets 0 / 1 / 2–3 / 4–7 /
+    /// ≥8) and `"opt_sched"` reconciles executed against skipped slots
+    /// (`ran + skipped` equals the blind driver's invocation count;
+    /// all counters jobs-invariant). A traced run additionally carries
     /// `"metrics":{"counters":{…},"histograms":{…}}`; a cached run
     /// carries `"cache":{…}`; `"pool"` appears only when `jobs > 1`.
     pub fn to_json(&self) -> String {
@@ -906,9 +959,15 @@ impl PipelineReport {
             if i > 0 {
                 s.push(',');
             }
+            let hist: Vec<String> = p.hist.iter().map(|h| h.to_string()).collect();
             s.push_str(&format!(
-                "{{\"pass\":\"{}\",\"nanos\":{},\"changes\":{},\"invocations\":{}}}",
-                p.pass, p.nanos, p.changes, p.invocations
+                "{{\"pass\":\"{}\",\"nanos\":{},\"changes\":{},\"invocations\":{},\
+                 \"hist\":[{}]}}",
+                p.pass,
+                p.nanos,
+                p.changes,
+                p.invocations,
+                hist.join(",")
             ));
         }
         s.push_str("],\"ipsccp_rounds\":[");
@@ -934,6 +993,13 @@ impl PipelineReport {
             ",\"fused\":{{\"sections\":{},\"wall_nanos\":{}}}",
             self.fused_sections, self.fused_wall_nanos
         ));
+        if let Some(sc) = &self.opt_sched {
+            s.push_str(&format!(
+                ",\"opt_sched\":{{\"ran\":{},\"skipped\":{},\"retired\":{},\
+                 \"rounds\":{},\"compacted\":{},\"compact_skipped\":{}}}",
+                sc.ran, sc.skipped, sc.retired, sc.rounds, sc.compacted, sc.compact_skipped
+            ));
+        }
         if let Some(p) = &self.pool {
             s.push_str(&format!(
                 ",\"pool\":{{\"workers\":{},\"submitted\":{},\"executed\":{},\
@@ -999,6 +1065,13 @@ impl PipelineReport {
                 "fused    : {} multi-stage sections ({:.1} µs wall)\n",
                 self.fused_sections,
                 self.fused_wall_nanos as f64 / 1e3
+            ));
+        }
+        if let Some(sc) = &self.opt_sched {
+            s.push_str(&format!(
+                "opt sched: {} pass slots ran, {} skipped clean, {} func-rounds retired, \
+                 {} rounds; compact {} done / {} skipped\n",
+                sc.ran, sc.skipped, sc.retired, sc.rounds, sc.compacted, sc.compact_skipped
             ));
         }
         if let Some(p) = &self.pool {
@@ -1409,28 +1482,59 @@ impl<'s> PassManager<'s> {
     /// change. Per-pass wall time is still attributed: each pass is timed
     /// inside the fused item and recorded via
     /// [`TimingSink::record_opt_pass`].
-    fn fused_opt_block(&self, m: &mut Module, passes: &[PassKind]) -> u64 {
+    ///
+    /// Since schema 6 the block is change-driven: each function's
+    /// [`FuncState`] travels with the work item, passes whose dirty bit
+    /// is clear are skipped (provably clean — see `opt::sched`), and the
+    /// per-function [`lasagne_opt::Analyses`] cache is threaded through
+    /// the executed passes. Skips and runs are tallied into `sched`;
+    /// skipped slots record no `opt_passes` invocation.
+    fn fused_opt_block(
+        &self,
+        m: &mut Module,
+        passes: &[PassKind],
+        states: &mut Vec<FuncState>,
+        sched: &mut SchedStats,
+    ) -> u64 {
         let funcs = std::mem::take(&mut m.funcs);
+        let items: Vec<(Function, FuncState)> =
+            funcs.into_iter().zip(std::mem::take(states)).collect();
         let shell: &Module = m;
-        let results = self.par_section(Stage::Opt, funcs, |_, mut f| {
+        let results = self.par_section(Stage::Opt, items, |_, (mut f, mut st)| {
             let mut sp = self.trace.span("opt", &f.name);
             let t0 = Instant::now();
             let mut per_pass: Vec<(PassKind, u128, u64)> = Vec::with_capacity(passes.len());
             let mut changes = 0;
+            let (mut ran, mut skipped) = (0u64, 0u64);
             for &pass in passes {
+                if !st.should_run(pass) {
+                    skipped += 1;
+                    continue;
+                }
+                ran += 1;
                 let tp = Instant::now();
-                let n = lasagne_opt::run_pass_on_function(pass, shell, &mut f) as u64;
-                per_pass.push((pass, tp.elapsed().as_nanos(), n));
-                changes += n;
+                let eff =
+                    lasagne_opt::run_pass_on_function_eff(pass, shell, &mut f, &mut st.analyses);
+                st.note_ran(pass, &eff);
+                per_pass.push((pass, tp.elapsed().as_nanos(), eff.changes as u64));
+                changes += eff.changes as u64;
             }
             sp.arg("changes", changes);
-            (f, per_pass, changes, t0.elapsed().as_nanos())
+            (
+                f,
+                st,
+                per_pass,
+                changes,
+                ran,
+                skipped,
+                t0.elapsed().as_nanos(),
+            )
         });
         let mut total = 0;
         m.funcs = results
             .into_iter()
             .enumerate()
-            .map(|(i, (f, per_pass, changes, nanos))| {
+            .map(|(i, (f, st, per_pass, changes, ran, skipped, nanos))| {
                 for (pass, pn, pc) in per_pass {
                     self.sink.record_opt_pass(pass.name(), pn, pc);
                 }
@@ -1441,6 +1545,9 @@ impl<'s> PassManager<'s> {
                     changes,
                     insts: f.live_inst_count() as u64,
                 });
+                states.push(st);
+                sched.ran += ran;
+                sched.skipped += skipped;
                 total += changes;
                 f
             })
@@ -1461,7 +1568,17 @@ impl<'s> PassManager<'s> {
     /// Emits the same `opt.ipsccp.*` counters and `lattice-fact` instants
     /// as `ipsccp_traced`, so traced-run metrics are unchanged, and
     /// records an [`IpsccpRoundTiming`] with the phase breakdown.
-    fn ipsccp_superstep(&self, m: &mut Module, ip_facts: &mut Vec<IpsccpFact>, round: u32) -> u64 {
+    ///
+    /// A function that received substitutions was mutated from outside
+    /// its own pass runs, so its [`FuncState`] is marked externally
+    /// changed: every dirty bit set and the analysis cache dropped.
+    fn ipsccp_superstep(
+        &self,
+        m: &mut Module,
+        ip_facts: &mut Vec<IpsccpFact>,
+        round: u32,
+        states: &mut [FuncState],
+    ) -> u64 {
         let mut sp = self.trace.span("opt", "ipsccp");
 
         // Phase A (parallel): snapshot every function's call sites and
@@ -1504,7 +1621,11 @@ impl<'s> PassManager<'s> {
             let mut total = 0;
             m.funcs = results
                 .into_iter()
-                .map(|(f, n)| {
+                .enumerate()
+                .map(|(i, (f, n))| {
+                    if n > 0 {
+                        states[i].note_external_change();
+                    }
                     total += n;
                     f
                 })
@@ -1884,9 +2005,20 @@ impl<'s> PassManager<'s> {
             merges: Option<Vec<FenceMerge>>,
             /// Post-merge `(Frm, Fww, Fsc)` counts.
             fences: (usize, usize, usize),
-            /// Opt-prefix round 0: total nanos, per-pass `(pass, nanos,
-            /// changes)`, summed changes, insts after (non-Lifted).
-            prefix: Option<(u128, Vec<(PassKind, u128, u64)>, u64, u64)>,
+            /// Opt-prefix round 0 output (non-Lifted).
+            prefix: Option<PrefixOut>,
+        }
+        /// Round 0 of the opt prefix, run inside the fused tail item: the
+        /// timing/change numbers plus the function's scheduler state,
+        /// which the superstep and suffix blocks keep threading.
+        struct PrefixOut {
+            nanos: u128,
+            per_pass: Vec<(PassKind, u128, u64)>,
+            changes: u64,
+            insts: u64,
+            state: FuncState,
+            ran: u64,
+            skipped: u64,
         }
         let funcs = std::mem::take(&mut m.funcs);
         let shell: &Module = &m;
@@ -1933,21 +2065,37 @@ impl<'s> PassManager<'s> {
             let prefix = opt_split.map(|(prefix, _)| {
                 let mut sp = self.trace.span("opt", &f.name);
                 let t0 = Instant::now();
+                let mut st = FuncState::new();
                 let mut per_pass: Vec<(PassKind, u128, u64)> = Vec::with_capacity(prefix.len());
                 let mut changes = 0u64;
+                let (mut ran, mut skipped) = (0u64, 0u64);
                 for &pass in prefix {
+                    if !st.should_run(pass) {
+                        skipped += 1;
+                        continue;
+                    }
+                    ran += 1;
                     let tp = Instant::now();
-                    let n = lasagne_opt::run_pass_on_function(pass, shell, &mut f) as u64;
-                    per_pass.push((pass, tp.elapsed().as_nanos(), n));
-                    changes += n;
+                    let eff = lasagne_opt::run_pass_on_function_eff(
+                        pass,
+                        shell,
+                        &mut f,
+                        &mut st.analyses,
+                    );
+                    st.note_ran(pass, &eff);
+                    per_pass.push((pass, tp.elapsed().as_nanos(), eff.changes as u64));
+                    changes += eff.changes as u64;
                 }
                 sp.arg("changes", changes);
-                (
-                    t0.elapsed().as_nanos(),
+                PrefixOut {
+                    nanos: t0.elapsed().as_nanos(),
                     per_pass,
                     changes,
-                    f.live_inst_count() as u64,
-                )
+                    insts: f.live_inst_count() as u64,
+                    state: st,
+                    ran,
+                    skipped,
+                }
             });
             TailOut {
                 f,
@@ -1971,6 +2119,8 @@ impl<'s> PassManager<'s> {
         let mut fences_placed = 0u64;
         let (mut frm, mut fww, mut fsc) = (0usize, 0usize, 0usize);
         let mut prefix_changes = 0u64;
+        let mut states: Vec<FuncState> = Vec::with_capacity(nfuncs);
+        let mut sched = SchedStats::default();
         let mut sweep_nanos_total = 0u128;
         let mut place_nanos_total = 0u128;
         let mut merge_nanos_total = 0u128;
@@ -2035,19 +2185,22 @@ impl<'s> PassManager<'s> {
                 frm += fences.0;
                 fww += fences.1;
                 fsc += fences.2;
-                if let Some((nanos, per_pass, changes, insts)) = prefix {
-                    prefix_nanos_total += nanos;
-                    for (pass, pn, pc) in per_pass {
+                if let Some(p) = prefix {
+                    prefix_nanos_total += p.nanos;
+                    for (pass, pn, pc) in p.per_pass {
                         self.sink.record_opt_pass(pass.name(), pn, pc);
                     }
                     self.sink.record(PassEvent {
                         stage: Stage::Opt,
                         func: Some((i, f.name.clone())),
-                        nanos,
-                        changes,
-                        insts,
+                        nanos: p.nanos,
+                        changes: p.changes,
+                        insts: p.insts,
                     });
-                    prefix_changes += changes;
+                    prefix_changes += p.changes;
+                    states.push(p.state);
+                    sched.ran += p.ran;
+                    sched.skipped += p.skipped;
                 }
                 f
             })
@@ -2107,32 +2260,53 @@ impl<'s> PassManager<'s> {
         let mut ip_facts: Vec<IpsccpFact> = Vec::new();
         let wall = Instant::now();
         if let Some((prefix, suffix)) = opt_split {
+            sched.rounds = 1;
             let mut round0 = prefix_changes;
             {
                 let mut sp = self.trace.span("opt", "round");
                 sp.arg("round", 0u64);
-                round0 += self.ipsccp_superstep(&mut m, &mut ip_facts, 0);
-                round0 += self.fused_opt_block(&mut m, suffix);
+                round0 += self.ipsccp_superstep(&mut m, &mut ip_facts, 0, &mut states);
+                round0 += self.fused_opt_block(&mut m, suffix, &mut states, &mut sched);
                 sp.arg("changes", round0);
             }
+            sched.changes += round0 as usize;
             if round0 != 0 {
                 for round_idx in 1..3u32 {
+                    sched.rounds += 1;
+                    sched.retired += states.iter().filter(|s| s.is_converged()).count() as u64;
                     let mut sp = self.trace.span("opt", "round");
                     sp.arg("round", round_idx as u64);
                     let mut round = 0;
-                    round += self.fused_opt_block(&mut m, prefix);
-                    round += self.ipsccp_superstep(&mut m, &mut ip_facts, round_idx);
-                    round += self.fused_opt_block(&mut m, suffix);
+                    round += self.fused_opt_block(&mut m, prefix, &mut states, &mut sched);
+                    round += self.ipsccp_superstep(&mut m, &mut ip_facts, round_idx, &mut states);
+                    round += self.fused_opt_block(&mut m, suffix, &mut states, &mut sched);
                     sp.arg("changes", round);
+                    sched.changes += round as usize;
                     if round == 0 {
                         break;
                     }
                 }
             }
+            // Compaction is a no-op on a function whose arena is already
+            // dense and in block order — `is_compacted()` proves it, so
+            // the rebuild is skipped (byte-identical either way).
+            for f in &m.funcs {
+                if f.is_compacted() {
+                    sched.compact_skipped += 1;
+                } else {
+                    sched.compacted += 1;
+                }
+            }
             self.func_pass(Stage::Opt, &mut m, |_, _, f| {
-                f.compact();
+                if !f.is_compacted() {
+                    f.compact();
+                }
                 0
             });
+            self.trace.add("opt.sched.ran", sched.ran);
+            self.trace.add("opt.sched.skipped", sched.skipped);
+            self.trace.add("opt.sched.retired", sched.retired);
+            self.sink.record_opt_sched(&sched);
         }
         self.sink
             .record_stage_wall(Stage::Opt, wall.elapsed().as_nanos());
@@ -2355,8 +2529,15 @@ mod tests {
         );
         assert!(metrics.counter("lift.funcs") > 0);
         let json = rep.to_json();
-        assert!(json.starts_with("{\"schema\":5,"), "{json}");
+        assert!(json.starts_with("{\"schema\":6,"), "{json}");
         assert!(json.contains("\"metrics\":{\"counters\":"), "{json}");
+        assert!(json.contains("\"opt_sched\":{\"ran\":"), "{json}");
+        // The scheduler counters surface in the trace metrics too.
+        assert!(metrics.counter("opt.sched.ran") > 0);
+        assert_eq!(
+            metrics.counter("opt.sched.ran"),
+            rep.opt_sched.expect("opt ran").ran
+        );
 
         // Every cold stage shows up as a span category in the event log.
         let events = trace.collector().unwrap().all_events();

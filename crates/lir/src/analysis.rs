@@ -227,6 +227,92 @@ pub fn find_loops(cfg: &Cfg, doms: &Dominators) -> Vec<Loop> {
     loops
 }
 
+/// Lazily built, incrementally invalidated per-function analysis cache.
+///
+/// One `Analyses` lives alongside each function for the duration of an opt
+/// run (see `lasagne-opt`'s scheduler). Passes pull what they need through
+/// the accessors — a cached result is returned if still valid, otherwise it
+/// is recomputed from the function — and report what they broke through the
+/// `note_*` methods:
+///
+/// * `note_insts_changed` — instructions were added/removed/rewritten, so
+///   use counts (and anything derived from instruction identity) are stale.
+///   The CFG survives: no pass except sccp edits terminator *targets*.
+/// * `note_cfg_changed` — a terminator target changed (sccp's branch folds
+///   and unreachable-block pruning), so the CFG and dominators are stale.
+///
+/// Use counts are handed out by value (`seed_use_counts`/`store_use_counts`)
+/// so a worklist pass can decrement them in place while mutating the
+/// function, then hand the maintained vector back for the next pass.
+#[derive(Debug, Default)]
+pub struct Analyses {
+    use_counts: Option<Vec<u32>>,
+    cfg: Option<Cfg>,
+    doms: Option<Dominators>,
+}
+
+impl Analyses {
+    /// Fresh cache with nothing computed.
+    pub fn new() -> Analyses {
+        Analyses::default()
+    }
+
+    /// Takes the cached use-count vector if it is still valid for `f`
+    /// (arena length matches), otherwise computes a fresh one. The caller
+    /// owns the vector, may maintain it incrementally across its own edits,
+    /// and should return it via [`Analyses::store_use_counts`].
+    pub fn seed_use_counts(&mut self, f: &Function) -> Vec<u32> {
+        match self.use_counts.take() {
+            Some(counts) if counts.len() == f.insts.len() => counts,
+            _ => f.use_counts(),
+        }
+    }
+
+    /// Returns a maintained use-count vector to the cache.
+    pub fn store_use_counts(&mut self, counts: Vec<u32>) {
+        self.use_counts = Some(counts);
+    }
+
+    /// The CFG of `f`, computed on first use and cached until
+    /// [`Analyses::note_cfg_changed`].
+    pub fn cfg(&mut self, f: &Function) -> &Cfg {
+        if self.cfg.is_none() {
+            self.cfg = Some(Cfg::compute(f));
+        }
+        self.cfg.as_ref().expect("cfg just ensured")
+    }
+
+    /// The CFG and dominator tree of `f`, both cached.
+    pub fn cfg_and_doms(&mut self, f: &Function) -> (&Cfg, &Dominators) {
+        if self.cfg.is_none() {
+            self.cfg = Some(Cfg::compute(f));
+        }
+        let cfg = self.cfg.as_ref().expect("cfg just ensured");
+        if self.doms.is_none() {
+            self.doms = Some(Dominators::compute(cfg));
+        }
+        (cfg, self.doms.as_ref().expect("doms just ensured"))
+    }
+
+    /// Instructions changed: drop anything keyed on instruction identity.
+    pub fn note_insts_changed(&mut self) {
+        self.use_counts = None;
+    }
+
+    /// Control flow changed: drop the CFG, dominators, and use counts
+    /// (terminator rewrites change operand uses too).
+    pub fn note_cfg_changed(&mut self) {
+        self.cfg = None;
+        self.doms = None;
+        self.use_counts = None;
+    }
+
+    /// Drops everything.
+    pub fn invalidate_all(&mut self) {
+        *self = Analyses::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,6 +161,26 @@ impl Function {
         counts
     }
 
+    /// Whether [`Function::compact`] would be a no-op: the arena holds no
+    /// dead instructions and the block-walk order already assigns ids
+    /// `0..n` in sequence. When this holds, `compact()` rebuilds the arena
+    /// into byte-identical state, so callers may skip it.
+    pub fn is_compacted(&self) -> bool {
+        if self.live_inst_count() != self.insts.len() {
+            return false;
+        }
+        let mut next = 0u32;
+        for b in &self.blocks {
+            for id in &b.insts {
+                if id.0 != next {
+                    return false;
+                }
+                next += 1;
+            }
+        }
+        true
+    }
+
     /// Rebuilds the arena keeping only instructions referenced by blocks,
     /// renumbering ids densely. Returns the number of dropped instructions.
     pub fn compact(&mut self) -> usize {

@@ -5,6 +5,7 @@
 //! leave huge amounts of algebraically trivial code behind.
 
 use crate::fold::{const_int, fold_bin, fold_cast, fold_icmp};
+use lasagne_lir::analysis::Analyses;
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{BinOp, CastOp, InstId, InstKind, Operand};
 
@@ -16,6 +17,14 @@ use lasagne_lir::inst::{BinOp, CastOp, InstId, InstKind, Operand};
 /// Like LLVM's InstCombine worklist, trivially dead pure instructions
 /// encountered along the way are erased as well.
 pub fn instcombine(m: &Module, f: &mut Function) -> usize {
+    instcombine_with(m, f, &mut Analyses::new())
+}
+
+/// [`instcombine`] against a shared analysis cache: the erasure phase
+/// seeds a worklist from the cached use counts (rebuilt only if the
+/// simplify sweep mutated) instead of recomputing them once per deletion
+/// round, and stores the maintained vector back for the next pass.
+pub fn instcombine_with(m: &Module, f: &mut Function, an: &mut Analyses) -> usize {
     let mut changed = 0;
     let mut dead: Vec<InstId> = Vec::new();
     let ids: Vec<InstId> = f.iter_insts().map(|(_, id)| id).collect();
@@ -36,27 +45,47 @@ pub fn instcombine(m: &Module, f: &mut Function) -> usize {
         for b in f.block_ids().collect::<Vec<_>>() {
             f.block_mut(b).insts.retain(|i| !dead.contains(i));
         }
+        an.note_insts_changed();
     }
-    // Dead-instruction erasure (InstCombine's `eraseInstFromFunction`).
-    loop {
-        let uses = f.use_counts();
-        let dead: Vec<InstId> = f
-            .iter_insts()
-            .map(|(_, id)| id)
-            .filter(|id| {
-                uses[id.0 as usize] == 0
-                    && !f.inst(*id).kind.has_side_effects()
-                    && !matches!(f.inst(*id).kind, InstKind::Alloca { .. })
-            })
-            .collect();
-        if dead.is_empty() {
-            break;
+    // Dead-instruction erasure (InstCombine's `eraseInstFromFunction`) —
+    // same transitive closure as `dce` but never erasing allocas. The
+    // worklist computes the identical maximal set the old
+    // rebuild-counts-per-round loop removed, in one retain.
+    let erasable = |f: &Function, id: InstId| {
+        !f.inst(id).kind.has_side_effects() && !matches!(f.inst(id).kind, InstKind::Alloca { .. })
+    };
+    let mut counts = an.seed_use_counts(f);
+    let mut erased = vec![false; f.insts.len()];
+    let mut work: Vec<InstId> = Vec::new();
+    for (_, id) in f.iter_insts() {
+        if counts[id.0 as usize] == 0 && erasable(f, id) {
+            work.push(id);
         }
-        changed += dead.len();
+    }
+    let mut removed = 0;
+    while let Some(id) = work.pop() {
+        if erased[id.0 as usize] || counts[id.0 as usize] != 0 {
+            continue;
+        }
+        erased[id.0 as usize] = true;
+        removed += 1;
+        let kind = f.inst(id).kind.clone();
+        kind.for_each_operand(|op| {
+            if let Operand::Inst(src) = op {
+                counts[src.0 as usize] -= 1;
+                if counts[src.0 as usize] == 0 && !erased[src.0 as usize] && erasable(f, *src) {
+                    work.push(*src);
+                }
+            }
+        });
+    }
+    if removed > 0 {
         for b in f.block_ids().collect::<Vec<_>>() {
-            f.block_mut(b).insts.retain(|i| !dead.contains(i));
+            f.block_mut(b).insts.retain(|i| !erased[i.0 as usize]);
         }
+        changed += removed;
     }
+    an.store_use_counts(counts);
     changed
 }
 

@@ -1,26 +1,74 @@
 //! Dead-code elimination: basic (`dce`) and aggressive (`adce`).
 
+use lasagne_lir::analysis::Analyses;
 use lasagne_lir::func::Function;
 use lasagne_lir::inst::{InstId, Operand};
 
-/// Basic DCE: repeatedly removes unused, side-effect-free instructions.
+/// Basic DCE: removes unused, side-effect-free instructions to closure.
 pub fn dce(f: &mut Function) -> usize {
-    let mut removed = 0;
-    loop {
-        let uses = f.use_counts();
-        let dead: Vec<InstId> = f
-            .iter_insts()
-            .map(|(_, id)| id)
-            .filter(|id| uses[id.0 as usize] == 0 && !f.inst(*id).kind.has_side_effects())
-            .collect();
-        if dead.is_empty() {
-            return removed;
-        }
-        removed += dead.len();
-        for b in f.block_ids() {
-            f.block_mut(b).insts.retain(|i| !dead.contains(i));
+    dce_with(f, &mut Analyses::new())
+}
+
+/// [`dce`] against a shared analysis cache: seeds a worklist from the
+/// cached use counts instead of rebuilding them once per deletion round,
+/// decrements counts in place as instructions die, and stores the
+/// maintained vector back for the next pass.
+///
+/// The removed set is the unique maximal closure of pure instructions
+/// transitively without uses — exactly what the old rebuild-per-round loop
+/// computed — and the single order-preserving `retain` leaves the blocks
+/// byte-identical to repeated per-round retains.
+pub fn dce_with(f: &mut Function, an: &mut Analyses) -> usize {
+    let mut counts = an.seed_use_counts(f);
+    let mut dead = vec![false; f.insts.len()];
+    let mut work: Vec<InstId> = Vec::new();
+    for (_, id) in f.iter_insts() {
+        if counts[id.0 as usize] == 0 && !f.inst(id).kind.has_side_effects() {
+            work.push(id);
         }
     }
+    let mut removed = 0;
+    while let Some(id) = work.pop() {
+        if dead[id.0 as usize] || counts[id.0 as usize] != 0 {
+            continue;
+        }
+        dead[id.0 as usize] = true;
+        removed += 1;
+        // A dying instruction releases its operands; any that hit zero
+        // uses join the worklist. (No underflow: an instruction is only
+        // marked dead at zero uses, so every user was marked first.)
+        let kind = f.inst(id).kind.clone();
+        kind.for_each_operand(|op| {
+            if let Operand::Inst(src) = op {
+                counts[src.0 as usize] -= 1;
+                if counts[src.0 as usize] == 0
+                    && !dead[src.0 as usize]
+                    && !f.inst(*src).kind.has_side_effects()
+                {
+                    work.push(*src);
+                }
+            }
+        });
+    }
+    if removed > 0 {
+        for b in f.block_ids() {
+            f.block_mut(b).insts.retain(|i| !dead[i.0 as usize]);
+        }
+    }
+    an.store_use_counts(counts);
+    removed
+}
+
+/// [`adce`] against a shared analysis cache. The mark phase is already a
+/// seeded worklist (roots → transitive operands), so the cache's only role
+/// is bookkeeping: a removal invalidates the cached use counts (dead
+/// instructions may have used live ones).
+pub fn adce_with(f: &mut Function, an: &mut Analyses) -> usize {
+    let removed = adce(f);
+    if removed > 0 {
+        an.note_insts_changed();
+    }
+    removed
 }
 
 /// Aggressive DCE: marks transitively live instructions from roots

@@ -7,7 +7,6 @@
 //! `lasagne-fences` so that fences between accesses are respected.
 
 use lasagne_fences::legality::{elim_adjacent, elim_fenced, Label};
-use lasagne_lir::analysis::{Cfg, Dominators};
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{FenceKind, InstId, InstKind, Operand};
 use lasagne_lir::BlockId;
@@ -81,9 +80,17 @@ fn key_of(kind: &InstKind, ty: lasagne_lir::Ty) -> Option<Key> {
 
 /// Runs GVN over a function. Returns the number of instructions replaced.
 pub fn gvn(m: &Module, f: &mut Function) -> usize {
+    gvn_with(m, f, &mut lasagne_lir::analysis::Analyses::new())
+}
+
+/// [`gvn`] against a shared analysis cache: the CFG and dominator tree —
+/// the pass's whole per-call rebuild cost — come from the cache, which is
+/// valid across every pass except sccp's branch folds (GVN itself only
+/// rewrites instructions, never terminator targets, so the cache survives
+/// its own run too).
+pub fn gvn_with(m: &Module, f: &mut Function, an: &mut lasagne_lir::analysis::Analyses) -> usize {
     let _ = m;
-    let cfg = Cfg::compute(f);
-    let doms = Dominators::compute(&cfg);
+    let (_, doms) = an.cfg_and_doms(f);
 
     // Walk the dominator tree depth-first, scoping the value table.
     let mut dom_children: Vec<Vec<BlockId>> = vec![Vec::new(); f.blocks.len()];

@@ -40,9 +40,11 @@ pub mod gvn;
 pub mod licm;
 pub mod mem;
 pub mod sccp;
+pub mod sched;
 
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::types::Ty;
+pub use sched::{Analyses, FuncState, PassEffect, SchedStats};
 
 /// The optimization passes of Figure 17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,24 +138,73 @@ pub fn run_pass(kind: PassKind, m: &mut Module) -> usize {
 /// bodies — so the pipeline driver may invoke it on distinct functions
 /// concurrently with results identical to any serial order.
 pub fn run_pass_on_function(kind: PassKind, m: &Module, f: &mut Function) -> usize {
+    run_pass_on_function_eff(kind, m, f, &mut Analyses::new()).changes
+}
+
+/// [`run_pass_on_function`] reporting a full [`PassEffect`] and running
+/// against a shared per-function analysis cache `an`.
+///
+/// Every arm upholds the scheduler's soundness invariant — **a clean
+/// effect means the pass made zero mutations** — and keeps `an` honest:
+/// passes that maintain the cached use counts incrementally (`dce`,
+/// `instcombine`'s erasure) store them back, everything else notes the
+/// class of state it invalidated. Only sccp can change control flow, so
+/// only its arm ever drops the cached CFG/dominators.
+pub fn run_pass_on_function_eff(
+    kind: PassKind,
+    m: &Module,
+    f: &mut Function,
+    an: &mut Analyses,
+) -> PassEffect {
     match kind {
-        PassKind::IpSccp | PassKind::Sccp => sccp::sccp(m, f),
-        PassKind::InstCombine => combine::instcombine(m, f),
-        PassKind::Dce => dce::dce(f),
-        PassKind::Adce => dce::adce(f),
-        PassKind::Licm => licm::licm(f),
-        PassKind::Reassociate => combine::reassociate(m, f),
-        PassKind::Gvn => gvn::gvn(m, f) + gvn::load_elim(f),
-        PassKind::Mem2Reg => mem::mem2reg(f),
+        PassKind::IpSccp | PassKind::Sccp => sccp::sccp_eff(m, f, an),
+        PassKind::InstCombine => PassEffect::insts(combine::instcombine_with(m, f, an)),
+        PassKind::Dce => PassEffect::insts(dce::dce_with(f, an)),
+        PassKind::Adce => PassEffect::insts(dce::adce_with(f, an)),
+        PassKind::Licm => {
+            let n = licm::licm_with(f, an);
+            if n > 0 {
+                an.note_insts_changed();
+            }
+            PassEffect::insts(n)
+        }
+        PassKind::Reassociate => {
+            let n = combine::reassociate(m, f);
+            if n > 0 {
+                an.note_insts_changed();
+            }
+            PassEffect::insts(n)
+        }
+        PassKind::Gvn => {
+            let n = gvn::gvn_with(m, f, an) + gvn::load_elim(f);
+            if n > 0 {
+                an.note_insts_changed();
+            }
+            PassEffect::insts(n)
+        }
+        PassKind::Mem2Reg => {
+            let n = mem::mem2reg(f);
+            if n > 0 {
+                an.note_insts_changed();
+            }
+            PassEffect::insts(n)
+        }
         // LLVM's SROA both splits and promotes; mirror that.
         PassKind::Sroa => {
             let n = mem::sroa(f);
             if n > 0 {
                 mem::mem2reg(f);
+                an.note_insts_changed();
             }
-            n
+            PassEffect::insts(n)
         }
-        PassKind::Dse => dse::dse(f) + dse::dse_dead_slots(f),
+        PassKind::Dse => {
+            let n = dse::dse(f) + dse::dse_dead_slots(f);
+            if n > 0 {
+                an.note_insts_changed();
+            }
+            PassEffect::insts(n)
+        }
     }
 }
 
@@ -170,29 +221,114 @@ fn for_each_function(
     total
 }
 
+/// The 13 pass slots of one optimization round, in pipeline order. Shared
+/// by [`standard_pipeline`], [`blind_pipeline`], and `lasagne::pipeline`'s
+/// fused driver (whose `pass_list()` cache key is derived from it — the
+/// order is load-bearing for warm-cache compatibility).
+pub const OPT_ORDER: [PassKind; 13] = [
+    PassKind::Mem2Reg,
+    PassKind::Sroa,
+    PassKind::Mem2Reg,
+    PassKind::InstCombine,
+    PassKind::Reassociate,
+    PassKind::InstCombine,
+    PassKind::Sccp,
+    PassKind::IpSccp,
+    PassKind::Gvn,
+    PassKind::Licm,
+    PassKind::Dse,
+    PassKind::Adce,
+    PassKind::Dce,
+];
+
 /// The standard optimization pipeline ("Opt" in the paper's Figure 12):
 /// iterates the full pass set until a fixpoint (bounded at `max_rounds`).
 /// Returns the total number of changes.
+///
+/// Since the change-driven scheduler landed this is a shim over
+/// [`scheduled_pipeline`]; the module bytes and change total are identical
+/// to the old blind driver (see [`blind_pipeline`], kept as the oracle).
 pub fn standard_pipeline(m: &mut Module, max_rounds: usize) -> usize {
-    let order = [
-        PassKind::Mem2Reg,
-        PassKind::Sroa,
-        PassKind::Mem2Reg,
-        PassKind::InstCombine,
-        PassKind::Reassociate,
-        PassKind::InstCombine,
-        PassKind::Sccp,
-        PassKind::IpSccp,
-        PassKind::Gvn,
-        PassKind::Licm,
-        PassKind::Dse,
-        PassKind::Adce,
-        PassKind::Dce,
-    ];
+    scheduled_pipeline(m, max_rounds).changes
+}
+
+/// The change-driven optimization pipeline: the same 13 slots per round as
+/// [`blind_pipeline`], but each (function, pass) pair runs only while
+/// dirty (see [`sched`]), analyses are cached per function across passes,
+/// and converged functions skip whole rounds plus their final `compact()`.
+///
+/// Byte-identical to [`blind_pipeline`] by construction: a skipped pair is
+/// one whose rerun would provably mutate nothing and report 0 changes, so
+/// per-round change sums — and therefore the round count, the fixpoint,
+/// and the final module — are the blind driver's exactly.
+pub fn scheduled_pipeline(m: &mut Module, max_rounds: usize) -> SchedStats {
+    let mut states: Vec<FuncState> = m.funcs.iter().map(|_| FuncState::new()).collect();
+    let mut st = SchedStats::default();
+    for _ in 0..max_rounds {
+        st.rounds += 1;
+        st.retired += states.iter().filter(|s| s.is_converged()).count() as u64;
+        let mut round = 0usize;
+        for p in OPT_ORDER {
+            if p.is_interprocedural() {
+                // The ipSCCP superstep (gather → join → apply), exactly as
+                // `sccp::ipsccp` runs it; a function that received
+                // substitutions is externally mutated and must be fully
+                // reconsidered.
+                let mut summaries: Vec<sccp::CallSummary> =
+                    m.funcs.iter().map(sccp::summarize_calls).collect();
+                let param_counts: Vec<usize> = m.funcs.iter().map(|f| f.params.len()).collect();
+                let new = sccp::ipsccp_join(&param_counts, &mut summaries, &mut Vec::new());
+                for (target, f) in m.funcs.iter_mut().enumerate() {
+                    let subs = sccp::apply_ipsccp_facts(f, target as u32, &new);
+                    if subs > 0 {
+                        states[target].note_external_change();
+                    }
+                    round += subs;
+                }
+            }
+            for fi in 0..m.funcs.len() {
+                if !states[fi].should_run(p) {
+                    st.skipped += 1;
+                    continue;
+                }
+                st.ran += 1;
+                let mut f =
+                    std::mem::replace(&mut m.funcs[fi], Function::new("", vec![], Ty::Void));
+                let eff = run_pass_on_function_eff(p, m, &mut f, &mut states[fi].analyses);
+                m.funcs[fi] = f;
+                states[fi].note_ran(p, &eff);
+                round += eff.changes;
+            }
+        }
+        st.changes += round;
+        if round == 0 {
+            break;
+        }
+    }
+    for f in &mut m.funcs {
+        if f.is_compacted() {
+            st.compact_skipped += 1;
+        } else {
+            f.compact();
+            st.compacted += 1;
+        }
+    }
+    st
+}
+
+/// The pre-scheduler driver, verbatim: every pass over every function
+/// every round until a whole-round fixpoint, then unconditional
+/// compaction. Kept as the byte-identity oracle for the change-driven
+/// scheduler (the qc suite pins `scheduled_pipeline` against it) and for
+/// counter reconciliation. Returns `(total changes, pass invocations)` —
+/// the invocation count is what `ran + skipped` must equal.
+pub fn blind_pipeline(m: &mut Module, max_rounds: usize) -> (usize, u64) {
     let mut total = 0;
+    let mut invocations = 0u64;
     for _ in 0..max_rounds {
         let mut round = 0;
-        for p in order {
+        for p in OPT_ORDER {
+            invocations += m.funcs.len() as u64;
             round += run_pass(p, m);
         }
         total += round;
@@ -203,7 +339,7 @@ pub fn standard_pipeline(m: &mut Module, max_rounds: usize) -> usize {
     for f in &mut m.funcs {
         f.compact();
     }
-    total
+    (total, invocations)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! merged in the preheader, which is where LICM's static code-size wins
 //! come from.
 
-use lasagne_lir::analysis::{find_loops, Cfg, Dominators};
+use lasagne_lir::analysis::find_loops;
 use lasagne_lir::func::Function;
 use lasagne_lir::inst::{InstId, InstKind, Operand, Ordering};
 use lasagne_lir::BlockId;
@@ -17,9 +17,15 @@ use std::collections::BTreeSet;
 
 /// Hoists loop-invariant instructions. Returns the number hoisted.
 pub fn licm(f: &mut Function) -> usize {
-    let cfg = Cfg::compute(f);
-    let doms = Dominators::compute(&cfg);
-    let loops = find_loops(&cfg, &doms);
+    licm_with(f, &mut lasagne_lir::analysis::Analyses::new())
+}
+
+/// [`licm`] against a shared analysis cache: CFG and dominators come from
+/// the cache (LICM moves instructions between blocks but never edits a
+/// terminator target, so the cache stays valid across its own run).
+pub fn licm_with(f: &mut Function, an: &mut lasagne_lir::analysis::Analyses) -> usize {
+    let (cfg, doms) = an.cfg_and_doms(f);
+    let loops = find_loops(cfg, doms);
     let mut hoisted = 0;
 
     for lp in loops {

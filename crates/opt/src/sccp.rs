@@ -2,7 +2,8 @@
 //! extension (`ipsccp`), plus unreachable-block cleanup.
 
 use crate::fold::{const_int, fold_bin, fold_cast, fold_icmp};
-use lasagne_lir::analysis::Cfg;
+use crate::sched::PassEffect;
+use lasagne_lir::analysis::Analyses;
 use lasagne_lir::func::{Function, Module};
 use lasagne_lir::inst::{Callee, InstKind, Operand, Terminator};
 
@@ -10,10 +11,24 @@ use lasagne_lir::inst::{Callee, InstKind, Operand, Terminator};
 /// and removes unreachable blocks, fixing φ-nodes — constant propagation
 /// only, unlike `instcombine`, which also rewrites algebraic identities.
 pub fn sccp(m: &Module, f: &mut Function) -> usize {
-    let mut changed = 0;
+    sccp_eff(m, f, &mut Analyses::new()).changes
+}
+
+/// [`sccp`] reporting a full [`PassEffect`] against a shared analysis
+/// cache. The effect flags are the scheduler's ground truth, so they cover
+/// mutations the legacy change count never did: the unreachable-block
+/// cleanup rewrites terminators to `Unreachable` and prunes φ-incomings
+/// even on iterations whose reported count is zero.
+pub fn sccp_eff(m: &Module, f: &mut Function, an: &mut Analyses) -> PassEffect {
+    let mut eff = PassEffect::clean();
     loop {
-        let mut round = const_fold(m, f);
+        let folds = const_fold(m, f);
+        if folds > 0 {
+            eff.changed_insts = true;
+            an.note_insts_changed();
+        }
         // Fold constant conditional branches.
+        let mut br = 0;
         for b in f.block_ids().collect::<Vec<_>>() {
             if let Terminator::CondBr {
                 cond,
@@ -24,17 +39,29 @@ pub fn sccp(m: &Module, f: &mut Function) -> usize {
                 if let Some((_, c)) = const_int(&cond) {
                     let dest = if c & 1 != 0 { if_true } else { if_false };
                     f.set_term(b, Terminator::Br { dest });
-                    round += 1;
+                    br += 1;
                 } else if if_true == if_false {
                     f.set_term(b, Terminator::Br { dest: if_true });
-                    round += 1;
+                    br += 1;
                 }
             }
         }
-        round += remove_unreachable(f);
-        changed += round;
-        if round == 0 {
-            return changed;
+        if br > 0 {
+            eff.changed_cfg = true;
+            an.note_cfg_changed();
+        }
+        let (dropped, pruned) = remove_unreachable_with(f, an);
+        if pruned {
+            // Terminators were rewritten to Unreachable and φ-incomings
+            // pruned — possibly with `dropped == 0` (already-empty dead
+            // blocks). The cache note happens inside
+            // `remove_unreachable_with`.
+            eff.changed_insts = true;
+            eff.changed_cfg = true;
+        }
+        eff.changes += folds + br + dropped;
+        if folds + br + dropped == 0 {
+            return eff;
         }
     }
 }
@@ -87,16 +114,33 @@ fn const_fold(m: &Module, f: &mut Function) -> usize {
 /// Deletes blocks unreachable from the entry, pruning φ-incomings that
 /// reference them. Returns the number of instructions dropped.
 pub fn remove_unreachable(f: &mut Function) -> usize {
-    let cfg = Cfg::compute(f);
+    remove_unreachable_with(f, &mut Analyses::new()).0
+}
+
+/// [`remove_unreachable`] against a shared analysis cache. Returns
+/// `(instructions dropped, any mutation)` — the second component is true
+/// whenever the function was touched at all, which the dropped count alone
+/// does not capture (emptying an already-empty dead block still rewrites
+/// its terminator and triggers φ pruning).
+pub fn remove_unreachable_with(f: &mut Function, an: &mut Analyses) -> (usize, bool) {
+    // Reachability snapshot from the (fresh-or-cached) CFG; like the
+    // original single-shot computation, the snapshot deliberately predates
+    // this call's own mutations.
+    let reach: Vec<bool> = {
+        let cfg = an.cfg(f);
+        (0..f.blocks.len())
+            .map(|b| cfg.reachable(lasagne_lir::BlockId(b as u32)))
+            .collect()
+    };
     let mut dropped = 0;
     let mut any = false;
     for b in f.block_ids().collect::<Vec<_>>() {
-        if !cfg.reachable(b) && !f.block(b).insts.is_empty() {
+        if !reach[b.0 as usize] && !f.block(b).insts.is_empty() {
             dropped += f.block(b).insts.len();
             f.block_mut(b).insts.clear();
             f.set_term(b, Terminator::Unreachable);
             any = true;
-        } else if !cfg.reachable(b) && !matches!(f.block(b).term, Terminator::Unreachable) {
+        } else if !reach[b.0 as usize] && !matches!(f.block(b).term, Terminator::Unreachable) {
             f.set_term(b, Terminator::Unreachable);
             any = true;
         }
@@ -107,13 +151,14 @@ pub fn remove_unreachable(f: &mut Function) -> usize {
             let ids = f.block(bid).insts.clone();
             for id in ids {
                 if let InstKind::Phi { incoming } = &mut f.inst_mut(id).kind {
-                    incoming.retain(|(p, _)| cfg.reachable(*p));
+                    incoming.retain(|(p, _)| reach[p.0 as usize]);
                 }
             }
         }
         lasagne_lir::ssa::prune_trivial_phis(f);
+        an.note_cfg_changed();
     }
-    dropped
+    (dropped, any)
 }
 
 /// One interprocedural constant-propagation decision: parameter `param` of

@@ -96,7 +96,7 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     let json = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
     assert!(
-        json.starts_with("{\"schema\":5,"),
+        json.starts_with("{\"schema\":6,"),
         "timings JSON lacks the schema version field:\n{json}"
     );
     for key in [
@@ -108,6 +108,8 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
         "\"ipsccp_rounds\"",
         "\"barrier_wait_nanos\"",
         "\"wall_nanos\"",
+        "\"opt_sched\":{\"ran\":",
+        "\"hist\":[",
     ] {
         assert!(json.contains(key), "missing {key} in timings JSON:\n{json}");
     }
@@ -168,8 +170,8 @@ fn translate_with_jobs_matches_serial_and_timings_has_all_stages() {
     }
 }
 
-/// Schema-2 through schema-4 documents (as written by earlier builds)
-/// must stay readable by the in-tree JSON reader alongside schema 5:
+/// Schema-2 through schema-5 documents (as written by earlier builds)
+/// must stay readable by the in-tree JSON reader alongside schema 6:
 /// same access paths for every field that existed then, with the schema
 /// field telling consumers which extensions to expect.
 #[test]
@@ -203,9 +205,22 @@ fn schema_2_timings_documents_remain_readable() {
         "pool":{"workers":4,"submitted":12,"executed":12,"steals":0,"parks":5,
                 "queue_depth":{"bounds":[0,1,2,4,8,16,32],"counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}},
         "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
-    // Current documents carry the same core fields with schema-5
-    // disjoint walls; all four must parse through the same reader code.
-    let path = std::env::temp_dir().join(format!("lasagne-schema5-{}.json", std::process::id()));
+    // A schema-5 document from the disjoint-wall builds: same field set
+    // as schema 4, walls partition total_nanos again.
+    let schema5 = r#"{"schema":5,"version":"PPOpt","jobs":4,"total_nanos":123456,
+        "stages":[{"stage":"lift","parallel_sections":1,"nanos":88,"module_nanos":5,"wall_nanos":60,
+                   "funcs":[{"func":"main","index":0,"nanos":83,"changes":120,"insts":120}]},
+                  {"stage":"opt","parallel_sections":9,"nanos":40,"module_nanos":9,"wall_nanos":30,"funcs":[]}],
+        "opt_passes":[{"pass":"mem2reg","nanos":10,"changes":0,"invocations":2}],
+        "ipsccp_rounds":[{"round":0,"gather_nanos":1,"join_nanos":1,"apply_nanos":1,"facts":0,"substitutions":0}],
+        "barrier_wait_nanos":[1,2,3,4],
+        "fused":{"sections":2,"wall_nanos":95},
+        "pool":{"workers":4,"submitted":12,"executed":12,"steals":0,"parks":5,
+                "queue_depth":{"bounds":[0,1,2,4,8,16,32],"counts":[6,4,2,0,0,0,0,0],"sum":8,"total":12}},
+        "cache":{"warm":true,"hits":4,"misses":0,"writes":0,"unchanged":0,"evicted":0,"saved_nanos":77}}"#;
+    // Current documents add the schema-6 change-driven scheduler block;
+    // all five must parse through the same reader code.
+    let path = std::env::temp_dir().join(format!("lasagne-schema6-{}.json", std::process::id()));
     stdout(&[
         "translate",
         "HT",
@@ -216,14 +231,15 @@ fn schema_2_timings_documents_remain_readable() {
         "--timings",
         path.to_str().unwrap(),
     ]);
-    let schema5 = std::fs::read_to_string(&path).expect("timings file written");
+    let schema6 = std::fs::read_to_string(&path).expect("timings file written");
     std::fs::remove_file(&path).ok();
 
     for (doc, expected_schema) in [
         (schema2, 2),
         (schema3, 3),
         (schema4, 4),
-        (schema5.as_str(), 5),
+        (schema5, 5),
+        (schema6.as_str(), 6),
     ] {
         let v = lasagne_repro::trace::json::parse(doc).expect("timings JSON parses");
         assert_eq!(
@@ -264,6 +280,24 @@ fn schema_2_timings_documents_remain_readable() {
             expected_schema >= 4,
             "pool presence disagrees with schema tag"
         );
+        // The scheduler block additionally requires the opt stage to have
+        // run, which holds for the live document above (PPOpt, cold).
+        assert_eq!(
+            v.get("opt_sched").is_some(),
+            expected_schema >= 6,
+            "opt_sched presence disagrees with schema tag"
+        );
+        if expected_schema >= 6 {
+            let sc = v.get("opt_sched").unwrap();
+            let ran = sc.get("ran").and_then(|s| s.as_u64()).expect("ran");
+            let skipped = sc.get("skipped").and_then(|s| s.as_u64()).expect("skipped");
+            let rounds = sc.get("rounds").and_then(|s| s.as_u64()).expect("rounds");
+            assert!(ran > 0 && rounds > 0, "scheduler ran nothing");
+            assert!(
+                skipped > 0,
+                "change-driven scheduler skipped nothing on a cold translate"
+            );
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Equivalence gates for the pipelined optimization stage: the fused
 //! per-function pass schedule and the superstep `ipsccp` must be
 //! indistinguishable — module-for-module and byte-for-byte — from the
-//! serial module-wide reference (`lasagne_opt::standard_pipeline`), for
+//! serial module-wide reference (`lasagne_opt::blind_pipeline`), for
 //! every [`Version`] across the Phoenix suite and for any worker count.
 //! A warm translation cache populated before the restructure's schedule
 //! ran at a different jobs value must keep serving every function.
@@ -28,27 +28,32 @@ fn pre_opt_module(bin: &lasagne_repro::x86::binary::Binary, v: Version) -> Modul
     m
 }
 
-/// The serial reference for the whole opt stage: module-wide pass sweeps
-/// in `OPT_ORDER` (one barrier per pass), capped at the pipeline's three
-/// rounds, then per-function compaction.
-fn serial_reference(bin: &lasagne_repro::x86::binary::Binary, v: Version) -> Module {
+/// The serial reference for the whole opt stage: the pre-scheduler blind
+/// driver — module-wide pass sweeps in `OPT_ORDER` (one barrier per
+/// pass), capped at the pipeline's three rounds, then unconditional
+/// per-function compaction. Returns the module plus the driver's pass
+/// invocation count, which the change-driven scheduler's `ran + skipped`
+/// must reconcile with exactly.
+fn serial_reference(bin: &lasagne_repro::x86::binary::Binary, v: Version) -> (Module, u64) {
     let mut m = pre_opt_module(bin, v);
+    let mut invocations = 0;
     if v != Version::Lifted {
-        lasagne_repro::opt::standard_pipeline(&mut m, 3);
+        let (_, inv) = lasagne_repro::opt::blind_pipeline(&mut m, 3);
+        invocations = inv;
         for f in &mut m.funcs {
             f.compact();
         }
     }
-    m
+    (m, invocations)
 }
 
 #[test]
 fn fused_opt_matches_serial_reference_for_all_versions() {
     for b in all_benchmarks(48) {
         for v in Version::ALL {
-            let expected = serial_reference(&b.binary, v);
+            let (expected, invocations) = serial_reference(&b.binary, v);
             for jobs in [1, 4] {
-                let (t, _) = Pipeline::new(v).with_jobs(jobs).run(&b.binary).unwrap();
+                let (t, report) = Pipeline::new(v).with_jobs(jobs).run(&b.binary).unwrap();
                 assert_eq!(
                     expected,
                     t.module,
@@ -57,6 +62,40 @@ fn fused_opt_matches_serial_reference_for_all_versions() {
                     b.name,
                     v.name()
                 );
+                // The change-driven scheduler accounts for every slot the
+                // blind driver would have executed: each is either run or
+                // provably-clean skipped, never silently dropped.
+                match report.opt_sched {
+                    Some(sc) => {
+                        assert_eq!(
+                            sc.ran + sc.skipped,
+                            invocations,
+                            "{} under {} at jobs={jobs}: ran+skipped does not \
+                             reconcile with the blind invocation count",
+                            b.name,
+                            v.name()
+                        );
+                        assert!(
+                            sc.skipped > 0,
+                            "{} under {} at jobs={jobs}: scheduler never skipped",
+                            b.name,
+                            v.name()
+                        );
+                        assert_eq!(
+                            sc.compacted + sc.compact_skipped,
+                            t.module.funcs.len() as u64,
+                            "{} under {}: compaction accounting",
+                            b.name,
+                            v.name()
+                        );
+                    }
+                    None => assert_eq!(
+                        v,
+                        Version::Lifted,
+                        "{}: cold non-Lifted run must report opt_sched",
+                        b.name
+                    ),
+                }
             }
         }
     }
@@ -97,6 +136,24 @@ fn superstep_ipsccp_round_metrics_are_jobs_invariant() {
                 passes(&serial),
                 passes(&parallel),
                 "{} at jobs={jobs}: per-pass change/invocation counts diverged",
+                b.name
+            );
+            // Scheduling decisions depend only on per-function pass
+            // results, so every scheduler counter — including the
+            // changes-per-invocation histograms — is jobs-invariant.
+            assert_eq!(
+                serial.opt_sched, parallel.opt_sched,
+                "{} at jobs={jobs}: scheduler counters diverged",
+                b.name
+            );
+            let hists =
+                |r: &lasagne_repro::translator::PipelineReport| -> Vec<(&'static str, [u64; 5])> {
+                    r.opt_passes.iter().map(|p| (p.pass, p.hist)).collect()
+                };
+            assert_eq!(
+                hists(&serial),
+                hists(&parallel),
+                "{} at jobs={jobs}: per-pass histograms diverged",
                 b.name
             );
         }
